@@ -1,0 +1,89 @@
+//! Experiment E3/E4 performance series: leader-election cost in the
+//! two regimes.
+//!
+//! * `cas_only/k` — Burns–Cruz–Loui regime: `k−1` processes, one
+//!   compare&swap-(k), no registers. O(1) operations per process.
+//! * `label/k` — `(k−1)!` processes, one compare&swap-(k) plus
+//!   read/write memory (`LabelElection`). O(k) operations per process,
+//!   but factorially many processes: the series exhibits the
+//!   exponential power the paper prices.
+//! * `label_threads/k` — the same election on real OS threads over
+//!   hardware atomics.
+
+use bso::sim::{thread_runner, ProtocolExt};
+use bso::{CasOnlyElection, LabelElection};
+use bso_bench::run_once;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_cas_only(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cas_only");
+    for k in [3usize, 5, 8, 12, 16] {
+        let proto = CasOnlyElection::new(k - 1, k).unwrap();
+        g.throughput(Throughput::Elements((k - 1) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                run_once(&proto, seed)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_label(c: &mut Criterion) {
+    let mut g = c.benchmark_group("label");
+    for k in [3usize, 4, 5, 6] {
+        let n = bso::bounds::nk_algorithmic(k) as usize;
+        let proto = LabelElection::new(n, k).unwrap();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("full_house", k), &k, |b, _| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                run_once(&proto, seed)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_label_rw(c: &mut Criterion) {
+    // The fully-from-registers variant: the O(n²) snapshot scans
+    // dominate — compare with the `label` group to price the
+    // construction.
+    let mut g = c.benchmark_group("label_rw");
+    for k in [3usize, 4] {
+        let n = bso::bounds::nk_algorithmic(k) as usize;
+        let proto = bso::protocols::LabelElectionRw::new(n, k).unwrap();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("full_house", k), &k, |b, _| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                run_once(&proto, seed)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_label_threads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("label_threads");
+    g.sample_size(20);
+    for k in [4usize, 5] {
+        let n = bso::bounds::nk_algorithmic(k) as usize;
+        let proto = LabelElection::new(n, k).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| thread_runner::run_on_threads(&proto, &proto.pid_inputs()).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = bso_bench::quick();
+    targets = bench_cas_only, bench_label, bench_label_rw, bench_label_threads
+}
+criterion_main!(benches);

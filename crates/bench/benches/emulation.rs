@@ -1,0 +1,72 @@
+//! Experiment E1 performance series: the cost of the Theorem 1
+//! reduction — emulating a compare&swap election on read/write memory
+//! — as the emulator count and the emulated algorithm grow, plus the
+//! cost of the Lemma 1.2 validation (linearizability replay).
+
+use bso::{CasOnlyElection, LabelElection, Reduction};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_reduction_emulators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reduction_emulators");
+    g.sample_size(20);
+    for m in [2usize, 3, 6] {
+        g.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                let a = LabelElection::new(6, 4).unwrap();
+                black_box(Reduction::new(a, m).run_seeded(seed).unwrap())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_reduction_algorithms(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reduction_algorithm");
+    g.sample_size(20);
+    g.bench_function("cas_only_k5", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            let a = CasOnlyElection::new(4, 5).unwrap();
+            black_box(Reduction::new(a, 2).run_seeded(seed).unwrap())
+        });
+    });
+    g.bench_function("label_k3", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            let a = LabelElection::new(2, 3).unwrap();
+            black_box(Reduction::new(a, 2).run_seeded(seed).unwrap())
+        });
+    });
+    g.bench_function("label_k5_phi24", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            let a = LabelElection::new(24, 5).unwrap();
+            black_box(Reduction::new(a, 4).run_seeded(seed).unwrap())
+        });
+    });
+    g.finish();
+}
+
+fn bench_validation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reduction_validate");
+    g.sample_size(20);
+    let a = LabelElection::new(6, 4).unwrap();
+    let report = Reduction::new(a, 3).run_seeded(11).unwrap();
+    g.bench_function("lemma_1_2_replay", |b| {
+        b.iter(|| black_box(report.validate().unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = bso_bench::quick();
+    targets = bench_reduction_emulators, bench_reduction_algorithms, bench_validation
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! The exhaustive model checker: states per second and full-instance
+//! verification cost for the protocols the experiments rely on.
+
+use bso::sim::{explore, ExploreConfig, ProtocolExt, TaskSpec};
+use bso::{CasOnlyElection, LabelElection};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_explore_cas_only(c: &mut Criterion) {
+    let mut g = c.benchmark_group("explore_cas_only");
+    g.sample_size(20);
+    for k in [3usize, 4, 5, 6] {
+        let proto = CasOnlyElection::new(k - 1, k).unwrap();
+        let inputs = proto.pid_inputs();
+        let cfg = ExploreConfig { spec: TaskSpec::Election, ..Default::default() };
+        // Report throughput in explored states.
+        let states = explore(&proto, &inputs, &cfg).states as u64;
+        g.throughput(Throughput::Elements(states));
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| black_box(explore(&proto, &inputs, &cfg)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_explore_label(c: &mut Criterion) {
+    let mut g = c.benchmark_group("explore_label");
+    g.sample_size(10);
+    for (n, k) in [(2usize, 3usize), (2, 4), (3, 4)] {
+        let proto = LabelElection::new(n, k).unwrap();
+        let inputs = proto.pid_inputs();
+        let cfg = ExploreConfig { spec: TaskSpec::Election, ..Default::default() };
+        let states = explore(&proto, &inputs, &cfg).states as u64;
+        g.throughput(Throughput::Elements(states));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_k{k}")),
+            &k,
+            |b, _| b.iter(|| black_box(explore(&proto, &inputs, &cfg))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_refuter(c: &mut Criterion) {
+    use bso::hierarchy::candidates::TasThreeEagerCandidate;
+    use bso::objects::Value;
+    use bso::sim::refute::refute_consensus;
+    let inputs = vec![Value::Int(1), Value::Int(2), Value::Int(3)];
+    c.bench_function("refute_tas_three_eager", |b| {
+        b.iter(|| black_box(refute_consensus(&TasThreeEagerCandidate, &inputs, 1_000_000)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = bso_bench::quick();
+    targets = bench_explore_cas_only, bench_explore_label, bench_refuter
+}
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Experiment E2 performance series: the Lemma 1.1 move/jump game —
+//! exhaustive strategy search on small instances, greedy witnesses on
+//! larger ones, and the potential audit.
+
+use bso::combinatorics::game::{audit_potential, Game, GameAction};
+use bso::combinatorics::search::{greedy_moves, max_moves, max_moves_any_start};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_exhaustive(c: &mut Criterion) {
+    let mut g = c.benchmark_group("game_exhaustive");
+    g.sample_size(10);
+    for (k, m) in [(2usize, 2usize), (3, 2), (2, 3), (3, 3)] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("k{k}_m{m}")),
+            &(k, m),
+            |b, &(k, m)| b.iter(|| black_box(max_moves_any_start(k, m))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_single_start(c: &mut Criterion) {
+    let mut g = c.benchmark_group("game_fixed_start");
+    g.sample_size(10);
+    for (k, m) in [(4usize, 2usize), (3, 3)] {
+        let starts: Vec<usize> = (0..m).map(|a| a % k).collect();
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("k{k}_m{m}")),
+            &starts,
+            |b, starts| b.iter(|| black_box(max_moves(k, starts))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_greedy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("game_greedy");
+    for (k, m) in [(5usize, 3usize), (6, 3), (8, 4)] {
+        let starts: Vec<usize> = (0..m).map(|a| a % k).collect();
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("k{k}_m{m}")),
+            &starts,
+            |b, starts| b.iter(|| black_box(greedy_moves(k, starts, 100_000))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_potential_audit(c: &mut Criterion) {
+    // A fixed medium-length run to audit.
+    let k = 5;
+    let starts = [0usize, 0, 1];
+    let mut game = Game::new(k, &starts);
+    let mut run = Vec::new();
+    while run.len() < 60 {
+        let actions = game.legal_actions();
+        if actions.is_empty() {
+            break;
+        }
+        let a = actions[run.len() * 7 % actions.len()];
+        game.act(a).unwrap();
+        run.push(a);
+    }
+    let moves = run.iter().filter(|a| matches!(a, GameAction::Move { .. })).count();
+    assert!(moves >= 1);
+    c.bench_function("game_potential_audit", |b| {
+        b.iter(|| black_box(audit_potential(k, &starts, &run)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = bso_bench::quick();
+    targets = bench_exhaustive, bench_single_start, bench_greedy, bench_potential_audit
+}
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Object-layer performance: the bounded compare&swap on the model
+//! backend (sequential specification) vs the hardware backend
+//! (lock-free `AtomicU8`), uncontended and contended.
+
+use bso::objects::atomic::{AtomicMemory, Memory};
+use bso::objects::{spec::ObjectState, Layout, ObjectInit, Op, OpKind, Sym, Value};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn cas_ops(k: usize) -> Vec<OpKind> {
+    // A swap chain around the domain: every op alternates success/fail.
+    let mut ops = Vec::new();
+    for i in 0..k as u8 - 1 {
+        ops.push(OpKind::Cas {
+            expect: if i == 0 { Sym::BOTTOM.into() } else { Sym::new(i - 1).into() },
+            new: Sym::new(i).into(),
+        });
+        ops.push(OpKind::Read);
+    }
+    ops
+}
+
+fn bench_model_cas(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cas_model");
+    for k in [3usize, 8, 32, 128] {
+        let ops = cas_ops(k);
+        g.throughput(Throughput::Elements(ops.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let mut cas = ObjectState::from_init(&ObjectInit::CasK { k });
+                for op in &ops {
+                    black_box(cas.apply(0, op).unwrap());
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_hardware_cas(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cas_hardware");
+    for k in [3usize, 8, 32, 128] {
+        let ops = cas_ops(k);
+        let mut layout = Layout::new();
+        let id = layout.push(ObjectInit::CasK { k });
+        g.throughput(Throughput::Elements(ops.len() as u64));
+        g.bench_with_input(BenchmarkId::new("uncontended", k), &k, |b, _| {
+            b.iter(|| {
+                let mem = AtomicMemory::new(&layout);
+                for op in &ops {
+                    black_box(mem.apply(0, &Op::new(id, op.clone())).unwrap());
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_hardware_cas_contended(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cas_hardware_contended");
+    g.sample_size(20);
+    for threads in [2usize, 4, 8] {
+        let mut layout = Layout::new();
+        let id = layout.push(ObjectInit::CasK { k: 16 });
+        g.throughput(Throughput::Elements((threads * 1000) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| {
+                let mem = AtomicMemory::new(&layout);
+                crossbeam_scope(&mem, id, t);
+            });
+        });
+    }
+    g.finish();
+}
+
+fn crossbeam_scope(mem: &AtomicMemory, id: bso::objects::ObjectId, threads: usize) {
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            s.spawn(move || {
+                for i in 0..1000u32 {
+                    let e = Sym::from_code((i % 16) as u8);
+                    let n = Sym::from_code(((i + 1) % 16) as u8);
+                    let _ = mem.apply(t, &Op::cas(id, e.into(), n.into())).unwrap();
+                }
+            });
+        }
+    });
+}
+
+fn bench_snapshot_object(c: &mut Criterion) {
+    let mut g = c.benchmark_group("snapshot_object_scan");
+    for slots in [4usize, 16, 64] {
+        let mut layout = Layout::new();
+        let id = layout.push(ObjectInit::Snapshot { slots });
+        let mem = AtomicMemory::new(&layout);
+        for s in 0..slots {
+            mem.apply(s, &Op::new(id, OpKind::SnapshotUpdate(Value::Int(s as i64))))
+                .unwrap();
+        }
+        g.throughput(Throughput::Elements(slots as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(slots), &slots, |b, _| {
+            b.iter(|| black_box(mem.apply(0, &Op::new(id, OpKind::SnapshotScan)).unwrap()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = bso_bench::quick();
+    targets = bench_model_cas, bench_hardware_cas, bench_hardware_cas_contended, bench_snapshot_object
+}
+criterion_main!(benches);

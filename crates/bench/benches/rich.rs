@@ -1,0 +1,71 @@
+//! Experiment E7 performance series: the full PODC '94 emulation —
+//! run cost and Lemma 1.2 legality-validation cost as Φ grows — plus
+//! the universal construction.
+
+use bso::emulation::pingpong::PingPong;
+use bso::emulation::rich::{run_rich, RichConfig, RichEmulation};
+use bso::objects::{ObjectInit, OpKind};
+use bso::protocols::universal::UniversalExerciser;
+use bso::sim::scheduler::RandomSched;
+use bso_bench::run_once;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn cfg() -> RichConfig {
+    RichConfig { suspend_quota: 2, ..RichConfig::demo() }
+}
+
+fn bench_rich_run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rich_run");
+    for phi in [8usize, 16, 32] {
+        g.throughput(Throughput::Elements(phi as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(phi), &phi, |b, &phi| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                let a = PingPong::new(phi, 3, 2);
+                let emu = RichEmulation::new(a, 2, cfg());
+                black_box(run_rich(&emu, &mut RandomSched::new(seed), 400_000).unwrap())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_rich_validate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rich_validate");
+    g.sample_size(10);
+    for phi in [8usize, 16, 32] {
+        let a = PingPong::new(phi, 3, 2);
+        let emu = RichEmulation::new(a, 2, cfg());
+        let report = run_rich(&emu, &mut RandomSched::new(3), 400_000).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(phi), &phi, |b, _| {
+            b.iter(|| black_box(report.validate().unwrap()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_universal(c: &mut Criterion) {
+    let mut g = c.benchmark_group("universal_counter");
+    for n in [2usize, 4, 8] {
+        let scripts = vec![vec![OpKind::FetchAdd(1); 2]; n];
+        let proto = UniversalExerciser::new(ObjectInit::FetchAdd(0), scripts);
+        g.throughput(Throughput::Elements((2 * n) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                run_once(&proto, seed)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = bso_bench::quick();
+    targets = bench_rich_run, bench_rich_validate, bench_universal
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! The register-based atomic snapshot (Afek et al.): cost of the
+//! full exerciser as processes and update rounds grow — the O(n²)
+//! scan cost made visible.
+
+use bso::protocols::snapshot::SnapshotExerciser;
+use bso_bench::run_once;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_snapshot_processes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("snapshot_processes");
+    for n in [2usize, 4, 8, 12] {
+        let proto = SnapshotExerciser::new(n, 2);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                run_once(&proto, seed)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_snapshot_rounds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("snapshot_rounds");
+    for rounds in [1usize, 2, 4, 8] {
+        let proto = SnapshotExerciser::new(4, rounds);
+        g.throughput(Throughput::Elements(rounds as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(rounds), &rounds, |b, _| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                run_once(&proto, seed)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = bso_bench::quick();
+    targets = bench_snapshot_processes, bench_snapshot_rounds
+}
+criterion_main!(benches);

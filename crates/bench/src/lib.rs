@@ -1,0 +1,30 @@
+//! Criterion benchmark harness for the `bso` workspace.
+//!
+//! Each bench file under `benches/` regenerates one experiment's
+//! performance series (see EXPERIMENTS.md): election cost across
+//! `(n, k)`, hardware vs model compare&swap throughput, snapshot scan
+//! cost, the Lemma 1.1 game search, the exhaustive model checker, and
+//! the emulation of Theorem 1.
+//!
+//! The library itself only hosts tiny shared helpers.
+
+#![forbid(unsafe_code)]
+
+use bso::sim::{scheduler::RandomSched, Protocol, ProtocolExt, RunResult, Simulation};
+
+/// Runs one seeded simulation of `proto` to quiescence and returns the
+/// result (panics on protocol errors — benches must be green).
+pub fn run_once<P: Protocol>(proto: &P, seed: u64) -> RunResult {
+    let mut sim = Simulation::new(proto, &proto.pid_inputs());
+    sim.run(&mut RandomSched::new(seed), 50_000_000).expect("benched run must complete")
+}
+
+/// A criterion configuration tuned so the whole workspace bench suite
+/// completes in minutes: the experiments compare *shapes* across
+/// parameters, which modest sample counts resolve fine.
+pub fn quick() -> criterion::Criterion {
+    criterion::Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(10)
+}

@@ -1,0 +1,162 @@
+//! The bound landscape of `n_k`.
+//!
+//! `n_k` is the maximum number of processes that can wait-freely elect
+//! a leader in a system with one `compare&swap-(k)` register and
+//! unbounded read/write memory. The paper (with its companions)
+//! brackets it:
+//!
+//! | bound | source |
+//! |---|---|
+//! | `n_k = k − 1` with the compare&swap **alone** | Burns–Cruz–Loui \[5\] |
+//! | `n_k ≥ (k−1)! = Θ(k!)` | Afek–Stupp FOCS '93 \[1\] (here: `LabelElection`) |
+//! | `n_k ≤ O(k^(k²+3))` | **this paper, Theorem 1** |
+//! | `n_k = Θ(k!)` | the paper's closing conjecture |
+//!
+//! The functions here make the landscape printable (`examples/
+//! bounds_table.rs` regenerates the comparison) and give the exact
+//! parameters the other crates use (`labels(k)` emulator groups, etc.).
+
+use crate::perm::factorial;
+
+/// The Burns–Cruz–Loui bound: a `compare&swap-(k)` with **no**
+/// read/write registers elects at most `k − 1` processes.
+///
+/// # Panics
+///
+/// Panics if `k < 2`.
+pub fn burns_bound(k: usize) -> usize {
+    assert!(k >= 2, "compare&swap-(k) needs k >= 2");
+    k - 1
+}
+
+/// The number of distinct *labels* — permutations of the `k−1` non-⊥
+/// symbols, all histories starting with ⊥: `(k−1)!`.
+///
+/// This is both the number of emulator groups in the reduction (and
+/// hence the set-consensus parameter) and the process count of the
+/// `LabelElection` algorithm.
+pub fn labels(k: usize) -> u128 {
+    assert!(k >= 2, "compare&swap-(k) needs k >= 2");
+    factorial(k - 1)
+}
+
+/// The algorithmic lower bound on `n_k` realized in this repository:
+/// `(k−1)!` processes elect with one `compare&swap-(k)` plus
+/// read/write registers (`bso-protocols::LabelElection`).
+pub fn nk_algorithmic(k: usize) -> u128 {
+    labels(k)
+}
+
+/// The paper's upper bound `k^(k²+3)` as an exact `u128`, or `None`
+/// when it overflows (use [`nk_upper_log2`] then).
+pub fn nk_upper(k: usize) -> Option<u128> {
+    let exp = k.checked_mul(k)?.checked_add(3)?;
+    let mut acc: u128 = 1;
+    for _ in 0..exp {
+        acc = acc.checked_mul(k as u128)?;
+    }
+    Some(acc)
+}
+
+/// `log₂` of the paper's upper bound `k^(k²+3)`.
+pub fn nk_upper_log2(k: usize) -> f64 {
+    ((k * k + 3) as f64) * (k as f64).log2()
+}
+
+/// The paper's conjectured truth `n_k = Θ(k!)` — the `k!` reference
+/// curve.
+pub fn conjecture(k: usize) -> u128 {
+    factorial(k)
+}
+
+/// One row of the bound landscape for a given `k`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BoundsRow {
+    /// Domain size of the compare&swap register.
+    pub k: usize,
+    /// `k − 1`: compare&swap alone (Burns–Cruz–Loui).
+    pub cas_alone: usize,
+    /// `(k−1)!`: achieved with read/write registers added
+    /// (`LabelElection`).
+    pub with_registers: u128,
+    /// `k!`: the conjectured order of `n_k`.
+    pub conjectured: u128,
+    /// `k^(k²+3)` exactly, when it fits in a `u128`.
+    pub upper: Option<u128>,
+    /// `log₂ k^(k²+3)` (always available).
+    pub upper_log2: f64,
+}
+
+/// The landscape for `k = 3 ..= k_max`.
+///
+/// # Example
+///
+/// ```
+/// use bso_combinatorics::bounds::landscape;
+/// let rows = landscape(5);
+/// assert_eq!(rows[0].k, 3);
+/// assert_eq!(rows[1].cas_alone, 3);        // k=4: 3 processes
+/// assert_eq!(rows[1].with_registers, 6);   // k=4: 3! = 6 processes
+/// ```
+pub fn landscape(k_max: usize) -> Vec<BoundsRow> {
+    (3..=k_max)
+        .map(|k| BoundsRow {
+            k,
+            cas_alone: burns_bound(k),
+            with_registers: nk_algorithmic(k),
+            conjectured: conjecture(k),
+            upper: nk_upper(k),
+            upper_log2: nk_upper_log2(k),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values() {
+        assert_eq!(burns_bound(3), 2);
+        assert_eq!(labels(3), 2);
+        assert_eq!(labels(4), 6);
+        assert_eq!(nk_algorithmic(5), 24);
+        assert_eq!(conjecture(4), 24);
+        assert_eq!(nk_upper(2), Some(1 << 7)); // 2^(4+3)
+        assert_eq!(nk_upper(3), Some(3u128.pow(12)));
+    }
+
+    #[test]
+    fn upper_bound_overflows_gracefully() {
+        // 6^39 ≈ 2^100.8 still fits a u128; 7^52 ≈ 2^145.9 does not —
+        // past there only the log is available.
+        assert!(nk_upper(6).is_some());
+        assert!(nk_upper(7).is_none());
+        assert!(nk_upper_log2(7) > 128.0);
+    }
+
+    #[test]
+    fn the_paper_ordering_holds() {
+        // k−1 < (k−1)! ≤ k! ≤ k^(k²+3) for every k ≥ 4 (and the first
+        // inequality is weak at k=3 where both are 2).
+        for row in landscape(7) {
+            assert!(row.cas_alone as u128 <= row.with_registers);
+            assert!(row.with_registers <= row.conjectured);
+            if let Some(u) = row.upper {
+                assert!(row.conjectured <= u);
+            }
+            if row.k >= 4 {
+                assert!((row.cas_alone as u128) < row.with_registers);
+            }
+        }
+    }
+
+    #[test]
+    fn log_matches_exact_when_available() {
+        for k in 3..=6 {
+            let exact = nk_upper(k).unwrap() as f64;
+            let log = nk_upper_log2(k);
+            assert!((exact.log2() - log).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,433 @@
+//! The move/jump agent game of Lemma 1.1.
+//!
+//! > *Consider the following process in a complete directed graph on
+//! > `k` nodes with `m` agents that are initially placed in the nodes
+//! > of the graph. In the process each agent can repeatedly do one of
+//! > the following two actions:*
+//! >
+//! > 1. **Move**: an agent moves from its current node `v` to some
+//! >    other node `u`, painting the `v → u` edge.
+//! > 2. **Jump**: an agent relocates itself to a node `u`. This step
+//! >    is possible only if, since the last time the agent visited `u`
+//! >    (or if it never visited `u`), another agent has *moved* to
+//! >    `u`.
+//! >
+//! > *What is the maximum number of moves the agents can do before the
+//! > painted edges contain a cycle?* — **Lemma 1.1** (proof due to
+//! > Noga Alon): `m^k`.
+//!
+//! The lemma is the counting heart of the paper's key invariant (each
+//! tree node can always reach its ancestors through high-excess edges),
+//! and its potential-function proof fixes a topological sort of the
+//! *final* painted graph, assigns weight `m^level` to an agent at a
+//! node of that level, and observes that every move costs the mover at
+//! least `m^j(m−1)` while enabling at most `m−1` jumps that gain less
+//! than `m^j` each — a net decrease of at least `m−1` ≥ 1.
+//!
+//! **A degenerate case the extended abstract glosses over:** for
+//! `m = 1` there are no other agents to enable jumps and the net-
+//! decrease argument degenerates (`m−1 = 0`); a single agent can walk
+//! any acyclic path, achieving exactly `k−1` moves, which exceeds
+//! `1^k = 1`. The lemma therefore implicitly assumes `m ≥ 2` — which
+//! always holds in the emulation, where `m = (k−1)!+1 ≥ 2`. Our
+//! exhaustive search ([`crate::search`]) verifies `max_moves ≤ m^k`
+//! for all small instances with `m ≥ 2` and `max_moves = k−1` for
+//! `m = 1`.
+
+use std::fmt;
+
+/// A node of the complete directed graph.
+pub type Node = usize;
+
+/// An agent index.
+pub type Agent = usize;
+
+/// One action of the game.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum GameAction {
+    /// Move `agent` from its current node to `to`, painting the edge.
+    Move {
+        /// The acting agent.
+        agent: Agent,
+        /// Destination node.
+        to: Node,
+    },
+    /// Relocate `agent` to `to` without painting (freshness required).
+    Jump {
+        /// The acting agent.
+        agent: Agent,
+        /// Destination node.
+        to: Node,
+    },
+}
+
+/// Why an action was rejected.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GameError {
+    /// Moving to the node the agent already occupies.
+    SelfMove,
+    /// The move would close a cycle in the painted edges (game over
+    /// condition — such moves are not playable).
+    WouldClose,
+    /// Jump target is not fresh for this agent (no move into it since
+    /// the agent's last visit).
+    NotFresh,
+    /// Agent or node index out of range.
+    OutOfRange,
+}
+
+impl fmt::Display for GameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            GameError::SelfMove => "agent cannot move to its own node",
+            GameError::WouldClose => "move would close a painted cycle",
+            GameError::NotFresh => "jump target not fresh for this agent",
+            GameError::OutOfRange => "agent or node out of range",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for GameError {}
+
+/// The game state: agent positions, painted edges, per-agent freshness.
+///
+/// # Example
+///
+/// ```
+/// use bso_combinatorics::game::{Game, GameAction};
+///
+/// let mut g = Game::new(3, &[0, 0]); // k = 3 nodes, 2 agents at node 0
+/// g.act(GameAction::Move { agent: 0, to: 1 }).unwrap();
+/// // node 1 received a move: agent 1 may jump there.
+/// g.act(GameAction::Jump { agent: 1, to: 1 }).unwrap();
+/// assert_eq!(g.moves(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Game {
+    k: usize,
+    positions: Vec<Node>,
+    /// painted[u * k + v] — edge u → v painted.
+    painted: Vec<bool>,
+    /// fresh[a * k + u] — agent `a` may jump to `u`.
+    fresh: Vec<bool>,
+    moves: usize,
+}
+
+impl Game {
+    /// A fresh game on `k` nodes with agents at the given start nodes.
+    ///
+    /// A jump to `u` always requires that *another agent has moved to
+    /// `u`* — the lemma's parenthetical "(or if the agent has never
+    /// visited node `u`)" only relaxes the reference point of "since
+    /// the last visit", it does not waive the required move. Freshness
+    /// therefore starts `false` everywhere. (Reading it the permissive
+    /// way — unvisited nodes jumpable for free — breaks the `m^k`
+    /// bound already at `k = 4, m = 2`, where exhaustive search finds
+    /// 22 > 16 moves; see `tests/` and EXPERIMENTS.md.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2` or a start node is out of range.
+    pub fn new(k: usize, starts: &[Node]) -> Game {
+        assert!(k >= 2, "the complete digraph needs at least 2 nodes");
+        assert!(starts.iter().all(|&s| s < k), "start node out of range");
+        let m = starts.len();
+        Game {
+            k,
+            positions: starts.to_vec(),
+            painted: vec![false; k * k],
+            fresh: vec![false; m * k],
+            moves: 0,
+        }
+    }
+
+    /// Number of nodes `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of agents `m`.
+    pub fn agents(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Moves played so far.
+    pub fn moves(&self) -> usize {
+        self.moves
+    }
+
+    /// Current node of `agent`.
+    pub fn position(&self, agent: Agent) -> Node {
+        self.positions[agent]
+    }
+
+    /// Whether edge `u → v` is painted.
+    pub fn is_painted(&self, u: Node, v: Node) -> bool {
+        self.painted[u * self.k + v]
+    }
+
+    /// Whether `agent` may currently jump to `to`.
+    pub fn is_fresh(&self, agent: Agent, to: Node) -> bool {
+        self.fresh[agent * self.k + to]
+    }
+
+    /// Whether painting `u → v` would create a cycle (i.e. `u` is
+    /// reachable from `v` along painted edges).
+    #[allow(clippy::needless_range_loop)] // adjacency-matrix index walk
+    pub fn would_close(&self, u: Node, v: Node) -> bool {
+        if u == v {
+            return true;
+        }
+        // DFS from v looking for u.
+        let mut stack = vec![v];
+        let mut seen = vec![false; self.k];
+        seen[v] = true;
+        while let Some(x) = stack.pop() {
+            if x == u {
+                return true;
+            }
+            for y in 0..self.k {
+                if self.painted[x * self.k + y] && !seen[y] {
+                    seen[y] = true;
+                    stack.push(y);
+                }
+            }
+        }
+        false
+    }
+
+    /// All actions legal in the current state.
+    pub fn legal_actions(&self) -> Vec<GameAction> {
+        let mut out = Vec::new();
+        for a in 0..self.agents() {
+            let from = self.positions[a];
+            for to in 0..self.k {
+                if to != from && !self.would_close(from, to) {
+                    out.push(GameAction::Move { agent: a, to });
+                }
+                if to != from && self.fresh[a * self.k + to] {
+                    out.push(GameAction::Jump { agent: a, to });
+                }
+            }
+        }
+        out
+    }
+
+    /// Plays one action.
+    ///
+    /// # Errors
+    ///
+    /// [`GameError`] if the action is illegal; the state is unchanged.
+    pub fn act(&mut self, action: GameAction) -> Result<(), GameError> {
+        match action {
+            GameAction::Move { agent, to } => {
+                if agent >= self.agents() || to >= self.k {
+                    return Err(GameError::OutOfRange);
+                }
+                let from = self.positions[agent];
+                if to == from {
+                    return Err(GameError::SelfMove);
+                }
+                if self.would_close(from, to) {
+                    return Err(GameError::WouldClose);
+                }
+                self.painted[from * self.k + to] = true;
+                self.positions[agent] = to;
+                self.moves += 1;
+                // The move refreshes `to` for every *other* agent; the
+                // mover itself is now visiting `to`.
+                for b in 0..self.agents() {
+                    self.fresh[b * self.k + to] = b != agent;
+                }
+                Ok(())
+            }
+            GameAction::Jump { agent, to } => {
+                if agent >= self.agents() || to >= self.k {
+                    return Err(GameError::OutOfRange);
+                }
+                if to == self.positions[agent] {
+                    return Err(GameError::NotFresh);
+                }
+                if !self.fresh[agent * self.k + to] {
+                    return Err(GameError::NotFresh);
+                }
+                self.positions[agent] = to;
+                self.fresh[agent * self.k + to] = false;
+                Ok(())
+            }
+        }
+    }
+
+    /// A topological level assignment of the painted (acyclic) graph:
+    /// `level(v)` = length of the longest painted path starting at
+    /// `v`, so every painted edge goes from a strictly higher to a
+    /// strictly lower level — the sort the lemma's proof uses.
+    pub fn levels(&self) -> Vec<usize> {
+        let mut memo = vec![usize::MAX; self.k];
+        fn go(g: &Game, v: Node, memo: &mut [usize]) -> usize {
+            if memo[v] != usize::MAX {
+                return memo[v];
+            }
+            memo[v] = 0; // acyclic by invariant; 0 placeholder is safe
+            let mut best = 0;
+            for u in 0..g.k {
+                if g.painted[v * g.k + u] {
+                    best = best.max(1 + go(g, u, memo));
+                }
+            }
+            memo[v] = best;
+            best
+        }
+        for v in 0..self.k {
+            go(self, v, &mut memo);
+        }
+        memo
+    }
+
+    /// The lemma's potential: Σ over agents of `m^level(position)`,
+    /// computed against the supplied level assignment (the proof fixes
+    /// the levels of the *final* graph; pass [`Game::levels`] of the
+    /// final state to audit a whole run).
+    pub fn potential(&self, levels: &[usize]) -> u128 {
+        let m = self.agents() as u128;
+        self.positions.iter().map(|&p| m.pow(levels[p] as u32)).sum()
+    }
+}
+
+/// Replays a run and checks the lemma's accounting: with levels fixed
+/// from the final state, every **move** strictly decreases the
+/// potential (for `m ≥ 2`), jumps included in the interleaving.
+///
+/// Returns the potential after every action.
+///
+/// # Panics
+///
+/// Panics if an action in `run` is illegal.
+pub fn audit_potential(k: usize, starts: &[Node], run: &[GameAction]) -> Vec<u128> {
+    // First pass: find the final painted graph.
+    let mut g = Game::new(k, starts);
+    for &a in run {
+        g.act(a).unwrap_or_else(|e| panic!("illegal action {a:?}: {e}"));
+    }
+    let levels = g.levels();
+    // Second pass: account.
+    let mut g = Game::new(k, starts);
+    let mut out = Vec::with_capacity(run.len());
+    for &a in run {
+        g.act(a).unwrap();
+        out.push(g.potential(&levels));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moves_paint_and_cycles_are_blocked() {
+        let mut g = Game::new(3, &[0]);
+        g.act(GameAction::Move { agent: 0, to: 1 }).unwrap();
+        g.act(GameAction::Move { agent: 0, to: 2 }).unwrap();
+        assert!(g.is_painted(0, 1) && g.is_painted(1, 2));
+        // 2 → 0 would close 0→1→2→0; 2 → 1 would close 1→2→1.
+        assert_eq!(
+            g.act(GameAction::Move { agent: 0, to: 0 }),
+            Err(GameError::WouldClose)
+        );
+        assert_eq!(
+            g.act(GameAction::Move { agent: 0, to: 1 }),
+            Err(GameError::WouldClose)
+        );
+        assert_eq!(g.moves(), 2); // single agent, k=3: the k−1 maximum
+    }
+
+    #[test]
+    fn jump_requires_a_move_into_the_target() {
+        let mut g = Game::new(3, &[0, 1]);
+        // No move into node 2 yet: no jump, even though agent 1 never
+        // visited it.
+        assert_eq!(
+            g.act(GameAction::Jump { agent: 1, to: 2 }),
+            Err(GameError::NotFresh)
+        );
+        g.act(GameAction::Move { agent: 0, to: 2 }).unwrap();
+        // Node 2 is now fresh — for agent 1, not for the mover itself.
+        assert!(g.is_fresh(1, 2));
+        assert!(!g.is_fresh(0, 2));
+        g.act(GameAction::Jump { agent: 1, to: 2 }).unwrap();
+        // Freshness is consumed by the visit.
+        assert!(!g.is_fresh(1, 2));
+        assert_eq!(g.moves(), 1);
+    }
+
+    #[test]
+    fn self_moves_rejected() {
+        let mut g = Game::new(2, &[0]);
+        assert_eq!(g.act(GameAction::Move { agent: 0, to: 0 }), Err(GameError::SelfMove));
+        assert_eq!(g.act(GameAction::Move { agent: 7, to: 0 }), Err(GameError::OutOfRange));
+    }
+
+    #[test]
+    fn levels_respect_painted_edges() {
+        let mut g = Game::new(4, &[0]);
+        g.act(GameAction::Move { agent: 0, to: 1 }).unwrap();
+        g.act(GameAction::Move { agent: 0, to: 2 }).unwrap();
+        let levels = g.levels();
+        // 0 → 1 → 2 painted: level(0) > level(1) > level(2).
+        assert!(levels[0] > levels[1] && levels[1] > levels[2]);
+        assert_eq!(levels[2], 0);
+    }
+
+    #[test]
+    fn potential_audit_decreases_on_moves_m2() {
+        // Two agents, k = 3: a run mixing moves and jumps.
+        let run = vec![
+            GameAction::Move { agent: 0, to: 1 },
+            GameAction::Jump { agent: 1, to: 1 },
+            GameAction::Move { agent: 1, to: 2 },
+            GameAction::Move { agent: 0, to: 2 },
+        ];
+        let starts = [0, 0];
+        let pots = audit_potential(3, &starts, &run);
+        // Recompute the initial potential for the final levels.
+        let mut g = Game::new(3, &starts);
+        for &a in &run {
+            g.act(a).unwrap();
+        }
+        let levels = g.levels();
+        let initial = Game::new(3, &starts).potential(&levels);
+        // Every *move* must strictly decrease the potential (jumps may
+        // raise it, but the net per move is still a decrease).
+        let mut prev = initial;
+        let mut moves_seen = 0;
+        for (i, &a) in run.iter().enumerate() {
+            if matches!(a, GameAction::Move { .. }) {
+                // potential right after this move vs before the move
+                assert!(pots[i] < prev, "move {i} did not decrease potential");
+                moves_seen += 1;
+            }
+            prev = pots[i];
+        }
+        assert_eq!(moves_seen, 3);
+        // m^k bound: 2^3 = 8 moves at most; we made 3.
+        assert!(moves_seen <= 8);
+    }
+
+    #[test]
+    fn legal_actions_enumeration_is_consistent() {
+        let mut g = Game::new(3, &[0, 2]);
+        for _ in 0..50 {
+            let actions = g.legal_actions();
+            if actions.is_empty() {
+                break;
+            }
+            for &a in &actions {
+                let mut copy = g.clone();
+                copy.act(a).unwrap();
+            }
+            g.act(actions[0]).unwrap();
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Combinatorial machinery of the reproduction of Afek & Stupp
+//! (PODC 1994).
+//!
+//! Three pieces live here:
+//!
+//! * [`perm`] — permutations in factorial-number-system (Lehmer)
+//!   encoding. The paper's *labels* are the orders in which fresh
+//!   values first enter the `compare&swap-(k)` history — permutation
+//!   prefixes of the k−1 non-⊥ symbols; the `LabelElection` protocol
+//!   of `bso-protocols` uses the pid ↔ permutation bijection directly.
+//! * [`game`] — the move/jump agent game of **Lemma 1.1** (due to Noga
+//!   Alon): `m` agents on a complete directed graph of `k` nodes can
+//!   make at most `m^k` *moves* before the painted edges contain a
+//!   cycle. [`game::audit_potential`] audits the lemma's potential function,
+//!   [`search`] finds exact maxima exhaustively for small instances.
+//! * [`bounds`] — the bound landscape of `n_k` (the maximum number of
+//!   processes that can elect a leader with one `compare&swap-(k)` and
+//!   unbounded read/write memory): the Burns–Cruz–Loui floor `k−1`,
+//!   the algorithmic `(k−1)!`, the paper's ceiling `O(k^(k²+3))`, and
+//!   the conjecture Θ(k!).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod game;
+pub mod perm;
+pub mod search;

@@ -1,0 +1,145 @@
+//! Permutations in Lehmer (factorial-number-system) encoding.
+//!
+//! The paper's *labels* — the orders in which fresh values first enter
+//! the `compare&swap-(k)` register — are permutations (or prefixes of
+//! permutations) of the k−1 non-⊥ symbols, so there are at most
+//! `(k−1)!` of them (Section 3.1). The `LabelElection` protocol needs
+//! a bijection between process ids `0 .. (k−1)!` and those
+//! permutations; this module provides it.
+
+/// `n!` as a `u128`.
+///
+/// # Panics
+///
+/// Panics on overflow (`n > 34`).
+pub fn factorial(n: usize) -> u128 {
+    (1..=n as u128).product()
+}
+
+/// `n!` as a `usize`, or `None` if it does not fit.
+pub fn factorial_usize(n: usize) -> Option<usize> {
+    let f = factorial(n);
+    usize::try_from(f).ok()
+}
+
+/// Decodes `rank` (0-based, `< m!`) into the permutation of
+/// `0 .. m` with that lexicographic rank.
+///
+/// # Example
+///
+/// ```
+/// use bso_combinatorics::perm::{nth_permutation, permutation_rank};
+/// assert_eq!(nth_permutation(0, 3), vec![0, 1, 2]);
+/// assert_eq!(nth_permutation(5, 3), vec![2, 1, 0]);
+/// assert_eq!(permutation_rank(&[2, 1, 0]), 5);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `rank >= m!`.
+pub fn nth_permutation(rank: u128, m: usize) -> Vec<u8> {
+    assert!(rank < factorial(m), "rank {rank} out of range for m = {m}");
+    assert!(m <= u8::MAX as usize + 1, "m = {m} too large for u8 elements");
+    let mut pool: Vec<u8> = (0..m as u8).collect();
+    let mut out = Vec::with_capacity(m);
+    let mut r = rank;
+    for i in (1..=m).rev() {
+        let f = factorial(i - 1);
+        let idx = (r / f) as usize;
+        r %= f;
+        out.push(pool.remove(idx));
+    }
+    out
+}
+
+/// The lexicographic rank of a permutation of `0 .. perm.len()`
+/// (inverse of [`nth_permutation`]).
+///
+/// # Panics
+///
+/// Panics if `perm` is not a permutation of `0 .. perm.len()`.
+pub fn permutation_rank(perm: &[u8]) -> u128 {
+    let m = perm.len();
+    let mut seen = vec![false; m];
+    for &x in perm {
+        assert!((x as usize) < m && !seen[x as usize], "not a permutation: {perm:?}");
+        seen[x as usize] = true;
+    }
+    let mut rank: u128 = 0;
+    for (i, &x) in perm.iter().enumerate() {
+        let smaller_unused =
+            perm[i + 1..].iter().filter(|&&y| y < x).count() as u128;
+        rank += smaller_unused * factorial(m - 1 - i);
+    }
+    rank
+}
+
+/// Whether `prefix` is a prefix of `perm`.
+pub fn is_prefix(prefix: &[u8], perm: &[u8]) -> bool {
+    prefix.len() <= perm.len() && perm[..prefix.len()] == *prefix
+}
+
+/// All permutations of `0 .. m`, in lexicographic order.
+///
+/// Intended for small `m` (tests and exhaustive experiments).
+pub fn all_permutations(m: usize) -> Vec<Vec<u8>> {
+    let total = factorial(m);
+    (0..total).map(|r| nth_permutation(r, m)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorials() {
+        assert_eq!(factorial(0), 1);
+        assert_eq!(factorial(1), 1);
+        assert_eq!(factorial(5), 120);
+        assert_eq!(factorial(20), 2_432_902_008_176_640_000);
+        assert_eq!(factorial_usize(5), Some(120));
+        assert_eq!(factorial_usize(30), None); // 30! > usize::MAX (64-bit)
+    }
+
+    #[test]
+    fn rank_roundtrip_exhaustive() {
+        for m in 0..=5 {
+            for r in 0..factorial(m) {
+                let p = nth_permutation(r, m);
+                assert_eq!(permutation_rank(&p), r, "m={m} r={r} p={p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn lexicographic_order() {
+        let perms = all_permutations(4);
+        assert_eq!(perms.len(), 24);
+        for w in perms.windows(2) {
+            assert!(w[0] < w[1], "not lexicographic: {:?} {:?}", w[0], w[1]);
+        }
+        assert_eq!(perms[0], vec![0, 1, 2, 3]);
+        assert_eq!(perms[23], vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn prefix_checks() {
+        assert!(is_prefix(&[], &[1, 0]));
+        assert!(is_prefix(&[1], &[1, 0]));
+        assert!(is_prefix(&[1, 0], &[1, 0]));
+        assert!(!is_prefix(&[0], &[1, 0]));
+        assert!(!is_prefix(&[1, 0, 2], &[1, 0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rank_bound_enforced() {
+        let _ = nth_permutation(6, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn rank_rejects_non_permutations() {
+        let _ = permutation_rank(&[0, 0]);
+    }
+}

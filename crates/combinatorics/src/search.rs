@@ -1,0 +1,152 @@
+//! Exhaustive and heuristic strategy search for the Lemma 1.1 game.
+//!
+//! [`max_moves`] computes, by memoized exhaustive search over all
+//! action sequences, the exact maximum number of moves `m` agents can
+//! make on the complete `k`-node digraph before the painted edges
+//! contain a cycle — the quantity Lemma 1.1 bounds by `m^k` (for
+//! `m ≥ 2`; see the [`crate::game`] docs for the `m = 1` degeneracy).
+//! State spaces grow quickly; exhaustive search is practical for
+//! `k ≤ 4`, `m ≤ 2` and `k ≤ 3`, `m ≤ 3`.
+//!
+//! [`greedy_moves`] plays a cheap heuristic strategy (prefer moves,
+//! then jumps that re-enable future moves) to produce lower-bound
+//! witnesses on larger instances.
+
+use std::collections::HashMap;
+
+use crate::game::{Game, GameAction, Node};
+
+/// The exact maximum number of moves from the given start position,
+/// over all strategies, before any further move would close a painted
+/// cycle.
+///
+/// # Example
+///
+/// ```
+/// use bso_combinatorics::search::max_moves;
+/// // One agent can walk one Hamiltonian path: k − 1 moves.
+/// assert_eq!(max_moves(3, &[0]), 2);
+/// ```
+pub fn max_moves(k: usize, starts: &[Node]) -> usize {
+    let mut memo: HashMap<Game, usize> = HashMap::new();
+    fn go(g: &Game, memo: &mut HashMap<Game, usize>) -> usize {
+        if let Some(&hit) = memo.get(g) {
+            return hit;
+        }
+        let mut best = 0;
+        for a in g.legal_actions() {
+            let mut next = g.clone();
+            next.act(a).expect("legal_actions returned an illegal action");
+            let gain = usize::from(matches!(a, GameAction::Move { .. }));
+            best = best.max(gain + go(&next, memo));
+        }
+        memo.insert(g.clone(), best);
+        best
+    }
+    let g = Game::new(k, starts);
+    go(&g, &mut memo)
+}
+
+/// The exact maximum over *all* start placements of `m` agents.
+///
+/// By symmetry of the complete graph it suffices to fix agent 0 at
+/// node 0 and enumerate non-decreasing placements of the rest.
+pub fn max_moves_any_start(k: usize, m: usize) -> usize {
+    assert!(m >= 1, "need at least one agent");
+    let mut best = 0;
+    let mut starts = vec![0usize; m];
+    loop {
+        best = best.max(max_moves(k, &starts));
+        // next non-decreasing placement with starts[0] = 0
+        let mut i = m;
+        loop {
+            if i == 1 {
+                return best;
+            }
+            i -= 1;
+            if starts[i] + 1 < k {
+                starts[i] += 1;
+                for j in i + 1..m {
+                    starts[j] = starts[i];
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// Plays a greedy strategy and returns the number of moves achieved —
+/// a lower-bound witness for instances too large to search.
+///
+/// The strategy: among legal actions prefer a move whose target has
+/// the most outgoing unpainted non-closing edges; if no move is legal,
+/// take any jump (jumps can re-enable moves); stop when nothing is
+/// legal.
+pub fn greedy_moves(k: usize, starts: &[Node], max_actions: usize) -> usize {
+    let mut g = Game::new(k, starts);
+    for _ in 0..max_actions {
+        let actions = g.legal_actions();
+        let mut best: Option<(usize, GameAction)> = None;
+        for &a in &actions {
+            if let GameAction::Move { to, .. } = a {
+                let outdeg = (0..k)
+                    .filter(|&w| w != to && !g.is_painted(to, w) && !g.would_close(to, w))
+                    .count();
+                if best.is_none_or(|(d, _)| outdeg > d) {
+                    best = Some((outdeg, a));
+                }
+            }
+        }
+        let chosen = match best {
+            Some((_, a)) => a,
+            None => match actions.iter().find(|a| matches!(a, GameAction::Jump { .. })) {
+                Some(&a) => a,
+                None => break,
+            },
+        };
+        g.act(chosen).expect("legal action");
+    }
+    g.moves()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_agent_walks_a_hamiltonian_path() {
+        // m = 1 degeneracy: exactly k − 1 moves (see game module docs).
+        assert_eq!(max_moves(2, &[0]), 1);
+        assert_eq!(max_moves(3, &[0]), 2);
+        assert_eq!(max_moves(4, &[0]), 3);
+    }
+
+    #[test]
+    fn lemma_bound_holds_for_two_agents() {
+        // m = 2: Lemma 1.1 bounds moves by m^k.
+        assert!(max_moves_any_start(2, 2) <= 4);
+        assert!(max_moves_any_start(3, 2) <= 8);
+        // Two agents beat one: jumps recycle positions.
+        assert!(max_moves_any_start(3, 2) > max_moves(3, &[0]));
+    }
+
+    #[test]
+    fn greedy_is_a_valid_lower_bound() {
+        for k in 2..=5 {
+            let g = greedy_moves(k, &[0, 1], 10_000);
+            assert!(g >= 1);
+            if k <= 3 {
+                assert!(g <= max_moves_any_start(k, 2));
+            }
+            // Lemma bound with m = 2:
+            assert!(g <= 2usize.pow(k as u32));
+        }
+    }
+
+    #[test]
+    fn start_placement_enumeration_terminates() {
+        // smoke: k = 2, m = 3 — all placements enumerated.
+        let v = max_moves_any_start(2, 3);
+        assert!(v <= 9); // 3^2
+    }
+}

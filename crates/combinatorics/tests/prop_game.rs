@@ -1,0 +1,121 @@
+//! Property tests for the Lemma 1.1 game and its potential argument.
+
+use bso_combinatorics::game::{audit_potential, Game, GameAction};
+use proptest::prelude::*;
+
+/// Plays a random legal run and returns it.
+fn random_run(k: usize, starts: &[usize], choices: &[u32]) -> Vec<GameAction> {
+    let mut g = Game::new(k, starts);
+    let mut run = Vec::new();
+    for &c in choices {
+        let actions = g.legal_actions();
+        if actions.is_empty() {
+            break;
+        }
+        let a = actions[c as usize % actions.len()];
+        g.act(a).unwrap();
+        run.push(a);
+    }
+    run
+}
+
+proptest! {
+    /// The lemma's accounting, audited move by move on random runs:
+    /// with levels fixed from the final graph, every Move strictly
+    /// decreases the potential (m ≥ 2), and the initial potential is
+    /// at most m·m^(k−1) = m^k.
+    #[test]
+    fn potential_decreases_on_every_move(
+        k in 2usize..5,
+        m in 2usize..4,
+        choices in proptest::collection::vec(any::<u32>(), 1..100),
+    ) {
+        let starts: Vec<usize> = (0..m).map(|a| a % k).collect();
+        let run = random_run(k, &starts, &choices);
+        let pots = audit_potential(k, &starts, &run);
+
+        // Recompute the final levels for the initial potential.
+        let mut g = Game::new(k, &starts);
+        for &a in &run {
+            g.act(a).unwrap();
+        }
+        let levels = g.levels();
+        let initial = Game::new(k, &starts).potential(&levels);
+        prop_assert!(initial <= (m as u128).pow(k as u32));
+
+        let mut prev = initial;
+        for (i, &a) in run.iter().enumerate() {
+            if matches!(a, GameAction::Move { .. }) {
+                prop_assert!(
+                    pots[i] < prev,
+                    "move {i} did not decrease the potential ({} → {})",
+                    prev,
+                    pots[i]
+                );
+            }
+            prev = pots[i];
+        }
+    }
+
+    /// Freshness is conserved: at any point, an agent's jump targets
+    /// are exactly the nodes that received a move by another agent
+    /// since the agent's last visit.
+    #[test]
+    fn freshness_bookkeeping(
+        k in 2usize..5,
+        m in 2usize..4,
+        choices in proptest::collection::vec(any::<u32>(), 1..80),
+    ) {
+        let starts: Vec<usize> = (0..m).map(|a| a % k).collect();
+        let mut g = Game::new(k, &starts);
+        // Shadow bookkeeping.
+        let mut fresh = vec![vec![false; k]; m];
+        for &c in &choices {
+            let actions = g.legal_actions();
+            if actions.is_empty() {
+                break;
+            }
+            let a = actions[c as usize % actions.len()];
+            g.act(a).unwrap();
+            match a {
+                GameAction::Move { agent, to } => {
+                    for (b, row) in fresh.iter_mut().enumerate() {
+                        row[to] = b != agent;
+                    }
+                }
+                GameAction::Jump { agent, to } => {
+                    fresh[agent][to] = false;
+                }
+            }
+            for (b, row) in fresh.iter().enumerate() {
+                for (u, &f) in row.iter().enumerate() {
+                    prop_assert_eq!(g.is_fresh(b, u), f, "agent {} node {}", b, u);
+                }
+            }
+        }
+    }
+
+    /// Moves never close a cycle: after any legal run the painted
+    /// graph is acyclic (checked via the level assignment).
+    #[test]
+    fn painted_graph_stays_acyclic(
+        k in 2usize..6,
+        m in 1usize..4,
+        choices in proptest::collection::vec(any::<u32>(), 1..100),
+    ) {
+        let starts: Vec<usize> = (0..m).map(|a| a % k).collect();
+        let run = random_run(k, &starts, &choices);
+        let mut g = Game::new(k, &starts);
+        for &a in &run {
+            g.act(a).unwrap();
+        }
+        let levels = g.levels();
+        for u in 0..k {
+            for v in 0..k {
+                if u != v && g.is_painted(u, v) {
+                    prop_assert!(levels[u] > levels[v]);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! # bso — Bounded-Size Synchronization Objects
+//!
+//! A Rust reproduction of Yehuda Afek and Gideon Stupp, *"Delimiting
+//! the Power of Bounded Size Synchronization Objects"* (PODC 1994).
+//!
+//! Herlihy's hierarchy ranks shared-object types by consensus number;
+//! `compare&swap` sits at the top with consensus number ∞ — even when
+//! its register can hold only three values. The paper refines the top
+//! of the hierarchy by a **space** parameter: let `n_k` be the maximum
+//! number of processes that can wait-freely elect a leader with one
+//! `compare&swap-(k)` register (domain size `k`) plus unbounded
+//! read/write memory. Then
+//!
+//! ```text
+//!   k − 1      =  n_k  with the compare&swap alone   (Burns–Cruz–Loui)
+//!   (k − 1)!   ≤  n_k                                 (here: LabelElection)
+//!   n_k        ≤  O(k^(k²+3))                         (the paper's Theorem 1)
+//! ```
+//!
+//! *The more values a strong shared object can hold, the stronger it
+//! is* — and adding read/write registers helps exponentially, but only
+//! exponentially.
+//!
+//! This crate is the facade over the workspace:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`objects`] | value model, sequential object specs, hardware atomics |
+//! | [`sim`] | one-op-per-step protocol state machines, schedulers, exhaustive model checker, refuter, thread runner, linearizability checker |
+//! | [`protocols`] | [`CasOnlyElection`] (k−1), [`LabelElection`] ((k−1)!), the consensus zoo, register-based snapshots |
+//! | [`combinatorics`] | Lemma 1.1's move/jump game, Lehmer permutations, the bound landscape |
+//! | [`hierarchy`] | consensus numbers with verified witnesses and refuted candidates |
+//! | [`emulation`] | Theorem 1's reduction, executed: emulators on read/write memory constructing validated runs of a compare&swap election |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bso::protocols::LabelElection;
+//! use bso::sim::{checker, scheduler::RandomSched, ProtocolExt, Simulation};
+//!
+//! // Six processes elect a leader with ONE compare&swap-(4): more than
+//! // the k−1 = 3 the register supports on its own.
+//! let proto = LabelElection::new(6, 4)?;
+//! let mut sim = Simulation::new(&proto, &proto.pid_inputs());
+//! let result = sim.run(&mut RandomSched::new(42), 100_000)?;
+//! checker::check_election(&result)?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! See `examples/` for the experiment regenerators (one per
+//! EXPERIMENTS.md entry) and DESIGN.md for the reproduction inventory.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod guide;
+
+pub use bso_combinatorics as combinatorics;
+pub use bso_emulation as emulation;
+pub use bso_hierarchy as hierarchy;
+pub use bso_objects as objects;
+pub use bso_protocols as protocols;
+pub use bso_sim as sim;
+
+pub use bso_combinatorics::bounds;
+pub use bso_emulation::Reduction;
+pub use bso_protocols::{CasOnlyElection, LabelElection};
+
+/// The workspace version.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_cohere() {
+        // The bound functions and the protocols agree on the
+        // parameters they expose.
+        let k = 5;
+        let n = crate::bounds::nk_algorithmic(k) as usize;
+        assert!(crate::LabelElection::new(n, k).is_ok());
+        assert!(crate::LabelElection::new(n + 1, k).is_err());
+        let b = crate::bounds::burns_bound(k);
+        assert!(crate::CasOnlyElection::new(b, k).is_ok());
+        assert!(crate::CasOnlyElection::new(b + 1, k).is_err());
+        assert!(!crate::VERSION.is_empty());
+    }
+}

@@ -1,0 +1,207 @@
+use bso_objects::{Sym, Value};
+
+/// One successful compare&swap in an emulated run: who (which emulator
+/// and which of its virtual processes) changed the register from
+/// `from` to `to`.
+///
+/// A step is the emulation's unit of *splitting*: two emulators that
+/// concurrently append different steps at the same position continue
+/// to construct different runs of `A` from there on.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Step {
+    /// The register value being replaced.
+    pub from: Sym,
+    /// The value installed.
+    pub to: Sym,
+    /// The emulator that emulated the success.
+    pub emu: usize,
+    /// The virtual process whose operation succeeded.
+    pub vp: usize,
+}
+
+impl Step {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![
+            Value::Sym(self.from),
+            Value::Sym(self.to),
+            Value::Pid(self.emu),
+            Value::Pid(self.vp),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Step {
+        let parts = v.as_seq().expect("step encoding");
+        Step {
+            from: parts[0].as_sym().expect("from"),
+            to: parts[1].as_sym().expect("to"),
+            emu: parts[2].as_pid().expect("emu"),
+            vp: parts[3].as_pid().expect("vp"),
+        }
+    }
+}
+
+/// A branch: the sequence of successful compare&swap steps of one
+/// constructed run of `A` — the emulation's run identity.
+///
+/// The *label* of a branch (the paper's term) is the sequence of first
+/// occurrences of values in it; for an algorithm that never reuses
+/// values (such as `LabelElection`) the label *is* the value sequence,
+/// which is how the `(k−1)!` bound on distinct constructed runs (and
+/// hence decisions) materializes.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Branch {
+    steps: Vec<Step>,
+}
+
+impl Branch {
+    /// The empty branch (run with no successful compare&swap yet).
+    pub fn root() -> Branch {
+        Branch::default()
+    }
+
+    /// The steps, in history order.
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// The number of successful compare&swap operations.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether no compare&swap has succeeded yet.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The current register value of this branch's run (⊥ initially).
+    pub fn current(&self) -> Sym {
+        self.steps.last().map_or(Sym::BOTTOM, |s| s.to)
+    }
+
+    /// Extends the branch by one step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step.from` is not the branch's current value — that
+    /// would make the emulated history illegal.
+    pub fn push(&mut self, step: Step) {
+        assert_eq!(step.from, self.current(), "history discontinuity");
+        self.steps.push(step);
+    }
+
+    /// Whether `self` is a prefix of `other`.
+    pub fn is_prefix_of(&self, other: &Branch) -> bool {
+        self.len() <= other.len() && other.steps[..self.len()] == self.steps[..]
+    }
+
+    /// Whether the two branches are *compatible*: one is a prefix of
+    /// the other. An operation tagged with branch `β` belongs to every
+    /// run whose branch extends `β`.
+    pub fn compatible(&self, other: &Branch) -> bool {
+        self.is_prefix_of(other) || other.is_prefix_of(self)
+    }
+
+    /// The branch's **label**: the sequence of first occurrences of
+    /// register values (the paper's Section 3.1). Starts implicitly
+    /// with ⊥, which is omitted.
+    pub fn label(&self) -> Vec<Sym> {
+        let mut seen = vec![Sym::BOTTOM];
+        let mut label = Vec::new();
+        for s in &self.steps {
+            if !seen.contains(&s.to) {
+                seen.push(s.to);
+                label.push(s.to);
+            }
+        }
+        label
+    }
+
+    /// The value sequence of the history (targets of the steps).
+    pub fn value_sequence(&self) -> Vec<Sym> {
+        self.steps.iter().map(|s| s.to).collect()
+    }
+
+    /// Encodes the branch as a [`Value`] for publication in shared
+    /// memory.
+    pub fn to_value(&self) -> Value {
+        Value::Seq(self.steps.iter().map(Step::to_value).collect())
+    }
+
+    /// Decodes a published branch.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed encodings (indicates emulator corruption).
+    pub fn from_value(v: &Value) -> Branch {
+        let steps = v
+            .as_seq()
+            .expect("branch encoding")
+            .iter()
+            .map(Step::from_value)
+            .collect();
+        Branch { steps }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(from: u8, to: u8, emu: usize) -> Step {
+        let f = if from == 0 { Sym::BOTTOM } else { Sym::new(from - 1) };
+        Step { from: f, to: Sym::new(to - 1), emu, vp: emu * 10 }
+    }
+
+    #[test]
+    fn push_enforces_continuity() {
+        let mut b = Branch::root();
+        assert_eq!(b.current(), Sym::BOTTOM);
+        b.push(step(0, 1, 0));
+        b.push(step(1, 2, 1));
+        assert_eq!(b.current(), Sym::new(1));
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "history discontinuity")]
+    fn discontinuous_push_rejected() {
+        let mut b = Branch::root();
+        b.push(step(1, 2, 0)); // register holds ⊥, not 0
+    }
+
+    #[test]
+    fn prefix_and_compatibility() {
+        let mut a = Branch::root();
+        a.push(step(0, 1, 0));
+        let mut b = a.clone();
+        b.push(step(1, 2, 1));
+        let mut c = a.clone();
+        c.push(step(1, 3, 2));
+        assert!(a.is_prefix_of(&b) && a.compatible(&b));
+        assert!(b.compatible(&a));
+        assert!(!b.compatible(&c), "diverged branches are incompatible");
+        assert!(Branch::root().compatible(&b));
+    }
+
+    #[test]
+    fn label_is_first_occurrences() {
+        // History ⊥→1, 1→2, 2→1? — values may repeat in general runs;
+        // the label keeps only first occurrences.
+        let mut b = Branch::root();
+        b.push(Step { from: Sym::BOTTOM, to: Sym::new(0), emu: 0, vp: 0 });
+        b.push(Step { from: Sym::new(0), to: Sym::new(1), emu: 1, vp: 9 });
+        b.push(Step { from: Sym::new(1), to: Sym::new(0), emu: 0, vp: 1 });
+        assert_eq!(b.label(), vec![Sym::new(0), Sym::new(1)]);
+        assert_eq!(b.value_sequence(), vec![Sym::new(0), Sym::new(1), Sym::new(0)]);
+    }
+
+    #[test]
+    fn value_roundtrip() {
+        let mut b = Branch::root();
+        b.push(step(0, 2, 3));
+        b.push(step(2, 1, 1));
+        assert_eq!(Branch::from_value(&b.to_value()), b);
+        assert_eq!(Branch::from_value(&Branch::root().to_value()), Branch::root());
+    }
+}

@@ -1,0 +1,545 @@
+//! The emulators: `m` read/write-only processes cooperatively
+//! constructing legal runs of a compare&swap election `A`.
+//!
+//! Corresponds to the paper's Figure 3 main loop, adapted as follows
+//! (every adaptation is an *executable* choice, documented here and in
+//! DESIGN.md):
+//!
+//! * Emulator shared state is one atomic-snapshot object with a
+//!   single-writer slot per emulator (the paper's swmr registers +
+//!   `SnapShot(T, G)`); each iteration is scan → think → publish.
+//! * Splitting: the paper's groups split on the first occurrence of
+//!   new compare&swap values; here a branch records *every* successful
+//!   step (the coarser splitting of the FOCS '93 companion \[1\],
+//!   which the paper describes as the simple base case). Because our
+//!   election algorithms never reuse values, the branch *is* its
+//!   label, and the ≤ (k−1)! bound on distinct labels — the paper's
+//!   quantitative point — is preserved and observable.
+//! * The suspension/rebalancing machinery (Figures 5–6) exists to make
+//!   splitting lazier when values *do* repeat; its data structures are
+//!   implemented and tested in [`crate::tree`] and [`crate::excess`],
+//!   with Lemma 1.1 in `bso_combinatorics::game`.
+//!
+//! Each emulator owns a fixed set of virtual processes (v-processes) of
+//! `A` and is the only one to simulate their steps (as in the paper:
+//! "the steps of a v-process in `A` are simulated only by the emulator
+//! that owns it"). Reads and writes of `A`'s read/write objects are
+//! emulated through branch-tagged records ("each value written is
+//! tagged by the label of the emulator at the time of the write; a
+//! read returns the latest value whose label is a prefix or an
+//! extension of the reading emulator's label").
+
+use std::collections::BTreeMap;
+
+use bso_objects::{Layout, ObjectId, ObjectInit, Op, OpKind, Sym, Value};
+use bso_sim::{Action, Pid, Protocol};
+
+use crate::{Branch, Step};
+
+/// One published entry of an emulator's slot.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Record {
+    /// A virtual operation of `A` emulated with the given response,
+    /// in the run(s) extending `branch`.
+    Op {
+        /// The virtual process that performed it.
+        vp: usize,
+        /// The operation, in `A`'s object space.
+        op: Op,
+        /// The emulated response.
+        resp: Value,
+        /// The emulator's branch at emulation time (for successful
+        /// compare&swap steps: *including* the new step).
+        branch: Branch,
+    },
+    /// A virtual process reached a decision; the publishing emulator
+    /// adopts it.
+    Decision {
+        /// The deciding virtual process.
+        vp: usize,
+        /// The decided value.
+        value: Value,
+        /// The branch in whose run the decision happened.
+        branch: Branch,
+    },
+}
+
+impl Record {
+    /// The branch tag of this record.
+    pub fn branch(&self) -> &Branch {
+        match self {
+            Record::Op { branch, .. } | Record::Decision { branch, .. } => branch,
+        }
+    }
+
+    /// The virtual process of this record.
+    pub fn vp(&self) -> usize {
+        match self {
+            Record::Op { vp, .. } | Record::Decision { vp, .. } => *vp,
+        }
+    }
+
+    fn encode_op(op: &Op) -> Value {
+        let obj = Value::Int(op.obj.0 as i64);
+        match &op.kind {
+            OpKind::Read => Value::Seq(vec![obj, Value::Int(0)]),
+            OpKind::Write(v) => Value::Seq(vec![obj, Value::Int(1), v.clone()]),
+            OpKind::Cas { expect, new } => {
+                Value::Seq(vec![obj, Value::Int(2), expect.clone(), new.clone()])
+            }
+            OpKind::SnapshotScan => Value::Seq(vec![obj, Value::Int(3)]),
+            OpKind::SnapshotUpdate(v) => Value::Seq(vec![obj, Value::Int(4), v.clone()]),
+            OpKind::Swap(v) => Value::Seq(vec![obj, Value::Int(5), v.clone()]),
+            other => panic!("operation {other} is not emulatable (A must be cas+read/write)"),
+        }
+    }
+
+    fn decode_op(v: &Value) -> Op {
+        let parts = v.as_seq().expect("op encoding");
+        let obj = ObjectId(parts[0].as_int().expect("obj id") as usize);
+        let kind = match parts[1].as_int().expect("op tag") {
+            0 => OpKind::Read,
+            1 => OpKind::Write(parts[2].clone()),
+            2 => OpKind::Cas { expect: parts[2].clone(), new: parts[3].clone() },
+            3 => OpKind::SnapshotScan,
+            4 => OpKind::SnapshotUpdate(parts[2].clone()),
+            5 => OpKind::Swap(parts[2].clone()),
+            t => panic!("unknown op tag {t}"),
+        };
+        Op::new(obj, kind)
+    }
+
+    /// Encodes the record for publication.
+    pub fn to_value(&self) -> Value {
+        match self {
+            Record::Op { vp, op, resp, branch } => Value::Seq(vec![
+                Value::Int(0),
+                Value::Pid(*vp),
+                Self::encode_op(op),
+                resp.clone(),
+                branch.to_value(),
+            ]),
+            Record::Decision { vp, value, branch } => Value::Seq(vec![
+                Value::Int(1),
+                Value::Pid(*vp),
+                value.clone(),
+                branch.to_value(),
+            ]),
+        }
+    }
+
+    /// Decodes a published record.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed encodings.
+    pub fn from_value(v: &Value) -> Record {
+        let parts = v.as_seq().expect("record encoding");
+        match parts[0].as_int().expect("record tag") {
+            0 => Record::Op {
+                vp: parts[1].as_pid().expect("vp"),
+                op: Self::decode_op(&parts[2]),
+                resp: parts[3].clone(),
+                branch: Branch::from_value(&parts[4]),
+            },
+            1 => Record::Decision {
+                vp: parts[1].as_pid().expect("vp"),
+                value: parts[2].clone(),
+                branch: Branch::from_value(&parts[3]),
+            },
+            t => panic!("unknown record tag {t}"),
+        }
+    }
+
+    /// Decodes a whole published slot.
+    pub fn decode_slot(v: &Value) -> Vec<Record> {
+        match v.as_seq() {
+            None => Vec::new(),
+            Some(items) => items.iter().map(Record::from_value).collect(),
+        }
+    }
+}
+
+/// The status of one owned virtual process.
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum VpStatus {
+    Active,
+    Decided(Value),
+}
+
+/// Local state of one emulator.
+#[derive(Clone, Debug)]
+pub struct EmulatorState<S> {
+    emu: usize,
+    branch: Branch,
+    /// (global vp id, state machine state, status) of owned vps.
+    vps: Vec<(usize, S, VpStatus)>,
+    /// Own records (mirror of the own slot, plus not-yet-published
+    /// tail).
+    records: Vec<Record>,
+    phase: Phase,
+    /// A decision to adopt once the current publish completes (the
+    /// decision record must be visible to others before the emulator
+    /// halts).
+    pending_decision: Option<Value>,
+}
+
+#[derive(Clone, Debug)]
+enum Phase {
+    /// About to scan the emulator snapshot.
+    Scan,
+    /// About to publish the own slot.
+    Publish,
+    /// About to decide.
+    Decide(Value),
+}
+
+/// The `m`-emulator protocol. Runs on **read/write memory only** (one
+/// snapshot object of single-writer slots), yet constructs runs of the
+/// compare&swap algorithm `A`.
+#[derive(Clone, Debug)]
+pub struct EmulationProtocol<A: Protocol> {
+    a: A,
+    m: usize,
+    cas_obj: ObjectId,
+    k: usize,
+    /// vp id → owning emulator.
+    owner: Vec<usize>,
+}
+
+impl<A: Protocol> EmulationProtocol<A> {
+    const SLOTS: ObjectId = ObjectId(0);
+
+    /// Wraps the election algorithm `A` for emulation by `m`
+    /// emulators; v-processes are dealt round-robin (vp `i` belongs to
+    /// emulator `i % m`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `A`'s layout does not consist of exactly one
+    /// `compare&swap-(k)` plus read/write objects, or if `m` is 0 or
+    /// exceeds the number of v-processes (every emulator needs at
+    /// least one, as in the paper's Φ/m assignment).
+    pub fn new(a: A, m: usize) -> EmulationProtocol<A> {
+        let phi = a.processes();
+        assert!(m >= 1 && m <= phi, "need 1 <= m <= Φ (Φ = {phi}), got m = {m}");
+        let layout = a.layout();
+        let mut cas = None;
+        for (id, init) in layout.iter() {
+            match init {
+                ObjectInit::CasK { k } => {
+                    assert!(cas.is_none(), "A must use exactly one compare&swap-(k)");
+                    cas = Some((id, *k));
+                }
+                ObjectInit::Register(_) | ObjectInit::Snapshot { .. } => {}
+                other => panic!("A uses non-read/write object {other:?}"),
+            }
+        }
+        let (cas_obj, k) = cas.expect("A must use a compare&swap-(k)");
+        let owner = (0..phi).map(|vp| vp % m).collect();
+        EmulationProtocol { a, m, cas_obj, k, owner }
+    }
+
+    /// The emulated algorithm.
+    pub fn algorithm(&self) -> &A {
+        &self.a
+    }
+
+    /// The compare&swap domain size `k` of `A`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// `A`'s compare&swap object id.
+    pub fn cas_object(&self) -> ObjectId {
+        self.cas_obj
+    }
+
+    /// The emulator owning virtual process `vp`.
+    pub fn owner_of(&self, vp: usize) -> usize {
+        self.owner[vp]
+    }
+
+    /// Emulates a read of `A`'s read/write object `obj` (register read,
+    /// or one snapshot slot) against the branch-filtered records.
+    ///
+    /// Only writes whose branch is compatible with `branch` are
+    /// visible; the latest one wins. Register writers must be unique
+    /// per object (the paper's w.l.o.g. swmr assumption) — the writer's
+    /// publication order is its program order.
+    fn read_rw(
+        layout_init: &ObjectInit,
+        obj: ObjectId,
+        branch: &Branch,
+        all_records: &[Vec<Record>],
+        slot: Option<usize>,
+    ) -> Value {
+        let mut latest: Option<&Value> = None;
+        let mut writer: Option<usize> = None;
+        for recs in all_records {
+            for r in recs {
+                if let Record::Op { vp, op, branch: b, .. } = r {
+                    if op.obj != obj || !b.compatible(branch) {
+                        continue;
+                    }
+                    let written = match (&op.kind, slot) {
+                        (OpKind::Write(v), None) => Some(v),
+                        (OpKind::SnapshotUpdate(v), Some(s)) if *vp == s => Some(v),
+                        (OpKind::SnapshotUpdate(_), Some(_)) => None,
+                        _ => None,
+                    };
+                    if let Some(v) = written {
+                        if slot.is_none() {
+                            match writer {
+                                None => writer = Some(*vp),
+                                Some(w) => assert_eq!(
+                                    w, *vp,
+                                    "register {obj} has multiple writers; A must use \
+                                     swmr registers"
+                                ),
+                            }
+                        }
+                        latest = Some(v);
+                    }
+                }
+            }
+        }
+        match latest {
+            Some(v) => v.clone(),
+            None => match (layout_init, slot) {
+                (ObjectInit::Register(v0), None) => v0.clone(),
+                (ObjectInit::Snapshot { .. }, Some(_)) => Value::Nil,
+                _ => Value::Nil,
+            },
+        }
+    }
+
+    /// One thinking step: given the freshly scanned view, advance the
+    /// emulation by exactly one virtual operation (or adopt a
+    /// decision). Returns the new record to publish, or the emulator's
+    /// decision.
+    fn think(
+        &self,
+        st: &mut EmulatorState<A::State>,
+        view: &Value,
+    ) -> Result<Record, Value> {
+        let slots = view.as_seq().expect("snapshot view");
+        let mut all_records: Vec<Vec<Record>> =
+            slots.iter().map(Record::decode_slot).collect();
+        // The own slot may lag behind local records (the tail is
+        // published after this think step); local knowledge wins.
+        all_records[st.emu] = st.records.clone();
+
+        // 1. Adopt foreign extensions of the branch, one step at a
+        //    time, deterministically (smallest step first).
+        loop {
+            let mut candidate: Option<Step> = None;
+            for recs in &all_records {
+                for r in recs {
+                    let b = r.branch();
+                    if st.branch.is_prefix_of(b) && b.len() > st.branch.len() {
+                        let next = b.steps()[st.branch.len()].clone();
+                        if candidate.as_ref().is_none_or(|c| next < *c) {
+                            candidate = Some(next);
+                        }
+                    }
+                }
+            }
+            match candidate {
+                Some(step) => st.branch.push(step),
+                None => break,
+            }
+        }
+        let cs = st.branch.current();
+
+        // 2. Adopt a decision if one of the owned v-processes is ready.
+        for (vp, vps, status) in st.vps.iter() {
+            if matches!(status, VpStatus::Active) {
+                if let Action::Decide(v) = self.a.next_action(vps) {
+                    return Err(self.finish_vp(st, *vp, v));
+                }
+            }
+        }
+
+        let layout = self.a.layout();
+
+        // 3. Emulate one *simple* virtual operation: a read/write, a
+        //    compare&swap read, or a compare&swap that fails against
+        //    the branch's current value (Figure 3, EmulateSimpleOp).
+        let mut blocked: Vec<(usize, Sym)> = Vec::new(); // (vp index, target)
+        for i in 0..st.vps.len() {
+            let (vp, state, status) = &st.vps[i];
+            if !matches!(status, VpStatus::Active) {
+                continue;
+            }
+            let op = match self.a.next_action(state) {
+                Action::Invoke(op) => op,
+                Action::Decide(_) => unreachable!("handled above"),
+            };
+            let resp = if op.obj == self.cas_obj {
+                match &op.kind {
+                    OpKind::Read => Value::Sym(cs),
+                    OpKind::Cas { expect, .. } => {
+                        if *expect == Value::Sym(cs) {
+                            // Potential success: not simple.
+                            let target = match &op.kind {
+                                OpKind::Cas { new, .. } => {
+                                    new.as_sym().expect("cas writes symbols")
+                                }
+                                _ => unreachable!(),
+                            };
+                            blocked.push((i, target));
+                            continue;
+                        }
+                        Value::Sym(cs) // failing compare&swap
+                    }
+                    other => panic!("unsupported compare&swap op {other}"),
+                }
+            } else {
+                let init = &layout.objects()[op.obj.0];
+                match &op.kind {
+                    OpKind::Read => {
+                        Self::read_rw(init, op.obj, &st.branch, &all_records, None)
+                    }
+                    OpKind::SnapshotScan => {
+                        let n = match init {
+                            ObjectInit::Snapshot { slots } => *slots,
+                            other => panic!("scan of non-snapshot {other:?}"),
+                        };
+                        Value::Seq(
+                            (0..n)
+                                .map(|s| {
+                                    Self::read_rw(
+                                        init,
+                                        op.obj,
+                                        &st.branch,
+                                        &all_records,
+                                        Some(s),
+                                    )
+                                })
+                                .collect(),
+                        )
+                    }
+                    OpKind::Write(_) | OpKind::SnapshotUpdate(_) => Value::Nil,
+                    other => panic!("unsupported read/write op {other}"),
+                }
+            };
+            let vp = *vp;
+            let record =
+                Record::Op { vp, op, resp: resp.clone(), branch: st.branch.clone() };
+            self.a.on_response(&mut st.vps[i].1, resp);
+            st.records.push(record.clone());
+            return Ok(record);
+        }
+
+        // 4. Every active owned v-process is blocked on a potentially
+        //    successful c&s(cs → ·): emulate the most popular one as a
+        //    success — this is where runs split (the paper's group
+        //    splitting; here at the granularity of [1]).
+        let mut popularity: BTreeMap<Sym, Vec<usize>> = BTreeMap::new();
+        for (i, target) in &blocked {
+            popularity.entry(*target).or_default().push(*i);
+        }
+        let (target, who) = popularity
+            .into_iter()
+            .max_by_key(|(_, v)| v.len())
+            .unwrap_or_else(|| {
+                panic!(
+                    "emulator {} has no active v-process and none decided — \
+                     v-process starvation",
+                    st.emu
+                )
+            });
+        let i = who[0];
+        let (vp, _, _) = st.vps[i];
+        let step = Step { from: cs, to: target, emu: st.emu, vp };
+        st.branch.push(step);
+        let op = match self.a.next_action(&st.vps[i].1) {
+            Action::Invoke(op) => op,
+            Action::Decide(_) => unreachable!(),
+        };
+        // A successful c&s returns the previous value (= expect = cs).
+        let resp = Value::Sym(cs);
+        let record = Record::Op { vp, op, resp: resp.clone(), branch: st.branch.clone() };
+        self.a.on_response(&mut st.vps[i].1, resp);
+        st.records.push(record.clone());
+        Ok(record)
+    }
+
+    fn finish_vp(&self, st: &mut EmulatorState<A::State>, vp: usize, v: Value) -> Value {
+        for entry in st.vps.iter_mut() {
+            if entry.0 == vp {
+                entry.2 = VpStatus::Decided(v.clone());
+            }
+        }
+        st.records.push(Record::Decision { vp, value: v.clone(), branch: st.branch.clone() });
+        v
+    }
+
+    fn encode_records(records: &[Record]) -> Value {
+        Value::Seq(records.iter().map(Record::to_value).collect())
+    }
+}
+
+impl<A: Protocol> Protocol for EmulationProtocol<A> {
+    type State = EmulatorState<A::State>;
+
+    fn processes(&self) -> usize {
+        self.m
+    }
+
+    fn layout(&self) -> Layout {
+        let mut l = Layout::new();
+        l.push(ObjectInit::Snapshot { slots: self.m });
+        l
+    }
+
+    fn init(&self, pid: Pid, _input: &Value) -> EmulatorState<A::State> {
+        // Each emulator instantiates its owned v-processes of A with
+        // their election inputs (their own identities).
+        let vps = (0..self.a.processes())
+            .filter(|vp| self.owner[*vp] == pid)
+            .map(|vp| (vp, self.a.init(vp, &Value::Pid(vp)), VpStatus::Active))
+            .collect();
+        EmulatorState {
+            emu: pid,
+            branch: Branch::root(),
+            vps,
+            records: Vec::new(),
+            phase: Phase::Scan,
+            pending_decision: None,
+        }
+    }
+
+    fn next_action(&self, state: &EmulatorState<A::State>) -> Action {
+        match &state.phase {
+            Phase::Scan => Action::Invoke(Op::new(Self::SLOTS, OpKind::SnapshotScan)),
+            Phase::Publish => Action::Invoke(Op::new(
+                Self::SLOTS,
+                OpKind::SnapshotUpdate(Self::encode_records(&state.records)),
+            )),
+            Phase::Decide(v) => Action::Decide(v.clone()),
+        }
+    }
+
+    fn on_response(&self, state: &mut EmulatorState<A::State>, resp: Value) {
+        match &state.phase {
+            Phase::Scan => {
+                // `think` pushed either an op record (Ok) or a decision
+                // record (Err) onto `state.records`; publish it, and if
+                // it was a decision, halt right after the publish.
+                if let Err(decision) = self.think(state, &resp) {
+                    state.pending_decision = Some(decision);
+                }
+                state.phase = Phase::Publish;
+            }
+            Phase::Publish => {
+                state.phase = match state.pending_decision.take() {
+                    Some(v) => Phase::Decide(v),
+                    None => Phase::Scan,
+                };
+            }
+            Phase::Decide(_) => {}
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! The excess graph and its stable components (Definitions 1–3) and
+//! the `UpdateC&S` thresholds (Figure 6).
+//!
+//! For every ordered pair of values `(a, b)` the emulation tracks how
+//! many *suspended* virtual processes hold a pending `c&s(a → b)`
+//! that is not yet demanded by the constructed history. Definition 1:
+//!
+//! * `p(a→b)` — transitions from `a` to `b` written in the history;
+//! * `s(a→b)` — successful `c&s(a → b)` operations already emulated
+//!   (suspended processes that were *released* against a transition);
+//! * `d(a→b) = p − s` — history transitions not yet matched by a
+//!   released process;
+//! * `f(a→b)` — suspended, not-yet-released processes on the edge;
+//! * `w(a→b) = f − d` — the **excess**: suspended processes still
+//!   free to justify *future* transitions.
+//!
+//! `UpdateC&S` may route the history through a value only along edges
+//! with enough excess; the *stable component* conditions (Definitions
+//! 2–3) guarantee — via the move/jump game of Lemma 1.1
+//! (`bso_combinatorics::game`) — that concurrent updates by up to `m`
+//! emulators never overdraw an edge.
+
+
+use bso_objects::Sym;
+
+/// The excess graph over the size-`k` value domain.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ExcessGraph {
+    k: usize,
+    /// weight[a_code][b_code] = w(a→b); may be negative transiently
+    /// (an overdrawn edge — a bug the emulator asserts against).
+    weight: Vec<Vec<i64>>,
+}
+
+impl ExcessGraph {
+    /// Computes the excess graph per Definition 1.
+    ///
+    /// * `suspended` — one entry `(a, b)` per currently suspended,
+    ///   not-released virtual process with pending `c&s(a → b)`;
+    /// * `released` — one entry per released (successfully emulated)
+    ///   process;
+    /// * `history` — the full value sequence of the constructed run
+    ///   (starting with ⊥).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any symbol is outside the size-`k` domain.
+    pub fn compute(
+        k: usize,
+        suspended: &[(Sym, Sym)],
+        released: &[(Sym, Sym)],
+        history: &[Sym],
+    ) -> ExcessGraph {
+        let mut g = ExcessGraph { k, weight: vec![vec![0; k]; k] };
+        let idx = |s: Sym| {
+            assert!(s.in_domain(k), "symbol {s} outside domain of size {k}");
+            s.code() as usize
+        };
+        for &(a, b) in suspended {
+            g.weight[idx(a)][idx(b)] += 1; // f
+        }
+        for &(a, b) in released {
+            g.weight[idx(a)][idx(b)] += 1; // + s
+        }
+        for w in history.windows(2) {
+            g.weight[idx(w[0])][idx(w[1])] -= 1; // − p
+        }
+        g
+    }
+
+    /// The domain size `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The excess on edge `a → b`.
+    pub fn excess(&self, a: Sym, b: Sym) -> i64 {
+        self.weight[a.code() as usize][b.code() as usize]
+    }
+
+    /// Whether any edge is overdrawn (negative excess) — the history
+    /// demands more transitions than suspended processes can supply: a
+    /// broken emulation.
+    pub fn is_overdrawn(&self) -> bool {
+        self.weight.iter().flatten().any(|&w| w < 0)
+    }
+
+    /// The subgraph `G_x`: only edges with excess ≥ `x` (Definition
+    /// 1's `Gˢₓ`), returned as an adjacency matrix.
+    pub fn at_least(&self, x: i64) -> Vec<Vec<bool>> {
+        self.weight
+            .iter()
+            .map(|row| row.iter().map(|&w| w >= x).collect())
+            .collect()
+    }
+
+    /// The strongly connected components of `G_x`, each sorted; the
+    /// maximal components `C_x` of Definition 1.
+    pub fn components(&self, x: i64) -> Vec<Vec<Sym>> {
+        let adj = self.at_least(x);
+        components_of(&adj).into_iter()
+            .map(|c| c.into_iter().map(|i| Sym::from_code(i as u8)).collect())
+            .collect()
+    }
+
+    /// The best *cycle width* through both `a` and `x` (Figure 6,
+    /// line 6): the largest `w` such that some cycle containing both
+    /// has minimum edge excess ≥ `w` — equivalently, the largest `w`
+    /// with `a` and `x` in the same strongly connected component of
+    /// `G_w`. Returns `None` if no such cycle exists at any positive
+    /// width.
+    pub fn cycle_width(&self, a: Sym, x: Sym) -> Option<i64> {
+        let max_w = *self.weight.iter().flatten().max().unwrap_or(&0);
+        let mut best = None;
+        for w in 1..=max_w {
+            let adj = self.at_least(w);
+            if same_component(&adj, a.code() as usize, x.code() as usize) {
+                best = Some(w);
+            } else {
+                break;
+            }
+        }
+        best
+    }
+}
+
+/// Strongly connected components of an adjacency matrix (simple
+/// forward/backward reachability — `k` is tiny).
+fn components_of(adj: &[Vec<bool>]) -> Vec<Vec<usize>> {
+    let n = adj.len();
+    let mut assigned = vec![false; n];
+    let mut out = Vec::new();
+    for v in 0..n {
+        if assigned[v] {
+            continue;
+        }
+        let fwd = reach(adj, v, false);
+        let bwd = reach(adj, v, true);
+        let comp: Vec<usize> =
+            (0..n).filter(|&u| fwd[u] && bwd[u] && !assigned[u]).collect();
+        for &u in &comp {
+            assigned[u] = true;
+        }
+        out.push(comp);
+    }
+    out
+}
+
+fn reach(adj: &[Vec<bool>], from: usize, reverse: bool) -> Vec<bool> {
+    let n = adj.len();
+    let mut seen = vec![false; n];
+    seen[from] = true;
+    let mut stack = vec![from];
+    while let Some(v) = stack.pop() {
+        for u in 0..n {
+            let edge = if reverse { adj[u][v] } else { adj[v][u] };
+            if edge && !seen[u] {
+                seen[u] = true;
+                stack.push(u);
+            }
+        }
+    }
+    seen
+}
+
+fn same_component(adj: &[Vec<bool>], a: usize, b: usize) -> bool {
+    if a == b {
+        // A cycle through a single node needs a genuine round trip
+        // (there are no self-edges in the value graph).
+        return (0..adj.len()).any(|u| u != a && adj[a][u] && reach(adj, u, false)[a]);
+    }
+    reach(adj, a, false)[b] && reach(adj, b, false)[a]
+}
+
+/// `β_x = Σ_{i=2..x} m^i` (with `β_1 = 0`) — the excess levels of
+/// Definitions 2–3.
+pub fn beta(x: usize, m: usize) -> u128 {
+    (2..=x as u32).map(|i| (m as u128).pow(i)).sum()
+}
+
+/// The `UpdateC&S` attachment threshold for a vertex at depth `d`:
+/// `Σ_{g=1..d} g·m^g` (Figure 6, line 7).
+pub fn attach_threshold(d: usize, m: usize) -> u128 {
+    (1..=d as u32).map(|g| g as u128 * (m as u128).pow(g)).sum()
+}
+
+/// Definition 2 — a **stable component**: a strongly connected
+/// component `C` of `G_β₁ = G_0`… of size `j` such that for every
+/// `k−j+2 ≤ i ≤ k`, `C` splits into at most `i − (k−j+1)` maximal
+/// components at excess level `β_{k−j+i}`. A single vertex is always
+/// stable.
+pub fn is_stable(g: &ExcessGraph, component: &[Sym], m: usize) -> bool {
+    stability(g, component, m, 1)
+}
+
+/// Definition 3 — a **super stable component**: the same with indices
+/// shifted by one (`k−j+3 < i ≤ k`, at most `i − (k−j+2)` components);
+/// a two-vertex component is always super stable.
+pub fn is_super_stable(g: &ExcessGraph, component: &[Sym], m: usize) -> bool {
+    if component.len() <= 2 {
+        return true;
+    }
+    stability(g, component, m, 2)
+}
+
+/// Common core of Definitions 2 and 3: `shift` = 1 for stable, 2 for
+/// super stable.
+#[allow(clippy::needless_range_loop)] // adjacency-matrix index walk
+fn stability(g: &ExcessGraph, component: &[Sym], m: usize, shift: usize) -> bool {
+    let j = component.len();
+    if j <= shift {
+        return true;
+    }
+    let k = g.k();
+    // The induced subgraph on `component` only.
+    let in_comp = |s: Sym| component.contains(&s);
+    let lo = k - j + shift + 1;
+    for i in lo..=k {
+        let level = beta(k - j + i, m);
+        let limit = i - (k - j + shift);
+        // Components of the induced subgraph at excess ≥ level.
+        let mut adj = g.at_least(level.min(i64::MAX as u128) as i64);
+        for a in 0..k {
+            for b in 0..k {
+                if !in_comp(Sym::from_code(a as u8)) || !in_comp(Sym::from_code(b as u8)) {
+                    adj[a][b] = false;
+                }
+            }
+        }
+        let comps = components_of(&adj)
+            .into_iter()
+            .filter(|c| c.iter().any(|&v| in_comp(Sym::from_code(v as u8))))
+            .count();
+        if comps > limit {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: u8) -> Sym {
+        Sym::new(i)
+    }
+
+    #[test]
+    fn definition_1_accounting() {
+        // k = 3: domain {⊥, 0, 1}. Two suspended on ⊥→0, one released
+        // on ⊥→0, history ⊥ 0: w(⊥→0) = f − (p − s) = 2 − (1 − 1) = 2.
+        let g = ExcessGraph::compute(
+            3,
+            &[(Sym::BOTTOM, s(0)), (Sym::BOTTOM, s(0))],
+            &[(Sym::BOTTOM, s(0))],
+            &[Sym::BOTTOM, s(0)],
+        );
+        assert_eq!(g.excess(Sym::BOTTOM, s(0)), 2);
+        assert_eq!(g.excess(s(0), Sym::BOTTOM), 0);
+        assert!(!g.is_overdrawn());
+    }
+
+    #[test]
+    fn overdrawn_edges_are_detected() {
+        // History demands a transition nobody is suspended on.
+        let g = ExcessGraph::compute(3, &[], &[], &[Sym::BOTTOM, s(1)]);
+        assert!(g.is_overdrawn());
+        assert_eq!(g.excess(Sym::BOTTOM, s(1)), -1);
+    }
+
+    #[test]
+    fn components_at_levels() {
+        // A 2-cycle ⊥ ⇄ 0 with excess 3 each way; vertex 1 isolated.
+        let susp: Vec<(Sym, Sym)> = std::iter::repeat_n((Sym::BOTTOM, s(0)), 3)
+            .chain(std::iter::repeat_n((s(0), Sym::BOTTOM), 3))
+            .collect();
+        let g = ExcessGraph::compute(3, &susp, &[], &[Sym::BOTTOM]);
+        let comps3 = g.components(3);
+        assert!(comps3.contains(&vec![Sym::BOTTOM, s(0)]));
+        assert!(comps3.contains(&vec![s(1)]));
+        // At level 4 the cycle dissolves.
+        let comps4 = g.components(4);
+        assert!(comps4.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn cycle_width_is_the_bottleneck() {
+        // ⊥→0 excess 5, 0→⊥ excess 2: the ⊥/0 cycle has width 2.
+        let mut susp = vec![(Sym::BOTTOM, s(0)); 5];
+        susp.extend(vec![(s(0), Sym::BOTTOM); 2]);
+        let g = ExcessGraph::compute(3, &susp, &[], &[Sym::BOTTOM]);
+        assert_eq!(g.cycle_width(Sym::BOTTOM, s(0)), Some(2));
+        assert_eq!(g.cycle_width(Sym::BOTTOM, s(1)), None);
+    }
+
+    #[test]
+    fn thresholds_match_figure_6() {
+        // Σ_{g=1..d} g·m^g
+        assert_eq!(attach_threshold(0, 3), 0);
+        assert_eq!(attach_threshold(1, 3), 3);
+        assert_eq!(attach_threshold(2, 3), 3 + 2 * 9);
+        assert_eq!(attach_threshold(3, 2), 2 + 2 * 4 + 3 * 8);
+        // β levels
+        assert_eq!(beta(1, 5), 0);
+        assert_eq!(beta(2, 5), 25);
+        assert_eq!(beta(3, 5), 25 + 125);
+    }
+
+    #[test]
+    fn singletons_and_pairs_are_stable() {
+        let g = ExcessGraph::compute(4, &[], &[], &[Sym::BOTTOM]);
+        assert!(is_stable(&g, &[Sym::BOTTOM], 3));
+        assert!(is_super_stable(&g, &[Sym::BOTTOM, s(0)], 3));
+    }
+
+    #[test]
+    fn rich_cycles_form_stable_components() {
+        // k = 3, m = 2: a 2-cycle ⊥ ⇄ 0 with excess far above every β
+        // level is a stable component of size 2.
+        let m = 2;
+        // The deepest level Definition 2 consults for j = 2, k = 3 is
+        // β_{k−j+k} = β_4.
+        let lots = beta(4, m) as usize + 5;
+        let mut susp = vec![(Sym::BOTTOM, s(0)); lots];
+        susp.extend(vec![(s(0), Sym::BOTTOM); lots]);
+        let g = ExcessGraph::compute(3, &susp, &[], &[Sym::BOTTOM]);
+        assert!(is_stable(&g, &[Sym::BOTTOM, s(0)], m));
+        // A pauper component of size 2 (zero excess) fails Definition
+        // 2's level conditions: it splits into 2 > 1 components at the
+        // first required level.
+        let g0 = ExcessGraph::compute(3, &[], &[], &[Sym::BOTTOM]);
+        assert!(!is_stable(&g0, &[Sym::BOTTOM, s(0)], m));
+        // ... but is vacuously super stable (|C| = 2).
+        assert!(is_super_stable(&g0, &[Sym::BOTTOM, s(0)], m));
+    }
+}

@@ -1,0 +1,78 @@
+//! The Afek–Stupp reduction: emulating a bounded-compare&swap leader
+//! election on read/write memory (Theorem 1, PODC 1994).
+//!
+//! The paper's impossibility proof is a *reduction by emulation*: if a
+//! wait-free leader election `A` for Φ processes existed using one
+//! `compare&swap-(k)` plus read/write registers, then `m = (k−1)!+1`
+//! **emulators** — communicating through read/write memory only —
+//! could cooperatively construct legal runs of `A`, splitting into at
+//! most `(k−1)!` groups (one per *label*, the order of first values in
+//! the compare&swap history), and adopt the decisions of their
+//! constructed runs: a `(k−1)!`-set consensus among `(k−1)!+1`
+//! processes out of read/write registers, which is impossible
+//! (Borowsky–Gafni, Herlihy–Shavit, Saks–Zaharoglou).
+//!
+//! An impossibility cannot be "run", but the reduction is an
+//! *algorithm*, and this crate executes it:
+//!
+//! * [`Reduction`] — `m` emulators, implemented as an ordinary
+//!   [`bso_sim::Protocol`] over **read/write objects only** (one
+//!   atomic-snapshot object of single-writer slots; the driver asserts
+//!   `is_read_write_only`), jointly construct runs of a real election
+//!   algorithm `A` (`LabelElection`, `CasOnlyElection`, …). Emulators
+//!   split into *branches* when they concurrently extend the emulated
+//!   compare&swap history differently — the executable counterpart of
+//!   the paper's group splitting. Each emulator leaves with the
+//!   decision of its constructed run.
+//! * [`validate`] — the executable content of the paper's Lemma 1.2:
+//!   every per-branch constructed run is replayed through the
+//!   linearizability checker against `A`'s own object specifications;
+//!   a non-legal run is a bug, not a proof.
+//! * [`tree`], [`excess`] — the PODC '94-specific data structures in
+//!   their own right: the history tree `T` of small trees `t` with
+//!   `FromParent`/`ToParent` paths and m-tuple sibling records
+//!   (Figures 1, 4), and the excess graph with its stable components
+//!   (Definitions 1–3) whose key invariant rests on the move/jump game
+//!   of Lemma 1.1 (`bso_combinatorics::game`).
+//!
+//! What the executed reduction *shows*: with `A = LabelElection`, the
+//! compare&swap history of every constructed run is a permutation
+//! prefix, so the emulators' decisions take at most `(k−1)!` distinct
+//! values no matter how many emulators run or how adversarially they
+//! are scheduled — the quantitative heart of Claim 1. The final
+//! impossibility step (no read/write `(k−1)!`-set consensus among
+//! `(k−1)!+1` processes) is cited, not executed; it is exactly the
+//! part of the proof that no program can exhibit.
+//!
+//! # Example
+//!
+//! ```
+//! use bso_emulation::Reduction;
+//! use bso_protocols::LabelElection;
+//!
+//! // Emulate a 6-process election (k = 4) by 3 emulators, 2 virtual
+//! // processes each, under a seeded random schedule.
+//! let a = LabelElection::new(6, 4).unwrap();
+//! let report = Reduction::new(a, 3).run_seeded(7).unwrap();
+//! assert!(report.distinct_decisions() <= 6); // ≤ (k−1)! labels
+//! report.validate().unwrap(); // every constructed run is legal
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// Simulator error paths are cold; boxing RunError would only obscure them.
+#![allow(clippy::result_large_err)]
+
+mod branch;
+mod emulator;
+pub mod pingpong;
+pub mod rich;
+
+pub mod excess;
+mod reduction;
+pub mod tree;
+pub mod validate;
+
+pub use branch::{Branch, Step};
+pub use emulator::{EmulationProtocol, EmulatorState, Record};
+pub use reduction::{Reduction, ReductionReport};

@@ -1,0 +1,183 @@
+//! A value-reusing compare&swap workload for the rich emulation.
+
+use bso_objects::{Layout, ObjectId, ObjectInit, Op, Sym, Value};
+use bso_sim::{Action, Pid, Protocol};
+
+/// A synthetic compare&swap workload whose processes **reuse register
+/// values** — the regime the paper's full emulation machinery
+/// (suspension, rebalancing, tree cycles) exists for.
+///
+/// The election algorithms in this workspace drive the register
+/// through each value at most once, so emulating them never needs to
+/// route the history through excess-graph cycles. `PingPong` is the
+/// stress complement: each virtual process performs `rounds`
+/// compare&swap attempts, always trying to advance the register to the
+/// cyclic successor of the value it last read (`⊥ → 0 → 1 → … → 0`),
+/// and decides its success count. Transitions like `0 → 1` and
+/// `1 → 0` recur many times — exactly the "`…abac`" histories of
+/// Section 3.1.1.
+///
+/// It is wait-free by construction (a fixed attempt budget), and every
+/// run is trivially legal for the *simulator*; its role here is as an
+/// emulation target `A` whose constructed runs exercise value reuse.
+#[derive(Clone, Debug)]
+pub struct PingPong {
+    n: usize,
+    k: usize,
+    rounds: usize,
+}
+
+impl PingPong {
+    const CAS: ObjectId = ObjectId(0);
+
+    /// `n` processes, `rounds` compare&swap attempts each, over a
+    /// `compare&swap-(k)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `k < 3` (cycling needs two non-⊥ values).
+    pub fn new(n: usize, k: usize, rounds: usize) -> PingPong {
+        assert!(n > 0, "need at least one process");
+        assert!(k >= 3, "cycling needs k >= 3");
+        PingPong { n, k, rounds }
+    }
+
+    /// The cyclic successor: `⊥ → 0`, `i → (i+1) mod (k−1)`.
+    pub fn successor(&self, s: Sym) -> Sym {
+        match s.value() {
+            None => Sym::new(0),
+            Some(v) => Sym::new((v + 1) % (self.k as u8 - 1)),
+        }
+    }
+}
+
+/// Local state of one [`PingPong`] process.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum PingPongState {
+    /// About to read the register.
+    Read {
+        /// Remaining attempts.
+        left: usize,
+        /// Successes so far.
+        wins: i64,
+    },
+    /// About to attempt `c&s(cur → successor(cur))`.
+    Attempt {
+        /// Remaining attempts.
+        left: usize,
+        /// Successes so far.
+        wins: i64,
+        /// The value read.
+        cur: Sym,
+    },
+    /// Out of attempts.
+    Done {
+        /// Final success count.
+        wins: i64,
+    },
+}
+
+impl Protocol for PingPong {
+    type State = PingPongState;
+
+    fn processes(&self) -> usize {
+        self.n
+    }
+
+    fn layout(&self) -> Layout {
+        let mut l = Layout::new();
+        l.push(ObjectInit::CasK { k: self.k });
+        l
+    }
+
+    fn init(&self, _pid: Pid, _input: &Value) -> PingPongState {
+        if self.rounds == 0 {
+            PingPongState::Done { wins: 0 }
+        } else {
+            PingPongState::Read { left: self.rounds, wins: 0 }
+        }
+    }
+
+    fn next_action(&self, st: &PingPongState) -> Action {
+        match st {
+            PingPongState::Read { .. } => Action::Invoke(Op::read(Self::CAS)),
+            PingPongState::Attempt { cur, .. } => Action::Invoke(Op::cas(
+                Self::CAS,
+                Value::Sym(*cur),
+                Value::Sym(self.successor(*cur)),
+            )),
+            PingPongState::Done { wins } => Action::Decide(Value::Int(*wins)),
+        }
+    }
+
+    fn on_response(&self, st: &mut PingPongState, resp: Value) {
+        *st = match st.clone() {
+            PingPongState::Read { left, wins } => PingPongState::Attempt {
+                left,
+                wins,
+                cur: resp.as_sym().expect("register holds symbols"),
+            },
+            PingPongState::Attempt { left, wins, cur } => {
+                let won = resp == Value::Sym(cur);
+                let wins = wins + i64::from(won);
+                if left <= 1 {
+                    PingPongState::Done { wins }
+                } else {
+                    PingPongState::Read { left: left - 1, wins }
+                }
+            }
+            done => done,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bso_sim::{explore, scheduler, ExploreConfig, Simulation, TaskSpec};
+
+    #[test]
+    fn successor_cycles_without_bottom() {
+        let p = PingPong::new(2, 4, 1);
+        assert_eq!(p.successor(Sym::BOTTOM), Sym::new(0));
+        assert_eq!(p.successor(Sym::new(0)), Sym::new(1));
+        assert_eq!(p.successor(Sym::new(1)), Sym::new(2));
+        assert_eq!(p.successor(Sym::new(2)), Sym::new(0));
+    }
+
+    #[test]
+    fn wait_free_by_budget_exhaustive() {
+        let p = PingPong::new(2, 3, 2);
+        let report = explore(
+            &p,
+            &[Value::Nil, Value::Nil],
+            &ExploreConfig { spec: TaskSpec::None, ..Default::default() },
+        );
+        assert!(report.outcome.is_verified(), "{:?}", report.outcome);
+        // 2 ops per attempt + decide.
+        assert!(report.max_steps_per_proc.iter().all(|&s| s <= 5));
+    }
+
+    #[test]
+    fn histories_reuse_values() {
+        // Run long enough and the register value recurs — the property
+        // that makes PingPong the rich emulation's stress target.
+        let p = PingPong::new(3, 3, 4);
+        let mut sim = Simulation::new(&p, &vec![Value::Nil; 3]);
+        let res = sim.run(&mut scheduler::RoundRobin::new(), 10_000).unwrap();
+        let mut history = vec![Sym::BOTTOM];
+        for e in res.trace.events() {
+            if let bso_sim::EventKind::Applied { op, resp } = &e.kind {
+                if let bso_objects::OpKind::Cas { expect, new } = &op.kind {
+                    if resp == expect {
+                        history.push(new.as_sym().unwrap());
+                    }
+                }
+            }
+        }
+        let mut sorted = history.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert!(sorted.len() < history.len(), "no value reuse in {history:?}");
+    }
+}

@@ -1,0 +1,1417 @@
+//! The full PODC '94 emulation (Figures 3, 5, 6): suspension,
+//! rebalancing, and tree-routed history updates.
+//!
+//! The simple emulation of [`crate::EmulationProtocol`] splits the
+//! emulators on *every* conflicting successful compare&swap — enough
+//! for algorithms that never reuse register values, where branch =
+//! label. The paper's machinery exists for the general case: when `A`
+//! can drive the register through the same value repeatedly, groups
+//! must split **only on first occurrences** (at most `(k−1)!` labels),
+//! and every repeated transition in the constructed history must be
+//! *paid for* by a suspended virtual process:
+//!
+//! * **Suspension** (Fig. 3 lines 4–5): when `quota` of an emulator's
+//!   active v-processes all have a pending `c&s(a → b)` and none of
+//!   its v-processes is suspended on that edge, it suspends `quota` of
+//!   them — freezing operations that future history transitions can
+//!   consume.
+//! * **Rebalancing / release** (Fig. 5): a suspended v-process on
+//!   `(a, b)` may be released — its `c&s(a → b)` emulated as a
+//!   *success* — once the history contains at least `margin`
+//!   transitions `a → b`, after its suspension point, that no released
+//!   process has consumed. The margin (paper: `m`) makes concurrent
+//!   releases by different emulators safe.
+//! * **UpdateC&S** (Fig. 6): when only potential successes remain, the
+//!   emulator extends the history. A *fresh* value splits the group
+//!   (activates a deeper label); a *reused* value must be routed
+//!   through a cycle of the excess graph whose minimum excess clears
+//!   the depth-dependent threshold `Σ g·base^g`, and is attached to
+//!   the history tree with the cycle's two path halves as
+//!   `FromParent`/`ToParent` — the "`…abac`" weave of §3.1.1. The
+//!   thresholds are what Lemma 1.1's move/jump game bounds; base = `m`
+//!   is the paper's choice.
+//!
+//! Correctness is *checked, not assumed*: [`RichReport::validate`]
+//! reconstructs every maximal label's virtual-operation families and
+//! asks [`bso_sim::linearizability::check_run_legality`] for an
+//! interleaving that matches `A`'s sequential object specifications.
+//! Note this is deliberately **not** real-time linearizability: the
+//! paper's Lemma 1.2 constructs runs by *inserting* suspended
+//! operations at earlier points than the emulation's wall clock ("we
+//! do not show a specific run of `A` that was emulated, but rather we
+//! prove that there is at least one run of `A` that the emulation has
+//! emulated").
+//!
+//! The emulation can also **stall** honestly: with too few virtual
+//! processes per emulator the suspension quotas cannot be met and no
+//! progress rule applies — which is precisely the paper's quantitative
+//! point (Φ must be large for the reduction to run), measured in
+//! `examples/rich_emulation.rs`.
+
+use std::collections::BTreeMap;
+
+use bso_objects::{Layout, ObjectId, ObjectInit, Op, OpKind, Sym, Value};
+use bso_sim::{Action, Pid, Protocol, RunError, Scheduler, Simulation};
+
+use crate::excess::{attach_threshold, ExcessGraph};
+use crate::tree::{HistoryTree, Label};
+
+/// Tuning of the rich emulation.
+///
+/// The paper's parameters guarantee progress for *any* `A` with
+/// Φ = O(k^(k²+3)) virtual processes; the demo parameters shrink the
+/// bookkeeping so small instances complete. Soundness never depends on
+/// the parameters — every constructed run is legality-checked — only
+/// *progress* does, which is exactly the paper's quantitative point
+/// (measured in the Φ-sweep tests).
+#[derive(Clone, Debug)]
+pub struct RichConfig {
+    /// Per-edge suspension batch size (paper: `m·k²`).
+    pub suspend_quota: usize,
+    /// Unmatched transitions required before a release (paper: `m` —
+    /// so that all `m` emulators releasing concurrently still each
+    /// find a transition; with fewer emulators per edge a smaller
+    /// margin is safe and the validator confirms it).
+    pub release_margin: usize,
+    /// Base of the attach threshold `Σ g·base^g` (paper: `m`).
+    pub threshold_base: usize,
+    /// Whether a release requires a replacement active v-process on
+    /// the same edge (Fig. 5 condition (3); the paper needs it for its
+    /// counting, demos with one v-process per edge cannot satisfy it).
+    pub require_replacement: bool,
+    /// Just-in-time suspension inside `UpdateC&S` when the chosen
+    /// target is unbacked (demo configurations): freezes one v-process
+    /// per history transition instead of `quota` per edge — the
+    /// eager/lazy trade-off behind the paper's Φ requirement.
+    pub lazy_suspend: bool,
+}
+
+impl RichConfig {
+    /// The paper's parameters for `m` emulators over a domain of size
+    /// `k`.
+    pub fn paper(m: usize, k: usize) -> RichConfig {
+        RichConfig {
+            suspend_quota: m * k * k,
+            release_margin: m,
+            threshold_base: m,
+            require_replacement: true,
+            lazy_suspend: false,
+        }
+    }
+
+    /// Small parameters for demonstrations with few virtual processes.
+    /// The release margin is left to the adaptive rule (the number of
+    /// emulators holding unreleased suspensions on the edge).
+    pub fn demo() -> RichConfig {
+        RichConfig {
+            suspend_quota: usize::MAX, // eager suspension off
+            release_margin: 0,         // adaptive
+            threshold_base: 1,
+            require_replacement: false,
+            lazy_suspend: true,
+        }
+    }
+}
+
+/// One published entry of a rich emulator's slot.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RichRecord {
+    /// A vertex attached to the small tree of `label`.
+    TreeNode {
+        /// The tree's label.
+        label: Label,
+        /// Parent vertex: `None` = the tree's root, else the
+        /// `(owner, seq)` of another published vertex.
+        parent: Option<(usize, u64)>,
+        /// The new vertex's symbol.
+        sym: Sym,
+        /// Connecting path from the parent's symbol (exclusive).
+        from_parent: Vec<Sym>,
+        /// Connecting path back to the parent's symbol (exclusive).
+        to_parent: Vec<Sym>,
+        /// The attaching emulator's vertex counter.
+        seq: u64,
+    },
+    /// Activation of a deeper label (group split on a first value).
+    Activate {
+        /// The new label (parent label plus the fresh symbol).
+        label: Label,
+    },
+    /// A virtual process was suspended on edge `(a, b)`.
+    Suspend {
+        /// The suspended virtual process.
+        vp: usize,
+        /// The pending operation's expected value.
+        a: Sym,
+        /// The pending operation's new value.
+        b: Sym,
+        /// The emulator's label at suspension time.
+        label: Label,
+        /// Number of history transitions at suspension time.
+        hist_pos: usize,
+        /// The owner's suspension counter.
+        seq: u64,
+    },
+    /// The owner released its suspension number `seq` (the v-process's
+    /// `c&s` was emulated as a success).
+    Release {
+        /// The owner's suspension counter being released.
+        seq: u64,
+    },
+    /// An emulated virtual operation.
+    VOp {
+        /// The virtual process.
+        vp: usize,
+        /// The operation in `A`'s object space.
+        op: Op,
+        /// The emulated response.
+        resp: Value,
+        /// The emulator's label at emulation time.
+        label: Label,
+    },
+    /// A virtual process decided; the emulator adopts the value.
+    Decide {
+        /// The deciding virtual process.
+        vp: usize,
+        /// The decision.
+        value: Value,
+        /// The emulator's label.
+        label: Label,
+    },
+}
+
+mod encode;
+pub use encode::decode_slot;
+
+/// Status of an owned virtual process.
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum VpStat {
+    Active,
+    /// Frozen on a pending `c&s(a → b)`, suspension counter `seq`.
+    Suspended { seq: u64 },
+    Decided,
+}
+
+/// Local state of one rich emulator.
+#[derive(Clone, Debug)]
+pub struct RichState<S> {
+    emu: usize,
+    label: Label,
+    vps: Vec<(usize, S, VpStat)>,
+    records: Vec<RichRecord>,
+    susp_seq: u64,
+    node_seq: u64,
+    phase: RichPhase,
+    pending_decision: Option<Value>,
+    /// Diagnostic: why the last think step made no progress.
+    pub last_stall: Option<String>,
+    /// Hash of the last scanned view that led to a stall (fast path:
+    /// an unchanged view cannot unstall the emulator, so the expensive
+    /// re-merge is skipped).
+    stalled_view: Option<u64>,
+}
+
+#[derive(Clone, Debug)]
+enum RichPhase {
+    Scan,
+    Publish,
+    Decide(Value),
+}
+
+/// The merged view of all emulators' published records.
+struct MergedView {
+    tree: HistoryTree,
+    /// All suspensions: (owner, record).
+    suspensions: Vec<(usize, SuspInfo)>,
+    records: Vec<Vec<RichRecord>>,
+}
+
+#[derive(Clone, Debug)]
+struct SuspInfo {
+    a: Sym,
+    b: Sym,
+    label: Label,
+    hist_pos: usize,
+    released: bool,
+}
+
+/// The `m`-emulator rich emulation over a compare&swap algorithm `A`.
+#[derive(Clone, Debug)]
+pub struct RichEmulation<A: Protocol> {
+    a: A,
+    m: usize,
+    cas_obj: ObjectId,
+    k: usize,
+    owner: Vec<usize>,
+    config: RichConfig,
+}
+
+impl<A: Protocol> RichEmulation<A> {
+    const SLOTS: ObjectId = ObjectId(0);
+
+    /// Wraps `a` for rich emulation by `m` emulators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not one-compare&swap-plus-read/write, or `m`
+    /// is out of range.
+    pub fn new(a: A, m: usize, config: RichConfig) -> RichEmulation<A> {
+        let phi = a.processes();
+        assert!(m >= 1 && m <= phi, "need 1 <= m <= Φ (Φ = {phi}), got m = {m}");
+        let layout = a.layout();
+        let mut cas = None;
+        for (id, init) in layout.iter() {
+            match init {
+                ObjectInit::CasK { k } => {
+                    assert!(cas.is_none(), "A must use exactly one compare&swap-(k)");
+                    cas = Some((id, *k));
+                }
+                ObjectInit::Register(_) | ObjectInit::Snapshot { .. } => {}
+                other => panic!("A uses non-read/write object {other:?}"),
+            }
+        }
+        let (cas_obj, k) = cas.expect("A must use a compare&swap-(k)");
+        let owner = (0..phi).map(|vp| vp % m).collect();
+        RichEmulation { a, m, cas_obj, k, owner, config }
+    }
+
+    /// The emulated algorithm.
+    pub fn algorithm(&self) -> &A {
+        &self.a
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &RichConfig {
+        &self.config
+    }
+
+    /// Builds the merged view from a snapshot of all slots.
+    fn merge(&self, st: &RichState<A::State>, view: &Value) -> MergedView {
+        let slots = view.as_seq().expect("snapshot view");
+        let mut records: Vec<Vec<RichRecord>> = slots.iter().map(decode_slot).collect();
+        records[st.emu] = st.records.clone();
+
+        // Tree: activations first, then vertices until fixpoint (a
+        // vertex's parent may be another emulator's vertex).
+        let tree = build_tree(&records);
+
+        // Suspensions with release flags.
+        let mut suspensions = Vec::new();
+        for (o, recs) in records.iter().enumerate() {
+            let released: Vec<u64> = recs
+                .iter()
+                .filter_map(|r| match r {
+                    RichRecord::Release { seq } => Some(*seq),
+                    _ => None,
+                })
+                .collect();
+            for r in recs {
+                if let RichRecord::Suspend { vp: _, a, b, label, hist_pos, seq } = r {
+                    suspensions.push((
+                        o,
+                        SuspInfo {
+                            a: *a,
+                            b: *b,
+                            label: label.clone(),
+                            hist_pos: *hist_pos,
+                            released: released.contains(seq),
+                        },
+                    ));
+                }
+            }
+        }
+        MergedView { tree, suspensions, records }
+    }
+
+    /// Emulates a read of `A`'s read/write object against
+    /// label-filtered records (the paper's tagged register lists).
+    fn read_rw(
+        layout_init: &ObjectInit,
+        obj: ObjectId,
+        label: &Label,
+        records: &[Vec<RichRecord>],
+        slot: Option<usize>,
+    ) -> Value {
+        let compat = |l: &Label|
+
+            l.len() <= label.len() && label.starts_with(l)
+                || l.starts_with(label);
+        let mut latest: Option<&Value> = None;
+        for recs in records {
+            for r in recs {
+                if let RichRecord::VOp { vp, op, label: l, .. } = r {
+                    if op.obj != obj || !compat(l) {
+                        continue;
+                    }
+                    let written = match (&op.kind, slot) {
+                        (OpKind::Write(v), None) => Some(v),
+                        (OpKind::SnapshotUpdate(v), Some(s)) if *vp == s => Some(v),
+                        _ => None,
+                    };
+                    if let Some(v) = written {
+                        latest = Some(v);
+                    }
+                }
+            }
+        }
+        match latest {
+            Some(v) => v.clone(),
+            None => match (layout_init, slot) {
+                (ObjectInit::Register(v0), None) => v0.clone(),
+                _ => Value::Nil,
+            },
+        }
+    }
+
+    /// One thinking step. `Ok(true)` = progress (publish), `Ok(false)`
+    /// = stall (re-scan), `Err(v)` = the emulator decided `v`.
+    fn think(&self, st: &mut RichState<A::State>, view: &Value) -> Result<bool, Value> {
+        let merged = self.merge(st, view);
+        st.last_stall = None;
+
+        // Label extension (ComputeHistory line 1).
+        st.label = merged.tree.extend_to_leaf(&st.label);
+        let h = merged.tree.compute_history(&st.label);
+        let cs = *h.last().expect("history starts at ⊥");
+        let transitions = h.len() - 1;
+
+        // Decisions first.
+        for i in 0..st.vps.len() {
+            let (vp, state, stat) = &st.vps[i];
+            if matches!(stat, VpStat::Active) {
+                if let Action::Decide(v) = self.a.next_action(state) {
+                    let vp = *vp;
+                    let v = v.clone();
+                    st.vps[i].2 = VpStat::Decided;
+                    st.records.push(RichRecord::Decide {
+                        vp,
+                        value: v.clone(),
+                        label: st.label.clone(),
+                    });
+                    return Err(v);
+                }
+            }
+        }
+
+        // Suspension step (Fig. 3 lines 4–5).
+        let mut by_edge: BTreeMap<(Sym, Sym), Vec<usize>> = BTreeMap::new();
+        for (i, (_, state, stat)) in st.vps.iter().enumerate() {
+            if !matches!(stat, VpStat::Active) {
+                continue;
+            }
+            if let Action::Invoke(op) = self.a.next_action(state) {
+                if op.obj == self.cas_obj {
+                    if let OpKind::Cas { expect, new } = &op.kind {
+                        let a = expect.as_sym().expect("cas of symbols");
+                        let b = new.as_sym().expect("cas of symbols");
+                        by_edge.entry((a, b)).or_default().push(i);
+                    }
+                }
+            }
+        }
+        let mut suspended_now = false;
+        for ((a, b), idxs) in &by_edge {
+            if idxs.len() < self.config.suspend_quota {
+                continue;
+            }
+            let mine_unreleased = merged
+                .suspensions
+                .iter()
+                .any(|(o, s)| *o == st.emu && s.a == *a && s.b == *b && !s.released);
+            if mine_unreleased {
+                continue;
+            }
+            for &i in idxs.iter().take(self.config.suspend_quota) {
+                let seq = st.susp_seq;
+                st.susp_seq += 1;
+                st.vps[i].2 = VpStat::Suspended { seq };
+                st.records.push(RichRecord::Suspend {
+                    vp: st.vps[i].0,
+                    a: *a,
+                    b: *b,
+                    label: st.label.clone(),
+                    hist_pos: transitions,
+                    seq,
+                });
+                suspended_now = true;
+            }
+        }
+
+        // Simple op (Fig. 3 lines 6–7).
+        let layout = self.a.layout();
+        for i in 0..st.vps.len() {
+            let (vp, state, stat) = &st.vps[i];
+            if !matches!(stat, VpStat::Active) {
+                continue;
+            }
+            let op = match self.a.next_action(state) {
+                Action::Invoke(op) => op,
+                Action::Decide(_) => unreachable!("handled above"),
+            };
+            let resp = if op.obj == self.cas_obj {
+                match &op.kind {
+                    OpKind::Read => Value::Sym(cs),
+                    OpKind::Cas { expect, .. } if *expect != Value::Sym(cs) => {
+                        Value::Sym(cs) // failing compare&swap
+                    }
+                    _ => continue, // potential success: not simple
+                }
+            } else {
+                let init = &layout.objects()[op.obj.0];
+                match &op.kind {
+                    OpKind::Read => {
+                        Self::read_rw(init, op.obj, &st.label, &merged.records, None)
+                    }
+                    OpKind::SnapshotScan => {
+                        let n = match init {
+                            ObjectInit::Snapshot { slots } => *slots,
+                            other => panic!("scan of non-snapshot {other:?}"),
+                        };
+                        Value::Seq(
+                            (0..n)
+                                .map(|s| {
+                                    Self::read_rw(
+                                        init,
+                                        op.obj,
+                                        &st.label,
+                                        &merged.records,
+                                        Some(s),
+                                    )
+                                })
+                                .collect(),
+                        )
+                    }
+                    OpKind::Write(_) | OpKind::SnapshotUpdate(_) => Value::Nil,
+                    other => panic!("unsupported read/write op {other}"),
+                }
+            };
+            let vp = *vp;
+            st.records.push(RichRecord::VOp {
+                vp,
+                op,
+                resp: resp.clone(),
+                label: st.label.clone(),
+            });
+            self.a.on_response(&mut st.vps[i].1, resp);
+            return Ok(true);
+        }
+
+        // CanRebalance (Fig. 5).
+        if self.try_rebalance(st, &merged, &h)? {
+            return Ok(true);
+        }
+
+        // UpdateC&S (Fig. 6).
+        if self.try_update(st, &merged, &h, cs)? {
+            return Ok(true);
+        }
+
+        if suspended_now {
+            return Ok(true); // publish the suspensions at least
+        }
+        st.last_stall = Some(format!(
+            "emulator {}: no simple op, no release possible, no update possible \
+             (label {:?}, cs {cs}, {} active vps)",
+            st.emu,
+            st.label,
+            st.vps.iter().filter(|v| matches!(v.2, VpStat::Active)).count()
+        ));
+        Ok(false)
+    }
+
+    /// Figure 5. Returns `Ok(true)` if a suspended v-process was
+    /// released.
+    fn try_rebalance(
+        &self,
+        st: &mut RichState<A::State>,
+        merged: &MergedView,
+        h: &[Sym],
+    ) -> Result<bool, Value> {
+        let compat = |l: &Label| st.label.starts_with(l) || l.starts_with(&st.label);
+        // Released consumption and holder counts per edge
+        // (label-compatible). `holders` = distinct emulators with
+        // unreleased suspensions on the edge: the number of releases
+        // that can race unseen, so the *effective* margin is
+        // max(configured, holders) — the paper's `m` is exactly the
+        // worst case of `holders`.
+        let mut released: BTreeMap<(Sym, Sym), usize> = BTreeMap::new();
+        let mut holder_set: BTreeMap<(Sym, Sym), Vec<usize>> = BTreeMap::new();
+        for (o, s) in &merged.suspensions {
+            if !compat(&s.label) {
+                continue;
+            }
+            if s.released {
+                *released.entry((s.a, s.b)).or_default() += 1;
+            } else {
+                let hs = holder_set.entry((s.a, s.b)).or_default();
+                if !hs.contains(o) {
+                    hs.push(*o);
+                }
+            }
+        }
+        // My suspended, unreleased v-processes in suspension order.
+        let mut mine: Vec<usize> = (0..st.vps.len())
+            .filter(|&i| matches!(st.vps[i].2, VpStat::Suspended { .. }))
+            .collect();
+        mine.sort_by_key(|&i| match st.vps[i].2 {
+            VpStat::Suspended { seq } => seq,
+            _ => unreachable!(),
+        });
+        for i in mine {
+            let seq = match st.vps[i].2 {
+                VpStat::Suspended { seq } => seq,
+                _ => unreachable!(),
+            };
+            // The own records are authoritative: a suspension made
+            // earlier in this very think step is not yet in `merged`.
+            let info = st
+                .records
+                .iter()
+                .find_map(|r| match r {
+                    RichRecord::Suspend { a, b, label, hist_pos, seq: s, .. }
+                        if *s == seq =>
+                    {
+                        Some(SuspInfo {
+                            a: *a,
+                            b: *b,
+                            label: label.clone(),
+                            hist_pos: *hist_pos,
+                            released: false,
+                        })
+                    }
+                    _ => None,
+                })
+                .expect("own suspension must be recorded");
+            // Transitions (a → b) at positions ≥ the suspension point.
+            let after = h
+                .windows(2)
+                .enumerate()
+                .filter(|(p, w)| *p >= info.hist_pos && w[0] == info.a && w[1] == info.b)
+                .count();
+            let consumed = released.get(&(info.a, info.b)).copied().unwrap_or(0);
+            let holders =
+                holder_set.get(&(info.a, info.b)).map_or(1, |hs| hs.len().max(1));
+            let margin = self.config.release_margin.max(holders);
+            if after < consumed + margin {
+                continue;
+            }
+            // Condition (3): a replacement active v-process on the
+            // same edge (required by the paper's counting; optional in
+            // demo configurations).
+            let replacement = (0..st.vps.len()).find(|&j| {
+                matches!(st.vps[j].2, VpStat::Active)
+                    && match self.a.next_action(&st.vps[j].1) {
+                        Action::Invoke(op) => {
+                            op.obj == self.cas_obj
+                                && matches!(
+                                    &op.kind,
+                                    OpKind::Cas { expect, new }
+                                        if *expect == Value::Sym(info.a)
+                                            && *new == Value::Sym(info.b)
+                                )
+                        }
+                        _ => false,
+                    }
+            });
+            if self.config.require_replacement && replacement.is_none() {
+                continue;
+            }
+            if let Some(j) = replacement {
+                // Suspend the replacement…
+                let rseq = st.susp_seq;
+                st.susp_seq += 1;
+                st.vps[j].2 = VpStat::Suspended { seq: rseq };
+                st.records.push(RichRecord::Suspend {
+                    vp: st.vps[j].0,
+                    a: info.a,
+                    b: info.b,
+                    label: st.label.clone(),
+                    hist_pos: h.len() - 1,
+                    seq: rseq,
+                });
+            }
+            // …release the matched one with a success response…
+            st.records.push(RichRecord::Release { seq });
+            let op = match self.a.next_action(&st.vps[i].1) {
+                Action::Invoke(op) => op,
+                Action::Decide(_) => unreachable!("suspended vps are pre-cas"),
+            };
+            let resp = Value::Sym(info.a);
+            st.records.push(RichRecord::VOp {
+                vp: st.vps[i].0,
+                op,
+                resp: resp.clone(),
+                label: st.label.clone(),
+            });
+            st.vps[i].2 = VpStat::Active;
+            self.a.on_response(&mut st.vps[i].1, resp);
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Figure 6. Returns `Ok(true)` if the history was extended.
+    fn try_update(
+        &self,
+        st: &mut RichState<A::State>,
+        merged: &MergedView,
+        h: &[Sym],
+        cs: Sym,
+    ) -> Result<bool, Value> {
+        // Candidate targets x: the most popular pending c&s(cs → x) of
+        // my active v-processes (Fig. 6 line 5), falling back to the
+        // edges my own suspended v-processes hold out of cs (needed
+        // when an algorithm has so few v-processes per edge that all
+        // of them got suspended — e.g. CasOnlyElection has exactly one
+        // per edge).
+        let compat = |l: &Label| st.label.starts_with(l) || l.starts_with(&st.label);
+        let mut pop: BTreeMap<Sym, usize> = BTreeMap::new();
+        for (_, state, stat) in &st.vps {
+            if !matches!(stat, VpStat::Active) {
+                continue;
+            }
+            if let Action::Invoke(op) = self.a.next_action(state) {
+                if op.obj == self.cas_obj {
+                    if let OpKind::Cas { expect, new } = &op.kind {
+                        if *expect == Value::Sym(cs) {
+                            *pop.entry(new.as_sym().expect("symbol")).or_default() += 1;
+                        }
+                    }
+                }
+            }
+        }
+        let mut candidates: Vec<Sym> = {
+            let mut v: Vec<(usize, Sym)> = pop.into_iter().map(|(s, c)| (c, s)).collect();
+            v.sort_by(|a, b| b.cmp(a));
+            v.into_iter().map(|(_, s)| s).collect()
+        };
+        for (o, s) in &merged.suspensions {
+            if *o == st.emu && !s.released && s.a == cs && !candidates.contains(&s.b) {
+                candidates.push(s.b);
+            }
+        }
+        // A history transition cs → x must be payable by a suspended
+        // v-process (otherwise the constructed run could never contain
+        // the success that moves the register): keep only backed
+        // candidates.
+        let backing = |x: Sym| {
+            merged
+                .suspensions
+                .iter()
+                .any(|(_, s)| !s.released && s.a == cs && s.b == x && compat(&s.label))
+        };
+        // Lazy just-in-time suspension (demo configurations): if the
+        // preferred target is unbacked but one of my own active
+        // v-processes is pending on exactly that edge, suspend it now —
+        // the paper's eager quota banks suspensions in advance for the
+        // same purpose, at a much higher Φ cost.
+        if self.config.lazy_suspend {
+            if let Some(&x) = candidates.iter().find(|&&x| !backing(x)) {
+                if let Some(i) = (0..st.vps.len()).find(|&i| {
+                    matches!(st.vps[i].2, VpStat::Active)
+                        && match self.a.next_action(&st.vps[i].1) {
+                            Action::Invoke(op) => {
+                                op.obj == self.cas_obj
+                                    && matches!(
+                                        &op.kind,
+                                        OpKind::Cas { expect, new }
+                                            if *expect == Value::Sym(cs)
+                                                && *new == Value::Sym(x)
+                                    )
+                            }
+                            _ => false,
+                        }
+                }) {
+                    let seq = st.susp_seq;
+                    st.susp_seq += 1;
+                    st.vps[i].2 = VpStat::Suspended { seq };
+                    st.records.push(RichRecord::Suspend {
+                        vp: st.vps[i].0,
+                        a: cs,
+                        b: x,
+                        label: st.label.clone(),
+                        hist_pos: h.len() - 1,
+                        seq,
+                    });
+                }
+            }
+        }
+        let my_fresh_suspensions: Vec<(Sym, Sym)> = st
+            .records
+            .iter()
+            .filter_map(|r| match r {
+                RichRecord::Suspend { a, b, .. } => Some((*a, *b)),
+                _ => None,
+            })
+            .collect();
+        let backed =
+            |x: Sym| backing(x) || my_fresh_suspensions.contains(&(cs, x));
+        candidates.retain(|&x| backed(x));
+        let Some(&x) = candidates.first() else {
+            return Ok(false);
+        };
+        let mut suspended = Vec::new();
+        let mut released = Vec::new();
+        for (_, s) in &merged.suspensions {
+            if !compat(&s.label) {
+                continue;
+            }
+            if s.released {
+                released.push((s.a, s.b));
+            } else {
+                suspended.push((s.a, s.b));
+            }
+        }
+        let excess = ExcessGraph::compute(self.k, &suspended, &released, h);
+
+        let tree = merged.tree.tree(&st.label).expect("own label active");
+        let mut parent = tree
+            .rightmost_vertex_of(cs)
+            .expect("cs lies on the rightmost spine");
+        loop {
+            let depth = tree.depth(parent);
+            let threshold = attach_threshold(depth, self.config.threshold_base);
+            let psym = tree.node(parent).sym;
+            // Attaching x under a vertex carrying the same symbol would
+            // need a nonempty self-roundtrip; we conservatively walk
+            // past such ancestors instead.
+            let width = if psym == x {
+                0
+            } else {
+                excess.cycle_width(psym, x).unwrap_or(0).max(0) as u128
+            };
+            if width >= threshold && width > 0 {
+                // Attach x under `parent` with the cycle's two halves.
+                let level = width.min(i64::MAX as u128) as i64;
+                let from_parent = path_interior(&excess, psym, x, level);
+                let to_parent = path_interior(&excess, x, psym, level);
+                let seq = st.node_seq;
+                st.node_seq += 1;
+                let parent_ref = node_ref(tree, parent, st.emu);
+                st.records.push(RichRecord::TreeNode {
+                    label: st.label.clone(),
+                    parent: parent_ref,
+                    sym: x,
+                    from_parent,
+                    to_parent,
+                    seq,
+                });
+                self.fail_actives(st, x);
+                return Ok(true);
+            }
+            match tree.parent(parent) {
+                Some(p) => parent = p,
+                None => {
+                    // At the root: x must be a fresh first value —
+                    // activate the deeper label (group split).
+                    let first_occurrences: Vec<Sym> = {
+                        let mut seen = vec![Sym::BOTTOM];
+                        for &s in h {
+                            if !seen.contains(&s) {
+                                seen.push(s);
+                            }
+                        }
+                        seen
+                    };
+                    if first_occurrences.contains(&x) {
+                        // Reused value without enough excess: stall.
+                        return Ok(false);
+                    }
+                    st.records.push(RichRecord::Activate {
+                        label: {
+                            let mut l = st.label.clone();
+                            l.push(x);
+                            l
+                        },
+                    });
+                    let mut l = st.label.clone();
+                    l.push(x);
+                    st.label = l;
+                    self.fail_actives(st, x);
+                    return Ok(true);
+                }
+            }
+        }
+    }
+
+    /// Figure 6 line 15: fail every active v-process whose pending
+    /// compare&swap now misses the new current value `x`.
+    fn fail_actives(&self, st: &mut RichState<A::State>, x: Sym) {
+        for i in 0..st.vps.len() {
+            if !matches!(st.vps[i].2, VpStat::Active) {
+                continue;
+            }
+            if let Action::Invoke(op) = self.a.next_action(&st.vps[i].1) {
+                if op.obj == self.cas_obj {
+                    if let OpKind::Cas { expect, .. } = &op.kind {
+                        if *expect != Value::Sym(x) {
+                            let resp = Value::Sym(x);
+                            st.records.push(RichRecord::VOp {
+                                vp: st.vps[i].0,
+                                op: op.clone(),
+                                resp: resp.clone(),
+                                label: st.label.clone(),
+                            });
+                            self.a.on_response(&mut st.vps[i].1, resp);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn ensure_active(tree: &mut HistoryTree, label: &Label) {
+    for i in 0..label.len() {
+        let parent: Label = label[..i].to_vec();
+        if tree.tree(&label[..=i].to_vec()).is_none() {
+            tree.activate(&parent, label[i]);
+        }
+    }
+}
+
+/// Shortest path interior (endpoints excluded) from `from` to `to` in
+/// `G_{≥level}`.
+fn path_interior(g: &ExcessGraph, from: Sym, to: Sym, level: i64) -> Vec<Sym> {
+    let k = g.k();
+    let mut prev: Vec<Option<Sym>> = vec![None; k];
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(from);
+    prev[from.code() as usize] = Some(from);
+    while let Some(v) = queue.pop_front() {
+        if v == to {
+            break;
+        }
+        for c in 0..k as u8 {
+            let u = Sym::from_code(c);
+            if g.excess(v, u) >= level && prev[c as usize].is_none() && u != from {
+                prev[c as usize] = Some(v);
+                queue.push_back(u);
+            }
+        }
+    }
+    let mut path = Vec::new();
+    let mut cur = to;
+    while cur != from {
+        let p = prev[cur.code() as usize].expect("path must exist in the cycle");
+        if p != from {
+            path.push(p);
+        }
+        cur = p;
+    }
+    path.reverse();
+    path
+}
+
+/// Resolves a vertex to its published reference.
+fn node_ref(
+    tree: &crate::tree::SmallTree,
+    id: crate::tree::NodeId,
+    _me: usize,
+) -> Option<(usize, u64)> {
+    if id == tree.root() {
+        None
+    } else {
+        let n = tree.node(id);
+        Some((n.owner, n.seq))
+    }
+}
+
+impl<A: Protocol> Protocol for RichEmulation<A> {
+    type State = RichState<A::State>;
+
+    fn processes(&self) -> usize {
+        self.m
+    }
+
+    fn layout(&self) -> Layout {
+        let mut l = Layout::new();
+        l.push(ObjectInit::Snapshot { slots: self.m });
+        l
+    }
+
+    fn init(&self, pid: Pid, _input: &Value) -> RichState<A::State> {
+        let vps = (0..self.a.processes())
+            .filter(|vp| self.owner[*vp] == pid)
+            .map(|vp| (vp, self.a.init(vp, &Value::Pid(vp)), VpStat::Active))
+            .collect();
+        RichState {
+            emu: pid,
+            label: Vec::new(),
+            vps,
+            records: Vec::new(),
+            susp_seq: 0,
+            node_seq: 0,
+            phase: RichPhase::Scan,
+            pending_decision: None,
+            last_stall: None,
+            stalled_view: None,
+        }
+    }
+
+    fn next_action(&self, state: &RichState<A::State>) -> Action {
+        match &state.phase {
+            RichPhase::Scan => Action::Invoke(Op::new(Self::SLOTS, OpKind::SnapshotScan)),
+            RichPhase::Publish => Action::Invoke(Op::new(
+                Self::SLOTS,
+                OpKind::SnapshotUpdate(encode::encode_slot(&state.records)),
+            )),
+            RichPhase::Decide(v) => Action::Decide(v.clone()),
+        }
+    }
+
+    fn on_response(&self, state: &mut RichState<A::State>, resp: Value) {
+        match &state.phase {
+            RichPhase::Scan => {
+                let view_hash = {
+                    use std::hash::{DefaultHasher, Hash, Hasher};
+                    let mut h = DefaultHasher::new();
+                    resp.hash(&mut h);
+                    h.finish()
+                };
+                if state.stalled_view == Some(view_hash) {
+                    // Unchanged world, same stall: spin cheaply.
+                    return;
+                }
+                match self.think(state, &resp) {
+                    Err(decision) => {
+                        state.pending_decision = Some(decision);
+                        state.stalled_view = None;
+                        state.phase = RichPhase::Publish;
+                    }
+                    Ok(true) => {
+                        state.stalled_view = None;
+                        state.phase = RichPhase::Publish;
+                    }
+                    Ok(false) => {
+                        state.stalled_view = Some(view_hash);
+                        state.phase = RichPhase::Scan;
+                    }
+                }
+            }
+            RichPhase::Publish => {
+                state.phase = match state.pending_decision.take() {
+                    Some(v) => RichPhase::Decide(v),
+                    None => RichPhase::Scan,
+                };
+            }
+            RichPhase::Decide(_) => {}
+        }
+    }
+}
+
+/// Outcome of driving a rich emulation to quiescence (or stall).
+#[derive(Clone, Debug)]
+pub struct RichReport {
+    /// The raw simulation result.
+    pub result: bso_sim::RunResult,
+    /// Final published records per emulator.
+    pub slots: Vec<Vec<RichRecord>>,
+    /// Whether the run stalled (step limit before all emulators
+    /// decided) — the paper's "not enough virtual processes" regime.
+    pub stalled: bool,
+    a_layout: Layout,
+    cas_obj: ObjectId,
+    phi: usize,
+}
+
+impl RichReport {
+    /// The distinct labels among all published records.
+    pub fn labels(&self) -> Vec<Label> {
+        let mut out: Vec<Label> = self
+            .slots
+            .iter()
+            .flatten()
+            .filter_map(|r| match r {
+                RichRecord::VOp { label, .. }
+                | RichRecord::Decide { label, .. }
+                | RichRecord::Suspend { label, .. }
+                | RichRecord::TreeNode { label, .. } => Some(label.clone()),
+                RichRecord::Activate { label } => Some(label.clone()),
+                RichRecord::Release { .. } => None,
+            })
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// The maximal labels (no other label extends them).
+    pub fn maximal_labels(&self) -> Vec<Label> {
+        let labels = self.labels();
+        labels
+            .iter()
+            .filter(|l| !labels.iter().any(|o| o.len() > l.len() && o.starts_with(l)))
+            .cloned()
+            .collect()
+    }
+
+    /// Validates every maximal label's constructed run: is there an
+    /// interleaving of the per-v-process operation sequences matching
+    /// `A`'s sequential object specifications (run legality, the
+    /// executable Lemma 1.2 — without real-time constraints, see the
+    /// module docs)?
+    ///
+    /// As in the paper's proof, history transitions whose successful
+    /// compare&swap was never *released* are accounted to suspended
+    /// v-processes: the pending operation of a (suspension-ordered)
+    /// suspended process is **mapped into the run** as its final
+    /// operation — frozen in the emulation, present in the constructed
+    /// run.
+    ///
+    /// # Errors
+    ///
+    /// The first label whose run is not legal (including unbacked
+    /// history transitions).
+    pub fn validate(&self) -> Result<usize, String> {
+        let tree = build_tree(&self.slots);
+        let mut checked = 0;
+        for label in self.maximal_labels() {
+            let compat = |l: &Label| label.starts_with(l.as_slice());
+            let h = tree.compute_history(&label);
+            let mut by_vp: BTreeMap<usize, Vec<(usize, Op, Value)>> = BTreeMap::new();
+            // Successful compare&swaps already present (releases).
+            let mut present: BTreeMap<(Sym, Sym), usize> = BTreeMap::new();
+            for recs in &self.slots {
+                for r in recs {
+                    if let RichRecord::VOp { vp, op, resp, label: l } = r {
+                        if !compat(l) {
+                            continue;
+                        }
+                        if let OpKind::Cas { expect, new } = &op.kind {
+                            if resp == expect {
+                                let a = expect.as_sym().expect("symbol");
+                                let b = new.as_sym().expect("symbol");
+                                *present.entry((a, b)).or_default() += 1;
+                            }
+                        }
+                        by_vp
+                            .entry(*vp)
+                            .or_default()
+                            .push((*vp, op.clone(), resp.clone()));
+                    }
+                }
+            }
+            // Map pending suspended operations onto unmatched
+            // transitions, earliest suspension first.
+            let mut trans: BTreeMap<(Sym, Sym), usize> = BTreeMap::new();
+            for w in h.windows(2) {
+                *trans.entry((w[0], w[1])).or_default() += 1;
+            }
+            let released: Vec<(usize, u64)> = self
+                .slots
+                .iter()
+                .enumerate()
+                .flat_map(|(o, recs)| {
+                    recs.iter().filter_map(move |r| match r {
+                        RichRecord::Release { seq } => Some((o, *seq)),
+                        _ => None,
+                    })
+                })
+                .collect();
+            let mut suspensions: Vec<(usize, usize, Sym, Sym, &Label, usize, u64)> = self
+                .slots
+                .iter()
+                .enumerate()
+                .flat_map(|(o, recs)| {
+                    recs.iter().filter_map(move |r| match r {
+                        RichRecord::Suspend { vp, a, b, label, hist_pos, seq } => {
+                            Some((o, *vp, *a, *b, label, *hist_pos, *seq))
+                        }
+                        _ => None,
+                    })
+                })
+                .collect();
+            suspensions.sort_by_key(|&(o, vp, _, _, _, hist_pos, seq)| (hist_pos, o, vp, seq));
+            let mut used: Vec<(usize, u64)> = Vec::new();
+            for (&(a, b), &t) in &trans {
+                let have = present.get(&(a, b)).copied().unwrap_or(0);
+                if t <= have {
+                    continue;
+                }
+                let mut needed = t - have;
+                for &(o, vp, sa, sb, l, _, seq) in &suspensions {
+                    if needed == 0 {
+                        break;
+                    }
+                    if sa != a
+                        || sb != b
+                        || !compat(l)
+                        || released.contains(&(o, seq))
+                        || used.contains(&(o, seq))
+                    {
+                        continue;
+                    }
+                    // Map the frozen pending success into the run.
+                    used.push((o, seq));
+                    by_vp.entry(vp).or_default().push((
+                        vp,
+                        Op::cas(self.cas_obj, Value::Sym(a), Value::Sym(b)),
+                        Value::Sym(a),
+                    ));
+                    needed -= 1;
+                }
+                if needed > 0 {
+                    return Err(format!(
+                        "label {label:?}: {needed} unbacked transition(s) {a}→{b} — \
+                         the history is not payable by suspended v-processes"
+                    ));
+                }
+            }
+            let ops: Vec<Vec<(usize, Op, Value)>> = by_vp.into_values().collect();
+            checked += ops.iter().map(Vec::len).sum::<usize>();
+            bso_sim::linearizability::check_run_legality(&self.a_layout, &ops)
+                .map_err(|e| format!("label {label:?} (history {h:?}): {e}"))?;
+            let _ = self.phi;
+        }
+        Ok(checked)
+    }
+
+    /// The decisions recorded per maximal label (for election targets:
+    /// these must agree within each label).
+    pub fn decisions_by_label(&self) -> Vec<(Label, Vec<Value>)> {
+        self.maximal_labels()
+            .into_iter()
+            .map(|label| {
+                let vals = self
+                    .slots
+                    .iter()
+                    .flatten()
+                    .filter_map(|r| match r {
+                        RichRecord::Decide { value, label: l, .. }
+                            if label.starts_with(l.as_slice()) =>
+                        {
+                            Some(value.clone())
+                        }
+                        _ => None,
+                    })
+                    .collect();
+                (label, vals)
+            })
+            .collect()
+    }
+}
+
+/// Drives a [`RichEmulation`] under a scheduler; a step-limit hit or a
+/// global no-publish round (every enabled emulator scanning without
+/// progress) is reported as a stall, not an error.
+///
+/// # Errors
+///
+/// Propagates non-stall [`RunError`]s (illegal operations).
+pub fn run_rich<A: Protocol>(
+    emu: &RichEmulation<A>,
+    sched: &mut dyn Scheduler,
+    max_steps: usize,
+) -> Result<RichReport, RunError> {
+    let inputs: Vec<Value> = (0..emu.processes()).map(Value::Pid).collect();
+    let mut sim = Simulation::new(emu, &inputs);
+    assert!(sim.memory().is_read_write_only());
+    // Manual drive with stall detection: if 4·m consecutive steps pass
+    // without any publish or decision, every emulator has re-scanned an
+    // unchanged world — nothing will ever change again.
+    let mut taken = 0usize;
+    let mut quiet = 0usize;
+    let mut stalled = false;
+    loop {
+        let enabled = sim.enabled();
+        if enabled.is_empty() {
+            break;
+        }
+        if taken >= max_steps || quiet > 4 * emu.processes() + 4 {
+            stalled = true;
+            break;
+        }
+        let pid = sched.pick(&enabled);
+        let progressed = match sim.step(pid)? {
+            bso_sim::EventKind::Applied { op, .. } => {
+                matches!(op.kind, OpKind::SnapshotUpdate(_))
+            }
+            bso_sim::EventKind::Decided(_) | bso_sim::EventKind::Crashed => true,
+        };
+        taken += 1;
+        if progressed {
+            quiet = 0;
+        } else {
+            quiet += 1;
+        }
+    }
+    let result = sim.result();
+    let slots = {
+        let mut slots = vec![Vec::new(); emu.processes()];
+        for e in result.trace.events() {
+            if let bso_sim::EventKind::Applied { op, .. } = &e.kind {
+                if let OpKind::SnapshotUpdate(v) = &op.kind {
+                    slots[e.pid] = decode_slot(v);
+                }
+            }
+        }
+        slots
+    };
+    Ok(RichReport {
+        result,
+        slots,
+        stalled,
+        a_layout: emu.algorithm().layout(),
+        cas_obj: emu.cas_obj,
+        phi: emu.algorithm().processes(),
+    })
+}
+
+/// Rebuilds the merged history tree from published records (used by
+/// the validator and available for inspection).
+pub fn build_tree(slots: &[Vec<RichRecord>]) -> HistoryTree {
+    let mut tree = HistoryTree::new();
+    for recs in slots {
+        for r in recs {
+            if let RichRecord::Activate { label } = r {
+                let parent: Label = label[..label.len() - 1].to_vec();
+                ensure_active(&mut tree, &parent);
+                tree.activate(&parent, *label.last().expect("nonempty label"));
+            }
+        }
+    }
+    let mut ids: BTreeMap<(Vec<Sym>, usize, u64), crate::tree::NodeId> = BTreeMap::new();
+    let mut pending: Vec<(usize, &RichRecord)> = slots
+        .iter()
+        .enumerate()
+        .flat_map(|(o, recs)| {
+            recs.iter()
+                .filter(|r| matches!(r, RichRecord::TreeNode { .. }))
+                .map(move |r| (o, r))
+        })
+        .collect();
+    pending.sort_by_key(|(o, r)| match r {
+        RichRecord::TreeNode { seq, .. } => (*o, *seq),
+        _ => unreachable!(),
+    });
+    let mut progress = true;
+    while progress && !pending.is_empty() {
+        progress = false;
+        pending.retain(|(o, r)| {
+            let RichRecord::TreeNode { label, parent, sym, from_parent, to_parent, seq } = r
+            else {
+                unreachable!()
+            };
+            ensure_active(&mut tree, label);
+            let parent_id = match parent {
+                None => Some(tree.tree(label).expect("active").root()),
+                Some((po, ps)) => ids.get(&(label.clone(), *po, *ps)).copied(),
+            };
+            match parent_id {
+                None => true,
+                Some(pid) => {
+                    let t = tree.tree_mut(label).expect("active");
+                    let id =
+                        t.attach(pid, *sym, from_parent.clone(), to_parent.clone(), *o, *seq);
+                    ids.insert((label.clone(), *o, *seq), id);
+                    progress = true;
+                    false
+                }
+            }
+        });
+    }
+    assert!(pending.is_empty(), "orphaned tree vertices in published records");
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pingpong::PingPong;
+
+    fn s(i: u8) -> Sym {
+        Sym::new(i)
+    }
+
+    #[test]
+    fn config_constructors() {
+        let p = RichConfig::paper(3, 4);
+        assert_eq!(p.suspend_quota, 48);
+        assert_eq!(p.release_margin, 3);
+        assert_eq!(p.threshold_base, 3);
+        assert!(p.require_replacement && !p.lazy_suspend);
+        let d = RichConfig::demo();
+        assert!(d.lazy_suspend && !d.require_replacement);
+        assert_eq!(d.release_margin, 0);
+    }
+
+    #[test]
+    fn path_interior_follows_excess_edges() {
+        // ⊥ → 0 → 1 with plenty of excess everywhere.
+        let mut susp = vec![(Sym::BOTTOM, s(0)); 3];
+        susp.extend(vec![(s(0), s(1)); 3]);
+        susp.extend(vec![(s(1), Sym::BOTTOM); 3]);
+        let g = ExcessGraph::compute(3, &susp, &[], &[Sym::BOTTOM]);
+        // Path ⊥ → 1 must go through 0 at level 2.
+        assert_eq!(path_interior(&g, Sym::BOTTOM, s(1), 2), vec![s(0)]);
+        // Direct edge 0 → 1: empty interior.
+        assert_eq!(path_interior(&g, s(0), s(1), 2), Vec::<Sym>::new());
+    }
+
+    #[test]
+    fn build_tree_resolves_cross_emulator_parents() {
+        let root_label: Label = Vec::new();
+        let slots = vec![
+            vec![RichRecord::TreeNode {
+                label: root_label.clone(),
+                parent: None,
+                sym: s(0),
+                from_parent: vec![],
+                to_parent: vec![],
+                seq: 0,
+            }],
+            vec![RichRecord::TreeNode {
+                label: root_label.clone(),
+                parent: Some((0, 0)), // child of emulator 0's vertex
+                sym: s(1),
+                from_parent: vec![],
+                to_parent: vec![],
+                seq: 0,
+            }],
+        ];
+        let tree = build_tree(&slots);
+        assert_eq!(
+            tree.compute_history(&root_label),
+            vec![Sym::BOTTOM, s(0), s(1)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "orphaned tree vertices")]
+    fn build_tree_rejects_orphans() {
+        let slots = vec![vec![RichRecord::TreeNode {
+            label: Vec::new(),
+            parent: Some((7, 9)), // never published
+            sym: s(0),
+            from_parent: vec![],
+            to_parent: vec![],
+            seq: 0,
+        }]];
+        let _ = build_tree(&slots);
+    }
+
+    #[test]
+    fn rejects_more_emulators_than_vps() {
+        let a = PingPong::new(2, 3, 1);
+        let result = std::panic::catch_unwind(|| {
+            RichEmulation::new(a, 3, RichConfig::demo())
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn report_label_accessors() {
+        use bso_sim::scheduler::RandomSched;
+        let a = PingPong::new(4, 3, 1);
+        let emu = RichEmulation::new(a, 2, RichConfig::demo());
+        let report = run_rich(&emu, &mut RandomSched::new(5), 100_000).unwrap();
+        let labels = report.labels();
+        let maximal = report.maximal_labels();
+        assert!(!maximal.is_empty());
+        for m in &maximal {
+            assert!(labels.contains(m));
+            assert!(!labels.iter().any(|l| l.len() > m.len() && l.starts_with(m)));
+        }
+    }
+}

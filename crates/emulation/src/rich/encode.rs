@@ -1,0 +1,211 @@
+//! Value encoding of [`RichRecord`]s for publication in the shared
+//! snapshot slots.
+
+use bso_objects::{ObjectId, Op, OpKind, Sym, Value};
+
+use super::RichRecord;
+use crate::tree::Label;
+
+fn enc_label(l: &Label) -> Value {
+    Value::Seq(l.iter().map(|&s| Value::Sym(s)).collect())
+}
+
+fn dec_label(v: &Value) -> Label {
+    v.as_seq()
+        .expect("label encoding")
+        .iter()
+        .map(|x| x.as_sym().expect("label symbol"))
+        .collect()
+}
+
+fn enc_syms(p: &[Sym]) -> Value {
+    Value::Seq(p.iter().map(|&s| Value::Sym(s)).collect())
+}
+
+fn dec_syms(v: &Value) -> Vec<Sym> {
+    v.as_seq()
+        .expect("path encoding")
+        .iter()
+        .map(|x| x.as_sym().expect("path symbol"))
+        .collect()
+}
+
+fn enc_op(op: &Op) -> Value {
+    let obj = Value::Int(op.obj.0 as i64);
+    match &op.kind {
+        OpKind::Read => Value::Seq(vec![obj, Value::Int(0)]),
+        OpKind::Write(v) => Value::Seq(vec![obj, Value::Int(1), v.clone()]),
+        OpKind::Cas { expect, new } => {
+            Value::Seq(vec![obj, Value::Int(2), expect.clone(), new.clone()])
+        }
+        OpKind::SnapshotScan => Value::Seq(vec![obj, Value::Int(3)]),
+        OpKind::SnapshotUpdate(v) => Value::Seq(vec![obj, Value::Int(4), v.clone()]),
+        other => panic!("operation {other} is not emulatable"),
+    }
+}
+
+fn dec_op(v: &Value) -> Op {
+    let parts = v.as_seq().expect("op encoding");
+    let obj = ObjectId(parts[0].as_int().expect("obj") as usize);
+    let kind = match parts[1].as_int().expect("tag") {
+        0 => OpKind::Read,
+        1 => OpKind::Write(parts[2].clone()),
+        2 => OpKind::Cas { expect: parts[2].clone(), new: parts[3].clone() },
+        3 => OpKind::SnapshotScan,
+        4 => OpKind::SnapshotUpdate(parts[2].clone()),
+        t => panic!("unknown op tag {t}"),
+    };
+    Op::new(obj, kind)
+}
+
+/// Encodes a record list as one slot value.
+pub fn encode_slot(records: &[RichRecord]) -> Value {
+    Value::Seq(records.iter().map(encode_record).collect())
+}
+
+fn encode_record(r: &RichRecord) -> Value {
+    match r {
+        RichRecord::TreeNode { label, parent, sym, from_parent, to_parent, seq } => {
+            let parent = match parent {
+                None => Value::Nil,
+                Some((o, s)) => Value::pair(Value::Pid(*o), Value::Int(*s as i64)),
+            };
+            Value::Seq(vec![
+                Value::Int(0),
+                enc_label(label),
+                parent,
+                Value::Sym(*sym),
+                enc_syms(from_parent),
+                enc_syms(to_parent),
+                Value::Int(*seq as i64),
+            ])
+        }
+        RichRecord::Activate { label } => Value::Seq(vec![Value::Int(1), enc_label(label)]),
+        RichRecord::Suspend { vp, a, b, label, hist_pos, seq } => Value::Seq(vec![
+            Value::Int(2),
+            Value::Pid(*vp),
+            Value::Sym(*a),
+            Value::Sym(*b),
+            enc_label(label),
+            Value::Int(*hist_pos as i64),
+            Value::Int(*seq as i64),
+        ]),
+        RichRecord::Release { seq } => {
+            Value::Seq(vec![Value::Int(3), Value::Int(*seq as i64)])
+        }
+        RichRecord::VOp { vp, op, resp, label } => Value::Seq(vec![
+            Value::Int(4),
+            Value::Pid(*vp),
+            enc_op(op),
+            resp.clone(),
+            enc_label(label),
+        ]),
+        RichRecord::Decide { vp, value, label } => Value::Seq(vec![
+            Value::Int(5),
+            Value::Pid(*vp),
+            value.clone(),
+            enc_label(label),
+        ]),
+    }
+}
+
+/// Decodes one published slot.
+///
+/// # Panics
+///
+/// Panics on malformed encodings (emulator corruption).
+pub fn decode_slot(v: &Value) -> Vec<RichRecord> {
+    match v.as_seq() {
+        None => Vec::new(),
+        Some(items) => items.iter().map(decode_record).collect(),
+    }
+}
+
+fn decode_record(v: &Value) -> RichRecord {
+    let parts = v.as_seq().expect("record encoding");
+    match parts[0].as_int().expect("record tag") {
+        0 => RichRecord::TreeNode {
+            label: dec_label(&parts[1]),
+            parent: match &parts[2] {
+                Value::Nil => None,
+                p => {
+                    let (o, s) = p.as_pair().expect("parent ref");
+                    Some((o.as_pid().expect("owner"), s.as_int().expect("seq") as u64))
+                }
+            },
+            sym: parts[3].as_sym().expect("sym"),
+            from_parent: dec_syms(&parts[4]),
+            to_parent: dec_syms(&parts[5]),
+            seq: parts[6].as_int().expect("seq") as u64,
+        },
+        1 => RichRecord::Activate { label: dec_label(&parts[1]) },
+        2 => RichRecord::Suspend {
+            vp: parts[1].as_pid().expect("vp"),
+            a: parts[2].as_sym().expect("a"),
+            b: parts[3].as_sym().expect("b"),
+            label: dec_label(&parts[4]),
+            hist_pos: parts[5].as_int().expect("hist_pos") as usize,
+            seq: parts[6].as_int().expect("seq") as u64,
+        },
+        3 => RichRecord::Release { seq: parts[1].as_int().expect("seq") as u64 },
+        4 => RichRecord::VOp {
+            vp: parts[1].as_pid().expect("vp"),
+            op: dec_op(&parts[2]),
+            resp: parts[3].clone(),
+            label: dec_label(&parts[4]),
+        },
+        5 => RichRecord::Decide {
+            vp: parts[1].as_pid().expect("vp"),
+            value: parts[2].clone(),
+            label: dec_label(&parts[3]),
+        },
+        t => panic!("unknown record tag {t}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_roundtrip() {
+        let records = vec![
+            RichRecord::TreeNode {
+                label: vec![Sym::new(0)],
+                parent: Some((2, 7)),
+                sym: Sym::new(1),
+                from_parent: vec![Sym::new(0)],
+                to_parent: vec![],
+                seq: 3,
+            },
+            RichRecord::TreeNode {
+                label: vec![],
+                parent: None,
+                sym: Sym::new(0),
+                from_parent: vec![],
+                to_parent: vec![Sym::BOTTOM],
+                seq: 0,
+            },
+            RichRecord::Activate { label: vec![Sym::new(1)] },
+            RichRecord::Suspend {
+                vp: 4,
+                a: Sym::BOTTOM,
+                b: Sym::new(1),
+                label: vec![],
+                hist_pos: 2,
+                seq: 9,
+            },
+            RichRecord::Release { seq: 9 },
+            RichRecord::VOp {
+                vp: 1,
+                op: Op::cas(ObjectId(0), Sym::BOTTOM.into(), Sym::new(0).into()),
+                resp: Value::Sym(Sym::BOTTOM),
+                label: vec![Sym::new(0)],
+            },
+            RichRecord::Decide { vp: 2, value: Value::Pid(2), label: vec![] },
+        ];
+        let decoded = decode_slot(&encode_slot(&records));
+        assert_eq!(decoded, records);
+        assert!(decode_slot(&Value::Nil).is_empty());
+    }
+}

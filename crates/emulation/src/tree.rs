@@ -1,0 +1,480 @@
+//! The history tree `T` of small trees `t` (the paper's Figure 1) and
+//! the `ComputeHistory` traversal (Figure 4).
+//!
+//! The emulation's constructed compare&swap history is not stored as a
+//! flat sequence — emulators in the same group must be able to update
+//! it *concurrently* and still derive one common history. The paper's
+//! device:
+//!
+//! * `T` is a tree of **labels**: the root is the label `⊥`; a node at
+//!   depth `i` has `k − i` children, one per unused symbol, so each
+//!   leaf is one of the `(k−1)!` permutations of Σ∖{⊥}. Emulator
+//!   groups split by moving to different children when they install
+//!   *different first-occurrence values*.
+//! * Each label node holds a **small tree** `t`, whose vertices each
+//!   carry one symbol plus two connecting paths, `FromParent` and
+//!   `ToParent` — the sequences of values the register passes through
+//!   when moving from the parent's symbol to this node's and back.
+//!   Because up to `m` emulators may attach children to the same
+//!   vertex concurrently, each attachment is a separately-owned record
+//!   (the paper's *m-tuple record*); all non-empty parts are siblings,
+//!   ordered deterministically.
+//! * The **history** of a label λ is the concatenation of the
+//!   depth-first traversals of all small trees on the path from `t_⊥`
+//!   to `t_λ`, the last one truncated at its rightmost leaf
+//!   (Figure 4): entering a vertex `w` from its parent emits
+//!   `w.FromParent ‖ w.c`; returning to `w` from a child emits `w.c`;
+//!   leaving `w` to its parent emits `w.ToParent`.
+//!
+//! The decisive property (exercised in the tests): **already-derived
+//! histories are stable** — attaching new vertices only *appends* to
+//! the history derived for the rightmost path, it never rewrites the
+//! prefix other emulators have already acted on, provided attachments
+//! go to the rightmost spine (which is what `UpdateC&S` does: it
+//! attaches under the current value's vertex or its ancestors).
+
+use std::collections::BTreeMap;
+
+use bso_objects::Sym;
+
+/// A label: the sequence of first-occurrence values (⊥ implicit).
+pub type Label = Vec<Sym>;
+
+/// Identifier of a vertex within one small tree.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub usize);
+
+/// One vertex of a small tree.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TreeNode {
+    /// The symbol this vertex contributes to the history.
+    pub sym: Sym,
+    /// The register's value sequence from the parent's symbol to
+    /// `sym` (exclusive on both ends).
+    pub from_parent: Vec<Sym>,
+    /// The value sequence from `sym` back to the parent's symbol
+    /// (exclusive on both ends).
+    pub to_parent: Vec<Sym>,
+    /// The emulator that attached this vertex (the m-tuple record
+    /// slot).
+    pub owner: usize,
+    /// The owner's attachment counter; `(owner, seq)` orders sibling
+    /// records deterministically.
+    pub seq: u64,
+    parent: Option<NodeId>,
+}
+
+/// One small tree `t`: the history fragment of a label.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SmallTree {
+    nodes: Vec<TreeNode>,
+}
+
+impl SmallTree {
+    /// A small tree whose root carries `root_sym` (⊥ for `t_⊥`, the
+    /// new first value for a deeper label).
+    pub fn new(root_sym: Sym) -> SmallTree {
+        SmallTree {
+            nodes: vec![TreeNode {
+                sym: root_sym,
+                from_parent: Vec::new(),
+                to_parent: Vec::new(),
+                owner: usize::MAX,
+                seq: 0,
+                parent: None,
+            }],
+        }
+    }
+
+    /// The root vertex.
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// The vertex data.
+    pub fn node(&self, id: NodeId) -> &TreeNode {
+        &self.nodes[id.0]
+    }
+
+    /// The number of vertices.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree has only its root.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// The parent of a vertex (`None` for the root).
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.nodes[id.0].parent
+    }
+
+    /// The depth of a vertex (root = 0).
+    pub fn depth(&self, id: NodeId) -> usize {
+        let mut d = 0;
+        let mut cur = id;
+        while let Some(p) = self.parent(cur) {
+            d += 1;
+            cur = p;
+        }
+        d
+    }
+
+    /// The ancestors of a vertex, starting with the vertex itself and
+    /// ending at the root — the chain `UpdateC&S` walks (Figure 6,
+    /// lines 5–14).
+    pub fn ancestors(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = vec![id];
+        let mut cur = id;
+        while let Some(p) = self.parent(cur) {
+            out.push(p);
+            cur = p;
+        }
+        out
+    }
+
+    /// Attaches a new vertex under `parent`. `(owner, seq)` must be
+    /// unique per owner; siblings are ordered by `(owner, seq)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` does not exist.
+    pub fn attach(
+        &mut self,
+        parent: NodeId,
+        sym: Sym,
+        from_parent: Vec<Sym>,
+        to_parent: Vec<Sym>,
+        owner: usize,
+        seq: u64,
+    ) -> NodeId {
+        assert!(parent.0 < self.nodes.len(), "no such parent vertex");
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(TreeNode {
+            sym,
+            from_parent,
+            to_parent,
+            owner,
+            seq,
+            parent: Some(parent),
+        });
+        id
+    }
+
+    /// The children of `id`, in deterministic sibling order
+    /// `(owner, seq)` — the merged m-tuple record.
+    pub fn children(&self, id: NodeId) -> Vec<NodeId> {
+        let mut kids: Vec<NodeId> = (0..self.nodes.len())
+            .map(NodeId)
+            .filter(|c| self.nodes[c.0].parent == Some(id))
+            .collect();
+        kids.sort_by_key(|c| (self.nodes[c.0].owner, self.nodes[c.0].seq));
+        kids
+    }
+
+    /// The rightmost leaf — the end of the derived history (Figure 4,
+    /// line 9).
+    pub fn rightmost_leaf(&self) -> NodeId {
+        let mut cur = self.root();
+        loop {
+            match self.children(cur).last() {
+                Some(&c) => cur = c,
+                None => return cur,
+            }
+        }
+    }
+
+    /// The vertex holding symbol `s` on the rightmost spine (where
+    /// `UpdateC&S` starts its ancestor walk), if present.
+    pub fn rightmost_vertex_of(&self, s: Sym) -> Option<NodeId> {
+        let mut cur = self.rightmost_leaf();
+        loop {
+            if self.nodes[cur.0].sym == s {
+                return Some(cur);
+            }
+            match self.parent(cur) {
+                Some(p) => cur = p,
+                None => return None,
+            }
+        }
+    }
+
+    /// The Figure 4 depth-first history of this tree: the full
+    /// traversal, or — with `truncate_at_rightmost` — only up to and
+    /// including the *entry* of the rightmost leaf.
+    pub fn history(&self, truncate_at_rightmost: bool) -> Vec<Sym> {
+        let mut h = Vec::new();
+        let stop = if truncate_at_rightmost { Some(self.rightmost_leaf()) } else { None };
+        self.dfs(self.root(), &mut h, stop);
+        h
+    }
+
+    /// Emits the DFS of the subtree at `id`; returns `true` when the
+    /// stop vertex was reached (emission must cease).
+    fn dfs(&self, id: NodeId, h: &mut Vec<Sym>, stop: Option<NodeId>) -> bool {
+        // Entering `id` from its parent.
+        h.extend(self.nodes[id.0].from_parent.iter().copied());
+        h.push(self.nodes[id.0].sym);
+        if stop == Some(id) {
+            return true;
+        }
+        for c in self.children(id) {
+            if self.dfs(c, h, stop) {
+                return true;
+            }
+            // Returning to `id` from the child `c`: the child's
+            // ToParent plays first (the register travels back), then
+            // `id`'s symbol is current again.
+            h.extend(self.nodes[c.0].to_parent.iter().copied());
+            h.push(self.nodes[id.0].sym);
+        }
+        false
+    }
+}
+
+/// The tree of trees `T`: one [`SmallTree`] per *activated* label.
+#[derive(Clone, Debug, Default)]
+pub struct HistoryTree {
+    trees: BTreeMap<Label, SmallTree>,
+}
+
+impl HistoryTree {
+    /// A history tree with only `t_⊥` activated.
+    pub fn new() -> HistoryTree {
+        let mut trees = BTreeMap::new();
+        trees.insert(Vec::new(), SmallTree::new(Sym::BOTTOM));
+        HistoryTree { trees }
+    }
+
+    /// The small tree of `label`, if activated.
+    pub fn tree(&self, label: &Label) -> Option<&SmallTree> {
+        self.trees.get(label)
+    }
+
+    /// Mutable access to the small tree of `label`.
+    pub fn tree_mut(&mut self, label: &Label) -> Option<&mut SmallTree> {
+        self.trees.get_mut(label)
+    }
+
+    /// Activates the label `parent ‖ sym` (Figure 6, line 12): a group
+    /// split on the new first value `sym`. Idempotent, as in the paper
+    /// ("if, between the read and the update, another emulator marked
+    /// the new node as active then no mapping is needed").
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parent label is not activated, or `sym` already
+    /// occurs in the label (labels are permutation prefixes).
+    pub fn activate(&mut self, parent: &Label, sym: Sym) -> Label {
+        assert!(self.trees.contains_key(parent), "parent label not active");
+        assert!(
+            !sym.is_bottom() && !parent.contains(&sym),
+            "label symbols must be fresh non-⊥ values"
+        );
+        let mut label = parent.clone();
+        label.push(sym);
+        self.trees.entry(label.clone()).or_insert_with(|| SmallTree::new(sym));
+        label
+    }
+
+    /// The activated labels, in order.
+    pub fn labels(&self) -> Vec<Label> {
+        self.trees.keys().cloned().collect()
+    }
+
+    /// The deepest activated label extending `label` (following the
+    /// lexicographically smallest child chain — the emulator's label
+    /// extension rule in `ComputeHistory`, Figure 4 line 1, made
+    /// deterministic).
+    pub fn extend_to_leaf(&self, label: &Label) -> Label {
+        let mut cur = label.clone();
+        'outer: loop {
+            for (cand, _) in self.trees.range(cur.clone()..) {
+                if cand.len() == cur.len() + 1 && cand.starts_with(&cur) {
+                    cur = cand.clone();
+                    continue 'outer;
+                }
+                if !cand.starts_with(&cur) {
+                    break;
+                }
+            }
+            return cur;
+        }
+    }
+
+    /// `ComputeHistory` (Figure 4): the history of the run labelled
+    /// `label` — the concatenated DFS traversals of all small trees on
+    /// the path from the root label to `t_label`, the last truncated
+    /// at its rightmost leaf.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some prefix of `label` is not activated.
+    pub fn compute_history(&self, label: &Label) -> Vec<Sym> {
+        let mut h = Vec::new();
+        for i in 0..=label.len() {
+            let prefix: Label = label[..i].to_vec();
+            let t = self
+                .trees
+                .get(&prefix)
+                .unwrap_or_else(|| panic!("label prefix {prefix:?} not active"));
+            let last = i == label.len();
+            h.extend(t.history(last));
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: u8) -> Sym {
+        Sym::new(i)
+    }
+
+    #[test]
+    fn single_vertex_history_is_bottom() {
+        let t = HistoryTree::new();
+        assert_eq!(t.compute_history(&Vec::new()), vec![Sym::BOTTOM]);
+    }
+
+    #[test]
+    fn attach_and_derive_plain_chain() {
+        // ⊥ with child 0, grandchild 1, no connecting paths: history
+        // ⊥ 0 1 (truncated at rightmost leaf 1).
+        let mut t = HistoryTree::new();
+        let root_label = Vec::new();
+        let tree = t.tree_mut(&root_label).unwrap();
+        let a = tree.attach(tree.root(), s(0), vec![], vec![], 0, 0);
+        tree.attach(a, s(1), vec![], vec![], 0, 1);
+        assert_eq!(t.compute_history(&root_label), vec![Sym::BOTTOM, s(0), s(1)]);
+    }
+
+    #[test]
+    fn siblings_merge_in_owner_seq_order_and_revisit_parent() {
+        // Two emulators attach children of ⊥ concurrently: the m-tuple
+        // record orders them; the DFS revisits ⊥ between them (the
+        // register returns to ⊥ via the first child's ToParent path).
+        let mut t = HistoryTree::new();
+        let root_label = Vec::new();
+        let tree = t.tree_mut(&root_label).unwrap();
+        let root = tree.root();
+        // Emulator 2 attaches symbol 1; emulator 0 attaches symbol 0.
+        tree.attach(root, s(1), vec![], vec![s(2)], 2, 0);
+        tree.attach(root, s(0), vec![], vec![], 0, 0);
+        // Sibling order: (owner 0) then (owner 2). Full history:
+        // ⊥ 0 ⊥ 1 — truncated at the rightmost leaf (owner 2's vertex).
+        assert_eq!(t.compute_history(&root_label), vec![Sym::BOTTOM, s(0), Sym::BOTTOM, s(1)]);
+    }
+
+    #[test]
+    fn from_parent_and_to_parent_paths_are_emitted() {
+        // The paper's ":::abac" shape: moving from a to c via the
+        // suspended-process path through a, and back.
+        let mut t = HistoryTree::new();
+        let root_label = Vec::new();
+        let tree = t.tree_mut(&root_label).unwrap();
+        let root = tree.root();
+        let a = tree.attach(root, s(0), vec![], vec![], 0, 0);
+        // Child of a carrying c=2, reached via the path "1 0" (the
+        // register went a→1→0→2), returning via "0".
+        let c = tree.attach(a, s(2), vec![s(1), s(0)], vec![s(0)], 1, 0);
+        tree.attach(c, s(1), vec![], vec![], 1, 1);
+        let full = tree.history(false);
+        assert_eq!(
+            full,
+            vec![Sym::BOTTOM, s(0), s(1), s(0), s(2), s(1), s(2), s(0), s(0), Sym::BOTTOM],
+        );
+        // Truncated at the rightmost leaf (the vertex with symbol 1).
+        assert_eq!(
+            t.compute_history(&root_label),
+            vec![Sym::BOTTOM, s(0), s(1), s(0), s(2), s(1)],
+        );
+    }
+
+    #[test]
+    fn histories_are_stable_under_rightmost_extension() {
+        // Attaching to the rightmost spine only appends: the derived
+        // history of earlier readers stays a prefix.
+        let mut t = HistoryTree::new();
+        let root_label = Vec::new();
+        let tree = t.tree_mut(&root_label).unwrap();
+        let root = tree.root();
+        let a = tree.attach(root, s(0), vec![], vec![], 0, 0);
+        let h1 = t.compute_history(&root_label);
+        let tree = t.tree_mut(&root_label).unwrap();
+        tree.attach(a, s(1), vec![], vec![], 1, 0);
+        let h2 = t.compute_history(&root_label);
+        assert!(h2.starts_with(&h1), "{h1:?} not a prefix of {h2:?}");
+        // And once more, attaching to the new rightmost leaf.
+        let tree = t.tree_mut(&root_label).unwrap();
+        let leaf = tree.rightmost_leaf();
+        tree.attach(leaf, s(2), vec![], vec![], 0, 1);
+        let h3 = t.compute_history(&root_label);
+        assert!(h3.starts_with(&h2));
+    }
+
+    #[test]
+    fn label_activation_and_multi_tree_history() {
+        let mut t = HistoryTree::new();
+        let root_label: Label = Vec::new();
+        {
+            let tree = t.tree_mut(&root_label).unwrap();
+            let root = tree.root();
+            tree.attach(root, s(0), vec![], vec![], 0, 0);
+        }
+        // Group splits on first value 0: label [0] activates; its tree
+        // grows its own vertices.
+        let l0 = t.activate(&root_label, s(0));
+        {
+            let tree = t.tree_mut(&l0).unwrap();
+            let root = tree.root();
+            tree.attach(root, s(1), vec![], vec![], 1, 0);
+        }
+        // History of label [0]: full DFS of t_⊥ (⊥ 0 ⊥), then t_[0]
+        // truncated (0 1).
+        assert_eq!(
+            t.compute_history(&l0),
+            vec![Sym::BOTTOM, s(0), Sym::BOTTOM, s(0), s(1)],
+        );
+        // Activation is idempotent.
+        let l0b = t.activate(&root_label, s(0));
+        assert_eq!(l0, l0b);
+        assert_eq!(t.labels().len(), 2);
+    }
+
+    #[test]
+    fn extend_to_leaf_follows_smallest_chain() {
+        let mut t = HistoryTree::new();
+        let root: Label = Vec::new();
+        let l1 = t.activate(&root, s(1));
+        let l0 = t.activate(&root, s(0));
+        let l01 = t.activate(&l0, s(1));
+        assert_eq!(t.extend_to_leaf(&root), l01, "smallest chain 0 then 1");
+        assert_eq!(t.extend_to_leaf(&l1), l1, "already a leaf");
+    }
+
+    #[test]
+    fn ancestor_walk_matches_figure_6() {
+        let mut tree = SmallTree::new(Sym::BOTTOM);
+        let root = tree.root();
+        let a = tree.attach(root, s(0), vec![], vec![], 0, 0);
+        let b = tree.attach(a, s(1), vec![], vec![], 0, 1);
+        assert_eq!(tree.ancestors(b), vec![b, a, root]);
+        assert_eq!(tree.depth(b), 2);
+        assert_eq!(tree.rightmost_vertex_of(s(0)), Some(a));
+        assert_eq!(tree.rightmost_vertex_of(s(7)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "fresh non-⊥")]
+    fn activation_rejects_repeated_symbols() {
+        let mut t = HistoryTree::new();
+        let root: Label = Vec::new();
+        let l0 = t.activate(&root, s(0));
+        let _ = t.activate(&l0, s(0));
+    }
+}

@@ -1,0 +1,250 @@
+//! Run validation — the executable content of the paper's Lemma 1.2.
+//!
+//! Lemma 1.2 states that for every maximal label λ, the projection
+//! `R|λ` of the emulation onto the virtual operations with compatible
+//! labels *is a legal run of `A`*. Here "legal" is checked
+//! mechanically:
+//!
+//! 1. Every emulated virtual operation is assigned a **real-time
+//!    interval**: from the emulator's snapshot scan that informed it
+//!    to the snapshot update that published it. (An operation's
+//!    linearization point must be choosable inside this window.)
+//! 2. For every **maximal branch** (no published branch extends it),
+//!    the operations with compatible (prefix) branch tags are fed to
+//!    the Wing–Gong linearizability checker against `A`'s *own*
+//!    object specifications — compare&swap register included. A
+//!    successful check exhibits a total order in which every response
+//!    (including every claimed successful compare&swap) is exactly
+//!    what real objects would have returned: a legal run.
+//! 3. Decisions within a branch must agree and name a participating
+//!    virtual process (the leader-election specification of §2).
+//!
+//! A validation failure is an emulation bug, never accepted silently.
+
+use std::fmt;
+
+use bso_objects::{Layout, OpKind, Value};
+use bso_sim::linearizability::{check_history, NotLinearizable};
+use bso_sim::record::RecordedOp;
+use bso_sim::{EventKind, RunResult};
+
+use crate::{Branch, Record};
+
+/// Why a constructed run failed validation.
+#[derive(Debug)]
+pub enum ValidationError {
+    /// A branch's operation history has no linearization.
+    NotLegal {
+        /// The offending branch.
+        branch: Branch,
+        /// The checker's complaint.
+        source: NotLinearizable,
+    },
+    /// Two decisions within one branch disagree.
+    Disagreement {
+        /// The offending branch.
+        branch: Branch,
+        /// The two decisions.
+        values: (Value, Value),
+    },
+    /// A decision names a virtual process that never acted in the
+    /// branch.
+    InvalidDecision {
+        /// The offending branch.
+        branch: Branch,
+        /// The decision.
+        value: Value,
+    },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::NotLegal { branch, source } => {
+                write!(f, "branch {branch:?} is not a legal run: {source}")
+            }
+            ValidationError::Disagreement { branch, values } => write!(
+                f,
+                "branch {branch:?} decided both {} and {}",
+                values.0, values.1
+            ),
+            ValidationError::InvalidDecision { branch, value } => {
+                write!(f, "branch {branch:?} decided non-participant {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Statistics of a successful validation.
+#[derive(Clone, Debug)]
+pub struct ValidationSummary {
+    /// Number of maximal branches validated.
+    pub branches: usize,
+    /// Total virtual operations fed to the linearizability checker.
+    pub ops_checked: usize,
+    /// Total decisions checked.
+    pub decisions_checked: usize,
+}
+
+/// Extracts each emulator's final published slot from the run trace.
+pub fn final_slots(m: usize, result: &RunResult) -> Vec<Vec<Record>> {
+    let mut slots = vec![Vec::new(); m];
+    for e in result.trace.events() {
+        if let EventKind::Applied { op, .. } = &e.kind {
+            if let OpKind::SnapshotUpdate(v) = &op.kind {
+                slots[e.pid] = Record::decode_slot(v);
+            }
+        }
+    }
+    slots
+}
+
+/// One emulated virtual operation with its real-time interval.
+struct TimedRecord {
+    record: Record,
+    invoked_at: u64,
+    responded_at: u64,
+}
+
+/// Assigns intervals to every published record by walking the trace:
+/// record `i` of emulator `j` was published by `j`'s update carrying
+/// `> i` records; its informing scan is the scan preceding that update.
+fn timed_records(result: &RunResult, slots: &[Vec<Record>]) -> Vec<TimedRecord> {
+    let mut out = Vec::new();
+    let mut published = vec![0usize; slots.len()];
+    let mut last_scan = vec![0u64; slots.len()];
+    for e in result.trace.events() {
+        if let EventKind::Applied { op, .. } = &e.kind {
+            match &op.kind {
+                OpKind::SnapshotScan => last_scan[e.pid] = e.seq as u64,
+                OpKind::SnapshotUpdate(v) => {
+                    let count = v.as_seq().map_or(0, |s| s.len());
+                    for record in &slots[e.pid][published[e.pid]..count] {
+                        out.push(TimedRecord {
+                            record: record.clone(),
+                            invoked_at: last_scan[e.pid],
+                            responded_at: e.seq as u64,
+                        });
+                    }
+                    published[e.pid] = count;
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// The maximal branches among all published record tags.
+fn maximal_branches(slots: &[Vec<Record>]) -> Vec<Branch> {
+    let mut tags: Vec<Branch> = slots
+        .iter()
+        .flatten()
+        .map(|r| r.branch().clone())
+        .collect();
+    tags.sort();
+    tags.dedup();
+    tags.iter()
+        .filter(|b| !tags.iter().any(|o| b.is_prefix_of(o) && o.len() > b.len()))
+        .cloned()
+        .collect()
+}
+
+/// Validates every maximal constructed branch of an emulation run.
+///
+/// # Errors
+///
+/// The first [`ValidationError`] found.
+pub fn validate_report(
+    a_layout: &Layout,
+    phi: usize,
+    result: &RunResult,
+    slots: &[Vec<Record>],
+) -> Result<ValidationSummary, ValidationError> {
+    let timed = timed_records(result, slots);
+    let branches = maximal_branches(slots);
+    let mut ops_checked = 0;
+    let mut decisions_checked = 0;
+    for branch in &branches {
+        let mut history: Vec<RecordedOp> = Vec::new();
+        let mut participants: Vec<usize> = Vec::new();
+        let mut decision: Option<Value> = None;
+        for t in &timed {
+            if !t.record.branch().is_prefix_of(branch) {
+                continue;
+            }
+            match &t.record {
+                Record::Op { vp, op, resp, .. } => {
+                    assert!(*vp < phi, "vp out of range");
+                    participants.push(*vp);
+                    history.push(RecordedOp {
+                        pid: *vp,
+                        op: op.clone(),
+                        resp: resp.clone(),
+                        invoked_at: t.invoked_at,
+                        responded_at: t.responded_at,
+                    });
+                }
+                Record::Decision { vp, value, .. } => {
+                    participants.push(*vp);
+                    match &decision {
+                        None => decision = Some(value.clone()),
+                        Some(prev) if prev == value => {}
+                        Some(prev) => {
+                            return Err(ValidationError::Disagreement {
+                                branch: branch.clone(),
+                                values: (prev.clone(), value.clone()),
+                            })
+                        }
+                    }
+                    decisions_checked += 1;
+                }
+            }
+        }
+        ops_checked += history.len();
+        check_history(a_layout, &history).map_err(|source| ValidationError::NotLegal {
+            branch: branch.clone(),
+            source,
+        })?;
+        if let Some(v) = decision {
+            let valid = v
+                .as_pid()
+                .is_some_and(|w| participants.contains(&w));
+            if !valid {
+                return Err(ValidationError::InvalidDecision {
+                    branch: branch.clone(),
+                    value: v,
+                });
+            }
+        }
+    }
+    Ok(ValidationSummary { branches: branches.len(), ops_checked, decisions_checked })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bso_objects::Sym;
+    use crate::Step;
+
+    #[test]
+    fn maximal_branch_selection() {
+        let mut a = Branch::root();
+        a.push(Step { from: Sym::BOTTOM, to: Sym::new(0), emu: 0, vp: 0 });
+        let mut ab = a.clone();
+        ab.push(Step { from: Sym::new(0), to: Sym::new(1), emu: 1, vp: 1 });
+        let mut ac = a.clone();
+        ac.push(Step { from: Sym::new(0), to: Sym::new(2), emu: 2, vp: 2 });
+        let slots = vec![
+            vec![Record::Decision { vp: 0, value: Value::Pid(0), branch: a.clone() }],
+            vec![Record::Decision { vp: 1, value: Value::Pid(1), branch: ab.clone() }],
+            vec![Record::Decision { vp: 2, value: Value::Pid(2), branch: ac.clone() }],
+        ];
+        let max = maximal_branches(&slots);
+        assert_eq!(max.len(), 2);
+        assert!(max.contains(&ab) && max.contains(&ac));
+        assert!(!max.contains(&a), "a is a prefix of both");
+    }
+}

@@ -1,0 +1,385 @@
+//! Natural — doomed — candidate protocols, kept as refuter targets.
+//!
+//! Each candidate is the protocol a practitioner might plausibly write
+//! for a task its objects cannot support. The refuter
+//! (`bso_sim::refute`) finds the schedule that breaks each one; the
+//! violation *kind* is itself informative (agreement violations for
+//! premature deciders, wait-freedom cycles for spinners).
+
+use bso_objects::{Layout, ObjectId, ObjectInit, Op, OpKind, Value};
+use bso_sim::{Action, Pid, Protocol};
+
+/// Read/write leader election for two processes: write your id, read
+/// the peer, elect the smaller *announced* id. Doomed by FLP /
+/// Loui–Abu-Amara: on the schedule where both announce before either
+/// reads, both see each other and agree — but when one runs solo first
+/// it elects itself while the other, running later, elects the
+/// minimum: disagreement.
+#[derive(Clone, Debug)]
+pub struct RwElection;
+
+/// Local state of [`RwElection`].
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum RwElectionState {
+    /// About to announce the own id.
+    Announce {
+        /// Own pid.
+        pid: Pid,
+    },
+    /// About to read the peer's slot.
+    ReadPeer {
+        /// Own pid.
+        pid: Pid,
+    },
+    /// About to decide.
+    Done {
+        /// The elected process.
+        winner: Pid,
+    },
+}
+
+impl Protocol for RwElection {
+    type State = RwElectionState;
+
+    fn processes(&self) -> usize {
+        2
+    }
+
+    fn layout(&self) -> Layout {
+        let mut l = Layout::new();
+        l.push_n(ObjectInit::Register(Value::Nil), 2);
+        l
+    }
+
+    fn init(&self, pid: Pid, _input: &Value) -> RwElectionState {
+        RwElectionState::Announce { pid }
+    }
+
+    fn next_action(&self, state: &RwElectionState) -> Action {
+        match state {
+            RwElectionState::Announce { pid } => {
+                Action::Invoke(Op::write(ObjectId(*pid), Value::Pid(*pid)))
+            }
+            RwElectionState::ReadPeer { pid } => {
+                Action::Invoke(Op::read(ObjectId(1 - *pid)))
+            }
+            RwElectionState::Done { winner } => Action::Decide(Value::Pid(*winner)),
+        }
+    }
+
+    fn on_response(&self, state: &mut RwElectionState, resp: Value) {
+        *state = match state.clone() {
+            RwElectionState::Announce { pid } => RwElectionState::ReadPeer { pid },
+            RwElectionState::ReadPeer { pid } => {
+                let winner = match resp.as_pid() {
+                    None => pid,              // peer not announced: I win
+                    Some(q) => pid.min(q),    // both announced: minimum
+                };
+                RwElectionState::Done { winner }
+            }
+            done => done,
+        };
+    }
+}
+
+/// Three-process consensus from one test&set bit: the winner announces
+/// its input in a result register and decides; losers poll the result
+/// register until it appears.
+///
+/// Agreement and validity actually hold — what fails is
+/// **wait-freedom**: a loser polls forever while the winner stalls.
+/// The refuter reports the state-graph cycle. (This is the standard
+/// intuition for why test&set has consensus number exactly 2: with two
+/// processes the loser can identify the winner and read its
+/// *pre-announced* input, with three it cannot.)
+#[derive(Clone, Debug)]
+pub struct TasThreeCandidate;
+
+/// Local state of [`TasThreeCandidate`].
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum TasThreeState {
+    /// About to grab the bit.
+    Grab {
+        /// Own input.
+        input: Value,
+    },
+    /// Won: about to publish the input in the result register.
+    Publish {
+        /// Own input.
+        input: Value,
+    },
+    /// Lost: polling the result register.
+    Poll,
+    /// About to decide.
+    Done {
+        /// The agreed value.
+        value: Value,
+    },
+}
+
+impl Protocol for TasThreeCandidate {
+    type State = TasThreeState;
+
+    fn processes(&self) -> usize {
+        3
+    }
+
+    fn layout(&self) -> Layout {
+        let mut l = Layout::new();
+        l.push(ObjectInit::TestAndSet); // o0
+        l.push(ObjectInit::Register(Value::Nil)); // o1: result
+        l
+    }
+
+    fn init(&self, _pid: Pid, input: &Value) -> TasThreeState {
+        TasThreeState::Grab { input: input.clone() }
+    }
+
+    fn next_action(&self, state: &TasThreeState) -> Action {
+        match state {
+            TasThreeState::Grab { .. } => {
+                Action::Invoke(Op::new(ObjectId(0), OpKind::TestAndSet))
+            }
+            TasThreeState::Publish { input } => {
+                Action::Invoke(Op::write(ObjectId(1), input.clone()))
+            }
+            TasThreeState::Poll => Action::Invoke(Op::read(ObjectId(1))),
+            TasThreeState::Done { value } => Action::Decide(value.clone()),
+        }
+    }
+
+    fn on_response(&self, state: &mut TasThreeState, resp: Value) {
+        *state = match state.clone() {
+            TasThreeState::Grab { input } => {
+                if resp == Value::Bool(false) {
+                    TasThreeState::Publish { input }
+                } else {
+                    TasThreeState::Poll
+                }
+            }
+            TasThreeState::Publish { input } => TasThreeState::Done { value: input },
+            TasThreeState::Poll => match resp {
+                Value::Nil => TasThreeState::Poll, // spin
+                v => TasThreeState::Done { value: v },
+            },
+            done => done,
+        };
+    }
+}
+
+/// Three-process *eager* test&set consensus: like the two-process
+/// protocol, losers read a pre-announced slot — but with three
+/// processes a loser cannot tell **which** of the other two won, so
+/// this candidate has the loser adopt the smallest announced input.
+/// The refuter finds the disagreeing schedule.
+#[derive(Clone, Debug)]
+pub struct TasThreeEagerCandidate;
+
+/// Local state of [`TasThreeEagerCandidate`].
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum TasEagerState {
+    /// About to announce the own input.
+    Announce {
+        /// Own pid.
+        pid: Pid,
+        /// Own input.
+        input: Value,
+    },
+    /// About to grab the bit.
+    Grab {
+        /// Own pid.
+        pid: Pid,
+        /// Own input.
+        input: Value,
+    },
+    /// Lost: reading the other announcements (index = next slot).
+    Collect {
+        /// Own pid.
+        pid: Pid,
+        /// Next announcement slot to read.
+        idx: usize,
+        /// Announcements seen so far.
+        seen: Vec<Value>,
+    },
+    /// About to decide.
+    Done {
+        /// The chosen value.
+        value: Value,
+    },
+}
+
+impl Protocol for TasThreeEagerCandidate {
+    type State = TasEagerState;
+
+    fn processes(&self) -> usize {
+        3
+    }
+
+    fn layout(&self) -> Layout {
+        let mut l = Layout::new();
+        l.push(ObjectInit::TestAndSet); // o0
+        l.push_n(ObjectInit::Register(Value::Nil), 3); // o1..o3
+        l
+    }
+
+    fn init(&self, pid: Pid, input: &Value) -> TasEagerState {
+        TasEagerState::Announce { pid, input: input.clone() }
+    }
+
+    fn next_action(&self, state: &TasEagerState) -> Action {
+        match state {
+            TasEagerState::Announce { pid, input } => {
+                Action::Invoke(Op::write(ObjectId(1 + pid), input.clone()))
+            }
+            TasEagerState::Grab { .. } => {
+                Action::Invoke(Op::new(ObjectId(0), OpKind::TestAndSet))
+            }
+            TasEagerState::Collect { idx, .. } => Action::Invoke(Op::read(ObjectId(1 + idx))),
+            TasEagerState::Done { value } => Action::Decide(value.clone()),
+        }
+    }
+
+    fn on_response(&self, state: &mut TasEagerState, resp: Value) {
+        *state = match state.clone() {
+            TasEagerState::Announce { pid, input } => TasEagerState::Grab { pid, input },
+            TasEagerState::Grab { pid, input } => {
+                if resp == Value::Bool(false) {
+                    TasEagerState::Done { value: input }
+                } else {
+                    TasEagerState::Collect { pid, idx: 0, seen: Vec::new() }
+                }
+            }
+            TasEagerState::Collect { pid, idx, mut seen } => {
+                if idx != pid && !resp.is_nil() {
+                    seen.push(resp);
+                }
+                if idx + 1 < 3 {
+                    TasEagerState::Collect { pid, idx: idx + 1, seen }
+                } else {
+                    let value = seen
+                        .into_iter()
+                        .min()
+                        .expect("someone must have announced before winning");
+                    TasEagerState::Done { value }
+                }
+            }
+            done => done,
+        };
+    }
+}
+
+/// Three-process *eager* fetch&add consensus: like
+/// [`TasThreeEagerCandidate`] but arbitrating with a fetch&add counter
+/// (rank 0 wins). Fetch&add also has consensus number 2, so the
+/// refuter finds the disagreeing schedule the same way.
+#[derive(Clone, Debug)]
+pub struct FaaThreeEagerCandidate;
+
+impl Protocol for FaaThreeEagerCandidate {
+    type State = TasEagerState;
+
+    fn processes(&self) -> usize {
+        3
+    }
+
+    fn layout(&self) -> Layout {
+        let mut l = Layout::new();
+        l.push(ObjectInit::FetchAdd(0)); // o0
+        l.push_n(ObjectInit::Register(Value::Nil), 3); // o1..o3
+        l
+    }
+
+    fn init(&self, pid: Pid, input: &Value) -> TasEagerState {
+        TasEagerState::Announce { pid, input: input.clone() }
+    }
+
+    fn next_action(&self, state: &TasEagerState) -> Action {
+        match state {
+            TasEagerState::Grab { .. } => {
+                Action::Invoke(Op::new(ObjectId(0), OpKind::FetchAdd(1)))
+            }
+            other => TasThreeEagerCandidate.next_action(other),
+        }
+    }
+
+    fn on_response(&self, state: &mut TasEagerState, resp: Value) {
+        if let TasEagerState::Grab { pid, input } = state.clone() {
+            *state = if resp == Value::Int(0) {
+                TasEagerState::Done { value: input }
+            } else {
+                TasEagerState::Collect { pid, idx: 0, seen: Vec::new() }
+            };
+        } else {
+            TasThreeEagerCandidate.on_response(state, resp);
+        }
+    }
+}
+
+/// Three-process queue consensus candidate: a pre-loaded queue hands a
+/// winner token to one process; the two losers adopt the smallest
+/// announced input — with three processes a loser cannot identify the
+/// winner, and the refuter exhibits the disagreement (queues, like
+/// test&set, have consensus number exactly 2).
+#[derive(Clone, Debug)]
+pub struct QueueThreeCandidate;
+
+impl Protocol for QueueThreeCandidate {
+    type State = TasEagerState;
+
+    fn processes(&self) -> usize {
+        3
+    }
+
+    fn layout(&self) -> Layout {
+        let mut l = Layout::new();
+        l.push(ObjectInit::Queue(vec![Value::Int(1), Value::Int(0), Value::Int(0)]));
+        l.push_n(ObjectInit::Register(Value::Nil), 3);
+        l
+    }
+
+    fn init(&self, pid: Pid, input: &Value) -> TasEagerState {
+        TasEagerState::Announce { pid, input: input.clone() }
+    }
+
+    fn next_action(&self, state: &TasEagerState) -> Action {
+        match state {
+            TasEagerState::Grab { .. } => Action::Invoke(Op::new(ObjectId(0), OpKind::Dequeue)),
+            other => TasThreeEagerCandidate.next_action(other),
+        }
+    }
+
+    fn on_response(&self, state: &mut TasEagerState, resp: Value) {
+        if let TasEagerState::Grab { pid, input } = state.clone() {
+            *state = if resp == Value::Int(1) {
+                TasEagerState::Done { value: input }
+            } else {
+                TasEagerState::Collect { pid, idx: 0, seen: Vec::new() }
+            };
+        } else {
+            TasThreeEagerCandidate.on_response(state, resp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bso_sim::{scheduler, Simulation};
+
+    #[test]
+    fn candidates_run_fine_on_friendly_schedules() {
+        // Round-robin hides the bugs — which is exactly the point of
+        // adversarial exploration.
+        let inputs = vec![Value::Int(1), Value::Int(2)];
+        let mut sim = Simulation::new(&RwElection, &[Value::Pid(0), Value::Pid(1)]);
+        let res = sim.run(&mut scheduler::RoundRobin::new(), 100).unwrap();
+        bso_sim::checker::check_election(&res).unwrap();
+
+        let inputs3 = vec![Value::Int(1), Value::Int(2), Value::Int(3)];
+        let mut sim = Simulation::new(&TasThreeCandidate, &inputs3);
+        let res = sim.run(&mut scheduler::RoundRobin::new(), 100).unwrap();
+        bso_sim::checker::check_consensus(&res, &inputs3).unwrap();
+
+        let _ = inputs;
+    }
+}

@@ -1,0 +1,147 @@
+//! The Kleinberg–Mullainathan direction: election power ⇒ consensus
+//! power (related work, §1 of the paper).
+//!
+//! > "Kleinberg and Mullainathan show that if n processes can elect a
+//! > leader with one copy of object O (without any other registers!)
+//! > then this object can solve binary consensus among at most ⌊n/2⌋
+//! > processes."
+//!
+//! The transformation: give every consensus process *two* election
+//! identities — one per input bit — and have it run the election as
+//! the identity matching its actual input. The elected identity's
+//! parity is the agreed bit:
+//!
+//! * agreement — the election is consistent, so all processes learn
+//!   the same leader;
+//! * validity — identity `2q + b` participates only if process `q`'s
+//!   input is `b`, so the winning parity is a participant's input;
+//! * wait-freedom — inherited from the election.
+//!
+//! [`BinaryFromElection`] instantiates this over
+//! [`bso_protocols::RmwOnlyElection`] — an election using **one**
+//! `rmw-(k)` object and nothing else, exactly the KM setting — so
+//! `⌊(k−1)/2⌋` processes reach binary consensus from one `rmw-(k)`.
+
+use bso_objects::{Layout, Value};
+use bso_protocols::RmwOnlyElection;
+use bso_sim::{Action, Pid, Protocol};
+
+/// Binary consensus among `n` processes from one `rmw-(k)` object,
+/// via the KM two-identities-per-process transformation.
+#[derive(Clone, Debug)]
+pub struct BinaryFromElection {
+    n: usize,
+    election: RmwOnlyElection,
+}
+
+impl BinaryFromElection {
+    /// Binary consensus among `n` processes using one `rmw-(k)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the election's ceiling: needs `2n ≤ k − 1` election
+    /// identities.
+    pub fn new(n: usize, k: usize) -> Result<BinaryFromElection, String> {
+        if n == 0 {
+            return Err("need at least one process".into());
+        }
+        let election = RmwOnlyElection::new(2 * n, k)?;
+        Ok(BinaryFromElection { n, election })
+    }
+
+    /// The election identity process `p` runs with input bit `b`.
+    pub fn identity(&self, p: Pid, bit: bool) -> Pid {
+        2 * p + usize::from(bit)
+    }
+
+    fn bit_of(input: &Value) -> bool {
+        match input {
+            Value::Bool(b) => *b,
+            Value::Int(i) => *i != 0,
+            other => panic!("binary consensus takes Bool/Int inputs, got {other}"),
+        }
+    }
+}
+
+/// Local state: the simulated election identity's state.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct KmState {
+    inner: bso_protocols::RmwOnlyState,
+}
+
+impl Protocol for BinaryFromElection {
+    type State = KmState;
+
+    fn processes(&self) -> usize {
+        self.n
+    }
+
+    fn layout(&self) -> Layout {
+        self.election.layout() // one rmw-(k), nothing else
+    }
+
+    fn init(&self, pid: Pid, input: &Value) -> KmState {
+        let identity = self.identity(pid, Self::bit_of(input));
+        KmState { inner: self.election.init(identity, &Value::Pid(identity)) }
+    }
+
+    fn next_action(&self, state: &KmState) -> Action {
+        match self.election.next_action(&state.inner) {
+            Action::Invoke(op) => Action::Invoke(op),
+            Action::Decide(v) => {
+                // The elected identity's parity is the agreed bit.
+                let w = v.as_pid().expect("election decides an identity");
+                Action::Decide(Value::Int((w % 2) as i64))
+            }
+        }
+    }
+
+    fn on_response(&self, state: &mut KmState, resp: Value) {
+        self.election.on_response(&mut state.inner, resp);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bso_sim::{explore, ExploreConfig, TaskSpec};
+
+    fn verify(n: usize, k: usize, inputs: Vec<Value>) {
+        let proto = BinaryFromElection::new(n, k).unwrap();
+        let report = explore(
+            &proto,
+            &inputs,
+            &ExploreConfig { spec: TaskSpec::Consensus(inputs.clone()), ..Default::default() },
+        );
+        assert!(report.outcome.is_verified(), "n={n} k={k}: {:?}", report.outcome);
+    }
+
+    #[test]
+    fn two_processes_from_one_rmw_5() {
+        // ⌊(5−1)/2⌋ = 2 processes, all four input combinations.
+        for (a, b) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+            verify(2, 5, vec![Value::Int(a), Value::Int(b)]);
+        }
+    }
+
+    #[test]
+    fn three_processes_from_one_rmw_7() {
+        verify(3, 7, vec![Value::Int(1), Value::Int(0), Value::Int(1)]);
+    }
+
+    #[test]
+    fn ceiling_follows_the_election() {
+        // 2n identities must fit in k−1.
+        assert!(BinaryFromElection::new(2, 4).is_err()); // 4 > 3
+        assert!(BinaryFromElection::new(2, 5).is_ok());
+        assert!(BinaryFromElection::new(0, 5).is_err());
+    }
+
+    #[test]
+    fn identities_interleave_bits() {
+        let p = BinaryFromElection::new(3, 7).unwrap();
+        assert_eq!(p.identity(0, false), 0);
+        assert_eq!(p.identity(0, true), 1);
+        assert_eq!(p.identity(2, true), 5);
+    }
+}

@@ -1,0 +1,33 @@
+//! Herlihy's hierarchy, machine-checked.
+//!
+//! The paper refines the *top* of Herlihy's hierarchy by a space
+//! parameter; this crate reproduces the hierarchy facts its
+//! introduction builds on, each backed by an executable witness:
+//!
+//! | object | consensus number | possible side (model-checked) | impossible side (refuted candidates) |
+//! |---|---|---|---|
+//! | read/write register | 1 | trivial (n = 1) | [`candidates::RwElection`], `RwConsensus` — FLP \[9, 13, 18\] |
+//! | test&set | 2 | `TasConsensus` | [`candidates::TasThreeCandidate`] \[10, 13, 18\] |
+//! | fetch&add | 2 | `FaaConsensus` | (same argument as test&set) |
+//! | sticky register | ∞ | `StickyConsensus` (any n) | — \[20\] |
+//! | compare&swap (unbounded) | ∞ | `CasConsensus` (any n) | — \[10\] |
+//! | `compare&swap-(k)` + registers | ∞ — *but only `n_k` ≤ O(k^(k²+3)) processes can use **one** of them* | `CasKConsensus` up to (k−1)! | the paper's Theorem 1 (see `bso-emulation`) |
+//!
+//! A universally quantified impossibility ("no protocol exists") is not
+//! enumerable, but the valency argument behind these results is an
+//! effective procedure against each *given* candidate:
+//! `bso_sim::refute` explores all schedules and returns either an
+//! agreement/validity counterexample or a state-graph cycle (a
+//! schedule on which some process runs forever). This crate curates
+//! natural candidates and exposes [`refutations::demonstrate`], which
+//! refutes each one and returns the witnesses.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod candidates;
+pub mod km;
+pub mod refutations;
+mod table;
+
+pub use table::{consensus_number, hierarchy_table, ConsensusNumber, HierarchyRow, ObjectKind};

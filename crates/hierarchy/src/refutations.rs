@@ -1,0 +1,178 @@
+//! Running the refuter against the curated candidates.
+//!
+//! Each demonstration explores every schedule of a candidate protocol
+//! and returns the concrete counterexample — the executable content of
+//! the hierarchy's impossible entries.
+
+use bso_objects::Value;
+use bso_sim::refute::{refute_consensus, refute_election, Verdict};
+use bso_sim::ViolationKind;
+
+use crate::candidates::{
+    FaaThreeEagerCandidate, QueueThreeCandidate, RwElection, TasThreeCandidate,
+    TasThreeEagerCandidate,
+};
+
+/// One refuted candidate.
+#[derive(Clone, Debug)]
+pub struct Demonstration {
+    /// Which candidate was refuted.
+    pub candidate: &'static str,
+    /// The hierarchy fact it illustrates.
+    pub fact: &'static str,
+    /// What kind of violation the refuter found.
+    pub violation: ViolationKind,
+    /// The counterexample schedule (pid per step).
+    pub schedule: Vec<usize>,
+    /// States explored to find it.
+    pub states: usize,
+}
+
+fn demonstrate_one(
+    candidate: &'static str,
+    fact: &'static str,
+    verdict: Verdict,
+) -> Demonstration {
+    match verdict {
+        Verdict::Refuted(r) => Demonstration {
+            candidate,
+            fact,
+            violation: r.violation.kind,
+            schedule: r.violation.schedule,
+            states: r.states,
+        },
+        other => panic!("{candidate} was supposed to be refuted, got {other:?}"),
+    }
+}
+
+/// Refutes every curated candidate and returns the witnesses.
+///
+/// # Panics
+///
+/// Panics if any candidate survives — that would mean the candidate
+/// (or the refuter) contradicts a theorem.
+#[allow(clippy::vec_init_then_push)] // one block per refuted candidate reads best
+pub fn demonstrate() -> Vec<Demonstration> {
+    let mut out = Vec::new();
+    out.push(demonstrate_one(
+        "RwElection (2 processes, read/write registers only)",
+        "registers alone cannot elect a leader even for n = 2 [9, 13, 18]",
+        refute_election(&RwElection, 10_000_000),
+    ));
+    out.push(demonstrate_one(
+        "RwConsensus (2 processes, read/write registers only)",
+        "registers alone cannot reach consensus for n = 2 (FLP [9])",
+        refute_consensus(
+            &bso_protocols::consensus::RwConsensus,
+            &[Value::Int(1), Value::Int(2)],
+            10_000_000,
+        ),
+    ));
+    out.push(demonstrate_one(
+        "TasThreeCandidate (3 processes, one test&set, polling losers)",
+        "test&set solves consensus for 2 but not 3 processes [10, 13, 18]",
+        refute_consensus(
+            &TasThreeCandidate,
+            &[Value::Int(1), Value::Int(2), Value::Int(3)],
+            10_000_000,
+        ),
+    ));
+    out.push(demonstrate_one(
+        "TasThreeEagerCandidate (3 processes, one test&set, eager losers)",
+        "test&set solves consensus for 2 but not 3 processes [10, 13, 18]",
+        refute_consensus(
+            &TasThreeEagerCandidate,
+            &[Value::Int(1), Value::Int(2), Value::Int(3)],
+            10_000_000,
+        ),
+    ));
+    out.push(demonstrate_one(
+        "FaaThreeEagerCandidate (3 processes, one fetch&add)",
+        "fetch&add has consensus number 2 (Herlihy [10])",
+        refute_consensus(
+            &FaaThreeEagerCandidate,
+            &[Value::Int(1), Value::Int(2), Value::Int(3)],
+            10_000_000,
+        ),
+    ));
+    out.push(demonstrate_one(
+        "QueueThreeCandidate (3 processes, one pre-loaded queue)",
+        "FIFO queues have consensus number 2 (Herlihy [10])",
+        refute_consensus(
+            &QueueThreeCandidate,
+            &[Value::Int(1), Value::Int(2), Value::Int(3)],
+            10_000_000,
+        ),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bso_sim::checker;
+    use bso_sim::scheduler::Scripted;
+    use bso_sim::Simulation;
+
+    #[test]
+    fn all_candidates_fall() {
+        let demos = demonstrate();
+        assert_eq!(demos.len(), 6);
+        for d in &demos {
+            assert!(!d.schedule.is_empty() || d.violation == ViolationKind::NotWaitFree);
+            assert!(d.states > 0);
+        }
+        // The polling candidate fails on wait-freedom, the eager one on
+        // agreement — different faces of the same impossibility.
+        assert_eq!(demos[2].violation, ViolationKind::NotWaitFree);
+        assert_eq!(demos[3].violation, ViolationKind::Agreement);
+    }
+
+    #[test]
+    fn rw_election_counterexample_replays() {
+        let demos = demonstrate();
+        let d = &demos[0];
+        if d.violation == ViolationKind::NotWaitFree {
+            return; // cycles don't replay to a violated terminal state
+        }
+        let proto = RwElection;
+        let inputs = vec![Value::Pid(0), Value::Pid(1)];
+        let mut sim = Simulation::new(&proto, &inputs);
+        let res = sim.run(&mut Scripted::new(d.schedule.clone()), 1_000).unwrap();
+        assert!(checker::check_election(&res).is_err());
+    }
+
+    #[test]
+    fn possible_side_of_each_level_verified() {
+        use bso_protocols::consensus::{CasConsensus, FaaConsensus, TasConsensus};
+        use bso_sim::{explore, ExploreConfig, TaskSpec};
+        let inputs2 = vec![Value::Int(5), Value::Int(9)];
+        for report in [
+            explore(
+                &TasConsensus,
+                &inputs2,
+                &ExploreConfig {
+                    spec: TaskSpec::Consensus(inputs2.clone()),
+                    ..Default::default()
+                },
+            ),
+            explore(
+                &FaaConsensus,
+                &inputs2,
+                &ExploreConfig {
+                    spec: TaskSpec::Consensus(inputs2.clone()),
+                    ..Default::default()
+                },
+            ),
+        ] {
+            assert!(report.outcome.is_verified());
+        }
+        let inputs5: Vec<Value> = (0..5).map(Value::Int).collect();
+        let report = explore(
+            &CasConsensus::new(5),
+            &inputs5,
+            &ExploreConfig { spec: TaskSpec::Consensus(inputs5.clone()), ..Default::default() },
+        );
+        assert!(report.outcome.is_verified());
+    }
+}

@@ -1,0 +1,194 @@
+use std::fmt;
+
+/// A level of Herlihy's hierarchy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ConsensusNumber {
+    /// The object solves consensus for exactly this many processes.
+    Exactly(usize),
+    /// The object solves consensus for any number of processes.
+    Infinite,
+}
+
+impl fmt::Display for ConsensusNumber {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConsensusNumber::Exactly(n) => write!(f, "{n}"),
+            ConsensusNumber::Infinite => write!(f, "∞"),
+        }
+    }
+}
+
+/// The object types whose hierarchy positions this workspace
+/// reproduces.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ObjectKind {
+    /// Atomic read/write register.
+    Register,
+    /// Test&set bit.
+    TestAndSet,
+    /// Fetch&add counter.
+    FetchAdd,
+    /// Write-once (sticky) register.
+    Sticky,
+    /// Unbounded compare&swap register.
+    CompareSwap,
+    /// Bounded `compare&swap-(k)` (with read/write registers
+    /// available).
+    CompareSwapK {
+        /// The domain size.
+        k: usize,
+    },
+    /// General bounded read-modify-write register `rmw-(k)` — the
+    /// paper's §4 generalization target.
+    RmwK {
+        /// The domain size.
+        k: usize,
+    },
+}
+
+impl fmt::Display for ObjectKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObjectKind::Register => write!(f, "read/write register"),
+            ObjectKind::TestAndSet => write!(f, "test&set"),
+            ObjectKind::FetchAdd => write!(f, "fetch&add"),
+            ObjectKind::Sticky => write!(f, "sticky register"),
+            ObjectKind::CompareSwap => write!(f, "compare&swap"),
+            ObjectKind::CompareSwapK { k } => write!(f, "compare&swap-({k})"),
+            ObjectKind::RmwK { k } => write!(f, "rmw-({k})"),
+        }
+    }
+}
+
+/// One row of the reproduced hierarchy.
+#[derive(Clone, Debug)]
+pub struct HierarchyRow {
+    /// The object type.
+    pub object: ObjectKind,
+    /// Its consensus number (Herlihy \[10\]).
+    pub consensus_number: ConsensusNumber,
+    /// The paper's refinement: with **one** instance of the object
+    /// (plus unbounded read/write registers), how many processes can
+    /// elect a leader. `None` = unbounded.
+    pub single_object_election_ceiling: Option<String>,
+    /// Which protocol/refutation in this workspace witnesses the row.
+    pub witness: &'static str,
+}
+
+/// The consensus number of each object kind.
+///
+/// # Example
+///
+/// ```
+/// use bso_hierarchy::{consensus_number, ConsensusNumber, ObjectKind};
+/// assert_eq!(consensus_number(ObjectKind::TestAndSet), ConsensusNumber::Exactly(2));
+/// assert_eq!(
+///     consensus_number(ObjectKind::CompareSwapK { k: 3 }),
+///     ConsensusNumber::Infinite
+/// );
+/// ```
+pub fn consensus_number(object: ObjectKind) -> ConsensusNumber {
+    match object {
+        ObjectKind::Register => ConsensusNumber::Exactly(1),
+        ObjectKind::TestAndSet | ObjectKind::FetchAdd => ConsensusNumber::Exactly(2),
+        // "an object (compare&swap) whose consensus number is ∞, even
+        // when it can hold only three values" — Section 1. The paper's
+        // point is that the consensus-number measure is blind to space:
+        // *many* compare&swap-(k) objects solve consensus among any n,
+        // while ONE of them caps the processes at n_k.
+        // An rmw-(k) with a full function set subsumes compare&swap-(k).
+        ObjectKind::Sticky
+        | ObjectKind::CompareSwap
+        | ObjectKind::CompareSwapK { .. }
+        | ObjectKind::RmwK { .. } => ConsensusNumber::Infinite,
+    }
+}
+
+/// The reproduced hierarchy, with the paper's space refinement in the
+/// last column.
+pub fn hierarchy_table() -> Vec<HierarchyRow> {
+    use bso_combinatorics::bounds;
+    let k = 4; // representative bounded domain for the table
+    vec![
+        HierarchyRow {
+            object: ObjectKind::Register,
+            consensus_number: consensus_number(ObjectKind::Register),
+            single_object_election_ceiling: Some("1".into()),
+            witness: "bso_hierarchy::refutations (RwConsensus / RwElection refuted)",
+        },
+        HierarchyRow {
+            object: ObjectKind::TestAndSet,
+            consensus_number: consensus_number(ObjectKind::TestAndSet),
+            single_object_election_ceiling: Some("2".into()),
+            witness: "TasConsensus verified; TasThreeCandidate refuted",
+        },
+        HierarchyRow {
+            object: ObjectKind::FetchAdd,
+            consensus_number: consensus_number(ObjectKind::FetchAdd),
+            single_object_election_ceiling: Some("2".into()),
+            witness: "FaaConsensus verified",
+        },
+        HierarchyRow {
+            object: ObjectKind::Sticky,
+            consensus_number: consensus_number(ObjectKind::Sticky),
+            single_object_election_ceiling: None,
+            witness: "StickyConsensus verified (any n)",
+        },
+        HierarchyRow {
+            object: ObjectKind::CompareSwap,
+            consensus_number: consensus_number(ObjectKind::CompareSwap),
+            single_object_election_ceiling: None,
+            witness: "CasConsensus verified (any n)",
+        },
+        HierarchyRow {
+            object: ObjectKind::RmwK { k },
+            consensus_number: consensus_number(ObjectKind::RmwK { k }),
+            single_object_election_ceiling: Some(format!(
+                "{} alone, write-once (Burns–Cruz–Loui [5])",
+                k - 1
+            )),
+            witness: "RmwOnlyElection verified; CasOnlyElection is its c&s instance",
+        },
+        HierarchyRow {
+            object: ObjectKind::CompareSwapK { k },
+            consensus_number: consensus_number(ObjectKind::CompareSwapK { k }),
+            single_object_election_ceiling: Some(format!(
+                "n_{k}: {} ≤ n_{k} ≤ {} (Theorem 1)",
+                bounds::nk_algorithmic(k),
+                bounds::nk_upper(k).expect("k=4 fits u128")
+            )),
+            witness: "LabelElection verified up to (k−1)!; bso-emulation (Theorem 1)",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_consistent_with_consensus_numbers() {
+        for row in hierarchy_table() {
+            assert_eq!(row.consensus_number, consensus_number(row.object));
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ConsensusNumber::Exactly(2).to_string(), "2");
+        assert_eq!(ConsensusNumber::Infinite.to_string(), "∞");
+        assert_eq!(ObjectKind::CompareSwapK { k: 5 }.to_string(), "compare&swap-(5)");
+    }
+
+    #[test]
+    fn bounded_cas_is_still_at_the_top() {
+        // The hierarchy is blind to k — that blindness is the paper's
+        // motivation.
+        for k in 3..10 {
+            assert_eq!(
+                consensus_number(ObjectKind::CompareSwapK { k }),
+                ConsensusNumber::Infinite
+            );
+        }
+    }
+}

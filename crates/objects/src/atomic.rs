@@ -1,0 +1,457 @@
+//! Hardware-backed implementations of the shared objects.
+//!
+//! The same protocol state machines that run under the simulator can be
+//! driven against this backend on real OS threads (see
+//! `bso-sim::thread_runner`). Single-word objects (`compare&swap-(k)`,
+//! test&set, fetch&add) are genuinely lock-free, built on
+//! `std::sync::atomic`; multi-word objects (registers holding arbitrary
+//! [`Value`]s, snapshot objects) are linearizable via short critical
+//! sections (`parking_lot` locks). The paper's *contribution* object —
+//! the bounded compare&swap — is the lock-free one, which is what the
+//! benchmarks exercise.
+//!
+//! # Example
+//!
+//! ```
+//! use bso_objects::atomic::{AtomicMemory, Memory};
+//! use bso_objects::{Layout, ObjectInit, Op, OpKind, Sym, Value};
+//!
+//! let mut layout = Layout::new();
+//! let cas = layout.push(ObjectInit::CasK { k: 3 });
+//! let mem = AtomicMemory::new(&layout);
+//! let prev = mem
+//!     .apply(0, &Op::cas(cas, Sym::BOTTOM.into(), Sym::new(0).into()))
+//!     .unwrap();
+//! assert_eq!(prev, Value::Sym(Sym::BOTTOM));
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU8, Ordering};
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::{Layout, ObjectError, ObjectId, ObjectInit, Op, OpKind, Sym, Value};
+
+/// A linearizable shared memory that protocols can apply operations to.
+///
+/// Implemented by [`AtomicMemory`] (hardware) and by the simulator's
+/// sequential memory (model). Taking `&self` is deliberate: hardware
+/// memories are shared across threads.
+pub trait Memory: Sync {
+    /// Applies one operation atomically on behalf of process `pid`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the object-level errors of
+    /// [`crate::spec::ObjectState::apply`].
+    fn apply(&self, pid: usize, op: &Op) -> Result<Value, ObjectError>;
+}
+
+/// One hardware-backed object.
+enum Slot {
+    /// Lock-free bounded compare&swap over symbol codes.
+    CasK { cell: AtomicU8, k: usize },
+    /// Lock-free test&set bit.
+    TestAndSet(AtomicBool),
+    /// Lock-free fetch&add counter.
+    FetchAdd(AtomicI64),
+    /// Linearizable register of arbitrary values.
+    Register(RwLock<Value>),
+    /// Linearizable unbounded compare&swap of arbitrary values.
+    CasReg(Mutex<Value>),
+    /// Linearizable snapshot object.
+    Snapshot(RwLock<Vec<Value>>),
+    /// Linearizable write-once register.
+    Sticky(Mutex<Value>),
+    /// Lock-free general bounded read-modify-write (compare-exchange
+    /// loop applying the declared transition table).
+    RmwK { cell: AtomicU8, k: usize, functions: Vec<Vec<u8>> },
+    /// Linearizable FIFO queue.
+    Queue(Mutex<std::collections::VecDeque<Value>>),
+}
+
+impl Slot {
+    fn from_init(init: &ObjectInit) -> Slot {
+        match init {
+            ObjectInit::Register(v) => Slot::Register(RwLock::new(v.clone())),
+            ObjectInit::CasK { k } => {
+                assert!(*k >= 2 && *k <= u8::MAX as usize, "unsupported domain size {k}");
+                Slot::CasK { cell: AtomicU8::new(Sym::BOTTOM.code()), k: *k }
+            }
+            ObjectInit::CasReg(v) => Slot::CasReg(Mutex::new(v.clone())),
+            ObjectInit::TestAndSet => Slot::TestAndSet(AtomicBool::new(false)),
+            ObjectInit::FetchAdd(v) => Slot::FetchAdd(AtomicI64::new(*v)),
+            ObjectInit::Snapshot { slots } => {
+                Slot::Snapshot(RwLock::new(vec![Value::Nil; *slots]))
+            }
+            ObjectInit::Sticky => Slot::Sticky(Mutex::new(Value::Nil)),
+            ObjectInit::Queue(items) => {
+                Slot::Queue(Mutex::new(items.iter().cloned().collect()))
+            }
+            ObjectInit::RmwK { k, functions } => {
+                assert!(*k >= 2 && *k <= u8::MAX as usize, "unsupported domain size {k}");
+                for table in functions {
+                    assert_eq!(table.len(), *k, "transition table must cover the domain");
+                    assert!(table.iter().all(|&c| (c as usize) < *k));
+                }
+                Slot::RmwK {
+                    cell: AtomicU8::new(Sym::BOTTOM.code()),
+                    k: *k,
+                    functions: functions.clone(),
+                }
+            }
+        }
+    }
+
+    fn type_name(&self) -> &'static str {
+        match self {
+            Slot::CasK { .. } => "compare&swap-(k)",
+            Slot::TestAndSet(_) => "test&set",
+            Slot::FetchAdd(_) => "fetch&add",
+            Slot::Register(_) => "register",
+            Slot::CasReg(_) => "compare&swap",
+            Slot::Snapshot(_) => "snapshot",
+            Slot::Sticky(_) => "sticky",
+            Slot::Queue(_) => "queue",
+            Slot::RmwK { .. } => "rmw-(k)",
+        }
+    }
+
+    fn mismatch(&self, op: &OpKind) -> ObjectError {
+        ObjectError::TypeMismatch { op: op.clone(), object_type: self.type_name() }
+    }
+
+    fn domain_sym(v: &Value, k: usize) -> Result<Sym, ObjectError> {
+        match v.as_sym() {
+            Some(s) if s.in_domain(k) => Ok(s),
+            _ => Err(ObjectError::DomainViolation { k, value: v.to_string() }),
+        }
+    }
+
+    fn apply(&self, pid: usize, op: &OpKind) -> Result<Value, ObjectError> {
+        match self {
+            Slot::CasK { cell, k } => match op {
+                OpKind::Read => {
+                    Ok(Value::Sym(Sym::from_code(cell.load(Ordering::SeqCst))))
+                }
+                OpKind::Cas { expect, new } => {
+                    let e = Self::domain_sym(expect, *k)?;
+                    let n = Self::domain_sym(new, *k)?;
+                    // The response is always the previous contents, so on
+                    // hardware we loop until the compare-exchange either
+                    // succeeds or observes a value ≠ expect.
+                    let prev = match cell.compare_exchange(
+                        e.code(),
+                        n.code(),
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    ) {
+                        Ok(prev) | Err(prev) => prev,
+                    };
+                    Ok(Value::Sym(Sym::from_code(prev)))
+                }
+                other => Err(self.mismatch(other)),
+            },
+            Slot::TestAndSet(bit) => match op {
+                OpKind::Read => Ok(Value::Bool(bit.load(Ordering::SeqCst))),
+                OpKind::TestAndSet => Ok(Value::Bool(bit.swap(true, Ordering::SeqCst))),
+                OpKind::Reset => {
+                    bit.store(false, Ordering::SeqCst);
+                    Ok(Value::Nil)
+                }
+                other => Err(self.mismatch(other)),
+            },
+            Slot::FetchAdd(counter) => match op {
+                OpKind::Read => Ok(Value::Int(counter.load(Ordering::SeqCst))),
+                OpKind::FetchAdd(d) => Ok(Value::Int(counter.fetch_add(*d, Ordering::SeqCst))),
+                other => Err(self.mismatch(other)),
+            },
+            Slot::Register(reg) => match op {
+                OpKind::Read => Ok(reg.read().clone()),
+                OpKind::Write(v) => {
+                    *reg.write() = v.clone();
+                    Ok(Value::Nil)
+                }
+                OpKind::Swap(v) => {
+                    let mut g = reg.write();
+                    Ok(std::mem::replace(&mut *g, v.clone()))
+                }
+                other => Err(self.mismatch(other)),
+            },
+            Slot::CasReg(reg) => match op {
+                OpKind::Read => Ok(reg.lock().clone()),
+                OpKind::Cas { expect, new } => {
+                    let mut g = reg.lock();
+                    let prev = g.clone();
+                    if prev == *expect {
+                        *g = new.clone();
+                    }
+                    Ok(prev)
+                }
+                other => Err(self.mismatch(other)),
+            },
+            Slot::Snapshot(slots) => match op {
+                OpKind::SnapshotScan | OpKind::Read => Ok(Value::Seq(slots.read().clone())),
+                OpKind::SnapshotUpdate(v) => {
+                    let mut g = slots.write();
+                    let n = g.len();
+                    let slot =
+                        g.get_mut(pid).ok_or(ObjectError::BadSlot { pid, slots: n })?;
+                    *slot = v.clone();
+                    Ok(Value::Nil)
+                }
+                other => Err(self.mismatch(other)),
+            },
+            Slot::Sticky(reg) => match op {
+                OpKind::Read => Ok(reg.lock().clone()),
+                OpKind::StickyWrite(v) => {
+                    let mut g = reg.lock();
+                    if g.is_nil() {
+                        *g = v.clone();
+                    }
+                    Ok(g.clone())
+                }
+                other => Err(self.mismatch(other)),
+            },
+            Slot::Queue(q) => match op {
+                OpKind::Read => Ok(Value::Seq(q.lock().iter().cloned().collect())),
+                OpKind::Enqueue(v) => {
+                    q.lock().push_back(v.clone());
+                    Ok(Value::Nil)
+                }
+                OpKind::Dequeue => Ok(q.lock().pop_front().unwrap_or(Value::Nil)),
+                other => Err(self.mismatch(other)),
+            },
+            Slot::RmwK { cell, k, functions } => match op {
+                OpKind::Read => Ok(Value::Sym(Sym::from_code(cell.load(Ordering::SeqCst)))),
+                OpKind::Rmw { func } => {
+                    let table = functions.get(*func).ok_or(ObjectError::DomainViolation {
+                        k: *k,
+                        value: format!("function index {func}"),
+                    })?;
+                    // Lock-free read-modify-write: compare-exchange
+                    // loop applying the transition table.
+                    let mut prev = cell.load(Ordering::SeqCst);
+                    loop {
+                        let next = table[prev as usize];
+                        match cell.compare_exchange_weak(
+                            prev,
+                            next,
+                            Ordering::SeqCst,
+                            Ordering::SeqCst,
+                        ) {
+                            Ok(_) => return Ok(Value::Sym(Sym::from_code(prev))),
+                            Err(actual) => prev = actual,
+                        }
+                    }
+                }
+                other => Err(self.mismatch(other)),
+            },
+        }
+    }
+}
+
+/// A hardware-backed shared memory built from a [`Layout`].
+///
+/// Cloneable handles are unnecessary: share it by reference (e.g. with
+/// `crossbeam::scope`) or wrap it in an `Arc`.
+pub struct AtomicMemory {
+    slots: Vec<Slot>,
+}
+
+impl AtomicMemory {
+    /// Allocates all objects described by `layout` in their initial
+    /// states.
+    pub fn new(layout: &Layout) -> AtomicMemory {
+        AtomicMemory { slots: layout.objects().iter().map(Slot::from_init).collect() }
+    }
+
+    /// The number of objects.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the memory holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    fn slot(&self, id: ObjectId) -> Result<&Slot, ObjectError> {
+        self.slots.get(id.0).ok_or(ObjectError::UnknownObject(id))
+    }
+}
+
+impl Memory for AtomicMemory {
+    fn apply(&self, pid: usize, op: &Op) -> Result<Value, ObjectError> {
+        self.slot(op.obj)?.apply(pid, &op.kind)
+    }
+}
+
+impl std::fmt::Debug for AtomicMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AtomicMemory({} objects)", self.slots.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_object(init: ObjectInit) -> (AtomicMemory, ObjectId) {
+        let mut layout = Layout::new();
+        let id = layout.push(init);
+        (AtomicMemory::new(&layout), id)
+    }
+
+    #[test]
+    fn cas_k_races_have_one_winner() {
+        let (mem, id) = one_object(ObjectInit::CasK { k: 6 });
+        let winners: Vec<bool> = crossbeam::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|t| {
+                    let mem = &mem;
+                    s.spawn(move |_| {
+                        let new = Value::Sym(Sym::new(t as u8));
+                        let prev = mem
+                            .apply(t, &Op::cas(id, Sym::BOTTOM.into(), new))
+                            .unwrap();
+                        prev == Value::Sym(Sym::BOTTOM)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .unwrap();
+        assert_eq!(winners.iter().filter(|w| **w).count(), 1);
+    }
+
+    #[test]
+    fn test_and_set_races_have_one_winner() {
+        let (mem, id) = one_object(ObjectInit::TestAndSet);
+        let wins: usize = crossbeam::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|t| {
+                    let mem = &mem;
+                    s.spawn(move |_| {
+                        mem.apply(t, &Op::new(id, OpKind::TestAndSet))
+                            .unwrap()
+                            .as_bool()
+                            .map(|prev| !prev as usize)
+                            .unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(wins, 1);
+    }
+
+    #[test]
+    fn fetch_add_sums_across_threads() {
+        let (mem, id) = one_object(ObjectInit::FetchAdd(0));
+        crossbeam::scope(|s| {
+            for t in 0..4 {
+                let mem = &mem;
+                s.spawn(move |_| {
+                    for _ in 0..100 {
+                        mem.apply(t, &Op::new(id, OpKind::FetchAdd(1))).unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(mem.apply(0, &Op::read(id)).unwrap(), Value::Int(400));
+    }
+
+    #[test]
+    fn domain_enforced_on_hardware_too() {
+        let (mem, id) = one_object(ObjectInit::CasK { k: 3 });
+        let err =
+            mem.apply(0, &Op::cas(id, Sym::BOTTOM.into(), Sym::new(5).into())).unwrap_err();
+        assert!(matches!(err, ObjectError::DomainViolation { k: 3, .. }));
+    }
+
+    #[test]
+    fn snapshot_and_sticky_behave() {
+        let mut layout = Layout::new();
+        let snap = layout.push(ObjectInit::Snapshot { slots: 2 });
+        let sticky = layout.push(ObjectInit::Sticky);
+        let mem = AtomicMemory::new(&layout);
+        mem.apply(0, &Op::new(snap, OpKind::SnapshotUpdate(Value::Int(1)))).unwrap();
+        let view = mem.apply(1, &Op::new(snap, OpKind::SnapshotScan)).unwrap();
+        assert_eq!(view, Value::Seq(vec![Value::Int(1), Value::Nil]));
+        assert_eq!(
+            mem.apply(0, &Op::new(sticky, OpKind::StickyWrite(Value::Pid(0)))).unwrap(),
+            Value::Pid(0)
+        );
+        assert_eq!(
+            mem.apply(1, &Op::new(sticky, OpKind::StickyWrite(Value::Pid(1)))).unwrap(),
+            Value::Pid(0)
+        );
+    }
+
+    #[test]
+    fn rmw_k_races_apply_every_function_once() {
+        // 4 threads each apply "increment mod 3" 300 times: the final
+        // value is determined by the total count — the CAS loop loses
+        // no application.
+        let cycle = vec![1u8, 2, 0]; // ⊥→0, 0→1, 1→⊥
+        let (mem, id) = one_object(ObjectInit::RmwK { k: 3, functions: vec![cycle] });
+        crossbeam::scope(|s| {
+            for t in 0..4 {
+                let mem = &mem;
+                s.spawn(move |_| {
+                    for _ in 0..300 {
+                        mem.apply(t, &Op::new(id, OpKind::Rmw { func: 0 })).unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        // 1200 applications from ⊥ (code 0): 1200 % 3 = 0 → back to ⊥.
+        assert_eq!(mem.apply(0, &Op::read(id)).unwrap(), Value::Sym(Sym::BOTTOM));
+    }
+
+    #[test]
+    fn unknown_object_is_an_error() {
+        let (mem, _) = one_object(ObjectInit::TestAndSet);
+        let err = mem.apply(0, &Op::read(ObjectId(7))).unwrap_err();
+        assert!(matches!(err, ObjectError::UnknownObject(ObjectId(7))));
+    }
+
+    #[test]
+    fn model_and_hardware_agree_on_sequential_histories() {
+        use crate::spec::ObjectState;
+        // Apply the same operation sequence to the spec and the hardware
+        // object; responses must be identical.
+        let inits = [
+            ObjectInit::CasK { k: 4 },
+            ObjectInit::TestAndSet,
+            ObjectInit::FetchAdd(3),
+            ObjectInit::Register(Value::Nil),
+            ObjectInit::Sticky,
+        ];
+        let ops: Vec<OpKind> = vec![
+            OpKind::Read,
+            OpKind::Cas { expect: Sym::BOTTOM.into(), new: Sym::new(1).into() },
+            OpKind::Cas { expect: Sym::BOTTOM.into(), new: Sym::new(2).into() },
+            OpKind::TestAndSet,
+            OpKind::TestAndSet,
+            OpKind::FetchAdd(4),
+            OpKind::Write(Value::Int(9)),
+            OpKind::Swap(Value::Int(1)),
+            OpKind::StickyWrite(Value::Pid(2)),
+            OpKind::StickyWrite(Value::Pid(3)),
+            OpKind::Read,
+        ];
+        for init in &inits {
+            let mut spec = ObjectState::from_init(init);
+            let (mem, id) = one_object(init.clone());
+            for op in &ops {
+                let a = spec.apply(0, op);
+                let b = mem.apply(0, &Op::new(id, op.clone()));
+                assert_eq!(a, b, "divergence on {init:?} op {op}");
+            }
+        }
+    }
+}

@@ -1,0 +1,76 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::{ObjectId, OpKind};
+
+/// Errors raised by shared objects when an operation is illegal.
+///
+/// In a correct protocol these never occur; the simulator treats them
+/// as protocol bugs and reports the offending process and operation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ObjectError {
+    /// The operation kind is not supported by the target object's type
+    /// (e.g. `TestAndSet` aimed at a register).
+    TypeMismatch {
+        /// The offending operation.
+        op: OpKind,
+        /// A human-readable name of the object's type.
+        object_type: &'static str,
+    },
+    /// A value outside the bounded domain of a `compare&swap-(k)` (or
+    /// other bounded object) was used.
+    ///
+    /// This is the error that makes the *boundedness* of the paper's
+    /// objects an enforced, not merely advisory, property.
+    DomainViolation {
+        /// The domain size `k` of the object.
+        k: usize,
+        /// Description of the offending value.
+        value: String,
+    },
+    /// An object id outside the memory layout was addressed.
+    UnknownObject(ObjectId),
+    /// A per-process slot index was out of range (snapshot objects).
+    BadSlot {
+        /// The offending process id.
+        pid: usize,
+        /// The number of slots the object has.
+        slots: usize,
+    },
+}
+
+impl fmt::Display for ObjectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObjectError::TypeMismatch { op, object_type } => {
+                write!(f, "operation {op} not supported by {object_type} object")
+            }
+            ObjectError::DomainViolation { k, value } => {
+                write!(f, "value {value} outside the size-{k} domain")
+            }
+            ObjectError::UnknownObject(id) => write!(f, "no object with id {id}"),
+            ObjectError::BadSlot { pid, slots } => {
+                write!(f, "process {pid} has no slot (object has {slots} slots)")
+            }
+        }
+    }
+}
+
+impl Error for ObjectError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = ObjectError::DomainViolation { k: 4, value: "7".into() };
+        assert_eq!(e.to_string(), "value 7 outside the size-4 domain");
+        let e = ObjectError::TypeMismatch { op: OpKind::TestAndSet, object_type: "register" };
+        assert!(e.to_string().contains("t&s"));
+        let e = ObjectError::UnknownObject(ObjectId(9));
+        assert!(e.to_string().contains("o9"));
+        let e = ObjectError::BadSlot { pid: 5, slots: 2 };
+        assert!(e.to_string().contains("process 5"));
+    }
+}

@@ -1,0 +1,141 @@
+use crate::{ObjectId, Value};
+
+/// A description of one shared object's type and initial contents.
+///
+/// Layouts are interpreted both by the simulator (producing
+/// [`crate::spec::ObjectState`]s) and by the hardware backend
+/// (producing [`crate::atomic`] objects), so the same protocol runs in
+/// both worlds.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ObjectInit {
+    /// A read/write register with the given initial contents.
+    Register(Value),
+    /// A `compare&swap-(k)` register, initially ⊥.
+    CasK {
+        /// Domain size (must be ≥ 2).
+        k: usize,
+    },
+    /// An unbounded compare&swap register.
+    CasReg(Value),
+    /// A test&set bit, initially clear.
+    TestAndSet,
+    /// A fetch&add counter with the given initial count.
+    FetchAdd(i64),
+    /// An atomic snapshot object with one slot per process.
+    Snapshot {
+        /// Number of per-process slots.
+        slots: usize,
+    },
+    /// A write-once register, initially unwritten.
+    Sticky,
+    /// A FIFO queue with the given initial contents (head first).
+    /// Consensus number 2 in Herlihy's hierarchy — the pre-loaded
+    /// two-token queue is the classical 2-consensus object.
+    Queue(Vec<Value>),
+    /// A general bounded read-modify-write register over the size-`k`
+    /// symbol domain, initially ⊥, with a fixed set of transition
+    /// functions (each a total map given by its value table over the
+    /// `k` symbol codes).
+    RmwK {
+        /// Domain size (must be ≥ 2).
+        k: usize,
+        /// Transition functions; `functions[f][c]` is the new symbol
+        /// code when function `f` is applied to current code `c`.
+        functions: Vec<Vec<u8>>,
+    },
+}
+
+/// The shared-memory layout of a protocol: an ordered list of objects.
+///
+/// # Example
+///
+/// ```
+/// use bso_objects::{Layout, ObjectInit, Value};
+///
+/// let mut layout = Layout::new();
+/// let cas = layout.push(ObjectInit::CasK { k: 4 });
+/// let ann = layout.push_n(ObjectInit::Register(Value::Nil), 3);
+/// assert_eq!(layout.len(), 4);
+/// assert_eq!(cas.0, 0);
+/// assert_eq!(ann[2].0, 3);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Layout {
+    objects: Vec<ObjectInit>,
+}
+
+impl Layout {
+    /// Creates an empty layout.
+    pub fn new() -> Layout {
+        Layout::default()
+    }
+
+    /// Appends one object and returns its id.
+    pub fn push(&mut self, init: ObjectInit) -> ObjectId {
+        let id = ObjectId(self.objects.len());
+        self.objects.push(init);
+        id
+    }
+
+    /// Appends `n` copies of an object and returns their ids in order.
+    pub fn push_n(&mut self, init: ObjectInit, n: usize) -> Vec<ObjectId> {
+        (0..n).map(|_| self.push(init.clone())).collect()
+    }
+
+    /// The number of objects in the layout.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the layout is empty.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// The object descriptors, in id order.
+    pub fn objects(&self) -> &[ObjectInit] {
+        &self.objects
+    }
+
+    /// Iterator over `(id, descriptor)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ObjectId, &ObjectInit)> {
+        self.objects.iter().enumerate().map(|(i, o)| (ObjectId(i), o))
+    }
+}
+
+impl FromIterator<ObjectInit> for Layout {
+    fn from_iter<I: IntoIterator<Item = ObjectInit>>(iter: I) -> Layout {
+        Layout { objects: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<ObjectInit> for Layout {
+    fn extend<I: IntoIterator<Item = ObjectInit>>(&mut self, iter: I) {
+        self.objects.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_sequential() {
+        let mut l = Layout::new();
+        assert!(l.is_empty());
+        let a = l.push(ObjectInit::TestAndSet);
+        let b = l.push(ObjectInit::Sticky);
+        assert_eq!((a.0, b.0), (0, 1));
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut l: Layout =
+            vec![ObjectInit::TestAndSet, ObjectInit::Sticky].into_iter().collect();
+        l.extend(std::iter::once(ObjectInit::FetchAdd(0)));
+        assert_eq!(l.len(), 3);
+        let kinds: Vec<_> = l.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(kinds, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,64 @@
+//! Shared synchronization objects for the `bso` workspace.
+//!
+//! This crate provides the *object layer* of the reproduction of Afek &
+//! Stupp, "Delimiting the Power of Bounded Size Synchronization Objects"
+//! (PODC 1994). It defines:
+//!
+//! * [`Sym`] — a value drawn from the bounded domain
+//!   Σ = {⊥, 0, 1, …, k−2} of a `compare&swap-(k)` register,
+//! * [`Value`] — the universal value type carried by simulated shared
+//!   memory operations,
+//! * [`Op`]/[`OpKind`] — operation descriptors (read, write, cas, …),
+//! * [`spec::ObjectState`] — *sequential specifications* of every object
+//!   type the paper manipulates (read/write register, bounded
+//!   compare&swap, test&set, fetch&add, atomic snapshot, sticky
+//!   register). These are the linearization references used by the
+//!   simulator and the linearizability checker,
+//! * [`atomic`] — lock-free (single-word) and lock-based (multi-word)
+//!   *hardware* implementations of the same objects so the very same
+//!   protocol state machines can run on real OS threads.
+//!
+//! The paper's central object is the bounded compare&swap register:
+//!
+//! ```text
+//! c&s(a → b)(r):  prev := r; if prev = a then r := b; return(prev)
+//! ```
+//!
+//! where `r` holds one of `k` values. A `c&s` is *successful* if it
+//! changes the register's value. Reading is a derived operation:
+//! `c&s(v → v)` returns the current value for any `v` (it either
+//! succeeds writing the value already present, or fails and returns the
+//! current value); [`spec::ObjectState`] exposes `Read` directly for
+//! convenience and implements it with exactly those semantics.
+//!
+//! # Example
+//!
+//! ```
+//! use bso_objects::{spec::ObjectState, ObjectInit, OpKind, Sym, Value};
+//!
+//! // A compare&swap-(4) register: domain {⊥, 0, 1, 2}.
+//! let mut cas = ObjectState::from_init(&ObjectInit::CasK { k: 4 });
+//! let prev = cas
+//!     .apply(0, &OpKind::Cas { expect: Value::Sym(Sym::BOTTOM), new: Value::Sym(Sym::new(1)) })
+//!     .unwrap();
+//! assert_eq!(prev, Value::Sym(Sym::BOTTOM)); // successful: register held ⊥
+//! let now = cas.apply(0, &OpKind::Read).unwrap();
+//! assert_eq!(now, Value::Sym(Sym::new(1)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod atomic;
+mod error;
+mod layout;
+mod op;
+pub mod spec;
+mod sym;
+mod value;
+
+pub use error::ObjectError;
+pub use layout::{Layout, ObjectInit};
+pub use op::{ObjectId, Op, OpKind};
+pub use sym::Sym;
+pub use value::Value;

@@ -1,0 +1,180 @@
+use std::fmt;
+
+use crate::Value;
+
+/// Identifier of a shared object within a [`crate::Layout`].
+///
+/// Object ids index the flat object heap of a simulated (or
+/// hardware-backed) shared memory.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ObjectId(pub usize);
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+/// The kind of a shared-memory operation, without its target object.
+///
+/// Each variant corresponds to one atomic machine instruction in the
+/// paper's model. Which kinds an object accepts is determined by its
+/// type; a mismatch yields [`crate::ObjectError::TypeMismatch`].
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum OpKind {
+    /// Atomic read; response is the current contents.
+    ///
+    /// On a `compare&swap` register this is the derived operation
+    /// `c&s(v → v)` (see the crate docs): it never changes the contents
+    /// and returns them.
+    Read,
+    /// Atomic write; response is [`Value::Nil`].
+    Write(Value),
+    /// `c&s(expect → new)`: if the contents equal `expect` they are
+    /// replaced by `new`; the response is always the *previous*
+    /// contents (so the invoker succeeded iff the response equals
+    /// `expect`).
+    Cas {
+        /// The value the register must currently hold for the swap to
+        /// take effect.
+        expect: Value,
+        /// The replacement value.
+        new: Value,
+    },
+    /// Test-and-set: sets the bit, responds with the *previous* bit
+    /// (`Bool(false)` means the invoker won).
+    TestAndSet,
+    /// Resets a test&set bit; response is [`Value::Nil`].
+    Reset,
+    /// Fetch-and-add: adds the operand, responds with the *previous*
+    /// count.
+    FetchAdd(i64),
+    /// Atomic swap: stores the operand, responds with the previous
+    /// contents.
+    Swap(Value),
+    /// Atomic scan of a snapshot object; response is a
+    /// [`Value::Seq`] of all slots.
+    SnapshotScan,
+    /// Update of the invoking process's slot in a snapshot object;
+    /// response is [`Value::Nil`].
+    SnapshotUpdate(Value),
+    /// Write-once "sticky" write: takes effect only if the object is
+    /// still unwritten; the response is the (possibly pre-existing)
+    /// contents after the operation, as in Plotkin's sticky bits.
+    StickyWrite(Value),
+    /// Enqueue at the tail of a FIFO queue; response is [`Value::Nil`].
+    Enqueue(Value),
+    /// Dequeue from the head of a FIFO queue; response is the removed
+    /// element, or [`Value::Nil`] when the queue is empty.
+    Dequeue,
+    /// General bounded read-modify-write: applies the target object's
+    /// pre-declared transition function number `func` to the current
+    /// contents and responds with the *previous* contents.
+    ///
+    /// This is the "arbitrary read-modify-write register" of the
+    /// paper's Section 4 ("we believe that the results presented
+    /// herein can be extended to hold for arbitrary read-modify-write
+    /// registers of size k"): the object's state space is the size-`k`
+    /// symbol domain and its behaviour is an arbitrary finite set of
+    /// total functions Σ → Σ. `compare&swap-(k)` is the instance with
+    /// functions `{x ↦ if x = a then b else x}`.
+    Rmw {
+        /// Index into the object's declared transition functions.
+        func: usize,
+    },
+}
+
+impl OpKind {
+    /// Whether this operation can change the target object's state.
+    ///
+    /// Used by schedulers and checkers to distinguish pure reads from
+    /// potential writes (e.g. when counting "successful" operations).
+    pub fn is_mutator(&self) -> bool {
+        !matches!(self, OpKind::Read | OpKind::SnapshotScan)
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpKind::Read => write!(f, "read"),
+            OpKind::Write(v) => write!(f, "write({v})"),
+            OpKind::Cas { expect, new } => write!(f, "c&s({expect}→{new})"),
+            OpKind::TestAndSet => write!(f, "t&s"),
+            OpKind::Reset => write!(f, "reset"),
+            OpKind::FetchAdd(d) => write!(f, "f&a({d})"),
+            OpKind::Swap(v) => write!(f, "swap({v})"),
+            OpKind::SnapshotScan => write!(f, "scan"),
+            OpKind::SnapshotUpdate(v) => write!(f, "update({v})"),
+            OpKind::StickyWrite(v) => write!(f, "sticky({v})"),
+            OpKind::Enqueue(v) => write!(f, "enq({v})"),
+            OpKind::Dequeue => write!(f, "deq"),
+            OpKind::Rmw { func } => write!(f, "rmw(f{func})"),
+        }
+    }
+}
+
+/// A complete operation descriptor: an [`OpKind`] aimed at an object.
+///
+/// # Example
+///
+/// ```
+/// use bso_objects::{ObjectId, Op, OpKind, Value};
+/// let op = Op::new(ObjectId(3), OpKind::Write(Value::Pid(1)));
+/// assert_eq!(op.to_string(), "o3.write(p1)");
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Op {
+    /// The target object.
+    pub obj: ObjectId,
+    /// What to do to it.
+    pub kind: OpKind,
+}
+
+impl Op {
+    /// Creates an operation descriptor.
+    pub fn new(obj: ObjectId, kind: OpKind) -> Op {
+        Op { obj, kind }
+    }
+
+    /// Shorthand for a read of `obj`.
+    pub fn read(obj: ObjectId) -> Op {
+        Op::new(obj, OpKind::Read)
+    }
+
+    /// Shorthand for a write to `obj`.
+    pub fn write(obj: ObjectId, v: Value) -> Op {
+        Op::new(obj, OpKind::Write(v))
+    }
+
+    /// Shorthand for a compare&swap on `obj`.
+    pub fn cas(obj: ObjectId, expect: Value, new: Value) -> Op {
+        Op::new(obj, OpKind::Cas { expect, new })
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.obj, self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutator_classification() {
+        assert!(!OpKind::Read.is_mutator());
+        assert!(!OpKind::SnapshotScan.is_mutator());
+        assert!(OpKind::Write(Value::Nil).is_mutator());
+        assert!(OpKind::TestAndSet.is_mutator());
+        assert!(OpKind::Cas { expect: Value::Nil, new: Value::Nil }.is_mutator());
+    }
+
+    #[test]
+    fn display_round() {
+        let op = Op::cas(ObjectId(0), Value::Int(1), Value::Int(2));
+        assert_eq!(op.to_string(), "o0.c&s(1→2)");
+    }
+}

@@ -1,0 +1,439 @@
+//! Sequential specifications of the shared object types.
+//!
+//! Every object the paper's model supports is specified here as a pure
+//! state machine: [`ObjectState::apply`] consumes one operation and
+//! produces one response, atomically. The simulator executes these
+//! specs directly (so simulated histories are linearizable by
+//! construction) and the linearizability checker uses them as the
+//! reference when validating histories produced by the hardware-atomic
+//! backend.
+
+use crate::{ObjectError, ObjectInit, OpKind, Sym, Value};
+
+/// The state of one shared object, together with its type.
+///
+/// # Example
+///
+/// ```
+/// use bso_objects::{spec::ObjectState, ObjectInit, OpKind, Value};
+///
+/// let mut ts = ObjectState::from_init(&ObjectInit::TestAndSet);
+/// assert_eq!(ts.apply(0, &OpKind::TestAndSet).unwrap(), Value::Bool(false)); // winner
+/// assert_eq!(ts.apply(1, &OpKind::TestAndSet).unwrap(), Value::Bool(true)); // loser
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum ObjectState {
+    /// An atomic multi-writer multi-reader read/write register.
+    Register {
+        /// Current contents.
+        val: Value,
+    },
+    /// A `compare&swap-(k)` register over Σ = {⊥, 0, …, k−2}.
+    ///
+    /// This is the paper's central object. All values written to it
+    /// must be symbols of the size-`k` domain; anything else is a
+    /// [`ObjectError::DomainViolation`].
+    CasK {
+        /// Current contents (a domain symbol).
+        val: Sym,
+        /// Domain size.
+        k: usize,
+    },
+    /// An *unbounded* compare&swap register (top of Herlihy's
+    /// hierarchy; used by `bso-hierarchy` for contrast with `CasK`).
+    CasReg {
+        /// Current contents.
+        val: Value,
+    },
+    /// A single test&set bit.
+    TestAndSet {
+        /// Whether the bit has been set.
+        set: bool,
+    },
+    /// A fetch&add counter.
+    FetchAdd {
+        /// Current count.
+        val: i64,
+    },
+    /// An atomic snapshot object with one slot per process.
+    ///
+    /// The paper's emulation assumes (w.l.o.g.) single-writer
+    /// multi-reader registers plus an atomic `SnapShot` of the shared
+    /// data structures. Snapshot objects are wait-free implementable
+    /// from swmr registers (Afek et al.); `bso-protocols::snapshot`
+    /// contains that construction, and this primitive form is used
+    /// where the paper says "atomically read all shared memory".
+    Snapshot {
+        /// Slot `i` is writable only by process `i`.
+        slots: Vec<Value>,
+    },
+    /// A write-once ("sticky") register, as in Plotkin's sticky bits.
+    Sticky {
+        /// The sticky contents: `Nil` while unwritten.
+        val: Value,
+    },
+    /// A FIFO queue (consensus number 2).
+    Queue {
+        /// Contents, head first.
+        items: Vec<Value>,
+    },
+    /// A general bounded read-modify-write register (the paper's §4
+    /// generalization target). The state space is the size-`k` symbol
+    /// domain; behaviour is the fixed set of declared transition
+    /// functions. `compare&swap-(k)`, test&set-like grabs, and cyclic
+    /// counters modulo `k` are all instances.
+    RmwK {
+        /// Current contents.
+        val: Sym,
+        /// Domain size.
+        k: usize,
+        /// Transition tables (validated at construction).
+        functions: Vec<Vec<u8>>,
+    },
+}
+
+impl ObjectState {
+    /// Builds the initial state described by `init`.
+    pub fn from_init(init: &ObjectInit) -> ObjectState {
+        match init {
+            ObjectInit::Register(v) => ObjectState::Register { val: v.clone() },
+            ObjectInit::CasK { k } => {
+                assert!(*k >= 2, "a compare&swap-(k) needs k >= 2, got {k}");
+                ObjectState::CasK { val: Sym::BOTTOM, k: *k }
+            }
+            ObjectInit::CasReg(v) => ObjectState::CasReg { val: v.clone() },
+            ObjectInit::TestAndSet => ObjectState::TestAndSet { set: false },
+            ObjectInit::FetchAdd(v) => ObjectState::FetchAdd { val: *v },
+            ObjectInit::Snapshot { slots } => {
+                ObjectState::Snapshot { slots: vec![Value::Nil; *slots] }
+            }
+            ObjectInit::Sticky => ObjectState::Sticky { val: Value::Nil },
+            ObjectInit::Queue(items) => ObjectState::Queue { items: items.clone() },
+            ObjectInit::RmwK { k, functions } => {
+                assert!(*k >= 2, "an rmw-(k) needs k >= 2, got {k}");
+                for (f, table) in functions.iter().enumerate() {
+                    assert_eq!(table.len(), *k, "function {f} must map all {k} symbols");
+                    assert!(
+                        table.iter().all(|&c| (c as usize) < *k),
+                        "function {f} leaves the domain"
+                    );
+                }
+                ObjectState::RmwK { val: Sym::BOTTOM, k: *k, functions: functions.clone() }
+            }
+        }
+    }
+
+    /// A human-readable name of this object's type (for diagnostics).
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            ObjectState::Register { .. } => "register",
+            ObjectState::CasK { .. } => "compare&swap-(k)",
+            ObjectState::CasReg { .. } => "compare&swap",
+            ObjectState::TestAndSet { .. } => "test&set",
+            ObjectState::FetchAdd { .. } => "fetch&add",
+            ObjectState::Snapshot { .. } => "snapshot",
+            ObjectState::Sticky { .. } => "sticky",
+            ObjectState::Queue { .. } => "queue",
+            ObjectState::RmwK { .. } => "rmw-(k)",
+        }
+    }
+
+    /// Whether this object is a plain read/write register or snapshot
+    /// object (i.e. implementable from read/write registers alone).
+    ///
+    /// The emulation of Theorem 1 must run on read/write memory only;
+    /// the reduction driver asserts this predicate on every object its
+    /// emulators touch.
+    pub fn is_read_write(&self) -> bool {
+        matches!(self, ObjectState::Register { .. } | ObjectState::Snapshot { .. })
+    }
+
+    /// Applies one operation atomically and returns its response.
+    ///
+    /// # Errors
+    ///
+    /// [`ObjectError::TypeMismatch`] if the object does not support
+    /// `op`, [`ObjectError::DomainViolation`] if a bounded object is
+    /// given a value outside its domain, [`ObjectError::BadSlot`] if a
+    /// snapshot update comes from a process without a slot.
+    pub fn apply(&mut self, pid: usize, op: &OpKind) -> Result<Value, ObjectError> {
+        match self {
+            ObjectState::Register { val } => match op {
+                OpKind::Read => Ok(val.clone()),
+                OpKind::Write(v) => {
+                    *val = v.clone();
+                    Ok(Value::Nil)
+                }
+                OpKind::Swap(v) => {
+                    let prev = std::mem::replace(val, v.clone());
+                    Ok(prev)
+                }
+                other => Err(self.mismatch(other)),
+            },
+            ObjectState::CasK { val, k } => match op {
+                OpKind::Read => Ok(Value::Sym(*val)),
+                OpKind::Cas { expect, new } => {
+                    let k = *k;
+                    let e = Self::domain_sym(expect, k)?;
+                    let n = Self::domain_sym(new, k)?;
+                    let prev = *val;
+                    if prev == e {
+                        *val = n;
+                    }
+                    Ok(Value::Sym(prev))
+                }
+                other => Err(self.mismatch(other)),
+            },
+            ObjectState::CasReg { val } => match op {
+                OpKind::Read => Ok(val.clone()),
+                OpKind::Cas { expect, new } => {
+                    let prev = val.clone();
+                    if prev == *expect {
+                        *val = new.clone();
+                    }
+                    Ok(prev)
+                }
+                other => Err(self.mismatch(other)),
+            },
+            ObjectState::TestAndSet { set } => match op {
+                OpKind::Read => Ok(Value::Bool(*set)),
+                OpKind::TestAndSet => {
+                    let prev = *set;
+                    *set = true;
+                    Ok(Value::Bool(prev))
+                }
+                OpKind::Reset => {
+                    *set = false;
+                    Ok(Value::Nil)
+                }
+                other => Err(self.mismatch(other)),
+            },
+            ObjectState::FetchAdd { val } => match op {
+                OpKind::Read => Ok(Value::Int(*val)),
+                OpKind::FetchAdd(d) => {
+                    let prev = *val;
+                    *val = val.wrapping_add(*d);
+                    Ok(Value::Int(prev))
+                }
+                other => Err(self.mismatch(other)),
+            },
+            ObjectState::Snapshot { slots } => match op {
+                OpKind::SnapshotScan | OpKind::Read => Ok(Value::Seq(slots.clone())),
+                OpKind::SnapshotUpdate(v) => {
+                    let n = slots.len();
+                    let slot = slots
+                        .get_mut(pid)
+                        .ok_or(ObjectError::BadSlot { pid, slots: n })?;
+                    *slot = v.clone();
+                    Ok(Value::Nil)
+                }
+                other => Err(self.mismatch(other)),
+            },
+            ObjectState::Sticky { val } => match op {
+                OpKind::Read => Ok(val.clone()),
+                OpKind::StickyWrite(v) => {
+                    if val.is_nil() {
+                        *val = v.clone();
+                    }
+                    Ok(val.clone())
+                }
+                other => Err(self.mismatch(other)),
+            },
+            ObjectState::Queue { items } => match op {
+                OpKind::Read => Ok(Value::Seq(items.clone())),
+                OpKind::Enqueue(v) => {
+                    items.push(v.clone());
+                    Ok(Value::Nil)
+                }
+                OpKind::Dequeue => {
+                    if items.is_empty() {
+                        Ok(Value::Nil)
+                    } else {
+                        Ok(items.remove(0))
+                    }
+                }
+                other => Err(self.mismatch(other)),
+            },
+            ObjectState::RmwK { val, k, functions } => match op {
+                OpKind::Read => Ok(Value::Sym(*val)),
+                OpKind::Rmw { func } => {
+                    let table = functions.get(*func).ok_or(ObjectError::DomainViolation {
+                        k: *k,
+                        value: format!("function index {func}"),
+                    })?;
+                    let prev = *val;
+                    *val = Sym::from_code(table[prev.code() as usize]);
+                    Ok(Value::Sym(prev))
+                }
+                other => Err(self.mismatch(other)),
+            },
+        }
+    }
+
+    fn mismatch(&self, op: &OpKind) -> ObjectError {
+        ObjectError::TypeMismatch { op: op.clone(), object_type: self.type_name() }
+    }
+
+    fn domain_sym(v: &Value, k: usize) -> Result<Sym, ObjectError> {
+        match v.as_sym() {
+            Some(s) if s.in_domain(k) => Ok(s),
+            _ => Err(ObjectError::DomainViolation { k, value: v.to_string() }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cas_k(k: usize) -> ObjectState {
+        ObjectState::from_init(&ObjectInit::CasK { k })
+    }
+
+    #[test]
+    fn register_read_write_swap() {
+        let mut r = ObjectState::from_init(&ObjectInit::Register(Value::Nil));
+        assert_eq!(r.apply(0, &OpKind::Read).unwrap(), Value::Nil);
+        assert_eq!(r.apply(0, &OpKind::Write(Value::Int(5))).unwrap(), Value::Nil);
+        assert_eq!(r.apply(1, &OpKind::Read).unwrap(), Value::Int(5));
+        assert_eq!(r.apply(1, &OpKind::Swap(Value::Int(6))).unwrap(), Value::Int(5));
+        assert_eq!(r.apply(0, &OpKind::Read).unwrap(), Value::Int(6));
+    }
+
+    #[test]
+    fn cas_k_succeeds_and_fails_per_paper_semantics() {
+        let mut c = cas_k(3);
+        // c&s(⊥ → 0): succeeds, returns previous value ⊥.
+        let prev = c
+            .apply(0, &OpKind::Cas { expect: Sym::BOTTOM.into(), new: Sym::new(0).into() })
+            .unwrap();
+        assert_eq!(prev, Value::Sym(Sym::BOTTOM));
+        // c&s(⊥ → 1): fails (register holds 0), returns 0, contents keep 0.
+        let prev = c
+            .apply(1, &OpKind::Cas { expect: Sym::BOTTOM.into(), new: Sym::new(1).into() })
+            .unwrap();
+        assert_eq!(prev, Value::Sym(Sym::new(0)));
+        assert_eq!(c.apply(1, &OpKind::Read).unwrap(), Value::Sym(Sym::new(0)));
+    }
+
+    #[test]
+    fn cas_k_read_is_cas_identity() {
+        // read ≡ c&s(v → v): returns contents, never changes them.
+        let mut c = cas_k(3);
+        let via_cas = c
+            .apply(0, &OpKind::Cas { expect: Sym::new(1).into(), new: Sym::new(1).into() })
+            .unwrap();
+        let via_read = c.apply(0, &OpKind::Read).unwrap();
+        assert_eq!(via_cas, via_read);
+        assert_eq!(via_read, Value::Sym(Sym::BOTTOM));
+    }
+
+    #[test]
+    fn cas_k_enforces_domain() {
+        let mut c = cas_k(3); // domain {⊥, 0, 1}
+        let err = c
+            .apply(0, &OpKind::Cas { expect: Sym::BOTTOM.into(), new: Sym::new(2).into() })
+            .unwrap_err();
+        assert!(matches!(err, ObjectError::DomainViolation { k: 3, .. }));
+        // Non-symbol values are also rejected.
+        let err = c
+            .apply(0, &OpKind::Cas { expect: Value::Int(0), new: Sym::new(0).into() })
+            .unwrap_err();
+        assert!(matches!(err, ObjectError::DomainViolation { .. }));
+    }
+
+    #[test]
+    fn test_and_set_orders_winner() {
+        let mut t = ObjectState::from_init(&ObjectInit::TestAndSet);
+        assert_eq!(t.apply(0, &OpKind::TestAndSet).unwrap(), Value::Bool(false));
+        assert_eq!(t.apply(1, &OpKind::TestAndSet).unwrap(), Value::Bool(true));
+        t.apply(0, &OpKind::Reset).unwrap();
+        assert_eq!(t.apply(2, &OpKind::TestAndSet).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn fetch_add_returns_previous() {
+        let mut f = ObjectState::from_init(&ObjectInit::FetchAdd(10));
+        assert_eq!(f.apply(0, &OpKind::FetchAdd(5)).unwrap(), Value::Int(10));
+        assert_eq!(f.apply(1, &OpKind::FetchAdd(-2)).unwrap(), Value::Int(15));
+        assert_eq!(f.apply(2, &OpKind::Read).unwrap(), Value::Int(13));
+    }
+
+    #[test]
+    fn snapshot_slots_are_per_process() {
+        let mut s = ObjectState::from_init(&ObjectInit::Snapshot { slots: 3 });
+        s.apply(1, &OpKind::SnapshotUpdate(Value::Int(7))).unwrap();
+        let view = s.apply(0, &OpKind::SnapshotScan).unwrap();
+        assert_eq!(view, Value::Seq(vec![Value::Nil, Value::Int(7), Value::Nil]));
+        let err = s.apply(3, &OpKind::SnapshotUpdate(Value::Nil)).unwrap_err();
+        assert!(matches!(err, ObjectError::BadSlot { pid: 3, slots: 3 }));
+    }
+
+    #[test]
+    fn sticky_write_is_write_once() {
+        let mut s = ObjectState::from_init(&ObjectInit::Sticky);
+        assert_eq!(s.apply(0, &OpKind::StickyWrite(Value::Pid(0))).unwrap(), Value::Pid(0));
+        assert_eq!(s.apply(1, &OpKind::StickyWrite(Value::Pid(1))).unwrap(), Value::Pid(0));
+        assert_eq!(s.apply(2, &OpKind::Read).unwrap(), Value::Pid(0));
+    }
+
+    #[test]
+    fn type_mismatch_is_reported() {
+        let mut r = ObjectState::from_init(&ObjectInit::Register(Value::Nil));
+        let err = r.apply(0, &OpKind::TestAndSet).unwrap_err();
+        assert!(matches!(err, ObjectError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn read_write_classification() {
+        assert!(ObjectState::from_init(&ObjectInit::Register(Value::Nil)).is_read_write());
+        assert!(ObjectState::from_init(&ObjectInit::Snapshot { slots: 1 }).is_read_write());
+        assert!(!cas_k(3).is_read_write());
+        assert!(!ObjectState::from_init(&ObjectInit::TestAndSet).is_read_write());
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 2")]
+    fn cas_k_requires_two_values() {
+        let _ = cas_k(1);
+    }
+
+    #[test]
+    fn rmw_k_applies_declared_functions() {
+        // Two functions over {⊥, 0, 1}: f0 = grab-0 (⊥ ↦ 0), f1 =
+        // cyclic shift of the non-⊥ values.
+        let init = ObjectInit::RmwK {
+            k: 3,
+            functions: vec![
+                vec![1, 1, 2], // codes: ⊥→0, 0→0, 1→1
+                vec![0, 2, 1], // ⊥→⊥, 0→1, 1→0
+            ],
+        };
+        let mut r = ObjectState::from_init(&init);
+        assert_eq!(r.apply(0, &OpKind::Rmw { func: 0 }).unwrap(), Value::Sym(Sym::BOTTOM));
+        assert_eq!(r.apply(0, &OpKind::Read).unwrap(), Value::Sym(Sym::new(0)));
+        assert_eq!(r.apply(1, &OpKind::Rmw { func: 1 }).unwrap(), Value::Sym(Sym::new(0)));
+        assert_eq!(r.apply(1, &OpKind::Read).unwrap(), Value::Sym(Sym::new(1)));
+        // Unknown function index is a domain violation.
+        assert!(matches!(
+            r.apply(0, &OpKind::Rmw { func: 9 }).unwrap_err(),
+            ObjectError::DomainViolation { .. }
+        ));
+        assert!(!r.is_read_write());
+    }
+
+    #[test]
+    #[should_panic(expected = "must map all")]
+    fn rmw_k_validates_tables() {
+        let _ = ObjectState::from_init(&ObjectInit::RmwK { k: 3, functions: vec![vec![0, 1]] });
+    }
+
+    #[test]
+    fn unbounded_cas_register() {
+        let mut c = ObjectState::from_init(&ObjectInit::CasReg(Value::Nil));
+        let prev =
+            c.apply(0, &OpKind::Cas { expect: Value::Nil, new: Value::Pid(42) }).unwrap();
+        assert_eq!(prev, Value::Nil);
+        assert_eq!(c.apply(1, &OpKind::Read).unwrap(), Value::Pid(42));
+    }
+}

@@ -1,0 +1,156 @@
+use std::fmt;
+
+/// A value from the bounded domain Σ = {⊥, 0, 1, …, k−2} of a
+/// `compare&swap-(k)` register.
+///
+/// The paper (Section 2) defines a `compare&swap-(k)` object as a
+/// compare&swap register whose cell can hold `k` different values from
+/// the set Σ = {⊥, 0, 1, …, k−2}. `Sym` encodes ⊥ as the internal code
+/// `0` and the numeric value `i` as code `i + 1`, so a domain of size
+/// `k` uses codes `0..k`.
+///
+/// # Example
+///
+/// ```
+/// use bso_objects::Sym;
+///
+/// let bot = Sym::BOTTOM;
+/// let two = Sym::new(2);
+/// assert!(bot.is_bottom());
+/// assert_eq!(two.value(), Some(2));
+/// assert!(bot.in_domain(3) && two.in_domain(4) && !two.in_domain(3));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Sym(u8);
+
+impl Sym {
+    /// The distinguished initial value ⊥.
+    pub const BOTTOM: Sym = Sym(0);
+
+    /// The symbol for the numeric value `i` (so `Sym::new(0)` is the
+    /// value `0`, distinct from ⊥).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 254` (the encoding reserves one code for ⊥ and
+    /// must fit in a `u8`).
+    pub fn new(i: u8) -> Sym {
+        assert!(i < u8::MAX - 1, "symbol value {i} out of encodable range");
+        Sym(i + 1)
+    }
+
+    /// Builds a symbol from its internal code: `0` is ⊥ and `c` is the
+    /// numeric value `c − 1`.
+    pub fn from_code(c: u8) -> Sym {
+        Sym(c)
+    }
+
+    /// The internal code (⊥ ↦ 0, value `i` ↦ `i + 1`).
+    pub fn code(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this symbol is ⊥.
+    pub fn is_bottom(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The numeric value, or `None` for ⊥.
+    pub fn value(self) -> Option<u8> {
+        if self.is_bottom() {
+            None
+        } else {
+            Some(self.0 - 1)
+        }
+    }
+
+    /// Whether this symbol belongs to the size-`k` domain
+    /// {⊥, 0, …, k−2}.
+    pub fn in_domain(self, k: usize) -> bool {
+        (self.0 as usize) < k
+    }
+
+    /// Iterator over the full size-`k` domain, ⊥ first.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use bso_objects::Sym;
+    /// let d: Vec<Sym> = Sym::domain(3).collect();
+    /// assert_eq!(d, vec![Sym::BOTTOM, Sym::new(0), Sym::new(1)]);
+    /// ```
+    pub fn domain(k: usize) -> impl Iterator<Item = Sym> {
+        assert!(k >= 1 && k <= u8::MAX as usize, "domain size {k} unsupported");
+        (0..k as u8).map(Sym)
+    }
+
+    /// The non-⊥ symbols of the size-`k` domain, in increasing order.
+    pub fn non_bottom(k: usize) -> impl Iterator<Item = Sym> {
+        Sym::domain(k).skip(1)
+    }
+}
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.value() {
+            None => write!(f, "⊥"),
+            Some(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<Sym> for u8 {
+    fn from(s: Sym) -> u8 {
+        s.code()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bottom_is_default_and_distinct() {
+        assert_eq!(Sym::default(), Sym::BOTTOM);
+        assert!(Sym::BOTTOM.is_bottom());
+        assert_ne!(Sym::BOTTOM, Sym::new(0));
+        assert_eq!(Sym::new(0).value(), Some(0));
+    }
+
+    #[test]
+    fn domain_iteration_matches_membership() {
+        for k in 1..=8 {
+            let d: Vec<Sym> = Sym::domain(k).collect();
+            assert_eq!(d.len(), k);
+            for s in &d {
+                assert!(s.in_domain(k));
+            }
+            assert!(!Sym::from_code(k as u8).in_domain(k));
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Sym::BOTTOM.to_string(), "⊥");
+        assert_eq!(Sym::new(3).to_string(), "3");
+    }
+
+    #[test]
+    fn code_roundtrip() {
+        for c in 0..=10u8 {
+            assert_eq!(Sym::from_code(c).code(), c);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of encodable range")]
+    fn new_rejects_overflow() {
+        let _ = Sym::new(u8::MAX - 1);
+    }
+}

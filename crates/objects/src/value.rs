@@ -1,0 +1,190 @@
+use std::fmt;
+
+use crate::Sym;
+
+/// The universal value type carried by simulated shared-memory
+/// operations.
+///
+/// Registers in the model hold `Value`s; protocol state machines
+/// exchange `Value`s with the memory through [`crate::OpKind`]
+/// invocations and responses. The type is deliberately small and fully
+/// ordered/hashable so that whole memory states can be hashed by the
+/// exhaustive model checker.
+///
+/// # Example
+///
+/// ```
+/// use bso_objects::Value;
+/// let v = Value::Seq(vec![Value::Int(1), Value::Nil]);
+/// assert_eq!(v.as_seq().unwrap().len(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Value {
+    /// The absence of a value (initial register content, unit response).
+    #[default]
+    Nil,
+    /// A boolean (test&set responses).
+    Bool(bool),
+    /// A machine integer (fetch&add counters, sequence numbers).
+    Int(i64),
+    /// A bounded-domain symbol (contents of a `compare&swap-(k)`).
+    Sym(Sym),
+    /// A process identifier (election decisions, announcements).
+    Pid(usize),
+    /// An ordered pair.
+    Pair(Box<Value>, Box<Value>),
+    /// A sequence (snapshot views, logs).
+    Seq(Vec<Value>),
+}
+
+impl Value {
+    /// The contained boolean, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The contained integer, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The contained symbol, if this is a `Sym`.
+    pub fn as_sym(&self) -> Option<Sym> {
+        match self {
+            Value::Sym(s) => Some(*s),
+            _ => None,
+        }
+    }
+
+    /// The contained process id, if this is a `Pid`.
+    pub fn as_pid(&self) -> Option<usize> {
+        match self {
+            Value::Pid(p) => Some(*p),
+            _ => None,
+        }
+    }
+
+    /// The contained sequence, if this is a `Seq`.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The contained pair, if this is a `Pair`.
+    pub fn as_pair(&self) -> Option<(&Value, &Value)> {
+        match self {
+            Value::Pair(a, b) => Some((a, b)),
+            _ => None,
+        }
+    }
+
+    /// Whether this value is `Nil`.
+    pub fn is_nil(&self) -> bool {
+        matches!(self, Value::Nil)
+    }
+
+    /// Convenience constructor for a pair.
+    pub fn pair(a: Value, b: Value) -> Value {
+        Value::Pair(Box::new(a), Box::new(b))
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Nil => write!(f, "·"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Sym(s) => write!(f, "{s}"),
+            Value::Pid(p) => write!(f, "p{p}"),
+            Value::Pair(a, b) => write!(f, "({a},{b})"),
+            Value::Seq(s) => {
+                write!(f, "[")?;
+                for (i, v) in s.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Value {
+        Value::Int(i)
+    }
+}
+
+impl From<Sym> for Value {
+    fn from(s: Sym) -> Value {
+        Value::Sym(s)
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(s: Vec<Value>) -> Value {
+        Value::Seq(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_match_variants() {
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Sym(Sym::BOTTOM).as_sym(), Some(Sym::BOTTOM));
+        assert_eq!(Value::Pid(3).as_pid(), Some(3));
+        assert!(Value::Nil.is_nil());
+        assert_eq!(Value::Int(7).as_bool(), None);
+        let p = Value::pair(Value::Int(1), Value::Nil);
+        let (a, b) = p.as_pair().unwrap();
+        assert_eq!(a.as_int(), Some(1));
+        assert!(b.is_nil());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let v = Value::Seq(vec![Value::Nil, Value::Pid(2), Value::Sym(Sym::new(1))]);
+        assert_eq!(v.to_string(), "[· p2 1]");
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut vs = vec![
+            Value::Pid(1),
+            Value::Nil,
+            Value::Int(-1),
+            Value::Bool(false),
+            Value::Sym(Sym::BOTTOM),
+        ];
+        vs.sort();
+        vs.dedup();
+        assert_eq!(vs.len(), 5);
+    }
+}

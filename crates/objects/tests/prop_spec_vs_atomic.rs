@@ -1,0 +1,86 @@
+//! Property: on any *sequential* operation sequence, the hardware
+//! backend and the sequential specification are observationally
+//! identical — same responses, same errors.
+
+use bso_objects::atomic::{AtomicMemory, Memory};
+use bso_objects::{spec::ObjectState, Layout, ObjectInit, Op, OpKind, Sym, Value};
+use proptest::prelude::*;
+
+/// A generator of operations aimed at a mixed-object layout.
+fn arb_op() -> impl Strategy<Value = (usize, OpKind)> {
+    // Object 0: cas-k(4), 1: t&s, 2: f&a, 3: register, 4: sticky,
+    // 5: queue, 6: rmw-k(4) with two functions, 7: snapshot(3).
+    prop_oneof![
+        (0usize..8, Just(OpKind::Read)),
+        (0u8..5, 0u8..5).prop_map(|(e, n)| (
+            0,
+            OpKind::Cas {
+                expect: Sym::from_code(e % 4).into(),
+                new: Sym::from_code(n % 4).into()
+            }
+        )),
+        Just((1, OpKind::TestAndSet)),
+        Just((1, OpKind::Reset)),
+        (-5i64..5).prop_map(|d| (2, OpKind::FetchAdd(d))),
+        (0i64..9).prop_map(|v| (3, OpKind::Write(Value::Int(v)))),
+        (0i64..9).prop_map(|v| (3, OpKind::Swap(Value::Int(v)))),
+        (0i64..9).prop_map(|v| (4, OpKind::StickyWrite(Value::Int(v)))),
+        (0i64..9).prop_map(|v| (5, OpKind::Enqueue(Value::Int(v)))),
+        Just((5, OpKind::Dequeue)),
+        (0usize..3).prop_map(|f| (6, OpKind::Rmw { func: f % 2 })),
+        Just((7, OpKind::SnapshotScan)),
+        (0i64..9).prop_map(|v| (7, OpKind::SnapshotUpdate(Value::Int(v)))),
+    ]
+}
+
+fn layout() -> Layout {
+    let mut l = Layout::new();
+    l.push(ObjectInit::CasK { k: 4 });
+    l.push(ObjectInit::TestAndSet);
+    l.push(ObjectInit::FetchAdd(0));
+    l.push(ObjectInit::Register(Value::Nil));
+    l.push(ObjectInit::Sticky);
+    l.push(ObjectInit::Queue(vec![Value::Int(7)]));
+    l.push(ObjectInit::RmwK {
+        k: 4,
+        functions: vec![vec![1, 1, 2, 3], vec![0, 2, 3, 1]],
+    });
+    l.push(ObjectInit::Snapshot { slots: 3 });
+    l
+}
+
+proptest! {
+    #[test]
+    fn spec_and_hardware_agree_sequentially(
+        ops in proptest::collection::vec((arb_op(), 0usize..3), 1..60),
+    ) {
+        let layout = layout();
+        let mut specs: Vec<ObjectState> =
+            layout.objects().iter().map(ObjectState::from_init).collect();
+        let mem = AtomicMemory::new(&layout);
+        for ((obj, kind), pid) in ops {
+            let a = specs[obj].apply(pid, &kind);
+            let b = mem.apply(pid, &Op::new(bso_objects::ObjectId(obj), kind.clone()));
+            prop_assert_eq!(a, b, "divergence on object {} op {}", obj, kind);
+        }
+    }
+
+    /// Read is always side-effect free on every object type.
+    #[test]
+    fn read_is_pure(
+        setup in proptest::collection::vec((arb_op(), 0usize..3), 0..30),
+        obj in 0usize..8,
+    ) {
+        let layout = layout();
+        let mut specs: Vec<ObjectState> =
+            layout.objects().iter().map(ObjectState::from_init).collect();
+        for ((o, kind), pid) in setup {
+            let _ = specs[o].apply(pid, &kind);
+        }
+        let before = specs[obj].clone();
+        let r1 = specs[obj].apply(0, &OpKind::Read);
+        let r2 = specs[obj].apply(0, &OpKind::Read);
+        prop_assert_eq!(r1, r2);
+        prop_assert_eq!(&specs[obj], &before);
+    }
+}

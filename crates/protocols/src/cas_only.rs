@@ -1,0 +1,190 @@
+use bso_objects::{Layout, ObjectId, ObjectInit, Op, Sym, Value};
+use bso_sim::{Action, Pid, Protocol};
+
+/// Leader election among `n ≤ k − 1` processes using a
+/// `compare&swap-(k)` register **alone** — no read/write registers.
+///
+/// This is the regime of Burns, Cruz and Loui \[5\], who prove `k − 1`
+/// is exactly the ceiling for a `k`-valued register used by itself (in
+/// their write-once read-modify-write model). The construction is the
+/// matching algorithm:
+///
+/// * process `p` owns the non-⊥ symbol `p` and performs a single
+///   `c&s(⊥ → p)`;
+/// * the operation's response is the register's previous value: ⊥
+///   means `p`'s own swap succeeded and `p` is the leader; any other
+///   value `v` is the *winner's* symbol, because the first successful
+///   swap is the only one that ever changes the register (every
+///   attempt expects ⊥, and ⊥ never returns).
+///
+/// One shared-memory operation per process; the domain affords only
+/// `k − 1` distinct owner symbols, which is why the algorithm cannot
+/// be stretched further — and why the jump to `(k−1)!` processes in
+/// [`crate::LabelElection`] needs the read/write registers.
+///
+/// # Example
+///
+/// ```
+/// use bso_protocols::CasOnlyElection;
+/// use bso_sim::{checker, scheduler::RoundRobin, ProtocolExt, Simulation};
+///
+/// let proto = CasOnlyElection::new(3, 4).unwrap(); // 3 ≤ 4 − 1
+/// let mut sim = Simulation::new(&proto, &proto.pid_inputs());
+/// let res = sim.run(&mut RoundRobin::new(), 100).unwrap();
+/// checker::check_election(&res).unwrap();
+/// ```
+#[derive(Clone, Debug)]
+pub struct CasOnlyElection {
+    n: usize,
+    k: usize,
+}
+
+impl CasOnlyElection {
+    /// Configures an election among `n` processes with a
+    /// `compare&swap-(k)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the Burns–Cruz–Loui ceiling as an error message when
+    /// `n > k − 1` (or `k < 2`): this protocol *cannot* host more
+    /// processes because it has no spare symbols.
+    pub fn new(n: usize, k: usize) -> Result<CasOnlyElection, String> {
+        if k < 2 {
+            return Err(format!("compare&swap-(k) needs k >= 2, got {k}"));
+        }
+        if n == 0 || n > k - 1 {
+            return Err(format!(
+                "a compare&swap-({k}) alone elects at most {} processes, got {n}",
+                k - 1
+            ));
+        }
+        Ok(CasOnlyElection { n, k })
+    }
+
+    /// The register's domain size `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    const CAS: ObjectId = ObjectId(0);
+}
+
+/// Local state: about to swap, or done.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum CasOnlyState {
+    /// About to perform `c&s(⊥ → own symbol)`.
+    Grab {
+        /// This process's id (and owned symbol).
+        pid: Pid,
+    },
+    /// Learned the winner.
+    Done {
+        /// The elected process.
+        winner: Pid,
+    },
+}
+
+impl Protocol for CasOnlyElection {
+    type State = CasOnlyState;
+
+    fn processes(&self) -> usize {
+        self.n
+    }
+
+    fn layout(&self) -> Layout {
+        let mut l = Layout::new();
+        l.push(ObjectInit::CasK { k: self.k });
+        l
+    }
+
+    fn init(&self, pid: Pid, _input: &Value) -> CasOnlyState {
+        CasOnlyState::Grab { pid }
+    }
+
+    fn next_action(&self, state: &CasOnlyState) -> Action {
+        match state {
+            CasOnlyState::Grab { pid } => Action::Invoke(Op::cas(
+                Self::CAS,
+                Sym::BOTTOM.into(),
+                Sym::new(*pid as u8).into(),
+            )),
+            CasOnlyState::Done { winner } => Action::Decide(Value::Pid(*winner)),
+        }
+    }
+
+    fn on_response(&self, state: &mut CasOnlyState, resp: Value) {
+        if let CasOnlyState::Grab { pid } = *state {
+            let prev = resp.as_sym().expect("compare&swap returns a symbol");
+            let winner = match prev.value() {
+                None => pid, // register held ⊥: our swap succeeded
+                Some(sym) => sym as Pid,
+            };
+            *state = CasOnlyState::Done { winner };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bso_sim::{checker, explore, scheduler, ExploreConfig, ProtocolExt, Simulation};
+    use bso_sim::TaskSpec;
+
+    #[test]
+    fn construction_enforces_burns_ceiling() {
+        assert!(CasOnlyElection::new(2, 3).is_ok());
+        let err = CasOnlyElection::new(3, 3).unwrap_err();
+        assert!(err.contains("at most 2"), "{err}");
+        assert!(CasOnlyElection::new(0, 3).is_err());
+        assert!(CasOnlyElection::new(1, 1).is_err());
+    }
+
+    #[test]
+    fn exhaustively_correct_at_the_ceiling() {
+        // Every n ≤ k−1 for k = 3..6, all schedules.
+        for k in 3..=6 {
+            let proto = CasOnlyElection::new(k - 1, k).unwrap();
+            let report = explore(
+                &proto,
+                &proto.pid_inputs(),
+                &ExploreConfig { spec: TaskSpec::Election, ..Default::default() },
+            );
+            assert!(report.outcome.is_verified(), "k={k}: {:?}", report.outcome);
+            // One c&s + one decide per process: exactly 2 steps.
+            assert!(report.max_steps_per_proc.iter().all(|&s| s == 2));
+        }
+    }
+
+    #[test]
+    fn solo_runner_elects_itself() {
+        let proto = CasOnlyElection::new(3, 4).unwrap();
+        let mut sim = Simulation::new(&proto, &proto.pid_inputs());
+        // Only process 2 runs (others crash immediately).
+        let plan = bso_sim::CrashPlan::none().crash(0, 0).crash(1, 0);
+        let mut sim2 = sim.clone().with_crash_plan(plan);
+        let res = sim2.run(&mut scheduler::RoundRobin::new(), 100).unwrap();
+        assert_eq!(res.decisions[2], Some(Value::Pid(2)));
+        // And a full run is still a correct election.
+        let res = sim.run(&mut scheduler::RandomSched::new(1), 100).unwrap();
+        checker::check_election(&res).unwrap();
+    }
+
+    #[test]
+    fn register_value_never_changes_after_first_success() {
+        let proto = CasOnlyElection::new(4, 5).unwrap();
+        for seed in 0..50 {
+            let mut sim = Simulation::new(&proto, &proto.pid_inputs());
+            let res = sim.run(&mut scheduler::RandomSched::new(seed), 100).unwrap();
+            checker::check_election(&res).unwrap();
+            let winner = res.decisions[0].as_ref().unwrap().as_pid().unwrap();
+            // The register ends holding the winner's symbol.
+            let mem = sim.memory();
+            match mem.object(CasOnlyElection::CAS).unwrap() {
+                bso_objects::spec::ObjectState::CasK { val, .. } => {
+                    assert_eq!(val.value(), Some(winner as u8));
+                }
+                other => panic!("unexpected object {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,609 @@
+//! Consensus protocols populating Herlihy's hierarchy.
+//!
+//! The paper's introduction leans on the classical landscape: with
+//! read/write registers alone even two processes cannot reach
+//! consensus \[9, 10, 13, 18\]; test&set solves it for exactly two;
+//! compare&swap solves it for any number (consensus number ∞) — *even
+//! when it can hold only three values*, which is precisely why the
+//! paper needs a finer, space-sensitive measure. This module provides
+//! the machine-checked witnesses:
+//!
+//! * [`TasConsensus`] — 2 processes, one test&set bit.
+//! * [`FaaConsensus`] — 2 processes, one fetch&add counter.
+//! * [`CasConsensus`] — n processes, one *unbounded* compare&swap.
+//! * [`CasKConsensus`] — n processes, one `compare&swap-(k)` **plus
+//!   registers**, for any `n ≤ (k−1)!` — consensus from
+//!   [`crate::LabelElection`]: elect a leader, adopt the leader's
+//!   announced input. This is the object the paper studies.
+//! * [`StickyConsensus`] — n processes, one sticky (write-once)
+//!   register, Plotkin's universal primitive.
+//! * [`RwConsensus`] — the natural *doomed* read/write candidate, kept
+//!   as a refuter target for `bso-hierarchy`.
+
+use bso_objects::{Layout, ObjectId, ObjectInit, Op, OpKind, Value};
+use bso_sim::{Action, Pid, Protocol};
+
+use crate::LabelElection;
+
+/// Two-process consensus from one test&set bit plus two announcement
+/// registers: announce the input, grab the bit; the winner decides its
+/// own input, the loser adopts the winner's announcement (which was
+/// written before the winner could grab).
+#[derive(Clone, Debug)]
+pub struct TasConsensus;
+
+/// Local state of [`TasConsensus`] / [`FaaConsensus`] (they share the
+/// announce → grab → read-peer shape).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum GrabState {
+    /// About to announce the input in the own register.
+    Announce {
+        /// Own pid.
+        pid: Pid,
+        /// Own input.
+        input: Value,
+    },
+    /// About to access the arbitration object.
+    Grab {
+        /// Own pid.
+        pid: Pid,
+        /// Own input.
+        input: Value,
+    },
+    /// Lost; about to read the peer's announcement.
+    ReadPeer {
+        /// Own pid.
+        pid: Pid,
+    },
+    /// About to decide.
+    Done {
+        /// The agreed value.
+        value: Value,
+    },
+}
+
+fn grab_layout(arbiter: ObjectInit) -> Layout {
+    let mut l = Layout::new();
+    l.push(arbiter); // o0
+    l.push_n(ObjectInit::Register(Value::Nil), 2); // o1, o2
+    l
+}
+
+fn grab_next(state: &GrabState, arbiter_op: OpKind) -> Action {
+    match state {
+        GrabState::Announce { pid, input } => {
+            Action::Invoke(Op::write(ObjectId(1 + pid), input.clone()))
+        }
+        GrabState::Grab { .. } => Action::Invoke(Op::new(ObjectId(0), arbiter_op)),
+        GrabState::ReadPeer { pid } => Action::Invoke(Op::read(ObjectId(1 + (1 - pid)))),
+        GrabState::Done { value } => Action::Decide(value.clone()),
+    }
+}
+
+fn grab_response(state: &mut GrabState, resp: Value, won: impl Fn(&Value) -> bool) {
+    *state = match state.clone() {
+        GrabState::Announce { pid, input } => GrabState::Grab { pid, input },
+        GrabState::Grab { pid, input } => {
+            if won(&resp) {
+                GrabState::Done { value: input }
+            } else {
+                GrabState::ReadPeer { pid }
+            }
+        }
+        GrabState::ReadPeer { .. } => GrabState::Done { value: resp },
+        done => done,
+    };
+}
+
+impl Protocol for TasConsensus {
+    type State = GrabState;
+
+    fn processes(&self) -> usize {
+        2
+    }
+
+    fn layout(&self) -> Layout {
+        grab_layout(ObjectInit::TestAndSet)
+    }
+
+    fn init(&self, pid: Pid, input: &Value) -> GrabState {
+        GrabState::Announce { pid, input: input.clone() }
+    }
+
+    fn next_action(&self, state: &GrabState) -> Action {
+        grab_next(state, OpKind::TestAndSet)
+    }
+
+    fn on_response(&self, state: &mut GrabState, resp: Value) {
+        grab_response(state, resp, |r| *r == Value::Bool(false));
+    }
+}
+
+/// Two-process consensus from one fetch&add counter (consensus number
+/// of fetch&add is 2): the process that receives 0 from `f&a(1)` won.
+#[derive(Clone, Debug)]
+pub struct FaaConsensus;
+
+impl Protocol for FaaConsensus {
+    type State = GrabState;
+
+    fn processes(&self) -> usize {
+        2
+    }
+
+    fn layout(&self) -> Layout {
+        grab_layout(ObjectInit::FetchAdd(0))
+    }
+
+    fn init(&self, pid: Pid, input: &Value) -> GrabState {
+        GrabState::Announce { pid, input: input.clone() }
+    }
+
+    fn next_action(&self, state: &GrabState) -> Action {
+        grab_next(state, OpKind::FetchAdd(1))
+    }
+
+    fn on_response(&self, state: &mut GrabState, resp: Value) {
+        grab_response(state, resp, |r| *r == Value::Int(0));
+    }
+}
+
+/// n-process consensus from one *unbounded* compare&swap register:
+/// every process performs `c&s(Nil → input)` and decides the register's
+/// resulting contents (its own input on success, the winner's
+/// otherwise). One operation per process — the textbook witness that
+/// compare&swap has consensus number ∞.
+#[derive(Clone, Debug)]
+pub struct CasConsensus {
+    n: usize,
+}
+
+impl CasConsensus {
+    /// Consensus among `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> CasConsensus {
+        assert!(n > 0, "need at least one process");
+        CasConsensus { n }
+    }
+}
+
+/// Local state of single-grab protocols ([`CasConsensus`],
+/// [`StickyConsensus`]).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum OneShotState {
+    /// About to perform the single decisive operation.
+    Try {
+        /// Own input.
+        input: Value,
+    },
+    /// About to decide.
+    Done {
+        /// The agreed value.
+        value: Value,
+    },
+}
+
+impl Protocol for CasConsensus {
+    type State = OneShotState;
+
+    fn processes(&self) -> usize {
+        self.n
+    }
+
+    fn layout(&self) -> Layout {
+        let mut l = Layout::new();
+        l.push(ObjectInit::CasReg(Value::Nil));
+        l
+    }
+
+    fn init(&self, _pid: Pid, input: &Value) -> OneShotState {
+        OneShotState::Try { input: input.clone() }
+    }
+
+    fn next_action(&self, state: &OneShotState) -> Action {
+        match state {
+            OneShotState::Try { input } => {
+                Action::Invoke(Op::cas(ObjectId(0), Value::Nil, input.clone()))
+            }
+            OneShotState::Done { value } => Action::Decide(value.clone()),
+        }
+    }
+
+    fn on_response(&self, state: &mut OneShotState, resp: Value) {
+        if let OneShotState::Try { input } = state.clone() {
+            let value = if resp.is_nil() { input } else { resp };
+            *state = OneShotState::Done { value };
+        }
+    }
+}
+
+/// n-process consensus from one sticky (write-once) register
+/// (Plotkin \[20\]): the sticky write returns the surviving contents.
+#[derive(Clone, Debug)]
+pub struct StickyConsensus {
+    n: usize,
+}
+
+impl StickyConsensus {
+    /// Consensus among `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> StickyConsensus {
+        assert!(n > 0, "need at least one process");
+        StickyConsensus { n }
+    }
+}
+
+impl Protocol for StickyConsensus {
+    type State = OneShotState;
+
+    fn processes(&self) -> usize {
+        self.n
+    }
+
+    fn layout(&self) -> Layout {
+        let mut l = Layout::new();
+        l.push(ObjectInit::Sticky);
+        l
+    }
+
+    fn init(&self, _pid: Pid, input: &Value) -> OneShotState {
+        OneShotState::Try { input: input.clone() }
+    }
+
+    fn next_action(&self, state: &OneShotState) -> Action {
+        match state {
+            OneShotState::Try { input } => {
+                Action::Invoke(Op::new(ObjectId(0), OpKind::StickyWrite(input.clone())))
+            }
+            OneShotState::Done { value } => Action::Decide(value.clone()),
+        }
+    }
+
+    fn on_response(&self, state: &mut OneShotState, resp: Value) {
+        if let OneShotState::Try { .. } = state {
+            *state = OneShotState::Done { value: resp };
+        }
+    }
+}
+
+/// Multi-valued consensus among `n ≤ (k−1)!` processes from **one
+/// `compare&swap-(k)` plus read/write memory** — the object
+/// configuration the paper studies.
+///
+/// Structure: every process announces its input in its slot of an
+/// announcement snapshot, then runs [`LabelElection`]; everyone adopts
+/// the elected leader's announcement. The announcement is written
+/// *before* the election's registration step, so by the time any
+/// process learns the election outcome, the leader's input is visible
+/// (leader announced → leader registered → final history value written
+/// → outcome observable).
+#[derive(Clone, Debug)]
+pub struct CasKConsensus {
+    election: LabelElection,
+}
+
+impl CasKConsensus {
+    /// Announcement snapshot object (allocated after the election's
+    /// two objects).
+    const ANNOUNCE: ObjectId = ObjectId(2);
+
+    /// Consensus among `n` processes with a `compare&swap-(k)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::LabelElectionError`] (`n > (k−1)!` or
+    /// `k < 3`).
+    pub fn new(n: usize, k: usize) -> Result<CasKConsensus, crate::LabelElectionError> {
+        Ok(CasKConsensus { election: LabelElection::new(n, k)? })
+    }
+}
+
+/// Local state of [`CasKConsensus`].
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum CasKConsensusState {
+    /// About to announce the input.
+    Announce {
+        /// Own input.
+        input: Value,
+    },
+    /// Running the embedded election.
+    Electing {
+        /// The election sub-state (never a decided state; decisions are
+        /// intercepted in `on_response`).
+        inner: crate::label_election::LabelState,
+    },
+    /// Leader known; about to read its announcement.
+    Fetch {
+        /// The elected leader.
+        winner: Pid,
+    },
+    /// About to decide.
+    Done {
+        /// The leader's input.
+        value: Value,
+    },
+}
+
+impl Protocol for CasKConsensus {
+    type State = CasKConsensusState;
+
+    fn processes(&self) -> usize {
+        self.election.processes()
+    }
+
+    fn layout(&self) -> Layout {
+        let mut l = self.election.layout(); // o0 = cas, o1 = logs
+        l.push(ObjectInit::Snapshot { slots: self.processes() }); // o2
+        l
+    }
+
+    fn init(&self, _pid: Pid, input: &Value) -> CasKConsensusState {
+        CasKConsensusState::Announce { input: input.clone() }
+    }
+
+    fn next_action(&self, state: &CasKConsensusState) -> Action {
+        match state {
+            CasKConsensusState::Announce { input } => Action::Invoke(Op::new(
+                Self::ANNOUNCE,
+                OpKind::SnapshotUpdate(input.clone()),
+            )),
+            CasKConsensusState::Electing { inner } => match self.election.next_action(inner) {
+                Action::Invoke(op) => Action::Invoke(op),
+                Action::Decide(_) => {
+                    unreachable!("decided election states are intercepted in on_response")
+                }
+            },
+            CasKConsensusState::Fetch { .. } => {
+                Action::Invoke(Op::new(Self::ANNOUNCE, OpKind::SnapshotScan))
+            }
+            CasKConsensusState::Done { value } => Action::Decide(value.clone()),
+        }
+    }
+
+    fn on_response(&self, state: &mut CasKConsensusState, resp: Value) {
+        *state = match state.clone() {
+            CasKConsensusState::Announce { .. } => CasKConsensusState::Electing {
+                // The election's initial state is pid-independent.
+                inner: self.election.init(0, &Value::Nil),
+            },
+            CasKConsensusState::Electing { mut inner } => {
+                self.election.on_response(&mut inner, resp);
+                match self.election.next_action(&inner) {
+                    Action::Decide(v) => CasKConsensusState::Fetch {
+                        winner: v.as_pid().expect("election decides a pid"),
+                    },
+                    _ => CasKConsensusState::Electing { inner },
+                }
+            }
+            CasKConsensusState::Fetch { winner } => {
+                let slots = resp.as_seq().expect("scan returns a sequence");
+                CasKConsensusState::Done { value: slots[winner].clone() }
+            }
+            done => done,
+        };
+    }
+}
+
+/// Two-process consensus from one pre-loaded FIFO queue — the
+/// classical witness that queues have consensus number 2 (Herlihy
+/// \[10\]): the queue starts holding a *winner* token followed by a
+/// *loser* token; each process announces its input and dequeues; the
+/// process that draws the winner token decides its own input, the
+/// other adopts the winner's announcement.
+#[derive(Clone, Debug)]
+pub struct QueueConsensus;
+
+impl QueueConsensus {
+    /// The token handed to the first dequeuer.
+    pub fn winner_token() -> Value {
+        Value::Int(1)
+    }
+
+    /// The token handed to the second dequeuer.
+    pub fn loser_token() -> Value {
+        Value::Int(0)
+    }
+}
+
+impl Protocol for QueueConsensus {
+    type State = GrabState;
+
+    fn processes(&self) -> usize {
+        2
+    }
+
+    fn layout(&self) -> Layout {
+        grab_layout(ObjectInit::Queue(vec![
+            Self::winner_token(),
+            Self::loser_token(),
+        ]))
+    }
+
+    fn init(&self, pid: Pid, input: &Value) -> GrabState {
+        GrabState::Announce { pid, input: input.clone() }
+    }
+
+    fn next_action(&self, state: &GrabState) -> Action {
+        grab_next(state, OpKind::Dequeue)
+    }
+
+    fn on_response(&self, state: &mut GrabState, resp: Value) {
+        grab_response(state, resp, |r| *r == QueueConsensus::winner_token());
+    }
+}
+
+/// The natural — doomed — read/write consensus candidate: announce,
+/// read the peer, decide the smaller announced input. FLP guarantees a
+/// schedule on which it disagrees; `bso-hierarchy` exhibits it.
+#[derive(Clone, Debug)]
+pub struct RwConsensus;
+
+/// Local state of [`RwConsensus`].
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum RwState {
+    /// About to announce.
+    Write {
+        /// Own pid.
+        pid: Pid,
+        /// Own input.
+        input: Value,
+    },
+    /// About to read the peer's register.
+    Read {
+        /// Own pid.
+        pid: Pid,
+        /// Own input.
+        input: Value,
+    },
+    /// About to decide.
+    Done {
+        /// The chosen value.
+        value: Value,
+    },
+}
+
+impl Protocol for RwConsensus {
+    type State = RwState;
+
+    fn processes(&self) -> usize {
+        2
+    }
+
+    fn layout(&self) -> Layout {
+        let mut l = Layout::new();
+        l.push_n(ObjectInit::Register(Value::Nil), 2);
+        l
+    }
+
+    fn init(&self, pid: Pid, input: &Value) -> RwState {
+        RwState::Write { pid, input: input.clone() }
+    }
+
+    fn next_action(&self, state: &RwState) -> Action {
+        match state {
+            RwState::Write { pid, input } => {
+                Action::Invoke(Op::write(ObjectId(*pid), input.clone()))
+            }
+            RwState::Read { pid, .. } => Action::Invoke(Op::read(ObjectId(1 - *pid))),
+            RwState::Done { value } => Action::Decide(value.clone()),
+        }
+    }
+
+    fn on_response(&self, state: &mut RwState, resp: Value) {
+        *state = match state.clone() {
+            RwState::Write { pid, input } => RwState::Read { pid, input },
+            RwState::Read { input, .. } => {
+                let value = match resp {
+                    Value::Nil => input,
+                    peer => input.min(peer),
+                };
+                RwState::Done { value }
+            }
+            done => done,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bso_sim::{explore, refute, ExploreConfig, TaskSpec};
+
+    fn int_inputs(n: usize) -> Vec<Value> {
+        (0..n).map(|i| Value::Int(10 + i as i64)).collect()
+    }
+
+    fn verify_consensus<P: Protocol>(proto: &P, inputs: &[Value])
+    where
+        P::State: std::hash::Hash + Eq,
+    {
+        let report = explore(
+            proto,
+            inputs,
+            &ExploreConfig {
+                spec: TaskSpec::Consensus(inputs.to_vec()),
+                ..Default::default()
+            },
+        );
+        assert!(report.outcome.is_verified(), "{:?}", report.outcome);
+    }
+
+    #[test]
+    fn tas_consensus_exhaustively_correct() {
+        verify_consensus(&TasConsensus, &int_inputs(2));
+    }
+
+    #[test]
+    fn faa_consensus_exhaustively_correct() {
+        verify_consensus(&FaaConsensus, &int_inputs(2));
+    }
+
+    #[test]
+    fn cas_consensus_exhaustively_correct_n4() {
+        verify_consensus(&CasConsensus::new(4), &int_inputs(4));
+    }
+
+    #[test]
+    fn queue_consensus_exhaustively_correct() {
+        verify_consensus(&QueueConsensus, &int_inputs(2));
+    }
+
+    #[test]
+    fn queue_consensus_on_hardware() {
+        let inputs = int_inputs(2);
+        for _ in 0..20 {
+            let decisions =
+                bso_sim::thread_runner::run_on_threads(&QueueConsensus, &inputs).unwrap();
+            assert_eq!(decisions[0], decisions[1]);
+            assert!(inputs.contains(&decisions[0]));
+        }
+    }
+
+    #[test]
+    fn sticky_consensus_exhaustively_correct_n3() {
+        verify_consensus(&StickyConsensus::new(3), &int_inputs(3));
+    }
+
+    #[test]
+    fn cas_k_consensus_exhaustively_correct_small() {
+        // k = 3, n = 2 = (k−1)!: the bounded register + registers reach
+        // multi-valued consensus.
+        verify_consensus(&CasKConsensus::new(2, 3).unwrap(), &int_inputs(2));
+        // k = 4, n = 3 (partial house).
+        verify_consensus(&CasKConsensus::new(3, 4).unwrap(), &int_inputs(3));
+    }
+
+    #[test]
+    fn cas_k_consensus_stress_full_house() {
+        use bso_sim::{checker, scheduler, Simulation};
+        let proto = CasKConsensus::new(6, 4).unwrap();
+        let inputs = int_inputs(6);
+        for seed in 0..30 {
+            let mut sim = Simulation::new(&proto, &inputs);
+            let res = sim
+                .run(&mut scheduler::RandomSched::new(seed), 1_000_000)
+                .unwrap();
+            checker::check_consensus(&res, &inputs).unwrap();
+        }
+    }
+
+    #[test]
+    fn rw_consensus_is_refuted() {
+        let verdict = refute::refute_consensus(&RwConsensus, &int_inputs(2), 1_000_000);
+        assert!(verdict.refutation().is_some(), "FLP demands a counterexample");
+    }
+
+    #[test]
+    fn identical_inputs_always_win() {
+        // With equal inputs every protocol must decide that input.
+        let inputs = vec![Value::Int(7), Value::Int(7)];
+        verify_consensus(&TasConsensus, &inputs);
+        verify_consensus(&CasKConsensus::new(2, 3).unwrap(), &inputs);
+    }
+}

@@ -1,0 +1,497 @@
+use std::error::Error;
+use std::fmt;
+
+use bso_combinatorics::perm::{factorial, nth_permutation, permutation_rank};
+use bso_objects::{Layout, ObjectId, ObjectInit, Op, OpKind, Sym, Value};
+use bso_sim::{Action, Pid, Protocol};
+
+/// Wait-free leader election among `n ≤ (k−1)!` processes using **one**
+/// `compare&swap-(k)` register plus read/write memory.
+///
+/// This realizes the lower-bound side of the paper — the Θ(k!)
+/// election of the FOCS '93 companion \[1\] — with the paper's own
+/// *label* idea as the algorithm (the full FOCS '93 text is not
+/// available to us; this construction is our reconstruction, verified
+/// mechanically — see DESIGN.md §2).
+///
+/// # The algorithm
+///
+/// The compare&swap register is driven so that **every value is
+/// written at most once**: its value history is a growing permutation
+/// prefix `⊥, v₁, v₂, …` of the domain Σ — exactly the "sequence of
+/// first values" the paper calls a *label*. There are `(k−1)!` complete
+/// labels, and a Lehmer-code bijection assigns one to each process id;
+/// the completed label *names the leader*.
+///
+/// Shared memory: the `compare&swap-(k)` `C`, plus one atomic-snapshot
+/// object whose slot `p` holds `p`'s **log** — `p`'s view of the label
+/// so far (`Nil` until `p` registers). The snapshot object stands for
+/// plain swmr registers (see [`crate::snapshot`] for the classical
+/// wait-free construction from registers that justifies it).
+///
+/// Each process loops over a three-phase iteration:
+///
+/// 1. **Read** `C` (the derived `c&s(v→v)` read), obtaining `cur`.
+/// 2. **Scan** the snapshot; the *merged log* `L` is the longest slot
+///    (all slots are prefixes of the true history — an invariant the
+///    write-ahead discipline below maintains).
+///    * If `cur ∉ L ∪ {⊥}`: `cur` is the unique *pending* (in-`C`-but-
+///      unlogged) value; **append**: write `L·cur` to the own slot and
+///      restart. This is the write-ahead/helping step: `C` may advance
+///      *only past logged values*, so no process can ever miss a value
+///      of the history — the paper's emulators need the same
+///      no-missed-first-values property and get it from their history
+///      tree.
+///    * If `|L| = k−1` (label complete): **decide** the process whose
+///      permutation is `L` — it is registered (invariant below).
+///    * Otherwise pick the minimal *registered* process `q` whose
+///      permutation extends `L` and **attempt** `c&s(last(L) → next)`
+///      where `next = perm(q)[|L|]`; restart regardless of the
+///      response.
+///
+/// **Key invariant**: every history prefix has, from the moment it
+/// becomes current, at least one registered process whose permutation
+/// extends it. (Base: everyone registers first, and every process is
+/// aligned with `⊥`. Step: a successful attempt was targeted at such a
+/// `q`, and `q` stays aligned with the extended history.) Hence the
+/// completed label is the permutation of a *registered* — i.e.
+/// participating — process, giving validity; agreement holds because
+/// the completed label is unique; and the attempt rule can never run
+/// out of candidates.
+///
+/// **Why values are never reused**: an attempt `c&s(last(L) → b)` can
+/// succeed only while `C = last(L)`; since values never repeat, `C`
+/// equals the last value of the true history, so success implies the
+/// attempter's `L` *was* the whole history and `b` (a fresh value by
+/// the alignment rule) extends it.
+///
+/// **Wait-freedom**: a process's compare&swap attempt fails only if
+/// the history advanced since its read or a pending value awaits
+/// logging — the first happens at most `k−1` times globally, the
+/// second leads the process itself to append on its next iteration
+/// (at most `k−1` appends per process). Every process decides within
+/// `O(k)` of its own steps; the exhaustive explorer reports the exact
+/// bound for small instances.
+///
+/// # Example
+///
+/// ```
+/// use bso_protocols::LabelElection;
+/// use bso_sim::{checker, scheduler::RandomSched, ProtocolExt, Simulation};
+///
+/// let proto = LabelElection::new(6, 4).unwrap(); // 6 = (4−1)! processes
+/// let mut sim = Simulation::new(&proto, &proto.pid_inputs());
+/// let res = sim.run(&mut RandomSched::new(42), 100_000).unwrap();
+/// checker::check_election(&res).unwrap();
+/// ```
+#[derive(Clone, Debug)]
+pub struct LabelElection {
+    n: usize,
+    k: usize,
+    /// perms[p] = the permutation of {0..k−2} with Lehmer rank p.
+    perms: Vec<Vec<u8>>,
+}
+
+/// Construction errors for [`LabelElection`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LabelElectionError {
+    /// `k < 3`: with only {⊥, 0} there is a single label and a single
+    /// process — use [`crate::CasOnlyElection`].
+    DomainTooSmall {
+        /// The offending domain size.
+        k: usize,
+    },
+    /// `n` exceeds the `(k−1)!` labels the register can produce.
+    TooManyProcesses {
+        /// Requested process count.
+        n: usize,
+        /// The `(k−1)!` ceiling.
+        max: u128,
+    },
+}
+
+impl fmt::Display for LabelElectionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LabelElectionError::DomainTooSmall { k } => {
+                write!(f, "label election needs k >= 3, got {k}")
+            }
+            LabelElectionError::TooManyProcesses { n, max } => {
+                write!(f, "a compare&swap-(k) yields {max} labels, cannot elect {n} processes")
+            }
+        }
+    }
+}
+
+impl Error for LabelElectionError {}
+
+impl LabelElection {
+    const CAS: ObjectId = ObjectId(0);
+    const LOGS: ObjectId = ObjectId(1);
+
+    /// Configures an election among `n` processes with a
+    /// `compare&swap-(k)`.
+    ///
+    /// # Errors
+    ///
+    /// [`LabelElectionError`] if `k < 3` or `n > (k−1)!`.
+    pub fn new(n: usize, k: usize) -> Result<LabelElection, LabelElectionError> {
+        if k < 3 {
+            return Err(LabelElectionError::DomainTooSmall { k });
+        }
+        let max = factorial(k - 1);
+        if n == 0 || n as u128 > max {
+            return Err(LabelElectionError::TooManyProcesses { n, max });
+        }
+        let perms = (0..n).map(|p| nth_permutation(p as u128, k - 1)).collect();
+        Ok(LabelElection { n, k, perms })
+    }
+
+    /// The register's domain size `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The permutation (label) assigned to process `pid`.
+    pub fn label_of(&self, pid: Pid) -> &[u8] {
+        &self.perms[pid]
+    }
+
+    /// The process a completed label elects.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label` is not one of this instance's assigned labels
+    /// (cannot happen in a run — the key invariant guarantees the
+    /// final label belongs to a registered process).
+    pub fn owner_of(&self, label: &[u8]) -> Pid {
+        let rank = permutation_rank(label);
+        assert!(
+            (rank as usize) < self.n,
+            "label {label:?} has rank {rank}, but only {} processes exist",
+            self.n
+        );
+        rank as Pid
+    }
+
+    /// Decodes a snapshot view into `(registered, merged log)`.
+    fn digest_view(&self, view: &Value) -> (Vec<Pid>, Vec<u8>) {
+        let slots = view.as_seq().expect("snapshot scan returns a sequence");
+        let mut registered = Vec::new();
+        let mut merged: &[Value] = &[];
+        for (pid, slot) in slots.iter().enumerate() {
+            if let Some(log) = slot.as_seq() {
+                registered.push(pid);
+                debug_assert!(
+                    log.iter().zip(merged.iter()).all(|(a, b)| a == b),
+                    "slot logs are not mutual prefixes: {slots:?}"
+                );
+                if log.len() > merged.len() {
+                    merged = log;
+                }
+            }
+        }
+        let merged: Vec<u8> = merged
+            .iter()
+            .map(|v| {
+                v.as_sym()
+                    .and_then(Sym::value)
+                    .expect("logs hold non-⊥ symbols")
+            })
+            .collect();
+        (registered, merged)
+    }
+
+    fn encode_log(log: &[u8]) -> Value {
+        Value::Seq(log.iter().map(|&v| Value::Sym(Sym::new(v))).collect())
+    }
+
+    /// The register value after history `log` (⊥ for the empty log).
+    fn last_sym(log: &[u8]) -> Sym {
+        match log.last() {
+            None => Sym::BOTTOM,
+            Some(&v) => Sym::new(v),
+        }
+    }
+}
+
+/// Local state of one [`LabelElection`] process.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum LabelState {
+    /// About to register (write the empty log into the own slot).
+    Register,
+    /// About to read the compare&swap register.
+    ReadCas,
+    /// Read `cur`; about to scan the snapshot object.
+    Scan {
+        /// The value just read from the register.
+        cur: Sym,
+    },
+    /// About to write-ahead the pending value into the own slot.
+    Append {
+        /// The extended log to publish.
+        log: Vec<u8>,
+    },
+    /// About to attempt `c&s(expect → next)`.
+    Attempt {
+        /// The last logged value.
+        expect: Sym,
+        /// The fresh value to install.
+        next: Sym,
+    },
+    /// Label complete: about to decide.
+    Done {
+        /// The elected process.
+        winner: Pid,
+    },
+}
+
+impl Protocol for LabelElection {
+    type State = LabelState;
+
+    fn processes(&self) -> usize {
+        self.n
+    }
+
+    fn layout(&self) -> Layout {
+        let mut l = Layout::new();
+        l.push(ObjectInit::CasK { k: self.k });
+        l.push(ObjectInit::Snapshot { slots: self.n });
+        l
+    }
+
+    fn init(&self, _pid: Pid, _input: &Value) -> LabelState {
+        LabelState::Register
+    }
+
+    fn next_action(&self, state: &LabelState) -> Action {
+        match state {
+            LabelState::Register => Action::Invoke(Op::new(
+                Self::LOGS,
+                OpKind::SnapshotUpdate(Value::Seq(Vec::new())),
+            )),
+            LabelState::ReadCas => Action::Invoke(Op::read(Self::CAS)),
+            LabelState::Scan { .. } => {
+                Action::Invoke(Op::new(Self::LOGS, OpKind::SnapshotScan))
+            }
+            LabelState::Append { log } => Action::Invoke(Op::new(
+                Self::LOGS,
+                OpKind::SnapshotUpdate(Self::encode_log(log)),
+            )),
+            LabelState::Attempt { expect, next } => Action::Invoke(Op::cas(
+                Self::CAS,
+                Value::Sym(*expect),
+                Value::Sym(*next),
+            )),
+            LabelState::Done { winner } => Action::Decide(Value::Pid(*winner)),
+        }
+    }
+
+    fn on_response(&self, state: &mut LabelState, resp: Value) {
+        *state = match std::mem::replace(state, LabelState::ReadCas) {
+            LabelState::Register => LabelState::ReadCas,
+            LabelState::ReadCas => LabelState::Scan {
+                cur: resp.as_sym().expect("compare&swap read returns a symbol"),
+            },
+            LabelState::Scan { cur } => {
+                let (registered, merged) = self.digest_view(&resp);
+                match cur.value() {
+                    // A pending value: write-ahead before anything else.
+                    Some(v) if !merged.contains(&v) => {
+                        let mut log = merged;
+                        log.push(v);
+                        LabelState::Append { log }
+                    }
+                    _ if merged.len() == self.k - 1 => {
+                        LabelState::Done { winner: self.owner_of(&merged) }
+                    }
+                    _ => {
+                        let j = merged.len();
+                        let q = registered
+                            .iter()
+                            .copied()
+                            .find(|&q| self.perms[q][..j] == merged[..])
+                            .unwrap_or_else(|| {
+                                panic!(
+                                    "invariant broken: no registered process aligned \
+                                     with {merged:?} among {registered:?}"
+                                )
+                            });
+                        LabelState::Attempt {
+                            expect: Self::last_sym(&merged),
+                            next: Sym::new(self.perms[q][j]),
+                        }
+                    }
+                }
+            }
+            // After an append or an attempt (successful or not), start a
+            // fresh iteration.
+            LabelState::Append { .. } => LabelState::ReadCas,
+            LabelState::Attempt { .. } => LabelState::ReadCas,
+            done @ LabelState::Done { .. } => done,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bso_sim::TaskSpec;
+    use bso_sim::{
+        checker, explore, scheduler, CrashPlan, ExploreConfig, ProtocolExt, Simulation,
+    };
+
+    #[test]
+    fn construction_enforces_label_ceiling() {
+        assert!(LabelElection::new(2, 3).is_ok()); // (3−1)! = 2
+        assert_eq!(
+            LabelElection::new(3, 3).unwrap_err(),
+            LabelElectionError::TooManyProcesses { n: 3, max: 2 }
+        );
+        assert!(LabelElection::new(6, 4).is_ok()); // (4−1)! = 6
+        assert!(LabelElection::new(7, 4).is_err());
+        assert_eq!(
+            LabelElection::new(2, 2).unwrap_err(),
+            LabelElectionError::DomainTooSmall { k: 2 }
+        );
+        assert!(LabelElection::new(0, 4).is_err());
+    }
+
+    #[test]
+    fn labels_are_distinct_permutations() {
+        let proto = LabelElection::new(6, 4).unwrap();
+        let mut labels: Vec<Vec<u8>> =
+            (0..6).map(|p| proto.label_of(p).to_vec()).collect();
+        for l in &labels {
+            assert_eq!(proto.owner_of(l), labels.iter().position(|x| x == l).unwrap());
+        }
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), 6);
+    }
+
+    #[test]
+    fn exhaustive_full_house_k3() {
+        // (3−1)! = 2 processes, k = 3: every interleaving.
+        let proto = LabelElection::new(2, 3).unwrap();
+        let report = explore(
+            &proto,
+            &proto.pid_inputs(),
+            &ExploreConfig { spec: TaskSpec::Election, ..Default::default() },
+        );
+        assert!(report.outcome.is_verified(), "{:?}", report.outcome);
+        // Wait-freedom witness: the explorer certifies a finite bound.
+        assert!(report.max_steps_per_proc.iter().all(|&s| s <= 12 * 3));
+    }
+
+    #[test]
+    fn exhaustive_partial_house_k4() {
+        // 3 of the possible 6 processes, k = 4: every interleaving.
+        let proto = LabelElection::new(3, 4).unwrap();
+        let report = explore(
+            &proto,
+            &proto.pid_inputs(),
+            &ExploreConfig { spec: TaskSpec::Election, ..Default::default() },
+        );
+        assert!(report.outcome.is_verified(), "{:?}", report.outcome);
+        assert!(report.max_steps_per_proc.iter().all(|&s| s <= 12 * 4));
+    }
+
+    #[test]
+    fn random_stress_full_house_k4_and_k5() {
+        for (n, k) in [(6, 4), (24, 5)] {
+            let proto = LabelElection::new(n, k).unwrap();
+            for seed in 0..40 {
+                let mut sim = Simulation::new(&proto, &proto.pid_inputs());
+                let res = sim
+                    .run(&mut scheduler::RandomSched::new(seed), 1_000_000)
+                    .unwrap();
+                checker::check_election(&res).unwrap();
+                checker::check_step_bound(&res, 12 * k).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn bursty_schedules_and_crashes() {
+        let proto = LabelElection::new(6, 4).unwrap();
+        for seed in 0..30 {
+            // Crash two processes at seed-dependent points.
+            let plan = CrashPlan::none()
+                .crash((seed as usize) % 6, (seed as usize) % 7)
+                .crash((seed as usize + 3) % 6, (seed as usize) % 3);
+            let mut sim =
+                Simulation::new(&proto, &proto.pid_inputs()).with_crash_plan(plan);
+            let res = sim
+                .run(&mut scheduler::BurstSched::new(seed, 5), 1_000_000)
+                .unwrap();
+            checker::check_election(&res).unwrap();
+        }
+    }
+
+    #[test]
+    fn solo_runner_elects_itself() {
+        let proto = LabelElection::new(6, 4).unwrap();
+        for solo in 0..6 {
+            let plan = (0..6)
+                .filter(|&p| p != solo)
+                .fold(CrashPlan::none(), |pl, p| pl.crash(p, 0));
+            let mut sim =
+                Simulation::new(&proto, &proto.pid_inputs()).with_crash_plan(plan);
+            let res = sim.run(&mut scheduler::RoundRobin::new(), 10_000).unwrap();
+            assert_eq!(res.decisions[solo], Some(Value::Pid(solo)));
+        }
+    }
+
+    #[test]
+    fn history_is_a_permutation_prefix_in_every_run() {
+        // Audit the trace: values written into the cas never repeat.
+        let proto = LabelElection::new(6, 4).unwrap();
+        for seed in 0..30 {
+            let mut sim = Simulation::new(&proto, &proto.pid_inputs());
+            let res = sim
+                .run(&mut scheduler::RandomSched::new(seed), 1_000_000)
+                .unwrap();
+            let mut history = vec![Sym::BOTTOM];
+            for e in res.trace.events() {
+                if let bso_sim::EventKind::Applied { op, resp } = &e.kind {
+                    if let bso_objects::OpKind::Cas { expect, new } = &op.kind {
+                        if resp == expect {
+                            // successful c&s
+                            let new = new.as_sym().unwrap();
+                            assert!(
+                                !history.contains(&new),
+                                "value {new} reused in seed {seed}"
+                            );
+                            assert_eq!(
+                                Value::Sym(*history.last().unwrap()),
+                                *expect,
+                                "history out of order"
+                            );
+                            history.push(new);
+                        }
+                    }
+                }
+            }
+            assert_eq!(history.len(), proto.k(), "history incomplete");
+            // The winner owns the completed label.
+            let label: Vec<u8> =
+                history[1..].iter().map(|s| s.value().unwrap()).collect();
+            let winner = res.decisions[0].as_ref().unwrap().as_pid().unwrap();
+            assert_eq!(proto.owner_of(&label), winner);
+        }
+    }
+
+    #[test]
+    fn on_hardware_atomics() {
+        let proto = LabelElection::new(6, 4).unwrap();
+        for _ in 0..20 {
+            let decisions =
+                bso_sim::thread_runner::run_on_threads(&proto, &proto.pid_inputs())
+                    .unwrap();
+            let w = decisions[0].as_pid().unwrap();
+            assert!(decisions.iter().all(|d| d.as_pid().unwrap() == w));
+            assert!(w < 6);
+        }
+    }
+}

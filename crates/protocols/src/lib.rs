@@ -1,0 +1,63 @@
+//! Wait-free protocols over bounded synchronization objects.
+//!
+//! This crate contains the *algorithmic* side of the reproduction of
+//! Afek & Stupp (PODC 1994): the election algorithms whose existence
+//! and limits the paper is about, plus the consensus protocols that
+//! populate Herlihy's hierarchy and the snapshot construction that
+//! justifies the model's snapshot primitive.
+//!
+//! # The headline: `n_k` from below
+//!
+//! With a `compare&swap-(k)` register (domain Σ = {⊥, 0, …, k−2}):
+//!
+//! * [`CasOnlyElection`] — **k − 1** processes elect using the
+//!   register *alone* (the Burns–Cruz–Loui regime \[5\]): each process
+//!   owns one non-⊥ symbol and performs a single `c&s(⊥ → own)`; the
+//!   response identifies the winner either way.
+//! * [`LabelElection`] — **(k − 1)!** processes elect once unbounded
+//!   read/write memory is added, realizing the Θ(k!) lower-bound side
+//!   of the paper (the FOCS '93 companion \[1\]). The register's value
+//!   history is driven to be a *permutation* of Σ (each value written
+//!   exactly once — the paper's "first value" labels), recorded in a
+//!   write-ahead log built from a snapshot object; the completed
+//!   permutation names the leader through the Lehmer bijection.
+//!
+//! Together they exhibit the paper's qualitative claim: adding
+//! read/write registers to a bounded strong object increases its power
+//! exponentially (from `k − 1` to `(k − 1)!`), and — by the paper's
+//! Theorem 1 — only exponentially (`n_k ≤ O(k^(k²+3))`).
+//!
+//! All protocols are [`bso_sim::Protocol`] state machines: the same
+//! code is exhaustively model-checked for small `(n, k)`, stress-run
+//! under random schedules, and executed on real hardware atomics.
+//!
+//! # Example
+//!
+//! ```
+//! use bso_protocols::LabelElection;
+//! use bso_sim::{checker, scheduler::RandomSched, ProtocolExt, Simulation};
+//!
+//! // k = 4 ⇒ (k−1)! = 6 processes elect with one compare&swap-(4).
+//! let proto = LabelElection::new(6, 4).unwrap();
+//! let mut sim = Simulation::new(&proto, &proto.pid_inputs());
+//! let result = sim.run(&mut RandomSched::new(7), 100_000).unwrap();
+//! checker::check_election(&result).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cas_only;
+pub mod consensus;
+mod label_election;
+mod label_election_rw;
+mod rmw_election;
+pub mod set_consensus;
+pub mod snapshot;
+pub mod swmr;
+pub mod universal;
+
+pub use cas_only::CasOnlyElection;
+pub use label_election::{LabelElection, LabelElectionError};
+pub use label_election_rw::LabelElectionRw;
+pub use rmw_election::{RmwOnlyElection, RmwOnlyState};

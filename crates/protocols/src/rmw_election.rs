@@ -1,0 +1,204 @@
+use bso_objects::{Layout, ObjectId, ObjectInit, Op, OpKind, Sym, Value};
+use bso_sim::{Action, Pid, Protocol};
+
+/// Leader election among `n ≤ k − 1` processes using **one** general
+/// `rmw-(k)` register and nothing else — the Burns–Cruz–Loui regime
+/// over the paper's §4 generalization target.
+///
+/// Burns, Cruz and Loui \[5\] prove their `k − 1` ceiling for
+/// *arbitrary* bounded read-modify-write registers under a write-once
+/// discipline ("each read-modify-write register may be written at most
+/// once"). This protocol is the matching algorithm in that exact
+/// model:
+///
+/// * the register's transition functions are the `n` *grab* functions
+///   `g_p : ⊥ ↦ p, x ↦ x (x ≠ ⊥)`;
+/// * each process applies its own grab once; the response (the
+///   previous contents) names the winner either way;
+/// * the register changes value **at most once in the whole run** —
+///   the write-once discipline holds by construction (every `g_p` is
+///   the identity away from ⊥).
+///
+/// [`crate::CasOnlyElection`] is precisely the `compare&swap-(k)`
+/// instance of this protocol: `c&s(⊥ → p)` *is* `g_p`. The test
+/// `cas_is_an_rmw_instance` verifies that the two produce identical
+/// runs step for step.
+#[derive(Clone, Debug)]
+pub struct RmwOnlyElection {
+    n: usize,
+    k: usize,
+}
+
+impl RmwOnlyElection {
+    const RMW: ObjectId = ObjectId(0);
+
+    /// Configures an election among `n` processes with an `rmw-(k)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the Burns–Cruz–Loui ceiling as an error when
+    /// `n > k − 1` (or `k < 2`): with only `k − 1` non-⊥ values there
+    /// is no injective assignment of grab targets.
+    pub fn new(n: usize, k: usize) -> Result<RmwOnlyElection, String> {
+        if k < 2 {
+            return Err(format!("an rmw-(k) needs k >= 2, got {k}"));
+        }
+        if n == 0 || n > k - 1 {
+            return Err(format!(
+                "an rmw-({k}) under the write-once discipline elects at most {} \
+                 processes, got {n}",
+                k - 1
+            ));
+        }
+        Ok(RmwOnlyElection { n, k })
+    }
+
+    /// The grab function of process `p` as a transition table:
+    /// `⊥ ↦ p`, identity elsewhere.
+    fn grab_table(p: Pid, k: usize) -> Vec<u8> {
+        (0..k as u8)
+            .map(|c| if Sym::from_code(c).is_bottom() { Sym::new(p as u8).code() } else { c })
+            .collect()
+    }
+}
+
+/// Local state of [`RmwOnlyElection`].
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum RmwOnlyState {
+    /// About to apply the own grab function.
+    Grab {
+        /// Own id.
+        pid: Pid,
+    },
+    /// Learned the winner.
+    Done {
+        /// The elected process.
+        winner: Pid,
+    },
+}
+
+impl Protocol for RmwOnlyElection {
+    type State = RmwOnlyState;
+
+    fn processes(&self) -> usize {
+        self.n
+    }
+
+    fn layout(&self) -> Layout {
+        let mut l = Layout::new();
+        l.push(ObjectInit::RmwK {
+            k: self.k,
+            functions: (0..self.n).map(|p| Self::grab_table(p, self.k)).collect(),
+        });
+        l
+    }
+
+    fn init(&self, pid: Pid, _input: &Value) -> RmwOnlyState {
+        RmwOnlyState::Grab { pid }
+    }
+
+    fn next_action(&self, state: &RmwOnlyState) -> Action {
+        match state {
+            RmwOnlyState::Grab { pid } => {
+                Action::Invoke(Op::new(Self::RMW, OpKind::Rmw { func: *pid }))
+            }
+            RmwOnlyState::Done { winner } => Action::Decide(Value::Pid(*winner)),
+        }
+    }
+
+    fn on_response(&self, state: &mut RmwOnlyState, resp: Value) {
+        if let RmwOnlyState::Grab { pid } = *state {
+            let prev = resp.as_sym().expect("rmw returns a symbol");
+            let winner = match prev.value() {
+                None => pid, // register held ⊥: our grab installed us
+                Some(sym) => sym as Pid,
+            };
+            *state = RmwOnlyState::Done { winner };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CasOnlyElection;
+    use bso_sim::{
+        checker, explore, scheduler, ExploreConfig, ProtocolExt, Simulation, TaskSpec,
+    };
+
+    #[test]
+    fn exhaustively_correct_at_the_ceiling() {
+        for k in 3..=6 {
+            let proto = RmwOnlyElection::new(k - 1, k).unwrap();
+            let report = explore(
+                &proto,
+                &proto.pid_inputs(),
+                &ExploreConfig { spec: TaskSpec::Election, ..Default::default() },
+            );
+            assert!(report.outcome.is_verified(), "k={k}: {:?}", report.outcome);
+            assert!(report.max_steps_per_proc.iter().all(|&s| s == 2));
+        }
+    }
+
+    #[test]
+    fn ceiling_binds() {
+        assert!(RmwOnlyElection::new(3, 3).is_err());
+        assert!(RmwOnlyElection::new(1, 1).is_err());
+        assert!(RmwOnlyElection::new(0, 4).is_err());
+    }
+
+    #[test]
+    fn register_is_written_at_most_once() {
+        // The Burns write-once discipline, checked on the trace: at
+        // most one Rmw response differs from the register's value
+        // after it (i.e. at most one grab changes the contents).
+        let proto = RmwOnlyElection::new(4, 5).unwrap();
+        for seed in 0..30 {
+            let mut sim = Simulation::new(&proto, &proto.pid_inputs());
+            let res = sim.run(&mut scheduler::RandomSched::new(seed), 100).unwrap();
+            checker::check_election(&res).unwrap();
+            let changes = res
+                .trace
+                .events()
+                .iter()
+                .filter(|e| match &e.kind {
+                    bso_sim::EventKind::Applied { op, resp } => {
+                        matches!(op.kind, OpKind::Rmw { .. })
+                            && *resp == Value::Sym(Sym::BOTTOM)
+                    }
+                    _ => false,
+                })
+                .count();
+            assert_eq!(changes, 1, "exactly one grab succeeds");
+        }
+    }
+
+    #[test]
+    fn cas_is_an_rmw_instance() {
+        // The same schedule drives CasOnlyElection and RmwOnlyElection
+        // to identical decisions: c&s(⊥ → p) is the grab function g_p.
+        for seed in 0..30 {
+            let cas = CasOnlyElection::new(3, 4).unwrap();
+            let rmw = RmwOnlyElection::new(3, 4).unwrap();
+            let mut sim_cas = Simulation::new(&cas, &cas.pid_inputs());
+            let res_cas =
+                sim_cas.run(&mut scheduler::RandomSched::new(seed), 100).unwrap();
+            let mut sim_rmw = Simulation::new(&rmw, &rmw.pid_inputs());
+            let mut replay = scheduler::Scripted::new(res_cas.trace.schedule());
+            let res_rmw = sim_rmw.run(&mut replay, 100).unwrap();
+            assert_eq!(res_cas.decisions, res_rmw.decisions, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn on_hardware_atomics() {
+        let proto = RmwOnlyElection::new(4, 5).unwrap();
+        for _ in 0..20 {
+            let decisions =
+                bso_sim::thread_runner::run_on_threads(&proto, &proto.pid_inputs())
+                    .unwrap();
+            let w = decisions[0].as_pid().unwrap();
+            assert!(decisions.iter().all(|d| d.as_pid().unwrap() == w));
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! `l`-set consensus protocols.
+//!
+//! The paper's reduction (Theorem 1) turns a hypothetical big leader
+//! election into a *(k−1)!-set consensus* algorithm for `(k−1)!+1`
+//! processes out of read/write registers — impossible by
+//! Borowsky–Gafni / Herlihy–Shavit / Saks–Zaharoglou. The protocols
+//! here are the *possible* side of that landscape, used as baselines
+//! and test fixtures:
+//!
+//! * [`PartitionSetConsensus`] — the classical possibility result:
+//!   partition `n` processes into `l` groups and give each group its
+//!   own consensus object; at most `l` values survive. With strong
+//!   objects this is trivially wait-free — which is exactly why the
+//!   *read/write-only* case is the interesting one.
+//! * [`OwnInputSetConsensus`] — every process decides its own input:
+//!   `n`-set consensus from nothing at all, the vacuous baseline.
+
+use bso_objects::{Layout, ObjectId, ObjectInit, Op, Value};
+use bso_sim::{Action, Pid, Protocol};
+
+/// `l`-set consensus for `n` processes: group `p % l` shares one
+/// unbounded compare&swap register; each process performs
+/// `c&s(Nil → input)` on its group's register and decides the
+/// register's resulting contents.
+#[derive(Clone, Debug)]
+pub struct PartitionSetConsensus {
+    n: usize,
+    l: usize,
+}
+
+impl PartitionSetConsensus {
+    /// `l`-set consensus among `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l == 0` or `l > n`.
+    pub fn new(n: usize, l: usize) -> PartitionSetConsensus {
+        assert!(l >= 1 && l <= n, "need 1 <= l <= n, got l={l}, n={n}");
+        PartitionSetConsensus { n, l }
+    }
+
+    /// The group of process `p`.
+    pub fn group_of(&self, p: Pid) -> usize {
+        p % self.l
+    }
+
+    /// The set-consensus parameter `l`.
+    pub fn l(&self) -> usize {
+        self.l
+    }
+}
+
+/// Local state of [`PartitionSetConsensus`].
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum PartitionState {
+    /// About to `c&s(Nil → input)` on the group register.
+    Try {
+        /// Own group.
+        group: usize,
+        /// Own input.
+        input: Value,
+    },
+    /// About to decide.
+    Done {
+        /// The group's agreed value.
+        value: Value,
+    },
+}
+
+impl Protocol for PartitionSetConsensus {
+    type State = PartitionState;
+
+    fn processes(&self) -> usize {
+        self.n
+    }
+
+    fn layout(&self) -> Layout {
+        let mut l = Layout::new();
+        l.push_n(ObjectInit::CasReg(Value::Nil), self.l);
+        l
+    }
+
+    fn init(&self, pid: Pid, input: &Value) -> PartitionState {
+        PartitionState::Try { group: self.group_of(pid), input: input.clone() }
+    }
+
+    fn next_action(&self, state: &PartitionState) -> Action {
+        match state {
+            PartitionState::Try { group, input } => {
+                Action::Invoke(Op::cas(ObjectId(*group), Value::Nil, input.clone()))
+            }
+            PartitionState::Done { value } => Action::Decide(value.clone()),
+        }
+    }
+
+    fn on_response(&self, state: &mut PartitionState, resp: Value) {
+        if let PartitionState::Try { input, .. } = state.clone() {
+            let value = if resp.is_nil() { input } else { resp };
+            *state = PartitionState::Done { value };
+        }
+    }
+}
+
+/// The vacuous `n`-set consensus: decide your own input without
+/// communicating.
+#[derive(Clone, Debug)]
+pub struct OwnInputSetConsensus {
+    n: usize,
+}
+
+impl OwnInputSetConsensus {
+    /// `n`-set consensus among `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> OwnInputSetConsensus {
+        assert!(n > 0, "need at least one process");
+        OwnInputSetConsensus { n }
+    }
+}
+
+impl Protocol for OwnInputSetConsensus {
+    type State = Value;
+
+    fn processes(&self) -> usize {
+        self.n
+    }
+
+    fn layout(&self) -> Layout {
+        Layout::new()
+    }
+
+    fn init(&self, _pid: Pid, input: &Value) -> Value {
+        input.clone()
+    }
+
+    fn next_action(&self, state: &Value) -> Action {
+        Action::Decide(state.clone())
+    }
+
+    fn on_response(&self, _state: &mut Value, _resp: Value) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bso_sim::{checker, explore, scheduler, ExploreConfig, Simulation, TaskSpec};
+
+    fn int_inputs(n: usize) -> Vec<Value> {
+        (0..n).map(|i| Value::Int(i as i64)).collect()
+    }
+
+    #[test]
+    fn partition_meets_its_bound_exhaustively() {
+        let inputs = int_inputs(4);
+        for l in 1..=3 {
+            let proto = PartitionSetConsensus::new(4, l);
+            let report = explore(
+                &proto,
+                &inputs,
+                &ExploreConfig {
+                    spec: TaskSpec::SetConsensus(inputs.clone(), l),
+                    ..Default::default()
+                },
+            );
+            assert!(report.outcome.is_verified(), "l={l}: {:?}", report.outcome);
+        }
+    }
+
+    #[test]
+    fn partition_actually_uses_l_values() {
+        // Round-robin gives each group a distinct winner: exactly l
+        // values decided, witnessing that the bound is tight.
+        let proto = PartitionSetConsensus::new(6, 3);
+        let inputs = int_inputs(6);
+        let mut sim = Simulation::new(&proto, &inputs);
+        let res = sim.run(&mut scheduler::RoundRobin::new(), 100).unwrap();
+        checker::check_set_consensus(&res, &inputs, 3).unwrap();
+        assert_eq!(res.decision_set().len(), 3);
+        assert!(checker::check_set_consensus(&res, &inputs, 2).is_err());
+    }
+
+    #[test]
+    fn own_input_is_n_set_only() {
+        let proto = OwnInputSetConsensus::new(3);
+        let inputs = int_inputs(3);
+        let report = explore(
+            &proto,
+            &inputs,
+            &ExploreConfig {
+                spec: TaskSpec::SetConsensus(inputs.clone(), 3),
+                ..Default::default()
+            },
+        );
+        assert!(report.outcome.is_verified());
+        let report = explore(
+            &proto,
+            &inputs,
+            &ExploreConfig {
+                spec: TaskSpec::SetConsensus(inputs.clone(), 2),
+                ..Default::default()
+            },
+        );
+        assert!(report.outcome.violation().is_some());
+    }
+
+    #[test]
+    fn group_assignment() {
+        let proto = PartitionSetConsensus::new(5, 2);
+        assert_eq!(proto.l(), 2);
+        assert_eq!(
+            (0..5).map(|p| proto.group_of(p)).collect::<Vec<_>>(),
+            vec![0, 1, 0, 1, 0]
+        );
+    }
+}

@@ -1,0 +1,169 @@
+//! A reusable single-writer-register snapshot *submachine*.
+//!
+//! [`crate::snapshot::SnapshotExerciser`] demonstrates the classical
+//! wait-free snapshot from swmr registers as a standalone protocol;
+//! this module packages the same construction as an **embeddable state
+//! machine**, so other protocols can run their scans and updates over
+//! plain registers instead of the simulator's snapshot object.
+//! [`crate::LabelElectionRw`] uses it to make the (k−1)! election
+//! fully from-scratch: one `compare&swap-(k)` plus read/write
+//! registers and *nothing else*.
+//!
+//! Register `i` (written only by process `i`) holds a triple
+//! *(seq, data, view)*; see the [`crate::snapshot`] module docs for
+//! the scan/borrow protocol.
+
+use bso_objects::{ObjectId, Op, Value};
+
+/// The location of an `n`-slot swmr snapshot: registers
+/// `base .. base + n` of the layout.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SnapCell {
+    /// First register id.
+    pub base: usize,
+    /// Number of slots (= processes).
+    pub n: usize,
+}
+
+/// One decoded register triple.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct Entry {
+    seq: i64,
+    data: Value,
+    view: Vec<Value>,
+}
+
+/// An in-progress scan.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ScanState {
+    prev: Option<Vec<Entry>>,
+    partial: Vec<Entry>,
+    changes: Vec<u32>,
+}
+
+impl SnapCell {
+    /// A new snapshot location.
+    pub fn new(base: usize, n: usize) -> SnapCell {
+        SnapCell { base, n }
+    }
+
+    fn decode(&self, raw: &Value) -> Entry {
+        match raw.as_seq() {
+            None => Entry { seq: 0, data: Value::Nil, view: vec![Value::Nil; self.n] },
+            Some(parts) => Entry {
+                seq: parts[0].as_int().expect("seq field"),
+                data: parts[1].clone(),
+                view: parts[2].as_seq().expect("view field").to_vec(),
+            },
+        }
+    }
+
+    /// Begins a scan.
+    pub fn begin_scan(&self) -> ScanState {
+        ScanState { prev: None, partial: Vec::new(), changes: vec![0; self.n] }
+    }
+
+    /// The next shared operation of an in-progress scan.
+    pub fn scan_action(&self, st: &ScanState) -> Op {
+        Op::read(ObjectId(self.base + st.partial.len()))
+    }
+
+    /// Feeds a response; returns the snapshot view (the data parts)
+    /// when the scan completes.
+    pub fn scan_response(&self, st: &mut ScanState, resp: Value) -> Option<Vec<Value>> {
+        st.partial.push(self.decode(&resp));
+        if st.partial.len() < self.n {
+            return None;
+        }
+        let current = std::mem::take(&mut st.partial);
+        let result = match &st.prev {
+            None => None,
+            Some(prev) => {
+                if prev.iter().zip(&current).all(|(a, b)| a.seq == b.seq) {
+                    Some(current.iter().map(|e| e.data.clone()).collect())
+                } else {
+                    let mut borrowed = None;
+                    for j in 0..self.n {
+                        if prev[j].seq != current[j].seq {
+                            st.changes[j] += 1;
+                            if st.changes[j] >= 2 && borrowed.is_none() {
+                                borrowed = Some(current[j].view.clone());
+                            }
+                        }
+                    }
+                    borrowed
+                }
+            }
+        };
+        if result.is_none() {
+            st.prev = Some(current);
+        }
+        result
+    }
+
+    /// The write completing an update: stores `(seq, data, view)` into
+    /// the caller's own register. (A full update is: run a scan to get
+    /// `view`, then issue this write.)
+    pub fn update_op(&self, pid: usize, seq: i64, data: Value, view: Vec<Value>) -> Op {
+        Op::write(
+            ObjectId(self.base + pid),
+            Value::Seq(vec![Value::Int(seq), data, Value::Seq(view)]),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bso_objects::{Layout, ObjectInit};
+    use bso_sim::SharedMemory;
+
+    fn drive_scan(cell: &SnapCell, mem: &mut SharedMemory) -> Vec<Value> {
+        let mut st = cell.begin_scan();
+        loop {
+            let op = cell.scan_action(&st);
+            let resp = mem.apply(9, &op).unwrap();
+            if let Some(view) = cell.scan_response(&mut st, resp) {
+                return view;
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_scan_sees_updates() {
+        let mut layout = Layout::new();
+        layout.push_n(ObjectInit::Register(Value::Nil), 3);
+        let mut mem = SharedMemory::new(&layout);
+        let cell = SnapCell::new(0, 3);
+        // Initially all Nil.
+        assert_eq!(drive_scan(&cell, &mut mem), vec![Value::Nil; 3]);
+        // Process 1 updates with data 7 (its embedded view is a scan).
+        let view = drive_scan(&cell, &mut mem);
+        mem.apply(1, &cell.update_op(1, 1, Value::Int(7), view)).unwrap();
+        assert_eq!(
+            drive_scan(&cell, &mut mem),
+            vec![Value::Nil, Value::Int(7), Value::Nil]
+        );
+    }
+
+    #[test]
+    fn scan_needs_two_equal_collects() {
+        let mut layout = Layout::new();
+        layout.push_n(ObjectInit::Register(Value::Nil), 2);
+        let mut mem = SharedMemory::new(&layout);
+        let cell = SnapCell::new(0, 2);
+        let mut st = cell.begin_scan();
+        // First collect (2 reads) never completes the scan.
+        for _ in 0..2 {
+            let resp = mem.apply(9, &cell.scan_action(&st)).unwrap();
+            assert!(cell.scan_response(&mut st, resp).is_none());
+        }
+        // Second, equal collect completes it.
+        let mut done = None;
+        for _ in 0..2 {
+            let resp = mem.apply(9, &cell.scan_action(&st)).unwrap();
+            done = cell.scan_response(&mut st, resp);
+        }
+        assert_eq!(done, Some(vec![Value::Nil, Value::Nil]));
+    }
+}

@@ -1,0 +1,528 @@
+//! Herlihy's universal construction: any sequentially specified object,
+//! wait-free, from consensus objects plus registers.
+//!
+//! The paper's framing (§1) rests on universality: "various shared
+//! synchronization objects, such as compare&swap …, are universal
+//! \[10, 20\]. That is, any sequentially specified task can be solved
+//! in a concurrent system that supports these objects and a large
+//! enough number of shared read/write registers." This module makes
+//! that premise executable.
+//!
+//! The construction is the classical consensus-log: the implemented
+//! object's state is determined by an agreed, growing **log of
+//! operations**; slot `i` of the log is one consensus object (here an
+//! unbounded compare&swap used once: `c&s(Nil → entry)`); processes
+//! *announce* their pending operations in single-writer slots of a
+//! snapshot object, and every proposer at log position `i` proposes
+//! the pending announcement of process `i mod n` if there is one —
+//! Herlihy's helping rule, which makes the construction wait-free:
+//! once announced, an operation is agreed within at most `2n` further
+//! log slots, no matter who is scheduled.
+//!
+//! Responses are computed deterministically by replaying the agreed
+//! log prefix against the sequential specification
+//! ([`bso_objects::spec::ObjectState`]) — so linearizability holds *by
+//! construction*, with the log order as the linearization. The same
+//! operation may be agreed into two slots (a helper and the owner
+//! racing for different slots); replay deduplicates by `(process,
+//! index)`, as in the standard construction.
+//!
+//! [`UniversalExerciser`] packages it as a checkable protocol: each
+//! process applies a script of operations to the universal object and
+//! decides the sequence of responses; [`check_universal`] replays the
+//! final agreed log and confirms every response.
+
+use bso_objects::{Layout, ObjectId, ObjectInit, Op, OpKind, Value};
+use bso_sim::{Action, Pid, Protocol};
+
+/// Encodes an [`OpKind`] as a [`Value`] (for log entries).
+fn encode_opkind(kind: &OpKind) -> Value {
+    match kind {
+        OpKind::Read => Value::Seq(vec![Value::Int(0)]),
+        OpKind::Write(v) => Value::Seq(vec![Value::Int(1), v.clone()]),
+        OpKind::Cas { expect, new } => {
+            Value::Seq(vec![Value::Int(2), expect.clone(), new.clone()])
+        }
+        OpKind::TestAndSet => Value::Seq(vec![Value::Int(3)]),
+        OpKind::Reset => Value::Seq(vec![Value::Int(4)]),
+        OpKind::FetchAdd(d) => Value::Seq(vec![Value::Int(5), Value::Int(*d)]),
+        OpKind::Swap(v) => Value::Seq(vec![Value::Int(6), v.clone()]),
+        OpKind::SnapshotScan => Value::Seq(vec![Value::Int(7)]),
+        OpKind::SnapshotUpdate(v) => Value::Seq(vec![Value::Int(8), v.clone()]),
+        OpKind::StickyWrite(v) => Value::Seq(vec![Value::Int(9), v.clone()]),
+        OpKind::Rmw { func } => Value::Seq(vec![Value::Int(10), Value::Int(*func as i64)]),
+        OpKind::Enqueue(v) => Value::Seq(vec![Value::Int(11), v.clone()]),
+        OpKind::Dequeue => Value::Seq(vec![Value::Int(12)]),
+    }
+}
+
+/// Decodes an [`OpKind`] encoded by [`encode_opkind`].
+///
+/// # Panics
+///
+/// Panics on malformed encodings.
+fn decode_opkind(v: &Value) -> OpKind {
+    let parts = v.as_seq().expect("opkind encoding");
+    match parts[0].as_int().expect("opkind tag") {
+        0 => OpKind::Read,
+        1 => OpKind::Write(parts[1].clone()),
+        2 => OpKind::Cas { expect: parts[1].clone(), new: parts[2].clone() },
+        3 => OpKind::TestAndSet,
+        4 => OpKind::Reset,
+        5 => OpKind::FetchAdd(parts[1].as_int().expect("delta")),
+        6 => OpKind::Swap(parts[1].clone()),
+        7 => OpKind::SnapshotScan,
+        8 => OpKind::SnapshotUpdate(parts[1].clone()),
+        9 => OpKind::StickyWrite(parts[1].clone()),
+        10 => OpKind::Rmw { func: parts[1].as_int().expect("func") as usize },
+        11 => OpKind::Enqueue(parts[1].clone()),
+        12 => OpKind::Dequeue,
+        t => panic!("unknown opkind tag {t}"),
+    }
+}
+
+/// One agreed log entry: operation `idx` of process `pid`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct LogEntry {
+    /// The operation's owner.
+    pub pid: Pid,
+    /// The owner's operation index.
+    pub idx: usize,
+    /// The operation itself.
+    pub kind: OpKind,
+}
+
+impl LogEntry {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![
+            Value::Pid(self.pid),
+            Value::Int(self.idx as i64),
+            encode_opkind(&self.kind),
+        ])
+    }
+
+    /// Decodes an agreed entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed encodings.
+    pub fn from_value(v: &Value) -> LogEntry {
+        let parts = v.as_seq().expect("entry encoding");
+        LogEntry {
+            pid: parts[0].as_pid().expect("pid"),
+            idx: parts[1].as_int().expect("idx") as usize,
+            kind: decode_opkind(&parts[2]),
+        }
+    }
+}
+
+/// A wait-free universal implementation of one sequentially specified
+/// object, exercised by per-process operation scripts.
+#[derive(Clone, Debug)]
+pub struct UniversalExerciser {
+    n: usize,
+    inner: ObjectInit,
+    scripts: Vec<Vec<OpKind>>,
+    slots: usize,
+}
+
+impl UniversalExerciser {
+    const ANNOUNCE: ObjectId = ObjectId(0);
+
+    /// A universal object with the given sequential type, driven by
+    /// one operation script per process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scripts` is empty.
+    pub fn new(inner: ObjectInit, scripts: Vec<Vec<OpKind>>) -> UniversalExerciser {
+        let n = scripts.len();
+        assert!(n > 0, "need at least one process");
+        let total: usize = scripts.iter().map(Vec::len).sum();
+        // Each agreed slot consumes one proposal; duplicates (helper
+        // and owner agreeing the same op into different slots) are
+        // bounded by one per (process, pending op) pair per slot
+        // round; (n + 1)·total slots are safely enough for the test
+        // workloads and asserted against exhaustion at run time.
+        let slots = (n + 1) * total.max(1);
+        UniversalExerciser { n, inner, scripts, slots }
+    }
+
+    /// The sequential type being implemented.
+    pub fn inner(&self) -> &ObjectInit {
+        &self.inner
+    }
+
+    /// The per-process scripts.
+    pub fn scripts(&self) -> &[Vec<OpKind>] {
+        &self.scripts
+    }
+
+    fn slot_obj(&self, i: usize) -> ObjectId {
+        assert!(i < self.slots, "consensus log exhausted — raise the slot bound");
+        ObjectId(1 + i)
+    }
+}
+
+/// Local state of one [`UniversalExerciser`] process.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct UniState {
+    pid: Pid,
+    /// Next own operation index to get agreed.
+    idx: usize,
+    /// Responses to own operations, in order.
+    responses: Vec<Value>,
+    /// Log position up to which the replica has been replayed.
+    log_pos: usize,
+    /// The local replica of the implemented object.
+    replica: bso_objects::spec::ObjectState,
+    /// `(pid, idx)` pairs already applied (duplicate suppression).
+    seen: Vec<(Pid, usize)>,
+    /// The own operation index currently published in the
+    /// announcement slot (proposals require `announced == Some(idx)`).
+    announced: Option<usize>,
+    phase: UniPhase,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum UniPhase {
+    /// Publish the pending own operation.
+    Announce,
+    /// Read the consensus slot at `log_pos`.
+    ReadSlot,
+    /// Scan announcements to pick a proposal (helping rule).
+    Scan,
+    /// Propose at `log_pos`.
+    Propose(LogEntry),
+    /// All own operations done.
+    Finished,
+}
+
+impl Protocol for UniversalExerciser {
+    type State = UniState;
+
+    fn processes(&self) -> usize {
+        self.n
+    }
+
+    fn layout(&self) -> Layout {
+        let mut l = Layout::new();
+        l.push(ObjectInit::Snapshot { slots: self.n });
+        l.push_n(ObjectInit::CasReg(Value::Nil), self.slots);
+        l
+    }
+
+    fn init(&self, pid: Pid, _input: &Value) -> UniState {
+        let phase =
+            if self.scripts[pid].is_empty() { UniPhase::Finished } else { UniPhase::Announce };
+        UniState {
+            pid,
+            idx: 0,
+            responses: Vec::new(),
+            log_pos: 0,
+            replica: bso_objects::spec::ObjectState::from_init(&self.inner),
+            seen: Vec::new(),
+            announced: None,
+            phase,
+        }
+    }
+
+    fn next_action(&self, st: &UniState) -> Action {
+        match &st.phase {
+            UniPhase::Announce => {
+                let entry = LogEntry {
+                    pid: st.pid,
+                    idx: st.idx,
+                    kind: self.scripts[st.pid][st.idx].clone(),
+                };
+                Action::Invoke(Op::new(
+                    Self::ANNOUNCE,
+                    OpKind::SnapshotUpdate(entry.to_value()),
+                ))
+            }
+            UniPhase::ReadSlot => Action::Invoke(Op::read(self.slot_obj(st.log_pos))),
+            UniPhase::Scan => {
+                Action::Invoke(Op::new(Self::ANNOUNCE, OpKind::SnapshotScan))
+            }
+            UniPhase::Propose(entry) => Action::Invoke(Op::cas(
+                self.slot_obj(st.log_pos),
+                Value::Nil,
+                entry.to_value(),
+            )),
+            UniPhase::Finished => Action::Decide(Value::Seq(st.responses.clone())),
+        }
+    }
+
+    fn on_response(&self, st: &mut UniState, resp: Value) {
+        match st.phase.clone() {
+            UniPhase::Announce => {
+                st.announced = Some(st.idx);
+                st.phase = UniPhase::ReadSlot;
+            }
+            UniPhase::ReadSlot => {
+                if resp.is_nil() {
+                    st.phase = UniPhase::Scan;
+                } else {
+                    self.consume(st, &resp);
+                }
+            }
+            UniPhase::Scan => {
+                // Helping rule: the pending announcement of process
+                // `log_pos mod n` has priority; otherwise propose the
+                // own pending operation.
+                let slots = resp.as_seq().expect("announcement scan");
+                let priority = st.log_pos % self.n;
+                let mut proposal: Option<LogEntry> = None;
+                if let Some(v) = slots.get(priority) {
+                    if !v.is_nil() {
+                        let e = LogEntry::from_value(v);
+                        if !st.seen.contains(&(e.pid, e.idx)) {
+                            proposal = Some(e);
+                        }
+                    }
+                }
+                let proposal = proposal.unwrap_or_else(|| LogEntry {
+                    pid: st.pid,
+                    idx: st.idx,
+                    kind: self.scripts[st.pid][st.idx].clone(),
+                });
+                st.phase = UniPhase::Propose(proposal);
+            }
+            UniPhase::Propose(mine) => {
+                // The compare&swap response is the previous contents:
+                // Nil means our proposal was agreed; anything else is
+                // the agreed rival entry.
+                let agreed = if resp.is_nil() { mine.to_value() } else { resp };
+                self.consume(st, &agreed);
+            }
+            UniPhase::Finished => {}
+        }
+    }
+}
+
+impl UniversalExerciser {
+    /// Applies the agreed entry at `st.log_pos` to the replica and
+    /// advances the state machine.
+    fn consume(&self, st: &mut UniState, agreed: &Value) {
+        let entry = LogEntry::from_value(agreed);
+        let duplicate = st.seen.contains(&(entry.pid, entry.idx));
+        if !duplicate {
+            let r = st
+                .replica
+                .apply(entry.pid, &entry.kind)
+                .expect("scripted operations must fit the inner object");
+            st.seen.push((entry.pid, entry.idx));
+            if entry.pid == st.pid && entry.idx == st.idx {
+                st.responses.push(r);
+                st.idx += 1;
+            }
+        }
+        st.log_pos += 1;
+        st.phase = if st.idx >= self.scripts[st.pid].len() {
+            UniPhase::Finished
+        } else if st.announced == Some(st.idx) {
+            // The pending own op is already published: keep chasing the
+            // log.
+            UniPhase::ReadSlot
+        } else {
+            // The pending own op changed (or was never announced):
+            // publish it before proposing anywhere — the helping rule
+            // depends on announcements being current.
+            UniPhase::Announce
+        };
+    }
+}
+
+/// Validates a finished run: reconstructs the agreed log from the
+/// final memory, replays it, and checks every process's responses.
+///
+/// # Panics
+///
+/// Panics (with a descriptive message) if any response diverges from
+/// the replay — the universal object would not be linearizable.
+pub fn check_universal(
+    proto: &UniversalExerciser,
+    sim: &bso_sim::Simulation<'_, UniversalExerciser>,
+) {
+    // 1. Reconstruct the agreed log.
+    let mut log = Vec::new();
+    for i in 0..proto.slots {
+        match sim.memory().object(ObjectId(1 + i)) {
+            Some(bso_objects::spec::ObjectState::CasReg { val }) if !val.is_nil() => {
+                log.push(LogEntry::from_value(val));
+            }
+            _ => log.push(LogEntry { pid: usize::MAX, idx: 0, kind: OpKind::Read }),
+        }
+    }
+    // Trim trailing unagreed slots; interior gaps would be a bug.
+    while log.last().is_some_and(|e| e.pid == usize::MAX) {
+        log.pop();
+    }
+    assert!(
+        log.iter().all(|e| e.pid != usize::MAX),
+        "agreed log has an interior gap"
+    );
+    // 2. Replay with deduplication.
+    let mut replica = bso_objects::spec::ObjectState::from_init(&proto.inner);
+    let mut seen = Vec::new();
+    let mut responses: Vec<Vec<Value>> = vec![Vec::new(); proto.n];
+    for e in &log {
+        if seen.contains(&(e.pid, e.idx)) {
+            continue;
+        }
+        seen.push((e.pid, e.idx));
+        let r = replica.apply(e.pid, &e.kind).expect("replay must be legal");
+        responses[e.pid].push(r);
+    }
+    // 3. Compare with the decided response sequences.
+    for (pid, status) in sim.statuses().iter().enumerate() {
+        if let bso_sim::ProcStatus::Decided(v) = status {
+            let got = v.as_seq().expect("decision is the response sequence");
+            assert_eq!(
+                got,
+                &responses[pid][..got.len()],
+                "p{pid}: responses diverge from the agreed-log replay"
+            );
+            assert_eq!(got.len(), proto.scripts[pid].len(), "p{pid}: missing responses");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bso_sim::{explore, scheduler, ExploreConfig, Simulation, TaskSpec};
+
+    fn faa_scripts(n: usize, each: usize) -> Vec<Vec<OpKind>> {
+        (0..n).map(|_| vec![OpKind::FetchAdd(1); each]).collect()
+    }
+
+    #[test]
+    fn exhaustive_universal_counter_two_processes() {
+        let proto = UniversalExerciser::new(ObjectInit::FetchAdd(0), faa_scripts(2, 1));
+        let report = explore(
+            &proto,
+            &[Value::Nil, Value::Nil],
+            &ExploreConfig { spec: TaskSpec::None, ..Default::default() },
+        );
+        assert!(report.outcome.is_verified(), "{:?}", report.outcome);
+    }
+
+    #[test]
+    fn universal_counter_responses_are_ranks() {
+        // n processes each increment once: the responses across all
+        // processes must be a permutation of 0..n (the consensus log
+        // totally orders the increments).
+        for seed in 0..30 {
+            let proto =
+                UniversalExerciser::new(ObjectInit::FetchAdd(0), faa_scripts(4, 1));
+            let mut sim = Simulation::new(&proto, &vec![Value::Nil; 4]);
+            let res = sim.run(&mut scheduler::RandomSched::new(seed), 1_000_000).unwrap();
+            check_universal(&proto, &sim);
+            let mut ranks: Vec<i64> = res
+                .decisions
+                .iter()
+                .flat_map(|d| d.as_ref().unwrap().as_seq().unwrap().to_vec())
+                .map(|v| v.as_int().unwrap())
+                .collect();
+            ranks.sort_unstable();
+            assert_eq!(ranks, vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn universal_test_and_set_has_one_winner() {
+        for seed in 0..30 {
+            let scripts = vec![vec![OpKind::TestAndSet]; 3];
+            let proto = UniversalExerciser::new(ObjectInit::TestAndSet, scripts);
+            let mut sim = Simulation::new(&proto, &vec![Value::Nil; 3]);
+            let res = sim.run(&mut scheduler::BurstSched::new(seed, 4), 1_000_000).unwrap();
+            check_universal(&proto, &sim);
+            let winners = res
+                .decisions
+                .iter()
+                .filter(|d| {
+                    d.as_ref().unwrap().as_seq().unwrap()[0] == Value::Bool(false)
+                })
+                .count();
+            assert_eq!(winners, 1, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn universal_register_reads_see_writes() {
+        // p0 writes then reads; p1 writes; the read sees one of the
+        // writes (whatever the log ordered) — replay-validated.
+        for seed in 0..30 {
+            let scripts = vec![
+                vec![OpKind::Write(Value::Int(10)), OpKind::Read],
+                vec![OpKind::Write(Value::Int(20))],
+            ];
+            let proto = UniversalExerciser::new(ObjectInit::Register(Value::Nil), scripts);
+            let mut sim = Simulation::new(&proto, &vec![Value::Nil; 2]);
+            let res = sim.run(&mut scheduler::RandomSched::new(seed), 1_000_000).unwrap();
+            check_universal(&proto, &sim);
+            let p0 = res.decisions[0].as_ref().unwrap().as_seq().unwrap().to_vec();
+            assert!(p0[1] == Value::Int(10) || p0[1] == Value::Int(20), "{p0:?}");
+        }
+    }
+
+    #[test]
+    fn multi_op_scripts_under_crashes() {
+        use bso_sim::CrashPlan;
+        for seed in 0..20 {
+            let proto =
+                UniversalExerciser::new(ObjectInit::FetchAdd(0), faa_scripts(3, 2));
+            let mut sim = Simulation::new(&proto, &vec![Value::Nil; 3])
+                .with_crash_plan(CrashPlan::none().crash(seed as usize % 3, 5));
+            let _ = sim.run(&mut scheduler::RandomSched::new(seed), 1_000_000).unwrap();
+            // Survivors' responses still replay-consistent.
+            check_universal(&proto, &sim);
+        }
+    }
+
+    #[test]
+    fn on_hardware_atomics() {
+        let proto = UniversalExerciser::new(ObjectInit::FetchAdd(0), faa_scripts(4, 2));
+        for _ in 0..10 {
+            let decisions =
+                bso_sim::thread_runner::run_on_threads(&proto, &vec![Value::Nil; 4])
+                    .unwrap();
+            let mut ranks: Vec<i64> = decisions
+                .iter()
+                .flat_map(|d| d.as_seq().unwrap().to_vec())
+                .map(|v| v.as_int().unwrap())
+                .collect();
+            ranks.sort_unstable();
+            assert_eq!(ranks, (0..8).collect::<Vec<i64>>());
+        }
+    }
+
+    #[test]
+    fn empty_scripts_finish_immediately() {
+        let proto = UniversalExerciser::new(ObjectInit::FetchAdd(0), vec![vec![], vec![]]);
+        let mut sim = Simulation::new(&proto, &vec![Value::Nil; 2]);
+        let res = sim.run(&mut scheduler::RoundRobin::new(), 100).unwrap();
+        assert!(res.decisions.iter().all(|d| d == &Some(Value::Seq(Vec::new()))));
+    }
+
+    #[test]
+    fn log_entry_roundtrip() {
+        let kinds = vec![
+            OpKind::Read,
+            OpKind::Write(Value::Pid(3)),
+            OpKind::Cas { expect: Value::Nil, new: Value::Int(1) },
+            OpKind::TestAndSet,
+            OpKind::Reset,
+            OpKind::FetchAdd(-4),
+            OpKind::Swap(Value::Bool(true)),
+            OpKind::SnapshotScan,
+            OpKind::SnapshotUpdate(Value::Int(2)),
+            OpKind::StickyWrite(Value::Pid(1)),
+        ];
+        for (i, kind) in kinds.into_iter().enumerate() {
+            let e = LogEntry { pid: i, idx: i * 2, kind };
+            assert_eq!(LogEntry::from_value(&e.to_value()), e);
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! Run-level task specifications: leader election, consensus, and
+//! `l`-set consensus, exactly as defined in Section 2 of the paper.
+//!
+//! A checker consumes a [`RunResult`] and reports the first violated
+//! clause. The definitions follow the paper:
+//!
+//! * **Leader election** (multi-valued consensus): *consistent* —
+//!   distinct processes never elect distinct identities; *wait-free* —
+//!   each process elects after a finite number of steps; *valid* — the
+//!   elected identity is that of a process that proposed itself
+//!   (participated).
+//! * **k-set consensus**: each decision is some process's input and at
+//!   most `k` distinct values are decided.
+
+use std::fmt;
+
+use bso_objects::Value;
+
+use crate::{Pid, ProcStatus, RunResult};
+
+/// A violated clause of a task specification.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SpecViolation {
+    /// Two processes decided differently where agreement was required.
+    Disagreement {
+        /// First process and its decision.
+        a: (Pid, Value),
+        /// Second process and its (different) decision.
+        b: (Pid, Value),
+    },
+    /// A decision value that no participant proposed.
+    InvalidDecision {
+        /// The deciding process.
+        pid: Pid,
+        /// Its invalid decision.
+        value: Value,
+    },
+    /// A non-crashed process failed to decide (run quiesced without
+    /// it, or it was still running at the step limit).
+    Undecided {
+        /// The process that never decided.
+        pid: Pid,
+    },
+    /// More distinct values decided than the set-consensus bound
+    /// allows.
+    TooManyValues {
+        /// The bound `l`.
+        allowed: usize,
+        /// The distinct decisions observed.
+        got: Vec<Value>,
+    },
+    /// A process exceeded the claimed wait-freedom step bound.
+    StepBoundExceeded {
+        /// The offending process.
+        pid: Pid,
+        /// Steps it took.
+        steps: usize,
+        /// The claimed bound.
+        bound: usize,
+    },
+}
+
+impl fmt::Display for SpecViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecViolation::Disagreement { a, b } => write!(
+                f,
+                "disagreement: p{} decided {} but p{} decided {}",
+                a.0, a.1, b.0, b.1
+            ),
+            SpecViolation::InvalidDecision { pid, value } => {
+                write!(f, "p{pid} decided {value}, which no participant proposed")
+            }
+            SpecViolation::Undecided { pid } => {
+                write!(f, "p{pid} never decided although it did not crash")
+            }
+            SpecViolation::TooManyValues { allowed, got } => write!(
+                f,
+                "{} distinct values decided, only {allowed} allowed",
+                got.len()
+            ),
+            SpecViolation::StepBoundExceeded { pid, steps, bound } => {
+                write!(f, "p{pid} took {steps} steps, claimed bound is {bound}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecViolation {}
+
+fn check_all_decided(res: &RunResult) -> Result<(), SpecViolation> {
+    for (pid, st) in res.statuses.iter().enumerate() {
+        if matches!(st, ProcStatus::Running) {
+            return Err(SpecViolation::Undecided { pid });
+        }
+    }
+    Ok(())
+}
+
+fn decided(res: &RunResult) -> impl Iterator<Item = (Pid, &Value)> {
+    res.decisions.iter().enumerate().filter_map(|(p, d)| d.as_ref().map(|v| (p, v)))
+}
+
+/// Checks the leader-election specification.
+///
+/// `Validity` is interpreted as in the paper: the elected identity must
+/// be a *participant* — a process that took at least one step in the
+/// run (a process that never moved cannot have proposed itself).
+///
+/// # Errors
+///
+/// The first violated clause, as a [`SpecViolation`].
+pub fn check_election(res: &RunResult) -> Result<(), SpecViolation> {
+    check_all_decided(res)?;
+    let participants = res.trace.participants();
+    let mut first: Option<(Pid, &Value)> = None;
+    for (pid, v) in decided(res) {
+        match v.as_pid() {
+            Some(w) if participants.contains(&w) => {}
+            _ => return Err(SpecViolation::InvalidDecision { pid, value: v.clone() }),
+        }
+        match first {
+            None => first = Some((pid, v)),
+            Some((p0, v0)) => {
+                if v0 != v {
+                    return Err(SpecViolation::Disagreement {
+                        a: (p0, v0.clone()),
+                        b: (pid, v.clone()),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks the consensus specification against the run's inputs.
+///
+/// # Errors
+///
+/// The first violated clause, as a [`SpecViolation`].
+pub fn check_consensus(res: &RunResult, inputs: &[Value]) -> Result<(), SpecViolation> {
+    check_all_decided(res)?;
+    let participants = res.trace.participants();
+    let valid: Vec<&Value> = participants.iter().map(|&p| &inputs[p]).collect();
+    let mut first: Option<(Pid, &Value)> = None;
+    for (pid, v) in decided(res) {
+        if !valid.contains(&v) {
+            return Err(SpecViolation::InvalidDecision { pid, value: v.clone() });
+        }
+        match first {
+            None => first = Some((pid, v)),
+            Some((p0, v0)) => {
+                if v0 != v {
+                    return Err(SpecViolation::Disagreement {
+                        a: (p0, v0.clone()),
+                        b: (pid, v.clone()),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks the `l`-set-consensus specification: at most `l` distinct
+/// decisions, each some participant's input.
+///
+/// # Errors
+///
+/// The first violated clause, as a [`SpecViolation`].
+pub fn check_set_consensus(
+    res: &RunResult,
+    inputs: &[Value],
+    l: usize,
+) -> Result<(), SpecViolation> {
+    check_all_decided(res)?;
+    let participants = res.trace.participants();
+    let valid: Vec<&Value> = participants.iter().map(|&p| &inputs[p]).collect();
+    for (pid, v) in decided(res) {
+        if !valid.contains(&v) {
+            return Err(SpecViolation::InvalidDecision { pid, value: v.clone() });
+        }
+    }
+    let set = res.decision_set();
+    if set.len() > l {
+        return Err(SpecViolation::TooManyValues { allowed: l, got: set });
+    }
+    Ok(())
+}
+
+/// Checks a claimed wait-freedom bound: every decided process took at
+/// most `bound` steps (its decision step included).
+///
+/// # Errors
+///
+/// [`SpecViolation::StepBoundExceeded`] for the worst offender.
+pub fn check_step_bound(res: &RunResult, bound: usize) -> Result<(), SpecViolation> {
+    for (pid, &steps) in res.steps.iter().enumerate() {
+        if res.decisions[pid].is_some() && steps > bound {
+            return Err(SpecViolation::StepBoundExceeded { pid, steps, bound });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EventKind, Trace};
+
+    fn run_with(decisions: Vec<Option<Value>>, trace: Trace) -> RunResult {
+        let statuses = decisions
+            .iter()
+            .map(|d| match d {
+                Some(v) => ProcStatus::Decided(v.clone()),
+                None => ProcStatus::Crashed,
+            })
+            .collect();
+        let steps = decisions.iter().map(|_| 1).collect();
+        RunResult { trace, decisions, statuses, steps }
+    }
+
+    fn trace_of(pids: &[Pid]) -> Trace {
+        let mut t = Trace::new();
+        for &p in pids {
+            t.push(p, EventKind::Decided(Value::Nil));
+        }
+        t
+    }
+
+    #[test]
+    fn election_accepts_agreeing_participant() {
+        let res =
+            run_with(vec![Some(Value::Pid(1)), Some(Value::Pid(1))], trace_of(&[0, 1]));
+        assert!(check_election(&res).is_ok());
+    }
+
+    #[test]
+    fn election_rejects_disagreement() {
+        let res =
+            run_with(vec![Some(Value::Pid(0)), Some(Value::Pid(1))], trace_of(&[0, 1]));
+        assert!(matches!(
+            check_election(&res),
+            Err(SpecViolation::Disagreement { .. })
+        ));
+    }
+
+    #[test]
+    fn election_rejects_non_participant_winner() {
+        // Only p0 took steps, yet both decide p1.
+        let res = run_with(vec![Some(Value::Pid(1)), None], trace_of(&[0]));
+        assert!(matches!(
+            check_election(&res),
+            Err(SpecViolation::InvalidDecision { .. })
+        ));
+    }
+
+    #[test]
+    fn election_rejects_undecided_runner() {
+        let mut res = run_with(vec![Some(Value::Pid(0)), None], trace_of(&[0, 1]));
+        res.statuses[1] = ProcStatus::Running;
+        assert_eq!(check_election(&res), Err(SpecViolation::Undecided { pid: 1 }));
+    }
+
+    #[test]
+    fn consensus_validity_uses_participant_inputs() {
+        let inputs = vec![Value::Int(3), Value::Int(7)];
+        // p1 never stepped; deciding its input 7 is invalid.
+        let res = run_with(vec![Some(Value::Int(7)), None], trace_of(&[0]));
+        assert!(matches!(
+            check_consensus(&res, &inputs),
+            Err(SpecViolation::InvalidDecision { .. })
+        ));
+        let res = run_with(vec![Some(Value::Int(3)), None], trace_of(&[0]));
+        assert!(check_consensus(&res, &inputs).is_ok());
+    }
+
+    #[test]
+    fn set_consensus_counts_distinct_values() {
+        let inputs = vec![Value::Int(1), Value::Int(2), Value::Int(3)];
+        let res = run_with(
+            vec![Some(Value::Int(1)), Some(Value::Int(2)), Some(Value::Int(2))],
+            trace_of(&[0, 1, 2]),
+        );
+        assert!(check_set_consensus(&res, &inputs, 2).is_ok());
+        assert!(matches!(
+            check_set_consensus(&res, &inputs, 1),
+            Err(SpecViolation::TooManyValues { allowed: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn step_bound_flags_offender() {
+        let mut res =
+            run_with(vec![Some(Value::Pid(0)), Some(Value::Pid(0))], trace_of(&[0, 1]));
+        res.steps = vec![3, 9];
+        assert!(check_step_bound(&res, 9).is_ok());
+        assert_eq!(
+            check_step_bound(&res, 8),
+            Err(SpecViolation::StepBoundExceeded { pid: 1, steps: 9, bound: 8 })
+        );
+    }
+}

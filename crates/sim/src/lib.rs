@@ -1,0 +1,122 @@
+//! Asynchronous shared-memory simulation for the `bso` workspace.
+//!
+//! This crate is the *model* layer of the reproduction of Afek & Stupp,
+//! "Delimiting the Power of Bounded Size Synchronization Objects"
+//! (PODC 1994). The paper's results quantify over all runs of wait-free
+//! protocols in an asynchronous shared-memory system; this crate makes
+//! runs first-class values:
+//!
+//! * [`Protocol`] — protocols are explicit state machines that perform
+//!   exactly **one atomic shared-memory operation per step**, so every
+//!   interleaving of steps is a legal run and histories are
+//!   linearizable by construction.
+//! * [`Simulation`] — executes a protocol under a pluggable
+//!   [`Scheduler`] (round-robin, seeded random, scripted) with optional
+//!   crash injection, recording a [`Trace`].
+//! * [`explore`] — an exhaustive DFS model checker over *all*
+//!   interleavings. For a finite-state protocol instance it decides
+//!   agreement, validity and wait-freedom outright (acyclicity of the
+//!   reachable state graph is exactly solo-termination, i.e.
+//!   wait-freedom — see the module docs).
+//! * [`refute`] — extracts concrete counterexample schedules from
+//!   explorer violations, the executable counterpart of the
+//!   FLP/Loui–Abu-Amara style impossibility arguments the paper builds
+//!   on.
+//! * [`checker`] — run-level specifications: leader election
+//!   (consistency/validity/wait-freedom as in Section 2 of the paper),
+//!   consensus, and `l`-set consensus.
+//! * [`thread_runner`] — drives the *same* state machines against the
+//!   hardware-atomic backend of `bso-objects` on real OS threads.
+//! * [`linearizability`] — a Wing–Gong style checker validating
+//!   concurrent histories recorded from the hardware backend against
+//!   the sequential object specifications.
+//!
+//! # Example: electing a leader with a test&set bit
+//!
+//! ```
+//! use bso_objects::{Layout, ObjectInit, Op, OpKind, Value};
+//! use bso_sim::{Action, Protocol, Simulation, scheduler::RoundRobin};
+//!
+//! /// Two processes: whoever wins the test&set elects itself; the loser
+//! /// elects the winner by reading the winner's announcement.
+//! struct TasElection;
+//!
+//! #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+//! enum St {
+//!     Announce(usize),
+//!     Grab(usize),
+//!     AwaitGrab(usize),
+//!     ReadPeer(usize),
+//!     AwaitPeer(usize),
+//!     Done(usize),
+//! }
+//!
+//! impl Protocol for TasElection {
+//!     type State = St;
+//!     fn processes(&self) -> usize { 2 }
+//!     fn layout(&self) -> Layout {
+//!         let mut l = Layout::new();
+//!         l.push(ObjectInit::TestAndSet);            // o0: the bit
+//!         l.push_n(ObjectInit::Register(Value::Nil), 2); // o1,o2: announcements
+//!         l
+//!     }
+//!     fn init(&self, pid: usize, _input: &Value) -> St { St::Announce(pid) }
+//!     fn next_action(&self, st: &St) -> Action {
+//!         match st {
+//!             St::Announce(p) => Action::Invoke(Op::write(
+//!                 bso_objects::ObjectId(1 + p), Value::Pid(*p))),
+//!             St::Grab(_) => Action::Invoke(Op::new(
+//!                 bso_objects::ObjectId(0), OpKind::TestAndSet)),
+//!             St::ReadPeer(p) => Action::Invoke(Op::read(
+//!                 bso_objects::ObjectId(1 + (1 - p)))),
+//!             St::Done(p) => Action::Decide(Value::Pid(*p)),
+//!             St::AwaitGrab(_) | St::AwaitPeer(_) => unreachable!(),
+//!         }
+//!     }
+//!     fn on_response(&self, st: &mut St, resp: Value) {
+//!         *st = match st.clone() {
+//!             St::Announce(p) => St::Grab(p),
+//!             St::Grab(p) => {
+//!                 if resp == Value::Bool(false) { St::Done(p) } else { St::ReadPeer(p) }
+//!             }
+//!             St::ReadPeer(p) => St::Done(resp.as_pid().expect("peer announced first")),
+//!             other => other,
+//!         };
+//!     }
+//! }
+//!
+//! let proto = TasElection;
+//! let mut sim = Simulation::new(&proto, &[Value::Pid(0), Value::Pid(1)]);
+//! let result = sim.run(&mut RoundRobin::new(), 1000).unwrap();
+//! let winners: Vec<_> = result.decisions.iter().flatten().collect();
+//! assert_eq!(winners[0], winners[1]); // both elected the same leader
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// Simulator error paths are cold; boxing RunError would only obscure them.
+#![allow(clippy::result_large_err)]
+
+pub mod checker;
+mod explore;
+pub mod linearizability;
+mod memory;
+mod protocol;
+pub mod record;
+pub mod refute;
+pub mod scheduler;
+mod sim;
+pub mod thread_runner;
+mod trace;
+pub mod valence;
+pub mod viz;
+
+pub use explore::{
+    explore, ExploreConfig, ExploreOutcome, Report as ExploreReport, TaskSpec, Violation,
+    ViolationKind,
+};
+pub use memory::SharedMemory;
+pub use protocol::{Action, Pid, Protocol, ProtocolExt};
+pub use scheduler::Scheduler;
+pub use sim::{CrashPlan, ProcStatus, RunError, RunResult, Simulation};
+pub use trace::{Event, EventKind, Trace};

@@ -1,0 +1,121 @@
+use bso_objects::{spec::ObjectState, Layout, ObjectError, ObjectId, Op, Value};
+
+/// The model shared memory: a heap of sequential object specifications.
+///
+/// Operations are applied one at a time, so every history produced
+/// through a `SharedMemory` is linearizable by construction — the
+/// simulation's step order *is* the linearization order.
+///
+/// The whole memory state is `Clone + Eq + Hash`, which is what allows
+/// the exhaustive explorer to memoize global states.
+///
+/// # Example
+///
+/// ```
+/// use bso_objects::{Layout, ObjectInit, Op, Value};
+/// use bso_sim::SharedMemory;
+///
+/// let mut layout = Layout::new();
+/// let r = layout.push(ObjectInit::Register(Value::Nil));
+/// let mut mem = SharedMemory::new(&layout);
+/// mem.apply(0, &Op::write(r, Value::Int(1))).unwrap();
+/// assert_eq!(mem.apply(1, &Op::read(r)).unwrap(), Value::Int(1));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct SharedMemory {
+    objects: Vec<ObjectState>,
+}
+
+impl SharedMemory {
+    /// Allocates all objects of `layout` in their initial states.
+    pub fn new(layout: &Layout) -> SharedMemory {
+        SharedMemory {
+            objects: layout.objects().iter().map(ObjectState::from_init).collect(),
+        }
+    }
+
+    /// Applies one operation atomically on behalf of `pid`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates object-level errors ([`ObjectError`]); an error means
+    /// the *protocol* is buggy (wrong op for an object, value outside a
+    /// bounded domain), never the memory.
+    pub fn apply(&mut self, pid: usize, op: &Op) -> Result<Value, ObjectError> {
+        let obj = self
+            .objects
+            .get_mut(op.obj.0)
+            .ok_or(ObjectError::UnknownObject(op.obj))?;
+        obj.apply(pid, &op.kind)
+    }
+
+    /// Read-only access to an object's state (for checkers and tests).
+    pub fn object(&self, id: ObjectId) -> Option<&ObjectState> {
+        self.objects.get(id.0)
+    }
+
+    /// The number of objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the memory holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Whether every object is implementable from read/write registers
+    /// (plain registers and snapshot objects).
+    ///
+    /// The reduction of the paper's Theorem 1 must produce a protocol
+    /// using only read/write memory; its driver asserts this.
+    pub fn is_read_write_only(&self) -> bool {
+        self.objects.iter().all(ObjectState::is_read_write)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bso_objects::ObjectInit;
+
+    #[test]
+    fn unknown_object_rejected() {
+        let mut mem = SharedMemory::new(&Layout::new());
+        assert!(mem.is_empty());
+        let err = mem.apply(0, &Op::read(ObjectId(0))).unwrap_err();
+        assert!(matches!(err, ObjectError::UnknownObject(_)));
+    }
+
+    #[test]
+    fn read_write_only_classification() {
+        let mut layout = Layout::new();
+        layout.push(ObjectInit::Register(Value::Nil));
+        layout.push(ObjectInit::Snapshot { slots: 2 });
+        let mem = SharedMemory::new(&layout);
+        assert!(mem.is_read_write_only());
+
+        let mut layout = Layout::new();
+        layout.push(ObjectInit::Register(Value::Nil));
+        layout.push(ObjectInit::CasK { k: 3 });
+        let mem = SharedMemory::new(&layout);
+        assert!(!mem.is_read_write_only());
+    }
+
+    #[test]
+    fn memory_states_hash_and_compare() {
+        use std::collections::HashSet;
+        let mut layout = Layout::new();
+        let r = layout.push(ObjectInit::Register(Value::Nil));
+        let mut a = SharedMemory::new(&layout);
+        let b = a.clone();
+        assert_eq!(a, b);
+        a.apply(0, &Op::write(r, Value::Int(1))).unwrap();
+        assert_ne!(a, b);
+        let mut set = HashSet::new();
+        set.insert(a.clone());
+        set.insert(b);
+        set.insert(a);
+        assert_eq!(set.len(), 2);
+    }
+}

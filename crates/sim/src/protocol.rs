@@ -1,0 +1,111 @@
+use bso_objects::{Layout, Op, Value};
+
+/// A process identifier, `0 .. Protocol::processes()`.
+pub type Pid = usize;
+
+/// What a process wants to do next: perform one shared-memory operation
+/// or decide and halt.
+///
+/// `next_action` must be a *pure* function of the local state, so the
+/// scheduler (and the exhaustive explorer) can inspect the pending
+/// operation without executing it — exactly the ability the paper's
+/// emulators need when they examine the next step of their virtual
+/// processes.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Action {
+    /// Perform this operation; the response will be delivered through
+    /// [`Protocol::on_response`].
+    Invoke(Op),
+    /// Decide this value and halt. Deciding is irrevocable.
+    Decide(Value),
+}
+
+impl Action {
+    /// The pending operation, if this is an `Invoke`.
+    pub fn op(&self) -> Option<&Op> {
+        match self {
+            Action::Invoke(op) => Some(op),
+            Action::Decide(_) => None,
+        }
+    }
+
+    /// The decision value, if this is a `Decide`.
+    pub fn decision(&self) -> Option<&Value> {
+        match self {
+            Action::Decide(v) => Some(v),
+            Action::Invoke(_) => None,
+        }
+    }
+}
+
+/// A wait-free shared-memory protocol as an explicit state machine.
+///
+/// Each process is a deterministic automaton over local states
+/// [`Protocol::State`]. A *step* of process `p` consists of: reading
+/// `next_action(state_p)`; if it is [`Action::Invoke`], applying the
+/// operation atomically to shared memory and feeding the response to
+/// [`Protocol::on_response`]; if it is [`Action::Decide`], recording
+/// the decision and halting `p`. Because each step contains exactly one
+/// shared-memory operation, any interleaving of steps is a legal run of
+/// the asynchronous model of the paper (Section 2, the model of
+/// Herlihy \[10\]).
+///
+/// Determinism matters: the exhaustive explorer assumes that a step of
+/// `p` from a given global state has a unique successor.
+///
+/// The same state machine can be executed by the [`crate::Simulation`]
+/// (model objects) and by [`crate::thread_runner`] (hardware atomics).
+pub trait Protocol {
+    /// The local state of one process.
+    type State: Clone + std::fmt::Debug;
+
+    /// Number of processes `n` this instance is configured for.
+    fn processes(&self) -> usize;
+
+    /// The shared-memory layout the protocol runs on.
+    ///
+    /// Called once per execution; object ids used in
+    /// [`Protocol::next_action`] must refer to this layout.
+    fn layout(&self) -> Layout;
+
+    /// The initial local state of process `pid` with the given input.
+    fn init(&self, pid: Pid, input: &Value) -> Self::State;
+
+    /// The next action of a process in the given local state.
+    ///
+    /// Must be pure (no interior mutability observable across calls):
+    /// callers may invoke it repeatedly, e.g. to *peek* at a pending
+    /// operation.
+    fn next_action(&self, state: &Self::State) -> Action;
+
+    /// Advances the local state with the response of the operation
+    /// previously returned by [`Protocol::next_action`].
+    fn on_response(&self, state: &mut Self::State, resp: Value);
+}
+
+/// Convenience extensions available on every [`Protocol`].
+pub trait ProtocolExt: Protocol {
+    /// The canonical election inputs: process `i` proposes its own
+    /// identity `Value::Pid(i)` (the leader-election problem gives each
+    /// process its own name as input).
+    fn pid_inputs(&self) -> Vec<Value> {
+        (0..self.processes()).map(Value::Pid).collect()
+    }
+}
+
+impl<P: Protocol + ?Sized> ProtocolExt for P {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_accessors() {
+        let d = Action::Decide(Value::Int(3));
+        assert_eq!(d.decision(), Some(&Value::Int(3)));
+        assert!(d.op().is_none());
+        let i = Action::Invoke(Op::read(bso_objects::ObjectId(0)));
+        assert!(i.op().is_some());
+        assert!(i.decision().is_none());
+    }
+}

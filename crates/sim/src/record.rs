@@ -1,0 +1,134 @@
+//! Recording of concurrent histories from the hardware backend.
+//!
+//! A [`RecordingMemory`] wraps any [`Memory`] and timestamps every
+//! operation's invocation and response with a global atomic clock. The
+//! resulting log is a *concurrent history* in the sense of Herlihy &
+//! Wing: operation `A` really-precedes `B` iff `A.responded_at <
+//! B.invoked_at`. The [`crate::linearizability`] checker validates such
+//! logs against the sequential object specifications.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use bso_objects::atomic::Memory;
+use bso_objects::{ObjectError, Op, Value};
+
+use crate::Pid;
+
+/// One completed operation with real-time interval endpoints.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RecordedOp {
+    /// The invoking process.
+    pub pid: Pid,
+    /// The operation.
+    pub op: Op,
+    /// The response it received.
+    pub resp: Value,
+    /// Clock tick taken just before the operation was applied.
+    pub invoked_at: u64,
+    /// Clock tick taken just after the response was obtained.
+    pub responded_at: u64,
+}
+
+impl RecordedOp {
+    /// Whether this operation completed strictly before `other`
+    /// started (the real-time precedence a linearization must
+    /// respect).
+    pub fn precedes(&self, other: &RecordedOp) -> bool {
+        self.responded_at < other.invoked_at
+    }
+}
+
+/// A [`Memory`] adapter that records every operation.
+///
+/// The clock tick and the operation are not a single atomic action, so
+/// recorded intervals strictly *contain* each linearization point —
+/// which is exactly what makes the recorded precedence order sound
+/// (never ordering two ops that were in fact concurrent the wrong way,
+/// only possibly treating sequential ops as concurrent, which weakens
+/// but never unsoundly strengthens the checker's obligations... and a
+/// weaker obligation can only let through histories that are still
+/// linearizable against some real-time order consistent with
+/// observation).
+pub struct RecordingMemory<'m, M: Memory + ?Sized> {
+    inner: &'m M,
+    clock: AtomicU64,
+    log: Mutex<Vec<RecordedOp>>,
+}
+
+impl<'m, M: Memory + ?Sized> RecordingMemory<'m, M> {
+    /// Wraps `inner`, starting the clock at zero.
+    pub fn new(inner: &'m M) -> RecordingMemory<'m, M> {
+        RecordingMemory { inner, clock: AtomicU64::new(0), log: Mutex::new(Vec::new()) }
+    }
+
+    /// Consumes the recorder and returns the log, sorted by response
+    /// time.
+    pub fn into_log(self) -> Vec<RecordedOp> {
+        let mut log = self.log.into_inner();
+        log.sort_by_key(|r| r.responded_at);
+        log
+    }
+
+    /// The number of operations recorded so far.
+    pub fn len(&self) -> usize {
+        self.log.lock().len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<M: Memory + ?Sized> Memory for RecordingMemory<'_, M> {
+    fn apply(&self, pid: usize, op: &Op) -> Result<Value, ObjectError> {
+        let invoked_at = self.clock.fetch_add(1, Ordering::SeqCst);
+        let resp = self.inner.apply(pid, op)?;
+        let responded_at = self.clock.fetch_add(1, Ordering::SeqCst);
+        self.log.lock().push(RecordedOp {
+            pid,
+            op: op.clone(),
+            resp: resp.clone(),
+            invoked_at,
+            responded_at,
+        });
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bso_objects::atomic::AtomicMemory;
+    use bso_objects::{Layout, ObjectInit};
+
+    #[test]
+    fn records_intervals_and_responses() {
+        let mut layout = Layout::new();
+        let r = layout.push(ObjectInit::Register(Value::Nil));
+        let mem = AtomicMemory::new(&layout);
+        let rec = RecordingMemory::new(&mem);
+        rec.apply(0, &Op::write(r, Value::Int(1))).unwrap();
+        let v = rec.apply(1, &Op::read(r)).unwrap();
+        assert_eq!(v, Value::Int(1));
+        assert_eq!(rec.len(), 2);
+        let log = rec.into_log();
+        assert!(log[0].precedes(&log[1]));
+        assert_eq!(log[1].resp, Value::Int(1));
+        assert!(log[0].invoked_at < log[0].responded_at);
+    }
+
+    #[test]
+    fn errors_are_not_recorded() {
+        let mut layout = Layout::new();
+        let r = layout.push(ObjectInit::Register(Value::Nil));
+        let mem = AtomicMemory::new(&layout);
+        let rec = RecordingMemory::new(&mem);
+        assert!(rec
+            .apply(0, &Op::new(r, bso_objects::OpKind::TestAndSet))
+            .is_err());
+        assert!(rec.is_empty());
+    }
+}

@@ -1,0 +1,210 @@
+//! Refutation of candidate protocols: the executable counterpart of
+//! the impossibility arguments the paper builds on.
+//!
+//! FLP (Fischer–Lynch–Paterson) and Loui–Abu-Amara prove that *no*
+//! protocol solves wait-free consensus among two processes using only
+//! read/write registers, and Herlihy's hierarchy pins each object type
+//! to the process counts it supports. A universally quantified
+//! impossibility cannot be established by running programs — but the
+//! classical valency argument is an *effective procedure* against any
+//! given candidate: every candidate must exhibit either an agreement /
+//! validity violation or a schedule on which some process runs forever
+//! (a state-graph cycle). [`refute_consensus`] finds and returns that
+//! witness.
+//!
+//! `bso-hierarchy` uses this to demonstrate the intro facts of the
+//! paper (read/write registers cannot elect a leader even for n = 2;
+//! test&set elects 2 but not 3), and the same machinery underlies the
+//! claim that makes Theorem 1 a contradiction: (k−1)!-set consensus
+//! among (k−1)!+1 processes is unsolvable from read/write registers.
+
+use std::fmt;
+use std::hash::Hash;
+
+use bso_objects::Value;
+
+use crate::{explore, ExploreConfig, ExploreOutcome, Protocol, Violation};
+use crate::explore::TaskSpec;
+
+/// The witness that a candidate protocol fails its task.
+#[derive(Clone, Debug)]
+pub struct Refutation {
+    /// The violation found (agreement, validity, or non-wait-freedom),
+    /// with a replayable schedule.
+    pub violation: Violation,
+    /// States explored before the witness was found.
+    pub states: usize,
+}
+
+impl fmt::Display for Refutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "refuted after {} states: {}", self.states, self.violation)
+    }
+}
+
+/// The verdict on a candidate protocol.
+#[derive(Clone, Debug)]
+pub enum Verdict {
+    /// Exhaustively verified correct for this instance — the candidate
+    /// *does* solve the task (e.g. test&set 2-consensus).
+    Correct {
+        /// Distinct states explored.
+        states: usize,
+        /// Exact worst-case steps per process (wait-freedom witness).
+        max_steps_per_proc: Vec<usize>,
+    },
+    /// A counterexample schedule was found.
+    Refuted(Refutation),
+    /// The state budget was exhausted without a verdict.
+    Unknown {
+        /// Distinct states explored.
+        states: usize,
+    },
+}
+
+impl Verdict {
+    /// The refutation, if the candidate was refuted.
+    pub fn refutation(&self) -> Option<&Refutation> {
+        match self {
+            Verdict::Refuted(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Whether the candidate was exhaustively verified.
+    pub fn is_correct(&self) -> bool {
+        matches!(self, Verdict::Correct { .. })
+    }
+}
+
+fn verdict_of(report: crate::ExploreReport) -> Verdict {
+    match report.outcome {
+        ExploreOutcome::Verified => Verdict::Correct {
+            states: report.states,
+            max_steps_per_proc: report.max_steps_per_proc,
+        },
+        ExploreOutcome::Violated(violation) => {
+            Verdict::Refuted(Refutation { violation, states: report.states })
+        }
+        ExploreOutcome::Exhausted => Verdict::Unknown { states: report.states },
+    }
+}
+
+/// Tries to refute `proto` as a consensus protocol for the given
+/// inputs: explores all schedules, looking for disagreement, an invalid
+/// decision, or a run on which some process never decides.
+pub fn refute_consensus<P: Protocol>(
+    proto: &P,
+    inputs: &[Value],
+    max_states: usize,
+) -> Verdict
+where
+    P::State: Hash + Eq,
+{
+    let cfg =
+        ExploreConfig { max_states, spec: TaskSpec::Consensus(inputs.to_vec()) };
+    verdict_of(explore(proto, inputs, &cfg))
+}
+
+/// Tries to refute `proto` as a leader-election protocol (inputs are
+/// the process identities).
+pub fn refute_election<P: Protocol>(proto: &P, max_states: usize) -> Verdict
+where
+    P::State: Hash + Eq,
+{
+    let inputs: Vec<Value> = (0..proto.processes()).map(Value::Pid).collect();
+    let cfg = ExploreConfig { max_states, spec: TaskSpec::Election };
+    verdict_of(explore(proto, &inputs, &cfg))
+}
+
+/// Tries to refute `proto` as an `l`-set-consensus protocol.
+pub fn refute_set_consensus<P: Protocol>(
+    proto: &P,
+    inputs: &[Value],
+    l: usize,
+    max_states: usize,
+) -> Verdict
+where
+    P::State: Hash + Eq,
+{
+    let cfg =
+        ExploreConfig { max_states, spec: TaskSpec::SetConsensus(inputs.to_vec(), l) };
+    verdict_of(explore(proto, inputs, &cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Action, Pid};
+    use bso_objects::{Layout, ObjectId, ObjectInit, Op};
+
+    /// The natural — doomed — read/write consensus candidate: write
+    /// your input, read the peer's slot, decide the minimum announced
+    /// input. FLP guarantees *some* schedule breaks it; here it is
+    /// disagreement (p0 decides before p1 announces).
+    struct RwMinConsensus;
+
+    #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+    enum St {
+        Write(Pid, Value),
+        Read(Pid, Value),
+        Done(Value),
+    }
+
+    impl Protocol for RwMinConsensus {
+        type State = St;
+        fn processes(&self) -> usize {
+            2
+        }
+        fn layout(&self) -> Layout {
+            let mut l = Layout::new();
+            l.push_n(ObjectInit::Register(Value::Nil), 2);
+            l
+        }
+        fn init(&self, pid: Pid, input: &Value) -> St {
+            St::Write(pid, input.clone())
+        }
+        fn next_action(&self, st: &St) -> Action {
+            match st {
+                St::Write(p, v) => Action::Invoke(Op::write(ObjectId(*p), v.clone())),
+                St::Read(p, _) => Action::Invoke(Op::read(ObjectId(1 - *p))),
+                St::Done(v) => Action::Decide(v.clone()),
+            }
+        }
+        fn on_response(&self, st: &mut St, resp: Value) {
+            *st = match st.clone() {
+                St::Write(p, v) => St::Read(p, v),
+                St::Read(_, mine) => {
+                    let decision = match resp {
+                        Value::Nil => mine,
+                        peer => mine.min(peer),
+                    };
+                    St::Done(decision)
+                }
+                done => done,
+            };
+        }
+    }
+
+    #[test]
+    fn rw_consensus_candidate_is_refuted() {
+        let inputs = vec![Value::Int(1), Value::Int(2)];
+        let verdict = refute_consensus(&RwMinConsensus, &inputs, 100_000);
+        let r = verdict.refutation().expect("FLP says this must fail");
+        // Replay the witness schedule and confirm the violation is real.
+        let mut sim = crate::Simulation::new(&RwMinConsensus, &inputs);
+        let res = sim
+            .run(&mut crate::scheduler::Scripted::new(r.violation.schedule.clone()), 1000)
+            .unwrap();
+        assert!(crate::checker::check_consensus(&res, &inputs).is_err());
+    }
+
+    #[test]
+    fn verdict_accessors() {
+        let inputs = vec![Value::Int(1), Value::Int(2)];
+        let verdict = refute_consensus(&RwMinConsensus, &inputs, 100_000);
+        assert!(!verdict.is_correct());
+        let unknown = refute_consensus(&RwMinConsensus, &inputs, 1);
+        assert!(matches!(unknown, Verdict::Unknown { .. }));
+    }
+}

@@ -1,0 +1,181 @@
+//! Schedulers: adversaries that pick which process moves next.
+//!
+//! In the asynchronous model the adversary controls the interleaving
+//! entirely; a scheduler here is exactly such an adversary restricted
+//! to the processes that are still enabled (not decided, not crashed).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Pid;
+
+/// An adversary choosing the next process to step.
+pub trait Scheduler {
+    /// Picks one of the `enabled` processes (guaranteed non-empty,
+    /// sorted ascending).
+    fn pick(&mut self, enabled: &[Pid]) -> Pid;
+}
+
+/// Cycles through processes in pid order, skipping disabled ones.
+///
+/// Round-robin is the *fair* schedule; it exercises the common
+/// contention-free fast paths.
+#[derive(Clone, Debug, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl RoundRobin {
+    /// A round-robin scheduler starting at process 0.
+    pub fn new() -> RoundRobin {
+        RoundRobin::default()
+    }
+}
+
+impl Scheduler for RoundRobin {
+    fn pick(&mut self, enabled: &[Pid]) -> Pid {
+        // First enabled pid >= self.next, else wrap to the smallest.
+        let pid = enabled
+            .iter()
+            .copied()
+            .find(|&p| p >= self.next)
+            .unwrap_or(enabled[0]);
+        self.next = pid + 1;
+        pid
+    }
+}
+
+/// Picks uniformly at random with a seeded generator — reproducible
+/// stress schedules.
+#[derive(Clone, Debug)]
+pub struct RandomSched {
+    rng: StdRng,
+}
+
+impl RandomSched {
+    /// A random scheduler with the given seed.
+    pub fn new(seed: u64) -> RandomSched {
+        RandomSched { rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl Scheduler for RandomSched {
+    fn pick(&mut self, enabled: &[Pid]) -> Pid {
+        enabled[self.rng.gen_range(0..enabled.len())]
+    }
+}
+
+/// A *bursty* random scheduler: keeps scheduling the same process for a
+/// random burst before switching.
+///
+/// Bursts approximate the solo-run extensions that impossibility
+/// arguments exploit and tend to find different bugs than uniform
+/// random scheduling.
+#[derive(Clone, Debug)]
+pub struct BurstSched {
+    rng: StdRng,
+    max_burst: usize,
+    current: Option<Pid>,
+    remaining: usize,
+}
+
+impl BurstSched {
+    /// A burst scheduler with the given seed; bursts are 1..=`max_burst`
+    /// steps long.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_burst` is 0.
+    pub fn new(seed: u64, max_burst: usize) -> BurstSched {
+        assert!(max_burst > 0, "max_burst must be positive");
+        BurstSched { rng: StdRng::seed_from_u64(seed), max_burst, current: None, remaining: 0 }
+    }
+}
+
+impl Scheduler for BurstSched {
+    fn pick(&mut self, enabled: &[Pid]) -> Pid {
+        if let Some(p) = self.current {
+            if self.remaining > 0 && enabled.contains(&p) {
+                self.remaining -= 1;
+                return p;
+            }
+        }
+        let p = enabled[self.rng.gen_range(0..enabled.len())];
+        self.current = Some(p);
+        self.remaining = self.rng.gen_range(0..self.max_burst);
+        p
+    }
+}
+
+/// Replays a fixed schedule (e.g. one extracted from a counterexample
+/// trace); once the script is exhausted, falls back to round-robin.
+///
+/// Scripted entries that are not enabled at replay time are skipped —
+/// this keeps replays of traces with decisions/crashes robust.
+#[derive(Clone, Debug)]
+pub struct Scripted {
+    script: std::collections::VecDeque<Pid>,
+    fallback: RoundRobin,
+}
+
+impl Scripted {
+    /// A scheduler replaying `script`.
+    pub fn new(script: impl IntoIterator<Item = Pid>) -> Scripted {
+        Scripted { script: script.into_iter().collect(), fallback: RoundRobin::new() }
+    }
+}
+
+impl Scheduler for Scripted {
+    fn pick(&mut self, enabled: &[Pid]) -> Pid {
+        while let Some(p) = self.script.pop_front() {
+            if enabled.contains(&p) {
+                return p;
+            }
+        }
+        self.fallback.pick(enabled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_cycles_and_skips() {
+        let mut rr = RoundRobin::new();
+        assert_eq!(rr.pick(&[0, 1, 2]), 0);
+        assert_eq!(rr.pick(&[0, 1, 2]), 1);
+        assert_eq!(rr.pick(&[0, 2]), 2);
+        assert_eq!(rr.pick(&[0, 2]), 0);
+    }
+
+    #[test]
+    fn random_is_reproducible_and_in_range() {
+        let picks: Vec<Pid> = {
+            let mut s = RandomSched::new(42);
+            (0..32).map(|_| s.pick(&[3, 5, 9])).collect()
+        };
+        let again: Vec<Pid> = {
+            let mut s = RandomSched::new(42);
+            (0..32).map(|_| s.pick(&[3, 5, 9])).collect()
+        };
+        assert_eq!(picks, again);
+        assert!(picks.iter().all(|p| [3, 5, 9].contains(p)));
+    }
+
+    #[test]
+    fn bursts_repeat_then_switch() {
+        let mut s = BurstSched::new(7, 4);
+        let picks: Vec<Pid> = (0..64).map(|_| s.pick(&[0, 1])).collect();
+        // must schedule both processes eventually
+        assert!(picks.contains(&0) && picks.contains(&1));
+    }
+
+    #[test]
+    fn scripted_skips_disabled_then_falls_back() {
+        let mut s = Scripted::new([1, 1, 0]);
+        assert_eq!(s.pick(&[0, 1]), 1);
+        assert_eq!(s.pick(&[0]), 0); // the scripted `1` is skipped
+        assert_eq!(s.pick(&[0, 2]), 0); // fallback round-robin
+    }
+}

@@ -1,0 +1,405 @@
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use bso_objects::{ObjectError, Op, Value};
+
+use crate::{Action, EventKind, Pid, Protocol, Scheduler, SharedMemory, Trace};
+
+/// The execution status of one simulated process.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ProcStatus {
+    /// Still taking steps.
+    Running,
+    /// Decided this value and halted.
+    Decided(Value),
+    /// Crashed by the adversary; takes no further steps.
+    Crashed,
+}
+
+impl ProcStatus {
+    /// The decision value, if decided.
+    pub fn decision(&self) -> Option<&Value> {
+        match self {
+            ProcStatus::Decided(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// An adversarial crash plan: process `p` crashes when it is scheduled
+/// for its `after(p)`-th step (0 = crashes before taking any step).
+///
+/// Crashing is modelled as in the paper: a fail-stop process simply
+/// stops taking steps; wait-freedom demands all other processes still
+/// finish in finitely many of their own steps.
+#[derive(Clone, Debug, Default)]
+pub struct CrashPlan {
+    after: BTreeMap<Pid, usize>,
+}
+
+impl CrashPlan {
+    /// A plan with no crashes.
+    pub fn none() -> CrashPlan {
+        CrashPlan::default()
+    }
+
+    /// Adds a crash of `pid` after it has taken `steps` steps.
+    pub fn crash(mut self, pid: Pid, steps: usize) -> CrashPlan {
+        self.after.insert(pid, steps);
+        self
+    }
+
+    /// Whether `pid` should crash now, given it has taken
+    /// `steps_taken` steps.
+    pub fn due(&self, pid: Pid, steps_taken: usize) -> bool {
+        self.after.get(&pid).is_some_and(|&s| steps_taken >= s)
+    }
+
+    /// Whether the plan contains any crash.
+    pub fn is_empty(&self) -> bool {
+        self.after.is_empty()
+    }
+}
+
+/// The outcome of running a simulation to quiescence.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// The recorded run.
+    pub trace: Trace,
+    /// Per-process decision (None = crashed before deciding).
+    pub decisions: Vec<Option<Value>>,
+    /// Per-process final status.
+    pub statuses: Vec<ProcStatus>,
+    /// Per-process number of steps taken.
+    pub steps: Vec<usize>,
+}
+
+impl RunResult {
+    /// The distinct decision values, sorted.
+    pub fn decision_set(&self) -> Vec<Value> {
+        let mut vs: Vec<Value> = self.decisions.iter().flatten().cloned().collect();
+        vs.sort();
+        vs.dedup();
+        vs
+    }
+}
+
+/// Why a run could not complete.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RunError {
+    /// A shared object rejected an operation — a protocol bug.
+    Object {
+        /// The offending process.
+        pid: Pid,
+        /// The offending operation.
+        op: Op,
+        /// The object's complaint.
+        err: ObjectError,
+    },
+    /// The global step limit was exhausted before quiescence; for a
+    /// wait-free protocol this indicates a livelock bug (or a limit
+    /// that is too small).
+    StepLimit {
+        /// The limit that was exceeded.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Object { pid, op, err } => {
+                write!(f, "process {pid} performed illegal operation {op}: {err}")
+            }
+            RunError::StepLimit { limit } => {
+                write!(f, "run did not quiesce within {limit} steps")
+            }
+        }
+    }
+}
+
+impl Error for RunError {}
+
+/// One execution of a [`Protocol`] under an adversarial scheduler.
+///
+/// See the crate-level example for end-to-end usage. `Simulation` is
+/// deliberately low-level: [`Simulation::step`] advances exactly one
+/// process by one atomic step, so tests can drive schedules by hand.
+#[derive(Clone, Debug)]
+pub struct Simulation<'p, P: Protocol> {
+    proto: &'p P,
+    mem: SharedMemory,
+    states: Vec<P::State>,
+    statuses: Vec<ProcStatus>,
+    steps: Vec<usize>,
+    trace: Trace,
+    crash_plan: CrashPlan,
+}
+
+impl<'p, P: Protocol> Simulation<'p, P> {
+    /// Sets up a fresh execution with the given per-process inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != proto.processes()`.
+    pub fn new(proto: &'p P, inputs: &[Value]) -> Simulation<'p, P> {
+        let n = proto.processes();
+        assert_eq!(inputs.len(), n, "need one input per process");
+        Simulation {
+            proto,
+            mem: SharedMemory::new(&proto.layout()),
+            states: inputs.iter().enumerate().map(|(p, v)| proto.init(p, v)).collect(),
+            statuses: vec![ProcStatus::Running; n],
+            steps: vec![0; n],
+            trace: Trace::new(),
+            crash_plan: CrashPlan::none(),
+        }
+    }
+
+    /// Installs an adversarial crash plan.
+    pub fn with_crash_plan(mut self, plan: CrashPlan) -> Simulation<'p, P> {
+        self.crash_plan = plan;
+        self
+    }
+
+    /// The processes that can still take a step.
+    pub fn enabled(&self) -> Vec<Pid> {
+        (0..self.statuses.len())
+            .filter(|&p| matches!(self.statuses[p], ProcStatus::Running))
+            .collect()
+    }
+
+    /// The local state of `pid` (for assertions in tests).
+    pub fn state(&self, pid: Pid) -> &P::State {
+        &self.states[pid]
+    }
+
+    /// The current shared memory.
+    pub fn memory(&self) -> &SharedMemory {
+        &self.mem
+    }
+
+    /// The trace recorded so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The status of each process.
+    pub fn statuses(&self) -> &[ProcStatus] {
+        &self.statuses
+    }
+
+    /// Advances `pid` by one step (one shared-memory operation, one
+    /// decision, or its planned crash).
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::Object`] if the process performs an illegal
+    /// operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is not currently enabled.
+    pub fn step(&mut self, pid: Pid) -> Result<&EventKind, RunError> {
+        assert!(
+            matches!(self.statuses[pid], ProcStatus::Running),
+            "process {pid} is not enabled"
+        );
+        if self.crash_plan.due(pid, self.steps[pid]) {
+            self.statuses[pid] = ProcStatus::Crashed;
+            self.trace.push(pid, EventKind::Crashed);
+        } else {
+            match self.proto.next_action(&self.states[pid]) {
+                Action::Invoke(op) => {
+                    let resp = self
+                        .mem
+                        .apply(pid, &op)
+                        .map_err(|err| RunError::Object { pid, op: op.clone(), err })?;
+                    self.proto.on_response(&mut self.states[pid], resp.clone());
+                    self.steps[pid] += 1;
+                    self.trace.push(pid, EventKind::Applied { op, resp });
+                }
+                Action::Decide(v) => {
+                    self.statuses[pid] = ProcStatus::Decided(v.clone());
+                    self.steps[pid] += 1;
+                    self.trace.push(pid, EventKind::Decided(v));
+                }
+            }
+        }
+        Ok(&self.trace.events().last().expect("just pushed").kind)
+    }
+
+    /// Runs under `sched` until every process has decided or crashed,
+    /// or `max_steps` total steps have been taken.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::StepLimit`] on step-limit exhaustion,
+    /// [`RunError::Object`] on a protocol bug.
+    pub fn run(
+        &mut self,
+        sched: &mut dyn Scheduler,
+        max_steps: usize,
+    ) -> Result<RunResult, RunError> {
+        let mut taken = 0;
+        loop {
+            let enabled = self.enabled();
+            if enabled.is_empty() {
+                break;
+            }
+            if taken >= max_steps {
+                return Err(RunError::StepLimit { limit: max_steps });
+            }
+            let pid = sched.pick(&enabled);
+            self.step(pid)?;
+            taken += 1;
+        }
+        Ok(self.result())
+    }
+
+    /// Snapshot of the run outcome so far.
+    pub fn result(&self) -> RunResult {
+        RunResult {
+            trace: self.trace.clone(),
+            decisions: self.statuses.iter().map(|s| s.decision().cloned()).collect(),
+            statuses: self.statuses.clone(),
+            steps: self.steps.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{RandomSched, RoundRobin};
+    use bso_objects::{Layout, ObjectId, ObjectInit, OpKind};
+
+    /// Each process fetch&adds once; decides the previous counter value.
+    struct Ranker {
+        n: usize,
+    }
+
+    #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+    enum St {
+        Start,
+        Done(i64),
+    }
+
+    impl Protocol for Ranker {
+        type State = St;
+        fn processes(&self) -> usize {
+            self.n
+        }
+        fn layout(&self) -> Layout {
+            let mut l = Layout::new();
+            l.push(ObjectInit::FetchAdd(0));
+            l
+        }
+        fn init(&self, _pid: Pid, _input: &Value) -> St {
+            St::Start
+        }
+        fn next_action(&self, st: &St) -> Action {
+            match st {
+                St::Start => Action::Invoke(Op::new(ObjectId(0), OpKind::FetchAdd(1))),
+                St::Done(r) => Action::Decide(Value::Int(*r)),
+            }
+        }
+        fn on_response(&self, st: &mut St, resp: Value) {
+            *st = St::Done(resp.as_int().unwrap());
+        }
+    }
+
+    #[test]
+    fn ranks_are_distinct_under_any_schedule() {
+        for seed in 0..20 {
+            let proto = Ranker { n: 4 };
+            let mut sim = Simulation::new(&proto, &vec![Value::Nil; 4]);
+            let res = sim.run(&mut RandomSched::new(seed), 1000).unwrap();
+            let mut ranks: Vec<i64> =
+                res.decisions.iter().flatten().map(|v| v.as_int().unwrap()).collect();
+            ranks.sort_unstable();
+            assert_eq!(ranks, vec![0, 1, 2, 3]);
+            assert!(res.steps.iter().all(|&s| s == 2)); // one op + one decide
+        }
+    }
+
+    #[test]
+    fn crash_plan_stops_a_process() {
+        let proto = Ranker { n: 2 };
+        let mut sim = Simulation::new(&proto, &vec![Value::Nil; 2])
+            .with_crash_plan(CrashPlan::none().crash(0, 0));
+        let res = sim.run(&mut RoundRobin::new(), 100).unwrap();
+        assert_eq!(res.statuses[0], ProcStatus::Crashed);
+        assert_eq!(res.decisions[0], None);
+        // p1 still finishes (wait-freedom of this trivial protocol).
+        assert_eq!(res.decisions[1], Some(Value::Int(0)));
+        assert_eq!(res.decision_set(), vec![Value::Int(0)]);
+    }
+
+    #[test]
+    fn step_limit_reported() {
+        /// A protocol that spins forever re-reading.
+        struct Spinner;
+        impl Protocol for Spinner {
+            type State = ();
+            fn processes(&self) -> usize {
+                1
+            }
+            fn layout(&self) -> Layout {
+                let mut l = Layout::new();
+                l.push(ObjectInit::Register(Value::Nil));
+                l
+            }
+            fn init(&self, _pid: Pid, _input: &Value) {}
+            fn next_action(&self, _st: &()) -> Action {
+                Action::Invoke(Op::read(ObjectId(0)))
+            }
+            fn on_response(&self, _st: &mut (), _resp: Value) {}
+        }
+        let proto = Spinner;
+        let mut sim = Simulation::new(&proto, &[Value::Nil]);
+        let err = sim.run(&mut RoundRobin::new(), 50).unwrap_err();
+        assert_eq!(err, RunError::StepLimit { limit: 50 });
+    }
+
+    #[test]
+    fn object_errors_identify_culprit() {
+        /// Performs a test&set on a register: a type bug.
+        struct Buggy;
+        impl Protocol for Buggy {
+            type State = ();
+            fn processes(&self) -> usize {
+                1
+            }
+            fn layout(&self) -> Layout {
+                let mut l = Layout::new();
+                l.push(ObjectInit::Register(Value::Nil));
+                l
+            }
+            fn init(&self, _pid: Pid, _input: &Value) {}
+            fn next_action(&self, _st: &()) -> Action {
+                Action::Invoke(Op::new(ObjectId(0), OpKind::TestAndSet))
+            }
+            fn on_response(&self, _st: &mut (), _resp: Value) {}
+        }
+        let proto = Buggy;
+        let mut sim = Simulation::new(&proto, &[Value::Nil]);
+        let err = sim.run(&mut RoundRobin::new(), 10).unwrap_err();
+        assert!(matches!(err, RunError::Object { pid: 0, .. }));
+        assert!(err.to_string().contains("illegal operation"));
+    }
+
+    #[test]
+    fn trace_schedule_replays_identically() {
+        let proto = Ranker { n: 3 };
+        let mut sim = Simulation::new(&proto, &vec![Value::Nil; 3]);
+        let res = sim.run(&mut RandomSched::new(9), 100).unwrap();
+        let mut replay = Simulation::new(&proto, &vec![Value::Nil; 3]);
+        let res2 = replay
+            .run(&mut crate::scheduler::Scripted::new(res.trace.schedule()), 100)
+            .unwrap();
+        assert_eq!(res.trace, res2.trace);
+        assert_eq!(res.decisions, res2.decisions);
+    }
+}

@@ -1,0 +1,160 @@
+use std::fmt;
+
+use bso_objects::{Op, Value};
+
+use crate::Pid;
+
+/// What happened in one simulation step.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum EventKind {
+    /// The process applied `op` and received `resp`.
+    Applied {
+        /// The operation performed.
+        op: Op,
+        /// The (linearized) response.
+        resp: Value,
+    },
+    /// The process decided this value and halted.
+    Decided(Value),
+    /// The process was crashed by the adversary (takes no further
+    /// steps).
+    Crashed,
+}
+
+/// One step of a run: which process moved and what it did.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Event {
+    /// Global sequence number (position in the run).
+    pub seq: usize,
+    /// The process that moved.
+    pub pid: Pid,
+    /// What it did.
+    pub kind: EventKind,
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            EventKind::Applied { op, resp } => {
+                write!(f, "#{:<4} p{}: {} ⇒ {}", self.seq, self.pid, op, resp)
+            }
+            EventKind::Decided(v) => write!(f, "#{:<4} p{}: decide {}", self.seq, self.pid, v),
+            EventKind::Crashed => write!(f, "#{:<4} p{}: ✗ crash", self.seq, self.pid),
+        }
+    }
+}
+
+/// A recorded run: the totally ordered sequence of steps.
+///
+/// Because the model applies one shared operation per step, the trace
+/// *is* a linearization of the run's concurrent history.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Trace {
+    events: Vec<Event>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Appends an event, assigning the next sequence number.
+    pub fn push(&mut self, pid: Pid, kind: EventKind) {
+        let seq = self.events.len();
+        self.events.push(Event { seq, pid, kind });
+    }
+
+    /// The recorded events, in run order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// The number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterator over the events.
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.events.iter()
+    }
+
+    /// The events of a single process, in run order.
+    pub fn by_pid(&self, pid: Pid) -> impl Iterator<Item = &Event> {
+        self.events.iter().filter(move |e| e.pid == pid)
+    }
+
+    /// The number of *steps* (shared ops + decision) process `pid`
+    /// took.
+    pub fn steps_of(&self, pid: Pid) -> usize {
+        self.by_pid(pid).count()
+    }
+
+    /// The set of processes that took at least one step — the
+    /// *participants* of the run. Validity properties quantify over
+    /// these.
+    pub fn participants(&self) -> Vec<Pid> {
+        let mut pids: Vec<Pid> = self.events.iter().map(|e| e.pid).collect();
+        pids.sort_unstable();
+        pids.dedup();
+        pids
+    }
+
+    /// The scheduling script of this trace (pid per step), which can be
+    /// replayed with [`crate::scheduler::Scripted`].
+    pub fn schedule(&self) -> Vec<Pid> {
+        self.events.iter().map(|e| e.pid).collect()
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.events {
+            writeln!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bso_objects::ObjectId;
+
+    #[test]
+    fn sequence_numbers_and_projections() {
+        let mut t = Trace::new();
+        t.push(1, EventKind::Applied { op: Op::read(ObjectId(0)), resp: Value::Nil });
+        t.push(0, EventKind::Decided(Value::Pid(0)));
+        t.push(1, EventKind::Decided(Value::Pid(0)));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.events()[2].seq, 2);
+        assert_eq!(t.steps_of(1), 2);
+        assert_eq!(t.participants(), vec![0, 1]);
+        assert_eq!(t.schedule(), vec![1, 0, 1]);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let mut t = Trace::new();
+        t.push(0, EventKind::Applied { op: Op::read(ObjectId(2)), resp: Value::Int(5) });
+        t.push(0, EventKind::Crashed);
+        let s = t.to_string();
+        assert!(s.contains("p0: o2.read ⇒ 5"), "got: {s}");
+        assert!(s.contains("✗ crash"));
+    }
+}

@@ -1,0 +1,273 @@
+//! Valency analysis of protocol state graphs.
+//!
+//! The classical impossibility proofs (FLP, Loui–Abu-Amara, and the
+//! set-consensus results the paper's reduction targets) reason about
+//! the *valence* of a global state: the set of values still decidable
+//! in some extension. A state is **bivalent** if two or more values are
+//! reachable, **univalent** if exactly one is, and a bivalent state all
+//! of whose successors are univalent is **critical** — the fulcrum of
+//! every valency argument.
+//!
+//! [`analyze`] materializes the reachable state graph (bounded) and
+//! computes valences by fixpoint propagation, which also works for
+//! cyclic graphs (non-wait-free candidates). It reports how many
+//! bivalent and critical states exist and whether the initial state is
+//! bivalent — for a read/write consensus candidate with distinct
+//! inputs, FLP's Lemma "some initial state is bivalent, and bivalence
+//! can be maintained forever" becomes observable data.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use bso_objects::Value;
+
+use crate::{Action, Pid, Protocol, SharedMemory};
+
+/// The valence of one state: which decision values are reachable from
+/// it.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Valence {
+    values: Vec<Value>,
+}
+
+impl Valence {
+    /// The reachable decision values, sorted and deduplicated.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Whether at least two distinct values are reachable.
+    pub fn is_bivalent(&self) -> bool {
+        self.values.len() >= 2
+    }
+
+    /// Whether exactly one value is reachable.
+    pub fn is_univalent(&self) -> bool {
+        self.values.len() == 1
+    }
+}
+
+/// The result of a valency analysis.
+#[derive(Clone, Debug)]
+pub struct ValenceReport {
+    /// Valence of the initial state.
+    pub initial: Valence,
+    /// Number of reachable states.
+    pub states: usize,
+    /// Number of bivalent states.
+    pub bivalent: usize,
+    /// Number of critical states (bivalent, every successor
+    /// univalent).
+    pub critical: usize,
+    /// Whether the graph was fully materialized (false = state budget
+    /// hit; counts are then lower bounds).
+    pub complete: bool,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct Key<S> {
+    mem: SharedMemory,
+    states: Vec<S>,
+    decisions: Vec<Option<Value>>,
+}
+
+/// Materializes the reachable state graph of `proto` (up to
+/// `max_states`) and computes the valence of every state.
+///
+/// Decisions already made in a state count toward its valence, so the
+/// analysis is meaningful even for protocols violating agreement.
+///
+/// # Panics
+///
+/// Panics if a process performs an illegal shared-memory operation
+/// (the candidate should at least type-check against its own layout).
+pub fn analyze<P: Protocol>(proto: &P, inputs: &[Value], max_states: usize) -> ValenceReport
+where
+    P::State: Hash + Eq,
+{
+    let n = proto.processes();
+    assert_eq!(inputs.len(), n);
+    let init = Key {
+        mem: SharedMemory::new(&proto.layout()),
+        states: inputs.iter().enumerate().map(|(p, v)| proto.init(p, v)).collect(),
+        decisions: vec![None; n],
+    };
+
+    // 1. BFS-materialize the graph.
+    let mut index: HashMap<Key<P::State>, usize> = HashMap::new();
+    let mut keys: Vec<Key<P::State>> = Vec::new();
+    let mut succs: Vec<Vec<usize>> = Vec::new();
+    let mut queue = std::collections::VecDeque::new();
+    index.insert(init.clone(), 0);
+    keys.push(init);
+    succs.push(Vec::new());
+    queue.push_back(0usize);
+    let mut complete = true;
+    while let Some(i) = queue.pop_front() {
+        let key = keys[i].clone();
+        let enabled: Vec<Pid> =
+            (0..n).filter(|&p| key.decisions[p].is_none()).collect();
+        for pid in enabled {
+            let mut next = key.clone();
+            match proto.next_action(&next.states[pid]) {
+                Action::Invoke(op) => {
+                    let resp = next
+                        .mem
+                        .apply(pid, &op)
+                        .unwrap_or_else(|e| panic!("p{pid} illegal op {op}: {e}"));
+                    proto.on_response(&mut next.states[pid], resp);
+                }
+                Action::Decide(v) => next.decisions[pid] = Some(v),
+            }
+            let j = match index.get(&next) {
+                Some(&j) => j,
+                None => {
+                    if keys.len() >= max_states {
+                        complete = false;
+                        continue;
+                    }
+                    let j = keys.len();
+                    index.insert(next.clone(), j);
+                    keys.push(next);
+                    succs.push(Vec::new());
+                    queue.push_back(j);
+                    j
+                }
+            };
+            succs[i].push(j);
+        }
+    }
+
+    // 2. Fixpoint propagation of reachable decision values.
+    let mut vals: Vec<Vec<Value>> = keys
+        .iter()
+        .map(|k| {
+            let mut v: Vec<Value> = k.decisions.iter().flatten().cloned().collect();
+            v.sort();
+            v.dedup();
+            v
+        })
+        .collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in (0..keys.len()).rev() {
+            let mut merged = vals[i].clone();
+            for &j in &succs[i] {
+                for v in &vals[j] {
+                    if !merged.contains(v) {
+                        merged.push(v.clone());
+                    }
+                }
+            }
+            merged.sort();
+            if merged != vals[i] {
+                vals[i] = merged;
+                changed = true;
+            }
+        }
+    }
+
+    // 3. Classify.
+    let bivalent = vals.iter().filter(|v| v.len() >= 2).count();
+    let critical = (0..keys.len())
+        .filter(|&i| {
+            vals[i].len() >= 2
+                && !succs[i].is_empty()
+                && succs[i].iter().all(|&j| vals[j].len() == 1)
+        })
+        .count();
+    ValenceReport {
+        initial: Valence { values: vals[0].clone() },
+        states: keys.len(),
+        bivalent,
+        critical,
+        complete,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bso_objects::{Layout, ObjectId, ObjectInit, Op, OpKind};
+
+    /// Test&set consensus for two processes (sound): the winner's input
+    /// prevails.
+    struct TasConsensus;
+
+    #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+    enum St {
+        Announce(Pid, Value),
+        Grab(Pid, Value),
+        ReadPeer(Pid),
+        Done(Value),
+    }
+
+    impl Protocol for TasConsensus {
+        type State = St;
+        fn processes(&self) -> usize {
+            2
+        }
+        fn layout(&self) -> Layout {
+            let mut l = Layout::new();
+            l.push(ObjectInit::TestAndSet);
+            l.push_n(ObjectInit::Register(Value::Nil), 2);
+            l
+        }
+        fn init(&self, pid: Pid, input: &Value) -> St {
+            St::Announce(pid, input.clone())
+        }
+        fn next_action(&self, st: &St) -> Action {
+            match st {
+                St::Announce(p, v) => Action::Invoke(Op::write(ObjectId(1 + p), v.clone())),
+                St::Grab(..) => Action::Invoke(Op::new(ObjectId(0), OpKind::TestAndSet)),
+                St::ReadPeer(p) => Action::Invoke(Op::read(ObjectId(1 + (1 - p)))),
+                St::Done(v) => Action::Decide(v.clone()),
+            }
+        }
+        fn on_response(&self, st: &mut St, resp: Value) {
+            *st = match st.clone() {
+                St::Announce(p, v) => St::Grab(p, v),
+                St::Grab(p, v) => {
+                    if resp == Value::Bool(false) {
+                        St::Done(v)
+                    } else {
+                        St::ReadPeer(p)
+                    }
+                }
+                St::ReadPeer(_) => St::Done(resp),
+                done => done,
+            };
+        }
+    }
+
+    #[test]
+    fn initial_state_is_bivalent_then_resolves() {
+        let inputs = vec![Value::Int(10), Value::Int(20)];
+        let report = analyze(&TasConsensus, &inputs, 100_000);
+        assert!(report.complete);
+        assert!(report.initial.is_bivalent(), "both inputs are reachable initially");
+        assert_eq!(report.initial.values(), &[Value::Int(10), Value::Int(20)]);
+        // A sound consensus protocol resolves bivalence at some critical
+        // state — for test&set consensus, at the test&set itself.
+        assert!(report.critical >= 1, "expected a critical state");
+        assert!(report.bivalent >= 1);
+        assert!(report.states > report.bivalent);
+    }
+
+    #[test]
+    fn univalent_when_inputs_agree() {
+        let inputs = vec![Value::Int(5), Value::Int(5)];
+        let report = analyze(&TasConsensus, &inputs, 100_000);
+        assert!(report.initial.is_univalent());
+        assert_eq!(report.bivalent, 0);
+        assert_eq!(report.critical, 0);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_flagged() {
+        let inputs = vec![Value::Int(1), Value::Int(2)];
+        let report = analyze(&TasConsensus, &inputs, 3);
+        assert!(!report.complete);
+    }
+}

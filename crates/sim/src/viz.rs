@@ -1,0 +1,172 @@
+//! ASCII rendering of runs: space–time diagrams and register
+//! histories.
+//!
+//! The paper's arguments are all about *runs* — interleavings,
+//! histories of the compare&swap register, who observed what when.
+//! This module renders a recorded [`Trace`] so humans can follow them:
+//!
+//! * [`timeline`] — one row per process, one column per step: `W`/`R`
+//!   register ops, `C`/`c` successful/failed compare&swaps, `S`/`U`
+//!   snapshot scans/updates, `D` decisions, `✗` crashes.
+//! * [`register_history`] — the value sequence a given register (or
+//!   compare&swap) goes through, with the step index of each change.
+//!
+//! Both are plain functions returning `String`s; the examples print
+//! them.
+
+use std::fmt::Write as _;
+
+use bso_objects::{ObjectId, OpKind, Value};
+
+use crate::{EventKind, Trace};
+
+/// One character per event, for the timeline.
+fn glyph(kind: &EventKind) -> char {
+    match kind {
+        EventKind::Applied { op, resp } => match &op.kind {
+            OpKind::Read => 'r',
+            OpKind::Write(_) => 'W',
+            OpKind::Cas { expect, .. } => {
+                if resp == expect {
+                    'C' // successful compare&swap
+                } else {
+                    'c' // failed compare&swap
+                }
+            }
+            OpKind::TestAndSet => 'T',
+            OpKind::Reset => 't',
+            OpKind::FetchAdd(_) => 'F',
+            OpKind::Swap(_) => 'X',
+            OpKind::SnapshotScan => 'S',
+            OpKind::SnapshotUpdate(_) => 'U',
+            OpKind::StickyWrite(_) => 'K',
+            OpKind::Enqueue(_) => 'Q',
+            OpKind::Dequeue => 'q',
+            OpKind::Rmw { .. } => 'M',
+        },
+        EventKind::Decided(_) => 'D',
+        EventKind::Crashed => '✗',
+    }
+}
+
+/// Renders the trace as a space–time diagram: one row per process, one
+/// column per global step. See `examples/quickstart.rs` for real
+/// output, e.g.:
+///
+/// ```text
+/// p0   |U r S  U   r  S C  D|
+/// p1   |  U   r S U  r S  cD|
+/// ```
+pub fn timeline(trace: &Trace, processes: usize) -> String {
+    let steps = trace.len();
+    let mut rows = vec![vec![' '; steps]; processes];
+    for e in trace.events() {
+        rows[e.pid][e.seq] = glyph(&e.kind);
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "      steps 0..{steps}   (W/r register · C/c compare&swap ok/fail · S/U snapshot · D decide · ✗ crash)"
+    );
+    for (p, row) in rows.iter().enumerate() {
+        let line: String = row.iter().collect();
+        let _ = writeln!(out, "p{p:<3} |{}|", line);
+    }
+    out
+}
+
+/// The sequence of values the object `obj` takes in the trace, as
+/// `(step, value)` pairs starting from `initial`.
+pub fn register_history(trace: &Trace, obj: ObjectId, initial: Value) -> Vec<(usize, Value)> {
+    let mut out = vec![(0, initial)];
+    for e in trace.events() {
+        if let EventKind::Applied { op, resp } = &e.kind {
+            if op.obj != obj {
+                continue;
+            }
+            match &op.kind {
+                OpKind::Write(v) | OpKind::Swap(v) => out.push((e.seq, v.clone())),
+                OpKind::Cas { expect, new } if resp == expect => {
+                    out.push((e.seq, new.clone()))
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Renders a register history as a compact arrow chain, e.g.
+/// `⊥ →(#12) 0 →(#31) 2`.
+pub fn register_history_string(trace: &Trace, obj: ObjectId, initial: Value) -> String {
+    let hist = register_history(trace, obj, initial);
+    let mut out = String::new();
+    for (i, (step, v)) in hist.iter().enumerate() {
+        if i == 0 {
+            let _ = write!(out, "{v}");
+        } else {
+            let _ = write!(out, " →(#{step}) {v}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bso_objects::{Op, Sym};
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new();
+        t.push(0, EventKind::Applied { op: Op::write(ObjectId(1), Value::Pid(0)), resp: Value::Nil });
+        t.push(
+            1,
+            EventKind::Applied {
+                op: Op::cas(ObjectId(0), Sym::BOTTOM.into(), Sym::new(0).into()),
+                resp: Value::Sym(Sym::BOTTOM), // success
+            },
+        );
+        t.push(
+            0,
+            EventKind::Applied {
+                op: Op::cas(ObjectId(0), Sym::BOTTOM.into(), Sym::new(1).into()),
+                resp: Value::Sym(Sym::new(0)), // failure
+            },
+        );
+        t.push(1, EventKind::Decided(Value::Pid(1)));
+        t.push(0, EventKind::Crashed);
+        t
+    }
+
+    #[test]
+    fn timeline_glyphs_and_alignment() {
+        let s = timeline(&sample_trace(), 2);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[1], "p0   |W c ✗|");
+        assert_eq!(lines[2], "p1   | C D |");
+    }
+
+    #[test]
+    fn register_history_tracks_successes_only() {
+        let t = sample_trace();
+        let h = register_history(&t, ObjectId(0), Value::Sym(Sym::BOTTOM));
+        assert_eq!(
+            h,
+            vec![(0, Value::Sym(Sym::BOTTOM)), (1, Value::Sym(Sym::new(0)))],
+            "the failed compare&swap must not appear"
+        );
+        assert_eq!(
+            register_history_string(&t, ObjectId(0), Value::Sym(Sym::BOTTOM)),
+            "⊥ →(#1) 0"
+        );
+    }
+
+    #[test]
+    fn empty_trace_renders() {
+        let s = timeline(&Trace::new(), 1);
+        assert!(s.contains("p0"));
+        let h = register_history(&Trace::new(), ObjectId(0), Value::Nil);
+        assert_eq!(h, vec![(0, Value::Nil)]);
+    }
+}

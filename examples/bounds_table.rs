@@ -1,0 +1,40 @@
+//! Experiment E6: the bound landscape of `n_k` (the paper's §1/§4).
+//!
+//! Regenerates the comparison the paper's introduction and conclusion
+//! draw: the Burns–Cruz–Loui floor `k−1` (compare&swap alone), the
+//! algorithmic `(k−1)!` (one compare&swap-(k) + registers,
+//! `LabelElection`), the conjectured Θ(k!), and Theorem 1's ceiling
+//! `k^(k²+3)`.
+//!
+//! ```text
+//! cargo run --example bounds_table
+//! ```
+
+use bso::bounds;
+
+fn main() {
+    println!("n_k: processes electable with one compare&swap-(k)\n");
+    println!(
+        "{:>3} | {:>10} | {:>14} | {:>16} | {:>28}",
+        "k", "cas alone", "+ registers", "conjecture Θ(k!)", "Theorem 1 ceiling k^(k²+3)"
+    );
+    println!(
+        "{:>3} | {:>10} | {:>14} | {:>16} | {:>28}",
+        "", "(k−1)", "(k−1)!", "k!", ""
+    );
+    println!("{}", "-".repeat(84));
+    for row in bounds::landscape(10) {
+        let upper = match row.upper {
+            Some(u) => format!("{u}"),
+            None => format!("≈ 2^{:.0}", row.upper_log2),
+        };
+        println!(
+            "{:>3} | {:>10} | {:>14} | {:>16} | {:>28}",
+            row.k, row.cas_alone, row.with_registers, row.conjectured, upper
+        );
+    }
+    println!();
+    println!("Every row satisfies  k−1 ≤ (k−1)! ≤ k! ≤ k^(k²+3):");
+    println!("adding read/write registers to a bounded strong object increases its");
+    println!("power exponentially — and (Theorem 1) only exponentially.");
+}

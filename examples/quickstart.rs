@@ -1,0 +1,55 @@
+//! Quickstart: elect a leader among (k−1)! processes with one
+//! `compare&swap-(k)` — in the simulator, under an adversarial
+//! schedule, and on real hardware atomics.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use bso::sim::{checker, scheduler, ProtocolExt, Simulation};
+use bso::LabelElection;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (n, k) = (6, 4); // (k−1)! = 6 processes, domain {⊥, 0, 1, 2}
+    let proto = LabelElection::new(n, k)?;
+    println!("LabelElection: n = {n} processes, one compare&swap-({k}) + registers");
+    println!("(the register alone would support only k−1 = {} processes)\n", k - 1);
+
+    // 1. Simulator, random adversarial schedule.
+    let mut sim = Simulation::new(&proto, &proto.pid_inputs());
+    let result = sim.run(&mut scheduler::RandomSched::new(42), 100_000)?;
+    checker::check_election(&result)?;
+    let winner = result.decisions[0].as_ref().unwrap();
+    println!("simulated run : all {n} processes elected {winner}");
+    println!(
+        "              : steps per process = {:?} (wait-free, O(k) each)",
+        result.steps
+    );
+
+    // 1b. The run, drawn: one row per process, one column per step.
+    println!("\n{}", bso::sim::viz::timeline(&result.trace, n));
+    println!(
+        "compare&swap history: {}\n",
+        bso::sim::viz::register_history_string(
+            &result.trace,
+            bso::objects::ObjectId(0),
+            bso::objects::Sym::BOTTOM.into(),
+        )
+    );
+
+    // 2. Bursty schedule with two crash failures.
+    let plan = bso::sim::CrashPlan::none().crash(1, 3).crash(4, 0);
+    let mut sim = Simulation::new(&proto, &proto.pid_inputs()).with_crash_plan(plan);
+    let result = sim.run(&mut scheduler::BurstSched::new(7, 5), 100_000)?;
+    checker::check_election(&result)?;
+    println!(
+        "crashy run    : survivors elected {}",
+        result.decision_set().first().unwrap()
+    );
+
+    // 3. Real OS threads over hardware compare&swap.
+    let decisions = bso::sim::thread_runner::run_on_threads(&proto, &proto.pid_inputs())?;
+    println!("hardware run  : threads elected {}", decisions[0]);
+
+    Ok(())
+}

@@ -1,0 +1,77 @@
+//! Experiment E1: the reduction of Theorem 1, executed.
+//!
+//! `m` emulators communicating through read/write memory only
+//! construct legal runs of a compare&swap-(k) leader election and
+//! adopt their runs' decisions. The paper's counting — at most
+//! `(k−1)!` labels, hence at most `(k−1)!` distinct decisions — is
+//! printed and checked, and every constructed run is validated by
+//! linearizability replay (the executable Lemma 1.2).
+//!
+//! ```text
+//! cargo run --example reduction
+//! ```
+
+use bso::combinatorics::perm::factorial;
+use bso::{LabelElection, Reduction};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (phi, k, m) = (6, 4, 3);
+    println!(
+        "Emulating A = LabelElection(Φ = {phi}, k = {k}) with m = {m} emulators"
+    );
+    println!("Emulator shared memory: read/write (snapshot of swmr slots) ONLY.\n");
+
+    let mut max_labels = 0;
+    for seed in 0..30 {
+        let a = LabelElection::new(phi, k)?;
+        let report = Reduction::new(a, m).run_bursty(seed, 4)?;
+        let summary = report.validate()?;
+        let labels = report.distinct_labels();
+        max_labels = max_labels.max(labels.len());
+        if seed < 5 {
+            println!(
+                "seed {seed:>2}: {} branch(es), {} decision(s) {:?}, {} ops validated",
+                summary.branches,
+                report.distinct_decisions(),
+                report.decision_set(),
+                summary.ops_checked,
+            );
+        }
+    }
+    println!("  ⋮");
+    println!(
+        "\nacross 30 adversarial schedules: max distinct labels = {max_labels}, \
+         bound (k−1)! = {}",
+        factorial(k - 1)
+    );
+    assert!(max_labels as u128 <= factorial(k - 1));
+
+    // A deterministic schedule that forces a *label* split: two
+    // emulators each drive one v-process of LabelElection(2, 3) past
+    // registration while the other is silent, then race their first
+    // compare&swap successes scan–scan–publish–publish.
+    println!("\nForcing a group split (k = 3, Φ = 2, m = 2, scripted schedule):");
+    let a = LabelElection::new(2, 3)?;
+    let red = Reduction::new(a, 2);
+    let mut script: Vec<usize> = Vec::new();
+    script.extend([1; 6]);
+    script.extend([0; 6]);
+    script.extend([0, 1, 0, 1]);
+    let mut sched = bso::sim::scheduler::Scripted::new(script);
+    let report = red.run_with(&mut sched, 1_000_000)?;
+    report.validate()?;
+    println!(
+        "  labels {:?} → decisions {:?}: the emulators split into (k−1)! = 2 groups,",
+        report.distinct_labels(),
+        report.decision_set()
+    );
+    println!("  each group's run electing a different leader — a 2-set consensus among");
+    println!("  the emulators, out of read/write memory plus nothing else.");
+
+    println!("\nEvery constructed run passed linearizability replay against A's own");
+    println!("object specifications (Lemma 1.2, executed). With Φ = O(k^(k²+3)) such");
+    println!("an A would hand (k−1)!+1 read/write processes a (k−1)!-set consensus —");
+    println!("impossible (Borowsky–Gafni, Herlihy–Shavit, Saks–Zaharoglou). Hence");
+    println!("Theorem 1: n_k ≤ O(k^(k²+3)).");
+    Ok(())
+}

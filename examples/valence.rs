@@ -1,0 +1,56 @@
+//! The anatomy of the impossibility arguments: valency analysis.
+//!
+//! FLP-style proofs (which the paper's reduction ultimately leans on)
+//! revolve around *bivalent* states — global states from which both
+//! decisions are still reachable — and *critical* states, where one
+//! step resolves the bivalence. This example materializes the state
+//! graphs of a sound consensus protocol and of a doomed one and counts
+//! those states; for the doomed candidate it also prints the concrete
+//! counterexample schedule found by the refuter, with a space–time
+//! rendering.
+//!
+//! ```text
+//! cargo run --example valence
+//! ```
+
+use bso::objects::Value;
+use bso::protocols::consensus::{RwConsensus, TasConsensus};
+use bso::sim::scheduler::Scripted;
+use bso::sim::{refute, valence, viz, Simulation};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let inputs = vec![Value::Int(0), Value::Int(1)];
+
+    println!("Valency analysis (binary inputs 0, 1)\n");
+    for (name, report) in [
+        ("TasConsensus (sound, test&set)", valence::analyze(&TasConsensus, &inputs, 1_000_000)),
+        ("RwConsensus (doomed, registers only)", valence::analyze(&RwConsensus, &inputs, 1_000_000)),
+    ] {
+        println!("{name}:");
+        println!("  states reachable : {}", report.states);
+        println!(
+            "  initial valence  : {:?} ({})",
+            report.initial.values(),
+            if report.initial.is_bivalent() { "bivalent" } else { "univalent" }
+        );
+        println!("  bivalent states  : {}", report.bivalent);
+        println!("  critical states  : {}", report.critical);
+        println!();
+    }
+
+    println!("The sound protocol funnels every schedule through a critical state");
+    println!("(the test&set). The register-only candidate has no primitive that can");
+    println!("resolve bivalence consistently — the refuter exhibits the schedule:\n");
+
+    let verdict = refute::refute_consensus(&RwConsensus, &inputs, 1_000_000);
+    let r = verdict.refutation().expect("FLP: must be refutable");
+    println!("counterexample after exploring {} states:", r.states);
+    let mut sim = Simulation::new(&RwConsensus, &inputs);
+    let res = sim.run(&mut Scripted::new(r.violation.schedule.clone()), 1_000)?;
+    print!("{}", viz::timeline(&res.trace, 2));
+    println!(
+        "\ndecisions: p0 → {:?}, p1 → {:?}  (disagreement)",
+        res.decisions[0], res.decisions[1]
+    );
+    Ok(())
+}

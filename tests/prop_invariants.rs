@@ -1,0 +1,157 @@
+//! Property-based tests (proptest) on the workspace's core invariants.
+
+use bso::combinatorics::game::{Game, GameAction};
+use bso::combinatorics::perm::{nth_permutation, permutation_rank};
+use bso::objects::{spec::ObjectState, ObjectInit, OpKind, Sym, Value};
+use bso::protocols::snapshot::{views_are_comparable, SnapshotExerciser};
+use bso::sim::{checker, scheduler::RandomSched, Protocol, ProtocolExt, Simulation};
+use bso::LabelElection;
+use proptest::prelude::*;
+
+proptest! {
+    /// Lehmer encoding round-trips for every rank and size.
+    #[test]
+    fn perm_rank_roundtrip(m in 0usize..7, salt in any::<u64>()) {
+        let total = bso::combinatorics::perm::factorial(m);
+        let rank = if total == 0 { 0 } else { (salt as u128) % total };
+        let p = nth_permutation(rank, m);
+        prop_assert_eq!(permutation_rank(&p), rank);
+    }
+
+    /// The compare&swap-(k) sequential spec: the response always equals
+    /// the previous contents, and contents change exactly when the
+    /// response equals `expect`.
+    #[test]
+    fn cas_k_spec_semantics(
+        k in 2usize..8,
+        ops in proptest::collection::vec((0u8..8, 0u8..8), 1..40),
+    ) {
+        let mut cas = ObjectState::from_init(&ObjectInit::CasK { k });
+        let mut shadow = Sym::BOTTOM;
+        for (e, n) in ops {
+            let expect = Sym::from_code(e % k as u8);
+            let new = Sym::from_code(n % k as u8);
+            let resp = cas
+                .apply(0, &OpKind::Cas { expect: expect.into(), new: new.into() })
+                .unwrap();
+            prop_assert_eq!(resp, Value::Sym(shadow));
+            if shadow == expect {
+                shadow = new;
+            }
+            prop_assert_eq!(cas.apply(0, &OpKind::Read).unwrap(), Value::Sym(shadow));
+        }
+    }
+
+    /// LabelElection satisfies the election spec under arbitrary
+    /// seeded schedules and instance sizes.
+    #[test]
+    fn label_election_random_instances(
+        k in 3usize..6,
+        n_salt in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let max = bso::combinatorics::perm::factorial(k - 1);
+        let n = 1 + (n_salt as u128 % max) as usize;
+        let proto = LabelElection::new(n, k).unwrap();
+        let mut sim = Simulation::new(&proto, &proto.pid_inputs());
+        let res = sim.run(&mut RandomSched::new(seed), 10_000_000).unwrap();
+        prop_assert!(checker::check_election(&res).is_ok());
+        prop_assert!(checker::check_step_bound(&res, 12 * k).is_ok());
+    }
+
+    /// In the move/jump game, any legal action sequence keeps the
+    /// painted graph acyclic (cycle-closing moves are unplayable), and
+    /// for m ≥ 2 the move count respects m^k.
+    #[test]
+    fn game_random_play_respects_bound(
+        k in 2usize..5,
+        m in 2usize..4,
+        choices in proptest::collection::vec(any::<u32>(), 1..120),
+    ) {
+        let starts: Vec<usize> = (0..m).map(|a| a % k).collect();
+        let mut g = Game::new(k, &starts);
+        for c in choices {
+            let actions = g.legal_actions();
+            if actions.is_empty() {
+                break;
+            }
+            g.act(actions[c as usize % actions.len()]).unwrap();
+        }
+        prop_assert!((g.moves() as u128) <= (m as u128).pow(k as u32));
+        // Acyclicity: levels() terminates and respects every edge.
+        let levels = g.levels();
+        for u in 0..k {
+            for v in 0..k {
+                if u != v && g.is_painted(u, v) {
+                    prop_assert!(levels[u] > levels[v]);
+                }
+            }
+        }
+    }
+
+    /// Snapshot views from the register-based construction are always
+    /// pairwise comparable.
+    #[test]
+    fn snapshot_views_comparable(
+        n in 2usize..5,
+        rounds in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let proto = SnapshotExerciser::new(n, rounds);
+        let mut sim = Simulation::new(&proto, &vec![Value::Nil; n]);
+        let res = sim.run(&mut RandomSched::new(seed), 10_000_000).unwrap();
+        let views: Vec<Vec<Value>> = res
+            .decisions
+            .iter()
+            .map(|d| d.as_ref().unwrap().as_seq().unwrap().to_vec())
+            .collect();
+        prop_assert!(views_are_comparable(&views));
+    }
+
+    /// The emulation respects the label bound on random instances.
+    #[test]
+    fn reduction_label_bound(seed in any::<u64>(), m in 2usize..4) {
+        let a = LabelElection::new(6, 4).unwrap();
+        let report = bso::Reduction::new(a, m).run_seeded(seed).unwrap();
+        prop_assert!(report.validate().is_ok());
+        prop_assert!(report.distinct_labels().len() <= 6);
+    }
+
+    /// Completeness of the run-legality checker: every trace actually
+    /// produced by the simulator IS a legal run, so feeding its
+    /// per-process operation sequences back to `check_run_legality`
+    /// must always succeed (the simulator's own step order is a
+    /// witness).
+    #[test]
+    fn simulated_runs_are_always_legal(seed in any::<u64>(), n in 2usize..5) {
+        use bso::sim::{linearizability, EventKind};
+        let max = bso::combinatorics::perm::factorial(3) as usize; // k = 4
+        let n = n.min(max);
+        let proto = LabelElection::new(n, 4).unwrap();
+        let mut sim = Simulation::new(&proto, &proto.pid_inputs());
+        let res = sim.run(&mut RandomSched::new(seed), 10_000_000).unwrap();
+        let mut by_pid: Vec<Vec<(usize, bso::objects::Op, Value)>> = vec![Vec::new(); n];
+        for e in res.trace.events() {
+            if let EventKind::Applied { op, resp } = &e.kind {
+                by_pid[e.pid].push((e.pid, op.clone(), resp.clone()));
+            }
+        }
+        prop_assert!(linearizability::check_run_legality(&proto.layout(), &by_pid).is_ok());
+    }
+
+    /// Jump freshness bookkeeping: an agent can never jump to a node
+    /// without an intervening move into it.
+    #[test]
+    fn game_jump_requires_move(k in 2usize..5, m in 1usize..4) {
+        let starts: Vec<usize> = (0..m).map(|a| a % k).collect();
+        let g = Game::new(k, &starts);
+        for a in 0..m {
+            for u in 0..k {
+                prop_assert!(!g.is_fresh(a, u), "initially nothing is fresh");
+            }
+        }
+        let only_moves =
+            g.legal_actions().iter().all(|a| matches!(a, GameAction::Move { .. }));
+        prop_assert!(only_moves);
+    }
+}
