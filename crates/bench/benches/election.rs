@@ -13,7 +13,7 @@
 use bso::sim::{thread_runner, ProtocolExt};
 use bso::{CasOnlyElection, LabelElection};
 use bso_bench::run_once;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use bso_bench::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn bench_cas_only(c: &mut Criterion) {
     let mut g = c.benchmark_group("cas_only");

@@ -4,7 +4,7 @@
 //! cost of the Lemma 1.2 validation (linearizability replay).
 
 use bso::{CasOnlyElection, LabelElection, Reduction};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bso_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn bench_reduction_emulators(c: &mut Criterion) {

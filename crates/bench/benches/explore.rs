@@ -1,23 +1,238 @@
 //! The exhaustive model checker: states per second and full-instance
 //! verification cost for the protocols the experiments rely on.
+//!
+//! Besides the live engine, this bench carries [`seed_baseline`] — a
+//! faithful compact replica of the original recursive single-threaded
+//! explorer (full-state `HashMap` memo under the std `SipHash` hasher,
+//! separate gray set, per-successor clone) — so every run measures the
+//! current engine's speedup over it on identical instances. The run's
+//! states/sec records and the per-instance speedups are written to
+//! `BENCH_explore.json` at the workspace root.
 
-use bso::sim::{explore, ExploreConfig, ProtocolExt, TaskSpec};
+use bso::sim::{
+    explore, explore_parallel, explore_symmetric, DedupMode, ExploreConfig, ProtocolExt, TaskSpec,
+};
 use bso::{CasOnlyElection, LabelElection};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use bso_bench::{BenchmarkId, Criterion, Measurement, Throughput};
 use std::hint::black_box;
 
-fn bench_explore_cas_only(c: &mut Criterion) {
-    let mut g = c.benchmark_group("explore_cas_only");
-    g.sample_size(20);
-    for k in [3usize, 4, 5, 6] {
+/// A compact replica of the pre-rewrite explorer, kept verbatim in
+/// algorithm and data-structure choices: recursive DFS, a
+/// `HashMap<full state, bounds>` memo and a `HashSet` gray set (both
+/// SipHash-keyed), one state clone per generated successor plus one
+/// per gray insertion. Only the leader-election specification is
+/// implemented — that is all the baseline instances need.
+mod seed_baseline {
+    use std::collections::{HashMap, HashSet};
+    use std::hash::Hash;
+
+    use bso::objects::Value;
+    use bso::sim::{Action, Pid, Protocol, SharedMemory};
+
+    #[derive(Clone, PartialEq, Eq, Hash)]
+    struct StateKey<S> {
+        mem: SharedMemory,
+        states: Vec<S>,
+        decisions: Vec<Option<Value>>,
+        stepped: u64,
+    }
+
+    struct Explorer<'p, P: Protocol> {
+        proto: &'p P,
+        memo: HashMap<StateKey<P::State>, Vec<usize>>,
+        gray: HashSet<StateKey<P::State>>,
+        terminals: usize,
+    }
+
+    impl<P: Protocol> Explorer<'_, P>
+    where
+        P::State: Hash + Eq,
+    {
+        fn successor(&self, key: &StateKey<P::State>, pid: Pid) -> StateKey<P::State> {
+            let mut next = key.clone();
+            match self.proto.next_action(&next.states[pid]) {
+                Action::Invoke(op) => {
+                    let resp = next.mem.apply(pid, &op).expect("legal op");
+                    self.proto.on_response(&mut next.states[pid], resp);
+                    next.stepped |= 1 << pid;
+                }
+                Action::Decide(v) => {
+                    next.stepped |= 1 << pid;
+                    let ok = v.as_pid().is_some_and(|w| next.stepped >> w & 1 == 1)
+                        && next.decisions.iter().flatten().all(|w| *w == v);
+                    assert!(ok, "baseline instances are verified elections");
+                    next.decisions[pid] = Some(v);
+                }
+            }
+            next
+        }
+
+        fn dfs(&mut self, key: StateKey<P::State>) -> Vec<usize> {
+            if let Some(hit) = self.memo.get(&key) {
+                return hit.clone();
+            }
+            assert!(!self.gray.contains(&key), "baseline instances are acyclic");
+            let enabled: Vec<Pid> = (0..key.decisions.len())
+                .filter(|&p| key.decisions[p].is_none())
+                .collect();
+            if enabled.is_empty() {
+                self.terminals += 1;
+                let zeros = vec![0; key.decisions.len()];
+                self.memo.insert(key, zeros.clone());
+                return zeros;
+            }
+            self.gray.insert(key.clone());
+            let mut best = vec![0usize; key.decisions.len()];
+            for pid in enabled {
+                let next = self.successor(&key, pid);
+                for (p, r) in self.dfs(next).iter().enumerate() {
+                    best[p] = best[p].max(r + usize::from(p == pid));
+                }
+            }
+            self.gray.remove(&key);
+            self.memo.insert(key, best.clone());
+            best
+        }
+    }
+
+    /// Explores all interleavings of a verified election protocol and
+    /// returns (distinct states, terminals, max steps per process).
+    pub fn explore_election<P: Protocol>(proto: &P, inputs: &[Value]) -> (usize, usize, Vec<usize>)
+    where
+        P::State: Hash + Eq,
+    {
+        let n = proto.processes();
+        let init = StateKey {
+            mem: SharedMemory::new(&proto.layout()),
+            states: inputs
+                .iter()
+                .enumerate()
+                .map(|(p, v)| proto.init(p, v))
+                .collect(),
+            decisions: vec![None; n],
+            stepped: 0,
+        };
+        let mut ex = Explorer {
+            proto,
+            memo: HashMap::new(),
+            gray: HashSet::new(),
+            terminals: 0,
+        };
+        let bounds = ex.dfs(init);
+        (ex.memo.len(), ex.terminals, bounds)
+    }
+}
+
+/// The instances both the baseline and the live engine run: `k` CAS
+/// symbols, `k − 1` processes. Throughput differences grow with `k` —
+/// the baseline hashes and clones whole states per edge (Θ(n) work)
+/// where the engine's incremental fingerprints are O(1).
+const CAS_KS: [usize; 6] = [3, 4, 5, 6, 7, 8];
+
+fn bench_explore_seed_baseline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("explore_seed_baseline");
+    g.sample_size(10);
+    for k in CAS_KS {
         let proto = CasOnlyElection::new(k - 1, k).unwrap();
         let inputs = proto.pid_inputs();
-        let cfg = ExploreConfig { spec: TaskSpec::Election, ..Default::default() };
-        // Report throughput in explored states.
-        let states = explore(&proto, &inputs, &cfg).states as u64;
-        g.throughput(Throughput::Elements(states));
+        let (states, _, _) = seed_baseline::explore_election(&proto, &inputs);
+        g.throughput(Throughput::Elements(states as u64));
         g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
-            b.iter(|| black_box(explore(&proto, &inputs, &cfg)));
+            b.iter(|| black_box(seed_baseline::explore_election(&proto, &inputs)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_explore_cas_only(c: &mut Criterion) {
+    // The engine's two serial key modes on the same instances the seed
+    // baseline runs: exact (collision-free, like the seed) and
+    // fingerprint (the memory-lean production mode).
+    for (group, dedup) in [
+        ("explore_cas_only", DedupMode::Exact),
+        ("explore_cas_only_fp", DedupMode::Fingerprint),
+    ] {
+        let mut g = c.benchmark_group(group);
+        g.sample_size(20);
+        for k in CAS_KS {
+            let proto = CasOnlyElection::new(k - 1, k).unwrap();
+            let inputs = proto.pid_inputs();
+            let cfg = ExploreConfig {
+                spec: TaskSpec::Election,
+                dedup,
+                ..Default::default()
+            };
+            // Report throughput in explored states.
+            let states = explore(&proto, &inputs, &cfg).states as u64;
+            g.throughput(Throughput::Elements(states));
+            g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+                b.iter(|| black_box(explore(&proto, &inputs, &cfg)));
+            });
+        }
+        g.finish();
+    }
+}
+
+/// The same instance across every engine mode: serial/parallel ×
+/// exact/fingerprint keys, plus symmetry reduction (whose throughput
+/// is in *orbit representatives* — fewer states, same verdict).
+fn bench_explore_modes(c: &mut Criterion) {
+    let proto = CasOnlyElection::new(5, 6).unwrap();
+    let inputs = proto.pid_inputs();
+    let base = ExploreConfig {
+        spec: TaskSpec::Election,
+        ..Default::default()
+    };
+    let modes: [(&str, ExploreConfig, bool); 5] = [
+        ("serial_exact", base.clone(), false),
+        (
+            "serial_fingerprint",
+            ExploreConfig {
+                dedup: DedupMode::Fingerprint,
+                ..base.clone()
+            },
+            false,
+        ),
+        (
+            "parallel_exact",
+            ExploreConfig {
+                workers: 4,
+                ..base.clone()
+            },
+            true,
+        ),
+        (
+            "parallel_fingerprint",
+            ExploreConfig {
+                workers: 4,
+                dedup: DedupMode::Fingerprint,
+                ..base.clone()
+            },
+            true,
+        ),
+        ("serial_symmetric", base.clone(), false),
+    ];
+    let mut g = c.benchmark_group("explore_modes");
+    g.sample_size(10);
+    for (name, cfg, parallel) in &modes {
+        let states = if *name == "serial_symmetric" {
+            explore_symmetric(&proto, &inputs, cfg).states
+        } else if *parallel {
+            explore_parallel(&proto, &inputs, cfg).states
+        } else {
+            explore(&proto, &inputs, cfg).states
+        };
+        g.throughput(Throughput::Elements(states as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(name), cfg, |b, cfg| {
+            b.iter(|| {
+                black_box(if *name == "serial_symmetric" {
+                    explore_symmetric(&proto, &inputs, cfg)
+                } else if *parallel {
+                    explore_parallel(&proto, &inputs, cfg)
+                } else {
+                    explore(&proto, &inputs, cfg)
+                })
+            });
         });
     }
     g.finish();
@@ -29,7 +244,10 @@ fn bench_explore_label(c: &mut Criterion) {
     for (n, k) in [(2usize, 3usize), (2, 4), (3, 4)] {
         let proto = LabelElection::new(n, k).unwrap();
         let inputs = proto.pid_inputs();
-        let cfg = ExploreConfig { spec: TaskSpec::Election, ..Default::default() };
+        let cfg = ExploreConfig {
+            spec: TaskSpec::Election,
+            ..Default::default()
+        };
         let states = explore(&proto, &inputs, &cfg).states as u64;
         g.throughput(Throughput::Elements(states));
         g.bench_with_input(
@@ -47,13 +265,94 @@ fn bench_refuter(c: &mut Criterion) {
     use bso::sim::refute::refute_consensus;
     let inputs = vec![Value::Int(1), Value::Int(2), Value::Int(3)];
     c.bench_function("refute_tas_three_eager", |b| {
-        b.iter(|| black_box(refute_consensus(&TasThreeEagerCandidate, &inputs, 1_000_000)))
+        b.iter(|| {
+            black_box(refute_consensus(
+                &TasThreeEagerCandidate,
+                &inputs,
+                1_000_000,
+            ))
+        })
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = bso_bench::quick();
-    targets = bench_explore_cas_only, bench_explore_label, bench_refuter
+/// Serializes the run's measurements (and the per-instance speedup of
+/// the current serial engine over the seed baseline) as JSON. No
+/// external crates, so the document is assembled by hand; every name
+/// is a bench id and every number is finite.
+fn emit_json(measurements: &[Measurement]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"explore\",\n  \"records\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        let sep = if i + 1 == measurements.len() { "" } else { "," };
+        let states_per_sec = m
+            .elements_per_sec()
+            .map_or("null".to_string(), |e| format!("{e:.1}"));
+        let states = m.elements.map_or("null".to_string(), |e| e.to_string());
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"median_ns\": {}, \"min_ns\": {}, \"states\": {}, \
+             \"states_per_sec\": {}}}{}\n",
+            m.name,
+            m.median.as_nanos(),
+            m.min.as_nanos(),
+            states,
+            states_per_sec,
+            sep,
+        ));
+    }
+    // Two speedup estimators per instance. The median ratio is the
+    // everyday summary; the min-time ratio compares each side's
+    // fastest observed sample, which rejects external scheduler noise
+    // (a co-loaded box can only ever slow a sample down, never speed
+    // it up) and is therefore the more faithful measure of the
+    // algorithmic speedup on shared hardware.
+    let find = |name: &str| measurements.iter().find(|m| m.name == name);
+    out.push_str("  ],\n");
+    for (field, use_min) in [
+        ("speedup_vs_seed", false),
+        ("speedup_vs_seed_min_time", true),
+    ] {
+        out.push_str(&format!("  \"{field}\": {{\n"));
+        let mut pairs = Vec::new();
+        for (label, group) in [
+            ("cas_only", "explore_cas_only"),
+            ("cas_only_fp", "explore_cas_only_fp"),
+        ] {
+            for k in CAS_KS {
+                let (Some(new), Some(old)) = (
+                    find(&format!("{group}/{k}")),
+                    find(&format!("explore_seed_baseline/{k}")),
+                ) else {
+                    continue;
+                };
+                let ratio = if use_min {
+                    old.min.as_secs_f64() / new.min.as_secs_f64()
+                } else {
+                    old.median.as_secs_f64() / new.median.as_secs_f64()
+                };
+                pairs.push(format!("    \"{label}_k{k}\": {ratio:.2}"));
+            }
+        }
+        out.push_str(&pairs.join(",\n"));
+        out.push_str(if use_min { "\n  }\n" } else { "\n  },\n" });
+    }
+    out.push_str("}\n");
+    out
 }
-criterion_main!(benches);
+
+fn main() {
+    // Longer windows than `quick()`: the emitted speedup-vs-seed
+    // ratios feed acceptance checks, so per-run scheduler noise (this
+    // is often a loaded single-core box) must be averaged down.
+    let mut c = bso_bench::quick()
+        .warm_up_time(std::time::Duration::from_millis(800))
+        .measurement_time(std::time::Duration::from_millis(4000))
+        .sample_size(20);
+    bench_explore_seed_baseline(&mut c);
+    bench_explore_cas_only(&mut c);
+    bench_explore_modes(&mut c);
+    bench_explore_label(&mut c);
+    bench_refuter(&mut c);
+    let json = emit_json(c.measurements());
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_explore.json");
+    std::fs::write(path, &json).expect("write BENCH_explore.json");
+    println!("\nwrote {path}");
+}

@@ -4,7 +4,7 @@
 
 use bso::combinatorics::game::{audit_potential, Game, GameAction};
 use bso::combinatorics::search::{greedy_moves, max_moves, max_moves_any_start};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bso_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn bench_exhaustive(c: &mut Criterion) {
@@ -62,7 +62,10 @@ fn bench_potential_audit(c: &mut Criterion) {
         game.act(a).unwrap();
         run.push(a);
     }
-    let moves = run.iter().filter(|a| matches!(a, GameAction::Move { .. })).count();
+    let moves = run
+        .iter()
+        .filter(|a| matches!(a, GameAction::Move { .. }))
+        .count();
     assert!(moves >= 1);
     c.bench_function("game_potential_audit", |b| {
         b.iter(|| black_box(audit_potential(k, &starts, &run)))

@@ -4,7 +4,7 @@
 
 use bso::objects::atomic::{AtomicMemory, Memory};
 use bso::objects::{spec::ObjectState, Layout, ObjectInit, Op, OpKind, Sym, Value};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use bso_bench::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
 fn cas_ops(k: usize) -> Vec<OpKind> {
@@ -12,7 +12,11 @@ fn cas_ops(k: usize) -> Vec<OpKind> {
     let mut ops = Vec::new();
     for i in 0..k as u8 - 1 {
         ops.push(OpKind::Cas {
-            expect: if i == 0 { Sym::BOTTOM.into() } else { Sym::new(i - 1).into() },
+            expect: if i == 0 {
+                Sym::BOTTOM.into()
+            } else {
+                Sym::new(i - 1).into()
+            },
             new: Sym::new(i).into(),
         });
         ops.push(OpKind::Read);
@@ -94,8 +98,11 @@ fn bench_snapshot_object(c: &mut Criterion) {
         let id = layout.push(ObjectInit::Snapshot { slots });
         let mem = AtomicMemory::new(&layout);
         for s in 0..slots {
-            mem.apply(s, &Op::new(id, OpKind::SnapshotUpdate(Value::Int(s as i64))))
-                .unwrap();
+            mem.apply(
+                s,
+                &Op::new(id, OpKind::SnapshotUpdate(Value::Int(s as i64))),
+            )
+            .unwrap();
         }
         g.throughput(Throughput::Elements(slots as u64));
         g.bench_with_input(BenchmarkId::from_parameter(slots), &slots, |b, _| {

@@ -8,11 +8,14 @@ use bso::objects::{ObjectInit, OpKind};
 use bso::protocols::universal::UniversalExerciser;
 use bso::sim::scheduler::RandomSched;
 use bso_bench::run_once;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use bso_bench::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
 fn cfg() -> RichConfig {
-    RichConfig { suspend_quota: 2, ..RichConfig::demo() }
+    RichConfig {
+        suspend_quota: 2,
+        ..RichConfig::demo()
+    }
 }
 
 fn bench_rich_run(c: &mut Criterion) {

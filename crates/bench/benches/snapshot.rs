@@ -4,7 +4,7 @@
 
 use bso::protocols::snapshot::SnapshotExerciser;
 use bso_bench::run_once;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use bso_bench::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn bench_snapshot_processes(c: &mut Criterion) {
     let mut g = c.benchmark_group("snapshot_processes");

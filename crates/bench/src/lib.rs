@@ -1,4 +1,4 @@
-//! Criterion benchmark harness for the `bso` workspace.
+//! Benchmark harness for the `bso` workspace.
 //!
 //! Each bench file under `benches/` regenerates one experiment's
 //! performance series (see EXPERIMENTS.md): election cost across
@@ -6,9 +6,17 @@
 //! cost, the Lemma 1.1 game search, the exhaustive model checker, and
 //! the emulation of Theorem 1.
 //!
-//! The library itself only hosts tiny shared helpers.
+//! The workspace builds with no external crates, so this library also
+//! hosts a small measurement harness exposing the subset of the
+//! `criterion` API the bench files use ([`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Throughput`], the
+//! [`criterion_group!`]/[`criterion_main!`] macros). Timing is
+//! wall-clock medians over fixed-duration samples — good enough to
+//! compare shapes across parameters, which is all the experiments need.
 
 #![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
 
 use bso::sim::{scheduler::RandomSched, Protocol, ProtocolExt, RunResult, Simulation};
 
@@ -16,15 +24,369 @@ use bso::sim::{scheduler::RandomSched, Protocol, ProtocolExt, RunResult, Simulat
 /// result (panics on protocol errors — benches must be green).
 pub fn run_once<P: Protocol>(proto: &P, seed: u64) -> RunResult {
     let mut sim = Simulation::new(proto, &proto.pid_inputs());
-    sim.run(&mut RandomSched::new(seed), 50_000_000).expect("benched run must complete")
+    sim.run(&mut RandomSched::new(seed), 50_000_000)
+        .expect("benched run must complete")
 }
 
-/// A criterion configuration tuned so the whole workspace bench suite
+/// A harness configuration tuned so the whole workspace bench suite
 /// completes in minutes: the experiments compare *shapes* across
 /// parameters, which modest sample counts resolve fine.
-pub fn quick() -> criterion::Criterion {
-    criterion::Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(400))
-        .measurement_time(std::time::Duration::from_millis(1500))
+pub fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_millis(1500))
         .sample_size(10)
+}
+
+/// Throughput annotation for a benchmark: how many elements one
+/// iteration processes.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark's identifier within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter value.
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter(param: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+/// One measured sample series for a benchmark.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Full benchmark path (`group/id`).
+    pub name: String,
+    /// Median time per iteration.
+    pub median: Duration,
+    /// Fastest sample's time per iteration.
+    pub min: Duration,
+    /// Slowest sample's time per iteration.
+    pub max: Duration,
+    /// Declared per-iteration element throughput, if any.
+    pub elements: Option<u64>,
+}
+
+impl Measurement {
+    /// Elements per second at the median, if a throughput was declared.
+    pub fn elements_per_sec(&self) -> Option<f64> {
+        self.elements.map(|e| e as f64 / self.median.as_secs_f64())
+    }
+}
+
+/// The top-level harness: holds timing configuration and collects
+/// measurements.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    measurements: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            warm_up: Duration::from_millis(500),
+            measurement: Duration::from_secs(2),
+            sample_size: 20,
+            measurements: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the warm-up duration before sampling starts.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the total time budget for the measured samples.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets how many samples to take within the measurement budget.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    /// Benchmarks a single standalone function.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            plan: Some(Plan {
+                warm_up: self.warm_up,
+                measurement: self.measurement,
+                sample_size: self.sample_size,
+            }),
+        };
+        f(&mut b);
+        let m = summarize(&name, &b.samples, None, self);
+        report(&m);
+        self.measurements.push(m);
+        self
+    }
+
+    /// All measurements recorded so far, in execution order.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.measurements
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'c> {
+    c: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Declares the per-iteration throughput of subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.id);
+        // The bencher's `iter` performs the actual warm-up + sampling
+        // using the configuration captured here.
+        let mut b = Bencher {
+            samples: Vec::new(),
+            plan: Some(Plan {
+                warm_up: self.c.warm_up,
+                measurement: self.c.measurement,
+                sample_size: self.sample_size.unwrap_or(self.c.sample_size),
+            }),
+        };
+        f(&mut b, input);
+        let elements = self.throughput.map(|Throughput::Elements(e)| e);
+        let m = summarize(&name, &b.samples, elements, self.c);
+        report(&m);
+        self.c.measurements.push(m);
+        self
+    }
+
+    /// Runs one benchmark without a distinguishing input.
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, ()| f(b))
+    }
+
+    /// Ends the group (kept for API parity; measurements are recorded
+    /// eagerly).
+    pub fn finish(self) {}
+}
+
+#[derive(Clone, Copy)]
+struct Plan {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+/// Passed to benchmark closures; runs the measured routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    plan: Option<Plan>,
+}
+
+impl Bencher {
+    /// Measures `f`, recording per-iteration times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let plan = self.plan.unwrap_or(Plan {
+            warm_up: Duration::from_millis(400),
+            measurement: Duration::from_millis(1500),
+            sample_size: 10,
+        });
+        // Warm-up: run until the budget elapses, estimating cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < plan.warm_up || warm_iters == 0 {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let est = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        // Size samples so all of them fit the measurement budget.
+        let budget = plan.measurement.as_secs_f64() / plan.sample_size as f64;
+        let iters_per_sample = ((budget / est.max(1e-9)) as u64).max(1);
+        for _ in 0..plan.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(f());
+            }
+            self.samples.push(t.elapsed() / iters_per_sample as u32);
+        }
+    }
+}
+
+fn summarize(
+    name: &str,
+    samples: &[Duration],
+    elements: Option<u64>,
+    _c: &Criterion,
+) -> Measurement {
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort_unstable();
+    let median = if sorted.is_empty() {
+        Duration::ZERO
+    } else {
+        sorted[sorted.len() / 2]
+    };
+    Measurement {
+        name: name.to_string(),
+        median,
+        min: sorted.first().copied().unwrap_or(Duration::ZERO),
+        max: sorted.last().copied().unwrap_or(Duration::ZERO),
+        elements,
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn report(m: &Measurement) {
+    match m.elements_per_sec() {
+        Some(eps) => println!(
+            "{:<44} time: [{} .. {} .. {}]  thrpt: {:.3} Kelem/s",
+            m.name,
+            fmt_duration(m.min),
+            fmt_duration(m.median),
+            fmt_duration(m.max),
+            eps / 1e3,
+        ),
+        None => println!(
+            "{:<44} time: [{} .. {} .. {}]",
+            m.name,
+            fmt_duration(m.min),
+            fmt_duration(m.median),
+            fmt_duration(m.max),
+        ),
+    }
+}
+
+/// Declares a group of benchmark functions and the configuration they
+/// run under, mirroring criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro of
+/// the same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_measures_and_reports() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20))
+            .sample_size(3);
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Elements(100));
+        g.bench_with_input(BenchmarkId::from_parameter(1), &1u32, |b, &x| {
+            b.iter(|| (0..100u32).map(|i| i.wrapping_mul(x)).sum::<u32>())
+        });
+        g.finish();
+        c.bench_function("smoke_fn", |b| b.iter(|| 2 + 2));
+        assert_eq!(c.measurements().len(), 2);
+        assert!(c.measurements()[0].median > Duration::ZERO);
+        assert_eq!(c.measurements()[0].elements, Some(100));
+        assert!(c.measurements()[0].elements_per_sec().unwrap() > 0.0);
+        assert!(c.measurements()[1].elements.is_none());
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::from_parameter(7).id, "7");
+        assert_eq!(BenchmarkId::new("uncontended", 7).id, "uncontended/7");
+    }
 }

@@ -291,7 +291,10 @@ impl Game {
     /// final state to audit a whole run).
     pub fn potential(&self, levels: &[usize]) -> u128 {
         let m = self.agents() as u128;
-        self.positions.iter().map(|&p| m.pow(levels[p] as u32)).sum()
+        self.positions
+            .iter()
+            .map(|&p| m.pow(levels[p] as u32))
+            .sum()
     }
 }
 
@@ -308,7 +311,8 @@ pub fn audit_potential(k: usize, starts: &[Node], run: &[GameAction]) -> Vec<u12
     // First pass: find the final painted graph.
     let mut g = Game::new(k, starts);
     for &a in run {
-        g.act(a).unwrap_or_else(|e| panic!("illegal action {a:?}: {e}"));
+        g.act(a)
+            .unwrap_or_else(|e| panic!("illegal action {a:?}: {e}"));
     }
     let levels = g.levels();
     // Second pass: account.
@@ -365,8 +369,14 @@ mod tests {
     #[test]
     fn self_moves_rejected() {
         let mut g = Game::new(2, &[0]);
-        assert_eq!(g.act(GameAction::Move { agent: 0, to: 0 }), Err(GameError::SelfMove));
-        assert_eq!(g.act(GameAction::Move { agent: 7, to: 0 }), Err(GameError::OutOfRange));
+        assert_eq!(
+            g.act(GameAction::Move { agent: 0, to: 0 }),
+            Err(GameError::SelfMove)
+        );
+        assert_eq!(
+            g.act(GameAction::Move { agent: 7, to: 0 }),
+            Err(GameError::OutOfRange)
+        );
     }
 
     #[test]

@@ -39,7 +39,10 @@ pub fn factorial_usize(n: usize) -> Option<usize> {
 /// Panics if `rank >= m!`.
 pub fn nth_permutation(rank: u128, m: usize) -> Vec<u8> {
     assert!(rank < factorial(m), "rank {rank} out of range for m = {m}");
-    assert!(m <= u8::MAX as usize + 1, "m = {m} too large for u8 elements");
+    assert!(
+        m <= u8::MAX as usize + 1,
+        "m = {m} too large for u8 elements"
+    );
     let mut pool: Vec<u8> = (0..m as u8).collect();
     let mut out = Vec::with_capacity(m);
     let mut r = rank;
@@ -62,13 +65,15 @@ pub fn permutation_rank(perm: &[u8]) -> u128 {
     let m = perm.len();
     let mut seen = vec![false; m];
     for &x in perm {
-        assert!((x as usize) < m && !seen[x as usize], "not a permutation: {perm:?}");
+        assert!(
+            (x as usize) < m && !seen[x as usize],
+            "not a permutation: {perm:?}"
+        );
         seen[x as usize] = true;
     }
     let mut rank: u128 = 0;
     for (i, &x) in perm.iter().enumerate() {
-        let smaller_unused =
-            perm[i + 1..].iter().filter(|&&y| y < x).count() as u128;
+        let smaller_unused = perm[i + 1..].iter().filter(|&&y| y < x).count() as u128;
         rank += smaller_unused * factorial(m - 1 - i);
     }
     rank

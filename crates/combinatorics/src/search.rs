@@ -36,7 +36,8 @@ pub fn max_moves(k: usize, starts: &[Node]) -> usize {
         let mut best = 0;
         for a in g.legal_actions() {
             let mut next = g.clone();
-            next.act(a).expect("legal_actions returned an illegal action");
+            next.act(a)
+                .expect("legal_actions returned an illegal action");
             let gain = usize::from(matches!(a, GameAction::Move { .. }));
             best = best.max(gain + go(&next, memo));
         }
@@ -99,7 +100,10 @@ pub fn greedy_moves(k: usize, starts: &[Node], max_actions: usize) -> usize {
         }
         let chosen = match best {
             Some((_, a)) => a,
-            None => match actions.iter().find(|a| matches!(a, GameAction::Jump { .. })) {
+            None => match actions
+                .iter()
+                .find(|a| matches!(a, GameAction::Jump { .. }))
+            {
                 Some(&a) => a,
                 None => break,
             },

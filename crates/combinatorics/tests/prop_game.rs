@@ -1,7 +1,10 @@
 //! Property tests for the Lemma 1.1 game and its potential argument.
+//!
+//! Seeded random-input loops (no external property-testing crate): each
+//! case is reproducible from the fixed seed.
 
 use bso_combinatorics::game::{audit_potential, Game, GameAction};
-use proptest::prelude::*;
+use bso_objects::rng::SplitMix64;
 
 /// Plays a random legal run and returns it.
 fn random_run(k: usize, starts: &[usize], choices: &[u32]) -> Vec<GameAction> {
@@ -19,17 +22,23 @@ fn random_run(k: usize, starts: &[usize], choices: &[u32]) -> Vec<GameAction> {
     run
 }
 
-proptest! {
-    /// The lemma's accounting, audited move by move on random runs:
-    /// with levels fixed from the final graph, every Move strictly
-    /// decreases the potential (m ≥ 2), and the initial potential is
-    /// at most m·m^(k−1) = m^k.
-    #[test]
-    fn potential_decreases_on_every_move(
-        k in 2usize..5,
-        m in 2usize..4,
-        choices in proptest::collection::vec(any::<u32>(), 1..100),
-    ) {
+fn random_choices(rng: &mut SplitMix64, lo: usize, hi: usize) -> Vec<u32> {
+    (0..rng.range_usize(lo, hi))
+        .map(|_| rng.next_u64() as u32)
+        .collect()
+}
+
+/// The lemma's accounting, audited move by move on random runs: with
+/// levels fixed from the final graph, every Move strictly decreases the
+/// potential (m ≥ 2), and the initial potential is at most
+/// m·m^(k−1) = m^k.
+#[test]
+fn potential_decreases_on_every_move() {
+    let mut rng = SplitMix64::new(11);
+    for case in 0..200 {
+        let k = rng.range_usize(2, 5);
+        let m = rng.range_usize(2, 4);
+        let choices = random_choices(&mut rng, 1, 100);
         let starts: Vec<usize> = (0..m).map(|a| a % k).collect();
         let run = random_run(k, &starts, &choices);
         let pots = audit_potential(k, &starts, &run);
@@ -41,14 +50,14 @@ proptest! {
         }
         let levels = g.levels();
         let initial = Game::new(k, &starts).potential(&levels);
-        prop_assert!(initial <= (m as u128).pow(k as u32));
+        assert!(initial <= (m as u128).pow(k as u32), "case {case}");
 
         let mut prev = initial;
         for (i, &a) in run.iter().enumerate() {
             if matches!(a, GameAction::Move { .. }) {
-                prop_assert!(
+                assert!(
                     pots[i] < prev,
-                    "move {i} did not decrease the potential ({} → {})",
+                    "case {case}: move {i} did not decrease the potential ({} → {})",
                     prev,
                     pots[i]
                 );
@@ -56,16 +65,18 @@ proptest! {
             prev = pots[i];
         }
     }
+}
 
-    /// Freshness is conserved: at any point, an agent's jump targets
-    /// are exactly the nodes that received a move by another agent
-    /// since the agent's last visit.
-    #[test]
-    fn freshness_bookkeeping(
-        k in 2usize..5,
-        m in 2usize..4,
-        choices in proptest::collection::vec(any::<u32>(), 1..80),
-    ) {
+/// Freshness is conserved: at any point, an agent's jump targets are
+/// exactly the nodes that received a move by another agent since the
+/// agent's last visit.
+#[test]
+fn freshness_bookkeeping() {
+    let mut rng = SplitMix64::new(22);
+    for case in 0..200 {
+        let k = rng.range_usize(2, 5);
+        let m = rng.range_usize(2, 4);
+        let choices = random_choices(&mut rng, 1, 80);
         let starts: Vec<usize> = (0..m).map(|a| a % k).collect();
         let mut g = Game::new(k, &starts);
         // Shadow bookkeeping.
@@ -89,20 +100,22 @@ proptest! {
             }
             for (b, row) in fresh.iter().enumerate() {
                 for (u, &f) in row.iter().enumerate() {
-                    prop_assert_eq!(g.is_fresh(b, u), f, "agent {} node {}", b, u);
+                    assert_eq!(g.is_fresh(b, u), f, "case {case}: agent {b} node {u}");
                 }
             }
         }
     }
+}
 
-    /// Moves never close a cycle: after any legal run the painted
-    /// graph is acyclic (checked via the level assignment).
-    #[test]
-    fn painted_graph_stays_acyclic(
-        k in 2usize..6,
-        m in 1usize..4,
-        choices in proptest::collection::vec(any::<u32>(), 1..100),
-    ) {
+/// Moves never close a cycle: after any legal run the painted graph is
+/// acyclic (checked via the level assignment).
+#[test]
+fn painted_graph_stays_acyclic() {
+    let mut rng = SplitMix64::new(33);
+    for case in 0..200 {
+        let k = rng.range_usize(2, 6);
+        let m = rng.range_usize(1, 4);
+        let choices = random_choices(&mut rng, 1, 100);
         let starts: Vec<usize> = (0..m).map(|a| a % k).collect();
         let run = random_run(k, &starts, &choices);
         let mut g = Game::new(k, &starts);
@@ -113,7 +126,7 @@ proptest! {
         for u in 0..k {
             for v in 0..k {
                 if u != v && g.is_painted(u, v) {
-                    prop_assert!(levels[u] > levels[v]);
+                    assert!(levels[u] > levels[v], "case {case}: edge {u}→{v}");
                 }
             }
         }

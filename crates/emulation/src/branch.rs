@@ -149,8 +149,17 @@ mod tests {
     use super::*;
 
     fn step(from: u8, to: u8, emu: usize) -> Step {
-        let f = if from == 0 { Sym::BOTTOM } else { Sym::new(from - 1) };
-        Step { from: f, to: Sym::new(to - 1), emu, vp: emu * 10 }
+        let f = if from == 0 {
+            Sym::BOTTOM
+        } else {
+            Sym::new(from - 1)
+        };
+        Step {
+            from: f,
+            to: Sym::new(to - 1),
+            emu,
+            vp: emu * 10,
+        }
     }
 
     #[test]
@@ -189,11 +198,29 @@ mod tests {
         // History ⊥→1, 1→2, 2→1? — values may repeat in general runs;
         // the label keeps only first occurrences.
         let mut b = Branch::root();
-        b.push(Step { from: Sym::BOTTOM, to: Sym::new(0), emu: 0, vp: 0 });
-        b.push(Step { from: Sym::new(0), to: Sym::new(1), emu: 1, vp: 9 });
-        b.push(Step { from: Sym::new(1), to: Sym::new(0), emu: 0, vp: 1 });
+        b.push(Step {
+            from: Sym::BOTTOM,
+            to: Sym::new(0),
+            emu: 0,
+            vp: 0,
+        });
+        b.push(Step {
+            from: Sym::new(0),
+            to: Sym::new(1),
+            emu: 1,
+            vp: 9,
+        });
+        b.push(Step {
+            from: Sym::new(1),
+            to: Sym::new(0),
+            emu: 0,
+            vp: 1,
+        });
         assert_eq!(b.label(), vec![Sym::new(0), Sym::new(1)]);
-        assert_eq!(b.value_sequence(), vec![Sym::new(0), Sym::new(1), Sym::new(0)]);
+        assert_eq!(
+            b.value_sequence(),
+            vec![Sym::new(0), Sym::new(1), Sym::new(0)]
+        );
     }
 
     #[test]
@@ -202,6 +229,9 @@ mod tests {
         b.push(step(0, 2, 3));
         b.push(step(2, 1, 1));
         assert_eq!(Branch::from_value(&b.to_value()), b);
-        assert_eq!(Branch::from_value(&Branch::root().to_value()), Branch::root());
+        assert_eq!(
+            Branch::from_value(&Branch::root().to_value()),
+            Branch::root()
+        );
     }
 }

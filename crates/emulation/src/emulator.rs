@@ -100,7 +100,10 @@ impl Record {
         let kind = match parts[1].as_int().expect("op tag") {
             0 => OpKind::Read,
             1 => OpKind::Write(parts[2].clone()),
-            2 => OpKind::Cas { expect: parts[2].clone(), new: parts[3].clone() },
+            2 => OpKind::Cas {
+                expect: parts[2].clone(),
+                new: parts[3].clone(),
+            },
             3 => OpKind::SnapshotScan,
             4 => OpKind::SnapshotUpdate(parts[2].clone()),
             5 => OpKind::Swap(parts[2].clone()),
@@ -112,7 +115,12 @@ impl Record {
     /// Encodes the record for publication.
     pub fn to_value(&self) -> Value {
         match self {
-            Record::Op { vp, op, resp, branch } => Value::Seq(vec![
+            Record::Op {
+                vp,
+                op,
+                resp,
+                branch,
+            } => Value::Seq(vec![
                 Value::Int(0),
                 Value::Pid(*vp),
                 Self::encode_op(op),
@@ -222,7 +230,10 @@ impl<A: Protocol> EmulationProtocol<A> {
     /// least one, as in the paper's Φ/m assignment).
     pub fn new(a: A, m: usize) -> EmulationProtocol<A> {
         let phi = a.processes();
-        assert!(m >= 1 && m <= phi, "need 1 <= m <= Φ (Φ = {phi}), got m = {m}");
+        assert!(
+            m >= 1 && m <= phi,
+            "need 1 <= m <= Φ (Φ = {phi}), got m = {m}"
+        );
         let layout = a.layout();
         let mut cas = None;
         for (id, init) in layout.iter() {
@@ -237,7 +248,13 @@ impl<A: Protocol> EmulationProtocol<A> {
         }
         let (cas_obj, k) = cas.expect("A must use a compare&swap-(k)");
         let owner = (0..phi).map(|vp| vp % m).collect();
-        EmulationProtocol { a, m, cas_obj, k, owner }
+        EmulationProtocol {
+            a,
+            m,
+            cas_obj,
+            k,
+            owner,
+        }
     }
 
     /// The emulated algorithm.
@@ -278,7 +295,10 @@ impl<A: Protocol> EmulationProtocol<A> {
         let mut writer: Option<usize> = None;
         for recs in all_records {
             for r in recs {
-                if let Record::Op { vp, op, branch: b, .. } = r {
+                if let Record::Op {
+                    vp, op, branch: b, ..
+                } = r
+                {
                     if op.obj != obj || !b.compatible(branch) {
                         continue;
                     }
@@ -318,14 +338,9 @@ impl<A: Protocol> EmulationProtocol<A> {
     /// emulation by exactly one virtual operation (or adopt a
     /// decision). Returns the new record to publish, or the emulator's
     /// decision.
-    fn think(
-        &self,
-        st: &mut EmulatorState<A::State>,
-        view: &Value,
-    ) -> Result<Record, Value> {
+    fn think(&self, st: &mut EmulatorState<A::State>, view: &Value) -> Result<Record, Value> {
         let slots = view.as_seq().expect("snapshot view");
-        let mut all_records: Vec<Vec<Record>> =
-            slots.iter().map(Record::decode_slot).collect();
+        let mut all_records: Vec<Vec<Record>> = slots.iter().map(Record::decode_slot).collect();
         // The own slot may lag behind local records (the tail is
         // published after this think step); local knowledge wins.
         all_records[st.emu] = st.records.clone();
@@ -398,9 +413,7 @@ impl<A: Protocol> EmulationProtocol<A> {
             } else {
                 let init = &layout.objects()[op.obj.0];
                 match &op.kind {
-                    OpKind::Read => {
-                        Self::read_rw(init, op.obj, &st.branch, &all_records, None)
-                    }
+                    OpKind::Read => Self::read_rw(init, op.obj, &st.branch, &all_records, None),
                     OpKind::SnapshotScan => {
                         let n = match init {
                             ObjectInit::Snapshot { slots } => *slots,
@@ -409,13 +422,7 @@ impl<A: Protocol> EmulationProtocol<A> {
                         Value::Seq(
                             (0..n)
                                 .map(|s| {
-                                    Self::read_rw(
-                                        init,
-                                        op.obj,
-                                        &st.branch,
-                                        &all_records,
-                                        Some(s),
-                                    )
+                                    Self::read_rw(init, op.obj, &st.branch, &all_records, Some(s))
                                 })
                                 .collect(),
                         )
@@ -425,8 +432,12 @@ impl<A: Protocol> EmulationProtocol<A> {
                 }
             };
             let vp = *vp;
-            let record =
-                Record::Op { vp, op, resp: resp.clone(), branch: st.branch.clone() };
+            let record = Record::Op {
+                vp,
+                op,
+                resp: resp.clone(),
+                branch: st.branch.clone(),
+            };
             self.a.on_response(&mut st.vps[i].1, resp);
             st.records.push(record.clone());
             return Ok(record);
@@ -452,7 +463,12 @@ impl<A: Protocol> EmulationProtocol<A> {
             });
         let i = who[0];
         let (vp, _, _) = st.vps[i];
-        let step = Step { from: cs, to: target, emu: st.emu, vp };
+        let step = Step {
+            from: cs,
+            to: target,
+            emu: st.emu,
+            vp,
+        };
         st.branch.push(step);
         let op = match self.a.next_action(&st.vps[i].1) {
             Action::Invoke(op) => op,
@@ -460,7 +476,12 @@ impl<A: Protocol> EmulationProtocol<A> {
         };
         // A successful c&s returns the previous value (= expect = cs).
         let resp = Value::Sym(cs);
-        let record = Record::Op { vp, op, resp: resp.clone(), branch: st.branch.clone() };
+        let record = Record::Op {
+            vp,
+            op,
+            resp: resp.clone(),
+            branch: st.branch.clone(),
+        };
         self.a.on_response(&mut st.vps[i].1, resp);
         st.records.push(record.clone());
         Ok(record)
@@ -472,7 +493,11 @@ impl<A: Protocol> EmulationProtocol<A> {
                 entry.2 = VpStatus::Decided(v.clone());
             }
         }
-        st.records.push(Record::Decision { vp, value: v.clone(), branch: st.branch.clone() });
+        st.records.push(Record::Decision {
+            vp,
+            value: v.clone(),
+            branch: st.branch.clone(),
+        });
         v
     }
 

@@ -20,7 +20,6 @@
 //! (`bso_combinatorics::game`) — that concurrent updates by up to `m`
 //! emulators never overdraw an edge.
 
-
 use bso_objects::Sym;
 
 /// The excess graph over the size-`k` value domain.
@@ -51,7 +50,10 @@ impl ExcessGraph {
         released: &[(Sym, Sym)],
         history: &[Sym],
     ) -> ExcessGraph {
-        let mut g = ExcessGraph { k, weight: vec![vec![0; k]; k] };
+        let mut g = ExcessGraph {
+            k,
+            weight: vec![vec![0; k]; k],
+        };
         let idx = |s: Sym| {
             assert!(s.in_domain(k), "symbol {s} outside domain of size {k}");
             s.code() as usize
@@ -98,7 +100,8 @@ impl ExcessGraph {
     /// maximal components `C_x` of Definition 1.
     pub fn components(&self, x: i64) -> Vec<Vec<Sym>> {
         let adj = self.at_least(x);
-        components_of(&adj).into_iter()
+        components_of(&adj)
+            .into_iter()
             .map(|c| c.into_iter().map(|i| Sym::from_code(i as u8)).collect())
             .collect()
     }
@@ -136,8 +139,9 @@ fn components_of(adj: &[Vec<bool>]) -> Vec<Vec<usize>> {
         }
         let fwd = reach(adj, v, false);
         let bwd = reach(adj, v, true);
-        let comp: Vec<usize> =
-            (0..n).filter(|&u| fwd[u] && bwd[u] && !assigned[u]).collect();
+        let comp: Vec<usize> = (0..n)
+            .filter(|&u| fwd[u] && bwd[u] && !assigned[u])
+            .collect();
         for &u in &comp {
             assigned[u] = true;
         }

@@ -94,7 +94,10 @@ impl Protocol for PingPong {
         if self.rounds == 0 {
             PingPongState::Done { wins: 0 }
         } else {
-            PingPongState::Read { left: self.rounds, wins: 0 }
+            PingPongState::Read {
+                left: self.rounds,
+                wins: 0,
+            }
         }
     }
 
@@ -123,7 +126,10 @@ impl Protocol for PingPong {
                 if left <= 1 {
                     PingPongState::Done { wins }
                 } else {
-                    PingPongState::Read { left: left - 1, wins }
+                    PingPongState::Read {
+                        left: left - 1,
+                        wins,
+                    }
                 }
             }
             done => done,
@@ -151,7 +157,10 @@ mod tests {
         let report = explore(
             &p,
             &[Value::Nil, Value::Nil],
-            &ExploreConfig { spec: TaskSpec::None, ..Default::default() },
+            &ExploreConfig {
+                spec: TaskSpec::None,
+                ..Default::default()
+            },
         );
         assert!(report.outcome.is_verified(), "{:?}", report.outcome);
         // 2 ops per attempt + decide.
@@ -178,6 +187,9 @@ mod tests {
         let mut sorted = history.clone();
         sorted.sort();
         sorted.dedup();
-        assert!(sorted.len() < history.len(), "no value reuse in {history:?}");
+        assert!(
+            sorted.len() < history.len(),
+            "no value reuse in {history:?}"
+        );
     }
 }

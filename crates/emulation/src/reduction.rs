@@ -24,7 +24,9 @@ impl<A: Protocol> Reduction<A> {
     /// algorithm or `m` is out of range (see
     /// [`EmulationProtocol::new`]).
     pub fn new(a: A, m: usize) -> Reduction<A> {
-        Reduction { proto: EmulationProtocol::new(a, m) }
+        Reduction {
+            proto: EmulationProtocol::new(a, m),
+        }
     }
 
     /// The underlying emulation protocol.
@@ -113,7 +115,10 @@ impl ReductionReport {
                     .unwrap_or_else(|| {
                         // Crashed emulators may not have decided; their
                         // branch is that of their last record.
-                        slots[j].last().map(|r| r.branch().clone()).unwrap_or_default()
+                        slots[j]
+                            .last()
+                            .map(|r| r.branch().clone())
+                            .unwrap_or_default()
                     })
             })
             .collect();
@@ -144,8 +149,7 @@ impl ReductionReport {
     /// final branches. Claim 1's counting: at most `(k−1)!` of these
     /// exist, and decisions are a function of the label's run.
     pub fn distinct_labels(&self) -> Vec<Vec<Sym>> {
-        let mut labels: Vec<Vec<Sym>> =
-            self.final_branches.iter().map(Branch::label).collect();
+        let mut labels: Vec<Vec<Sym>> = self.final_branches.iter().map(Branch::label).collect();
         labels.sort();
         labels.dedup();
         labels
@@ -159,12 +163,7 @@ impl ReductionReport {
     ///
     /// [`ValidationError`] describing the first illegal branch.
     pub fn validate(&self) -> Result<ValidationSummary, ValidationError> {
-        validate::validate_report(
-            &self.meta.layout,
-            self.meta.phi,
-            &self.result,
-            &self.slots,
-        )
+        validate::validate_report(&self.meta.layout, self.meta.phi, &self.result, &self.slots)
     }
 }
 

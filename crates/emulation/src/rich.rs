@@ -188,7 +188,9 @@ pub use encode::decode_slot;
 enum VpStat {
     Active,
     /// Frozen on a pending `c&s(a → b)`, suspension counter `seq`.
-    Suspended { seq: u64 },
+    Suspended {
+        seq: u64,
+    },
     Decided,
 }
 
@@ -257,7 +259,10 @@ impl<A: Protocol> RichEmulation<A> {
     /// is out of range.
     pub fn new(a: A, m: usize, config: RichConfig) -> RichEmulation<A> {
         let phi = a.processes();
-        assert!(m >= 1 && m <= phi, "need 1 <= m <= Φ (Φ = {phi}), got m = {m}");
+        assert!(
+            m >= 1 && m <= phi,
+            "need 1 <= m <= Φ (Φ = {phi}), got m = {m}"
+        );
         let layout = a.layout();
         let mut cas = None;
         for (id, init) in layout.iter() {
@@ -272,7 +277,14 @@ impl<A: Protocol> RichEmulation<A> {
         }
         let (cas_obj, k) = cas.expect("A must use a compare&swap-(k)");
         let owner = (0..phi).map(|vp| vp % m).collect();
-        RichEmulation { a, m, cas_obj, k, owner, config }
+        RichEmulation {
+            a,
+            m,
+            cas_obj,
+            k,
+            owner,
+            config,
+        }
     }
 
     /// The emulated algorithm.
@@ -306,7 +318,15 @@ impl<A: Protocol> RichEmulation<A> {
                 })
                 .collect();
             for r in recs {
-                if let RichRecord::Suspend { vp: _, a, b, label, hist_pos, seq } = r {
+                if let RichRecord::Suspend {
+                    vp: _,
+                    a,
+                    b,
+                    label,
+                    hist_pos,
+                    seq,
+                } = r
+                {
                     suspensions.push((
                         o,
                         SuspInfo {
@@ -320,7 +340,11 @@ impl<A: Protocol> RichEmulation<A> {
                 }
             }
         }
-        MergedView { tree, suspensions, records }
+        MergedView {
+            tree,
+            suspensions,
+            records,
+        }
     }
 
     /// Emulates a read of `A`'s read/write object against
@@ -332,14 +356,15 @@ impl<A: Protocol> RichEmulation<A> {
         records: &[Vec<RichRecord>],
         slot: Option<usize>,
     ) -> Value {
-        let compat = |l: &Label|
-
-            l.len() <= label.len() && label.starts_with(l)
-                || l.starts_with(label);
+        let compat =
+            |l: &Label| l.len() <= label.len() && label.starts_with(l) || l.starts_with(label);
         let mut latest: Option<&Value> = None;
         for recs in records {
             for r in recs {
-                if let RichRecord::VOp { vp, op, label: l, .. } = r {
+                if let RichRecord::VOp {
+                    vp, op, label: l, ..
+                } = r
+                {
                     if op.obj != obj || !compat(l) {
                         continue;
                     }
@@ -459,9 +484,7 @@ impl<A: Protocol> RichEmulation<A> {
             } else {
                 let init = &layout.objects()[op.obj.0];
                 match &op.kind {
-                    OpKind::Read => {
-                        Self::read_rw(init, op.obj, &st.label, &merged.records, None)
-                    }
+                    OpKind::Read => Self::read_rw(init, op.obj, &st.label, &merged.records, None),
                     OpKind::SnapshotScan => {
                         let n = match init {
                             ObjectInit::Snapshot { slots } => *slots,
@@ -470,13 +493,7 @@ impl<A: Protocol> RichEmulation<A> {
                         Value::Seq(
                             (0..n)
                                 .map(|s| {
-                                    Self::read_rw(
-                                        init,
-                                        op.obj,
-                                        &st.label,
-                                        &merged.records,
-                                        Some(s),
-                                    )
+                                    Self::read_rw(init, op.obj, &st.label, &merged.records, Some(s))
                                 })
                                 .collect(),
                         )
@@ -514,7 +531,10 @@ impl<A: Protocol> RichEmulation<A> {
              (label {:?}, cs {cs}, {} active vps)",
             st.emu,
             st.label,
-            st.vps.iter().filter(|v| matches!(v.2, VpStat::Active)).count()
+            st.vps
+                .iter()
+                .filter(|v| matches!(v.2, VpStat::Active))
+                .count()
         ));
         Ok(false)
     }
@@ -568,17 +588,20 @@ impl<A: Protocol> RichEmulation<A> {
                 .records
                 .iter()
                 .find_map(|r| match r {
-                    RichRecord::Suspend { a, b, label, hist_pos, seq: s, .. }
-                        if *s == seq =>
-                    {
-                        Some(SuspInfo {
-                            a: *a,
-                            b: *b,
-                            label: label.clone(),
-                            hist_pos: *hist_pos,
-                            released: false,
-                        })
-                    }
+                    RichRecord::Suspend {
+                        a,
+                        b,
+                        label,
+                        hist_pos,
+                        seq: s,
+                        ..
+                    } if *s == seq => Some(SuspInfo {
+                        a: *a,
+                        b: *b,
+                        label: label.clone(),
+                        hist_pos: *hist_pos,
+                        released: false,
+                    }),
                     _ => None,
                 })
                 .expect("own suspension must be recorded");
@@ -589,8 +612,9 @@ impl<A: Protocol> RichEmulation<A> {
                 .filter(|(p, w)| *p >= info.hist_pos && w[0] == info.a && w[1] == info.b)
                 .count();
             let consumed = released.get(&(info.a, info.b)).copied().unwrap_or(0);
-            let holders =
-                holder_set.get(&(info.a, info.b)).map_or(1, |hs| hs.len().max(1));
+            let holders = holder_set
+                .get(&(info.a, info.b))
+                .map_or(1, |hs| hs.len().max(1));
             let margin = self.config.release_margin.max(holders);
             if after < consumed + margin {
                 continue;
@@ -744,8 +768,7 @@ impl<A: Protocol> RichEmulation<A> {
                 _ => None,
             })
             .collect();
-        let backed =
-            |x: Sym| backing(x) || my_fresh_suspensions.contains(&(cs, x));
+        let backed = |x: Sym| backing(x) || my_fresh_suspensions.contains(&(cs, x));
         candidates.retain(|&x| backed(x));
         let Some(&x) = candidates.first() else {
             return Ok(false);
@@ -1074,7 +1097,13 @@ impl RichReport {
             let mut present: BTreeMap<(Sym, Sym), usize> = BTreeMap::new();
             for recs in &self.slots {
                 for r in recs {
-                    if let RichRecord::VOp { vp, op, resp, label: l } = r {
+                    if let RichRecord::VOp {
+                        vp,
+                        op,
+                        resp,
+                        label: l,
+                    } = r
+                    {
                         if !compat(l) {
                             continue;
                         }
@@ -1115,9 +1144,14 @@ impl RichReport {
                 .enumerate()
                 .flat_map(|(o, recs)| {
                     recs.iter().filter_map(move |r| match r {
-                        RichRecord::Suspend { vp, a, b, label, hist_pos, seq } => {
-                            Some((o, *vp, *a, *b, label, *hist_pos, *seq))
-                        }
+                        RichRecord::Suspend {
+                            vp,
+                            a,
+                            b,
+                            label,
+                            hist_pos,
+                            seq,
+                        } => Some((o, *vp, *a, *b, label, *hist_pos, *seq)),
                         _ => None,
                     })
                 })
@@ -1178,11 +1212,9 @@ impl RichReport {
                     .iter()
                     .flatten()
                     .filter_map(|r| match r {
-                        RichRecord::Decide { value, label: l, .. }
-                            if label.starts_with(l.as_slice()) =>
-                        {
-                            Some(value.clone())
-                        }
+                        RichRecord::Decide {
+                            value, label: l, ..
+                        } if label.starts_with(l.as_slice()) => Some(value.clone()),
                         _ => None,
                     })
                     .collect();
@@ -1289,7 +1321,14 @@ pub fn build_tree(slots: &[Vec<RichRecord>]) -> HistoryTree {
     while progress && !pending.is_empty() {
         progress = false;
         pending.retain(|(o, r)| {
-            let RichRecord::TreeNode { label, parent, sym, from_parent, to_parent, seq } = r
+            let RichRecord::TreeNode {
+                label,
+                parent,
+                sym,
+                from_parent,
+                to_parent,
+                seq,
+            } = r
             else {
                 unreachable!()
             };
@@ -1302,8 +1341,7 @@ pub fn build_tree(slots: &[Vec<RichRecord>]) -> HistoryTree {
                 None => true,
                 Some(pid) => {
                     let t = tree.tree_mut(label).expect("active");
-                    let id =
-                        t.attach(pid, *sym, from_parent.clone(), to_parent.clone(), *o, *seq);
+                    let id = t.attach(pid, *sym, from_parent.clone(), to_parent.clone(), *o, *seq);
                     ids.insert((label.clone(), *o, *seq), id);
                     progress = true;
                     false
@@ -1311,7 +1349,10 @@ pub fn build_tree(slots: &[Vec<RichRecord>]) -> HistoryTree {
             }
         });
     }
-    assert!(pending.is_empty(), "orphaned tree vertices in published records");
+    assert!(
+        pending.is_empty(),
+        "orphaned tree vertices in published records"
+    );
     tree
 }
 
@@ -1394,9 +1435,7 @@ mod tests {
     #[test]
     fn rejects_more_emulators_than_vps() {
         let a = PingPong::new(2, 3, 1);
-        let result = std::panic::catch_unwind(|| {
-            RichEmulation::new(a, 3, RichConfig::demo())
-        });
+        let result = std::panic::catch_unwind(|| RichEmulation::new(a, 3, RichConfig::demo()));
         assert!(result.is_err());
     }
 

@@ -50,7 +50,10 @@ fn dec_op(v: &Value) -> Op {
     let kind = match parts[1].as_int().expect("tag") {
         0 => OpKind::Read,
         1 => OpKind::Write(parts[2].clone()),
-        2 => OpKind::Cas { expect: parts[2].clone(), new: parts[3].clone() },
+        2 => OpKind::Cas {
+            expect: parts[2].clone(),
+            new: parts[3].clone(),
+        },
         3 => OpKind::SnapshotScan,
         4 => OpKind::SnapshotUpdate(parts[2].clone()),
         t => panic!("unknown op tag {t}"),
@@ -65,7 +68,14 @@ pub fn encode_slot(records: &[RichRecord]) -> Value {
 
 fn encode_record(r: &RichRecord) -> Value {
     match r {
-        RichRecord::TreeNode { label, parent, sym, from_parent, to_parent, seq } => {
+        RichRecord::TreeNode {
+            label,
+            parent,
+            sym,
+            from_parent,
+            to_parent,
+            seq,
+        } => {
             let parent = match parent {
                 None => Value::Nil,
                 Some((o, s)) => Value::pair(Value::Pid(*o), Value::Int(*s as i64)),
@@ -81,7 +91,14 @@ fn encode_record(r: &RichRecord) -> Value {
             ])
         }
         RichRecord::Activate { label } => Value::Seq(vec![Value::Int(1), enc_label(label)]),
-        RichRecord::Suspend { vp, a, b, label, hist_pos, seq } => Value::Seq(vec![
+        RichRecord::Suspend {
+            vp,
+            a,
+            b,
+            label,
+            hist_pos,
+            seq,
+        } => Value::Seq(vec![
             Value::Int(2),
             Value::Pid(*vp),
             Value::Sym(*a),
@@ -90,10 +107,13 @@ fn encode_record(r: &RichRecord) -> Value {
             Value::Int(*hist_pos as i64),
             Value::Int(*seq as i64),
         ]),
-        RichRecord::Release { seq } => {
-            Value::Seq(vec![Value::Int(3), Value::Int(*seq as i64)])
-        }
-        RichRecord::VOp { vp, op, resp, label } => Value::Seq(vec![
+        RichRecord::Release { seq } => Value::Seq(vec![Value::Int(3), Value::Int(*seq as i64)]),
+        RichRecord::VOp {
+            vp,
+            op,
+            resp,
+            label,
+        } => Value::Seq(vec![
             Value::Int(4),
             Value::Pid(*vp),
             enc_op(op),
@@ -138,7 +158,9 @@ fn decode_record(v: &Value) -> RichRecord {
             to_parent: dec_syms(&parts[5]),
             seq: parts[6].as_int().expect("seq") as u64,
         },
-        1 => RichRecord::Activate { label: dec_label(&parts[1]) },
+        1 => RichRecord::Activate {
+            label: dec_label(&parts[1]),
+        },
         2 => RichRecord::Suspend {
             vp: parts[1].as_pid().expect("vp"),
             a: parts[2].as_sym().expect("a"),
@@ -147,7 +169,9 @@ fn decode_record(v: &Value) -> RichRecord {
             hist_pos: parts[5].as_int().expect("hist_pos") as usize,
             seq: parts[6].as_int().expect("seq") as u64,
         },
-        3 => RichRecord::Release { seq: parts[1].as_int().expect("seq") as u64 },
+        3 => RichRecord::Release {
+            seq: parts[1].as_int().expect("seq") as u64,
+        },
         4 => RichRecord::VOp {
             vp: parts[1].as_pid().expect("vp"),
             op: dec_op(&parts[2]),
@@ -186,7 +210,9 @@ mod tests {
                 to_parent: vec![Sym::BOTTOM],
                 seq: 0,
             },
-            RichRecord::Activate { label: vec![Sym::new(1)] },
+            RichRecord::Activate {
+                label: vec![Sym::new(1)],
+            },
             RichRecord::Suspend {
                 vp: 4,
                 a: Sym::BOTTOM,
@@ -202,7 +228,11 @@ mod tests {
                 resp: Value::Sym(Sym::BOTTOM),
                 label: vec![Sym::new(0)],
             },
-            RichRecord::Decide { vp: 2, value: Value::Pid(2), label: vec![] },
+            RichRecord::Decide {
+                vp: 2,
+                value: Value::Pid(2),
+                label: vec![],
+            },
         ];
         let decoded = decode_slot(&encode_slot(&records));
         assert_eq!(decoded, records);

@@ -206,7 +206,11 @@ impl SmallTree {
     /// including the *entry* of the rightmost leaf.
     pub fn history(&self, truncate_at_rightmost: bool) -> Vec<Sym> {
         let mut h = Vec::new();
-        let stop = if truncate_at_rightmost { Some(self.rightmost_leaf()) } else { None };
+        let stop = if truncate_at_rightmost {
+            Some(self.rightmost_leaf())
+        } else {
+            None
+        };
         self.dfs(self.root(), &mut h, stop);
         h
     }
@@ -275,7 +279,9 @@ impl HistoryTree {
         );
         let mut label = parent.clone();
         label.push(sym);
-        self.trees.entry(label.clone()).or_insert_with(|| SmallTree::new(sym));
+        self.trees
+            .entry(label.clone())
+            .or_insert_with(|| SmallTree::new(sym));
         label
     }
 
@@ -350,7 +356,10 @@ mod tests {
         let tree = t.tree_mut(&root_label).unwrap();
         let a = tree.attach(tree.root(), s(0), vec![], vec![], 0, 0);
         tree.attach(a, s(1), vec![], vec![], 0, 1);
-        assert_eq!(t.compute_history(&root_label), vec![Sym::BOTTOM, s(0), s(1)]);
+        assert_eq!(
+            t.compute_history(&root_label),
+            vec![Sym::BOTTOM, s(0), s(1)]
+        );
     }
 
     #[test]
@@ -367,7 +376,10 @@ mod tests {
         tree.attach(root, s(0), vec![], vec![], 0, 0);
         // Sibling order: (owner 0) then (owner 2). Full history:
         // ⊥ 0 ⊥ 1 — truncated at the rightmost leaf (owner 2's vertex).
-        assert_eq!(t.compute_history(&root_label), vec![Sym::BOTTOM, s(0), Sym::BOTTOM, s(1)]);
+        assert_eq!(
+            t.compute_history(&root_label),
+            vec![Sym::BOTTOM, s(0), Sym::BOTTOM, s(1)]
+        );
     }
 
     #[test]
@@ -386,7 +398,18 @@ mod tests {
         let full = tree.history(false);
         assert_eq!(
             full,
-            vec![Sym::BOTTOM, s(0), s(1), s(0), s(2), s(1), s(2), s(0), s(0), Sym::BOTTOM],
+            vec![
+                Sym::BOTTOM,
+                s(0),
+                s(1),
+                s(0),
+                s(2),
+                s(1),
+                s(2),
+                s(0),
+                s(0),
+                Sym::BOTTOM
+            ],
         );
         // Truncated at the rightmost leaf (the vertex with symbol 1).
         assert_eq!(

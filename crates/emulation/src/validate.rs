@@ -139,11 +139,7 @@ fn timed_records(result: &RunResult, slots: &[Vec<Record>]) -> Vec<TimedRecord> 
 
 /// The maximal branches among all published record tags.
 fn maximal_branches(slots: &[Vec<Record>]) -> Vec<Branch> {
-    let mut tags: Vec<Branch> = slots
-        .iter()
-        .flatten()
-        .map(|r| r.branch().clone())
-        .collect();
+    let mut tags: Vec<Branch> = slots.iter().flatten().map(|r| r.branch().clone()).collect();
     tags.sort();
     tags.dedup();
     tags.iter()
@@ -209,9 +205,7 @@ pub fn validate_report(
             source,
         })?;
         if let Some(v) = decision {
-            let valid = v
-                .as_pid()
-                .is_some_and(|w| participants.contains(&w));
+            let valid = v.as_pid().is_some_and(|w| participants.contains(&w));
             if !valid {
                 return Err(ValidationError::InvalidDecision {
                     branch: branch.clone(),
@@ -220,27 +214,58 @@ pub fn validate_report(
             }
         }
     }
-    Ok(ValidationSummary { branches: branches.len(), ops_checked, decisions_checked })
+    Ok(ValidationSummary {
+        branches: branches.len(),
+        ops_checked,
+        decisions_checked,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bso_objects::Sym;
     use crate::Step;
+    use bso_objects::Sym;
 
     #[test]
     fn maximal_branch_selection() {
         let mut a = Branch::root();
-        a.push(Step { from: Sym::BOTTOM, to: Sym::new(0), emu: 0, vp: 0 });
+        a.push(Step {
+            from: Sym::BOTTOM,
+            to: Sym::new(0),
+            emu: 0,
+            vp: 0,
+        });
         let mut ab = a.clone();
-        ab.push(Step { from: Sym::new(0), to: Sym::new(1), emu: 1, vp: 1 });
+        ab.push(Step {
+            from: Sym::new(0),
+            to: Sym::new(1),
+            emu: 1,
+            vp: 1,
+        });
         let mut ac = a.clone();
-        ac.push(Step { from: Sym::new(0), to: Sym::new(2), emu: 2, vp: 2 });
+        ac.push(Step {
+            from: Sym::new(0),
+            to: Sym::new(2),
+            emu: 2,
+            vp: 2,
+        });
         let slots = vec![
-            vec![Record::Decision { vp: 0, value: Value::Pid(0), branch: a.clone() }],
-            vec![Record::Decision { vp: 1, value: Value::Pid(1), branch: ab.clone() }],
-            vec![Record::Decision { vp: 2, value: Value::Pid(2), branch: ac.clone() }],
+            vec![Record::Decision {
+                vp: 0,
+                value: Value::Pid(0),
+                branch: a.clone(),
+            }],
+            vec![Record::Decision {
+                vp: 1,
+                value: Value::Pid(1),
+                branch: ab.clone(),
+            }],
+            vec![Record::Decision {
+                vp: 2,
+                value: Value::Pid(2),
+                branch: ac.clone(),
+            }],
         ];
         let max = maximal_branches(&slots);
         assert_eq!(max.len(), 2);

@@ -1,17 +1,22 @@
 //! Property tests for the history tree (Figures 1/4).
+//!
+//! Seeded random-input loops (no external property-testing crate): each
+//! case is reproducible from the fixed seed.
 
 use bso_emulation::tree::{HistoryTree, Label, SmallTree};
+use bso_objects::rng::SplitMix64;
 use bso_objects::Sym;
-use proptest::prelude::*;
 
-proptest! {
-    /// Rightmost-spine extension is append-only: derived histories are
-    /// prefix-stable under the attach pattern `UpdateC&S` uses when it
-    /// extends the current leaf.
-    #[test]
-    fn rightmost_extension_is_append_only(
-        syms in proptest::collection::vec(0u8..4, 1..12),
-    ) {
+/// Rightmost-spine extension is append-only: derived histories are
+/// prefix-stable under the attach pattern `UpdateC&S` uses when it
+/// extends the current leaf.
+#[test]
+fn rightmost_extension_is_append_only() {
+    let mut rng = SplitMix64::new(101);
+    for case in 0..200 {
+        let syms: Vec<u8> = (0..rng.range_usize(1, 12))
+            .map(|_| rng.range_u8(0, 4))
+            .collect();
         let mut t = HistoryTree::new();
         let label: Label = Vec::new();
         let mut prev = t.compute_history(&label);
@@ -24,46 +29,53 @@ proptest! {
             }
             tree.attach(leaf, Sym::new(s), vec![], vec![], 0, i as u64);
             let cur = t.compute_history(&label);
-            prop_assert!(cur.starts_with(&prev), "{prev:?} → {cur:?}");
-            prop_assert!(cur.len() == prev.len() + 1);
+            assert!(cur.starts_with(&prev), "case {case}: {prev:?} → {cur:?}");
+            assert!(cur.len() == prev.len() + 1, "case {case}");
             prev = cur;
         }
     }
+}
 
-    /// The derived history always starts at the tree's root symbol and
-    /// ends at the rightmost leaf's symbol, whatever the shape.
-    #[test]
-    fn history_endpoints(
-        attaches in proptest::collection::vec((0u8..4, 0usize..6, 0usize..3), 0..12),
-    ) {
+/// The derived history always starts at the tree's root symbol and ends
+/// at the rightmost leaf's symbol, whatever the shape.
+#[test]
+fn history_endpoints() {
+    let mut rng = SplitMix64::new(202);
+    for case in 0..200 {
+        let attaches: Vec<(u8, usize, usize)> = (0..rng.usize_below(12))
+            .map(|_| (rng.range_u8(0, 4), rng.usize_below(6), rng.usize_below(3)))
+            .collect();
         let mut tree = SmallTree::new(Sym::BOTTOM);
         for (i, (s, parent_salt, owner)) in attaches.into_iter().enumerate() {
             let parent = bso_emulation::tree::NodeId(parent_salt % tree.len());
             tree.attach(parent, Sym::new(s), vec![], vec![], owner, i as u64);
         }
         let h = tree.history(true);
-        prop_assert_eq!(h[0], Sym::BOTTOM);
+        assert_eq!(h[0], Sym::BOTTOM, "case {case}");
         let rightmost = tree.rightmost_leaf();
-        prop_assert_eq!(*h.last().unwrap(), tree.node(rightmost).sym);
+        assert_eq!(*h.last().unwrap(), tree.node(rightmost).sym, "case {case}");
         // Truncated history is a prefix of the full traversal.
         let full = tree.history(false);
-        prop_assert!(full.starts_with(&h));
+        assert!(full.starts_with(&h), "case {case}");
     }
+}
 
-    /// Label activation keeps compute_history consistent: the deeper
-    /// label's history extends the parent tree's full traversal.
-    #[test]
-    fn activation_appends_full_parent_traversal(
-        first in 0u8..3,
-        second in 0u8..3,
-    ) {
-        prop_assume!(first != second);
-        let mut t = HistoryTree::new();
-        let root: Label = Vec::new();
-        let l1 = t.activate(&root, Sym::new(first));
-        let l2 = t.activate(&l1, Sym::new(second));
-        let h = t.compute_history(&l2);
-        // ⊥ (full t_⊥), first (full t_first), second (truncated root).
-        prop_assert_eq!(h, vec![Sym::BOTTOM, Sym::new(first), Sym::new(second)]);
+/// Label activation keeps compute_history consistent: the deeper
+/// label's history extends the parent tree's full traversal.
+#[test]
+fn activation_appends_full_parent_traversal() {
+    for first in 0u8..3 {
+        for second in 0u8..3 {
+            if first == second {
+                continue;
+            }
+            let mut t = HistoryTree::new();
+            let root: Label = Vec::new();
+            let l1 = t.activate(&root, Sym::new(first));
+            let l2 = t.activate(&l1, Sym::new(second));
+            let h = t.compute_history(&l2);
+            // ⊥ (full t_⊥), first (full t_first), second (truncated root).
+            assert_eq!(h, vec![Sym::BOTTOM, Sym::new(first), Sym::new(second)]);
+        }
     }
 }

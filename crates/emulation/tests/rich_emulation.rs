@@ -25,7 +25,9 @@ fn rich_emulates_cas_only_election() {
         let decided = report.result.decisions.iter().flatten().count();
         assert!(decided >= 1, "seed {seed}: nobody decided");
         total_decided += decided;
-        let checked = report.validate().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let checked = report
+            .validate()
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         assert!(checked > 0);
         // Every label's decisions agree (election consistency per run).
         for (label, decisions) in report.decisions_by_label() {
@@ -53,7 +55,9 @@ fn rich_emulates_label_election() {
         let a = LabelElection::new(6, 4).unwrap();
         let emu = RichEmulation::new(a, 2, RichConfig::demo());
         let report = run_rich(&emu, &mut RandomSched::new(seed), 100_000).unwrap();
-        report.validate().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        report
+            .validate()
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         assert!(report.maximal_labels().len() <= 6); // (4−1)!
         if report.result.decisions.iter().any(Option::is_some) {
             decided_runs += 1;
@@ -65,7 +69,10 @@ fn rich_emulates_label_election() {
             );
         }
     }
-    assert!(decided_runs >= 6, "only {decided_runs}/12 runs had any decider");
+    assert!(
+        decided_runs >= 6,
+        "only {decided_runs}/12 runs had any decider"
+    );
 }
 
 #[test]
@@ -79,17 +86,25 @@ fn rich_emulates_value_reuse() {
     let mut completed = 0;
     // Eager banking (quota 2) builds the excess the cycle attaches
     // need; the lazy fallback keeps degenerate edges moving.
-    let cfg = RichConfig { suspend_quota: 2, ..RichConfig::demo() };
+    let cfg = RichConfig {
+        suspend_quota: 2,
+        ..RichConfig::demo()
+    };
     for seed in 0..20 {
         let a = PingPong::new(12, 3, 2);
         let emu = RichEmulation::new(a, 2, cfg.clone());
         let report = run_rich(&emu, &mut RandomSched::new(seed), 150_000).unwrap();
-        report.validate().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        report
+            .validate()
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         // Labels stay within (k−1)! = 2 even though the register is
         // driven through its values repeatedly.
         assert!(report.maximal_labels().len() <= 2, "seed {seed}");
         if !report.stalled {
-            assert!(report.result.decisions.iter().all(Option::is_some), "seed {seed}");
+            assert!(
+                report.result.decisions.iter().all(Option::is_some),
+                "seed {seed}"
+            );
             completed += 1;
         }
         saw_cycle_attach |= report
@@ -112,7 +127,9 @@ fn rich_under_bursty_schedules() {
         let emu = RichEmulation::new(a, 2, RichConfig::demo());
         let report = run_rich(&emu, &mut BurstSched::new(seed, 5), 150_000).unwrap();
         // Stalled or not, the constructed prefix must be legal.
-        report.validate().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        report
+            .validate()
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
     }
 }
 
@@ -123,7 +140,10 @@ fn validator_rejects_tampered_runs() {
     // emulated response must fail validation.
     use bso_objects::{OpKind, Value};
     let a = PingPong::new(12, 3, 2);
-    let cfg = RichConfig { suspend_quota: 2, ..RichConfig::demo() };
+    let cfg = RichConfig {
+        suspend_quota: 2,
+        ..RichConfig::demo()
+    };
     let emu = RichEmulation::new(a, 2, cfg);
     let mut report = run_rich(&emu, &mut RandomSched::new(3), 400_000).unwrap();
     report.validate().expect("untampered run is legal");
@@ -148,8 +168,14 @@ fn validator_rejects_tampered_runs() {
             }
         }
     }
-    assert!(tampered >= 2, "need two ⊥-expecting failures to tamper with");
-    assert!(report.validate().is_err(), "tampered run must fail validation");
+    assert!(
+        tampered >= 2,
+        "need two ⊥-expecting failures to tamper with"
+    );
+    assert!(
+        report.validate().is_err(),
+        "tampered run must fail validation"
+    );
 }
 
 #[test]
@@ -187,7 +213,9 @@ fn phi_sweep_finds_the_provisioning_frontier() {
                 ok = false;
                 break;
             }
-            report.validate().unwrap_or_else(|e| panic!("phi {phi} seed {seed}: {e}"));
+            report
+                .validate()
+                .unwrap_or_else(|e| panic!("phi {phi} seed {seed}: {e}"));
         }
         if ok {
             completed_at = Some(phi);
@@ -195,5 +223,8 @@ fn phi_sweep_finds_the_provisioning_frontier() {
         }
     }
     let phi = completed_at.expect("some Φ must suffice");
-    assert!(phi >= quota, "completion below the quota would be suspicious");
+    assert!(
+        phi >= quota,
+        "completion below the quota would be suspicious"
+    );
 }

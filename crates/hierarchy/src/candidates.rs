@@ -60,9 +60,7 @@ impl Protocol for RwElection {
             RwElectionState::Announce { pid } => {
                 Action::Invoke(Op::write(ObjectId(*pid), Value::Pid(*pid)))
             }
-            RwElectionState::ReadPeer { pid } => {
-                Action::Invoke(Op::read(ObjectId(1 - *pid)))
-            }
+            RwElectionState::ReadPeer { pid } => Action::Invoke(Op::read(ObjectId(1 - *pid))),
             RwElectionState::Done { winner } => Action::Decide(Value::Pid(*winner)),
         }
     }
@@ -72,8 +70,8 @@ impl Protocol for RwElection {
             RwElectionState::Announce { pid } => RwElectionState::ReadPeer { pid },
             RwElectionState::ReadPeer { pid } => {
                 let winner = match resp.as_pid() {
-                    None => pid,              // peer not announced: I win
-                    Some(q) => pid.min(q),    // both announced: minimum
+                    None => pid,           // peer not announced: I win
+                    Some(q) => pid.min(q), // both announced: minimum
                 };
                 RwElectionState::Done { winner }
             }
@@ -132,14 +130,14 @@ impl Protocol for TasThreeCandidate {
     }
 
     fn init(&self, _pid: Pid, input: &Value) -> TasThreeState {
-        TasThreeState::Grab { input: input.clone() }
+        TasThreeState::Grab {
+            input: input.clone(),
+        }
     }
 
     fn next_action(&self, state: &TasThreeState) -> Action {
         match state {
-            TasThreeState::Grab { .. } => {
-                Action::Invoke(Op::new(ObjectId(0), OpKind::TestAndSet))
-            }
+            TasThreeState::Grab { .. } => Action::Invoke(Op::new(ObjectId(0), OpKind::TestAndSet)),
             TasThreeState::Publish { input } => {
                 Action::Invoke(Op::write(ObjectId(1), input.clone()))
             }
@@ -223,7 +221,10 @@ impl Protocol for TasThreeEagerCandidate {
     }
 
     fn init(&self, pid: Pid, input: &Value) -> TasEagerState {
-        TasEagerState::Announce { pid, input: input.clone() }
+        TasEagerState::Announce {
+            pid,
+            input: input.clone(),
+        }
     }
 
     fn next_action(&self, state: &TasEagerState) -> Action {
@@ -231,9 +232,7 @@ impl Protocol for TasThreeEagerCandidate {
             TasEagerState::Announce { pid, input } => {
                 Action::Invoke(Op::write(ObjectId(1 + pid), input.clone()))
             }
-            TasEagerState::Grab { .. } => {
-                Action::Invoke(Op::new(ObjectId(0), OpKind::TestAndSet))
-            }
+            TasEagerState::Grab { .. } => Action::Invoke(Op::new(ObjectId(0), OpKind::TestAndSet)),
             TasEagerState::Collect { idx, .. } => Action::Invoke(Op::read(ObjectId(1 + idx))),
             TasEagerState::Done { value } => Action::Decide(value.clone()),
         }
@@ -246,7 +245,11 @@ impl Protocol for TasThreeEagerCandidate {
                 if resp == Value::Bool(false) {
                     TasEagerState::Done { value: input }
                 } else {
-                    TasEagerState::Collect { pid, idx: 0, seen: Vec::new() }
+                    TasEagerState::Collect {
+                        pid,
+                        idx: 0,
+                        seen: Vec::new(),
+                    }
                 }
             }
             TasEagerState::Collect { pid, idx, mut seen } => {
@@ -254,7 +257,11 @@ impl Protocol for TasThreeEagerCandidate {
                     seen.push(resp);
                 }
                 if idx + 1 < 3 {
-                    TasEagerState::Collect { pid, idx: idx + 1, seen }
+                    TasEagerState::Collect {
+                        pid,
+                        idx: idx + 1,
+                        seen,
+                    }
                 } else {
                     let value = seen
                         .into_iter()
@@ -290,14 +297,15 @@ impl Protocol for FaaThreeEagerCandidate {
     }
 
     fn init(&self, pid: Pid, input: &Value) -> TasEagerState {
-        TasEagerState::Announce { pid, input: input.clone() }
+        TasEagerState::Announce {
+            pid,
+            input: input.clone(),
+        }
     }
 
     fn next_action(&self, state: &TasEagerState) -> Action {
         match state {
-            TasEagerState::Grab { .. } => {
-                Action::Invoke(Op::new(ObjectId(0), OpKind::FetchAdd(1)))
-            }
+            TasEagerState::Grab { .. } => Action::Invoke(Op::new(ObjectId(0), OpKind::FetchAdd(1))),
             other => TasThreeEagerCandidate.next_action(other),
         }
     }
@@ -307,7 +315,11 @@ impl Protocol for FaaThreeEagerCandidate {
             *state = if resp == Value::Int(0) {
                 TasEagerState::Done { value: input }
             } else {
-                TasEagerState::Collect { pid, idx: 0, seen: Vec::new() }
+                TasEagerState::Collect {
+                    pid,
+                    idx: 0,
+                    seen: Vec::new(),
+                }
             };
         } else {
             TasThreeEagerCandidate.on_response(state, resp);
@@ -332,13 +344,20 @@ impl Protocol for QueueThreeCandidate {
 
     fn layout(&self) -> Layout {
         let mut l = Layout::new();
-        l.push(ObjectInit::Queue(vec![Value::Int(1), Value::Int(0), Value::Int(0)]));
+        l.push(ObjectInit::Queue(vec![
+            Value::Int(1),
+            Value::Int(0),
+            Value::Int(0),
+        ]));
         l.push_n(ObjectInit::Register(Value::Nil), 3);
         l
     }
 
     fn init(&self, pid: Pid, input: &Value) -> TasEagerState {
-        TasEagerState::Announce { pid, input: input.clone() }
+        TasEagerState::Announce {
+            pid,
+            input: input.clone(),
+        }
     }
 
     fn next_action(&self, state: &TasEagerState) -> Action {
@@ -353,7 +372,11 @@ impl Protocol for QueueThreeCandidate {
             *state = if resp == Value::Int(1) {
                 TasEagerState::Done { value: input }
             } else {
-                TasEagerState::Collect { pid, idx: 0, seen: Vec::new() }
+                TasEagerState::Collect {
+                    pid,
+                    idx: 0,
+                    seen: Vec::new(),
+                }
             };
         } else {
             TasThreeEagerCandidate.on_response(state, resp);

@@ -82,7 +82,9 @@ impl Protocol for BinaryFromElection {
 
     fn init(&self, pid: Pid, input: &Value) -> KmState {
         let identity = self.identity(pid, Self::bit_of(input));
-        KmState { inner: self.election.init(identity, &Value::Pid(identity)) }
+        KmState {
+            inner: self.election.init(identity, &Value::Pid(identity)),
+        }
     }
 
     fn next_action(&self, state: &KmState) -> Action {
@@ -111,9 +113,16 @@ mod tests {
         let report = explore(
             &proto,
             &inputs,
-            &ExploreConfig { spec: TaskSpec::Consensus(inputs.clone()), ..Default::default() },
+            &ExploreConfig {
+                spec: TaskSpec::Consensus(inputs.clone()),
+                ..Default::default()
+            },
         );
-        assert!(report.outcome.is_verified(), "n={n} k={k}: {:?}", report.outcome);
+        assert!(
+            report.outcome.is_verified(),
+            "n={n} k={k}: {:?}",
+            report.outcome
+        );
     }
 
     #[test]

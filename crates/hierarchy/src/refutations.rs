@@ -28,11 +28,7 @@ pub struct Demonstration {
     pub states: usize,
 }
 
-fn demonstrate_one(
-    candidate: &'static str,
-    fact: &'static str,
-    verdict: Verdict,
-) -> Demonstration {
+fn demonstrate_one(candidate: &'static str, fact: &'static str, verdict: Verdict) -> Demonstration {
     match verdict {
         Verdict::Refuted(r) => Demonstration {
             candidate,
@@ -113,6 +109,9 @@ mod tests {
     use bso_sim::checker;
     use bso_sim::scheduler::Scripted;
     use bso_sim::Simulation;
+    use bso_sim::{
+        explore, explore_parallel, DedupMode, ExploreConfig, ExploreOutcome, Protocol, TaskSpec,
+    };
 
     #[test]
     fn all_candidates_fall() {
@@ -138,8 +137,101 @@ mod tests {
         let proto = RwElection;
         let inputs = vec![Value::Pid(0), Value::Pid(1)];
         let mut sim = Simulation::new(&proto, &inputs);
-        let res = sim.run(&mut Scripted::new(d.schedule.clone()), 1_000).unwrap();
+        let res = sim
+            .run(&mut Scripted::new(d.schedule.clone()), 1_000)
+            .unwrap();
         assert!(checker::check_election(&res).is_err());
+    }
+
+    /// Serial and parallel exploration (in both dedup modes) must agree
+    /// on every curated candidate: same verdict, same violation kind,
+    /// and a parallel counterexample that genuinely replays. The
+    /// *schedule* may legitimately differ — with several workers the
+    /// first violation discovered depends on thread timing — but the
+    /// witness it encodes must be real.
+    fn assert_parallel_agrees<P>(name: &str, proto: &P, spec: TaskSpec)
+    where
+        P: Protocol + Sync,
+        P::State: Clone + std::hash::Hash + Eq + Send,
+    {
+        let inputs: Vec<Value> = match &spec {
+            TaskSpec::Consensus(ins) => ins.clone(),
+            _ => (0..proto.processes()).map(Value::Pid).collect(),
+        };
+        let base = ExploreConfig {
+            max_states: 10_000_000,
+            spec,
+            ..Default::default()
+        };
+        let serial = explore(proto, &inputs, &base);
+        let ExploreOutcome::Violated(expected) = &serial.outcome else {
+            panic!(
+                "{name}: serial exploration was supposed to refute, got {:?}",
+                serial.outcome
+            );
+        };
+        for dedup in [DedupMode::Exact, DedupMode::Fingerprint] {
+            let cfg = ExploreConfig {
+                workers: 4,
+                dedup,
+                ..base.clone()
+            };
+            let parallel = explore_parallel(proto, &inputs, &cfg);
+            let ExploreOutcome::Violated(found) = &parallel.outcome else {
+                panic!(
+                    "{name} ({dedup:?}): parallel disagrees with serial: {:?}",
+                    parallel.outcome
+                );
+            };
+            assert_eq!(expected.kind, found.kind, "{name} ({dedup:?})");
+            if found.kind == ViolationKind::NotWaitFree {
+                continue; // cycles don't replay to a violated terminal state
+            }
+            let mut sim = Simulation::new(proto, &inputs);
+            let res = sim
+                .run(&mut Scripted::new(found.schedule.clone()), 1_000_000)
+                .unwrap();
+            let replayed = match &base.spec {
+                TaskSpec::Election => checker::check_election(&res).is_err(),
+                TaskSpec::Consensus(ins) => checker::check_consensus(&res, ins).is_err(),
+                TaskSpec::SetConsensus(ins, l) => {
+                    checker::check_set_consensus(&res, ins, *l).is_err()
+                }
+                TaskSpec::None => false,
+            };
+            assert!(replayed, "{name} ({dedup:?}): counterexample must replay");
+        }
+    }
+
+    #[test]
+    fn parallel_exploration_agrees_on_every_candidate() {
+        let ins3 = vec![Value::Int(1), Value::Int(2), Value::Int(3)];
+        assert_parallel_agrees("RwElection", &RwElection, TaskSpec::Election);
+        assert_parallel_agrees(
+            "RwConsensus",
+            &bso_protocols::consensus::RwConsensus,
+            TaskSpec::Consensus(vec![Value::Int(1), Value::Int(2)]),
+        );
+        assert_parallel_agrees(
+            "TasThreeCandidate",
+            &TasThreeCandidate,
+            TaskSpec::Consensus(ins3.clone()),
+        );
+        assert_parallel_agrees(
+            "TasThreeEagerCandidate",
+            &TasThreeEagerCandidate,
+            TaskSpec::Consensus(ins3.clone()),
+        );
+        assert_parallel_agrees(
+            "FaaThreeEagerCandidate",
+            &FaaThreeEagerCandidate,
+            TaskSpec::Consensus(ins3.clone()),
+        );
+        assert_parallel_agrees(
+            "QueueThreeCandidate",
+            &QueueThreeCandidate,
+            TaskSpec::Consensus(ins3),
+        );
     }
 
     #[test]
@@ -171,7 +263,10 @@ mod tests {
         let report = explore(
             &CasConsensus::new(5),
             &inputs5,
-            &ExploreConfig { spec: TaskSpec::Consensus(inputs5.clone()), ..Default::default() },
+            &ExploreConfig {
+                spec: TaskSpec::Consensus(inputs5.clone()),
+                ..Default::default()
+            },
         );
         assert!(report.outcome.is_verified());
     }

@@ -177,7 +177,10 @@ mod tests {
     fn display_formats() {
         assert_eq!(ConsensusNumber::Exactly(2).to_string(), "2");
         assert_eq!(ConsensusNumber::Infinite.to_string(), "∞");
-        assert_eq!(ObjectKind::CompareSwapK { k: 5 }.to_string(), "compare&swap-(5)");
+        assert_eq!(
+            ObjectKind::CompareSwapK { k: 5 }.to_string(),
+            "compare&swap-(5)"
+        );
     }
 
     #[test]

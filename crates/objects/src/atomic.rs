@@ -6,7 +6,7 @@
 //! test&set, fetch&add) are genuinely lock-free, built on
 //! `std::sync::atomic`; multi-word objects (registers holding arbitrary
 //! [`Value`]s, snapshot objects) are linearizable via short critical
-//! sections (`parking_lot` locks). The paper's *contribution* object —
+//! sections (`std::sync` locks). The paper's *contribution* object —
 //! the bounded compare&swap — is the lock-free one, which is what the
 //! benchmarks exercise.
 //!
@@ -27,7 +27,7 @@
 
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU8, Ordering};
 
-use parking_lot::{Mutex, RwLock};
+use std::sync::{Mutex, RwLock};
 
 use crate::{Layout, ObjectError, ObjectId, ObjectInit, Op, OpKind, Sym, Value};
 
@@ -64,7 +64,11 @@ enum Slot {
     Sticky(Mutex<Value>),
     /// Lock-free general bounded read-modify-write (compare-exchange
     /// loop applying the declared transition table).
-    RmwK { cell: AtomicU8, k: usize, functions: Vec<Vec<u8>> },
+    RmwK {
+        cell: AtomicU8,
+        k: usize,
+        functions: Vec<Vec<u8>>,
+    },
     /// Linearizable FIFO queue.
     Queue(Mutex<std::collections::VecDeque<Value>>),
 }
@@ -74,21 +78,26 @@ impl Slot {
         match init {
             ObjectInit::Register(v) => Slot::Register(RwLock::new(v.clone())),
             ObjectInit::CasK { k } => {
-                assert!(*k >= 2 && *k <= u8::MAX as usize, "unsupported domain size {k}");
-                Slot::CasK { cell: AtomicU8::new(Sym::BOTTOM.code()), k: *k }
+                assert!(
+                    *k >= 2 && *k <= u8::MAX as usize,
+                    "unsupported domain size {k}"
+                );
+                Slot::CasK {
+                    cell: AtomicU8::new(Sym::BOTTOM.code()),
+                    k: *k,
+                }
             }
             ObjectInit::CasReg(v) => Slot::CasReg(Mutex::new(v.clone())),
             ObjectInit::TestAndSet => Slot::TestAndSet(AtomicBool::new(false)),
             ObjectInit::FetchAdd(v) => Slot::FetchAdd(AtomicI64::new(*v)),
-            ObjectInit::Snapshot { slots } => {
-                Slot::Snapshot(RwLock::new(vec![Value::Nil; *slots]))
-            }
+            ObjectInit::Snapshot { slots } => Slot::Snapshot(RwLock::new(vec![Value::Nil; *slots])),
             ObjectInit::Sticky => Slot::Sticky(Mutex::new(Value::Nil)),
-            ObjectInit::Queue(items) => {
-                Slot::Queue(Mutex::new(items.iter().cloned().collect()))
-            }
+            ObjectInit::Queue(items) => Slot::Queue(Mutex::new(items.iter().cloned().collect())),
             ObjectInit::RmwK { k, functions } => {
-                assert!(*k >= 2 && *k <= u8::MAX as usize, "unsupported domain size {k}");
+                assert!(
+                    *k >= 2 && *k <= u8::MAX as usize,
+                    "unsupported domain size {k}"
+                );
                 for table in functions {
                     assert_eq!(table.len(), *k, "transition table must cover the domain");
                     assert!(table.iter().all(|&c| (c as usize) < *k));
@@ -117,22 +126,26 @@ impl Slot {
     }
 
     fn mismatch(&self, op: &OpKind) -> ObjectError {
-        ObjectError::TypeMismatch { op: op.clone(), object_type: self.type_name() }
+        ObjectError::TypeMismatch {
+            op: op.clone(),
+            object_type: self.type_name(),
+        }
     }
 
     fn domain_sym(v: &Value, k: usize) -> Result<Sym, ObjectError> {
         match v.as_sym() {
             Some(s) if s.in_domain(k) => Ok(s),
-            _ => Err(ObjectError::DomainViolation { k, value: v.to_string() }),
+            _ => Err(ObjectError::DomainViolation {
+                k,
+                value: v.to_string(),
+            }),
         }
     }
 
     fn apply(&self, pid: usize, op: &OpKind) -> Result<Value, ObjectError> {
         match self {
             Slot::CasK { cell, k } => match op {
-                OpKind::Read => {
-                    Ok(Value::Sym(Sym::from_code(cell.load(Ordering::SeqCst))))
-                }
+                OpKind::Read => Ok(Value::Sym(Sym::from_code(cell.load(Ordering::SeqCst)))),
                 OpKind::Cas { expect, new } => {
                     let e = Self::domain_sym(expect, *k)?;
                     let n = Self::domain_sym(new, *k)?;
@@ -166,21 +179,21 @@ impl Slot {
                 other => Err(self.mismatch(other)),
             },
             Slot::Register(reg) => match op {
-                OpKind::Read => Ok(reg.read().clone()),
+                OpKind::Read => Ok(reg.read().unwrap().clone()),
                 OpKind::Write(v) => {
-                    *reg.write() = v.clone();
+                    *reg.write().unwrap() = v.clone();
                     Ok(Value::Nil)
                 }
                 OpKind::Swap(v) => {
-                    let mut g = reg.write();
+                    let mut g = reg.write().unwrap();
                     Ok(std::mem::replace(&mut *g, v.clone()))
                 }
                 other => Err(self.mismatch(other)),
             },
             Slot::CasReg(reg) => match op {
-                OpKind::Read => Ok(reg.lock().clone()),
+                OpKind::Read => Ok(reg.lock().unwrap().clone()),
                 OpKind::Cas { expect, new } => {
-                    let mut g = reg.lock();
+                    let mut g = reg.lock().unwrap();
                     let prev = g.clone();
                     if prev == *expect {
                         *g = new.clone();
@@ -190,21 +203,24 @@ impl Slot {
                 other => Err(self.mismatch(other)),
             },
             Slot::Snapshot(slots) => match op {
-                OpKind::SnapshotScan | OpKind::Read => Ok(Value::Seq(slots.read().clone())),
+                OpKind::SnapshotScan | OpKind::Read => {
+                    Ok(Value::Seq(slots.read().unwrap().clone()))
+                }
                 OpKind::SnapshotUpdate(v) => {
-                    let mut g = slots.write();
+                    let mut g = slots.write().unwrap();
                     let n = g.len();
-                    let slot =
-                        g.get_mut(pid).ok_or(ObjectError::BadSlot { pid, slots: n })?;
+                    let slot = g
+                        .get_mut(pid)
+                        .ok_or(ObjectError::BadSlot { pid, slots: n })?;
                     *slot = v.clone();
                     Ok(Value::Nil)
                 }
                 other => Err(self.mismatch(other)),
             },
             Slot::Sticky(reg) => match op {
-                OpKind::Read => Ok(reg.lock().clone()),
+                OpKind::Read => Ok(reg.lock().unwrap().clone()),
                 OpKind::StickyWrite(v) => {
-                    let mut g = reg.lock();
+                    let mut g = reg.lock().unwrap();
                     if g.is_nil() {
                         *g = v.clone();
                     }
@@ -213,12 +229,12 @@ impl Slot {
                 other => Err(self.mismatch(other)),
             },
             Slot::Queue(q) => match op {
-                OpKind::Read => Ok(Value::Seq(q.lock().iter().cloned().collect())),
+                OpKind::Read => Ok(Value::Seq(q.lock().unwrap().iter().cloned().collect())),
                 OpKind::Enqueue(v) => {
-                    q.lock().push_back(v.clone());
+                    q.lock().unwrap().push_back(v.clone());
                     Ok(Value::Nil)
                 }
-                OpKind::Dequeue => Ok(q.lock().pop_front().unwrap_or(Value::Nil)),
+                OpKind::Dequeue => Ok(q.lock().unwrap().pop_front().unwrap_or(Value::Nil)),
                 other => Err(self.mismatch(other)),
             },
             Slot::RmwK { cell, k, functions } => match op {
@@ -253,7 +269,7 @@ impl Slot {
 /// A hardware-backed shared memory built from a [`Layout`].
 ///
 /// Cloneable handles are unnecessary: share it by reference (e.g. with
-/// `crossbeam::scope`) or wrap it in an `Arc`.
+/// `std::thread::scope`) or wrap it in an `Arc`.
 pub struct AtomicMemory {
     slots: Vec<Slot>,
 }
@@ -262,7 +278,9 @@ impl AtomicMemory {
     /// Allocates all objects described by `layout` in their initial
     /// states.
     pub fn new(layout: &Layout) -> AtomicMemory {
-        AtomicMemory { slots: layout.objects().iter().map(Slot::from_init).collect() }
+        AtomicMemory {
+            slots: layout.objects().iter().map(Slot::from_init).collect(),
+        }
     }
 
     /// The number of objects.
@@ -305,33 +323,30 @@ mod tests {
     #[test]
     fn cas_k_races_have_one_winner() {
         let (mem, id) = one_object(ObjectInit::CasK { k: 6 });
-        let winners: Vec<bool> = crossbeam::scope(|s| {
+        let winners: Vec<bool> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..4)
                 .map(|t| {
                     let mem = &mem;
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         let new = Value::Sym(Sym::new(t as u8));
-                        let prev = mem
-                            .apply(t, &Op::cas(id, Sym::BOTTOM.into(), new))
-                            .unwrap();
+                        let prev = mem.apply(t, &Op::cas(id, Sym::BOTTOM.into(), new)).unwrap();
                         prev == Value::Sym(Sym::BOTTOM)
                     })
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
-        })
-        .unwrap();
+        });
         assert_eq!(winners.iter().filter(|w| **w).count(), 1);
     }
 
     #[test]
     fn test_and_set_races_have_one_winner() {
         let (mem, id) = one_object(ObjectInit::TestAndSet);
-        let wins: usize = crossbeam::scope(|s| {
+        let wins: usize = std::thread::scope(|s| {
             let handles: Vec<_> = (0..8)
                 .map(|t| {
                     let mem = &mem;
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         mem.apply(t, &Op::new(id, OpKind::TestAndSet))
                             .unwrap()
                             .as_bool()
@@ -341,33 +356,32 @@ mod tests {
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).sum()
-        })
-        .unwrap();
+        });
         assert_eq!(wins, 1);
     }
 
     #[test]
     fn fetch_add_sums_across_threads() {
         let (mem, id) = one_object(ObjectInit::FetchAdd(0));
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for t in 0..4 {
                 let mem = &mem;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for _ in 0..100 {
                         mem.apply(t, &Op::new(id, OpKind::FetchAdd(1))).unwrap();
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         assert_eq!(mem.apply(0, &Op::read(id)).unwrap(), Value::Int(400));
     }
 
     #[test]
     fn domain_enforced_on_hardware_too() {
         let (mem, id) = one_object(ObjectInit::CasK { k: 3 });
-        let err =
-            mem.apply(0, &Op::cas(id, Sym::BOTTOM.into(), Sym::new(5).into())).unwrap_err();
+        let err = mem
+            .apply(0, &Op::cas(id, Sym::BOTTOM.into(), Sym::new(5).into()))
+            .unwrap_err();
         assert!(matches!(err, ObjectError::DomainViolation { k: 3, .. }));
     }
 
@@ -377,15 +391,18 @@ mod tests {
         let snap = layout.push(ObjectInit::Snapshot { slots: 2 });
         let sticky = layout.push(ObjectInit::Sticky);
         let mem = AtomicMemory::new(&layout);
-        mem.apply(0, &Op::new(snap, OpKind::SnapshotUpdate(Value::Int(1)))).unwrap();
+        mem.apply(0, &Op::new(snap, OpKind::SnapshotUpdate(Value::Int(1))))
+            .unwrap();
         let view = mem.apply(1, &Op::new(snap, OpKind::SnapshotScan)).unwrap();
         assert_eq!(view, Value::Seq(vec![Value::Int(1), Value::Nil]));
         assert_eq!(
-            mem.apply(0, &Op::new(sticky, OpKind::StickyWrite(Value::Pid(0)))).unwrap(),
+            mem.apply(0, &Op::new(sticky, OpKind::StickyWrite(Value::Pid(0))))
+                .unwrap(),
             Value::Pid(0)
         );
         assert_eq!(
-            mem.apply(1, &Op::new(sticky, OpKind::StickyWrite(Value::Pid(1)))).unwrap(),
+            mem.apply(1, &Op::new(sticky, OpKind::StickyWrite(Value::Pid(1))))
+                .unwrap(),
             Value::Pid(0)
         );
     }
@@ -396,20 +413,25 @@ mod tests {
         // value is determined by the total count — the CAS loop loses
         // no application.
         let cycle = vec![1u8, 2, 0]; // ⊥→0, 0→1, 1→⊥
-        let (mem, id) = one_object(ObjectInit::RmwK { k: 3, functions: vec![cycle] });
-        crossbeam::scope(|s| {
+        let (mem, id) = one_object(ObjectInit::RmwK {
+            k: 3,
+            functions: vec![cycle],
+        });
+        std::thread::scope(|s| {
             for t in 0..4 {
                 let mem = &mem;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for _ in 0..300 {
                         mem.apply(t, &Op::new(id, OpKind::Rmw { func: 0 })).unwrap();
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         // 1200 applications from ⊥ (code 0): 1200 % 3 = 0 → back to ⊥.
-        assert_eq!(mem.apply(0, &Op::read(id)).unwrap(), Value::Sym(Sym::BOTTOM));
+        assert_eq!(
+            mem.apply(0, &Op::read(id)).unwrap(),
+            Value::Sym(Sym::BOTTOM)
+        );
     }
 
     #[test]
@@ -433,8 +455,14 @@ mod tests {
         ];
         let ops: Vec<OpKind> = vec![
             OpKind::Read,
-            OpKind::Cas { expect: Sym::BOTTOM.into(), new: Sym::new(1).into() },
-            OpKind::Cas { expect: Sym::BOTTOM.into(), new: Sym::new(2).into() },
+            OpKind::Cas {
+                expect: Sym::BOTTOM.into(),
+                new: Sym::new(1).into(),
+            },
+            OpKind::Cas {
+                expect: Sym::BOTTOM.into(),
+                new: Sym::new(2).into(),
+            },
             OpKind::TestAndSet,
             OpKind::TestAndSet,
             OpKind::FetchAdd(4),

@@ -64,9 +64,15 @@ mod tests {
 
     #[test]
     fn messages_are_informative() {
-        let e = ObjectError::DomainViolation { k: 4, value: "7".into() };
+        let e = ObjectError::DomainViolation {
+            k: 4,
+            value: "7".into(),
+        };
         assert_eq!(e.to_string(), "value 7 outside the size-4 domain");
-        let e = ObjectError::TypeMismatch { op: OpKind::TestAndSet, object_type: "register" };
+        let e = ObjectError::TypeMismatch {
+            op: OpKind::TestAndSet,
+            object_type: "register",
+        };
         assert!(e.to_string().contains("t&s"));
         let e = ObjectError::UnknownObject(ObjectId(9));
         assert!(e.to_string().contains("o9"));

@@ -99,13 +99,18 @@ impl Layout {
 
     /// Iterator over `(id, descriptor)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (ObjectId, &ObjectInit)> {
-        self.objects.iter().enumerate().map(|(i, o)| (ObjectId(i), o))
+        self.objects
+            .iter()
+            .enumerate()
+            .map(|(i, o)| (ObjectId(i), o))
     }
 }
 
 impl FromIterator<ObjectInit> for Layout {
     fn from_iter<I: IntoIterator<Item = ObjectInit>>(iter: I) -> Layout {
-        Layout { objects: iter.into_iter().collect() }
+        Layout {
+            objects: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -131,8 +136,9 @@ mod tests {
 
     #[test]
     fn collect_and_extend() {
-        let mut l: Layout =
-            vec![ObjectInit::TestAndSet, ObjectInit::Sticky].into_iter().collect();
+        let mut l: Layout = vec![ObjectInit::TestAndSet, ObjectInit::Sticky]
+            .into_iter()
+            .collect();
         l.extend(std::iter::once(ObjectInit::FetchAdd(0)));
         assert_eq!(l.len(), 3);
         let kinds: Vec<_> = l.iter().map(|(id, _)| id.0).collect();

@@ -53,6 +53,7 @@ pub mod atomic;
 mod error;
 mod layout;
 mod op;
+pub mod rng;
 pub mod spec;
 mod sym;
 mod value;

@@ -169,7 +169,11 @@ mod tests {
         assert!(!OpKind::SnapshotScan.is_mutator());
         assert!(OpKind::Write(Value::Nil).is_mutator());
         assert!(OpKind::TestAndSet.is_mutator());
-        assert!(OpKind::Cas { expect: Value::Nil, new: Value::Nil }.is_mutator());
+        assert!(OpKind::Cas {
+            expect: Value::Nil,
+            new: Value::Nil
+        }
+        .is_mutator());
     }
 
     #[test]

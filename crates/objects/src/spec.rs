@@ -21,7 +21,9 @@ use crate::{ObjectError, ObjectInit, OpKind, Sym, Value};
 /// assert_eq!(ts.apply(0, &OpKind::TestAndSet).unwrap(), Value::Bool(false)); // winner
 /// assert_eq!(ts.apply(1, &OpKind::TestAndSet).unwrap(), Value::Bool(true)); // loser
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+// `Ord` exists so explorers can pick canonical orbit representatives
+// under process-symmetry reduction; the order itself is arbitrary.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum ObjectState {
     /// An atomic multi-writer multi-reader read/write register.
     Register {
@@ -99,16 +101,21 @@ impl ObjectState {
             ObjectInit::Register(v) => ObjectState::Register { val: v.clone() },
             ObjectInit::CasK { k } => {
                 assert!(*k >= 2, "a compare&swap-(k) needs k >= 2, got {k}");
-                ObjectState::CasK { val: Sym::BOTTOM, k: *k }
+                ObjectState::CasK {
+                    val: Sym::BOTTOM,
+                    k: *k,
+                }
             }
             ObjectInit::CasReg(v) => ObjectState::CasReg { val: v.clone() },
             ObjectInit::TestAndSet => ObjectState::TestAndSet { set: false },
             ObjectInit::FetchAdd(v) => ObjectState::FetchAdd { val: *v },
-            ObjectInit::Snapshot { slots } => {
-                ObjectState::Snapshot { slots: vec![Value::Nil; *slots] }
-            }
+            ObjectInit::Snapshot { slots } => ObjectState::Snapshot {
+                slots: vec![Value::Nil; *slots],
+            },
             ObjectInit::Sticky => ObjectState::Sticky { val: Value::Nil },
-            ObjectInit::Queue(items) => ObjectState::Queue { items: items.clone() },
+            ObjectInit::Queue(items) => ObjectState::Queue {
+                items: items.clone(),
+            },
             ObjectInit::RmwK { k, functions } => {
                 assert!(*k >= 2, "an rmw-(k) needs k >= 2, got {k}");
                 for (f, table) in functions.iter().enumerate() {
@@ -118,7 +125,11 @@ impl ObjectState {
                         "function {f} leaves the domain"
                     );
                 }
-                ObjectState::RmwK { val: Sym::BOTTOM, k: *k, functions: functions.clone() }
+                ObjectState::RmwK {
+                    val: Sym::BOTTOM,
+                    k: *k,
+                    functions: functions.clone(),
+                }
             }
         }
     }
@@ -145,7 +156,10 @@ impl ObjectState {
     /// the reduction driver asserts this predicate on every object its
     /// emulators touch.
     pub fn is_read_write(&self) -> bool {
-        matches!(self, ObjectState::Register { .. } | ObjectState::Snapshot { .. })
+        matches!(
+            self,
+            ObjectState::Register { .. } | ObjectState::Snapshot { .. }
+        )
     }
 
     /// Applies one operation atomically and returns its response.
@@ -271,13 +285,19 @@ impl ObjectState {
     }
 
     fn mismatch(&self, op: &OpKind) -> ObjectError {
-        ObjectError::TypeMismatch { op: op.clone(), object_type: self.type_name() }
+        ObjectError::TypeMismatch {
+            op: op.clone(),
+            object_type: self.type_name(),
+        }
     }
 
     fn domain_sym(v: &Value, k: usize) -> Result<Sym, ObjectError> {
         match v.as_sym() {
             Some(s) if s.in_domain(k) => Ok(s),
-            _ => Err(ObjectError::DomainViolation { k, value: v.to_string() }),
+            _ => Err(ObjectError::DomainViolation {
+                k,
+                value: v.to_string(),
+            }),
         }
     }
 }
@@ -294,9 +314,15 @@ mod tests {
     fn register_read_write_swap() {
         let mut r = ObjectState::from_init(&ObjectInit::Register(Value::Nil));
         assert_eq!(r.apply(0, &OpKind::Read).unwrap(), Value::Nil);
-        assert_eq!(r.apply(0, &OpKind::Write(Value::Int(5))).unwrap(), Value::Nil);
+        assert_eq!(
+            r.apply(0, &OpKind::Write(Value::Int(5))).unwrap(),
+            Value::Nil
+        );
         assert_eq!(r.apply(1, &OpKind::Read).unwrap(), Value::Int(5));
-        assert_eq!(r.apply(1, &OpKind::Swap(Value::Int(6))).unwrap(), Value::Int(5));
+        assert_eq!(
+            r.apply(1, &OpKind::Swap(Value::Int(6))).unwrap(),
+            Value::Int(5)
+        );
         assert_eq!(r.apply(0, &OpKind::Read).unwrap(), Value::Int(6));
     }
 
@@ -305,12 +331,24 @@ mod tests {
         let mut c = cas_k(3);
         // c&s(⊥ → 0): succeeds, returns previous value ⊥.
         let prev = c
-            .apply(0, &OpKind::Cas { expect: Sym::BOTTOM.into(), new: Sym::new(0).into() })
+            .apply(
+                0,
+                &OpKind::Cas {
+                    expect: Sym::BOTTOM.into(),
+                    new: Sym::new(0).into(),
+                },
+            )
             .unwrap();
         assert_eq!(prev, Value::Sym(Sym::BOTTOM));
         // c&s(⊥ → 1): fails (register holds 0), returns 0, contents keep 0.
         let prev = c
-            .apply(1, &OpKind::Cas { expect: Sym::BOTTOM.into(), new: Sym::new(1).into() })
+            .apply(
+                1,
+                &OpKind::Cas {
+                    expect: Sym::BOTTOM.into(),
+                    new: Sym::new(1).into(),
+                },
+            )
             .unwrap();
         assert_eq!(prev, Value::Sym(Sym::new(0)));
         assert_eq!(c.apply(1, &OpKind::Read).unwrap(), Value::Sym(Sym::new(0)));
@@ -321,7 +359,13 @@ mod tests {
         // read ≡ c&s(v → v): returns contents, never changes them.
         let mut c = cas_k(3);
         let via_cas = c
-            .apply(0, &OpKind::Cas { expect: Sym::new(1).into(), new: Sym::new(1).into() })
+            .apply(
+                0,
+                &OpKind::Cas {
+                    expect: Sym::new(1).into(),
+                    new: Sym::new(1).into(),
+                },
+            )
             .unwrap();
         let via_read = c.apply(0, &OpKind::Read).unwrap();
         assert_eq!(via_cas, via_read);
@@ -332,12 +376,24 @@ mod tests {
     fn cas_k_enforces_domain() {
         let mut c = cas_k(3); // domain {⊥, 0, 1}
         let err = c
-            .apply(0, &OpKind::Cas { expect: Sym::BOTTOM.into(), new: Sym::new(2).into() })
+            .apply(
+                0,
+                &OpKind::Cas {
+                    expect: Sym::BOTTOM.into(),
+                    new: Sym::new(2).into(),
+                },
+            )
             .unwrap_err();
         assert!(matches!(err, ObjectError::DomainViolation { k: 3, .. }));
         // Non-symbol values are also rejected.
         let err = c
-            .apply(0, &OpKind::Cas { expect: Value::Int(0), new: Sym::new(0).into() })
+            .apply(
+                0,
+                &OpKind::Cas {
+                    expect: Value::Int(0),
+                    new: Sym::new(0).into(),
+                },
+            )
             .unwrap_err();
         assert!(matches!(err, ObjectError::DomainViolation { .. }));
     }
@@ -364,7 +420,10 @@ mod tests {
         let mut s = ObjectState::from_init(&ObjectInit::Snapshot { slots: 3 });
         s.apply(1, &OpKind::SnapshotUpdate(Value::Int(7))).unwrap();
         let view = s.apply(0, &OpKind::SnapshotScan).unwrap();
-        assert_eq!(view, Value::Seq(vec![Value::Nil, Value::Int(7), Value::Nil]));
+        assert_eq!(
+            view,
+            Value::Seq(vec![Value::Nil, Value::Int(7), Value::Nil])
+        );
         let err = s.apply(3, &OpKind::SnapshotUpdate(Value::Nil)).unwrap_err();
         assert!(matches!(err, ObjectError::BadSlot { pid: 3, slots: 3 }));
     }
@@ -372,8 +431,14 @@ mod tests {
     #[test]
     fn sticky_write_is_write_once() {
         let mut s = ObjectState::from_init(&ObjectInit::Sticky);
-        assert_eq!(s.apply(0, &OpKind::StickyWrite(Value::Pid(0))).unwrap(), Value::Pid(0));
-        assert_eq!(s.apply(1, &OpKind::StickyWrite(Value::Pid(1))).unwrap(), Value::Pid(0));
+        assert_eq!(
+            s.apply(0, &OpKind::StickyWrite(Value::Pid(0))).unwrap(),
+            Value::Pid(0)
+        );
+        assert_eq!(
+            s.apply(1, &OpKind::StickyWrite(Value::Pid(1))).unwrap(),
+            Value::Pid(0)
+        );
         assert_eq!(s.apply(2, &OpKind::Read).unwrap(), Value::Pid(0));
     }
 
@@ -410,9 +475,15 @@ mod tests {
             ],
         };
         let mut r = ObjectState::from_init(&init);
-        assert_eq!(r.apply(0, &OpKind::Rmw { func: 0 }).unwrap(), Value::Sym(Sym::BOTTOM));
+        assert_eq!(
+            r.apply(0, &OpKind::Rmw { func: 0 }).unwrap(),
+            Value::Sym(Sym::BOTTOM)
+        );
         assert_eq!(r.apply(0, &OpKind::Read).unwrap(), Value::Sym(Sym::new(0)));
-        assert_eq!(r.apply(1, &OpKind::Rmw { func: 1 }).unwrap(), Value::Sym(Sym::new(0)));
+        assert_eq!(
+            r.apply(1, &OpKind::Rmw { func: 1 }).unwrap(),
+            Value::Sym(Sym::new(0))
+        );
         assert_eq!(r.apply(1, &OpKind::Read).unwrap(), Value::Sym(Sym::new(1)));
         // Unknown function index is a domain violation.
         assert!(matches!(
@@ -425,14 +496,24 @@ mod tests {
     #[test]
     #[should_panic(expected = "must map all")]
     fn rmw_k_validates_tables() {
-        let _ = ObjectState::from_init(&ObjectInit::RmwK { k: 3, functions: vec![vec![0, 1]] });
+        let _ = ObjectState::from_init(&ObjectInit::RmwK {
+            k: 3,
+            functions: vec![vec![0, 1]],
+        });
     }
 
     #[test]
     fn unbounded_cas_register() {
         let mut c = ObjectState::from_init(&ObjectInit::CasReg(Value::Nil));
-        let prev =
-            c.apply(0, &OpKind::Cas { expect: Value::Nil, new: Value::Pid(42) }).unwrap();
+        let prev = c
+            .apply(
+                0,
+                &OpKind::Cas {
+                    expect: Value::Nil,
+                    new: Value::Pid(42),
+                },
+            )
+            .unwrap();
         assert_eq!(prev, Value::Nil);
         assert_eq!(c.apply(1, &OpKind::Read).unwrap(), Value::Pid(42));
     }

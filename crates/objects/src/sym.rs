@@ -80,7 +80,10 @@ impl Sym {
     /// assert_eq!(d, vec![Sym::BOTTOM, Sym::new(0), Sym::new(1)]);
     /// ```
     pub fn domain(k: usize) -> impl Iterator<Item = Sym> {
-        assert!(k >= 1 && k <= u8::MAX as usize, "domain size {k} unsupported");
+        assert!(
+            k >= 1 && k <= u8::MAX as usize,
+            "domain size {k} unsupported"
+        );
         (0..k as u8).map(Sym)
     }
 

@@ -1,36 +1,52 @@
 //! Property: on any *sequential* operation sequence, the hardware
 //! backend and the sequential specification are observationally
 //! identical — same responses, same errors.
+//!
+//! Written as seeded random-input loops over [`SplitMix64`] (the
+//! workspace carries no external property-testing crate): every case is
+//! reproducible from the fixed seed, and a failure message reports the
+//! case index.
 
 use bso_objects::atomic::{AtomicMemory, Memory};
+use bso_objects::rng::SplitMix64;
 use bso_objects::{spec::ObjectState, Layout, ObjectInit, Op, OpKind, Sym, Value};
-use proptest::prelude::*;
 
-/// A generator of operations aimed at a mixed-object layout.
-fn arb_op() -> impl Strategy<Value = (usize, OpKind)> {
+/// A random operation aimed at the mixed-object layout below.
+fn arb_op(rng: &mut SplitMix64) -> (usize, OpKind) {
     // Object 0: cas-k(4), 1: t&s, 2: f&a, 3: register, 4: sticky,
     // 5: queue, 6: rmw-k(4) with two functions, 7: snapshot(3).
-    prop_oneof![
-        (0usize..8, Just(OpKind::Read)),
-        (0u8..5, 0u8..5).prop_map(|(e, n)| (
+    match rng.usize_below(13) {
+        0 => (rng.usize_below(8), OpKind::Read),
+        1 => (
             0,
             OpKind::Cas {
-                expect: Sym::from_code(e % 4).into(),
-                new: Sym::from_code(n % 4).into()
-            }
-        )),
-        Just((1, OpKind::TestAndSet)),
-        Just((1, OpKind::Reset)),
-        (-5i64..5).prop_map(|d| (2, OpKind::FetchAdd(d))),
-        (0i64..9).prop_map(|v| (3, OpKind::Write(Value::Int(v)))),
-        (0i64..9).prop_map(|v| (3, OpKind::Swap(Value::Int(v)))),
-        (0i64..9).prop_map(|v| (4, OpKind::StickyWrite(Value::Int(v)))),
-        (0i64..9).prop_map(|v| (5, OpKind::Enqueue(Value::Int(v)))),
-        Just((5, OpKind::Dequeue)),
-        (0usize..3).prop_map(|f| (6, OpKind::Rmw { func: f % 2 })),
-        Just((7, OpKind::SnapshotScan)),
-        (0i64..9).prop_map(|v| (7, OpKind::SnapshotUpdate(Value::Int(v)))),
-    ]
+                expect: Sym::from_code(rng.range_u8(0, 5) % 4).into(),
+                new: Sym::from_code(rng.range_u8(0, 5) % 4).into(),
+            },
+        ),
+        2 => (1, OpKind::TestAndSet),
+        3 => (1, OpKind::Reset),
+        4 => (2, OpKind::FetchAdd(rng.usize_below(10) as i64 - 5)),
+        5 => (3, OpKind::Write(Value::Int(rng.usize_below(9) as i64))),
+        6 => (3, OpKind::Swap(Value::Int(rng.usize_below(9) as i64))),
+        7 => (
+            4,
+            OpKind::StickyWrite(Value::Int(rng.usize_below(9) as i64)),
+        ),
+        8 => (5, OpKind::Enqueue(Value::Int(rng.usize_below(9) as i64))),
+        9 => (5, OpKind::Dequeue),
+        10 => (
+            6,
+            OpKind::Rmw {
+                func: rng.usize_below(3) % 2,
+            },
+        ),
+        11 => (7, OpKind::SnapshotScan),
+        _ => (
+            7,
+            OpKind::SnapshotUpdate(Value::Int(rng.usize_below(9) as i64)),
+        ),
+    }
 }
 
 fn layout() -> Layout {
@@ -49,38 +65,48 @@ fn layout() -> Layout {
     l
 }
 
-proptest! {
-    #[test]
-    fn spec_and_hardware_agree_sequentially(
-        ops in proptest::collection::vec((arb_op(), 0usize..3), 1..60),
-    ) {
+#[test]
+fn spec_and_hardware_agree_sequentially() {
+    let mut rng = SplitMix64::new(0xC0FFEE);
+    for case in 0..256 {
         let layout = layout();
-        let mut specs: Vec<ObjectState> =
-            layout.objects().iter().map(ObjectState::from_init).collect();
+        let mut specs: Vec<ObjectState> = layout
+            .objects()
+            .iter()
+            .map(ObjectState::from_init)
+            .collect();
         let mem = AtomicMemory::new(&layout);
-        for ((obj, kind), pid) in ops {
+        for _ in 0..rng.range_usize(1, 60) {
+            let (obj, kind) = arb_op(&mut rng);
+            let pid = rng.usize_below(3);
             let a = specs[obj].apply(pid, &kind);
             let b = mem.apply(pid, &Op::new(bso_objects::ObjectId(obj), kind.clone()));
-            prop_assert_eq!(a, b, "divergence on object {} op {}", obj, kind);
+            assert_eq!(a, b, "case {case}: divergence on object {obj} op {kind}");
         }
     }
+}
 
-    /// Read is always side-effect free on every object type.
-    #[test]
-    fn read_is_pure(
-        setup in proptest::collection::vec((arb_op(), 0usize..3), 0..30),
-        obj in 0usize..8,
-    ) {
+/// Read is always side-effect free on every object type.
+#[test]
+fn read_is_pure() {
+    let mut rng = SplitMix64::new(0xBEEF);
+    for case in 0..256 {
         let layout = layout();
-        let mut specs: Vec<ObjectState> =
-            layout.objects().iter().map(ObjectState::from_init).collect();
-        for ((o, kind), pid) in setup {
+        let mut specs: Vec<ObjectState> = layout
+            .objects()
+            .iter()
+            .map(ObjectState::from_init)
+            .collect();
+        for _ in 0..rng.usize_below(30) {
+            let (o, kind) = arb_op(&mut rng);
+            let pid = rng.usize_below(3);
             let _ = specs[o].apply(pid, &kind);
         }
+        let obj = rng.usize_below(8);
         let before = specs[obj].clone();
         let r1 = specs[obj].apply(0, &OpKind::Read);
         let r2 = specs[obj].apply(0, &OpKind::Read);
-        prop_assert_eq!(r1, r2);
-        prop_assert_eq!(&specs[obj], &before);
+        assert_eq!(r1, r2, "case {case}");
+        assert_eq!(specs[obj], before, "case {case}: read mutated object {obj}");
     }
 }

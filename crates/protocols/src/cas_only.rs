@@ -1,5 +1,6 @@
+use bso_combinatorics::perm::{factorial, nth_permutation};
 use bso_objects::{Layout, ObjectId, ObjectInit, Op, Sym, Value};
-use bso_sim::{Action, Pid, Protocol};
+use bso_sim::{Action, Pid, Protocol, SymmetricProtocol};
 
 /// Leader election among `n ≤ k − 1` processes using a
 /// `compare&swap-(k)` register **alone** — no read/write registers.
@@ -70,7 +71,7 @@ impl CasOnlyElection {
 }
 
 /// Local state: about to swap, or done.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum CasOnlyState {
     /// About to perform `c&s(⊥ → own symbol)`.
     Grab {
@@ -124,11 +125,60 @@ impl Protocol for CasOnlyElection {
     }
 }
 
+/// The protocol is fully symmetric: process `p`'s only pid-dependent
+/// behaviour is owning symbol `p`, so relabelling the processes by any
+/// permutation — provided the owned symbols are relabelled in lockstep
+/// — maps runs to runs. The symmetry group is all of `Sₙ`, collapsing
+/// the explorer's state space by up to `n!`.
+impl SymmetricProtocol for CasOnlyElection {
+    fn symmetry_group(&self) -> Vec<Vec<Pid>> {
+        // n is at most k−1 ≤ 254, but enumerating n! elements is only
+        // worthwhile (or feasible) for small instances; past this the
+        // canonicalization would cost more than it saves.
+        if self.n > 7 {
+            return Vec::new();
+        }
+        // Rank 0 is the identity, which is implied.
+        (1..factorial(self.n))
+            .map(|rank| {
+                nth_permutation(rank, self.n)
+                    .into_iter()
+                    .map(usize::from)
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn permute_state(&self, perm: &[Pid], state: &CasOnlyState) -> CasOnlyState {
+        match state {
+            CasOnlyState::Grab { pid } => CasOnlyState::Grab { pid: perm[*pid] },
+            CasOnlyState::Done { winner } => CasOnlyState::Done {
+                winner: perm[*winner],
+            },
+        }
+    }
+
+    fn permute_value(&self, perm: &[Pid], v: &Value) -> Value {
+        match v {
+            Value::Pid(p) if *p < perm.len() => Value::Pid(perm[*p]),
+            // Symbol `p` is owned by process `p` and moves with it;
+            // ⊥ and out-of-range symbols are fixed.
+            Value::Sym(s) => match s.value() {
+                Some(code) if (code as usize) < perm.len() => {
+                    Value::Sym(Sym::new(perm[code as usize] as u8))
+                }
+                _ => v.clone(),
+            },
+            other => other.clone(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use bso_sim::{checker, explore, scheduler, ExploreConfig, ProtocolExt, Simulation};
-    use bso_sim::TaskSpec;
+    use bso_sim::{explore_parallel, explore_symmetric, ExploreOutcome, TaskSpec};
 
     #[test]
     fn construction_enforces_burns_ceiling() {
@@ -147,12 +197,81 @@ mod tests {
             let report = explore(
                 &proto,
                 &proto.pid_inputs(),
-                &ExploreConfig { spec: TaskSpec::Election, ..Default::default() },
+                &ExploreConfig {
+                    spec: TaskSpec::Election,
+                    ..Default::default()
+                },
             );
             assert!(report.outcome.is_verified(), "k={k}: {:?}", report.outcome);
             // One c&s + one decide per process: exactly 2 steps.
             assert!(report.max_steps_per_proc.iter().all(|&s| s == 2));
         }
+    }
+
+    #[test]
+    fn parallel_exploration_agrees_with_serial_at_the_ceiling() {
+        for k in 3..=6 {
+            let proto = CasOnlyElection::new(k - 1, k).unwrap();
+            let cfg = ExploreConfig {
+                spec: TaskSpec::Election,
+                ..Default::default()
+            };
+            let serial = explore(&proto, &proto.pid_inputs(), &cfg);
+            let parallel = explore_parallel(
+                &proto,
+                &proto.pid_inputs(),
+                &ExploreConfig { workers: 4, ..cfg },
+            );
+            assert!(serial.outcome.is_verified());
+            assert!(
+                parallel.outcome.is_verified(),
+                "k={k}: {:?}",
+                parallel.outcome
+            );
+            assert_eq!(serial.states, parallel.states, "k={k}");
+            assert_eq!(serial.max_steps_per_proc, parallel.max_steps_per_proc);
+        }
+    }
+
+    #[test]
+    fn symmetry_reduction_turns_exhaustion_into_verification() {
+        // The k = 6 ceiling instance: 5 processes, 5! = 120 relabellings
+        // per orbit. A state budget the plain explorer exhausts is
+        // ample once orbits collapse to representatives.
+        let proto = CasOnlyElection::new(5, 6).unwrap();
+        let inputs = proto.pid_inputs();
+        let base = ExploreConfig {
+            spec: TaskSpec::Election,
+            ..Default::default()
+        };
+        let plain = explore(&proto, &inputs, &base);
+        let sym = explore_symmetric(&proto, &inputs, &base);
+        assert!(plain.outcome.is_verified() && sym.outcome.is_verified());
+        assert_eq!(plain.max_steps_per_proc, sym.max_steps_per_proc);
+        assert!(
+            sym.states * 10 < plain.states,
+            "orbits should collapse: {} vs {}",
+            sym.states,
+            plain.states
+        );
+        let tight = ExploreConfig {
+            max_states: sym.states,
+            ..base
+        };
+        assert!(
+            matches!(
+                explore(&proto, &inputs, &tight).outcome,
+                ExploreOutcome::Exhausted { .. }
+            ),
+            "the plain explorer must exhaust a {}-state budget",
+            sym.states
+        );
+        assert!(
+            explore_symmetric(&proto, &inputs, &tight)
+                .outcome
+                .is_verified(),
+            "the same budget must suffice under symmetry reduction"
+        );
     }
 
     #[test]
@@ -174,7 +293,9 @@ mod tests {
         let proto = CasOnlyElection::new(4, 5).unwrap();
         for seed in 0..50 {
             let mut sim = Simulation::new(&proto, &proto.pid_inputs());
-            let res = sim.run(&mut scheduler::RandomSched::new(seed), 100).unwrap();
+            let res = sim
+                .run(&mut scheduler::RandomSched::new(seed), 100)
+                .unwrap();
             checker::check_election(&res).unwrap();
             let winner = res.decisions[0].as_ref().unwrap().as_pid().unwrap();
             // The register ends holding the winner's symbol.

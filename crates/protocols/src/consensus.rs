@@ -107,7 +107,10 @@ impl Protocol for TasConsensus {
     }
 
     fn init(&self, pid: Pid, input: &Value) -> GrabState {
-        GrabState::Announce { pid, input: input.clone() }
+        GrabState::Announce {
+            pid,
+            input: input.clone(),
+        }
     }
 
     fn next_action(&self, state: &GrabState) -> Action {
@@ -136,7 +139,10 @@ impl Protocol for FaaConsensus {
     }
 
     fn init(&self, pid: Pid, input: &Value) -> GrabState {
-        GrabState::Announce { pid, input: input.clone() }
+        GrabState::Announce {
+            pid,
+            input: input.clone(),
+        }
     }
 
     fn next_action(&self, state: &GrabState) -> Action {
@@ -200,7 +206,9 @@ impl Protocol for CasConsensus {
     }
 
     fn init(&self, _pid: Pid, input: &Value) -> OneShotState {
-        OneShotState::Try { input: input.clone() }
+        OneShotState::Try {
+            input: input.clone(),
+        }
     }
 
     fn next_action(&self, state: &OneShotState) -> Action {
@@ -253,7 +261,9 @@ impl Protocol for StickyConsensus {
     }
 
     fn init(&self, _pid: Pid, input: &Value) -> OneShotState {
-        OneShotState::Try { input: input.clone() }
+        OneShotState::Try {
+            input: input.clone(),
+        }
     }
 
     fn next_action(&self, state: &OneShotState) -> Action {
@@ -300,7 +310,9 @@ impl CasKConsensus {
     /// Propagates [`crate::LabelElectionError`] (`n > (k−1)!` or
     /// `k < 3`).
     pub fn new(n: usize, k: usize) -> Result<CasKConsensus, crate::LabelElectionError> {
-        Ok(CasKConsensus { election: LabelElection::new(n, k)? })
+        Ok(CasKConsensus {
+            election: LabelElection::new(n, k)?,
+        })
     }
 }
 
@@ -339,12 +351,16 @@ impl Protocol for CasKConsensus {
 
     fn layout(&self) -> Layout {
         let mut l = self.election.layout(); // o0 = cas, o1 = logs
-        l.push(ObjectInit::Snapshot { slots: self.processes() }); // o2
+        l.push(ObjectInit::Snapshot {
+            slots: self.processes(),
+        }); // o2
         l
     }
 
     fn init(&self, _pid: Pid, input: &Value) -> CasKConsensusState {
-        CasKConsensusState::Announce { input: input.clone() }
+        CasKConsensusState::Announce {
+            input: input.clone(),
+        }
     }
 
     fn next_action(&self, state: &CasKConsensusState) -> Action {
@@ -383,7 +399,9 @@ impl Protocol for CasKConsensus {
             }
             CasKConsensusState::Fetch { winner } => {
                 let slots = resp.as_seq().expect("scan returns a sequence");
-                CasKConsensusState::Done { value: slots[winner].clone() }
+                CasKConsensusState::Done {
+                    value: slots[winner].clone(),
+                }
             }
             done => done,
         };
@@ -426,7 +444,10 @@ impl Protocol for QueueConsensus {
     }
 
     fn init(&self, pid: Pid, input: &Value) -> GrabState {
-        GrabState::Announce { pid, input: input.clone() }
+        GrabState::Announce {
+            pid,
+            input: input.clone(),
+        }
     }
 
     fn next_action(&self, state: &GrabState) -> Action {
@@ -482,7 +503,10 @@ impl Protocol for RwConsensus {
     }
 
     fn init(&self, pid: Pid, input: &Value) -> RwState {
-        RwState::Write { pid, input: input.clone() }
+        RwState::Write {
+            pid,
+            input: input.clone(),
+        }
     }
 
     fn next_action(&self, state: &RwState) -> Action {
@@ -596,7 +620,10 @@ mod tests {
     #[test]
     fn rw_consensus_is_refuted() {
         let verdict = refute::refute_consensus(&RwConsensus, &int_inputs(2), 1_000_000);
-        assert!(verdict.refutation().is_some(), "FLP demands a counterexample");
+        assert!(
+            verdict.refutation().is_some(),
+            "FLP demands a counterexample"
+        );
     }
 
     #[test]

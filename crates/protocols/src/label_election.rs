@@ -117,7 +117,10 @@ impl fmt::Display for LabelElectionError {
                 write!(f, "label election needs k >= 3, got {k}")
             }
             LabelElectionError::TooManyProcesses { n, max } => {
-                write!(f, "a compare&swap-(k) yields {max} labels, cannot elect {n} processes")
+                write!(
+                    f,
+                    "a compare&swap-(k) yields {max} labels, cannot elect {n} processes"
+                )
             }
         }
     }
@@ -271,18 +274,14 @@ impl Protocol for LabelElection {
                 OpKind::SnapshotUpdate(Value::Seq(Vec::new())),
             )),
             LabelState::ReadCas => Action::Invoke(Op::read(Self::CAS)),
-            LabelState::Scan { .. } => {
-                Action::Invoke(Op::new(Self::LOGS, OpKind::SnapshotScan))
-            }
+            LabelState::Scan { .. } => Action::Invoke(Op::new(Self::LOGS, OpKind::SnapshotScan)),
             LabelState::Append { log } => Action::Invoke(Op::new(
                 Self::LOGS,
                 OpKind::SnapshotUpdate(Self::encode_log(log)),
             )),
-            LabelState::Attempt { expect, next } => Action::Invoke(Op::cas(
-                Self::CAS,
-                Value::Sym(*expect),
-                Value::Sym(*next),
-            )),
+            LabelState::Attempt { expect, next } => {
+                Action::Invoke(Op::cas(Self::CAS, Value::Sym(*expect), Value::Sym(*next)))
+            }
             LabelState::Done { winner } => Action::Decide(Value::Pid(*winner)),
         }
     }
@@ -302,9 +301,9 @@ impl Protocol for LabelElection {
                         log.push(v);
                         LabelState::Append { log }
                     }
-                    _ if merged.len() == self.k - 1 => {
-                        LabelState::Done { winner: self.owner_of(&merged) }
-                    }
+                    _ if merged.len() == self.k - 1 => LabelState::Done {
+                        winner: self.owner_of(&merged),
+                    },
                     _ => {
                         let j = merged.len();
                         let q = registered
@@ -337,9 +336,7 @@ impl Protocol for LabelElection {
 mod tests {
     use super::*;
     use bso_sim::TaskSpec;
-    use bso_sim::{
-        checker, explore, scheduler, CrashPlan, ExploreConfig, ProtocolExt, Simulation,
-    };
+    use bso_sim::{checker, explore, scheduler, CrashPlan, ExploreConfig, ProtocolExt, Simulation};
 
     #[test]
     fn construction_enforces_label_ceiling() {
@@ -360,10 +357,12 @@ mod tests {
     #[test]
     fn labels_are_distinct_permutations() {
         let proto = LabelElection::new(6, 4).unwrap();
-        let mut labels: Vec<Vec<u8>> =
-            (0..6).map(|p| proto.label_of(p).to_vec()).collect();
+        let mut labels: Vec<Vec<u8>> = (0..6).map(|p| proto.label_of(p).to_vec()).collect();
         for l in &labels {
-            assert_eq!(proto.owner_of(l), labels.iter().position(|x| x == l).unwrap());
+            assert_eq!(
+                proto.owner_of(l),
+                labels.iter().position(|x| x == l).unwrap()
+            );
         }
         labels.sort();
         labels.dedup();
@@ -377,7 +376,10 @@ mod tests {
         let report = explore(
             &proto,
             &proto.pid_inputs(),
-            &ExploreConfig { spec: TaskSpec::Election, ..Default::default() },
+            &ExploreConfig {
+                spec: TaskSpec::Election,
+                ..Default::default()
+            },
         );
         assert!(report.outcome.is_verified(), "{:?}", report.outcome);
         // Wait-freedom witness: the explorer certifies a finite bound.
@@ -391,7 +393,10 @@ mod tests {
         let report = explore(
             &proto,
             &proto.pid_inputs(),
-            &ExploreConfig { spec: TaskSpec::Election, ..Default::default() },
+            &ExploreConfig {
+                spec: TaskSpec::Election,
+                ..Default::default()
+            },
         );
         assert!(report.outcome.is_verified(), "{:?}", report.outcome);
         assert!(report.max_steps_per_proc.iter().all(|&s| s <= 12 * 4));
@@ -420,8 +425,7 @@ mod tests {
             let plan = CrashPlan::none()
                 .crash((seed as usize) % 6, (seed as usize) % 7)
                 .crash((seed as usize + 3) % 6, (seed as usize) % 3);
-            let mut sim =
-                Simulation::new(&proto, &proto.pid_inputs()).with_crash_plan(plan);
+            let mut sim = Simulation::new(&proto, &proto.pid_inputs()).with_crash_plan(plan);
             let res = sim
                 .run(&mut scheduler::BurstSched::new(seed, 5), 1_000_000)
                 .unwrap();
@@ -436,8 +440,7 @@ mod tests {
             let plan = (0..6)
                 .filter(|&p| p != solo)
                 .fold(CrashPlan::none(), |pl, p| pl.crash(p, 0));
-            let mut sim =
-                Simulation::new(&proto, &proto.pid_inputs()).with_crash_plan(plan);
+            let mut sim = Simulation::new(&proto, &proto.pid_inputs()).with_crash_plan(plan);
             let res = sim.run(&mut scheduler::RoundRobin::new(), 10_000).unwrap();
             assert_eq!(res.decisions[solo], Some(Value::Pid(solo)));
         }
@@ -459,10 +462,7 @@ mod tests {
                         if resp == expect {
                             // successful c&s
                             let new = new.as_sym().unwrap();
-                            assert!(
-                                !history.contains(&new),
-                                "value {new} reused in seed {seed}"
-                            );
+                            assert!(!history.contains(&new), "value {new} reused in seed {seed}");
                             assert_eq!(
                                 Value::Sym(*history.last().unwrap()),
                                 *expect,
@@ -475,8 +475,7 @@ mod tests {
             }
             assert_eq!(history.len(), proto.k(), "history incomplete");
             // The winner owns the completed label.
-            let label: Vec<u8> =
-                history[1..].iter().map(|s| s.value().unwrap()).collect();
+            let label: Vec<u8> = history[1..].iter().map(|s| s.value().unwrap()).collect();
             let winner = res.decisions[0].as_ref().unwrap().as_pid().unwrap();
             assert_eq!(proto.owner_of(&label), winner);
         }
@@ -487,8 +486,7 @@ mod tests {
         let proto = LabelElection::new(6, 4).unwrap();
         for _ in 0..20 {
             let decisions =
-                bso_sim::thread_runner::run_on_threads(&proto, &proto.pid_inputs())
-                    .unwrap();
+                bso_sim::thread_runner::run_on_threads(&proto, &proto.pid_inputs()).unwrap();
             let w = decisions[0].as_pid().unwrap();
             assert!(decisions.iter().all(|d| d.as_pid().unwrap() == w));
             assert!(w < 6);

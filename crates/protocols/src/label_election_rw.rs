@@ -53,7 +53,12 @@ impl LabelElectionRw {
             return Err(LabelElectionError::TooManyProcesses { n, max });
         }
         let perms = (0..n).map(|p| nth_permutation(p as u128, k - 1)).collect();
-        Ok(LabelElectionRw { n, k, perms, logs: SnapCell::new(1, n) })
+        Ok(LabelElectionRw {
+            n,
+            k,
+            perms,
+            logs: SnapCell::new(1, n),
+        })
     }
 
     /// The register's domain size `k`.
@@ -80,7 +85,11 @@ impl LabelElectionRw {
         }
         let merged: Vec<u8> = merged
             .iter()
-            .map(|v| v.as_sym().and_then(Sym::value).expect("logs hold non-⊥ symbols"))
+            .map(|v| {
+                v.as_sym()
+                    .and_then(Sym::value)
+                    .expect("logs hold non-⊥ symbols")
+            })
             .collect();
         (registered, merged)
     }
@@ -165,7 +174,10 @@ impl Protocol for LabelElectionRw {
         RwLabelState {
             pid,
             seq: 0,
-            phase: RwPhase::UpdateScan { data: Vec::new(), scan: self.logs.begin_scan() },
+            phase: RwPhase::UpdateScan {
+                data: Vec::new(),
+                scan: self.logs.begin_scan(),
+            },
         }
     }
 
@@ -181,11 +193,9 @@ impl Protocol for LabelElectionRw {
                 view.clone(),
             )),
             RwPhase::ReadCas => Action::Invoke(Op::read(Self::CAS)),
-            RwPhase::Attempt { expect, next } => Action::Invoke(Op::cas(
-                Self::CAS,
-                Value::Sym(*expect),
-                Value::Sym(*next),
-            )),
+            RwPhase::Attempt { expect, next } => {
+                Action::Invoke(Op::cas(Self::CAS, Value::Sym(*expect), Value::Sym(*next)))
+            }
             RwPhase::Done { winner } => Action::Decide(Value::Pid(*winner)),
         }
     }
@@ -194,7 +204,10 @@ impl Protocol for LabelElectionRw {
         match &mut st.phase {
             RwPhase::UpdateScan { data, scan } => {
                 if let Some(view) = self.logs.scan_response(scan, resp) {
-                    st.phase = RwPhase::WriteBack { data: std::mem::take(data), view };
+                    st.phase = RwPhase::WriteBack {
+                        data: std::mem::take(data),
+                        view,
+                    };
                 }
             }
             RwPhase::WriteBack { .. } => {
@@ -217,7 +230,10 @@ impl Protocol for LabelElectionRw {
                             // else (a fresh update, scan included).
                             let mut log = merged;
                             log.push(v);
-                            RwPhase::UpdateScan { data: log, scan: self.logs.begin_scan() }
+                            RwPhase::UpdateScan {
+                                data: log,
+                                scan: self.logs.begin_scan(),
+                            }
                         }
                         _ if merged.len() == self.k - 1 => {
                             let rank = permutation_rank(&merged);
@@ -225,7 +241,9 @@ impl Protocol for LabelElectionRw {
                                 (rank as usize) < self.n,
                                 "final label must belong to a registered process"
                             );
-                            RwPhase::Done { winner: rank as Pid }
+                            RwPhase::Done {
+                                winner: rank as Pid,
+                            }
                         }
                         _ => {
                             let j = merged.len();
@@ -307,8 +325,7 @@ mod tests {
             let plan = (0..6)
                 .filter(|&p| p != solo)
                 .fold(CrashPlan::none(), |pl, p| pl.crash(p, 0));
-            let mut sim =
-                Simulation::new(&proto, &proto.pid_inputs()).with_crash_plan(plan);
+            let mut sim = Simulation::new(&proto, &proto.pid_inputs()).with_crash_plan(plan);
             let res = sim.run(&mut scheduler::RoundRobin::new(), 100_000).unwrap();
             assert_eq!(res.decisions[solo], Some(Value::Pid(solo)));
         }
@@ -316,8 +333,7 @@ mod tests {
             let plan = CrashPlan::none()
                 .crash(seed as usize % 6, seed as usize % 9)
                 .crash((seed as usize + 2) % 6, 1);
-            let mut sim =
-                Simulation::new(&proto, &proto.pid_inputs()).with_crash_plan(plan);
+            let mut sim = Simulation::new(&proto, &proto.pid_inputs()).with_crash_plan(plan);
             let res = sim
                 .run(&mut scheduler::RandomSched::new(seed), 5_000_000)
                 .unwrap();
@@ -340,8 +356,7 @@ mod tests {
         let proto = LabelElectionRw::new(6, 4).unwrap();
         for _ in 0..10 {
             let decisions =
-                bso_sim::thread_runner::run_on_threads(&proto, &proto.pid_inputs())
-                    .unwrap();
+                bso_sim::thread_runner::run_on_threads(&proto, &proto.pid_inputs()).unwrap();
             let w = decisions[0].as_pid().unwrap();
             assert!(decisions.iter().all(|d| d.as_pid().unwrap() == w));
         }
@@ -355,11 +370,8 @@ mod tests {
             let res = sim
                 .run(&mut scheduler::RandomSched::new(seed), 5_000_000)
                 .unwrap();
-            let hist = bso_sim::viz::register_history(
-                &res.trace,
-                ObjectId(0),
-                Value::Sym(Sym::BOTTOM),
-            );
+            let hist =
+                bso_sim::viz::register_history(&res.trace, ObjectId(0), Value::Sym(Sym::BOTTOM));
             let mut values: Vec<Value> = hist.iter().map(|(_, v)| v.clone()).collect();
             let len = values.len();
             values.sort();

@@ -57,7 +57,13 @@ impl RmwOnlyElection {
     /// `⊥ ↦ p`, identity elsewhere.
     fn grab_table(p: Pid, k: usize) -> Vec<u8> {
         (0..k as u8)
-            .map(|c| if Sym::from_code(c).is_bottom() { Sym::new(p as u8).code() } else { c })
+            .map(|c| {
+                if Sym::from_code(c).is_bottom() {
+                    Sym::new(p as u8).code()
+                } else {
+                    c
+                }
+            })
             .collect()
     }
 }
@@ -122,9 +128,7 @@ impl Protocol for RmwOnlyElection {
 mod tests {
     use super::*;
     use crate::CasOnlyElection;
-    use bso_sim::{
-        checker, explore, scheduler, ExploreConfig, ProtocolExt, Simulation, TaskSpec,
-    };
+    use bso_sim::{checker, explore, scheduler, ExploreConfig, ProtocolExt, Simulation, TaskSpec};
 
     #[test]
     fn exhaustively_correct_at_the_ceiling() {
@@ -133,7 +137,10 @@ mod tests {
             let report = explore(
                 &proto,
                 &proto.pid_inputs(),
-                &ExploreConfig { spec: TaskSpec::Election, ..Default::default() },
+                &ExploreConfig {
+                    spec: TaskSpec::Election,
+                    ..Default::default()
+                },
             );
             assert!(report.outcome.is_verified(), "k={k}: {:?}", report.outcome);
             assert!(report.max_steps_per_proc.iter().all(|&s| s == 2));
@@ -155,7 +162,9 @@ mod tests {
         let proto = RmwOnlyElection::new(4, 5).unwrap();
         for seed in 0..30 {
             let mut sim = Simulation::new(&proto, &proto.pid_inputs());
-            let res = sim.run(&mut scheduler::RandomSched::new(seed), 100).unwrap();
+            let res = sim
+                .run(&mut scheduler::RandomSched::new(seed), 100)
+                .unwrap();
             checker::check_election(&res).unwrap();
             let changes = res
                 .trace
@@ -163,8 +172,7 @@ mod tests {
                 .iter()
                 .filter(|e| match &e.kind {
                     bso_sim::EventKind::Applied { op, resp } => {
-                        matches!(op.kind, OpKind::Rmw { .. })
-                            && *resp == Value::Sym(Sym::BOTTOM)
+                        matches!(op.kind, OpKind::Rmw { .. }) && *resp == Value::Sym(Sym::BOTTOM)
                     }
                     _ => false,
                 })
@@ -181,8 +189,9 @@ mod tests {
             let cas = CasOnlyElection::new(3, 4).unwrap();
             let rmw = RmwOnlyElection::new(3, 4).unwrap();
             let mut sim_cas = Simulation::new(&cas, &cas.pid_inputs());
-            let res_cas =
-                sim_cas.run(&mut scheduler::RandomSched::new(seed), 100).unwrap();
+            let res_cas = sim_cas
+                .run(&mut scheduler::RandomSched::new(seed), 100)
+                .unwrap();
             let mut sim_rmw = Simulation::new(&rmw, &rmw.pid_inputs());
             let mut replay = scheduler::Scripted::new(res_cas.trace.schedule());
             let res_rmw = sim_rmw.run(&mut replay, 100).unwrap();
@@ -195,8 +204,7 @@ mod tests {
         let proto = RmwOnlyElection::new(4, 5).unwrap();
         for _ in 0..20 {
             let decisions =
-                bso_sim::thread_runner::run_on_threads(&proto, &proto.pid_inputs())
-                    .unwrap();
+                bso_sim::thread_runner::run_on_threads(&proto, &proto.pid_inputs()).unwrap();
             let w = decisions[0].as_pid().unwrap();
             assert!(decisions.iter().all(|d| d.as_pid().unwrap() == w));
         }

@@ -81,7 +81,10 @@ impl Protocol for PartitionSetConsensus {
     }
 
     fn init(&self, pid: Pid, input: &Value) -> PartitionState {
-        PartitionState::Try { group: self.group_of(pid), input: input.clone() }
+        PartitionState::Try {
+            group: self.group_of(pid),
+            input: input.clone(),
+        }
     }
 
     fn next_action(&self, state: &PartitionState) -> Action {

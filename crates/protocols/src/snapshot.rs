@@ -43,7 +43,11 @@ struct Entry {
 
 fn decode(n: usize, raw: &Value) -> Entry {
     match raw.as_seq() {
-        None => Entry { seq: 0, data: Value::Nil, view: vec![Value::Nil; n] },
+        None => Entry {
+            seq: 0,
+            data: Value::Nil,
+            view: vec![Value::Nil; n],
+        },
         Some(parts) => Entry {
             seq: parts[0].as_int().expect("seq field"),
             data: parts[1].clone(),
@@ -68,7 +72,11 @@ struct ScanState {
 
 impl ScanState {
     fn fresh(n: usize) -> ScanState {
-        ScanState { prev: None, partial: Vec::new(), changes: vec![0; n] }
+        ScanState {
+            prev: None,
+            partial: Vec::new(),
+            changes: vec![0; n],
+        }
     }
 }
 
@@ -143,7 +151,10 @@ impl SnapshotExerciser {
         SnapState {
             pid,
             my_seq,
-            phase: SnapPhase::Scanning { purpose, scan: ScanState::fresh(self.n) },
+            phase: SnapPhase::Scanning {
+                purpose,
+                scan: ScanState::fresh(self.n),
+            },
         }
     }
 }
@@ -163,12 +174,18 @@ impl Protocol for SnapshotExerciser {
     }
 
     fn init(&self, pid: Pid, _input: &Value) -> SnapState {
-        let purpose =
-            if self.rounds == 0 { Purpose::Final } else { Purpose::ForUpdate { r: 0 } };
+        let purpose = if self.rounds == 0 {
+            Purpose::Final
+        } else {
+            Purpose::ForUpdate { r: 0 }
+        };
         SnapState {
             pid,
             my_seq: 0,
-            phase: SnapPhase::Scanning { purpose, scan: ScanState::fresh(self.n) },
+            phase: SnapPhase::Scanning {
+                purpose,
+                scan: ScanState::fresh(self.n),
+            },
         }
     }
 
@@ -284,7 +301,10 @@ mod tests {
         let report = explore(
             &proto,
             &[Value::Nil, Value::Nil],
-            &ExploreConfig { spec: TaskSpec::None, ..Default::default() },
+            &ExploreConfig {
+                spec: TaskSpec::None,
+                ..Default::default()
+            },
         );
         assert!(report.outcome.is_verified(), "{:?}", report.outcome);
     }
@@ -352,14 +372,8 @@ mod tests {
     fn comparability_criterion_rejects_forks() {
         // Sanity of the checker itself: two views that each miss the
         // other's update are incomparable.
-        let a = vec![
-            Value::pair(Value::Pid(0), Value::Int(0)),
-            Value::Nil,
-        ];
-        let b = vec![
-            Value::Nil,
-            Value::pair(Value::Pid(1), Value::Int(0)),
-        ];
+        let a = vec![Value::pair(Value::Pid(0), Value::Int(0)), Value::Nil];
+        let b = vec![Value::Nil, Value::pair(Value::Pid(1), Value::Int(0))];
         assert!(!views_are_comparable(&[a.clone(), b.clone()]));
         assert!(views_are_comparable(&[a.clone(), a]));
     }
@@ -369,10 +383,11 @@ mod tests {
         let proto = SnapshotExerciser::new(4, 2);
         for _ in 0..10 {
             let decisions =
-                bso_sim::thread_runner::run_on_threads(&proto, &vec![Value::Nil; 4])
-                    .unwrap();
-            let views: Vec<Vec<Value>> =
-                decisions.iter().map(|d| d.as_seq().unwrap().to_vec()).collect();
+                bso_sim::thread_runner::run_on_threads(&proto, &vec![Value::Nil; 4]).unwrap();
+            let views: Vec<Vec<Value>> = decisions
+                .iter()
+                .map(|d| d.as_seq().unwrap().to_vec())
+                .collect();
             assert!(views_are_comparable(&views), "{views:?}");
         }
     }

@@ -49,7 +49,11 @@ impl SnapCell {
 
     fn decode(&self, raw: &Value) -> Entry {
         match raw.as_seq() {
-            None => Entry { seq: 0, data: Value::Nil, view: vec![Value::Nil; self.n] },
+            None => Entry {
+                seq: 0,
+                data: Value::Nil,
+                view: vec![Value::Nil; self.n],
+            },
             Some(parts) => Entry {
                 seq: parts[0].as_int().expect("seq field"),
                 data: parts[1].clone(),
@@ -60,7 +64,11 @@ impl SnapCell {
 
     /// Begins a scan.
     pub fn begin_scan(&self) -> ScanState {
-        ScanState { prev: None, partial: Vec::new(), changes: vec![0; self.n] }
+        ScanState {
+            prev: None,
+            partial: Vec::new(),
+            changes: vec![0; self.n],
+        }
     }
 
     /// The next shared operation of an in-progress scan.
@@ -139,7 +147,8 @@ mod tests {
         assert_eq!(drive_scan(&cell, &mut mem), vec![Value::Nil; 3]);
         // Process 1 updates with data 7 (its embedded view is a scan).
         let view = drive_scan(&cell, &mut mem);
-        mem.apply(1, &cell.update_op(1, 1, Value::Int(7), view)).unwrap();
+        mem.apply(1, &cell.update_op(1, 1, Value::Int(7), view))
+            .unwrap();
         assert_eq!(
             drive_scan(&cell, &mut mem),
             vec![Value::Nil, Value::Int(7), Value::Nil]

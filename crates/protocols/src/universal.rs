@@ -40,9 +40,7 @@ fn encode_opkind(kind: &OpKind) -> Value {
     match kind {
         OpKind::Read => Value::Seq(vec![Value::Int(0)]),
         OpKind::Write(v) => Value::Seq(vec![Value::Int(1), v.clone()]),
-        OpKind::Cas { expect, new } => {
-            Value::Seq(vec![Value::Int(2), expect.clone(), new.clone()])
-        }
+        OpKind::Cas { expect, new } => Value::Seq(vec![Value::Int(2), expect.clone(), new.clone()]),
         OpKind::TestAndSet => Value::Seq(vec![Value::Int(3)]),
         OpKind::Reset => Value::Seq(vec![Value::Int(4)]),
         OpKind::FetchAdd(d) => Value::Seq(vec![Value::Int(5), Value::Int(*d)]),
@@ -66,7 +64,10 @@ fn decode_opkind(v: &Value) -> OpKind {
     match parts[0].as_int().expect("opkind tag") {
         0 => OpKind::Read,
         1 => OpKind::Write(parts[1].clone()),
-        2 => OpKind::Cas { expect: parts[1].clone(), new: parts[2].clone() },
+        2 => OpKind::Cas {
+            expect: parts[1].clone(),
+            new: parts[2].clone(),
+        },
         3 => OpKind::TestAndSet,
         4 => OpKind::Reset,
         5 => OpKind::FetchAdd(parts[1].as_int().expect("delta")),
@@ -74,7 +75,9 @@ fn decode_opkind(v: &Value) -> OpKind {
         7 => OpKind::SnapshotScan,
         8 => OpKind::SnapshotUpdate(parts[1].clone()),
         9 => OpKind::StickyWrite(parts[1].clone()),
-        10 => OpKind::Rmw { func: parts[1].as_int().expect("func") as usize },
+        10 => OpKind::Rmw {
+            func: parts[1].as_int().expect("func") as usize,
+        },
         11 => OpKind::Enqueue(parts[1].clone()),
         12 => OpKind::Dequeue,
         t => panic!("unknown opkind tag {t}"),
@@ -145,7 +148,12 @@ impl UniversalExerciser {
         // round; (n + 1)·total slots are safely enough for the test
         // workloads and asserted against exhaustion at run time.
         let slots = (n + 1) * total.max(1);
-        UniversalExerciser { n, inner, scripts, slots }
+        UniversalExerciser {
+            n,
+            inner,
+            scripts,
+            slots,
+        }
     }
 
     /// The sequential type being implemented.
@@ -159,7 +167,10 @@ impl UniversalExerciser {
     }
 
     fn slot_obj(&self, i: usize) -> ObjectId {
-        assert!(i < self.slots, "consensus log exhausted — raise the slot bound");
+        assert!(
+            i < self.slots,
+            "consensus log exhausted — raise the slot bound"
+        );
         ObjectId(1 + i)
     }
 }
@@ -213,8 +224,11 @@ impl Protocol for UniversalExerciser {
     }
 
     fn init(&self, pid: Pid, _input: &Value) -> UniState {
-        let phase =
-            if self.scripts[pid].is_empty() { UniPhase::Finished } else { UniPhase::Announce };
+        let phase = if self.scripts[pid].is_empty() {
+            UniPhase::Finished
+        } else {
+            UniPhase::Announce
+        };
         UniState {
             pid,
             idx: 0,
@@ -241,9 +255,7 @@ impl Protocol for UniversalExerciser {
                 ))
             }
             UniPhase::ReadSlot => Action::Invoke(Op::read(self.slot_obj(st.log_pos))),
-            UniPhase::Scan => {
-                Action::Invoke(Op::new(Self::ANNOUNCE, OpKind::SnapshotScan))
-            }
+            UniPhase::Scan => Action::Invoke(Op::new(Self::ANNOUNCE, OpKind::SnapshotScan)),
             UniPhase::Propose(entry) => Action::Invoke(Op::cas(
                 self.slot_obj(st.log_pos),
                 Value::Nil,
@@ -351,7 +363,11 @@ pub fn check_universal(
             Some(bso_objects::spec::ObjectState::CasReg { val }) if !val.is_nil() => {
                 log.push(LogEntry::from_value(val));
             }
-            _ => log.push(LogEntry { pid: usize::MAX, idx: 0, kind: OpKind::Read }),
+            _ => log.push(LogEntry {
+                pid: usize::MAX,
+                idx: 0,
+                kind: OpKind::Read,
+            }),
         }
     }
     // Trim trailing unagreed slots; interior gaps would be a bug.
@@ -383,7 +399,11 @@ pub fn check_universal(
                 &responses[pid][..got.len()],
                 "p{pid}: responses diverge from the agreed-log replay"
             );
-            assert_eq!(got.len(), proto.scripts[pid].len(), "p{pid}: missing responses");
+            assert_eq!(
+                got.len(),
+                proto.scripts[pid].len(),
+                "p{pid}: missing responses"
+            );
         }
     }
 }
@@ -403,7 +423,10 @@ mod tests {
         let report = explore(
             &proto,
             &[Value::Nil, Value::Nil],
-            &ExploreConfig { spec: TaskSpec::None, ..Default::default() },
+            &ExploreConfig {
+                spec: TaskSpec::None,
+                ..Default::default()
+            },
         );
         assert!(report.outcome.is_verified(), "{:?}", report.outcome);
     }
@@ -414,10 +437,11 @@ mod tests {
         // processes must be a permutation of 0..n (the consensus log
         // totally orders the increments).
         for seed in 0..30 {
-            let proto =
-                UniversalExerciser::new(ObjectInit::FetchAdd(0), faa_scripts(4, 1));
+            let proto = UniversalExerciser::new(ObjectInit::FetchAdd(0), faa_scripts(4, 1));
             let mut sim = Simulation::new(&proto, &vec![Value::Nil; 4]);
-            let res = sim.run(&mut scheduler::RandomSched::new(seed), 1_000_000).unwrap();
+            let res = sim
+                .run(&mut scheduler::RandomSched::new(seed), 1_000_000)
+                .unwrap();
             check_universal(&proto, &sim);
             let mut ranks: Vec<i64> = res
                 .decisions
@@ -436,14 +460,14 @@ mod tests {
             let scripts = vec![vec![OpKind::TestAndSet]; 3];
             let proto = UniversalExerciser::new(ObjectInit::TestAndSet, scripts);
             let mut sim = Simulation::new(&proto, &vec![Value::Nil; 3]);
-            let res = sim.run(&mut scheduler::BurstSched::new(seed, 4), 1_000_000).unwrap();
+            let res = sim
+                .run(&mut scheduler::BurstSched::new(seed, 4), 1_000_000)
+                .unwrap();
             check_universal(&proto, &sim);
             let winners = res
                 .decisions
                 .iter()
-                .filter(|d| {
-                    d.as_ref().unwrap().as_seq().unwrap()[0] == Value::Bool(false)
-                })
+                .filter(|d| d.as_ref().unwrap().as_seq().unwrap()[0] == Value::Bool(false))
                 .count();
             assert_eq!(winners, 1, "seed {seed}");
         }
@@ -460,9 +484,16 @@ mod tests {
             ];
             let proto = UniversalExerciser::new(ObjectInit::Register(Value::Nil), scripts);
             let mut sim = Simulation::new(&proto, &vec![Value::Nil; 2]);
-            let res = sim.run(&mut scheduler::RandomSched::new(seed), 1_000_000).unwrap();
+            let res = sim
+                .run(&mut scheduler::RandomSched::new(seed), 1_000_000)
+                .unwrap();
             check_universal(&proto, &sim);
-            let p0 = res.decisions[0].as_ref().unwrap().as_seq().unwrap().to_vec();
+            let p0 = res.decisions[0]
+                .as_ref()
+                .unwrap()
+                .as_seq()
+                .unwrap()
+                .to_vec();
             assert!(p0[1] == Value::Int(10) || p0[1] == Value::Int(20), "{p0:?}");
         }
     }
@@ -471,11 +502,12 @@ mod tests {
     fn multi_op_scripts_under_crashes() {
         use bso_sim::CrashPlan;
         for seed in 0..20 {
-            let proto =
-                UniversalExerciser::new(ObjectInit::FetchAdd(0), faa_scripts(3, 2));
+            let proto = UniversalExerciser::new(ObjectInit::FetchAdd(0), faa_scripts(3, 2));
             let mut sim = Simulation::new(&proto, &vec![Value::Nil; 3])
                 .with_crash_plan(CrashPlan::none().crash(seed as usize % 3, 5));
-            let _ = sim.run(&mut scheduler::RandomSched::new(seed), 1_000_000).unwrap();
+            let _ = sim
+                .run(&mut scheduler::RandomSched::new(seed), 1_000_000)
+                .unwrap();
             // Survivors' responses still replay-consistent.
             check_universal(&proto, &sim);
         }
@@ -486,8 +518,7 @@ mod tests {
         let proto = UniversalExerciser::new(ObjectInit::FetchAdd(0), faa_scripts(4, 2));
         for _ in 0..10 {
             let decisions =
-                bso_sim::thread_runner::run_on_threads(&proto, &vec![Value::Nil; 4])
-                    .unwrap();
+                bso_sim::thread_runner::run_on_threads(&proto, &vec![Value::Nil; 4]).unwrap();
             let mut ranks: Vec<i64> = decisions
                 .iter()
                 .flat_map(|d| d.as_seq().unwrap().to_vec())
@@ -503,7 +534,10 @@ mod tests {
         let proto = UniversalExerciser::new(ObjectInit::FetchAdd(0), vec![vec![], vec![]]);
         let mut sim = Simulation::new(&proto, &vec![Value::Nil; 2]);
         let res = sim.run(&mut scheduler::RoundRobin::new(), 100).unwrap();
-        assert!(res.decisions.iter().all(|d| d == &Some(Value::Seq(Vec::new()))));
+        assert!(res
+            .decisions
+            .iter()
+            .all(|d| d == &Some(Value::Seq(Vec::new()))));
     }
 
     #[test]
@@ -511,7 +545,10 @@ mod tests {
         let kinds = vec![
             OpKind::Read,
             OpKind::Write(Value::Pid(3)),
-            OpKind::Cas { expect: Value::Nil, new: Value::Int(1) },
+            OpKind::Cas {
+                expect: Value::Nil,
+                new: Value::Int(1),
+            },
             OpKind::TestAndSet,
             OpKind::Reset,
             OpKind::FetchAdd(-4),
@@ -521,7 +558,11 @@ mod tests {
             OpKind::StickyWrite(Value::Pid(1)),
         ];
         for (i, kind) in kinds.into_iter().enumerate() {
-            let e = LogEntry { pid: i, idx: i * 2, kind };
+            let e = LogEntry {
+                pid: i,
+                idx: i * 2,
+                kind,
+            };
             assert_eq!(LogEntry::from_value(&e.to_value()), e);
         }
     }

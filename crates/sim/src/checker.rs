@@ -98,7 +98,10 @@ fn check_all_decided(res: &RunResult) -> Result<(), SpecViolation> {
 }
 
 fn decided(res: &RunResult) -> impl Iterator<Item = (Pid, &Value)> {
-    res.decisions.iter().enumerate().filter_map(|(p, d)| d.as_ref().map(|v| (p, v)))
+    res.decisions
+        .iter()
+        .enumerate()
+        .filter_map(|(p, d)| d.as_ref().map(|v| (p, v)))
 }
 
 /// Checks the leader-election specification.
@@ -117,7 +120,12 @@ pub fn check_election(res: &RunResult) -> Result<(), SpecViolation> {
     for (pid, v) in decided(res) {
         match v.as_pid() {
             Some(w) if participants.contains(&w) => {}
-            _ => return Err(SpecViolation::InvalidDecision { pid, value: v.clone() }),
+            _ => {
+                return Err(SpecViolation::InvalidDecision {
+                    pid,
+                    value: v.clone(),
+                })
+            }
         }
         match first {
             None => first = Some((pid, v)),
@@ -146,7 +154,10 @@ pub fn check_consensus(res: &RunResult, inputs: &[Value]) -> Result<(), SpecViol
     let mut first: Option<(Pid, &Value)> = None;
     for (pid, v) in decided(res) {
         if !valid.contains(&v) {
-            return Err(SpecViolation::InvalidDecision { pid, value: v.clone() });
+            return Err(SpecViolation::InvalidDecision {
+                pid,
+                value: v.clone(),
+            });
         }
         match first {
             None => first = Some((pid, v)),
@@ -179,12 +190,18 @@ pub fn check_set_consensus(
     let valid: Vec<&Value> = participants.iter().map(|&p| &inputs[p]).collect();
     for (pid, v) in decided(res) {
         if !valid.contains(&v) {
-            return Err(SpecViolation::InvalidDecision { pid, value: v.clone() });
+            return Err(SpecViolation::InvalidDecision {
+                pid,
+                value: v.clone(),
+            });
         }
     }
     let set = res.decision_set();
     if set.len() > l {
-        return Err(SpecViolation::TooManyValues { allowed: l, got: set });
+        return Err(SpecViolation::TooManyValues {
+            allowed: l,
+            got: set,
+        });
     }
     Ok(())
 }
@@ -218,7 +235,12 @@ mod tests {
             })
             .collect();
         let steps = decisions.iter().map(|_| 1).collect();
-        RunResult { trace, decisions, statuses, steps }
+        RunResult {
+            trace,
+            decisions,
+            statuses,
+            steps,
+        }
     }
 
     fn trace_of(pids: &[Pid]) -> Trace {
@@ -231,15 +253,19 @@ mod tests {
 
     #[test]
     fn election_accepts_agreeing_participant() {
-        let res =
-            run_with(vec![Some(Value::Pid(1)), Some(Value::Pid(1))], trace_of(&[0, 1]));
+        let res = run_with(
+            vec![Some(Value::Pid(1)), Some(Value::Pid(1))],
+            trace_of(&[0, 1]),
+        );
         assert!(check_election(&res).is_ok());
     }
 
     #[test]
     fn election_rejects_disagreement() {
-        let res =
-            run_with(vec![Some(Value::Pid(0)), Some(Value::Pid(1))], trace_of(&[0, 1]));
+        let res = run_with(
+            vec![Some(Value::Pid(0)), Some(Value::Pid(1))],
+            trace_of(&[0, 1]),
+        );
         assert!(matches!(
             check_election(&res),
             Err(SpecViolation::Disagreement { .. })
@@ -260,7 +286,10 @@ mod tests {
     fn election_rejects_undecided_runner() {
         let mut res = run_with(vec![Some(Value::Pid(0)), None], trace_of(&[0, 1]));
         res.statuses[1] = ProcStatus::Running;
-        assert_eq!(check_election(&res), Err(SpecViolation::Undecided { pid: 1 }));
+        assert_eq!(
+            check_election(&res),
+            Err(SpecViolation::Undecided { pid: 1 })
+        );
     }
 
     #[test]
@@ -280,7 +309,11 @@ mod tests {
     fn set_consensus_counts_distinct_values() {
         let inputs = vec![Value::Int(1), Value::Int(2), Value::Int(3)];
         let res = run_with(
-            vec![Some(Value::Int(1)), Some(Value::Int(2)), Some(Value::Int(2))],
+            vec![
+                Some(Value::Int(1)),
+                Some(Value::Int(2)),
+                Some(Value::Int(2)),
+            ],
             trace_of(&[0, 1, 2]),
         );
         assert!(check_set_consensus(&res, &inputs, 2).is_ok());
@@ -292,13 +325,19 @@ mod tests {
 
     #[test]
     fn step_bound_flags_offender() {
-        let mut res =
-            run_with(vec![Some(Value::Pid(0)), Some(Value::Pid(0))], trace_of(&[0, 1]));
+        let mut res = run_with(
+            vec![Some(Value::Pid(0)), Some(Value::Pid(0))],
+            trace_of(&[0, 1]),
+        );
         res.steps = vec![3, 9];
         assert!(check_step_bound(&res, 9).is_ok());
         assert_eq!(
             check_step_bound(&res, 8),
-            Err(SpecViolation::StepBoundExceeded { pid: 1, steps: 9, bound: 8 })
+            Err(SpecViolation::StepBoundExceeded {
+                pid: 1,
+                steps: 9,
+                bound: 8
+            })
         );
     }
 }

@@ -1,0 +1,932 @@
+//! The parallel sharded state-space exploration engine.
+//!
+//! This module is the machinery behind [`crate::explore`] and its
+//! parallel/symmetric variants; the public API and the semantics of a
+//! verdict live in [`crate::explore`]. The engine replaces the seed's
+//! recursive DFS with a *dataflow* formulation that parallelizes and
+//! never recurses:
+//!
+//! * Every distinct (canonicalized) global state becomes a [`Node`] in
+//!   a sharded visited table. Workers pull *expand* jobs from
+//!   work-stealing deques: expanding a node generates its successors,
+//!   deduplicates them against the table, and either combines an
+//!   already-finished child's step bounds immediately or registers a
+//!   *waiter* on the child.
+//! * The longest-path DP (`max_steps_per_proc`) flows **backwards**:
+//!   when a node's last obligation resolves (its own expansion plus
+//!   one per awaited child), it fires its waiters, which may complete
+//!   their parents in turn — a chain processed iteratively, so stack
+//!   depth never grows with state-graph depth.
+//! * **Cycle detection by quiescence**: in an acyclic graph every node
+//!   eventually completes. If all queues drain with no violation, no
+//!   budget exhaustion, and the root still incomplete, every
+//!   incomplete node is waiting on an incomplete child — so the wait
+//!   digraph has minimum out-degree 1 and therefore contains a cycle,
+//!   which is exactly a schedule on which some process runs forever:
+//!   the protocol is not wait-free. Conversely a cycle keeps its nodes
+//!   incomplete forever, so quiescence-with-incomplete-root occurs
+//!   *iff* the graph is cyclic — the check is sound and complete.
+//! * Counterexample schedules come from first-discovery parent links:
+//!   each node remembers the concrete edge that created it, so the
+//!   path to any node is a genuine executable schedule even under
+//!   fingerprinting (a fingerprint collision can merge states and skip
+//!   work, but never fabricates an edge) and under symmetry reduction
+//!   (nodes expand a concrete *representative* of their orbit, never
+//!   an abstract canonical form).
+//!
+//! Under symmetry reduction a node's identity is its orbit-minimal
+//! canonical form while its expansion uses the first concrete member
+//! discovered (the *representative*). The DP vector of a node is kept
+//! in representative coordinates; each dedup edge therefore carries a
+//! pid-coordinate translation composed from the two permutations
+//! involved, applied when the child's bounds are combined upward.
+
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, TryLockError};
+use std::time::{Duration, Instant};
+
+use bso_objects::spec::ObjectState;
+
+use crate::explore::{
+    check_decision, DedupMode, ExploreConfig, ExploreOutcome, ExploreStats, Report, StateKey,
+    Violation, ViolationKind,
+};
+use crate::fingerprint::{component_hash, FxBuildHasher};
+use crate::symmetry::Canonicalizer;
+use crate::{Action, Pid, Protocol};
+
+/// Number of visited-table shards (a power of two; selected by the top
+/// bits of the key fingerprint).
+const SHARDS: usize = 64;
+
+/// How long an idle worker sleeps before re-polling, as a backstop
+/// against any lost wakeup.
+const PARK_TIMEOUT: Duration = Duration::from_millis(1);
+
+/// How a generated state is keyed in the visited table.
+///
+/// Every shard map is keyed by the state's 64-bit fingerprint, which
+/// is computed exactly once per generated successor (it also selects
+/// the shard) — the map itself only ever re-hashes one word. The two
+/// modes differ in what a map *entry* holds: exact mode keeps the full
+/// states alongside their nodes and resolves fingerprint collisions by
+/// equality, fingerprint mode trusts the fingerprint and stores the
+/// node alone.
+pub(crate) trait KeyMode<S: Hash> {
+    /// Everything stored under one fingerprint.
+    type Entry;
+    /// Finds `state` within an entry.
+    fn find<'a>(entry: &'a Self::Entry, state: &StateKey<S>) -> Option<&'a Arc<Node>>;
+    /// Records `state → node` under `fp`.
+    fn insert(
+        map: &mut HashMap<u64, Self::Entry, FxBuildHasher>,
+        fp: u64,
+        state: &StateKey<S>,
+        node: Arc<Node>,
+    );
+    /// Visits every node in an entry.
+    fn for_each_node(entry: &Self::Entry, f: &mut dyn FnMut(&Arc<Node>));
+}
+
+/// Full-state keys: exact deduplication, no collisions possible.
+pub(crate) struct ExactKeys;
+
+impl<S: Hash + Eq + Clone> KeyMode<S> for ExactKeys {
+    /// Almost always a single element; colliding states chain.
+    type Entry = Vec<(StateKey<S>, Arc<Node>)>;
+    fn find<'a>(entry: &'a Self::Entry, state: &StateKey<S>) -> Option<&'a Arc<Node>> {
+        entry
+            .iter()
+            .find_map(|(k, node)| (k == state).then_some(node))
+    }
+    fn insert(
+        map: &mut HashMap<u64, Self::Entry, FxBuildHasher>,
+        fp: u64,
+        state: &StateKey<S>,
+        node: Arc<Node>,
+    ) {
+        map.entry(fp).or_default().push((state.clone(), node));
+    }
+    fn for_each_node(entry: &Self::Entry, f: &mut dyn FnMut(&Arc<Node>)) {
+        for (_, node) in entry {
+            f(node);
+        }
+    }
+}
+
+/// 64-bit fingerprint keys: no per-state clone is retained, at the
+/// price of a ≈ `states²/2⁶⁵` probability of a collision silently
+/// merging two distinct states (see `DESIGN.md` §3.2).
+pub(crate) struct FingerprintKeys;
+
+impl<S: Hash> KeyMode<S> for FingerprintKeys {
+    type Entry = Arc<Node>;
+    fn find<'a>(entry: &'a Self::Entry, _state: &StateKey<S>) -> Option<&'a Arc<Node>> {
+        Some(entry)
+    }
+    fn insert(
+        map: &mut HashMap<u64, Self::Entry, FxBuildHasher>,
+        fp: u64,
+        _state: &StateKey<S>,
+        node: Arc<Node>,
+    ) {
+        map.insert(fp, node);
+    }
+    fn for_each_node(entry: &Self::Entry, f: &mut dyn FnMut(&Arc<Node>)) {
+        f(entry);
+    }
+}
+
+/// One distinct (canonicalized) global state.
+pub(crate) struct Node {
+    /// Steps from the root along the first-discovery path.
+    depth: u32,
+    /// The concrete edge that discovered this node: stepping `pid`
+    /// from the parent's representative. `None` for the root.
+    parent: Option<(Arc<Node>, Pid)>,
+    /// Under symmetry reduction: the permutation mapping this node's
+    /// representative coordinates to canonical coordinates (`None` =
+    /// identity, always so without reduction).
+    rep_perm: Option<Box<[Pid]>>,
+    /// Outstanding obligations before this node's DP value is final:
+    /// 1 for the node's own expansion plus 1 per awaited child.
+    pending: AtomicU32,
+    inner: Mutex<NodeInner>,
+}
+
+struct NodeInner {
+    /// DP accumulator: max further steps per process, in this node's
+    /// *representative* coordinates.
+    best: Vec<u32>,
+    /// Parents awaiting this node's completion.
+    waiters: Vec<Waiter>,
+    /// Whether `best` is final.
+    done: bool,
+}
+
+/// A parent's registration on an in-progress child.
+struct Waiter {
+    parent: Arc<Node>,
+    /// The pid the parent stepped to reach the child.
+    step_pid: Pid,
+    /// Coordinate translation: the parent-side bound of process `p`
+    /// is the child's bound of process `map[p]` (`None` = identity).
+    map: Option<Box<[Pid]>>,
+}
+
+/// The Zobrist fingerprint of a full state: the XOR of per-component
+/// salted hashes (see [`component_hash`]). Component indices: 0 is
+/// `stepped`, `1..=n` the local states, `n+1..=2n` the decisions,
+/// `2n+1..` the objects. One process step changes at most three
+/// components, so [`Shared::apply_step`] maintains the fingerprint in
+/// O(1) instead of re-walking the state per generated successor.
+fn zobrist<S: Hash>(state: &StateKey<S>) -> u64 {
+    let n = state.states.len();
+    let mut fp = component_hash(0, &state.stepped);
+    for (i, s) in state.states.iter().enumerate() {
+        fp ^= component_hash(1 + i, s);
+    }
+    for (i, d) in state.decisions.iter().enumerate() {
+        fp ^= component_hash(1 + n + i, d);
+    }
+    for (j, o) in state.mem.objects().iter().enumerate() {
+        fp ^= component_hash(1 + 2 * n + j, o);
+    }
+    fp
+}
+
+/// A unit of work: expand `node`, whose representative state is
+/// `state` with Zobrist fingerprint `fp`.
+struct Job<S> {
+    state: StateKey<S>,
+    fp: u64,
+    node: Arc<Node>,
+}
+
+/// What one in-place step changed, for exact reversal.
+struct Undo<S> {
+    pid: Pid,
+    /// The stepping process's prior local state (`None` for a decide,
+    /// which leaves the local state untouched).
+    old_local: Option<S>,
+    /// The targeted object's prior state (layout index, state).
+    old_object: Option<(usize, ObjectState)>,
+    old_stepped: u64,
+    old_fp: u64,
+    /// Whether the step filled `decisions[pid]`.
+    decided: bool,
+}
+
+impl<S> Undo<S> {
+    /// Restores `state` (and its fingerprint) to exactly the pre-step
+    /// values.
+    fn revert(self, state: &mut StateKey<S>, fp: &mut u64) {
+        *fp = self.old_fp;
+        state.stepped = self.old_stepped;
+        if let Some(local) = self.old_local {
+            state.states[self.pid] = local;
+        }
+        if let Some((idx, object)) = self.old_object {
+            *state.mem.object_state_mut(idx) = object;
+        }
+        if self.decided {
+            state.decisions[self.pid] = None;
+        }
+    }
+}
+
+/// Everything shared between workers.
+struct Shared<'p, P: Protocol, C, KM: KeyMode<P::State>>
+where
+    P::State: Hash,
+{
+    proto: &'p P,
+    config: &'p ExploreConfig,
+    canon: C,
+    n: usize,
+    shards: Vec<Mutex<HashMap<u64, KM::Entry, FxBuildHasher>>>,
+    /// Per-worker deques: the owner pushes/pops at the back (LIFO, so
+    /// a lone worker performs plain DFS); thieves steal from the
+    /// front, taking the shallowest — largest — subproblems.
+    queues: Vec<Mutex<VecDeque<Job<P::State>>>>,
+    /// Overflow/start queue any worker may pull from.
+    injector: Mutex<VecDeque<Job<P::State>>>,
+    park: Mutex<()>,
+    wakeup: Condvar,
+    /// Jobs pushed but not yet fully processed; 0 means quiescent.
+    outstanding: AtomicUsize,
+    stop: AtomicBool,
+    exhausted: AtomicBool,
+    states: AtomicUsize,
+    terminals: AtomicUsize,
+    deepest: AtomicUsize,
+    dedup_hits: AtomicUsize,
+    steals: AtomicUsize,
+    contention: AtomicUsize,
+    frontier: AtomicUsize,
+    peak_frontier: AtomicUsize,
+    violation: Mutex<Option<Violation>>,
+}
+
+impl<'p, P, C, KM> Shared<'p, P, C, KM>
+where
+    P: Protocol,
+    P::State: Clone + Hash + Eq,
+    C: Canonicalizer<P>,
+    KM: KeyMode<P::State>,
+{
+    fn new(proto: &'p P, config: &'p ExploreConfig, canon: C, workers: usize) -> Self {
+        Shared {
+            proto,
+            config,
+            canon,
+            n: proto.processes(),
+            shards: (0..SHARDS)
+                .map(|_| Mutex::new(HashMap::default()))
+                .collect(),
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            park: Mutex::new(()),
+            wakeup: Condvar::new(),
+            outstanding: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+            exhausted: AtomicBool::new(false),
+            states: AtomicUsize::new(0),
+            terminals: AtomicUsize::new(0),
+            deepest: AtomicUsize::new(0),
+            dedup_hits: AtomicUsize::new(0),
+            steals: AtomicUsize::new(0),
+            contention: AtomicUsize::new(0),
+            frontier: AtomicUsize::new(0),
+            peak_frontier: AtomicUsize::new(0),
+            violation: Mutex::new(None),
+        }
+    }
+
+    /// Locks a shard, counting contended acquisitions.
+    fn lock_shard(
+        &self,
+        idx: usize,
+    ) -> std::sync::MutexGuard<'_, HashMap<u64, KM::Entry, FxBuildHasher>> {
+        match self.shards[idx].try_lock() {
+            Ok(guard) => guard,
+            Err(TryLockError::WouldBlock) => {
+                self.contention.fetch_add(1, Ordering::Relaxed);
+                self.shards[idx].lock().unwrap()
+            }
+            Err(TryLockError::Poisoned(e)) => panic!("poisoned shard: {e}"),
+        }
+    }
+
+    /// Records a violation, keeping the lexicographically smallest
+    /// schedule if several workers report one, and halts exploration.
+    fn record_violation(&self, v: Violation) {
+        let mut slot = self.violation.lock().unwrap();
+        let replace = match slot.as_ref() {
+            None => true,
+            Some(cur) => v.schedule < cur.schedule,
+        };
+        if replace {
+            *slot = Some(v);
+        }
+        drop(slot);
+        self.stop.store(true, Ordering::Relaxed);
+        self.wakeup.notify_all();
+    }
+
+    /// The concrete schedule reaching `node`'s representative, plus an
+    /// optional extra step.
+    fn schedule_of(&self, node: &Arc<Node>, extra: Option<Pid>) -> Vec<Pid> {
+        let mut sched = Vec::with_capacity(node.depth as usize + 1);
+        let mut cur = node.clone();
+        while let Some((parent, pid)) = &cur.parent {
+            sched.push(*pid);
+            cur = parent.clone();
+        }
+        sched.reverse();
+        sched.extend(extra);
+        sched
+    }
+
+    fn push_job(&self, worker: usize, job: Job<P::State>) {
+        self.outstanding.fetch_add(1, Ordering::SeqCst);
+        let len = self.frontier.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak_frontier.fetch_max(len, Ordering::Relaxed);
+        self.queues[worker].lock().unwrap().push_back(job);
+        if self.queues.len() > 1 {
+            self.wakeup.notify_one();
+        }
+    }
+
+    fn pop_job(&self, worker: usize) -> Option<Job<P::State>> {
+        if let Some(job) = self.queues[worker].lock().unwrap().pop_back() {
+            self.frontier.fetch_sub(1, Ordering::Relaxed);
+            return Some(job);
+        }
+        if let Some(job) = self.injector.lock().unwrap().pop_front() {
+            self.frontier.fetch_sub(1, Ordering::Relaxed);
+            return Some(job);
+        }
+        // Steal half of some victim's queue (from the front: the
+        // shallowest, largest subproblems).
+        let workers = self.queues.len();
+        for offset in 1..workers {
+            let victim = (worker + offset) % workers;
+            let mut stolen: VecDeque<Job<P::State>> = {
+                let mut q = self.queues[victim].lock().unwrap();
+                let take = q.len().div_ceil(2);
+                q.drain(..take).collect()
+            };
+            if let Some(job) = stolen.pop_front() {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                self.frontier.fetch_sub(1, Ordering::Relaxed);
+                if !stolen.is_empty() {
+                    self.queues[worker].lock().unwrap().extend(stolen);
+                }
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// The worker main loop: pull, expand, repeat; park when idle.
+    fn worker(&self, idx: usize) {
+        let mut scratch = vec![0u32; self.n];
+        loop {
+            if self.stop.load(Ordering::Relaxed) {
+                return;
+            }
+            match self.pop_job(idx) {
+                Some(job) => {
+                    self.expand(idx, job, &mut scratch);
+                    if self.outstanding.fetch_sub(1, Ordering::SeqCst) == 1 {
+                        self.wakeup.notify_all();
+                    }
+                }
+                None => {
+                    if self.outstanding.load(Ordering::SeqCst) == 0 {
+                        return;
+                    }
+                    let guard = self.park.lock().unwrap();
+                    if self.outstanding.load(Ordering::SeqCst) == 0
+                        || self.stop.load(Ordering::Relaxed)
+                    {
+                        return;
+                    }
+                    let _ = self.wakeup.wait_timeout(guard, PARK_TIMEOUT).unwrap();
+                }
+            }
+        }
+    }
+
+    /// One step of `pid` applied to `state` **in place**; checks the
+    /// specification and records any violation (returning `Err`).
+    ///
+    /// States are only cloned when a genuinely new one enters the
+    /// visited table — the dominant dedup-hit case costs one local
+    /// state (and at most one object) clone instead of a full global
+    /// state. The Zobrist fingerprint `fp` is updated in O(1): only
+    /// the changed components are XORed out and back in. The returned
+    /// [`Undo`] restores `state` and `fp` exactly.
+    fn apply_step(
+        &self,
+        node: &Arc<Node>,
+        state: &mut StateKey<P::State>,
+        fp: &mut u64,
+        pid: Pid,
+    ) -> Result<Undo<P::State>, ()> {
+        let old_stepped = state.stepped;
+        let old_fp = *fp;
+        match self.proto.next_action(&state.states[pid]) {
+            Action::Invoke(op) => {
+                let obj_idx = op.obj.0;
+                let old_object = state.mem.object(op.obj).cloned().map(|o| (obj_idx, o));
+                match state.mem.apply(pid, &op) {
+                    Ok(resp) => {
+                        let old_local = state.states[pid].clone();
+                        self.proto.on_response(&mut state.states[pid], resp);
+                        state.stepped |= 1 << pid;
+                        *fp ^= component_hash(1 + pid, &old_local)
+                            ^ component_hash(1 + pid, &state.states[pid]);
+                        if let Some((idx, old)) = &old_object {
+                            let c = 1 + 2 * self.n + idx;
+                            *fp ^= component_hash(c, old)
+                                ^ component_hash(c, &state.mem.objects()[*idx]);
+                        }
+                        if state.stepped != old_stepped {
+                            *fp ^=
+                                component_hash(0, &old_stepped) ^ component_hash(0, &state.stepped);
+                        }
+                        Ok(Undo {
+                            pid,
+                            old_local: Some(old_local),
+                            old_object,
+                            old_stepped,
+                            old_fp,
+                            decided: false,
+                        })
+                    }
+                    Err(err) => {
+                        self.record_violation(Violation {
+                            kind: ViolationKind::IllegalOperation,
+                            description: format!("p{pid} applied {op}: {err}"),
+                            schedule: self.schedule_of(node, Some(pid)),
+                        });
+                        Err(())
+                    }
+                }
+            }
+            Action::Decide(v) => {
+                state.stepped |= 1 << pid;
+                if let Err((kind, description)) =
+                    check_decision(&self.config.spec, &state.decisions, state.stepped, pid, &v)
+                {
+                    self.record_violation(Violation {
+                        kind,
+                        description,
+                        schedule: self.schedule_of(node, Some(pid)),
+                    });
+                    return Err(());
+                }
+                let c = 1 + self.n + pid;
+                *fp ^= component_hash(c, &state.decisions[pid]);
+                state.decisions[pid] = Some(v);
+                *fp ^= component_hash(c, &state.decisions[pid]);
+                if state.stepped != old_stepped {
+                    *fp ^= component_hash(0, &old_stepped) ^ component_hash(0, &state.stepped);
+                }
+                Ok(Undo {
+                    pid,
+                    old_local: None,
+                    old_object: None,
+                    old_stepped,
+                    old_fp,
+                    decided: true,
+                })
+            }
+        }
+    }
+
+    /// Expands `job.node` by generating every enabled successor of its
+    /// representative state.
+    fn expand(&self, worker: usize, job: Job<P::State>, local_best: &mut [u32]) {
+        let Job {
+            mut state,
+            mut fp,
+            node,
+        } = job;
+        let n = self.n;
+        local_best.fill(0);
+        let mut terminal = true;
+        // Reverse pid order: the owner pops its deque LIFO, so pushing
+        // high pids first makes a lone worker explore pid 0 first —
+        // keeping serial violation discovery in lowest-schedule order.
+        for pid in (0..n).rev() {
+            if state.decisions[pid].is_some() {
+                continue;
+            }
+            terminal = false;
+            if self.stop.load(Ordering::Relaxed) {
+                return;
+            }
+            let Ok(undo) = self.apply_step(&node, &mut state, &mut fp, pid) else {
+                return;
+            };
+            debug_assert_eq!(fp, zobrist(&state), "incremental fingerprint diverged");
+            let canonical = self.canon.canonicalize(&state);
+            let (canon_state, succ_perm, canon_fp) = match &canonical {
+                Some((c, perm)) => (c, Some(&**perm), zobrist(c)),
+                None => (&state, None, fp),
+            };
+            let shard_idx = (canon_fp >> 58) as usize % SHARDS;
+            let mut shard = self.lock_shard(shard_idx);
+            let hit = shard
+                .get(&canon_fp)
+                .and_then(|e| KM::find(e, canon_state))
+                .cloned();
+            if let Some(child) = hit {
+                drop(shard);
+                self.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                self.attach_child(&node, pid, &child, succ_perm, local_best);
+            } else {
+                let count = self.states.fetch_add(1, Ordering::Relaxed) + 1;
+                if count > self.config.max_states {
+                    drop(shard);
+                    self.exhausted.store(true, Ordering::Relaxed);
+                    self.stop.store(true, Ordering::Relaxed);
+                    self.wakeup.notify_all();
+                    return;
+                }
+                node.pending.fetch_add(1, Ordering::SeqCst);
+                let child = Arc::new(Node {
+                    depth: node.depth + 1,
+                    parent: Some((node.clone(), pid)),
+                    rep_perm: succ_perm.map(Box::from),
+                    pending: AtomicU32::new(1),
+                    inner: Mutex::new(NodeInner {
+                        best: vec![0; n],
+                        // The discovery edge's waiter, registered at
+                        // construction (the node is not yet visible to
+                        // any other worker). The child's representative
+                        // is the *uncanonical* successor, whose
+                        // coordinates already match the parent's — no
+                        // translation needed.
+                        waiters: vec![Waiter {
+                            parent: node.clone(),
+                            step_pid: pid,
+                            map: None,
+                        }],
+                        done: false,
+                    }),
+                });
+                KM::insert(&mut shard, canon_fp, canon_state, child.clone());
+                drop(shard);
+                self.deepest
+                    .fetch_max(node.depth as usize + 1, Ordering::Relaxed);
+                self.push_job(
+                    worker,
+                    Job {
+                        state: state.clone(),
+                        fp,
+                        node: child,
+                    },
+                );
+            }
+            undo.revert(&mut state, &mut fp);
+        }
+        if terminal {
+            self.terminals.fetch_add(1, Ordering::Relaxed);
+        } else {
+            let mut inner = node.inner.lock().unwrap();
+            for (b, l) in inner.best.iter_mut().zip(local_best.iter()) {
+                *b = (*b).max(*l);
+            }
+        }
+        // Drop the expansion's own obligation token.
+        if node.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.finish(node);
+        }
+    }
+
+    /// Handles a dedup hit: combine a finished child's bounds now, or
+    /// register a waiter on an in-progress child.
+    fn attach_child(
+        &self,
+        parent: &Arc<Node>,
+        pid: Pid,
+        child: &Arc<Node>,
+        succ_perm: Option<&[Pid]>,
+        local_best: &mut [u32],
+    ) {
+        let map = rep_map(child.rep_perm.as_deref(), succ_perm, self.n);
+        // Combining under the child's lock avoids cloning its bounds on
+        // the (dominant) already-finished path; `local_best` is
+        // worker-local and no other lock is held, so this cannot
+        // deadlock.
+        let mut inner = child.inner.lock().unwrap();
+        if inner.done {
+            combine(local_best, &inner.best, map_ref(&map), pid);
+        } else {
+            parent.pending.fetch_add(1, Ordering::SeqCst);
+            inner.waiters.push(Waiter {
+                parent: parent.clone(),
+                step_pid: pid,
+                map,
+            });
+        }
+    }
+
+    /// Marks `node` done and fires its waiters, iteratively completing
+    /// any parents whose last obligation this resolves.
+    fn finish(&self, node: Arc<Node>) {
+        let mut worklist = vec![node];
+        while let Some(nd) = worklist.pop() {
+            let (bounds, waiters) = {
+                let mut inner = nd.inner.lock().unwrap();
+                debug_assert!(!inner.done, "node finished twice");
+                inner.done = true;
+                (inner.best.clone(), std::mem::take(&mut inner.waiters))
+            };
+            for w in waiters {
+                {
+                    let mut inner = w.parent.inner.lock().unwrap();
+                    combine(&mut inner.best, &bounds, map_ref(&w.map), w.step_pid);
+                }
+                if w.parent.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+                    worklist.push(w.parent);
+                }
+            }
+        }
+    }
+
+    /// Builds the NotWaitFree violation after quiescence left the root
+    /// incomplete: every incomplete node waits on an incomplete child,
+    /// so following those edges from the root must revisit a node —
+    /// exhibiting a cycle (see the module docs for why this is exactly
+    /// non-wait-freedom).
+    fn quiescent_cycle(&self, root: &Arc<Node>) -> Violation {
+        let mut incomplete: Vec<Arc<Node>> = Vec::new();
+        for shard in &self.shards {
+            for entry in shard.lock().unwrap().values() {
+                KM::for_each_node(entry, &mut |node| {
+                    if !node.inner.lock().unwrap().done {
+                        incomplete.push(node.clone());
+                    }
+                });
+            }
+        }
+        // One outgoing wait edge per incomplete parent.
+        let mut waits_on: HashMap<usize, Arc<Node>> = HashMap::new();
+        for child in &incomplete {
+            for w in &child.inner.lock().unwrap().waiters {
+                waits_on.insert(Arc::as_ptr(&w.parent) as usize, child.clone());
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        let mut cur = root.clone();
+        while seen.insert(Arc::as_ptr(&cur) as usize) {
+            cur = waits_on
+                .get(&(Arc::as_ptr(&cur) as usize))
+                .expect("at quiescence an incomplete node waits on an incomplete child")
+                .clone();
+        }
+        Violation {
+            kind: ViolationKind::NotWaitFree,
+            description: "state graph cycle: a schedule exists on which a process \
+                          takes unboundedly many steps without deciding"
+                .into(),
+            schedule: self.schedule_of(&cur, None),
+        }
+    }
+
+    /// Creates and enqueues the root node; `None` if even one state
+    /// exceeds the budget.
+    fn seed(&self, init: StateKey<P::State>) -> Option<Arc<Node>> {
+        let count = self.states.fetch_add(1, Ordering::Relaxed) + 1;
+        if count > self.config.max_states {
+            self.exhausted.store(true, Ordering::Relaxed);
+            self.stop.store(true, Ordering::Relaxed);
+            return None;
+        }
+        let canonical = self.canon.canonicalize(&init);
+        let root = Arc::new(Node {
+            depth: 0,
+            parent: None,
+            rep_perm: canonical.as_ref().map(|(_, perm)| perm.clone()),
+            pending: AtomicU32::new(1),
+            inner: Mutex::new(NodeInner {
+                best: vec![0; self.n],
+                waiters: Vec::new(),
+                done: false,
+            }),
+        });
+        let init_fp = zobrist(&init);
+        {
+            let (canon_state, canon_fp) = match canonical.as_ref() {
+                Some((c, _)) => (c, zobrist(c)),
+                None => (&init, init_fp),
+            };
+            let shard_idx = (canon_fp >> 58) as usize % SHARDS;
+            let mut shard = self.shards[shard_idx].lock().unwrap();
+            KM::insert(&mut shard, canon_fp, canon_state, root.clone());
+        }
+        self.outstanding.fetch_add(1, Ordering::SeqCst);
+        self.frontier.fetch_add(1, Ordering::Relaxed);
+        self.peak_frontier.fetch_max(1, Ordering::Relaxed);
+        self.injector.lock().unwrap().push_back(Job {
+            state: init,
+            fp: init_fp,
+            node: root.clone(),
+        });
+        Some(root)
+    }
+
+    /// Assembles the final report once all workers have returned.
+    fn report(&self, root: Option<Arc<Node>>, started: Instant, workers: usize) -> Report {
+        let duration = started.elapsed();
+        let states = self
+            .states
+            .load(Ordering::Relaxed)
+            .min(self.config.max_states);
+        let stats = ExploreStats {
+            workers,
+            duration,
+            states_per_sec: states as f64 / duration.as_secs_f64().max(1e-9),
+            dedup_hits: self.dedup_hits.load(Ordering::Relaxed),
+            peak_frontier: self.peak_frontier.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            shard_contention: self.contention.load(Ordering::Relaxed),
+        };
+        let terminals = self.terminals.load(Ordering::Relaxed);
+        let violation = self.violation.lock().unwrap().take();
+        let (outcome, bounds) = if let Some(v) = violation {
+            (ExploreOutcome::Violated(v), Vec::new())
+        } else {
+            match &root {
+                Some(root) => {
+                    let inner = root.inner.lock().unwrap();
+                    if inner.done {
+                        let bounds = inner.best.iter().map(|&b| b as usize).collect();
+                        (ExploreOutcome::Verified, bounds)
+                    } else {
+                        drop(inner);
+                        if self.exhausted.load(Ordering::Relaxed) {
+                            let deepest = self.deepest.load(Ordering::Relaxed);
+                            (ExploreOutcome::Exhausted { states, deepest }, Vec::new())
+                        } else {
+                            (
+                                ExploreOutcome::Violated(self.quiescent_cycle(root)),
+                                Vec::new(),
+                            )
+                        }
+                    }
+                }
+                None => (ExploreOutcome::Exhausted { states, deepest: 0 }, Vec::new()),
+            }
+        };
+        Report {
+            outcome,
+            states,
+            terminals,
+            max_steps_per_proc: bounds,
+            stats,
+        }
+    }
+}
+
+/// Runs the engine single-threaded on the calling thread (no `Send`
+/// or `Sync` requirements; with one LIFO deque this is a plain DFS).
+pub(crate) fn run_serial<P, C, KM>(
+    proto: &P,
+    init: StateKey<P::State>,
+    config: &ExploreConfig,
+    canon: C,
+) -> Report
+where
+    P: Protocol,
+    P::State: Clone + Hash + Eq,
+    C: Canonicalizer<P>,
+    KM: KeyMode<P::State>,
+{
+    let started = Instant::now();
+    let shared: Shared<'_, P, C, KM> = Shared::new(proto, config, canon, 1);
+    let root = shared.seed(init);
+    if root.is_some() {
+        shared.worker(0);
+    }
+    shared.report(root, started, 1)
+}
+
+/// Runs the engine on `workers` scoped threads with work stealing.
+pub(crate) fn run_parallel<P, C, KM>(
+    proto: &P,
+    init: StateKey<P::State>,
+    config: &ExploreConfig,
+    canon: C,
+    workers: usize,
+) -> Report
+where
+    P: Protocol + Sync,
+    P::State: Clone + Hash + Eq + Send,
+    C: Canonicalizer<P> + Sync,
+    KM: KeyMode<P::State>,
+    KM::Entry: Send,
+{
+    debug_assert!(workers >= 2);
+    let started = Instant::now();
+    let shared: Shared<'_, P, C, KM> = Shared::new(proto, config, canon, workers);
+    let root = shared.seed(init);
+    if root.is_some() {
+        std::thread::scope(|s| {
+            for idx in 0..workers {
+                let shared = &shared;
+                s.spawn(move || shared.worker(idx));
+            }
+        });
+    }
+    shared.report(root, started, workers)
+}
+
+/// Dispatches on [`DedupMode`] for the serial engine.
+pub(crate) fn dispatch_serial<P, C>(
+    proto: &P,
+    init: StateKey<P::State>,
+    config: &ExploreConfig,
+    canon: C,
+) -> Report
+where
+    P: Protocol,
+    P::State: Clone + Hash + Eq,
+    C: Canonicalizer<P>,
+{
+    match config.dedup {
+        DedupMode::Exact => run_serial::<P, C, ExactKeys>(proto, init, config, canon),
+        DedupMode::Fingerprint => run_serial::<P, C, FingerprintKeys>(proto, init, config, canon),
+    }
+}
+
+/// Dispatches on [`DedupMode`] for the parallel engine.
+pub(crate) fn dispatch_parallel<P, C>(
+    proto: &P,
+    init: StateKey<P::State>,
+    config: &ExploreConfig,
+    canon: C,
+    workers: usize,
+) -> Report
+where
+    P: Protocol + Sync,
+    P::State: Clone + Hash + Eq + Send,
+    C: Canonicalizer<P> + Sync,
+{
+    match config.dedup {
+        DedupMode::Exact => run_parallel::<P, C, ExactKeys>(proto, init, config, canon, workers),
+        DedupMode::Fingerprint => {
+            run_parallel::<P, C, FingerprintKeys>(proto, init, config, canon, workers)
+        }
+    }
+}
+
+fn map_ref(map: &Option<Box<[Pid]>>) -> Option<&[Pid]> {
+    map.as_deref()
+}
+
+/// `parent_best[p] = max(parent_best[p], child_best[map(p)] + (p == step_pid))`.
+fn combine(parent_best: &mut [u32], child_best: &[u32], map: Option<&[Pid]>, step_pid: Pid) {
+    for (p, b) in parent_best.iter_mut().enumerate() {
+        let idx = map.map_or(p, |m| m[p]);
+        let total = child_best[idx] + u32::from(p == step_pid);
+        if total > *b {
+            *b = total;
+        }
+    }
+}
+
+/// Composes the coordinate translation for a dedup edge.
+///
+/// `child_perm` maps the child's representative coordinates to
+/// canonical coordinates; `succ_perm` maps the generated successor's
+/// coordinates (= the parent side) to the same canonical coordinates.
+/// The parent-side bound of process `p` is the child's bound of
+/// process `child_perm⁻¹(succ_perm(p))`. Returns `None` for the
+/// identity.
+fn rep_map(child_perm: Option<&[Pid]>, succ_perm: Option<&[Pid]>, n: usize) -> Option<Box<[Pid]>> {
+    if child_perm.is_none() && succ_perm.is_none() {
+        return None;
+    }
+    let mut inv: Vec<Pid> = (0..n).collect();
+    if let Some(cp) = child_perm {
+        for (p, &q) in cp.iter().enumerate() {
+            inv[q] = p;
+        }
+    }
+    let map: Vec<Pid> = (0..n)
+        .map(|p| inv[succ_perm.map_or(p, |sp| sp[p])])
+        .collect();
+    if map.iter().enumerate().all(|(i, &v)| i == v) {
+        None
+    } else {
+        Some(map.into_boxed_slice())
+    }
+}

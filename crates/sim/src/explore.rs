@@ -23,19 +23,40 @@
 //!   processes that have stepped *so far*, which is precisely the
 //!   participant set of the crash-closure of that prefix.)
 //!
+//! The exploration itself runs on the sharded dataflow engine of
+//! [`crate::engine`] (one code path for every variant; see its module
+//! docs for the algorithm). Four entry points scale it:
+//!
+//! * [`explore`] — single-threaded, exact deduplication: the baseline,
+//!   fully deterministic.
+//! * [`explore_parallel`] — a work-stealing worker pool
+//!   ([`ExploreConfig::workers`]).
+//! * [`explore_symmetric`] / [`explore_symmetric_parallel`] — also
+//!   quotient the state space by the protocol's process-symmetry group
+//!   ([`crate::symmetry::SymmetricProtocol`]), visiting one
+//!   representative per orbit.
+//!
+//! [`ExploreConfig::dedup`] selects exact full-state deduplication or
+//! memory-lean 64-bit [`fingerprints`](crate::fingerprint): the latter
+//! stores no state clones but admits a ≈ `states²/2⁶⁵` probability of
+//! a hash collision silently merging two distinct states. A collision
+//! can only *lose* states (risking a wrong `Verified`), never
+//! fabricate a counterexample: reported schedules always replay.
+//!
 //! State explosion limits exhaustive runs to small `(n, k)`; the
 //! per-instance results are still genuine theorems about those
 //! instances ("for n=3, k=4, `LabelElection` is a correct wait-free
 //! election under **every** schedule").
 
-use std::collections::hash_map::Entry;
-use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::hash::Hash;
+use std::time::Duration;
 
 use bso_objects::Value;
 
-use crate::{Action, Pid, Protocol, SharedMemory};
+use crate::engine;
+use crate::symmetry::{NoCanon, SymCanon, SymmetricProtocol};
+use crate::{Pid, Protocol, SharedMemory};
 
 /// What task specification to enforce during exploration.
 #[derive(Clone, Debug, Default)]
@@ -51,6 +72,18 @@ pub enum TaskSpec {
     None,
 }
 
+/// How generated states are deduplicated in the visited table.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum DedupMode {
+    /// Full-state keys: exact, collision-free (the default).
+    #[default]
+    Exact,
+    /// 64-bit fingerprints: no state clones are retained, at a
+    /// ≈ `states²/2⁶⁵` risk of a collision merging two states (which
+    /// can yield a wrong `Verified`, never a bogus counterexample).
+    Fingerprint,
+}
+
 /// Exploration limits and the specification to enforce.
 #[derive(Clone, Debug)]
 pub struct ExploreConfig {
@@ -59,11 +92,22 @@ pub struct ExploreConfig {
     pub max_states: usize,
     /// The task specification to enforce at decisions.
     pub spec: TaskSpec,
+    /// Worker threads for the parallel entry points (`0` = one per
+    /// available CPU). [`explore`]/[`explore_symmetric`] ignore this
+    /// and always run single-threaded.
+    pub workers: usize,
+    /// Visited-table key representation.
+    pub dedup: DedupMode,
 }
 
 impl Default for ExploreConfig {
     fn default() -> ExploreConfig {
-        ExploreConfig { max_states: 2_000_000, spec: TaskSpec::None }
+        ExploreConfig {
+            max_states: 2_000_000,
+            spec: TaskSpec::None,
+            workers: 0,
+            dedup: DedupMode::Exact,
+        }
     }
 }
 
@@ -114,8 +158,15 @@ pub enum ExploreOutcome {
     /// A counterexample was found.
     Violated(Violation),
     /// The state budget ran out before the exploration completed; no
-    /// verdict.
-    Exhausted,
+    /// verdict. The payload reports how far the exploration got, for
+    /// budget tuning.
+    Exhausted {
+        /// Distinct states visited before giving up (= the budget).
+        states: usize,
+        /// The deepest schedule prefix reached (steps from the initial
+        /// state).
+        deepest: usize,
+    },
 }
 
 impl ExploreOutcome {
@@ -133,12 +184,32 @@ impl ExploreOutcome {
     }
 }
 
+/// Performance counters from one exploration run.
+#[derive(Clone, Debug)]
+pub struct ExploreStats {
+    /// Worker threads used.
+    pub workers: usize,
+    /// Wall-clock time of the run.
+    pub duration: Duration,
+    /// Distinct states visited per second of wall-clock time.
+    pub states_per_sec: f64,
+    /// Generated successors that were already in the visited table.
+    pub dedup_hits: usize,
+    /// Peak number of queued (generated but unexpanded) states.
+    pub peak_frontier: usize,
+    /// Successful work-steal operations (0 in serial runs).
+    pub steals: usize,
+    /// Contended visited-table shard acquisitions.
+    pub shard_contention: usize,
+}
+
 /// Exploration statistics and verdict.
 #[derive(Clone, Debug)]
 pub struct Report {
     /// The verdict.
     pub outcome: ExploreOutcome,
-    /// Distinct global states visited.
+    /// Distinct global states visited (orbit representatives when
+    /// symmetry reduction is active).
     pub states: usize,
     /// Distinct terminal (all-decided) states.
     pub terminals: usize,
@@ -146,211 +217,116 @@ pub struct Report {
     /// over **all** schedules — the wait-freedom bound witness.
     /// Meaningful only when the outcome is `Verified`.
     pub max_steps_per_proc: Vec<usize>,
+    /// Performance counters.
+    pub stats: ExploreStats,
 }
 
-#[derive(Clone, PartialEq, Eq, Hash)]
-struct StateKey<S> {
-    mem: SharedMemory,
-    states: Vec<S>,
-    decisions: Vec<Option<Value>>,
+/// One global state of the explored system.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub(crate) struct StateKey<S> {
+    pub(crate) mem: SharedMemory,
+    pub(crate) states: Vec<S>,
+    pub(crate) decisions: Vec<Option<Value>>,
+    pub(crate) stepped: u64,
+}
+
+/// Checks a decision of `pid` against the task specification.
+///
+/// `decisions` holds the *other* processes' decisions (the decider's
+/// slot still `None`); `stepped` already includes the decider's bit.
+pub(crate) fn check_decision(
+    spec: &TaskSpec,
+    decisions: &[Option<Value>],
     stepped: u64,
-}
-
-enum Stop {
-    Violation(Violation),
-    Exhausted,
-}
-
-struct Explorer<'p, P: Protocol> {
-    proto: &'p P,
-    config: &'p ExploreConfig,
-    memo: HashMap<StateKey<P::State>, Vec<usize>>,
-    gray: HashSet<StateKey<P::State>>,
-    path: Vec<Pid>,
-    terminals: usize,
-}
-
-impl<'p, P: Protocol> Explorer<'p, P>
-where
-    P::State: Hash + Eq,
-{
-    fn enabled(key: &StateKey<P::State>) -> Vec<Pid> {
-        (0..key.decisions.len()).filter(|&p| key.decisions[p].is_none()).collect()
-    }
-
-    /// Applies one step of `pid` to a copy of `key`; checks the task
-    /// specification if the step is a decision.
-    fn successor(
-        &mut self,
-        key: &StateKey<P::State>,
-        pid: Pid,
-    ) -> Result<StateKey<P::State>, Stop> {
-        let mut next = key.clone();
-        match self.proto.next_action(&next.states[pid]) {
-            Action::Invoke(op) => {
-                let resp = next.mem.apply(pid, &op).map_err(|err| {
-                    self.path.push(pid);
-                    Stop::Violation(Violation {
-                        kind: ViolationKind::IllegalOperation,
-                        description: format!("p{pid} applied {op}: {err}"),
-                        schedule: self.path_schedule_pop(),
-                    })
-                })?;
-                self.proto.on_response(&mut next.states[pid], resp);
-                next.stepped |= 1 << pid;
-            }
-            Action::Decide(v) => {
-                next.stepped |= 1 << pid;
-                self.check_decision(&next, pid, &v)?;
-                next.decisions[pid] = Some(v);
-            }
-        }
-        Ok(next)
-    }
-
-    fn path_schedule_pop(&mut self) -> Vec<Pid> {
-        let s = self.path.clone();
-        self.path.pop();
-        s
-    }
-
-    fn stop(&mut self, pid: Pid, kind: ViolationKind, description: String) -> Stop {
-        self.path.push(pid);
-        Stop::Violation(Violation { kind, description, schedule: self.path_schedule_pop() })
-    }
-
-    fn check_decision(
-        &mut self,
-        key: &StateKey<P::State>,
-        pid: Pid,
-        v: &Value,
-    ) -> Result<(), Stop> {
-        let stepped = key.stepped;
-        let n = key.decisions.len();
-        let participants = move || (0..n).filter(move |p| stepped >> p & 1 == 1);
-        match &self.config.spec {
-            TaskSpec::None => Ok(()),
-            TaskSpec::Election => {
-                match v.as_pid() {
-                    Some(w) if participants().any(|p| p == w) => {}
-                    _ => {
-                        return Err(self.stop(
-                            pid,
-                            ViolationKind::Validity,
-                            format!("p{pid} elected {v}, not a participant"),
-                        ))
-                    }
-                }
-                for (q, d) in key.decisions.iter().enumerate() {
-                    if let Some(w) = d {
-                        if w != v {
-                            return Err(self.stop(
-                                pid,
-                                ViolationKind::Agreement,
-                                format!("p{q} elected {w} but p{pid} elected {v}"),
-                            ));
-                        }
-                    }
-                }
-                Ok(())
-            }
-            TaskSpec::Consensus(inputs) => {
-                if !participants().any(|p| &inputs[p] == v) {
-                    return Err(self.stop(
-                        pid,
+    pid: Pid,
+    v: &Value,
+) -> Result<(), (ViolationKind, String)> {
+    let n = decisions.len();
+    let participants = move || (0..n).filter(move |p| stepped >> p & 1 == 1);
+    match spec {
+        TaskSpec::None => Ok(()),
+        TaskSpec::Election => {
+            match v.as_pid() {
+                Some(w) if participants().any(|p| p == w) => {}
+                _ => {
+                    return Err((
                         ViolationKind::Validity,
-                        format!("p{pid} decided {v}, not a participant's input"),
-                    ));
+                        format!("p{pid} elected {v}, not a participant"),
+                    ))
                 }
-                for (q, d) in key.decisions.iter().enumerate() {
-                    if let Some(w) = d {
-                        if w != v {
-                            return Err(self.stop(
-                                pid,
-                                ViolationKind::Agreement,
-                                format!("p{q} decided {w} but p{pid} decided {v}"),
-                            ));
-                        }
+            }
+            for (q, d) in decisions.iter().enumerate() {
+                if let Some(w) = d {
+                    if w != v {
+                        return Err((
+                            ViolationKind::Agreement,
+                            format!("p{q} elected {w} but p{pid} elected {v}"),
+                        ));
                     }
                 }
-                Ok(())
             }
-            TaskSpec::SetConsensus(inputs, l) => {
-                if !participants().any(|p| &inputs[p] == v) {
-                    return Err(self.stop(
-                        pid,
-                        ViolationKind::Validity,
-                        format!("p{pid} decided {v}, not a participant's input"),
-                    ));
-                }
-                let mut set: Vec<&Value> = key.decisions.iter().flatten().collect();
-                set.push(v);
-                set.sort();
-                set.dedup();
-                if set.len() > *l {
-                    return Err(self.stop(
-                        pid,
-                        ViolationKind::Agreement,
-                        format!("{} distinct decisions exceed the {l}-set bound", set.len()),
-                    ));
-                }
-                Ok(())
+            Ok(())
+        }
+        TaskSpec::Consensus(inputs) => {
+            if !participants().any(|p| &inputs[p] == v) {
+                return Err((
+                    ViolationKind::Validity,
+                    format!("p{pid} decided {v}, not a participant's input"),
+                ));
             }
-        }
-    }
-
-    /// Returns, for each process, the maximum number of further steps
-    /// it can take from `key` over all schedules.
-    fn dfs(&mut self, key: StateKey<P::State>) -> Result<Vec<usize>, Stop> {
-        if let Some(hit) = self.memo.get(&key) {
-            return Ok(hit.clone());
-        }
-        if self.gray.contains(&key) {
-            return Err(Stop::Violation(Violation {
-                kind: ViolationKind::NotWaitFree,
-                description: "state graph cycle: a schedule exists on which a process \
-                              takes unboundedly many steps without deciding"
-                    .into(),
-                schedule: self.path.clone(),
-            }));
-        }
-        if self.memo.len() + self.gray.len() >= self.config.max_states {
-            return Err(Stop::Exhausted);
-        }
-        let enabled = Self::enabled(&key);
-        if enabled.is_empty() {
-            self.terminals += 1;
-            let zeros = vec![0; key.decisions.len()];
-            self.memo.insert(key, zeros.clone());
-            return Ok(zeros);
-        }
-        self.gray.insert(key.clone());
-        let mut best = vec![0usize; key.decisions.len()];
-        for pid in enabled {
-            let next = self.successor(&key, pid)?;
-            self.path.push(pid);
-            let rem = self.dfs(next);
-            self.path.pop();
-            let rem = rem?;
-            for (p, r) in rem.iter().enumerate() {
-                let total = r + usize::from(p == pid);
-                if total > best[p] {
-                    best[p] = total;
+            for (q, d) in decisions.iter().enumerate() {
+                if let Some(w) = d {
+                    if w != v {
+                        return Err((
+                            ViolationKind::Agreement,
+                            format!("p{q} decided {w} but p{pid} decided {v}"),
+                        ));
+                    }
                 }
             }
+            Ok(())
         }
-        self.gray.remove(&key);
-        match self.memo.entry(key) {
-            Entry::Vacant(e) => {
-                e.insert(best.clone());
+        TaskSpec::SetConsensus(inputs, l) => {
+            if !participants().any(|p| &inputs[p] == v) {
+                return Err((
+                    ViolationKind::Validity,
+                    format!("p{pid} decided {v}, not a participant's input"),
+                ));
             }
-            Entry::Occupied(_) => unreachable!("state finished twice"),
+            let mut set: Vec<&Value> = decisions.iter().flatten().collect();
+            set.push(v);
+            set.sort();
+            set.dedup();
+            if set.len() > *l {
+                return Err((
+                    ViolationKind::Agreement,
+                    format!("{} distinct decisions exceed the {l}-set bound", set.len()),
+                ));
+            }
+            Ok(())
         }
-        Ok(best)
     }
 }
 
-/// Explores **all** interleavings of `proto` from the given inputs.
+fn init_key<P: Protocol>(proto: &P, inputs: &[Value]) -> StateKey<P::State> {
+    let n = proto.processes();
+    assert!(n <= 64, "explorer supports at most 64 processes");
+    assert_eq!(inputs.len(), n, "need one input per process");
+    StateKey {
+        mem: SharedMemory::new(&proto.layout()),
+        states: inputs
+            .iter()
+            .enumerate()
+            .map(|(p, v)| proto.init(p, v))
+            .collect(),
+        decisions: vec![None; n],
+        stepped: 0,
+    }
+}
+
+/// Explores **all** interleavings of `proto` from the given inputs,
+/// single-threaded with exact-or-fingerprint deduplication per
+/// `config.dedup`.
 ///
 /// See the module docs for exactly what a `Verified` outcome proves.
 ///
@@ -362,48 +338,114 @@ pub fn explore<P: Protocol>(proto: &P, inputs: &[Value], config: &ExploreConfig)
 where
     P::State: Hash + Eq,
 {
-    let n = proto.processes();
-    assert!(n <= 64, "explorer supports at most 64 processes");
-    assert_eq!(inputs.len(), n, "need one input per process");
-    let init = StateKey {
-        mem: SharedMemory::new(&proto.layout()),
-        states: inputs.iter().enumerate().map(|(p, v)| proto.init(p, v)).collect(),
-        decisions: vec![None; n],
-        stepped: 0,
+    engine::dispatch_serial(proto, init_key(proto, inputs), config, NoCanon)
+}
+
+/// [`explore`] on a pool of work-stealing worker threads
+/// ([`ExploreConfig::workers`]; `0` = one per available CPU).
+///
+/// Verdicts agree with [`explore`]; with several workers the *choice*
+/// of counterexample among equally valid ones may differ (the engine
+/// keeps the lexicographically smallest schedule discovered before
+/// exploration halted).
+///
+/// # Panics
+///
+/// As [`explore`].
+pub fn explore_parallel<P>(proto: &P, inputs: &[Value], config: &ExploreConfig) -> Report
+where
+    P: Protocol + Sync,
+    P::State: Hash + Eq + Send,
+{
+    let workers = match config.workers {
+        0 => std::thread::available_parallelism().map_or(1, |v| v.get()),
+        w => w,
     };
-    let mut ex = Explorer { proto, config, memo: HashMap::new(), gray: HashSet::new(), path: Vec::new(), terminals: 0 };
-    match ex.dfs(init) {
-        Ok(bounds) => Report {
-            outcome: ExploreOutcome::Verified,
-            states: ex.memo.len(),
-            terminals: ex.terminals,
-            max_steps_per_proc: bounds,
-        },
-        Err(Stop::Violation(v)) => Report {
-            outcome: ExploreOutcome::Violated(v),
-            states: ex.memo.len() + ex.gray.len(),
-            terminals: ex.terminals,
-            max_steps_per_proc: Vec::new(),
-        },
-        Err(Stop::Exhausted) => Report {
-            outcome: ExploreOutcome::Exhausted,
-            states: ex.memo.len() + ex.gray.len(),
-            terminals: ex.terminals,
-            max_steps_per_proc: Vec::new(),
-        },
+    let init = init_key(proto, inputs);
+    if workers <= 1 {
+        engine::dispatch_serial(proto, init, config, NoCanon)
+    } else {
+        engine::dispatch_parallel(proto, init, config, NoCanon, workers)
+    }
+}
+
+/// [`explore`] under process-symmetry reduction: only one
+/// representative per orbit of the protocol's symmetry group is
+/// visited (see [`SymmetricProtocol`] for the soundness contract).
+///
+/// # Panics
+///
+/// As [`explore`]; additionally panics if the declared symmetry group
+/// is invalid (not permutations, or not closed under composition) or
+/// if `inputs` is not fixed by the group — renaming processes must
+/// rename their inputs onto each other, as with
+/// [`crate::ProtocolExt::pid_inputs`], or the specification itself
+/// would distinguish the processes and the reduction would be unsound.
+pub fn explore_symmetric<P>(proto: &P, inputs: &[Value], config: &ExploreConfig) -> Report
+where
+    P: SymmetricProtocol,
+    P::State: Hash + Eq + Ord,
+{
+    let canon = SymCanon::new(proto).unwrap_or_else(|e| panic!("{e}"));
+    assert_inputs_equivariant(proto, &canon, inputs);
+    engine::dispatch_serial(proto, init_key(proto, inputs), config, canon)
+}
+
+/// [`explore_symmetric`] on a work-stealing worker pool.
+///
+/// # Panics
+///
+/// As [`explore_symmetric`].
+pub fn explore_symmetric_parallel<P>(proto: &P, inputs: &[Value], config: &ExploreConfig) -> Report
+where
+    P: SymmetricProtocol + Sync,
+    P::State: Hash + Eq + Ord + Send,
+{
+    let workers = match config.workers {
+        0 => std::thread::available_parallelism().map_or(1, |v| v.get()),
+        w => w,
+    };
+    let canon = SymCanon::new(proto).unwrap_or_else(|e| panic!("{e}"));
+    assert_inputs_equivariant(proto, &canon, inputs);
+    let init = init_key(proto, inputs);
+    if workers <= 1 {
+        engine::dispatch_serial(proto, init, config, canon)
+    } else {
+        engine::dispatch_parallel(proto, init, config, canon, workers)
+    }
+}
+
+fn assert_inputs_equivariant<P: SymmetricProtocol>(
+    proto: &P,
+    canon: &SymCanon<'_, P>,
+    inputs: &[Value],
+) {
+    for perm in canon.elements() {
+        for (p, input) in inputs.iter().enumerate() {
+            assert!(
+                proto.permute_value(perm, input) == inputs[perm[p]],
+                "symmetry reduction requires equivariant inputs: renaming by {perm:?} \
+                 maps p{p}'s input {input} to {}, but p{}'s input is {}",
+                proto.permute_value(perm, input),
+                perm[p],
+                inputs[perm[p]],
+            );
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ProtocolExt;
+    use crate::{Action, Protocol};
     use bso_objects::{Layout, ObjectId, ObjectInit, Op, OpKind};
 
     /// Sound 2-process election through a test&set bit (same as the
     /// crate-level example, minus the doc scaffolding).
     struct TasElection;
 
-    #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+    #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
     enum St {
         Announce(usize),
         Grab(usize),
@@ -427,9 +469,7 @@ mod tests {
         }
         fn next_action(&self, st: &St) -> Action {
             match st {
-                St::Announce(p) => {
-                    Action::Invoke(Op::write(ObjectId(1 + p), Value::Pid(*p)))
-                }
+                St::Announce(p) => Action::Invoke(Op::write(ObjectId(1 + p), Value::Pid(*p))),
                 St::Grab(_) => Action::Invoke(Op::new(ObjectId(0), OpKind::TestAndSet)),
                 St::ReadPeer(p) => Action::Invoke(Op::read(ObjectId(1 + (1 - p)))),
                 St::Done(p) => Action::Decide(Value::Pid(*p)),
@@ -512,27 +552,42 @@ mod tests {
     fn verifies_sound_election_and_reports_step_bounds() {
         let proto = TasElection;
         let inputs = vec![Value::Pid(0), Value::Pid(1)];
-        let cfg = ExploreConfig { spec: TaskSpec::Election, ..Default::default() };
+        let cfg = ExploreConfig {
+            spec: TaskSpec::Election,
+            ..Default::default()
+        };
         let report = explore(&proto, &inputs, &cfg);
         assert!(report.outcome.is_verified(), "{:?}", report.outcome);
         assert!(report.states > 0 && report.terminals > 0);
         // announce + grab + (maybe read) + decide = at most 4 steps
         assert_eq!(report.max_steps_per_proc, vec![4, 4]);
+        assert!(report.stats.states_per_sec > 0.0);
+        assert!(report.stats.peak_frontier > 0);
     }
 
     #[test]
     fn finds_agreement_violation_with_replayable_schedule() {
         let proto = BrokenElection;
         let inputs = vec![Value::Pid(0), Value::Pid(1)];
-        let cfg = ExploreConfig { spec: TaskSpec::Election, ..Default::default() };
+        let cfg = ExploreConfig {
+            spec: TaskSpec::Election,
+            ..Default::default()
+        };
         let report = explore(&proto, &inputs, &cfg);
-        let v = report.outcome.violation().expect("must be violated").clone();
+        let v = report
+            .outcome
+            .violation()
+            .expect("must be violated")
+            .clone();
         assert_eq!(v.kind, ViolationKind::Agreement);
 
         // The schedule must replay to an actual disagreement.
         let mut sim = crate::Simulation::new(&proto, &inputs);
         let res = sim
-            .run(&mut crate::scheduler::Scripted::new(v.schedule.clone()), 100)
+            .run(
+                &mut crate::scheduler::Scripted::new(v.schedule.clone()),
+                100,
+            )
             .unwrap();
         assert!(crate::checker::check_election(&res).is_err());
     }
@@ -540,10 +595,27 @@ mod tests {
     #[test]
     fn detects_livelock_as_not_wait_free() {
         let proto = Livelock;
-        let cfg = ExploreConfig { spec: TaskSpec::None, ..Default::default() };
+        let cfg = ExploreConfig {
+            spec: TaskSpec::None,
+            ..Default::default()
+        };
         let report = explore(&proto, &[Value::Nil, Value::Nil], &cfg);
         let v = report.outcome.violation().expect("livelock must be caught");
         assert_eq!(v.kind, ViolationKind::NotWaitFree);
+    }
+
+    #[test]
+    fn parallel_and_fingerprint_modes_agree_on_livelock() {
+        for dedup in [DedupMode::Exact, DedupMode::Fingerprint] {
+            let cfg = ExploreConfig {
+                workers: 4,
+                dedup,
+                ..Default::default()
+            };
+            let report = explore_parallel(&Livelock, &[Value::Nil, Value::Nil], &cfg);
+            let v = report.outcome.violation().expect("livelock must be caught");
+            assert_eq!(v.kind, ViolationKind::NotWaitFree, "dedup {dedup:?}");
+        }
     }
 
     #[test]
@@ -577,9 +649,61 @@ mod tests {
     fn exhaustion_is_reported_not_mistaken_for_a_verdict() {
         let proto = TasElection;
         let inputs = vec![Value::Pid(0), Value::Pid(1)];
-        let cfg = ExploreConfig { max_states: 2, spec: TaskSpec::Election };
+        let cfg = ExploreConfig {
+            max_states: 2,
+            spec: TaskSpec::Election,
+            ..Default::default()
+        };
         let report = explore(&proto, &inputs, &cfg);
-        assert!(matches!(report.outcome, ExploreOutcome::Exhausted));
+        match report.outcome {
+            ExploreOutcome::Exhausted { states, deepest } => {
+                assert_eq!(states, 2);
+                assert!(deepest >= 1, "progress info must be reported");
+            }
+            other => panic!("expected Exhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_of_exactly_the_state_count_suffices() {
+        // Measure the exact state count, then re-run with precisely
+        // that budget: an inclusive bound must still verify, and one
+        // state less must exhaust.
+        let proto = TasElection;
+        let inputs = proto.pid_inputs();
+        let cfg = ExploreConfig {
+            spec: TaskSpec::Election,
+            ..Default::default()
+        };
+        let full = explore(&proto, &inputs, &cfg);
+        assert!(full.outcome.is_verified());
+        let exact = explore(
+            &proto,
+            &inputs,
+            &ExploreConfig {
+                max_states: full.states,
+                ..cfg.clone()
+            },
+        );
+        assert!(
+            exact.outcome.is_verified(),
+            "max_states == states must verify: {:?}",
+            exact.outcome
+        );
+        let starved = explore(
+            &proto,
+            &inputs,
+            &ExploreConfig {
+                max_states: full.states - 1,
+                ..cfg
+            },
+        );
+        match starved.outcome {
+            ExploreOutcome::Exhausted { states, .. } => {
+                assert_eq!(states, full.states - 1)
+            }
+            other => panic!("expected Exhausted, got {other:?}"),
+        }
     }
 
     #[test]
@@ -609,14 +733,147 @@ mod tests {
         let ok = explore(
             &OwnInput,
             &inputs,
-            &ExploreConfig { spec: TaskSpec::SetConsensus(inputs.clone(), 3), ..Default::default() },
+            &ExploreConfig {
+                spec: TaskSpec::SetConsensus(inputs.clone(), 3),
+                ..Default::default()
+            },
         );
         assert!(ok.outcome.is_verified());
         let bad = explore(
             &OwnInput,
             &inputs,
-            &ExploreConfig { spec: TaskSpec::SetConsensus(inputs.clone(), 2), ..Default::default() },
+            &ExploreConfig {
+                spec: TaskSpec::SetConsensus(inputs.clone(), 2),
+                ..Default::default()
+            },
         );
-        assert_eq!(bad.outcome.violation().unwrap().kind, ViolationKind::Agreement);
+        assert_eq!(
+            bad.outcome.violation().unwrap().kind,
+            ViolationKind::Agreement
+        );
+    }
+
+    #[test]
+    fn symmetric_exploration_agrees_with_plain_on_a_symmetric_protocol() {
+        /// Fully symmetric: everyone sticky-writes its pid and elects
+        /// the pid the write-once register reports (the first writer).
+        struct FirstWriteWins;
+
+        #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        enum FS {
+            Write(usize),
+            Done(usize),
+        }
+
+        impl Protocol for FirstWriteWins {
+            type State = FS;
+            fn processes(&self) -> usize {
+                3
+            }
+            fn layout(&self) -> Layout {
+                let mut l = Layout::new();
+                l.push(ObjectInit::Sticky);
+                l
+            }
+            fn init(&self, pid: Pid, _input: &Value) -> FS {
+                FS::Write(pid)
+            }
+            fn next_action(&self, st: &FS) -> Action {
+                match st {
+                    FS::Write(p) => {
+                        Action::Invoke(Op::new(ObjectId(0), OpKind::StickyWrite(Value::Pid(*p))))
+                    }
+                    FS::Done(p) => Action::Decide(Value::Pid(*p)),
+                }
+            }
+            fn on_response(&self, st: &mut FS, resp: Value) {
+                if let FS::Write(_) = st {
+                    *st = FS::Done(resp.as_pid().expect("sticky holds the winner"));
+                }
+            }
+        }
+
+        impl SymmetricProtocol for FirstWriteWins {
+            fn symmetry_group(&self) -> Vec<Vec<Pid>> {
+                // Full S₃.
+                vec![
+                    vec![0, 2, 1],
+                    vec![1, 0, 2],
+                    vec![1, 2, 0],
+                    vec![2, 0, 1],
+                    vec![2, 1, 0],
+                ]
+            }
+            fn permute_state(&self, perm: &[Pid], st: &FS) -> FS {
+                match st {
+                    FS::Write(p) => FS::Write(perm[*p]),
+                    FS::Done(p) => FS::Done(perm[*p]),
+                }
+            }
+        }
+
+        let proto = FirstWriteWins;
+        let inputs = proto.pid_inputs();
+        let cfg = ExploreConfig {
+            spec: TaskSpec::Election,
+            ..Default::default()
+        };
+        let plain = explore(&proto, &inputs, &cfg);
+        let sym = explore_symmetric(&proto, &inputs, &cfg);
+        assert!(plain.outcome.is_verified());
+        assert!(sym.outcome.is_verified());
+        // Same exact step bounds from ~6× fewer states.
+        assert_eq!(plain.max_steps_per_proc, sym.max_steps_per_proc);
+        assert!(
+            sym.states * 3 < plain.states,
+            "symmetry should collapse orbits: {} vs {}",
+            sym.states,
+            plain.states
+        );
+        // And in parallel.
+        let sym_par =
+            explore_symmetric_parallel(&proto, &inputs, &ExploreConfig { workers: 3, ..cfg });
+        assert!(sym_par.outcome.is_verified());
+        assert_eq!(sym_par.max_steps_per_proc, sym.max_steps_per_proc);
+        assert_eq!(sym_par.states, sym.states);
+    }
+
+    #[test]
+    fn symmetric_exploration_rejects_non_equivariant_inputs() {
+        // Symmetric protocol, but consensus inputs that distinguish
+        // processes: the reduction must refuse to run.
+        struct Sym2;
+        impl Protocol for Sym2 {
+            type State = u8;
+            fn processes(&self) -> usize {
+                2
+            }
+            fn layout(&self) -> Layout {
+                Layout::new()
+            }
+            fn init(&self, _pid: Pid, _input: &Value) -> u8 {
+                0
+            }
+            fn next_action(&self, _st: &u8) -> Action {
+                Action::Decide(Value::Int(0))
+            }
+            fn on_response(&self, _st: &mut u8, _resp: Value) {}
+        }
+        impl SymmetricProtocol for Sym2 {
+            fn symmetry_group(&self) -> Vec<Vec<Pid>> {
+                vec![vec![1, 0]]
+            }
+            fn permute_state(&self, _perm: &[Pid], st: &u8) -> u8 {
+                *st
+            }
+        }
+        let result = std::panic::catch_unwind(|| {
+            explore_symmetric(
+                &Sym2,
+                &[Value::Int(1), Value::Int(2)],
+                &ExploreConfig::default(),
+            )
+        });
+        assert!(result.is_err(), "non-equivariant inputs must be rejected");
     }
 }

@@ -1,0 +1,182 @@
+//! Deterministic 64-bit hashing for the exploration engine.
+//!
+//! The standard library's default hasher is seeded per-`HashMap`
+//! instance, so two runs (or two shards) hash the same state to
+//! different values. The explorer needs *stable* fingerprints: the
+//! same global state must map to the same 64-bit code in every worker,
+//! every shard, and every run, so that the fingerprint-keyed visited
+//! table and the replayable lowest-schedule tie-breaks are
+//! reproducible. This module provides an FxHash-style multiply-rotate
+//! hasher with a fixed seed.
+//!
+//! FxHash is not collision-resistant against adversarial inputs, but
+//! explorer states are not adversarial; what matters here is speed
+//! (states are hashed once per generated successor) and determinism.
+//! The collision *probability* caveat for fingerprint-keyed
+//! deduplication is discussed in `DESIGN.md` §3.2.
+
+use std::hash::{BuildHasher, Hash, Hasher};
+
+/// The multiplier used by Firefox's FxHash (a 64-bit cousin of the
+/// golden-ratio constant).
+const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, deterministic, non-cryptographic 64-bit hasher.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    /// A fresh hasher with the fixed zero seed.
+    pub fn new() -> FxHasher {
+        FxHasher { hash: 0 }
+    }
+
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            // Fold the tail length in so "ab" + "" ≠ "a" + "b".
+            self.add(u64::from_le_bytes(word) ^ (rest.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.add(v as u64);
+        self.add((v >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// [`BuildHasher`] producing [`FxHasher`]s; usable as the `S` parameter
+/// of `HashMap`/`HashSet` for deterministic, fast hashing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxBuildHasher;
+
+impl BuildHasher for FxBuildHasher {
+    type Hasher = FxHasher;
+
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher::new()
+    }
+}
+
+/// The deterministic 64-bit fingerprint of any hashable value.
+///
+/// Equal values always fingerprint equally; distinct values collide
+/// with probability ≈ 2⁻⁶⁴ per pair (for non-adversarial data).
+pub fn fingerprint<T: Hash>(value: &T) -> u64 {
+    let mut h = FxHasher::new();
+    value.hash(&mut h);
+    h.finish()
+}
+
+/// The salted hash of one *component* of a composite state, for
+/// Zobrist-style incremental fingerprinting.
+///
+/// A state's fingerprint is the XOR of its components' hashes, each
+/// salted with the component's index — so replacing one component
+/// updates the fingerprint in O(1) (XOR the old component hash out,
+/// the new one in) instead of re-walking the whole state. XOR makes
+/// the combination order-independent; the index salt keeps equal
+/// values at different positions from cancelling.
+pub fn component_hash<T: Hash + ?Sized>(idx: usize, value: &T) -> u64 {
+    let mut h = FxHasher::new();
+    h.write_usize(idx);
+    value.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = fingerprint(&("state", 42u64, vec![1u8, 2, 3]));
+        let b = fingerprint(&("state", 42u64, vec![1u8, 2, 3]));
+        assert_eq!(a, b);
+        assert_ne!(a, fingerprint(&("state", 43u64, vec![1u8, 2, 3])));
+    }
+
+    #[test]
+    fn tail_bytes_are_length_salted() {
+        // Without tail-length salting these would collide.
+        let mut h1 = FxHasher::new();
+        h1.write(&[1, 0, 0]);
+        let mut h2 = FxHasher::new();
+        h2.write(&[1, 0]);
+        assert_ne!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn usable_as_map_hasher() {
+        let mut m: HashMap<u64, usize, FxBuildHasher> = HashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i.wrapping_mul(0x9e37_79b9_7f4a_7c15), i as usize);
+        }
+        assert_eq!(m.len(), 1000);
+    }
+
+    #[test]
+    fn component_hashes_are_position_salted() {
+        assert_ne!(component_hash(0, &7u64), component_hash(1, &7u64));
+        // Equal components at different positions must not cancel
+        // under the XOR combination.
+        assert_ne!(component_hash(0, &7u64) ^ component_hash(1, &7u64), 0);
+    }
+
+    #[test]
+    fn spreads_sequential_keys() {
+        // Shard selection uses the high bits; sequential inputs must not
+        // land in one shard.
+        use std::collections::HashSet;
+        let shards: HashSet<u64> = (0..1024u64).map(|i| fingerprint(&i) >> 58).collect();
+        assert!(shards.len() > 32, "only {} of 64 shards hit", shards.len());
+    }
+}

@@ -98,7 +98,9 @@
 #![allow(clippy::result_large_err)]
 
 pub mod checker;
+mod engine;
 mod explore;
+pub mod fingerprint;
 pub mod linearizability;
 mod memory;
 mod protocol;
@@ -106,17 +108,20 @@ pub mod record;
 pub mod refute;
 pub mod scheduler;
 mod sim;
+pub mod symmetry;
 pub mod thread_runner;
 mod trace;
 pub mod valence;
 pub mod viz;
 
 pub use explore::{
-    explore, ExploreConfig, ExploreOutcome, Report as ExploreReport, TaskSpec, Violation,
+    explore, explore_parallel, explore_symmetric, explore_symmetric_parallel, DedupMode,
+    ExploreConfig, ExploreOutcome, ExploreStats, Report as ExploreReport, TaskSpec, Violation,
     ViolationKind,
 };
 pub use memory::SharedMemory;
 pub use protocol::{Action, Pid, Protocol, ProtocolExt};
 pub use scheduler::Scheduler;
 pub use sim::{CrashPlan, ProcStatus, RunError, RunResult, Simulation};
+pub use symmetry::SymmetricProtocol;
 pub use trace::{Event, EventKind, Trace};

@@ -174,8 +174,11 @@ pub fn check_run_legality(
     layout: &Layout,
     ops_by_proc: &[Vec<(usize, bso_objects::Op, bso_objects::Value)>],
 ) -> Result<Vec<(usize, usize)>, NotSerializable> {
-    let objects: Vec<ObjectState> =
-        layout.objects().iter().map(ObjectState::from_init).collect();
+    let objects: Vec<ObjectState> = layout
+        .objects()
+        .iter()
+        .map(ObjectState::from_init)
+        .collect();
     let mut pos = vec![0usize; ops_by_proc.len()];
     let mut order = Vec::new();
     let total: usize = ops_by_proc.iter().map(Vec::len).sum();
@@ -216,7 +219,8 @@ fn serialize(
         // pid-insensitive operations qualify: a `SnapshotUpdate`'s
         // effect depends on who performs it.
         let pid_insensitive = |o: &[(usize, bso_objects::Op, bso_objects::Value)]| {
-            o.iter().all(|(_, op, _)| !matches!(op.kind, OpKind::SnapshotUpdate(_)))
+            o.iter()
+                .all(|(_, op, _)| !matches!(op.kind, OpKind::SnapshotUpdate(_)))
         };
         if pid_insensitive(&ops[p][i..]) {
             for q in 0..p {
@@ -257,7 +261,13 @@ mod tests {
     use bso_objects::{ObjectInit, Op, OpKind, Value};
 
     fn rec(pid: usize, op: Op, resp: Value, at: (u64, u64)) -> RecordedOp {
-        RecordedOp { pid, op, resp, invoked_at: at.0, responded_at: at.1 }
+        RecordedOp {
+            pid,
+            op,
+            resp,
+            invoked_at: at.0,
+            responded_at: at.1,
+        }
     }
 
     #[test]
@@ -305,18 +315,34 @@ mod tests {
         let init = ObjectState::from_init(&ObjectInit::CasK { k: 3 });
         // Two *successful* c&s(⊥ → ·) responses: impossible.
         let h = vec![
-            rec(0, Op::cas(obj, Sym::BOTTOM.into(), Sym::new(0).into()),
-                Value::Sym(Sym::BOTTOM), (0, 3)),
-            rec(1, Op::cas(obj, Sym::BOTTOM.into(), Sym::new(1).into()),
-                Value::Sym(Sym::BOTTOM), (1, 4)),
+            rec(
+                0,
+                Op::cas(obj, Sym::BOTTOM.into(), Sym::new(0).into()),
+                Value::Sym(Sym::BOTTOM),
+                (0, 3),
+            ),
+            rec(
+                1,
+                Op::cas(obj, Sym::BOTTOM.into(), Sym::new(1).into()),
+                Value::Sym(Sym::BOTTOM),
+                (1, 4),
+            ),
         ];
         assert!(check_object_history(obj, &init, &h).is_err());
         // The legal variant: the second sees the first's value.
         let h = vec![
-            rec(0, Op::cas(obj, Sym::BOTTOM.into(), Sym::new(0).into()),
-                Value::Sym(Sym::BOTTOM), (0, 3)),
-            rec(1, Op::cas(obj, Sym::BOTTOM.into(), Sym::new(1).into()),
-                Value::Sym(Sym::new(0)), (1, 4)),
+            rec(
+                0,
+                Op::cas(obj, Sym::BOTTOM.into(), Sym::new(0).into()),
+                Value::Sym(Sym::BOTTOM),
+                (0, 3),
+            ),
+            rec(
+                1,
+                Op::cas(obj, Sym::BOTTOM.into(), Sym::new(1).into()),
+                Value::Sym(Sym::new(0)),
+                (1, 4),
+            ),
         ];
         assert!(check_object_history(obj, &init, &h).is_ok());
     }
@@ -331,11 +357,17 @@ mod tests {
         let cas = layout.push(ObjectInit::CasK { k: 3 });
         let ops = vec![
             // p0: one successful c&s
-            vec![(0usize, Op::cas(cas, Sym::BOTTOM.into(), Sym::new(0).into()),
-                  Value::Sym(Sym::BOTTOM))],
+            vec![(
+                0usize,
+                Op::cas(cas, Sym::BOTTOM.into(), Sym::new(0).into()),
+                Value::Sym(Sym::BOTTOM),
+            )],
             // p1: a failing c&s that observed 0
-            vec![(1usize, Op::cas(cas, Sym::BOTTOM.into(), Sym::new(1).into()),
-                  Value::Sym(Sym::new(0)))],
+            vec![(
+                1usize,
+                Op::cas(cas, Sym::BOTTOM.into(), Sym::new(1).into()),
+                Value::Sym(Sym::new(0)),
+            )],
         ];
         let order = check_run_legality(&layout, &ops).unwrap();
         assert_eq!(order, vec![(0, 0), (1, 0)]);
@@ -347,10 +379,16 @@ mod tests {
         let mut layout = Layout::new();
         let cas = layout.push(ObjectInit::CasK { k: 3 });
         let ops = vec![
-            vec![(0usize, Op::cas(cas, Sym::BOTTOM.into(), Sym::new(0).into()),
-                  Value::Sym(Sym::BOTTOM))],
-            vec![(1usize, Op::cas(cas, Sym::BOTTOM.into(), Sym::new(1).into()),
-                  Value::Sym(Sym::BOTTOM))],
+            vec![(
+                0usize,
+                Op::cas(cas, Sym::BOTTOM.into(), Sym::new(0).into()),
+                Value::Sym(Sym::BOTTOM),
+            )],
+            vec![(
+                1usize,
+                Op::cas(cas, Sym::BOTTOM.into(), Sym::new(1).into()),
+                Value::Sym(Sym::BOTTOM),
+            )],
         ];
         assert!(check_run_legality(&layout, &ops).is_err());
     }

@@ -21,7 +21,7 @@ use bso_objects::{spec::ObjectState, Layout, ObjectError, ObjectId, Op, Value};
 /// mem.apply(0, &Op::write(r, Value::Int(1))).unwrap();
 /// assert_eq!(mem.apply(1, &Op::read(r)).unwrap(), Value::Int(1));
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct SharedMemory {
     objects: Vec<ObjectState>,
 }
@@ -30,7 +30,11 @@ impl SharedMemory {
     /// Allocates all objects of `layout` in their initial states.
     pub fn new(layout: &Layout) -> SharedMemory {
         SharedMemory {
-            objects: layout.objects().iter().map(ObjectState::from_init).collect(),
+            objects: layout
+                .objects()
+                .iter()
+                .map(ObjectState::from_init)
+                .collect(),
         }
     }
 
@@ -52,6 +56,24 @@ impl SharedMemory {
     /// Read-only access to an object's state (for checkers and tests).
     pub fn object(&self, id: ObjectId) -> Option<&ObjectState> {
         self.objects.get(id.0)
+    }
+
+    /// Mutable access to one object's state by layout index (for the
+    /// explorer's in-place step undo).
+    pub(crate) fn object_state_mut(&mut self, idx: usize) -> &mut ObjectState {
+        &mut self.objects[idx]
+    }
+
+    /// All object states, in layout order (for the explorer's
+    /// symmetry-reduction canonicalizer).
+    pub(crate) fn objects(&self) -> &[ObjectState] {
+        &self.objects
+    }
+
+    /// Rebuilds a memory from explicit object states (for the
+    /// explorer's symmetry-reduction canonicalizer).
+    pub(crate) fn from_objects(objects: Vec<ObjectState>) -> SharedMemory {
+        SharedMemory { objects }
     }
 
     /// The number of objects.

@@ -8,8 +8,7 @@
 //! logs against the sequential object specifications.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use bso_objects::atomic::Memory;
 use bso_objects::{ObjectError, Op, Value};
@@ -60,20 +59,24 @@ pub struct RecordingMemory<'m, M: Memory + ?Sized> {
 impl<'m, M: Memory + ?Sized> RecordingMemory<'m, M> {
     /// Wraps `inner`, starting the clock at zero.
     pub fn new(inner: &'m M) -> RecordingMemory<'m, M> {
-        RecordingMemory { inner, clock: AtomicU64::new(0), log: Mutex::new(Vec::new()) }
+        RecordingMemory {
+            inner,
+            clock: AtomicU64::new(0),
+            log: Mutex::new(Vec::new()),
+        }
     }
 
     /// Consumes the recorder and returns the log, sorted by response
     /// time.
     pub fn into_log(self) -> Vec<RecordedOp> {
-        let mut log = self.log.into_inner();
+        let mut log = self.log.into_inner().unwrap();
         log.sort_by_key(|r| r.responded_at);
         log
     }
 
     /// The number of operations recorded so far.
     pub fn len(&self) -> usize {
-        self.log.lock().len()
+        self.log.lock().unwrap().len()
     }
 
     /// Whether nothing has been recorded.
@@ -87,7 +90,7 @@ impl<M: Memory + ?Sized> Memory for RecordingMemory<'_, M> {
         let invoked_at = self.clock.fetch_add(1, Ordering::SeqCst);
         let resp = self.inner.apply(pid, op)?;
         let responded_at = self.clock.fetch_add(1, Ordering::SeqCst);
-        self.log.lock().push(RecordedOp {
+        self.log.lock().unwrap().push(RecordedOp {
             pid,
             op: op.clone(),
             resp: resp.clone(),

@@ -23,8 +23,8 @@ use std::hash::Hash;
 
 use bso_objects::Value;
 
-use crate::{explore, ExploreConfig, ExploreOutcome, Protocol, Violation};
 use crate::explore::TaskSpec;
+use crate::{explore, ExploreConfig, ExploreOutcome, Protocol, Violation};
 
 /// The witness that a candidate protocol fails its task.
 #[derive(Clone, Debug)]
@@ -38,7 +38,11 @@ pub struct Refutation {
 
 impl fmt::Display for Refutation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "refuted after {} states: {}", self.states, self.violation)
+        write!(
+            f,
+            "refuted after {} states: {}",
+            self.states, self.violation
+        )
     }
 }
 
@@ -83,26 +87,28 @@ fn verdict_of(report: crate::ExploreReport) -> Verdict {
             states: report.states,
             max_steps_per_proc: report.max_steps_per_proc,
         },
-        ExploreOutcome::Violated(violation) => {
-            Verdict::Refuted(Refutation { violation, states: report.states })
-        }
-        ExploreOutcome::Exhausted => Verdict::Unknown { states: report.states },
+        ExploreOutcome::Violated(violation) => Verdict::Refuted(Refutation {
+            violation,
+            states: report.states,
+        }),
+        ExploreOutcome::Exhausted { .. } => Verdict::Unknown {
+            states: report.states,
+        },
     }
 }
 
 /// Tries to refute `proto` as a consensus protocol for the given
 /// inputs: explores all schedules, looking for disagreement, an invalid
 /// decision, or a run on which some process never decides.
-pub fn refute_consensus<P: Protocol>(
-    proto: &P,
-    inputs: &[Value],
-    max_states: usize,
-) -> Verdict
+pub fn refute_consensus<P: Protocol>(proto: &P, inputs: &[Value], max_states: usize) -> Verdict
 where
     P::State: Hash + Eq,
 {
-    let cfg =
-        ExploreConfig { max_states, spec: TaskSpec::Consensus(inputs.to_vec()) };
+    let cfg = ExploreConfig {
+        max_states,
+        spec: TaskSpec::Consensus(inputs.to_vec()),
+        ..Default::default()
+    };
     verdict_of(explore(proto, inputs, &cfg))
 }
 
@@ -113,7 +119,11 @@ where
     P::State: Hash + Eq,
 {
     let inputs: Vec<Value> = (0..proto.processes()).map(Value::Pid).collect();
-    let cfg = ExploreConfig { max_states, spec: TaskSpec::Election };
+    let cfg = ExploreConfig {
+        max_states,
+        spec: TaskSpec::Election,
+        ..Default::default()
+    };
     verdict_of(explore(proto, &inputs, &cfg))
 }
 
@@ -127,8 +137,11 @@ pub fn refute_set_consensus<P: Protocol>(
 where
     P::State: Hash + Eq,
 {
-    let cfg =
-        ExploreConfig { max_states, spec: TaskSpec::SetConsensus(inputs.to_vec(), l) };
+    let cfg = ExploreConfig {
+        max_states,
+        spec: TaskSpec::SetConsensus(inputs.to_vec(), l),
+        ..Default::default()
+    };
     verdict_of(explore(proto, inputs, &cfg))
 }
 
@@ -194,7 +207,10 @@ mod tests {
         // Replay the witness schedule and confirm the violation is real.
         let mut sim = crate::Simulation::new(&RwMinConsensus, &inputs);
         let res = sim
-            .run(&mut crate::scheduler::Scripted::new(r.violation.schedule.clone()), 1000)
+            .run(
+                &mut crate::scheduler::Scripted::new(r.violation.schedule.clone()),
+                1000,
+            )
             .unwrap();
         assert!(crate::checker::check_consensus(&res, &inputs).is_err());
     }

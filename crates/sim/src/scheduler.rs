@@ -4,8 +4,7 @@
 //! entirely; a scheduler here is exactly such an adversary restricted
 //! to the processes that are still enabled (not decided, not crashed).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use bso_objects::rng::SplitMix64;
 
 use crate::Pid;
 
@@ -49,19 +48,21 @@ impl Scheduler for RoundRobin {
 /// stress schedules.
 #[derive(Clone, Debug)]
 pub struct RandomSched {
-    rng: StdRng,
+    rng: SplitMix64,
 }
 
 impl RandomSched {
     /// A random scheduler with the given seed.
     pub fn new(seed: u64) -> RandomSched {
-        RandomSched { rng: StdRng::seed_from_u64(seed) }
+        RandomSched {
+            rng: SplitMix64::new(seed),
+        }
     }
 }
 
 impl Scheduler for RandomSched {
     fn pick(&mut self, enabled: &[Pid]) -> Pid {
-        enabled[self.rng.gen_range(0..enabled.len())]
+        enabled[self.rng.usize_below(enabled.len())]
     }
 }
 
@@ -73,7 +74,7 @@ impl Scheduler for RandomSched {
 /// random scheduling.
 #[derive(Clone, Debug)]
 pub struct BurstSched {
-    rng: StdRng,
+    rng: SplitMix64,
     max_burst: usize,
     current: Option<Pid>,
     remaining: usize,
@@ -88,7 +89,12 @@ impl BurstSched {
     /// Panics if `max_burst` is 0.
     pub fn new(seed: u64, max_burst: usize) -> BurstSched {
         assert!(max_burst > 0, "max_burst must be positive");
-        BurstSched { rng: StdRng::seed_from_u64(seed), max_burst, current: None, remaining: 0 }
+        BurstSched {
+            rng: SplitMix64::new(seed),
+            max_burst,
+            current: None,
+            remaining: 0,
+        }
     }
 }
 
@@ -100,9 +106,9 @@ impl Scheduler for BurstSched {
                 return p;
             }
         }
-        let p = enabled[self.rng.gen_range(0..enabled.len())];
+        let p = enabled[self.rng.usize_below(enabled.len())];
         self.current = Some(p);
-        self.remaining = self.rng.gen_range(0..self.max_burst);
+        self.remaining = self.rng.usize_below(self.max_burst);
         p
     }
 }
@@ -121,7 +127,10 @@ pub struct Scripted {
 impl Scripted {
     /// A scheduler replaying `script`.
     pub fn new(script: impl IntoIterator<Item = Pid>) -> Scripted {
-        Scripted { script: script.into_iter().collect(), fallback: RoundRobin::new() }
+        Scripted {
+            script: script.into_iter().collect(),
+            fallback: RoundRobin::new(),
+        }
     }
 }
 

@@ -149,7 +149,11 @@ impl<'p, P: Protocol> Simulation<'p, P> {
         Simulation {
             proto,
             mem: SharedMemory::new(&proto.layout()),
-            states: inputs.iter().enumerate().map(|(p, v)| proto.init(p, v)).collect(),
+            states: inputs
+                .iter()
+                .enumerate()
+                .map(|(p, v)| proto.init(p, v))
+                .collect(),
             statuses: vec![ProcStatus::Running; n],
             steps: vec![0; n],
             trace: Trace::new(),
@@ -212,10 +216,11 @@ impl<'p, P: Protocol> Simulation<'p, P> {
         } else {
             match self.proto.next_action(&self.states[pid]) {
                 Action::Invoke(op) => {
-                    let resp = self
-                        .mem
-                        .apply(pid, &op)
-                        .map_err(|err| RunError::Object { pid, op: op.clone(), err })?;
+                    let resp = self.mem.apply(pid, &op).map_err(|err| RunError::Object {
+                        pid,
+                        op: op.clone(),
+                        err,
+                    })?;
                     self.proto.on_response(&mut self.states[pid], resp.clone());
                     self.steps[pid] += 1;
                     self.trace.push(pid, EventKind::Applied { op, resp });
@@ -262,7 +267,11 @@ impl<'p, P: Protocol> Simulation<'p, P> {
     pub fn result(&self) -> RunResult {
         RunResult {
             trace: self.trace.clone(),
-            decisions: self.statuses.iter().map(|s| s.decision().cloned()).collect(),
+            decisions: self
+                .statuses
+                .iter()
+                .map(|s| s.decision().cloned())
+                .collect(),
             statuses: self.statuses.clone(),
             steps: self.steps.clone(),
         }
@@ -316,8 +325,12 @@ mod tests {
             let proto = Ranker { n: 4 };
             let mut sim = Simulation::new(&proto, &vec![Value::Nil; 4]);
             let res = sim.run(&mut RandomSched::new(seed), 1000).unwrap();
-            let mut ranks: Vec<i64> =
-                res.decisions.iter().flatten().map(|v| v.as_int().unwrap()).collect();
+            let mut ranks: Vec<i64> = res
+                .decisions
+                .iter()
+                .flatten()
+                .map(|v| v.as_int().unwrap())
+                .collect();
             ranks.sort_unstable();
             assert_eq!(ranks, vec![0, 1, 2, 3]);
             assert!(res.steps.iter().all(|&s| s == 2)); // one op + one decide
@@ -397,7 +410,10 @@ mod tests {
         let res = sim.run(&mut RandomSched::new(9), 100).unwrap();
         let mut replay = Simulation::new(&proto, &vec![Value::Nil; 3]);
         let res2 = replay
-            .run(&mut crate::scheduler::Scripted::new(res.trace.schedule()), 100)
+            .run(
+                &mut crate::scheduler::Scripted::new(res.trace.schedule()),
+                100,
+            )
             .unwrap();
         assert_eq!(res.trace, res2.trace);
         assert_eq!(res.decisions, res2.decisions);

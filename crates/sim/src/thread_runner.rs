@@ -83,25 +83,23 @@ where
     Ok((decisions, rec.into_log()))
 }
 
-fn collect_decisions<P, M>(
-    proto: &P,
-    mem: &M,
-    inputs: &[Value],
-) -> Result<Vec<Value>, ObjectError>
+fn collect_decisions<P, M>(proto: &P, mem: &M, inputs: &[Value]) -> Result<Vec<Value>, ObjectError>
 where
     P: Protocol + Sync,
     P::State: Send,
     M: Memory + ?Sized,
 {
-    let results: Vec<Result<Value, ObjectError>> = crossbeam::scope(|s| {
+    let results: Vec<Result<Value, ObjectError>> = std::thread::scope(|s| {
         let handles: Vec<_> = inputs
             .iter()
             .enumerate()
-            .map(|(pid, input)| s.spawn(move |_| run_process(proto, mem, pid, input)))
+            .map(|(pid, input)| s.spawn(move || run_process(proto, mem, pid, input)))
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    })
-    .expect("thread scope failed");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
     results.into_iter().collect()
 }
 
@@ -160,8 +158,7 @@ mod tests {
     #[test]
     fn recorded_history_is_linearizable() {
         let proto = Ranker { n: 4 };
-        let (decisions, log) =
-            run_on_threads_recorded(&proto, &vec![Value::Nil; 4]).unwrap();
+        let (decisions, log) = run_on_threads_recorded(&proto, &vec![Value::Nil; 4]).unwrap();
         assert_eq!(decisions.len(), 4);
         assert_eq!(log.len(), 4); // one f&a per process
         crate::linearizability::check_history(&proto.layout(), &log).unwrap();

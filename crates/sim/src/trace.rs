@@ -138,7 +138,13 @@ mod tests {
     #[test]
     fn sequence_numbers_and_projections() {
         let mut t = Trace::new();
-        t.push(1, EventKind::Applied { op: Op::read(ObjectId(0)), resp: Value::Nil });
+        t.push(
+            1,
+            EventKind::Applied {
+                op: Op::read(ObjectId(0)),
+                resp: Value::Nil,
+            },
+        );
         t.push(0, EventKind::Decided(Value::Pid(0)));
         t.push(1, EventKind::Decided(Value::Pid(0)));
         assert_eq!(t.len(), 3);
@@ -151,7 +157,13 @@ mod tests {
     #[test]
     fn display_is_readable() {
         let mut t = Trace::new();
-        t.push(0, EventKind::Applied { op: Op::read(ObjectId(2)), resp: Value::Int(5) });
+        t.push(
+            0,
+            EventKind::Applied {
+                op: Op::read(ObjectId(2)),
+                resp: Value::Int(5),
+            },
+        );
         t.push(0, EventKind::Crashed);
         let s = t.to_string();
         assert!(s.contains("p0: o2.read ⇒ 5"), "got: {s}");

@@ -89,7 +89,11 @@ where
     assert_eq!(inputs.len(), n);
     let init = Key {
         mem: SharedMemory::new(&proto.layout()),
-        states: inputs.iter().enumerate().map(|(p, v)| proto.init(p, v)).collect(),
+        states: inputs
+            .iter()
+            .enumerate()
+            .map(|(p, v)| proto.init(p, v))
+            .collect(),
         decisions: vec![None; n],
     };
 
@@ -105,8 +109,7 @@ where
     let mut complete = true;
     while let Some(i) = queue.pop_front() {
         let key = keys[i].clone();
-        let enabled: Vec<Pid> =
-            (0..n).filter(|&p| key.decisions[p].is_none()).collect();
+        let enabled: Vec<Pid> = (0..n).filter(|&p| key.decisions[p].is_none()).collect();
         for pid in enabled {
             let mut next = key.clone();
             match proto.next_action(&next.states[pid]) {
@@ -178,7 +181,9 @@ where
         })
         .count();
     ValenceReport {
-        initial: Valence { values: vals[0].clone() },
+        initial: Valence {
+            values: vals[0].clone(),
+        },
         states: keys.len(),
         bivalent,
         critical,
@@ -246,7 +251,10 @@ mod tests {
         let inputs = vec![Value::Int(10), Value::Int(20)];
         let report = analyze(&TasConsensus, &inputs, 100_000);
         assert!(report.complete);
-        assert!(report.initial.is_bivalent(), "both inputs are reachable initially");
+        assert!(
+            report.initial.is_bivalent(),
+            "both inputs are reachable initially"
+        );
         assert_eq!(report.initial.values(), &[Value::Int(10), Value::Int(20)]);
         // A sound consensus protocol resolves bivalence at some critical
         // state — for test&set consensus, at the test&set itself.

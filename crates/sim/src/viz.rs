@@ -86,9 +86,7 @@ pub fn register_history(trace: &Trace, obj: ObjectId, initial: Value) -> Vec<(us
             }
             match &op.kind {
                 OpKind::Write(v) | OpKind::Swap(v) => out.push((e.seq, v.clone())),
-                OpKind::Cas { expect, new } if resp == expect => {
-                    out.push((e.seq, new.clone()))
-                }
+                OpKind::Cas { expect, new } if resp == expect => out.push((e.seq, new.clone())),
                 _ => {}
             }
         }
@@ -118,7 +116,13 @@ mod tests {
 
     fn sample_trace() -> Trace {
         let mut t = Trace::new();
-        t.push(0, EventKind::Applied { op: Op::write(ObjectId(1), Value::Pid(0)), resp: Value::Nil });
+        t.push(
+            0,
+            EventKind::Applied {
+                op: Op::write(ObjectId(1), Value::Pid(0)),
+                resp: Value::Nil,
+            },
+        );
         t.push(
             1,
             EventKind::Applied {

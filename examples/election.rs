@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let report = explore(
                 &burns,
                 &burns.pid_inputs(),
-                &ExploreConfig { spec: TaskSpec::Election, ..Default::default() },
+                &ExploreConfig {
+                    spec: TaskSpec::Election,
+                    ..Default::default()
+                },
             );
             assert!(report.outcome.is_verified());
             format!("n={burns_n} ✓ exhaustive")
@@ -46,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let report = explore(
                 &label,
                 &label.pid_inputs(),
-                &ExploreConfig { spec: TaskSpec::Election, ..Default::default() },
+                &ExploreConfig {
+                    spec: TaskSpec::Election,
+                    ..Default::default()
+                },
             );
             assert!(report.outcome.is_verified());
             (

@@ -14,9 +14,21 @@ use bso::combinatorics::search::{greedy_moves, max_moves_any_start};
 
 fn main() {
     println!("Lemma 1.1: max moves before a painted cycle (exhaustive search)\n");
-    println!("{:>3} {:>3} | {:>10} | {:>8} | bound holds (m ≥ 2)", "k", "m", "max moves", "m^k");
+    println!(
+        "{:>3} {:>3} | {:>10} | {:>8} | bound holds (m ≥ 2)",
+        "k", "m", "max moves", "m^k"
+    );
     println!("{}", "-".repeat(56));
-    for (k, m) in [(2, 1), (3, 1), (4, 1), (2, 2), (3, 2), (4, 2), (2, 3), (3, 3)] {
+    for (k, m) in [
+        (2, 1),
+        (3, 1),
+        (4, 1),
+        (2, 2),
+        (3, 2),
+        (4, 2),
+        (2, 3),
+        (3, 3),
+    ] {
         let measured = max_moves_any_start(k, m);
         let bound = (m as u128).pow(k as u32);
         let verdict = if m == 1 {
@@ -28,12 +40,18 @@ fn main() {
         };
         println!("{k:>3} {m:>3} | {measured:>10} | {bound:>8} | {verdict}");
         if m >= 2 {
-            assert!(measured as u128 <= bound, "Lemma 1.1 violated at k={k}, m={m}");
+            assert!(
+                measured as u128 <= bound,
+                "Lemma 1.1 violated at k={k}, m={m}"
+            );
         }
     }
 
     println!("\nGreedy lower-bound witnesses on larger instances:");
-    println!("{:>3} {:>3} | {:>12} | {:>10}", "k", "m", "greedy moves", "m^k");
+    println!(
+        "{:>3} {:>3} | {:>12} | {:>10}",
+        "k", "m", "greedy moves", "m^k"
+    );
     println!("{}", "-".repeat(40));
     for (k, m) in [(4, 3), (5, 2), (5, 3), (6, 2)] {
         let g = greedy_moves(k, &(0..m).map(|a| a % k).collect::<Vec<_>>(), 1_000_000);

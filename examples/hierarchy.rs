@@ -19,7 +19,9 @@ fn main() {
             "{:<22} | {:>9} | {:<40}",
             row.object.to_string(),
             row.consensus_number.to_string(),
-            row.single_object_election_ceiling.as_deref().unwrap_or("unbounded"),
+            row.single_object_election_ceiling
+                .as_deref()
+                .unwrap_or("unbounded"),
         );
     }
 
@@ -34,8 +36,12 @@ fn main() {
         if d.schedule.is_empty() {
             println!("  witness  : cycle in the reachable state graph");
         } else {
-            let shown: Vec<String> =
-                d.schedule.iter().take(12).map(|p| format!("p{p}")).collect();
+            let shown: Vec<String> = d
+                .schedule
+                .iter()
+                .take(12)
+                .map(|p| format!("p{p}"))
+                .collect();
             println!(
                 "  schedule : {}{}",
                 shown.join(" "),

@@ -13,7 +13,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (n, k) = (6, 4); // (k−1)! = 6 processes, domain {⊥, 0, 1, 2}
     let proto = LabelElection::new(n, k)?;
     println!("LabelElection: n = {n} processes, one compare&swap-({k}) + registers");
-    println!("(the register alone would support only k−1 = {} processes)\n", k - 1);
+    println!(
+        "(the register alone would support only k−1 = {} processes)\n",
+        k - 1
+    );
 
     // 1. Simulator, random adversarial schedule.
     let mut sim = Simulation::new(&proto, &proto.pid_inputs());

@@ -16,9 +16,7 @@ use bso::{LabelElection, Reduction};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (phi, k, m) = (6, 4, 3);
-    println!(
-        "Emulating A = LabelElection(Φ = {phi}, k = {k}) with m = {m} emulators"
-    );
+    println!("Emulating A = LabelElection(Φ = {phi}, k = {k}) with m = {m} emulators");
     println!("Emulator shared memory: read/write (snapshot of swmr slots) ONLY.\n");
 
     let mut max_labels = 0;

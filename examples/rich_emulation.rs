@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 1. Φ sweep at fixed quota: the provisioning frontier.
     println!("Φ sweep, m = 2 emulators, suspension quota = 2 per edge:");
-    println!("{:>5} | {:>10} | {:>10} | {:>12}", "Φ", "completed", "stalled", "all legal?");
+    println!(
+        "{:>5} | {:>10} | {:>10} | {:>12}",
+        "Φ", "completed", "stalled", "all legal?"
+    );
     println!("{}", "-".repeat(48));
     let cfg = RichConfig {
         suspend_quota: 2,
@@ -68,7 +71,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let report = run_rich(&emu, &mut RandomSched::new(1), 200_000)?;
         println!(
             "  Φ = {phi:>3}: {}",
-            if report.stalled { "stalled (under-provisioned)" } else { "completed" }
+            if report.stalled {
+                "stalled (under-provisioned)"
+            } else {
+                "completed"
+            }
         );
     }
 

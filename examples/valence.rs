@@ -23,15 +23,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("Valency analysis (binary inputs 0, 1)\n");
     for (name, report) in [
-        ("TasConsensus (sound, test&set)", valence::analyze(&TasConsensus, &inputs, 1_000_000)),
-        ("RwConsensus (doomed, registers only)", valence::analyze(&RwConsensus, &inputs, 1_000_000)),
+        (
+            "TasConsensus (sound, test&set)",
+            valence::analyze(&TasConsensus, &inputs, 1_000_000),
+        ),
+        (
+            "RwConsensus (doomed, registers only)",
+            valence::analyze(&RwConsensus, &inputs, 1_000_000),
+        ),
     ] {
         println!("{name}:");
         println!("  states reachable : {}", report.states);
         println!(
             "  initial valence  : {:?} ({})",
             report.initial.values(),
-            if report.initial.is_bivalent() { "bivalent" } else { "univalent" }
+            if report.initial.is_bivalent() {
+                "bivalent"
+            } else {
+                "univalent"
+            }
         );
         println!("  bivalent states  : {}", report.bivalent);
         println!("  critical states  : {}", report.critical);

@@ -7,9 +7,8 @@ use bso::objects::Value;
 use bso::protocols::consensus::CasKConsensus;
 use bso::protocols::snapshot::{views_are_comparable, SnapshotExerciser};
 use bso::sim::{
-    Protocol,
     checker, explore, linearizability, scheduler, thread_runner, CrashPlan, ExploreConfig,
-    ProtocolExt, Simulation, TaskSpec,
+    Protocol, ProtocolExt, Simulation, TaskSpec,
 };
 use bso::{CasOnlyElection, LabelElection, Reduction};
 
@@ -23,14 +22,19 @@ fn election_agrees_across_backends() {
     let report = explore(
         &proto,
         &proto.pid_inputs(),
-        &ExploreConfig { spec: TaskSpec::Election, ..Default::default() },
+        &ExploreConfig {
+            spec: TaskSpec::Election,
+            ..Default::default()
+        },
     );
     assert!(report.outcome.is_verified());
 
     // Simulated.
     for seed in 0..10 {
         let mut sim = Simulation::new(&proto, &proto.pid_inputs());
-        let res = sim.run(&mut scheduler::RandomSched::new(seed), 1_000_000).unwrap();
+        let res = sim
+            .run(&mut scheduler::RandomSched::new(seed), 1_000_000)
+            .unwrap();
         checker::check_election(&res).unwrap();
     }
 
@@ -64,7 +68,9 @@ fn consensus_composes_on_top_of_election() {
     let inputs: Vec<Value> = (0..6).map(|i| Value::Int(100 + i as i64)).collect();
     for seed in 0..10 {
         let mut sim = Simulation::new(&proto, &inputs);
-        let res = sim.run(&mut scheduler::BurstSched::new(seed, 5), 1_000_000).unwrap();
+        let res = sim
+            .run(&mut scheduler::BurstSched::new(seed, 5), 1_000_000)
+            .unwrap();
         checker::check_consensus(&res, &inputs).unwrap();
     }
     for _ in 0..5 {
@@ -105,7 +111,9 @@ fn emulation_of_burns_election_under_crashes() {
         let proto = red.protocol();
         let mut sim = Simulation::new(proto, &inputs)
             .with_crash_plan(CrashPlan::none().crash(0, seed as usize % 5));
-        let result = sim.run(&mut scheduler::RandomSched::new(seed), 1_000_000).unwrap();
+        let result = sim
+            .run(&mut scheduler::RandomSched::new(seed), 1_000_000)
+            .unwrap();
         assert!(result.decisions[1].is_some(), "survivor must decide");
     }
 }
@@ -151,7 +159,9 @@ fn snapshot_construction_backs_the_snapshot_objects() {
     let inputs = vec![Value::Nil; 3];
     for seed in 0..10 {
         let mut sim = Simulation::new(&proto, &inputs);
-        let res = sim.run(&mut scheduler::RandomSched::new(seed), 1_000_000).unwrap();
+        let res = sim
+            .run(&mut scheduler::RandomSched::new(seed), 1_000_000)
+            .unwrap();
         let views: Vec<Vec<Value>> = res
             .decisions
             .iter()
@@ -169,8 +179,14 @@ fn refuter_and_verifier_disagree_on_nothing() {
     use bso::sim::refute;
     let inputs = vec![Value::Int(1), Value::Int(2)];
     let verdict = refute::refute_consensus(&TasConsensus, &inputs, 1_000_000);
-    assert!(verdict.is_correct(), "TasConsensus must verify, got {verdict:?}");
+    assert!(
+        verdict.is_correct(),
+        "TasConsensus must verify, got {verdict:?}"
+    );
 
     let verdict = refute::refute_election(&LabelElection::new(2, 3).unwrap(), 10_000_000);
-    assert!(verdict.is_correct(), "LabelElection(2,3) must verify, got {verdict:?}");
+    assert!(
+        verdict.is_correct(),
+        "LabelElection(2,3) must verify, got {verdict:?}"
+    );
 }

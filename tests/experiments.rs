@@ -34,10 +34,16 @@ fn e4_burns_regime() {
         let report = explore(
             &proto,
             &proto.pid_inputs(),
-            &ExploreConfig { spec: TaskSpec::Election, ..Default::default() },
+            &ExploreConfig {
+                spec: TaskSpec::Election,
+                ..Default::default()
+            },
         );
         assert!(report.outcome.is_verified(), "k={k}");
-        assert!(CasOnlyElection::new(k, k).is_err(), "k={k}: ceiling must bind");
+        assert!(
+            CasOnlyElection::new(k, k).is_err(),
+            "k={k}: ceiling must bind"
+        );
     }
 }
 
@@ -49,7 +55,10 @@ fn e3_label_regime_k3_exhaustive() {
     let report = explore(
         &proto,
         &proto.pid_inputs(),
-        &ExploreConfig { spec: TaskSpec::Election, ..Default::default() },
+        &ExploreConfig {
+            spec: TaskSpec::Election,
+            ..Default::default()
+        },
     );
     assert!(report.outcome.is_verified());
     // Wait-freedom in numbers: the exhaustive bound is O(k).
@@ -66,7 +75,9 @@ fn e3_label_regime_scales() {
     let proto = LabelElection::new(120, 6).unwrap();
     for seed in 0..5 {
         let mut sim = Simulation::new(&proto, &proto.pid_inputs());
-        let res = sim.run(&mut scheduler::RandomSched::new(seed), 50_000_000).unwrap();
+        let res = sim
+            .run(&mut scheduler::RandomSched::new(seed), 50_000_000)
+            .unwrap();
         checker::check_election(&res).unwrap();
         checker::check_step_bound(&res, 12 * 6).unwrap();
     }

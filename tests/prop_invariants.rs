@@ -1,102 +1,136 @@
-//! Property-based tests (proptest) on the workspace's core invariants.
+//! Property-based tests on the workspace's core invariants.
+//!
+//! Seeded random-input loops over [`SplitMix64`] (no external
+//! property-testing crate): each case is reproducible from the fixed
+//! seed, and failure messages carry the case index.
 
 use bso::combinatorics::game::{Game, GameAction};
 use bso::combinatorics::perm::{nth_permutation, permutation_rank};
+use bso::objects::rng::SplitMix64;
 use bso::objects::{spec::ObjectState, ObjectInit, OpKind, Sym, Value};
 use bso::protocols::snapshot::{views_are_comparable, SnapshotExerciser};
 use bso::sim::{checker, scheduler::RandomSched, Protocol, ProtocolExt, Simulation};
 use bso::LabelElection;
-use proptest::prelude::*;
 
-proptest! {
-    /// Lehmer encoding round-trips for every rank and size.
-    #[test]
-    fn perm_rank_roundtrip(m in 0usize..7, salt in any::<u64>()) {
+/// Lehmer encoding round-trips for every rank and size.
+#[test]
+fn perm_rank_roundtrip() {
+    let mut rng = SplitMix64::new(1);
+    for _ in 0..200 {
+        let m = rng.usize_below(7);
         let total = bso::combinatorics::perm::factorial(m);
-        let rank = if total == 0 { 0 } else { (salt as u128) % total };
+        let rank = if total == 0 {
+            0
+        } else {
+            (rng.next_u64() as u128) % total
+        };
         let p = nth_permutation(rank, m);
-        prop_assert_eq!(permutation_rank(&p), rank);
+        assert_eq!(permutation_rank(&p), rank);
     }
+}
 
-    /// The compare&swap-(k) sequential spec: the response always equals
-    /// the previous contents, and contents change exactly when the
-    /// response equals `expect`.
-    #[test]
-    fn cas_k_spec_semantics(
-        k in 2usize..8,
-        ops in proptest::collection::vec((0u8..8, 0u8..8), 1..40),
-    ) {
+/// The compare&swap-(k) sequential spec: the response always equals the
+/// previous contents, and contents change exactly when the response
+/// equals `expect`.
+#[test]
+fn cas_k_spec_semantics() {
+    let mut rng = SplitMix64::new(2);
+    for case in 0..200 {
+        let k = rng.range_usize(2, 8);
         let mut cas = ObjectState::from_init(&ObjectInit::CasK { k });
         let mut shadow = Sym::BOTTOM;
-        for (e, n) in ops {
-            let expect = Sym::from_code(e % k as u8);
-            let new = Sym::from_code(n % k as u8);
+        for _ in 0..rng.range_usize(1, 40) {
+            let expect = Sym::from_code(rng.range_u8(0, 8) % k as u8);
+            let new = Sym::from_code(rng.range_u8(0, 8) % k as u8);
             let resp = cas
-                .apply(0, &OpKind::Cas { expect: expect.into(), new: new.into() })
+                .apply(
+                    0,
+                    &OpKind::Cas {
+                        expect: expect.into(),
+                        new: new.into(),
+                    },
+                )
                 .unwrap();
-            prop_assert_eq!(resp, Value::Sym(shadow));
+            assert_eq!(resp, Value::Sym(shadow), "case {case}");
             if shadow == expect {
                 shadow = new;
             }
-            prop_assert_eq!(cas.apply(0, &OpKind::Read).unwrap(), Value::Sym(shadow));
+            assert_eq!(
+                cas.apply(0, &OpKind::Read).unwrap(),
+                Value::Sym(shadow),
+                "case {case}"
+            );
         }
     }
+}
 
-    /// LabelElection satisfies the election spec under arbitrary
-    /// seeded schedules and instance sizes.
-    #[test]
-    fn label_election_random_instances(
-        k in 3usize..6,
-        n_salt in any::<u64>(),
-        seed in any::<u64>(),
-    ) {
+/// LabelElection satisfies the election spec under arbitrary seeded
+/// schedules and instance sizes.
+#[test]
+fn label_election_random_instances() {
+    let mut rng = SplitMix64::new(3);
+    for case in 0..48 {
+        let k = rng.range_usize(3, 6);
         let max = bso::combinatorics::perm::factorial(k - 1);
-        let n = 1 + (n_salt as u128 % max) as usize;
+        let n = 1 + (rng.next_u64() as u128 % max) as usize;
+        let seed = rng.next_u64();
         let proto = LabelElection::new(n, k).unwrap();
         let mut sim = Simulation::new(&proto, &proto.pid_inputs());
         let res = sim.run(&mut RandomSched::new(seed), 10_000_000).unwrap();
-        prop_assert!(checker::check_election(&res).is_ok());
-        prop_assert!(checker::check_step_bound(&res, 12 * k).is_ok());
+        assert!(
+            checker::check_election(&res).is_ok(),
+            "case {case} (n={n}, k={k})"
+        );
+        assert!(
+            checker::check_step_bound(&res, 12 * k).is_ok(),
+            "case {case}"
+        );
     }
+}
 
-    /// In the move/jump game, any legal action sequence keeps the
-    /// painted graph acyclic (cycle-closing moves are unplayable), and
-    /// for m ≥ 2 the move count respects m^k.
-    #[test]
-    fn game_random_play_respects_bound(
-        k in 2usize..5,
-        m in 2usize..4,
-        choices in proptest::collection::vec(any::<u32>(), 1..120),
-    ) {
+/// In the move/jump game, any legal action sequence keeps the painted
+/// graph acyclic (cycle-closing moves are unplayable), and for m ≥ 2
+/// the move count respects m^k.
+#[test]
+fn game_random_play_respects_bound() {
+    let mut rng = SplitMix64::new(4);
+    for case in 0..150 {
+        let k = rng.range_usize(2, 5);
+        let m = rng.range_usize(2, 4);
         let starts: Vec<usize> = (0..m).map(|a| a % k).collect();
         let mut g = Game::new(k, &starts);
-        for c in choices {
+        for _ in 0..rng.range_usize(1, 120) {
             let actions = g.legal_actions();
             if actions.is_empty() {
                 break;
             }
-            g.act(actions[c as usize % actions.len()]).unwrap();
+            g.act(actions[rng.usize_below(actions.len())]).unwrap();
         }
-        prop_assert!((g.moves() as u128) <= (m as u128).pow(k as u32));
+        assert!(
+            (g.moves() as u128) <= (m as u128).pow(k as u32),
+            "case {case}"
+        );
         // Acyclicity: levels() terminates and respects every edge.
         let levels = g.levels();
         for u in 0..k {
             for v in 0..k {
                 if u != v && g.is_painted(u, v) {
-                    prop_assert!(levels[u] > levels[v]);
+                    assert!(levels[u] > levels[v], "case {case}: edge {u}→{v}");
                 }
             }
         }
     }
+}
 
-    /// Snapshot views from the register-based construction are always
-    /// pairwise comparable.
-    #[test]
-    fn snapshot_views_comparable(
-        n in 2usize..5,
-        rounds in 1usize..4,
-        seed in any::<u64>(),
-    ) {
+/// Snapshot views from the register-based construction are always
+/// pairwise comparable.
+#[test]
+fn snapshot_views_comparable() {
+    let mut rng = SplitMix64::new(5);
+    for case in 0..64 {
+        let n = rng.range_usize(2, 5);
+        let rounds = rng.range_usize(1, 4);
+        let seed = rng.next_u64();
         let proto = SnapshotExerciser::new(n, rounds);
         let mut sim = Simulation::new(&proto, &vec![Value::Nil; n]);
         let res = sim.run(&mut RandomSched::new(seed), 10_000_000).unwrap();
@@ -105,28 +139,39 @@ proptest! {
             .iter()
             .map(|d| d.as_ref().unwrap().as_seq().unwrap().to_vec())
             .collect();
-        prop_assert!(views_are_comparable(&views));
+        assert!(
+            views_are_comparable(&views),
+            "case {case} (n={n}, rounds={rounds})"
+        );
     }
+}
 
-    /// The emulation respects the label bound on random instances.
-    #[test]
-    fn reduction_label_bound(seed in any::<u64>(), m in 2usize..4) {
+/// The emulation respects the label bound on random instances.
+#[test]
+fn reduction_label_bound() {
+    let mut rng = SplitMix64::new(6);
+    for case in 0..12 {
+        let m = rng.range_usize(2, 4);
+        let seed = rng.next_u64();
         let a = LabelElection::new(6, 4).unwrap();
         let report = bso::Reduction::new(a, m).run_seeded(seed).unwrap();
-        prop_assert!(report.validate().is_ok());
-        prop_assert!(report.distinct_labels().len() <= 6);
+        assert!(report.validate().is_ok(), "case {case} (m={m})");
+        assert!(report.distinct_labels().len() <= 6, "case {case}");
     }
+}
 
-    /// Completeness of the run-legality checker: every trace actually
-    /// produced by the simulator IS a legal run, so feeding its
-    /// per-process operation sequences back to `check_run_legality`
-    /// must always succeed (the simulator's own step order is a
-    /// witness).
-    #[test]
-    fn simulated_runs_are_always_legal(seed in any::<u64>(), n in 2usize..5) {
-        use bso::sim::{linearizability, EventKind};
+/// Completeness of the run-legality checker: every trace actually
+/// produced by the simulator IS a legal run, so feeding its per-process
+/// operation sequences back to `check_run_legality` must always succeed
+/// (the simulator's own step order is a witness).
+#[test]
+fn simulated_runs_are_always_legal() {
+    use bso::sim::{linearizability, EventKind};
+    let mut rng = SplitMix64::new(7);
+    for case in 0..48 {
         let max = bso::combinatorics::perm::factorial(3) as usize; // k = 4
-        let n = n.min(max);
+        let n = rng.range_usize(2, 5).min(max);
+        let seed = rng.next_u64();
         let proto = LabelElection::new(n, 4).unwrap();
         let mut sim = Simulation::new(&proto, &proto.pid_inputs());
         let res = sim.run(&mut RandomSched::new(seed), 10_000_000).unwrap();
@@ -136,22 +181,31 @@ proptest! {
                 by_pid[e.pid].push((e.pid, op.clone(), resp.clone()));
             }
         }
-        prop_assert!(linearizability::check_run_legality(&proto.layout(), &by_pid).is_ok());
+        assert!(
+            linearizability::check_run_legality(&proto.layout(), &by_pid).is_ok(),
+            "case {case} (n={n})"
+        );
     }
+}
 
-    /// Jump freshness bookkeeping: an agent can never jump to a node
-    /// without an intervening move into it.
-    #[test]
-    fn game_jump_requires_move(k in 2usize..5, m in 1usize..4) {
-        let starts: Vec<usize> = (0..m).map(|a| a % k).collect();
-        let g = Game::new(k, &starts);
-        for a in 0..m {
-            for u in 0..k {
-                prop_assert!(!g.is_fresh(a, u), "initially nothing is fresh");
+/// Jump freshness bookkeeping: an agent can never jump to a node
+/// without an intervening move into it.
+#[test]
+fn game_jump_requires_move() {
+    for k in 2usize..5 {
+        for m in 1usize..4 {
+            let starts: Vec<usize> = (0..m).map(|a| a % k).collect();
+            let g = Game::new(k, &starts);
+            for a in 0..m {
+                for u in 0..k {
+                    assert!(!g.is_fresh(a, u), "initially nothing is fresh");
+                }
             }
+            let only_moves = g
+                .legal_actions()
+                .iter()
+                .all(|a| matches!(a, GameAction::Move { .. }));
+            assert!(only_moves);
         }
-        let only_moves =
-            g.legal_actions().iter().all(|a| matches!(a, GameAction::Move { .. }));
-        prop_assert!(only_moves);
     }
 }
