@@ -9,11 +9,10 @@
 //! states/sec records and the per-instance speedups are written to
 //! `BENCH_explore.json` at the workspace root.
 
-use bso::sim::{
-    explore, explore_parallel, explore_symmetric, DedupMode, ExploreConfig, ProtocolExt, TaskSpec,
-};
+use bso::sim::{DedupMode, Explorer, ProtocolExt, TaskSpec};
 use bso::{CasOnlyElection, LabelElection};
 use bso_bench::{BenchmarkId, Criterion, Measurement, Throughput};
+use bso_telemetry::json::Json;
 use std::hint::black_box;
 
 /// A compact replica of the pre-rewrite explorer, kept verbatim in
@@ -156,17 +155,15 @@ fn bench_explore_cas_only(c: &mut Criterion) {
         g.sample_size(20);
         for k in CAS_KS {
             let proto = CasOnlyElection::new(k - 1, k).unwrap();
-            let inputs = proto.pid_inputs();
-            let cfg = ExploreConfig {
-                spec: TaskSpec::Election,
-                dedup,
-                ..Default::default()
-            };
+            let ex = Explorer::new(&proto)
+                .inputs(&proto.pid_inputs())
+                .spec(TaskSpec::Election)
+                .dedup(dedup);
             // Report throughput in explored states.
-            let states = explore(&proto, &inputs, &cfg).states as u64;
+            let states = ex.run().states as u64;
             g.throughput(Throughput::Elements(states));
             g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
-                b.iter(|| black_box(explore(&proto, &inputs, &cfg)));
+                b.iter(|| black_box(ex.run()));
             });
         }
         g.finish();
@@ -179,60 +176,29 @@ fn bench_explore_cas_only(c: &mut Criterion) {
 fn bench_explore_modes(c: &mut Criterion) {
     let proto = CasOnlyElection::new(5, 6).unwrap();
     let inputs = proto.pid_inputs();
-    let base = ExploreConfig {
-        spec: TaskSpec::Election,
-        ..Default::default()
-    };
-    let modes: [(&str, ExploreConfig, bool); 5] = [
-        ("serial_exact", base.clone(), false),
-        (
-            "serial_fingerprint",
-            ExploreConfig {
-                dedup: DedupMode::Fingerprint,
-                ..base.clone()
-            },
-            false,
-        ),
-        (
-            "parallel_exact",
-            ExploreConfig {
-                workers: 4,
-                ..base.clone()
-            },
-            true,
-        ),
-        (
-            "parallel_fingerprint",
-            ExploreConfig {
-                workers: 4,
-                dedup: DedupMode::Fingerprint,
-                ..base.clone()
-            },
-            true,
-        ),
-        ("serial_symmetric", base.clone(), false),
+    let modes: [(&str, bool, DedupMode, bool); 5] = [
+        ("serial_exact", false, DedupMode::Exact, false),
+        ("serial_fingerprint", false, DedupMode::Fingerprint, false),
+        ("parallel_exact", true, DedupMode::Exact, false),
+        ("parallel_fingerprint", true, DedupMode::Fingerprint, false),
+        ("serial_symmetric", false, DedupMode::Exact, true),
     ];
     let mut g = c.benchmark_group("explore_modes");
     g.sample_size(10);
-    for (name, cfg, parallel) in &modes {
-        let states = if *name == "serial_symmetric" {
-            explore_symmetric(&proto, &inputs, cfg).states
-        } else if *parallel {
-            explore_parallel(&proto, &inputs, cfg).states
-        } else {
-            explore(&proto, &inputs, cfg).states
-        };
+    for (name, parallel, dedup, symmetric) in modes {
+        let mut ex = Explorer::new(&proto)
+            .inputs(&inputs)
+            .spec(TaskSpec::Election)
+            .dedup(dedup)
+            .parallel(parallel)
+            .symmetric(symmetric);
+        if parallel {
+            ex = ex.workers(4);
+        }
+        let states = ex.run().states;
         g.throughput(Throughput::Elements(states as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(name), cfg, |b, cfg| {
-            b.iter(|| {
-                black_box(if *name == "serial_symmetric" {
-                    explore_symmetric(&proto, &inputs, cfg)
-                } else if *parallel {
-                    explore_parallel(&proto, &inputs, cfg)
-                } else {
-                    explore(&proto, &inputs, cfg)
-                })
-            });
+        g.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, ()| {
+            b.iter(|| black_box(ex.run()));
         });
     }
     g.finish();
@@ -243,17 +209,15 @@ fn bench_explore_label(c: &mut Criterion) {
     g.sample_size(10);
     for (n, k) in [(2usize, 3usize), (2, 4), (3, 4)] {
         let proto = LabelElection::new(n, k).unwrap();
-        let inputs = proto.pid_inputs();
-        let cfg = ExploreConfig {
-            spec: TaskSpec::Election,
-            ..Default::default()
-        };
-        let states = explore(&proto, &inputs, &cfg).states as u64;
+        let ex = Explorer::new(&proto)
+            .inputs(&proto.pid_inputs())
+            .spec(TaskSpec::Election);
+        let states = ex.run().states as u64;
         g.throughput(Throughput::Elements(states));
         g.bench_with_input(
             BenchmarkId::from_parameter(format!("n{n}_k{k}")),
             &k,
-            |b, _| b.iter(|| black_box(explore(&proto, &inputs, &cfg))),
+            |b, _| b.iter(|| black_box(ex.run())),
         );
     }
     g.finish();
@@ -276,28 +240,30 @@ fn bench_refuter(c: &mut Criterion) {
 }
 
 /// Serializes the run's measurements (and the per-instance speedup of
-/// the current serial engine over the seed baseline) as JSON. No
-/// external crates, so the document is assembled by hand; every name
-/// is a bench id and every number is finite.
+/// the current serial engine over the seed baseline) through the
+/// workspace's shared JSON writer; every name is a bench id and every
+/// number is finite.
 fn emit_json(measurements: &[Measurement]) -> String {
-    let mut out = String::from("{\n  \"bench\": \"explore\",\n  \"records\": [\n");
-    for (i, m) in measurements.iter().enumerate() {
-        let sep = if i + 1 == measurements.len() { "" } else { "," };
-        let states_per_sec = m
-            .elements_per_sec()
-            .map_or("null".to_string(), |e| format!("{e:.1}"));
-        let states = m.elements.map_or("null".to_string(), |e| e.to_string());
-        out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"median_ns\": {}, \"min_ns\": {}, \"states\": {}, \
-             \"states_per_sec\": {}}}{}\n",
-            m.name,
-            m.median.as_nanos(),
-            m.min.as_nanos(),
-            states,
-            states_per_sec,
-            sep,
-        ));
-    }
+    let ns = |d: std::time::Duration| Json::U64(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    let records: Vec<Json> = measurements
+        .iter()
+        .map(|m| {
+            Json::obj([
+                ("name", Json::str(m.name.as_str())),
+                ("median_ns", ns(m.median)),
+                ("min_ns", ns(m.min)),
+                ("states", m.elements.map_or(Json::Null, Json::U64)),
+                (
+                    "states_per_sec",
+                    m.elements_per_sec().map_or(Json::Null, Json::F64),
+                ),
+            ])
+        })
+        .collect();
+    let mut doc = vec![
+        ("bench".to_string(), Json::str("explore")),
+        ("records".to_string(), Json::Arr(records)),
+    ];
     // Two speedup estimators per instance. The median ratio is the
     // everyday summary; the min-time ratio compares each side's
     // fastest observed sample, which rejects external scheduler noise
@@ -305,12 +271,10 @@ fn emit_json(measurements: &[Measurement]) -> String {
     // it up) and is therefore the more faithful measure of the
     // algorithmic speedup on shared hardware.
     let find = |name: &str| measurements.iter().find(|m| m.name == name);
-    out.push_str("  ],\n");
     for (field, use_min) in [
         ("speedup_vs_seed", false),
         ("speedup_vs_seed_min_time", true),
     ] {
-        out.push_str(&format!("  \"{field}\": {{\n"));
         let mut pairs = Vec::new();
         for (label, group) in [
             ("cas_only", "explore_cas_only"),
@@ -328,14 +292,12 @@ fn emit_json(measurements: &[Measurement]) -> String {
                 } else {
                     old.median.as_secs_f64() / new.median.as_secs_f64()
                 };
-                pairs.push(format!("    \"{label}_k{k}\": {ratio:.2}"));
+                pairs.push((format!("{label}_k{k}"), Json::F64(ratio)));
             }
         }
-        out.push_str(&pairs.join(",\n"));
-        out.push_str(if use_min { "\n  }\n" } else { "\n  },\n" });
+        doc.push((field.to_string(), Json::Obj(pairs)));
     }
-    out.push_str("}\n");
-    out
+    Json::Obj(doc).render_pretty()
 }
 
 fn main() {
@@ -355,4 +317,5 @@ fn main() {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_explore.json");
     std::fs::write(path, &json).expect("write BENCH_explore.json");
     println!("\nwrote {path}");
+    bso_bench::dump_telemetry();
 }

@@ -1,0 +1,86 @@
+//! Validates a `bso-telemetry` snapshot artifact.
+//!
+//! ```text
+//! validate_telemetry <snapshot.json> [min_total] [prefix=N ...]
+//! ```
+//!
+//! Exits nonzero unless the file parses as a `bso-telemetry/v1`
+//! document whose metrics all carry a known type, holds at least
+//! `min_total` metrics (a bare number), and, for each `prefix=N`
+//! argument, has at least `N` metrics whose names start with `prefix`.
+//! CI runs this over the snapshots the examples write under
+//! `BSO_TELEMETRY=path.json`.
+
+use std::process::ExitCode;
+
+use bso_telemetry::json::{self, Json};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(summary) => {
+            println!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("validate_telemetry: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<String, String> {
+    let mut args = std::env::args().skip(1);
+    let path = args
+        .next()
+        .ok_or("usage: validate_telemetry <snapshot.json> [min_total] [prefix=N ...]")?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+
+    if !matches!(doc.get("schema"), Some(Json::Str(s)) if s == "bso-telemetry/v1") {
+        return Err(format!("{path}: missing or unknown \"schema\""));
+    }
+    let metrics = doc
+        .get("metrics")
+        .and_then(Json::entries)
+        .ok_or_else(|| format!("{path}: \"metrics\" is missing or not an object"))?;
+    for (name, m) in metrics {
+        let known = matches!(
+            m.get("type"),
+            Some(Json::Str(t)) if t == "counter" || t == "gauge" || t == "histogram"
+        );
+        if !known {
+            return Err(format!("{path}: metric {name:?} has no known \"type\""));
+        }
+    }
+
+    for arg in args {
+        match arg.split_once('=') {
+            Some((prefix, n)) => {
+                let want: usize = n
+                    .parse()
+                    .map_err(|_| format!("bad argument {arg:?}: expected prefix=N"))?;
+                let got = metrics
+                    .iter()
+                    .filter(|(k, _)| k.starts_with(prefix))
+                    .count();
+                if got < want {
+                    return Err(format!(
+                        "{path}: {got} metrics match prefix {prefix:?}, need at least {want}"
+                    ));
+                }
+            }
+            None => {
+                let want: usize = arg
+                    .parse()
+                    .map_err(|_| format!("bad argument {arg:?}: expected a count or prefix=N"))?;
+                if metrics.len() < want {
+                    return Err(format!(
+                        "{path}: {} metrics in total, need at least {want}",
+                        metrics.len()
+                    ));
+                }
+            }
+        }
+    }
+    Ok(format!("{path}: ok ({} metrics)", metrics.len()))
+}

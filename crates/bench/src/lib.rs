@@ -28,6 +28,18 @@ pub fn run_once<P: Protocol>(proto: &P, seed: u64) -> RunResult {
         .expect("benched run must complete")
 }
 
+/// Writes the global telemetry snapshot to the path named by
+/// `BSO_TELEMETRY`, if set. Every bench binary calls this once before
+/// exiting (the [`criterion_main!`] expansion does it automatically),
+/// so `BSO_TELEMETRY=path.json cargo bench` works for every bench.
+pub fn dump_telemetry() {
+    match bso_telemetry::dump_global_if_env() {
+        Ok(Some(path)) => println!("telemetry snapshot written to {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("failed to write telemetry snapshot: {e}"),
+    }
+}
+
 /// A harness configuration tuned so the whole workspace bench suite
 /// completes in minutes: the experiments compare *shapes* across
 /// parameters, which modest sample counts resolve fine.
@@ -356,6 +368,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::dump_telemetry();
         }
     };
 }

@@ -31,6 +31,7 @@
 //! | [`combinatorics`] | Lemma 1.1's move/jump game, Lehmer permutations, the bound landscape |
 //! | [`hierarchy`] | consensus numbers with verified witnesses and refuted candidates |
 //! | [`emulation`] | Theorem 1's reduction, executed: emulators on read/write memory constructing validated runs of a compare&swap election |
+//! | [`telemetry`] | counters/gauges/histograms behind the `BSO_TELEMETRY=path.json` escape hatch every example and bench honours |
 //!
 //! ## Quickstart
 //!
@@ -61,6 +62,7 @@ pub use bso_hierarchy as hierarchy;
 pub use bso_objects as objects;
 pub use bso_protocols as protocols;
 pub use bso_sim as sim;
+pub use bso_telemetry as telemetry;
 
 pub use bso_combinatorics::bounds;
 pub use bso_emulation::Reduction;

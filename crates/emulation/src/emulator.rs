@@ -33,8 +33,41 @@ use std::collections::BTreeMap;
 
 use bso_objects::{Layout, ObjectId, ObjectInit, Op, OpKind, Sym, Value};
 use bso_sim::{Action, Pid, Protocol};
+use bso_telemetry::{Counter, Histogram, Registry};
 
 use crate::{Branch, Step};
+
+/// Telemetry handles for the simple emulation (the `emul.*`
+/// namespace). Handles are created up front so all metrics appear in a
+/// snapshot even at zero; on a disabled registry every call is a no-op.
+#[derive(Clone, Debug)]
+struct EmulTel {
+    /// Think steps taken (one per scan→think→publish iteration).
+    think: Counter,
+    /// Foreign branch steps adopted from other emulators' records.
+    adopted_steps: Counter,
+    /// Simple virtual operations emulated (reads, writes, failing c&s).
+    simple_ops: Counter,
+    /// Successful compare&swap emulations — each one splits the runs.
+    splits: Counter,
+    /// Virtual-process decisions adopted.
+    decisions: Counter,
+    /// Branch length at each split (run-splitting depth profile).
+    branch_len: Histogram,
+}
+
+impl EmulTel {
+    fn new(registry: &Registry) -> EmulTel {
+        EmulTel {
+            think: registry.counter("emul.think"),
+            adopted_steps: registry.counter("emul.adopted_steps"),
+            simple_ops: registry.counter("emul.simple_ops"),
+            splits: registry.counter("emul.splits"),
+            decisions: registry.counter("emul.decisions"),
+            branch_len: registry.histogram("emul.branch_len"),
+        }
+    }
+}
 
 /// One published entry of an emulator's slot.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -213,6 +246,7 @@ pub struct EmulationProtocol<A: Protocol> {
     k: usize,
     /// vp id → owning emulator.
     owner: Vec<usize>,
+    tel: EmulTel,
 }
 
 impl<A: Protocol> EmulationProtocol<A> {
@@ -254,7 +288,16 @@ impl<A: Protocol> EmulationProtocol<A> {
             cas_obj,
             k,
             owner,
+            tel: EmulTel::new(&Registry::default()),
         }
+    }
+
+    /// Redirects this emulation's `emul.*` telemetry into `registry`
+    /// (the default is the global `BSO_TELEMETRY`-gated registry).
+    #[must_use]
+    pub fn with_telemetry(mut self, registry: &Registry) -> Self {
+        self.tel = EmulTel::new(registry);
+        self
     }
 
     /// The emulated algorithm.
@@ -339,6 +382,7 @@ impl<A: Protocol> EmulationProtocol<A> {
     /// decision). Returns the new record to publish, or the emulator's
     /// decision.
     fn think(&self, st: &mut EmulatorState<A::State>, view: &Value) -> Result<Record, Value> {
+        self.tel.think.inc();
         let slots = view.as_seq().expect("snapshot view");
         let mut all_records: Vec<Vec<Record>> = slots.iter().map(Record::decode_slot).collect();
         // The own slot may lag behind local records (the tail is
@@ -361,7 +405,10 @@ impl<A: Protocol> EmulationProtocol<A> {
                 }
             }
             match candidate {
-                Some(step) => st.branch.push(step),
+                Some(step) => {
+                    self.tel.adopted_steps.inc();
+                    st.branch.push(step);
+                }
                 None => break,
             }
         }
@@ -440,6 +487,7 @@ impl<A: Protocol> EmulationProtocol<A> {
             };
             self.a.on_response(&mut st.vps[i].1, resp);
             st.records.push(record.clone());
+            self.tel.simple_ops.inc();
             return Ok(record);
         }
 
@@ -470,6 +518,8 @@ impl<A: Protocol> EmulationProtocol<A> {
             vp,
         };
         st.branch.push(step);
+        self.tel.splits.inc();
+        self.tel.branch_len.record(st.branch.len() as u64);
         let op = match self.a.next_action(&st.vps[i].1) {
             Action::Invoke(op) => op,
             Action::Decide(_) => unreachable!(),
@@ -488,6 +538,7 @@ impl<A: Protocol> EmulationProtocol<A> {
     }
 
     fn finish_vp(&self, st: &mut EmulatorState<A::State>, vp: usize, v: Value) -> Value {
+        self.tel.decisions.inc();
         for entry in st.vps.iter_mut() {
             if entry.0 == vp {
                 entry.2 = VpStatus::Decided(v.clone());

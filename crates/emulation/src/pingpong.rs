@@ -140,7 +140,7 @@ impl Protocol for PingPong {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bso_sim::{explore, scheduler, ExploreConfig, Simulation, TaskSpec};
+    use bso_sim::{scheduler, Explorer, Simulation, TaskSpec};
 
     #[test]
     fn successor_cycles_without_bottom() {
@@ -154,14 +154,10 @@ mod tests {
     #[test]
     fn wait_free_by_budget_exhaustive() {
         let p = PingPong::new(2, 3, 2);
-        let report = explore(
-            &p,
-            &[Value::Nil, Value::Nil],
-            &ExploreConfig {
-                spec: TaskSpec::None,
-                ..Default::default()
-            },
-        );
+        let report = Explorer::new(&p)
+            .inputs(&[Value::Nil, Value::Nil])
+            .spec(TaskSpec::None)
+            .run();
         assert!(report.outcome.is_verified(), "{:?}", report.outcome);
         // 2 ops per attempt + decide.
         assert!(report.max_steps_per_proc.iter().all(|&s| s <= 5));

@@ -52,9 +52,46 @@ use std::collections::BTreeMap;
 
 use bso_objects::{Layout, ObjectId, ObjectInit, Op, OpKind, Sym, Value};
 use bso_sim::{Action, Pid, Protocol, RunError, Scheduler, Simulation};
+use bso_telemetry::{Counter, Histogram, Registry};
 
 use crate::excess::{attach_threshold, ExcessGraph};
 use crate::tree::{HistoryTree, Label};
+
+/// Telemetry handles for the rich emulation (the `rich.*` namespace).
+/// Handles are created up front so all metrics appear in a snapshot
+/// even at zero; on a disabled registry every call is a no-op.
+#[derive(Clone, Debug)]
+struct RichTel {
+    /// Think steps taken.
+    think: Counter,
+    /// Suspensions created (eager quota, replacement, or lazy).
+    suspensions: Counter,
+    /// Suspensions released as emulated successes.
+    releases: Counter,
+    /// Rebalance (Fig. 5) evaluations.
+    rebalance_attempts: Counter,
+    /// Think steps that made no progress (the Φ-too-small regime).
+    stalls: Counter,
+    /// Widths of excess-graph cycles evaluated in UpdateC&S.
+    cycle_width: Histogram,
+    /// Virtual operations per maximal label (recorded by
+    /// [`RichReport::validate`]).
+    label_run_len: Histogram,
+}
+
+impl RichTel {
+    fn new(registry: &Registry) -> RichTel {
+        RichTel {
+            think: registry.counter("rich.think"),
+            suspensions: registry.counter("rich.suspensions"),
+            releases: registry.counter("rich.releases"),
+            rebalance_attempts: registry.counter("rich.rebalance.attempts"),
+            stalls: registry.counter("rich.stalls"),
+            cycle_width: registry.histogram("rich.excess.cycle_width"),
+            label_run_len: registry.histogram("rich.label_run_len"),
+        }
+    }
+}
 
 /// Tuning of the rich emulation.
 ///
@@ -246,6 +283,7 @@ pub struct RichEmulation<A: Protocol> {
     k: usize,
     owner: Vec<usize>,
     config: RichConfig,
+    tel: RichTel,
 }
 
 impl<A: Protocol> RichEmulation<A> {
@@ -284,7 +322,16 @@ impl<A: Protocol> RichEmulation<A> {
             k,
             owner,
             config,
+            tel: RichTel::new(&Registry::default()),
         }
+    }
+
+    /// Redirects this emulation's `rich.*` telemetry into `registry`
+    /// (the default is the global `BSO_TELEMETRY`-gated registry).
+    #[must_use]
+    pub fn with_telemetry(mut self, registry: &Registry) -> Self {
+        self.tel = RichTel::new(registry);
+        self
     }
 
     /// The emulated algorithm.
@@ -391,6 +438,7 @@ impl<A: Protocol> RichEmulation<A> {
     /// One thinking step. `Ok(true)` = progress (publish), `Ok(false)`
     /// = stall (re-scan), `Err(v)` = the emulator decided `v`.
     fn think(&self, st: &mut RichState<A::State>, view: &Value) -> Result<bool, Value> {
+        self.tel.think.inc();
         let merged = self.merge(st, view);
         st.last_stall = None;
 
@@ -458,6 +506,7 @@ impl<A: Protocol> RichEmulation<A> {
                     hist_pos: transitions,
                     seq,
                 });
+                self.tel.suspensions.inc();
                 suspended_now = true;
             }
         }
@@ -526,6 +575,7 @@ impl<A: Protocol> RichEmulation<A> {
         if suspended_now {
             return Ok(true); // publish the suspensions at least
         }
+        self.tel.stalls.inc();
         st.last_stall = Some(format!(
             "emulator {}: no simple op, no release possible, no update possible \
              (label {:?}, cs {cs}, {} active vps)",
@@ -547,6 +597,7 @@ impl<A: Protocol> RichEmulation<A> {
         merged: &MergedView,
         h: &[Sym],
     ) -> Result<bool, Value> {
+        self.tel.rebalance_attempts.inc();
         let compat = |l: &Label| st.label.starts_with(l) || l.starts_with(&st.label);
         // Released consumption and holder counts per edge
         // (label-compatible). `holders` = distinct emulators with
@@ -653,9 +704,11 @@ impl<A: Protocol> RichEmulation<A> {
                     hist_pos: h.len() - 1,
                     seq: rseq,
                 });
+                self.tel.suspensions.inc();
             }
             // …release the matched one with a success response…
             st.records.push(RichRecord::Release { seq });
+            self.tel.releases.inc();
             let op = match self.a.next_action(&st.vps[i].1) {
                 Action::Invoke(op) => op,
                 Action::Decide(_) => unreachable!("suspended vps are pre-cas"),
@@ -757,6 +810,7 @@ impl<A: Protocol> RichEmulation<A> {
                         hist_pos: h.len() - 1,
                         seq,
                     });
+                    self.tel.suspensions.inc();
                 }
             }
         }
@@ -803,6 +857,11 @@ impl<A: Protocol> RichEmulation<A> {
             } else {
                 excess.cycle_width(psym, x).unwrap_or(0).max(0) as u128
             };
+            if width > 0 {
+                self.tel
+                    .cycle_width
+                    .record(width.min(u128::from(u64::MAX)) as u64);
+            }
             if width >= threshold && width > 0 {
                 // Attach x under `parent` with the cycle's two halves.
                 let level = width.min(i64::MAX as u128) as i64;
@@ -1036,6 +1095,7 @@ pub struct RichReport {
     a_layout: Layout,
     cas_obj: ObjectId,
     phi: usize,
+    tel: RichTel,
 }
 
 impl RichReport {
@@ -1193,7 +1253,9 @@ impl RichReport {
                 }
             }
             let ops: Vec<Vec<(usize, Op, Value)>> = by_vp.into_values().collect();
-            checked += ops.iter().map(Vec::len).sum::<usize>();
+            let label_ops = ops.iter().map(Vec::len).sum::<usize>();
+            self.tel.label_run_len.record(label_ops as u64);
+            checked += label_ops;
             bso_sim::linearizability::check_run_legality(&self.a_layout, &ops)
                 .map_err(|e| format!("label {label:?} (history {h:?}): {e}"))?;
             let _ = self.phi;
@@ -1287,6 +1349,7 @@ pub fn run_rich<A: Protocol>(
         a_layout: emu.algorithm().layout(),
         cas_obj: emu.cas_obj,
         phi: emu.algorithm().processes(),
+        tel: emu.tel.clone(),
     })
 }
 
@@ -1437,6 +1500,22 @@ mod tests {
         let a = PingPong::new(2, 3, 1);
         let result = std::panic::catch_unwind(|| RichEmulation::new(a, 3, RichConfig::demo()));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn telemetry_counts_rich_activity() {
+        use bso_sim::scheduler::RandomSched;
+        let reg = Registry::enabled();
+        let a = PingPong::new(4, 3, 1);
+        let emu = RichEmulation::new(a, 2, RichConfig::demo()).with_telemetry(&reg);
+        let report = run_rich(&emu, &mut RandomSched::new(5), 100_000).unwrap();
+        report.validate().unwrap();
+        assert!(reg.counter("rich.think").get() > 0);
+        assert!(reg.counter("rich.rebalance.attempts").get() > 0);
+        assert!(reg.histogram("rich.label_run_len").count() > 0);
+        // All seven rich.* handles exist in the snapshot even if some
+        // stayed at zero for this configuration.
+        assert!(reg.snapshot().len() >= 7);
     }
 
     #[test]

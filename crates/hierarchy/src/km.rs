@@ -106,18 +106,14 @@ impl Protocol for BinaryFromElection {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bso_sim::{explore, ExploreConfig, TaskSpec};
+    use bso_sim::{Explorer, TaskSpec};
 
     fn verify(n: usize, k: usize, inputs: Vec<Value>) {
         let proto = BinaryFromElection::new(n, k).unwrap();
-        let report = explore(
-            &proto,
-            &inputs,
-            &ExploreConfig {
-                spec: TaskSpec::Consensus(inputs.clone()),
-                ..Default::default()
-            },
-        );
+        let report = Explorer::new(&proto)
+            .inputs(&inputs)
+            .spec(TaskSpec::Consensus(inputs.clone()))
+            .run();
         assert!(
             report.outcome.is_verified(),
             "n={n} k={k}: {:?}",

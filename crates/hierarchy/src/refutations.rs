@@ -109,9 +109,7 @@ mod tests {
     use bso_sim::checker;
     use bso_sim::scheduler::Scripted;
     use bso_sim::Simulation;
-    use bso_sim::{
-        explore, explore_parallel, DedupMode, ExploreConfig, ExploreOutcome, Protocol, TaskSpec,
-    };
+    use bso_sim::{DedupMode, ExploreOutcome, Explorer, Protocol, RunChecker, TaskSpec};
 
     #[test]
     fn all_candidates_fall() {
@@ -158,12 +156,11 @@ mod tests {
             TaskSpec::Consensus(ins) => ins.clone(),
             _ => (0..proto.processes()).map(Value::Pid).collect(),
         };
-        let base = ExploreConfig {
-            max_states: 10_000_000,
-            spec,
-            ..Default::default()
-        };
-        let serial = explore(proto, &inputs, &base);
+        let base = Explorer::new(proto)
+            .inputs(&inputs)
+            .max_states(10_000_000)
+            .spec(spec.clone());
+        let serial = base.clone().run();
         let ExploreOutcome::Violated(expected) = &serial.outcome else {
             panic!(
                 "{name}: serial exploration was supposed to refute, got {:?}",
@@ -171,12 +168,7 @@ mod tests {
             );
         };
         for dedup in [DedupMode::Exact, DedupMode::Fingerprint] {
-            let cfg = ExploreConfig {
-                workers: 4,
-                dedup,
-                ..base.clone()
-            };
-            let parallel = explore_parallel(proto, &inputs, &cfg);
+            let parallel = base.clone().parallel(true).workers(4).dedup(dedup).run();
             let ExploreOutcome::Violated(found) = &parallel.outcome else {
                 panic!(
                     "{name} ({dedup:?}): parallel disagrees with serial: {:?}",
@@ -184,6 +176,7 @@ mod tests {
                 );
             };
             assert_eq!(expected.kind, found.kind, "{name} ({dedup:?})");
+            assert_eq!(parallel.stats.workers, 4, "{name} ({dedup:?})");
             if found.kind == ViolationKind::NotWaitFree {
                 continue; // cycles don't replay to a violated terminal state
             }
@@ -191,15 +184,12 @@ mod tests {
             let res = sim
                 .run(&mut Scripted::new(found.schedule.clone()), 1_000_000)
                 .unwrap();
-            let replayed = match &base.spec {
-                TaskSpec::Election => checker::check_election(&res).is_err(),
-                TaskSpec::Consensus(ins) => checker::check_consensus(&res, ins).is_err(),
-                TaskSpec::SetConsensus(ins, l) => {
-                    checker::check_set_consensus(&res, ins, *l).is_err()
-                }
-                TaskSpec::None => false,
-            };
-            assert!(replayed, "{name} ({dedup:?}): counterexample must replay");
+            // The exploration-level spec judges the replayed run
+            // directly (`RunChecker for TaskSpec`).
+            assert!(
+                spec.check(&res).is_err(),
+                "{name} ({dedup:?}): counterexample must replay"
+            );
         }
     }
 
@@ -237,37 +227,36 @@ mod tests {
     #[test]
     fn possible_side_of_each_level_verified() {
         use bso_protocols::consensus::{CasConsensus, FaaConsensus, TasConsensus};
-        use bso_sim::{explore, ExploreConfig, TaskSpec};
         let inputs2 = vec![Value::Int(5), Value::Int(9)];
         for report in [
-            explore(
-                &TasConsensus,
-                &inputs2,
-                &ExploreConfig {
-                    spec: TaskSpec::Consensus(inputs2.clone()),
-                    ..Default::default()
-                },
-            ),
-            explore(
-                &FaaConsensus,
-                &inputs2,
-                &ExploreConfig {
-                    spec: TaskSpec::Consensus(inputs2.clone()),
-                    ..Default::default()
-                },
-            ),
+            Explorer::new(&TasConsensus)
+                .inputs(&inputs2)
+                .spec(TaskSpec::Consensus(inputs2.clone()))
+                .run(),
+            Explorer::new(&FaaConsensus)
+                .inputs(&inputs2)
+                .spec(TaskSpec::Consensus(inputs2.clone()))
+                .run(),
         ] {
             assert!(report.outcome.is_verified());
         }
+        // On a fully verified instance serial and parallel exploration
+        // must agree on the *entire* report, not just the verdict:
+        // state and terminal counts and the exact wait-freedom witness
+        // are properties of the state graph, not of the execution mode.
         let inputs5: Vec<Value> = (0..5).map(Value::Int).collect();
-        let report = explore(
-            &CasConsensus::new(5),
-            &inputs5,
-            &ExploreConfig {
-                spec: TaskSpec::Consensus(inputs5.clone()),
-                ..Default::default()
-            },
-        );
-        assert!(report.outcome.is_verified());
+        let proto = CasConsensus::new(5);
+        let base = Explorer::new(&proto)
+            .inputs(&inputs5)
+            .spec(TaskSpec::Consensus(inputs5.clone()));
+        let serial = base.clone().run();
+        let parallel = base.parallel(true).workers(4).run();
+        assert!(serial.outcome.is_verified());
+        assert!(parallel.outcome.is_verified());
+        assert_eq!(serial.states, parallel.states);
+        assert_eq!(serial.terminals, parallel.terminals);
+        assert_eq!(serial.max_steps_per_proc, parallel.max_steps_per_proc);
+        assert_eq!(serial.stats.workers, 1);
+        assert_eq!(parallel.stats.workers, 4);
     }
 }

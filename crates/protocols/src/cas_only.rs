@@ -177,8 +177,8 @@ impl SymmetricProtocol for CasOnlyElection {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bso_sim::{checker, explore, scheduler, ExploreConfig, ProtocolExt, Simulation};
-    use bso_sim::{explore_parallel, explore_symmetric, ExploreOutcome, TaskSpec};
+    use bso_sim::{checker, scheduler, Explorer, ProtocolExt, Simulation};
+    use bso_sim::{ExploreOutcome, TaskSpec};
 
     #[test]
     fn construction_enforces_burns_ceiling() {
@@ -194,14 +194,10 @@ mod tests {
         // Every n ≤ k−1 for k = 3..6, all schedules.
         for k in 3..=6 {
             let proto = CasOnlyElection::new(k - 1, k).unwrap();
-            let report = explore(
-                &proto,
-                &proto.pid_inputs(),
-                &ExploreConfig {
-                    spec: TaskSpec::Election,
-                    ..Default::default()
-                },
-            );
+            let report = Explorer::new(&proto)
+                .inputs(&proto.pid_inputs())
+                .spec(TaskSpec::Election)
+                .run();
             assert!(report.outcome.is_verified(), "k={k}: {:?}", report.outcome);
             // One c&s + one decide per process: exactly 2 steps.
             assert!(report.max_steps_per_proc.iter().all(|&s| s == 2));
@@ -212,16 +208,11 @@ mod tests {
     fn parallel_exploration_agrees_with_serial_at_the_ceiling() {
         for k in 3..=6 {
             let proto = CasOnlyElection::new(k - 1, k).unwrap();
-            let cfg = ExploreConfig {
-                spec: TaskSpec::Election,
-                ..Default::default()
-            };
-            let serial = explore(&proto, &proto.pid_inputs(), &cfg);
-            let parallel = explore_parallel(
-                &proto,
-                &proto.pid_inputs(),
-                &ExploreConfig { workers: 4, ..cfg },
-            );
+            let base = Explorer::new(&proto)
+                .inputs(&proto.pid_inputs())
+                .spec(TaskSpec::Election);
+            let serial = base.clone().run();
+            let parallel = base.parallel(true).workers(4).run();
             assert!(serial.outcome.is_verified());
             assert!(
                 parallel.outcome.is_verified(),
@@ -240,12 +231,11 @@ mod tests {
         // ample once orbits collapse to representatives.
         let proto = CasOnlyElection::new(5, 6).unwrap();
         let inputs = proto.pid_inputs();
-        let base = ExploreConfig {
-            spec: TaskSpec::Election,
-            ..Default::default()
-        };
-        let plain = explore(&proto, &inputs, &base);
-        let sym = explore_symmetric(&proto, &inputs, &base);
+        let base = Explorer::new(&proto)
+            .inputs(&inputs)
+            .spec(TaskSpec::Election);
+        let plain = base.clone().run();
+        let sym = base.clone().symmetric(true).run();
         assert!(plain.outcome.is_verified() && sym.outcome.is_verified());
         assert_eq!(plain.max_steps_per_proc, sym.max_steps_per_proc);
         assert!(
@@ -254,22 +244,17 @@ mod tests {
             sym.states,
             plain.states
         );
-        let tight = ExploreConfig {
-            max_states: sym.states,
-            ..base
-        };
+        let tight = base.max_states(sym.states);
         assert!(
             matches!(
-                explore(&proto, &inputs, &tight).outcome,
+                tight.clone().run().outcome,
                 ExploreOutcome::Exhausted { .. }
             ),
             "the plain explorer must exhaust a {}-state budget",
             sym.states
         );
         assert!(
-            explore_symmetric(&proto, &inputs, &tight)
-                .outcome
-                .is_verified(),
+            tight.symmetric(true).run().outcome.is_verified(),
             "the same budget must suffice under symmetry reduction"
         );
     }

@@ -537,7 +537,7 @@ impl Protocol for RwConsensus {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bso_sim::{explore, refute, ExploreConfig, TaskSpec};
+    use bso_sim::{refute, Explorer, TaskSpec};
 
     fn int_inputs(n: usize) -> Vec<Value> {
         (0..n).map(|i| Value::Int(10 + i as i64)).collect()
@@ -547,14 +547,10 @@ mod tests {
     where
         P::State: std::hash::Hash + Eq,
     {
-        let report = explore(
-            proto,
-            inputs,
-            &ExploreConfig {
-                spec: TaskSpec::Consensus(inputs.to_vec()),
-                ..Default::default()
-            },
-        );
+        let report = Explorer::new(proto)
+            .inputs(inputs)
+            .spec(TaskSpec::Consensus(inputs.to_vec()))
+            .run();
         assert!(report.outcome.is_verified(), "{:?}", report.outcome);
     }
 

@@ -336,7 +336,7 @@ impl Protocol for LabelElection {
 mod tests {
     use super::*;
     use bso_sim::TaskSpec;
-    use bso_sim::{checker, explore, scheduler, CrashPlan, ExploreConfig, ProtocolExt, Simulation};
+    use bso_sim::{checker, scheduler, CrashPlan, Explorer, ProtocolExt, Simulation};
 
     #[test]
     fn construction_enforces_label_ceiling() {
@@ -373,14 +373,10 @@ mod tests {
     fn exhaustive_full_house_k3() {
         // (3−1)! = 2 processes, k = 3: every interleaving.
         let proto = LabelElection::new(2, 3).unwrap();
-        let report = explore(
-            &proto,
-            &proto.pid_inputs(),
-            &ExploreConfig {
-                spec: TaskSpec::Election,
-                ..Default::default()
-            },
-        );
+        let report = Explorer::new(&proto)
+            .inputs(&proto.pid_inputs())
+            .spec(TaskSpec::Election)
+            .run();
         assert!(report.outcome.is_verified(), "{:?}", report.outcome);
         // Wait-freedom witness: the explorer certifies a finite bound.
         assert!(report.max_steps_per_proc.iter().all(|&s| s <= 12 * 3));
@@ -390,14 +386,10 @@ mod tests {
     fn exhaustive_partial_house_k4() {
         // 3 of the possible 6 processes, k = 4: every interleaving.
         let proto = LabelElection::new(3, 4).unwrap();
-        let report = explore(
-            &proto,
-            &proto.pid_inputs(),
-            &ExploreConfig {
-                spec: TaskSpec::Election,
-                ..Default::default()
-            },
-        );
+        let report = Explorer::new(&proto)
+            .inputs(&proto.pid_inputs())
+            .spec(TaskSpec::Election)
+            .run();
         assert!(report.outcome.is_verified(), "{:?}", report.outcome);
         assert!(report.max_steps_per_proc.iter().all(|&s| s <= 12 * 4));
     }

@@ -128,20 +128,16 @@ impl Protocol for RmwOnlyElection {
 mod tests {
     use super::*;
     use crate::CasOnlyElection;
-    use bso_sim::{checker, explore, scheduler, ExploreConfig, ProtocolExt, Simulation, TaskSpec};
+    use bso_sim::{checker, scheduler, Explorer, ProtocolExt, Simulation, TaskSpec};
 
     #[test]
     fn exhaustively_correct_at_the_ceiling() {
         for k in 3..=6 {
             let proto = RmwOnlyElection::new(k - 1, k).unwrap();
-            let report = explore(
-                &proto,
-                &proto.pid_inputs(),
-                &ExploreConfig {
-                    spec: TaskSpec::Election,
-                    ..Default::default()
-                },
-            );
+            let report = Explorer::new(&proto)
+                .inputs(&proto.pid_inputs())
+                .spec(TaskSpec::Election)
+                .run();
             assert!(report.outcome.is_verified(), "k={k}: {:?}", report.outcome);
             assert!(report.max_steps_per_proc.iter().all(|&s| s == 2));
         }

@@ -148,7 +148,7 @@ impl Protocol for OwnInputSetConsensus {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bso_sim::{checker, explore, scheduler, ExploreConfig, Simulation, TaskSpec};
+    use bso_sim::{checker, scheduler, Explorer, Simulation, TaskSpec};
 
     fn int_inputs(n: usize) -> Vec<Value> {
         (0..n).map(|i| Value::Int(i as i64)).collect()
@@ -159,14 +159,10 @@ mod tests {
         let inputs = int_inputs(4);
         for l in 1..=3 {
             let proto = PartitionSetConsensus::new(4, l);
-            let report = explore(
-                &proto,
-                &inputs,
-                &ExploreConfig {
-                    spec: TaskSpec::SetConsensus(inputs.clone(), l),
-                    ..Default::default()
-                },
-            );
+            let report = Explorer::new(&proto)
+                .inputs(&inputs)
+                .spec(TaskSpec::SetConsensus(inputs.clone(), l))
+                .run();
             assert!(report.outcome.is_verified(), "l={l}: {:?}", report.outcome);
         }
     }
@@ -188,23 +184,15 @@ mod tests {
     fn own_input_is_n_set_only() {
         let proto = OwnInputSetConsensus::new(3);
         let inputs = int_inputs(3);
-        let report = explore(
-            &proto,
-            &inputs,
-            &ExploreConfig {
-                spec: TaskSpec::SetConsensus(inputs.clone(), 3),
-                ..Default::default()
-            },
-        );
+        let report = Explorer::new(&proto)
+            .inputs(&inputs)
+            .spec(TaskSpec::SetConsensus(inputs.clone(), 3))
+            .run();
         assert!(report.outcome.is_verified());
-        let report = explore(
-            &proto,
-            &inputs,
-            &ExploreConfig {
-                spec: TaskSpec::SetConsensus(inputs.clone(), 2),
-                ..Default::default()
-            },
-        );
+        let report = Explorer::new(&proto)
+            .inputs(&inputs)
+            .spec(TaskSpec::SetConsensus(inputs.clone(), 2))
+            .run();
         assert!(report.outcome.violation().is_some());
     }
 

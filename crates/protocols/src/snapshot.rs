@@ -284,7 +284,7 @@ pub fn views_are_comparable(views: &[Vec<Value>]) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bso_sim::{explore, scheduler, ExploreConfig, Simulation, TaskSpec};
+    use bso_sim::{scheduler, Explorer, Simulation, TaskSpec};
 
     fn final_views(res: &bso_sim::RunResult) -> Vec<Vec<Value>> {
         res.decisions
@@ -298,14 +298,10 @@ mod tests {
     fn exhaustive_two_processes_one_round() {
         // Termination + wait-freedom for every interleaving.
         let proto = SnapshotExerciser::new(2, 1);
-        let report = explore(
-            &proto,
-            &[Value::Nil, Value::Nil],
-            &ExploreConfig {
-                spec: TaskSpec::None,
-                ..Default::default()
-            },
-        );
+        let report = Explorer::new(&proto)
+            .inputs(&[Value::Nil, Value::Nil])
+            .spec(TaskSpec::None)
+            .run();
         assert!(report.outcome.is_verified(), "{:?}", report.outcome);
     }
 

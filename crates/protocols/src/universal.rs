@@ -411,7 +411,7 @@ pub fn check_universal(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bso_sim::{explore, scheduler, ExploreConfig, Simulation, TaskSpec};
+    use bso_sim::{scheduler, Explorer, Simulation, TaskSpec};
 
     fn faa_scripts(n: usize, each: usize) -> Vec<Vec<OpKind>> {
         (0..n).map(|_| vec![OpKind::FetchAdd(1); each]).collect()
@@ -420,14 +420,10 @@ mod tests {
     #[test]
     fn exhaustive_universal_counter_two_processes() {
         let proto = UniversalExerciser::new(ObjectInit::FetchAdd(0), faa_scripts(2, 1));
-        let report = explore(
-            &proto,
-            &[Value::Nil, Value::Nil],
-            &ExploreConfig {
-                spec: TaskSpec::None,
-                ..Default::default()
-            },
-        );
+        let report = Explorer::new(&proto)
+            .inputs(&[Value::Nil, Value::Nil])
+            .spec(TaskSpec::None)
+            .run();
         assert!(report.outcome.is_verified(), "{:?}", report.outcome);
     }
 

@@ -2,7 +2,16 @@
 //! `l`-set consensus, exactly as defined in Section 2 of the paper.
 //!
 //! A checker consumes a [`RunResult`] and reports the first violated
-//! clause. The definitions follow the paper:
+//! clause. The [`RunChecker`] trait is the uniform interface: each
+//! specification is a struct ([`ElectionChecker`],
+//! [`ConsensusChecker`], [`SetConsensusChecker`],
+//! [`StepBoundChecker`]), several can be bundled into a
+//! [`CheckerSet`], and an exploration-level
+//! [`TaskSpec`](crate::TaskSpec) maps onto its run-level counterpart
+//! via `RunChecker for TaskSpec`. The historical free functions
+//! ([`check_election`] and friends) delegate to the structs.
+//!
+//! The definitions follow the paper:
 //!
 //! * **Leader election** (multi-valued consensus): *consistent* —
 //!   distinct processes never elect distinct identities; *wait-free* —
@@ -16,6 +25,7 @@ use std::fmt;
 
 use bso_objects::Value;
 
+use crate::explore::TaskSpec;
 use crate::{Pid, ProcStatus, RunResult};
 
 /// A violated clause of a task specification.
@@ -104,78 +114,274 @@ fn decided(res: &RunResult) -> impl Iterator<Item = (Pid, &Value)> {
         .filter_map(|(p, d)| d.as_ref().map(|v| (p, v)))
 }
 
-/// Checks the leader-election specification.
+/// A run-level specification that can judge a completed run.
+///
+/// The trait unifies the election / consensus / set-consensus /
+/// step-bound checkers so harnesses (the refutations, telemetry
+/// validation, [`CheckerSet`]) can attach any mix of specifications
+/// uniformly instead of dispatching on free functions.
+pub trait RunChecker {
+    /// A short stable name for reports and telemetry.
+    fn name(&self) -> &'static str;
+
+    /// Checks the run against this specification.
+    ///
+    /// # Errors
+    ///
+    /// The first violated clause, as a [`SpecViolation`].
+    fn check(&self, res: &RunResult) -> Result<(), SpecViolation>;
+}
+
+/// [`RunChecker`] for the leader-election specification.
 ///
 /// `Validity` is interpreted as in the paper: the elected identity must
 /// be a *participant* — a process that took at least one step in the
 /// run (a process that never moved cannot have proposed itself).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ElectionChecker;
+
+impl RunChecker for ElectionChecker {
+    fn name(&self) -> &'static str {
+        "election"
+    }
+
+    fn check(&self, res: &RunResult) -> Result<(), SpecViolation> {
+        check_all_decided(res)?;
+        let participants = res.trace.participants();
+        let mut first: Option<(Pid, &Value)> = None;
+        for (pid, v) in decided(res) {
+            match v.as_pid() {
+                Some(w) if participants.contains(&w) => {}
+                _ => {
+                    return Err(SpecViolation::InvalidDecision {
+                        pid,
+                        value: v.clone(),
+                    })
+                }
+            }
+            match first {
+                None => first = Some((pid, v)),
+                Some((p0, v0)) => {
+                    if v0 != v {
+                        return Err(SpecViolation::Disagreement {
+                            a: (p0, v0.clone()),
+                            b: (pid, v.clone()),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// [`RunChecker`] for the consensus specification over fixed inputs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConsensusChecker {
+    /// The per-process proposed inputs.
+    pub inputs: Vec<Value>,
+}
+
+impl RunChecker for ConsensusChecker {
+    fn name(&self) -> &'static str {
+        "consensus"
+    }
+
+    fn check(&self, res: &RunResult) -> Result<(), SpecViolation> {
+        check_all_decided(res)?;
+        let participants = res.trace.participants();
+        let valid: Vec<&Value> = participants.iter().map(|&p| &self.inputs[p]).collect();
+        let mut first: Option<(Pid, &Value)> = None;
+        for (pid, v) in decided(res) {
+            if !valid.contains(&v) {
+                return Err(SpecViolation::InvalidDecision {
+                    pid,
+                    value: v.clone(),
+                });
+            }
+            match first {
+                None => first = Some((pid, v)),
+                Some((p0, v0)) => {
+                    if v0 != v {
+                        return Err(SpecViolation::Disagreement {
+                            a: (p0, v0.clone()),
+                            b: (pid, v.clone()),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// [`RunChecker`] for `l`-set consensus: at most `l` distinct
+/// decisions, each some participant's input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SetConsensusChecker {
+    /// The per-process proposed inputs.
+    pub inputs: Vec<Value>,
+    /// The bound on distinct decision values.
+    pub l: usize,
+}
+
+impl RunChecker for SetConsensusChecker {
+    fn name(&self) -> &'static str {
+        "set_consensus"
+    }
+
+    fn check(&self, res: &RunResult) -> Result<(), SpecViolation> {
+        check_all_decided(res)?;
+        let participants = res.trace.participants();
+        let valid: Vec<&Value> = participants.iter().map(|&p| &self.inputs[p]).collect();
+        for (pid, v) in decided(res) {
+            if !valid.contains(&v) {
+                return Err(SpecViolation::InvalidDecision {
+                    pid,
+                    value: v.clone(),
+                });
+            }
+        }
+        let set = res.decision_set();
+        if set.len() > self.l {
+            return Err(SpecViolation::TooManyValues {
+                allowed: self.l,
+                got: set,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// [`RunChecker`] for a claimed wait-freedom bound: every decided
+/// process took at most `bound` steps (its decision step included).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StepBoundChecker {
+    /// The claimed per-process step bound.
+    pub bound: usize,
+}
+
+impl RunChecker for StepBoundChecker {
+    fn name(&self) -> &'static str {
+        "step_bound"
+    }
+
+    fn check(&self, res: &RunResult) -> Result<(), SpecViolation> {
+        for (pid, &steps) in res.steps.iter().enumerate() {
+            if res.decisions[pid].is_some() && steps > self.bound {
+                return Err(SpecViolation::StepBoundExceeded {
+                    pid,
+                    steps,
+                    bound: self.bound,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An exploration-level [`TaskSpec`] *is* a run-level specification:
+/// this impl maps each variant onto its checker ([`TaskSpec::None`]
+/// accepts every run), letting code that holds an [`crate::Explorer`]
+/// configuration judge concrete runs with it.
+impl RunChecker for TaskSpec {
+    fn name(&self) -> &'static str {
+        match self {
+            TaskSpec::Election => ElectionChecker.name(),
+            TaskSpec::Consensus(_) => "consensus",
+            TaskSpec::SetConsensus(..) => "set_consensus",
+            TaskSpec::None => "none",
+        }
+    }
+
+    fn check(&self, res: &RunResult) -> Result<(), SpecViolation> {
+        match self {
+            TaskSpec::Election => ElectionChecker.check(res),
+            TaskSpec::Consensus(inputs) => ConsensusChecker {
+                inputs: inputs.clone(),
+            }
+            .check(res),
+            TaskSpec::SetConsensus(inputs, l) => SetConsensusChecker {
+                inputs: inputs.clone(),
+                l: *l,
+            }
+            .check(res),
+            TaskSpec::None => Ok(()),
+        }
+    }
+}
+
+/// An ordered bundle of [`RunChecker`]s applied as one.
+#[derive(Default)]
+pub struct CheckerSet {
+    checkers: Vec<Box<dyn RunChecker>>,
+}
+
+impl CheckerSet {
+    /// An empty set (accepts every run).
+    pub fn new() -> CheckerSet {
+        CheckerSet::default()
+    }
+
+    /// Adds a checker, builder-style.
+    #[must_use]
+    pub fn with(mut self, checker: impl RunChecker + 'static) -> CheckerSet {
+        self.checkers.push(Box::new(checker));
+        self
+    }
+
+    /// Adds a checker in place.
+    pub fn push(&mut self, checker: impl RunChecker + 'static) {
+        self.checkers.push(Box::new(checker));
+    }
+
+    /// How many checkers the set holds.
+    pub fn len(&self) -> usize {
+        self.checkers.len()
+    }
+
+    /// Whether the set holds no checkers.
+    pub fn is_empty(&self) -> bool {
+        self.checkers.is_empty()
+    }
+
+    /// Runs every checker in order.
+    ///
+    /// # Errors
+    ///
+    /// The first failing checker's name and violation.
+    pub fn check(&self, res: &RunResult) -> Result<(), (&'static str, SpecViolation)> {
+        for c in &self.checkers {
+            c.check(res).map_err(|v| (c.name(), v))?;
+        }
+        Ok(())
+    }
+}
+
+/// Checks the leader-election specification (see [`ElectionChecker`]).
 ///
 /// # Errors
 ///
 /// The first violated clause, as a [`SpecViolation`].
 pub fn check_election(res: &RunResult) -> Result<(), SpecViolation> {
-    check_all_decided(res)?;
-    let participants = res.trace.participants();
-    let mut first: Option<(Pid, &Value)> = None;
-    for (pid, v) in decided(res) {
-        match v.as_pid() {
-            Some(w) if participants.contains(&w) => {}
-            _ => {
-                return Err(SpecViolation::InvalidDecision {
-                    pid,
-                    value: v.clone(),
-                })
-            }
-        }
-        match first {
-            None => first = Some((pid, v)),
-            Some((p0, v0)) => {
-                if v0 != v {
-                    return Err(SpecViolation::Disagreement {
-                        a: (p0, v0.clone()),
-                        b: (pid, v.clone()),
-                    });
-                }
-            }
-        }
-    }
-    Ok(())
+    ElectionChecker.check(res)
 }
 
-/// Checks the consensus specification against the run's inputs.
+/// Checks the consensus specification against the run's inputs (see
+/// [`ConsensusChecker`]).
 ///
 /// # Errors
 ///
 /// The first violated clause, as a [`SpecViolation`].
 pub fn check_consensus(res: &RunResult, inputs: &[Value]) -> Result<(), SpecViolation> {
-    check_all_decided(res)?;
-    let participants = res.trace.participants();
-    let valid: Vec<&Value> = participants.iter().map(|&p| &inputs[p]).collect();
-    let mut first: Option<(Pid, &Value)> = None;
-    for (pid, v) in decided(res) {
-        if !valid.contains(&v) {
-            return Err(SpecViolation::InvalidDecision {
-                pid,
-                value: v.clone(),
-            });
-        }
-        match first {
-            None => first = Some((pid, v)),
-            Some((p0, v0)) => {
-                if v0 != v {
-                    return Err(SpecViolation::Disagreement {
-                        a: (p0, v0.clone()),
-                        b: (pid, v.clone()),
-                    });
-                }
-            }
-        }
+    ConsensusChecker {
+        inputs: inputs.to_vec(),
     }
-    Ok(())
+    .check(res)
 }
 
-/// Checks the `l`-set-consensus specification: at most `l` distinct
-/// decisions, each some participant's input.
+/// Checks the `l`-set-consensus specification (see
+/// [`SetConsensusChecker`]).
 ///
 /// # Errors
 ///
@@ -185,40 +391,20 @@ pub fn check_set_consensus(
     inputs: &[Value],
     l: usize,
 ) -> Result<(), SpecViolation> {
-    check_all_decided(res)?;
-    let participants = res.trace.participants();
-    let valid: Vec<&Value> = participants.iter().map(|&p| &inputs[p]).collect();
-    for (pid, v) in decided(res) {
-        if !valid.contains(&v) {
-            return Err(SpecViolation::InvalidDecision {
-                pid,
-                value: v.clone(),
-            });
-        }
+    SetConsensusChecker {
+        inputs: inputs.to_vec(),
+        l,
     }
-    let set = res.decision_set();
-    if set.len() > l {
-        return Err(SpecViolation::TooManyValues {
-            allowed: l,
-            got: set,
-        });
-    }
-    Ok(())
+    .check(res)
 }
 
-/// Checks a claimed wait-freedom bound: every decided process took at
-/// most `bound` steps (its decision step included).
+/// Checks a claimed wait-freedom bound (see [`StepBoundChecker`]).
 ///
 /// # Errors
 ///
 /// [`SpecViolation::StepBoundExceeded`] for the worst offender.
 pub fn check_step_bound(res: &RunResult, bound: usize) -> Result<(), SpecViolation> {
-    for (pid, &steps) in res.steps.iter().enumerate() {
-        if res.decisions[pid].is_some() && steps > bound {
-            return Err(SpecViolation::StepBoundExceeded { pid, steps, bound });
-        }
-    }
-    Ok(())
+    StepBoundChecker { bound }.check(res)
 }
 
 #[cfg(test)]
@@ -339,5 +525,74 @@ mod tests {
                 bound: 8
             })
         );
+    }
+
+    #[test]
+    fn task_spec_maps_onto_run_checkers() {
+        let ok = run_with(
+            vec![Some(Value::Pid(1)), Some(Value::Pid(1))],
+            trace_of(&[0, 1]),
+        );
+        let bad = run_with(
+            vec![Some(Value::Pid(0)), Some(Value::Pid(1))],
+            trace_of(&[0, 1]),
+        );
+        assert_eq!(TaskSpec::Election.name(), "election");
+        assert!(TaskSpec::Election.check(&ok).is_ok());
+        assert!(TaskSpec::Election.check(&bad).is_err());
+        // `None` accepts any run, even a disagreeing one.
+        assert!(TaskSpec::None.check(&bad).is_ok());
+
+        let inputs = vec![Value::Pid(0), Value::Pid(1)];
+        let spec = TaskSpec::Consensus(inputs.clone());
+        assert_eq!(spec.check(&ok), check_consensus(&ok, &inputs));
+        assert_eq!(spec.check(&bad), check_consensus(&bad, &inputs));
+
+        let spec = TaskSpec::SetConsensus(inputs.clone(), 1);
+        assert_eq!(spec.check(&bad), check_set_consensus(&bad, &inputs, 1));
+    }
+
+    #[test]
+    fn checker_set_reports_first_failure_by_name() {
+        let mut res = run_with(
+            vec![Some(Value::Pid(1)), Some(Value::Pid(1))],
+            trace_of(&[0, 1]),
+        );
+        res.steps = vec![1, 5];
+        let set = CheckerSet::new()
+            .with(ElectionChecker)
+            .with(StepBoundChecker { bound: 4 });
+        assert_eq!(set.len(), 2);
+        assert!(!set.is_empty());
+        let (name, violation) = set.check(&res).unwrap_err();
+        assert_eq!(name, "step_bound");
+        assert!(matches!(violation, SpecViolation::StepBoundExceeded { .. }));
+
+        res.steps = vec![1, 4];
+        assert!(set.check(&res).is_ok());
+        assert!(CheckerSet::new().is_empty());
+    }
+
+    #[test]
+    fn struct_checkers_match_free_functions() {
+        let inputs = vec![Value::Int(3), Value::Int(7)];
+        let res = run_with(vec![Some(Value::Int(7)), None], trace_of(&[0]));
+        assert_eq!(
+            ConsensusChecker {
+                inputs: inputs.clone()
+            }
+            .check(&res),
+            check_consensus(&res, &inputs)
+        );
+        assert_eq!(
+            SetConsensusChecker {
+                inputs: inputs.clone(),
+                l: 1
+            }
+            .check(&res),
+            check_set_consensus(&res, &inputs, 1)
+        );
+        assert_eq!(ElectionChecker.name(), "election");
+        assert_eq!(ConsensusChecker { inputs }.name(), "consensus");
     }
 }

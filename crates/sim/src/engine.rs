@@ -48,6 +48,7 @@ use std::sync::{Arc, Condvar, Mutex, TryLockError};
 use std::time::{Duration, Instant};
 
 use bso_objects::spec::ObjectState;
+use bso_telemetry::Histogram;
 
 use crate::explore::{
     check_decision, DedupMode, ExploreConfig, ExploreOutcome, ExploreStats, Report, StateKey,
@@ -197,6 +198,30 @@ fn zobrist<S: Hash>(state: &StateKey<S>) -> u64 {
     fp
 }
 
+/// Live telemetry handles for the hot loop, resolved once per run
+/// from [`ExploreConfig::telemetry`]. `enabled` gates the clock reads
+/// (and the histogram branches) so a disabled registry costs one
+/// predictable branch per expansion.
+struct EngineTel {
+    enabled: bool,
+    /// Depth (steps from the root) of each expanded node.
+    frontier_depth: Histogram,
+    /// Nanoseconds an empty-handed worker spent until a successful
+    /// steal.
+    steal_wait_ns: Histogram,
+}
+
+impl EngineTel {
+    fn new(config: &ExploreConfig) -> EngineTel {
+        let reg = &config.telemetry;
+        EngineTel {
+            enabled: reg.is_enabled(),
+            frontier_depth: reg.histogram("explore.frontier_depth"),
+            steal_wait_ns: reg.histogram("explore.steal_wait_ns"),
+        }
+    }
+}
+
 /// A unit of work: expand `node`, whose representative state is
 /// `state` with Zobrist fingerprint `fp`.
 struct Job<S> {
@@ -268,6 +293,7 @@ where
     frontier: AtomicUsize,
     peak_frontier: AtomicUsize,
     violation: Mutex<Option<Violation>>,
+    tel: EngineTel,
 }
 
 impl<'p, P, C, KM> Shared<'p, P, C, KM>
@@ -302,6 +328,7 @@ where
             frontier: AtomicUsize::new(0),
             peak_frontier: AtomicUsize::new(0),
             violation: Mutex::new(None),
+            tel: EngineTel::new(config),
         }
     }
 
@@ -371,6 +398,7 @@ where
         }
         // Steal half of some victim's queue (from the front: the
         // shallowest, largest subproblems).
+        let steal_started = self.tel.enabled.then(Instant::now);
         let workers = self.queues.len();
         for offset in 1..workers {
             let victim = (worker + offset) % workers;
@@ -384,6 +412,11 @@ where
                 self.frontier.fetch_sub(1, Ordering::Relaxed);
                 if !stolen.is_empty() {
                     self.queues[worker].lock().unwrap().extend(stolen);
+                }
+                if let Some(started) = steal_started {
+                    self.tel
+                        .steal_wait_ns
+                        .record(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
                 }
                 return Some(job);
             }
@@ -517,6 +550,9 @@ where
             mut fp,
             node,
         } = job;
+        if self.tel.enabled {
+            self.tel.frontier_depth.record(u64::from(node.depth));
+        }
         let n = self.n;
         local_best.fill(0);
         let mut terminal = true;
@@ -786,13 +822,15 @@ where
                 None => (ExploreOutcome::Exhausted { states, deepest: 0 }, Vec::new()),
             }
         };
-        Report {
+        let report = Report {
             outcome,
             states,
             terminals,
             max_steps_per_proc: bounds,
             stats,
-        }
+        };
+        report.record_to(&self.config.telemetry);
+        report
     }
 }
 

@@ -25,16 +25,42 @@
 //!
 //! The exploration itself runs on the sharded dataflow engine of
 //! [`crate::engine`] (one code path for every variant; see its module
-//! docs for the algorithm). Four entry points scale it:
+//! docs for the algorithm). The front door is the [`Explorer`]
+//! builder, which scales the engine along two independent axes:
 //!
-//! * [`explore`] — single-threaded, exact deduplication: the baseline,
+//! ```
+//! use bso_sim::{Explorer, ProtocolExt, TaskSpec};
+//! # use bso_objects::{Layout, Value};
+//! # use bso_sim::{Action, Pid, Protocol};
+//! # struct Solo;
+//! # impl Protocol for Solo {
+//! #     type State = ();
+//! #     fn processes(&self) -> usize { 1 }
+//! #     fn layout(&self) -> Layout { Layout::new() }
+//! #     fn init(&self, _pid: Pid, _input: &Value) {}
+//! #     fn next_action(&self, _st: &()) -> Action { Action::Decide(Value::Pid(0)) }
+//! #     fn on_response(&self, _st: &mut (), _resp: Value) {}
+//! # }
+//! # let proto = Solo;
+//! let report = Explorer::new(&proto)
+//!     .inputs(&proto.pid_inputs())
+//!     .spec(TaskSpec::Election)
+//!     .parallel(true) // work-stealing worker pool
+//!     .run();
+//! assert!(report.outcome.is_verified());
+//! ```
+//!
+//! * `.parallel(true)` — a work-stealing worker pool
+//!   ([`ExploreConfig::workers`]); the default is single-threaded and
 //!   fully deterministic.
-//! * [`explore_parallel`] — a work-stealing worker pool
-//!   ([`ExploreConfig::workers`]).
-//! * [`explore_symmetric`] / [`explore_symmetric_parallel`] — also
-//!   quotient the state space by the protocol's process-symmetry group
+//! * `.symmetric(true)` — quotient the state space by the protocol's
+//!   process-symmetry group
 //!   ([`crate::symmetry::SymmetricProtocol`]), visiting one
 //!   representative per orbit.
+//!
+//! The historical free functions ([`explore`], [`explore_parallel`],
+//! [`explore_symmetric`], [`explore_symmetric_parallel`]) survive as
+//! thin deprecated wrappers over the builder.
 //!
 //! [`ExploreConfig::dedup`] selects exact full-state deduplication or
 //! memory-lean 64-bit [`fingerprints`](crate::fingerprint): the latter
@@ -53,10 +79,11 @@ use std::hash::Hash;
 use std::time::Duration;
 
 use bso_objects::Value;
+use bso_telemetry::Registry;
 
 use crate::engine;
 use crate::symmetry::{NoCanon, SymCanon, SymmetricProtocol};
-use crate::{Pid, Protocol, SharedMemory};
+use crate::{Pid, Protocol, ProtocolExt, SharedMemory};
 
 /// What task specification to enforce during exploration.
 #[derive(Clone, Debug, Default)]
@@ -98,6 +125,11 @@ pub struct ExploreConfig {
     pub workers: usize,
     /// Visited-table key representation.
     pub dedup: DedupMode,
+    /// Where the run reports its metrics. The default clones the
+    /// process-wide registry, which is enabled iff the `BSO_TELEMETRY`
+    /// environment variable is set — so instrumentation is free unless
+    /// explicitly requested.
+    pub telemetry: Registry,
 }
 
 impl Default for ExploreConfig {
@@ -107,6 +139,7 @@ impl Default for ExploreConfig {
             spec: TaskSpec::None,
             workers: 0,
             dedup: DedupMode::Exact,
+            telemetry: Registry::default(),
         }
     }
 }
@@ -203,6 +236,33 @@ pub struct ExploreStats {
     pub shard_contention: usize,
 }
 
+impl ExploreStats {
+    /// Folds these counters into `registry` under `explore.*` names —
+    /// the canonical mapping from the bespoke stats struct onto
+    /// telemetry types. The engine calls this once per run; it is
+    /// public so external harnesses aggregating several reports can
+    /// reuse the same names.
+    pub fn record_to(&self, registry: &Registry) {
+        if !registry.is_enabled() {
+            return;
+        }
+        registry
+            .counter("explore.dedup_hits")
+            .add(self.dedup_hits as u64);
+        registry.counter("explore.steals").add(self.steals as u64);
+        registry
+            .counter("explore.shard_contention")
+            .add(self.shard_contention as u64);
+        registry.gauge("explore.workers").max(self.workers as u64);
+        registry
+            .gauge("explore.peak_frontier")
+            .max(self.peak_frontier as u64);
+        registry
+            .histogram("explore.run_ns")
+            .record(u64::try_from(self.duration.as_nanos()).unwrap_or(u64::MAX));
+    }
+}
+
 /// Exploration statistics and verdict.
 #[derive(Clone, Debug)]
 pub struct Report {
@@ -219,6 +279,27 @@ pub struct Report {
     pub max_steps_per_proc: Vec<usize>,
     /// Performance counters.
     pub stats: ExploreStats,
+}
+
+impl Report {
+    /// Folds the whole report into `registry` under `explore.*` names:
+    /// run/state/terminal counters, the dedup hit-rate gauge, and the
+    /// [`ExploreStats`] counters.
+    pub fn record_to(&self, registry: &Registry) {
+        if !registry.is_enabled() {
+            return;
+        }
+        registry.counter("explore.runs").inc();
+        registry.counter("explore.states").add(self.states as u64);
+        registry
+            .counter("explore.terminals")
+            .add(self.terminals as u64);
+        let generated = self.states + self.stats.dedup_hits;
+        if let Some(pct) = (100 * self.stats.dedup_hits).checked_div(generated) {
+            registry.gauge("explore.dedup_hit_rate_pct").set(pct as u64);
+        }
+        self.stats.record_to(registry);
+    }
 }
 
 /// One global state of the explored system.
@@ -324,49 +405,295 @@ fn init_key<P: Protocol>(proto: &P, inputs: &[Value]) -> StateKey<P::State> {
     }
 }
 
-/// Explores **all** interleavings of `proto` from the given inputs,
-/// single-threaded with exact-or-fingerprint deduplication per
-/// `config.dedup`.
-///
-/// See the module docs for exactly what a `Verified` outcome proves.
-///
-/// # Panics
-///
-/// Panics if the protocol has more than 64 processes or if
-/// `inputs.len()` does not match.
-pub fn explore<P: Protocol>(proto: &P, inputs: &[Value], config: &ExploreConfig) -> Report
+/// The monomorphized run strategy a builder flag captures. Taking a
+/// plain `fn` pointer lets [`Explorer::run`] stay free of the `Send`/
+/// `Sync`/`Ord` bounds that only the parallel and symmetric modes
+/// need: each mode's *setter* carries its bounds and freezes them into
+/// a pointer here.
+type RunFn<P> = fn(&P, &[Value], &ExploreConfig, usize) -> Report;
+
+fn run_plain_serial<P: Protocol>(
+    proto: &P,
+    inputs: &[Value],
+    config: &ExploreConfig,
+    _workers: usize,
+) -> Report
 where
     P::State: Hash + Eq,
 {
     engine::dispatch_serial(proto, init_key(proto, inputs), config, NoCanon)
 }
 
-/// [`explore`] on a pool of work-stealing worker threads
-/// ([`ExploreConfig::workers`]; `0` = one per available CPU).
-///
-/// Verdicts agree with [`explore`]; with several workers the *choice*
-/// of counterexample among equally valid ones may differ (the engine
-/// keeps the lexicographically smallest schedule discovered before
-/// exploration halted).
-///
-/// # Panics
-///
-/// As [`explore`].
-pub fn explore_parallel<P>(proto: &P, inputs: &[Value], config: &ExploreConfig) -> Report
+fn run_plain<P>(proto: &P, inputs: &[Value], config: &ExploreConfig, workers: usize) -> Report
 where
     P: Protocol + Sync,
     P::State: Hash + Eq + Send,
 {
-    let workers = match config.workers {
-        0 => std::thread::available_parallelism().map_or(1, |v| v.get()),
-        w => w,
-    };
     let init = init_key(proto, inputs);
     if workers <= 1 {
         engine::dispatch_serial(proto, init, config, NoCanon)
     } else {
         engine::dispatch_parallel(proto, init, config, NoCanon, workers)
     }
+}
+
+fn run_symmetric<P>(proto: &P, inputs: &[Value], config: &ExploreConfig, workers: usize) -> Report
+where
+    P: SymmetricProtocol + Sync,
+    P::State: Hash + Eq + Ord + Send,
+{
+    let canon = SymCanon::new(proto).unwrap_or_else(|e| panic!("{e}"));
+    assert_inputs_equivariant(proto, &canon, inputs);
+    let init = init_key(proto, inputs);
+    if workers <= 1 {
+        engine::dispatch_serial(proto, init, config, canon)
+    } else {
+        engine::dispatch_parallel(proto, init, config, canon, workers)
+    }
+}
+
+/// The single front door to exhaustive exploration.
+///
+/// Configure what to explore (`inputs`, `config` or the per-field
+/// shortcuts) and how (`parallel`, `symmetric`), then [`run`]: serial
+/// vs parallel and plain vs symmetry-reduced are two independent
+/// toggles over one engine, and the report — outcome, stats, worker
+/// resolution — is assembled identically for all four combinations.
+///
+/// ```
+/// use bso_sim::{Explorer, ProtocolExt, TaskSpec};
+/// # use bso_objects::{Layout, Value};
+/// # use bso_sim::{Action, Pid, Protocol};
+/// # struct Solo;
+/// # impl Protocol for Solo {
+/// #     type State = ();
+/// #     fn processes(&self) -> usize { 1 }
+/// #     fn layout(&self) -> Layout { Layout::new() }
+/// #     fn init(&self, _pid: Pid, _input: &Value) {}
+/// #     fn next_action(&self, _st: &()) -> Action { Action::Decide(Value::Pid(0)) }
+/// #     fn on_response(&self, _st: &mut (), _resp: Value) {}
+/// # }
+/// # let proto = Solo;
+/// let report = Explorer::new(&proto)
+///     .inputs(&proto.pid_inputs())
+///     .spec(TaskSpec::Election)
+///     .run();
+/// assert!(report.outcome.is_verified());
+/// ```
+///
+/// # What a `Verified` outcome proves
+///
+/// See the module docs: agreement and validity on every path, plus
+/// wait-freedom via acyclicity of the reachable state graph.
+///
+/// # Panics
+///
+/// [`run`](Explorer::run) panics if the protocol has more than 64
+/// processes or if the inputs' length does not match; with
+/// `.symmetric(true)` it additionally panics if the declared symmetry
+/// group is invalid (not permutations, or not closed under
+/// composition) or if the inputs are not fixed by the group — renaming
+/// processes must rename their inputs onto each other, as with
+/// [`crate::ProtocolExt::pid_inputs`], or the specification itself
+/// would distinguish the processes and the reduction would be unsound.
+#[derive(Debug)]
+pub struct Explorer<'p, P: Protocol> {
+    proto: &'p P,
+    inputs: Option<Vec<Value>>,
+    config: ExploreConfig,
+    parallel: bool,
+    par_run: Option<RunFn<P>>,
+    sym_run: Option<RunFn<P>>,
+}
+
+// Derived `Clone` would demand `P: Clone` even though only `&P` is held.
+impl<P: Protocol> Clone for Explorer<'_, P> {
+    fn clone(&self) -> Self {
+        Explorer {
+            proto: self.proto,
+            inputs: self.inputs.clone(),
+            config: self.config.clone(),
+            parallel: self.parallel,
+            par_run: self.par_run,
+            sym_run: self.sym_run,
+        }
+    }
+}
+
+impl<'p, P: Protocol> Explorer<'p, P> {
+    /// Starts a builder over `proto` with the default
+    /// [`ExploreConfig`], serial execution, no symmetry reduction, and
+    /// [`crate::ProtocolExt::pid_inputs`] as inputs.
+    pub fn new(proto: &'p P) -> Explorer<'p, P> {
+        Explorer {
+            proto,
+            inputs: None,
+            config: ExploreConfig::default(),
+            parallel: false,
+            par_run: None,
+            sym_run: None,
+        }
+    }
+
+    /// Sets the per-process inputs (one per process).
+    #[must_use]
+    pub fn inputs(mut self, inputs: &[Value]) -> Self {
+        self.inputs = Some(inputs.to_vec());
+        self
+    }
+
+    /// Replaces the whole configuration.
+    #[must_use]
+    pub fn config(mut self, config: &ExploreConfig) -> Self {
+        self.config = config.clone();
+        self
+    }
+
+    /// Sets the task specification ([`ExploreConfig::spec`]).
+    #[must_use]
+    pub fn spec(mut self, spec: TaskSpec) -> Self {
+        self.config.spec = spec;
+        self
+    }
+
+    /// Sets the state budget ([`ExploreConfig::max_states`]).
+    #[must_use]
+    pub fn max_states(mut self, max_states: usize) -> Self {
+        self.config.max_states = max_states;
+        self
+    }
+
+    /// Sets the worker count for parallel runs
+    /// ([`ExploreConfig::workers`]; `0` = one per available CPU).
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Sets the dedup mode ([`ExploreConfig::dedup`]).
+    #[must_use]
+    pub fn dedup(mut self, dedup: DedupMode) -> Self {
+        self.config.dedup = dedup;
+        self
+    }
+
+    /// Sets the telemetry registry the run reports into
+    /// ([`ExploreConfig::telemetry`]).
+    #[must_use]
+    pub fn telemetry(mut self, registry: Registry) -> Self {
+        self.config.telemetry = registry;
+        self
+    }
+
+    /// Toggles the work-stealing worker pool. Verdicts agree with the
+    /// serial mode; with several workers the *choice* of
+    /// counterexample among equally valid ones may differ (the engine
+    /// keeps the lexicographically smallest schedule discovered before
+    /// exploration halted).
+    ///
+    /// This setter (not [`run`](Explorer::run)) carries the
+    /// thread-safety bounds, so purely serial exploration remains
+    /// available to protocols whose states are not `Send`.
+    #[must_use]
+    pub fn parallel(mut self, parallel: bool) -> Self
+    where
+        P: Sync,
+        P::State: Hash + Eq + Send,
+    {
+        self.parallel = parallel;
+        self.par_run = parallel.then_some(run_plain::<P> as RunFn<P>);
+        self
+    }
+
+    /// Toggles process-symmetry reduction: only one representative per
+    /// orbit of the protocol's symmetry group is visited (see
+    /// [`SymmetricProtocol`] for the soundness contract). Composes
+    /// with [`parallel`](Explorer::parallel).
+    #[must_use]
+    pub fn symmetric(mut self, symmetric: bool) -> Self
+    where
+        P: SymmetricProtocol + Sync,
+        P::State: Hash + Eq + Ord + Send,
+    {
+        self.sym_run = symmetric.then_some(run_symmetric::<P> as RunFn<P>);
+        self
+    }
+
+    /// The worker-thread count this builder will actually run with:
+    /// `1` unless `.parallel(true)`, else [`ExploreConfig::workers`]
+    /// with `0` resolved to the available parallelism. This is the one
+    /// place serial-vs-parallel resolution happens, for all modes.
+    pub fn resolved_workers(&self) -> usize {
+        if !self.parallel {
+            return 1;
+        }
+        match self.config.workers {
+            0 => std::thread::available_parallelism().map_or(1, |v| v.get()),
+            w => w,
+        }
+    }
+
+    /// Explores **all** interleavings and reports the verdict.
+    ///
+    /// The builder is borrowed, not consumed, so one configuration can
+    /// drive several runs.
+    pub fn run(&self) -> Report
+    where
+        P::State: Hash + Eq,
+    {
+        let owned;
+        let inputs: &[Value] = match &self.inputs {
+            Some(v) => v,
+            None => {
+                owned = self.proto.pid_inputs();
+                &owned
+            }
+        };
+        let run = self
+            .sym_run
+            .or(self.par_run)
+            .unwrap_or(run_plain_serial::<P> as RunFn<P>);
+        run(self.proto, inputs, &self.config, self.resolved_workers())
+    }
+}
+
+/// Explores **all** interleavings of `proto` from the given inputs,
+/// single-threaded with exact-or-fingerprint deduplication per
+/// `config.dedup`.
+///
+/// # Panics
+///
+/// Panics if the protocol has more than 64 processes or if
+/// `inputs.len()` does not match.
+#[deprecated(since = "0.2.0", note = "use `Explorer::new(proto).inputs(..).run()`")]
+pub fn explore<P: Protocol>(proto: &P, inputs: &[Value], config: &ExploreConfig) -> Report
+where
+    P::State: Hash + Eq,
+{
+    Explorer::new(proto).inputs(inputs).config(config).run()
+}
+
+/// [`explore`] on a pool of work-stealing worker threads
+/// ([`ExploreConfig::workers`]; `0` = one per available CPU).
+///
+/// # Panics
+///
+/// As [`explore`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Explorer::new(proto).inputs(..).parallel(true).run()`"
+)]
+pub fn explore_parallel<P>(proto: &P, inputs: &[Value], config: &ExploreConfig) -> Report
+where
+    P: Protocol + Sync,
+    P::State: Hash + Eq + Send,
+{
+    Explorer::new(proto)
+        .inputs(inputs)
+        .config(config)
+        .parallel(true)
+        .run()
 }
 
 /// [`explore`] under process-symmetry reduction: only one
@@ -381,14 +708,20 @@ where
 /// rename their inputs onto each other, as with
 /// [`crate::ProtocolExt::pid_inputs`], or the specification itself
 /// would distinguish the processes and the reduction would be unsound.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Explorer::new(proto).inputs(..).symmetric(true).run()`"
+)]
 pub fn explore_symmetric<P>(proto: &P, inputs: &[Value], config: &ExploreConfig) -> Report
 where
-    P: SymmetricProtocol,
-    P::State: Hash + Eq + Ord,
+    P: SymmetricProtocol + Sync,
+    P::State: Hash + Eq + Ord + Send,
 {
-    let canon = SymCanon::new(proto).unwrap_or_else(|e| panic!("{e}"));
-    assert_inputs_equivariant(proto, &canon, inputs);
-    engine::dispatch_serial(proto, init_key(proto, inputs), config, canon)
+    Explorer::new(proto)
+        .inputs(inputs)
+        .config(config)
+        .symmetric(true)
+        .run()
 }
 
 /// [`explore_symmetric`] on a work-stealing worker pool.
@@ -396,23 +729,21 @@ where
 /// # Panics
 ///
 /// As [`explore_symmetric`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Explorer::new(proto).inputs(..).symmetric(true).parallel(true).run()`"
+)]
 pub fn explore_symmetric_parallel<P>(proto: &P, inputs: &[Value], config: &ExploreConfig) -> Report
 where
     P: SymmetricProtocol + Sync,
     P::State: Hash + Eq + Ord + Send,
 {
-    let workers = match config.workers {
-        0 => std::thread::available_parallelism().map_or(1, |v| v.get()),
-        w => w,
-    };
-    let canon = SymCanon::new(proto).unwrap_or_else(|e| panic!("{e}"));
-    assert_inputs_equivariant(proto, &canon, inputs);
-    let init = init_key(proto, inputs);
-    if workers <= 1 {
-        engine::dispatch_serial(proto, init, config, canon)
-    } else {
-        engine::dispatch_parallel(proto, init, config, canon, workers)
-    }
+    Explorer::new(proto)
+        .inputs(inputs)
+        .config(config)
+        .symmetric(true)
+        .parallel(true)
+        .run()
 }
 
 fn assert_inputs_equivariant<P: SymmetricProtocol>(
@@ -556,7 +887,7 @@ mod tests {
             spec: TaskSpec::Election,
             ..Default::default()
         };
-        let report = explore(&proto, &inputs, &cfg);
+        let report = Explorer::new(&proto).inputs(&inputs).config(&cfg).run();
         assert!(report.outcome.is_verified(), "{:?}", report.outcome);
         assert!(report.states > 0 && report.terminals > 0);
         // announce + grab + (maybe read) + decide = at most 4 steps
@@ -573,7 +904,7 @@ mod tests {
             spec: TaskSpec::Election,
             ..Default::default()
         };
-        let report = explore(&proto, &inputs, &cfg);
+        let report = Explorer::new(&proto).inputs(&inputs).config(&cfg).run();
         let v = report
             .outcome
             .violation()
@@ -599,7 +930,10 @@ mod tests {
             spec: TaskSpec::None,
             ..Default::default()
         };
-        let report = explore(&proto, &[Value::Nil, Value::Nil], &cfg);
+        let report = Explorer::new(&proto)
+            .inputs(&[Value::Nil, Value::Nil])
+            .config(&cfg)
+            .run();
         let v = report.outcome.violation().expect("livelock must be caught");
         assert_eq!(v.kind, ViolationKind::NotWaitFree);
     }
@@ -612,7 +946,11 @@ mod tests {
                 dedup,
                 ..Default::default()
             };
-            let report = explore_parallel(&Livelock, &[Value::Nil, Value::Nil], &cfg);
+            let report = Explorer::new(&Livelock)
+                .inputs(&[Value::Nil, Value::Nil])
+                .config(&cfg)
+                .parallel(true)
+                .run();
             let v = report.outcome.violation().expect("livelock must be caught");
             assert_eq!(v.kind, ViolationKind::NotWaitFree, "dedup {dedup:?}");
         }
@@ -640,7 +978,10 @@ mod tests {
             spec: TaskSpec::Consensus(vec![Value::Int(1)]),
             ..Default::default()
         };
-        let report = explore(&ConstDecider, &[Value::Int(1)], &cfg);
+        let report = Explorer::new(&ConstDecider)
+            .inputs(&[Value::Int(1)])
+            .config(&cfg)
+            .run();
         let v = report.outcome.violation().expect("invalid decision");
         assert_eq!(v.kind, ViolationKind::Validity);
     }
@@ -654,7 +995,7 @@ mod tests {
             spec: TaskSpec::Election,
             ..Default::default()
         };
-        let report = explore(&proto, &inputs, &cfg);
+        let report = Explorer::new(&proto).inputs(&inputs).config(&cfg).run();
         match report.outcome {
             ExploreOutcome::Exhausted { states, deepest } => {
                 assert_eq!(states, 2);
@@ -675,29 +1016,16 @@ mod tests {
             spec: TaskSpec::Election,
             ..Default::default()
         };
-        let full = explore(&proto, &inputs, &cfg);
+        let base = Explorer::new(&proto).inputs(&inputs).config(&cfg);
+        let full = base.run();
         assert!(full.outcome.is_verified());
-        let exact = explore(
-            &proto,
-            &inputs,
-            &ExploreConfig {
-                max_states: full.states,
-                ..cfg.clone()
-            },
-        );
+        let exact = base.clone().max_states(full.states).run();
         assert!(
             exact.outcome.is_verified(),
             "max_states == states must verify: {:?}",
             exact.outcome
         );
-        let starved = explore(
-            &proto,
-            &inputs,
-            &ExploreConfig {
-                max_states: full.states - 1,
-                ..cfg
-            },
-        );
+        let starved = base.max_states(full.states - 1).run();
         match starved.outcome {
             ExploreOutcome::Exhausted { states, .. } => {
                 assert_eq!(states, full.states - 1)
@@ -730,23 +1058,15 @@ mod tests {
             fn on_response(&self, _st: &mut Value, _resp: Value) {}
         }
         let inputs = vec![Value::Int(1), Value::Int(2), Value::Int(3)];
-        let ok = explore(
-            &OwnInput,
-            &inputs,
-            &ExploreConfig {
-                spec: TaskSpec::SetConsensus(inputs.clone(), 3),
-                ..Default::default()
-            },
-        );
+        let ok = Explorer::new(&OwnInput)
+            .inputs(&inputs)
+            .spec(TaskSpec::SetConsensus(inputs.clone(), 3))
+            .run();
         assert!(ok.outcome.is_verified());
-        let bad = explore(
-            &OwnInput,
-            &inputs,
-            &ExploreConfig {
-                spec: TaskSpec::SetConsensus(inputs.clone(), 2),
-                ..Default::default()
-            },
-        );
+        let bad = Explorer::new(&OwnInput)
+            .inputs(&inputs)
+            .spec(TaskSpec::SetConsensus(inputs.clone(), 2))
+            .run();
         assert_eq!(
             bad.outcome.violation().unwrap().kind,
             ViolationKind::Agreement
@@ -818,8 +1138,9 @@ mod tests {
             spec: TaskSpec::Election,
             ..Default::default()
         };
-        let plain = explore(&proto, &inputs, &cfg);
-        let sym = explore_symmetric(&proto, &inputs, &cfg);
+        let base = Explorer::new(&proto).inputs(&inputs).config(&cfg);
+        let plain = base.run();
+        let sym = base.clone().symmetric(true).run();
         assert!(plain.outcome.is_verified());
         assert!(sym.outcome.is_verified());
         // Same exact step bounds from ~6× fewer states.
@@ -831,8 +1152,7 @@ mod tests {
             plain.states
         );
         // And in parallel.
-        let sym_par =
-            explore_symmetric_parallel(&proto, &inputs, &ExploreConfig { workers: 3, ..cfg });
+        let sym_par = base.symmetric(true).parallel(true).workers(3).run();
         assert!(sym_par.outcome.is_verified());
         assert_eq!(sym_par.max_steps_per_proc, sym.max_steps_per_proc);
         assert_eq!(sym_par.states, sym.states);
@@ -868,11 +1188,10 @@ mod tests {
             }
         }
         let result = std::panic::catch_unwind(|| {
-            explore_symmetric(
-                &Sym2,
-                &[Value::Int(1), Value::Int(2)],
-                &ExploreConfig::default(),
-            )
+            Explorer::new(&Sym2)
+                .inputs(&[Value::Int(1), Value::Int(2)])
+                .symmetric(true)
+                .run()
         });
         assert!(result.is_err(), "non-equivariant inputs must be rejected");
     }

@@ -13,18 +13,20 @@
 //! * [`Simulation`] — executes a protocol under a pluggable
 //!   [`Scheduler`] (round-robin, seeded random, scripted) with optional
 //!   crash injection, recording a [`Trace`].
-//! * [`explore`] — an exhaustive DFS model checker over *all*
-//!   interleavings. For a finite-state protocol instance it decides
-//!   agreement, validity and wait-freedom outright (acyclicity of the
-//!   reachable state graph is exactly solo-termination, i.e.
-//!   wait-freedom — see the module docs).
+//! * [`Explorer`] — an exhaustive model checker over *all*
+//!   interleavings, configured through one builder (serial or
+//!   parallel, plain or symmetry-reduced). For a finite-state protocol
+//!   instance it decides agreement, validity and wait-freedom outright
+//!   (acyclicity of the reachable state graph is exactly
+//!   solo-termination, i.e. wait-freedom — see the module docs).
 //! * [`refute`] — extracts concrete counterexample schedules from
 //!   explorer violations, the executable counterpart of the
 //!   FLP/Loui–Abu-Amara style impossibility arguments the paper builds
 //!   on.
-//! * [`checker`] — run-level specifications: leader election
-//!   (consistency/validity/wait-freedom as in Section 2 of the paper),
-//!   consensus, and `l`-set consensus.
+//! * [`checker`] — run-level specifications behind the [`RunChecker`]
+//!   trait: leader election (consistency/validity/wait-freedom as in
+//!   Section 2 of the paper), consensus, `l`-set consensus and step
+//!   bounds.
 //! * [`thread_runner`] — drives the *same* state machines against the
 //!   hardware-atomic backend of `bso-objects` on real OS threads.
 //! * [`linearizability`] — a Wing–Gong style checker validating
@@ -114,10 +116,15 @@ mod trace;
 pub mod valence;
 pub mod viz;
 
+pub use checker::{
+    CheckerSet, ConsensusChecker, ElectionChecker, RunChecker, SetConsensusChecker,
+    StepBoundChecker,
+};
+#[allow(deprecated)] // the historical free functions stay re-exported
+pub use explore::{explore, explore_parallel, explore_symmetric, explore_symmetric_parallel};
 pub use explore::{
-    explore, explore_parallel, explore_symmetric, explore_symmetric_parallel, DedupMode,
-    ExploreConfig, ExploreOutcome, ExploreStats, Report as ExploreReport, TaskSpec, Violation,
-    ViolationKind,
+    DedupMode, ExploreConfig, ExploreOutcome, ExploreStats, Explorer, Report as ExploreReport,
+    TaskSpec, Violation, ViolationKind,
 };
 pub use memory::SharedMemory;
 pub use protocol::{Action, Pid, Protocol, ProtocolExt};

@@ -24,7 +24,7 @@ use std::hash::Hash;
 use bso_objects::Value;
 
 use crate::explore::TaskSpec;
-use crate::{explore, ExploreConfig, ExploreOutcome, Protocol, Violation};
+use crate::{ExploreOutcome, Explorer, Protocol, Violation};
 
 /// The witness that a candidate protocol fails its task.
 #[derive(Clone, Debug)]
@@ -104,12 +104,13 @@ pub fn refute_consensus<P: Protocol>(proto: &P, inputs: &[Value], max_states: us
 where
     P::State: Hash + Eq,
 {
-    let cfg = ExploreConfig {
-        max_states,
-        spec: TaskSpec::Consensus(inputs.to_vec()),
-        ..Default::default()
-    };
-    verdict_of(explore(proto, inputs, &cfg))
+    verdict_of(
+        Explorer::new(proto)
+            .inputs(inputs)
+            .max_states(max_states)
+            .spec(TaskSpec::Consensus(inputs.to_vec()))
+            .run(),
+    )
 }
 
 /// Tries to refute `proto` as a leader-election protocol (inputs are
@@ -119,12 +120,13 @@ where
     P::State: Hash + Eq,
 {
     let inputs: Vec<Value> = (0..proto.processes()).map(Value::Pid).collect();
-    let cfg = ExploreConfig {
-        max_states,
-        spec: TaskSpec::Election,
-        ..Default::default()
-    };
-    verdict_of(explore(proto, &inputs, &cfg))
+    verdict_of(
+        Explorer::new(proto)
+            .inputs(&inputs)
+            .max_states(max_states)
+            .spec(TaskSpec::Election)
+            .run(),
+    )
 }
 
 /// Tries to refute `proto` as an `l`-set-consensus protocol.
@@ -137,12 +139,13 @@ pub fn refute_set_consensus<P: Protocol>(
 where
     P::State: Hash + Eq,
 {
-    let cfg = ExploreConfig {
-        max_states,
-        spec: TaskSpec::SetConsensus(inputs.to_vec(), l),
-        ..Default::default()
-    };
-    verdict_of(explore(proto, inputs, &cfg))
+    verdict_of(
+        Explorer::new(proto)
+            .inputs(inputs)
+            .max_states(max_states)
+            .spec(TaskSpec::SetConsensus(inputs.to_vec(), l))
+            .run(),
+    )
 }
 
 #[cfg(test)]

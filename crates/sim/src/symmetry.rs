@@ -36,8 +36,7 @@ use crate::{Pid, Protocol, SharedMemory};
 /// of process permutations.
 ///
 /// See the module docs for the equivariance contract. Implementing
-/// this trait unlocks [`crate::explore_symmetric`] and
-/// [`crate::explore_symmetric_parallel`].
+/// this trait unlocks [`crate::Explorer::symmetric`].
 pub trait SymmetricProtocol: Protocol {
     /// The pid permutations under which the protocol is equivariant.
     ///

@@ -6,14 +6,124 @@
 //! model — the state machine is executed in direct style, one shared
 //! operation at a time, against real `compare&swap` instructions.
 
+use std::time::Instant;
+
 use bso_objects::atomic::{AtomicMemory, Memory};
-use bso_objects::{ObjectError, Value};
+use bso_objects::{ObjectError, OpKind, Value};
+use bso_telemetry::{Counter, Histogram, Registry};
 
 use crate::record::{RecordedOp, RecordingMemory};
 use crate::{Action, Pid, Protocol};
 
+/// Telemetry handles for the thread runner (the `thread.*` namespace).
+///
+/// All handles are created up front so every metric appears in a
+/// snapshot (at zero) even for runs that never fail a `c&s`.
+struct ThreadTel {
+    enabled: bool,
+    runs: Counter,
+    steps: Counter,
+    decisions: Counter,
+    cas_attempts: Counter,
+    cas_failures: Counter,
+    tas_losses: Counter,
+    step_ns: Histogram,
+    steps_per_proc: Histogram,
+}
+
+impl ThreadTel {
+    fn new(registry: &Registry) -> ThreadTel {
+        ThreadTel {
+            enabled: registry.is_enabled(),
+            runs: registry.counter("thread.runs"),
+            steps: registry.counter("thread.steps"),
+            decisions: registry.counter("thread.decisions"),
+            cas_attempts: registry.counter("thread.cas.attempts"),
+            cas_failures: registry.counter("thread.cas.failures"),
+            tas_losses: registry.counter("thread.tas.losses"),
+            step_ns: registry.histogram("thread.step_ns"),
+            steps_per_proc: registry.histogram("thread.steps_per_proc"),
+        }
+    }
+
+    /// Classifies one shared-memory step: `c&s` succeeded iff the
+    /// response (always the previous contents) equals `expect`;
+    /// test&set lost iff the previous bit was already set.
+    fn record_step(&self, op_kind: &OpKind, resp: &Value, elapsed_ns: u64) {
+        self.steps.inc();
+        self.step_ns.record(elapsed_ns);
+        match op_kind {
+            OpKind::Cas { expect, .. } => {
+                self.cas_attempts.inc();
+                if resp != expect {
+                    self.cas_failures.inc();
+                }
+            }
+            OpKind::TestAndSet if *resp == Value::Bool(true) => {
+                self.tas_losses.inc();
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Drives one process's state machine to its decision against any
+/// [`Memory`], recording per-step telemetry into `registry`.
+///
+/// # Errors
+///
+/// Propagates illegal-operation errors from the memory.
+pub fn run_process_with<P: Protocol, M: Memory + ?Sized>(
+    proto: &P,
+    mem: &M,
+    pid: Pid,
+    input: &Value,
+    registry: &Registry,
+) -> Result<Value, ObjectError> {
+    let tel = ThreadTel::new(registry);
+    run_process_tel(proto, mem, pid, input, &tel)
+}
+
+fn run_process_tel<P: Protocol, M: Memory + ?Sized>(
+    proto: &P,
+    mem: &M,
+    pid: Pid,
+    input: &Value,
+    tel: &ThreadTel,
+) -> Result<Value, ObjectError> {
+    let mut state = proto.init(pid, input);
+    let mut steps: u64 = 0;
+    loop {
+        match proto.next_action(&state) {
+            Action::Invoke(op) => {
+                if tel.enabled {
+                    let started = Instant::now();
+                    let resp = mem.apply(pid, &op)?;
+                    let elapsed = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                    tel.record_step(&op.kind, &resp, elapsed);
+                    steps += 1;
+                    proto.on_response(&mut state, resp);
+                } else {
+                    let resp = mem.apply(pid, &op)?;
+                    proto.on_response(&mut state, resp);
+                }
+            }
+            Action::Decide(v) => {
+                if tel.enabled {
+                    tel.decisions.inc();
+                    tel.steps_per_proc.record(steps);
+                }
+                return Ok(v);
+            }
+        }
+    }
+}
+
 /// Drives one process's state machine to its decision against any
 /// [`Memory`].
+///
+/// Telemetry goes to the global registry (enabled only when the
+/// `BSO_TELEMETRY` environment variable is set).
 ///
 /// # Errors
 ///
@@ -24,20 +134,14 @@ pub fn run_process<P: Protocol, M: Memory + ?Sized>(
     pid: Pid,
     input: &Value,
 ) -> Result<Value, ObjectError> {
-    let mut state = proto.init(pid, input);
-    loop {
-        match proto.next_action(&state) {
-            Action::Invoke(op) => {
-                let resp = mem.apply(pid, &op)?;
-                proto.on_response(&mut state, resp);
-            }
-            Action::Decide(v) => return Ok(v),
-        }
-    }
+    run_process_with(proto, mem, pid, input, &Registry::default())
 }
 
 /// Runs all processes concurrently on OS threads and returns their
 /// decisions.
+///
+/// Telemetry goes to the global registry (enabled only when the
+/// `BSO_TELEMETRY` environment variable is set).
 ///
 /// # Errors
 ///
@@ -52,10 +156,33 @@ where
     P: Protocol + Sync,
     P::State: Send,
 {
+    run_on_threads_with(proto, inputs, &Registry::default())
+}
+
+/// Like [`run_on_threads`], but records per-step telemetry into the
+/// given `registry` instead of the global one.
+///
+/// # Errors
+///
+/// The first illegal-operation error of any process.
+///
+/// # Panics
+///
+/// Panics if a worker thread itself panics, or if
+/// `inputs.len() != proto.processes()`.
+pub fn run_on_threads_with<P>(
+    proto: &P,
+    inputs: &[Value],
+    registry: &Registry,
+) -> Result<Vec<Value>, ObjectError>
+where
+    P: Protocol + Sync,
+    P::State: Send,
+{
     let n = proto.processes();
     assert_eq!(inputs.len(), n, "need one input per process");
     let mem = AtomicMemory::new(&proto.layout());
-    collect_decisions(proto, &mem, inputs)
+    collect_decisions(proto, &mem, inputs, registry)
 }
 
 /// Like [`run_on_threads`], but records the full concurrent history
@@ -79,21 +206,31 @@ where
 {
     let mem = AtomicMemory::new(&proto.layout());
     let rec = RecordingMemory::new(&mem);
-    let decisions = collect_decisions(proto, &rec, inputs)?;
+    let decisions = collect_decisions(proto, &rec, inputs, &Registry::default())?;
     Ok((decisions, rec.into_log()))
 }
 
-fn collect_decisions<P, M>(proto: &P, mem: &M, inputs: &[Value]) -> Result<Vec<Value>, ObjectError>
+fn collect_decisions<P, M>(
+    proto: &P,
+    mem: &M,
+    inputs: &[Value],
+    registry: &Registry,
+) -> Result<Vec<Value>, ObjectError>
 where
     P: Protocol + Sync,
     P::State: Send,
     M: Memory + ?Sized,
 {
+    let tel = ThreadTel::new(registry);
+    if tel.enabled {
+        tel.runs.inc();
+    }
+    let tel = &tel;
     let results: Vec<Result<Value, ObjectError>> = std::thread::scope(|s| {
         let handles: Vec<_> = inputs
             .iter()
             .enumerate()
-            .map(|(pid, input)| s.spawn(move || run_process(proto, mem, pid, input)))
+            .map(|(pid, input)| s.spawn(move || run_process_tel(proto, mem, pid, input, tel)))
             .collect();
         handles
             .into_iter()
@@ -153,6 +290,22 @@ mod tests {
             .collect();
         ranks.sort_unstable();
         assert_eq!(ranks, (0..8).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn telemetry_counts_thread_steps() {
+        let reg = Registry::enabled();
+        let proto = Ranker { n: 4 };
+        run_on_threads_with(&proto, &vec![Value::Nil; 4], &reg).unwrap();
+        assert_eq!(reg.counter("thread.runs").get(), 1);
+        assert_eq!(reg.counter("thread.steps").get(), 4); // one f&a each
+        assert_eq!(reg.counter("thread.decisions").get(), 4);
+        assert_eq!(reg.histogram("thread.steps_per_proc").count(), 4);
+        assert_eq!(reg.histogram("thread.step_ns").count(), 4);
+        // No c&s or test&set in this protocol, but the handles exist.
+        assert_eq!(reg.counter("thread.cas.attempts").get(), 0);
+        assert_eq!(reg.counter("thread.tas.losses").get(), 0);
+        assert!(reg.snapshot().len() >= 8);
     }
 
     #[test]

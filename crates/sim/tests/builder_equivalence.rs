@@ -1,0 +1,164 @@
+//! The [`Explorer`] builder must be a drop-in replacement for the four
+//! historical free functions: for every mode combination
+//! (serial/parallel × plain/symmetric) the builder and the deprecated
+//! function must return the *same* report — verdict, state and
+//! terminal counts, and the exact wait-freedom witness.
+//!
+//! Performance counters (`stats.duration`, `stats.steals`, ...) are
+//! run-dependent and deliberately excluded; `stats.workers` is the one
+//! stats field both paths must resolve identically.
+
+#![allow(deprecated)] // this test exists to pin the deprecated functions
+
+use bso_objects::{Layout, ObjectId, ObjectInit, Op, OpKind, Value};
+use bso_sim::{
+    explore, explore_parallel, explore_symmetric, explore_symmetric_parallel, Action, DedupMode,
+    ExploreConfig, ExploreReport, Explorer, Pid, Protocol, ProtocolExt, SymmetricProtocol,
+    TaskSpec,
+};
+
+/// Fully symmetric election: everyone sticky-writes its pid and elects
+/// whatever the write-once register reports (the first writer).
+struct StickyElection {
+    n: usize,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+enum St {
+    Write(usize),
+    Done(usize),
+}
+
+impl Protocol for StickyElection {
+    type State = St;
+    fn processes(&self) -> usize {
+        self.n
+    }
+    fn layout(&self) -> Layout {
+        let mut l = Layout::new();
+        l.push(ObjectInit::Sticky);
+        l
+    }
+    fn init(&self, pid: Pid, _input: &Value) -> St {
+        St::Write(pid)
+    }
+    fn next_action(&self, st: &St) -> Action {
+        match st {
+            St::Write(p) => {
+                Action::Invoke(Op::new(ObjectId(0), OpKind::StickyWrite(Value::Pid(*p))))
+            }
+            St::Done(p) => Action::Decide(Value::Pid(*p)),
+        }
+    }
+    fn on_response(&self, st: &mut St, resp: Value) {
+        if let St::Write(_) = st {
+            *st = St::Done(resp.as_pid().expect("sticky register holds the winner"));
+        }
+    }
+}
+
+impl SymmetricProtocol for StickyElection {
+    fn symmetry_group(&self) -> Vec<Vec<Pid>> {
+        // Full S₃ (non-identity elements).
+        vec![
+            vec![0, 2, 1],
+            vec![1, 0, 2],
+            vec![1, 2, 0],
+            vec![2, 0, 1],
+            vec![2, 1, 0],
+        ]
+    }
+    fn permute_state(&self, perm: &[Pid], st: &St) -> St {
+        match st {
+            St::Write(p) => St::Write(perm[*p]),
+            St::Done(p) => St::Done(perm[*p]),
+        }
+    }
+}
+
+/// The report fields that must be bit-identical between the builder
+/// and the free function (run-dependent perf counters excluded).
+fn assert_same_report(builder: &ExploreReport, legacy: &ExploreReport, mode: &str) {
+    assert_eq!(
+        builder.outcome.is_verified(),
+        legacy.outcome.is_verified(),
+        "{mode}: verdicts diverged"
+    );
+    assert_eq!(builder.states, legacy.states, "{mode}: state counts");
+    assert_eq!(builder.terminals, legacy.terminals, "{mode}: terminals");
+    assert_eq!(
+        builder.max_steps_per_proc, legacy.max_steps_per_proc,
+        "{mode}: wait-freedom witness"
+    );
+    assert_eq!(
+        builder.stats.workers, legacy.stats.workers,
+        "{mode}: resolved workers"
+    );
+}
+
+#[test]
+fn builder_matches_deprecated_functions_in_all_four_modes() {
+    let proto = StickyElection { n: 3 };
+    let inputs = proto.pid_inputs();
+    let cfg = ExploreConfig {
+        spec: TaskSpec::Election,
+        workers: 3,
+        ..Default::default()
+    };
+    let base = Explorer::new(&proto).inputs(&inputs).config(&cfg);
+
+    let serial = base.clone().run();
+    assert_same_report(&serial, &explore(&proto, &inputs, &cfg), "serial/plain");
+
+    let parallel = base.clone().parallel(true).run();
+    assert_same_report(
+        &parallel,
+        &explore_parallel(&proto, &inputs, &cfg),
+        "parallel/plain",
+    );
+
+    let symmetric = base.clone().symmetric(true).run();
+    assert_same_report(
+        &symmetric,
+        &explore_symmetric(&proto, &inputs, &cfg),
+        "serial/symmetric",
+    );
+
+    let both = base.clone().symmetric(true).parallel(true).run();
+    assert_same_report(
+        &both,
+        &explore_symmetric_parallel(&proto, &inputs, &cfg),
+        "parallel/symmetric",
+    );
+
+    // The modes themselves behave as documented: symmetry collapses
+    // orbits, parallelism does not change any verdict-level field.
+    assert!(serial.outcome.is_verified());
+    assert_eq!(serial.states, parallel.states);
+    assert!(symmetric.states < serial.states);
+    assert_eq!(symmetric.states, both.states);
+    assert_eq!(serial.max_steps_per_proc, symmetric.max_steps_per_proc);
+}
+
+#[test]
+fn builder_matches_deprecated_functions_under_fingerprint_dedup() {
+    let proto = StickyElection { n: 3 };
+    let inputs = proto.pid_inputs();
+    let cfg = ExploreConfig {
+        spec: TaskSpec::Election,
+        dedup: DedupMode::Fingerprint,
+        workers: 2,
+        ..Default::default()
+    };
+    let base = Explorer::new(&proto).inputs(&inputs).config(&cfg);
+    assert_same_report(
+        &base.clone().run(),
+        &explore(&proto, &inputs, &cfg),
+        "serial/fingerprint",
+    );
+    assert_same_report(
+        &base.clone().parallel(true).run(),
+        &explore_parallel(&proto, &inputs, &cfg),
+        "parallel/fingerprint",
+    );
+}

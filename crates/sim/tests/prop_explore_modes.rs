@@ -16,8 +16,7 @@
 use bso_objects::rng::SplitMix64;
 use bso_objects::{Layout, ObjectId, ObjectInit, Op, OpKind, Value};
 use bso_sim::{
-    explore, explore_parallel, Action, DedupMode, ExploreConfig, ExploreOutcome, Pid, Protocol,
-    Simulation, TaskSpec, ViolationKind,
+    Action, DedupMode, ExploreOutcome, Explorer, Pid, Protocol, Simulation, TaskSpec, ViolationKind,
 };
 
 /// One straight-line-with-loop-backs instruction of a random program.
@@ -152,29 +151,17 @@ fn fingerprint_mode_never_verifies_what_exact_mode_refutes() {
             .map(|_| Value::Int(10 + rng.usize_below(2) as i64))
             .collect();
         let proto = arb_protocol(&mut rng, &inputs);
-        let base = ExploreConfig {
-            spec: TaskSpec::Consensus(inputs.clone()),
-            ..Default::default()
-        };
-        let exact = explore(&proto, &inputs, &base);
+        let base = Explorer::new(&proto)
+            .inputs(&inputs)
+            .spec(TaskSpec::Consensus(inputs.clone()));
+        let exact = base.clone().run();
         let runs = [
-            explore(
-                &proto,
-                &inputs,
-                &ExploreConfig {
-                    dedup: DedupMode::Fingerprint,
-                    ..base.clone()
-                },
-            ),
-            explore_parallel(
-                &proto,
-                &inputs,
-                &ExploreConfig {
-                    dedup: DedupMode::Fingerprint,
-                    workers: 3,
-                    ..base.clone()
-                },
-            ),
+            base.clone().dedup(DedupMode::Fingerprint).run(),
+            base.clone()
+                .dedup(DedupMode::Fingerprint)
+                .parallel(true)
+                .workers(3)
+                .run(),
         ];
         for fp in &runs {
             // The central contract: a violation found by the exact
@@ -247,22 +234,14 @@ fn exact_and_fingerprint_agree_on_state_counts_when_verified() {
             .map(|_| Value::Int(10 + rng.usize_below(2) as i64))
             .collect();
         let proto = arb_protocol(&mut rng, &inputs);
-        let base = ExploreConfig {
-            spec: TaskSpec::Consensus(inputs.clone()),
-            ..Default::default()
-        };
-        let exact = explore(&proto, &inputs, &base);
+        let base = Explorer::new(&proto)
+            .inputs(&inputs)
+            .spec(TaskSpec::Consensus(inputs.clone()));
+        let exact = base.clone().run();
         if !exact.outcome.is_verified() {
             continue;
         }
-        let fp = explore(
-            &proto,
-            &inputs,
-            &ExploreConfig {
-                dedup: DedupMode::Fingerprint,
-                ..base
-            },
-        );
+        let fp = base.dedup(DedupMode::Fingerprint).run();
         assert!(fp.outcome.is_verified(), "case {case}: {proto:?}");
         assert_eq!(exact.states, fp.states, "case {case}: {proto:?}");
         assert_eq!(exact.terminals, fp.terminals, "case {case}: {proto:?}");

@@ -11,7 +11,7 @@
 //! cargo run --example election [--exhaustive]
 //! ```
 
-use bso::sim::{checker, explore, scheduler, ExploreConfig, ProtocolExt, Simulation, TaskSpec};
+use bso::sim::{checker, scheduler, Explorer, ProtocolExt, Simulation, TaskSpec};
 use bso::{CasOnlyElection, LabelElection};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -27,14 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let burns_n = k - 1;
         let burns = CasOnlyElection::new(burns_n, k)?;
         let burns_status = if k <= 5 {
-            let report = explore(
-                &burns,
-                &burns.pid_inputs(),
-                &ExploreConfig {
-                    spec: TaskSpec::Election,
-                    ..Default::default()
-                },
-            );
+            let report = Explorer::new(&burns)
+                .inputs(&burns.pid_inputs())
+                .spec(TaskSpec::Election)
+                .run();
             assert!(report.outcome.is_verified());
             format!("n={burns_n} ✓ exhaustive")
         } else {
@@ -46,14 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let label_n = bso::bounds::nk_algorithmic(k) as usize;
         let label = LabelElection::new(label_n, k)?;
         let (label_status, max_steps) = if exhaustive && k == 3 {
-            let report = explore(
-                &label,
-                &label.pid_inputs(),
-                &ExploreConfig {
-                    spec: TaskSpec::Election,
-                    ..Default::default()
-                },
-            );
+            let report = Explorer::new(&label)
+                .inputs(&label.pid_inputs())
+                .spec(TaskSpec::Election)
+                .run();
             assert!(report.outcome.is_verified());
             (
                 format!("n={label_n} ✓ exhaustive"),
@@ -72,6 +64,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
     println!("Both protocols are wait-free with O(k) steps per process; the jump from");
     println!("k−1 to (k−1)! processes is bought entirely by the read/write registers.");
+    if let Some(path) = bso::telemetry::dump_global_if_env()? {
+        println!("telemetry snapshot written to {}", path.display());
+    }
     Ok(())
 }
 

@@ -6,7 +6,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use bso::sim::{checker, scheduler, ProtocolExt, Simulation};
+use bso::sim::{checker, scheduler, Explorer, ProtocolExt, Simulation, TaskSpec};
 use bso::LabelElection;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -54,5 +54,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let decisions = bso::sim::thread_runner::run_on_threads(&proto, &proto.pid_inputs())?;
     println!("hardware run  : threads elected {}", decisions[0]);
 
+    // 4. Every interleaving of a small instance, exhaustively.
+    let small = LabelElection::new(2, 3)?;
+    let report = Explorer::new(&small)
+        .inputs(&small.pid_inputs())
+        .spec(TaskSpec::Election)
+        .run();
+    println!(
+        "explorer      : n=2, k=3 verified over {} states ({} terminal)",
+        report.states, report.terminals
+    );
+
+    if let Some(path) = bso::telemetry::dump_global_if_env()? {
+        println!("telemetry     : snapshot written to {}", path.display());
+    }
     Ok(())
 }

@@ -7,8 +7,8 @@ use bso::objects::Value;
 use bso::protocols::consensus::CasKConsensus;
 use bso::protocols::snapshot::{views_are_comparable, SnapshotExerciser};
 use bso::sim::{
-    checker, explore, linearizability, scheduler, thread_runner, CrashPlan, ExploreConfig,
-    Protocol, ProtocolExt, Simulation, TaskSpec,
+    checker, linearizability, scheduler, thread_runner, CrashPlan, Explorer, Protocol, ProtocolExt,
+    Simulation, TaskSpec,
 };
 use bso::{CasOnlyElection, LabelElection, Reduction};
 
@@ -19,14 +19,10 @@ fn election_agrees_across_backends() {
     let proto = LabelElection::new(3, 4).unwrap();
 
     // Exhaustive.
-    let report = explore(
-        &proto,
-        &proto.pid_inputs(),
-        &ExploreConfig {
-            spec: TaskSpec::Election,
-            ..Default::default()
-        },
-    );
+    let report = Explorer::new(&proto)
+        .inputs(&proto.pid_inputs())
+        .spec(TaskSpec::Election)
+        .run();
     assert!(report.outcome.is_verified());
 
     // Simulated.

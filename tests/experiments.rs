@@ -3,7 +3,7 @@
 
 use bso::combinatorics::perm::factorial;
 use bso::combinatorics::{bounds, search};
-use bso::sim::{explore, ExploreConfig, ProtocolExt, TaskSpec};
+use bso::sim::{Explorer, ProtocolExt, TaskSpec};
 use bso::{CasOnlyElection, LabelElection, Reduction};
 
 /// E6 / §1: the bound ordering k−1 ≤ (k−1)! ≤ k! ≤ k^(k²+3), strict in
@@ -31,14 +31,10 @@ fn e6_bound_landscape_ordering() {
 fn e4_burns_regime() {
     for k in 3..=6 {
         let proto = CasOnlyElection::new(k - 1, k).unwrap();
-        let report = explore(
-            &proto,
-            &proto.pid_inputs(),
-            &ExploreConfig {
-                spec: TaskSpec::Election,
-                ..Default::default()
-            },
-        );
+        let report = Explorer::new(&proto)
+            .inputs(&proto.pid_inputs())
+            .spec(TaskSpec::Election)
+            .run();
         assert!(report.outcome.is_verified(), "k={k}");
         assert!(
             CasOnlyElection::new(k, k).is_err(),
@@ -52,14 +48,10 @@ fn e4_burns_regime() {
 #[test]
 fn e3_label_regime_k3_exhaustive() {
     let proto = LabelElection::new(2, 3).unwrap();
-    let report = explore(
-        &proto,
-        &proto.pid_inputs(),
-        &ExploreConfig {
-            spec: TaskSpec::Election,
-            ..Default::default()
-        },
-    );
+    let report = Explorer::new(&proto)
+        .inputs(&proto.pid_inputs())
+        .spec(TaskSpec::Election)
+        .run();
     assert!(report.outcome.is_verified());
     // Wait-freedom in numbers: the exhaustive bound is O(k).
     let max = *report.max_steps_per_proc.iter().max().unwrap();
