@@ -223,6 +223,34 @@ fn bench_explore_label(c: &mut Criterion) {
     g.finish();
 }
 
+/// The cost of structured event tracing on the fingerprint-mode
+/// engine, same instance as `explore_cas_only_fp/6`: a disabled sink
+/// must be free (the hot path checks one `Option` and never reads a
+/// clock), and the enabled cost is recorded for reference.
+fn bench_explore_tracing(c: &mut Criterion) {
+    use bso_telemetry::TraceSink;
+    let proto = CasOnlyElection::new(5, 6).unwrap();
+    let inputs = proto.pid_inputs();
+    let mut g = c.benchmark_group("explore_tracing");
+    g.sample_size(20);
+    for (name, sink) in [
+        ("disabled", TraceSink::disabled()),
+        ("enabled", TraceSink::with_capacity(256)),
+    ] {
+        let ex = Explorer::new(&proto)
+            .inputs(&inputs)
+            .spec(TaskSpec::Election)
+            .dedup(DedupMode::Fingerprint)
+            .trace(sink);
+        let states = ex.run().states as u64;
+        g.throughput(Throughput::Elements(states));
+        g.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, ()| {
+            b.iter(|| black_box(ex.run()));
+        });
+    }
+    g.finish();
+}
+
 fn bench_refuter(c: &mut Criterion) {
     use bso::hierarchy::candidates::TasThreeEagerCandidate;
     use bso::objects::Value;
@@ -297,6 +325,29 @@ fn emit_json(measurements: &[Measurement]) -> String {
         }
         doc.push((field.to_string(), Json::Obj(pairs)));
     }
+    // Tracing overhead on the fingerprint engine, min-time estimator
+    // (same rationale as above). "disabled" runs the identical
+    // instance as explore_cas_only_fp/6, so its overhead is the cost
+    // of the instrumentation itself with no sink attached — the
+    // quantity the ≤2% acceptance bound is about.
+    if let (Some(disabled), Some(enabled), Some(base)) = (
+        find("explore_tracing/disabled"),
+        find("explore_tracing/enabled"),
+        find("explore_cas_only_fp/6"),
+    ) {
+        let pct = |m: &Measurement| {
+            Json::F64((m.min.as_secs_f64() / base.min.as_secs_f64() - 1.0) * 100.0)
+        };
+        doc.push((
+            "tracing".to_string(),
+            Json::obj([
+                ("disabled_median_ns", ns(disabled.median)),
+                ("enabled_median_ns", ns(enabled.median)),
+                ("disabled_overhead_pct_min_time", pct(disabled)),
+                ("enabled_overhead_pct_min_time", pct(enabled)),
+            ]),
+        ));
+    }
     Json::Obj(doc).render_pretty()
 }
 
@@ -311,6 +362,7 @@ fn main() {
     bench_explore_seed_baseline(&mut c);
     bench_explore_cas_only(&mut c);
     bench_explore_modes(&mut c);
+    bench_explore_tracing(&mut c);
     bench_explore_label(&mut c);
     bench_refuter(&mut c);
     let json = emit_json(c.measurements());

@@ -1,0 +1,151 @@
+//! Creates and re-executes replayable counterexample artifacts.
+//!
+//! ```text
+//! replay make <out.json> [protocol]   # refute a candidate, save the schedule
+//! replay run <artifact.json>          # re-execute it and render the run
+//! ```
+//!
+//! `make` explores a known-refutable candidate protocol until the
+//! checker finds a violating run, then serializes the exact
+//! interleaving as a `bso-schedule/v1` artifact. `run` loads such an
+//! artifact, replays it deterministically, asserts the recorded
+//! violation reproduces, and renders the run as a timeline plus
+//! register histories. Known protocol ids:
+//!
+//! * `rw-election` (default) — 2-process election over registers only
+//! * `tas3-eager` — 3-process consensus from one test&set, eager losers
+//! * `faa3-eager` — 3-process consensus from one fetch&add
+//! * `queue3` — 3-process consensus from one pre-loaded queue
+//!
+//! Exits nonzero if exploration fails to refute, the artifact does not
+//! parse, or the replayed run does not reproduce the recorded
+//! violation.
+
+use std::process::ExitCode;
+
+use bso::hierarchy::candidates::{
+    FaaThreeEagerCandidate, QueueThreeCandidate, RwElection, TasThreeEagerCandidate,
+};
+use bso::objects::{ObjectInit, Value};
+use bso::sim::{
+    verify_replay, viz, ExploreOutcome, Explorer, Protocol, ScheduleArtifact, TaskSpec,
+};
+
+const USAGE: &str = "usage: replay make <out.json> [protocol] | replay run <artifact.json>";
+
+/// The known protocols, their stable ids, and the spec each violates.
+fn consensus3() -> TaskSpec {
+    TaskSpec::Consensus(vec![Value::Int(1), Value::Int(2), Value::Int(3)])
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("make") => {
+            let out = args.get(1).map(String::as_str).ok_or(USAGE.to_string());
+            let protocol = args.get(2).map(String::as_str).unwrap_or("rw-election");
+            out.and_then(|out| make(out, protocol))
+        }
+        Some("run") => {
+            let path = args.get(1).map(String::as_str).ok_or(USAGE.to_string());
+            path.and_then(run)
+        }
+        _ => Err(USAGE.to_string()),
+    };
+    match result {
+        Ok(report) => {
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("replay: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Explores `proto` until `spec` is violated and saves the schedule.
+fn make_with<P>(proto: &P, id: &str, spec: TaskSpec, out: &str) -> Result<String, String>
+where
+    P: Protocol,
+    P::State: Clone + std::hash::Hash + Eq,
+{
+    let explorer = Explorer::new(proto)
+        .protocol_id(id)
+        .spec(spec)
+        .max_states(10_000_000);
+    let report = explorer.run();
+    let ExploreOutcome::Violated(v) = &report.outcome else {
+        return Err(format!(
+            "{id}: expected a violation, exploration returned {:?}",
+            report.outcome
+        ));
+    };
+    let artifact = explorer.artifact_for(v);
+    artifact.save(out).map_err(|e| format!("{out}: {e}"))?;
+    Ok(format!(
+        "{out}: {id} refuted ({:?} after {} steps, {} states explored)",
+        v.kind,
+        v.schedule.len(),
+        report.states
+    ))
+}
+
+fn make(out: &str, protocol: &str) -> Result<String, String> {
+    match protocol {
+        "rw-election" => make_with(&RwElection, "rw-election", TaskSpec::Election, out),
+        "tas3-eager" => make_with(&TasThreeEagerCandidate, "tas3-eager", consensus3(), out),
+        "faa3-eager" => make_with(&FaaThreeEagerCandidate, "faa3-eager", consensus3(), out),
+        "queue3" => make_with(&QueueThreeCandidate, "queue3", consensus3(), out),
+        other => Err(format!("unknown protocol id {other:?} (see --help text)")),
+    }
+}
+
+/// Replays `artifact` on `proto`, asserts the recorded violation
+/// reproduces, and renders the run.
+fn run_with<P>(proto: &P, artifact: &ScheduleArtifact) -> Result<String, String>
+where
+    P: Protocol,
+    P::State: Clone + std::hash::Hash + Eq,
+{
+    let explorer = Explorer::new(proto)
+        .protocol_id(artifact.protocol.clone())
+        .inputs(&artifact.inputs)
+        .spec(artifact.spec.clone());
+    let outcome = explorer.replay(artifact);
+    let verdict = verify_replay(artifact, &outcome)?;
+    let mut report = format!(
+        "{}: {} ({} steps)\n",
+        artifact.protocol,
+        verdict,
+        artifact.schedule.len()
+    );
+    if let Ok(res) = &outcome {
+        report.push_str(&viz::timeline(&res.trace, proto.processes()));
+        for (id, init) in proto.layout().iter() {
+            let initial = match init {
+                ObjectInit::Register(v) => v.clone(),
+                _ => continue,
+            };
+            report.push_str(&format!(
+                "{id}: {}\n",
+                viz::register_history_string(&res.trace, id, initial)
+            ));
+        }
+    }
+    Ok(report)
+}
+
+fn run(path: &str) -> Result<String, String> {
+    let artifact = ScheduleArtifact::load(path)?;
+    match artifact.protocol.as_str() {
+        "rw-election" => run_with(&RwElection, &artifact),
+        "tas3-eager" => run_with(&TasThreeEagerCandidate, &artifact),
+        "faa3-eager" => run_with(&FaaThreeEagerCandidate, &artifact),
+        "queue3" => run_with(&QueueThreeCandidate, &artifact),
+        other => Err(format!(
+            "unknown protocol id {other:?}: this binary can only replay \
+             artifacts for its built-in candidates"
+        )),
+    }
+}

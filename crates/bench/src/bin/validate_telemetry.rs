@@ -1,15 +1,20 @@
-//! Validates a `bso-telemetry` snapshot artifact.
+//! Validates `bso-telemetry` observability artifacts.
 //!
 //! ```text
 //! validate_telemetry <snapshot.json> [min_total] [prefix=N ...]
+//! validate_telemetry --trace <trace.json> [min_events]
+//! validate_telemetry --progress <progress.jsonl> [min_lines]
 //! ```
 //!
-//! Exits nonzero unless the file parses as a `bso-telemetry/v1`
-//! document whose metrics all carry a known type, holds at least
-//! `min_total` metrics (a bare number), and, for each `prefix=N`
-//! argument, has at least `N` metrics whose names start with `prefix`.
-//! CI runs this over the snapshots the examples write under
-//! `BSO_TELEMETRY=path.json`.
+//! The default mode exits nonzero unless the file parses as a
+//! `bso-telemetry/v1` document whose metrics all carry a known type,
+//! holds at least `min_total` metrics (a bare number), and, for each
+//! `prefix=N` argument, has at least `N` metrics whose names start
+//! with `prefix`. `--trace` checks a `BSO_TRACE` export for Chrome
+//! trace-event shape (phases, ids, timestamps) with at least
+//! `min_events` data events; `--progress` checks a `BSO_PROGRESS`
+//! stream for well-formed `bso-progress/v1` heartbeats. CI runs all
+//! three over the artifacts the examples write.
 
 use std::process::ExitCode;
 
@@ -28,11 +33,22 @@ fn main() -> ExitCode {
     }
 }
 
+const USAGE: &str = "usage: validate_telemetry <snapshot.json> [min_total] [prefix=N ...] \
+     | --trace <trace.json> [min_events] | --progress <progress.jsonl> [min_lines]";
+
 fn run() -> Result<String, String> {
     let mut args = std::env::args().skip(1);
-    let path = args
-        .next()
-        .ok_or("usage: validate_telemetry <snapshot.json> [min_total] [prefix=N ...]")?;
+    let path = args.next().ok_or(USAGE)?;
+    if path == "--trace" {
+        let file = args.next().ok_or(USAGE)?;
+        let min = parse_count(args.next())?;
+        return validate_trace(&file, min);
+    }
+    if path == "--progress" {
+        let file = args.next().ok_or(USAGE)?;
+        let min = parse_count(args.next())?;
+        return validate_progress(&file, min);
+    }
     let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
     let doc = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
 
@@ -83,4 +99,93 @@ fn run() -> Result<String, String> {
         }
     }
     Ok(format!("{path}: ok ({} metrics)", metrics.len()))
+}
+
+fn parse_count(arg: Option<String>) -> Result<usize, String> {
+    match arg {
+        None => Ok(1),
+        Some(s) => s
+            .parse()
+            .map_err(|_| format!("bad count {s:?}: expected a number")),
+    }
+}
+
+/// Checks a `BSO_TRACE` export for Chrome trace-event shape.
+fn validate_trace(path: &str, min_events: usize) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    if !matches!(doc.get("schema"), Some(Json::Str(s)) if s == "bso-trace/v1") {
+        return Err(format!("{path}: missing or unknown \"schema\""));
+    }
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::items)
+        .ok_or_else(|| format!("{path}: \"traceEvents\" is missing or not an array"))?;
+    let mut data_events = 0;
+    for (i, e) in events.iter().enumerate() {
+        let ph = e
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{path}: event #{i} has no \"ph\""))?;
+        if !matches!(ph, "X" | "i" | "M" | "B" | "E") {
+            return Err(format!("{path}: event #{i} has unknown phase {ph:?}"));
+        }
+        if e.get("name")
+            .and_then(Json::as_str)
+            .is_none_or(str::is_empty)
+        {
+            return Err(format!("{path}: event #{i} has no \"name\""));
+        }
+        for key in ["pid", "tid"] {
+            if e.get(key).and_then(Json::as_u64).is_none() {
+                return Err(format!("{path}: event #{i} has no integer {key:?}"));
+            }
+        }
+        if ph == "M" {
+            continue; // metadata records carry no timestamp
+        }
+        data_events += 1;
+        if e.get("ts").and_then(Json::as_f64).is_none() {
+            return Err(format!("{path}: event #{i} has no numeric \"ts\""));
+        }
+        if ph == "X" && e.get("dur").and_then(Json::as_f64).is_none() {
+            return Err(format!("{path}: complete event #{i} has no \"dur\""));
+        }
+    }
+    if data_events < min_events {
+        return Err(format!(
+            "{path}: {data_events} data events, need at least {min_events}"
+        ));
+    }
+    Ok(format!(
+        "{path}: ok ({data_events} data events, {} records)",
+        events.len()
+    ))
+}
+
+/// Checks a `BSO_PROGRESS` stream for well-formed heartbeats.
+fn validate_progress(path: &str, min_lines: usize) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut lines = 0;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let doc = json::parse(line).map_err(|e| format!("{path}:{}: {e}", i + 1))?;
+        if !matches!(doc.get("schema"), Some(Json::Str(s)) if s == "bso-progress/v1") {
+            return Err(format!("{path}:{}: missing or unknown \"schema\"", i + 1));
+        }
+        for key in ["seq", "elapsed_ms", "states", "frontier"] {
+            if doc.get(key).and_then(Json::as_u64).is_none() {
+                return Err(format!("{path}:{}: no integer {key:?}", i + 1));
+            }
+        }
+        lines += 1;
+    }
+    if lines < min_lines {
+        return Err(format!(
+            "{path}: {lines} heartbeat lines, need at least {min_lines}"
+        ));
+    }
+    Ok(format!("{path}: ok ({lines} heartbeats)"))
 }

@@ -28,15 +28,15 @@ pub fn run_once<P: Protocol>(proto: &P, seed: u64) -> RunResult {
         .expect("benched run must complete")
 }
 
-/// Writes the global telemetry snapshot to the path named by
-/// `BSO_TELEMETRY`, if set. Every bench binary calls this once before
-/// exiting (the [`criterion_main!`] expansion does it automatically),
-/// so `BSO_TELEMETRY=path.json cargo bench` works for every bench.
+/// Writes the global observability artifacts named by the environment
+/// (`BSO_TELEMETRY` snapshot, `BSO_TRACE` event trace), if set. Every
+/// bench binary calls this once before exiting (the
+/// [`criterion_main!`] expansion does it automatically), so
+/// `BSO_TELEMETRY=path.json cargo bench` works for every bench.
+/// Failures warn on stderr; they never fail the bench run.
 pub fn dump_telemetry() {
-    match bso_telemetry::dump_global_if_env() {
-        Ok(Some(path)) => println!("telemetry snapshot written to {}", path.display()),
-        Ok(None) => {}
-        Err(e) => eprintln!("failed to write telemetry snapshot: {e}"),
+    for (kind, path) in bso_telemetry::dump_all_if_env() {
+        println!("{kind} written to {}", path.display());
     }
 }
 

@@ -33,7 +33,7 @@ use std::collections::BTreeMap;
 
 use bso_objects::{Layout, ObjectId, ObjectInit, Op, OpKind, Sym, Value};
 use bso_sim::{Action, Pid, Protocol};
-use bso_telemetry::{Counter, Histogram, Registry};
+use bso_telemetry::{Counter, Histogram, Registry, TraceArg, TraceSink, TraceWorker};
 
 use crate::{Branch, Step};
 
@@ -54,6 +54,8 @@ struct EmulTel {
     decisions: Counter,
     /// Branch length at each split (run-splitting depth profile).
     branch_len: Histogram,
+    /// Structured-event track for split/decision instants.
+    trace: TraceWorker,
 }
 
 impl EmulTel {
@@ -65,6 +67,7 @@ impl EmulTel {
             splits: registry.counter("emul.splits"),
             decisions: registry.counter("emul.decisions"),
             branch_len: registry.histogram("emul.branch_len"),
+            trace: TraceSink::default().worker("emul"),
         }
     }
 }
@@ -296,7 +299,17 @@ impl<A: Protocol> EmulationProtocol<A> {
     /// (the default is the global `BSO_TELEMETRY`-gated registry).
     #[must_use]
     pub fn with_telemetry(mut self, registry: &Registry) -> Self {
+        let trace = self.tel.trace.clone();
         self.tel = EmulTel::new(registry);
+        self.tel.trace = trace;
+        self
+    }
+
+    /// Redirects this emulation's structured trace events into `sink`
+    /// (the default is the global `BSO_TRACE`-gated sink).
+    #[must_use]
+    pub fn with_trace(mut self, sink: &TraceSink) -> Self {
+        self.tel.trace = sink.worker("emul");
         self
     }
 
@@ -520,6 +533,18 @@ impl<A: Protocol> EmulationProtocol<A> {
         st.branch.push(step);
         self.tel.splits.inc();
         self.tel.branch_len.record(st.branch.len() as u64);
+        if self.tel.trace.is_enabled() {
+            self.tel.trace.instant_with(
+                "emul.split",
+                [
+                    ("emu", TraceArg::from(st.emu)),
+                    ("vp", TraceArg::from(vp)),
+                    ("from", TraceArg::from(u64::from(cs.code()))),
+                    ("to", TraceArg::from(u64::from(target.code()))),
+                    ("branch_len", TraceArg::from(st.branch.len())),
+                ],
+            );
+        }
         let op = match self.a.next_action(&st.vps[i].1) {
             Action::Invoke(op) => op,
             Action::Decide(_) => unreachable!(),
@@ -539,6 +564,16 @@ impl<A: Protocol> EmulationProtocol<A> {
 
     fn finish_vp(&self, st: &mut EmulatorState<A::State>, vp: usize, v: Value) -> Value {
         self.tel.decisions.inc();
+        if self.tel.trace.is_enabled() {
+            self.tel.trace.instant_with(
+                "emul.decide",
+                [
+                    ("emu", TraceArg::from(st.emu)),
+                    ("vp", TraceArg::from(vp)),
+                    ("value", TraceArg::from(v.to_string())),
+                ],
+            );
+        }
         for entry in st.vps.iter_mut() {
             if entry.0 == vp {
                 entry.2 = VpStatus::Decided(v.clone());

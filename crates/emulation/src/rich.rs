@@ -52,7 +52,7 @@ use std::collections::BTreeMap;
 
 use bso_objects::{Layout, ObjectId, ObjectInit, Op, OpKind, Sym, Value};
 use bso_sim::{Action, Pid, Protocol, RunError, Scheduler, Simulation};
-use bso_telemetry::{Counter, Histogram, Registry};
+use bso_telemetry::{Counter, Histogram, Registry, TraceArg, TraceSink, TraceWorker};
 
 use crate::excess::{attach_threshold, ExcessGraph};
 use crate::tree::{HistoryTree, Label};
@@ -77,6 +77,8 @@ struct RichTel {
     /// Virtual operations per maximal label (recorded by
     /// [`RichReport::validate`]).
     label_run_len: Histogram,
+    /// Structured-event track for suspend/stall/split instants.
+    trace: TraceWorker,
 }
 
 impl RichTel {
@@ -89,6 +91,7 @@ impl RichTel {
             stalls: registry.counter("rich.stalls"),
             cycle_width: registry.histogram("rich.excess.cycle_width"),
             label_run_len: registry.histogram("rich.label_run_len"),
+            trace: TraceSink::default().worker("rich"),
         }
     }
 }
@@ -330,7 +333,17 @@ impl<A: Protocol> RichEmulation<A> {
     /// (the default is the global `BSO_TELEMETRY`-gated registry).
     #[must_use]
     pub fn with_telemetry(mut self, registry: &Registry) -> Self {
+        let trace = self.tel.trace.clone();
         self.tel = RichTel::new(registry);
+        self.tel.trace = trace;
+        self
+    }
+
+    /// Redirects this emulation's structured trace events into `sink`
+    /// (the default is the global `BSO_TRACE`-gated sink).
+    #[must_use]
+    pub fn with_trace(mut self, sink: &TraceSink) -> Self {
+        self.tel.trace = sink.worker("rich");
         self
     }
 
@@ -507,6 +520,17 @@ impl<A: Protocol> RichEmulation<A> {
                     seq,
                 });
                 self.tel.suspensions.inc();
+                if self.tel.trace.is_enabled() {
+                    self.tel.trace.instant_with(
+                        "rich.suspend",
+                        [
+                            ("emu", TraceArg::from(st.emu)),
+                            ("vp", TraceArg::from(st.vps[i].0)),
+                            ("a", TraceArg::from(u64::from(a.code()))),
+                            ("b", TraceArg::from(u64::from(b.code()))),
+                        ],
+                    );
+                }
                 suspended_now = true;
             }
         }
@@ -576,6 +600,11 @@ impl<A: Protocol> RichEmulation<A> {
             return Ok(true); // publish the suspensions at least
         }
         self.tel.stalls.inc();
+        if self.tel.trace.is_enabled() {
+            self.tel
+                .trace
+                .instant_with("rich.stall", [("emu", TraceArg::from(st.emu))]);
+        }
         st.last_stall = Some(format!(
             "emulator {}: no simple op, no release possible, no update possible \
              (label {:?}, cs {cs}, {} active vps)",
@@ -705,10 +734,30 @@ impl<A: Protocol> RichEmulation<A> {
                     seq: rseq,
                 });
                 self.tel.suspensions.inc();
+                if self.tel.trace.is_enabled() {
+                    self.tel.trace.instant_with(
+                        "rich.suspend",
+                        [
+                            ("emu", TraceArg::from(st.emu)),
+                            ("vp", TraceArg::from(st.vps[j].0)),
+                            ("a", TraceArg::from(u64::from(info.a.code()))),
+                            ("b", TraceArg::from(u64::from(info.b.code()))),
+                        ],
+                    );
+                }
             }
             // …release the matched one with a success response…
             st.records.push(RichRecord::Release { seq });
             self.tel.releases.inc();
+            if self.tel.trace.is_enabled() {
+                self.tel.trace.instant_with(
+                    "rich.release",
+                    [
+                        ("emu", TraceArg::from(st.emu)),
+                        ("vp", TraceArg::from(st.vps[i].0)),
+                    ],
+                );
+            }
             let op = match self.a.next_action(&st.vps[i].1) {
                 Action::Invoke(op) => op,
                 Action::Decide(_) => unreachable!("suspended vps are pre-cas"),
@@ -909,6 +958,16 @@ impl<A: Protocol> RichEmulation<A> {
                     let mut l = st.label.clone();
                     l.push(x);
                     st.label = l;
+                    if self.tel.trace.is_enabled() {
+                        self.tel.trace.instant_with(
+                            "rich.group_split",
+                            [
+                                ("emu", TraceArg::from(st.emu)),
+                                ("sym", TraceArg::from(u64::from(x.code()))),
+                                ("depth", TraceArg::from(st.label.len())),
+                            ],
+                        );
+                    }
                     self.fail_actives(st, x);
                     return Ok(true);
                 }

@@ -1,0 +1,503 @@
+//! Replayable counterexample artifacts (`bso-schedule/v1`).
+//!
+//! A [`Violation`] from the explorer is an in-memory value; a
+//! [`ScheduleArtifact`] is the same counterexample made durable: the
+//! protocol's identity, the per-process inputs, the task specification
+//! and the exact interleaving, serialized as JSON through the shared
+//! `bso_telemetry::json` writer. Because the simulator is
+//! deterministic given a schedule, the artifact replays to the
+//! identical [`Trace`](crate::Trace) on any machine — load it with
+//! [`ScheduleArtifact::load`], re-execute it with
+//! [`Explorer::replay`](crate::Explorer::replay), and check the
+//! outcome with [`verify_replay`].
+//!
+//! Setting `BSO_ARTIFACT=path.json` ([`ENV_VAR`]) makes
+//! [`Explorer::run`](crate::Explorer::run) write an artifact
+//! automatically whenever it finds a violation; the `bso-bench`
+//! `replay` bin consumes them.
+//!
+//! Document shape:
+//!
+//! ```json
+//! {"schema": "bso-schedule/v1",
+//!  "protocol": "tas-three-eager",
+//!  "processes": 3,
+//!  "inputs": [1, 2, 3],
+//!  "spec": {"task": "consensus", "inputs": [1, 2, 3]},
+//!  "violation": {"kind": "agreement", "description": "…"},
+//!  "schedule": [0, 0, 1, 2, 1]}
+//! ```
+//!
+//! Values encode as: `Nil` → `null`, `Bool` → boolean, `Int` → number,
+//! `Pid(p)` → `{"pid": p}`, `Sym` → `{"sym": code}` (code 0 = ⊥),
+//! `Pair(a, b)` → `{"pair": [a, b]}`, `Seq` → array.
+
+use std::path::Path;
+
+use bso_objects::{Sym, Value};
+use bso_telemetry::json::{self, Json};
+
+use crate::checker::RunChecker;
+use crate::explore::{TaskSpec, Violation, ViolationKind};
+use crate::sim::{ProcStatus, RunError, RunResult};
+use crate::Pid;
+
+/// The schema tag every artifact carries.
+pub const SCHEMA: &str = "bso-schedule/v1";
+
+/// The environment variable that makes `Explorer::run` write an
+/// artifact on violation: `BSO_ARTIFACT=path.json`.
+pub const ENV_VAR: &str = "BSO_ARTIFACT";
+
+/// A serialized counterexample: everything needed to re-execute one
+/// exact interleaving of a protocol instance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScheduleArtifact {
+    /// A stable identifier for the protocol instance (the replay bin
+    /// keeps a registry of known ids; defaults to the Rust type name).
+    pub protocol: String,
+    /// Per-process inputs, one per process.
+    pub inputs: Vec<Value>,
+    /// The task specification the schedule violates.
+    pub spec: TaskSpec,
+    /// The interleaving: the pid stepped at each point.
+    pub schedule: Vec<Pid>,
+    /// The violation the schedule exhibits (`None` for a plain saved
+    /// schedule).
+    pub kind: Option<ViolationKind>,
+    /// Human-readable details from the discovering run.
+    pub description: Option<String>,
+}
+
+impl ScheduleArtifact {
+    /// Builds an artifact from an explorer violation.
+    pub fn from_violation(
+        protocol: impl Into<String>,
+        inputs: &[Value],
+        spec: &TaskSpec,
+        violation: &Violation,
+    ) -> ScheduleArtifact {
+        ScheduleArtifact {
+            protocol: protocol.into(),
+            inputs: inputs.to_vec(),
+            spec: spec.clone(),
+            schedule: violation.schedule.clone(),
+            kind: Some(violation.kind.clone()),
+            description: Some(violation.description.clone()),
+        }
+    }
+
+    /// The artifact as a JSON document (see the module docs for the
+    /// shape).
+    pub fn to_json(&self) -> Json {
+        let violation = match &self.kind {
+            None => Json::Null,
+            Some(kind) => Json::obj([
+                ("kind", Json::str(kind_to_str(kind))),
+                (
+                    "description",
+                    match &self.description {
+                        Some(d) => Json::str(d),
+                        None => Json::Null,
+                    },
+                ),
+            ]),
+        };
+        Json::obj([
+            ("schema", Json::str(SCHEMA)),
+            ("protocol", Json::str(&self.protocol)),
+            ("processes", Json::U64(self.inputs.len() as u64)),
+            (
+                "inputs",
+                Json::Arr(self.inputs.iter().map(value_to_json).collect()),
+            ),
+            ("spec", spec_to_json(&self.spec)),
+            ("violation", violation),
+            (
+                "schedule",
+                Json::Arr(self.schedule.iter().map(|&p| Json::U64(p as u64)).collect()),
+            ),
+        ])
+    }
+
+    /// [`ScheduleArtifact::to_json`] rendered pretty.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().render_pretty()
+    }
+
+    /// Reconstructs an artifact from its JSON document.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first malformed field.
+    pub fn from_json(doc: &Json) -> Result<ScheduleArtifact, String> {
+        if doc.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
+            return Err(format!(
+                "missing or unknown \"schema\" (expected {SCHEMA:?})"
+            ));
+        }
+        let protocol = doc
+            .get("protocol")
+            .and_then(Json::as_str)
+            .ok_or("\"protocol\" is missing or not a string")?
+            .to_string();
+        let inputs: Vec<Value> = doc
+            .get("inputs")
+            .and_then(Json::items)
+            .ok_or("\"inputs\" is missing or not an array")?
+            .iter()
+            .map(value_from_json)
+            .collect::<Result<_, _>>()?;
+        if let Some(n) = doc.get("processes").and_then(Json::as_u64) {
+            if n as usize != inputs.len() {
+                return Err(format!(
+                    "\"processes\" is {n} but {} inputs are given",
+                    inputs.len()
+                ));
+            }
+        }
+        let spec = spec_from_json(doc.get("spec").ok_or("\"spec\" is missing")?)?;
+        let (kind, description) = match doc.get("violation") {
+            None | Some(Json::Null) => (None, None),
+            Some(v) => {
+                let kind = v
+                    .get("kind")
+                    .and_then(Json::as_str)
+                    .ok_or("\"violation.kind\" is missing or not a string")?;
+                (
+                    Some(kind_from_str(kind)?),
+                    v.get("description")
+                        .and_then(Json::as_str)
+                        .map(String::from),
+                )
+            }
+        };
+        let schedule: Vec<Pid> = doc
+            .get("schedule")
+            .and_then(Json::items)
+            .ok_or("\"schedule\" is missing or not an array")?
+            .iter()
+            .map(|s| {
+                s.as_u64()
+                    .map(|p| p as Pid)
+                    .ok_or_else(|| format!("schedule entry {s:?} is not a pid"))
+            })
+            .collect::<Result<_, _>>()?;
+        for &p in &schedule {
+            if p >= inputs.len() {
+                return Err(format!(
+                    "schedule steps p{p} but only {} processes exist",
+                    inputs.len()
+                ));
+            }
+        }
+        Ok(ScheduleArtifact {
+            protocol,
+            inputs,
+            spec,
+            schedule,
+            kind,
+            description,
+        })
+    }
+
+    /// Writes the artifact to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error.
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json_string())
+    }
+
+    /// Reads and parses an artifact from `path`.
+    ///
+    /// # Errors
+    ///
+    /// A description of the I/O, JSON or schema problem.
+    pub fn load(path: impl AsRef<Path>) -> Result<ScheduleArtifact, String> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let doc = json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        ScheduleArtifact::from_json(&doc)
+    }
+}
+
+/// Checks that re-executing an artifact reproduced the violation it
+/// claims: agreement/validity artifacts must fail the task
+/// specification, not-wait-free artifacts must leave some process
+/// undecided (the schedule is a cycle prefix), illegal-operation
+/// artifacts must abort the run, and violation-free artifacts must
+/// satisfy the specification.
+///
+/// # Errors
+///
+/// A description of the divergence between the claim and the replay.
+pub fn verify_replay(
+    artifact: &ScheduleArtifact,
+    outcome: &Result<RunResult, RunError>,
+) -> Result<String, String> {
+    match (&artifact.kind, outcome) {
+        (Some(ViolationKind::IllegalOperation), Err(e @ RunError::Object { .. })) => {
+            Ok(format!("illegal operation reproduced: {e}"))
+        }
+        (Some(ViolationKind::IllegalOperation), Err(e)) => Err(format!(
+            "expected an illegal operation, run failed with: {e}"
+        )),
+        (Some(ViolationKind::IllegalOperation), Ok(_)) => {
+            Err("expected an illegal operation, but the run completed".into())
+        }
+        (_, Err(e)) => Err(format!("replay failed unexpectedly: {e}")),
+        (Some(ViolationKind::NotWaitFree), Ok(res)) => {
+            let running = res
+                .statuses
+                .iter()
+                .filter(|s| matches!(s, ProcStatus::Running))
+                .count();
+            if running > 0 {
+                Ok(format!(
+                    "cycle prefix reproduced: {running} process(es) still undecided \
+                     after {} steps",
+                    artifact.schedule.len()
+                ))
+            } else {
+                Err("expected an undecided process after the cycle prefix, \
+                     but every process decided"
+                    .into())
+            }
+        }
+        (Some(ViolationKind::Agreement) | Some(ViolationKind::Validity), Ok(res)) => {
+            match artifact.spec.check(res) {
+                Err(v) => Ok(format!("violation reproduced: {v}")),
+                Ok(()) => Err("expected a specification violation, but the replayed \
+                               run satisfies the specification"
+                    .into()),
+            }
+        }
+        (None, Ok(res)) => match artifact.spec.check(res) {
+            Ok(()) => Ok("schedule replayed cleanly; specification holds".into()),
+            Err(v) => Err(format!(
+                "violation-free artifact failed its specification on replay: {v}"
+            )),
+        },
+    }
+}
+
+fn kind_to_str(kind: &ViolationKind) -> &'static str {
+    match kind {
+        ViolationKind::Agreement => "agreement",
+        ViolationKind::Validity => "validity",
+        ViolationKind::NotWaitFree => "not-wait-free",
+        ViolationKind::IllegalOperation => "illegal-operation",
+    }
+}
+
+fn kind_from_str(s: &str) -> Result<ViolationKind, String> {
+    match s {
+        "agreement" => Ok(ViolationKind::Agreement),
+        "validity" => Ok(ViolationKind::Validity),
+        "not-wait-free" => Ok(ViolationKind::NotWaitFree),
+        "illegal-operation" => Ok(ViolationKind::IllegalOperation),
+        other => Err(format!("unknown violation kind {other:?}")),
+    }
+}
+
+fn value_to_json(v: &Value) -> Json {
+    match v {
+        Value::Nil => Json::Null,
+        Value::Bool(b) => Json::Bool(*b),
+        Value::Int(i) => Json::I64(*i),
+        Value::Sym(s) => Json::obj([("sym", Json::U64(u64::from(s.code())))]),
+        Value::Pid(p) => Json::obj([("pid", Json::U64(*p as u64))]),
+        Value::Pair(a, b) => {
+            Json::obj([("pair", Json::Arr(vec![value_to_json(a), value_to_json(b)]))])
+        }
+        Value::Seq(items) => Json::Arr(items.iter().map(value_to_json).collect()),
+    }
+}
+
+fn value_from_json(j: &Json) -> Result<Value, String> {
+    match j {
+        Json::Null => Ok(Value::Nil),
+        Json::Bool(b) => Ok(Value::Bool(*b)),
+        Json::U64(v) => i64::try_from(*v)
+            .map(Value::Int)
+            .map_err(|_| format!("integer {v} does not fit a value")),
+        Json::I64(v) => Ok(Value::Int(*v)),
+        Json::Arr(items) => items
+            .iter()
+            .map(value_from_json)
+            .collect::<Result<_, _>>()
+            .map(Value::Seq),
+        Json::Obj(_) => {
+            if let Some(p) = j.get("pid").and_then(Json::as_u64) {
+                Ok(Value::Pid(p as usize))
+            } else if let Some(c) = j.get("sym").and_then(Json::as_u64) {
+                let code = u8::try_from(c).map_err(|_| format!("sym code {c} out of range"))?;
+                Ok(Value::Sym(Sym::from_code(code)))
+            } else if let Some(pair) = j.get("pair").and_then(Json::items) {
+                match pair {
+                    [a, b] => Ok(Value::Pair(
+                        Box::new(value_from_json(a)?),
+                        Box::new(value_from_json(b)?),
+                    )),
+                    _ => Err("\"pair\" must hold exactly two values".into()),
+                }
+            } else {
+                Err(format!("unrecognized value object {j:?}"))
+            }
+        }
+        other => Err(format!("unrecognized value {other:?}")),
+    }
+}
+
+fn spec_to_json(spec: &TaskSpec) -> Json {
+    match spec {
+        TaskSpec::None => Json::obj([("task", Json::str("none"))]),
+        TaskSpec::Election => Json::obj([("task", Json::str("election"))]),
+        TaskSpec::Consensus(inputs) => Json::obj([
+            ("task", Json::str("consensus")),
+            (
+                "inputs",
+                Json::Arr(inputs.iter().map(value_to_json).collect()),
+            ),
+        ]),
+        TaskSpec::SetConsensus(inputs, l) => Json::obj([
+            ("task", Json::str("set-consensus")),
+            (
+                "inputs",
+                Json::Arr(inputs.iter().map(value_to_json).collect()),
+            ),
+            ("l", Json::U64(*l as u64)),
+        ]),
+    }
+}
+
+fn spec_from_json(j: &Json) -> Result<TaskSpec, String> {
+    let task = j
+        .get("task")
+        .and_then(Json::as_str)
+        .ok_or("\"spec.task\" is missing or not a string")?;
+    let inputs = || -> Result<Vec<Value>, String> {
+        j.get("inputs")
+            .and_then(Json::items)
+            .ok_or_else(|| format!("spec {task:?} requires \"inputs\""))?
+            .iter()
+            .map(value_from_json)
+            .collect()
+    };
+    match task {
+        "none" => Ok(TaskSpec::None),
+        "election" => Ok(TaskSpec::Election),
+        "consensus" => Ok(TaskSpec::Consensus(inputs()?)),
+        "set-consensus" => {
+            let l = j
+                .get("l")
+                .and_then(Json::as_u64)
+                .ok_or("set-consensus requires \"l\"")?;
+            Ok(TaskSpec::SetConsensus(inputs()?, l as usize))
+        }
+        other => Err(format!("unknown task {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_values() -> Vec<Value> {
+        vec![
+            Value::Nil,
+            Value::Bool(true),
+            Value::Int(-7),
+            Value::Sym(Sym::BOTTOM),
+            Value::Sym(Sym::new(3)),
+            Value::Pid(2),
+            Value::Pair(Box::new(Value::Int(1)), Box::new(Value::Pid(0))),
+            Value::Seq(vec![Value::Int(1), Value::Nil, Value::Bool(false)]),
+        ]
+    }
+
+    #[test]
+    fn values_round_trip_through_json() {
+        for v in sample_values() {
+            let j = value_to_json(&v);
+            let back = value_from_json(&j).unwrap();
+            assert_eq!(back, v, "via {j:?}");
+        }
+    }
+
+    #[test]
+    fn specs_round_trip_through_json() {
+        let inputs = vec![Value::Int(1), Value::Int(2)];
+        for spec in [
+            TaskSpec::None,
+            TaskSpec::Election,
+            TaskSpec::Consensus(inputs.clone()),
+            TaskSpec::SetConsensus(inputs, 2),
+        ] {
+            let j = spec_to_json(&spec);
+            let back = spec_from_json(&j).unwrap();
+            assert_eq!(back, spec, "via {j:?}");
+        }
+    }
+
+    #[test]
+    fn artifact_round_trips_through_rendered_json() {
+        let art = ScheduleArtifact {
+            protocol: "broken-election".to_string(),
+            inputs: vec![Value::Pid(0), Value::Pid(1)],
+            spec: TaskSpec::Election,
+            schedule: vec![0, 1, 0, 1],
+            kind: Some(ViolationKind::Agreement),
+            description: Some("p0 elected 0 but p1 elected 1".to_string()),
+        };
+        let text = art.to_json_string();
+        let doc = json::parse(&text).unwrap();
+        assert_eq!(ScheduleArtifact::from_json(&doc).unwrap(), art);
+    }
+
+    #[test]
+    fn malformed_artifacts_are_rejected_with_reasons() {
+        let good = ScheduleArtifact {
+            protocol: "p".to_string(),
+            inputs: vec![Value::Nil],
+            spec: TaskSpec::None,
+            schedule: vec![0],
+            kind: None,
+            description: None,
+        };
+        // Wrong schema tag.
+        let mut doc = good.to_json();
+        if let Json::Obj(pairs) = &mut doc {
+            pairs[0].1 = Json::str("bso-schedule/v0");
+        }
+        assert!(ScheduleArtifact::from_json(&doc)
+            .unwrap_err()
+            .contains("schema"));
+        // Schedule stepping a nonexistent process.
+        let mut doc = good.to_json();
+        if let Json::Obj(pairs) = &mut doc {
+            for (k, v) in pairs.iter_mut() {
+                if k == "schedule" {
+                    *v = Json::Arr(vec![Json::U64(5)]);
+                }
+            }
+        }
+        assert!(ScheduleArtifact::from_json(&doc)
+            .unwrap_err()
+            .contains("schedule"));
+        // Process count disagreeing with the inputs.
+        let mut doc = good.to_json();
+        if let Json::Obj(pairs) = &mut doc {
+            for (k, v) in pairs.iter_mut() {
+                if k == "processes" {
+                    *v = Json::U64(9);
+                }
+            }
+        }
+        assert!(ScheduleArtifact::from_json(&doc)
+            .unwrap_err()
+            .contains("processes"));
+    }
+}

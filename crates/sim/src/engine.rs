@@ -48,7 +48,7 @@ use std::sync::{Arc, Condvar, Mutex, TryLockError};
 use std::time::{Duration, Instant};
 
 use bso_objects::spec::ObjectState;
-use bso_telemetry::Histogram;
+use bso_telemetry::{Counter, Gauge, Histogram, TraceArg, TraceWorker};
 
 use crate::explore::{
     check_decision, DedupMode, ExploreConfig, ExploreOutcome, ExploreStats, Report, StateKey,
@@ -209,15 +209,35 @@ struct EngineTel {
     /// Nanoseconds an empty-handed worker spent until a successful
     /// steal.
     steal_wait_ns: Histogram,
+    /// Monotone state count, updated as states are discovered (the
+    /// `explore.live.*` namespace feeds the progress reporter while a
+    /// run is still going; the aggregate `explore.*` metrics land only
+    /// in the final report).
+    live_states: Counter,
+    /// Monotone dedup-hit count, updated live.
+    live_dedup_hits: Counter,
+    /// Current frontier size (jobs queued, unexpanded).
+    live_frontier: Gauge,
+    /// Deepest level reached so far.
+    live_deepest: Gauge,
+    /// Per-worker deque length, `explore.live.queue_len.w{i}`.
+    queue_len: Vec<Gauge>,
 }
 
 impl EngineTel {
-    fn new(config: &ExploreConfig) -> EngineTel {
+    fn new(config: &ExploreConfig, workers: usize) -> EngineTel {
         let reg = &config.telemetry;
         EngineTel {
             enabled: reg.is_enabled(),
             frontier_depth: reg.histogram("explore.frontier_depth"),
             steal_wait_ns: reg.histogram("explore.steal_wait_ns"),
+            live_states: reg.counter("explore.live.states"),
+            live_dedup_hits: reg.counter("explore.live.dedup_hits"),
+            live_frontier: reg.gauge("explore.live.frontier"),
+            live_deepest: reg.gauge("explore.live.deepest"),
+            queue_len: (0..workers)
+                .map(|i| reg.gauge(&format!("explore.live.queue_len.w{i}")))
+                .collect(),
         }
     }
 }
@@ -328,7 +348,17 @@ where
             frontier: AtomicUsize::new(0),
             peak_frontier: AtomicUsize::new(0),
             violation: Mutex::new(None),
-            tel: EngineTel::new(config),
+            tel: EngineTel::new(config, workers),
+        }
+    }
+
+    /// The trace lane for worker `idx` (disabled unless the run's
+    /// [`TraceSink`](bso_telemetry::TraceSink) is live).
+    fn trace_worker(&self, idx: usize) -> TraceWorker {
+        if self.config.trace.is_enabled() {
+            self.config.trace.worker(format!("explore-w{idx}"))
+        } else {
+            TraceWorker::disabled()
         }
     }
 
@@ -381,16 +411,35 @@ where
         self.outstanding.fetch_add(1, Ordering::SeqCst);
         let len = self.frontier.fetch_add(1, Ordering::Relaxed) + 1;
         self.peak_frontier.fetch_max(len, Ordering::Relaxed);
-        self.queues[worker].lock().unwrap().push_back(job);
+        {
+            let mut q = self.queues[worker].lock().unwrap();
+            q.push_back(job);
+            if self.tel.enabled {
+                self.tel.queue_len[worker].set(q.len() as u64);
+            }
+        }
+        if self.tel.enabled {
+            self.tel.live_frontier.set(len as u64);
+        }
         if self.queues.len() > 1 {
             self.wakeup.notify_one();
         }
     }
 
-    fn pop_job(&self, worker: usize) -> Option<Job<P::State>> {
-        if let Some(job) = self.queues[worker].lock().unwrap().pop_back() {
-            self.frontier.fetch_sub(1, Ordering::Relaxed);
-            return Some(job);
+    fn pop_job(&self, worker: usize, tw: &TraceWorker) -> Option<Job<P::State>> {
+        {
+            let mut q = self.queues[worker].lock().unwrap();
+            if let Some(job) = q.pop_back() {
+                if self.tel.enabled {
+                    self.tel.queue_len[worker].set(q.len() as u64);
+                }
+                drop(q);
+                let len = self.frontier.fetch_sub(1, Ordering::Relaxed) - 1;
+                if self.tel.enabled {
+                    self.tel.live_frontier.set(len as u64);
+                }
+                return Some(job);
+            }
         }
         if let Some(job) = self.injector.lock().unwrap().pop_front() {
             self.frontier.fetch_sub(1, Ordering::Relaxed);
@@ -405,18 +454,36 @@ where
             let mut stolen: VecDeque<Job<P::State>> = {
                 let mut q = self.queues[victim].lock().unwrap();
                 let take = q.len().div_ceil(2);
-                q.drain(..take).collect()
+                let stolen: VecDeque<Job<P::State>> = q.drain(..take).collect();
+                if self.tel.enabled && take > 0 {
+                    self.tel.queue_len[victim].set(q.len() as u64);
+                }
+                stolen
             };
             if let Some(job) = stolen.pop_front() {
                 self.steals.fetch_add(1, Ordering::Relaxed);
                 self.frontier.fetch_sub(1, Ordering::Relaxed);
+                let kept = stolen.len();
                 if !stolen.is_empty() {
-                    self.queues[worker].lock().unwrap().extend(stolen);
+                    let mut q = self.queues[worker].lock().unwrap();
+                    q.extend(stolen);
+                    if self.tel.enabled {
+                        self.tel.queue_len[worker].set(q.len() as u64);
+                    }
                 }
                 if let Some(started) = steal_started {
                     self.tel
                         .steal_wait_ns
                         .record(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                }
+                if tw.is_enabled() {
+                    tw.instant_with(
+                        "steal",
+                        [
+                            ("victim", TraceArg::U64(victim as u64)),
+                            ("jobs", TraceArg::U64(kept as u64 + 1)),
+                        ],
+                    );
                 }
                 return Some(job);
             }
@@ -426,14 +493,15 @@ where
 
     /// The worker main loop: pull, expand, repeat; park when idle.
     fn worker(&self, idx: usize) {
+        let tw = self.trace_worker(idx);
         let mut scratch = vec![0u32; self.n];
         loop {
             if self.stop.load(Ordering::Relaxed) {
                 return;
             }
-            match self.pop_job(idx) {
+            match self.pop_job(idx, &tw) {
                 Some(job) => {
-                    self.expand(idx, job, &mut scratch);
+                    self.expand(idx, job, &mut scratch, &tw);
                     if self.outstanding.fetch_sub(1, Ordering::SeqCst) == 1 {
                         self.wakeup.notify_all();
                     }
@@ -544,7 +612,7 @@ where
 
     /// Expands `job.node` by generating every enabled successor of its
     /// representative state.
-    fn expand(&self, worker: usize, job: Job<P::State>, local_best: &mut [u32]) {
+    fn expand(&self, worker: usize, job: Job<P::State>, local_best: &mut [u32], tw: &TraceWorker) {
         let Job {
             mut state,
             mut fp,
@@ -553,6 +621,8 @@ where
         if self.tel.enabled {
             self.tel.frontier_depth.record(u64::from(node.depth));
         }
+        let mut span = tw.begin("expand");
+        span.arg("depth", u64::from(node.depth));
         let n = self.n;
         local_best.fill(0);
         let mut terminal = true;
@@ -585,6 +655,21 @@ where
             if let Some(child) = hit {
                 drop(shard);
                 self.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                if self.tel.enabled {
+                    self.tel.live_dedup_hits.inc();
+                }
+                if tw.is_enabled() {
+                    tw.instant_with(
+                        "dedup_hit",
+                        [
+                            ("pid", TraceArg::U64(pid as u64)),
+                            ("depth", TraceArg::U64(u64::from(node.depth) + 1)),
+                        ],
+                    );
+                    if succ_perm.is_some() {
+                        tw.instant_with("symmetry_hit", [("pid", TraceArg::U64(pid as u64))]);
+                    }
+                }
                 self.attach_child(&node, pid, &child, succ_perm, local_best);
             } else {
                 let count = self.states.fetch_add(1, Ordering::Relaxed) + 1;
@@ -621,6 +706,10 @@ where
                 drop(shard);
                 self.deepest
                     .fetch_max(node.depth as usize + 1, Ordering::Relaxed);
+                if self.tel.enabled {
+                    self.tel.live_states.inc();
+                    self.tel.live_deepest.max(u64::from(node.depth) + 1);
+                }
                 self.push_job(
                     worker,
                     Job {

@@ -79,14 +79,15 @@ use std::hash::Hash;
 use std::time::Duration;
 
 use bso_objects::Value;
-use bso_telemetry::Registry;
+use bso_telemetry::{Registry, TraceSink};
 
+use crate::artifact::{self, ScheduleArtifact};
 use crate::engine;
 use crate::symmetry::{NoCanon, SymCanon, SymmetricProtocol};
-use crate::{Pid, Protocol, ProtocolExt, SharedMemory};
+use crate::{Pid, Protocol, ProtocolExt, RunError, RunResult, SharedMemory, Simulation};
 
 /// What task specification to enforce during exploration.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub enum TaskSpec {
     /// Leader election: agreement on a participating process id.
     Election,
@@ -130,6 +131,11 @@ pub struct ExploreConfig {
     /// environment variable is set — so instrumentation is free unless
     /// explicitly requested.
     pub telemetry: Registry,
+    /// Where worker trace events go. The default clones the
+    /// process-wide sink, which is enabled iff the `BSO_TRACE`
+    /// environment variable is set — same free-unless-requested
+    /// contract as `telemetry`.
+    pub trace: TraceSink,
 }
 
 impl Default for ExploreConfig {
@@ -140,6 +146,7 @@ impl Default for ExploreConfig {
             workers: 0,
             dedup: DedupMode::Exact,
             telemetry: Registry::default(),
+            trace: TraceSink::default(),
         }
     }
 }
@@ -501,6 +508,7 @@ pub struct Explorer<'p, P: Protocol> {
     proto: &'p P,
     inputs: Option<Vec<Value>>,
     config: ExploreConfig,
+    protocol_id: Option<String>,
     parallel: bool,
     par_run: Option<RunFn<P>>,
     sym_run: Option<RunFn<P>>,
@@ -513,6 +521,7 @@ impl<P: Protocol> Clone for Explorer<'_, P> {
             proto: self.proto,
             inputs: self.inputs.clone(),
             config: self.config.clone(),
+            protocol_id: self.protocol_id.clone(),
             parallel: self.parallel,
             par_run: self.par_run,
             sym_run: self.sym_run,
@@ -529,6 +538,7 @@ impl<'p, P: Protocol> Explorer<'p, P> {
             proto,
             inputs: None,
             config: ExploreConfig::default(),
+            protocol_id: None,
             parallel: false,
             par_run: None,
             sym_run: None,
@@ -586,6 +596,22 @@ impl<'p, P: Protocol> Explorer<'p, P> {
         self
     }
 
+    /// Sets the trace sink worker events go to
+    /// ([`ExploreConfig::trace`]).
+    #[must_use]
+    pub fn trace(mut self, sink: TraceSink) -> Self {
+        self.config.trace = sink;
+        self
+    }
+
+    /// Sets the stable protocol identifier stamped into counterexample
+    /// artifacts (default: the Rust type name of `P`).
+    #[must_use]
+    pub fn protocol_id(mut self, id: impl Into<String>) -> Self {
+        self.protocol_id = Some(id.into());
+        self
+    }
+
     /// Toggles the work-stealing worker pool. Verdicts agree with the
     /// serial mode; with several workers the *choice* of
     /// counterexample among equally valid ones may differ (the engine
@@ -634,14 +660,78 @@ impl<'p, P: Protocol> Explorer<'p, P> {
         }
     }
 
+    /// The per-process inputs [`run`](Explorer::run) will use:
+    /// explicitly set ones, else [`crate::ProtocolExt::pid_inputs`].
+    pub fn resolved_inputs(&self) -> Vec<Value> {
+        match &self.inputs {
+            Some(v) => v.clone(),
+            None => self.proto.pid_inputs(),
+        }
+    }
+
+    /// The protocol identifier stamped into artifacts: the one set via
+    /// [`protocol_id`](Explorer::protocol_id), else the Rust type name.
+    pub fn resolved_protocol_id(&self) -> String {
+        self.protocol_id
+            .clone()
+            .unwrap_or_else(|| std::any::type_name::<P>().to_string())
+    }
+
+    /// Packages a violation from this explorer's configuration into a
+    /// durable, replayable [`ScheduleArtifact`].
+    pub fn artifact_for(&self, violation: &Violation) -> ScheduleArtifact {
+        ScheduleArtifact::from_violation(
+            self.resolved_protocol_id(),
+            &self.resolved_inputs(),
+            &self.config.spec,
+            violation,
+        )
+    }
+
+    /// Re-executes an artifact's exact interleaving on this explorer's
+    /// protocol and returns the resulting run. The simulator is
+    /// deterministic given a schedule, so two replays of the same
+    /// artifact produce identical [`crate::Trace`]s; check the outcome
+    /// against the artifact's claim with
+    /// [`artifact::verify_replay`].
+    ///
+    /// Scheduled pids that are no longer enabled (decided or crashed)
+    /// are skipped — a well-formed artifact never contains them.
+    ///
+    /// # Errors
+    ///
+    /// A [`RunError::Object`] if the schedule drives the protocol into
+    /// an illegal operation (which is exactly what an
+    /// [`ViolationKind::IllegalOperation`] artifact replays to).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the artifact's input count does not match the
+    /// protocol's process count.
+    pub fn replay(&self, artifact: &ScheduleArtifact) -> Result<RunResult, RunError> {
+        let mut sim = Simulation::new(self.proto, &artifact.inputs);
+        for &pid in &artifact.schedule {
+            if sim.enabled().contains(&pid) {
+                sim.step(pid)?;
+            }
+        }
+        Ok(sim.result())
+    }
+
     /// Explores **all** interleavings and reports the verdict.
     ///
     /// The builder is borrowed, not consumed, so one configuration can
     /// drive several runs.
+    ///
+    /// Two environment escape hatches activate here: `BSO_PROGRESS`
+    /// starts the process-wide heartbeat reporter before the run, and
+    /// `BSO_ARTIFACT=path.json` writes a replayable
+    /// [`ScheduleArtifact`] if the run finds a violation.
     pub fn run(&self) -> Report
     where
         P::State: Hash + Eq,
     {
+        bso_telemetry::progress::spawn_global_if_env();
         let owned;
         let inputs: &[Value] = match &self.inputs {
             Some(v) => v,
@@ -654,7 +744,26 @@ impl<'p, P: Protocol> Explorer<'p, P> {
             .sym_run
             .or(self.par_run)
             .unwrap_or(run_plain_serial::<P> as RunFn<P>);
-        run(self.proto, inputs, &self.config, self.resolved_workers())
+        let report = run(self.proto, inputs, &self.config, self.resolved_workers());
+        // The stream always ends with a sample of the final counters,
+        // even when the whole run fits inside one sampling interval.
+        bso_telemetry::progress::sample_global_now();
+        if let Some(v) = report.outcome.violation() {
+            if let Some(path) = std::env::var_os(artifact::ENV_VAR) {
+                let art = self.artifact_for(v);
+                match art.save(&path) {
+                    Ok(()) => eprintln!(
+                        "counterexample artifact written to {}",
+                        std::path::Path::new(&path).display()
+                    ),
+                    Err(e) => eprintln!(
+                        "warning: failed to write {} artifact: {e}",
+                        artifact::ENV_VAR
+                    ),
+                }
+            }
+        }
+        report
     }
 }
 

@@ -23,6 +23,10 @@
 //!   explorer violations, the executable counterpart of the
 //!   FLP/Loui–Abu-Amara style impossibility arguments the paper builds
 //!   on.
+//! * [`artifact`] — those counterexamples serialized as replayable
+//!   `bso-schedule/v1` JSON artifacts;
+//!   [`Explorer::replay`] re-executes one deterministically and
+//!   [`verify_replay`] checks it reproduced its claim.
 //! * [`checker`] — run-level specifications behind the [`RunChecker`]
 //!   trait: leader election (consistency/validity/wait-freedom as in
 //!   Section 2 of the paper), consensus, `l`-set consensus and step
@@ -99,6 +103,7 @@
 // Simulator error paths are cold; boxing RunError would only obscure them.
 #![allow(clippy::result_large_err)]
 
+pub mod artifact;
 pub mod checker;
 mod engine;
 mod explore;
@@ -116,6 +121,7 @@ mod trace;
 pub mod valence;
 pub mod viz;
 
+pub use artifact::{verify_replay, ScheduleArtifact};
 pub use checker::{
     CheckerSet, ConsensusChecker, ElectionChecker, RunChecker, SetConsensusChecker,
     StepBoundChecker,

@@ -10,7 +10,7 @@ use std::time::Instant;
 
 use bso_objects::atomic::{AtomicMemory, Memory};
 use bso_objects::{ObjectError, OpKind, Value};
-use bso_telemetry::{Counter, Histogram, Registry};
+use bso_telemetry::{Counter, Histogram, Registry, TraceArg, TraceSink};
 
 use crate::record::{RecordedOp, RecordingMemory};
 use crate::{Action, Pid, Protocol};
@@ -207,7 +207,39 @@ where
     let mem = AtomicMemory::new(&proto.layout());
     let rec = RecordingMemory::new(&mem);
     let decisions = collect_decisions(proto, &rec, inputs, &Registry::default())?;
-    Ok((decisions, rec.into_log()))
+    let log = rec.into_log();
+    trace_recorded_ops(&TraceSink::default(), &log);
+    Ok((decisions, log))
+}
+
+/// Emits one trace span per recorded operation, on a per-process
+/// trace track labeled `proc-p{pid}`.
+///
+/// The logical clock ticks of the [`RecordedOp`] log become the
+/// timeline: one tick is rendered as one microsecond, so the
+/// invocation/response intervals of concurrent operations visibly
+/// overlap in a trace viewer exactly as they did in the history.
+/// Does nothing when `sink` is disabled.
+pub fn trace_recorded_ops(sink: &TraceSink, log: &[RecordedOp]) {
+    if !sink.is_enabled() || log.is_empty() {
+        return;
+    }
+    let procs = log.iter().map(|r| r.pid).max().unwrap_or(0) + 1;
+    let workers: Vec<_> = (0..procs)
+        .map(|p| sink.worker(format!("proc-p{p}")))
+        .collect();
+    for r in log {
+        let dur_ticks = r.responded_at.saturating_sub(r.invoked_at).max(1);
+        workers[r.pid].event_at(
+            r.invoked_at * 1000,
+            Some(dur_ticks * 1000),
+            &r.op.to_string(),
+            [
+                ("obj", TraceArg::from(r.op.obj.0)),
+                ("resp", TraceArg::from(r.resp.to_string())),
+            ],
+        );
+    }
 }
 
 fn collect_decisions<P, M>(
@@ -306,6 +338,23 @@ mod tests {
         assert_eq!(reg.counter("thread.cas.attempts").get(), 0);
         assert_eq!(reg.counter("thread.tas.losses").get(), 0);
         assert!(reg.snapshot().len() >= 8);
+    }
+
+    #[test]
+    fn recorded_ops_become_trace_events() {
+        let proto = Ranker { n: 3 };
+        let mem = AtomicMemory::new(&proto.layout());
+        let rec = RecordingMemory::new(&mem);
+        collect_decisions(&proto, &rec, &vec![Value::Nil; 3], &Registry::disabled()).unwrap();
+        let log = rec.into_log();
+        let sink = TraceSink::enabled();
+        trace_recorded_ops(&sink, &log);
+        assert_eq!(sink.events_len(), log.len());
+        let json = sink.export_string();
+        assert!(json.contains("proc-p0"));
+        assert!(json.contains("f&a(1)"));
+        // A disabled sink records nothing and never panics.
+        trace_recorded_ops(&TraceSink::disabled(), &log);
     }
 
     #[test]

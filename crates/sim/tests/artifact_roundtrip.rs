@@ -1,0 +1,101 @@
+//! A counterexample found by the explorer must survive the full
+//! artifact life cycle: serialize to `bso-schedule/v1` JSON, parse
+//! back identically, replay deterministically (two replays produce the
+//! *same* [`Trace`]), and reproduce the recorded violation under
+//! [`verify_replay`].
+
+use bso_objects::{Layout, ObjectId, ObjectInit, Op, OpKind, Value};
+use bso_sim::{
+    verify_replay, Action, ExploreOutcome, Explorer, Pid, Protocol, ScheduleArtifact, TaskSpec,
+    ViolationKind,
+};
+use bso_telemetry::json;
+
+/// A deliberately broken election: both processes grab the test&set
+/// bit and then elect *themselves* regardless of who won, so every
+/// complete run disagrees.
+struct BrokenElection;
+
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum St {
+    Grab(usize),
+    Done(usize),
+}
+
+impl Protocol for BrokenElection {
+    type State = St;
+    fn processes(&self) -> usize {
+        2
+    }
+    fn layout(&self) -> Layout {
+        let mut l = Layout::new();
+        l.push(ObjectInit::TestAndSet);
+        l
+    }
+    fn init(&self, pid: Pid, _input: &Value) -> St {
+        St::Grab(pid)
+    }
+    fn next_action(&self, st: &St) -> Action {
+        match st {
+            St::Grab(_) => Action::Invoke(Op::new(ObjectId(0), OpKind::TestAndSet)),
+            St::Done(p) => Action::Decide(Value::Pid(*p)),
+        }
+    }
+    fn on_response(&self, st: &mut St, _resp: Value) {
+        if let St::Grab(p) = st {
+            *st = St::Done(*p);
+        }
+    }
+}
+
+fn refuted_artifact() -> ScheduleArtifact {
+    let explorer = Explorer::new(&BrokenElection)
+        .protocol_id("broken-election")
+        .spec(TaskSpec::Election);
+    let report = explorer.run();
+    let ExploreOutcome::Violated(v) = &report.outcome else {
+        panic!("BrokenElection must be refuted, got {:?}", report.outcome);
+    };
+    assert_eq!(v.kind, ViolationKind::Agreement);
+    explorer.artifact_for(v)
+}
+
+#[test]
+fn artifact_json_round_trips_exactly() {
+    let artifact = refuted_artifact();
+    assert_eq!(artifact.protocol, "broken-election");
+    assert_eq!(artifact.kind, Some(ViolationKind::Agreement));
+    let text = artifact.to_json_string();
+    let parsed = ScheduleArtifact::from_json(&json::parse(&text).unwrap()).unwrap();
+    assert_eq!(parsed, artifact);
+}
+
+#[test]
+fn artifact_file_round_trips_exactly() {
+    let artifact = refuted_artifact();
+    let path = std::env::temp_dir().join(format!(
+        "bso-artifact-roundtrip-{}.json",
+        std::process::id()
+    ));
+    artifact.save(&path).unwrap();
+    let loaded = ScheduleArtifact::load(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(loaded, artifact);
+}
+
+#[test]
+fn replay_is_deterministic_and_reproduces_the_violation() {
+    let artifact = refuted_artifact();
+    let explorer = Explorer::new(&BrokenElection)
+        .protocol_id("broken-election")
+        .spec(TaskSpec::Election);
+    let first = explorer.replay(&artifact);
+    let second = explorer.replay(&artifact);
+    let (a, b) = (first.as_ref().unwrap(), second.as_ref().unwrap());
+    assert_eq!(a.trace, b.trace, "two replays must record identical traces");
+    assert_eq!(a.decisions, b.decisions);
+    // The replayed run violates exactly what the artifact claims.
+    verify_replay(&artifact, &first).expect("the recorded violation must reproduce");
+    // And the trace's own schedule matches the artifact's.
+    assert_eq!(a.trace.schedule(), artifact.schedule);
+}

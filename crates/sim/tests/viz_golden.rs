@@ -1,0 +1,105 @@
+//! Golden-string tests for the ASCII run renderers: a fixed scripted
+//! election run must render to exactly these strings. If a renderer
+//! change is intentional, update the goldens by copying the printed
+//! actual output.
+
+use bso_objects::{Layout, ObjectId, ObjectInit, Op, OpKind, Value};
+use bso_sim::scheduler::Scripted;
+use bso_sim::viz::{register_history_string, timeline};
+use bso_sim::{Action, Pid, Protocol, RunResult, Simulation};
+
+/// The two-process test&set election from the crate example: announce
+/// yourself, grab the bit, the loser reads the winner's announcement.
+struct TasElection;
+
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum St {
+    Announce(usize),
+    Grab(usize),
+    ReadPeer(usize),
+    Done(usize),
+}
+
+impl Protocol for TasElection {
+    type State = St;
+    fn processes(&self) -> usize {
+        2
+    }
+    fn layout(&self) -> Layout {
+        let mut l = Layout::new();
+        l.push(ObjectInit::TestAndSet); // o0: the bit
+        l.push_n(ObjectInit::Register(Value::Nil), 2); // o1,o2: announcements
+        l
+    }
+    fn init(&self, pid: Pid, _input: &Value) -> St {
+        St::Announce(pid)
+    }
+    fn next_action(&self, st: &St) -> Action {
+        match st {
+            St::Announce(p) => Action::Invoke(Op::write(ObjectId(1 + p), Value::Pid(*p))),
+            St::Grab(_) => Action::Invoke(Op::new(ObjectId(0), OpKind::TestAndSet)),
+            St::ReadPeer(p) => Action::Invoke(Op::read(ObjectId(1 + (1 - p)))),
+            St::Done(p) => Action::Decide(Value::Pid(*p)),
+        }
+    }
+    fn on_response(&self, st: &mut St, resp: Value) {
+        *st = match st.clone() {
+            St::Announce(p) => St::Grab(p),
+            St::Grab(p) => {
+                if resp == Value::Bool(false) {
+                    St::Done(p)
+                } else {
+                    St::ReadPeer(p)
+                }
+            }
+            St::ReadPeer(_) => St::Done(resp.as_pid().expect("peer announced first")),
+            done @ St::Done(_) => done,
+        };
+    }
+}
+
+/// One fixed interleaving: p1 announces and wins the bit; p0 loses,
+/// reads p1's announcement, and elects p1.
+fn recorded_run() -> RunResult {
+    let schedule = vec![1, 1, 0, 0, 1, 0, 0];
+    let mut sim = Simulation::new(&TasElection, &[Value::Pid(0), Value::Pid(1)]);
+    sim.run(&mut Scripted::new(schedule), 1_000).unwrap()
+}
+
+#[test]
+fn timeline_golden() {
+    let res = recorded_run();
+    let actual = timeline(&res.trace, 2);
+    let expected = concat!(
+        "      steps 0..7   (W/r register \u{b7} C/c compare&swap ok/fail",
+        " \u{b7} S/U snapshot \u{b7} D decide \u{b7} \u{2717} crash)\n",
+        "p0   |  WT rD|\n",
+        "p1   |WT  D  |\n",
+    );
+    assert_eq!(
+        actual, expected,
+        "timeline drifted; actual:\n{actual}\nexpected:\n{expected}"
+    );
+}
+
+#[test]
+fn register_history_golden() {
+    let res = recorded_run();
+    // p1's announcement register (o2): Nil (rendered `·`) until p1's
+    // write at step 0.
+    let o2 = register_history_string(&res.trace, ObjectId(2), Value::Nil);
+    assert_eq!(o2, "\u{b7} \u{2192}(#0) p1");
+    // p0's announcement register (o1): written at step 2.
+    let o1 = register_history_string(&res.trace, ObjectId(1), Value::Nil);
+    assert_eq!(o1, "\u{b7} \u{2192}(#2) p0");
+}
+
+#[test]
+fn run_decisions_golden() {
+    let res = recorded_run();
+    assert_eq!(
+        res.decisions,
+        vec![Some(Value::Pid(1)), Some(Value::Pid(1))],
+        "both processes elect the test&set winner"
+    );
+}

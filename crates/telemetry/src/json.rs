@@ -64,6 +64,48 @@ impl Json {
         }
     }
 
+    /// The value as an f64, if it is any kind of number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::U64(v) => Some(*v as f64),
+            Json::I64(v) => Some(*v as f64),
+            Json::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number of elements or members, if this is an array or an
+    /// object.
+    pub fn len(&self) -> Option<usize> {
+        match self {
+            Json::Arr(items) => Some(items.len()),
+            Json::Obj(pairs) => Some(pairs.len()),
+            _ => None,
+        }
+    }
+
+    /// Whether this is an array or object with no members (`None` for
+    /// scalars).
+    pub fn is_empty(&self) -> Option<bool> {
+        self.len().map(|n| n == 0)
+    }
+
+    /// The elements, if this is an array.
+    pub fn items(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
     /// The members, if this is an object.
     pub fn entries(&self) -> Option<&[(String, Json)]> {
         match self {

@@ -34,6 +34,8 @@
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod progress;
+pub mod trace;
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -41,6 +43,8 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use json::Json;
+pub use progress::ProgressReporter;
+pub use trace::{TraceArg, TraceSink, TraceSpan, TraceWorker};
 
 /// The environment variable that enables the global registry and names
 /// the snapshot file: `BSO_TELEMETRY=path.json`.
@@ -110,8 +114,10 @@ impl Registry {
         self.inner.is_some()
     }
 
-    /// The process-wide registry: enabled iff [`ENV_VAR`] was set when
-    /// it was first touched, disabled (and free) otherwise.
+    /// The process-wide registry: enabled iff [`ENV_VAR`] (or
+    /// [`progress::ENV_VAR`], whose heartbeats sample these metrics)
+    /// was set when it was first touched, disabled (and free)
+    /// otherwise.
     ///
     /// `Registry::default()` clones this, so plumbing a default
     /// registry through a config struct picks up the `BSO_TELEMETRY`
@@ -119,7 +125,8 @@ impl Registry {
     pub fn global() -> &'static Registry {
         static GLOBAL: OnceLock<Registry> = OnceLock::new();
         GLOBAL.get_or_init(|| {
-            if std::env::var_os(ENV_VAR).is_some() {
+            if std::env::var_os(ENV_VAR).is_some() || std::env::var_os(progress::ENV_VAR).is_some()
+            {
                 Registry::enabled()
             } else {
                 Registry::disabled()
@@ -351,6 +358,57 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<(u32, u64)>,
 }
 
+impl HistogramSnapshot {
+    /// Estimates the value at quantile `q ∈ [0, 1]` from the log2
+    /// buckets: the sample rank is located in its bucket and the value
+    /// linearly interpolated across the bucket's range, then clamped
+    /// to the observed `[min, max]`. Exact when all samples in the
+    /// rank's bucket are equal; otherwise within a factor-of-two
+    /// bucket width. Returns 0 on an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(i, n) in &self.buckets {
+            if seen + n >= rank {
+                let lo = bucket_lo(i as usize);
+                let hi = match i {
+                    0 => 0,
+                    64.. => u64::MAX,
+                    _ => (1u64 << i) - 1,
+                };
+                let frac = if n <= 1 {
+                    0.0
+                } else {
+                    (rank - seen - 1) as f64 / (n - 1) as f64
+                };
+                let est = lo as f64 + frac * (hi - lo) as f64;
+                return (est.round() as u64).clamp(self.min, self.max);
+            }
+            seen += n;
+        }
+        self.max
+    }
+
+    /// Estimated median; see [`HistogramSnapshot::quantile`].
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// Estimated 90th percentile; see [`HistogramSnapshot::quantile`].
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// Estimated 99th percentile; see [`HistogramSnapshot::quantile`].
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
 /// A point-in-time, name-sorted copy of a registry's metrics.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct Snapshot {
@@ -410,6 +468,9 @@ impl Snapshot {
                     ("sum", Json::U64(h.sum)),
                     ("min", Json::U64(h.min)),
                     ("max", Json::U64(h.max)),
+                    ("p50", Json::U64(h.p50())),
+                    ("p90", Json::U64(h.p90())),
+                    ("p99", Json::U64(h.p99())),
                     ("buckets", Json::Arr(buckets)),
                 ]),
             ));
@@ -441,6 +502,27 @@ pub fn dump_global_if_env() -> std::io::Result<Option<std::path::PathBuf>> {
     let path = std::path::PathBuf::from(path);
     std::fs::write(&path, Registry::global().snapshot().to_json_string())?;
     Ok(Some(path))
+}
+
+/// Writes every artifact requested via environment variables — the
+/// telemetry snapshot ([`ENV_VAR`]) and the Chrome trace
+/// ([`trace::ENV_VAR`]) — and returns a `(kind, path)` pair for each
+/// file written. I/O errors surface as warnings on stderr instead of
+/// aborting; exit paths should prefer this over unwrapping
+/// [`dump_global_if_env`].
+pub fn dump_all_if_env() -> Vec<(&'static str, std::path::PathBuf)> {
+    let mut written = Vec::new();
+    match dump_global_if_env() {
+        Ok(Some(path)) => written.push(("telemetry snapshot", path)),
+        Ok(None) => {}
+        Err(e) => eprintln!("warning: failed to write {ENV_VAR} snapshot: {e}"),
+    }
+    match trace::dump_global_trace_if_env() {
+        Ok(Some(path)) => written.push(("trace", path)),
+        Ok(None) => {}
+        Err(e) => eprintln!("warning: failed to write {} trace: {e}", trace::ENV_VAR),
+    }
+    written
 }
 
 #[cfg(test)]
@@ -478,6 +560,72 @@ mod tests {
         assert_eq!(snap.min, 0);
         assert_eq!(snap.max, 1024);
         assert_eq!(snap.buckets, vec![(0, 1), (1, 1), (2, 1), (11, 1)]);
+    }
+
+    /// Records each value once and returns the snapshot.
+    fn hist_of(values: impl IntoIterator<Item = u64>) -> HistogramSnapshot {
+        let reg = Registry::enabled();
+        let h = reg.histogram("h");
+        for v in values {
+            h.record(v);
+        }
+        reg.snapshot().histograms["h"].clone()
+    }
+
+    #[test]
+    fn quantiles_on_uniform_distribution() {
+        // 1..=1000, once each: estimates stay within 5% of the truth.
+        let snap = hist_of(1..=1000);
+        assert_eq!(snap.p50(), 500); // the interpolation is exact here
+        for (q, truth) in [(0.90, 900.0), (0.99, 990.0)] {
+            let est = snap.quantile(q) as f64;
+            let err = (est - truth).abs() / truth;
+            assert!(err < 0.05, "q={q}: est {est} vs true {truth}");
+        }
+        assert_eq!(snap.quantile(0.0), 1);
+        assert_eq!(snap.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn quantiles_on_constant_distribution() {
+        // All mass on one value: every quantile is that value, even
+        // though the bucket spans [4, 7].
+        let snap = hist_of(std::iter::repeat_n(7, 42));
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(snap.quantile(q), 7);
+        }
+    }
+
+    #[test]
+    fn quantiles_on_bimodal_distribution() {
+        // Ninety 1s and ten 1000s: the median is 1, the tail is large.
+        let values = std::iter::repeat_n(1, 90).chain(std::iter::repeat_n(1000, 10));
+        let snap = hist_of(values);
+        assert_eq!(snap.p50(), 1);
+        assert_eq!(snap.p90(), 1);
+        let p99 = snap.p99() as f64;
+        assert!((p99 - 1000.0).abs() / 1000.0 < 0.05, "p99 {p99}");
+    }
+
+    #[test]
+    fn quantiles_on_empty_histogram() {
+        let snap = HistogramSnapshot::default();
+        assert_eq!(snap.p50(), 0);
+        assert_eq!(snap.quantile(1.0), 0);
+    }
+
+    #[test]
+    fn snapshot_json_carries_quantiles() {
+        let reg = Registry::enabled();
+        let h = reg.histogram("q");
+        for v in 1..=100 {
+            h.record(v);
+        }
+        let doc = reg.snapshot().to_json();
+        let metric = doc.get("metrics").and_then(|m| m.get("q")).unwrap();
+        assert_eq!(metric.get("p50").and_then(Json::as_u64), Some(50));
+        assert!(metric.get("p90").and_then(Json::as_u64).unwrap() >= 64);
+        assert!(metric.get("p99").and_then(Json::as_u64).unwrap() <= 100);
     }
 
     #[test]

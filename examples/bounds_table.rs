@@ -37,7 +37,7 @@ fn main() {
     println!("Every row satisfies  k−1 ≤ (k−1)! ≤ k! ≤ k^(k²+3):");
     println!("adding read/write registers to a bounded strong object increases its");
     println!("power exponentially — and (Theorem 1) only exponentially.");
-    if let Ok(Some(path)) = bso::telemetry::dump_global_if_env() {
-        println!("telemetry snapshot written to {}", path.display());
+    for (kind, path) in bso::telemetry::dump_all_if_env() {
+        println!("{kind} written to {}", path.display());
     }
 }

@@ -64,8 +64,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
     println!("Both protocols are wait-free with O(k) steps per process; the jump from");
     println!("k−1 to (k−1)! processes is bought entirely by the read/write registers.");
-    if let Some(path) = bso::telemetry::dump_global_if_env()? {
-        println!("telemetry snapshot written to {}", path.display());
+    for (kind, path) in bso::telemetry::dump_all_if_env() {
+        println!("{kind} written to {}", path.display());
     }
     Ok(())
 }

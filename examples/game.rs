@@ -61,7 +61,7 @@ fn main() {
     }
     println!("\nThe potential argument (weights m^level against the final topological");
     println!("sort) is audited move-by-move in bso-combinatorics::game::audit_potential.");
-    if let Ok(Some(path)) = bso::telemetry::dump_global_if_env() {
-        println!("telemetry snapshot written to {}", path.display());
+    for (kind, path) in bso::telemetry::dump_all_if_env() {
+        println!("{kind} written to {}", path.display());
     }
 }

@@ -53,7 +53,7 @@ fn main() {
     println!("The possible entries (test&set n=2, fetch&add n=2, compare&swap any n,");
     println!("compare&swap-(k)+registers n ≤ (k−1)!) are verified exhaustively in the");
     println!("workspace test suites.");
-    if let Ok(Some(path)) = bso::telemetry::dump_global_if_env() {
-        println!("telemetry snapshot written to {}", path.display());
+    for (kind, path) in bso::telemetry::dump_all_if_env() {
+        println!("{kind} written to {}", path.display());
     }
 }

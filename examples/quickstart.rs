@@ -65,8 +65,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.states, report.terminals
     );
 
-    if let Some(path) = bso::telemetry::dump_global_if_env()? {
-        println!("telemetry     : snapshot written to {}", path.display());
+    for (kind, path) in bso::telemetry::dump_all_if_env() {
+        println!("{kind} written to {}", path.display());
     }
     Ok(())
 }

@@ -71,8 +71,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("an A would hand (k−1)!+1 read/write processes a (k−1)!-set consensus —");
     println!("impossible (Borowsky–Gafni, Herlihy–Shavit, Saks–Zaharoglou). Hence");
     println!("Theorem 1: n_k ≤ O(k^(k²+3)).");
-    if let Some(path) = bso::telemetry::dump_global_if_env()? {
-        println!("telemetry snapshot written to {}", path.display());
+    for (kind, path) in bso::telemetry::dump_all_if_env() {
+        println!("{kind} written to {}", path.display());
     }
     Ok(())
 }

@@ -82,8 +82,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nLabels never exceed (k−1)! = 2 despite value reuse, and every");
     println!("constructed run — including stalled prefixes — passes the");
     println!("run-legality check (the executable Lemma 1.2).");
-    if let Some(path) = bso::telemetry::dump_global_if_env()? {
-        println!("telemetry snapshot written to {}", path.display());
+    for (kind, path) in bso::telemetry::dump_all_if_env() {
+        println!("{kind} written to {}", path.display());
     }
     Ok(())
 }
