@@ -251,6 +251,32 @@ fn bench_explore_tracing(c: &mut Criterion) {
     g.finish();
 }
 
+/// The cost of the crash-fault adversary on the fingerprint-mode
+/// engine, same instance as `explore_cas_only_fp/6`: with faults
+/// disabled (the default) the hot path must not pay for the machinery
+/// — one branch on an empty fault budget — and the `f = 1` cost is
+/// recorded for reference (it explores a strictly larger graph, so
+/// its throughput is over more states, not the same ones).
+fn bench_explore_faults(c: &mut Criterion) {
+    let proto = CasOnlyElection::new(5, 6).unwrap();
+    let inputs = proto.pid_inputs();
+    let mut g = c.benchmark_group("explore_faults");
+    g.sample_size(20);
+    for (name, faults) in [("disabled", 0usize), ("f1", 1)] {
+        let ex = Explorer::new(&proto)
+            .inputs(&inputs)
+            .spec(TaskSpec::Election)
+            .dedup(DedupMode::Fingerprint)
+            .faults(faults);
+        let states = ex.run().states as u64;
+        g.throughput(Throughput::Elements(states));
+        g.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, ()| {
+            b.iter(|| black_box(ex.run()));
+        });
+    }
+    g.finish();
+}
+
 fn bench_refuter(c: &mut Criterion) {
     use bso::hierarchy::candidates::TasThreeEagerCandidate;
     use bso::objects::Value;
@@ -348,6 +374,32 @@ fn emit_json(measurements: &[Measurement]) -> String {
             ]),
         ));
     }
+    // Fault-adversary overhead, same estimator and baseline as the
+    // tracing section. "disabled" is the identical instance to
+    // explore_cas_only_fp/6 with an explicit zero fault budget, so its
+    // overhead is what every crash-free caller pays for the adversary
+    // existing at all; "f1" is raw cost on its (larger) crashy graph.
+    if let (Some(disabled), Some(f1), Some(base)) = (
+        find("explore_faults/disabled"),
+        find("explore_faults/f1"),
+        find("explore_cas_only_fp/6"),
+    ) {
+        doc.push((
+            "faults".to_string(),
+            Json::obj([
+                ("disabled_median_ns", ns(disabled.median)),
+                ("f1_median_ns", ns(f1.median)),
+                (
+                    "disabled_overhead_pct_min_time",
+                    Json::F64((disabled.min.as_secs_f64() / base.min.as_secs_f64() - 1.0) * 100.0),
+                ),
+                (
+                    "f1_states_per_sec",
+                    f1.elements_per_sec().map_or(Json::Null, Json::F64),
+                ),
+            ]),
+        ));
+    }
     Json::Obj(doc).render_pretty()
 }
 
@@ -363,6 +415,7 @@ fn main() {
     bench_explore_cas_only(&mut c);
     bench_explore_modes(&mut c);
     bench_explore_tracing(&mut c);
+    bench_explore_faults(&mut c);
     bench_explore_label(&mut c);
     bench_refuter(&mut c);
     let json = emit_json(c.measurements());

@@ -3,23 +3,30 @@
 //! ```text
 //! replay make <out.json> [protocol]   # refute a candidate, save the schedule
 //! replay run <artifact.json>          # re-execute it and render the run
+//! replay checkpoint <cp.json>         # inspect a checkpoint and resume it
 //! ```
 //!
 //! `make` explores a known-refutable candidate protocol until the
 //! checker finds a violating run, then serializes the exact
 //! interleaving as a `bso-schedule/v1` artifact. `run` loads such an
-//! artifact, replays it deterministically, asserts the recorded
-//! violation reproduces, and renders the run as a timeline plus
-//! register histories. Known protocol ids:
+//! artifact, replays it deterministically (crash events included),
+//! asserts the recorded violation reproduces, and renders the run as a
+//! timeline plus register histories. `checkpoint` loads a
+//! `bso-checkpoint/v1` file written by an interrupted run (see the
+//! `BSO_DEADLINE_MS` / `BSO_CHECKPOINT` escape hatches), prints its
+//! summary, and resumes the exploration to a final verdict. Known
+//! protocol ids:
 //!
 //! * `rw-election` (default) — 2-process election over registers only
 //! * `tas3-eager` — 3-process consensus from one test&set, eager losers
 //! * `faa3-eager` — 3-process consensus from one fetch&add
 //! * `queue3` — 3-process consensus from one pre-loaded queue
+//! * `lock-election` — 2-process lock-based election (non-wait-free)
+//! * `label-election-2-3` — the quickstart `LabelElection` instance
 //!
 //! Exits nonzero if exploration fails to refute, the artifact does not
-//! parse, or the replayed run does not reproduce the recorded
-//! violation.
+//! parse, the replayed run does not reproduce the recorded violation,
+//! or a resumed checkpoint ends without a verdict.
 
 use std::process::ExitCode;
 
@@ -27,11 +34,13 @@ use bso::hierarchy::candidates::{
     FaaThreeEagerCandidate, QueueThreeCandidate, RwElection, TasThreeEagerCandidate,
 };
 use bso::objects::{ObjectInit, Value};
+use bso::protocols::{LabelElection, LockElection};
 use bso::sim::{
-    verify_replay, viz, ExploreOutcome, Explorer, Protocol, ScheduleArtifact, TaskSpec,
+    verify_replay, viz, Checkpoint, ExploreOutcome, Explorer, Protocol, ScheduleArtifact, TaskSpec,
 };
 
-const USAGE: &str = "usage: replay make <out.json> [protocol] | replay run <artifact.json>";
+const USAGE: &str = "usage: replay make <out.json> [protocol] | replay run <artifact.json> \
+                     | replay checkpoint <cp.json>";
 
 /// The known protocols, their stable ids, and the spec each violates.
 fn consensus3() -> TaskSpec {
@@ -49,6 +58,10 @@ fn main() -> ExitCode {
         Some("run") => {
             let path = args.get(1).map(String::as_str).ok_or(USAGE.to_string());
             path.and_then(run)
+        }
+        Some("checkpoint") => {
+            let path = args.get(1).map(String::as_str).ok_or(USAGE.to_string());
+            path.and_then(checkpoint)
         }
         _ => Err(USAGE.to_string()),
     };
@@ -137,15 +150,76 @@ where
 }
 
 fn run(path: &str) -> Result<String, String> {
-    let artifact = ScheduleArtifact::load(path)?;
+    let artifact = ScheduleArtifact::load(path).map_err(|e| e.to_string())?;
     match artifact.protocol.as_str() {
         "rw-election" => run_with(&RwElection, &artifact),
         "tas3-eager" => run_with(&TasThreeEagerCandidate, &artifact),
         "faa3-eager" => run_with(&FaaThreeEagerCandidate, &artifact),
         "queue3" => run_with(&QueueThreeCandidate, &artifact),
+        "lock-election" => run_with(&LockElection::new(2), &artifact),
         other => Err(format!(
             "unknown protocol id {other:?}: this binary can only replay \
              artifacts for its built-in candidates"
         )),
     }
+}
+
+/// Resumes `cp` on `proto` and renders the final verdict; a resumed run
+/// that *still* ends without a verdict is an error.
+fn resume_with<P>(proto: &P, cp: &Checkpoint) -> Result<String, String>
+where
+    P: Protocol + Sync,
+    P::State: Clone + std::hash::Hash + Eq + Send,
+{
+    let report = Explorer::new(proto)
+        .protocol_id(cp.protocol.clone())
+        .inputs(&cp.inputs)
+        .resume(cp);
+    match &report.outcome {
+        ExploreOutcome::Verified => Ok(format!(
+            "resumed to a verdict: Verified ({} states total)",
+            report.states
+        )),
+        ExploreOutcome::Violated(v) => Ok(format!(
+            "resumed to a verdict: Violated ({:?} after {} steps and {} crash(es))",
+            v.kind,
+            v.schedule.len(),
+            v.crashes.len()
+        )),
+        other => Err(format!("resumed run ended without a verdict: {other:?}")),
+    }
+}
+
+fn checkpoint(path: &str) -> Result<String, String> {
+    let cp = Checkpoint::load(path).map_err(|e| e.to_string())?;
+    let summary = format!(
+        "{path}: bso-checkpoint/v1 for {:?} ({} processes, f={}, step bound {:?})\n\
+         interrupted by {} after {} states ({} terminals, deepest {}, {} dedup hits)\n\
+         frontier: {} unexpanded state(s)\n",
+        cp.protocol,
+        cp.inputs.len(),
+        cp.faults,
+        cp.step_bound,
+        cp.reason,
+        cp.states,
+        cp.terminals,
+        cp.deepest,
+        cp.dedup_hits,
+        cp.frontier.len()
+    );
+    let verdict = match cp.protocol.as_str() {
+        "rw-election" => resume_with(&RwElection, &cp),
+        "tas3-eager" => resume_with(&TasThreeEagerCandidate, &cp),
+        "faa3-eager" => resume_with(&FaaThreeEagerCandidate, &cp),
+        "queue3" => resume_with(&QueueThreeCandidate, &cp),
+        "lock-election" => resume_with(&LockElection::new(cp.inputs.len()), &cp),
+        "label-election-2-3" => {
+            resume_with(&LabelElection::new(2, 3).map_err(|e| e.to_string())?, &cp)
+        }
+        other => Err(format!(
+            "unknown protocol id {other:?}: this binary can only resume \
+             checkpoints for its built-in protocols"
+        )),
+    }?;
+    Ok(summary + &verdict)
 }

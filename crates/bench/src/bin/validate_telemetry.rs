@@ -4,6 +4,7 @@
 //! validate_telemetry <snapshot.json> [min_total] [prefix=N ...]
 //! validate_telemetry --trace <trace.json> [min_events]
 //! validate_telemetry --progress <progress.jsonl> [min_lines]
+//! validate_telemetry --checkpoint <cp.json>
 //! ```
 //!
 //! The default mode exits nonzero unless the file parses as a
@@ -13,11 +14,14 @@
 //! with `prefix`. `--trace` checks a `BSO_TRACE` export for Chrome
 //! trace-event shape (phases, ids, timestamps) with at least
 //! `min_events` data events; `--progress` checks a `BSO_PROGRESS`
-//! stream for well-formed `bso-progress/v1` heartbeats. CI runs all
-//! three over the artifacts the examples write.
+//! stream for well-formed `bso-progress/v1` heartbeats; `--checkpoint`
+//! checks that a `BSO_CHECKPOINT` file is a loadable, resumable
+//! `bso-checkpoint/v1` document with a non-empty frontier. CI runs all
+//! four over the artifacts the examples write.
 
 use std::process::ExitCode;
 
+use bso::sim::Checkpoint;
 use bso_telemetry::json::{self, Json};
 
 fn main() -> ExitCode {
@@ -34,7 +38,8 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage: validate_telemetry <snapshot.json> [min_total] [prefix=N ...] \
-     | --trace <trace.json> [min_events] | --progress <progress.jsonl> [min_lines]";
+     | --trace <trace.json> [min_events] | --progress <progress.jsonl> [min_lines] \
+     | --checkpoint <cp.json>";
 
 fn run() -> Result<String, String> {
     let mut args = std::env::args().skip(1);
@@ -48,6 +53,10 @@ fn run() -> Result<String, String> {
         let file = args.next().ok_or(USAGE)?;
         let min = parse_count(args.next())?;
         return validate_progress(&file, min);
+    }
+    if path == "--checkpoint" {
+        let file = args.next().ok_or(USAGE)?;
+        return validate_checkpoint(&file);
     }
     let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
     let doc = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
@@ -160,6 +169,36 @@ fn validate_trace(path: &str, min_events: usize) -> Result<String, String> {
     Ok(format!(
         "{path}: ok ({data_events} data events, {} records)",
         events.len()
+    ))
+}
+
+/// Checks a `BSO_CHECKPOINT` file: it must load through the same
+/// typed path `Explorer::resume` uses, and describe something a
+/// resume could actually continue (a non-empty frontier).
+fn validate_checkpoint(path: &str) -> Result<String, String> {
+    let cp = Checkpoint::load(path).map_err(|e| e.to_string())?;
+    if cp.frontier.is_empty() {
+        return Err(format!("{path}: checkpoint has an empty frontier"));
+    }
+    for (i, entry) in cp.frontier.iter().enumerate() {
+        for c in &entry.crashes {
+            if c.at > entry.schedule.len() {
+                return Err(format!(
+                    "{path}: frontier entry #{i} crashes p{} after step {} of a \
+                     {}-step schedule",
+                    c.pid,
+                    c.at,
+                    entry.schedule.len()
+                ));
+            }
+        }
+    }
+    Ok(format!(
+        "{path}: ok ({:?} interrupted by {} at {} states, {} frontier entries)",
+        cp.protocol,
+        cp.reason,
+        cp.states,
+        cp.frontier.len()
     ))
 }
 

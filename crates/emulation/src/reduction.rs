@@ -1,6 +1,6 @@
 use bso_objects::{Sym, Value};
 use bso_sim::scheduler::{BurstSched, RandomSched};
-use bso_sim::{Protocol, RunError, RunResult, Scheduler, Simulation};
+use bso_sim::{CrashPlan, Protocol, RunError, RunResult, Scheduler, Simulation};
 
 use crate::validate::{self, ValidationError, ValidationSummary};
 use crate::{Branch, EmulationProtocol, Record};
@@ -64,8 +64,30 @@ impl<A: Protocol> Reduction<A> {
         sched: &mut dyn Scheduler,
         max_steps: usize,
     ) -> Result<ReductionReport, RunError> {
+        self.run_with_plan(sched, max_steps, CrashPlan::none())
+    }
+
+    /// Runs the emulation under an arbitrary scheduler with a
+    /// fail-stop adversary: emulators named in `plan` crash after
+    /// their planned number of steps and publish nothing further.
+    ///
+    /// Crashing an emulator kills *all* the v-processes it drives —
+    /// the paper's reduction tolerates this because every branch a
+    /// crashed emulator published before dying remains in its slot,
+    /// readable by the survivors; validation treats those branches
+    /// like any others.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RunError`].
+    pub fn run_with_plan(
+        &self,
+        sched: &mut dyn Scheduler,
+        max_steps: usize,
+        plan: CrashPlan,
+    ) -> Result<ReductionReport, RunError> {
         let inputs: Vec<Value> = (0..self.proto.processes()).map(Value::Pid).collect();
-        let mut sim = Simulation::new(&self.proto, &inputs);
+        let mut sim = Simulation::new(&self.proto, &inputs).with_crash_plan(plan);
         // The whole point: the emulators run on read/write memory only.
         assert!(
             sim.memory().is_read_write_only(),
@@ -282,6 +304,59 @@ mod tests {
             report.validate().unwrap();
             assert!(report.distinct_decisions() <= 6);
         }
+    }
+
+    #[test]
+    fn crashed_emulators_leave_a_validatable_run() {
+        // Kill one of the 3 emulators partway through: everything it
+        // published before dying stays readable, the survivors still
+        // decide, and every constructed branch still validates.
+        for seed in 0..25 {
+            for victim in 0..3 {
+                let a = LabelElection::new(6, 4).unwrap();
+                let red = Reduction::new(a, 3);
+                let mut sched = RandomSched::new(seed);
+                let report = red
+                    .run_with_plan(&mut sched, 5_000_000, CrashPlan::none().crash(victim, 7))
+                    .unwrap();
+                report.validate().unwrap();
+                // Exactly the victim fails to decide.
+                for (j, d) in report.result.decisions.iter().enumerate() {
+                    assert_eq!(
+                        d.is_none(),
+                        j == victim,
+                        "seed {seed}, victim {victim}: decisions {:?}",
+                        report.result.decisions
+                    );
+                }
+                // Claim 1's bound is indifferent to crashes.
+                assert!(report.distinct_labels().len() as u128 <= factorial(3));
+            }
+        }
+    }
+
+    #[test]
+    fn split_survives_crashing_a_group_driver() {
+        // Replay the deterministic two-branch split, then crash
+        // emulator 0 right after its branch is fully published (12
+        // steps in the script reach both publishes): the split — two
+        // labels, two decisions — must still be visible in the slots,
+        // even though one driver never decides.
+        let a = LabelElection::new(2, 3).unwrap();
+        let red = Reduction::new(a, 2);
+        let mut script: Vec<usize> = Vec::new();
+        script.extend([1; 6]);
+        script.extend([0; 6]);
+        script.extend([0, 1, 0, 1]); // S0 S1 P0 P1: the split completes
+        let mut sched = bso_sim::scheduler::Scripted::new(script);
+        let report = red
+            .run_with_plan(&mut sched, 1_000_000, CrashPlan::none().crash(0, 8))
+            .unwrap();
+        report.validate().unwrap();
+        let labels = report.distinct_labels();
+        assert_eq!(labels.len(), 2, "split must survive the crash: {labels:?}");
+        assert!(report.result.decisions[0].is_none(), "the victim is dead");
+        assert_eq!(report.result.decisions[1], Some(Value::Pid(1)));
     }
 
     #[test]

@@ -1357,8 +1357,26 @@ pub fn run_rich<A: Protocol>(
     sched: &mut dyn Scheduler,
     max_steps: usize,
 ) -> Result<RichReport, RunError> {
+    run_rich_with_plan(emu, sched, max_steps, bso_sim::CrashPlan::none())
+}
+
+/// Like [`run_rich`], but with a fail-stop adversary: emulators named
+/// in `plan` crash after their planned number of steps. A crash counts
+/// as progress for stall detection (the world changed — an emulator
+/// left it), and everything the victim published before dying stays
+/// readable, so the surviving emulators' branches still validate.
+///
+/// # Errors
+///
+/// Propagates non-stall [`RunError`]s (illegal operations).
+pub fn run_rich_with_plan<A: Protocol>(
+    emu: &RichEmulation<A>,
+    sched: &mut dyn Scheduler,
+    max_steps: usize,
+    plan: bso_sim::CrashPlan,
+) -> Result<RichReport, RunError> {
     let inputs: Vec<Value> = (0..emu.processes()).map(Value::Pid).collect();
-    let mut sim = Simulation::new(emu, &inputs);
+    let mut sim = Simulation::new(emu, &inputs).with_crash_plan(plan);
     assert!(sim.memory().is_read_write_only());
     // Manual drive with stall detection: if 4·m consecutive steps pass
     // without any publish or decision, every emulator has re-scanned an
@@ -1559,6 +1577,33 @@ mod tests {
         let a = PingPong::new(2, 3, 1);
         let result = std::panic::catch_unwind(|| RichEmulation::new(a, 3, RichConfig::demo()));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn crashed_emulators_do_not_stall_or_corrupt_the_rich_engine() {
+        use bso_sim::scheduler::RandomSched;
+        // Crash one emulator mid-run under several seeds: the crash
+        // counts as progress (no spurious stall), the victim's
+        // published records stay in its slot, and the survivor's
+        // branches still validate.
+        for seed in 0..10 {
+            for victim in 0..2 {
+                let a = PingPong::new(4, 3, 1);
+                let emu = RichEmulation::new(a, 2, RichConfig::demo());
+                let report = run_rich_with_plan(
+                    &emu,
+                    &mut RandomSched::new(seed),
+                    100_000,
+                    bso_sim::CrashPlan::none().crash(victim, 2),
+                )
+                .unwrap();
+                report.validate().unwrap();
+                assert!(
+                    report.result.decisions[victim].is_none(),
+                    "seed {seed}: the victim decided after crashing"
+                );
+            }
+        }
     }
 
     #[test]

@@ -54,6 +54,7 @@ mod label_election_rw;
 mod rmw_election;
 pub mod set_consensus;
 pub mod snapshot;
+mod spinlock;
 pub mod swmr;
 pub mod universal;
 
@@ -61,3 +62,4 @@ pub use cas_only::CasOnlyElection;
 pub use label_election::{LabelElection, LabelElectionError};
 pub use label_election_rw::LabelElectionRw;
 pub use rmw_election::{RmwOnlyElection, RmwOnlyState};
+pub use spinlock::{LockElection, LockState};

@@ -1,0 +1,200 @@
+use bso_objects::{Layout, ObjectId, ObjectInit, Op, OpKind, Value};
+use bso_sim::{Action, Pid, Protocol};
+
+/// A deliberately **non-wait-free** election: winner-takes-lock,
+/// losers spin.
+///
+/// Process `p` performs `test&set` on a lock bit; the winner announces
+/// itself in a register and decides, every loser *spins* re-reading
+/// the announcement register until the winner's id appears. In a
+/// failure-free run under a fair scheduler this always terminates and
+/// elects correctly — which is exactly why it is a useful fixture: the
+/// bug is invisible to run-level checking, but the protocol violates
+/// wait-freedom, the property the paper's model demands. Two distinct
+/// adversaries expose it:
+///
+/// * **Asynchrony alone**: a schedule that keeps stepping a loser
+///   while the winner holds the lock un-announced revisits the same
+///   global state — a cycle, found by the explorer as
+///   [`NotWaitFree`](bso_sim::ViolationKind::NotWaitFree).
+/// * **A single crash**: if the winner crashes between winning the
+///   lock and announcing (the classic lock-holder failure), every
+///   loser spins *forever* — no fairness assumption can save it. With
+///   [`faults(1)`](bso_sim::Explorer::faults) and a
+///   [`step_bound`](bso_sim::Explorer::step_bound) the explorer
+///   produces a crash-schedule counterexample:
+///   [`StepBound`](bso_sim::ViolationKind::StepBound) with a
+///   [`CrashEvent`](bso_sim::CrashEvent) attached.
+///
+/// Contrast with [`crate::CasOnlyElection`] and
+/// [`crate::LabelElection`], where losers learn the winner from the
+/// *response of their own operation* and thus finish in a bounded
+/// number of their own steps regardless of anyone else's fate.
+///
+/// # Example
+///
+/// ```
+/// use bso_protocols::LockElection;
+/// use bso_sim::{Explorer, TaskSpec, ViolationKind, ProtocolExt, ExploreOutcome};
+///
+/// let proto = LockElection::new(2);
+/// let report = Explorer::new(&proto)
+///     .inputs(&proto.pid_inputs())
+///     .spec(TaskSpec::Election)
+///     .faults(1)
+///     .step_bound(4)
+///     .run();
+/// let ExploreOutcome::Violated(v) = report.outcome else { panic!() };
+/// assert_eq!(v.kind, ViolationKind::StepBound);
+/// assert!(!v.crashes.is_empty(), "the counterexample crashes the lock holder");
+/// ```
+#[derive(Clone, Debug)]
+pub struct LockElection {
+    n: usize,
+}
+
+impl LockElection {
+    /// Configures the lock-based election among `n ≥ 2` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` (a solo process cannot lose the lock, hiding
+    /// the spin loop this fixture exists to exhibit).
+    pub fn new(n: usize) -> LockElection {
+        assert!(n >= 2, "LockElection needs at least 2 processes");
+        LockElection { n }
+    }
+
+    const LOCK: ObjectId = ObjectId(0);
+    const WINNER: ObjectId = ObjectId(1);
+}
+
+/// Local state of one [`LockElection`] process.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum LockState {
+    /// About to `test&set` the lock.
+    Grab {
+        /// This process's id.
+        pid: Pid,
+    },
+    /// Won the lock; about to announce itself.
+    Announce {
+        /// This process's id.
+        pid: Pid,
+    },
+    /// Lost the lock; spinning on the announcement register.
+    ReadWinner {
+        /// This process's id.
+        pid: Pid,
+    },
+    /// Learned the winner.
+    Done {
+        /// The elected process.
+        winner: Pid,
+    },
+}
+
+impl Protocol for LockElection {
+    type State = LockState;
+
+    fn processes(&self) -> usize {
+        self.n
+    }
+
+    fn layout(&self) -> Layout {
+        let mut l = Layout::new();
+        l.push(ObjectInit::TestAndSet);
+        l.push(ObjectInit::Register(Value::Nil));
+        l
+    }
+
+    fn init(&self, pid: Pid, _input: &Value) -> LockState {
+        LockState::Grab { pid }
+    }
+
+    fn next_action(&self, state: &LockState) -> Action {
+        match state {
+            LockState::Grab { .. } => Action::Invoke(Op::new(Self::LOCK, OpKind::TestAndSet)),
+            LockState::Announce { pid } => {
+                Action::Invoke(Op::write(Self::WINNER, Value::Pid(*pid)))
+            }
+            LockState::ReadWinner { .. } => Action::Invoke(Op::read(Self::WINNER)),
+            LockState::Done { winner } => Action::Decide(Value::Pid(*winner)),
+        }
+    }
+
+    fn on_response(&self, state: &mut LockState, resp: Value) {
+        *state = match state.clone() {
+            LockState::Grab { pid } => {
+                if resp == Value::Bool(false) {
+                    LockState::Announce { pid }
+                } else {
+                    LockState::ReadWinner { pid }
+                }
+            }
+            LockState::Announce { pid } => LockState::Done { winner: pid },
+            LockState::ReadWinner { pid } => match resp.as_pid() {
+                Some(winner) => LockState::Done { winner },
+                // Nothing announced yet: spin. The state is unchanged,
+                // which is precisely the cycle in the state graph.
+                None => LockState::ReadWinner { pid },
+            },
+            done => done,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bso_sim::{
+        checker, scheduler::RandomSched, ExploreOutcome, Explorer, ProtocolExt, Simulation,
+        TaskSpec, ViolationKind,
+    };
+
+    #[test]
+    fn failure_free_fair_runs_elect_correctly() {
+        // The bug is invisible to run-level checking under fair
+        // schedules: every run elects a winner.
+        let proto = LockElection::new(3);
+        for seed in 0..30 {
+            let mut sim = Simulation::new(&proto, &proto.pid_inputs());
+            let res = sim.run(&mut RandomSched::new(seed), 10_000).unwrap();
+            checker::check_election(&res).unwrap();
+        }
+    }
+
+    #[test]
+    fn asynchrony_alone_refutes_wait_freedom() {
+        // No crashes, no bound: the spin loop is a state-graph cycle.
+        let proto = LockElection::new(2);
+        let report = Explorer::new(&proto)
+            .inputs(&proto.pid_inputs())
+            .spec(TaskSpec::Election)
+            .run();
+        let ExploreOutcome::Violated(v) = report.outcome else {
+            panic!("expected a violation, got {:?}", report.outcome);
+        };
+        assert_eq!(v.kind, ViolationKind::NotWaitFree);
+        assert!(v.crashes.is_empty(), "no crash needed for the cycle: {v}");
+    }
+
+    #[test]
+    fn crashed_lock_holder_yields_crash_counterexample() {
+        let proto = LockElection::new(2);
+        let report = Explorer::new(&proto)
+            .inputs(&proto.pid_inputs())
+            .spec(TaskSpec::Election)
+            .faults(1)
+            .step_bound(4)
+            .run();
+        let ExploreOutcome::Violated(v) = report.outcome else {
+            panic!("expected a violation, got {:?}", report.outcome);
+        };
+        assert_eq!(v.kind, ViolationKind::StepBound, "{v}");
+        assert!(
+            !v.crashes.is_empty(),
+            "crash-first exploration should exhibit the lock-holder crash: {v}"
+        );
+    }
+}

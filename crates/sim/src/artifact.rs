@@ -31,6 +31,12 @@
 //! Values encode as: `Nil` → `null`, `Bool` → boolean, `Int` → number,
 //! `Pid(p)` → `{"pid": p}`, `Sym` → `{"sym": code}` (code 0 = ⊥),
 //! `Pair(a, b)` → `{"pair": [a, b]}`, `Seq` → array.
+//!
+//! Crash-schedule counterexamples add an optional `"crashes"` array
+//! (`[{"at": step_index, "pid": p}, …]`: `pid` crashes after `at`
+//! schedule steps have executed) and step-bound counterexamples an
+//! optional `"step_bound"` number; both are absent in crash-free
+//! artifacts, so documents written by earlier versions still load.
 
 use std::path::Path;
 
@@ -38,7 +44,7 @@ use bso_objects::{Sym, Value};
 use bso_telemetry::json::{self, Json};
 
 use crate::checker::RunChecker;
-use crate::explore::{TaskSpec, Violation, ViolationKind};
+use crate::explore::{CrashEvent, TaskSpec, Violation, ViolationKind};
 use crate::sim::{ProcStatus, RunError, RunResult};
 use crate::Pid;
 
@@ -48,6 +54,63 @@ pub const SCHEMA: &str = "bso-schedule/v1";
 /// The environment variable that makes `Explorer::run` write an
 /// artifact on violation: `BSO_ARTIFACT=path.json`.
 pub const ENV_VAR: &str = "BSO_ARTIFACT";
+
+/// Why an artifact (or checkpoint) file failed to load: the three
+/// stages — reading the file, parsing the JSON, interpreting the
+/// document — fail with typed causes instead of panicking, so a
+/// truncated or hand-edited file is a recoverable, diagnosable error.
+#[derive(Debug)]
+pub enum ArtifactError {
+    /// The file could not be read.
+    Io {
+        /// The offending path.
+        path: String,
+        /// The underlying I/O error.
+        error: std::io::Error,
+    },
+    /// The file is not well-formed JSON.
+    Parse {
+        /// The offending path.
+        path: String,
+        /// The underlying JSON parse error.
+        error: json::ParseError,
+    },
+    /// The JSON is well-formed but not a valid document: wrong schema
+    /// tag, missing field, or inconsistent contents.
+    Schema(String),
+}
+
+impl std::fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArtifactError::Io { path, error } => write!(f, "{path}: {error}"),
+            ArtifactError::Parse { path, error } => write!(f, "{path}: {error}"),
+            ArtifactError::Schema(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ArtifactError::Io { error, .. } => Some(error),
+            ArtifactError::Parse { error, .. } => Some(error),
+            ArtifactError::Schema(_) => None,
+        }
+    }
+}
+
+impl From<String> for ArtifactError {
+    fn from(msg: String) -> ArtifactError {
+        ArtifactError::Schema(msg)
+    }
+}
+
+impl From<&str> for ArtifactError {
+    fn from(msg: &str) -> ArtifactError {
+        ArtifactError::Schema(msg.to_string())
+    }
+}
 
 /// A serialized counterexample: everything needed to re-execute one
 /// exact interleaving of a protocol instance.
@@ -62,6 +125,14 @@ pub struct ScheduleArtifact {
     pub spec: TaskSpec,
     /// The interleaving: the pid stepped at each point.
     pub schedule: Vec<Pid>,
+    /// Crash events interleaved with the schedule: `CrashEvent { at,
+    /// pid }` crashes `pid` once `at` schedule steps have executed.
+    /// Empty for crash-free counterexamples.
+    pub crashes: Vec<CrashEvent>,
+    /// The per-process step bound the discovering run enforced, when
+    /// the wait-freedom spec was active (needed to re-verify
+    /// [`ViolationKind::StepBound`] artifacts).
+    pub step_bound: Option<usize>,
     /// The violation the schedule exhibits (`None` for a plain saved
     /// schedule).
     pub kind: Option<ViolationKind>,
@@ -82,6 +153,8 @@ impl ScheduleArtifact {
             inputs: inputs.to_vec(),
             spec: spec.clone(),
             schedule: violation.schedule.clone(),
+            crashes: violation.crashes.clone(),
+            step_bound: None,
             kind: Some(violation.kind.clone()),
             description: Some(violation.description.clone()),
         }
@@ -103,7 +176,7 @@ impl ScheduleArtifact {
                 ),
             ]),
         };
-        Json::obj([
+        let mut fields = vec![
             ("schema", Json::str(SCHEMA)),
             ("protocol", Json::str(&self.protocol)),
             ("processes", Json::U64(self.inputs.len() as u64)),
@@ -117,7 +190,29 @@ impl ScheduleArtifact {
                 "schedule",
                 Json::Arr(self.schedule.iter().map(|&p| Json::U64(p as u64)).collect()),
             ),
-        ])
+        ];
+        // Optional fields are omitted when trivial, so crash-free
+        // artifacts keep the pre-fault document shape.
+        if !self.crashes.is_empty() {
+            fields.push((
+                "crashes",
+                Json::Arr(
+                    self.crashes
+                        .iter()
+                        .map(|c| {
+                            Json::obj([
+                                ("at", Json::U64(c.at as u64)),
+                                ("pid", Json::U64(c.pid as u64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        if let Some(bound) = self.step_bound {
+            fields.push(("step_bound", Json::U64(bound as u64)));
+        }
+        Json::obj(fields)
     }
 
     /// [`ScheduleArtifact::to_json`] rendered pretty.
@@ -129,12 +224,12 @@ impl ScheduleArtifact {
     ///
     /// # Errors
     ///
-    /// A description of the first malformed field.
-    pub fn from_json(doc: &Json) -> Result<ScheduleArtifact, String> {
+    /// [`ArtifactError::Schema`] describing the first malformed field.
+    pub fn from_json(doc: &Json) -> Result<ScheduleArtifact, ArtifactError> {
         if doc.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
-            return Err(format!(
+            return Err(ArtifactError::Schema(format!(
                 "missing or unknown \"schema\" (expected {SCHEMA:?})"
-            ));
+            )));
         }
         let protocol = doc
             .get("protocol")
@@ -150,10 +245,10 @@ impl ScheduleArtifact {
             .collect::<Result<_, _>>()?;
         if let Some(n) = doc.get("processes").and_then(Json::as_u64) {
             if n as usize != inputs.len() {
-                return Err(format!(
+                return Err(ArtifactError::Schema(format!(
                     "\"processes\" is {n} but {} inputs are given",
                     inputs.len()
-                ));
+                )));
             }
         }
         let spec = spec_from_json(doc.get("spec").ok_or("\"spec\" is missing")?)?;
@@ -185,17 +280,28 @@ impl ScheduleArtifact {
             .collect::<Result<_, _>>()?;
         for &p in &schedule {
             if p >= inputs.len() {
-                return Err(format!(
+                return Err(ArtifactError::Schema(format!(
                     "schedule steps p{p} but only {} processes exist",
                     inputs.len()
-                ));
+                )));
             }
         }
+        let crashes = crashes_from_json(doc, inputs.len(), schedule.len())?;
+        let step_bound = match doc.get("step_bound") {
+            None | Some(Json::Null) => None,
+            Some(j) => Some(
+                j.as_u64()
+                    .map(|b| b as usize)
+                    .ok_or_else(|| format!("\"step_bound\" {j:?} is not a number"))?,
+            ),
+        };
         Ok(ScheduleArtifact {
             protocol,
             inputs,
             spec,
             schedule,
+            crashes,
+            step_bound,
             kind,
             description,
         })
@@ -214,13 +320,67 @@ impl ScheduleArtifact {
     ///
     /// # Errors
     ///
-    /// A description of the I/O, JSON or schema problem.
-    pub fn load(path: impl AsRef<Path>) -> Result<ScheduleArtifact, String> {
-        let path = path.as_ref();
-        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
-        let doc = json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    /// An [`ArtifactError`] typing the I/O, JSON or schema problem.
+    pub fn load(path: impl AsRef<Path>) -> Result<ScheduleArtifact, ArtifactError> {
+        let doc = load_json_doc(path.as_ref())?;
         ScheduleArtifact::from_json(&doc)
     }
+}
+
+/// Reads and parses any bso JSON document, typing the failure stage.
+pub(crate) fn load_json_doc(path: &Path) -> Result<Json, ArtifactError> {
+    let text = std::fs::read_to_string(path).map_err(|error| ArtifactError::Io {
+        path: path.display().to_string(),
+        error,
+    })?;
+    json::parse(&text).map_err(|error| ArtifactError::Parse {
+        path: path.display().to_string(),
+        error,
+    })
+}
+
+/// Parses the optional `"crashes"` array shared by schedule and
+/// checkpoint documents, validating pids and positions.
+pub(crate) fn crashes_from_json(
+    doc: &Json,
+    processes: usize,
+    schedule_len: usize,
+) -> Result<Vec<CrashEvent>, ArtifactError> {
+    let mut crashes = Vec::new();
+    let Some(items) = doc.get("crashes").and_then(Json::items) else {
+        match doc.get("crashes") {
+            None | Some(Json::Null) => return Ok(crashes),
+            Some(other) => {
+                return Err(ArtifactError::Schema(format!(
+                    "\"crashes\" {other:?} is not an array"
+                )))
+            }
+        }
+    };
+    for item in items {
+        let at = item
+            .get("at")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("crash entry {item:?} lacks a numeric \"at\""))?
+            as usize;
+        let pid = item
+            .get("pid")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("crash entry {item:?} lacks a numeric \"pid\""))?
+            as usize;
+        if pid >= processes {
+            return Err(ArtifactError::Schema(format!(
+                "crash event names p{pid} but only {processes} processes exist"
+            )));
+        }
+        if at > schedule_len {
+            return Err(ArtifactError::Schema(format!(
+                "crash event at step {at} lies beyond the {schedule_len}-step schedule"
+            )));
+        }
+        crashes.push(CrashEvent { at, pid });
+    }
+    Ok(crashes)
 }
 
 /// Checks that re-executing an artifact reproduced the violation it
@@ -248,6 +408,30 @@ pub fn verify_replay(
             Err("expected an illegal operation, but the run completed".into())
         }
         (_, Err(e)) => Err(format!("replay failed unexpectedly: {e}")),
+        (Some(ViolationKind::StepBound), Ok(res)) => {
+            let bound = artifact
+                .step_bound
+                .ok_or("step-bound artifact carries no \"step_bound\" to check against")?;
+            match res.steps.iter().position(|&s| s > bound) {
+                Some(p) => Ok(format!(
+                    "step-bound violation reproduced: p{p} took {} steps, bound is {bound}",
+                    res.steps[p]
+                )),
+                None => Err(format!(
+                    "expected some process to exceed the {bound}-step bound, \
+                     but none did"
+                )),
+            }
+        }
+        // A panic artifact's schedule stops *before* the step whose
+        // generation panicked (re-running the panicking call would
+        // re-panic); replaying the prefix cleanly is all that can be
+        // checked.
+        (Some(ViolationKind::Panic), Ok(_)) => Ok(format!(
+            "panic-prefix schedule of {} step(s) replayed cleanly; the panic \
+             itself fires when the next state is generated",
+            artifact.schedule.len()
+        )),
         (Some(ViolationKind::NotWaitFree), Ok(res)) => {
             let running = res
                 .statuses
@@ -288,7 +472,9 @@ fn kind_to_str(kind: &ViolationKind) -> &'static str {
         ViolationKind::Agreement => "agreement",
         ViolationKind::Validity => "validity",
         ViolationKind::NotWaitFree => "not-wait-free",
+        ViolationKind::StepBound => "step-bound",
         ViolationKind::IllegalOperation => "illegal-operation",
+        ViolationKind::Panic => "panic",
     }
 }
 
@@ -297,12 +483,14 @@ fn kind_from_str(s: &str) -> Result<ViolationKind, String> {
         "agreement" => Ok(ViolationKind::Agreement),
         "validity" => Ok(ViolationKind::Validity),
         "not-wait-free" => Ok(ViolationKind::NotWaitFree),
+        "step-bound" => Ok(ViolationKind::StepBound),
         "illegal-operation" => Ok(ViolationKind::IllegalOperation),
+        "panic" => Ok(ViolationKind::Panic),
         other => Err(format!("unknown violation kind {other:?}")),
     }
 }
 
-fn value_to_json(v: &Value) -> Json {
+pub(crate) fn value_to_json(v: &Value) -> Json {
     match v {
         Value::Nil => Json::Null,
         Value::Bool(b) => Json::Bool(*b),
@@ -316,7 +504,7 @@ fn value_to_json(v: &Value) -> Json {
     }
 }
 
-fn value_from_json(j: &Json) -> Result<Value, String> {
+pub(crate) fn value_from_json(j: &Json) -> Result<Value, String> {
     match j {
         Json::Null => Ok(Value::Nil),
         Json::Bool(b) => Ok(Value::Bool(*b)),
@@ -351,7 +539,7 @@ fn value_from_json(j: &Json) -> Result<Value, String> {
     }
 }
 
-fn spec_to_json(spec: &TaskSpec) -> Json {
+pub(crate) fn spec_to_json(spec: &TaskSpec) -> Json {
     match spec {
         TaskSpec::None => Json::obj([("task", Json::str("none"))]),
         TaskSpec::Election => Json::obj([("task", Json::str("election"))]),
@@ -373,7 +561,7 @@ fn spec_to_json(spec: &TaskSpec) -> Json {
     }
 }
 
-fn spec_from_json(j: &Json) -> Result<TaskSpec, String> {
+pub(crate) fn spec_from_json(j: &Json) -> Result<TaskSpec, String> {
     let task = j
         .get("task")
         .and_then(Json::as_str)
@@ -449,8 +637,30 @@ mod tests {
             inputs: vec![Value::Pid(0), Value::Pid(1)],
             spec: TaskSpec::Election,
             schedule: vec![0, 1, 0, 1],
+            crashes: Vec::new(),
+            step_bound: None,
             kind: Some(ViolationKind::Agreement),
             description: Some("p0 elected 0 but p1 elected 1".to_string()),
+        };
+        let text = art.to_json_string();
+        // Crash-free artifacts keep the pre-fault document shape.
+        assert!(!text.contains("crashes"));
+        assert!(!text.contains("step_bound"));
+        let doc = json::parse(&text).unwrap();
+        assert_eq!(ScheduleArtifact::from_json(&doc).unwrap(), art);
+    }
+
+    #[test]
+    fn crash_schedules_round_trip_through_rendered_json() {
+        let art = ScheduleArtifact {
+            protocol: "lock-election".to_string(),
+            inputs: vec![Value::Nil, Value::Nil],
+            spec: TaskSpec::Election,
+            schedule: vec![0, 0, 1, 1],
+            crashes: vec![CrashEvent { at: 2, pid: 0 }],
+            step_bound: Some(4),
+            kind: Some(ViolationKind::StepBound),
+            description: Some("p1 spins past the bound".to_string()),
         };
         let text = art.to_json_string();
         let doc = json::parse(&text).unwrap();
@@ -464,6 +674,8 @@ mod tests {
             inputs: vec![Value::Nil],
             spec: TaskSpec::None,
             schedule: vec![0],
+            crashes: Vec::new(),
+            step_bound: None,
             kind: None,
             description: None,
         };
@@ -474,6 +686,7 @@ mod tests {
         }
         assert!(ScheduleArtifact::from_json(&doc)
             .unwrap_err()
+            .to_string()
             .contains("schema"));
         // Schedule stepping a nonexistent process.
         let mut doc = good.to_json();
@@ -486,6 +699,7 @@ mod tests {
         }
         assert!(ScheduleArtifact::from_json(&doc)
             .unwrap_err()
+            .to_string()
             .contains("schedule"));
         // Process count disagreeing with the inputs.
         let mut doc = good.to_json();
@@ -498,6 +712,64 @@ mod tests {
         }
         assert!(ScheduleArtifact::from_json(&doc)
             .unwrap_err()
+            .to_string()
             .contains("processes"));
+    }
+
+    #[test]
+    fn malformed_crash_events_are_rejected_with_reasons() {
+        let mut good = ScheduleArtifact {
+            protocol: "p".to_string(),
+            inputs: vec![Value::Nil, Value::Nil],
+            spec: TaskSpec::None,
+            schedule: vec![0, 1],
+            crashes: vec![CrashEvent { at: 1, pid: 0 }],
+            step_bound: None,
+            kind: None,
+            description: None,
+        };
+        // Crashing a process that does not exist.
+        good.crashes[0].pid = 7;
+        let err = ScheduleArtifact::from_json(&good.to_json()).unwrap_err();
+        assert!(err.to_string().contains("p7"), "{err}");
+        // A crash positioned past the end of the schedule.
+        good.crashes[0] = CrashEvent { at: 9, pid: 0 };
+        let err = ScheduleArtifact::from_json(&good.to_json()).unwrap_err();
+        assert!(err.to_string().contains("beyond"), "{err}");
+        // "crashes" of the wrong JSON type.
+        good.crashes.clear();
+        let mut doc = good.to_json();
+        if let Json::Obj(pairs) = &mut doc {
+            pairs.push(("crashes".to_string(), Json::str("nope")));
+        }
+        let err = ScheduleArtifact::from_json(&doc).unwrap_err();
+        assert!(err.to_string().contains("not an array"), "{err}");
+    }
+
+    #[test]
+    fn load_types_io_parse_and_schema_failures() {
+        let dir = std::env::temp_dir().join(format!("bso-artifact-err-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // Missing file → Io.
+        let missing = dir.join("missing.json");
+        assert!(matches!(
+            ScheduleArtifact::load(&missing),
+            Err(ArtifactError::Io { .. })
+        ));
+        // Truncated JSON → Parse.
+        let truncated = dir.join("truncated.json");
+        std::fs::write(&truncated, "{\"schema\": \"bso-sch").unwrap();
+        assert!(matches!(
+            ScheduleArtifact::load(&truncated),
+            Err(ArtifactError::Parse { .. })
+        ));
+        // Well-formed JSON, wrong document → Schema.
+        let wrong = dir.join("wrong.json");
+        std::fs::write(&wrong, "{\"schema\": \"other/v1\"}").unwrap();
+        assert!(matches!(
+            ScheduleArtifact::load(&wrong),
+            Err(ArtifactError::Schema(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -280,6 +280,48 @@ impl RunChecker for StepBoundChecker {
     }
 }
 
+/// [`RunChecker`] for wait-freedom under the paper's crash-fault
+/// adversary: every **non-crashed** process must decide (crashed
+/// processes owe nothing), and — when a bound is claimed — within
+/// `bound` of its own steps. This is the run-level counterpart of
+/// exploring with [`Explorer::faults`](crate::Explorer::faults) and
+/// [`Explorer::step_bound`](crate::Explorer::step_bound): a protocol
+/// is wait-free iff this checker accepts every run under every crash
+/// plan.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WaitFreeChecker {
+    /// The claimed per-process step bound; `None` only demands that
+    /// every non-crashed process decides.
+    pub bound: Option<usize>,
+}
+
+impl RunChecker for WaitFreeChecker {
+    fn name(&self) -> &'static str {
+        "wait_free"
+    }
+
+    fn check(&self, res: &RunResult) -> Result<(), SpecViolation> {
+        for (pid, st) in res.statuses.iter().enumerate() {
+            match st {
+                ProcStatus::Running => return Err(SpecViolation::Undecided { pid }),
+                ProcStatus::Crashed => {}
+                ProcStatus::Decided(_) => {
+                    if let Some(bound) = self.bound {
+                        if res.steps[pid] > bound {
+                            return Err(SpecViolation::StepBoundExceeded {
+                                pid,
+                                steps: res.steps[pid],
+                                bound,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 /// An exploration-level [`TaskSpec`] *is* a run-level specification:
 /// this impl maps each variant onto its checker ([`TaskSpec::None`]
 /// accepts every run), letting code that holds an [`crate::Explorer`]
@@ -525,6 +567,32 @@ mod tests {
                 bound: 8
             })
         );
+    }
+
+    #[test]
+    fn wait_free_checker_tolerates_crashes_but_not_stragglers() {
+        // p0 decided in 3 steps, p1 crashed: wait-free.
+        let mut res = run_with(vec![Some(Value::Pid(0)), None], trace_of(&[0, 1]));
+        res.steps = vec![3, 1];
+        assert!(WaitFreeChecker { bound: Some(3) }.check(&res).is_ok());
+        assert!(WaitFreeChecker::default().check(&res).is_ok());
+        // The decider exceeding the bound is flagged …
+        assert_eq!(
+            WaitFreeChecker { bound: Some(2) }.check(&res),
+            Err(SpecViolation::StepBoundExceeded {
+                pid: 0,
+                steps: 3,
+                bound: 2
+            })
+        );
+        // … and so is a non-crashed process that never decides,
+        // regardless of any bound.
+        res.statuses[1] = ProcStatus::Running;
+        assert_eq!(
+            WaitFreeChecker::default().check(&res),
+            Err(SpecViolation::Undecided { pid: 1 })
+        );
+        assert_eq!(WaitFreeChecker::default().name(), "wait_free");
     }
 
     #[test]

@@ -1,0 +1,379 @@
+//! Resumable exploration checkpoints (`bso-checkpoint/v1`).
+//!
+//! When a resource guard ([`deadline`](crate::Explorer::deadline) or
+//! [`memory_budget`](crate::Explorer::memory_budget)) interrupts a
+//! run, the engine drains its work-stealing queues into a *frontier*:
+//! the set of discovered-but-unexpanded states, each identified not by
+//! its (protocol-specific, unserializable) state value but by the
+//! deterministic **path** that reaches it — the schedule of pids
+//! stepped plus any crash events. A [`Checkpoint`] bundles that
+//! frontier with the run's configuration and progress counters;
+//! [`Explorer::resume`](crate::Explorer::resume) replays each path to
+//! rematerialize the frontier states and continues exploring from
+//! them, so a timed-out or over-budget run is a head start rather than
+//! wasted work.
+//!
+//! The resumed run's visited table starts empty: states inside the
+//! already-explored region will be re-visited if the frontier reaches
+//! back into them. The final *verdict* is nevertheless preserved —
+//! violations are found wherever they live, and the interrupting run
+//! only reports `Interrupted` after proving that no cycle is confined
+//! to its completed region (see the engine docs) — but aggregate
+//! counters (`states`, `dedup_hits`) can double-count re-visited
+//! states and exact step bounds are not derivable from a multi-root
+//! run, so `Report::max_steps_per_proc` stays empty after a resume.
+//!
+//! Document shape:
+//!
+//! ```json
+//! {"schema": "bso-checkpoint/v1",
+//!  "protocol": "label-election-2-3",
+//!  "processes": 2,
+//!  "inputs": [null, null],
+//!  "spec": {"task": "election"},
+//!  "faults": 1,
+//!  "step_bound": null,
+//!  "reason": "deadline",
+//!  "states": 412, "terminals": 31, "deepest": 9, "dedup_hits": 57,
+//!  "frontier": [{"schedule": [0, 1, 0], "crashes": [{"at": 2, "pid": 1}]}, …]}
+//! ```
+//!
+//! Setting `BSO_CHECKPOINT=path.json` ([`ENV_VAR`]) makes
+//! [`Explorer::run`](crate::Explorer::run) write a checkpoint
+//! automatically whenever a run is interrupted, and
+//! `BSO_DEADLINE_MS=…` ([`DEADLINE_ENV_VAR`]) imposes a deadline
+//! without touching code — together they make any example or bench
+//! interruptible and resumable from the command line.
+
+use std::path::Path;
+
+use bso_objects::Value;
+use bso_telemetry::json::Json;
+
+use crate::artifact::{crashes_from_json, load_json_doc, ArtifactError};
+use crate::explore::{FrontierEntry, InterruptReason, TaskSpec};
+use crate::Pid;
+
+/// The schema tag every checkpoint carries.
+pub const SCHEMA: &str = "bso-checkpoint/v1";
+
+/// The environment variable that makes `Explorer::run` write a
+/// checkpoint when a run is interrupted: `BSO_CHECKPOINT=path.json`.
+pub const ENV_VAR: &str = "BSO_CHECKPOINT";
+
+/// The environment variable that imposes a wall-clock deadline on
+/// `Explorer::run` when none is configured: `BSO_DEADLINE_MS=500`.
+pub const DEADLINE_ENV_VAR: &str = "BSO_DEADLINE_MS";
+
+/// A serialized interrupted exploration: everything needed to continue
+/// the run later (on the same protocol instance).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Checkpoint {
+    /// A stable identifier for the protocol instance (same convention
+    /// as [`ScheduleArtifact::protocol`](crate::ScheduleArtifact)).
+    pub protocol: String,
+    /// Per-process inputs of the interrupted run.
+    pub inputs: Vec<Value>,
+    /// The task specification being checked.
+    pub spec: TaskSpec,
+    /// The crash budget (`f`) of the interrupted run.
+    pub faults: usize,
+    /// The wait-freedom step bound of the interrupted run, if any.
+    pub step_bound: Option<usize>,
+    /// Which resource guard interrupted the run.
+    pub reason: InterruptReason,
+    /// States discovered before the interrupt (dedup summary).
+    pub states: usize,
+    /// Terminal states seen before the interrupt.
+    pub terminals: usize,
+    /// Deepest level reached before the interrupt.
+    pub deepest: usize,
+    /// Dedup hits before the interrupt (dedup summary).
+    pub dedup_hits: usize,
+    /// The unexpanded frontier, one replayable path per state.
+    pub frontier: Vec<FrontierEntry>,
+}
+
+impl Checkpoint {
+    /// The checkpoint as a JSON document (see the module docs for the
+    /// shape).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::str(SCHEMA)),
+            ("protocol", Json::str(&self.protocol)),
+            ("processes", Json::U64(self.inputs.len() as u64)),
+            (
+                "inputs",
+                Json::Arr(
+                    self.inputs
+                        .iter()
+                        .map(crate::artifact::value_to_json)
+                        .collect(),
+                ),
+            ),
+            ("spec", crate::artifact::spec_to_json(&self.spec)),
+            ("faults", Json::U64(self.faults as u64)),
+            (
+                "step_bound",
+                self.step_bound.map_or(Json::Null, |b| Json::U64(b as u64)),
+            ),
+            (
+                "reason",
+                Json::str(match self.reason {
+                    InterruptReason::Deadline => "deadline",
+                    InterruptReason::MemoryBudget => "memory-budget",
+                }),
+            ),
+            ("states", Json::U64(self.states as u64)),
+            ("terminals", Json::U64(self.terminals as u64)),
+            ("deepest", Json::U64(self.deepest as u64)),
+            ("dedup_hits", Json::U64(self.dedup_hits as u64)),
+            (
+                "frontier",
+                Json::Arr(
+                    self.frontier
+                        .iter()
+                        .map(|entry| {
+                            let mut fields = vec![(
+                                "schedule",
+                                Json::Arr(
+                                    entry
+                                        .schedule
+                                        .iter()
+                                        .map(|&p| Json::U64(p as u64))
+                                        .collect(),
+                                ),
+                            )];
+                            if !entry.crashes.is_empty() {
+                                fields.push((
+                                    "crashes",
+                                    Json::Arr(
+                                        entry
+                                            .crashes
+                                            .iter()
+                                            .map(|c| {
+                                                Json::obj([
+                                                    ("at", Json::U64(c.at as u64)),
+                                                    ("pid", Json::U64(c.pid as u64)),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ));
+                            }
+                            Json::obj(fields)
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// [`Checkpoint::to_json`] rendered pretty.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().render_pretty()
+    }
+
+    /// Reconstructs a checkpoint from its JSON document.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Schema`] describing the first malformed field.
+    pub fn from_json(doc: &Json) -> Result<Checkpoint, ArtifactError> {
+        if doc.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
+            return Err(ArtifactError::Schema(format!(
+                "missing or unknown \"schema\" (expected {SCHEMA:?})"
+            )));
+        }
+        let protocol = doc
+            .get("protocol")
+            .and_then(Json::as_str)
+            .ok_or("\"protocol\" is missing or not a string")?
+            .to_string();
+        let inputs: Vec<Value> = doc
+            .get("inputs")
+            .and_then(Json::items)
+            .ok_or("\"inputs\" is missing or not an array")?
+            .iter()
+            .map(crate::artifact::value_from_json)
+            .collect::<Result<_, String>>()?;
+        if let Some(n) = doc.get("processes").and_then(Json::as_u64) {
+            if n as usize != inputs.len() {
+                return Err(ArtifactError::Schema(format!(
+                    "\"processes\" is {n} but {} inputs are given",
+                    inputs.len()
+                )));
+            }
+        }
+        let spec = crate::artifact::spec_from_json(doc.get("spec").ok_or("\"spec\" is missing")?)?;
+        let faults = doc
+            .get("faults")
+            .and_then(Json::as_u64)
+            .ok_or("\"faults\" is missing or not a number")? as usize;
+        let step_bound = match doc.get("step_bound") {
+            None | Some(Json::Null) => None,
+            Some(j) => Some(
+                j.as_u64()
+                    .map(|b| b as usize)
+                    .ok_or_else(|| format!("\"step_bound\" {j:?} is not a number"))?,
+            ),
+        };
+        let reason = match doc.get("reason").and_then(Json::as_str) {
+            Some("deadline") => InterruptReason::Deadline,
+            Some("memory-budget") => InterruptReason::MemoryBudget,
+            Some(other) => {
+                return Err(ArtifactError::Schema(format!(
+                    "unknown interrupt reason {other:?}"
+                )))
+            }
+            None => return Err("\"reason\" is missing or not a string".into()),
+        };
+        let counter = |name: &str| -> Result<usize, ArtifactError> {
+            Ok(doc
+                .get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{name:?} is missing or not a number"))?
+                as usize)
+        };
+        let mut frontier = Vec::new();
+        for entry in doc
+            .get("frontier")
+            .and_then(Json::items)
+            .ok_or("\"frontier\" is missing or not an array")?
+        {
+            let schedule: Vec<Pid> = entry
+                .get("schedule")
+                .and_then(Json::items)
+                .ok_or("frontier entry lacks a \"schedule\" array")?
+                .iter()
+                .map(|s| {
+                    s.as_u64()
+                        .map(|p| p as Pid)
+                        .ok_or_else(|| format!("schedule entry {s:?} is not a pid"))
+                })
+                .collect::<Result<_, String>>()?;
+            for &p in &schedule {
+                if p >= inputs.len() {
+                    return Err(ArtifactError::Schema(format!(
+                        "frontier schedule steps p{p} but only {} processes exist",
+                        inputs.len()
+                    )));
+                }
+            }
+            let crashes = crashes_from_json(entry, inputs.len(), schedule.len())?;
+            frontier.push(FrontierEntry { schedule, crashes });
+        }
+        Ok(Checkpoint {
+            protocol,
+            inputs,
+            spec,
+            faults,
+            step_bound,
+            reason,
+            states: counter("states")?,
+            terminals: counter("terminals")?,
+            deepest: counter("deepest")?,
+            dedup_hits: counter("dedup_hits")?,
+            frontier,
+        })
+    }
+
+    /// Writes the checkpoint to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error.
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json_string())
+    }
+
+    /// Reads and parses a checkpoint from `path`.
+    ///
+    /// # Errors
+    ///
+    /// An [`ArtifactError`] typing the I/O, JSON or schema problem.
+    pub fn load(path: impl AsRef<Path>) -> Result<Checkpoint, ArtifactError> {
+        let doc = load_json_doc(path.as_ref())?;
+        Checkpoint::from_json(&doc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::CrashEvent;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            protocol: "label-election-2-3".to_string(),
+            inputs: vec![Value::Nil, Value::Nil],
+            spec: TaskSpec::Election,
+            faults: 1,
+            step_bound: Some(6),
+            reason: InterruptReason::Deadline,
+            states: 412,
+            terminals: 31,
+            deepest: 9,
+            dedup_hits: 57,
+            frontier: vec![
+                FrontierEntry {
+                    schedule: vec![0, 1, 0],
+                    crashes: vec![CrashEvent { at: 2, pid: 1 }],
+                },
+                FrontierEntry {
+                    schedule: vec![1],
+                    crashes: Vec::new(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn checkpoints_round_trip_through_rendered_json() {
+        let cp = sample();
+        let doc = bso_telemetry::json::parse(&cp.to_json_string()).unwrap();
+        assert_eq!(Checkpoint::from_json(&doc).unwrap(), cp);
+    }
+
+    #[test]
+    fn malformed_checkpoints_are_rejected_with_reasons() {
+        let cp = sample();
+        // Wrong schema tag.
+        let mut doc = cp.to_json();
+        if let Json::Obj(pairs) = &mut doc {
+            pairs[0].1 = Json::str("bso-schedule/v1");
+        }
+        let err = Checkpoint::from_json(&doc).unwrap_err();
+        assert!(err.to_string().contains("schema"), "{err}");
+        // Unknown interrupt reason.
+        let mut doc = cp.to_json();
+        if let Json::Obj(pairs) = &mut doc {
+            for (k, v) in pairs.iter_mut() {
+                if k == "reason" {
+                    *v = Json::str("coffee-break");
+                }
+            }
+        }
+        let err = Checkpoint::from_json(&doc).unwrap_err();
+        assert!(err.to_string().contains("coffee-break"), "{err}");
+        // A frontier schedule stepping a nonexistent process.
+        let mut bad = cp.clone();
+        bad.frontier[1].schedule = vec![5];
+        let err = Checkpoint::from_json(&bad.to_json()).unwrap_err();
+        assert!(err.to_string().contains("p5"), "{err}");
+        // Truncated file → Parse, missing file → Io.
+        let dir = std::env::temp_dir().join(format!("bso-checkpoint-err-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let truncated = dir.join("t.json");
+        std::fs::write(&truncated, &cp.to_json_string()[..40]).unwrap();
+        assert!(matches!(
+            Checkpoint::load(&truncated),
+            Err(ArtifactError::Parse { .. })
+        ));
+        assert!(matches!(
+            Checkpoint::load(dir.join("missing.json")),
+            Err(ArtifactError::Io { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -34,6 +34,34 @@
 //!   (nodes expand a concrete *representative* of their orbit, never
 //!   an abstract canonical form).
 //!
+//! # Crash faults, resource guards, panic isolation
+//!
+//! * With [`ExploreConfig::faults`] `> 0` each enabled process also
+//!   gets a **crash successor**: an edge that only sets the process's
+//!   crashed bit (memory, locals, and decisions are untouched).
+//!   Crashed processes are disabled forever, so the adversary explores
+//!   every placement of up to `f` crashes. Crash edges contribute no
+//!   steps to the DP and cannot create cycles (the crashed mask grows
+//!   strictly along them), so a `Verified`/`NotWaitFree` verdict is
+//!   never *caused* by a crash — but [`ViolationKind::StepBound`]
+//!   counterexamples may require one (a process spinning on a crashed
+//!   peer), and a node's path records its crash edges so the schedule
+//!   replays deterministically.
+//! * A wall-clock **deadline** or approximate **memory budget**
+//!   interrupts the run: the queues are drained into a *frontier* of
+//!   unexpanded states, each identified by the schedule (and crashes)
+//!   reaching it, from which a later run can resume. Before declaring
+//!   the run merely interrupted, a least-fixpoint pass checks whether
+//!   some already-complete region proves a cycle *now* (see
+//!   [`Shared::cycle_violation`]).
+//! * Worker expansion runs under `catch_unwind`: a panicking protocol
+//!   implementation surfaces as a [`ViolationKind::Panic`] violation
+//!   carrying the panic message and the schedule to the state whose
+//!   expansion panicked, instead of poisoning the pool or aborting the
+//!   process. All engine locks tolerate poisoning (the engine holds no
+//!   lock across protocol calls, so a panic cannot leave a guarded
+//!   invariant broken).
+//!
 //! Under symmetry reduction a node's identity is its orbit-minimal
 //! canonical form while its expansion uses the first concrete member
 //! discovered (the *representative*). The DP vector of a node is kept
@@ -41,18 +69,19 @@
 //! pid-coordinate translation composed from the two permutations
 //! involved, applied when the child's bounds are combined upward.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::hash::Hash;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, TryLockError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, TryLockError};
 use std::time::{Duration, Instant};
 
 use bso_objects::spec::ObjectState;
 use bso_telemetry::{Counter, Gauge, Histogram, TraceArg, TraceWorker};
 
 use crate::explore::{
-    check_decision, DedupMode, ExploreConfig, ExploreOutcome, ExploreStats, Report, StateKey,
-    Violation, ViolationKind,
+    check_decision, CrashEvent, DedupMode, ExploreConfig, ExploreOutcome, ExploreStats,
+    FrontierEntry, InterruptReason, Report, Seeds, StateKey, Violation, ViolationKind,
 };
 use crate::fingerprint::{component_hash, FxBuildHasher};
 use crate::symmetry::Canonicalizer;
@@ -65,6 +94,13 @@ const SHARDS: usize = 64;
 /// How long an idle worker sleeps before re-polling, as a backstop
 /// against any lost wakeup.
 const PARK_TIMEOUT: Duration = Duration::from_millis(1);
+
+/// Locks a mutex, tolerating poisoning: engine invariants never span a
+/// protocol call while a lock is held, so a guard abandoned by a
+/// panicking worker protects data that is still consistent.
+fn plock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// How a generated state is keyed in the visited table.
 ///
@@ -140,13 +176,26 @@ impl<S: Hash> KeyMode<S> for FingerprintKeys {
     }
 }
 
+/// The concrete edge that discovered a node.
+#[derive(Clone, Copy)]
+enum Edge {
+    /// The parent stepped `pid`.
+    Step(Pid),
+    /// `pid` crashed (no step taken; only the crashed mask changed).
+    Crash(Pid),
+}
+
 /// One distinct (canonicalized) global state.
 pub(crate) struct Node {
-    /// Steps from the root along the first-discovery path.
+    /// Steps from the initial state along the first-discovery path
+    /// (including a resume prefix, excluding crash edges).
     depth: u32,
-    /// The concrete edge that discovered this node: stepping `pid`
-    /// from the parent's representative. `None` for the root.
-    parent: Option<(Arc<Node>, Pid)>,
+    /// The edge that discovered this node from the parent's
+    /// representative. `None` for a root.
+    parent: Option<(Arc<Node>, Edge)>,
+    /// For roots seeded from a resumed checkpoint: the already-
+    /// executed path from the true initial state to this seed.
+    prefix: Option<Arc<FrontierEntry>>,
     /// Under symmetry reduction: the permutation mapping this node's
     /// representative coordinates to canonical coordinates (`None` =
     /// identity, always so without reduction).
@@ -170,22 +219,33 @@ struct NodeInner {
 /// A parent's registration on an in-progress child.
 struct Waiter {
     parent: Arc<Node>,
-    /// The pid the parent stepped to reach the child.
-    step_pid: Pid,
+    /// The pid the parent stepped to reach the child; `None` for a
+    /// crash edge (which contributes no step to the DP).
+    step_pid: Option<Pid>,
     /// Coordinate translation: the parent-side bound of process `p`
     /// is the child's bound of process `map[p]` (`None` = identity).
     map: Option<Box<[Pid]>>,
 }
 
+/// The hash of the bookkeeping ("meta") component of a state: the
+/// stepped mask, the crashed mask, and the per-process step counters.
+/// These always change together with at most one other component, so
+/// folding them into a single Zobrist component keeps the incremental
+/// fingerprint update O(1).
+fn meta_hash<S>(state: &StateKey<S>) -> u64 {
+    component_hash(0, &(state.stepped, state.crashed, &state.steps))
+}
+
 /// The Zobrist fingerprint of a full state: the XOR of per-component
 /// salted hashes (see [`component_hash`]). Component indices: 0 is
-/// `stepped`, `1..=n` the local states, `n+1..=2n` the decisions,
-/// `2n+1..` the objects. One process step changes at most three
-/// components, so [`Shared::apply_step`] maintains the fingerprint in
-/// O(1) instead of re-walking the state per generated successor.
+/// the meta component ([`meta_hash`]), `1..=n` the local states,
+/// `n+1..=2n` the decisions, `2n+1..` the objects. One process step
+/// changes at most three components, so [`Shared::apply_step`]
+/// maintains the fingerprint in O(1) instead of re-walking the state
+/// per generated successor.
 fn zobrist<S: Hash>(state: &StateKey<S>) -> u64 {
     let n = state.states.len();
-    let mut fp = component_hash(0, &state.stepped);
+    let mut fp = meta_hash(state);
     for (i, s) in state.states.iter().enumerate() {
         fp ^= component_hash(1 + i, s);
     }
@@ -220,6 +280,14 @@ struct EngineTel {
     live_frontier: Gauge,
     /// Deepest level reached so far.
     live_deepest: Gauge,
+    /// Milliseconds left until the deadline (absent without one).
+    budget_remaining_ms: Gauge,
+    /// Worker panics converted into [`ViolationKind::Panic`].
+    fault_panics: Counter,
+    /// Deadline expirations observed (at most 1 per run).
+    budget_deadline_hits: Counter,
+    /// Resource-guard interrupts (deadline or memory budget).
+    budget_interrupts: Counter,
     /// Per-worker deque length, `explore.live.queue_len.w{i}`.
     queue_len: Vec<Gauge>,
 }
@@ -235,6 +303,17 @@ impl EngineTel {
             live_dedup_hits: reg.counter("explore.live.dedup_hits"),
             live_frontier: reg.gauge("explore.live.frontier"),
             live_deepest: reg.gauge("explore.live.deepest"),
+            // Registered only under a deadline: progress heartbeats
+            // omit the field entirely when there is no budget, and a
+            // pre-registered gauge would surface as a misleading 0.
+            budget_remaining_ms: if config.deadline.is_some() {
+                reg.gauge("explore.live.budget_remaining_ms")
+            } else {
+                bso_telemetry::Registry::disabled().gauge("explore.live.budget_remaining_ms")
+            },
+            fault_panics: reg.counter("explore.fault.panics"),
+            budget_deadline_hits: reg.counter("explore.budget.deadline_hits"),
+            budget_interrupts: reg.counter("explore.budget.interrupts"),
             queue_len: (0..workers)
                 .map(|i| reg.gauge(&format!("explore.live.queue_len.w{i}")))
                 .collect(),
@@ -260,6 +339,9 @@ struct Undo<S> {
     old_object: Option<(usize, ObjectState)>,
     old_stepped: u64,
     old_fp: u64,
+    /// Whether the step incremented `steps[pid]` (step counters are
+    /// tracked only under a step bound).
+    counted_step: bool,
     /// Whether the step filled `decisions[pid]`.
     decided: bool,
 }
@@ -270,6 +352,9 @@ impl<S> Undo<S> {
     fn revert(self, state: &mut StateKey<S>, fp: &mut u64) {
         *fp = self.old_fp;
         state.stepped = self.old_stepped;
+        if self.counted_step {
+            state.steps[self.pid] -= 1;
+        }
         if let Some(local) = self.old_local {
             state.states[self.pid] = local;
         }
@@ -291,6 +376,17 @@ where
     config: &'p ExploreConfig,
     canon: C,
     n: usize,
+    /// Crash budget, clamped to `n − 1` (crashing everyone leaves
+    /// nothing to check).
+    faults: usize,
+    /// Effective state cap: `max_states`, possibly lowered by the
+    /// memory budget.
+    state_cap: usize,
+    /// Whether hitting `state_cap` means the *memory budget* (a
+    /// resumable interrupt) rather than `max_states` (exhaustion).
+    cap_is_memory: bool,
+    /// Absolute deadline, resolved at construction.
+    deadline: Option<Instant>,
     shards: Vec<Mutex<HashMap<u64, KM::Entry, FxBuildHasher>>>,
     /// Per-worker deques: the owner pushes/pops at the back (LIFO, so
     /// a lone worker performs plain DFS); thieves steal from the
@@ -304,12 +400,21 @@ where
     outstanding: AtomicUsize,
     stop: AtomicBool,
     exhausted: AtomicBool,
+    /// Which resource guard fired, if any.
+    interrupted: Mutex<Option<InterruptReason>>,
+    /// Nodes whose expansion was cut short by a stop signal; they are
+    /// still unexpanded for checkpoint purposes.
+    aborted: Mutex<Vec<Arc<Node>>>,
+    /// Frontier entries that never became nodes because the budget ran
+    /// out during seeding.
+    unseeded: Mutex<Vec<FrontierEntry>>,
     states: AtomicUsize,
     terminals: AtomicUsize,
     deepest: AtomicUsize,
     dedup_hits: AtomicUsize,
     steals: AtomicUsize,
     contention: AtomicUsize,
+    crash_branches: AtomicUsize,
     frontier: AtomicUsize,
     peak_frontier: AtomicUsize,
     violation: Mutex<Option<Violation>>,
@@ -324,11 +429,31 @@ where
     KM: KeyMode<P::State>,
 {
     fn new(proto: &'p P, config: &'p ExploreConfig, canon: C, workers: usize) -> Self {
+        let n = proto.processes();
+        // Per-state footprint estimate for the memory budget: the key
+        // clone (exact mode's dominant cost), the node, and amortized
+        // map/queue overhead. Deliberately rough — the budget is a
+        // guard rail, not an allocator.
+        let state_bytes = std::mem::size_of::<StateKey<P::State>>()
+            + std::mem::size_of::<Node>()
+            + std::mem::size_of::<NodeInner>()
+            + n * (std::mem::size_of::<P::State>()
+                + std::mem::size_of::<Option<bso_objects::Value>>()
+                + 6)
+            + 48;
+        let mem_cap = config
+            .memory_budget
+            .map(|bytes| (bytes / state_bytes).max(1));
+        let state_cap = config.max_states.min(mem_cap.unwrap_or(usize::MAX));
         Shared {
             proto,
             config,
             canon,
-            n: proto.processes(),
+            n,
+            faults: config.faults.min(n.saturating_sub(1)),
+            state_cap,
+            cap_is_memory: mem_cap.is_some_and(|m| m < config.max_states),
+            deadline: config.deadline.map(|d| Instant::now() + d),
             shards: (0..SHARDS)
                 .map(|_| Mutex::new(HashMap::default()))
                 .collect(),
@@ -339,12 +464,16 @@ where
             outstanding: AtomicUsize::new(0),
             stop: AtomicBool::new(false),
             exhausted: AtomicBool::new(false),
+            interrupted: Mutex::new(None),
+            aborted: Mutex::new(Vec::new()),
+            unseeded: Mutex::new(Vec::new()),
             states: AtomicUsize::new(0),
             terminals: AtomicUsize::new(0),
             deepest: AtomicUsize::new(0),
             dedup_hits: AtomicUsize::new(0),
             steals: AtomicUsize::new(0),
             contention: AtomicUsize::new(0),
+            crash_branches: AtomicUsize::new(0),
             frontier: AtomicUsize::new(0),
             peak_frontier: AtomicUsize::new(0),
             violation: Mutex::new(None),
@@ -363,27 +492,25 @@ where
     }
 
     /// Locks a shard, counting contended acquisitions.
-    fn lock_shard(
-        &self,
-        idx: usize,
-    ) -> std::sync::MutexGuard<'_, HashMap<u64, KM::Entry, FxBuildHasher>> {
+    fn lock_shard(&self, idx: usize) -> MutexGuard<'_, HashMap<u64, KM::Entry, FxBuildHasher>> {
         match self.shards[idx].try_lock() {
             Ok(guard) => guard,
             Err(TryLockError::WouldBlock) => {
                 self.contention.fetch_add(1, Ordering::Relaxed);
-                self.shards[idx].lock().unwrap()
+                plock(&self.shards[idx])
             }
-            Err(TryLockError::Poisoned(e)) => panic!("poisoned shard: {e}"),
+            Err(TryLockError::Poisoned(e)) => e.into_inner(),
         }
     }
 
     /// Records a violation, keeping the lexicographically smallest
-    /// schedule if several workers report one, and halts exploration.
+    /// schedule (then crash list) if several workers report one, and
+    /// halts exploration.
     fn record_violation(&self, v: Violation) {
-        let mut slot = self.violation.lock().unwrap();
+        let mut slot = plock(&self.violation);
         let replace = match slot.as_ref() {
             None => true,
-            Some(cur) => v.schedule < cur.schedule,
+            Some(cur) => (&v.schedule, &v.crashes) < (&cur.schedule, &cur.crashes),
         };
         if replace {
             *slot = Some(v);
@@ -393,18 +520,63 @@ where
         self.wakeup.notify_all();
     }
 
-    /// The concrete schedule reaching `node`'s representative, plus an
-    /// optional extra step.
-    fn schedule_of(&self, node: &Arc<Node>, extra: Option<Pid>) -> Vec<Pid> {
-        let mut sched = Vec::with_capacity(node.depth as usize + 1);
-        let mut cur = node.clone();
-        while let Some((parent, pid)) = &cur.parent {
-            sched.push(*pid);
-            cur = parent.clone();
+    /// Records a resource-guard interrupt (first reason wins) and
+    /// halts exploration.
+    fn interrupt(&self, reason: InterruptReason) {
+        {
+            let mut slot = plock(&self.interrupted);
+            if slot.is_none() {
+                *slot = Some(reason);
+                if self.tel.enabled {
+                    self.tel.budget_interrupts.inc();
+                    if reason == InterruptReason::Deadline {
+                        self.tel.budget_deadline_hits.inc();
+                    }
+                }
+            }
         }
-        sched.reverse();
+        self.stop.store(true, Ordering::Relaxed);
+        self.wakeup.notify_all();
+    }
+
+    /// Parks `node` as still-unexpanded for checkpoint collection
+    /// (called when a stop signal cuts its expansion short).
+    fn abort_job(&self, node: &Arc<Node>) {
+        plock(&self.aborted).push(node.clone());
+    }
+
+    /// The concrete schedule reaching `node`'s representative — pids
+    /// stepped plus crash events, including any resume prefix — with
+    /// an optional extra step appended.
+    fn schedule_of(&self, node: &Arc<Node>, extra: Option<Pid>) -> (Vec<Pid>, Vec<CrashEvent>) {
+        let mut edges = Vec::with_capacity(node.depth as usize + 1);
+        let mut cur = node.clone();
+        let prefix = loop {
+            match &cur.parent {
+                Some((parent, edge)) => {
+                    edges.push(*edge);
+                    let parent = parent.clone();
+                    cur = parent;
+                }
+                None => break cur.prefix.clone(),
+            }
+        };
+        edges.reverse();
+        let (mut sched, mut crashes) = match prefix {
+            Some(p) => (p.schedule.clone(), p.crashes.clone()),
+            None => (Vec::new(), Vec::new()),
+        };
+        for edge in edges {
+            match edge {
+                Edge::Step(pid) => sched.push(pid),
+                Edge::Crash(pid) => crashes.push(CrashEvent {
+                    at: sched.len(),
+                    pid,
+                }),
+            }
+        }
         sched.extend(extra);
-        sched
+        (sched, crashes)
     }
 
     fn push_job(&self, worker: usize, job: Job<P::State>) {
@@ -412,7 +584,7 @@ where
         let len = self.frontier.fetch_add(1, Ordering::Relaxed) + 1;
         self.peak_frontier.fetch_max(len, Ordering::Relaxed);
         {
-            let mut q = self.queues[worker].lock().unwrap();
+            let mut q = plock(&self.queues[worker]);
             q.push_back(job);
             if self.tel.enabled {
                 self.tel.queue_len[worker].set(q.len() as u64);
@@ -428,7 +600,7 @@ where
 
     fn pop_job(&self, worker: usize, tw: &TraceWorker) -> Option<Job<P::State>> {
         {
-            let mut q = self.queues[worker].lock().unwrap();
+            let mut q = plock(&self.queues[worker]);
             if let Some(job) = q.pop_back() {
                 if self.tel.enabled {
                     self.tel.queue_len[worker].set(q.len() as u64);
@@ -441,7 +613,7 @@ where
                 return Some(job);
             }
         }
-        if let Some(job) = self.injector.lock().unwrap().pop_front() {
+        if let Some(job) = plock(&self.injector).pop_front() {
             self.frontier.fetch_sub(1, Ordering::Relaxed);
             return Some(job);
         }
@@ -452,7 +624,7 @@ where
         for offset in 1..workers {
             let victim = (worker + offset) % workers;
             let mut stolen: VecDeque<Job<P::State>> = {
-                let mut q = self.queues[victim].lock().unwrap();
+                let mut q = plock(&self.queues[victim]);
                 let take = q.len().div_ceil(2);
                 let stolen: VecDeque<Job<P::State>> = q.drain(..take).collect();
                 if self.tel.enabled && take > 0 {
@@ -465,7 +637,7 @@ where
                 self.frontier.fetch_sub(1, Ordering::Relaxed);
                 let kept = stolen.len();
                 if !stolen.is_empty() {
-                    let mut q = self.queues[worker].lock().unwrap();
+                    let mut q = plock(&self.queues[worker]);
                     q.extend(stolen);
                     if self.tel.enabled {
                         self.tel.queue_len[worker].set(q.len() as u64);
@@ -491,17 +663,66 @@ where
         None
     }
 
+    /// Checks the wall-clock deadline; returns `true` if it fired.
+    fn check_deadline(&self) -> bool {
+        let Some(deadline) = self.deadline else {
+            return false;
+        };
+        let now = Instant::now();
+        if now >= deadline {
+            self.interrupt(InterruptReason::Deadline);
+            return true;
+        }
+        if self.tel.enabled {
+            self.tel
+                .budget_remaining_ms
+                .set(u64::try_from((deadline - now).as_millis()).unwrap_or(u64::MAX));
+        }
+        false
+    }
+
+    /// Converts a worker panic during `expand` into a structured
+    /// violation carrying the panic message and the schedule of the
+    /// state whose expansion panicked.
+    fn record_panic(&self, node: &Arc<Node>, payload: Box<dyn std::any::Any + Send>) {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        if self.tel.enabled {
+            self.tel.fault_panics.inc();
+        }
+        let (schedule, crashes) = self.schedule_of(node, None);
+        self.record_violation(Violation {
+            kind: ViolationKind::Panic,
+            description: format!("protocol panicked while the explorer expanded a state: {msg}"),
+            schedule,
+            crashes,
+        });
+    }
+
     /// The worker main loop: pull, expand, repeat; park when idle.
+    /// Expansion runs under `catch_unwind` so a panicking protocol
+    /// surfaces as a [`ViolationKind::Panic`] violation and the pool
+    /// drains cleanly.
     fn worker(&self, idx: usize) {
         let tw = self.trace_worker(idx);
         let mut scratch = vec![0u32; self.n];
         loop {
+            self.check_deadline();
             if self.stop.load(Ordering::Relaxed) {
                 return;
             }
             match self.pop_job(idx, &tw) {
                 Some(job) => {
-                    self.expand(idx, job, &mut scratch, &tw);
+                    let node = job.node.clone();
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        self.expand(idx, job, &mut scratch, &tw)
+                    }));
+                    if let Err(payload) = result {
+                        self.record_panic(&node, payload);
+                    }
                     if self.outstanding.fetch_sub(1, Ordering::SeqCst) == 1 {
                         self.wakeup.notify_all();
                     }
@@ -510,20 +731,24 @@ where
                     if self.outstanding.load(Ordering::SeqCst) == 0 {
                         return;
                     }
-                    let guard = self.park.lock().unwrap();
+                    let guard = plock(&self.park);
                     if self.outstanding.load(Ordering::SeqCst) == 0
                         || self.stop.load(Ordering::Relaxed)
                     {
                         return;
                     }
-                    let _ = self.wakeup.wait_timeout(guard, PARK_TIMEOUT).unwrap();
+                    let _ = self
+                        .wakeup
+                        .wait_timeout(guard, PARK_TIMEOUT)
+                        .unwrap_or_else(PoisonError::into_inner);
                 }
             }
         }
     }
 
     /// One step of `pid` applied to `state` **in place**; checks the
-    /// specification and records any violation (returning `Err`).
+    /// specification (and the step bound) and records any violation
+    /// (returning `Err`).
     ///
     /// States are only cloned when a genuinely new one enters the
     /// visited table — the dominant dedup-hit case costs one local
@@ -540,6 +765,37 @@ where
     ) -> Result<Undo<P::State>, ()> {
         let old_stepped = state.stepped;
         let old_fp = *fp;
+        let track_steps = !state.steps.is_empty();
+        if let Some(bound) = self.config.step_bound {
+            let taken = state.steps[pid] as usize + 1;
+            if taken > bound {
+                let (schedule, crashes) = self.schedule_of(node, Some(pid));
+                self.record_violation(Violation {
+                    kind: ViolationKind::StepBound,
+                    description: format!(
+                        "p{pid} takes its step #{taken} without deciding, exceeding the \
+                         wait-freedom bound of {bound} steps per process"
+                    ),
+                    schedule,
+                    crashes,
+                });
+                return Err(());
+            }
+        }
+        // The meta component (stepped/crashed/steps) changes iff the
+        // stepped bit flips or step counters are tracked; hash it
+        // before mutating in either case.
+        let meta_changes = track_steps || old_stepped >> pid & 1 == 0;
+        let old_meta = meta_changes.then(|| meta_hash(state));
+        let bump_meta = |state: &mut StateKey<P::State>, fp: &mut u64| {
+            state.stepped |= 1 << pid;
+            if track_steps {
+                state.steps[pid] += 1;
+            }
+            if let Some(old) = old_meta {
+                *fp ^= old ^ meta_hash(state);
+            }
+        };
         match self.proto.next_action(&state.states[pid]) {
             Action::Invoke(op) => {
                 let obj_idx = op.obj.0;
@@ -548,7 +804,6 @@ where
                     Ok(resp) => {
                         let old_local = state.states[pid].clone();
                         self.proto.on_response(&mut state.states[pid], resp);
-                        state.stepped |= 1 << pid;
                         *fp ^= component_hash(1 + pid, &old_local)
                             ^ component_hash(1 + pid, &state.states[pid]);
                         if let Some((idx, old)) = &old_object {
@@ -556,38 +811,44 @@ where
                             *fp ^= component_hash(c, old)
                                 ^ component_hash(c, &state.mem.objects()[*idx]);
                         }
-                        if state.stepped != old_stepped {
-                            *fp ^=
-                                component_hash(0, &old_stepped) ^ component_hash(0, &state.stepped);
-                        }
+                        bump_meta(state, fp);
                         Ok(Undo {
                             pid,
                             old_local: Some(old_local),
                             old_object,
                             old_stepped,
                             old_fp,
+                            counted_step: track_steps,
                             decided: false,
                         })
                     }
                     Err(err) => {
+                        let (schedule, crashes) = self.schedule_of(node, Some(pid));
                         self.record_violation(Violation {
                             kind: ViolationKind::IllegalOperation,
                             description: format!("p{pid} applied {op}: {err}"),
-                            schedule: self.schedule_of(node, Some(pid)),
+                            schedule,
+                            crashes,
                         });
                         Err(())
                     }
                 }
             }
             Action::Decide(v) => {
-                state.stepped |= 1 << pid;
-                if let Err((kind, description)) =
-                    check_decision(&self.config.spec, &state.decisions, state.stepped, pid, &v)
-                {
+                // `check_decision` sees `stepped` including the decider.
+                if let Err((kind, description)) = check_decision(
+                    &self.config.spec,
+                    &state.decisions,
+                    state.stepped | 1 << pid,
+                    pid,
+                    &v,
+                ) {
+                    let (schedule, crashes) = self.schedule_of(node, Some(pid));
                     self.record_violation(Violation {
                         kind,
                         description,
-                        schedule: self.schedule_of(node, Some(pid)),
+                        schedule,
+                        crashes,
                     });
                     return Err(());
                 }
@@ -595,23 +856,133 @@ where
                 *fp ^= component_hash(c, &state.decisions[pid]);
                 state.decisions[pid] = Some(v);
                 *fp ^= component_hash(c, &state.decisions[pid]);
-                if state.stepped != old_stepped {
-                    *fp ^= component_hash(0, &old_stepped) ^ component_hash(0, &state.stepped);
-                }
+                bump_meta(state, fp);
                 Ok(Undo {
                     pid,
                     old_local: None,
                     old_object: None,
                     old_stepped,
                     old_fp,
+                    counted_step: track_steps,
                     decided: true,
                 })
             }
         }
     }
 
+    /// Deduplicates the successor currently materialized in `state`
+    /// against the visited table: a hit attaches the child to `node`,
+    /// a miss creates, registers, and enqueues a new child node.
+    /// Returns `Err` when the state budget is exceeded (exploration
+    /// halts).
+    #[allow(clippy::too_many_arguments)]
+    fn record_successor(
+        &self,
+        worker: usize,
+        node: &Arc<Node>,
+        edge: Edge,
+        state: &StateKey<P::State>,
+        fp: u64,
+        local_best: &mut [u32],
+        tw: &TraceWorker,
+    ) -> Result<(), ()> {
+        debug_assert_eq!(fp, zobrist(state), "incremental fingerprint diverged");
+        let step_pid = match edge {
+            Edge::Step(pid) => Some(pid),
+            Edge::Crash(_) => None,
+        };
+        let canonical = self.canon.canonicalize(state);
+        let (canon_state, succ_perm, canon_fp) = match &canonical {
+            Some((c, perm)) => (c, Some(&**perm), zobrist(c)),
+            None => (state, None, fp),
+        };
+        let shard_idx = (canon_fp >> 58) as usize % SHARDS;
+        let mut shard = self.lock_shard(shard_idx);
+        let hit = shard
+            .get(&canon_fp)
+            .and_then(|e| KM::find(e, canon_state))
+            .cloned();
+        if let Some(child) = hit {
+            drop(shard);
+            self.dedup_hits.fetch_add(1, Ordering::Relaxed);
+            if self.tel.enabled {
+                self.tel.live_dedup_hits.inc();
+            }
+            if tw.is_enabled() {
+                if let Some(pid) = step_pid {
+                    tw.instant_with(
+                        "dedup_hit",
+                        [
+                            ("pid", TraceArg::U64(pid as u64)),
+                            ("depth", TraceArg::U64(u64::from(node.depth) + 1)),
+                        ],
+                    );
+                }
+                if succ_perm.is_some() {
+                    tw.instant_with("symmetry_hit", []);
+                }
+            }
+            self.attach_child(node, step_pid, &child, succ_perm, local_best);
+            return Ok(());
+        }
+        let count = self.states.fetch_add(1, Ordering::Relaxed) + 1;
+        if count > self.state_cap {
+            drop(shard);
+            if self.cap_is_memory {
+                self.interrupt(InterruptReason::MemoryBudget);
+            } else {
+                self.exhausted.store(true, Ordering::Relaxed);
+                self.stop.store(true, Ordering::Relaxed);
+                self.wakeup.notify_all();
+            }
+            return Err(());
+        }
+        node.pending.fetch_add(1, Ordering::SeqCst);
+        // A crash edge takes no step: the child sits at the same depth.
+        let depth = node.depth + u32::from(step_pid.is_some());
+        let child = Arc::new(Node {
+            depth,
+            parent: Some((node.clone(), edge)),
+            prefix: None,
+            rep_perm: succ_perm.map(Box::from),
+            pending: AtomicU32::new(1),
+            inner: Mutex::new(NodeInner {
+                best: vec![0; self.n],
+                // The discovery edge's waiter, registered at
+                // construction (the node is not yet visible to
+                // any other worker). The child's representative
+                // is the *uncanonical* successor, whose
+                // coordinates already match the parent's — no
+                // translation needed.
+                waiters: vec![Waiter {
+                    parent: node.clone(),
+                    step_pid,
+                    map: None,
+                }],
+                done: false,
+            }),
+        });
+        KM::insert(&mut shard, canon_fp, canon_state, child.clone());
+        drop(shard);
+        self.deepest.fetch_max(depth as usize, Ordering::Relaxed);
+        if self.tel.enabled {
+            self.tel.live_states.inc();
+            self.tel.live_deepest.max(u64::from(depth));
+        }
+        self.push_job(
+            worker,
+            Job {
+                state: state.clone(),
+                fp,
+                node: child,
+            },
+        );
+        Ok(())
+    }
+
     /// Expands `job.node` by generating every enabled successor of its
-    /// representative state.
+    /// representative state — one step per non-decided, non-crashed
+    /// process, plus (under a crash budget) one crash successor each.
     fn expand(&self, worker: usize, job: Job<P::State>, local_best: &mut [u32], tw: &TraceWorker) {
         let Job {
             mut state,
@@ -625,106 +996,62 @@ where
         span.arg("depth", u64::from(node.depth));
         let n = self.n;
         local_best.fill(0);
+        let crash_budget = self.faults > state.crashed.count_ones() as usize;
         let mut terminal = true;
         // Reverse pid order: the owner pops its deque LIFO, so pushing
         // high pids first makes a lone worker explore pid 0 first —
         // keeping serial violation discovery in lowest-schedule order.
+        // Within one pid the crash successor is pushed last (= popped
+        // first), so crashy branches are probed before fault-free ones
+        // and the first step-bound counterexample found serially
+        // exhibits an actual crash whenever one suffices.
         for pid in (0..n).rev() {
-            if state.decisions[pid].is_some() {
+            if state.decisions[pid].is_some() || state.crashed >> pid & 1 == 1 {
                 continue;
             }
             terminal = false;
             if self.stop.load(Ordering::Relaxed) {
+                self.abort_job(&node);
                 return;
             }
             let Ok(undo) = self.apply_step(&node, &mut state, &mut fp, pid) else {
+                self.abort_job(&node);
                 return;
             };
-            debug_assert_eq!(fp, zobrist(&state), "incremental fingerprint diverged");
-            let canonical = self.canon.canonicalize(&state);
-            let (canon_state, succ_perm, canon_fp) = match &canonical {
-                Some((c, perm)) => (c, Some(&**perm), zobrist(c)),
-                None => (&state, None, fp),
-            };
-            let shard_idx = (canon_fp >> 58) as usize % SHARDS;
-            let mut shard = self.lock_shard(shard_idx);
-            let hit = shard
-                .get(&canon_fp)
-                .and_then(|e| KM::find(e, canon_state))
-                .cloned();
-            if let Some(child) = hit {
-                drop(shard);
-                self.dedup_hits.fetch_add(1, Ordering::Relaxed);
-                if self.tel.enabled {
-                    self.tel.live_dedup_hits.inc();
-                }
-                if tw.is_enabled() {
-                    tw.instant_with(
-                        "dedup_hit",
-                        [
-                            ("pid", TraceArg::U64(pid as u64)),
-                            ("depth", TraceArg::U64(u64::from(node.depth) + 1)),
-                        ],
-                    );
-                    if succ_perm.is_some() {
-                        tw.instant_with("symmetry_hit", [("pid", TraceArg::U64(pid as u64))]);
-                    }
-                }
-                self.attach_child(&node, pid, &child, succ_perm, local_best);
-            } else {
-                let count = self.states.fetch_add(1, Ordering::Relaxed) + 1;
-                if count > self.config.max_states {
-                    drop(shard);
-                    self.exhausted.store(true, Ordering::Relaxed);
-                    self.stop.store(true, Ordering::Relaxed);
-                    self.wakeup.notify_all();
+            let stepped =
+                self.record_successor(worker, &node, Edge::Step(pid), &state, fp, local_best, tw);
+            undo.revert(&mut state, &mut fp);
+            if stepped.is_err() {
+                self.abort_job(&node);
+                return;
+            }
+            if crash_budget {
+                self.crash_branches.fetch_add(1, Ordering::Relaxed);
+                let old_meta = meta_hash(&state);
+                let old_fp = fp;
+                state.crashed |= 1 << pid;
+                fp ^= old_meta ^ meta_hash(&state);
+                let crashed = self.record_successor(
+                    worker,
+                    &node,
+                    Edge::Crash(pid),
+                    &state,
+                    fp,
+                    local_best,
+                    tw,
+                );
+                state.crashed &= !(1 << pid);
+                fp = old_fp;
+                if crashed.is_err() {
+                    self.abort_job(&node);
                     return;
                 }
-                node.pending.fetch_add(1, Ordering::SeqCst);
-                let child = Arc::new(Node {
-                    depth: node.depth + 1,
-                    parent: Some((node.clone(), pid)),
-                    rep_perm: succ_perm.map(Box::from),
-                    pending: AtomicU32::new(1),
-                    inner: Mutex::new(NodeInner {
-                        best: vec![0; n],
-                        // The discovery edge's waiter, registered at
-                        // construction (the node is not yet visible to
-                        // any other worker). The child's representative
-                        // is the *uncanonical* successor, whose
-                        // coordinates already match the parent's — no
-                        // translation needed.
-                        waiters: vec![Waiter {
-                            parent: node.clone(),
-                            step_pid: pid,
-                            map: None,
-                        }],
-                        done: false,
-                    }),
-                });
-                KM::insert(&mut shard, canon_fp, canon_state, child.clone());
-                drop(shard);
-                self.deepest
-                    .fetch_max(node.depth as usize + 1, Ordering::Relaxed);
-                if self.tel.enabled {
-                    self.tel.live_states.inc();
-                    self.tel.live_deepest.max(u64::from(node.depth) + 1);
-                }
-                self.push_job(
-                    worker,
-                    Job {
-                        state: state.clone(),
-                        fp,
-                        node: child,
-                    },
-                );
             }
-            undo.revert(&mut state, &mut fp);
         }
         if terminal {
             self.terminals.fetch_add(1, Ordering::Relaxed);
         } else {
-            let mut inner = node.inner.lock().unwrap();
+            let mut inner = plock(&node.inner);
             for (b, l) in inner.best.iter_mut().zip(local_best.iter()) {
                 *b = (*b).max(*l);
             }
@@ -740,7 +1067,7 @@ where
     fn attach_child(
         &self,
         parent: &Arc<Node>,
-        pid: Pid,
+        step_pid: Option<Pid>,
         child: &Arc<Node>,
         succ_perm: Option<&[Pid]>,
         local_best: &mut [u32],
@@ -750,14 +1077,14 @@ where
         // the (dominant) already-finished path; `local_best` is
         // worker-local and no other lock is held, so this cannot
         // deadlock.
-        let mut inner = child.inner.lock().unwrap();
+        let mut inner = plock(&child.inner);
         if inner.done {
-            combine(local_best, &inner.best, map_ref(&map), pid);
+            combine(local_best, &inner.best, map_ref(&map), step_pid);
         } else {
             parent.pending.fetch_add(1, Ordering::SeqCst);
             inner.waiters.push(Waiter {
                 parent: parent.clone(),
-                step_pid: pid,
+                step_pid,
                 map,
             });
         }
@@ -769,14 +1096,14 @@ where
         let mut worklist = vec![node];
         while let Some(nd) = worklist.pop() {
             let (bounds, waiters) = {
-                let mut inner = nd.inner.lock().unwrap();
+                let mut inner = plock(&nd.inner);
                 debug_assert!(!inner.done, "node finished twice");
                 inner.done = true;
                 (inner.best.clone(), std::mem::take(&mut inner.waiters))
             };
             for w in waiters {
                 {
-                    let mut inner = w.parent.inner.lock().unwrap();
+                    let mut inner = plock(&w.parent.inner);
                     combine(&mut inner.best, &bounds, map_ref(&w.map), w.step_pid);
                 }
                 if w.parent.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
@@ -786,95 +1113,209 @@ where
         }
     }
 
-    /// Builds the NotWaitFree violation after quiescence left the root
-    /// incomplete: every incomplete node waits on an incomplete child,
-    /// so following those edges from the root must revisit a node —
-    /// exhibiting a cycle (see the module docs for why this is exactly
-    /// non-wait-freedom).
-    fn quiescent_cycle(&self, root: &Arc<Node>) -> Violation {
+    /// Every generated-but-unexpanded node: the queued jobs plus any
+    /// whose expansion a stop signal cut short. Drains the queues.
+    fn frontier_nodes(&self) -> Vec<Arc<Node>> {
+        let mut nodes: Vec<Arc<Node>> = Vec::new();
+        for q in &self.queues {
+            nodes.extend(plock(q).drain(..).map(|j| j.node));
+        }
+        nodes.extend(plock(&self.injector).drain(..).map(|j| j.node));
+        nodes.append(&mut plock(&self.aborted));
+        let mut seen = HashSet::new();
+        nodes.retain(|nd| seen.insert(Arc::as_ptr(nd) as usize));
+        nodes
+    }
+
+    /// Decides, after the workers have stopped, whether the incomplete
+    /// region proves a cycle **now** — and if so exhibits one.
+    ///
+    /// `frontier` holds the unexpanded nodes, whose subtrees are
+    /// unknown; treat them *optimistically* as able to complete. A
+    /// non-frontier incomplete node can then complete iff **all** its
+    /// awaited (incomplete) children can: compute the least fixpoint
+    /// of that rule by counting, per parent, awaited children not yet
+    /// known completable, seeded with the frontier. Any incomplete
+    /// node left outside the fixpoint — *stuck* — waits (transitively)
+    /// on no frontier node, so no future work can complete it: each
+    /// stuck node awaits a stuck child, and following those edges must
+    /// revisit a node, exhibiting a genuine cycle. At quiescence the
+    /// frontier is empty, so this degenerates to the classical
+    /// incomplete-root-implies-cycle argument of the module docs; at a
+    /// resource interrupt it keeps cycles that are already fully
+    /// explored from being deferred (or lost) across a resume.
+    fn cycle_violation(
+        &self,
+        preferred_start: Option<&Arc<Node>>,
+        frontier: &[Arc<Node>],
+    ) -> Option<Violation> {
+        let ptr_of = |nd: &Arc<Node>| Arc::as_ptr(nd) as usize;
         let mut incomplete: Vec<Arc<Node>> = Vec::new();
         for shard in &self.shards {
-            for entry in shard.lock().unwrap().values() {
+            for entry in plock(shard).values() {
                 KM::for_each_node(entry, &mut |node| {
-                    if !node.inner.lock().unwrap().done {
+                    if !plock(&node.inner).done {
                         incomplete.push(node.clone());
                     }
                 });
             }
         }
-        // One outgoing wait edge per incomplete parent.
-        let mut waits_on: HashMap<usize, Arc<Node>> = HashMap::new();
+        let mut completable: HashSet<usize> = frontier.iter().map(&ptr_of).collect();
+        // Reverse wait edges (child → awaiting parents) and per-parent
+        // counts of awaited children not yet known completable.
+        let mut parents_of: HashMap<usize, Vec<usize>> = HashMap::new();
+        let mut pending_cnt: HashMap<usize, usize> = HashMap::new();
         for child in &incomplete {
-            for w in &child.inner.lock().unwrap().waiters {
-                waits_on.insert(Arc::as_ptr(&w.parent) as usize, child.clone());
+            let c = ptr_of(child);
+            let child_completable = completable.contains(&c);
+            for w in plock(&child.inner).waiters.iter() {
+                let p = ptr_of(&w.parent);
+                parents_of.entry(c).or_default().push(p);
+                if !child_completable {
+                    *pending_cnt.entry(p).or_insert(0) += 1;
+                }
             }
         }
-        let mut seen = std::collections::HashSet::new();
-        let mut cur = root.clone();
-        while seen.insert(Arc::as_ptr(&cur) as usize) {
+        let mut work: Vec<usize> = incomplete
+            .iter()
+            .map(&ptr_of)
+            .filter(|p| !completable.contains(p) && pending_cnt.get(p).is_none_or(|&c| c == 0))
+            .collect();
+        while let Some(u) = work.pop() {
+            if !completable.insert(u) {
+                continue;
+            }
+            for &p in parents_of.get(&u).into_iter().flatten() {
+                if let Some(cnt) = pending_cnt.get_mut(&p) {
+                    *cnt -= 1;
+                    if *cnt == 0 && !completable.contains(&p) {
+                        work.push(p);
+                    }
+                }
+            }
+        }
+        let stuck: HashSet<usize> = incomplete
+            .iter()
+            .map(&ptr_of)
+            .filter(|p| !completable.contains(p))
+            .collect();
+        if stuck.is_empty() {
+            return None;
+        }
+        // One outgoing wait edge per stuck parent, into a stuck child.
+        let mut waits_on: HashMap<usize, Arc<Node>> = HashMap::new();
+        for child in &incomplete {
+            if !stuck.contains(&ptr_of(child)) {
+                continue;
+            }
+            for w in plock(&child.inner).waiters.iter() {
+                if stuck.contains(&ptr_of(&w.parent)) {
+                    waits_on.insert(ptr_of(&w.parent), child.clone());
+                }
+            }
+        }
+        let start = match preferred_start {
+            Some(root) if stuck.contains(&ptr_of(root)) => root.clone(),
+            _ => incomplete
+                .iter()
+                .find(|nd| stuck.contains(&ptr_of(nd)))
+                .expect("stuck set is nonempty")
+                .clone(),
+        };
+        let mut seen = HashSet::new();
+        let mut cur = start;
+        while seen.insert(ptr_of(&cur)) {
             cur = waits_on
-                .get(&(Arc::as_ptr(&cur) as usize))
-                .expect("at quiescence an incomplete node waits on an incomplete child")
+                .get(&ptr_of(&cur))
+                .expect("a stuck node awaits a stuck child")
                 .clone();
         }
-        Violation {
+        let (schedule, crashes) = self.schedule_of(&cur, None);
+        Some(Violation {
             kind: ViolationKind::NotWaitFree,
             description: "state graph cycle: a schedule exists on which a process \
                           takes unboundedly many steps without deciding"
                 .into(),
-            schedule: self.schedule_of(&cur, None),
-        }
+            schedule,
+            crashes,
+        })
     }
 
-    /// Creates and enqueues the root node; `None` if even one state
-    /// exceeds the budget.
-    fn seed(&self, init: StateKey<P::State>) -> Option<Arc<Node>> {
-        let count = self.states.fetch_add(1, Ordering::Relaxed) + 1;
-        if count > self.config.max_states {
-            self.exhausted.store(true, Ordering::Relaxed);
-            self.stop.store(true, Ordering::Relaxed);
-            return None;
-        }
-        let canonical = self.canon.canonicalize(&init);
-        let root = Arc::new(Node {
-            depth: 0,
-            parent: None,
-            rep_perm: canonical.as_ref().map(|(_, perm)| perm.clone()),
-            pending: AtomicU32::new(1),
-            inner: Mutex::new(NodeInner {
-                best: vec![0; self.n],
-                waiters: Vec::new(),
-                done: false,
-            }),
-        });
-        let init_fp = zobrist(&init);
-        {
+    /// Creates and enqueues the root nodes, one per seed (deduplicating
+    /// seeds that canonicalize to the same state). Budget overruns stop
+    /// seeding; with a memory budget the unseeded tail is preserved for
+    /// the checkpoint.
+    fn seed(&self, seeds: Seeds<P::State>) -> Vec<Arc<Node>> {
+        let mut roots = Vec::new();
+        let mut pending = seeds.into_iter();
+        while let Some((init, prefix)) = pending.next() {
+            let init_fp = zobrist(&init);
+            let canonical = self.canon.canonicalize(&init);
             let (canon_state, canon_fp) = match canonical.as_ref() {
                 Some((c, _)) => (c, zobrist(c)),
                 None => (&init, init_fp),
             };
             let shard_idx = (canon_fp >> 58) as usize % SHARDS;
-            let mut shard = self.shards[shard_idx].lock().unwrap();
-            KM::insert(&mut shard, canon_fp, canon_state, root.clone());
+            {
+                let shard = plock(&self.shards[shard_idx]);
+                if shard
+                    .get(&canon_fp)
+                    .and_then(|e| KM::find(e, canon_state))
+                    .is_some()
+                {
+                    self.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+            }
+            let count = self.states.fetch_add(1, Ordering::Relaxed) + 1;
+            if count > self.state_cap {
+                if self.cap_is_memory {
+                    self.interrupt(InterruptReason::MemoryBudget);
+                    let mut unseeded = plock(&self.unseeded);
+                    unseeded.push(prefix);
+                    unseeded.extend(pending.map(|(_, p)| p));
+                } else {
+                    self.exhausted.store(true, Ordering::Relaxed);
+                    self.stop.store(true, Ordering::Relaxed);
+                }
+                break;
+            }
+            let depth = u32::try_from(prefix.schedule.len()).unwrap_or(u32::MAX);
+            let root = Arc::new(Node {
+                depth,
+                parent: None,
+                prefix: (!prefix.schedule.is_empty() || !prefix.crashes.is_empty())
+                    .then(|| Arc::new(prefix)),
+                rep_perm: canonical.as_ref().map(|(_, perm)| perm.clone()),
+                pending: AtomicU32::new(1),
+                inner: Mutex::new(NodeInner {
+                    best: vec![0; self.n],
+                    waiters: Vec::new(),
+                    done: false,
+                }),
+            });
+            {
+                let mut shard = plock(&self.shards[shard_idx]);
+                KM::insert(&mut shard, canon_fp, canon_state, root.clone());
+            }
+            self.deepest.fetch_max(depth as usize, Ordering::Relaxed);
+            self.outstanding.fetch_add(1, Ordering::SeqCst);
+            let len = self.frontier.fetch_add(1, Ordering::Relaxed) + 1;
+            self.peak_frontier.fetch_max(len, Ordering::Relaxed);
+            plock(&self.injector).push_back(Job {
+                state: init,
+                fp: init_fp,
+                node: root.clone(),
+            });
+            roots.push(root);
         }
-        self.outstanding.fetch_add(1, Ordering::SeqCst);
-        self.frontier.fetch_add(1, Ordering::Relaxed);
-        self.peak_frontier.fetch_max(1, Ordering::Relaxed);
-        self.injector.lock().unwrap().push_back(Job {
-            state: init,
-            fp: init_fp,
-            node: root.clone(),
-        });
-        Some(root)
+        roots
     }
 
     /// Assembles the final report once all workers have returned.
-    fn report(&self, root: Option<Arc<Node>>, started: Instant, workers: usize) -> Report {
+    fn report(&self, roots: &[Arc<Node>], started: Instant, workers: usize) -> Report {
         let duration = started.elapsed();
-        let states = self
-            .states
-            .load(Ordering::Relaxed)
-            .min(self.config.max_states);
+        let states = self.states.load(Ordering::Relaxed).min(self.state_cap);
         let stats = ExploreStats {
             workers,
             duration,
@@ -883,33 +1324,58 @@ where
             peak_frontier: self.peak_frontier.load(Ordering::Relaxed),
             steals: self.steals.load(Ordering::Relaxed),
             shard_contention: self.contention.load(Ordering::Relaxed),
+            crash_branches: self.crash_branches.load(Ordering::Relaxed),
         };
         let terminals = self.terminals.load(Ordering::Relaxed);
-        let violation = self.violation.lock().unwrap().take();
+        let deepest = self.deepest.load(Ordering::Relaxed);
+        let violation = plock(&self.violation).take();
+        let interrupted = *plock(&self.interrupted);
         let (outcome, bounds) = if let Some(v) = violation {
             (ExploreOutcome::Violated(v), Vec::new())
-        } else {
-            match &root {
-                Some(root) => {
-                    let inner = root.inner.lock().unwrap();
-                    if inner.done {
-                        let bounds = inner.best.iter().map(|&b| b as usize).collect();
-                        (ExploreOutcome::Verified, bounds)
-                    } else {
-                        drop(inner);
-                        if self.exhausted.load(Ordering::Relaxed) {
-                            let deepest = self.deepest.load(Ordering::Relaxed);
-                            (ExploreOutcome::Exhausted { states, deepest }, Vec::new())
-                        } else {
-                            (
-                                ExploreOutcome::Violated(self.quiescent_cycle(root)),
-                                Vec::new(),
-                            )
-                        }
-                    }
+        } else if !roots.is_empty() && roots.iter().all(|r| plock(&r.inner).done) {
+            // Exact step bounds are only meaningful for a run rooted at
+            // the true initial state.
+            let bounds = match roots {
+                [root] if root.prefix.is_none() => plock(&root.inner)
+                    .best
+                    .iter()
+                    .map(|&b| b as usize)
+                    .collect(),
+                _ => Vec::new(),
+            };
+            (ExploreOutcome::Verified, bounds)
+        } else if let Some(reason) = interrupted {
+            let frontier_nodes = self.frontier_nodes();
+            match self.cycle_violation(roots.first(), &frontier_nodes) {
+                Some(v) => (ExploreOutcome::Violated(v), Vec::new()),
+                None => {
+                    let mut frontier: Vec<FrontierEntry> = frontier_nodes
+                        .iter()
+                        .map(|nd| {
+                            let (schedule, crashes) = self.schedule_of(nd, None);
+                            FrontierEntry { schedule, crashes }
+                        })
+                        .collect();
+                    frontier.append(&mut plock(&self.unseeded));
+                    (
+                        ExploreOutcome::Interrupted {
+                            reason,
+                            states,
+                            deepest,
+                            frontier,
+                        },
+                        Vec::new(),
+                    )
                 }
-                None => (ExploreOutcome::Exhausted { states, deepest: 0 }, Vec::new()),
             }
+        } else if self.exhausted.load(Ordering::Relaxed) || roots.is_empty() {
+            (ExploreOutcome::Exhausted { states, deepest }, Vec::new())
+        } else {
+            let start = roots.iter().find(|r| !plock(&r.inner).done);
+            let v = self
+                .cycle_violation(start, &[])
+                .expect("quiescence with an incomplete root implies a cycle");
+            (ExploreOutcome::Violated(v), Vec::new())
         };
         let report = Report {
             outcome,
@@ -927,7 +1393,7 @@ where
 /// or `Sync` requirements; with one LIFO deque this is a plain DFS).
 pub(crate) fn run_serial<P, C, KM>(
     proto: &P,
-    init: StateKey<P::State>,
+    seeds: Seeds<P::State>,
     config: &ExploreConfig,
     canon: C,
 ) -> Report
@@ -939,17 +1405,17 @@ where
 {
     let started = Instant::now();
     let shared: Shared<'_, P, C, KM> = Shared::new(proto, config, canon, 1);
-    let root = shared.seed(init);
-    if root.is_some() {
+    let roots = shared.seed(seeds);
+    if !roots.is_empty() && !shared.stop.load(Ordering::Relaxed) {
         shared.worker(0);
     }
-    shared.report(root, started, 1)
+    shared.report(&roots, started, 1)
 }
 
 /// Runs the engine on `workers` scoped threads with work stealing.
 pub(crate) fn run_parallel<P, C, KM>(
     proto: &P,
-    init: StateKey<P::State>,
+    seeds: Seeds<P::State>,
     config: &ExploreConfig,
     canon: C,
     workers: usize,
@@ -964,8 +1430,8 @@ where
     debug_assert!(workers >= 2);
     let started = Instant::now();
     let shared: Shared<'_, P, C, KM> = Shared::new(proto, config, canon, workers);
-    let root = shared.seed(init);
-    if root.is_some() {
+    let roots = shared.seed(seeds);
+    if !roots.is_empty() && !shared.stop.load(Ordering::Relaxed) {
         std::thread::scope(|s| {
             for idx in 0..workers {
                 let shared = &shared;
@@ -973,13 +1439,13 @@ where
             }
         });
     }
-    shared.report(root, started, workers)
+    shared.report(&roots, started, workers)
 }
 
 /// Dispatches on [`DedupMode`] for the serial engine.
 pub(crate) fn dispatch_serial<P, C>(
     proto: &P,
-    init: StateKey<P::State>,
+    seeds: Seeds<P::State>,
     config: &ExploreConfig,
     canon: C,
 ) -> Report
@@ -989,15 +1455,15 @@ where
     C: Canonicalizer<P>,
 {
     match config.dedup {
-        DedupMode::Exact => run_serial::<P, C, ExactKeys>(proto, init, config, canon),
-        DedupMode::Fingerprint => run_serial::<P, C, FingerprintKeys>(proto, init, config, canon),
+        DedupMode::Exact => run_serial::<P, C, ExactKeys>(proto, seeds, config, canon),
+        DedupMode::Fingerprint => run_serial::<P, C, FingerprintKeys>(proto, seeds, config, canon),
     }
 }
 
 /// Dispatches on [`DedupMode`] for the parallel engine.
 pub(crate) fn dispatch_parallel<P, C>(
     proto: &P,
-    init: StateKey<P::State>,
+    seeds: Seeds<P::State>,
     config: &ExploreConfig,
     canon: C,
     workers: usize,
@@ -1008,9 +1474,9 @@ where
     C: Canonicalizer<P> + Sync,
 {
     match config.dedup {
-        DedupMode::Exact => run_parallel::<P, C, ExactKeys>(proto, init, config, canon, workers),
+        DedupMode::Exact => run_parallel::<P, C, ExactKeys>(proto, seeds, config, canon, workers),
         DedupMode::Fingerprint => {
-            run_parallel::<P, C, FingerprintKeys>(proto, init, config, canon, workers)
+            run_parallel::<P, C, FingerprintKeys>(proto, seeds, config, canon, workers)
         }
     }
 }
@@ -1019,11 +1485,17 @@ fn map_ref(map: &Option<Box<[Pid]>>) -> Option<&[Pid]> {
     map.as_deref()
 }
 
-/// `parent_best[p] = max(parent_best[p], child_best[map(p)] + (p == step_pid))`.
-fn combine(parent_best: &mut [u32], child_best: &[u32], map: Option<&[Pid]>, step_pid: Pid) {
+/// `parent_best[p] = max(parent_best[p], child_best[map(p)] + (p == step_pid))`
+/// — `step_pid` is `None` for crash edges, which contribute no step.
+fn combine(
+    parent_best: &mut [u32],
+    child_best: &[u32],
+    map: Option<&[Pid]>,
+    step_pid: Option<Pid>,
+) {
     for (p, b) in parent_best.iter_mut().enumerate() {
         let idx = map.map_or(p, |m| m[p]);
-        let total = child_best[idx] + u32::from(p == step_pid);
+        let total = child_best[idx] + u32::from(step_pid == Some(p));
         if total > *b {
             *b = total;
         }

@@ -82,6 +82,7 @@ use bso_objects::Value;
 use bso_telemetry::{Registry, TraceSink};
 
 use crate::artifact::{self, ScheduleArtifact};
+use crate::checkpoint::{self, Checkpoint};
 use crate::engine;
 use crate::symmetry::{NoCanon, SymCanon, SymmetricProtocol};
 use crate::{Pid, Protocol, ProtocolExt, RunError, RunResult, SharedMemory, Simulation};
@@ -126,6 +127,23 @@ pub struct ExploreConfig {
     pub workers: usize,
     /// Visited-table key representation.
     pub dedup: DedupMode,
+    /// Crash-fault adversary strength: the explorer may crash up to
+    /// this many processes (clamped to `n − 1`) at any step. `0` (the
+    /// default) explores only crash-free schedules.
+    pub faults: usize,
+    /// Wait-freedom step bound: when set, any process taking more than
+    /// this many of its own steps without deciding is reported as a
+    /// [`ViolationKind::StepBound`] violation. States then carry
+    /// per-process step counters, so the state space grows; `None`
+    /// (the default) leaves keys and dedup behavior unchanged.
+    pub step_bound: Option<usize>,
+    /// Wall-clock deadline: a run exceeding it stops with
+    /// [`ExploreOutcome::Interrupted`] and a resumable frontier.
+    pub deadline: Option<Duration>,
+    /// Approximate memory budget in bytes for the visited table; when
+    /// the estimated footprint exceeds it the run stops with
+    /// [`ExploreOutcome::Interrupted`] and a resumable frontier.
+    pub memory_budget: Option<usize>,
     /// Where the run reports its metrics. The default clones the
     /// process-wide registry, which is enabled iff the `BSO_TELEMETRY`
     /// environment variable is set — so instrumentation is free unless
@@ -145,6 +163,10 @@ impl Default for ExploreConfig {
             spec: TaskSpec::None,
             workers: 0,
             dedup: DedupMode::Exact,
+            faults: 0,
+            step_bound: None,
+            deadline: None,
+            memory_budget: None,
             telemetry: Registry::default(),
             trace: TraceSink::default(),
         }
@@ -164,11 +186,36 @@ pub enum ViolationKind {
     NotWaitFree,
     /// The protocol performed an illegal shared-memory operation.
     IllegalOperation,
+    /// A process exceeded the configured per-process step bound
+    /// ([`ExploreConfig::step_bound`]) without deciding — the protocol
+    /// is not wait-free within that bound under this (possibly crashy)
+    /// schedule.
+    StepBound,
+    /// The protocol implementation itself panicked while the explorer
+    /// expanded a state; the schedule reaches the state whose
+    /// expansion panicked.
+    Panic,
+}
+
+/// A crash event on a schedule: after `at` scheduled steps have been
+/// taken, process `pid` crashes and takes no further steps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CrashEvent {
+    /// Number of schedule steps taken before the crash.
+    pub at: usize,
+    /// The crashed process.
+    pub pid: Pid,
+}
+
+impl fmt::Display for CrashEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{} crashes after step {}", self.pid, self.at)
+    }
 }
 
 /// A concrete counterexample: a schedule driving the protocol into the
 /// violation. Replay it with [`crate::scheduler::Scripted`].
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Violation {
     /// What went wrong.
     pub kind: ViolationKind,
@@ -176,22 +223,30 @@ pub struct Violation {
     pub description: String,
     /// The schedule (pid per step) reaching the violation.
     pub schedule: Vec<Pid>,
+    /// Crash events interleaved with the schedule (sorted by
+    /// [`CrashEvent::at`]); empty for crash-free counterexamples.
+    pub crashes: Vec<CrashEvent>,
 }
 
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{:?} after {} steps: {}",
+            "{:?} after {} steps{}: {}",
             self.kind,
             self.schedule.len(),
+            if self.crashes.is_empty() {
+                String::new()
+            } else {
+                format!(" and {} crash(es)", self.crashes.len())
+            },
             self.description
         )
     }
 }
 
 /// The verdict of an exploration.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ExploreOutcome {
     /// Every interleaving satisfies the specification and terminates.
     Verified,
@@ -207,6 +262,52 @@ pub enum ExploreOutcome {
         /// state).
         deepest: usize,
     },
+    /// A resource guard ([`ExploreConfig::deadline`] or
+    /// [`ExploreConfig::memory_budget`]) stopped the run before a
+    /// verdict. Unlike [`ExploreOutcome::Exhausted`] the run is
+    /// *resumable*: the frontier identifies every unexpanded state by
+    /// its schedule, and [`Explorer::resume`] continues from a
+    /// [`crate::checkpoint::Checkpoint`] built from it.
+    Interrupted {
+        /// Which guard fired.
+        reason: InterruptReason,
+        /// Distinct states visited before the interrupt.
+        states: usize,
+        /// The deepest schedule prefix reached.
+        deepest: usize,
+        /// Schedules (with crash events) of every generated-but-
+        /// unexpanded state; re-executing each yields the exact
+        /// frontier state to continue from.
+        frontier: Vec<FrontierEntry>,
+    },
+}
+
+/// Which resource guard interrupted a run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InterruptReason {
+    /// The wall-clock [`ExploreConfig::deadline`] passed.
+    Deadline,
+    /// The approximate [`ExploreConfig::memory_budget`] was exceeded.
+    MemoryBudget,
+}
+
+impl fmt::Display for InterruptReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterruptReason::Deadline => write!(f, "deadline"),
+            InterruptReason::MemoryBudget => write!(f, "memory-budget"),
+        }
+    }
+}
+
+/// One unexpanded frontier state, identified by the deterministic path
+/// that reaches it: a schedule plus the crash events along it.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FrontierEntry {
+    /// The schedule (pid per step) from the initial state.
+    pub schedule: Vec<Pid>,
+    /// Crash events along the schedule, sorted by [`CrashEvent::at`].
+    pub crashes: Vec<CrashEvent>,
 }
 
 impl ExploreOutcome {
@@ -241,6 +342,9 @@ pub struct ExploreStats {
     pub steals: usize,
     /// Contended visited-table shard acquisitions.
     pub shard_contention: usize,
+    /// Crash-fault branches generated by the adversary (0 when
+    /// [`ExploreConfig::faults`] is 0).
+    pub crash_branches: usize,
 }
 
 impl ExploreStats {
@@ -260,6 +364,9 @@ impl ExploreStats {
         registry
             .counter("explore.shard_contention")
             .add(self.shard_contention as u64);
+        registry
+            .counter("explore.fault.crash_branches")
+            .add(self.crash_branches as u64);
         registry.gauge("explore.workers").max(self.workers as u64);
         registry
             .gauge("explore.peak_frontier")
@@ -316,6 +423,12 @@ pub(crate) struct StateKey<S> {
     pub(crate) states: Vec<S>,
     pub(crate) decisions: Vec<Option<Value>>,
     pub(crate) stepped: u64,
+    /// Bitmask of crashed processes; always 0 without fault injection.
+    pub(crate) crashed: u64,
+    /// Per-process step counts. Tracked (non-empty) only when a step
+    /// bound is enforced, so that keys — and therefore dedup behavior
+    /// and reports — are unchanged otherwise.
+    pub(crate) steps: Vec<u16>,
 }
 
 /// Checks a decision of `pid` against the task specification.
@@ -396,7 +509,7 @@ pub(crate) fn check_decision(
     }
 }
 
-fn init_key<P: Protocol>(proto: &P, inputs: &[Value]) -> StateKey<P::State> {
+fn init_key<P: Protocol>(proto: &P, inputs: &[Value], track_steps: bool) -> StateKey<P::State> {
     let n = proto.processes();
     assert!(n <= 64, "explorer supports at most 64 processes");
     assert_eq!(inputs.len(), n, "need one input per process");
@@ -409,53 +522,147 @@ fn init_key<P: Protocol>(proto: &P, inputs: &[Value]) -> StateKey<P::State> {
             .collect(),
         decisions: vec![None; n],
         stepped: 0,
+        crashed: 0,
+        steps: if track_steps { vec![0; n] } else { Vec::new() },
     }
 }
+
+/// Re-executes a frontier entry's path from the initial state, yielding
+/// the exact [`StateKey`] to seed a resumed exploration with.
+fn replay_frontier_key<P: Protocol>(
+    proto: &P,
+    inputs: &[Value],
+    entry: &FrontierEntry,
+    track_steps: bool,
+) -> Result<StateKey<P::State>, String> {
+    let mut key = init_key(proto, inputs, track_steps);
+    let mut crashes = entry.crashes.clone();
+    crashes.sort_unstable();
+    let mut next_crash = 0;
+    for (i, &pid) in entry.schedule.iter().enumerate() {
+        while next_crash < crashes.len() && crashes[next_crash].at <= i {
+            let c = crashes[next_crash];
+            if c.pid >= key.states.len() {
+                return Err(format!(
+                    "crash event names p{} of {}",
+                    c.pid,
+                    key.states.len()
+                ));
+            }
+            key.crashed |= 1 << c.pid;
+            next_crash += 1;
+        }
+        if pid >= key.states.len() {
+            return Err(format!("schedule names p{pid} of {}", key.states.len()));
+        }
+        if key.decisions[pid].is_some() || key.crashed >> pid & 1 == 1 {
+            return Err(format!(
+                "schedule steps disabled process p{pid} at step {i}"
+            ));
+        }
+        match proto.next_action(&key.states[pid]) {
+            crate::Action::Invoke(op) => {
+                let resp = key
+                    .mem
+                    .apply(pid, &op)
+                    .map_err(|e| format!("p{pid} op {op} failed during replay: {e}"))?;
+                proto.on_response(&mut key.states[pid], resp);
+            }
+            crate::Action::Decide(v) => key.decisions[pid] = Some(v),
+        }
+        key.stepped |= 1 << pid;
+        if track_steps {
+            key.steps[pid] += 1;
+        }
+    }
+    for c in &crashes[next_crash..] {
+        if c.pid >= key.states.len() {
+            return Err(format!(
+                "crash event names p{} of {}",
+                c.pid,
+                key.states.len()
+            ));
+        }
+        key.crashed |= 1 << c.pid;
+    }
+    Ok(key)
+}
+
+/// Seed states for the engine: each with the path that reaches it (an
+/// empty path for the true initial state).
+pub(crate) type Seeds<S> = Vec<(StateKey<S>, FrontierEntry)>;
 
 /// The monomorphized run strategy a builder flag captures. Taking a
 /// plain `fn` pointer lets [`Explorer::run`] stay free of the `Send`/
 /// `Sync`/`Ord` bounds that only the parallel and symmetric modes
 /// need: each mode's *setter* carries its bounds and freezes them into
-/// a pointer here.
-type RunFn<P> = fn(&P, &[Value], &ExploreConfig, usize) -> Report;
+/// a pointer here. `None` seeds mean "start from the initial state";
+/// [`Explorer::resume`] passes a reconstructed frontier instead.
+type RunFn<P> =
+    fn(&P, &[Value], Option<Seeds<<P as Protocol>::State>>, &ExploreConfig, usize) -> Report;
+
+fn initial_seeds<P: Protocol>(
+    proto: &P,
+    inputs: &[Value],
+    config: &ExploreConfig,
+) -> Seeds<P::State> {
+    vec![(
+        init_key(proto, inputs, config.step_bound.is_some()),
+        FrontierEntry::default(),
+    )]
+}
 
 fn run_plain_serial<P: Protocol>(
     proto: &P,
     inputs: &[Value],
+    seeds: Option<Seeds<P::State>>,
     config: &ExploreConfig,
     _workers: usize,
 ) -> Report
 where
     P::State: Hash + Eq,
 {
-    engine::dispatch_serial(proto, init_key(proto, inputs), config, NoCanon)
+    let seeds = seeds.unwrap_or_else(|| initial_seeds(proto, inputs, config));
+    engine::dispatch_serial(proto, seeds, config, NoCanon)
 }
 
-fn run_plain<P>(proto: &P, inputs: &[Value], config: &ExploreConfig, workers: usize) -> Report
+fn run_plain<P>(
+    proto: &P,
+    inputs: &[Value],
+    seeds: Option<Seeds<P::State>>,
+    config: &ExploreConfig,
+    workers: usize,
+) -> Report
 where
     P: Protocol + Sync,
     P::State: Hash + Eq + Send,
 {
-    let init = init_key(proto, inputs);
+    let seeds = seeds.unwrap_or_else(|| initial_seeds(proto, inputs, config));
     if workers <= 1 {
-        engine::dispatch_serial(proto, init, config, NoCanon)
+        engine::dispatch_serial(proto, seeds, config, NoCanon)
     } else {
-        engine::dispatch_parallel(proto, init, config, NoCanon, workers)
+        engine::dispatch_parallel(proto, seeds, config, NoCanon, workers)
     }
 }
 
-fn run_symmetric<P>(proto: &P, inputs: &[Value], config: &ExploreConfig, workers: usize) -> Report
+fn run_symmetric<P>(
+    proto: &P,
+    inputs: &[Value],
+    seeds: Option<Seeds<P::State>>,
+    config: &ExploreConfig,
+    workers: usize,
+) -> Report
 where
     P: SymmetricProtocol + Sync,
     P::State: Hash + Eq + Ord + Send,
 {
     let canon = SymCanon::new(proto).unwrap_or_else(|e| panic!("{e}"));
     assert_inputs_equivariant(proto, &canon, inputs);
-    let init = init_key(proto, inputs);
+    let seeds = seeds.unwrap_or_else(|| initial_seeds(proto, inputs, config));
     if workers <= 1 {
-        engine::dispatch_serial(proto, init, config, canon)
+        engine::dispatch_serial(proto, seeds, config, canon)
     } else {
-        engine::dispatch_parallel(proto, init, config, canon, workers)
+        engine::dispatch_parallel(proto, seeds, config, canon, workers)
     }
 }
 
@@ -588,6 +795,38 @@ impl<'p, P: Protocol> Explorer<'p, P> {
         self
     }
 
+    /// Sets the crash-fault adversary strength
+    /// ([`ExploreConfig::faults`]): up to `faults` processes (clamped
+    /// to `n − 1`) may crash at any step.
+    #[must_use]
+    pub fn faults(mut self, faults: usize) -> Self {
+        self.config.faults = faults;
+        self
+    }
+
+    /// Sets the wait-freedom step bound
+    /// ([`ExploreConfig::step_bound`]).
+    #[must_use]
+    pub fn step_bound(mut self, bound: usize) -> Self {
+        self.config.step_bound = Some(bound);
+        self
+    }
+
+    /// Sets the wall-clock deadline ([`ExploreConfig::deadline`]).
+    #[must_use]
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.config.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the approximate memory budget in bytes
+    /// ([`ExploreConfig::memory_budget`]).
+    #[must_use]
+    pub fn memory_budget(mut self, bytes: usize) -> Self {
+        self.config.memory_budget = Some(bytes);
+        self
+    }
+
     /// Sets the telemetry registry the run reports into
     /// ([`ExploreConfig::telemetry`]).
     #[must_use]
@@ -680,12 +919,7 @@ impl<'p, P: Protocol> Explorer<'p, P> {
     /// Packages a violation from this explorer's configuration into a
     /// durable, replayable [`ScheduleArtifact`].
     pub fn artifact_for(&self, violation: &Violation) -> ScheduleArtifact {
-        ScheduleArtifact::from_violation(
-            self.resolved_protocol_id(),
-            &self.resolved_inputs(),
-            &self.config.spec,
-            violation,
-        )
+        self.artifact_for_in(violation, &self.config)
     }
 
     /// Re-executes an artifact's exact interleaving on this explorer's
@@ -696,7 +930,9 @@ impl<'p, P: Protocol> Explorer<'p, P> {
     /// [`artifact::verify_replay`].
     ///
     /// Scheduled pids that are no longer enabled (decided or crashed)
-    /// are skipped — a well-formed artifact never contains them.
+    /// are skipped — a well-formed artifact never contains them. The
+    /// artifact's crash events are injected at their recorded
+    /// positions, so crash-schedule counterexamples replay exactly.
     ///
     /// # Errors
     ///
@@ -710,10 +946,20 @@ impl<'p, P: Protocol> Explorer<'p, P> {
     /// protocol's process count.
     pub fn replay(&self, artifact: &ScheduleArtifact) -> Result<RunResult, RunError> {
         let mut sim = Simulation::new(self.proto, &artifact.inputs);
-        for &pid in &artifact.schedule {
+        let mut crashes = artifact.crashes.clone();
+        crashes.sort_unstable();
+        let mut next_crash = 0;
+        for (i, &pid) in artifact.schedule.iter().enumerate() {
+            while next_crash < crashes.len() && crashes[next_crash].at <= i {
+                sim.crash(crashes[next_crash].pid);
+                next_crash += 1;
+            }
             if sim.enabled().contains(&pid) {
                 sim.step(pid)?;
             }
+        }
+        for c in &crashes[next_crash..] {
+            sim.crash(c.pid);
         }
         Ok(sim.result())
     }
@@ -723,11 +969,123 @@ impl<'p, P: Protocol> Explorer<'p, P> {
     /// The builder is borrowed, not consumed, so one configuration can
     /// drive several runs.
     ///
-    /// Two environment escape hatches activate here: `BSO_PROGRESS`
-    /// starts the process-wide heartbeat reporter before the run, and
+    /// Four environment escape hatches activate here: `BSO_PROGRESS`
+    /// starts the process-wide heartbeat reporter before the run,
     /// `BSO_ARTIFACT=path.json` writes a replayable
-    /// [`ScheduleArtifact`] if the run finds a violation.
+    /// [`ScheduleArtifact`] if the run finds a violation,
+    /// `BSO_DEADLINE_MS=n` applies a wall-clock deadline when the
+    /// builder set none, and `BSO_CHECKPOINT=path.json` writes a
+    /// resumable [`Checkpoint`] if the run is interrupted.
     pub fn run(&self) -> Report
+    where
+        P::State: Hash + Eq,
+    {
+        let mut config = self.config.clone();
+        if config.deadline.is_none() {
+            if let Some(ms) = std::env::var(checkpoint::DEADLINE_ENV_VAR)
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+            {
+                config.deadline = Some(Duration::from_millis(ms));
+            }
+        }
+        self.run_with(None, &config, None)
+    }
+
+    /// Continues an exploration from a [`Checkpoint`] written by an
+    /// interrupted run on the *same* protocol instance and inputs.
+    ///
+    /// The checkpoint pins the semantics of the original run (spec,
+    /// fault budget, step bound, inputs); the builder contributes the
+    /// resource knobs (deadline, budgets, workers, dedup, telemetry) —
+    /// so a resumed run can get a fresh deadline. The returned report
+    /// accumulates the checkpoint's state/terminal counts, making the
+    /// final tallies comparable with an uninterrupted run.
+    /// `max_steps_per_proc` is not reconstructible across an interrupt
+    /// and stays empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint's process count does not match the
+    /// protocol, or if a frontier entry does not replay on it (i.e.
+    /// the checkpoint belongs to a different protocol).
+    pub fn resume(&self, cp: &Checkpoint) -> Report
+    where
+        P::State: Hash + Eq,
+    {
+        assert_eq!(
+            cp.inputs.len(),
+            self.proto.processes(),
+            "checkpoint is for {} processes but the protocol has {}",
+            cp.inputs.len(),
+            self.proto.processes()
+        );
+        let mut config = self.config.clone();
+        config.spec = cp.spec.clone();
+        config.faults = cp.faults;
+        config.step_bound = cp.step_bound;
+        let track = cp.step_bound.is_some();
+        let seeds: Seeds<P::State> = cp
+            .frontier
+            .iter()
+            .map(|entry| {
+                let key =
+                    replay_frontier_key(self.proto, &cp.inputs, entry, track).unwrap_or_else(|e| {
+                        panic!("checkpoint frontier entry does not replay on this protocol: {e}")
+                    });
+                (key, entry.clone())
+            })
+            .collect();
+        if seeds.is_empty() {
+            // Degenerate checkpoint (interrupted before seeding):
+            // restart from scratch under the checkpoint's semantics.
+            return self.run_with(None, &config, None);
+        }
+        self.run_with(Some(seeds), &config, Some(cp))
+    }
+
+    /// Packages an [`ExploreOutcome::Interrupted`] report into a
+    /// durable [`Checkpoint`] that [`resume`](Explorer::resume) (in
+    /// this or a later process) continues from. Returns `None` for any
+    /// other outcome.
+    pub fn checkpoint_for(&self, report: &Report) -> Option<Checkpoint> {
+        self.checkpoint_for_in(report, &self.config)
+    }
+
+    fn checkpoint_for_in(&self, report: &Report, config: &ExploreConfig) -> Option<Checkpoint> {
+        let ExploreOutcome::Interrupted {
+            reason,
+            states,
+            deepest,
+            frontier,
+        } = &report.outcome
+        else {
+            return None;
+        };
+        Some(Checkpoint {
+            protocol: self.resolved_protocol_id(),
+            inputs: self.resolved_inputs(),
+            spec: config.spec.clone(),
+            faults: config.faults,
+            step_bound: config.step_bound,
+            reason: *reason,
+            states: *states,
+            terminals: report.terminals,
+            deepest: *deepest,
+            dedup_hits: report.stats.dedup_hits,
+            frontier: frontier.clone(),
+        })
+    }
+
+    /// Shared tail of [`run`](Explorer::run) and
+    /// [`resume`](Explorer::resume): dispatch, progress sampling, and
+    /// the artifact/checkpoint escape hatches.
+    fn run_with(
+        &self,
+        seeds: Option<Seeds<P::State>>,
+        config: &ExploreConfig,
+        base: Option<&Checkpoint>,
+    ) -> Report
     where
         P::State: Hash + Eq,
     {
@@ -744,13 +1102,29 @@ impl<'p, P: Protocol> Explorer<'p, P> {
             .sym_run
             .or(self.par_run)
             .unwrap_or(run_plain_serial::<P> as RunFn<P>);
-        let report = run(self.proto, inputs, &self.config, self.resolved_workers());
+        let mut report = run(self.proto, inputs, seeds, config, self.resolved_workers());
+        if let Some(cp) = base {
+            report.states += cp.states;
+            report.terminals += cp.terminals;
+            report.stats.dedup_hits += cp.dedup_hits;
+            report.max_steps_per_proc = Vec::new();
+            match &mut report.outcome {
+                ExploreOutcome::Exhausted { states, deepest }
+                | ExploreOutcome::Interrupted {
+                    states, deepest, ..
+                } => {
+                    *states = report.states;
+                    *deepest = (*deepest).max(cp.deepest);
+                }
+                _ => {}
+            }
+        }
         // The stream always ends with a sample of the final counters,
         // even when the whole run fits inside one sampling interval.
         bso_telemetry::progress::sample_global_now();
         if let Some(v) = report.outcome.violation() {
             if let Some(path) = std::env::var_os(artifact::ENV_VAR) {
-                let art = self.artifact_for(v);
+                let art = self.artifact_for_in(v, config);
                 match art.save(&path) {
                     Ok(()) => eprintln!(
                         "counterexample artifact written to {}",
@@ -763,7 +1137,37 @@ impl<'p, P: Protocol> Explorer<'p, P> {
                 }
             }
         }
+        if matches!(report.outcome, ExploreOutcome::Interrupted { .. }) {
+            if let Some(path) = std::env::var_os(checkpoint::ENV_VAR) {
+                let cp = self
+                    .checkpoint_for_in(&report, config)
+                    .expect("outcome is Interrupted");
+                match cp.save(&path) {
+                    Ok(()) => eprintln!(
+                        "checkpoint written to {}",
+                        std::path::Path::new(&path).display()
+                    ),
+                    Err(e) => eprintln!(
+                        "warning: failed to write {} checkpoint: {e}",
+                        checkpoint::ENV_VAR
+                    ),
+                }
+            }
+        }
         report
+    }
+
+    /// [`artifact_for`](Explorer::artifact_for) against an explicit
+    /// (possibly checkpoint-overridden) configuration.
+    fn artifact_for_in(&self, violation: &Violation, config: &ExploreConfig) -> ScheduleArtifact {
+        let mut art = ScheduleArtifact::from_violation(
+            self.resolved_protocol_id(),
+            &self.resolved_inputs(),
+            &config.spec,
+            violation,
+        );
+        art.step_bound = config.step_bound;
+        art
     }
 }
 

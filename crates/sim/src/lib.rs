@@ -105,6 +105,7 @@
 
 pub mod artifact;
 pub mod checker;
+pub mod checkpoint;
 mod engine;
 mod explore;
 pub mod fingerprint;
@@ -121,16 +122,17 @@ mod trace;
 pub mod valence;
 pub mod viz;
 
-pub use artifact::{verify_replay, ScheduleArtifact};
+pub use artifact::{verify_replay, ArtifactError, ScheduleArtifact};
 pub use checker::{
     CheckerSet, ConsensusChecker, ElectionChecker, RunChecker, SetConsensusChecker,
-    StepBoundChecker,
+    StepBoundChecker, WaitFreeChecker,
 };
+pub use checkpoint::Checkpoint;
 #[allow(deprecated)] // the historical free functions stay re-exported
 pub use explore::{explore, explore_parallel, explore_symmetric, explore_symmetric_parallel};
 pub use explore::{
-    DedupMode, ExploreConfig, ExploreOutcome, ExploreStats, Explorer, Report as ExploreReport,
-    TaskSpec, Violation, ViolationKind,
+    CrashEvent, DedupMode, ExploreConfig, ExploreOutcome, ExploreStats, Explorer, FrontierEntry,
+    InterruptReason, Report as ExploreReport, TaskSpec, Violation, ViolationKind,
 };
 pub use memory::SharedMemory;
 pub use protocol::{Action, Pid, Protocol, ProtocolExt};

@@ -91,7 +91,7 @@ fn verdict_of(report: crate::ExploreReport) -> Verdict {
             violation,
             states: report.states,
         }),
-        ExploreOutcome::Exhausted { .. } => Verdict::Unknown {
+        ExploreOutcome::Exhausted { .. } | ExploreOutcome::Interrupted { .. } => Verdict::Unknown {
             states: report.states,
         },
     }

@@ -167,6 +167,19 @@ impl<'p, P: Protocol> Simulation<'p, P> {
         self
     }
 
+    /// Crashes `pid` immediately (between scheduled steps): the
+    /// fail-stop adversary of the paper, driven imperatively. Used by
+    /// crash-schedule replay, where crash positions come from a
+    /// [`CrashEvent`](crate::CrashEvent) list rather than a per-process
+    /// step count. A process that already decided or crashed is left
+    /// alone.
+    pub fn crash(&mut self, pid: Pid) {
+        if matches!(self.statuses[pid], ProcStatus::Running) {
+            self.statuses[pid] = ProcStatus::Crashed;
+            self.trace.push(pid, EventKind::Crashed);
+        }
+    }
+
     /// The processes that can still take a step.
     pub fn enabled(&self) -> Vec<Pid> {
         (0..self.statuses.len())

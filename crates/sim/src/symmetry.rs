@@ -175,6 +175,8 @@ impl<'p, P: SymmetricProtocol> SymCanon<'p, P> {
         let mut states: Vec<P::State> = key.states.clone();
         let mut decisions: Vec<Option<Value>> = vec![None; n];
         let mut stepped = 0u64;
+        let mut crashed = 0u64;
+        let mut steps = key.steps.clone();
         for p in 0..n {
             let q = perm[p];
             states[q] = self.proto.permute_state(perm, &key.states[p]);
@@ -184,6 +186,12 @@ impl<'p, P: SymmetricProtocol> SymCanon<'p, P> {
             if key.stepped >> p & 1 == 1 {
                 stepped |= 1 << q;
             }
+            if key.crashed >> p & 1 == 1 {
+                crashed |= 1 << q;
+            }
+            if !steps.is_empty() {
+                steps[q] = key.steps[p];
+            }
         }
         let mem = self.apply_memory(perm, &key.mem);
         StateKey {
@@ -191,6 +199,8 @@ impl<'p, P: SymmetricProtocol> SymCanon<'p, P> {
             states,
             decisions,
             stepped,
+            crashed,
+            steps,
         }
     }
 

@@ -264,9 +264,24 @@ where
             .enumerate()
             .map(|(pid, input)| s.spawn(move || run_process_tel(proto, mem, pid, input, tel)))
             .collect();
-        handles
+        // Join *every* worker before reacting to a panic, so a
+        // panicking protocol cannot leave peers running against freed
+        // shared memory; then re-raise with the payload and the
+        // offending pid instead of an opaque double panic.
+        let joined: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+        joined
             .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
+            .enumerate()
+            .map(|(pid, r)| {
+                r.unwrap_or_else(|payload| {
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".to_string());
+                    panic!("process {pid} panicked on the hardware runner: {msg}")
+                })
+            })
             .collect()
     });
     results.into_iter().collect()
@@ -355,6 +370,54 @@ mod tests {
         assert!(json.contains("f&a(1)"));
         // A disabled sink records nothing and never panics.
         trace_recorded_ops(&TraceSink::disabled(), &log);
+    }
+
+    #[test]
+    fn a_panicking_process_is_reported_with_pid_and_payload() {
+        /// p1 panics on its first action; everyone else behaves.
+        struct Grenade;
+        impl Protocol for Grenade {
+            type State = St;
+            fn processes(&self) -> usize {
+                3
+            }
+            fn layout(&self) -> Layout {
+                let mut l = Layout::new();
+                l.push(ObjectInit::FetchAdd(0));
+                l
+            }
+            fn init(&self, _pid: Pid, _input: &Value) -> St {
+                St::Start
+            }
+            fn next_action(&self, st: &St) -> Action {
+                match st {
+                    St::Start => Action::Invoke(Op::new(ObjectId(0), OpKind::FetchAdd(1))),
+                    St::Done(r) => {
+                        if *r == 1 {
+                            panic!("grenade went off");
+                        }
+                        Action::Decide(Value::Int(*r))
+                    }
+                }
+            }
+            fn on_response(&self, st: &mut St, resp: Value) {
+                *st = St::Done(resp.as_int().unwrap());
+            }
+        }
+
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let outcome = std::panic::catch_unwind(|| run_on_threads(&Grenade, &vec![Value::Nil; 3]));
+        std::panic::set_hook(hook);
+        let payload = outcome.expect_err("the panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("diagnosed panics carry a String payload");
+        assert!(
+            msg.contains("panicked on the hardware runner") && msg.contains("grenade went off"),
+            "payload should name the runner and quote the cause: {msg}"
+        );
     }
 
     #[test]

@@ -1,0 +1,284 @@
+//! An interrupted exploration must be *continuable*: a run cut short
+//! by a deadline or memory budget emits a `bso-checkpoint/v1` artifact
+//! whose resumption reaches the same final verdict the uninterrupted
+//! run would have — across a save/load round trip through an actual
+//! file, exactly as the `BSO_DEADLINE_MS`/`BSO_CHECKPOINT` escape
+//! hatches produce it.
+
+use std::time::Duration;
+
+use bso_objects::{Layout, ObjectId, ObjectInit, Op, OpKind, Value};
+use bso_sim::{
+    Action, Checkpoint, ExploreOutcome, Explorer, InterruptReason, Pid, Protocol, TaskSpec,
+    ViolationKind,
+};
+
+/// A small verified election: everyone sticky-writes its pid, then
+/// reads the winner back. Enough states to survive a zero deadline's
+/// worth of work, conclusively verifiable on resume.
+struct StickyElection {
+    n: usize,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum St {
+    Write(usize),
+    Done(usize),
+}
+
+impl Protocol for StickyElection {
+    type State = St;
+    fn processes(&self) -> usize {
+        self.n
+    }
+    fn layout(&self) -> Layout {
+        let mut l = Layout::new();
+        l.push(ObjectInit::Sticky);
+        l
+    }
+    fn init(&self, pid: Pid, _input: &Value) -> St {
+        St::Write(pid)
+    }
+    fn next_action(&self, st: &St) -> Action {
+        match st {
+            St::Write(p) => {
+                Action::Invoke(Op::new(ObjectId(0), OpKind::StickyWrite(Value::Pid(*p))))
+            }
+            St::Done(p) => Action::Decide(Value::Pid(*p)),
+        }
+    }
+    fn on_response(&self, st: &mut St, resp: Value) {
+        if let St::Write(_) = st {
+            *st = St::Done(resp.as_pid().expect("sticky register holds a pid"));
+        }
+    }
+}
+
+/// A broken election (everyone elects itself) whose refutation a
+/// deadline can hide — and a resume must then recover.
+struct BrokenElection;
+
+impl Protocol for BrokenElection {
+    type State = St;
+    fn processes(&self) -> usize {
+        2
+    }
+    fn layout(&self) -> Layout {
+        let mut l = Layout::new();
+        l.push(ObjectInit::TestAndSet);
+        l
+    }
+    fn init(&self, pid: Pid, _input: &Value) -> St {
+        St::Write(pid)
+    }
+    fn next_action(&self, st: &St) -> Action {
+        match st {
+            St::Write(_) => Action::Invoke(Op::new(ObjectId(0), OpKind::TestAndSet)),
+            St::Done(p) => Action::Decide(Value::Pid(*p)),
+        }
+    }
+    fn on_response(&self, st: &mut St, _resp: Value) {
+        if let St::Write(p) = st {
+            *st = St::Done(*p);
+        }
+    }
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("bso-cp-{}-{name}.json", std::process::id()))
+}
+
+#[test]
+fn deadline_interrupt_then_resume_reaches_the_uninterrupted_verdict() {
+    let proto = StickyElection { n: 3 };
+    let explorer = Explorer::new(&proto)
+        .protocol_id("sticky-election")
+        .spec(TaskSpec::Election);
+
+    let uninterrupted = explorer.run();
+    assert!(uninterrupted.outcome.is_verified());
+
+    // A zero deadline expires before the first state is expanded.
+    let report = explorer.clone().deadline(Duration::ZERO).run();
+    let ExploreOutcome::Interrupted {
+        reason, frontier, ..
+    } = &report.outcome
+    else {
+        panic!("zero deadline should interrupt, got {:?}", report.outcome);
+    };
+    assert_eq!(*reason, InterruptReason::Deadline);
+    assert!(!frontier.is_empty(), "nothing left to resume from");
+
+    // Round-trip the checkpoint through a real file, like the
+    // BSO_CHECKPOINT escape hatch does.
+    let cp = explorer
+        .checkpoint_for(&report)
+        .expect("interrupted reports must yield a checkpoint");
+    let path = tmp("deadline");
+    cp.save(&path).unwrap();
+    let reloaded = Checkpoint::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(reloaded, cp);
+
+    let resumed = explorer.resume(&reloaded);
+    assert!(
+        resumed.outcome.is_verified(),
+        "resume must reach the uninterrupted verdict: {:?}",
+        resumed.outcome
+    );
+    assert!(resumed.states >= uninterrupted.states);
+}
+
+#[test]
+fn memory_budget_interrupt_is_resumable() {
+    let proto = StickyElection { n: 3 };
+    let explorer = Explorer::new(&proto)
+        .protocol_id("sticky-election")
+        .spec(TaskSpec::Election);
+
+    // A budget of a few hundred bytes caps the visited table at a
+    // handful of states — far fewer than the protocol reaches.
+    let report = explorer.clone().memory_budget(512).run();
+    let ExploreOutcome::Interrupted { reason, .. } = &report.outcome else {
+        panic!("tiny budget should interrupt, got {:?}", report.outcome);
+    };
+    assert_eq!(*reason, InterruptReason::MemoryBudget);
+
+    // Resuming *without* the budget finishes the job. (Resuming with
+    // the same budget would interrupt again — that is the caller's
+    // choice to make, not ours.)
+    let cp = explorer.checkpoint_for(&report).unwrap();
+    let resumed = explorer.resume(&cp);
+    assert!(
+        resumed.outcome.is_verified(),
+        "resume without the budget must verify: {:?}",
+        resumed.outcome
+    );
+}
+
+#[test]
+fn resume_finds_the_violation_a_deadline_hid() {
+    let explorer = Explorer::new(&BrokenElection)
+        .protocol_id("broken-election")
+        .spec(TaskSpec::Election);
+
+    let direct = explorer.run();
+    let ExploreOutcome::Violated(direct_v) = &direct.outcome else {
+        panic!("BrokenElection must be refuted");
+    };
+
+    let report = explorer.clone().deadline(Duration::ZERO).run();
+    let cp = explorer
+        .checkpoint_for(&report)
+        .expect("interrupted report yields a checkpoint");
+    let resumed = explorer.resume(&cp);
+    let ExploreOutcome::Violated(v) = &resumed.outcome else {
+        panic!(
+            "resume must recover the refutation, got {:?}",
+            resumed.outcome
+        );
+    };
+    assert_eq!(v.kind, direct_v.kind, "same violation kind on resume");
+}
+
+#[test]
+fn conclusive_reports_have_no_checkpoint() {
+    let proto = StickyElection { n: 2 };
+    let explorer = Explorer::new(&proto).spec(TaskSpec::Election);
+    let report = explorer.run();
+    assert!(report.outcome.is_verified());
+    assert!(
+        explorer.checkpoint_for(&report).is_none(),
+        "a conclusive report is not resumable"
+    );
+}
+
+#[test]
+fn checkpoints_survive_crash_adversary_configuration() {
+    // Interrupt a *faulty* exploration and resume it: the crash
+    // adversary's configuration (f, step bound) rides along in the
+    // checkpoint, and frontier entries carry their crash events.
+    let proto = StickyElection { n: 3 };
+    let explorer = Explorer::new(&proto)
+        .protocol_id("sticky-election")
+        .spec(TaskSpec::Election)
+        .faults(1)
+        .step_bound(3);
+
+    let direct = explorer.run();
+    assert!(
+        direct.outcome.is_verified(),
+        "sticky election is wait-free under 1 crash: {:?}",
+        direct.outcome
+    );
+
+    let report = explorer.clone().deadline(Duration::ZERO).run();
+    let cp = explorer.checkpoint_for(&report).unwrap();
+    assert_eq!(cp.faults, 1);
+    assert_eq!(cp.step_bound, Some(3));
+
+    let path = tmp("faulty");
+    cp.save(&path).unwrap();
+    let reloaded = Checkpoint::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    let resumed = explorer.resume(&reloaded);
+    assert!(
+        resumed.outcome.is_verified(),
+        "faulty exploration must resume to its verdict: {:?}",
+        resumed.outcome
+    );
+}
+
+#[test]
+fn step_bound_violations_survive_resume() {
+    // Interrupt an exploration that would end in a StepBound
+    // refutation; the resumed run must still find it.
+    struct Spinner;
+    impl Protocol for Spinner {
+        type State = St;
+        fn processes(&self) -> usize {
+            2
+        }
+        fn layout(&self) -> Layout {
+            let mut l = Layout::new();
+            l.push(ObjectInit::Register(Value::Nil));
+            l
+        }
+        fn init(&self, pid: Pid, _input: &Value) -> St {
+            St::Write(pid)
+        }
+        fn next_action(&self, st: &St) -> Action {
+            match st {
+                // p0 spins reading forever; p1 decides immediately.
+                St::Write(0) => Action::Invoke(Op::read(ObjectId(0))),
+                St::Write(p) | St::Done(p) => Action::Decide(Value::Pid(*p)),
+            }
+        }
+        fn on_response(&self, _st: &mut St, _resp: Value) {}
+    }
+
+    let explorer = Explorer::new(&Spinner)
+        .protocol_id("spinner")
+        .spec(TaskSpec::Election)
+        .step_bound(5);
+    let direct = explorer.run();
+    let ExploreOutcome::Violated(direct_v) = &direct.outcome else {
+        panic!(
+            "spinner must violate the step bound, got {:?}",
+            direct.outcome
+        );
+    };
+    assert_eq!(direct_v.kind, ViolationKind::StepBound);
+
+    let report = explorer.clone().deadline(Duration::ZERO).run();
+    let cp = explorer.checkpoint_for(&report).unwrap();
+    let resumed = explorer.resume(&cp);
+    let ExploreOutcome::Violated(v) = &resumed.outcome else {
+        panic!(
+            "resume must recover the step-bound refutation: {:?}",
+            resumed.outcome
+        );
+    };
+    assert_eq!(v.kind, ViolationKind::StepBound);
+}

@@ -1,0 +1,260 @@
+//! Property: with the crash adversary *disabled* (`faults(0)`, the
+//! default), the fault-injection machinery is invisible — every report
+//! field that defines the verdict (outcome, state count, terminals,
+//! deepest prefix, wait-freedom witness) is bit-identical to a
+//! crash-free exploration, in every mode (serial/parallel ×
+//! exact/fingerprint keys).
+//!
+//! This is the contract that lets `faults` default to 0 without a
+//! separate code path: crash branches are generated only for pids the
+//! adversary may still kill, and the per-state metadata (crashed mask,
+//! step counters) hashes to the same key component when empty.
+//!
+//! Written as seeded loops over [`SplitMix64`] (the workspace carries
+//! no external property-testing crate): every case is reproducible
+//! from its seed.
+
+use bso_objects::rng::SplitMix64;
+use bso_objects::{Layout, ObjectId, ObjectInit, Op, OpKind, Value};
+use bso_sim::{Action, DedupMode, ExploreOutcome, Explorer, Pid, Protocol, TaskSpec};
+
+/// One instruction of a random straight-line program with loop-backs.
+#[derive(Clone, Debug)]
+struct Step {
+    op: Op,
+    /// `Some((trigger, target))`: when the response equals `trigger`,
+    /// jump back to instruction `target` instead of advancing.
+    jump: Option<(Value, usize)>,
+}
+
+/// A randomly generated finite protocol over two registers and a
+/// test&set bit; decisions are sometimes wrong on purpose so the
+/// sample exercises violated, verified and cyclic instances alike.
+#[derive(Clone, Debug)]
+struct RandomProtocol {
+    n: usize,
+    program: Vec<Vec<Step>>,
+    decide: Vec<Value>,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum St {
+    At { pid: Pid, pc: usize },
+    Done { pid: Pid },
+}
+
+impl Protocol for RandomProtocol {
+    type State = St;
+
+    fn processes(&self) -> usize {
+        self.n
+    }
+
+    fn layout(&self) -> Layout {
+        let mut l = Layout::new();
+        l.push_n(ObjectInit::Register(Value::Nil), 2);
+        l.push(ObjectInit::TestAndSet);
+        l
+    }
+
+    fn init(&self, pid: Pid, _input: &Value) -> St {
+        if self.program[pid].is_empty() {
+            St::Done { pid }
+        } else {
+            St::At { pid, pc: 0 }
+        }
+    }
+
+    fn next_action(&self, st: &St) -> Action {
+        match st {
+            St::At { pid, pc } => Action::Invoke(self.program[*pid][*pc].op.clone()),
+            St::Done { pid } => Action::Decide(self.decide[*pid].clone()),
+        }
+    }
+
+    fn on_response(&self, st: &mut St, resp: Value) {
+        if let St::At { pid, pc } = *st {
+            let step = &self.program[pid][pc];
+            let next = match &step.jump {
+                Some((trigger, target)) if resp == *trigger => *target,
+                _ => pc + 1,
+            };
+            *st = if next >= self.program[pid].len() {
+                St::Done { pid }
+            } else {
+                St::At { pid, pc: next }
+            };
+        }
+    }
+}
+
+fn arb_protocol(rng: &mut SplitMix64, inputs: &[Value]) -> RandomProtocol {
+    let n = inputs.len();
+    let program = (0..n)
+        .map(|_| {
+            (0..rng.range_usize(1, 4))
+                .map(|pc| {
+                    let op = match rng.usize_below(3) {
+                        0 => Op::write(
+                            ObjectId(rng.usize_below(2)),
+                            Value::Int(rng.usize_below(3) as i64),
+                        ),
+                        1 => Op::read(ObjectId(rng.usize_below(2))),
+                        _ => Op::new(ObjectId(2), OpKind::TestAndSet),
+                    };
+                    let jump = (rng.usize_below(4) == 0).then(|| {
+                        let trigger = match rng.usize_below(3) {
+                            0 => Value::Nil,
+                            1 => Value::Int(rng.usize_below(3) as i64),
+                            _ => Value::Bool(rng.bool()),
+                        };
+                        (trigger, rng.usize_below(pc + 1))
+                    });
+                    Step { op, jump }
+                })
+                .collect()
+        })
+        .collect();
+    let decide = (0..n)
+        .map(|p| match rng.usize_below(4) {
+            0 => Value::Int(99), // no one's input: a validity violation
+            1 => inputs[rng.usize_below(n)].clone(),
+            _ => inputs[p].clone(),
+        })
+        .collect();
+    RandomProtocol { n, program, decide }
+}
+
+/// The verdict-defining report fields, extracted for comparison.
+fn verdict_fields(report: &bso_sim::ExploreReport) -> (ExploreOutcome, usize, usize, Vec<usize>) {
+    (
+        report.outcome.clone(),
+        report.states,
+        report.terminals,
+        report.max_steps_per_proc.clone(),
+    )
+}
+
+#[test]
+fn explicit_faults_zero_is_bit_identical_to_crash_free() {
+    let mut rng = SplitMix64::new(0xFA017);
+    let (mut violated, mut verified) = (0usize, 0usize);
+    for case in 0..40 {
+        let n = rng.range_usize(2, 4);
+        // A 2-value input pool: coinciding inputs let some candidates
+        // genuinely verify, distinct ones make most refutable — both
+        // sides of the identity get exercised.
+        let inputs: Vec<Value> = (0..n)
+            .map(|_| Value::Int(10 + rng.usize_below(2) as i64))
+            .collect();
+        let proto = arb_protocol(&mut rng, &inputs);
+        let spec = TaskSpec::Consensus(inputs.clone());
+        for (mode, parallel, dedup) in [
+            ("serial/exact", false, DedupMode::Exact),
+            ("serial/fingerprint", false, DedupMode::Fingerprint),
+            ("parallel/exact", true, DedupMode::Exact),
+            ("parallel/fingerprint", true, DedupMode::Fingerprint),
+        ] {
+            let base = Explorer::new(&proto)
+                .inputs(&inputs)
+                .spec(spec.clone())
+                .workers(2)
+                .dedup(dedup)
+                .parallel(parallel);
+            let plain = base.clone().run();
+            let zeroed = base.clone().faults(0).run();
+            if parallel {
+                // A violation stops workers early, so on refuted cases
+                // the racy fields (states, which counterexample won)
+                // are run-dependent; the verdict itself is not.
+                assert_eq!(
+                    plain.outcome.is_verified(),
+                    zeroed.outcome.is_verified(),
+                    "case {case} ({mode}): faults(0) changed the verdict: {proto:?}"
+                );
+                if plain.outcome.is_verified() {
+                    assert_eq!(
+                        verdict_fields(&plain),
+                        verdict_fields(&zeroed),
+                        "case {case} ({mode}): faults(0) changed the report: {proto:?}"
+                    );
+                }
+            } else {
+                assert_eq!(
+                    verdict_fields(&plain),
+                    verdict_fields(&zeroed),
+                    "case {case} ({mode}): faults(0) changed the report: {proto:?}"
+                );
+            }
+            assert_eq!(
+                plain.stats.crash_branches, 0,
+                "case {case} ({mode}): crash-free run counted crash branches"
+            );
+            if parallel || dedup == DedupMode::Fingerprint {
+                continue;
+            }
+            match &plain.outcome {
+                ExploreOutcome::Violated(v) => {
+                    violated += 1;
+                    assert!(
+                        v.crashes.is_empty(),
+                        "case {case}: crash-free counterexample has crashes: {v}"
+                    );
+                }
+                ExploreOutcome::Verified => verified += 1,
+                _ => {}
+            }
+        }
+    }
+    // The sample must genuinely exercise both sides of the property.
+    assert!(
+        violated >= 10,
+        "only {violated} refuted cases — weak sample"
+    );
+    assert!(
+        verified >= 5,
+        "only {verified} verified cases — weak sample"
+    );
+}
+
+#[test]
+fn serial_and_parallel_agree_under_the_crash_adversary() {
+    // With faults *enabled* the verdict-defining fields must still be
+    // mode-independent: the crash-extended state graph is the same
+    // graph no matter how many workers walk it.
+    let mut rng = SplitMix64::new(0xFA117);
+    for case in 0..15 {
+        let n = rng.range_usize(2, 4);
+        let inputs: Vec<Value> = (0..n)
+            .map(|_| Value::Int(10 + rng.usize_below(2) as i64))
+            .collect();
+        let proto = arb_protocol(&mut rng, &inputs);
+        let spec = TaskSpec::Consensus(inputs.clone());
+        let base = Explorer::new(&proto)
+            .inputs(&inputs)
+            .spec(spec)
+            .faults(1)
+            .step_bound(12)
+            .workers(2);
+        let serial = base.clone().run();
+        let parallel = base.clone().parallel(true).run();
+        assert_eq!(
+            serial.outcome.is_verified(),
+            parallel.outcome.is_verified(),
+            "case {case}: serial/parallel verdicts diverged under faults(1): {proto:?}"
+        );
+        if serial.outcome.is_verified() {
+            // Verified means the whole crash-extended graph was walked,
+            // so every counter is a graph property, not a race.
+            assert_eq!(
+                verdict_fields(&serial),
+                verdict_fields(&parallel),
+                "case {case}: serial/parallel reports diverged under faults(1): {proto:?}"
+            );
+            assert_eq!(
+                serial.stats.crash_branches, parallel.stats.crash_branches,
+                "case {case}: crash branch counts diverged"
+            );
+        }
+    }
+}

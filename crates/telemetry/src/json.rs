@@ -223,6 +223,7 @@ pub fn parse(src: &str) -> Result<Json, ParseError> {
         src,
         bytes: src.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let v = p.value()?;
@@ -250,10 +251,17 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Containers may nest at most this deep. The parser is recursive, so
+/// without a cap a pathological `[[[[…` input would overflow the stack
+/// — an abort, not a [`ParseError`]. No legitimate bso artifact nests
+/// more than a handful of levels.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     src: &'a str,
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -298,11 +306,27 @@ impl Parser<'_> {
             Some(b't') => self.literal("true", Json::Bool(true)),
             Some(b'f') => self.literal("false", Json::Bool(false)),
             Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b'[') => self.array(),
-            Some(b'{') => self.object(),
+            Some(b'[') => self.nested(Self::array),
+            Some(b'{') => self.nested(Self::object),
             Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
             _ => Err(self.err("expected a JSON value")),
         }
+    }
+
+    /// Runs a container parser one nesting level down, rejecting
+    /// documents deeper than [`MAX_DEPTH`] instead of recursing into a
+    /// stack overflow.
+    fn nested(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> Result<Json, ParseError>,
+    ) -> Result<Json, ParseError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err("containers nested too deeply"));
+        }
+        self.depth += 1;
+        let v = f(self);
+        self.depth -= 1;
+        v
     }
 
     fn array(&mut self) -> Result<Json, ParseError> {
@@ -397,8 +421,13 @@ impl Parser<'_> {
                 Some(c) if c < 0x20 => return Err(self.err("control character in string")),
                 Some(_) => {
                     // `pos` only ever advances past ASCII bytes or
-                    // whole chars, so this slice is boundary-safe.
-                    let c = self.src[self.pos..].chars().next().unwrap();
+                    // whole chars, so this slice is boundary-safe; the
+                    // error arm is unreachable but keeps corrupt input
+                    // on the typed-error path rather than panicking.
+                    let c = self.src[self.pos..]
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.err("unterminated string"))?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -422,7 +451,10 @@ impl Parser<'_> {
                 _ => break,
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        // Only ASCII digit/sign/exponent bytes were consumed, so the
+        // slice is valid UTF-8; fail soft all the same.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("malformed number"))?;
         if integral {
             if let Ok(v) = text.parse::<u64>() {
                 return Ok(Json::U64(v));
@@ -470,6 +502,40 @@ mod tests {
         for bad in ["", "{", "[1,]", "{\"a\" 1}", "tru", "1 2", "\"\\x\"", "nan"] {
             assert!(parse(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn truncated_documents_yield_positioned_errors() {
+        // Every prefix of a valid document must fail with a typed
+        // error — never a panic — and point inside the input.
+        let full = r#"{"schema":"bso-metrics/v1","counters":{"explore.states":[1,2]}}"#;
+        for cut in 1..full.len() {
+            let prefix = &full[..cut];
+            if let Err(e) = parse(prefix) {
+                assert!(e.at <= prefix.len(), "offset out of range for {prefix:?}");
+                assert!(!e.msg.is_empty());
+            }
+            // Some prefixes happen to parse (e.g. a bare number would,
+            // but none here); the loop's point is that none panic.
+        }
+    }
+
+    #[test]
+    fn pathological_nesting_is_rejected_not_overflowed() {
+        // 100k opening brackets would previously blow the parser's
+        // stack; now it is a MAX_DEPTH parse error.
+        let bomb = "[".repeat(100_000);
+        let err = parse(&bomb).unwrap_err();
+        assert!(err.msg.contains("nested too deeply"), "{err}");
+        // ... while reasonable nesting still parses.
+        let ok = format!("{}1{}", "[".repeat(64), "]".repeat(64));
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn huge_exponents_are_malformed_not_infinite() {
+        let err = parse("1e999").unwrap_err();
+        assert!(err.msg.contains("malformed number"), "{err}");
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //!  "states": 80211, "states_per_sec": 131000.0, "frontier": 412,
 //!  "deepest": 19, "dedup_ratio_pct": 37.2, "queues": [12, 9, 14, 8]}
 //! ```
+//!
+//! Runs with a deadline (`Explorer::deadline` or `BSO_DEADLINE_MS`)
+//! additionally report `"budget_remaining_ms"`, counting down to the
+//! interrupt; the field is omitted entirely when no deadline is set.
 
 use std::fs::File;
 use std::io::Write;
@@ -76,7 +80,7 @@ pub fn heartbeat(
         })
         .collect();
     queues.sort_unstable();
-    Json::obj([
+    let mut fields = vec![
         ("schema", Json::str("bso-progress/v1")),
         ("seq", Json::U64(seq)),
         (
@@ -92,7 +96,14 @@ pub fn heartbeat(
             "queues",
             Json::Arr(queues.into_iter().map(|(_, v)| Json::U64(v)).collect()),
         ),
-    ])
+    ];
+    // Present only when a deadline is configured (the engine maintains
+    // the gauge then): 0 would be ambiguous between "no budget" and
+    // "budget exhausted".
+    if let Some(ms) = snap.gauges.get("explore.live.budget_remaining_ms") {
+        fields.push(("budget_remaining_ms", Json::U64(*ms)));
+    }
+    Json::obj(fields)
 }
 
 enum Output {
@@ -340,6 +351,22 @@ mod tests {
             .map(|q| q.as_u64().unwrap())
             .collect();
         assert_eq!(queues, vec![5, 7, 1]);
+    }
+
+    #[test]
+    fn budget_field_appears_only_under_a_deadline() {
+        let reg = live_registry();
+        let without = heartbeat(&reg.snapshot(), 0, Duration::ZERO, 0, Duration::ZERO);
+        assert!(
+            without.get("budget_remaining_ms").is_none(),
+            "no deadline, no budget field"
+        );
+        reg.gauge("explore.live.budget_remaining_ms").set(1_500);
+        let with = heartbeat(&reg.snapshot(), 1, Duration::ZERO, 0, Duration::ZERO);
+        assert_eq!(
+            with.get("budget_remaining_ms").and_then(Json::as_u64),
+            Some(1_500)
+        );
     }
 
     #[test]

@@ -59,6 +59,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = Explorer::new(&small)
         .inputs(&small.pid_inputs())
         .spec(TaskSpec::Election)
+        // Names the instance in any BSO_CHECKPOINT file so the
+        // `replay checkpoint` command can rebuild it and resume.
+        .protocol_id("label-election-2-3")
         .run();
     println!(
         "explorer      : n=2, k=3 verified over {} states ({} terminal)",
