@@ -1,0 +1,414 @@
+//! `loadgen` — mixed-traffic load generator for the `bso-wire/v1`
+//! shared-object service.
+//!
+//! Starts an in-process `bso-server` on an ephemeral loopback port and
+//! drives it with N client threads of mixed compare&swap-(k) /
+//! register / counter / snapshot / election traffic.
+//!
+//! Two modes:
+//!
+//! * **`--smoke`** (CI): a short recorded run. Every successful
+//!   operation is logged through the shared [`HistoryRecorder`] clock
+//!   and the whole history must pass the Wing–Gong linearizability
+//!   checker; the election round must agree across threads; shutdown
+//!   must drain (requests == responses). Exit code 0 is the contract.
+//! * **default**: a timed throughput run writing `BENCH_serve.json`
+//!   (ops/s, p50/p90/p99 latency) at the workspace root, alongside
+//!   `BENCH_explore.json`.
+//!
+//! ```text
+//! loadgen [--smoke] [--threads N] [--ops N] [--k K] [--shards N]
+//!         [--queue N] [--pipeline N]
+//! ```
+//!
+//! `BSO_TELEMETRY=path.json` additionally dumps the `server.*`
+//! counters, queue-depth gauges, and latency histograms (validated in
+//! CI by `validate_telemetry --serve`).
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+use bso::client::{ClientError, Connection, HistoryRecorder};
+use bso::objects::rng::SplitMix64;
+use bso::objects::{Layout, ObjectId, ObjectInit, Op, OpKind, Sym, Value};
+use bso::server::{Server, ServerConfig, ServerStats};
+use bso::sim::{check_history, viz};
+use bso_telemetry::json::Json;
+use bso_telemetry::Registry;
+
+/// Everything a run is parameterized by.
+struct Config {
+    smoke: bool,
+    threads: usize,
+    ops_per_thread: usize,
+    k: u8,
+    shards: usize,
+    queue_capacity: usize,
+    pipeline: usize,
+}
+
+impl Config {
+    fn parse(mut args: impl Iterator<Item = String>) -> Result<Config, String> {
+        fn num(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<usize, String> {
+            args.next()
+                .ok_or_else(|| format!("{flag} needs a value"))?
+                .parse::<usize>()
+                .map_err(|e| format!("{flag}: {e}"))
+        }
+        let mut cfg = Config {
+            smoke: false,
+            threads: 4,
+            ops_per_thread: 20_000,
+            k: 6,
+            shards: 4,
+            queue_capacity: 128,
+            pipeline: 16,
+        };
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--smoke" => {
+                    cfg.smoke = true;
+                    cfg.ops_per_thread = 400;
+                }
+                "--threads" => cfg.threads = num(&mut args, &arg)?.max(1),
+                "--ops" => cfg.ops_per_thread = num(&mut args, &arg)?.max(1),
+                "--k" => {
+                    cfg.k = u8::try_from(num(&mut args, &arg)?)
+                        .ok()
+                        .filter(|k| (3..=255).contains(k))
+                        .ok_or("--k must be in 3..=255")?
+                }
+                "--shards" => cfg.shards = num(&mut args, &arg)?.max(1),
+                "--queue" => cfg.queue_capacity = num(&mut args, &arg)?.max(1),
+                "--pipeline" => cfg.pipeline = num(&mut args, &arg)?.max(1),
+                "--help" | "-h" => return Err(USAGE.to_string()),
+                other => return Err(format!("unknown argument {other}\n{USAGE}")),
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// The served universe: one CAS-(k), per-thread registers (so
+    /// traffic spreads across shards), a contended counter, and a
+    /// snapshot with one slot per thread.
+    fn layout(&self) -> Layout {
+        let mut l = Layout::new();
+        l.push(ObjectInit::CasK { k: self.k as usize });
+        l.push(ObjectInit::FetchAdd(0));
+        l.push(ObjectInit::Snapshot {
+            slots: self.threads,
+        });
+        for _ in 0..self.threads {
+            l.push(ObjectInit::Register(Value::Nil));
+        }
+        l
+    }
+}
+
+const USAGE: &str = "usage: loadgen [--smoke] [--threads N] [--ops N] [--k K] \
+[--shards N] [--queue N] [--pipeline N]";
+
+const CAS: ObjectId = ObjectId(0);
+const CTR: ObjectId = ObjectId(1);
+const SNAP: ObjectId = ObjectId(2);
+
+fn register_of(thread: usize) -> ObjectId {
+    ObjectId(3 + thread)
+}
+
+/// One thread's traffic mix. In smoke mode ops round-trip one at a
+/// time (tight intervals keep the checker's search shallow) with a
+/// pipelined fetch&add burst at the end; in bench mode a window of
+/// `pipeline` requests is kept in flight throughout.
+fn run_thread(
+    addr: std::net::SocketAddr,
+    cfg: &Config,
+    pid: usize,
+    recorder: Option<Arc<HistoryRecorder>>,
+    latency: bso_telemetry::Histogram,
+) -> Result<(u64, u64), ClientError> {
+    let mut conn = Connection::connect(addr)?.with_latency_histogram(latency);
+    if let Some(rec) = recorder {
+        conn = conn.with_recorder(rec);
+    }
+    let mut rng = SplitMix64::new(0x10AD_0000 + pid as u64);
+    let mut ok = 0u64;
+    let mut busy = 0u64;
+    let mut in_flight: Vec<u64> = Vec::new();
+    let window = if cfg.smoke { 1 } else { cfg.pipeline };
+    for i in 0..cfg.ops_per_thread {
+        let op = match rng.usize_below(10) {
+            0..=2 => Op::cas(
+                CAS,
+                Value::Sym(Sym::BOTTOM),
+                Value::Sym(Sym::new(rng.range_u8(0, cfg.k - 2))),
+            ),
+            3 => Op::cas(
+                CAS,
+                Value::Sym(Sym::new(rng.range_u8(0, cfg.k - 2))),
+                Value::Sym(Sym::BOTTOM),
+            ),
+            4..=5 => Op::new(CTR, OpKind::FetchAdd(1)),
+            6 => Op::read(CAS),
+            7 => Op::write(register_of(pid), Value::Int(i as i64)),
+            8 => Op::read(register_of(rng.usize_below(cfg.threads))),
+            _ => {
+                if rng.usize_below(4) == 0 {
+                    Op::new(SNAP, OpKind::SnapshotScan)
+                } else {
+                    Op::new(SNAP, OpKind::SnapshotUpdate(Value::Int(i as i64)))
+                }
+            }
+        };
+        in_flight.push(conn.send(pid, op)?);
+        while in_flight.len() >= window {
+            match conn.wait(in_flight.remove(0)) {
+                Ok(bso::server::Response::Ok(_)) => ok += 1,
+                Ok(bso::server::Response::Err { code, message }) => {
+                    if code == bso::server::ErrorCode::Busy {
+                        busy += 1;
+                    } else {
+                        return Err(ClientError::Server { code, message });
+                    }
+                }
+                Ok(other) => return Err(ClientError::Protocol(format!("unexpected {other:?}"))),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    // A pipelined burst of fetch&adds even in smoke mode: overlapping
+    // recorded intervals exercise the checker's concurrency handling,
+    // and the unique counter responses keep its search linear.
+    let ids: Vec<u64> = (0..8)
+        .map(|_| conn.send(pid, Op::new(CTR, OpKind::FetchAdd(1))))
+        .collect::<Result<_, _>>()?;
+    in_flight.extend(ids);
+    for id in in_flight {
+        match conn.wait(id)? {
+            bso::server::Response::Ok(_) => ok += 1,
+            bso::server::Response::Err {
+                code: bso::server::ErrorCode::Busy,
+                ..
+            } => busy += 1,
+            other => return Err(ClientError::Protocol(format!("unexpected {other:?}"))),
+        }
+    }
+    Ok((ok, busy))
+}
+
+struct RunOutcome {
+    ok: u64,
+    busy: u64,
+    elapsed: std::time::Duration,
+    stats: ServerStats,
+    winners: Vec<usize>,
+    log: Vec<bso::sim::RecordedOp>,
+    registry: Registry,
+}
+
+fn run(cfg: &Config) -> Result<RunOutcome, String> {
+    let layout = cfg.layout();
+    // Prefer the global registry so `BSO_TELEMETRY=path.json` captures
+    // the server metrics; fall back to a private live one so the
+    // emitted latency quantiles are real either way.
+    let registry = if Registry::global().is_enabled() {
+        Registry::default()
+    } else {
+        Registry::enabled()
+    };
+    let server_cfg = ServerConfig {
+        shards: cfg.shards,
+        queue_capacity: cfg.queue_capacity,
+        registry: registry.clone(),
+    };
+    let handle =
+        Server::bind("127.0.0.1:0", &layout, server_cfg).map_err(|e| format!("bind: {e}"))?;
+    let addr = handle.local_addr();
+    let recorder = cfg.smoke.then(|| Arc::new(HistoryRecorder::new()));
+
+    let started = Instant::now();
+    let totals: Vec<(u64, u64)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.threads)
+            .map(|pid| {
+                let recorder = recorder.clone();
+                let latency = registry.histogram("client.rtt_ns");
+                s.spawn(move || run_thread(addr, cfg, pid, recorder, latency))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .collect::<Result<_, _>>()
+    })
+    .map_err(|e| format!("client error: {e}"))?;
+    let elapsed = started.elapsed();
+
+    // One election session, every thread a participant (the session's
+    // protocol hosts k−1 of them).
+    let participants = cfg.threads.min(cfg.k as usize - 1);
+    let session = Connection::connect(addr)
+        .and_then(|mut c| {
+            c.open_election(cfg.k as u32)
+                .map_err(|e| std::io::Error::other(e.to_string()))
+        })
+        .map_err(|e| format!("open election: {e}"))?;
+    let winners: Vec<usize> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..participants)
+            .map(|pid| {
+                s.spawn(move || {
+                    Connection::connect(addr)
+                        .map_err(ClientError::Io)?
+                        .elect(session, pid as u32)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("elector thread panicked"))
+            .collect::<Result<_, _>>()
+    })
+    .map_err(|e| format!("election: {e}"))?;
+
+    let stats = handle.shutdown();
+    let log = recorder.map(|r| r.take_log()).unwrap_or_default();
+    let (ok, busy) = totals
+        .iter()
+        .fold((0, 0), |(o, b), (to, tb)| (o + to, b + tb));
+    Ok(RunOutcome {
+        ok,
+        busy,
+        elapsed,
+        stats,
+        winners,
+        log,
+        registry,
+    })
+}
+
+fn emit_bench_json(cfg: &Config, out: &RunOutcome, registry: &Registry) -> String {
+    let rtt = registry
+        .snapshot()
+        .histograms
+        .get("client.rtt_ns")
+        .map(|h| {
+            Json::obj([
+                ("p50_ns", Json::U64(h.p50())),
+                ("p90_ns", Json::U64(h.p90())),
+                ("p99_ns", Json::U64(h.p99())),
+                ("min_ns", Json::U64(h.min)),
+                ("max_ns", Json::U64(h.max)),
+                ("count", Json::U64(h.count)),
+            ])
+        });
+    let total = out.ok + out.busy;
+    Json::obj([
+        ("schema", Json::Str("bso-serve-bench/v1".into())),
+        (
+            "config",
+            Json::obj([
+                ("threads", Json::U64(cfg.threads as u64)),
+                ("ops_per_thread", Json::U64(cfg.ops_per_thread as u64)),
+                ("k", Json::U64(cfg.k as u64)),
+                ("shards", Json::U64(cfg.shards as u64)),
+                ("queue_capacity", Json::U64(cfg.queue_capacity as u64)),
+                ("pipeline", Json::U64(cfg.pipeline as u64)),
+            ]),
+        ),
+        ("elapsed_ms", Json::F64(out.elapsed.as_secs_f64() * 1e3)),
+        (
+            "ops_per_sec",
+            Json::F64(total as f64 / out.elapsed.as_secs_f64()),
+        ),
+        ("ops_ok", Json::U64(out.ok)),
+        ("ops_busy", Json::U64(out.busy)),
+        ("latency", rtt.unwrap_or(Json::Null)),
+        (
+            "server",
+            Json::obj([
+                ("connections", Json::U64(out.stats.connections)),
+                ("requests", Json::U64(out.stats.requests)),
+                ("responses", Json::U64(out.stats.responses)),
+                ("busy", Json::U64(out.stats.busy)),
+                ("malformed", Json::U64(out.stats.malformed)),
+            ]),
+        ),
+    ])
+    .render_pretty()
+}
+
+fn main() -> ExitCode {
+    let cfg = match Config::parse(std::env::args().skip(1)) {
+        Ok(cfg) => cfg,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let out = match run(&cfg) {
+        Ok(out) => out,
+        Err(msg) => {
+            eprintln!("loadgen: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let total = out.ok + out.busy;
+    println!(
+        "{} threads × {} ops (k={}, {} shards): {} ok + {} busy in {:.1} ms ({:.0} ops/s)",
+        cfg.threads,
+        cfg.ops_per_thread,
+        cfg.k,
+        cfg.shards,
+        out.ok,
+        out.busy,
+        out.elapsed.as_secs_f64() * 1e3,
+        total as f64 / out.elapsed.as_secs_f64(),
+    );
+
+    // The server must have answered exactly what was asked: the mixed
+    // traffic, the election traffic, and nothing twice.
+    if out.stats.requests != out.stats.responses {
+        eprintln!(
+            "loadgen: server answered {} of {} requests",
+            out.stats.responses, out.stats.requests
+        );
+        return ExitCode::FAILURE;
+    }
+    if out.winners.windows(2).any(|w| w[0] != w[1]) {
+        eprintln!("loadgen: election disagreement: {:?}", out.winners);
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "election: {} participants all chose p{}",
+        out.winners.len(),
+        out.winners[0]
+    );
+
+    if cfg.smoke {
+        // End-to-end linearizability: the recorded wire history checks
+        // out against the same sequential specs the simulator uses.
+        let layout = cfg.layout();
+        if let Err(e) = check_history(&layout, &out.log) {
+            eprintln!("loadgen: NOT LINEARIZABLE\n{e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "smoke: recorded history of {} ops is linearizable ✓",
+            out.log.len()
+        );
+        // A taste of the history for humans (last few ticks).
+        let tail: Vec<_> = out.log.iter().rev().take(12).rev().cloned().collect();
+        print!("{}", viz::history_timeline(&tail, cfg.threads));
+    } else {
+        let json = emit_bench_json(&cfg, &out, &out.registry);
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("loadgen: write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    bso_bench::dump_telemetry();
+    ExitCode::SUCCESS
+}

@@ -5,6 +5,7 @@
 //! validate_telemetry --trace <trace.json> [min_events]
 //! validate_telemetry --progress <progress.jsonl> [min_lines]
 //! validate_telemetry --checkpoint <cp.json>
+//! validate_telemetry --serve <snapshot.json>
 //! ```
 //!
 //! The default mode exits nonzero unless the file parses as a
@@ -16,8 +17,12 @@
 //! `min_events` data events; `--progress` checks a `BSO_PROGRESS`
 //! stream for well-formed `bso-progress/v1` heartbeats; `--checkpoint`
 //! checks that a `BSO_CHECKPOINT` file is a loadable, resumable
-//! `bso-checkpoint/v1` document with a non-empty frontier. CI runs all
-//! four over the artifacts the examples write.
+//! `bso-checkpoint/v1` document with a non-empty frontier; `--serve`
+//! checks a snapshot captured from a live `bso-server` run for the
+//! `server.*` metric contract (request accounting that balances,
+//! per-shard queue-depth gauges, latency histograms with consistent
+//! quantiles). CI runs all five over the artifacts the examples and
+//! the loadgen smoke job write.
 
 use std::process::ExitCode;
 
@@ -39,7 +44,7 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage: validate_telemetry <snapshot.json> [min_total] [prefix=N ...] \
      | --trace <trace.json> [min_events] | --progress <progress.jsonl> [min_lines] \
-     | --checkpoint <cp.json>";
+     | --checkpoint <cp.json> | --serve <snapshot.json>";
 
 fn run() -> Result<String, String> {
     let mut args = std::env::args().skip(1);
@@ -57,6 +62,10 @@ fn run() -> Result<String, String> {
     if path == "--checkpoint" {
         let file = args.next().ok_or(USAGE)?;
         return validate_checkpoint(&file);
+    }
+    if path == "--serve" {
+        let file = args.next().ok_or(USAGE)?;
+        return validate_serve(&file);
     }
     let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
     let doc = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
@@ -199,6 +208,113 @@ fn validate_checkpoint(path: &str) -> Result<String, String> {
         cp.reason,
         cp.states,
         cp.frontier.len()
+    ))
+}
+
+/// Checks a snapshot from a live `bso-server` run for the `server.*`
+/// metric contract.
+fn validate_serve(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    if !matches!(doc.get("schema"), Some(Json::Str(s)) if s == "bso-telemetry/v1") {
+        return Err(format!("{path}: missing or unknown \"schema\""));
+    }
+    let metrics = doc
+        .get("metrics")
+        .and_then(Json::entries)
+        .ok_or_else(|| format!("{path}: \"metrics\" is missing or not an object"))?;
+    let counter = |name: &str| -> Result<u64, String> {
+        let m = metrics
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("{path}: missing counter {name:?}"))?;
+        if !matches!(m.get("type"), Some(Json::Str(t)) if t == "counter") {
+            return Err(format!("{path}: {name:?} is not a counter"));
+        }
+        m.get("value")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("{path}: {name:?} has no integer value"))
+    };
+
+    // The request ledger must balance: everything decoded was either
+    // answered or refused, and refusals are answered too — so the
+    // server can never owe more responses than it got requests.
+    let requests = counter("server.requests")?;
+    let responses = counter("server.responses")?;
+    let busy = counter("server.busy")?;
+    if requests == 0 {
+        return Err(format!(
+            "{path}: server.requests is 0 — no traffic captured"
+        ));
+    }
+    if responses > requests {
+        return Err(format!(
+            "{path}: {responses} responses for {requests} requests"
+        ));
+    }
+    if busy > requests {
+        return Err(format!(
+            "{path}: {busy} busy refusals for {requests} requests"
+        ));
+    }
+    if counter("server.connections")? == 0 {
+        return Err(format!("{path}: server.connections is 0"));
+    }
+
+    // Queue-depth gauges: one per shard, contiguously numbered from 0.
+    let shards = metrics
+        .iter()
+        .filter(|(k, m)| {
+            k.starts_with("server.shard")
+                && k.ends_with(".queue_depth")
+                && matches!(m.get("type"), Some(Json::Str(t)) if t == "gauge")
+        })
+        .count();
+    if shards == 0 {
+        return Err(format!("{path}: no server.shard<i>.queue_depth gauges"));
+    }
+    for i in 0..shards {
+        let name = format!("server.shard{i}.queue_depth");
+        if !metrics.iter().any(|(k, _)| *k == name) {
+            return Err(format!(
+                "{path}: shard gauges are not contiguous: no {name:?}"
+            ));
+        }
+    }
+
+    // Latency histograms: present, non-empty, quantiles ordered and
+    // inside [min, max].
+    let mut histograms = 0;
+    for (name, m) in metrics {
+        if !(name.starts_with("server.") || name.starts_with("client."))
+            || !matches!(m.get("type"), Some(Json::Str(t)) if t == "histogram")
+        {
+            continue;
+        }
+        histograms += 1;
+        let field = |key: &str| -> Result<u64, String> {
+            m.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{path}: histogram {name:?} has no integer {key:?}"))
+        };
+        let (count, min, max) = (field("count")?, field("min")?, field("max")?);
+        let (p50, p90, p99) = (field("p50")?, field("p90")?, field("p99")?);
+        if count == 0 {
+            return Err(format!("{path}: histogram {name:?} is empty"));
+        }
+        if !(min <= p50 && p50 <= p90 && p90 <= p99 && p99 <= max) {
+            return Err(format!(
+                "{path}: histogram {name:?} has disordered quantiles \
+                 (min {min}, p50 {p50}, p90 {p90}, p99 {p99}, max {max})"
+            ));
+        }
+    }
+    if histograms == 0 {
+        return Err(format!("{path}: no server-side latency histograms"));
+    }
+    Ok(format!(
+        "{path}: ok ({requests} requests over {shards} shards, {histograms} histograms)"
     ))
 }
 

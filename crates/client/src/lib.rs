@@ -1,0 +1,409 @@
+//! `bso-client`: a pipelined client for the `bso-wire/v1`
+//! shared-object service, with an op-recording mode whose output feeds
+//! the Wing–Gong linearizability checker in `bso-sim`.
+//!
+//! A [`Connection`] talks to one `bso-server`. Requests are written
+//! into a buffered stream without flushing, so a burst of [`Connection::send`]s
+//! becomes one TCP write when [`Connection::flush`] (or the first
+//! [`Connection::recv`]) happens — the wire-level pipelining the
+//! server's batched writer is built for. Responses may come back out
+//! of order; they are correlated by `req_id` and stashed until asked
+//! for, so `send A, send B, wait B, wait A` works.
+//!
+//! # Recording histories
+//!
+//! Attach a process-wide [`HistoryRecorder`] (one shared clock across
+//! every connection) and each successful operation is logged as a
+//! [`RecordedOp`] whose interval covers the server-side linearization
+//! point: the invocation tick is taken before the request bytes leave,
+//! the response tick after the response arrives, and the server
+//! applies the operation strictly in between. The recorded real-time
+//! precedence is therefore sound for [`bso_sim::check_history`] — two
+//! ops it orders really were non-overlapping.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use bso_client::{Connection, HistoryRecorder};
+//! use bso_objects::{Layout, ObjectId, ObjectInit, Op, Value};
+//!
+//! let mut layout = Layout::new();
+//! let reg = layout.push(ObjectInit::Register(Value::Nil));
+//! let rec = Arc::new(HistoryRecorder::new());
+//! let mut conn = Connection::connect("127.0.0.1:4860").unwrap()
+//!     .with_recorder(Arc::clone(&rec));
+//! conn.apply(0, Op::write(reg, Value::Int(7))).unwrap();
+//! conn.apply(0, Op::read(reg)).unwrap();
+//! drop(conn);
+//! bso_sim::check_history(&layout, &rec.take_log()).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use bso_objects::{Op, Value};
+use bso_server::wire::{self, WireError};
+use bso_server::{ErrorCode, Request, Response};
+use bso_sim::RecordedOp;
+use bso_telemetry::Histogram;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection broke (including EOF while a reply was owed).
+    Io(std::io::Error),
+    /// The server sent bytes that do not decode as `bso-wire/v1`.
+    Wire(WireError),
+    /// The server answered with a typed error.
+    Server {
+        /// The error class.
+        code: ErrorCode,
+        /// Human-readable detail from the server.
+        message: String,
+    },
+    /// The server answered a request we never sent, or with a response
+    /// shape the request cannot produce.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Wire(e) => write!(f, "wire error: {e}"),
+            ClientError::Server { code, message } => write!(f, "server error ({code}): {message}"),
+            ClientError::Protocol(m) => write!(f, "protocol violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> ClientError {
+        ClientError::Wire(e)
+    }
+}
+
+impl ClientError {
+    /// Whether this is the server's `Busy` backpressure signal — the
+    /// request was not applied and can simply be retried.
+    pub fn is_busy(&self) -> bool {
+        matches!(
+            self,
+            ClientError::Server {
+                code: ErrorCode::Busy,
+                ..
+            }
+        )
+    }
+}
+
+/// A shared invocation/response clock plus the log it stamps.
+///
+/// One recorder must be shared (via `Arc`) by every connection whose
+/// operations should be checked as a single concurrent history — the
+/// clock is what makes intervals from different connections
+/// comparable. Mirrors `bso_sim::RecordingMemory`: failed operations
+/// are not recorded (a refused op has no effect to linearize).
+#[derive(Debug, Default)]
+pub struct HistoryRecorder {
+    clock: AtomicU64,
+    log: Mutex<Vec<RecordedOp>>,
+}
+
+impl HistoryRecorder {
+    /// A fresh recorder with the clock at zero.
+    pub fn new() -> HistoryRecorder {
+        HistoryRecorder::default()
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::SeqCst)
+    }
+
+    fn record(&self, rec: RecordedOp) {
+        self.log.lock().unwrap().push(rec);
+    }
+
+    /// Drains the log so far, sorted by response time (the order
+    /// [`bso_sim::check_history`] expects).
+    pub fn take_log(&self) -> Vec<RecordedOp> {
+        let mut log = std::mem::take(&mut *self.log.lock().unwrap());
+        log.sort_by_key(|r| r.responded_at);
+        log
+    }
+
+    /// Operations recorded so far.
+    pub fn len(&self) -> usize {
+        self.log.lock().unwrap().len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// What we remember about an in-flight request.
+struct Pending {
+    pid: usize,
+    op: Option<Op>,
+    invoked_at: u64,
+    sent: Instant,
+}
+
+/// A pipelined connection to one `bso-server`.
+pub struct Connection {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    out: Vec<u8>,
+    next_id: u64,
+    pending: HashMap<u64, Pending>,
+    stashed: HashMap<u64, Response>,
+    recorder: Option<std::sync::Arc<HistoryRecorder>>,
+    latency: Option<Histogram>,
+}
+
+impl Connection {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors from [`TcpStream::connect`].
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Connection> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let write_half = stream.try_clone()?;
+        Ok(Connection {
+            reader: BufReader::new(stream),
+            writer: BufWriter::new(write_half),
+            out: Vec::new(),
+            next_id: 0,
+            pending: HashMap::new(),
+            stashed: HashMap::new(),
+            recorder: None,
+            latency: None,
+        })
+    }
+
+    /// Attaches a (shared) history recorder; every subsequent
+    /// successful `Apply` is logged with interval timestamps.
+    #[must_use]
+    pub fn with_recorder(mut self, rec: std::sync::Arc<HistoryRecorder>) -> Connection {
+        self.recorder = Some(rec);
+        self
+    }
+
+    /// Attaches a latency histogram; every completed request records
+    /// its client-observed round-trip in nanoseconds.
+    #[must_use]
+    pub fn with_latency_histogram(mut self, hist: Histogram) -> Connection {
+        self.latency = Some(hist);
+        self
+    }
+
+    /// Queues one operation without flushing and returns its `req_id`.
+    /// Call [`Connection::flush`] (or any receive) to put it on the
+    /// wire; interleave several sends first to pipeline.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Wire`] if an operand value breaks the encoding
+    /// limits (nothing is queued in that case).
+    pub fn send(&mut self, pid: usize, op: Op) -> Result<u64, ClientError> {
+        let req_id = self.next_id;
+        self.next_id += 1;
+        wire::encode_request(
+            req_id,
+            &Request::Apply {
+                pid: pid as u32,
+                op: op.clone(),
+            },
+            &mut self.out,
+        )?;
+        let invoked_at = self.recorder.as_deref().map(HistoryRecorder::tick);
+        self.pending.insert(
+            req_id,
+            Pending {
+                pid,
+                op: Some(op),
+                invoked_at: invoked_at.unwrap_or(0),
+                sent: Instant::now(),
+            },
+        );
+        Ok(req_id)
+    }
+
+    fn send_control(&mut self, req: &Request) -> Result<u64, ClientError> {
+        let req_id = self.next_id;
+        self.next_id += 1;
+        wire::encode_request(req_id, req, &mut self.out)?;
+        self.pending.insert(
+            req_id,
+            Pending {
+                pid: 0,
+                op: None,
+                invoked_at: 0,
+                sent: Instant::now(),
+            },
+        );
+        Ok(req_id)
+    }
+
+    /// Writes and flushes everything queued so far.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the socket.
+    pub fn flush(&mut self) -> Result<(), ClientError> {
+        wire::write_frames(&mut self.writer, &mut self.out)?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Receives one response (flushing queued requests first), in
+    /// whatever order the server finished them.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] on disconnect, [`ClientError::Wire`] on a
+    /// malformed response, [`ClientError::Protocol`] on an unknown
+    /// `req_id`.
+    pub fn recv(&mut self) -> Result<(u64, Response), ClientError> {
+        self.flush()?;
+        let mut buf = Vec::new();
+        if !wire::read_frame(&mut self.reader, &mut buf)? {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        let (req_id, resp) = wire::decode_response(&buf)?;
+        let Some(pending) = self.pending.remove(&req_id) else {
+            return Err(ClientError::Protocol(format!(
+                "response for unknown req_id {req_id}"
+            )));
+        };
+        if let Some(h) = &self.latency {
+            h.record(u64::try_from(pending.sent.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+        if let (Some(rec), Some(op), Response::Ok(v)) = (&self.recorder, &pending.op, &resp) {
+            let responded_at = rec.tick();
+            rec.record(RecordedOp {
+                pid: pending.pid,
+                op: op.clone(),
+                resp: v.clone(),
+                invoked_at: pending.invoked_at,
+                responded_at,
+            });
+        }
+        Ok((req_id, resp))
+    }
+
+    /// Receives until `req_id`'s response arrives, stashing any other
+    /// completions for their own `wait` calls.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Connection::recv`].
+    pub fn wait(&mut self, req_id: u64) -> Result<Response, ClientError> {
+        if let Some(r) = self.stashed.remove(&req_id) {
+            return Ok(r);
+        }
+        loop {
+            let (id, resp) = self.recv()?;
+            if id == req_id {
+                return Ok(resp);
+            }
+            self.stashed.insert(id, resp);
+        }
+    }
+
+    /// One full round trip: send, flush, wait, unwrap.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] for typed server errors (use
+    /// [`ClientError::is_busy`] to spot retryable backpressure) plus
+    /// everything [`Connection::recv`] can fail with.
+    pub fn apply(&mut self, pid: usize, op: Op) -> Result<Value, ClientError> {
+        let id = self.send(pid, op)?;
+        match self.wait(id)? {
+            Response::Ok(v) => Ok(v),
+            Response::Err { code, message } => Err(ClientError::Server { code, message }),
+            Response::Session(_) => {
+                Err(ClientError::Protocol("session response to an apply".into()))
+            }
+        }
+    }
+
+    /// Opens a leader-election session over a fresh
+    /// `compare&swap-(k)`; the session hosts `k − 1` participants.
+    ///
+    /// # Errors
+    ///
+    /// Same classes as [`Connection::apply`].
+    pub fn open_election(&mut self, k: u32) -> Result<u32, ClientError> {
+        let id = self.send_control(&Request::OpenElection { k })?;
+        match self.wait(id)? {
+            Response::Session(s) => Ok(s),
+            Response::Err { code, message } => Err(ClientError::Server { code, message }),
+            Response::Ok(_) => Err(ClientError::Protocol(
+                "value response to an open-election".into(),
+            )),
+        }
+    }
+
+    /// Runs participant `pid` of `session` to its decision and returns
+    /// the elected leader.
+    ///
+    /// # Errors
+    ///
+    /// Same classes as [`Connection::apply`].
+    pub fn elect(&mut self, session: u32, pid: u32) -> Result<usize, ClientError> {
+        let id = self.send_control(&Request::Elect { session, pid })?;
+        match self.wait(id)? {
+            Response::Ok(Value::Pid(winner)) => Ok(winner),
+            Response::Ok(v) => Err(ClientError::Protocol(format!(
+                "election decided a non-pid value {v}"
+            ))),
+            Response::Err { code, message } => Err(ClientError::Server { code, message }),
+            Response::Session(_) => {
+                Err(ClientError::Protocol("session response to an elect".into()))
+            }
+        }
+    }
+
+    /// Round-trips a no-op, confirming the connection is live and all
+    /// queued requests are flushed.
+    ///
+    /// # Errors
+    ///
+    /// Same classes as [`Connection::apply`].
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        let id = self.send_control(&Request::Ping)?;
+        match self.wait(id)? {
+            Response::Ok(_) => Ok(()),
+            Response::Err { code, message } => Err(ClientError::Server { code, message }),
+            Response::Session(_) => Err(ClientError::Protocol("session response to a ping".into())),
+        }
+    }
+
+    /// Requests sent but not yet answered.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+}

@@ -1,0 +1,200 @@
+//! End-to-end loopback tests: several client threads hammer a live
+//! `bso-server`, the recorded history goes through the Wing–Gong
+//! checker, and elections agree across connections.
+
+use std::sync::Arc;
+
+use bso_client::{ClientError, Connection, HistoryRecorder};
+use bso_objects::rng::SplitMix64;
+use bso_objects::{Layout, ObjectId, ObjectInit, Op, OpKind, Sym, Value};
+use bso_server::{Server, ServerConfig};
+use bso_sim::check_history;
+
+const THREADS: usize = 4;
+
+fn layout() -> Layout {
+    let mut l = Layout::new();
+    l.push(ObjectInit::CasK { k: 5 }); // o0
+    l.push(ObjectInit::Register(Value::Nil)); // o1
+    l.push(ObjectInit::FetchAdd(0)); // o2
+    l.push(ObjectInit::Snapshot { slots: THREADS }); // o3
+    l
+}
+
+/// Mixed traffic from `THREADS` connections, every successful op
+/// recorded against one shared clock, then checked end to end.
+#[test]
+fn recorded_multithreaded_run_is_linearizable() {
+    let layout = layout();
+    let handle = Server::bind("127.0.0.1:0", &layout, ServerConfig::default()).unwrap();
+    let addr = handle.local_addr();
+    let rec = Arc::new(HistoryRecorder::new());
+
+    std::thread::scope(|s| {
+        for pid in 0..THREADS {
+            let rec = Arc::clone(&rec);
+            s.spawn(move || {
+                let mut conn = Connection::connect(addr).unwrap().with_recorder(rec);
+                let mut rng = SplitMix64::new(0xC11E57 + pid as u64);
+                for _ in 0..60 {
+                    let op = match rng.usize_below(5) {
+                        0 => Op::cas(
+                            ObjectId(0),
+                            Value::Sym(Sym::BOTTOM),
+                            Value::Sym(Sym::new(rng.range_u8(0, 3))),
+                        ),
+                        1 => Op::read(ObjectId(rng.usize_below(3))),
+                        2 => Op::write(ObjectId(1), Value::Pid(pid)),
+                        3 => Op::new(ObjectId(2), OpKind::FetchAdd(1)),
+                        _ => {
+                            if rng.usize_below(2) == 0 {
+                                Op::new(ObjectId(3), OpKind::SnapshotUpdate(Value::Pid(pid)))
+                            } else {
+                                Op::new(ObjectId(3), OpKind::SnapshotScan)
+                            }
+                        }
+                    };
+                    conn.apply(pid, op).unwrap();
+                }
+                // A pipelined burst of fetch&adds: overlapping
+                // intervals, but unique responses keep the check
+                // cheap.
+                let ids: Vec<u64> = (0..8)
+                    .map(|_| {
+                        conn.send(pid, Op::new(ObjectId(2), OpKind::FetchAdd(1)))
+                            .unwrap()
+                    })
+                    .collect();
+                for id in ids {
+                    match conn.wait(id).unwrap() {
+                        bso_server::Response::Ok(_) => {}
+                        other => panic!("unexpected {other:?}"),
+                    }
+                }
+            });
+        }
+    });
+
+    let log = rec.take_log();
+    assert_eq!(log.len(), THREADS * 68, "every successful op is recorded");
+    check_history(&layout, &log).expect("loopback history must be linearizable");
+    let stats = handle.shutdown();
+    assert_eq!(stats.requests, (THREADS * 68) as u64);
+    assert_eq!(stats.malformed, 0);
+}
+
+/// All participants, spread across independent connections, elect the
+/// same leader; a second session is independent of the first.
+#[test]
+fn elections_agree_across_connections() {
+    let handle = Server::bind("127.0.0.1:0", &layout(), ServerConfig::default()).unwrap();
+    let addr = handle.local_addr();
+    let session = Connection::connect(addr).unwrap().open_election(6).unwrap();
+
+    let winners: Vec<usize> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..5u32)
+            .map(|pid| {
+                s.spawn(move || {
+                    Connection::connect(addr)
+                        .unwrap()
+                        .elect(session, pid)
+                        .unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert!(winners.windows(2).all(|w| w[0] == w[1]), "{winners:?}");
+    assert!(winners[0] < 5, "leader is a participant");
+
+    let mut conn = Connection::connect(addr).unwrap();
+    let session2 = conn.open_election(3).unwrap();
+    assert_ne!(session, session2);
+    let w2 = conn.elect(session2, 0).unwrap();
+    assert_eq!(w2, 0, "sole participant so far wins its own election");
+    handle.shutdown();
+}
+
+/// Typed server errors surface as `ClientError::Server` and leave the
+/// connection usable; `Busy` is flagged retryable.
+#[test]
+fn server_errors_are_typed_and_non_fatal() {
+    let layout = layout();
+    let handle = Server::bind("127.0.0.1:0", &layout, ServerConfig::default()).unwrap();
+    let mut conn = Connection::connect(handle.local_addr()).unwrap();
+
+    // Unknown object → BadRequest.
+    let err = conn.apply(0, Op::read(ObjectId(99))).unwrap_err();
+    match &err {
+        ClientError::Server { code, .. } => {
+            assert_eq!(*code, bso_server::ErrorCode::BadRequest)
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    assert!(!err.is_busy());
+
+    // Domain violation on the CAS-(k) object → Object error, and the
+    // object is untouched afterwards.
+    let err = conn
+        .apply(
+            0,
+            Op::cas(ObjectId(0), Value::Sym(Sym::BOTTOM), Value::Int(7)),
+        )
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        ClientError::Server {
+            code: bso_server::ErrorCode::Object,
+            ..
+        }
+    ));
+    assert_eq!(
+        conn.apply(0, Op::read(ObjectId(0))).unwrap(),
+        Value::Sym(Sym::BOTTOM)
+    );
+    conn.ping().unwrap();
+    drop(conn);
+    handle.shutdown();
+}
+
+/// Backpressure flood: with tiny queues every request still gets
+/// exactly one answer — `Ok` or a retryable `Busy`, never silence.
+#[test]
+fn busy_backpressure_answers_everything() {
+    let layout = layout();
+    let config = ServerConfig {
+        shards: 1,
+        queue_capacity: 1,
+        ..ServerConfig::default()
+    };
+    let handle = Server::bind("127.0.0.1:0", &layout, config).unwrap();
+    let mut conn = Connection::connect(handle.local_addr()).unwrap();
+
+    let ids: Vec<u64> = (0..200)
+        .map(|_| {
+            conn.send(0, Op::new(ObjectId(2), OpKind::FetchAdd(1)))
+                .unwrap()
+        })
+        .collect();
+    let mut ok = 0u64;
+    let mut busy = 0u64;
+    for id in ids {
+        match conn.wait(id) {
+            Ok(bso_server::Response::Ok(_)) => ok += 1,
+            Ok(bso_server::Response::Err { code, .. }) => {
+                assert_eq!(code, bso_server::ErrorCode::Busy);
+                busy += 1;
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    assert_eq!(ok + busy, 200, "every pipelined request was answered");
+    // The counter object's final value equals the accepted ops.
+    assert_eq!(
+        conn.apply(0, Op::read(ObjectId(2))).unwrap(),
+        Value::Int(ok as i64)
+    );
+    drop(conn);
+    let stats = handle.shutdown();
+    assert_eq!(stats.busy, busy);
+}

@@ -32,6 +32,8 @@
 //! | [`hierarchy`] | consensus numbers with verified witnesses and refuted candidates |
 //! | [`emulation`] | Theorem 1's reduction, executed: emulators on read/write memory constructing validated runs of a compare&swap election |
 //! | [`telemetry`] | counters/gauges/histograms behind the `BSO_TELEMETRY=path.json` escape hatch every example and bench honours |
+//! | [`server`] | the `bso-wire/v1` TCP service: sharded object store, bounded-queue backpressure, session-based leader election |
+//! | [`client`] | pipelined wire client with op recording for end-to-end linearizability checking |
 //!
 //! ## Quickstart
 //!
@@ -56,11 +58,13 @@
 
 pub mod guide;
 
+pub use bso_client as client;
 pub use bso_combinatorics as combinatorics;
 pub use bso_emulation as emulation;
 pub use bso_hierarchy as hierarchy;
 pub use bso_objects as objects;
 pub use bso_protocols as protocols;
+pub use bso_server as server;
 pub use bso_sim as sim;
 pub use bso_telemetry as telemetry;
 

@@ -86,6 +86,197 @@ fn spec_and_hardware_agree_sequentially() {
     }
 }
 
+/// Builds a fresh (spec, hardware) pair for a single-object layout.
+fn fresh(init: ObjectInit) -> (ObjectState, AtomicMemory, Layout) {
+    let mut l = Layout::new();
+    l.push(init.clone());
+    let spec = ObjectState::from_init(&init);
+    let mem = AtomicMemory::new(&l);
+    (spec, mem, l)
+}
+
+/// Applies `kind` to both backends and asserts they agree; returns the
+/// shared outcome.
+fn lockstep(
+    spec: &mut ObjectState,
+    mem: &AtomicMemory,
+    pid: usize,
+    kind: &OpKind,
+    ctx: &str,
+) -> Result<Value, bso_objects::ObjectError> {
+    let a = spec.apply(pid, kind);
+    let b = mem.apply(pid, &Op::new(bso_objects::ObjectId(0), kind.clone()));
+    assert_eq!(a, b, "{ctx}: spec and hardware diverge on {kind}");
+    a
+}
+
+/// **Exhaustive**, not sampled: for every domain size `k` in `2..=5`,
+/// every reachable register state, and every `(expect, new)` pair —
+/// including out-of-domain symbols and non-symbol values — the
+/// hardware compare&swap-(k) matches the sequential spec in both its
+/// response and its successor state, and both reject domain
+/// violations identically. This pins down the paper's Σ = {⊥, 0, …,
+/// k−2} semantics over the *entire* bounded universe rather than a
+/// random slice of it.
+#[test]
+fn cas_k_conforms_over_the_full_bounded_domain() {
+    for k in 2..=5usize {
+        // Operand candidates: the whole domain, the first symbol
+        // *outside* it, and structurally foreign values.
+        let mut operands: Vec<Value> = Sym::domain(k).map(Value::Sym).collect();
+        operands.push(Value::Sym(Sym::new((k - 1) as u8))); // out of domain
+        operands.push(Value::Int(0));
+        operands.push(Value::Nil);
+        operands.push(Value::Bool(true));
+        let in_domain = |v: &Value| matches!(v.as_sym(), Some(s) if s.in_domain(k));
+
+        for start in Sym::domain(k) {
+            for expect in &operands {
+                for new in &operands {
+                    let ctx = format!("k={k} start={start} cas({expect}→{new})");
+                    let (mut spec, mem, _l) = fresh(ObjectInit::CasK { k });
+                    // Drive both backends from ⊥ into `start`.
+                    if !start.is_bottom() {
+                        let seed = OpKind::Cas {
+                            expect: Sym::BOTTOM.into(),
+                            new: start.into(),
+                        };
+                        let r = lockstep(&mut spec, &mem, 0, &seed, &ctx);
+                        assert_eq!(r, Ok(Value::Sym(Sym::BOTTOM)), "{ctx}: seeding failed");
+                    }
+                    let op = OpKind::Cas {
+                        expect: expect.clone(),
+                        new: new.clone(),
+                    };
+                    let got = lockstep(&mut spec, &mem, 1, &op, &ctx);
+                    let after = lockstep(&mut spec, &mem, 2, &OpKind::Read, &ctx);
+                    if in_domain(expect) && in_domain(new) {
+                        // Legal: response is the prior value; the state
+                        // advances iff the comparison hit.
+                        assert_eq!(got, Ok(Value::Sym(start)), "{ctx}");
+                        let expected_after = if Value::Sym(start) == *expect {
+                            new.clone()
+                        } else {
+                            Value::Sym(start)
+                        };
+                        assert_eq!(after, Ok(expected_after), "{ctx}");
+                    } else {
+                        // Boundedness is enforced, and a rejected
+                        // operation must not move the register.
+                        assert!(
+                            matches!(got, Err(bso_objects::ObjectError::DomainViolation { .. })),
+                            "{ctx}: expected DomainViolation, got {got:?}"
+                        );
+                        assert_eq!(after, Ok(Value::Sym(start)), "{ctx}: rejected op mutated");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Exhaustive rmw-(k) conformance: every declared transition function
+/// applied in every reachable state, for `k` in `2..=4`. Constant
+/// functions serve double duty as the state-setting gadget (an
+/// rmw-(k) offers no write, so each state is reached by *running the
+/// machine*, in lockstep on both backends). Out-of-range function
+/// indices must be rejected identically too.
+#[test]
+fn rmw_k_conforms_over_all_functions_and_states() {
+    for k in 2..=4usize {
+        // Tables: one constant function per symbol (indices 0..k),
+        // then identity and the cyclic successor ⊥→0→…→k−2→⊥.
+        let mut functions: Vec<Vec<u8>> = (0..k).map(|c| vec![c as u8; k]).collect();
+        functions.push((0..k as u8).collect()); // identity
+        functions.push((0..k as u8).map(|c| (c + 1) % k as u8).collect()); // cycle
+        let nfuncs = functions.len();
+
+        for start in 0..k {
+            for f in 0..=nfuncs {
+                let ctx = format!("k={k} start=s{start} func={f}");
+                let (mut spec, mem, _l) = fresh(ObjectInit::RmwK {
+                    k,
+                    functions: functions.clone(),
+                });
+                // Reach `start` via its constant function.
+                let r = lockstep(&mut spec, &mem, 0, &OpKind::Rmw { func: start }, &ctx);
+                assert_eq!(r, Ok(Value::Sym(Sym::BOTTOM)), "{ctx}: seeding failed");
+                let got = lockstep(&mut spec, &mem, 1, &OpKind::Rmw { func: f }, &ctx);
+                let after = lockstep(&mut spec, &mem, 2, &OpKind::Read, &ctx);
+                if f < nfuncs {
+                    assert_eq!(got, Ok(Value::Sym(Sym::from_code(start as u8))), "{ctx}");
+                    let next = functions[f][start];
+                    assert_eq!(after, Ok(Value::Sym(Sym::from_code(next))), "{ctx}");
+                } else {
+                    // One past the end: both backends must refuse and
+                    // leave the state alone.
+                    assert!(
+                        matches!(got, Err(bso_objects::ObjectError::DomainViolation { .. })),
+                        "{ctx}: expected DomainViolation, got {got:?}"
+                    );
+                    assert_eq!(
+                        after,
+                        Ok(Value::Sym(Sym::from_code(start as u8))),
+                        "{ctx}: rejected op mutated"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Exhaustive operation-kind × object-type matrix: every `OpKind`
+/// aimed at every object type must produce the *same* outcome on both
+/// backends — in particular the same `TypeMismatch` rejections for
+/// unsupported pairs, so a misrouted wire request fails identically
+/// no matter which backend serves it.
+#[test]
+fn every_op_kind_agrees_on_every_object_type() {
+    let inits: Vec<ObjectInit> = vec![
+        ObjectInit::Register(Value::Nil),
+        ObjectInit::CasK { k: 3 },
+        ObjectInit::CasReg(Value::Nil),
+        ObjectInit::TestAndSet,
+        ObjectInit::FetchAdd(0),
+        ObjectInit::Snapshot { slots: 2 },
+        ObjectInit::Sticky,
+        ObjectInit::Queue(vec![]),
+        ObjectInit::RmwK {
+            k: 3,
+            functions: vec![vec![1, 2, 0]],
+        },
+    ];
+    let kinds: Vec<OpKind> = vec![
+        OpKind::Read,
+        OpKind::Write(Value::Int(1)),
+        OpKind::Cas {
+            expect: Sym::BOTTOM.into(),
+            new: Sym::new(0).into(),
+        },
+        OpKind::TestAndSet,
+        OpKind::Reset,
+        OpKind::FetchAdd(1),
+        OpKind::Swap(Value::Int(2)),
+        OpKind::SnapshotScan,
+        OpKind::SnapshotUpdate(Value::Int(3)),
+        OpKind::StickyWrite(Value::Int(4)),
+        OpKind::Enqueue(Value::Int(5)),
+        OpKind::Dequeue,
+        OpKind::Rmw { func: 0 },
+    ];
+    for init in &inits {
+        // pid 3 exceeds the snapshot's slot count, exercising the
+        // BadSlot path on both backends as well.
+        for pid in [0usize, 3] {
+            for kind in &kinds {
+                let (mut spec, mem, _l) = fresh(init.clone());
+                let ctx = format!("{} pid={pid}", spec.type_name());
+                let _ = lockstep(&mut spec, &mem, pid, kind, &ctx);
+            }
+        }
+    }
+}
+
 /// Read is always side-effect free on every object type.
 #[test]
 fn read_is_pure() {

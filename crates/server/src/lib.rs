@@ -1,0 +1,48 @@
+//! `bso-server`: a sharded, batched shared-object service.
+//!
+//! Everything this repository studies — read/write registers,
+//! `compare&swap-(k)` objects over the bounded domain
+//! Σ = {⊥, 0, …, k−2} (Afek & Stupp, *Delimiting the Power of Bounded
+//! Size Synchronization Objects*, PODC 1994), atomic snapshots, and
+//! the Burns–Cruz–Loui leader-election protocol — has so far lived
+//! inside the simulator. This crate serves the same objects to real
+//! clients over TCP, using only `std::net` and `std::thread` so the
+//! workspace still builds fully offline.
+//!
+//! * [`wire`] — the `bso-wire/v1` length-prefixed binary protocol:
+//!   framing, request/response codecs, and the hardening limits
+//!   ([`wire::MAX_FRAME`], [`wire::MAX_VALUE_DEPTH`],
+//!   [`wire::MAX_SEQ_LEN`]).
+//! * [`Server`] / [`ServerHandle`] — the TCP front-end: acceptor,
+//!   per-connection reader/writer threads (request pipelining, write
+//!   batching), sharded object store behind bounded queues with typed
+//!   `Busy` backpressure, and a draining shutdown.
+//!
+//! The companion `bso-client` crate provides the pipelined client
+//! handle and the op-recording mode that feeds the Wing–Gong
+//! linearizability checker in `bso-sim`.
+//!
+//! # Quick start
+//!
+//! ```
+//! use bso_objects::{Layout, ObjectInit, ObjectId, Op, Value};
+//! use bso_server::{Server, ServerConfig};
+//!
+//! let mut layout = Layout::new();
+//! layout.push(ObjectInit::CasK { k: 4 });
+//! let handle = Server::bind("127.0.0.1:0", &layout, ServerConfig::default()).unwrap();
+//! let addr = handle.local_addr();
+//! // ... point bso_client::Connection at `addr` ...
+//! let stats = handle.shutdown();
+//! assert_eq!(stats.malformed, 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod server;
+mod shard;
+pub mod wire;
+
+pub use server::{Server, ServerConfig, ServerHandle, ServerStats};
+pub use wire::{ErrorCode, Request, Response, WireError};

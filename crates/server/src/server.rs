@@ -1,0 +1,551 @@
+//! The TCP front-end: acceptor, per-connection reader/writer threads,
+//! request routing, and graceful shutdown.
+//!
+//! # Thread topology
+//!
+//! ```text
+//! acceptor ──spawns──▶ conn reader ──bounded try_send──▶ shard workers
+//!                          │   ▲                              │
+//!                          │   └────── reply mpsc ◀───────────┘
+//!                          └──spawns──▶ conn writer (batches + flushes)
+//! ```
+//!
+//! The reader parses frames and routes them; it never blocks on a
+//! shard (a full queue becomes a typed [`ErrorCode::Busy`] response).
+//! Each connection has a private unbounded reply channel drained by
+//! its writer thread, which greedily batches whatever responses are
+//! ready into one `write`+`flush` — pipelined clients get pipelined
+//! (possibly reordered) responses correlated by `req_id`.
+//!
+//! # Shutdown
+//!
+//! [`ServerHandle::shutdown`] runs the drain sequence: stop accepting,
+//! shut down live client sockets (readers exit), join connection
+//! threads, drop the master shard senders so workers finish whatever
+//! is still queued and exit, then join workers. Every queued request
+//! is answered before its worker exits — nothing is dropped silently.
+
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::mpsc::Receiver;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use bso_objects::Layout;
+use bso_telemetry::Registry;
+
+use crate::shard::{RouteError, ShardMsg, ShardPool};
+use crate::wire::{self, ErrorCode, Request, Response};
+
+/// Tuning knobs for [`Server::bind`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Number of shard worker threads (objects are owned by
+    /// `obj.0 % shards`). Default 4.
+    pub shards: usize,
+    /// Bounded depth of each shard's request queue; a route into a
+    /// full queue yields [`ErrorCode::Busy`]. Default 128.
+    pub queue_capacity: usize,
+    /// Telemetry sink for `server.*` metrics. Defaults to the
+    /// process-global registry, so `BSO_TELEMETRY=path.json` captures
+    /// server metrics with no extra wiring.
+    pub registry: Registry,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            shards: 4,
+            queue_capacity: 128,
+            registry: Registry::default(),
+        }
+    }
+}
+
+/// Totals reported by [`ServerHandle::shutdown`]. Tracked by plain
+/// atomics (independently mirrored into telemetry counters) so they
+/// are exact even when telemetry is disabled.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted over the server's lifetime.
+    pub connections: u64,
+    /// Well-formed requests decoded.
+    pub requests: u64,
+    /// Responses written back to clients.
+    pub responses: u64,
+    /// Requests refused with [`ErrorCode::Busy`].
+    pub busy: u64,
+    /// Malformed frames (each one closes its connection).
+    pub malformed: u64,
+}
+
+#[derive(Default)]
+struct StatCells {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    responses: AtomicU64,
+    busy: AtomicU64,
+    malformed: AtomicU64,
+}
+
+impl StatCells {
+    fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            connections: self.connections.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            responses: self.responses.load(Ordering::Relaxed),
+            busy: self.busy.load(Ordering::Relaxed),
+            malformed: self.malformed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// State shared between the acceptor, connections, and the handle.
+struct Shared {
+    shutdown: AtomicBool,
+    next_session: AtomicU32,
+    next_conn: AtomicU64,
+    stats: StatCells,
+    registry: Registry,
+    /// Live client sockets, keyed by connection id, so shutdown can
+    /// interrupt blocked reads. Readers deregister themselves on exit.
+    streams: Mutex<HashMap<u64, TcpStream>>,
+    /// Reader-thread handles, collected by the acceptor and joined at
+    /// shutdown (each reader joins its own writer before exiting).
+    conns: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// The entry point: binds a listener over a [`Layout`] of shared
+/// objects and serves `bso-wire/v1` clients until shut down.
+pub struct Server;
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral loopback port) and
+    /// starts the acceptor and shard workers.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors from [`TcpListener::bind`].
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        layout: &Layout,
+        config: ServerConfig,
+    ) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let (pool, workers) = ShardPool::start(
+            layout,
+            config.shards.max(1),
+            config.queue_capacity,
+            &config.registry,
+        );
+        let pool = Arc::new(pool);
+        let shared = Arc::new(Shared {
+            shutdown: AtomicBool::new(false),
+            next_session: AtomicU32::new(0),
+            next_conn: AtomicU64::new(0),
+            stats: StatCells::default(),
+            registry: config.registry,
+            streams: Mutex::new(HashMap::new()),
+            conns: Mutex::new(Vec::new()),
+        });
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let pool = Arc::clone(&pool);
+            std::thread::Builder::new()
+                .name("bso-acceptor".into())
+                .spawn(move || accept_loop(listener, shared, pool))
+                .expect("spawn acceptor")
+        };
+        Ok(ServerHandle {
+            local_addr,
+            shared,
+            pool: Some(pool),
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+}
+
+/// A running server. Dropping the handle without calling
+/// [`ServerHandle::shutdown`] also drains, but discards the stats.
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    pool: Option<Arc<ShardPool>>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting, disconnects clients, drains every shard queue,
+    /// joins all threads, and returns the lifetime totals.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.drain();
+        self.shared.stats.snapshot()
+    }
+
+    fn drain(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Wake the acceptor out of `accept()` with a throwaway
+        // connection; it re-checks the flag per iteration.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        // Interrupt blocked connection readers, then join them (each
+        // reader joins its writer, which first delivers every reply
+        // still owed by the shards).
+        for (_, s) in self.shared.streams.lock().unwrap().drain() {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }
+        let conns: Vec<_> = self.shared.conns.lock().unwrap().drain(..).collect();
+        for c in conns {
+            let _ = c.join();
+        }
+        // Drop the master senders: workers drain what is queued, then
+        // see Disconnected and exit.
+        self.pool = None;
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() || !self.workers.is_empty() {
+            self.drain();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>, pool: Arc<ShardPool>) {
+    let accepted = shared.registry.counter("server.connections");
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        // Responses are small batched frames; waiting for ACKs (Nagle)
+        // would serialize every pipelined window on the RTT.
+        let _ = stream.set_nodelay(true);
+        shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+        accepted.inc();
+        let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            shared.streams.lock().unwrap().insert(conn_id, clone);
+        }
+        let shared2 = Arc::clone(&shared);
+        let pool2 = Arc::clone(&pool);
+        let handle = std::thread::Builder::new()
+            .name(format!("bso-conn{conn_id}"))
+            .spawn(move || serve_connection(conn_id, stream, shared2, pool2))
+            .expect("spawn connection thread");
+        shared.conns.lock().unwrap().push(handle);
+    }
+}
+
+/// The per-connection reader: parse → route → (on exit) join writer.
+fn serve_connection(conn_id: u64, stream: TcpStream, shared: Arc<Shared>, pool: Arc<ShardPool>) {
+    let write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => {
+            shared.streams.lock().unwrap().remove(&conn_id);
+            return;
+        }
+    };
+    let (reply_tx, reply_rx) = std::sync::mpsc::channel::<(u64, Response)>();
+    let writer = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name(format!("bso-conn{conn_id}-w"))
+            .spawn(move || write_loop(write_half, reply_rx, shared))
+            .expect("spawn connection writer")
+    };
+
+    let requests = shared.registry.counter("server.requests");
+    let busy = shared.registry.counter("server.busy");
+    let malformed = shared.registry.counter("server.malformed");
+    let mut reader = BufReader::new(stream);
+    let mut buf = Vec::new();
+    loop {
+        match wire::read_frame(&mut reader, &mut buf) {
+            Ok(false) => break, // clean EOF at a frame boundary
+            Ok(true) => {}
+            Err(e) => {
+                // An oversized length prefix is a protocol violation;
+                // everything else (reset, mid-frame EOF, shutdown) is
+                // an ordinary disconnect.
+                if e.kind() == std::io::ErrorKind::InvalidData {
+                    shared.stats.malformed.fetch_add(1, Ordering::Relaxed);
+                    malformed.inc();
+                }
+                break;
+            }
+        }
+        let (req_id, req) = match wire::decode_request(&buf) {
+            Ok(x) => x,
+            Err(_) => {
+                // Undecodable body: count it and drop the connection.
+                // We cannot trust anything after a corrupt frame.
+                shared.stats.malformed.fetch_add(1, Ordering::Relaxed);
+                malformed.inc();
+                break;
+            }
+        };
+        shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+        requests.inc();
+        if shared.shutdown.load(Ordering::SeqCst) {
+            let _ = reply_tx.send((
+                req_id,
+                Response::Err {
+                    code: ErrorCode::ShuttingDown,
+                    message: "server is draining".into(),
+                },
+            ));
+            continue;
+        }
+        let (shard, msg) = match req {
+            Request::Ping => {
+                let _ = reply_tx.send((req_id, Response::Ok(bso_objects::Value::Nil)));
+                continue;
+            }
+            Request::Apply { pid, op } => (
+                pool.shard_of(op.obj.0),
+                ShardMsg::Apply {
+                    req_id,
+                    pid: pid as usize,
+                    op,
+                    reply: reply_tx.clone(),
+                },
+            ),
+            Request::OpenElection { k } => {
+                let session = shared.next_session.fetch_add(1, Ordering::Relaxed);
+                (
+                    pool.shard_of(session as usize),
+                    ShardMsg::OpenElection {
+                        req_id,
+                        session,
+                        k: k as usize,
+                        reply: reply_tx.clone(),
+                    },
+                )
+            }
+            Request::Elect { session, pid } => (
+                pool.shard_of(session as usize),
+                ShardMsg::Elect {
+                    req_id,
+                    session,
+                    pid: pid as usize,
+                    reply: reply_tx.clone(),
+                },
+            ),
+        };
+        match pool.try_route(shard, msg) {
+            Ok(()) => {}
+            Err(RouteError::Busy) => {
+                shared.stats.busy.fetch_add(1, Ordering::Relaxed);
+                busy.inc();
+                let _ = reply_tx.send((
+                    req_id,
+                    Response::Err {
+                        code: ErrorCode::Busy,
+                        message: format!("shard {shard} queue is full"),
+                    },
+                ));
+            }
+            Err(RouteError::Closed) => {
+                let _ = reply_tx.send((
+                    req_id,
+                    Response::Err {
+                        code: ErrorCode::ShuttingDown,
+                        message: "server is draining".into(),
+                    },
+                ));
+            }
+        }
+    }
+    shared.streams.lock().unwrap().remove(&conn_id);
+    // Dropping our reply sender lets the writer exit once the shards
+    // have answered everything already routed for this connection.
+    drop(reply_tx);
+    let _ = writer.join();
+}
+
+/// The per-connection writer: batch whatever responses are ready into
+/// one write + flush. Exits when every reply sender (the reader's and
+/// the shard-held clones) is gone.
+fn write_loop(stream: TcpStream, rx: Receiver<(u64, Response)>, shared: Arc<Shared>) {
+    let responses = shared.registry.counter("server.responses");
+    let flush_batch = shared.registry.histogram("server.flush_batch");
+    let mut w = BufWriter::new(stream);
+    let mut buf = Vec::new();
+    while let Ok((req_id, resp)) = rx.recv() {
+        let mut n: u64 = 1;
+        if wire::encode_response(req_id, &resp, &mut buf).is_err() {
+            // Responses are server-built and bounded; failure here
+            // would be a server bug, not client input. Skip the frame.
+            debug_assert!(false, "server built an unencodable response");
+        }
+        // Greedy batch: drain whatever is already queued so pipelined
+        // traffic amortizes the write+flush.
+        while let Ok((id, r)) = rx.try_recv() {
+            if wire::encode_response(id, &r, &mut buf).is_err() {
+                debug_assert!(false, "server built an unencodable response");
+                continue;
+            }
+            n += 1;
+        }
+        flush_batch.record(n);
+        responses.add(n);
+        shared.stats.responses.fetch_add(n, Ordering::Relaxed);
+        if wire::write_frames(&mut w, &mut buf).is_err() || w.flush().is_err() {
+            break; // client went away; reader will notice on its side
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bso_objects::{ObjectId, ObjectInit, Op, Value};
+    use std::io::Read;
+
+    fn layout() -> Layout {
+        let mut l = Layout::new();
+        l.push(ObjectInit::CasK { k: 4 });
+        l.push(ObjectInit::Register(Value::Nil));
+        l.push(ObjectInit::FetchAdd(0));
+        l
+    }
+
+    fn send(stream: &mut TcpStream, req_id: u64, req: &Request) {
+        let mut buf = Vec::new();
+        wire::encode_request(req_id, req, &mut buf).unwrap();
+        stream.write_all(&buf).unwrap();
+    }
+
+    fn recv(stream: &mut TcpStream) -> (u64, Response) {
+        let mut buf = Vec::new();
+        assert!(wire::read_frame(stream, &mut buf).unwrap());
+        wire::decode_response(&buf).unwrap()
+    }
+
+    #[test]
+    fn serves_applies_and_pings_over_loopback() {
+        let handle = Server::bind("127.0.0.1:0", &layout(), ServerConfig::default()).unwrap();
+        let mut c = TcpStream::connect(handle.local_addr()).unwrap();
+        send(&mut c, 1, &Request::Ping);
+        assert_eq!(recv(&mut c), (1, Response::Ok(Value::Nil)));
+        send(
+            &mut c,
+            2,
+            &Request::Apply {
+                pid: 0,
+                op: Op::write(ObjectId(1), Value::Int(9)),
+            },
+        );
+        send(
+            &mut c,
+            3,
+            &Request::Apply {
+                pid: 0,
+                op: Op::read(ObjectId(1)),
+            },
+        );
+        let mut got = HashMap::new();
+        for _ in 0..2 {
+            let (id, r) = recv(&mut c);
+            got.insert(id, r);
+        }
+        assert_eq!(got[&2], Response::Ok(Value::Nil));
+        assert_eq!(got[&3], Response::Ok(Value::Int(9)));
+        drop(c);
+        let stats = handle.shutdown();
+        assert_eq!(stats.connections, 1);
+        assert_eq!(stats.requests, 3);
+        assert_eq!(stats.responses, 3);
+        assert_eq!(stats.malformed, 0);
+    }
+
+    #[test]
+    fn malformed_frame_closes_only_that_connection() {
+        let handle = Server::bind("127.0.0.1:0", &layout(), ServerConfig::default()).unwrap();
+        let mut bad = TcpStream::connect(handle.local_addr()).unwrap();
+        let mut good = TcpStream::connect(handle.local_addr()).unwrap();
+        // A frame whose body claims 4 GiB: rejected before allocation,
+        // connection closed.
+        bad.write_all(&(u32::MAX).to_le_bytes()).unwrap();
+        let mut probe = [0u8; 1];
+        assert_eq!(bad.read(&mut probe).unwrap(), 0, "bad conn sees EOF");
+        // The other connection keeps serving.
+        send(&mut good, 5, &Request::Ping);
+        assert_eq!(recv(&mut good), (5, Response::Ok(Value::Nil)));
+        drop(bad);
+        drop(good);
+        let stats = handle.shutdown();
+        assert_eq!(stats.malformed, 1);
+        assert_eq!(stats.connections, 2);
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_under_drop_and_reports_totals() {
+        let handle = Server::bind("127.0.0.1:0", &layout(), ServerConfig::default()).unwrap();
+        let addr = handle.local_addr();
+        let mut c = TcpStream::connect(addr).unwrap();
+        send(
+            &mut c,
+            1,
+            &Request::Apply {
+                pid: 2,
+                op: Op::new(ObjectId(2), bso_objects::OpKind::FetchAdd(3)),
+            },
+        );
+        assert_eq!(recv(&mut c), (1, Response::Ok(Value::Int(0))));
+        drop(c);
+        let stats = handle.shutdown();
+        assert_eq!(stats.requests, 1);
+        // Post-shutdown connects are refused (or reset immediately).
+        assert!(
+            TcpStream::connect(addr).is_err()
+                || TcpStream::connect(addr)
+                    .and_then(|mut s| {
+                        send(&mut s, 9, &Request::Ping);
+                        let mut b = [0u8; 1];
+                        s.read(&mut b)
+                    })
+                    .map(|n| n == 0)
+                    .unwrap_or(true)
+        );
+    }
+
+    #[test]
+    fn election_over_the_wire_is_consistent() {
+        let handle = Server::bind("127.0.0.1:0", &layout(), ServerConfig::default()).unwrap();
+        let mut c = TcpStream::connect(handle.local_addr()).unwrap();
+        send(&mut c, 1, &Request::OpenElection { k: 4 });
+        let (_, resp) = recv(&mut c);
+        let Response::Session(session) = resp else {
+            panic!("expected session, got {resp:?}");
+        };
+        let mut winners = Vec::new();
+        for pid in 0..3u32 {
+            send(&mut c, 10 + pid as u64, &Request::Elect { session, pid });
+            match recv(&mut c).1 {
+                Response::Ok(v) => winners.push(v.as_pid().unwrap()),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(winners.windows(2).all(|w| w[0] == w[1]));
+        drop(c);
+        handle.shutdown();
+    }
+}

@@ -1,0 +1,739 @@
+//! The `bso-wire/v1` framed binary protocol.
+//!
+//! Requests and responses travel as length-prefixed binary frames over
+//! any byte stream (the server speaks it over TCP):
+//!
+//! ```text
+//! frame    := len:u32le body
+//! body     := version:u8 opcode:u8 req_id:u64le payload
+//! ```
+//!
+//! `len` counts the body bytes only and is capped at [`MAX_FRAME`]; a
+//! peer claiming more is rejected *before* any allocation, mirroring
+//! the nesting-depth hardening of the `bso-telemetry` JSON parser.
+//! `req_id` is a client-chosen correlation id: clients may pipeline
+//! any number of requests before reading responses, and the server may
+//! answer them in any order (shards complete independently), so the id
+//! is what ties a response back to its request.
+//!
+//! Like `bso-schedule/v1` and `bso-checkpoint/v1`, the format is
+//! versioned: every body leads with the version byte, and a
+//! [`WireError::BadVersion`] is the typed refusal a v2 speaker would
+//! get from a v1 endpoint.
+//!
+//! ## Requests
+//!
+//! | opcode | request | payload |
+//! |---|---|---|
+//! | `0x01` | [`Request::Apply`] | `pid:u32le` `obj:u32le` opkind |
+//! | `0x02` | [`Request::OpenElection`] | `k:u32le` |
+//! | `0x03` | [`Request::Elect`] | `session:u32le` `pid:u32le` |
+//! | `0x04` | [`Request::Ping`] | — |
+//!
+//! ## Responses
+//!
+//! | opcode | response | payload |
+//! |---|---|---|
+//! | `0x81` | [`Response::Ok`] | value |
+//! | `0x82` | [`Response::Err`] | `code:u8` `len:u32le` utf-8 message |
+//! | `0x83` | [`Response::Session`] | `session:u32le` |
+//!
+//! ## Values and operations
+//!
+//! [`Value`]s are tagged: `0` Nil, `1` Bool(`u8`), `2` Int(`i64le`),
+//! `3` Sym(code `u8`), `4` Pid(`u64le`), `5` Pair(value value), `6`
+//! Seq(`count:u32le` values). Nesting is capped at
+//! [`MAX_VALUE_DEPTH`] and sequence counts at [`MAX_SEQ_LEN`] — both
+//! on *encode and decode*, so a malicious frame can neither recurse
+//! the decoder to death nor make it allocate a phantom gigabyte.
+//! [`bso_objects::OpKind`]s are tagged `0..=12` in declaration order
+//! (`Read`, `Write`, `Cas`, `TestAndSet`, `Reset`, `FetchAdd`, `Swap`,
+//! `SnapshotScan`, `SnapshotUpdate`, `StickyWrite`, `Enqueue`,
+//! `Dequeue`, `Rmw`).
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use bso_objects::{ObjectId, Op, OpKind, Sym, Value};
+
+/// The schema name of this protocol revision.
+pub const SCHEMA: &str = "bso-wire/v1";
+
+/// The version byte every frame body leads with.
+pub const VERSION: u8 = 1;
+
+/// Hard cap on a frame body's length. A length prefix above this is a
+/// [`WireError::FrameTooLarge`] before any buffer is grown.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Hard cap on [`Value`] nesting (pairs within sequences within …).
+pub const MAX_VALUE_DEPTH: usize = 32;
+
+/// Hard cap on one [`Value::Seq`]'s element count.
+pub const MAX_SEQ_LEN: usize = 1 << 16;
+
+/// A client-to-server request.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Request {
+    /// Apply one shared-object operation on behalf of process `pid`.
+    Apply {
+        /// The invoking process id (snapshot slots are per-process).
+        pid: u32,
+        /// The operation, aimed at one of the server's objects.
+        op: Op,
+    },
+    /// Open a leader-election session over a fresh
+    /// `compare&swap-(k)`: the server instantiates the
+    /// Burns–Cruz–Loui [`bso_protocols::CasOnlyElection`] for
+    /// `k − 1` participants and returns a session id.
+    OpenElection {
+        /// Domain size of the session's register (`2 ..= 255`).
+        k: u32,
+    },
+    /// Run participant `pid`'s side of an election session to its
+    /// decision; the response is `Value::Pid(winner)`.
+    Elect {
+        /// The session, as returned by [`Request::OpenElection`].
+        session: u32,
+        /// The participant (`pid < k − 1`).
+        pid: u32,
+    },
+    /// Liveness / flush probe; the response is `Ok(Value::Nil)`.
+    Ping,
+}
+
+/// A server-to-client response.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Response {
+    /// The operation's response value.
+    Ok(Value),
+    /// A typed failure; the request had no effect (except that a
+    /// [`ErrorCode::Object`] error reports the shared object's own
+    /// refusal, which is itself effect-free per the object specs).
+    Err {
+        /// What went wrong.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// A fresh election session id.
+    Session(u32),
+}
+
+/// Typed error classes a server can answer with.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ErrorCode {
+    /// The target shard's queue is full — backpressure, try again.
+    /// The request was *not* enqueued.
+    Busy = 1,
+    /// The shared object rejected the operation
+    /// ([`bso_objects::ObjectError`] rendered in the message).
+    Object = 2,
+    /// The request is well-framed but semantically invalid (unknown
+    /// object, bad election parameters, pid out of range…).
+    BadRequest = 3,
+    /// The server is draining and no longer accepts work.
+    ShuttingDown = 4,
+    /// No such election session.
+    UnknownSession = 5,
+}
+
+impl ErrorCode {
+    fn from_u8(c: u8) -> Option<ErrorCode> {
+        match c {
+            1 => Some(ErrorCode::Busy),
+            2 => Some(ErrorCode::Object),
+            3 => Some(ErrorCode::BadRequest),
+            4 => Some(ErrorCode::ShuttingDown),
+            5 => Some(ErrorCode::UnknownSession),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ErrorCode::Busy => "busy",
+            ErrorCode::Object => "object",
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::ShuttingDown => "shutting-down",
+            ErrorCode::UnknownSession => "unknown-session",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Why a frame failed to encode or decode.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum WireError {
+    /// The body ended before the payload was complete.
+    Truncated,
+    /// The payload decoded fully but bytes remain.
+    Trailing(usize),
+    /// The version byte is not [`VERSION`].
+    BadVersion(u8),
+    /// Unknown request/response opcode.
+    BadOpcode(u8),
+    /// Unknown [`Value`] tag.
+    BadValueTag(u8),
+    /// Unknown [`OpKind`] tag.
+    BadOpTag(u8),
+    /// Unknown [`ErrorCode`] byte.
+    BadErrorCode(u8),
+    /// Value nesting beyond [`MAX_VALUE_DEPTH`].
+    TooDeep,
+    /// A sequence claimed more than [`MAX_SEQ_LEN`] elements.
+    SeqTooLong(usize),
+    /// A frame length prefix beyond [`MAX_FRAME`].
+    FrameTooLarge(usize),
+    /// An error message was not valid UTF-8.
+    BadUtf8,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame body truncated"),
+            WireError::Trailing(n) => write!(f, "{n} trailing bytes after payload"),
+            WireError::BadVersion(v) => write!(f, "unsupported wire version {v} (want {VERSION})"),
+            WireError::BadOpcode(c) => write!(f, "unknown opcode {c:#04x}"),
+            WireError::BadValueTag(t) => write!(f, "unknown value tag {t}"),
+            WireError::BadOpTag(t) => write!(f, "unknown operation tag {t}"),
+            WireError::BadErrorCode(c) => write!(f, "unknown error code {c}"),
+            WireError::TooDeep => write!(f, "value nesting deeper than {MAX_VALUE_DEPTH}"),
+            WireError::SeqTooLong(n) => write!(f, "sequence of {n} elements (max {MAX_SEQ_LEN})"),
+            WireError::FrameTooLarge(n) => write!(f, "frame of {n} bytes (max {MAX_FRAME})"),
+            WireError::BadUtf8 => write!(f, "message is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+const OP_APPLY: u8 = 0x01;
+const OP_OPEN_ELECTION: u8 = 0x02;
+const OP_ELECT: u8 = 0x03;
+const OP_PING: u8 = 0x04;
+const RESP_OK: u8 = 0x81;
+const RESP_ERR: u8 = 0x82;
+const RESP_SESSION: u8 = 0x83;
+
+// ---------------------------------------------------------------- encode
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_value(out: &mut Vec<u8>, v: &Value, depth: usize) -> Result<(), WireError> {
+    if depth >= MAX_VALUE_DEPTH {
+        return Err(WireError::TooDeep);
+    }
+    match v {
+        Value::Nil => out.push(0),
+        Value::Bool(b) => {
+            out.push(1);
+            out.push(u8::from(*b));
+        }
+        Value::Int(i) => {
+            out.push(2);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Sym(s) => {
+            out.push(3);
+            out.push(s.code());
+        }
+        Value::Pid(p) => {
+            out.push(4);
+            put_u64(out, *p as u64);
+        }
+        Value::Pair(a, b) => {
+            out.push(5);
+            put_value(out, a, depth + 1)?;
+            put_value(out, b, depth + 1)?;
+        }
+        Value::Seq(items) => {
+            if items.len() > MAX_SEQ_LEN {
+                return Err(WireError::SeqTooLong(items.len()));
+            }
+            out.push(6);
+            put_u32(out, items.len() as u32);
+            for item in items {
+                put_value(out, item, depth + 1)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn put_op_kind(out: &mut Vec<u8>, kind: &OpKind) -> Result<(), WireError> {
+    match kind {
+        OpKind::Read => out.push(0),
+        OpKind::Write(v) => {
+            out.push(1);
+            put_value(out, v, 0)?;
+        }
+        OpKind::Cas { expect, new } => {
+            out.push(2);
+            put_value(out, expect, 0)?;
+            put_value(out, new, 0)?;
+        }
+        OpKind::TestAndSet => out.push(3),
+        OpKind::Reset => out.push(4),
+        OpKind::FetchAdd(d) => {
+            out.push(5);
+            out.extend_from_slice(&d.to_le_bytes());
+        }
+        OpKind::Swap(v) => {
+            out.push(6);
+            put_value(out, v, 0)?;
+        }
+        OpKind::SnapshotScan => out.push(7),
+        OpKind::SnapshotUpdate(v) => {
+            out.push(8);
+            put_value(out, v, 0)?;
+        }
+        OpKind::StickyWrite(v) => {
+            out.push(9);
+            put_value(out, v, 0)?;
+        }
+        OpKind::Enqueue(v) => {
+            out.push(10);
+            put_value(out, v, 0)?;
+        }
+        OpKind::Dequeue => out.push(11),
+        OpKind::Rmw { func } => {
+            out.push(12);
+            put_u32(out, *func as u32);
+        }
+    }
+    Ok(())
+}
+
+/// Appends one framed request (length prefix included) to `out`.
+///
+/// # Errors
+///
+/// [`WireError::TooDeep`]/[`WireError::SeqTooLong`] if an operand
+/// value breaks the encoding limits, [`WireError::FrameTooLarge`] if
+/// the body would exceed [`MAX_FRAME`].
+pub fn encode_request(req_id: u64, req: &Request, out: &mut Vec<u8>) -> Result<(), WireError> {
+    frame(out, |body| {
+        match req {
+            Request::Apply { pid, op } => {
+                body.push(OP_APPLY);
+                put_u64(body, req_id);
+                put_u32(body, *pid);
+                put_u32(body, op.obj.0 as u32);
+                put_op_kind(body, &op.kind)?;
+            }
+            Request::OpenElection { k } => {
+                body.push(OP_OPEN_ELECTION);
+                put_u64(body, req_id);
+                put_u32(body, *k);
+            }
+            Request::Elect { session, pid } => {
+                body.push(OP_ELECT);
+                put_u64(body, req_id);
+                put_u32(body, *session);
+                put_u32(body, *pid);
+            }
+            Request::Ping => {
+                body.push(OP_PING);
+                put_u64(body, req_id);
+            }
+        }
+        Ok(())
+    })
+}
+
+/// Appends one framed response (length prefix included) to `out`.
+///
+/// # Errors
+///
+/// Same limit violations as [`encode_request`].
+pub fn encode_response(req_id: u64, resp: &Response, out: &mut Vec<u8>) -> Result<(), WireError> {
+    frame(out, |body| {
+        match resp {
+            Response::Ok(v) => {
+                body.push(RESP_OK);
+                put_u64(body, req_id);
+                put_value(body, v, 0)?;
+            }
+            Response::Err { code, message } => {
+                body.push(RESP_ERR);
+                put_u64(body, req_id);
+                body.push(*code as u8);
+                put_u32(body, message.len() as u32);
+                body.extend_from_slice(message.as_bytes());
+            }
+            Response::Session(s) => {
+                body.push(RESP_SESSION);
+                put_u64(body, req_id);
+                put_u32(body, *s);
+            }
+        }
+        Ok(())
+    })
+}
+
+/// Reserves the length prefix, writes `version` + the body via `fill`,
+/// then patches the prefix in.
+fn frame(
+    out: &mut Vec<u8>,
+    fill: impl FnOnce(&mut Vec<u8>) -> Result<(), WireError>,
+) -> Result<(), WireError> {
+    let at = out.len();
+    out.extend_from_slice(&[0; 4]);
+    out.push(VERSION);
+    if let Err(e) = fill(out) {
+        out.truncate(at);
+        return Err(e);
+    }
+    let body_len = out.len() - at - 4;
+    if body_len > MAX_FRAME {
+        out.truncate(at);
+        return Err(WireError::FrameTooLarge(body_len));
+    }
+    out[at..at + 4].copy_from_slice(&(body_len as u32).to_le_bytes());
+    Ok(())
+}
+
+// ---------------------------------------------------------------- decode
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.at.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.at
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, WireError> {
+        if depth >= MAX_VALUE_DEPTH {
+            return Err(WireError::TooDeep);
+        }
+        match self.u8()? {
+            0 => Ok(Value::Nil),
+            1 => Ok(Value::Bool(self.u8()? != 0)),
+            2 => Ok(Value::Int(self.i64()?)),
+            3 => Ok(Value::Sym(Sym::from_code(self.u8()?))),
+            4 => Ok(Value::Pid(self.u64()? as usize)),
+            5 => {
+                let a = self.value(depth + 1)?;
+                let b = self.value(depth + 1)?;
+                Ok(Value::pair(a, b))
+            }
+            6 => {
+                let n = self.u32()? as usize;
+                if n > MAX_SEQ_LEN {
+                    return Err(WireError::SeqTooLong(n));
+                }
+                // Each element takes at least one byte: a count beyond
+                // the remaining bytes is a lie, reject it before
+                // reserving capacity for it.
+                if n > self.remaining() {
+                    return Err(WireError::Truncated);
+                }
+                let mut items = Vec::with_capacity(n);
+                for _ in 0..n {
+                    items.push(self.value(depth + 1)?);
+                }
+                Ok(Value::Seq(items))
+            }
+            t => Err(WireError::BadValueTag(t)),
+        }
+    }
+
+    fn op_kind(&mut self) -> Result<OpKind, WireError> {
+        match self.u8()? {
+            0 => Ok(OpKind::Read),
+            1 => Ok(OpKind::Write(self.value(0)?)),
+            2 => {
+                let expect = self.value(0)?;
+                let new = self.value(0)?;
+                Ok(OpKind::Cas { expect, new })
+            }
+            3 => Ok(OpKind::TestAndSet),
+            4 => Ok(OpKind::Reset),
+            5 => Ok(OpKind::FetchAdd(self.i64()?)),
+            6 => Ok(OpKind::Swap(self.value(0)?)),
+            7 => Ok(OpKind::SnapshotScan),
+            8 => Ok(OpKind::SnapshotUpdate(self.value(0)?)),
+            9 => Ok(OpKind::StickyWrite(self.value(0)?)),
+            10 => Ok(OpKind::Enqueue(self.value(0)?)),
+            11 => Ok(OpKind::Dequeue),
+            12 => Ok(OpKind::Rmw {
+                func: self.u32()? as usize,
+            }),
+            t => Err(WireError::BadOpTag(t)),
+        }
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        match self.remaining() {
+            0 => Ok(()),
+            n => Err(WireError::Trailing(n)),
+        }
+    }
+}
+
+fn body_cursor(body: &[u8]) -> Result<(Cursor<'_>, u8, u64), WireError> {
+    let mut c = Cursor { buf: body, at: 0 };
+    let version = c.u8()?;
+    if version != VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let opcode = c.u8()?;
+    let req_id = c.u64()?;
+    Ok((c, opcode, req_id))
+}
+
+/// Decodes one request body (without the length prefix).
+///
+/// # Errors
+///
+/// Any [`WireError`]: wrong version, unknown opcode or tags, truncated
+/// or oversized payloads, excess trailing bytes.
+pub fn decode_request(body: &[u8]) -> Result<(u64, Request), WireError> {
+    let (mut c, opcode, req_id) = body_cursor(body)?;
+    let req = match opcode {
+        OP_APPLY => {
+            let pid = c.u32()?;
+            let obj = ObjectId(c.u32()? as usize);
+            let kind = c.op_kind()?;
+            Request::Apply {
+                pid,
+                op: Op::new(obj, kind),
+            }
+        }
+        OP_OPEN_ELECTION => Request::OpenElection { k: c.u32()? },
+        OP_ELECT => {
+            let session = c.u32()?;
+            let pid = c.u32()?;
+            Request::Elect { session, pid }
+        }
+        OP_PING => Request::Ping,
+        other => return Err(WireError::BadOpcode(other)),
+    };
+    c.finish()?;
+    Ok((req_id, req))
+}
+
+/// Decodes one response body (without the length prefix).
+///
+/// # Errors
+///
+/// Same classes as [`decode_request`].
+pub fn decode_response(body: &[u8]) -> Result<(u64, Response), WireError> {
+    let (mut c, opcode, req_id) = body_cursor(body)?;
+    let resp = match opcode {
+        RESP_OK => Response::Ok(c.value(0)?),
+        RESP_ERR => {
+            let code = c.u8()?;
+            let code = ErrorCode::from_u8(code).ok_or(WireError::BadErrorCode(code))?;
+            let len = c.u32()? as usize;
+            let bytes = c.take(len)?;
+            let message = std::str::from_utf8(bytes)
+                .map_err(|_| WireError::BadUtf8)?
+                .to_string();
+            Response::Err { code, message }
+        }
+        RESP_SESSION => Response::Session(c.u32()?),
+        other => return Err(WireError::BadOpcode(other)),
+    };
+    c.finish()?;
+    Ok((req_id, resp))
+}
+
+// ---------------------------------------------------------------- framing I/O
+
+/// Reads one frame body from `r` into `buf` (reused across calls).
+///
+/// Returns `Ok(false)` on a clean EOF *at a frame boundary* — the
+/// peer closed the connection between frames. An EOF inside a frame is
+/// an [`io::ErrorKind::UnexpectedEof`] error.
+///
+/// # Errors
+///
+/// I/O errors from `r`; a length prefix above [`MAX_FRAME`] surfaces
+/// as [`io::ErrorKind::InvalidData`] wrapping
+/// [`WireError::FrameTooLarge`] **without** the oversized allocation
+/// being attempted.
+pub fn read_frame(r: &mut impl Read, buf: &mut Vec<u8>) -> io::Result<bool> {
+    let mut prefix = [0u8; 4];
+    // Hand-rolled first read so a boundary EOF is distinguishable from
+    // a mid-prefix one.
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut prefix[got..])? {
+            0 if got == 0 => return Ok(false),
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof inside frame length prefix",
+                ))
+            }
+            n => got += n,
+        }
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            WireError::FrameTooLarge(len),
+        ));
+    }
+    buf.clear();
+    buf.resize(len, 0);
+    r.read_exact(buf)?;
+    Ok(true)
+}
+
+/// Writes pre-encoded frame bytes (as produced by [`encode_request`] /
+/// [`encode_response`]) and clears the buffer.
+///
+/// # Errors
+///
+/// I/O errors from `w`.
+pub fn write_frames(w: &mut impl Write, buf: &mut Vec<u8>) -> io::Result<()> {
+    w.write_all(buf)?;
+    buf.clear();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: Request) {
+        let mut buf = Vec::new();
+        encode_request(7, &req, &mut buf).unwrap();
+        let body = &buf[4..];
+        assert_eq!(
+            u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize,
+            body.len()
+        );
+        let (id, back) = decode_request(body).unwrap();
+        assert_eq!(id, 7);
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for kind in [
+            OpKind::Read,
+            OpKind::Write(Value::Int(-3)),
+            OpKind::Cas {
+                expect: Sym::BOTTOM.into(),
+                new: Sym::new(2).into(),
+            },
+            OpKind::TestAndSet,
+            OpKind::Reset,
+            OpKind::FetchAdd(-9),
+            OpKind::Swap(Value::Pid(4)),
+            OpKind::SnapshotScan,
+            OpKind::SnapshotUpdate(Value::pair(Value::Bool(true), Value::Nil)),
+            OpKind::StickyWrite(Value::Seq(vec![Value::Int(1), Value::Nil])),
+            OpKind::Enqueue(Value::Pid(0)),
+            OpKind::Dequeue,
+            OpKind::Rmw { func: 3 },
+        ] {
+            round_trip_request(Request::Apply {
+                pid: 2,
+                op: Op::new(ObjectId(5), kind),
+            });
+        }
+        round_trip_request(Request::OpenElection { k: 6 });
+        round_trip_request(Request::Elect { session: 9, pid: 1 });
+        round_trip_request(Request::Ping);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for resp in [
+            Response::Ok(Value::Sym(Sym::new(1))),
+            Response::Ok(Value::Seq(vec![Value::Nil; 3])),
+            Response::Err {
+                code: ErrorCode::Busy,
+                message: "shard 3 queue full".into(),
+            },
+            Response::Session(17),
+        ] {
+            let mut buf = Vec::new();
+            encode_response(u64::MAX, &resp, &mut buf).unwrap();
+            let (id, back) = decode_response(&buf[4..]).unwrap();
+            assert_eq!(id, u64::MAX);
+            assert_eq!(back, resp);
+        }
+    }
+
+    #[test]
+    fn pipelined_frames_read_back_in_order() {
+        let mut buf = Vec::new();
+        for i in 0..10u64 {
+            encode_request(i, &Request::Ping, &mut buf).unwrap();
+        }
+        let mut r = io::Cursor::new(buf);
+        let mut body = Vec::new();
+        for i in 0..10u64 {
+            assert!(read_frame(&mut r, &mut body).unwrap());
+            let (id, req) = decode_request(&body).unwrap();
+            assert_eq!((id, req), (i, Request::Ping));
+        }
+        assert!(!read_frame(&mut r, &mut body).unwrap());
+    }
+
+    #[test]
+    fn deep_values_are_rejected_on_encode() {
+        let mut v = Value::Nil;
+        for _ in 0..MAX_VALUE_DEPTH + 1 {
+            v = Value::pair(v, Value::Nil);
+        }
+        let mut buf = Vec::new();
+        let err = encode_request(
+            0,
+            &Request::Apply {
+                pid: 0,
+                op: Op::write(ObjectId(0), v),
+            },
+            &mut buf,
+        )
+        .unwrap_err();
+        assert_eq!(err, WireError::TooDeep);
+        // The failed encode leaves no partial frame behind.
+        assert!(buf.is_empty());
+    }
+}

@@ -1,0 +1,343 @@
+//! Malformed-input hardening for the `bso-wire/v1` codec, mirroring
+//! the nesting-depth hardening of the telemetry JSON parser: no input
+//! — truncated, oversized, tag-corrupted, or adversarially crafted —
+//! may panic, allocate proportionally to an attacker-chosen length, or
+//! take down more than its own connection.
+
+use std::io::{Read, Write};
+
+use bso_objects::rng::SplitMix64;
+use bso_objects::{ObjectId, Op, OpKind, Sym, Value};
+use bso_server::wire::{
+    self, decode_request, decode_response, encode_request, encode_response, read_frame,
+};
+use bso_server::{ErrorCode, Request, Response, Server, ServerConfig, WireError};
+
+/// A representative spread of valid requests (every opcode, nested
+/// operand values) to mutate from.
+fn sample_requests() -> Vec<Request> {
+    vec![
+        Request::Ping,
+        Request::OpenElection { k: 6 },
+        Request::Elect { session: 3, pid: 1 },
+        Request::Apply {
+            pid: 0,
+            op: Op::read(ObjectId(0)),
+        },
+        Request::Apply {
+            pid: 1,
+            op: Op::cas(
+                ObjectId(0),
+                Value::Sym(Sym::BOTTOM),
+                Value::Sym(Sym::new(1)),
+            ),
+        },
+        Request::Apply {
+            pid: 2,
+            op: Op::new(
+                ObjectId(7),
+                OpKind::Write(Value::Seq(vec![
+                    Value::pair(Value::Int(-4), Value::Bool(true)),
+                    Value::Pid(9),
+                    Value::Nil,
+                ])),
+            ),
+        },
+    ]
+}
+
+fn sample_responses() -> Vec<Response> {
+    vec![
+        Response::Ok(Value::pair(Value::Sym(Sym::BOTTOM), Value::Int(i64::MIN))),
+        Response::Err {
+            code: ErrorCode::Busy,
+            message: "shard 3 queue is full".into(),
+        },
+        Response::Session(41),
+    ]
+}
+
+/// Frame body (length prefix stripped) of an encoded request.
+fn body_of(req: &Request) -> Vec<u8> {
+    let mut buf = Vec::new();
+    encode_request(9, req, &mut buf).unwrap();
+    buf.split_off(4)
+}
+
+#[test]
+fn every_truncation_errors_cleanly() {
+    for req in sample_requests() {
+        let body = body_of(&req);
+        for cut in 0..body.len() {
+            let err = decode_request(&body[..cut])
+                .expect_err("a strict prefix of a valid body must not decode");
+            // Cutting before the version byte is Truncated; after it,
+            // anything typed is acceptable — what matters is a clean
+            // typed error, which the expect_err above already proves.
+            if cut == 0 {
+                assert_eq!(err, WireError::Truncated);
+            }
+        }
+    }
+    for resp in sample_responses() {
+        let mut buf = Vec::new();
+        encode_response(1, &resp, &mut buf).unwrap();
+        let body = buf.split_off(4);
+        for cut in 0..body.len() {
+            decode_response(&body[..cut])
+                .expect_err("a strict prefix of a valid body must not decode");
+        }
+    }
+}
+
+#[test]
+fn trailing_bytes_are_rejected() {
+    let mut body = body_of(&Request::Ping);
+    body.extend_from_slice(&[0, 0, 0]);
+    assert_eq!(decode_request(&body), Err(WireError::Trailing(3)));
+}
+
+#[test]
+fn wrong_version_is_rejected() {
+    let mut body = body_of(&Request::Ping);
+    body[0] = 2;
+    assert_eq!(decode_request(&body), Err(WireError::BadVersion(2)));
+    body[0] = 0;
+    assert_eq!(decode_request(&body), Err(WireError::BadVersion(0)));
+}
+
+#[test]
+fn unknown_opcodes_and_tags_are_rejected() {
+    // Response opcodes are not request opcodes and vice versa.
+    let mut body = body_of(&Request::Ping);
+    body[1] = 0x81;
+    assert_eq!(decode_request(&body), Err(WireError::BadOpcode(0x81)));
+    body[1] = 0x7f;
+    assert_eq!(decode_request(&body), Err(WireError::BadOpcode(0x7f)));
+    assert!(matches!(
+        decode_response(&body),
+        Err(WireError::BadOpcode(0x7f))
+    ));
+
+    // Corrupt the OpKind tag of an Apply (last byte of a Read op).
+    let mut body = body_of(&Request::Apply {
+        pid: 0,
+        op: Op::read(ObjectId(0)),
+    });
+    let last = body.len() - 1;
+    body[last] = 250;
+    assert_eq!(decode_request(&body), Err(WireError::BadOpTag(250)));
+
+    // Corrupt a Value tag (first payload byte of a Write op).
+    let mut body = body_of(&Request::Apply {
+        pid: 0,
+        op: Op::write(ObjectId(0), Value::Nil),
+    });
+    let last = body.len() - 1;
+    body[last] = 99;
+    assert_eq!(decode_request(&body), Err(WireError::BadValueTag(99)));
+
+    // Corrupt a response error code.
+    let mut buf = Vec::new();
+    encode_response(
+        1,
+        &Response::Err {
+            code: ErrorCode::Object,
+            message: String::new(),
+        },
+        &mut buf,
+    )
+    .unwrap();
+    let body = &mut buf[4..];
+    body[10] = 77; // version(1) + opcode(1) + req_id(8) → code byte
+    assert_eq!(
+        decode_response(body),
+        Err(WireError::BadErrorCode(77)),
+        "body: {body:?}"
+    );
+}
+
+/// A reader that panics if more than `limit` bytes are ever requested —
+/// proof that an oversized length prefix is rejected *before* any
+/// buffer for it is filled.
+struct TrippedReader {
+    data: Vec<u8>,
+    at: usize,
+    limit: usize,
+    served: usize,
+}
+
+impl Read for TrippedReader {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        let n = out.len().min(self.data.len() - self.at);
+        self.served += n;
+        assert!(
+            self.served <= self.limit,
+            "codec tried to read past the hardening limit"
+        );
+        out[..n].copy_from_slice(&self.data[self.at..self.at + n]);
+        self.at += n;
+        Ok(n)
+    }
+}
+
+#[test]
+fn oversized_length_prefix_is_rejected_before_the_body_is_read() {
+    // Prefix claims ~4 GiB; only the 4 prefix bytes may be consumed.
+    let mut r = TrippedReader {
+        data: u32::MAX.to_le_bytes().to_vec(),
+        at: 0,
+        limit: 4,
+        served: 0,
+    };
+    let mut buf = Vec::new();
+    let err = read_frame(&mut r, &mut buf).expect_err("oversized frame must be refused");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    assert!(buf.capacity() < wire::MAX_FRAME, "no oversized allocation");
+}
+
+#[test]
+fn eof_inside_prefix_or_body_is_unexpected_eof() {
+    let mut buf = Vec::new();
+    // Clean EOF at a frame boundary is Ok(false)…
+    let mut empty: &[u8] = &[];
+    assert!(!read_frame(&mut empty, &mut buf).unwrap());
+    // …EOF two bytes into the prefix is an error…
+    let mut partial: &[u8] = &[3, 0];
+    let err = read_frame(&mut partial, &mut buf).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    // …and so is a body shorter than its prefix claims.
+    let mut short: &[u8] = &[10, 0, 0, 0, 1, 2, 3];
+    let err = read_frame(&mut short, &mut buf).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+}
+
+#[test]
+fn lying_seq_counts_are_rejected_before_allocation() {
+    // version, RESP_OK opcode, req_id, then a Seq claiming u32::MAX
+    // elements with no element bytes behind it.
+    let mut body = vec![wire::VERSION, 0x81];
+    body.extend_from_slice(&7u64.to_le_bytes());
+    body.push(6); // Seq tag
+    body.extend_from_slice(&u32::MAX.to_le_bytes());
+    assert_eq!(
+        decode_response(&body),
+        Err(WireError::SeqTooLong(u32::MAX as usize))
+    );
+    // A count under MAX_SEQ_LEN but over the remaining byte budget is
+    // caught by the bytes-remaining check instead.
+    let mut body = vec![wire::VERSION, 0x81];
+    body.extend_from_slice(&7u64.to_le_bytes());
+    body.push(6);
+    body.extend_from_slice(&1000u32.to_le_bytes());
+    body.extend_from_slice(&[0, 0, 0]); // 3 elements' worth of bytes
+    assert_eq!(decode_response(&body), Err(WireError::Truncated));
+}
+
+#[test]
+fn nesting_bomb_is_rejected() {
+    // A chain of Pair tags far past MAX_VALUE_DEPTH: the depth guard
+    // must fire before the cursor runs dry.
+    let mut body = vec![wire::VERSION, 0x81];
+    body.extend_from_slice(&7u64.to_le_bytes());
+    body.extend(std::iter::repeat_n(5u8, wire::MAX_VALUE_DEPTH * 4));
+    assert_eq!(decode_response(&body), Err(WireError::TooDeep));
+}
+
+#[test]
+fn random_mutations_never_panic() {
+    // Seeded-loop fuzz in the style of prop_faults.rs: flip bytes,
+    // splice lengths, truncate — the decoder must always return, never
+    // panic or hang.
+    let reqs = sample_requests();
+    let mut rng = SplitMix64::new(0x51e5);
+    let mut decoded_ok = 0usize;
+    for _ in 0..4000 {
+        let mut body = body_of(&reqs[rng.usize_below(reqs.len())]);
+        match rng.usize_below(3) {
+            0 => {
+                let i = rng.usize_below(body.len());
+                body[i] = body[i].wrapping_add(rng.range_u8(1, 255));
+            }
+            1 => {
+                let cut = rng.usize_below(body.len());
+                body.truncate(cut);
+            }
+            _ => {
+                let i = rng.usize_below(body.len());
+                let extra = rng.usize_below(9);
+                body.splice(i..i, std::iter::repeat_n(0xAAu8, extra));
+            }
+        }
+        if decode_request(&body).is_ok() {
+            decoded_ok += 1;
+        }
+    }
+    // Some mutations (e.g. flipping a pid byte) still decode — fine.
+    // The point is the 4000 iterations above completed.
+    assert!(decoded_ok < 4000, "mutations cannot all be valid");
+}
+
+#[test]
+fn garbage_on_one_connection_leaves_the_server_serving() {
+    let mut layout = bso_objects::Layout::new();
+    layout.push(bso_objects::ObjectInit::CasK { k: 4 });
+    let handle = Server::bind("127.0.0.1:0", &layout, ServerConfig::default()).unwrap();
+    let addr = handle.local_addr();
+
+    // Three hostile connections: wrong version, unknown opcode, and a
+    // nesting bomb. Each must be dropped with EOF.
+    let mut frames = Vec::new();
+    {
+        let mut body = body_of(&Request::Ping);
+        body[0] = 9;
+        frames.push(body);
+    }
+    {
+        let mut body = body_of(&Request::Ping);
+        body[1] = 0x7e;
+        frames.push(body);
+    }
+    {
+        let mut body = vec![wire::VERSION, 0x01];
+        body.extend_from_slice(&1u64.to_le_bytes());
+        body.extend(std::iter::repeat_n(5u8, 256));
+        frames.push(body);
+    }
+    for body in frames {
+        let mut s = std::net::TcpStream::connect(addr).unwrap();
+        let mut framed = (body.len() as u32).to_le_bytes().to_vec();
+        framed.extend_from_slice(&body);
+        s.write_all(&framed).unwrap();
+        let mut probe = [0u8; 1];
+        assert_eq!(s.read(&mut probe).unwrap(), 0, "hostile conn gets EOF");
+    }
+
+    // A well-behaved connection still gets service afterwards.
+    let mut s = std::net::TcpStream::connect(addr).unwrap();
+    let mut buf = Vec::new();
+    encode_request(
+        1,
+        &Request::Apply {
+            pid: 0,
+            op: Op::cas(
+                ObjectId(0),
+                Value::Sym(Sym::BOTTOM),
+                Value::Sym(Sym::new(2)),
+            ),
+        },
+        &mut buf,
+    )
+    .unwrap();
+    s.write_all(&buf).unwrap();
+    let mut body = Vec::new();
+    assert!(read_frame(&mut s, &mut body).unwrap());
+    assert_eq!(
+        wire::decode_response(&body).unwrap(),
+        (1, Response::Ok(Value::Sym(Sym::BOTTOM)))
+    );
+    drop(s);
+    let stats = handle.shutdown();
+    assert_eq!(stats.malformed, 3);
+    assert_eq!(stats.connections, 4);
+}

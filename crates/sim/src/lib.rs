@@ -134,8 +134,10 @@ pub use explore::{
     CrashEvent, DedupMode, ExploreConfig, ExploreOutcome, ExploreStats, Explorer, FrontierEntry,
     InterruptReason, Report as ExploreReport, TaskSpec, Violation, ViolationKind,
 };
+pub use linearizability::{check_history, NotLinearizable};
 pub use memory::SharedMemory;
 pub use protocol::{Action, Pid, Protocol, ProtocolExt};
+pub use record::{RecordedOp, RecordingMemory};
 pub use scheduler::Scheduler;
 pub use sim::{CrashPlan, ProcStatus, RunError, RunResult, Simulation};
 pub use symmetry::SymmetricProtocol;

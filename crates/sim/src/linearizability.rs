@@ -29,7 +29,16 @@ pub struct NotLinearizable {
     pub obj: ObjectId,
     /// Number of operations in the failing projection.
     pub ops: usize,
+    /// The failing projection itself, in the order it was checked —
+    /// every recorded operation on [`Self::obj`] with its pid, kind,
+    /// response, and invocation/response ticks, so a violation seen
+    /// e.g. on the wire server is actionable without a re-run.
+    pub log: Vec<RecordedOp>,
 }
+
+/// How many operations [`NotLinearizable`]'s `Display` prints before
+/// eliding the rest (the full projection stays in the `log` field).
+const DISPLAY_OPS: usize = 12;
 
 impl fmt::Display for NotLinearizable {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -37,7 +46,18 @@ impl fmt::Display for NotLinearizable {
             f,
             "no linearization of the {} operations on {} matches the sequential spec",
             self.ops, self.obj
-        )
+        )?;
+        for r in self.log.iter().take(DISPLAY_OPS) {
+            write!(
+                f,
+                "\n  p{} {}.{:?} -> {} @[{},{}]",
+                r.pid, r.op.obj, r.op.kind, r.resp, r.invoked_at, r.responded_at
+            )?;
+        }
+        if self.log.len() > DISPLAY_OPS {
+            write!(f, "\n  … {} more", self.log.len() - DISPLAY_OPS)?;
+        }
+        Ok(())
     }
 }
 
@@ -62,7 +82,11 @@ pub fn check_object_history(
     if search(initial.clone(), history, &mut used, &mut order) {
         Ok(order)
     } else {
-        Err(NotLinearizable { obj, ops: n })
+        Err(NotLinearizable {
+            obj,
+            ops: n,
+            log: history.to_vec(),
+        })
     }
 }
 
@@ -305,7 +329,45 @@ mod tests {
             rec(0, Op::write(obj, Value::Int(1)), Value::Nil, (0, 1)),
             rec(1, Op::read(obj), Value::Nil, (2, 3)),
         ];
-        assert!(check_object_history(obj, &init, &h).is_err());
+        let err = check_object_history(obj, &init, &h).unwrap_err();
+        // The error carries the failing projection itself …
+        assert_eq!(err.ops, 2);
+        assert_eq!(err.log.len(), 2);
+        assert_eq!(err.log[1].pid, 1);
+        // … and its display names each op with pid, kind, response
+        // and ticks, so the violation is actionable from the message
+        // alone.
+        let msg = err.to_string();
+        assert!(
+            msg.starts_with("no linearization of the 2 operations on o0"),
+            "unexpected headline: {msg}"
+        );
+        assert!(msg.contains("p0 o0.Write(1) -> "), "{msg}");
+        assert!(msg.contains("p1 o0.Read -> "), "{msg}");
+        assert!(msg.contains("@[0,1]") && msg.contains("@[2,3]"), "{msg}");
+        assert!(!msg.contains("more"), "nothing should be elided: {msg}");
+    }
+
+    #[test]
+    fn long_failing_projections_are_elided_in_display() {
+        let obj = ObjectId(0);
+        let init = ObjectState::from_init(&ObjectInit::Register(Value::Nil));
+        // 15 sequential reads that all claim to have seen a value
+        // nobody wrote: hopeless, and longer than the display cap.
+        let h: Vec<RecordedOp> = (0..15)
+            .map(|i| {
+                rec(
+                    i % 2,
+                    Op::read(obj),
+                    Value::Int(7),
+                    (2 * i as u64, 2 * i as u64 + 1),
+                )
+            })
+            .collect();
+        let err = check_object_history(obj, &init, &h).unwrap_err();
+        assert_eq!(err.log.len(), 15, "the log field holds everything");
+        let msg = err.to_string();
+        assert!(msg.contains("… 3 more"), "expected elision note: {msg}");
     }
 
     #[test]

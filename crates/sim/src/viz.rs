@@ -18,32 +18,39 @@ use std::fmt::Write as _;
 
 use bso_objects::{ObjectId, OpKind, Value};
 
+use crate::record::RecordedOp;
 use crate::{EventKind, Trace};
+
+/// One character per completed operation — the shared glyph alphabet
+/// of [`timeline`] and [`history_timeline`].
+fn op_glyph(kind: &OpKind, resp: &Value) -> char {
+    match kind {
+        OpKind::Read => 'r',
+        OpKind::Write(_) => 'W',
+        OpKind::Cas { expect, .. } => {
+            if resp == expect {
+                'C' // successful compare&swap
+            } else {
+                'c' // failed compare&swap
+            }
+        }
+        OpKind::TestAndSet => 'T',
+        OpKind::Reset => 't',
+        OpKind::FetchAdd(_) => 'F',
+        OpKind::Swap(_) => 'X',
+        OpKind::SnapshotScan => 'S',
+        OpKind::SnapshotUpdate(_) => 'U',
+        OpKind::StickyWrite(_) => 'K',
+        OpKind::Enqueue(_) => 'Q',
+        OpKind::Dequeue => 'q',
+        OpKind::Rmw { .. } => 'M',
+    }
+}
 
 /// One character per event, for the timeline.
 fn glyph(kind: &EventKind) -> char {
     match kind {
-        EventKind::Applied { op, resp } => match &op.kind {
-            OpKind::Read => 'r',
-            OpKind::Write(_) => 'W',
-            OpKind::Cas { expect, .. } => {
-                if resp == expect {
-                    'C' // successful compare&swap
-                } else {
-                    'c' // failed compare&swap
-                }
-            }
-            OpKind::TestAndSet => 'T',
-            OpKind::Reset => 't',
-            OpKind::FetchAdd(_) => 'F',
-            OpKind::Swap(_) => 'X',
-            OpKind::SnapshotScan => 'S',
-            OpKind::SnapshotUpdate(_) => 'U',
-            OpKind::StickyWrite(_) => 'K',
-            OpKind::Enqueue(_) => 'Q',
-            OpKind::Dequeue => 'q',
-            OpKind::Rmw { .. } => 'M',
-        },
+        EventKind::Applied { op, resp } => op_glyph(&op.kind, resp),
         EventKind::Decided(_) => 'D',
         EventKind::Crashed => '✗',
     }
@@ -72,6 +79,42 @@ pub fn timeline(trace: &Trace, processes: usize) -> String {
         let line: String = row.iter().collect();
         let _ = writeln!(out, "p{p:<3} |{}|", line);
     }
+    out
+}
+
+/// Renders a recorded client history (as produced by the wire
+/// client's recorder or [`crate::RecordingMemory`]) as a space–time
+/// diagram: one row per process, one column per completed operation in
+/// response order, plus a footer row naming the object each column
+/// hit (object ids rendered base-36).
+///
+/// ```text
+///       ops 0..5 by response order
+/// p0   |C  F r|
+/// p1   | c F  |
+///  obj |00 121|
+/// ```
+pub fn history_timeline(log: &[RecordedOp], processes: usize) -> String {
+    let cols = log.len();
+    let mut rows = vec![vec![' '; cols]; processes];
+    let mut objs = vec![' '; cols];
+    for (i, rec) in log.iter().enumerate() {
+        if let Some(row) = rows.get_mut(rec.pid) {
+            row[i] = op_glyph(&rec.op.kind, &rec.resp);
+        }
+        objs[i] = char::from_digit((rec.op.obj.0 % 36) as u32, 36).unwrap_or('?');
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "      ops 0..{cols} by response order   (W/r register · C/c compare&swap ok/fail · F fetch&add · S/U snapshot)"
+    );
+    for (p, row) in rows.iter().enumerate() {
+        let line: String = row.iter().collect();
+        let _ = writeln!(out, "p{p:<3} |{line}|");
+    }
+    let obj_line: String = objs.iter().collect();
+    let _ = writeln!(out, " obj |{obj_line}|");
     out
 }
 
@@ -164,6 +207,40 @@ mod tests {
             register_history_string(&t, ObjectId(0), Value::Sym(Sym::BOTTOM)),
             "⊥ →(#1) 0"
         );
+    }
+
+    #[test]
+    fn history_timeline_renders_recorded_ops() {
+        use crate::record::RecordedOp;
+        let log = vec![
+            RecordedOp {
+                pid: 0,
+                op: Op::cas(ObjectId(0), Sym::BOTTOM.into(), Sym::new(0).into()),
+                resp: Value::Sym(Sym::BOTTOM), // success
+                invoked_at: 0,
+                responded_at: 1,
+            },
+            RecordedOp {
+                pid: 1,
+                op: Op::new(ObjectId(2), OpKind::FetchAdd(1)),
+                resp: Value::Int(0),
+                invoked_at: 2,
+                responded_at: 3,
+            },
+            RecordedOp {
+                pid: 0,
+                op: Op::read(ObjectId(1)),
+                resp: Value::Nil,
+                invoked_at: 4,
+                responded_at: 5,
+            },
+        ];
+        let s = history_timeline(&log, 2);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[1], "p0   |C r|");
+        assert_eq!(lines[2], "p1   | F |");
+        assert_eq!(lines[3], " obj |021|");
     }
 
     #[test]
