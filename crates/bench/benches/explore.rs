@@ -204,6 +204,29 @@ fn bench_explore_modes(c: &mut Criterion) {
     g.finish();
 }
 
+/// The tentpole measurement: dynamic partial-order reduction on the
+/// exact-keyed engine, same instances as `explore_cas_only`. The
+/// interesting number is not the time but the *states* throughput
+/// element count — DPOR visits Θ(n²) states where the unreduced graph
+/// has Θ(3ⁿ) — which `emit_json` turns into per-instance cut ratios.
+fn bench_explore_dpor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("explore_dpor");
+    g.sample_size(20);
+    for k in CAS_KS {
+        let proto = CasOnlyElection::new(k - 1, k).unwrap();
+        let ex = Explorer::new(&proto)
+            .inputs(&proto.pid_inputs())
+            .spec(TaskSpec::Election)
+            .dpor(true);
+        let states = ex.run().states as u64;
+        g.throughput(Throughput::Elements(states));
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| black_box(ex.run()));
+        });
+    }
+    g.finish();
+}
+
 fn bench_explore_label(c: &mut Criterion) {
     let mut g = c.benchmark_group("explore_label");
     g.sample_size(10);
@@ -252,13 +275,16 @@ fn bench_explore_tracing(c: &mut Criterion) {
 }
 
 /// The cost of the crash-fault adversary on the fingerprint-mode
-/// engine, same instance as `explore_cas_only_fp/6`: with faults
+/// engine, same instance as `explore_cas_only_fp/7`: with faults
 /// disabled (the default) the hot path must not pay for the machinery
 /// — one branch on an empty fault budget — and the `f = 1` cost is
 /// recorded for reference (it explores a strictly larger graph, so
-/// its throughput is over more states, not the same ones).
+/// its throughput is over more states, not the same ones). The k = 7
+/// instance (up from k = 6) keeps the crash-free runtime well above
+/// the sub-millisecond noise floor that made the smaller comparison
+/// meaningless.
 fn bench_explore_faults(c: &mut Criterion) {
-    let proto = CasOnlyElection::new(5, 6).unwrap();
+    let proto = CasOnlyElection::new(6, 7).unwrap();
     let inputs = proto.pid_inputs();
     let mut g = c.benchmark_group("explore_faults");
     g.sample_size(20);
@@ -376,13 +402,13 @@ fn emit_json(measurements: &[Measurement]) -> String {
     }
     // Fault-adversary overhead, same estimator and baseline as the
     // tracing section. "disabled" is the identical instance to
-    // explore_cas_only_fp/6 with an explicit zero fault budget, so its
+    // explore_cas_only_fp/7 with an explicit zero fault budget, so its
     // overhead is what every crash-free caller pays for the adversary
     // existing at all; "f1" is raw cost on its (larger) crashy graph.
     if let (Some(disabled), Some(f1), Some(base)) = (
         find("explore_faults/disabled"),
         find("explore_faults/f1"),
-        find("explore_cas_only_fp/6"),
+        find("explore_cas_only_fp/7"),
     ) {
         doc.push((
             "faults".to_string(),
@@ -400,19 +426,51 @@ fn emit_json(measurements: &[Measurement]) -> String {
             ]),
         ));
     }
+    // DPOR state cuts per instance: the reduction's figure of merit is
+    // states *not visited*, so this section compares element counts
+    // (which are exact and noise-free), not times. `cut` is the factor
+    // by which the explored graph shrank; the acceptance bar is ≥ 10
+    // at k ≥ 6 (checked by `validate_telemetry --explore`).
+    let mut cuts = Vec::new();
+    for k in CAS_KS {
+        let (Some(full), Some(dpor)) = (
+            find(&format!("explore_cas_only/{k}")),
+            find(&format!("explore_dpor/{k}")),
+        ) else {
+            continue;
+        };
+        let (Some(sf), Some(sd)) = (full.elements, dpor.elements) else {
+            continue;
+        };
+        cuts.push((
+            format!("k{k}"),
+            Json::obj([
+                ("states_full", Json::U64(sf)),
+                ("states_dpor", Json::U64(sd)),
+                ("cut", Json::F64(sf as f64 / sd as f64)),
+            ]),
+        ));
+    }
+    doc.push(("dpor".to_string(), Json::Obj(cuts)));
     Json::Obj(doc).render_pretty()
 }
 
 fn main() {
-    // Longer windows than `quick()`: the emitted speedup-vs-seed
-    // ratios feed acceptance checks, so per-run scheduler noise (this
-    // is often a loaded single-core box) must be averaged down.
+    // `--smoke` (CI) shrinks the measurement windows to a schema-level
+    // sanity run: the emitted JSON has every group and every exact
+    // state count, only the timings are noisy. The default windows are
+    // longer than `quick()`: the emitted speedup-vs-seed ratios feed
+    // acceptance checks, so per-run scheduler noise (this is often a
+    // loaded single-core box) must be averaged down.
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (warm_ms, meas_ms, samples) = if smoke { (50, 200, 5) } else { (800, 4000, 20) };
     let mut c = bso_bench::quick()
-        .warm_up_time(std::time::Duration::from_millis(800))
-        .measurement_time(std::time::Duration::from_millis(4000))
-        .sample_size(20);
+        .warm_up_time(std::time::Duration::from_millis(warm_ms))
+        .measurement_time(std::time::Duration::from_millis(meas_ms))
+        .sample_size(samples);
     bench_explore_seed_baseline(&mut c);
     bench_explore_cas_only(&mut c);
+    bench_explore_dpor(&mut c);
     bench_explore_modes(&mut c);
     bench_explore_tracing(&mut c);
     bench_explore_faults(&mut c);

@@ -6,6 +6,7 @@
 //! validate_telemetry --progress <progress.jsonl> [min_lines]
 //! validate_telemetry --checkpoint <cp.json>
 //! validate_telemetry --serve <snapshot.json>
+//! validate_telemetry --explore <BENCH_explore.json>
 //! ```
 //!
 //! The default mode exits nonzero unless the file parses as a
@@ -21,8 +22,12 @@
 //! checks a snapshot captured from a live `bso-server` run for the
 //! `server.*` metric contract (request accounting that balances,
 //! per-shard queue-depth gauges, latency histograms with consistent
-//! quantiles). CI runs all five over the artifacts the examples and
-//! the loadgen smoke job write.
+//! quantiles); `--explore` checks a `BENCH_explore.json` written by
+//! the explore bench for record shape *and* for the partial-order
+//! reduction acceptance bar (a ≥ 10× state cut at k ≥ 6), so a
+//! reduction regression fails the build instead of silently eroding
+//! the speedup. CI runs all six over the artifacts the examples, the
+//! loadgen smoke job and the smoke bench write.
 
 use std::process::ExitCode;
 
@@ -44,7 +49,7 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage: validate_telemetry <snapshot.json> [min_total] [prefix=N ...] \
      | --trace <trace.json> [min_events] | --progress <progress.jsonl> [min_lines] \
-     | --checkpoint <cp.json> | --serve <snapshot.json>";
+     | --checkpoint <cp.json> | --serve <snapshot.json> | --explore <BENCH_explore.json>";
 
 fn run() -> Result<String, String> {
     let mut args = std::env::args().skip(1);
@@ -66,6 +71,10 @@ fn run() -> Result<String, String> {
     if path == "--serve" {
         let file = args.next().ok_or(USAGE)?;
         return validate_serve(&file);
+    }
+    if path == "--explore" {
+        let file = args.next().ok_or(USAGE)?;
+        return validate_explore(&file);
     }
     let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
     let doc = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
@@ -315,6 +324,91 @@ fn validate_serve(path: &str) -> Result<String, String> {
     }
     Ok(format!(
         "{path}: ok ({requests} requests over {shards} shards, {histograms} histograms)"
+    ))
+}
+
+/// Checks a `BENCH_explore.json` written by the explore bench: record
+/// shape, the groups the acceptance checks read, and the DPOR state
+/// cuts (strictly fewer states everywhere it ran, ≥ 10× at k ≥ 6).
+fn validate_explore(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    if !matches!(doc.get("bench"), Some(Json::Str(s)) if s == "explore") {
+        return Err(format!("{path}: missing or unknown \"bench\""));
+    }
+    let records = doc
+        .get("records")
+        .and_then(Json::items)
+        .ok_or_else(|| format!("{path}: \"records\" is missing or not an array"))?;
+    for (i, r) in records.iter().enumerate() {
+        if r.get("name")
+            .and_then(Json::as_str)
+            .is_none_or(str::is_empty)
+        {
+            return Err(format!("{path}: record #{i} has no \"name\""));
+        }
+        for key in ["median_ns", "min_ns"] {
+            if r.get(key).and_then(Json::as_u64).is_none() {
+                return Err(format!("{path}: record #{i} has no integer {key:?}"));
+            }
+        }
+    }
+    let has = |name: &str| {
+        records
+            .iter()
+            .any(|r| r.get("name").and_then(Json::as_str) == Some(name))
+    };
+    for group in [
+        "explore_seed_baseline/6",
+        "explore_cas_only/6",
+        "explore_cas_only_fp/6",
+        "explore_dpor/6",
+        "explore_faults/disabled",
+        "explore_faults/f1",
+    ] {
+        if !has(group) {
+            return Err(format!("{path}: no record for {group:?}"));
+        }
+    }
+    let cuts = doc
+        .get("dpor")
+        .and_then(Json::entries)
+        .ok_or_else(|| format!("{path}: \"dpor\" is missing or not an object"))?;
+    if cuts.is_empty() {
+        return Err(format!("{path}: \"dpor\" has no per-instance cuts"));
+    }
+    let mut checked = 0;
+    for (name, entry) in cuts {
+        let k: u64 = name
+            .strip_prefix('k')
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("{path}: dpor key {name:?} is not k<N>"))?;
+        let field = |key: &str| -> Result<u64, String> {
+            entry
+                .get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{path}: dpor.{name} has no integer {key:?}"))
+        };
+        let (full, dpor) = (field("states_full")?, field("states_dpor")?);
+        let cut = entry
+            .get("cut")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("{path}: dpor.{name} has no numeric \"cut\""))?;
+        if dpor >= full {
+            return Err(format!(
+                "{path}: dpor.{name} explored {dpor} states of {full} — no reduction"
+            ));
+        }
+        if k >= 6 && cut < 10.0 {
+            return Err(format!(
+                "{path}: dpor.{name} cut is {cut:.1}x, the acceptance bar is 10x at k >= 6"
+            ));
+        }
+        checked += 1;
+    }
+    Ok(format!(
+        "{path}: ok ({} records, {checked} dpor cuts)",
+        records.len()
     ))
 }
 

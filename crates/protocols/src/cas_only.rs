@@ -1,6 +1,7 @@
 use bso_combinatorics::perm::{factorial, nth_permutation};
+use bso_objects::spec::ObjectState;
 use bso_objects::{Layout, ObjectId, ObjectInit, Op, Sym, Value};
-use bso_sim::{Action, Pid, Protocol, SymmetricProtocol};
+use bso_sim::{Action, DecideHint, Footprint, Pid, Protocol, SharedMemory, SymmetricProtocol};
 
 /// Leader election among `n ≤ k − 1` processes using a
 /// `compare&swap-(k)` register **alone** — no read/write registers.
@@ -121,6 +122,28 @@ impl Protocol for CasOnlyElection {
                 Some(sym) => sym as Pid,
             };
             *state = CasOnlyState::Done { winner };
+        }
+    }
+
+    /// The winner is sealed by the first successful swap: once the
+    /// register holds a non-⊥ symbol every pending `c&s(⊥ → ·)` is a
+    /// read-only failure and every future decision equals that symbol.
+    /// Exposing this lets the explorer's partial-order reduction
+    /// collapse the `(n−1)!` orderings of the losers.
+    fn footprint(&self, state: &CasOnlyState, mem: &SharedMemory) -> Footprint {
+        match state {
+            CasOnlyState::Grab { .. } => match mem.object(Self::CAS) {
+                Some(ObjectState::CasK { val, .. }) if val.value().is_some() => Footprint::empty()
+                    .read(Self::CAS)
+                    .decide(DecideHint::Exactly(Value::Pid(val.value().unwrap() as Pid))),
+                _ => Footprint::empty()
+                    .read(Self::CAS)
+                    .write(Self::CAS)
+                    .decide(DecideHint::Unknown),
+            },
+            CasOnlyState::Done { winner } => {
+                Footprint::empty().decide(DecideHint::Exactly(Value::Pid(*winner)))
+            }
         }
     }
 }
@@ -256,6 +279,93 @@ mod tests {
         assert!(
             tight.symmetric(true).run().outcome.is_verified(),
             "the same budget must suffice under symmetry reduction"
+        );
+    }
+
+    #[test]
+    fn footprint_tracks_the_sealed_winner() {
+        let proto = CasOnlyElection::new(3, 4).unwrap();
+        let mut sim = Simulation::new(&proto, &proto.pid_inputs());
+        // Before anyone swaps: a pending c&s may mutate and the
+        // decision is open.
+        let st = CasOnlyState::Grab { pid: 1 };
+        let fp = proto.footprint(&st, sim.memory());
+        assert_eq!(
+            fp,
+            Footprint::empty()
+                .read(CasOnlyElection::CAS)
+                .write(CasOnlyElection::CAS)
+                .decide(DecideHint::Unknown)
+        );
+        // Run to completion: the register is sealed, so a (stale)
+        // grabber is read-only and its decision pinned to the winner.
+        let res = sim.run(&mut scheduler::RoundRobin::new(), 100).unwrap();
+        let winner = res.decisions[0].as_ref().unwrap().clone();
+        let fp = proto.footprint(&st, sim.memory());
+        assert_eq!(
+            fp,
+            Footprint::empty()
+                .read(CasOnlyElection::CAS)
+                .decide(DecideHint::Exactly(winner.clone()))
+        );
+        // A decided process touches nothing and decides exactly once.
+        let done = CasOnlyState::Done {
+            winner: winner.as_pid().unwrap(),
+        };
+        let fp = proto.footprint(&done, sim.memory());
+        assert_eq!(fp, Footprint::empty().decide(DecideHint::Exactly(winner)));
+    }
+
+    #[test]
+    fn dpor_prunes_commuting_loser_orders() {
+        // Once the winner is sealed, the explorer should not enumerate
+        // the orderings of the losers' failed swaps — DPOR collapses
+        // the state count from Θ(3ⁿ) to Θ(n²).
+        for k in 4..=6 {
+            let proto = CasOnlyElection::new(k - 1, k).unwrap();
+            let base = Explorer::new(&proto)
+                .inputs(&proto.pid_inputs())
+                .spec(TaskSpec::Election);
+            let plain = base.clone().run();
+            let dpor = base.dpor(true).run();
+            assert!(plain.outcome.is_verified());
+            assert!(dpor.outcome.is_verified(), "k={k}: {:?}", dpor.outcome);
+            assert!(
+                dpor.states < plain.states,
+                "k={k}: dpor {} vs plain {}",
+                dpor.states,
+                plain.states
+            );
+            if k >= 6 {
+                assert!(
+                    dpor.states * 10 < plain.states,
+                    "k={k}: expected ≥10x cut, got {} vs {}",
+                    dpor.states,
+                    plain.states
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dpor_verifies_beyond_plain_frontier() {
+        // The k = 9 instance: 8 processes, 3⁸-ish reachable states in
+        // the plain graph. A budget the plain explorer exhausts is
+        // ample once commuting loser orders are pruned.
+        let proto = CasOnlyElection::new(8, 9).unwrap();
+        let base = Explorer::new(&proto)
+            .inputs(&proto.pid_inputs())
+            .spec(TaskSpec::Election)
+            .max_states(500);
+        assert!(
+            matches!(base.clone().run().outcome, ExploreOutcome::Exhausted { .. }),
+            "the plain explorer must exhaust a 500-state budget"
+        );
+        let dpor = base.dpor(true).run();
+        assert!(
+            dpor.outcome.is_verified(),
+            "the same budget must suffice under DPOR: {:?}",
+            dpor.outcome
         );
     }
 

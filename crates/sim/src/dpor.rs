@@ -1,0 +1,537 @@
+//! Step-independence machinery for dynamic partial-order reduction.
+//!
+//! The engine's DPOR mode ([`crate::Explorer::dpor`]) prunes
+//! interleavings of *commuting* steps. Everything it needs to decide
+//! commutation lives here:
+//!
+//! * [`StepFp`] — a step (or step-sequence) footprint over the shared
+//!   objects **plus two pseudo-objects** that make the specification
+//!   checks part of the independence relation: the per-process
+//!   `stepped` bits (a decision's validity reads the participant set;
+//!   a process's first step writes its own bit) and the decision
+//!   values themselves (summarized as a [`DecideHint`], since two
+//!   decisions conflict exactly when they could disagree).
+//! * [`immediate_fp`] — the *exact* footprint of the single pending
+//!   step at a concrete state, used for sleep sets (one-shot
+//!   commutation at this state needs no stability under memory
+//!   evolution). Read/write classification is dynamic:
+//!   [`would_mutate`] evaluates the operation against the current
+//!   object state, so a CAS that cannot succeed is a read.
+//! * [`future_fp`] — the protocol-asserted over-approximation of
+//!   *everything* the process may do from here on
+//!   ([`crate::Protocol::footprint`]), used for persistent sets, which
+//!   must stay valid along runs that defer the process arbitrarily.
+//! * [`smallest_persistent_set`] — a set `D` of enabled processes is
+//!   persistent iff no conflict edge crosses its boundary (every
+//!   transition is always enabled in this model, and a process's
+//!   pending action is fixed while it does not step, so
+//!   future-footprint disjointness implies the classical persistency
+//!   condition). The valid minimal choices are exactly the connected
+//!   components of the conflict graph over enabled processes; the
+//!   smallest one is returned.
+//!
+//! All sets are `u64` bitmasks over pids — the explorer already caps
+//! `n ≤ 64`. See `DESIGN.md` §3.11 for the soundness argument and how
+//! this composes with Zobrist dedup, symmetry, crashes, and
+//! checkpoint/resume.
+
+use bso_objects::spec::ObjectState;
+use bso_objects::{OpKind, Value};
+
+use crate::explore::{StateKey, TaskSpec};
+use crate::protocol::{Action, DecideHint};
+use crate::{Pid, Protocol};
+
+/// The all-ones mask over `n` pids.
+pub(crate) fn ones(n: usize) -> u64 {
+    if n >= 64 {
+        !0
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+/// Moves bit `p` to bit `map[p]` for every set bit.
+pub(crate) fn permute_mask(mask: u64, map: &[Pid]) -> u64 {
+    let mut out = 0u64;
+    let mut m = mask;
+    while m != 0 {
+        let p = m.trailing_zeros() as usize;
+        m &= m - 1;
+        out |= 1 << map[p];
+    }
+    out
+}
+
+/// Inverse of [`permute_mask`]: bit `map[p]` moves to bit `p`.
+pub(crate) fn permute_mask_inv(mask: u64, map: &[Pid]) -> u64 {
+    let mut out = 0u64;
+    for (p, &q) in map.iter().enumerate() {
+        if mask >> q & 1 == 1 {
+            out |= 1 << p;
+        }
+    }
+    out
+}
+
+/// A footprint of one step (immediate) or of a process's whole future
+/// (from [`crate::Protocol::footprint`]), in conflict-checkable form.
+#[derive(Clone, Debug)]
+pub(crate) struct StepFp {
+    /// Conflicts with everything.
+    pub(crate) top: bool,
+    /// Objects read (bit `i` ⇒ `ObjectId(i)`).
+    pub(crate) reads: u64,
+    /// Objects mutated.
+    pub(crate) writes: u64,
+    /// `stepped`-mask pseudo-object bits read (a decision's validity
+    /// check reads the participant bits named here).
+    pub(crate) step_reads: u64,
+    /// `stepped`-mask pseudo-object bits written (a process's first
+    /// step sets its own bit).
+    pub(crate) step_writes: u64,
+    /// What may be decided.
+    pub(crate) decide: DecideHint,
+}
+
+impl StepFp {
+    /// The footprint of a process that does nothing (disabled slots).
+    pub(crate) fn inert() -> StepFp {
+        StepFp {
+            top: false,
+            reads: 0,
+            writes: 0,
+            step_reads: 0,
+            step_writes: 0,
+            decide: DecideHint::Never,
+        }
+    }
+}
+
+/// Whether applying `kind` (by `pid`) to `obj` changes the object's
+/// state. Exact for every well-typed in-domain operation; errors
+/// (which surface as deterministic `IllegalOperation` violations
+/// regardless of interleaving) are conservatively "mutations".
+pub(crate) fn would_mutate(obj: &ObjectState, pid: Pid, kind: &OpKind) -> bool {
+    match (obj, kind) {
+        (ObjectState::Register { .. }, OpKind::Read) => false,
+        (ObjectState::Register { val }, OpKind::Write(v) | OpKind::Swap(v)) => val != v,
+        (ObjectState::CasK { .. }, OpKind::Read) => false,
+        (ObjectState::CasK { val, k }, OpKind::Cas { expect, new }) => {
+            match (expect.as_sym(), new.as_sym()) {
+                (Some(e), Some(nw)) if e.in_domain(*k) && nw.in_domain(*k) => e == *val && e != nw,
+                _ => true, // domain violation: deterministic error
+            }
+        }
+        (ObjectState::CasReg { .. }, OpKind::Read) => false,
+        (ObjectState::CasReg { val }, OpKind::Cas { expect, new }) => {
+            val == expect && expect != new
+        }
+        (ObjectState::TestAndSet { .. }, OpKind::Read) => false,
+        (ObjectState::TestAndSet { set }, OpKind::TestAndSet) => !*set,
+        (ObjectState::TestAndSet { set }, OpKind::Reset) => *set,
+        (ObjectState::FetchAdd { .. }, OpKind::Read) => false,
+        (ObjectState::FetchAdd { .. }, OpKind::FetchAdd(d)) => *d != 0,
+        (ObjectState::Snapshot { .. }, OpKind::SnapshotScan | OpKind::Read) => false,
+        (ObjectState::Snapshot { slots }, OpKind::SnapshotUpdate(v)) => slots.get(pid) != Some(v),
+        (ObjectState::Sticky { .. }, OpKind::Read) => false,
+        (ObjectState::Sticky { val }, OpKind::StickyWrite(v)) => val.is_nil() && !v.is_nil(),
+        (ObjectState::Queue { .. }, OpKind::Read) => false,
+        (ObjectState::Queue { .. }, OpKind::Enqueue(_)) => true,
+        (ObjectState::Queue { items }, OpKind::Dequeue) => !items.is_empty(),
+        (ObjectState::RmwK { .. }, OpKind::Read) => false,
+        (ObjectState::RmwK { val, functions, .. }, OpKind::Rmw { func }) => functions
+            .get(*func)
+            .and_then(|t| t.get(val.code() as usize))
+            .is_none_or(|&next| next != val.code()),
+        _ => true, // type mismatch: deterministic error
+    }
+}
+
+/// The `stepped`-mask bits a decision of `v` reads: the not-yet-
+/// stepped pids whose later first step could flip the decision's
+/// validity verdict. `stepped` must already include the decider's own
+/// bit. Bits that are already stepped — and decisions that are
+/// invalid no matter who else steps — read nothing that any
+/// interleaving can change, so they contribute no conflict.
+pub(crate) fn spec_relevant_unstepped(spec: &TaskSpec, v: &Value, stepped: u64, n: usize) -> u64 {
+    match spec {
+        TaskSpec::None => 0,
+        TaskSpec::Election => match v.as_pid() {
+            Some(w) if w < n && stepped >> w & 1 == 0 => 1 << w,
+            // A stepped winner is valid in every order; a non-pid or
+            // out-of-range value is invalid in every order.
+            _ => 0,
+        },
+        TaskSpec::Consensus(inputs) | TaskSpec::SetConsensus(inputs, _) => {
+            if (0..n).any(|p| stepped >> p & 1 == 1 && inputs.get(p) == Some(v)) {
+                return 0; // valid in every order
+            }
+            (0..n)
+                .filter(|&p| stepped >> p & 1 == 0 && inputs.get(p) == Some(v))
+                .fold(0, |m, p| m | 1 << p)
+        }
+    }
+}
+
+/// The exact footprint of `pid`'s single pending step at `state`.
+pub(crate) fn immediate_fp<P: Protocol>(
+    proto: &P,
+    state: &StateKey<P::State>,
+    spec: &TaskSpec,
+    pid: Pid,
+) -> StepFp {
+    let n = state.states.len();
+    let first_step = if state.stepped >> pid & 1 == 0 {
+        1u64 << pid
+    } else {
+        0
+    };
+    match proto.next_action(&state.states[pid]) {
+        Action::Invoke(op) => {
+            let mut fp = StepFp::inert();
+            fp.step_writes = first_step;
+            if op.obj.0 >= 64 {
+                fp.top = true; // can't name the object in the bitmask
+                return fp;
+            }
+            fp.reads = 1 << op.obj.0;
+            match state.mem.object(op.obj) {
+                Some(obj) => {
+                    if would_mutate(obj, pid, &op.kind) {
+                        fp.writes = fp.reads;
+                    }
+                }
+                None => fp.top = true, // unknown object: be conservative
+            }
+            fp
+        }
+        Action::Decide(v) => {
+            let step_reads = spec_relevant_unstepped(spec, &v, state.stepped | 1 << pid, n);
+            StepFp {
+                top: false,
+                reads: 0,
+                writes: 0,
+                step_reads,
+                step_writes: first_step,
+                decide: DecideHint::Exactly(v),
+            }
+        }
+    }
+}
+
+/// The protocol-asserted footprint of everything `pid` may do from
+/// `state` onward (see [`crate::Protocol::footprint`]), widened with
+/// the pseudo-object accesses the engine knows about: the first-step
+/// write of `pid`'s own `stepped` bit and the participant bits a
+/// future decision may read.
+pub(crate) fn future_fp<P: Protocol>(
+    proto: &P,
+    state: &StateKey<P::State>,
+    spec: &TaskSpec,
+    pid: Pid,
+) -> StepFp {
+    let n = state.states.len();
+    let fp = proto.footprint(&state.states[pid], &state.mem);
+    let first_step = if state.stepped >> pid & 1 == 0 {
+        1u64 << pid
+    } else {
+        0
+    };
+    let step_reads = match &fp.decide {
+        DecideHint::Never => 0,
+        // The decision value is unknown, so any unstepped peer's first
+        // step could matter (its own bit is set by the time it decides).
+        DecideHint::Unknown => ones(n) & !(state.stepped | 1 << pid),
+        DecideHint::Exactly(v) => spec_relevant_unstepped(spec, v, state.stepped | 1 << pid, n),
+    };
+    StepFp {
+        top: fp.top,
+        reads: fp.reads,
+        writes: fp.writes,
+        step_reads,
+        step_writes: first_step,
+        decide: fp.decide,
+    }
+}
+
+/// Whether two footprints conflict (fail to commute).
+pub(crate) fn conflict(a: &StepFp, b: &StepFp) -> bool {
+    if a.top || b.top {
+        return true;
+    }
+    if a.writes & (b.reads | b.writes) != 0 || b.writes & (a.reads | a.writes) != 0 {
+        return true;
+    }
+    if a.step_writes & b.step_reads != 0 || b.step_writes & a.step_reads != 0 {
+        return true;
+    }
+    // Two possible decisions conflict unless they provably agree (the
+    // agreement check of one reads the other's decision slot); a side
+    // that never decides neither reads nor writes any decision slot.
+    match (&a.decide, &b.decide) {
+        (DecideHint::Never, _) | (_, DecideHint::Never) => false,
+        (DecideHint::Exactly(x), DecideHint::Exactly(y)) => x != y,
+        _ => true,
+    }
+}
+
+/// The smallest persistent set of `enabled` pids, given each pid's
+/// *future* footprint in `futs[pid]` (slots of disabled pids are
+/// ignored).
+///
+/// A set `D ⊆ enabled` is persistent here iff no conflict edge leaves
+/// it, so the inclusion-minimal candidates are exactly the connected
+/// components of the conflict graph; ties between equally small
+/// components resolve to the one containing the smallest pid.
+pub(crate) fn smallest_persistent_set(enabled: u64, futs: &[StepFp]) -> u64 {
+    if enabled == 0 {
+        return 0;
+    }
+    let pids: Vec<usize> = (0..futs.len()).filter(|&p| enabled >> p & 1 == 1).collect();
+    let mut adj = vec![0u64; futs.len()];
+    for (i, &p) in pids.iter().enumerate() {
+        for &q in &pids[i + 1..] {
+            if conflict(&futs[p], &futs[q]) {
+                adj[p] |= 1 << q;
+                adj[q] |= 1 << p;
+            }
+        }
+    }
+    let mut best = 0u64;
+    let mut seen = 0u64;
+    for &p in &pids {
+        if seen >> p & 1 == 1 {
+            continue;
+        }
+        let mut comp = 1u64 << p;
+        let mut frontier = comp;
+        while frontier != 0 {
+            let mut next = 0u64;
+            let mut f = frontier;
+            while f != 0 {
+                let q = f.trailing_zeros() as usize;
+                f &= f - 1;
+                next |= adj[q];
+            }
+            frontier = next & !comp;
+            comp |= next;
+        }
+        seen |= comp;
+        if best == 0 || comp.count_ones() < best.count_ones() {
+            best = comp;
+        }
+        if best.count_ones() == 1 {
+            break;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bso_objects::{Sym, Value};
+
+    fn reg(v: i64) -> ObjectState {
+        ObjectState::Register { val: Value::Int(v) }
+    }
+
+    #[test]
+    fn would_mutate_is_exact_per_object() {
+        // Registers: reads never, writes iff the value changes.
+        assert!(!would_mutate(&reg(1), 0, &OpKind::Read));
+        assert!(would_mutate(&reg(1), 0, &OpKind::Write(Value::Int(2))));
+        assert!(!would_mutate(&reg(1), 0, &OpKind::Write(Value::Int(1))));
+        assert!(!would_mutate(&reg(1), 0, &OpKind::Swap(Value::Int(1))));
+        // compare&swap-(k): succeeds-and-changes only from the expected
+        // value; a failing or no-op CAS is a read.
+        let cas = ObjectState::CasK {
+            val: Sym::BOTTOM,
+            k: 4,
+        };
+        let hit = OpKind::Cas {
+            expect: Value::Sym(Sym::BOTTOM),
+            new: Value::Sym(Sym::new(1)),
+        };
+        let miss = OpKind::Cas {
+            expect: Value::Sym(Sym::new(2)),
+            new: Value::Sym(Sym::new(1)),
+        };
+        assert!(would_mutate(&cas, 0, &hit));
+        assert!(!would_mutate(&cas, 0, &miss));
+        // Out-of-domain operands error deterministically: conservative.
+        let bad = OpKind::Cas {
+            expect: Value::Int(7),
+            new: Value::Sym(Sym::new(1)),
+        };
+        assert!(would_mutate(&cas, 0, &bad));
+        // test&set only flips an unset bit; Reset only a set one.
+        let unset = ObjectState::TestAndSet { set: false };
+        let set = ObjectState::TestAndSet { set: true };
+        assert!(would_mutate(&unset, 0, &OpKind::TestAndSet));
+        assert!(!would_mutate(&set, 0, &OpKind::TestAndSet));
+        assert!(!would_mutate(&unset, 0, &OpKind::Reset));
+        // fetch&add of 0 is a read.
+        let fa = ObjectState::FetchAdd { val: 3 };
+        assert!(!would_mutate(&fa, 0, &OpKind::FetchAdd(0)));
+        assert!(would_mutate(&fa, 0, &OpKind::FetchAdd(1)));
+        // Snapshot updates mutate only when the slot changes; scans never.
+        let snap = ObjectState::Snapshot {
+            slots: vec![Value::Nil, Value::Int(5)],
+        };
+        assert!(!would_mutate(&snap, 0, &OpKind::SnapshotScan));
+        assert!(!would_mutate(
+            &snap,
+            1,
+            &OpKind::SnapshotUpdate(Value::Int(5))
+        ));
+        assert!(would_mutate(
+            &snap,
+            1,
+            &OpKind::SnapshotUpdate(Value::Int(6))
+        ));
+        // An out-of-range slot errors: conservative.
+        assert!(would_mutate(
+            &snap,
+            9,
+            &OpKind::SnapshotUpdate(Value::Int(5))
+        ));
+        // Sticky writes only land once.
+        let sticky_unset = ObjectState::Sticky { val: Value::Nil };
+        let sticky_set = ObjectState::Sticky { val: Value::Int(1) };
+        assert!(would_mutate(
+            &sticky_unset,
+            0,
+            &OpKind::StickyWrite(Value::Int(2))
+        ));
+        assert!(!would_mutate(
+            &sticky_set,
+            0,
+            &OpKind::StickyWrite(Value::Int(2))
+        ));
+        // Queue: enqueue always, dequeue only when nonempty.
+        let empty = ObjectState::Queue { items: vec![] };
+        let full = ObjectState::Queue {
+            items: vec![Value::Int(1)],
+        };
+        assert!(would_mutate(&empty, 0, &OpKind::Enqueue(Value::Int(1))));
+        assert!(!would_mutate(&empty, 0, &OpKind::Dequeue));
+        assert!(would_mutate(&full, 0, &OpKind::Dequeue));
+        // Type mismatch: conservative.
+        assert!(would_mutate(&reg(1), 0, &OpKind::TestAndSet));
+    }
+
+    fn fp(reads: u64, writes: u64) -> StepFp {
+        StepFp {
+            reads,
+            writes,
+            ..StepFp::inert()
+        }
+    }
+
+    #[test]
+    fn conflict_rules() {
+        // Read/read commutes; write against anything on the same
+        // object conflicts.
+        assert!(!conflict(&fp(0b1, 0), &fp(0b1, 0)));
+        assert!(conflict(&fp(0b1, 0), &fp(0b1, 0b1)));
+        assert!(conflict(&fp(0b1, 0b1), &fp(0b1, 0b1)));
+        assert!(!conflict(&fp(0b1, 0b1), &fp(0b10, 0b10)));
+        // ⊤ conflicts with everything, even the inert footprint.
+        let top = StepFp {
+            top: true,
+            ..StepFp::inert()
+        };
+        assert!(conflict(&top, &StepFp::inert()));
+        // Stepped-mask pseudo-object: a first step writes bit p, a
+        // decision validity check reads it.
+        let first_step = StepFp {
+            step_writes: 0b10,
+            ..StepFp::inert()
+        };
+        let decide_needs_p1 = StepFp {
+            step_reads: 0b10,
+            decide: DecideHint::Exactly(Value::Pid(1)),
+            ..StepFp::inert()
+        };
+        assert!(conflict(&first_step, &decide_needs_p1));
+        // Two equal pinned decisions commute; differing or unknown
+        // ones do not.
+        let d = |v: i64| StepFp {
+            decide: DecideHint::Exactly(Value::Int(v)),
+            ..StepFp::inert()
+        };
+        assert!(!conflict(&d(1), &d(1)));
+        assert!(conflict(&d(1), &d(2)));
+        let unk = StepFp {
+            decide: DecideHint::Unknown,
+            ..StepFp::inert()
+        };
+        assert!(conflict(&d(1), &unk));
+        assert!(!conflict(&d(1), &StepFp::inert()));
+    }
+
+    #[test]
+    fn spec_reads_are_minimal() {
+        // Election: only the elected pid's bit, only while unstepped.
+        let v = Value::Pid(2);
+        assert_eq!(
+            spec_relevant_unstepped(&TaskSpec::Election, &v, 0b001, 3),
+            0b100
+        );
+        assert_eq!(
+            spec_relevant_unstepped(&TaskSpec::Election, &v, 0b101, 3),
+            0
+        );
+        // Invalid in every order: no reads.
+        assert_eq!(
+            spec_relevant_unstepped(&TaskSpec::Election, &Value::Int(9), 0b001, 3),
+            0
+        );
+        assert_eq!(
+            spec_relevant_unstepped(&TaskSpec::Election, &Value::Pid(7), 0b001, 3),
+            0
+        );
+        // Consensus: once any stepped process proposed v, validity is
+        // settled; otherwise every unstepped proposer of v matters.
+        let inputs = vec![Value::Int(1), Value::Int(2), Value::Int(1)];
+        let spec = TaskSpec::Consensus(inputs);
+        assert_eq!(spec_relevant_unstepped(&spec, &Value::Int(1), 0b001, 3), 0);
+        assert_eq!(
+            spec_relevant_unstepped(&spec, &Value::Int(1), 0b010, 3),
+            0b101
+        );
+        assert_eq!(spec_relevant_unstepped(&spec, &Value::Int(9), 0b010, 3), 0);
+    }
+
+    #[test]
+    fn persistent_set_is_smallest_conflict_component() {
+        // p0 ↔ p1 conflict on object 0; p2, p3 each read distinct
+        // objects: three components {0,1}, {2}, {3} — the smallest
+        // with the lowest pid wins.
+        let futs = vec![fp(0b1, 0b1), fp(0b1, 0b1), fp(0b10, 0), fp(0b100, 0)];
+        assert_eq!(smallest_persistent_set(0b1111, &futs), 0b100);
+        // With only the conflicting pair enabled, the component is both.
+        assert_eq!(smallest_persistent_set(0b0011, &futs), 0b0011);
+        // Disabled pids don't join components.
+        assert_eq!(smallest_persistent_set(0b0001, &futs), 0b0001);
+        assert_eq!(smallest_persistent_set(0, &futs), 0);
+        // A chain 0-1-2 (0w1r on obj0, 1w obj1, 2r obj1) is one
+        // component even though 0 and 2 are pairwise independent.
+        let chain = vec![fp(0b1, 0b1), fp(0b11, 0b10), fp(0b10, 0)];
+        assert_eq!(smallest_persistent_set(0b111, &chain), 0b111);
+    }
+
+    #[test]
+    fn mask_permutation_roundtrips() {
+        let map = vec![2usize, 0, 1];
+        assert_eq!(permute_mask(0b011, &map), 0b101);
+        assert_eq!(permute_mask_inv(0b101, &map), 0b011);
+        for mask in 0..8u64 {
+            assert_eq!(permute_mask_inv(permute_mask(mask, &map), &map), mask);
+        }
+        assert_eq!(ones(3), 0b111);
+        assert_eq!(ones(64), !0);
+    }
+}

@@ -72,13 +72,14 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::hash::Hash;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, TryLockError};
 use std::time::{Duration, Instant};
 
 use bso_objects::spec::ObjectState;
 use bso_telemetry::{Counter, Gauge, Histogram, TraceArg, TraceWorker};
 
+use crate::dpor::{self, StepFp};
 use crate::explore::{
     check_decision, CrashEvent, DedupMode, ExploreConfig, ExploreOutcome, ExploreStats,
     FrontierEntry, InterruptReason, Report, Seeds, StateKey, Violation, ViolationKind,
@@ -185,6 +186,18 @@ enum Edge {
     Crash(Pid),
 }
 
+/// What `record_successor` found in the visited table.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Recorded {
+    /// A fresh state: node created and enqueued.
+    New,
+    /// Dedup hit on a completed node.
+    HitDone,
+    /// Dedup hit on a node whose subtree is still in progress — a
+    /// back/cross edge into open work, relevant to the cycle proviso.
+    HitIncomplete,
+}
+
 /// One distinct (canonicalized) global state.
 pub(crate) struct Node {
     /// Steps from the initial state along the first-discovery path
@@ -200,6 +213,17 @@ pub(crate) struct Node {
     /// representative coordinates to canonical coordinates (`None` =
     /// identity, always so without reduction).
     rep_perm: Option<Box<[Pid]>>,
+    /// DPOR sleep set, in this node's representative coordinates: pids
+    /// whose step from here is already covered by an explored sibling
+    /// order. Shrinks monotonically (by intersection) as further edges
+    /// reach this node; a strict shrink re-enqueues a supplementary
+    /// expansion for the woken pids. Always 0 outside DPOR mode.
+    sleep: AtomicU64,
+    /// Context switches along the discovery path (meaningful only
+    /// under a context bound).
+    switches: u32,
+    /// The last process stepped along the discovery path.
+    last_pid: Option<Pid>,
     /// Outstanding obligations before this node's DP value is final:
     /// 1 for the node's own expansion plus 1 per awaited child.
     pending: AtomicU32,
@@ -290,6 +314,12 @@ struct EngineTel {
     budget_interrupts: Counter,
     /// Per-worker deque length, `explore.live.queue_len.w{i}`.
     queue_len: Vec<Gauge>,
+    /// Size of each computed persistent set (DPOR mode only).
+    dpor_set_size: Histogram,
+    /// Steps pruned because the pid slept, updated live.
+    live_sleep_prunes: Counter,
+    /// Sleep-shrink re-expansions plus proviso escalations, live.
+    live_backtracks: Counter,
 }
 
 impl EngineTel {
@@ -317,6 +347,24 @@ impl EngineTel {
             queue_len: (0..workers)
                 .map(|i| reg.gauge(&format!("explore.live.queue_len.w{i}")))
                 .collect(),
+            // Registered only in DPOR mode, for the same reason as the
+            // budget gauge: heartbeats and reports should omit the
+            // dpor fields entirely when the mode is off.
+            dpor_set_size: if config.dpor {
+                reg.histogram("explore.dpor.persistent_set_size")
+            } else {
+                bso_telemetry::Registry::disabled().histogram("explore.dpor.persistent_set_size")
+            },
+            live_sleep_prunes: if config.dpor {
+                reg.counter("explore.live.dpor.sleep_prunes")
+            } else {
+                bso_telemetry::Registry::disabled().counter("explore.live.dpor.sleep_prunes")
+            },
+            live_backtracks: if config.dpor {
+                reg.counter("explore.live.dpor.backtrack_points")
+            } else {
+                bso_telemetry::Registry::disabled().counter("explore.live.dpor.backtrack_points")
+            },
         }
     }
 }
@@ -327,6 +375,13 @@ struct Job<S> {
     state: StateKey<S>,
     fp: u64,
     node: Arc<Node>,
+    /// `Some(mask)`: a *supplementary* DPOR re-expansion of an
+    /// already-visited node whose sleep set strictly shrank, using
+    /// `mask` as the sleep set (in `state`'s coordinates).
+    /// Supplementary jobs only discover edges the first expansion
+    /// slept through: they skip terminal counting, the DP best-merge,
+    /// and the final pending-token decrement.
+    sleep_override: Option<u64>,
 }
 
 /// What one in-place step changed, for exact reversal.
@@ -379,6 +434,11 @@ where
     /// Crash budget, clamped to `n − 1` (crashing everyone leaves
     /// nothing to check).
     faults: usize,
+    /// Dynamic partial-order reduction with sleep sets.
+    dpor: bool,
+    /// Skip step successors whose discovery path would exceed this
+    /// many context switches (an under-approximation).
+    context_bound: Option<usize>,
     /// Effective state cap: `max_states`, possibly lowered by the
     /// memory budget.
     state_cap: usize,
@@ -415,6 +475,8 @@ where
     steals: AtomicUsize,
     contention: AtomicUsize,
     crash_branches: AtomicUsize,
+    sleep_prunes: AtomicUsize,
+    backtrack_points: AtomicUsize,
     frontier: AtomicUsize,
     peak_frontier: AtomicUsize,
     violation: Mutex<Option<Violation>>,
@@ -451,6 +513,8 @@ where
             canon,
             n,
             faults: config.faults.min(n.saturating_sub(1)),
+            dpor: config.dpor,
+            context_bound: config.context_bound,
             state_cap,
             cap_is_memory: mem_cap.is_some_and(|m| m < config.max_states),
             deadline: config.deadline.map(|d| Instant::now() + d),
@@ -474,6 +538,8 @@ where
             steals: AtomicUsize::new(0),
             contention: AtomicUsize::new(0),
             crash_branches: AtomicUsize::new(0),
+            sleep_prunes: AtomicUsize::new(0),
+            backtrack_points: AtomicUsize::new(0),
             frontier: AtomicUsize::new(0),
             peak_frontier: AtomicUsize::new(0),
             violation: Mutex::new(None),
@@ -875,6 +941,14 @@ where
     /// a miss creates, registers, and enqueues a new child node.
     /// Returns `Err` when the state budget is exceeded (exploration
     /// halts).
+    ///
+    /// `child_sleep` is the DPOR sleep set the child inherits along
+    /// this edge, in `state`'s coordinates (0 outside DPOR mode, for
+    /// crash edges, and during escalations). On a dedup hit the
+    /// stored sleep set is intersected with it; pids the stored set
+    /// slept on but this edge does not are *woken*: a supplementary
+    /// re-expansion of the child is enqueued so the newly required
+    /// orders get explored (the state-caching fix for sleep sets).
     #[allow(clippy::too_many_arguments)]
     fn record_successor(
         &self,
@@ -883,9 +957,10 @@ where
         edge: Edge,
         state: &StateKey<P::State>,
         fp: u64,
+        child_sleep: u64,
         local_best: &mut [u32],
         tw: &TraceWorker,
-    ) -> Result<(), ()> {
+    ) -> Result<Recorded, ()> {
         debug_assert_eq!(fp, zobrist(state), "incremental fingerprint diverged");
         let step_pid = match edge {
             Edge::Step(pid) => Some(pid),
@@ -922,8 +997,42 @@ where
                     tw.instant_with("symmetry_hit", []);
                 }
             }
-            self.attach_child(node, step_pid, &child, succ_perm, local_best);
-            return Ok(());
+            if self.dpor {
+                // Translate the arriving sleep set into the child's
+                // representative coordinates, shrink the stored set,
+                // and re-expand for any pids this wakes.
+                let map = rep_map(child.rep_perm.as_deref(), succ_perm, self.n);
+                let translated = match map.as_deref() {
+                    Some(m) => dpor::permute_mask(child_sleep, m),
+                    None => child_sleep,
+                };
+                let prev = child.sleep.fetch_and(translated, Ordering::SeqCst);
+                if prev & !translated != 0 {
+                    self.backtrack_points.fetch_add(1, Ordering::Relaxed);
+                    if self.tel.enabled {
+                        self.tel.live_backtracks.inc();
+                    }
+                    let woken = match map.as_deref() {
+                        Some(m) => dpor::permute_mask_inv(prev, m),
+                        None => prev,
+                    } & child_sleep;
+                    self.push_job(
+                        worker,
+                        Job {
+                            state: state.clone(),
+                            fp,
+                            node: child.clone(),
+                            sleep_override: Some(woken),
+                        },
+                    );
+                }
+            }
+            let done = self.attach_child(node, step_pid, &child, succ_perm, local_best);
+            return Ok(if done {
+                Recorded::HitDone
+            } else {
+                Recorded::HitIncomplete
+            });
         }
         let count = self.states.fetch_add(1, Ordering::Relaxed) + 1;
         if count > self.state_cap {
@@ -938,13 +1047,24 @@ where
             return Err(());
         }
         node.pending.fetch_add(1, Ordering::SeqCst);
-        // A crash edge takes no step: the child sits at the same depth.
+        // A crash edge takes no step: the child sits at the same depth
+        // (and at the same context-switch count).
         let depth = node.depth + u32::from(step_pid.is_some());
+        let (switches, last_pid) = match step_pid {
+            Some(pid) => (
+                node.switches + u32::from(node.last_pid.is_some_and(|lp| lp != pid)),
+                Some(pid),
+            ),
+            None => (node.switches, node.last_pid),
+        };
         let child = Arc::new(Node {
             depth,
             parent: Some((node.clone(), edge)),
             prefix: None,
             rep_perm: succ_perm.map(Box::from),
+            sleep: AtomicU64::new(child_sleep),
+            switches,
+            last_pid,
             pending: AtomicU32::new(1),
             inner: Mutex::new(NodeInner {
                 best: vec![0; self.n],
@@ -975,20 +1095,57 @@ where
                 state: state.clone(),
                 fp,
                 node: child,
+                sleep_override: None,
             },
         );
-        Ok(())
+        Ok(Recorded::New)
+    }
+
+    /// Looks the successor materialized in `state` up in the visited
+    /// table **without inserting**, and reports whether it is a known
+    /// but not-yet-completed node — the signal that a DPOR-pruned edge
+    /// might close a cycle through work still in progress (the cycle
+    /// proviso; see `expand`).
+    fn peek_incomplete(&self, state: &StateKey<P::State>, fp: u64) -> bool {
+        let canonical = self.canon.canonicalize(state);
+        let (canon_state, canon_fp) = match &canonical {
+            Some((c, _)) => (c, zobrist(c)),
+            None => (state, fp),
+        };
+        let shard_idx = (canon_fp >> 58) as usize % SHARDS;
+        let hit = {
+            let shard = self.lock_shard(shard_idx);
+            shard
+                .get(&canon_fp)
+                .and_then(|e| KM::find(e, canon_state))
+                .cloned()
+        };
+        hit.is_some_and(|node| !plock(&node.inner).done)
     }
 
     /// Expands `job.node` by generating every enabled successor of its
     /// representative state — one step per non-decided, non-crashed
     /// process, plus (under a crash budget) one crash successor each.
+    ///
+    /// In DPOR mode only a subset of the enabled processes gets a step
+    /// successor: the smallest persistent set (computed from future
+    /// footprints) minus the sleep set. Pruned processes still get
+    /// crash successors (the fault adversary is orthogonal to step
+    /// commutation), and their step successors are *peeked*: if a
+    /// pruned step would land on a node whose subtree is still in
+    /// progress, the pruned order might be the only one closing a
+    /// cycle, so the node escalates to a full expansion (the cycle
+    /// proviso). A supplementary job (`sleep_override`) re-expands a
+    /// previously visited node with a smaller sleep set and skips the
+    /// terminal/DP bookkeeping its first expansion already did.
     fn expand(&self, worker: usize, job: Job<P::State>, local_best: &mut [u32], tw: &TraceWorker) {
         let Job {
             mut state,
             mut fp,
             node,
+            sleep_override,
         } = job;
+        let supplementary = sleep_override.is_some();
         if self.tel.enabled {
             self.tel.frontier_depth.record(u64::from(node.depth));
         }
@@ -997,35 +1154,146 @@ where
         let n = self.n;
         local_best.fill(0);
         let crash_budget = self.faults > state.crashed.count_ones() as usize;
-        let mut terminal = true;
+        let mut enabled = 0u64;
+        for pid in 0..n {
+            if state.decisions[pid].is_none() && state.crashed >> pid & 1 == 0 {
+                enabled |= 1 << pid;
+            }
+        }
+        // The DPOR plan: which enabled pids get step successors, and
+        // the exact one-step footprints for sleep-set propagation.
+        // Sleep is re-read at expansion time (it may have shrunk since
+        // the job was pushed — expanding more than planned is sound
+        // and subsumes the pending supplementary job's work).
+        let plan = if self.dpor && enabled != 0 {
+            let sleep = sleep_override.unwrap_or_else(|| node.sleep.load(Ordering::SeqCst));
+            let futs: Vec<StepFp> = (0..n)
+                .map(|pid| {
+                    if enabled >> pid & 1 == 1 {
+                        dpor::future_fp(self.proto, &state, &self.config.spec, pid)
+                    } else {
+                        StepFp::inert()
+                    }
+                })
+                .collect();
+            let dset = dpor::smallest_persistent_set(enabled, &futs);
+            if self.tel.enabled {
+                self.tel.dpor_set_size.record(u64::from(dset.count_ones()));
+            }
+            let now: Vec<StepFp> = (0..n)
+                .map(|pid| {
+                    if enabled >> pid & 1 == 1 {
+                        dpor::immediate_fp(self.proto, &state, &self.config.spec, pid)
+                    } else {
+                        StepFp::inert()
+                    }
+                })
+                .collect();
+            Some((dset & !sleep, sleep, now))
+        } else {
+            None
+        };
+        let mut expanded = 0u64;
+        let mut proviso = false;
         // Reverse pid order: the owner pops its deque LIFO, so pushing
         // high pids first makes a lone worker explore pid 0 first —
         // keeping serial violation discovery in lowest-schedule order.
-        // Within one pid the crash successor is pushed last (= popped
-        // first), so crashy branches are probed before fault-free ones
-        // and the first step-bound counterexample found serially
-        // exhibits an actual crash whenever one suffices.
+        // (The sleep-set construction below relies on the *logical*
+        // ascending order matching this discovery order.) Within one
+        // pid the crash successor is pushed last (= popped first), so
+        // crashy branches are probed before fault-free ones and the
+        // first step-bound counterexample found serially exhibits an
+        // actual crash whenever one suffices.
         for pid in (0..n).rev() {
-            if state.decisions[pid].is_some() || state.crashed >> pid & 1 == 1 {
+            if enabled >> pid & 1 == 0 {
                 continue;
             }
-            terminal = false;
             if self.stop.load(Ordering::Relaxed) {
                 self.abort_job(&node);
                 return;
             }
-            let Ok(undo) = self.apply_step(&node, &mut state, &mut fp, pid) else {
-                self.abort_job(&node);
-                return;
-            };
-            let stepped =
-                self.record_successor(worker, &node, Edge::Step(pid), &state, fp, local_best, tw);
-            undo.revert(&mut state, &mut fp);
-            if stepped.is_err() {
-                self.abort_job(&node);
-                return;
+            // A step successor whose discovery path would exceed the
+            // context bound is skipped outright (an under-approximation
+            // — the final report says `Exhausted`, never `Verified`).
+            let ctx_ok = self.context_bound.is_none_or(|b| {
+                let switches = node.switches + u32::from(node.last_pid.is_some_and(|lp| lp != pid));
+                switches as usize <= b
+            });
+            if ctx_ok {
+                let step_planned = match &plan {
+                    Some((expand_set, _, _)) => expand_set >> pid & 1 == 1,
+                    None => true,
+                };
+                if step_planned {
+                    // The child's sleep set: pids explored before `pid`
+                    // in logical (ascending) order — or inherited
+                    // asleep — whose pending step commutes with
+                    // `pid`'s, minus `pid` itself.
+                    let child_sleep = match &plan {
+                        Some((expand_set, sleep, now)) => {
+                            let before =
+                                (sleep | (expand_set & ((1u64 << pid) - 1))) & !(1u64 << pid);
+                            let mut cs = 0u64;
+                            let mut m = before;
+                            while m != 0 {
+                                let q = m.trailing_zeros() as usize;
+                                m &= m - 1;
+                                if !dpor::conflict(&now[q], &now[pid]) {
+                                    cs |= 1 << q;
+                                }
+                            }
+                            cs
+                        }
+                        None => 0,
+                    };
+                    let Ok(undo) = self.apply_step(&node, &mut state, &mut fp, pid) else {
+                        self.abort_job(&node);
+                        return;
+                    };
+                    let stepped = self.record_successor(
+                        worker,
+                        &node,
+                        Edge::Step(pid),
+                        &state,
+                        fp,
+                        child_sleep,
+                        local_best,
+                        tw,
+                    );
+                    undo.revert(&mut state, &mut fp);
+                    match stepped {
+                        Ok(Recorded::HitIncomplete) => proviso = true,
+                        Ok(_) => {}
+                        Err(()) => {
+                            self.abort_job(&node);
+                            return;
+                        }
+                    }
+                    expanded |= 1 << pid;
+                } else {
+                    // Pruned: the step is covered by a commuting order
+                    // — unless it closes a cycle through open work,
+                    // which a peek (lookup without insert) detects.
+                    self.sleep_prunes.fetch_add(1, Ordering::Relaxed);
+                    if self.tel.enabled {
+                        self.tel.live_sleep_prunes.inc();
+                    }
+                    let Ok(undo) = self.apply_step(&node, &mut state, &mut fp, pid) else {
+                        self.abort_job(&node);
+                        return;
+                    };
+                    if self.peek_incomplete(&state, fp) {
+                        proviso = true;
+                    }
+                    undo.revert(&mut state, &mut fp);
+                }
             }
-            if crash_budget {
+            // Crash successors are generated for *every* enabled pid,
+            // pruned or not: a crash is independent of everything but
+            // its own process's steps, so the fault adversary's
+            // placements stay complete under reduction. Supplementary
+            // jobs skip them — the first expansion already did this.
+            if crash_budget && !supplementary {
                 self.crash_branches.fetch_add(1, Ordering::Relaxed);
                 let old_meta = meta_hash(&state);
                 let old_fp = fp;
@@ -1037,6 +1305,7 @@ where
                     Edge::Crash(pid),
                     &state,
                     fp,
+                    0,
                     local_best,
                     tw,
                 );
@@ -1048,7 +1317,59 @@ where
                 }
             }
         }
-        if terminal {
+        // Cycle proviso escalation: some skipped order may be the only
+        // one closing a cycle through in-progress work, so expand every
+        // remaining enabled pid (with empty child sleep). The woken
+        // edges land on already-visited nodes in the common case.
+        if self.dpor && proviso && expanded != enabled {
+            self.backtrack_points.fetch_add(1, Ordering::Relaxed);
+            if self.tel.enabled {
+                self.tel.live_backtracks.inc();
+            }
+            for pid in (0..n).rev() {
+                if enabled >> pid & 1 == 0 || expanded >> pid & 1 == 1 {
+                    continue;
+                }
+                if self.stop.load(Ordering::Relaxed) {
+                    self.abort_job(&node);
+                    return;
+                }
+                let ctx_ok = self.context_bound.is_none_or(|b| {
+                    let switches =
+                        node.switches + u32::from(node.last_pid.is_some_and(|lp| lp != pid));
+                    switches as usize <= b
+                });
+                if !ctx_ok {
+                    continue;
+                }
+                let Ok(undo) = self.apply_step(&node, &mut state, &mut fp, pid) else {
+                    self.abort_job(&node);
+                    return;
+                };
+                let stepped = self.record_successor(
+                    worker,
+                    &node,
+                    Edge::Step(pid),
+                    &state,
+                    fp,
+                    0,
+                    local_best,
+                    tw,
+                );
+                undo.revert(&mut state, &mut fp);
+                if stepped.is_err() {
+                    self.abort_job(&node);
+                    return;
+                }
+            }
+        }
+        if supplementary {
+            // The node's first expansion already counted the terminal,
+            // merged its DP contribution, and dropped its pending
+            // token; a supplementary pass only adds the woken edges.
+            return;
+        }
+        if enabled == 0 {
             self.terminals.fetch_add(1, Ordering::Relaxed);
         } else {
             let mut inner = plock(&node.inner);
@@ -1063,7 +1384,8 @@ where
     }
 
     /// Handles a dedup hit: combine a finished child's bounds now, or
-    /// register a waiter on an in-progress child.
+    /// register a waiter on an in-progress child. Returns whether the
+    /// child was already done.
     fn attach_child(
         &self,
         parent: &Arc<Node>,
@@ -1071,7 +1393,7 @@ where
         child: &Arc<Node>,
         succ_perm: Option<&[Pid]>,
         local_best: &mut [u32],
-    ) {
+    ) -> bool {
         let map = rep_map(child.rep_perm.as_deref(), succ_perm, self.n);
         // Combining under the child's lock avoids cloning its bounds on
         // the (dominant) already-finished path; `local_best` is
@@ -1080,6 +1402,7 @@ where
         let mut inner = plock(&child.inner);
         if inner.done {
             combine(local_best, &inner.best, map_ref(&map), step_pid);
+            true
         } else {
             parent.pending.fetch_add(1, Ordering::SeqCst);
             inner.waiters.push(Waiter {
@@ -1087,17 +1410,25 @@ where
                 step_pid,
                 map,
             });
+            false
         }
     }
 
     /// Marks `node` done and fires its waiters, iteratively completing
-    /// any parents whose last obligation this resolves.
+    /// any parents whose last obligation this resolves. Idempotent: a
+    /// DPOR supplementary expansion can register fresh obligations on
+    /// an already-done node, whose resolution re-fires `finish` (the
+    /// second pass finds no waiters and the DP garbage is harmless —
+    /// step bounds are not reported in DPOR mode).
     fn finish(&self, node: Arc<Node>) {
         let mut worklist = vec![node];
         while let Some(nd) = worklist.pop() {
             let (bounds, waiters) = {
                 let mut inner = plock(&nd.inner);
-                debug_assert!(!inner.done, "node finished twice");
+                if inner.done {
+                    debug_assert!(self.dpor, "node finished twice outside DPOR mode");
+                    continue;
+                }
                 inner.done = true;
                 (inner.best.clone(), std::mem::take(&mut inner.waiters))
             };
@@ -1287,6 +1618,11 @@ where
                 prefix: (!prefix.schedule.is_empty() || !prefix.crashes.is_empty())
                     .then(|| Arc::new(prefix)),
                 rep_perm: canonical.as_ref().map(|(_, perm)| perm.clone()),
+                // Roots sleep on nothing and (conservatively, for a
+                // resumed mid-schedule seed) start at zero switches.
+                sleep: AtomicU64::new(0),
+                switches: 0,
+                last_pid: None,
                 pending: AtomicU32::new(1),
                 inner: Mutex::new(NodeInner {
                     best: vec![0; self.n],
@@ -1306,6 +1642,7 @@ where
                 state: init,
                 fp: init_fp,
                 node: root.clone(),
+                sleep_override: None,
             });
             roots.push(root);
         }
@@ -1325,6 +1662,8 @@ where
             steals: self.steals.load(Ordering::Relaxed),
             shard_contention: self.contention.load(Ordering::Relaxed),
             crash_branches: self.crash_branches.load(Ordering::Relaxed),
+            dpor_sleep_prunes: self.sleep_prunes.load(Ordering::Relaxed),
+            dpor_backtrack_points: self.backtrack_points.load(Ordering::Relaxed),
         };
         let terminals = self.terminals.load(Ordering::Relaxed);
         let deepest = self.deepest.load(Ordering::Relaxed);
@@ -1333,17 +1672,27 @@ where
         let (outcome, bounds) = if let Some(v) = violation {
             (ExploreOutcome::Violated(v), Vec::new())
         } else if !roots.is_empty() && roots.iter().all(|r| plock(&r.inner).done) {
-            // Exact step bounds are only meaningful for a run rooted at
-            // the true initial state.
-            let bounds = match roots {
-                [root] if root.prefix.is_none() => plock(&root.inner)
-                    .best
-                    .iter()
-                    .map(|&b| b as usize)
-                    .collect(),
-                _ => Vec::new(),
-            };
-            (ExploreOutcome::Verified, bounds)
+            if self.context_bound.is_some() {
+                // A context-bounded pass skips schedules: completing it
+                // proves nothing about the full space, so report the
+                // under-approximation honestly.
+                (ExploreOutcome::Exhausted { states, deepest }, Vec::new())
+            } else {
+                // Exact step bounds are only meaningful for a run
+                // rooted at the true initial state, and not under DPOR
+                // (a pruned order can realize a higher per-process
+                // count than any explored one; supplementary passes
+                // can also leave partial DP contributions behind).
+                let bounds = match roots {
+                    [root] if root.prefix.is_none() && !self.dpor => plock(&root.inner)
+                        .best
+                        .iter()
+                        .map(|&b| b as usize)
+                        .collect(),
+                    _ => Vec::new(),
+                };
+                (ExploreOutcome::Verified, bounds)
+            }
         } else if let Some(reason) = interrupted {
             let frontier_nodes = self.frontier_nodes();
             match self.cycle_violation(roots.first(), &frontier_nodes) {

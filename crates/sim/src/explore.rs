@@ -131,6 +131,16 @@ pub struct ExploreConfig {
     /// this many processes (clamped to `n − 1`) at any step. `0` (the
     /// default) explores only crash-free schedules.
     pub faults: usize,
+    /// Dynamic partial-order reduction with sleep sets: prune step
+    /// interleavings that provably commute (see
+    /// [`Explorer::dpor`]).
+    pub dpor: bool,
+    /// Context-bounded search: skip any schedule whose number of
+    /// context switches exceeds this bound. An *under-approximation*:
+    /// a completed bounded pass reports
+    /// [`ExploreOutcome::Exhausted`], never `Verified` (see
+    /// [`Explorer::context_bound`]).
+    pub context_bound: Option<usize>,
     /// Wait-freedom step bound: when set, any process taking more than
     /// this many of its own steps without deciding is reported as a
     /// [`ViolationKind::StepBound`] violation. States then carry
@@ -164,6 +174,8 @@ impl Default for ExploreConfig {
             workers: 0,
             dedup: DedupMode::Exact,
             faults: 0,
+            dpor: false,
+            context_bound: None,
             step_bound: None,
             deadline: None,
             memory_budget: None,
@@ -345,6 +357,12 @@ pub struct ExploreStats {
     /// Crash-fault branches generated by the adversary (0 when
     /// [`ExploreConfig::faults`] is 0).
     pub crash_branches: usize,
+    /// Step successors the partial-order reduction pruned (0 outside
+    /// DPOR mode).
+    pub dpor_sleep_prunes: usize,
+    /// DPOR backtrack points: sleep-shrink re-expansions plus cycle-
+    /// proviso escalations (0 outside DPOR mode).
+    pub dpor_backtrack_points: usize,
 }
 
 impl ExploreStats {
@@ -367,6 +385,12 @@ impl ExploreStats {
         registry
             .counter("explore.fault.crash_branches")
             .add(self.crash_branches as u64);
+        registry
+            .counter("explore.dpor.sleep_prunes")
+            .add(self.dpor_sleep_prunes as u64);
+        registry
+            .counter("explore.dpor.backtrack_points")
+            .add(self.dpor_backtrack_points as u64);
         registry.gauge("explore.workers").max(self.workers as u64);
         registry
             .gauge("explore.peak_frontier")
@@ -804,6 +828,50 @@ impl<'p, P: Protocol> Explorer<'p, P> {
         self
     }
 
+    /// Toggles dynamic partial-order reduction with sleep sets
+    /// ([`ExploreConfig::dpor`]): at every state only a *persistent
+    /// set* of the enabled processes is stepped (computed from
+    /// [`crate::Protocol::footprint`] and the exact one-step
+    /// independence relation — operations on distinct objects commute,
+    /// same-object operations conflict unless neither mutates), and
+    /// sleep sets suppress orders an explored sibling already covers.
+    ///
+    /// Verdicts agree with the unreduced modes and counterexamples
+    /// remain genuinely replayable, but the *choice* of counterexample
+    /// among equally valid ones may differ (fewer schedules are
+    /// enumerated), and [`Report::max_steps_per_proc`] is not reported
+    /// (a pruned order can realize a higher per-process step count
+    /// than any explored one). Composes with
+    /// [`parallel`](Explorer::parallel),
+    /// [`symmetric`](Explorer::symmetric), fault injection, and
+    /// checkpoint/resume. See `DESIGN.md` §3.11.
+    #[must_use]
+    pub fn dpor(mut self, dpor: bool) -> Self {
+        self.config.dpor = dpor;
+        self
+    }
+
+    /// Enables iterative context-bounded search
+    /// ([`ExploreConfig::context_bound`]): [`run`](Explorer::run)
+    /// explores schedules with at most `0, 1, …, c` context switches,
+    /// returning at the first bound that uncovers a violation.
+    ///
+    /// This is an **under-approximation** — most concurrency bugs
+    /// manifest within a couple of context switches, so small bounds
+    /// find them in a tiny fraction of the full space — and the
+    /// verdict reflects that: a completed pass reports
+    /// [`ExploreOutcome::Exhausted`], never `Verified`. Because states
+    /// reached within the bound by one discovery order may be
+    /// reachable below the bound by another, the set of skipped
+    /// schedules is discovery-order-dependent under dedup: only a
+    /// `Violated` outcome is definitive. Composes with
+    /// [`dpor`](Explorer::dpor).
+    #[must_use]
+    pub fn context_bound(mut self, bound: usize) -> Self {
+        self.config.context_bound = Some(bound);
+        self
+    }
+
     /// Sets the wait-freedom step bound
     /// ([`ExploreConfig::step_bound`]).
     #[must_use]
@@ -987,6 +1055,25 @@ impl<'p, P: Protocol> Explorer<'p, P> {
                 .and_then(|v| v.parse::<u64>().ok())
             {
                 config.deadline = Some(Duration::from_millis(ms));
+            }
+        }
+        if let Some(c) = config.context_bound {
+            // Iterative context-bounding: explore with 0, 1, …, c
+            // context switches, surfacing the first violation (found
+            // at the smallest switch count that manifests it). A pass
+            // that completes without a violation proves nothing about
+            // the unbounded space, so only Violated and Interrupted
+            // outcomes short-circuit.
+            for cb in 0..c {
+                let mut bounded = config.clone();
+                bounded.context_bound = Some(cb);
+                let report = self.run_with(None, &bounded, None);
+                match report.outcome {
+                    ExploreOutcome::Violated { .. } | ExploreOutcome::Interrupted { .. } => {
+                        return report;
+                    }
+                    _ => {}
+                }
             }
         }
         self.run_with(None, &config, None)

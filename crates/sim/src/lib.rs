@@ -15,7 +15,8 @@
 //!   crash injection, recording a [`Trace`].
 //! * [`Explorer`] — an exhaustive model checker over *all*
 //!   interleavings, configured through one builder (serial or
-//!   parallel, plain or symmetry-reduced). For a finite-state protocol
+//!   parallel, plain or symmetry-reduced, optionally pruned by dynamic
+//!   partial-order reduction with sleep sets). For a finite-state protocol
 //!   instance it decides agreement, validity and wait-freedom outright
 //!   (acyclicity of the reachable state graph is exactly
 //!   solo-termination, i.e. wait-freedom — see the module docs).
@@ -106,6 +107,7 @@
 pub mod artifact;
 pub mod checker;
 pub mod checkpoint;
+mod dpor;
 mod engine;
 mod explore;
 pub mod fingerprint;
@@ -136,7 +138,7 @@ pub use explore::{
 };
 pub use linearizability::{check_history, NotLinearizable};
 pub use memory::SharedMemory;
-pub use protocol::{Action, Pid, Protocol, ProtocolExt};
+pub use protocol::{Action, DecideHint, Footprint, Pid, Protocol, ProtocolExt};
 pub use record::{RecordedOp, RecordingMemory};
 pub use scheduler::Scheduler;
 pub use sim::{CrashPlan, ProcStatus, RunError, RunResult, Simulation};

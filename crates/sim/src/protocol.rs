@@ -1,7 +1,114 @@
-use bso_objects::{Layout, Op, Value};
+use bso_objects::{Layout, ObjectId, Op, Value};
 
 /// A process identifier, `0 .. Protocol::processes()`.
 pub type Pid = usize;
+
+/// What a protocol can promise about the decision values a process may
+/// produce from some local state onward. Part of a [`Footprint`].
+///
+/// Two future decisions are *independent* (for partial-order
+/// reduction) only when they provably cannot disagree — i.e. both are
+/// [`DecideHint::Exactly`] the same value — or when at least one side
+/// is [`DecideHint::Never`].
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub enum DecideHint {
+    /// The process will never decide from here on (it runs forever or
+    /// the protocol guarantees it halts without a decision — which the
+    /// model does not allow, so in practice: it runs forever).
+    Never,
+    /// The process may decide, and the value is not pinned down.
+    #[default]
+    Unknown,
+    /// Every decision the process can make from here on equals this
+    /// value, in every protocol-reachable future.
+    Exactly(Value),
+}
+
+/// An over-approximation of the shared-memory accesses and decisions a
+/// process may perform from a given local state *onward*.
+///
+/// Returned by [`Protocol::footprint`] and consumed by the explorer's
+/// dynamic partial-order reduction ([`crate::Explorer::dpor`]): two
+/// processes whose footprints do not conflict are guaranteed to
+/// commute, so the explorer may postpone one of them without losing
+/// reachable states or verdicts.
+///
+/// **Contract.** The footprint must cover *every* operation the
+/// process can issue and every decision it can make starting from the
+/// queried local state, under *any* shared memory reachable from the
+/// queried memory by steps of this protocol. When in doubt return
+/// [`Footprint::top`] — it is always sound and merely disables
+/// reduction for this process at this state.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Footprint {
+    /// Everything conflicts with this footprint.
+    pub(crate) top: bool,
+    /// Bitmask of object ids the process may read (bit `i` ⇒
+    /// `ObjectId(i)`).
+    pub(crate) reads: u64,
+    /// Bitmask of object ids the process may mutate.
+    pub(crate) writes: u64,
+    /// What the process may decide.
+    pub(crate) decide: DecideHint,
+}
+
+impl Footprint {
+    /// The universal footprint: conflicts with everything. Always
+    /// sound.
+    pub fn top() -> Footprint {
+        Footprint {
+            top: true,
+            reads: 0,
+            writes: 0,
+            decide: DecideHint::Unknown,
+        }
+    }
+
+    /// The empty footprint: no shared accesses, no decision
+    /// ([`DecideHint::Never`]). Extend with the builder methods.
+    pub fn empty() -> Footprint {
+        Footprint {
+            top: false,
+            reads: 0,
+            writes: 0,
+            decide: DecideHint::Never,
+        }
+    }
+
+    /// Adds `obj` to the read set.
+    ///
+    /// Object ids ≥ 64 do not fit the bitmask; they widen the
+    /// footprint to [`Footprint::top`] (sound, no reduction).
+    #[must_use]
+    pub fn read(mut self, obj: ObjectId) -> Footprint {
+        if obj.0 >= 64 {
+            self.top = true;
+        } else {
+            self.reads |= 1 << obj.0;
+        }
+        self
+    }
+
+    /// Adds `obj` to the write (mutation) set.
+    ///
+    /// Object ids ≥ 64 widen the footprint to [`Footprint::top`].
+    #[must_use]
+    pub fn write(mut self, obj: ObjectId) -> Footprint {
+        if obj.0 >= 64 {
+            self.top = true;
+        } else {
+            self.writes |= 1 << obj.0;
+        }
+        self
+    }
+
+    /// Sets the decision hint.
+    #[must_use]
+    pub fn decide(mut self, hint: DecideHint) -> Footprint {
+        self.decide = hint;
+        self
+    }
+}
 
 /// What a process wants to do next: perform one shared-memory operation
 /// or decide and halt.
@@ -81,6 +188,26 @@ pub trait Protocol {
     /// Advances the local state with the response of the operation
     /// previously returned by [`Protocol::next_action`].
     fn on_response(&self, state: &mut Self::State, resp: Value);
+
+    /// An over-approximation of every shared-memory access and
+    /// decision this process may perform from `state` onward, under
+    /// any memory reachable from `mem` by steps of this protocol.
+    ///
+    /// Consumed by the explorer's dynamic partial-order reduction:
+    /// see [`Footprint`] for the exact contract. The default is
+    /// always sound: a process about to decide `v` touches no more
+    /// shared memory and decides exactly `v` (deciding is terminal),
+    /// while a process about to invoke an operation gets the
+    /// universal footprint. Protocols override this to unlock real
+    /// reduction — e.g. a process that will only ever read one
+    /// monotone register and echo its value.
+    fn footprint(&self, state: &Self::State, mem: &crate::SharedMemory) -> Footprint {
+        let _ = mem;
+        match self.next_action(state) {
+            Action::Decide(v) => Footprint::empty().decide(DecideHint::Exactly(v)),
+            Action::Invoke(_) => Footprint::top(),
+        }
+    }
 }
 
 /// Convenience extensions available on every [`Protocol`].
@@ -107,5 +234,22 @@ mod tests {
         let i = Action::Invoke(Op::read(bso_objects::ObjectId(0)));
         assert!(i.op().is_some());
         assert!(i.decision().is_none());
+    }
+
+    #[test]
+    fn footprint_builders() {
+        let fp = Footprint::empty()
+            .read(ObjectId(1))
+            .write(ObjectId(3))
+            .decide(DecideHint::Unknown);
+        assert!(!fp.top);
+        assert_eq!(fp.reads, 0b10);
+        assert_eq!(fp.writes, 0b1000);
+        assert_eq!(fp.decide, DecideHint::Unknown);
+        // Ids past the bitmask degrade soundly to ⊤.
+        assert!(Footprint::empty().read(ObjectId(64)).top);
+        assert!(Footprint::empty().write(ObjectId(200)).top);
+        assert!(Footprint::top().top);
+        assert_eq!(Footprint::empty().decide, DecideHint::Never);
     }
 }

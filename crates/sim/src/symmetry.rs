@@ -24,6 +24,16 @@
 //! renaming). Counterexample schedules remain genuinely replayable:
 //! the engine always expands a *concrete* reachable representative of
 //! each orbit, never an abstract canonical form.
+//!
+//! **Composition with partial-order reduction.** Symmetry composes
+//! with [`crate::Explorer::dpor`]: persistent sets are a function of
+//! the stored (representative) state alone, so whichever concrete
+//! orbit member arrives first, the reduction decisions over the
+//! quotient graph are well-defined. Sleep-set masks are indexed by
+//! pid, so when a dedup hit lands on a representative reached under a
+//! different permutation the arriving mask is translated through the
+//! composed pid map before being intersected with the stored one (see
+//! `engine::rep_map` and DESIGN.md §3.11).
 
 use std::collections::HashSet;
 

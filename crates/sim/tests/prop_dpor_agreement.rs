@@ -1,0 +1,414 @@
+//! Property: every reduction mode of the explorer reports the same
+//! verdict.
+//!
+//! Dynamic partial-order reduction ([`Explorer::dpor`]) prunes
+//! interleavings that provably commute; the contract is that pruning
+//! never changes *what is decided about the protocol* — `Verified`
+//! stays `Verified`, violations stay found (though the particular
+//! counterexample schedule may differ, since fewer schedules are
+//! enumerated). This suite checks the contract two ways:
+//!
+//! * a curated pass over the protocol catalog, where the expected
+//!   verdict (and on single-kind instances, the violation kind) is
+//!   known, comparing serial, parallel, DPOR, DPOR+symmetry and
+//!   DPOR+faults;
+//! * a seeded random sweep (the generator of `prop_explore_modes.rs`)
+//!   comparing the exact explorer against DPOR in serial, parallel and
+//!   fingerprint-keyed variants, replaying every DPOR counterexample
+//!   to confirm it is genuine.
+//!
+//! Deliberately *not* asserted: state-count equality for parallel DPOR
+//! (work-stealing makes the discovery order — and hence the set of
+//! sleep-pruned edges and proviso escalations — racy), and
+//! violation-kind equality on random instances that harbour violations
+//! of several kinds (different modes may surface different ones).
+
+use bso_objects::rng::SplitMix64;
+use bso_objects::{Layout, ObjectId, ObjectInit, Op, OpKind, Value};
+use bso_protocols::{CasOnlyElection, LockElection};
+use bso_sim::{
+    Action, DedupMode, ExploreOutcome, Explorer, Pid, Protocol, ProtocolExt, Simulation, TaskSpec,
+    ViolationKind,
+};
+
+// ---------------------------------------------------------------------
+// Curated catalog
+// ---------------------------------------------------------------------
+
+#[test]
+fn all_modes_verify_cas_only_election() {
+    for k in 4..=6 {
+        let proto = CasOnlyElection::new(k - 1, k).unwrap();
+        let base = Explorer::new(&proto)
+            .inputs(&proto.pid_inputs())
+            .spec(TaskSpec::Election);
+        let plain = base.clone().run();
+        let runs = [
+            ("serial", base.clone().run()),
+            ("parallel", base.clone().parallel(true).workers(3).run()),
+            ("dpor", base.clone().dpor(true).run()),
+            (
+                "dpor+parallel",
+                base.clone().dpor(true).parallel(true).workers(3).run(),
+            ),
+            ("dpor+sym", base.clone().dpor(true).symmetric(true).run()),
+            (
+                "dpor+fingerprint",
+                base.clone().dpor(true).dedup(DedupMode::Fingerprint).run(),
+            ),
+            ("dpor+faults", base.clone().dpor(true).faults(1).run()),
+        ];
+        for (mode, report) in &runs {
+            assert!(
+                report.outcome.is_verified(),
+                "k={k} {mode}: {:?}",
+                report.outcome
+            );
+        }
+        // DPOR must never *add* states, and past the trivial instance
+        // it must genuinely prune.
+        let dpor = &runs[2].1;
+        assert!(
+            dpor.states <= plain.states,
+            "k={k}: dpor explored more states ({} vs {})",
+            dpor.states,
+            plain.states
+        );
+        assert!(
+            dpor.states < plain.states,
+            "k={k}: dpor pruned nothing ({} states)",
+            dpor.states
+        );
+    }
+}
+
+#[test]
+fn all_modes_refute_spinlock_election() {
+    // The spinlock protocol livelocks (a loser spins on the lock bit
+    // forever): every mode must find the NotWaitFree cycle — the
+    // sleep-set cycle proviso is exactly what keeps reduced graphs
+    // from closing cycles prematurely.
+    let proto = LockElection::new(3);
+    let base = Explorer::new(&proto)
+        .inputs(&proto.pid_inputs())
+        .spec(TaskSpec::Election);
+    let runs = [
+        ("serial", base.clone().run()),
+        ("dpor", base.clone().dpor(true).run()),
+        (
+            "dpor+parallel",
+            base.clone().dpor(true).parallel(true).workers(3).run(),
+        ),
+        (
+            "dpor+fingerprint",
+            base.clone().dpor(true).dedup(DedupMode::Fingerprint).run(),
+        ),
+    ];
+    for (mode, report) in &runs {
+        let v = report
+            .outcome
+            .violation()
+            .unwrap_or_else(|| panic!("{mode}: expected a violation, got {:?}", report.outcome));
+        assert_eq!(v.kind, ViolationKind::NotWaitFree, "{mode}");
+    }
+}
+
+/// Two processes race unsynchronized writes to one register, then each
+/// elects whoever the register names — a textbook agreement violation.
+struct BrokenElection;
+
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum BrokenSt {
+    Write(Pid),
+    Read(Pid),
+    Done(Pid),
+}
+
+impl Protocol for BrokenElection {
+    type State = BrokenSt;
+    fn processes(&self) -> usize {
+        2
+    }
+    fn layout(&self) -> Layout {
+        let mut l = Layout::new();
+        l.push(ObjectInit::Register(Value::Nil));
+        l
+    }
+    fn init(&self, pid: Pid, _input: &Value) -> BrokenSt {
+        BrokenSt::Write(pid)
+    }
+    fn next_action(&self, st: &BrokenSt) -> Action {
+        match st {
+            BrokenSt::Write(p) => Action::Invoke(Op::write(ObjectId(0), Value::Pid(*p))),
+            BrokenSt::Read(_) => Action::Invoke(Op::read(ObjectId(0))),
+            BrokenSt::Done(p) => Action::Decide(Value::Pid(*p)),
+        }
+    }
+    fn on_response(&self, st: &mut BrokenSt, resp: Value) {
+        *st = match *st {
+            BrokenSt::Write(p) => BrokenSt::Read(p),
+            BrokenSt::Read(_) => BrokenSt::Done(resp.as_pid().expect("register holds a pid")),
+            BrokenSt::Done(p) => BrokenSt::Done(p),
+        };
+    }
+}
+
+#[test]
+fn dpor_counterexamples_replay_on_broken_protocols() {
+    let proto = BrokenElection;
+    let inputs = proto.pid_inputs();
+    let base = Explorer::new(&proto)
+        .inputs(&inputs)
+        .spec(TaskSpec::Election);
+    for (mode, report) in [
+        ("serial", base.clone().run()),
+        ("dpor", base.clone().dpor(true).run()),
+        (
+            "dpor+parallel",
+            base.clone().dpor(true).parallel(true).workers(3).run(),
+        ),
+    ] {
+        let v = report
+            .outcome
+            .violation()
+            .unwrap_or_else(|| panic!("{mode}: expected a violation, got {:?}", report.outcome));
+        assert_eq!(v.kind, ViolationKind::Agreement, "{mode}");
+        // Replay the schedule and confirm the disagreement is real.
+        let mut sim = Simulation::new(&proto, &inputs);
+        for &p in &v.schedule {
+            sim.step(p).unwrap();
+        }
+        let res = sim.result();
+        let decided: Vec<&Value> = res.decisions.iter().flatten().collect();
+        assert!(
+            decided.iter().any(|d| **d != *decided[0]),
+            "{mode}: counterexample did not replay: {v:?}"
+        );
+    }
+}
+
+#[test]
+fn dpor_agrees_under_fault_injection() {
+    // Crash edges are generated for every enabled process regardless of
+    // the persistent set (a crash commutes with everything except the
+    // crashed process's own steps), so `faults(f)` verdicts must not
+    // change under reduction.
+    for k in 4..=5 {
+        let proto = CasOnlyElection::new(k - 1, k).unwrap();
+        let base = Explorer::new(&proto)
+            .inputs(&proto.pid_inputs())
+            .spec(TaskSpec::Election)
+            .faults(1);
+        let plain = base.clone().run();
+        let dpor = base.clone().dpor(true).run();
+        assert!(plain.outcome.is_verified(), "k={k}: {:?}", plain.outcome);
+        assert!(dpor.outcome.is_verified(), "k={k}: {:?}", dpor.outcome);
+        assert!(
+            dpor.states <= plain.states,
+            "k={k}: {} vs {}",
+            dpor.states,
+            plain.states
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Seeded random sweep
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+struct Step {
+    op: Op,
+    jump: Option<(Value, usize)>,
+}
+
+/// The random finite protocol of `prop_explore_modes.rs`: short
+/// register/test&set programs with occasional loop-backs, then a fixed
+/// decision. Uses the *default* `footprint` (⊤ for invokes), so any
+/// reduction on these instances comes from the exact one-step
+/// independence relation and the decide hints alone — precisely the
+/// machinery the sweep is meant to stress.
+#[derive(Clone, Debug)]
+struct RandomProtocol {
+    n: usize,
+    program: Vec<Vec<Step>>,
+    decide: Vec<Value>,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum St {
+    At { pid: Pid, pc: usize },
+    Done { pid: Pid },
+}
+
+impl Protocol for RandomProtocol {
+    type State = St;
+
+    fn processes(&self) -> usize {
+        self.n
+    }
+
+    fn layout(&self) -> Layout {
+        let mut l = Layout::new();
+        l.push_n(ObjectInit::Register(Value::Nil), 2);
+        l.push(ObjectInit::TestAndSet);
+        l
+    }
+
+    fn init(&self, pid: Pid, _input: &Value) -> St {
+        if self.program[pid].is_empty() {
+            St::Done { pid }
+        } else {
+            St::At { pid, pc: 0 }
+        }
+    }
+
+    fn next_action(&self, st: &St) -> Action {
+        match st {
+            St::At { pid, pc } => Action::Invoke(self.program[*pid][*pc].op.clone()),
+            St::Done { pid } => Action::Decide(self.decide[*pid].clone()),
+        }
+    }
+
+    fn on_response(&self, st: &mut St, resp: Value) {
+        if let St::At { pid, pc } = *st {
+            let step = &self.program[pid][pc];
+            let next = match &step.jump {
+                Some((trigger, target)) if resp == *trigger => *target,
+                _ => pc + 1,
+            };
+            *st = if next >= self.program[pid].len() {
+                St::Done { pid }
+            } else {
+                St::At { pid, pc: next }
+            };
+        }
+    }
+}
+
+fn arb_protocol(rng: &mut SplitMix64, inputs: &[Value]) -> RandomProtocol {
+    let n = inputs.len();
+    let program = (0..n)
+        .map(|_| {
+            (0..rng.range_usize(1, 4))
+                .map(|pc| {
+                    let op = match rng.usize_below(3) {
+                        0 => Op::write(
+                            ObjectId(rng.usize_below(2)),
+                            Value::Int(rng.usize_below(3) as i64),
+                        ),
+                        1 => Op::read(ObjectId(rng.usize_below(2))),
+                        _ => Op::new(ObjectId(2), OpKind::TestAndSet),
+                    };
+                    let jump = (rng.usize_below(4) == 0).then(|| {
+                        let trigger = match rng.usize_below(3) {
+                            0 => Value::Nil,
+                            1 => Value::Int(rng.usize_below(3) as i64),
+                            _ => Value::Bool(rng.bool()),
+                        };
+                        (trigger, rng.usize_below(pc + 1))
+                    });
+                    Step { op, jump }
+                })
+                .collect()
+        })
+        .collect();
+    let decide = (0..n)
+        .map(|p| match rng.usize_below(4) {
+            0 => Value::Int(99),
+            1 => inputs[rng.usize_below(n)].clone(),
+            _ => inputs[p].clone(),
+        })
+        .collect();
+    RandomProtocol { n, program, decide }
+}
+
+#[test]
+fn dpor_never_changes_the_verdict_on_random_protocols() {
+    let mut rng = SplitMix64::new(0xD102_5EED);
+    let mut violated = 0usize;
+    let mut verified = 0usize;
+    let mut pruned = 0usize;
+    for case in 0..80 {
+        let n = rng.range_usize(2, 4);
+        let inputs: Vec<Value> = (0..n)
+            .map(|_| Value::Int(10 + rng.usize_below(2) as i64))
+            .collect();
+        let proto = arb_protocol(&mut rng, &inputs);
+        let base = Explorer::new(&proto)
+            .inputs(&inputs)
+            .spec(TaskSpec::Consensus(inputs.clone()));
+        let exact = base.clone().run();
+        let runs = [
+            ("dpor", base.clone().dpor(true).run()),
+            (
+                "dpor+parallel",
+                base.clone().dpor(true).parallel(true).workers(3).run(),
+            ),
+            (
+                "dpor+fingerprint",
+                base.clone().dpor(true).dedup(DedupMode::Fingerprint).run(),
+            ),
+        ];
+        for (mode, dpor) in &runs {
+            // Outcome-variant equality: reduction must neither lose a
+            // violation nor fabricate one.
+            assert_eq!(
+                std::mem::discriminant(&exact.outcome),
+                std::mem::discriminant(&dpor.outcome),
+                "case {case} {mode}: {:?} vs {:?}\n{proto:?}",
+                exact.outcome,
+                dpor.outcome
+            );
+            // DPOR explores a subgraph: never more states (serial
+            // only — parallel discovery order is racy).
+            if *mode == "dpor" {
+                assert!(
+                    dpor.states <= exact.states,
+                    "case {case}: dpor states {} > exact {}\n{proto:?}",
+                    dpor.states,
+                    exact.states
+                );
+                if dpor.states < exact.states {
+                    pruned += 1;
+                }
+            }
+            // Safety counterexamples must be genuine.
+            if let Some(v) = dpor.outcome.violation() {
+                if v.kind == ViolationKind::NotWaitFree {
+                    continue; // cycles don't replay to a violated terminal
+                }
+                let mut sim = Simulation::new(&proto, &inputs);
+                for &p in &v.schedule {
+                    sim.step(p).unwrap();
+                }
+                let res = sim.result();
+                let participants = res.trace.participants();
+                let valid: Vec<&Value> = participants.iter().map(|&p| &inputs[p]).collect();
+                let decided: Vec<&Value> = res.decisions.iter().flatten().collect();
+                let disagree = decided.iter().any(|d| **d != *decided[0]);
+                let invalid = decided.iter().any(|d| !valid.contains(d));
+                assert!(
+                    disagree || invalid,
+                    "case {case} {mode}: counterexample did not replay: {proto:?}"
+                );
+            }
+        }
+        match &exact.outcome {
+            ExploreOutcome::Violated(_) => violated += 1,
+            ExploreOutcome::Verified => verified += 1,
+            ExploreOutcome::Exhausted { .. } | ExploreOutcome::Interrupted { .. } => {}
+        }
+    }
+    // The sample must genuinely exercise both sides of the property —
+    // and the reduction must actually fire somewhere.
+    assert!(
+        violated >= 10,
+        "only {violated} refuted cases — weak sample"
+    );
+    assert!(
+        verified >= 5,
+        "only {verified} verified cases — weak sample"
+    );
+    assert!(pruned >= 5, "dpor pruned on only {pruned} cases — inert");
+}

@@ -103,6 +103,16 @@ pub fn heartbeat(
     if let Some(ms) = snap.gauges.get("explore.live.budget_remaining_ms") {
         fields.push(("budget_remaining_ms", Json::U64(*ms)));
     }
+    // Present only under partial-order reduction (the engine registers
+    // the counters only in DPOR mode): a heartbeat without them means
+    // the run is unreduced, not that nothing was pruned yet.
+    if let Some(prunes) = snap.counters.get("explore.live.dpor.sleep_prunes") {
+        fields.push(("dpor_sleep_prunes", Json::U64(*prunes)));
+        fields.push((
+            "dpor_backtrack_points",
+            Json::U64(counter("explore.live.dpor.backtrack_points")),
+        ));
+    }
     Json::obj(fields)
 }
 
@@ -366,6 +376,28 @@ mod tests {
         assert_eq!(
             with.get("budget_remaining_ms").and_then(Json::as_u64),
             Some(1_500)
+        );
+    }
+
+    #[test]
+    fn dpor_fields_appear_only_under_reduction() {
+        let reg = live_registry();
+        let without = heartbeat(&reg.snapshot(), 0, Duration::ZERO, 0, Duration::ZERO);
+        assert!(
+            without.get("dpor_sleep_prunes").is_none()
+                && without.get("dpor_backtrack_points").is_none(),
+            "no reduction, no dpor fields"
+        );
+        reg.counter("explore.live.dpor.sleep_prunes").add(240);
+        let with = heartbeat(&reg.snapshot(), 1, Duration::ZERO, 0, Duration::ZERO);
+        assert_eq!(
+            with.get("dpor_sleep_prunes").and_then(Json::as_u64),
+            Some(240)
+        );
+        // Both counters surface together, even before any backtrack.
+        assert_eq!(
+            with.get("dpor_backtrack_points").and_then(Json::as_u64),
+            Some(0)
         );
     }
 
