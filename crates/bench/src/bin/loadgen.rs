@@ -1,25 +1,35 @@
-//! `loadgen` — mixed-traffic load generator for the `bso-wire/v1`
-//! shared-object service.
+//! `loadgen` — load generator for the `bso-wire/v2` shared-object
+//! service, built on the event-driven client [`Swarm`].
 //!
 //! Starts an in-process `bso-server` on an ephemeral loopback port and
-//! drives it with N client threads of mixed compare&swap-(k) /
-//! register / counter / snapshot / election traffic.
+//! drives it with hundreds-to-thousands of concurrent connections
+//! multiplexed on one client thread.
 //!
 //! Two modes:
 //!
-//! * **`--smoke`** (CI): a short recorded run. Every successful
-//!   operation is logged through the shared [`HistoryRecorder`] clock
-//!   and the whole history must pass the Wing–Gong linearizability
-//!   checker; the election round must agree across threads; shutdown
+//! * **`--smoke`** (CI): a short recorded run over a few pipelined
+//!   [`Connection`]s. Every successful operation is logged through the
+//!   shared [`HistoryRecorder`] clock and the whole history must pass
+//!   the Wing–Gong linearizability checker; the election round must
+//!   agree across threads; a swarm ledger pass must balance; shutdown
 //!   must drain (requests == responses). Exit code 0 is the contract.
 //! * **default**: a timed throughput run writing `BENCH_serve.json`
-//!   (ops/s, p50/p90/p99 latency) at the workspace root, alongside
-//!   `BENCH_explore.json`.
+//!   (`bso-serve-bench/v2`) at the workspace root. First a closed-loop
+//!   swarm measures peak throughput, then an open-loop ladder offers
+//!   fixed fractions of that peak and reports the latency-under-load
+//!   curve (p50/p99/p999 vs offered rate), with round trips timed from
+//!   each op's *scheduled* arrival so queueing delay is charged to the
+//!   distribution rather than hidden (no coordinated omission).
 //!
 //! ```text
-//! loadgen [--smoke] [--threads N] [--ops N] [--k K] [--shards N]
-//!         [--queue N] [--pipeline N]
+//! loadgen [--smoke] [--conns N] [--pipeline N] [--ops N] [--k K]
+//!         [--shards N] [--queue N] [--threads N] [--curve-points N]
+//!         [--backend auto|epoll|poll]
 //! ```
+//!
+//! Exactly one latency sample is recorded per successful op — the
+//! emitted `latency.count` always equals `ops_ok`, and
+//! `validate_telemetry --serve` re-checks that invariant on the file.
 //!
 //! `BSO_TELEMETRY=path.json` additionally dumps the `server.*`
 //! counters, queue-depth gauges, and latency histograms (validated in
@@ -29,23 +39,26 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
 
-use bso::client::{ClientError, Connection, HistoryRecorder};
+use bso::client::{ClientError, Connection, HistoryRecorder, Swarm, SwarmReport};
 use bso::objects::rng::SplitMix64;
 use bso::objects::{Layout, ObjectId, ObjectInit, Op, OpKind, Sym, Value};
-use bso::server::{Server, ServerConfig, ServerStats};
-use bso::sim::{check_history, viz};
+use bso::server::poll::PollBackend;
+use bso::server::{Server, ServerHandle, ServerStats};
 use bso_telemetry::json::Json;
 use bso_telemetry::Registry;
 
 /// Everything a run is parameterized by.
 struct Config {
     smoke: bool,
-    threads: usize,
-    ops_per_thread: usize,
+    conns: usize,
+    pipeline: usize,
+    ops: u64,
     k: u8,
     shards: usize,
     queue_capacity: usize,
-    pipeline: usize,
+    threads: usize,
+    curve_points: usize,
+    backend: PollBackend,
 }
 
 impl Config {
@@ -58,30 +71,41 @@ impl Config {
         }
         let mut cfg = Config {
             smoke: false,
-            threads: 4,
-            ops_per_thread: 20_000,
+            conns: 200,
+            pipeline: 64,
+            ops: 300_000,
             k: 6,
-            shards: 4,
+            shards: 0, // 0 = one per CPU (the server's own default)
             queue_capacity: 128,
-            pipeline: 16,
+            threads: 4,
+            curve_points: 7,
+            backend: PollBackend::Auto,
         };
         while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--smoke" => {
                     cfg.smoke = true;
-                    cfg.ops_per_thread = 400;
+                    cfg.conns = 64;
+                    cfg.ops = 8_000;
                 }
-                "--threads" => cfg.threads = num(&mut args, &arg)?.max(1),
-                "--ops" => cfg.ops_per_thread = num(&mut args, &arg)?.max(1),
+                "--conns" => cfg.conns = num(&mut args, &arg)?.max(1),
+                "--pipeline" => cfg.pipeline = num(&mut args, &arg)?.max(1),
+                "--ops" => cfg.ops = num(&mut args, &arg)?.max(1) as u64,
                 "--k" => {
                     cfg.k = u8::try_from(num(&mut args, &arg)?)
                         .ok()
                         .filter(|k| (3..=255).contains(k))
                         .ok_or("--k must be in 3..=255")?
                 }
-                "--shards" => cfg.shards = num(&mut args, &arg)?.max(1),
+                "--shards" => cfg.shards = num(&mut args, &arg)?,
                 "--queue" => cfg.queue_capacity = num(&mut args, &arg)?.max(1),
-                "--pipeline" => cfg.pipeline = num(&mut args, &arg)?.max(1),
+                "--threads" => cfg.threads = num(&mut args, &arg)?.max(1),
+                "--curve-points" => cfg.curve_points = num(&mut args, &arg)?.clamp(1, CURVE.len()),
+                "--backend" => {
+                    let v = args.next().ok_or("--backend needs a value")?;
+                    cfg.backend =
+                        PollBackend::parse(&v).ok_or(format!("--backend: unknown {v:?}"))?;
+                }
                 "--help" | "-h" => return Err(USAGE.to_string()),
                 other => return Err(format!("unknown argument {other}\n{USAGE}")),
             }
@@ -89,9 +113,8 @@ impl Config {
         Ok(cfg)
     }
 
-    /// The served universe: one CAS-(k), per-thread registers (so
-    /// traffic spreads across shards), a contended counter, and a
-    /// snapshot with one slot per thread.
+    /// The served universe: one CAS-(k), a contended counter, a
+    /// snapshot, and a pool of registers the traffic spreads over.
     fn layout(&self) -> Layout {
         let mut l = Layout::new();
         l.push(ObjectInit::CasK { k: self.k as usize });
@@ -99,166 +122,120 @@ impl Config {
         l.push(ObjectInit::Snapshot {
             slots: self.threads,
         });
-        for _ in 0..self.threads {
+        for _ in 0..REGISTERS {
             l.push(ObjectInit::Register(Value::Nil));
         }
         l
     }
+
+    fn serve(&self, registry: &Registry) -> Result<ServerHandle, String> {
+        let mut builder = Server::builder()
+            .queue_capacity(self.queue_capacity)
+            .backend(self.backend)
+            .registry(registry.clone());
+        if self.shards > 0 {
+            builder = builder.shards(self.shards);
+        }
+        builder
+            .bind("127.0.0.1:0", &self.layout())
+            .map_err(|e| format!("bind: {e}"))
+    }
 }
 
-const USAGE: &str = "usage: loadgen [--smoke] [--threads N] [--ops N] [--k K] \
-[--shards N] [--queue N] [--pipeline N]";
+const USAGE: &str = "usage: loadgen [--smoke] [--conns N] [--pipeline N] [--ops N] [--k K] \
+[--shards N] [--queue N] [--threads N] [--curve-points N] [--backend auto|epoll|poll]";
 
 const CAS: ObjectId = ObjectId(0);
 const CTR: ObjectId = ObjectId(1);
 const SNAP: ObjectId = ObjectId(2);
+const REGISTERS: usize = 64;
 
-fn register_of(thread: usize) -> ObjectId {
-    ObjectId(3 + thread)
+/// Offered-load fractions of measured peak for the latency ladder; the
+/// last point deliberately overdrives the server to show saturation.
+const CURVE: [f64; 7] = [0.2, 0.4, 0.6, 0.8, 0.9, 1.0, 1.2];
+
+fn register_of(i: usize) -> ObjectId {
+    ObjectId(3 + (i % REGISTERS))
 }
 
-/// One thread's traffic mix. In smoke mode ops round-trip one at a
-/// time (tight intervals keep the checker's search shallow) with a
-/// pipelined fetch&add burst at the end; in bench mode a window of
-/// `pipeline` requests is kept in flight throughout.
-fn run_thread(
-    addr: std::net::SocketAddr,
+/// The swarm's traffic mix, deterministic in the global op sequence
+/// number (no snapshots: their scan payloads would measure value
+/// shipping, not serving).
+fn mixed_op(rng: &mut SplitMix64, k: u8, seq: u64) -> Op {
+    match rng.usize_below(10) {
+        0..=2 => Op::cas(
+            CAS,
+            Value::Sym(Sym::BOTTOM),
+            Value::Sym(Sym::new(rng.range_u8(0, k - 2))),
+        ),
+        3 => Op::cas(
+            CAS,
+            Value::Sym(Sym::new(rng.range_u8(0, k - 2))),
+            Value::Sym(Sym::BOTTOM),
+        ),
+        4..=5 => Op::new(CTR, OpKind::FetchAdd(1)),
+        6 => Op::read(CAS),
+        7..=8 => Op::read(register_of(rng.usize_below(REGISTERS))),
+        _ => Op::write(
+            register_of(rng.usize_below(REGISTERS)),
+            Value::Int(seq as i64),
+        ),
+    }
+}
+
+/// One closed- or open-loop swarm pass of `ops` operations.
+fn swarm_pass(
     cfg: &Config,
-    pid: usize,
-    recorder: Option<Arc<HistoryRecorder>>,
-    latency: bso_telemetry::Histogram,
-) -> Result<(u64, u64), ClientError> {
-    let mut conn = Connection::connect(addr)?.with_latency_histogram(latency);
-    if let Some(rec) = recorder {
-        conn = conn.with_recorder(rec);
-    }
-    let mut rng = SplitMix64::new(0x10AD_0000 + pid as u64);
-    let mut ok = 0u64;
-    let mut busy = 0u64;
-    let mut in_flight: Vec<u64> = Vec::new();
-    let window = if cfg.smoke { 1 } else { cfg.pipeline };
-    for i in 0..cfg.ops_per_thread {
-        let op = match rng.usize_below(10) {
-            0..=2 => Op::cas(
-                CAS,
-                Value::Sym(Sym::BOTTOM),
-                Value::Sym(Sym::new(rng.range_u8(0, cfg.k - 2))),
-            ),
-            3 => Op::cas(
-                CAS,
-                Value::Sym(Sym::new(rng.range_u8(0, cfg.k - 2))),
-                Value::Sym(Sym::BOTTOM),
-            ),
-            4..=5 => Op::new(CTR, OpKind::FetchAdd(1)),
-            6 => Op::read(CAS),
-            7 => Op::write(register_of(pid), Value::Int(i as i64)),
-            8 => Op::read(register_of(rng.usize_below(cfg.threads))),
-            _ => {
-                if rng.usize_below(4) == 0 {
-                    Op::new(SNAP, OpKind::SnapshotScan)
-                } else {
-                    Op::new(SNAP, OpKind::SnapshotUpdate(Value::Int(i as i64)))
-                }
-            }
-        };
-        in_flight.push(conn.send(pid, op)?);
-        while in_flight.len() >= window {
-            match conn.wait(in_flight.remove(0)) {
-                Ok(bso::server::Response::Ok(_)) => ok += 1,
-                Ok(bso::server::Response::Err { code, message }) => {
-                    if code == bso::server::ErrorCode::Busy {
-                        busy += 1;
-                    } else {
-                        return Err(ClientError::Server { code, message });
-                    }
-                }
-                Ok(other) => return Err(ClientError::Protocol(format!("unexpected {other:?}"))),
-                Err(e) => return Err(e),
-            }
-        }
-    }
-    // A pipelined burst of fetch&adds even in smoke mode: overlapping
-    // recorded intervals exercise the checker's concurrency handling,
-    // and the unique counter responses keep its search linear.
-    let ids: Vec<u64> = (0..8)
-        .map(|_| conn.send(pid, Op::new(CTR, OpKind::FetchAdd(1))))
-        .collect::<Result<_, _>>()?;
-    in_flight.extend(ids);
-    for id in in_flight {
-        match conn.wait(id)? {
-            bso::server::Response::Ok(_) => ok += 1,
-            bso::server::Response::Err {
-                code: bso::server::ErrorCode::Busy,
-                ..
-            } => busy += 1,
-            other => return Err(ClientError::Protocol(format!("unexpected {other:?}"))),
-        }
-    }
-    Ok((ok, busy))
-}
-
-struct RunOutcome {
-    ok: u64,
-    busy: u64,
-    elapsed: std::time::Duration,
-    stats: ServerStats,
-    winners: Vec<usize>,
-    log: Vec<bso::sim::RecordedOp>,
-    registry: Registry,
-}
-
-fn run(cfg: &Config) -> Result<RunOutcome, String> {
-    let layout = cfg.layout();
-    // Prefer the global registry so `BSO_TELEMETRY=path.json` captures
-    // the server metrics; fall back to a private live one so the
-    // emitted latency quantiles are real either way.
-    let registry = if Registry::global().is_enabled() {
-        Registry::default()
-    } else {
-        Registry::enabled()
-    };
-    let server_cfg = ServerConfig {
-        shards: cfg.shards,
-        queue_capacity: cfg.queue_capacity,
-        registry: registry.clone(),
-    };
-    let handle =
-        Server::bind("127.0.0.1:0", &layout, server_cfg).map_err(|e| format!("bind: {e}"))?;
-    let addr = handle.local_addr();
-    let recorder = cfg.smoke.then(|| Arc::new(HistoryRecorder::new()));
-
-    let started = Instant::now();
-    let totals: Vec<(u64, u64)> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..cfg.threads)
-            .map(|pid| {
-                let recorder = recorder.clone();
-                let latency = registry.histogram("client.rtt_ns");
-                s.spawn(move || run_thread(addr, cfg, pid, recorder, latency))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("client thread panicked"))
-            .collect::<Result<_, _>>()
-    })
-    .map_err(|e| format!("client error: {e}"))?;
-    let elapsed = started.elapsed();
-
-    // One election session, every thread a participant (the session's
-    // protocol hosts k−1 of them).
-    let participants = cfg.threads.min(cfg.k as usize - 1);
-    let session = Connection::connect(addr)
-        .and_then(|mut c| {
-            c.open_election(cfg.k as u32)
-                .map_err(|e| std::io::Error::other(e.to_string()))
+    addr: std::net::SocketAddr,
+    ops: u64,
+    rate: Option<f64>,
+    seed: u64,
+) -> Result<SwarmReport, String> {
+    let mut rng = SplitMix64::new(seed);
+    Swarm::builder()
+        .connections(cfg.conns)
+        .pipeline(cfg.pipeline)
+        .backend(cfg.backend)
+        .rate(rate)
+        .run(addr, |_conn, seq| {
+            (seq < ops).then(|| (0usize, mixed_op(&mut rng, cfg.k, seq)))
         })
+        .map_err(|e| format!("swarm: {e}"))
+}
+
+/// Sorted-sample quantile: the ladder and the peak report both read
+/// percentiles straight off the raw per-op samples.
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+struct CurvePoint {
+    offered: f64,
+    achieved: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+    p999_ns: u64,
+    count: u64,
+}
+
+/// One election session, every participant on its own connection; all
+/// must agree on the leader.
+fn election_round(cfg: &Config, addr: std::net::SocketAddr) -> Result<Vec<usize>, String> {
+    let participants = cfg.threads.min(cfg.k as usize - 1);
+    let session = Connection::builder()
+        .connect(addr)
+        .and_then(|mut c| c.open_election(cfg.k as u32))
         .map_err(|e| format!("open election: {e}"))?;
     let winners: Vec<usize> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..participants)
             .map(|pid| {
                 s.spawn(move || {
-                    Connection::connect(addr)
-                        .map_err(ClientError::Io)?
+                    Connection::builder()
+                        .connect(addr)?
                         .elect(session, pid as u32)
                 })
             })
@@ -266,71 +243,297 @@ fn run(cfg: &Config) -> Result<RunOutcome, String> {
         handles
             .into_iter()
             .map(|h| h.join().expect("elector thread panicked"))
-            .collect::<Result<_, _>>()
+            .collect::<Result<_, ClientError>>()
     })
     .map_err(|e| format!("election: {e}"))?;
-
-    let stats = handle.shutdown();
-    let log = recorder.map(|r| r.take_log()).unwrap_or_default();
-    let (ok, busy) = totals
-        .iter()
-        .fold((0, 0), |(o, b), (to, tb)| (o + to, b + tb));
-    Ok(RunOutcome {
-        ok,
-        busy,
-        elapsed,
-        stats,
-        winners,
-        log,
-        registry,
-    })
+    if winners.windows(2).any(|w| w[0] != w[1]) {
+        return Err(format!("election disagreement: {winners:?}"));
+    }
+    Ok(winners)
 }
 
-fn emit_bench_json(cfg: &Config, out: &RunOutcome, registry: &Registry) -> String {
-    let rtt = registry
-        .snapshot()
-        .histograms
-        .get("client.rtt_ns")
-        .map(|h| {
+/// The smoke contract: recorded linearizable history over pipelined
+/// connections, an agreeing election, and a balanced swarm ledger.
+fn run_smoke(cfg: &Config, registry: &Registry) -> Result<(), String> {
+    let layout = cfg.layout();
+    let handle = cfg.serve(registry)?;
+    let addr = handle.local_addr();
+    let recorder = Arc::new(HistoryRecorder::new());
+    let ops_per_thread = 400usize;
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.threads)
+            .map(|pid| {
+                let rec = Arc::clone(&recorder);
+                let latency = registry.histogram("client.rtt_ns");
+                s.spawn(move || -> Result<(), ClientError> {
+                    let mut conn = Connection::builder()
+                        .recorder(rec)
+                        .latency_histogram(latency)
+                        .connect(addr)?;
+                    let mut rng = SplitMix64::new(0x10AD_0000 + pid as u64);
+                    for i in 0..ops_per_thread {
+                        let op = match rng.usize_below(10) {
+                            0..=6 => mixed_op(&mut rng, cfg.k, i as u64),
+                            _ => {
+                                if rng.usize_below(4) == 0 {
+                                    Op::new(SNAP, OpKind::SnapshotScan)
+                                } else {
+                                    Op::new(SNAP, OpKind::SnapshotUpdate(Value::Int(i as i64)))
+                                }
+                            }
+                        };
+                        conn.apply(pid, op)?;
+                    }
+                    // A pipelined fetch&add burst: overlapping recorded
+                    // intervals exercise the checker's concurrency
+                    // handling, unique responses keep it linear.
+                    let ids: Vec<u64> = (0..8)
+                        .map(|_| conn.send(pid, Op::new(CTR, OpKind::FetchAdd(1))))
+                        .collect::<Result<_, _>>()?;
+                    for id in ids {
+                        match conn.wait(id)? {
+                            bso::server::Response::Ok(_) => {}
+                            other => {
+                                return Err(ClientError::Protocol(format!("unexpected {other:?}")))
+                            }
+                        }
+                    }
+                    Ok(())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .try_for_each(|h| h.join().expect("client thread panicked"))
+    })
+    .map_err(|e| format!("client error: {e}"))?;
+
+    let log = recorder.take_log();
+    bso::sim::check_history(&layout, &log).map_err(|e| format!("NOT LINEARIZABLE\n{e}"))?;
+    println!(
+        "smoke: recorded history of {} ops is linearizable ✓",
+        log.len()
+    );
+    let tail: Vec<_> = log.iter().rev().take(12).rev().cloned().collect();
+    print!("{}", bso::sim::viz::history_timeline(&tail, cfg.threads));
+
+    let winners = election_round(cfg, addr)?;
+    println!(
+        "election: {} participants all chose p{}",
+        winners.len(),
+        winners[0]
+    );
+
+    // Swarm ledger pass over the event-driven path.
+    let report = swarm_pass(cfg, addr, cfg.ops, None, 0x5AFE)?;
+    if report.ops_total() != cfg.ops || report.ops_err != 0 {
+        return Err(format!(
+            "swarm ledger: {} ok + {} busy + {} err of {} issued",
+            report.ops_ok, report.ops_busy, report.ops_err, cfg.ops
+        ));
+    }
+    if report.rtt_ns.len() as u64 != report.ops_ok {
+        return Err(format!(
+            "swarm recorded {} latency samples for {} successes",
+            report.rtt_ns.len(),
+            report.ops_ok
+        ));
+    }
+    let rtt = registry.histogram("client.rtt_ns");
+    for &v in &report.rtt_ns {
+        rtt.record(v);
+    }
+    println!(
+        "smoke: swarm of {} conns ({} backend): {} ok + {} busy at {:.0} ops/s ✓",
+        cfg.conns,
+        cfg.backend,
+        report.ops_ok,
+        report.ops_busy,
+        report.ops_per_sec(),
+    );
+
+    let stats = handle.shutdown();
+    check_drained(&stats)
+}
+
+/// Peak measurement plus the offered-load ladder.
+fn run_bench(cfg: &Config, registry: &Registry) -> Result<(String, f64), String> {
+    let handle = cfg.serve(registry)?;
+    let addr = handle.local_addr();
+
+    let started = Instant::now();
+    let peak = swarm_pass(cfg, addr, cfg.ops, None, 0xBE5C)?;
+    let peak_elapsed = started.elapsed();
+    if peak.rtt_ns.len() as u64 != peak.ops_ok {
+        return Err(format!(
+            "peak pass recorded {} latency samples for {} successes",
+            peak.rtt_ns.len(),
+            peak.ops_ok
+        ));
+    }
+    let peak_rate = peak.ops_per_sec();
+    println!(
+        "peak ({} conns × pipeline {}): {} ok + {} busy in {:.1} ms ({:.0} ops/s)",
+        cfg.conns,
+        cfg.pipeline,
+        peak.ops_ok,
+        peak.ops_busy,
+        peak_elapsed.as_secs_f64() * 1e3,
+        peak_rate,
+    );
+    let rtt_hist = registry.histogram("client.rtt_ns");
+    for &v in &peak.rtt_ns {
+        rtt_hist.record(v);
+    }
+    let mut peak_sorted = peak.rtt_ns.clone();
+    peak_sorted.sort_unstable();
+
+    // The ladder: fixed fractions of measured peak, about 400 ms of
+    // offered traffic per point, latency timed from scheduled arrival.
+    let mut curve = Vec::new();
+    println!("offered_ops_s  achieved_ops_s    p50_us    p99_us   p999_us");
+    for (i, frac) in CURVE.iter().take(cfg.curve_points).enumerate() {
+        let offered = peak_rate * frac;
+        let ops = ((offered * 0.4) as u64).clamp(2_000, cfg.ops);
+        let report = swarm_pass(cfg, addr, ops, Some(offered), 0xC0DE + i as u64)?;
+        if report.rtt_ns.len() as u64 != report.ops_ok {
+            return Err(format!(
+                "curve point {i} recorded {} latency samples for {} successes",
+                report.rtt_ns.len(),
+                report.ops_ok
+            ));
+        }
+        let mut sorted = report.rtt_ns.clone();
+        sorted.sort_unstable();
+        let point = CurvePoint {
+            offered,
+            achieved: report.ops_per_sec(),
+            p50_ns: quantile(&sorted, 0.50),
+            p99_ns: quantile(&sorted, 0.99),
+            p999_ns: quantile(&sorted, 0.999),
+            count: report.ops_ok,
+        };
+        println!(
+            "{:>13.0}  {:>14.0}  {:>8.1}  {:>8.1}  {:>8.1}",
+            point.offered,
+            point.achieved,
+            point.p50_ns as f64 / 1e3,
+            point.p99_ns as f64 / 1e3,
+            point.p999_ns as f64 / 1e3,
+        );
+        curve.push(point);
+    }
+
+    let winners = election_round(cfg, addr)?;
+    println!(
+        "election: {} participants all chose p{}",
+        winners.len(),
+        winners[0]
+    );
+
+    let stats = handle.shutdown();
+    check_drained(&stats)?;
+
+    let json = emit_bench_json(cfg, &peak, peak_elapsed, &peak_sorted, &curve, &stats);
+    Ok((json, peak_rate))
+}
+
+/// The server must have answered exactly what was asked — the swarm
+/// passes, the election traffic, and nothing twice.
+fn check_drained(stats: &ServerStats) -> Result<(), String> {
+    if stats.requests != stats.responses {
+        return Err(format!(
+            "server answered {} of {} requests",
+            stats.responses, stats.requests
+        ));
+    }
+    if stats.malformed != 0 || stats.version_rejects != 0 {
+        return Err(format!(
+            "{} malformed frames, {} version rejects on a clean run",
+            stats.malformed, stats.version_rejects
+        ));
+    }
+    Ok(())
+}
+
+fn emit_bench_json(
+    cfg: &Config,
+    peak: &SwarmReport,
+    peak_elapsed: std::time::Duration,
+    peak_sorted: &[u64],
+    curve: &[CurvePoint],
+    stats: &ServerStats,
+) -> String {
+    let latency = Json::obj([
+        ("p50_ns", Json::U64(quantile(peak_sorted, 0.50))),
+        ("p90_ns", Json::U64(quantile(peak_sorted, 0.90))),
+        ("p99_ns", Json::U64(quantile(peak_sorted, 0.99))),
+        ("p999_ns", Json::U64(quantile(peak_sorted, 0.999))),
+        (
+            "min_ns",
+            Json::U64(peak_sorted.first().copied().unwrap_or(0)),
+        ),
+        (
+            "max_ns",
+            Json::U64(peak_sorted.last().copied().unwrap_or(0)),
+        ),
+        ("count", Json::U64(peak_sorted.len() as u64)),
+    ]);
+    let curve_json: Vec<Json> = curve
+        .iter()
+        .map(|p| {
             Json::obj([
-                ("p50_ns", Json::U64(h.p50())),
-                ("p90_ns", Json::U64(h.p90())),
-                ("p99_ns", Json::U64(h.p99())),
-                ("min_ns", Json::U64(h.min)),
-                ("max_ns", Json::U64(h.max)),
-                ("count", Json::U64(h.count)),
+                ("offered_ops_per_sec", Json::F64(p.offered)),
+                ("achieved_ops_per_sec", Json::F64(p.achieved)),
+                ("p50_ns", Json::U64(p.p50_ns)),
+                ("p99_ns", Json::U64(p.p99_ns)),
+                ("p999_ns", Json::U64(p.p999_ns)),
+                ("count", Json::U64(p.count)),
             ])
-        });
-    let total = out.ok + out.busy;
+        })
+        .collect();
     Json::obj([
-        ("schema", Json::Str("bso-serve-bench/v1".into())),
+        ("schema", Json::Str("bso-serve-bench/v2".into())),
         (
             "config",
             Json::obj([
-                ("threads", Json::U64(cfg.threads as u64)),
-                ("ops_per_thread", Json::U64(cfg.ops_per_thread as u64)),
-                ("k", Json::U64(cfg.k as u64)),
-                ("shards", Json::U64(cfg.shards as u64)),
-                ("queue_capacity", Json::U64(cfg.queue_capacity as u64)),
+                ("conns", Json::U64(cfg.conns as u64)),
                 ("pipeline", Json::U64(cfg.pipeline as u64)),
+                ("ops", Json::U64(cfg.ops)),
+                ("k", Json::U64(cfg.k as u64)),
+                (
+                    "shards",
+                    Json::U64(if cfg.shards == 0 {
+                        bso::server::poll::num_cpus() as u64
+                    } else {
+                        cfg.shards as u64
+                    }),
+                ),
+                ("queue_capacity", Json::U64(cfg.queue_capacity as u64)),
+                ("backend", Json::Str(cfg.backend.to_string())),
             ]),
         ),
-        ("elapsed_ms", Json::F64(out.elapsed.as_secs_f64() * 1e3)),
         (
-            "ops_per_sec",
-            Json::F64(total as f64 / out.elapsed.as_secs_f64()),
+            "peak",
+            Json::obj([
+                ("ops_per_sec", Json::F64(peak.ops_per_sec())),
+                ("ops_ok", Json::U64(peak.ops_ok)),
+                ("ops_busy", Json::U64(peak.ops_busy)),
+                ("elapsed_ms", Json::F64(peak_elapsed.as_secs_f64() * 1e3)),
+                ("latency", latency),
+            ]),
         ),
-        ("ops_ok", Json::U64(out.ok)),
-        ("ops_busy", Json::U64(out.busy)),
-        ("latency", rtt.unwrap_or(Json::Null)),
+        ("curve", Json::Arr(curve_json)),
         (
             "server",
             Json::obj([
-                ("connections", Json::U64(out.stats.connections)),
-                ("requests", Json::U64(out.stats.requests)),
-                ("responses", Json::U64(out.stats.responses)),
-                ("busy", Json::U64(out.stats.busy)),
-                ("malformed", Json::U64(out.stats.malformed)),
+                ("connections", Json::U64(stats.connections)),
+                ("requests", Json::U64(stats.requests)),
+                ("responses", Json::U64(stats.responses)),
+                ("busy", Json::U64(stats.busy)),
+                ("malformed", Json::U64(stats.malformed)),
+                ("version_rejects", Json::U64(stats.version_rejects)),
             ]),
         ),
     ])
@@ -345,69 +548,34 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let out = match run(&cfg) {
-        Ok(out) => out,
+    // Prefer the global registry so `BSO_TELEMETRY=path.json` captures
+    // the server metrics; fall back to a private live one so the
+    // emitted latency quantiles are real either way.
+    let registry = if Registry::global().is_enabled() {
+        Registry::default()
+    } else {
+        Registry::enabled()
+    };
+
+    let outcome = if cfg.smoke {
+        run_smoke(&cfg, &registry).map(|()| None)
+    } else {
+        run_bench(&cfg, &registry).map(Some)
+    };
+    match outcome {
+        Ok(None) => {}
+        Ok(Some((json, _))) => {
+            let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("loadgen: write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {path}");
+        }
         Err(msg) => {
             eprintln!("loadgen: {msg}");
             return ExitCode::FAILURE;
         }
-    };
-
-    let total = out.ok + out.busy;
-    println!(
-        "{} threads × {} ops (k={}, {} shards): {} ok + {} busy in {:.1} ms ({:.0} ops/s)",
-        cfg.threads,
-        cfg.ops_per_thread,
-        cfg.k,
-        cfg.shards,
-        out.ok,
-        out.busy,
-        out.elapsed.as_secs_f64() * 1e3,
-        total as f64 / out.elapsed.as_secs_f64(),
-    );
-
-    // The server must have answered exactly what was asked: the mixed
-    // traffic, the election traffic, and nothing twice.
-    if out.stats.requests != out.stats.responses {
-        eprintln!(
-            "loadgen: server answered {} of {} requests",
-            out.stats.responses, out.stats.requests
-        );
-        return ExitCode::FAILURE;
-    }
-    if out.winners.windows(2).any(|w| w[0] != w[1]) {
-        eprintln!("loadgen: election disagreement: {:?}", out.winners);
-        return ExitCode::FAILURE;
-    }
-    println!(
-        "election: {} participants all chose p{}",
-        out.winners.len(),
-        out.winners[0]
-    );
-
-    if cfg.smoke {
-        // End-to-end linearizability: the recorded wire history checks
-        // out against the same sequential specs the simulator uses.
-        let layout = cfg.layout();
-        if let Err(e) = check_history(&layout, &out.log) {
-            eprintln!("loadgen: NOT LINEARIZABLE\n{e}");
-            return ExitCode::FAILURE;
-        }
-        println!(
-            "smoke: recorded history of {} ops is linearizable ✓",
-            out.log.len()
-        );
-        // A taste of the history for humans (last few ticks).
-        let tail: Vec<_> = out.log.iter().rev().take(12).rev().cloned().collect();
-        print!("{}", viz::history_timeline(&tail, cfg.threads));
-    } else {
-        let json = emit_bench_json(&cfg, &out, &out.registry);
-        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
-        if let Err(e) = std::fs::write(path, &json) {
-            eprintln!("loadgen: write {path}: {e}");
-            return ExitCode::FAILURE;
-        }
-        println!("wrote {path}");
     }
     bso_bench::dump_telemetry();
     ExitCode::SUCCESS

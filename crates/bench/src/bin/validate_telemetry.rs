@@ -5,7 +5,7 @@
 //! validate_telemetry --trace <trace.json> [min_events]
 //! validate_telemetry --progress <progress.jsonl> [min_lines]
 //! validate_telemetry --checkpoint <cp.json>
-//! validate_telemetry --serve <snapshot.json>
+//! validate_telemetry --serve <snapshot.json> [BENCH_serve.json]
 //! validate_telemetry --explore <BENCH_explore.json>
 //! ```
 //!
@@ -22,7 +22,10 @@
 //! checks a snapshot captured from a live `bso-server` run for the
 //! `server.*` metric contract (request accounting that balances,
 //! per-shard queue-depth gauges, latency histograms with consistent
-//! quantiles); `--explore` checks a `BENCH_explore.json` written by
+//! quantiles), and with an optional second file also checks a
+//! `BENCH_serve.json` for the `bso-serve-bench/v2` shape — including
+//! that the peak latency distribution holds exactly one sample per
+//! successful op; `--explore` checks a `BENCH_explore.json` written by
 //! the explore bench for record shape *and* for the partial-order
 //! reduction acceptance bar (a ≥ 10× state cut at k ≥ 6), so a
 //! reduction regression fails the build instead of silently eroding
@@ -49,7 +52,8 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage: validate_telemetry <snapshot.json> [min_total] [prefix=N ...] \
      | --trace <trace.json> [min_events] | --progress <progress.jsonl> [min_lines] \
-     | --checkpoint <cp.json> | --serve <snapshot.json> | --explore <BENCH_explore.json>";
+     | --checkpoint <cp.json> | --serve <snapshot.json> [BENCH_serve.json] \
+     | --explore <BENCH_explore.json>";
 
 fn run() -> Result<String, String> {
     let mut args = std::env::args().skip(1);
@@ -70,7 +74,11 @@ fn run() -> Result<String, String> {
     }
     if path == "--serve" {
         let file = args.next().ok_or(USAGE)?;
-        return validate_serve(&file);
+        let summary = validate_serve(&file)?;
+        return match args.next() {
+            Some(bench) => Ok(format!("{summary}\n{}", validate_serve_bench(&bench)?)),
+            None => Ok(summary),
+        };
     }
     if path == "--explore" {
         let file = args.next().ok_or(USAGE)?;
@@ -324,6 +332,107 @@ fn validate_serve(path: &str) -> Result<String, String> {
     }
     Ok(format!(
         "{path}: ok ({requests} requests over {shards} shards, {histograms} histograms)"
+    ))
+}
+
+/// Checks a `BENCH_serve.json` written by the loadgen bench: the
+/// `bso-serve-bench/v2` shape — a peak block whose latency histogram
+/// counts *exactly* one sample per successful op, and a non-empty
+/// latency-under-load curve with ordered quantiles per point.
+fn validate_serve_bench(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    if !matches!(doc.get("schema"), Some(Json::Str(s)) if s == "bso-serve-bench/v2") {
+        return Err(format!("{path}: missing or unknown \"schema\""));
+    }
+    let peak = doc
+        .get("peak")
+        .ok_or_else(|| format!("{path}: no \"peak\" block"))?;
+    let peak_u64 = |key: &str| -> Result<u64, String> {
+        peak.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("{path}: peak has no integer {key:?}"))
+    };
+    if peak
+        .get("ops_per_sec")
+        .and_then(Json::as_f64)
+        .is_none_or(|r| r <= 0.0)
+    {
+        return Err(format!(
+            "{path}: peak.ops_per_sec is missing or not positive"
+        ));
+    }
+    let ops_ok = peak_u64("ops_ok")?;
+    let latency = peak
+        .get("latency")
+        .ok_or_else(|| format!("{path}: peak has no \"latency\""))?;
+    let lat = |key: &str| -> Result<u64, String> {
+        latency
+            .get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("{path}: peak.latency has no integer {key:?}"))
+    };
+    // The sampling contract: exactly one latency sample per successful
+    // op — a histogram that over- or under-counts is lying about the
+    // distribution it claims to summarize.
+    let count = lat("count")?;
+    if count != ops_ok {
+        return Err(format!(
+            "{path}: peak.latency.count is {count} but ops_ok is {ops_ok} — \
+             the distribution must hold exactly one sample per successful op"
+        ));
+    }
+    let (min, p50, p99, p999, max) = (
+        lat("min_ns")?,
+        lat("p50_ns")?,
+        lat("p99_ns")?,
+        lat("p999_ns")?,
+        lat("max_ns")?,
+    );
+    if !(min <= p50 && p50 <= p99 && p99 <= p999 && p999 <= max) {
+        return Err(format!(
+            "{path}: peak latency quantiles are disordered \
+             (min {min}, p50 {p50}, p99 {p99}, p999 {p999}, max {max})"
+        ));
+    }
+
+    let curve = doc
+        .get("curve")
+        .and_then(Json::items)
+        .ok_or_else(|| format!("{path}: \"curve\" is missing or not an array"))?;
+    if curve.is_empty() {
+        return Err(format!("{path}: the latency-under-load curve is empty"));
+    }
+    for (i, point) in curve.iter().enumerate() {
+        for key in ["offered_ops_per_sec", "achieved_ops_per_sec"] {
+            if point
+                .get(key)
+                .and_then(Json::as_f64)
+                .is_none_or(|r| r <= 0.0)
+            {
+                return Err(format!("{path}: curve point #{i} has no positive {key:?}"));
+            }
+        }
+        let q = |key: &str| -> Result<u64, String> {
+            point
+                .get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{path}: curve point #{i} has no integer {key:?}"))
+        };
+        let (p50, p99, p999) = (q("p50_ns")?, q("p99_ns")?, q("p999_ns")?);
+        if !(p50 <= p99 && p99 <= p999) {
+            return Err(format!(
+                "{path}: curve point #{i} has disordered quantiles \
+                 (p50 {p50}, p99 {p99}, p999 {p999})"
+            ));
+        }
+        if q("count")? == 0 {
+            return Err(format!("{path}: curve point #{i} sampled nothing"));
+        }
+    }
+    Ok(format!(
+        "{path}: ok ({ops_ok} sampled ops at peak, {}-point curve)",
+        curve.len()
     ))
 }
 

@@ -1,14 +1,18 @@
-//! `bso-client`: a pipelined client for the `bso-wire/v1`
+//! `bso-client`: a pipelined client for the `bso-wire/v2`
 //! shared-object service, with an op-recording mode whose output feeds
-//! the Wing–Gong linearizability checker in `bso-sim`.
+//! the Wing–Gong linearizability checker in `bso-sim`, and an
+//! event-driven [`Swarm`] for driving thousands of connections from
+//! one thread.
 //!
-//! A [`Connection`] talks to one `bso-server`. Requests are written
-//! into a buffered stream without flushing, so a burst of [`Connection::send`]s
-//! becomes one TCP write when [`Connection::flush`] (or the first
-//! [`Connection::recv`]) happens — the wire-level pipelining the
-//! server's batched writer is built for. Responses may come back out
-//! of order; they are correlated by `req_id` and stashed until asked
-//! for, so `send A, send B, wait B, wait A` works.
+//! A [`Connection`] (built via [`Connection::builder`]) talks to one
+//! `bso-server`, negotiating the wire version with a `Hello` handshake
+//! up front. Requests are written into a buffered stream without
+//! flushing, so a burst of [`Connection::send`]s becomes one TCP write
+//! when [`Connection::flush`] (or the first [`Connection::recv`])
+//! happens — the wire-level pipelining the server's batched event
+//! loops are built for. Responses may come back out of order; they are
+//! correlated by `req_id` and stashed until asked for, so `send A,
+//! send B, wait B, wait A` works.
 //!
 //! # Recording histories
 //!
@@ -29,8 +33,10 @@
 //! let mut layout = Layout::new();
 //! let reg = layout.push(ObjectInit::Register(Value::Nil));
 //! let rec = Arc::new(HistoryRecorder::new());
-//! let mut conn = Connection::connect("127.0.0.1:4860").unwrap()
-//!     .with_recorder(Arc::clone(&rec));
+//! let mut conn = Connection::builder()
+//!     .recorder(Arc::clone(&rec))
+//!     .connect("127.0.0.1:4860")
+//!     .unwrap();
 //! conn.apply(0, Op::write(reg, Value::Int(7))).unwrap();
 //! conn.apply(0, Op::read(reg)).unwrap();
 //! drop(conn);
@@ -39,6 +45,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod swarm;
+
+pub use swarm::{Swarm, SwarmBuilder, SwarmReport};
 
 use std::collections::HashMap;
 use std::io::{BufReader, BufWriter, Write};
@@ -58,7 +68,7 @@ use bso_telemetry::Histogram;
 pub enum ClientError {
     /// The connection broke (including EOF while a reply was owed).
     Io(std::io::Error),
-    /// The server sent bytes that do not decode as `bso-wire/v1`.
+    /// The server sent bytes that do not decode as `bso-wire/v2`.
     Wire(WireError),
     /// The server answered with a typed error.
     Server {
@@ -98,16 +108,20 @@ impl From<WireError> for ClientError {
 }
 
 impl ClientError {
+    /// The shared wire-level [`ErrorCode`] behind this error, when the
+    /// server sent one — the error-code enum is the *same type* the
+    /// server encodes, so client and server vocabulary cannot drift.
+    pub fn code(&self) -> Option<ErrorCode> {
+        match self {
+            ClientError::Server { code, .. } => Some(*code),
+            _ => None,
+        }
+    }
+
     /// Whether this is the server's `Busy` backpressure signal — the
     /// request was not applied and can simply be retried.
     pub fn is_busy(&self) -> bool {
-        matches!(
-            self,
-            ClientError::Server {
-                code: ErrorCode::Busy,
-                ..
-            }
-        )
+        self.code().is_some_and(ErrorCode::is_retryable)
     }
 }
 
@@ -177,30 +191,112 @@ pub struct Connection {
     latency: Option<Histogram>,
 }
 
-impl Connection {
-    /// Connects to a server.
+/// Fluent configuration for a [`Connection`], mirroring the server's
+/// builder idiom: construct with [`Connection::builder`], chain knobs,
+/// finish with [`ClientBuilder::connect`].
+#[derive(Clone, Debug, Default)]
+pub struct ClientBuilder {
+    no_handshake: bool,
+    no_nodelay: bool,
+    recorder: Option<std::sync::Arc<HistoryRecorder>>,
+    latency: Option<Histogram>,
+}
+
+impl ClientBuilder {
+    /// Whether to negotiate the wire version with a `Hello` round trip
+    /// at connect time (default `true`). Skipping it saves one RTT
+    /// against servers already known to speak [`wire::VERSION`].
+    #[must_use]
+    pub fn handshake(mut self, yes: bool) -> ClientBuilder {
+        self.no_handshake = !yes;
+        self
+    }
+
+    /// Whether to disable Nagle's algorithm (default `true`; pipelined
+    /// small frames serialize on the RTT otherwise).
+    #[must_use]
+    pub fn nodelay(mut self, yes: bool) -> ClientBuilder {
+        self.no_nodelay = !yes;
+        self
+    }
+
+    /// Attaches a (shared) history recorder; every successful `Apply`
+    /// is logged with interval timestamps.
+    #[must_use]
+    pub fn recorder(mut self, rec: std::sync::Arc<HistoryRecorder>) -> ClientBuilder {
+        self.recorder = Some(rec);
+        self
+    }
+
+    /// Attaches a latency histogram; every completed request records
+    /// its client-observed round-trip in nanoseconds.
+    #[must_use]
+    pub fn latency_histogram(mut self, hist: Histogram) -> ClientBuilder {
+        self.latency = Some(hist);
+        self
+    }
+
+    /// Connects (and, unless disabled, completes the `Hello`
+    /// handshake).
     ///
     /// # Errors
     ///
-    /// Socket errors from [`TcpStream::connect`].
-    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Connection> {
+    /// [`ClientError::Io`] for socket errors, [`ClientError::Server`]
+    /// with [`ErrorCode::Version`] when the server refuses our wire
+    /// version, [`ClientError::Protocol`] on a nonsensical handshake
+    /// reply.
+    pub fn connect(self, addr: impl ToSocketAddrs) -> Result<Connection, ClientError> {
         let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
+        if !self.no_nodelay {
+            stream.set_nodelay(true)?;
+        }
         let write_half = stream.try_clone()?;
-        Ok(Connection {
+        let mut conn = Connection {
             reader: BufReader::new(stream),
             writer: BufWriter::new(write_half),
             out: Vec::new(),
             next_id: 0,
             pending: HashMap::new(),
             stashed: HashMap::new(),
-            recorder: None,
-            latency: None,
-        })
+            recorder: self.recorder,
+            latency: self.latency,
+        };
+        if !self.no_handshake {
+            conn.hello()?;
+        }
+        Ok(conn)
+    }
+}
+
+impl Connection {
+    /// Starts configuring a connection. See [`ClientBuilder`] for the
+    /// knobs and their defaults.
+    pub fn builder() -> ClientBuilder {
+        ClientBuilder::default()
+    }
+
+    /// Connects to a server without the `Hello` handshake.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors from [`TcpStream::connect`].
+    #[deprecated(since = "0.2.0", note = "use `Connection::builder()` instead")]
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Connection> {
+        Connection::builder()
+            .handshake(false)
+            .connect(addr)
+            .map_err(|e| match e {
+                ClientError::Io(e) => e,
+                other => std::io::Error::other(other.to_string()),
+            })
     }
 
     /// Attaches a (shared) history recorder; every subsequent
     /// successful `Apply` is logged with interval timestamps.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Connection::builder().recorder(...)` instead"
+    )]
     #[must_use]
     pub fn with_recorder(mut self, rec: std::sync::Arc<HistoryRecorder>) -> Connection {
         self.recorder = Some(rec);
@@ -209,10 +305,39 @@ impl Connection {
 
     /// Attaches a latency histogram; every completed request records
     /// its client-observed round-trip in nanoseconds.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Connection::builder().latency_histogram(...)` instead"
+    )]
     #[must_use]
     pub fn with_latency_histogram(mut self, hist: Histogram) -> Connection {
         self.latency = Some(hist);
         self
+    }
+
+    /// One `Hello` round trip: proposes [`wire::VERSION`] and checks
+    /// the server's answer.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with [`ErrorCode::Version`] when the
+    /// server cannot serve our version; [`ClientError::Protocol`] when
+    /// it answers with a different version than it accepted.
+    pub fn hello(&mut self) -> Result<(), ClientError> {
+        let id = self.send_control(&Request::Hello {
+            version: wire::VERSION,
+        })?;
+        match self.wait(id)? {
+            Response::Hello { version } if version == wire::VERSION => Ok(()),
+            Response::Hello { version } => Err(ClientError::Protocol(format!(
+                "server accepted version {version}, we speak {}",
+                wire::VERSION
+            ))),
+            Response::Err { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Protocol(format!(
+                "non-hello response to a hello: {other:?}"
+            ))),
+        }
     }
 
     /// Queues one operation without flushing and returns its `req_id`.
@@ -344,9 +469,9 @@ impl Connection {
         match self.wait(id)? {
             Response::Ok(v) => Ok(v),
             Response::Err { code, message } => Err(ClientError::Server { code, message }),
-            Response::Session(_) => {
-                Err(ClientError::Protocol("session response to an apply".into()))
-            }
+            other => Err(ClientError::Protocol(format!(
+                "non-value response to an apply: {other:?}"
+            ))),
         }
     }
 
@@ -361,9 +486,9 @@ impl Connection {
         match self.wait(id)? {
             Response::Session(s) => Ok(s),
             Response::Err { code, message } => Err(ClientError::Server { code, message }),
-            Response::Ok(_) => Err(ClientError::Protocol(
-                "value response to an open-election".into(),
-            )),
+            other => Err(ClientError::Protocol(format!(
+                "non-session response to an open-election: {other:?}"
+            ))),
         }
     }
 
@@ -381,9 +506,9 @@ impl Connection {
                 "election decided a non-pid value {v}"
             ))),
             Response::Err { code, message } => Err(ClientError::Server { code, message }),
-            Response::Session(_) => {
-                Err(ClientError::Protocol("session response to an elect".into()))
-            }
+            other => Err(ClientError::Protocol(format!(
+                "non-pid response to an elect: {other:?}"
+            ))),
         }
     }
 
@@ -398,7 +523,9 @@ impl Connection {
         match self.wait(id)? {
             Response::Ok(_) => Ok(()),
             Response::Err { code, message } => Err(ClientError::Server { code, message }),
-            Response::Session(_) => Err(ClientError::Protocol("session response to a ping".into())),
+            other => Err(ClientError::Protocol(format!(
+                "non-ack response to a ping: {other:?}"
+            ))),
         }
     }
 

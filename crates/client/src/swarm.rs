@@ -1,0 +1,550 @@
+//! An event-driven client swarm: thousands of pipelined connections
+//! driven from one thread by a readiness loop, for load generation and
+//! saturation testing.
+//!
+//! A [`Connection`](crate::Connection) is the right tool for a handful
+//! of sockets; at 10 000 connections the two-threads-per-connection
+//! model (or even one blocking thread each) stops scaling. [`Swarm`]
+//! instead keeps every socket nonblocking, multiplexed over the same
+//! `epoll(7)`/`poll(2)` shim the server's event loops use
+//! ([`bso_server::poll`]), and issues operations from a workload
+//! closure.
+//!
+//! Two pacing modes:
+//!
+//! * **Closed loop** (default): each connection keeps
+//!   [`SwarmBuilder::pipeline`] requests in flight and replaces each
+//!   response with a fresh request immediately. Measures peak
+//!   sustainable throughput; round trips are timed from the moment the
+//!   request is queued.
+//! * **Open loop** ([`SwarmBuilder::rate`]): arrivals are scheduled on
+//!   a fixed clock at the offered rate, round-robin across
+//!   connections, regardless of how fast responses come back. Round
+//!   trips are timed from the *scheduled* arrival, so server-side
+//!   queueing delay is charged to the latency distribution instead of
+//!   silently stretching the arrival gaps (the coordinated-omission
+//!   correction).
+//!
+//! ```no_run
+//! use bso_client::Swarm;
+//! use bso_objects::{Layout, ObjectInit, Op, Value};
+//!
+//! let mut layout = Layout::new();
+//! let reg = layout.push(ObjectInit::Register(Value::Nil));
+//! let report = Swarm::builder()
+//!     .connections(1000)
+//!     .pipeline(8)
+//!     .run("127.0.0.1:4860", |conn, seq| {
+//!         (seq < 1_000_000).then(|| (conn, Op::write(reg, Value::Int(conn as i64))))
+//!     })
+//!     .unwrap();
+//! println!("{} ops ok", report.ops_ok);
+//! ```
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use bso_objects::Op;
+use bso_server::poll::{self, Event, Interest, PollBackend, Poller};
+use bso_server::wire::{self, ErrorCode, Request, Response};
+
+use crate::ClientError;
+
+/// Fluent configuration for a [`Swarm`] run.
+#[derive(Clone, Debug)]
+pub struct SwarmBuilder {
+    connections: usize,
+    pipeline: usize,
+    backend: PollBackend,
+    rate: Option<f64>,
+    handshake: bool,
+    nodelay: bool,
+}
+
+impl Default for SwarmBuilder {
+    fn default() -> SwarmBuilder {
+        SwarmBuilder {
+            connections: 1,
+            pipeline: 1,
+            backend: PollBackend::Auto,
+            rate: None,
+            handshake: true,
+            nodelay: true,
+        }
+    }
+}
+
+impl SwarmBuilder {
+    /// Number of concurrent connections (default 1).
+    #[must_use]
+    pub fn connections(mut self, n: usize) -> SwarmBuilder {
+        self.connections = n.max(1);
+        self
+    }
+
+    /// Requests kept in flight per connection in closed-loop mode
+    /// (default 1). Ignored when a [`SwarmBuilder::rate`] is set —
+    /// open-loop arrivals are paced by the clock, not by completions.
+    #[must_use]
+    pub fn pipeline(mut self, depth: usize) -> SwarmBuilder {
+        self.pipeline = depth.max(1);
+        self
+    }
+
+    /// Readiness backend for the swarm's own poller (default
+    /// [`PollBackend::Auto`]).
+    #[must_use]
+    pub fn backend(mut self, backend: PollBackend) -> SwarmBuilder {
+        self.backend = backend;
+        self
+    }
+
+    /// Switches to open-loop pacing at `ops_per_sec` total offered
+    /// load across all connections. `None` (the default) is closed
+    /// loop.
+    #[must_use]
+    pub fn rate(mut self, ops_per_sec: Option<f64>) -> SwarmBuilder {
+        self.rate = ops_per_sec.filter(|r| *r > 0.0);
+        self
+    }
+
+    /// Whether each connection negotiates the wire version with a
+    /// `Hello` round trip before entering the event loop (default
+    /// `true`).
+    #[must_use]
+    pub fn handshake(mut self, yes: bool) -> SwarmBuilder {
+        self.handshake = yes;
+        self
+    }
+
+    /// Whether to disable Nagle's algorithm on every socket (default
+    /// `true`).
+    #[must_use]
+    pub fn nodelay(mut self, yes: bool) -> SwarmBuilder {
+        self.nodelay = yes;
+        self
+    }
+
+    /// Connects the swarm and drives `workload` to exhaustion.
+    ///
+    /// `workload(conn, seq)` is called once per operation to issue —
+    /// `conn` is the connection index it will ride, `seq` the global
+    /// 0-based issue counter — and returns the `(pid, op)` to apply,
+    /// or `None` to stop issuing (in-flight operations still drain).
+    ///
+    /// # Errors
+    ///
+    /// Connect/handshake failures and socket-level I/O errors abort
+    /// the run; per-operation server errors do not (they are tallied
+    /// in [`SwarmReport::ops_busy`] / [`SwarmReport::ops_err`]).
+    pub fn run(
+        self,
+        addr: impl ToSocketAddrs,
+        workload: impl FnMut(usize, u64) -> Option<(usize, Op)>,
+    ) -> Result<SwarmReport, ClientError> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| ClientError::Protocol("address resolved to nothing".into()))?;
+        Swarm::new(self, addr)?.drive(workload)
+    }
+}
+
+/// What a [`Swarm`] run observed. Round trips are recorded for
+/// successful operations only, so `rtt_ns.len() == ops_ok` always
+/// holds — a latency distribution is only meaningful over the
+/// operations that actually completed.
+#[derive(Clone, Debug, Default)]
+pub struct SwarmReport {
+    /// Operations answered `Ok`.
+    pub ops_ok: u64,
+    /// Operations answered with retryable [`ErrorCode::Busy`]
+    /// backpressure.
+    pub ops_busy: u64,
+    /// Operations answered with any other typed error.
+    pub ops_err: u64,
+    /// One round trip per `Ok` operation, in nanoseconds. Closed loop
+    /// times from request queueing; open loop from the scheduled
+    /// arrival.
+    pub rtt_ns: Vec<u64>,
+    /// Wall-clock span from the first issue to the last response.
+    pub elapsed: Duration,
+}
+
+impl SwarmReport {
+    /// Total operations answered, of any outcome.
+    pub fn ops_total(&self) -> u64 {
+        self.ops_ok + self.ops_busy + self.ops_err
+    }
+
+    /// Achieved `Ok` throughput in operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.ops_ok as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Per-connection state inside the readiness loop.
+struct Lane {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    wpos: usize,
+    next_id: u64,
+    /// req_id → the instant latency is measured from.
+    inflight: HashMap<u64, Instant>,
+    write_armed: bool,
+    /// On the swarm's `touched` list (freshly queued bytes to pump).
+    dirty: bool,
+}
+
+impl Lane {
+    fn wants_write(&self) -> bool {
+        self.wpos < self.wbuf.len()
+    }
+}
+
+/// The multiplexer itself; normally used through
+/// [`SwarmBuilder::run`], which see.
+pub struct Swarm {
+    cfg: SwarmBuilder,
+    poller: Poller,
+    lanes: Vec<Lane>,
+    report: SwarmReport,
+    /// Next connection to receive an open-loop arrival.
+    rr: usize,
+    /// Global issue counter handed to the workload.
+    seq: u64,
+    /// Set once the workload returns `None`.
+    done_issuing: bool,
+    /// Lanes with freshly queued bytes, pumped once per loop turn —
+    /// an O(touched) flush instead of an O(connections) scan.
+    touched: Vec<usize>,
+}
+
+impl Swarm {
+    /// Starts configuring a swarm.
+    pub fn builder() -> SwarmBuilder {
+        SwarmBuilder::default()
+    }
+
+    fn new(cfg: SwarmBuilder, addr: std::net::SocketAddr) -> Result<Swarm, ClientError> {
+        let mut poller = Poller::new(cfg.backend).map_err(ClientError::Io)?;
+        let mut lanes = Vec::with_capacity(cfg.connections);
+        for token in 0..cfg.connections {
+            let mut stream = TcpStream::connect(addr)?;
+            if cfg.nodelay {
+                stream.set_nodelay(true)?;
+            }
+            if cfg.handshake {
+                handshake(&mut stream)?;
+            }
+            poll::set_nonblocking(&stream)?;
+            poller.register(poll::raw_fd(&stream), token as u64, Interest::READ)?;
+            lanes.push(Lane {
+                stream,
+                rbuf: Vec::new(),
+                wbuf: Vec::new(),
+                wpos: 0,
+                next_id: 0,
+                inflight: HashMap::new(),
+                write_armed: false,
+                dirty: false,
+            });
+        }
+        Ok(Swarm {
+            cfg,
+            poller,
+            lanes,
+            report: SwarmReport::default(),
+            rr: 0,
+            seq: 0,
+            done_issuing: false,
+            touched: Vec::new(),
+        })
+    }
+
+    /// Queues one workload operation on lane `conn`, stamping its
+    /// latency origin at `started`. Returns `false` once the workload
+    /// is exhausted.
+    fn issue(
+        &mut self,
+        conn: usize,
+        started: Instant,
+        workload: &mut impl FnMut(usize, u64) -> Option<(usize, Op)>,
+    ) -> Result<bool, ClientError> {
+        if self.done_issuing {
+            return Ok(false);
+        }
+        let Some((pid, op)) = workload(conn, self.seq) else {
+            self.done_issuing = true;
+            return Ok(false);
+        };
+        self.seq += 1;
+        let lane = &mut self.lanes[conn];
+        let req_id = lane.next_id;
+        lane.next_id += 1;
+        wire::encode_request(
+            req_id,
+            &Request::Apply {
+                pid: pid as u32,
+                op,
+            },
+            &mut lane.wbuf,
+        )?;
+        lane.inflight.insert(req_id, started);
+        if !lane.dirty {
+            lane.dirty = true;
+            self.touched.push(conn);
+        }
+        Ok(true)
+    }
+
+    /// Flushes lane `conn`'s write buffer as far as the socket allows,
+    /// arming or disarming write interest to match what is left.
+    fn pump_write(&mut self, conn: usize) -> Result<(), ClientError> {
+        let lane = &mut self.lanes[conn];
+        while lane.wants_write() {
+            match lane.stream.write(&lane.wbuf[lane.wpos..]) {
+                Ok(0) => {
+                    return Err(ClientError::Io(std::io::Error::new(
+                        std::io::ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    )))
+                }
+                Ok(n) => lane.wpos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(ClientError::Io(e)),
+            }
+        }
+        if !lane.wants_write() {
+            lane.wbuf.clear();
+            lane.wpos = 0;
+        }
+        let want = lane.wants_write();
+        if want != lane.write_armed {
+            lane.write_armed = want;
+            let interest = if want {
+                Interest::READ_WRITE
+            } else {
+                Interest::READ
+            };
+            self.poller
+                .reregister(poll::raw_fd(&lane.stream), conn as u64, interest)?;
+        }
+        Ok(())
+    }
+
+    /// Reads everything the socket has, consumes complete response
+    /// frames, and (in closed loop) refills the pipeline.
+    fn pump_read(
+        &mut self,
+        conn: usize,
+        workload: &mut impl FnMut(usize, u64) -> Option<(usize, Op)>,
+    ) -> Result<(), ClientError> {
+        let closed_loop = self.cfg.rate.is_none();
+        loop {
+            let lane = &mut self.lanes[conn];
+            let old = lane.rbuf.len();
+            lane.rbuf.resize(old + 64 * 1024, 0);
+            let got = match lane.stream.read(&mut lane.rbuf[old..]) {
+                Ok(0) => {
+                    lane.rbuf.truncate(old);
+                    if lane.inflight.is_empty() {
+                        // Graceful close with nothing owed: fine.
+                        return Ok(());
+                    }
+                    return Err(ClientError::Protocol(format!(
+                        "server closed connection {conn} with {} in flight",
+                        lane.inflight.len()
+                    )));
+                }
+                Ok(n) => n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    lane.rbuf.truncate(old);
+                    return Ok(());
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
+                    lane.rbuf.truncate(old);
+                    continue;
+                }
+                Err(e) => return Err(ClientError::Io(e)),
+            };
+            lane.rbuf.truncate(old + got);
+
+            let mut at = 0;
+            let mut refill = 0;
+            loop {
+                let lane = &mut self.lanes[conn];
+                match wire::split_frame(&lane.rbuf, at)? {
+                    None => break,
+                    Some(range) => {
+                        at = range.end;
+                        let (req_id, resp) = wire::decode_response(&lane.rbuf[range])?;
+                        let Some(started) = lane.inflight.remove(&req_id) else {
+                            return Err(ClientError::Protocol(format!(
+                                "response to unknown req_id {req_id} on connection {conn}"
+                            )));
+                        };
+                        match resp {
+                            Response::Ok(_) => {
+                                self.report.ops_ok += 1;
+                                self.report.rtt_ns.push(
+                                    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                                );
+                            }
+                            Response::Err {
+                                code: ErrorCode::Busy,
+                                ..
+                            } => {
+                                self.report.ops_busy += 1;
+                            }
+                            Response::Err { .. } => self.report.ops_err += 1,
+                            other => {
+                                return Err(ClientError::Protocol(format!(
+                                    "non-value response to a swarm apply: {other:?}"
+                                )))
+                            }
+                        }
+                        if closed_loop {
+                            refill += 1;
+                        }
+                    }
+                }
+            }
+            let lane = &mut self.lanes[conn];
+            lane.rbuf.drain(..at);
+            for _ in 0..refill {
+                if !self.issue(conn, Instant::now(), workload)? {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// The event loop: prime, then pace arrivals and pump sockets
+    /// until the workload is exhausted and every response is in.
+    fn drive(
+        mut self,
+        mut workload: impl FnMut(usize, u64) -> Option<(usize, Op)>,
+    ) -> Result<SwarmReport, ClientError> {
+        let start = Instant::now();
+        // Open-loop arrival clock: seconds per op across the swarm.
+        let gap = self.cfg.rate.map(|r| Duration::from_secs_f64(1.0 / r));
+        let mut next_arrival = start;
+
+        if gap.is_none() {
+            // Closed loop: prime every lane to its pipeline depth.
+            'prime: for conn in 0..self.lanes.len() {
+                for _ in 0..self.cfg.pipeline {
+                    if !self.issue(conn, Instant::now(), &mut workload)? {
+                        break 'prime;
+                    }
+                }
+            }
+        }
+
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            // Open loop: issue every arrival whose scheduled time has
+            // passed, charging latency from the schedule, not `now`.
+            if let Some(gap) = gap {
+                while !self.done_issuing && Instant::now() >= next_arrival {
+                    let conn = self.rr;
+                    self.rr = (self.rr + 1) % self.lanes.len();
+                    if !self.issue(conn, next_arrival, &mut workload)? {
+                        break;
+                    }
+                    next_arrival += gap;
+                }
+            }
+            while let Some(conn) = self.touched.pop() {
+                self.lanes[conn].dirty = false;
+                if self.lanes[conn].wants_write() && !self.lanes[conn].write_armed {
+                    self.pump_write(conn)?;
+                }
+            }
+
+            let inflight: usize = self.lanes.iter().map(|l| l.inflight.len()).sum();
+            if self.done_issuing && inflight == 0 {
+                break;
+            }
+
+            let timeout = match gap {
+                Some(_) if !self.done_issuing => {
+                    let now = Instant::now();
+                    Some(
+                        next_arrival
+                            .saturating_duration_since(now)
+                            .max(Duration::ZERO),
+                    )
+                }
+                _ => Some(Duration::from_millis(50)),
+            };
+            self.poller.wait(&mut events, timeout)?;
+            let ready = std::mem::take(&mut events);
+            for ev in &ready {
+                let conn = ev.token as usize;
+                if conn >= self.lanes.len() {
+                    continue;
+                }
+                if ev.readable || ev.error {
+                    self.pump_read(conn, &mut workload)?;
+                }
+                if ev.writable {
+                    self.pump_write(conn)?;
+                }
+            }
+            events = ready;
+        }
+
+        self.report.elapsed = start.elapsed();
+        debug_assert_eq!(self.report.rtt_ns.len() as u64, self.report.ops_ok);
+        Ok(self.report)
+    }
+}
+
+/// Blocking `Hello` exchange on a fresh socket, before it goes
+/// nonblocking.
+fn handshake(stream: &mut TcpStream) -> Result<(), ClientError> {
+    let mut buf = Vec::new();
+    wire::encode_request(
+        0,
+        &Request::Hello {
+            version: wire::VERSION,
+        },
+        &mut buf,
+    )?;
+    stream.write_all(&buf)?;
+    stream.flush()?;
+    buf.clear();
+    if !wire::read_frame(stream, &mut buf)? {
+        return Err(ClientError::Protocol(
+            "server closed during version negotiation".into(),
+        ));
+    }
+    let (req_id, resp) = wire::decode_response(&buf)?;
+    if req_id != 0 {
+        return Err(ClientError::Protocol(format!(
+            "handshake response carried req_id {req_id}, expected 0"
+        )));
+    }
+    match resp {
+        Response::Hello { version } if version == wire::VERSION => Ok(()),
+        Response::Hello { version } => Err(ClientError::Protocol(format!(
+            "server accepted version {version}, we speak {}",
+            wire::VERSION
+        ))),
+        Response::Err { code, message } => Err(ClientError::Server { code, message }),
+        other => Err(ClientError::Protocol(format!(
+            "non-hello response to a hello: {other:?}"
+        ))),
+    }
+}

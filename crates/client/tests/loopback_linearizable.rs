@@ -7,10 +7,21 @@ use std::sync::Arc;
 use bso_client::{ClientError, Connection, HistoryRecorder};
 use bso_objects::rng::SplitMix64;
 use bso_objects::{Layout, ObjectId, ObjectInit, Op, OpKind, Sym, Value};
-use bso_server::{Server, ServerConfig};
+use bso_server::Server;
 use bso_sim::check_history;
 
 const THREADS: usize = 4;
+
+/// Spins up a server with core pinning off — the test host's cores
+/// belong to the whole suite, not one loop each.
+fn serve(layout: &Layout, shards: usize, queue: usize) -> bso_server::ServerHandle {
+    Server::builder()
+        .shards(shards)
+        .queue_capacity(queue)
+        .pin_cores(false)
+        .bind("127.0.0.1:0", layout)
+        .unwrap()
+}
 
 fn layout() -> Layout {
     let mut l = Layout::new();
@@ -26,7 +37,7 @@ fn layout() -> Layout {
 #[test]
 fn recorded_multithreaded_run_is_linearizable() {
     let layout = layout();
-    let handle = Server::bind("127.0.0.1:0", &layout, ServerConfig::default()).unwrap();
+    let handle = serve(&layout, 4, 128);
     let addr = handle.local_addr();
     let rec = Arc::new(HistoryRecorder::new());
 
@@ -34,7 +45,7 @@ fn recorded_multithreaded_run_is_linearizable() {
         for pid in 0..THREADS {
             let rec = Arc::clone(&rec);
             s.spawn(move || {
-                let mut conn = Connection::connect(addr).unwrap().with_recorder(rec);
+                let mut conn = Connection::builder().recorder(rec).connect(addr).unwrap();
                 let mut rng = SplitMix64::new(0xC11E57 + pid as u64);
                 for _ in 0..60 {
                     let op = match rng.usize_below(5) {
@@ -79,23 +90,30 @@ fn recorded_multithreaded_run_is_linearizable() {
     assert_eq!(log.len(), THREADS * 68, "every successful op is recorded");
     check_history(&layout, &log).expect("loopback history must be linearizable");
     let stats = handle.shutdown();
-    assert_eq!(stats.requests, (THREADS * 68) as u64);
+    // 68 operations plus the Hello handshake per connection.
+    assert_eq!(stats.requests, (THREADS * 69) as u64);
     assert_eq!(stats.malformed, 0);
+    assert_eq!(stats.version_rejects, 0);
 }
 
 /// All participants, spread across independent connections, elect the
 /// same leader; a second session is independent of the first.
 #[test]
 fn elections_agree_across_connections() {
-    let handle = Server::bind("127.0.0.1:0", &layout(), ServerConfig::default()).unwrap();
+    let handle = serve(&layout(), 4, 128);
     let addr = handle.local_addr();
-    let session = Connection::connect(addr).unwrap().open_election(6).unwrap();
+    let session = Connection::builder()
+        .connect(addr)
+        .unwrap()
+        .open_election(6)
+        .unwrap();
 
     let winners: Vec<usize> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..5u32)
             .map(|pid| {
                 s.spawn(move || {
-                    Connection::connect(addr)
+                    Connection::builder()
+                        .connect(addr)
                         .unwrap()
                         .elect(session, pid)
                         .unwrap()
@@ -107,7 +125,7 @@ fn elections_agree_across_connections() {
     assert!(winners.windows(2).all(|w| w[0] == w[1]), "{winners:?}");
     assert!(winners[0] < 5, "leader is a participant");
 
-    let mut conn = Connection::connect(addr).unwrap();
+    let mut conn = Connection::builder().connect(addr).unwrap();
     let session2 = conn.open_election(3).unwrap();
     assert_ne!(session, session2);
     let w2 = conn.elect(session2, 0).unwrap();
@@ -120,8 +138,8 @@ fn elections_agree_across_connections() {
 #[test]
 fn server_errors_are_typed_and_non_fatal() {
     let layout = layout();
-    let handle = Server::bind("127.0.0.1:0", &layout, ServerConfig::default()).unwrap();
-    let mut conn = Connection::connect(handle.local_addr()).unwrap();
+    let handle = serve(&layout, 4, 128);
+    let mut conn = Connection::builder().connect(handle.local_addr()).unwrap();
 
     // Unknown object → BadRequest.
     let err = conn.apply(0, Op::read(ObjectId(99))).unwrap_err();
@@ -162,13 +180,8 @@ fn server_errors_are_typed_and_non_fatal() {
 #[test]
 fn busy_backpressure_answers_everything() {
     let layout = layout();
-    let config = ServerConfig {
-        shards: 1,
-        queue_capacity: 1,
-        ..ServerConfig::default()
-    };
-    let handle = Server::bind("127.0.0.1:0", &layout, config).unwrap();
-    let mut conn = Connection::connect(handle.local_addr()).unwrap();
+    let handle = serve(&layout, 1, 1);
+    let mut conn = Connection::builder().connect(handle.local_addr()).unwrap();
 
     let ids: Vec<u64> = (0..200)
         .map(|_| {
@@ -194,6 +207,71 @@ fn busy_backpressure_answers_everything() {
         conn.apply(0, Op::read(ObjectId(2))).unwrap(),
         Value::Int(ok as i64)
     );
+    drop(conn);
+    let stats = handle.shutdown();
+    assert_eq!(stats.busy, busy);
+}
+
+/// Cross-shard saturation: with two shards and capacity-1 transfer
+/// queues, a pipelined flood aimed at both shards must surface typed
+/// `Busy` rejections — and the accepted/rejected ledger must balance
+/// exactly against the objects' final state.
+#[test]
+fn busy_flood_saturates_cross_shard_queues() {
+    const OBJECTS: usize = 4;
+    const ROUNDS: usize = 20;
+    const PER_ROUND: usize = 400;
+
+    let mut layout = Layout::new();
+    for _ in 0..OBJECTS {
+        layout.push(ObjectInit::FetchAdd(0));
+    }
+    let handle = serve(&layout, 2, 1);
+    let mut conn = Connection::builder().connect(handle.local_addr()).unwrap();
+
+    // Whichever loop owns this connection, half the object ids live on
+    // the other shard, so half of each burst crosses a capacity-1
+    // queue. Keep flooding (bounded) until backpressure shows up.
+    let mut ok_per_obj = [0i64; OBJECTS];
+    let mut busy = 0u64;
+    for _ in 0..ROUNDS {
+        let ids: Vec<(u64, usize)> = (0..PER_ROUND)
+            .map(|i| {
+                let obj = i % OBJECTS;
+                let id = conn
+                    .send(0, Op::new(ObjectId(obj), OpKind::FetchAdd(1)))
+                    .unwrap();
+                (id, obj)
+            })
+            .collect();
+        for (id, obj) in ids {
+            match conn.wait(id).unwrap() {
+                bso_server::Response::Ok(_) => ok_per_obj[obj] += 1,
+                bso_server::Response::Err { code, .. } => {
+                    assert_eq!(code, bso_server::ErrorCode::Busy, "only Busy is expected");
+                    busy += 1;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        if busy > 0 {
+            break;
+        }
+    }
+    assert!(
+        busy > 0,
+        "{} floods of {PER_ROUND} cross-shard ops never saturated a capacity-1 queue",
+        ROUNDS
+    );
+
+    // Exact ledger: each counter advanced once per accepted op.
+    for (obj, &expect) in ok_per_obj.iter().enumerate() {
+        assert_eq!(
+            conn.apply(0, Op::read(ObjectId(obj))).unwrap(),
+            Value::Int(expect),
+            "object {obj} disagrees with the accepted-op ledger"
+        );
+    }
     drop(conn);
     let stats = handle.shutdown();
     assert_eq!(stats.busy, busy);

@@ -1,0 +1,876 @@
+//! The shard-per-core event loop: nonblocking sockets, readiness
+//! polling, inline same-shard applies, and bounded cross-loop routing.
+//!
+//! # Topology
+//!
+//! ```text
+//! acceptor ──round-robin NewConn──▶ event loop 0 ◀──▶ XQueue/Ctl ◀──▶ event loop 1 …
+//!                                      │
+//!                        owns: conns (Slab) + ShardState + Poller + Arena
+//! ```
+//!
+//! One loop per shard. Each loop owns *both* a slice of the
+//! connections and the shard of objects whose ids land on it
+//! (`id % nloops == index`), so the common case — a request arriving
+//! on the loop that owns its object — is applied inline between a
+//! `read` and a `write` with no queue, no lock, and no thread
+//! handoff. Only cross-shard requests travel the bounded [`XQueue`]
+//! to the owner loop, which applies them and routes the reply back
+//! through the origin loop's [`Ctl`] inbox — the origin loop is the
+//! **single writer** for its sockets, so responses never interleave
+//! mid-frame.
+//!
+//! # Batching
+//!
+//! Responses are staged into per-connection write buffers and flushed
+//! once per readiness turn (or when a buffer passes the high-water
+//! mark), so a pipelined client's burst of `n` requests costs one
+//! `write` syscall, not `n`. Wakeups to peer loops are batched the
+//! same way: at most one `wake()` per peer per turn, regardless of how
+//! many transfers were queued. The `server.flush_batch` histogram
+//! records frames-per-flush; `server.loop<i>.wakeups` counts turns.
+//!
+//! # Drain
+//!
+//! Shutdown raises a flag and wakes every loop. Loops keep answering
+//! (`ShuttingDown` for new work), finish queued transfers, flush
+//! write buffers, and exit when the global in-flight count hits zero
+//! — bounded by [`DRAIN_DEADLINE`] so a stuck peer socket cannot wedge
+//! the process.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use bso_objects::{Layout, Op, Value};
+use bso_telemetry::{Counter, Gauge, Histogram, Registry};
+
+use crate::arena::{Arena, Slab};
+use crate::poll::{self, Interest, Poller, WakeReader, Waker};
+use crate::shard::{RouteError, ShardState, XQueue};
+use crate::wire::{self, ErrorCode, Request, Response};
+
+/// Poller token reserved for the loop's wake pipe.
+const WAKE_TOKEN: u64 = u64::MAX;
+/// Poll timeout while draining (loops re-check exit conditions).
+const DRAIN_POLL: Duration = Duration::from_millis(2);
+/// Hard ceiling on the drain before sockets are closed regardless.
+const DRAIN_DEADLINE: Duration = Duration::from_secs(2);
+/// A write buffer past this many bytes is flushed mid-turn instead of
+/// waiting for the end of the readiness turn.
+const FLUSH_HIGH_WATER: usize = 1 << 20;
+/// Per-connection, per-turn read budget in multiples of the chunk
+/// size; level-triggered polling re-reports leftover kernel data, so
+/// a firehose connection cannot starve its siblings on the same loop.
+const READ_BUDGET_CHUNKS: usize = 4;
+
+/// Loop-to-loop control messages (unbounded: these are obligations —
+/// replies owed and sockets already accepted — not new work, so
+/// refusing them is never correct).
+pub(crate) enum Ctl {
+    /// A freshly accepted socket this loop now owns.
+    NewConn(TcpStream),
+    /// The answer to a cross-loop [`Xfer`], addressed by slot +
+    /// generation so a recycled slot cannot receive a dead
+    /// connection's reply.
+    Reply {
+        conn: u32,
+        gen: u32,
+        req_id: u64,
+        resp: Response,
+    },
+}
+
+/// The shard work carried by a cross-loop transfer.
+pub(crate) enum Work {
+    Apply { pid: usize, op: Op },
+    OpenElection { session: u32, k: usize },
+    Elect { session: u32, pid: usize },
+}
+
+/// A request forwarded to the loop that owns its object/session.
+pub(crate) struct Xfer {
+    origin: usize,
+    conn: u32,
+    gen: u32,
+    req_id: u64,
+    work: Work,
+}
+
+/// One loop's shared-facing surface: its control inbox, its bounded
+/// cross-loop work queue, and its waker.
+pub(crate) struct LoopHandle {
+    ctl: Mutex<VecDeque<Ctl>>,
+    pub(crate) xq: XQueue<Xfer>,
+    waker: Waker,
+}
+
+impl LoopHandle {
+    pub(crate) fn new(capacity: usize, depth: Gauge, waker: Waker) -> LoopHandle {
+        LoopHandle {
+            ctl: Mutex::new(VecDeque::new()),
+            xq: XQueue::new(capacity, depth),
+            waker,
+        }
+    }
+
+    /// Queues a control message. The caller wakes the loop (possibly
+    /// batched) afterwards.
+    pub(crate) fn send_ctl(&self, c: Ctl) {
+        self.ctl.lock().unwrap().push_back(c);
+    }
+
+    pub(crate) fn wake(&self) {
+        self.waker.wake();
+    }
+}
+
+/// Exact lifetime totals, tracked by plain atomics (independently
+/// mirrored into telemetry counters) so they are right even when
+/// telemetry is disabled.
+#[derive(Default)]
+pub(crate) struct StatCells {
+    pub(crate) connections: AtomicU64,
+    pub(crate) requests: AtomicU64,
+    pub(crate) responses: AtomicU64,
+    pub(crate) busy: AtomicU64,
+    pub(crate) malformed: AtomicU64,
+    pub(crate) version_rejects: AtomicU64,
+}
+
+/// State shared between the acceptor, the event loops, and the handle.
+pub(crate) struct Shared {
+    pub(crate) loops: Vec<LoopHandle>,
+    pub(crate) shutdown: AtomicBool,
+    /// Cross-loop transfers pushed but whose replies have not yet been
+    /// consumed (or recognized as stale) by their origin loop. Drain
+    /// completion requires this to reach zero, so no queued request is
+    /// silently dropped during shutdown.
+    pub(crate) inflight: AtomicI64,
+    pub(crate) next_session: AtomicU32,
+    pub(crate) stats: StatCells,
+}
+
+/// What a parsed frame did to its connection.
+enum FrameOutcome {
+    /// Keep parsing.
+    Next,
+    /// Stop reading; flush what is owed, then close (version reject,
+    /// peer EOF).
+    CloseGraceful,
+    /// Stop immediately; the stream cannot be trusted (malformed).
+    CloseHard,
+}
+
+struct Conn {
+    stream: TcpStream,
+    gen: u32,
+    rbuf: Vec<u8>,
+    /// Parse offset into `rbuf` (bytes before it are consumed frames).
+    rpos: usize,
+    wbuf: Vec<u8>,
+    /// Flush offset into `wbuf` (bytes before it are already written).
+    wpos: usize,
+    /// Whether the poller currently watches for writability.
+    write_armed: bool,
+    /// Replies owed by other loops; a graceful close waits for them.
+    inflight_remote: u32,
+    /// Close once `wbuf` is flushed and `inflight_remote` is zero.
+    closing: bool,
+    /// Wire version responses are framed at (negotiated via `Hello`).
+    version: u8,
+    /// Responses staged since the last completed flush.
+    batch: u64,
+    /// Already on this turn's touched list.
+    touched: bool,
+}
+
+/// One shard's event loop. Constructed on the binding thread, then
+/// moved into its own thread where [`EventLoop::run`] takes over.
+pub(crate) struct EventLoop {
+    index: usize,
+    nloops: usize,
+    poller: Poller,
+    wake: WakeReader,
+    conns: Slab<Conn>,
+    shard: ShardState,
+    arena: Arena,
+    shared: Arc<Shared>,
+    read_chunk: usize,
+    pin_cores: bool,
+    // Telemetry mirrors of the StatCells counters, plus loop-local
+    // instruments.
+    requests: Counter,
+    responses: Counter,
+    busy: Counter,
+    malformed: Counter,
+    version_rejects: Counter,
+    wakeups: Counter,
+    conns_gauge: Gauge,
+    flush_batch: Histogram,
+    // Scratch reused across turns.
+    events: Vec<poll::Event>,
+    inbox: Vec<Ctl>,
+    xwork: Vec<Xfer>,
+    pending_wakes: Vec<bool>,
+    touched: Vec<u32>,
+}
+
+impl EventLoop {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        index: usize,
+        nloops: usize,
+        layout: &Layout,
+        poller: Poller,
+        wake: WakeReader,
+        shared: Arc<Shared>,
+        registry: &Registry,
+        read_chunk: usize,
+        pin_cores: bool,
+    ) -> EventLoop {
+        EventLoop {
+            index,
+            nloops,
+            poller,
+            wake,
+            conns: Slab::new(),
+            shard: ShardState::new(layout, index, nloops, registry),
+            arena: Arena::new(
+                read_chunk,
+                64,
+                registry.gauge(&format!("server.loop{index}.arena_buffers")),
+            ),
+            shared,
+            read_chunk: read_chunk.max(1024),
+            pin_cores,
+            requests: registry.counter("server.requests"),
+            responses: registry.counter("server.responses"),
+            busy: registry.counter("server.busy"),
+            malformed: registry.counter("server.malformed"),
+            version_rejects: registry.counter("server.version_rejects"),
+            wakeups: registry.counter(&format!("server.loop{index}.wakeups")),
+            conns_gauge: registry.gauge(&format!("server.loop{index}.conns")),
+            flush_batch: registry.histogram("server.flush_batch"),
+            events: Vec::with_capacity(256),
+            inbox: Vec::new(),
+            xwork: Vec::new(),
+            pending_wakes: vec![false; nloops],
+            touched: Vec::new(),
+        }
+    }
+
+    /// The loop body. Returns when the server has drained.
+    pub(crate) fn run(mut self) {
+        if self.pin_cores {
+            let _ = poll::pin_to_core(self.index % poll::num_cpus());
+        }
+        self.poller
+            .register(self.wake.raw_fd(), WAKE_TOKEN, Interest::READ)
+            .expect("register wake pipe");
+        let mut drain_started: Option<Instant> = None;
+        loop {
+            let shutting = self.shared.shutdown.load(Ordering::Acquire);
+            if shutting && drain_started.is_none() {
+                drain_started = Some(Instant::now());
+            }
+            let timeout = shutting.then_some(DRAIN_POLL);
+            let mut events = std::mem::take(&mut self.events);
+            if let Err(e) = self.poller.wait(&mut events, timeout) {
+                debug_assert!(false, "poller wait failed: {e}");
+            }
+            self.wakeups.inc();
+            self.drain_ctl();
+            self.drain_xq();
+            for ev in &events {
+                if ev.token == WAKE_TOKEN {
+                    self.wake.drain();
+                    continue;
+                }
+                let slot = ev.token as u32;
+                if ev.readable || ev.error {
+                    self.read_conn(slot);
+                }
+                if ev.writable {
+                    self.flush_conn(slot);
+                }
+            }
+            self.events = events;
+            self.flush_touched();
+            self.send_wakes();
+            if let Some(since) = drain_started {
+                if self.drained(since) {
+                    break;
+                }
+            }
+        }
+        self.teardown();
+    }
+
+    // ------------------------------------------------------------ inbound
+
+    fn drain_ctl(&mut self) {
+        let mut inbox = std::mem::take(&mut self.inbox);
+        {
+            let mut q = self.shared.loops[self.index].ctl.lock().unwrap();
+            inbox.extend(q.drain(..));
+        }
+        for c in inbox.drain(..) {
+            match c {
+                Ctl::NewConn(stream) => {
+                    if self.shared.shutdown.load(Ordering::Acquire) {
+                        drop(stream); // accepted during shutdown: refuse
+                    } else {
+                        self.adopt(stream);
+                    }
+                }
+                Ctl::Reply {
+                    conn,
+                    gen,
+                    req_id,
+                    resp,
+                } => {
+                    self.shared.inflight.fetch_sub(1, Ordering::AcqRel);
+                    // If the connection died in the meantime the reply is moot.
+                    if let Some(c) = self.conns.get_mut_gen(conn, gen) {
+                        c.inflight_remote = c.inflight_remote.saturating_sub(1);
+                        self.respond(conn, req_id, &resp);
+                    }
+                }
+            }
+        }
+        self.inbox = inbox;
+    }
+
+    fn adopt(&mut self, stream: TcpStream) {
+        let _ = poll::set_nonblocking(&stream);
+        let fd = poll::raw_fd(&stream);
+        let rbuf = self.arena.get();
+        let wbuf = self.arena.get();
+        let (slot, gen) = self.conns.insert(Conn {
+            stream,
+            gen: 0,
+            rbuf,
+            rpos: 0,
+            wbuf,
+            wpos: 0,
+            write_armed: false,
+            inflight_remote: 0,
+            closing: false,
+            version: wire::VERSION,
+            batch: 0,
+            touched: false,
+        });
+        let c = self.conns.get_mut(slot).expect("just inserted");
+        c.gen = gen;
+        if self
+            .poller
+            .register(fd, u64::from(slot), Interest::READ)
+            .is_err()
+        {
+            let c = self.conns.remove(slot).expect("just inserted");
+            self.arena.put(c.rbuf);
+            self.arena.put(c.wbuf);
+        }
+        self.conns_gauge.set(self.conns.len() as u64);
+    }
+
+    fn drain_xq(&mut self) {
+        let mut xwork = std::mem::take(&mut self.xwork);
+        self.shared.loops[self.index].xq.drain_into(&mut xwork);
+        for x in xwork.drain(..) {
+            let resp = match x.work {
+                Work::Apply { pid, op } => self.shard.apply(pid, &op),
+                Work::OpenElection { session, k } => self.shard.open_election(session, k),
+                Work::Elect { session, pid } => self.shard.elect(session, pid),
+            };
+            if x.origin == self.index {
+                // Never produced by `forward` (own-shard work applies
+                // inline), but harmless to answer locally.
+                self.shared.inflight.fetch_sub(1, Ordering::AcqRel);
+                if let Some(c) = self.conns.get_mut_gen(x.conn, x.gen) {
+                    c.inflight_remote = c.inflight_remote.saturating_sub(1);
+                    self.respond(x.conn, x.req_id, &resp);
+                }
+            } else {
+                self.shared.loops[x.origin].send_ctl(Ctl::Reply {
+                    conn: x.conn,
+                    gen: x.gen,
+                    req_id: x.req_id,
+                    resp,
+                });
+                self.pending_wakes[x.origin] = true;
+            }
+        }
+        self.xwork = xwork;
+    }
+
+    // ------------------------------------------------------------- reading
+
+    fn read_conn(&mut self, slot: u32) {
+        let Some(c) = self.conns.get_mut(slot) else {
+            return;
+        };
+        if c.closing {
+            return; // already winding down; ignore further input
+        }
+        let mut rbuf = std::mem::take(&mut c.rbuf);
+        let mut rpos = c.rpos;
+        let mut budget = self.read_chunk * READ_BUDGET_CHUNKS;
+        let mut outcome = FrameOutcome::Next;
+        'turn: while budget > 0 {
+            let start = rbuf.len();
+            let want = self.read_chunk.min(budget);
+            rbuf.resize(start + want, 0);
+            let Some(c) = self.conns.get_mut(slot) else {
+                rbuf.truncate(start);
+                break;
+            };
+            match c.stream.read(&mut rbuf[start..]) {
+                Ok(0) => {
+                    rbuf.truncate(start);
+                    outcome = FrameOutcome::CloseGraceful;
+                    break;
+                }
+                Ok(n) => {
+                    rbuf.truncate(start + n);
+                    budget -= n;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    rbuf.truncate(start);
+                    break;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                    rbuf.truncate(start);
+                    continue;
+                }
+                Err(_) => {
+                    rbuf.truncate(start);
+                    outcome = FrameOutcome::CloseHard;
+                    break;
+                }
+            }
+            // Parse every complete frame buffered so far: deferring
+            // parsed-but-unhandled bytes would lose them (the poller
+            // only re-reports *kernel*-buffered data).
+            loop {
+                match wire::split_frame(&rbuf, rpos) {
+                    Ok(Some(range)) => {
+                        rpos = range.end;
+                        match self.handle_frame(slot, &rbuf[range]) {
+                            FrameOutcome::Next => {}
+                            other => {
+                                outcome = other;
+                                break 'turn;
+                            }
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(_) => {
+                        self.note_malformed();
+                        outcome = FrameOutcome::CloseHard;
+                        break 'turn;
+                    }
+                }
+            }
+        }
+        // Compact consumed frames out of the buffer and hand it back.
+        if rpos >= rbuf.len() {
+            rbuf.clear();
+            rpos = 0;
+        } else if rpos > 0 {
+            rbuf.drain(..rpos);
+            rpos = 0;
+        }
+        if let Some(c) = self.conns.get_mut(slot) {
+            c.rbuf = rbuf;
+            c.rpos = rpos;
+        }
+        match outcome {
+            FrameOutcome::Next => {}
+            FrameOutcome::CloseGraceful => self.begin_close(slot),
+            FrameOutcome::CloseHard => self.close_conn(slot),
+        }
+    }
+
+    fn handle_frame(&mut self, slot: u32, body: &[u8]) -> FrameOutcome {
+        self.shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+        self.requests.inc();
+        let spoken = wire::peek_version(body).unwrap_or(0);
+        let (req_id, req) = match wire::decode_request(body) {
+            Ok(x) => x,
+            Err(wire::WireError::BadVersion(v)) => {
+                // A version we cannot even decode (v0, or newer than
+                // ours): typed rejection framed at our version —
+                // best effort, since we cannot know the peer's layout.
+                let req_id = wire::peek_req_id(body).unwrap_or(0);
+                self.note_version_reject();
+                self.respond(
+                    slot,
+                    req_id,
+                    &Response::Err {
+                        code: ErrorCode::Version,
+                        message: format!(
+                            "unsupported wire version {v}; server speaks {}",
+                            wire::SCHEMA
+                        ),
+                    },
+                );
+                return FrameOutcome::CloseGraceful;
+            }
+            Err(_) => {
+                self.note_malformed();
+                return FrameOutcome::CloseHard;
+            }
+        };
+        if let Request::Hello { version: proposed } = req {
+            return self.handle_hello(slot, req_id, proposed);
+        }
+        if spoken != wire::VERSION {
+            // Decodable (v1) but unserved: reject with a typed error
+            // framed *at the client's version* so the client parses
+            // its own rejection instead of seeing a malformed kill.
+            self.note_version_reject();
+            if let Some(c) = self.conns.get_mut(slot) {
+                c.version = spoken;
+            }
+            self.respond(
+                slot,
+                req_id,
+                &Response::Err {
+                    code: ErrorCode::Version,
+                    message: format!("server speaks {}; send Hello to negotiate", wire::SCHEMA),
+                },
+            );
+            return FrameOutcome::CloseGraceful;
+        }
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            self.respond(
+                slot,
+                req_id,
+                &Response::Err {
+                    code: ErrorCode::ShuttingDown,
+                    message: "server is draining".into(),
+                },
+            );
+            return FrameOutcome::Next;
+        }
+        match req {
+            Request::Hello { .. } => unreachable!("handled above"),
+            Request::Ping => self.respond(slot, req_id, &Response::Ok(Value::Nil)),
+            Request::Apply { pid, op } => {
+                let target = op.obj.0 % self.nloops;
+                if target == self.index {
+                    let resp = self.shard.apply(pid as usize, &op);
+                    self.respond(slot, req_id, &resp);
+                } else {
+                    self.forward(
+                        slot,
+                        req_id,
+                        target,
+                        Work::Apply {
+                            pid: pid as usize,
+                            op,
+                        },
+                    );
+                }
+            }
+            Request::OpenElection { k } => {
+                let session = self.shared.next_session.fetch_add(1, Ordering::Relaxed);
+                let target = session as usize % self.nloops;
+                if target == self.index {
+                    let resp = self.shard.open_election(session, k as usize);
+                    self.respond(slot, req_id, &resp);
+                } else {
+                    self.forward(
+                        slot,
+                        req_id,
+                        target,
+                        Work::OpenElection {
+                            session,
+                            k: k as usize,
+                        },
+                    );
+                }
+            }
+            Request::Elect { session, pid } => {
+                let target = session as usize % self.nloops;
+                if target == self.index {
+                    let resp = self.shard.elect(session, pid as usize);
+                    self.respond(slot, req_id, &resp);
+                } else {
+                    self.forward(
+                        slot,
+                        req_id,
+                        target,
+                        Work::Elect {
+                            session,
+                            pid: pid as usize,
+                        },
+                    );
+                }
+            }
+        }
+        FrameOutcome::Next
+    }
+
+    fn handle_hello(&mut self, slot: u32, req_id: u64, proposed: u8) -> FrameOutcome {
+        if proposed == wire::VERSION {
+            if let Some(c) = self.conns.get_mut(slot) {
+                c.version = wire::VERSION;
+            }
+            self.respond(
+                slot,
+                req_id,
+                &Response::Hello {
+                    version: wire::VERSION,
+                },
+            );
+            return FrameOutcome::Next;
+        }
+        self.note_version_reject();
+        // Frame the refusal at the proposed version when the codec can
+        // (a v1 Hello gets a v1-parseable answer); the connection stays
+        // open so the client may re-negotiate.
+        if (wire::MIN_DECODE_VERSION..=wire::VERSION).contains(&proposed) {
+            if let Some(c) = self.conns.get_mut(slot) {
+                c.version = proposed;
+            }
+        }
+        self.respond(
+            slot,
+            req_id,
+            &Response::Err {
+                code: ErrorCode::Version,
+                message: format!(
+                    "cannot serve wire version {proposed}; server speaks {}",
+                    wire::SCHEMA
+                ),
+            },
+        );
+        FrameOutcome::Next
+    }
+
+    fn forward(&mut self, slot: u32, req_id: u64, target: usize, work: Work) {
+        let Some(c) = self.conns.get_mut(slot) else {
+            return;
+        };
+        let gen = c.gen;
+        self.shared.inflight.fetch_add(1, Ordering::AcqRel);
+        match self.shared.loops[target].xq.try_push(Xfer {
+            origin: self.index,
+            conn: slot,
+            gen,
+            req_id,
+            work,
+        }) {
+            Ok(()) => {
+                if let Some(c) = self.conns.get_mut(slot) {
+                    c.inflight_remote += 1;
+                }
+                self.pending_wakes[target] = true;
+            }
+            Err(RouteError::Busy) => {
+                self.shared.inflight.fetch_sub(1, Ordering::AcqRel);
+                self.shared.stats.busy.fetch_add(1, Ordering::Relaxed);
+                self.busy.inc();
+                self.respond(
+                    slot,
+                    req_id,
+                    &Response::Err {
+                        code: ErrorCode::Busy,
+                        message: format!("shard {target} queue is full"),
+                    },
+                );
+            }
+            Err(RouteError::Closed) => {
+                self.shared.inflight.fetch_sub(1, Ordering::AcqRel);
+                self.respond(
+                    slot,
+                    req_id,
+                    &Response::Err {
+                        code: ErrorCode::ShuttingDown,
+                        message: "server is draining".into(),
+                    },
+                );
+            }
+        }
+    }
+
+    // ------------------------------------------------------------- writing
+
+    /// Stages a response on the connection's write buffer (framed at
+    /// its negotiated version) and marks it for the end-of-turn flush.
+    fn respond(&mut self, slot: u32, req_id: u64, resp: &Response) {
+        let Some(c) = self.conns.get_mut(slot) else {
+            return;
+        };
+        if wire::encode_response_at(c.version, req_id, resp, &mut c.wbuf).is_err() {
+            // Responses are server-built and bounded; failure here
+            // would be a server bug, not client input. Skip the frame.
+            debug_assert!(false, "server built an unencodable response");
+            return;
+        }
+        c.batch += 1;
+        let backlog = c.wbuf.len() - c.wpos;
+        let newly = !c.touched;
+        c.touched = true;
+        if newly {
+            self.touched.push(slot);
+        }
+        self.shared.stats.responses.fetch_add(1, Ordering::Relaxed);
+        self.responses.inc();
+        if backlog >= FLUSH_HIGH_WATER {
+            self.flush_conn(slot);
+        }
+    }
+
+    fn flush_touched(&mut self) {
+        let touched = std::mem::take(&mut self.touched);
+        for slot in touched {
+            if let Some(c) = self.conns.get_mut(slot) {
+                c.touched = false;
+                self.flush_conn(slot);
+            }
+        }
+    }
+
+    fn flush_conn(&mut self, slot: u32) {
+        let Some(c) = self.conns.get_mut(slot) else {
+            return;
+        };
+        let mut dead = false;
+        while c.wpos < c.wbuf.len() {
+            match c.stream.write(&c.wbuf[c.wpos..]) {
+                Ok(0) => {
+                    dead = true;
+                    break;
+                }
+                Ok(n) => c.wpos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    dead = true;
+                    break;
+                }
+            }
+        }
+        let done = c.wpos >= c.wbuf.len();
+        let batch = if done {
+            std::mem::take(&mut c.batch)
+        } else {
+            0
+        };
+        let fd = poll::raw_fd(&c.stream);
+        let armed = c.write_armed;
+        let close_now = dead || (done && c.closing && c.inflight_remote == 0);
+        if done {
+            c.wbuf.clear();
+            c.wpos = 0;
+        }
+        if batch > 0 {
+            self.flush_batch.record(batch);
+        }
+        if close_now {
+            self.close_conn(slot);
+            return;
+        }
+        // Arm write interest on a partial flush; disarm once drained.
+        if !done && !armed {
+            if self
+                .poller
+                .reregister(fd, u64::from(slot), Interest::READ_WRITE)
+                .is_ok()
+            {
+                if let Some(c) = self.conns.get_mut(slot) {
+                    c.write_armed = true;
+                }
+            }
+        } else if done && armed {
+            let _ = self.poller.reregister(fd, u64::from(slot), Interest::READ);
+            if let Some(c) = self.conns.get_mut(slot) {
+                c.write_armed = false;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------- closing
+
+    /// Closes once everything owed has been delivered: pending remote
+    /// replies arrive and flush first.
+    fn begin_close(&mut self, slot: u32) {
+        let Some(c) = self.conns.get_mut(slot) else {
+            return;
+        };
+        if c.inflight_remote == 0 && c.wpos >= c.wbuf.len() {
+            self.close_conn(slot);
+        } else {
+            c.closing = true;
+        }
+    }
+
+    fn close_conn(&mut self, slot: u32) {
+        let Some(c) = self.conns.remove(slot) else {
+            return;
+        };
+        let _ = self.poller.deregister(poll::raw_fd(&c.stream));
+        self.arena.put(c.rbuf);
+        self.arena.put(c.wbuf);
+        self.conns_gauge.set(self.conns.len() as u64);
+        // Dropping the stream closes the socket. Replies still in
+        // flight for it will miss the generation check and be dropped.
+    }
+
+    fn note_malformed(&mut self) {
+        self.shared.stats.malformed.fetch_add(1, Ordering::Relaxed);
+        self.malformed.inc();
+    }
+
+    fn note_version_reject(&mut self) {
+        self.shared
+            .stats
+            .version_rejects
+            .fetch_add(1, Ordering::Relaxed);
+        self.version_rejects.inc();
+    }
+
+    // ------------------------------------------------------------ shutdown
+
+    fn send_wakes(&mut self) {
+        for target in 0..self.nloops {
+            if self.pending_wakes[target] {
+                self.pending_wakes[target] = false;
+                self.shared.loops[target].wake();
+            }
+        }
+    }
+
+    /// Whether this loop may exit: every cross-loop obligation in the
+    /// whole server is settled and this loop's own buffers are empty.
+    /// The deadline caps how long a stuck peer socket can hold us.
+    fn drained(&mut self, since: Instant) -> bool {
+        if since.elapsed() >= DRAIN_DEADLINE {
+            return true;
+        }
+        if self.shared.inflight.load(Ordering::Acquire) != 0 {
+            return false;
+        }
+        if !self.shared.loops[self.index].xq.is_empty() {
+            return false;
+        }
+        if !self.shared.loops[self.index].ctl.lock().unwrap().is_empty() {
+            return false;
+        }
+        self.conns.iter_mut().all(|(_, c)| c.wpos >= c.wbuf.len())
+    }
+
+    fn teardown(&mut self) {
+        self.shared.loops[self.index].xq.close();
+        for slot in self.conns.live_slots() {
+            self.close_conn(slot);
+        }
+    }
+}

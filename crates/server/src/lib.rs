@@ -1,4 +1,4 @@
-//! `bso-server`: a sharded, batched shared-object service.
+//! `bso-server`: an event-driven, shard-per-core shared-object service.
 //!
 //! Everything this repository studies — read/write registers,
 //! `compare&swap-(k)` objects over the bounded domain
@@ -6,43 +6,63 @@
 //! Size Synchronization Objects*, PODC 1994), atomic snapshots, and
 //! the Burns–Cruz–Loui leader-election protocol — has so far lived
 //! inside the simulator. This crate serves the same objects to real
-//! clients over TCP, using only `std::net` and `std::thread` so the
-//! workspace still builds fully offline.
+//! clients over TCP, using only `std::net` and `std::thread` (plus a
+//! thin, self-contained FFI shim over `epoll(7)`/`poll(2)` in
+//! [`poll`]) so the workspace still builds fully offline.
 //!
-//! * [`wire`] — the `bso-wire/v1` length-prefixed binary protocol:
-//!   framing, request/response codecs, and the hardening limits
-//!   ([`wire::MAX_FRAME`], [`wire::MAX_VALUE_DEPTH`],
-//!   [`wire::MAX_SEQ_LEN`]).
-//! * [`Server`] / [`ServerHandle`] — the TCP front-end: acceptor,
-//!   per-connection reader/writer threads (request pipelining, write
-//!   batching), sharded object store behind bounded queues with typed
-//!   `Busy` backpressure, and a draining shutdown.
+//! * [`wire`] — the `bso-wire/v2` length-prefixed binary protocol:
+//!   framing, request/response codecs, `Hello` version negotiation,
+//!   and the hardening limits ([`wire::MAX_FRAME`],
+//!   [`wire::MAX_VALUE_DEPTH`], [`wire::MAX_SEQ_LEN`]).
+//! * [`poll`] — readiness polling: level-triggered `epoll` with a
+//!   portable `poll(2)` fallback, a self-pipe [`poll::Waker`], and
+//!   best-effort core pinning.
+//! * [`Server`] / [`ServerBuilder`] / [`ServerHandle`] — the serving
+//!   surface: one nonblocking event loop per shard, each owning both a
+//!   slice of the connections and the shard of objects whose ids land
+//!   on it, so same-shard requests apply inline with no queueing and
+//!   cross-shard requests travel bounded queues with typed `Busy`
+//!   backpressure. Frames parse in place out of per-loop arenas;
+//!   responses batch per readiness wakeup.
 //!
 //! The companion `bso-client` crate provides the pipelined client
-//! handle and the op-recording mode that feeds the Wing–Gong
+//! handle, the event-driven `Swarm` for thousands of concurrent
+//! connections, and the op-recording mode that feeds the Wing–Gong
 //! linearizability checker in `bso-sim`.
 //!
 //! # Quick start
 //!
 //! ```
 //! use bso_objects::{Layout, ObjectInit, ObjectId, Op, Value};
-//! use bso_server::{Server, ServerConfig};
+//! use bso_server::Server;
 //!
 //! let mut layout = Layout::new();
 //! layout.push(ObjectInit::CasK { k: 4 });
-//! let handle = Server::bind("127.0.0.1:0", &layout, ServerConfig::default()).unwrap();
+//! let handle = Server::builder()
+//!     .shards(2)
+//!     .queue_capacity(256)
+//!     .bind("127.0.0.1:0", &layout)
+//!     .unwrap();
 //! let addr = handle.local_addr();
 //! // ... point bso_client::Connection at `addr` ...
 //! let stats = handle.shutdown();
 //! assert_eq!(stats.malformed, 0);
 //! ```
 
-#![forbid(unsafe_code)]
+// `poll` needs FFI; everything else stays safe. The unsafe surface is
+// confined to that one module and audited there.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
+mod event_loop;
+pub mod poll;
 mod server;
 mod shard;
 pub mod wire;
 
-pub use server::{Server, ServerConfig, ServerHandle, ServerStats};
+pub use poll::PollBackend;
+#[allow(deprecated)] // the historical config surface stays re-exported
+pub use server::ServerConfig;
+pub use server::{Server, ServerBuilder, ServerHandle, ServerStats};
 pub use wire::{ErrorCode, Request, Response, WireError};

@@ -1,52 +1,45 @@
-//! The TCP front-end: acceptor, per-connection reader/writer threads,
-//! request routing, and graceful shutdown.
+//! The serving surface: [`ServerBuilder`], the acceptor, and the
+//! draining [`ServerHandle`].
 //!
 //! # Thread topology
 //!
 //! ```text
-//! acceptor ──spawns──▶ conn reader ──bounded try_send──▶ shard workers
-//!                          │   ▲                              │
-//!                          │   └────── reply mpsc ◀───────────┘
-//!                          └──spawns──▶ conn writer (batches + flushes)
+//! acceptor ──round-robin NewConn + wake──▶ event loop 0..N  (see event_loop.rs)
 //! ```
 //!
-//! The reader parses frames and routes them; it never blocks on a
-//! shard (a full queue becomes a typed [`ErrorCode::Busy`] response).
-//! Each connection has a private unbounded reply channel drained by
-//! its writer thread, which greedily batches whatever responses are
-//! ready into one `write`+`flush` — pipelined clients get pipelined
-//! (possibly reordered) responses correlated by `req_id`.
+//! The acceptor is the only blocking thread left: it accepts, flips
+//! the socket nonblocking, and hands it to the least-recently-fed
+//! event loop. Everything else — reads, parsing, applying, batching,
+//! writes — happens on the loops.
 //!
 //! # Shutdown
 //!
-//! [`ServerHandle::shutdown`] runs the drain sequence: stop accepting,
-//! shut down live client sockets (readers exit), join connection
-//! threads, drop the master shard senders so workers finish whatever
-//! is still queued and exit, then join workers. Every queued request
-//! is answered before its worker exits — nothing is dropped silently.
+//! [`ServerHandle::shutdown`] raises the drain flag, nudges the
+//! acceptor out of `accept()` with a throwaway connection, wakes every
+//! loop, and joins them. Loops answer everything already queued
+//! (cross-loop obligations are counted; see `event_loop.rs`) before
+//! exiting, bounded by a drain deadline.
 
-use std::collections::HashMap;
-use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
-use std::sync::mpsc::Receiver;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use bso_objects::Layout;
 use bso_telemetry::Registry;
 
-use crate::shard::{RouteError, ShardMsg, ShardPool};
-use crate::wire::{self, ErrorCode, Request, Response};
+use crate::event_loop::{Ctl, EventLoop, LoopHandle, Shared, StatCells};
+use crate::poll::{self, PollBackend, Poller, WakeReader};
 
-/// Tuning knobs for [`Server::bind`].
+/// Tuning knobs for the deprecated [`Server::bind`] entry point.
+#[deprecated(since = "0.2.0", note = "use `Server::builder()` instead")]
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
-    /// Number of shard worker threads (objects are owned by
-    /// `obj.0 % shards`). Default 4.
+    /// Number of event loops (objects are owned by `obj.0 % shards`).
+    /// Default 4.
     pub shards: usize,
-    /// Bounded depth of each shard's request queue; a route into a
-    /// full queue yields [`ErrorCode::Busy`]. Default 128.
+    /// Bounded depth of each loop's cross-shard queue; a route into a
+    /// full queue yields a typed `Busy`. Default 128.
     pub queue_capacity: usize,
     /// Telemetry sink for `server.*` metrics. Defaults to the
     /// process-global registry, so `BSO_TELEMETRY=path.json` captures
@@ -54,6 +47,7 @@ pub struct ServerConfig {
     pub registry: Registry,
 }
 
+#[allow(deprecated)]
 impl Default for ServerConfig {
     fn default() -> ServerConfig {
         ServerConfig {
@@ -75,19 +69,12 @@ pub struct ServerStats {
     pub requests: u64,
     /// Responses written back to clients.
     pub responses: u64,
-    /// Requests refused with [`ErrorCode::Busy`].
+    /// Requests refused with a typed `Busy` (cross-shard queue full).
     pub busy: u64,
     /// Malformed frames (each one closes its connection).
     pub malformed: u64,
-}
-
-#[derive(Default)]
-struct StatCells {
-    connections: AtomicU64,
-    requests: AtomicU64,
-    responses: AtomicU64,
-    busy: AtomicU64,
-    malformed: AtomicU64,
+    /// Frames or `Hello`s refused with a typed `Version` error.
+    pub version_rejects: u64,
 }
 
 impl StatCells {
@@ -98,73 +85,207 @@ impl StatCells {
             responses: self.responses.load(Ordering::Relaxed),
             busy: self.busy.load(Ordering::Relaxed),
             malformed: self.malformed.load(Ordering::Relaxed),
+            version_rejects: self.version_rejects.load(Ordering::Relaxed),
         }
     }
 }
 
-/// State shared between the acceptor, connections, and the handle.
-struct Shared {
-    shutdown: AtomicBool,
-    next_session: AtomicU32,
-    next_conn: AtomicU64,
-    stats: StatCells,
-    registry: Registry,
-    /// Live client sockets, keyed by connection id, so shutdown can
-    /// interrupt blocked reads. Readers deregister themselves on exit.
-    streams: Mutex<HashMap<u64, TcpStream>>,
-    /// Reader-thread handles, collected by the acceptor and joined at
-    /// shutdown (each reader joins its own writer before exiting).
-    conns: Mutex<Vec<JoinHandle<()>>>,
-}
-
-/// The entry point: binds a listener over a [`Layout`] of shared
-/// objects and serves `bso-wire/v1` clients until shut down.
+/// The entry point: [`Server::builder`] configures and binds an
+/// event-driven server over a [`Layout`] of shared objects.
 pub struct Server;
 
 impl Server {
-    /// Binds `addr` (use port 0 for an ephemeral loopback port) and
-    /// starts the acceptor and shard workers.
+    /// Starts configuring a server. See [`ServerBuilder`] for the
+    /// knobs and their defaults.
+    pub fn builder() -> ServerBuilder {
+        ServerBuilder::new()
+    }
+
+    /// Binds `addr` with the pre-builder configuration surface.
     ///
     /// # Errors
     ///
     /// Socket errors from [`TcpListener::bind`].
+    #[deprecated(since = "0.2.0", note = "use `Server::builder()` instead")]
+    #[allow(deprecated)]
     pub fn bind(
         addr: impl ToSocketAddrs,
         layout: &Layout,
         config: ServerConfig,
     ) -> std::io::Result<ServerHandle> {
+        Server::builder()
+            .shards(config.shards)
+            .queue_capacity(config.queue_capacity)
+            .registry(config.registry)
+            .bind(addr, layout)
+    }
+}
+
+/// Fluent configuration for [`Server`], mirroring the `Explorer`
+/// builder idiom: construct with [`Server::builder`], chain knobs,
+/// finish with [`ServerBuilder::bind`].
+///
+/// ```no_run
+/// use bso_objects::{Layout, ObjectInit};
+/// use bso_server::{PollBackend, Server};
+///
+/// let mut layout = Layout::new();
+/// layout.push(ObjectInit::CasK { k: 4 });
+/// let handle = Server::builder()
+///     .shards(4)
+///     .queue_capacity(256)
+///     .backend(PollBackend::Auto)
+///     .pin_cores(true)
+///     .bind("127.0.0.1:0", &layout)
+///     .unwrap();
+/// # drop(handle);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ServerBuilder {
+    shards: usize,
+    queue_capacity: usize,
+    backend: PollBackend,
+    read_chunk: usize,
+    pin_cores: bool,
+    registry: Registry,
+}
+
+impl Default for ServerBuilder {
+    fn default() -> ServerBuilder {
+        ServerBuilder::new()
+    }
+}
+
+impl ServerBuilder {
+    /// The default configuration: one event loop per CPU, queue
+    /// capacity 128, 64 KiB read chunks, core pinning on, the poll
+    /// backend from `BSO_POLL_BACKEND` (else auto), and the
+    /// process-global telemetry registry.
+    pub fn new() -> ServerBuilder {
+        let backend = std::env::var("BSO_POLL_BACKEND")
+            .ok()
+            .and_then(|s| PollBackend::parse(&s))
+            .unwrap_or_default();
+        ServerBuilder {
+            shards: poll::num_cpus(),
+            queue_capacity: 128,
+            backend,
+            read_chunk: 64 * 1024,
+            pin_cores: true,
+            registry: Registry::default(),
+        }
+    }
+
+    /// Number of event loops / shards. Objects are owned by
+    /// `obj.0 % shards`; sessions by `session % shards`. Clamped to at
+    /// least 1.
+    pub fn shards(mut self, n: usize) -> ServerBuilder {
+        self.shards = n.max(1);
+        self
+    }
+
+    /// Bounded depth of each loop's cross-shard queue. A route into a
+    /// full queue is answered with a typed `Busy` — it never blocks.
+    pub fn queue_capacity(mut self, n: usize) -> ServerBuilder {
+        self.queue_capacity = n.max(1);
+        self
+    }
+
+    /// Readiness backend ([`PollBackend::Auto`] picks `epoll` on
+    /// Linux, `poll(2)` elsewhere).
+    pub fn backend(mut self, b: PollBackend) -> ServerBuilder {
+        self.backend = b;
+        self
+    }
+
+    /// Socket read chunk (and arena buffer) size in bytes.
+    pub fn read_chunk(mut self, bytes: usize) -> ServerBuilder {
+        self.read_chunk = bytes.max(1024);
+        self
+    }
+
+    /// Whether each loop pins itself to core `index % num_cpus`
+    /// (best-effort; ignored where unsupported).
+    pub fn pin_cores(mut self, pin: bool) -> ServerBuilder {
+        self.pin_cores = pin;
+        self
+    }
+
+    /// Telemetry sink for `server.*` metrics.
+    pub fn registry(mut self, r: Registry) -> ServerBuilder {
+        self.registry = r;
+        self
+    }
+
+    /// Binds `addr` (use port 0 for an ephemeral loopback port), spawns
+    /// the event loops and the acceptor, and returns the handle.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors from [`TcpListener::bind`], or poller-creation
+    /// errors (e.g. forcing [`PollBackend::Epoll`] off Linux).
+    pub fn bind(self, addr: impl ToSocketAddrs, layout: &Layout) -> std::io::Result<ServerHandle> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
-        let (pool, workers) = ShardPool::start(
-            layout,
-            config.shards.max(1),
-            config.queue_capacity,
-            &config.registry,
-        );
-        let pool = Arc::new(pool);
+        let nloops = self.shards;
+
+        // Pollers and wake pipes are created up front so the shared
+        // handle vector is complete before any loop starts.
+        let mut pollers = Vec::with_capacity(nloops);
+        let mut handles = Vec::with_capacity(nloops);
+        for i in 0..nloops {
+            let poller = Poller::new(self.backend)?;
+            let (reader, waker) = WakeReader::pair()?;
+            handles.push(LoopHandle::new(
+                self.queue_capacity,
+                self.registry.gauge(&format!("server.shard{i}.queue_depth")),
+                waker,
+            ));
+            pollers.push((poller, reader));
+        }
         let shared = Arc::new(Shared {
+            loops: handles,
             shutdown: AtomicBool::new(false),
+            inflight: AtomicI64::new(0),
             next_session: AtomicU32::new(0),
-            next_conn: AtomicU64::new(0),
             stats: StatCells::default(),
-            registry: config.registry,
-            streams: Mutex::new(HashMap::new()),
-            conns: Mutex::new(Vec::new()),
         });
+
+        let mut loops = Vec::with_capacity(nloops);
+        for (i, (poller, reader)) in pollers.into_iter().enumerate() {
+            let ev = EventLoop::new(
+                i,
+                nloops,
+                layout,
+                poller,
+                reader,
+                Arc::clone(&shared),
+                &self.registry,
+                self.read_chunk,
+                self.pin_cores,
+            );
+            loops.push(
+                std::thread::Builder::new()
+                    .name(format!("bso-loop{i}"))
+                    .spawn(move || ev.run())
+                    .expect("spawn event loop"),
+            );
+        }
+
         let acceptor = {
             let shared = Arc::clone(&shared);
-            let pool = Arc::clone(&pool);
+            let registry = self.registry.clone();
             std::thread::Builder::new()
                 .name("bso-acceptor".into())
-                .spawn(move || accept_loop(listener, shared, pool))
+                .spawn(move || accept_loop(listener, shared, registry))
                 .expect("spawn acceptor")
         };
+
         Ok(ServerHandle {
             local_addr,
             shared,
-            pool: Some(pool),
             acceptor: Some(acceptor),
-            workers,
+            loops,
         })
     }
 }
@@ -174,9 +295,8 @@ impl Server {
 pub struct ServerHandle {
     local_addr: SocketAddr,
     shared: Arc<Shared>,
-    pool: Option<Arc<ShardPool>>,
     acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    loops: Vec<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -185,8 +305,8 @@ impl ServerHandle {
         self.local_addr
     }
 
-    /// Stops accepting, disconnects clients, drains every shard queue,
-    /// joins all threads, and returns the lifetime totals.
+    /// Stops accepting, drains every loop (queued requests are
+    /// answered), joins all threads, and returns the lifetime totals.
     pub fn shutdown(mut self) -> ServerStats {
         self.drain();
         self.shared.stats.snapshot()
@@ -194,41 +314,33 @@ impl ServerHandle {
 
     fn drain(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        // Wake the acceptor out of `accept()` with a throwaway
+        // Nudge the acceptor out of `accept()` with a throwaway
         // connection; it re-checks the flag per iteration.
         let _ = TcpStream::connect(self.local_addr);
         if let Some(a) = self.acceptor.take() {
             let _ = a.join();
         }
-        // Interrupt blocked connection readers, then join them (each
-        // reader joins its writer, which first delivers every reply
-        // still owed by the shards).
-        for (_, s) in self.shared.streams.lock().unwrap().drain() {
-            let _ = s.shutdown(std::net::Shutdown::Both);
+        for l in &self.shared.loops {
+            l.wake();
         }
-        let conns: Vec<_> = self.shared.conns.lock().unwrap().drain(..).collect();
-        for c in conns {
-            let _ = c.join();
-        }
-        // Drop the master senders: workers drain what is queued, then
-        // see Disconnected and exit.
-        self.pool = None;
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+        for l in self.loops.drain(..) {
+            let _ = l.join();
         }
     }
 }
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        if self.acceptor.is_some() || !self.workers.is_empty() {
+        if self.acceptor.is_some() || !self.loops.is_empty() {
             self.drain();
         }
     }
 }
 
-fn accept_loop(listener: TcpListener, shared: Arc<Shared>, pool: Arc<ShardPool>) {
-    let accepted = shared.registry.counter("server.connections");
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>, registry: Registry) {
+    let accepted = registry.counter("server.connections");
+    let nloops = shared.loops.len();
+    let mut next = 0usize;
     for stream in listener.incoming() {
         if shared.shutdown.load(Ordering::SeqCst) {
             break;
@@ -237,187 +349,25 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>, pool: Arc<ShardPool>)
         // Responses are small batched frames; waiting for ACKs (Nagle)
         // would serialize every pipelined window on the RTT.
         let _ = stream.set_nodelay(true);
-        shared.stats.connections.fetch_add(1, Ordering::Relaxed);
-        accepted.inc();
-        let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
-        if let Ok(clone) = stream.try_clone() {
-            shared.streams.lock().unwrap().insert(conn_id, clone);
-        }
-        let shared2 = Arc::clone(&shared);
-        let pool2 = Arc::clone(&pool);
-        let handle = std::thread::Builder::new()
-            .name(format!("bso-conn{conn_id}"))
-            .spawn(move || serve_connection(conn_id, stream, shared2, pool2))
-            .expect("spawn connection thread");
-        shared.conns.lock().unwrap().push(handle);
-    }
-}
-
-/// The per-connection reader: parse → route → (on exit) join writer.
-fn serve_connection(conn_id: u64, stream: TcpStream, shared: Arc<Shared>, pool: Arc<ShardPool>) {
-    let write_half = match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => {
-            shared.streams.lock().unwrap().remove(&conn_id);
-            return;
-        }
-    };
-    let (reply_tx, reply_rx) = std::sync::mpsc::channel::<(u64, Response)>();
-    let writer = {
-        let shared = Arc::clone(&shared);
-        std::thread::Builder::new()
-            .name(format!("bso-conn{conn_id}-w"))
-            .spawn(move || write_loop(write_half, reply_rx, shared))
-            .expect("spawn connection writer")
-    };
-
-    let requests = shared.registry.counter("server.requests");
-    let busy = shared.registry.counter("server.busy");
-    let malformed = shared.registry.counter("server.malformed");
-    let mut reader = BufReader::new(stream);
-    let mut buf = Vec::new();
-    loop {
-        match wire::read_frame(&mut reader, &mut buf) {
-            Ok(false) => break, // clean EOF at a frame boundary
-            Ok(true) => {}
-            Err(e) => {
-                // An oversized length prefix is a protocol violation;
-                // everything else (reset, mid-frame EOF, shutdown) is
-                // an ordinary disconnect.
-                if e.kind() == std::io::ErrorKind::InvalidData {
-                    shared.stats.malformed.fetch_add(1, Ordering::Relaxed);
-                    malformed.inc();
-                }
-                break;
-            }
-        }
-        let (req_id, req) = match wire::decode_request(&buf) {
-            Ok(x) => x,
-            Err(_) => {
-                // Undecodable body: count it and drop the connection.
-                // We cannot trust anything after a corrupt frame.
-                shared.stats.malformed.fetch_add(1, Ordering::Relaxed);
-                malformed.inc();
-                break;
-            }
-        };
-        shared.stats.requests.fetch_add(1, Ordering::Relaxed);
-        requests.inc();
-        if shared.shutdown.load(Ordering::SeqCst) {
-            let _ = reply_tx.send((
-                req_id,
-                Response::Err {
-                    code: ErrorCode::ShuttingDown,
-                    message: "server is draining".into(),
-                },
-            ));
+        if poll::set_nonblocking(&stream).is_err() {
             continue;
         }
-        let (shard, msg) = match req {
-            Request::Ping => {
-                let _ = reply_tx.send((req_id, Response::Ok(bso_objects::Value::Nil)));
-                continue;
-            }
-            Request::Apply { pid, op } => (
-                pool.shard_of(op.obj.0),
-                ShardMsg::Apply {
-                    req_id,
-                    pid: pid as usize,
-                    op,
-                    reply: reply_tx.clone(),
-                },
-            ),
-            Request::OpenElection { k } => {
-                let session = shared.next_session.fetch_add(1, Ordering::Relaxed);
-                (
-                    pool.shard_of(session as usize),
-                    ShardMsg::OpenElection {
-                        req_id,
-                        session,
-                        k: k as usize,
-                        reply: reply_tx.clone(),
-                    },
-                )
-            }
-            Request::Elect { session, pid } => (
-                pool.shard_of(session as usize),
-                ShardMsg::Elect {
-                    req_id,
-                    session,
-                    pid: pid as usize,
-                    reply: reply_tx.clone(),
-                },
-            ),
-        };
-        match pool.try_route(shard, msg) {
-            Ok(()) => {}
-            Err(RouteError::Busy) => {
-                shared.stats.busy.fetch_add(1, Ordering::Relaxed);
-                busy.inc();
-                let _ = reply_tx.send((
-                    req_id,
-                    Response::Err {
-                        code: ErrorCode::Busy,
-                        message: format!("shard {shard} queue is full"),
-                    },
-                ));
-            }
-            Err(RouteError::Closed) => {
-                let _ = reply_tx.send((
-                    req_id,
-                    Response::Err {
-                        code: ErrorCode::ShuttingDown,
-                        message: "server is draining".into(),
-                    },
-                ));
-            }
-        }
-    }
-    shared.streams.lock().unwrap().remove(&conn_id);
-    // Dropping our reply sender lets the writer exit once the shards
-    // have answered everything already routed for this connection.
-    drop(reply_tx);
-    let _ = writer.join();
-}
-
-/// The per-connection writer: batch whatever responses are ready into
-/// one write + flush. Exits when every reply sender (the reader's and
-/// the shard-held clones) is gone.
-fn write_loop(stream: TcpStream, rx: Receiver<(u64, Response)>, shared: Arc<Shared>) {
-    let responses = shared.registry.counter("server.responses");
-    let flush_batch = shared.registry.histogram("server.flush_batch");
-    let mut w = BufWriter::new(stream);
-    let mut buf = Vec::new();
-    while let Ok((req_id, resp)) = rx.recv() {
-        let mut n: u64 = 1;
-        if wire::encode_response(req_id, &resp, &mut buf).is_err() {
-            // Responses are server-built and bounded; failure here
-            // would be a server bug, not client input. Skip the frame.
-            debug_assert!(false, "server built an unencodable response");
-        }
-        // Greedy batch: drain whatever is already queued so pipelined
-        // traffic amortizes the write+flush.
-        while let Ok((id, r)) = rx.try_recv() {
-            if wire::encode_response(id, &r, &mut buf).is_err() {
-                debug_assert!(false, "server built an unencodable response");
-                continue;
-            }
-            n += 1;
-        }
-        flush_batch.record(n);
-        responses.add(n);
-        shared.stats.responses.fetch_add(n, Ordering::Relaxed);
-        if wire::write_frames(&mut w, &mut buf).is_err() || w.flush().is_err() {
-            break; // client went away; reader will notice on its side
-        }
+        shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+        accepted.inc();
+        let target = next % nloops;
+        next = next.wrapping_add(1);
+        shared.loops[target].send_ctl(Ctl::NewConn(stream));
+        shared.loops[target].wake();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::wire::{self, ErrorCode, Request, Response};
     use bso_objects::{ObjectId, ObjectInit, Op, Value};
-    use std::io::Read;
+    use std::collections::HashMap;
+    use std::io::{Read, Write};
 
     fn layout() -> Layout {
         let mut l = Layout::new();
@@ -425,6 +375,14 @@ mod tests {
         l.push(ObjectInit::Register(Value::Nil));
         l.push(ObjectInit::FetchAdd(0));
         l
+    }
+
+    fn serve() -> ServerHandle {
+        Server::builder()
+            .shards(4)
+            .pin_cores(false)
+            .bind("127.0.0.1:0", &layout())
+            .unwrap()
     }
 
     fn send(stream: &mut TcpStream, req_id: u64, req: &Request) {
@@ -441,7 +399,7 @@ mod tests {
 
     #[test]
     fn serves_applies_and_pings_over_loopback() {
-        let handle = Server::bind("127.0.0.1:0", &layout(), ServerConfig::default()).unwrap();
+        let handle = serve();
         let mut c = TcpStream::connect(handle.local_addr()).unwrap();
         send(&mut c, 1, &Request::Ping);
         assert_eq!(recv(&mut c), (1, Response::Ok(Value::Nil)));
@@ -478,7 +436,7 @@ mod tests {
 
     #[test]
     fn malformed_frame_closes_only_that_connection() {
-        let handle = Server::bind("127.0.0.1:0", &layout(), ServerConfig::default()).unwrap();
+        let handle = serve();
         let mut bad = TcpStream::connect(handle.local_addr()).unwrap();
         let mut good = TcpStream::connect(handle.local_addr()).unwrap();
         // A frame whose body claims 4 GiB: rejected before allocation,
@@ -498,7 +456,7 @@ mod tests {
 
     #[test]
     fn shutdown_is_idempotent_under_drop_and_reports_totals() {
-        let handle = Server::bind("127.0.0.1:0", &layout(), ServerConfig::default()).unwrap();
+        let handle = serve();
         let addr = handle.local_addr();
         let mut c = TcpStream::connect(addr).unwrap();
         send(
@@ -529,7 +487,7 @@ mod tests {
 
     #[test]
     fn election_over_the_wire_is_consistent() {
-        let handle = Server::bind("127.0.0.1:0", &layout(), ServerConfig::default()).unwrap();
+        let handle = serve();
         let mut c = TcpStream::connect(handle.local_addr()).unwrap();
         send(&mut c, 1, &Request::OpenElection { k: 4 });
         let (_, resp) = recv(&mut c);
@@ -547,5 +505,77 @@ mod tests {
         assert!(winners.windows(2).all(|w| w[0] == w[1]));
         drop(c);
         handle.shutdown();
+    }
+
+    #[test]
+    fn hello_negotiates_and_v1_requests_get_typed_rejects() {
+        let handle = serve();
+        // A well-behaved v2 client negotiates first.
+        let mut c = TcpStream::connect(handle.local_addr()).unwrap();
+        send(
+            &mut c,
+            1,
+            &Request::Hello {
+                version: wire::VERSION,
+            },
+        );
+        assert_eq!(
+            recv(&mut c),
+            (
+                1,
+                Response::Hello {
+                    version: wire::VERSION
+                }
+            )
+        );
+        // A v1 client sending a v1-framed request gets a typed Version
+        // error *framed at v1* (parseable by it), then a graceful EOF
+        // — not a malformed-frame kill.
+        let mut old = TcpStream::connect(handle.local_addr()).unwrap();
+        let mut buf = Vec::new();
+        wire::encode_request(7, &Request::Ping, &mut buf).unwrap();
+        buf[4] = 1; // a v1 client's framing
+        old.write_all(&buf).unwrap();
+        let mut body = Vec::new();
+        assert!(wire::read_frame(&mut old, &mut body).unwrap());
+        assert_eq!(wire::peek_version(&body), Some(1), "rejection framed at v1");
+        let (id, resp) = wire::decode_response(&body).unwrap();
+        assert_eq!(id, 7);
+        assert!(matches!(
+            resp,
+            Response::Err {
+                code: ErrorCode::Version,
+                ..
+            }
+        ));
+        assert!(!wire::read_frame(&mut old, &mut body).unwrap(), "clean EOF");
+        // A Hello proposing an unserved version is refused but the
+        // connection survives for re-negotiation.
+        send(&mut c, 2, &Request::Hello { version: 1 });
+        assert!(matches!(
+            recv(&mut c).1,
+            Response::Err {
+                code: ErrorCode::Version,
+                ..
+            }
+        ));
+        send(
+            &mut c,
+            3,
+            &Request::Hello {
+                version: wire::VERSION,
+            },
+        );
+        assert_eq!(
+            recv(&mut c).1,
+            Response::Hello {
+                version: wire::VERSION
+            }
+        );
+        drop(c);
+        drop(old);
+        let stats = handle.shutdown();
+        assert_eq!(stats.malformed, 0, "version mismatch is not malformed");
+        assert_eq!(stats.version_rejects, 2);
     }
 }

@@ -1,16 +1,19 @@
-//! The sharded object store and its worker threads.
+//! Per-loop shard state and the bounded cross-loop queue.
 //!
-//! Objects are partitioned across shards by id (`ObjectId(i)` lives on
-//! shard `i mod nshards`), each shard owned by one worker thread fed
-//! through a **bounded** MPSC queue. Routing a request never blocks:
-//! a full queue is answered with a typed [`ErrorCode::Busy`] response
-//! instead of stalling the connection thread — backpressure is the
-//! client's problem to retry, not the acceptor's to absorb.
+//! Objects are partitioned across event loops by id (`ObjectId(i)`
+//! lives on loop `i mod nshards`), and each loop owns its
+//! [`ShardState`] outright — there is no locking around an object,
+//! ever. A request arriving on the loop that owns its object is
+//! applied inline (the fast path); a request for another loop's object
+//! crosses exactly one bounded [`XQueue`]. Routing never blocks: a
+//! full queue is answered with a typed [`ErrorCode::Busy`] response
+//! instead of stalling the event loop — backpressure is the client's
+//! problem to retry, not the server's to absorb.
 //!
-//! Because one worker owns each object outright, operations on it are
-//! trivially linearizable: the linearization point is the worker's
+//! Because one loop owns each object outright, operations on it are
+//! trivially linearizable: the linearization point is the loop's
 //! sequential [`ObjectState::apply`]. Cross-object operations don't
-//! exist in the wire protocol, so no shard ever waits on another.
+//! exist in the wire protocol, so no loop ever waits on another.
 //!
 //! Election sessions (see [`crate::wire::Request::OpenElection`]) are
 //! sharded the same way by session id. Each session instantiates the
@@ -21,11 +24,9 @@
 //! to its decision, so the service and the simulator run the very same
 //! election code.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
-use std::sync::Arc;
-use std::thread::JoinHandle;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 
 use bso_objects::spec::ObjectState;
 use bso_objects::{Layout, Op, Value};
@@ -35,30 +36,25 @@ use bso_telemetry::{Counter, Gauge, Histogram, Registry};
 
 use crate::wire::{ErrorCode, Response};
 
-/// One unit of work routed to a shard. The `reply` sender leads back
-/// to the requesting connection's writer thread.
-pub(crate) enum ShardMsg {
-    /// Apply one operation to an owned object.
-    Apply {
-        req_id: u64,
-        pid: usize,
-        op: Op,
-        reply: Sender<(u64, Response)>,
-    },
-    /// Create an election session (id already allocated by the router).
-    OpenElection {
-        req_id: u64,
-        session: u32,
-        k: usize,
-        reply: Sender<(u64, Response)>,
-    },
-    /// Run one participant of a session to its decision.
-    Elect {
-        req_id: u64,
-        session: u32,
-        pid: usize,
-        reply: Sender<(u64, Response)>,
-    },
+/// Telemetry handles one shard records into.
+struct ShardMetrics {
+    apply_ns: Histogram,
+    elect_ns: Histogram,
+    errors_object: Counter,
+    elections_opened: Counter,
+    elections_decided: Counter,
+}
+
+/// One event loop's slice of the object space plus its election
+/// sessions. Strictly single-owner: only the owning loop ever touches
+/// it, so every method takes `&mut self` and the interior is lock-free.
+pub(crate) struct ShardState {
+    /// `objects[id]` is `Some` only for ids this shard owns; the rest
+    /// of the id space stays `None` so misrouted ids fail loudly
+    /// instead of silently aliasing.
+    objects: Vec<Option<ObjectState>>,
+    sessions: HashMap<u32, ElectionSession>,
+    metrics: ShardMetrics,
 }
 
 /// A live election session: the protocol instance plus its private
@@ -68,209 +64,98 @@ struct ElectionSession {
     cas: ObjectState,
 }
 
-/// Telemetry handles one shard worker records into.
-struct ShardMetrics {
-    apply_ns: Histogram,
-    elect_ns: Histogram,
-    queue_depth: Gauge,
-    errors_object: Counter,
-    elections_opened: Counter,
-    elections_decided: Counter,
-}
-
-/// The bounded queues in front of the shard workers.
-///
-/// `try_route` is the only way in; it either enqueues or reports
-/// why not ([`RouteError::Busy`] / [`RouteError::Closed`]). Depths are
-/// tracked by a shared atomic per shard (the channel itself cannot be
-/// introspected) and exported as `server.shard<i>.queue_depth` gauges.
-pub(crate) struct ShardPool {
-    senders: Vec<SyncSender<ShardMsg>>,
-    depths: Vec<Arc<AtomicU64>>,
-    capacity: usize,
-}
-
-/// Why a message could not be enqueued.
-pub(crate) enum RouteError {
-    /// The shard's queue is at capacity.
-    Busy,
-    /// The shard has shut down.
-    Closed,
-}
-
-impl ShardPool {
-    /// Creates the queues and spawns one worker per shard.
-    ///
-    /// Returns the pool and the worker join handles (the server joins
-    /// them after dropping every sender).
-    pub(crate) fn start(
+impl ShardState {
+    /// Materializes shard `shard` of `nshards` over `layout`.
+    pub(crate) fn new(
         layout: &Layout,
+        shard: usize,
         nshards: usize,
-        capacity: usize,
         registry: &Registry,
-    ) -> (ShardPool, Vec<JoinHandle<()>>) {
-        assert!(nshards >= 1, "need at least one shard");
-        let mut senders = Vec::with_capacity(nshards);
-        let mut depths = Vec::with_capacity(nshards);
-        let mut workers = Vec::with_capacity(nshards);
-        for shard in 0..nshards {
-            let (tx, rx) = std::sync::mpsc::sync_channel(capacity.max(1));
-            let depth = Arc::new(AtomicU64::new(0));
-            let metrics = ShardMetrics {
+    ) -> ShardState {
+        let objects = layout
+            .objects()
+            .iter()
+            .enumerate()
+            .map(|(id, init)| (id % nshards == shard).then(|| ObjectState::from_init(init)))
+            .collect();
+        ShardState {
+            objects,
+            sessions: HashMap::new(),
+            metrics: ShardMetrics {
                 apply_ns: registry.histogram("server.apply_ns"),
                 elect_ns: registry.histogram("server.elect_ns"),
-                queue_depth: registry.gauge(&format!("server.shard{shard}.queue_depth")),
                 errors_object: registry.counter("server.errors.object"),
                 elections_opened: registry.counter("server.elections.opened"),
                 elections_decided: registry.counter("server.elections.decided"),
-            };
-            // Each shard materializes only the objects it owns; the
-            // rest of the id space stays `None` so misrouted ids fail
-            // loudly instead of silently aliasing.
-            let objects: Vec<Option<ObjectState>> = layout
-                .objects()
-                .iter()
-                .enumerate()
-                .map(|(id, init)| (id % nshards == shard).then(|| ObjectState::from_init(init)))
-                .collect();
-            let worker_depth = Arc::clone(&depth);
-            workers.push(
-                std::thread::Builder::new()
-                    .name(format!("bso-shard{shard}"))
-                    .spawn(move || shard_worker(rx, objects, worker_depth, metrics))
-                    .expect("spawn shard worker"),
-            );
-            senders.push(tx);
-            depths.push(depth);
-        }
-        (
-            ShardPool {
-                senders,
-                depths,
-                capacity: capacity.max(1),
             },
-            workers,
-        )
-    }
-
-    /// The shard owning object or session id `id`.
-    pub(crate) fn shard_of(&self, id: usize) -> usize {
-        id % self.senders.len()
-    }
-
-    /// Routes `msg` to shard `shard` without blocking.
-    pub(crate) fn try_route(&self, shard: usize, msg: ShardMsg) -> Result<(), RouteError> {
-        let depth = &self.depths[shard];
-        // Optimistic reservation: bump first so the worker-side
-        // decrement can never underflow, undo on failure.
-        if depth.fetch_add(1, Ordering::Relaxed) >= self.capacity as u64 {
-            depth.fetch_sub(1, Ordering::Relaxed);
-            return Err(RouteError::Busy);
-        }
-        match self.senders[shard].try_send(msg) {
-            Ok(()) => Ok(()),
-            Err(e) => {
-                depth.fetch_sub(1, Ordering::Relaxed);
-                match e {
-                    TrySendError::Full(_) => Err(RouteError::Busy),
-                    TrySendError::Disconnected(_) => Err(RouteError::Closed),
-                }
-            }
         }
     }
-}
 
-/// The worker loop: drain the queue until every sender is gone (the
-/// server drops its master senders during shutdown; connection
-/// routers drop their clones when the connection closes), processing
-/// whatever is still queued — that is the drain-on-shutdown guarantee.
-fn shard_worker(
-    rx: Receiver<ShardMsg>,
-    mut objects: Vec<Option<ObjectState>>,
-    depth: Arc<AtomicU64>,
-    metrics: ShardMetrics,
-) {
-    let mut sessions: HashMap<u32, ElectionSession> = HashMap::new();
-    while let Ok(msg) = rx.recv() {
-        let d = depth.fetch_sub(1, Ordering::Relaxed).saturating_sub(1);
-        metrics.queue_depth.set(d);
-        match msg {
-            ShardMsg::Apply {
-                req_id,
-                pid,
-                op,
-                reply,
-            } => {
-                let t = std::time::Instant::now();
-                let resp = match objects.get_mut(op.obj.0).and_then(Option::as_mut) {
-                    Some(state) => match state.apply(pid, &op.kind) {
-                        Ok(v) => Response::Ok(v),
-                        Err(e) => {
-                            metrics.errors_object.inc();
-                            Response::Err {
-                                code: ErrorCode::Object,
-                                message: e.to_string(),
-                            }
-                        }
-                    },
-                    None => Response::Err {
-                        code: ErrorCode::BadRequest,
-                        message: format!("no object with id {}", op.obj),
-                    },
-                };
-                metrics
-                    .apply_ns
-                    .record(u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
-                let _ = reply.send((req_id, resp));
-            }
-            ShardMsg::OpenElection {
-                req_id,
-                session,
-                k,
-                reply,
-            } => {
-                let resp = match open_session(k) {
-                    Ok(s) => {
-                        sessions.insert(session, s);
-                        metrics.elections_opened.inc();
-                        Response::Session(session)
+    /// Applies one operation to an owned object. This call is the
+    /// linearization point of the operation.
+    pub(crate) fn apply(&mut self, pid: usize, op: &Op) -> Response {
+        let t = std::time::Instant::now();
+        let resp = match self.objects.get_mut(op.obj.0).and_then(Option::as_mut) {
+            Some(state) => match state.apply(pid, &op.kind) {
+                Ok(v) => Response::Ok(v),
+                Err(e) => {
+                    self.metrics.errors_object.inc();
+                    Response::Err {
+                        code: ErrorCode::Object,
+                        message: e.to_string(),
                     }
-                    Err(message) => Response::Err {
-                        code: ErrorCode::BadRequest,
-                        message,
-                    },
-                };
-                let _ = reply.send((req_id, resp));
+                }
+            },
+            None => Response::Err {
+                code: ErrorCode::BadRequest,
+                message: format!("no object with id {}", op.obj),
+            },
+        };
+        self.metrics
+            .apply_ns
+            .record(u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        resp
+    }
+
+    /// Creates an election session under an id already allocated by
+    /// the router (`session % nshards` must equal this shard's index).
+    pub(crate) fn open_election(&mut self, session: u32, k: usize) -> Response {
+        match open_session(k) {
+            Ok(s) => {
+                self.sessions.insert(session, s);
+                self.metrics.elections_opened.inc();
+                Response::Session(session)
             }
-            ShardMsg::Elect {
-                req_id,
-                session,
-                pid,
-                reply,
-            } => {
-                let t = std::time::Instant::now();
-                let resp = match sessions.get_mut(&session) {
-                    None => Response::Err {
-                        code: ErrorCode::UnknownSession,
-                        message: format!("no election session {session}"),
-                    },
-                    Some(s) => match run_participant(s, pid) {
-                        Ok(v) => {
-                            metrics.elections_decided.inc();
-                            Response::Ok(v)
-                        }
-                        Err(message) => Response::Err {
-                            code: ErrorCode::BadRequest,
-                            message,
-                        },
-                    },
-                };
-                metrics
-                    .elect_ns
-                    .record(u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
-                let _ = reply.send((req_id, resp));
-            }
+            Err(message) => Response::Err {
+                code: ErrorCode::BadRequest,
+                message,
+            },
         }
+    }
+
+    /// Runs one participant of a session to its decision.
+    pub(crate) fn elect(&mut self, session: u32, pid: usize) -> Response {
+        let t = std::time::Instant::now();
+        let resp = match self.sessions.get_mut(&session) {
+            None => Response::Err {
+                code: ErrorCode::UnknownSession,
+                message: format!("no election session {session}"),
+            },
+            Some(s) => match run_participant(s, pid) {
+                Ok(v) => {
+                    self.metrics.elections_decided.inc();
+                    Response::Ok(v)
+                }
+                Err(message) => Response::Err {
+                    code: ErrorCode::BadRequest,
+                    message,
+                },
+            },
+        };
+        self.metrics
+            .elect_ns
+            .record(u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        resp
     }
 }
 
@@ -308,15 +193,80 @@ fn run_participant(s: &mut ElectionSession, pid: usize) -> Result<Value, String>
     }
 }
 
+/// Why a message could not be enqueued on an [`XQueue`].
+pub(crate) enum RouteError {
+    /// The queue is at capacity.
+    Busy,
+    /// The owning loop has exited.
+    Closed,
+}
+
+/// The **bounded** cross-loop work queue in front of each event loop.
+///
+/// [`XQueue::try_push`] is the only way in; it either enqueues or
+/// reports why not ([`RouteError::Busy`] / [`RouteError::Closed`]).
+/// Depth is exported as the loop's `server.shard<i>.queue_depth`
+/// gauge. The owning loop drains with [`XQueue::drain_into`], which
+/// takes everything queued in one lock acquisition — pushers never
+/// hold the lock across anything slower than a `VecDeque::push_back`.
+pub(crate) struct XQueue<T> {
+    q: Mutex<VecDeque<T>>,
+    capacity: usize,
+    closed: AtomicBool,
+    depth: Gauge,
+}
+
+impl<T> XQueue<T> {
+    /// A queue of at most `capacity` entries, reporting its depth
+    /// through `depth`.
+    pub(crate) fn new(capacity: usize, depth: Gauge) -> XQueue<T> {
+        XQueue {
+            q: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+            closed: AtomicBool::new(false),
+            depth,
+        }
+    }
+
+    /// Enqueues without blocking, or says why not. The caller turns
+    /// [`RouteError::Busy`] into a typed wire response — the request
+    /// was *not* enqueued.
+    pub(crate) fn try_push(&self, item: T) -> Result<(), RouteError> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(RouteError::Closed);
+        }
+        let mut q = self.q.lock().unwrap();
+        if q.len() >= self.capacity {
+            return Err(RouteError::Busy);
+        }
+        q.push_back(item);
+        self.depth.set(q.len() as u64);
+        Ok(())
+    }
+
+    /// Moves everything queued into `out` (appending), in FIFO order.
+    pub(crate) fn drain_into(&self, out: &mut Vec<T>) {
+        let mut q = self.q.lock().unwrap();
+        out.extend(q.drain(..));
+        self.depth.set(0);
+    }
+
+    /// Marks the queue closed: subsequent pushes fail with
+    /// [`RouteError::Closed`]. Already-queued items stay drainable.
+    pub(crate) fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+    }
+
+    /// Whether nothing is queued right now.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.q.lock().unwrap().is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use bso_objects::{ObjectId, ObjectInit};
-
-    #[allow(clippy::type_complexity)]
-    fn reply_channel() -> (Sender<(u64, Response)>, Receiver<(u64, Response)>) {
-        std::sync::mpsc::channel()
-    }
 
     fn small_layout() -> Layout {
         let mut l = Layout::new();
@@ -327,37 +277,17 @@ mod tests {
     }
 
     #[test]
-    fn apply_routes_to_owner_and_responds() {
+    fn apply_owns_only_its_slice_of_the_id_space() {
         let layout = small_layout();
-        let (pool, workers) = ShardPool::start(&layout, 2, 8, &Registry::disabled());
-        let (tx, rx) = reply_channel();
-        // Object 1 lives on shard 1 (1 % 2).
-        pool.try_route(
-            pool.shard_of(1),
-            ShardMsg::Apply {
-                req_id: 42,
-                pid: 0,
-                op: Op::write(ObjectId(1), Value::Int(5)),
-                reply: tx.clone(),
-            },
-        )
-        .unwrap_or_else(|_| panic!("route failed"));
-        let (id, resp) = rx.recv().unwrap();
-        assert_eq!(id, 42);
+        // Shard 1 of 2 owns object 1 only.
+        let mut s = ShardState::new(&layout, 1, 2, &Registry::disabled());
+        let resp = s.apply(0, &Op::write(ObjectId(1), Value::Int(5)));
         assert_eq!(resp, Response::Ok(Value::Nil));
-        // A misrouted id (object 0 sent to shard 1) is a BadRequest,
-        // not an aliased apply.
-        pool.try_route(
-            1,
-            ShardMsg::Apply {
-                req_id: 43,
-                pid: 0,
-                op: Op::read(ObjectId(0)),
-                reply: tx.clone(),
-            },
-        )
-        .unwrap_or_else(|_| panic!("route failed"));
-        let (_, resp) = rx.recv().unwrap();
+        let resp = s.apply(0, &Op::read(ObjectId(1)));
+        assert_eq!(resp, Response::Ok(Value::Int(5)));
+        // A misrouted id (object 0 belongs to shard 0) is a
+        // BadRequest, not an aliased apply.
+        let resp = s.apply(0, &Op::read(ObjectId(0)));
         assert!(matches!(
             resp,
             Response::Err {
@@ -365,89 +295,24 @@ mod tests {
                 ..
             }
         ));
-        drop(tx);
-        drop(pool);
-        for w in workers {
-            w.join().unwrap();
-        }
-    }
-
-    #[test]
-    fn full_queue_reports_busy_without_blocking() {
-        // Deterministic backpressure: build the pool by hand with no
-        // worker draining the queue, so the third route must hit the
-        // capacity-2 limit.
-        let (tx, _rx_keepalive) = std::sync::mpsc::sync_channel::<ShardMsg>(2);
-        let pool = ShardPool {
-            senders: vec![tx],
-            depths: vec![Arc::new(AtomicU64::new(0))],
-            capacity: 2,
-        };
-        let (reply, _r) = reply_channel();
-        let msg = |i| ShardMsg::Apply {
-            req_id: i,
-            pid: 0,
-            op: Op::read(ObjectId(0)),
-            reply: reply.clone(),
-        };
-        assert!(pool.try_route(0, msg(0)).is_ok());
-        assert!(pool.try_route(0, msg(1)).is_ok());
-        assert!(matches!(pool.try_route(0, msg(2)), Err(RouteError::Busy)));
-    }
-
-    #[test]
-    fn closed_pool_reports_closed() {
-        let (tx, rx) = std::sync::mpsc::sync_channel::<ShardMsg>(2);
-        drop(rx);
-        let pool = ShardPool {
-            senders: vec![tx],
-            depths: vec![Arc::new(AtomicU64::new(0))],
-            capacity: 2,
-        };
-        let (reply, _r) = reply_channel();
+        // Object-level refusals are typed separately.
+        let resp = s.apply(0, &Op::new(ObjectId(1), bso_objects::OpKind::Dequeue));
         assert!(matches!(
-            pool.try_route(
-                0,
-                ShardMsg::Apply {
-                    req_id: 0,
-                    pid: 0,
-                    op: Op::read(ObjectId(0)),
-                    reply,
-                }
-            ),
-            Err(RouteError::Closed)
+            resp,
+            Response::Err {
+                code: ErrorCode::Object,
+                ..
+            }
         ));
     }
 
     #[test]
     fn election_session_elects_exactly_one_winner() {
-        let layout = Layout::new();
-        let (pool, workers) = ShardPool::start(&layout, 1, 8, &Registry::disabled());
-        let (tx, rx) = reply_channel();
-        pool.try_route(
-            0,
-            ShardMsg::OpenElection {
-                req_id: 0,
-                session: 7,
-                k: 5,
-                reply: tx.clone(),
-            },
-        )
-        .unwrap_or_else(|_| panic!("route failed"));
-        assert_eq!(rx.recv().unwrap().1, Response::Session(7));
+        let mut s = ShardState::new(&Layout::new(), 0, 1, &Registry::disabled());
+        assert_eq!(s.open_election(7, 5), Response::Session(7));
         let mut winners = Vec::new();
         for pid in 0..4 {
-            pool.try_route(
-                0,
-                ShardMsg::Elect {
-                    req_id: pid as u64,
-                    session: 7,
-                    pid,
-                    reply: tx.clone(),
-                },
-            )
-            .unwrap_or_else(|_| panic!("route failed"));
-            match rx.recv().unwrap().1 {
+            match s.elect(7, pid) {
                 Response::Ok(v) => winners.push(v.as_pid().unwrap()),
                 other => panic!("unexpected {other:?}"),
             }
@@ -456,44 +321,52 @@ mod tests {
         // leader is a participant.
         assert!(winners.windows(2).all(|w| w[0] == w[1]));
         assert!(winners[0] < 4);
-        // Unknown session and out-of-range pid are typed errors.
-        pool.try_route(
-            0,
-            ShardMsg::Elect {
-                req_id: 9,
-                session: 8,
-                pid: 0,
-                reply: tx.clone(),
-            },
-        )
-        .unwrap_or_else(|_| panic!("route failed"));
+        // Unknown session, out-of-range pid, and a bad domain are
+        // typed errors.
         assert!(matches!(
-            rx.recv().unwrap().1,
+            s.elect(8, 0),
             Response::Err {
                 code: ErrorCode::UnknownSession,
                 ..
             }
         ));
-        pool.try_route(
-            0,
-            ShardMsg::Elect {
-                req_id: 10,
-                session: 7,
-                pid: 99,
-                reply: tx,
-            },
-        )
-        .unwrap_or_else(|_| panic!("route failed"));
         assert!(matches!(
-            rx.recv().unwrap().1,
+            s.elect(7, 99),
             Response::Err {
                 code: ErrorCode::BadRequest,
                 ..
             }
         ));
-        drop(pool);
-        for w in workers {
-            w.join().unwrap();
-        }
+        assert!(matches!(
+            s.open_election(9, 1),
+            Response::Err {
+                code: ErrorCode::BadRequest,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn full_queue_reports_busy_without_blocking() {
+        let q: XQueue<u64> = XQueue::new(2, Registry::disabled().gauge("test.q"));
+        assert!(q.try_push(0).is_ok());
+        assert!(q.try_push(1).is_ok());
+        assert!(matches!(q.try_push(2), Err(RouteError::Busy)));
+        let mut out = Vec::new();
+        q.drain_into(&mut out);
+        assert_eq!(out, vec![0, 1], "FIFO, rejected push not enqueued");
+        assert!(q.is_empty());
+        assert!(q.try_push(3).is_ok(), "drained queue accepts again");
+    }
+
+    #[test]
+    fn closed_queue_reports_closed_but_stays_drainable() {
+        let q: XQueue<u64> = XQueue::new(4, Registry::disabled().gauge("test.q"));
+        assert!(q.try_push(0).is_ok());
+        q.close();
+        assert!(matches!(q.try_push(1), Err(RouteError::Closed)));
+        let mut out = Vec::new();
+        q.drain_into(&mut out);
+        assert_eq!(out, vec![0], "pre-close item survives for draining");
     }
 }

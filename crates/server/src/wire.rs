@@ -1,4 +1,4 @@
-//! The `bso-wire/v1` framed binary protocol.
+//! The `bso-wire/v2` framed binary protocol.
 //!
 //! Requests and responses travel as length-prefixed binary frames over
 //! any byte stream (the server speaks it over TCP):
@@ -16,10 +16,22 @@
 //! answer them in any order (shards complete independently), so the id
 //! is what ties a response back to its request.
 //!
-//! Like `bso-schedule/v1` and `bso-checkpoint/v1`, the format is
-//! versioned: every body leads with the version byte, and a
-//! [`WireError::BadVersion`] is the typed refusal a v2 speaker would
-//! get from a v1 endpoint.
+//! ## Versioning and the `Hello` handshake
+//!
+//! Every body leads with its version byte. v2 keeps v1's frame and
+//! payload layout bit-for-bit and adds the [`Request::Hello`] /
+//! [`Response::Hello`] negotiation pair plus the [`ErrorCode::Version`]
+//! refusal. The codecs here *decode* any version in
+//! [`MIN_DECODE_VERSION`]`..=`[`VERSION`] (the layouts coincide) and
+//! can encode at either version ([`encode_response_at`]), which is what
+//! makes graceful rejection possible: a `bso-server` speaks v2 only,
+//! but when a v1 client shows up the server answers — *in v1 framing
+//! the old client can still parse* — with a typed
+//! [`ErrorCode::Version`] error naming the version it wants, then
+//! closes. That replaces the malformed-frame kill a version mismatch
+//! used to be. A v2 client opens with `Hello { version: 2 }` and the
+//! server answers `Hello` with the negotiated version (the handshake is
+//! optional; any other first frame at v2 is simply served).
 //!
 //! ## Requests
 //!
@@ -29,6 +41,7 @@
 //! | `0x02` | [`Request::OpenElection`] | `k:u32le` |
 //! | `0x03` | [`Request::Elect`] | `session:u32le` `pid:u32le` |
 //! | `0x04` | [`Request::Ping`] | — |
+//! | `0x05` | [`Request::Hello`] | `version:u8` (v2+) |
 //!
 //! ## Responses
 //!
@@ -37,6 +50,7 @@
 //! | `0x81` | [`Response::Ok`] | value |
 //! | `0x82` | [`Response::Err`] | `code:u8` `len:u32le` utf-8 message |
 //! | `0x83` | [`Response::Session`] | `session:u32le` |
+//! | `0x84` | [`Response::Hello`] | `version:u8` (v2+) |
 //!
 //! ## Values and operations
 //!
@@ -57,10 +71,15 @@ use std::io::{self, Read, Write};
 use bso_objects::{ObjectId, Op, OpKind, Sym, Value};
 
 /// The schema name of this protocol revision.
-pub const SCHEMA: &str = "bso-wire/v1";
+pub const SCHEMA: &str = "bso-wire/v2";
 
-/// The version byte every frame body leads with.
-pub const VERSION: u8 = 1;
+/// The version byte this revision's encoders write.
+pub const VERSION: u8 = 2;
+
+/// The oldest version byte the codecs still *decode* (v1 and v2 share
+/// their layout). The server refuses to *serve* anything below
+/// [`VERSION`] — but it refuses in framing the old client can parse.
+pub const MIN_DECODE_VERSION: u8 = 1;
 
 /// Hard cap on a frame body's length. A length prefix above this is a
 /// [`WireError::FrameTooLarge`] before any buffer is grown.
@@ -100,6 +119,14 @@ pub enum Request {
     },
     /// Liveness / flush probe; the response is `Ok(Value::Nil)`.
     Ping,
+    /// Version negotiation (v2+): the highest wire version the client
+    /// speaks. The server answers [`Response::Hello`] with the version
+    /// the connection will use, or a typed [`ErrorCode::Version`]
+    /// error if no common version exists.
+    Hello {
+        /// The highest version the client can speak.
+        version: u8,
+    },
 }
 
 /// A server-to-client response.
@@ -118,6 +145,11 @@ pub enum Response {
     },
     /// A fresh election session id.
     Session(u32),
+    /// The negotiated wire version (answering [`Request::Hello`]).
+    Hello {
+        /// The version the server will speak on this connection.
+        version: u8,
+    },
 }
 
 /// Typed error classes a server can answer with.
@@ -136,18 +168,36 @@ pub enum ErrorCode {
     ShuttingDown = 4,
     /// No such election session.
     UnknownSession = 5,
+    /// Wire-version mismatch: the server does not serve the version
+    /// this connection (or its [`Request::Hello`]) speaks. The message
+    /// names the version the server wants.
+    Version = 6,
 }
 
 impl ErrorCode {
-    fn from_u8(c: u8) -> Option<ErrorCode> {
+    /// The wire byte for this code (the inverse of
+    /// [`ErrorCode::from_u8`]).
+    pub fn as_u8(self) -> u8 {
+        self as u8
+    }
+
+    /// Decodes a wire byte into a typed code.
+    pub fn from_u8(c: u8) -> Option<ErrorCode> {
         match c {
             1 => Some(ErrorCode::Busy),
             2 => Some(ErrorCode::Object),
             3 => Some(ErrorCode::BadRequest),
             4 => Some(ErrorCode::ShuttingDown),
             5 => Some(ErrorCode::UnknownSession),
+            6 => Some(ErrorCode::Version),
             _ => None,
         }
+    }
+
+    /// Whether a request refused with this code is worth retrying
+    /// as-is (today: only [`ErrorCode::Busy`] backpressure).
+    pub fn is_retryable(self) -> bool {
+        matches!(self, ErrorCode::Busy)
     }
 }
 
@@ -159,6 +209,7 @@ impl fmt::Display for ErrorCode {
             ErrorCode::BadRequest => "bad-request",
             ErrorCode::ShuttingDown => "shutting-down",
             ErrorCode::UnknownSession => "unknown-session",
+            ErrorCode::Version => "version",
         };
         f.write_str(s)
     }
@@ -171,7 +222,8 @@ pub enum WireError {
     Truncated,
     /// The payload decoded fully but bytes remain.
     Trailing(usize),
-    /// The version byte is not [`VERSION`].
+    /// The version byte is outside
+    /// [`MIN_DECODE_VERSION`]`..=`[`VERSION`].
     BadVersion(u8),
     /// Unknown request/response opcode.
     BadOpcode(u8),
@@ -215,9 +267,11 @@ const OP_APPLY: u8 = 0x01;
 const OP_OPEN_ELECTION: u8 = 0x02;
 const OP_ELECT: u8 = 0x03;
 const OP_PING: u8 = 0x04;
+const OP_HELLO: u8 = 0x05;
 const RESP_OK: u8 = 0x81;
 const RESP_ERR: u8 = 0x82;
 const RESP_SESSION: u8 = 0x83;
+const RESP_HELLO: u8 = 0x84;
 
 // ---------------------------------------------------------------- encode
 
@@ -322,7 +376,7 @@ fn put_op_kind(out: &mut Vec<u8>, kind: &OpKind) -> Result<(), WireError> {
 /// value breaks the encoding limits, [`WireError::FrameTooLarge`] if
 /// the body would exceed [`MAX_FRAME`].
 pub fn encode_request(req_id: u64, req: &Request, out: &mut Vec<u8>) -> Result<(), WireError> {
-    frame(out, |body| {
+    frame(out, VERSION, |body| {
         match req {
             Request::Apply { pid, op } => {
                 body.push(OP_APPLY);
@@ -346,6 +400,11 @@ pub fn encode_request(req_id: u64, req: &Request, out: &mut Vec<u8>) -> Result<(
                 body.push(OP_PING);
                 put_u64(body, req_id);
             }
+            Request::Hello { version } => {
+                body.push(OP_HELLO);
+                put_u64(body, req_id);
+                body.push(*version);
+            }
         }
         Ok(())
     })
@@ -357,7 +416,29 @@ pub fn encode_request(req_id: u64, req: &Request, out: &mut Vec<u8>) -> Result<(
 ///
 /// Same limit violations as [`encode_request`].
 pub fn encode_response(req_id: u64, resp: &Response, out: &mut Vec<u8>) -> Result<(), WireError> {
-    frame(out, |body| {
+    encode_response_at(VERSION, req_id, resp, out)
+}
+
+/// [`encode_response`] with an explicit version byte — how the server
+/// answers a connection at the version *it* speaks (in particular the
+/// typed [`ErrorCode::Version`] rejection of a v1 client must arrive
+/// in v1 framing to be parseable by that client).
+///
+/// # Errors
+///
+/// [`WireError::BadVersion`] for a version outside
+/// [`MIN_DECODE_VERSION`]`..=`[`VERSION`], plus everything
+/// [`encode_response`] can fail with.
+pub fn encode_response_at(
+    version: u8,
+    req_id: u64,
+    resp: &Response,
+    out: &mut Vec<u8>,
+) -> Result<(), WireError> {
+    if !(MIN_DECODE_VERSION..=VERSION).contains(&version) {
+        return Err(WireError::BadVersion(version));
+    }
+    frame(out, version, |body| {
         match resp {
             Response::Ok(v) => {
                 body.push(RESP_OK);
@@ -376,6 +457,11 @@ pub fn encode_response(req_id: u64, resp: &Response, out: &mut Vec<u8>) -> Resul
                 put_u64(body, req_id);
                 put_u32(body, *s);
             }
+            Response::Hello { version } => {
+                body.push(RESP_HELLO);
+                put_u64(body, req_id);
+                body.push(*version);
+            }
         }
         Ok(())
     })
@@ -385,11 +471,12 @@ pub fn encode_response(req_id: u64, resp: &Response, out: &mut Vec<u8>) -> Resul
 /// then patches the prefix in.
 fn frame(
     out: &mut Vec<u8>,
+    version: u8,
     fill: impl FnOnce(&mut Vec<u8>) -> Result<(), WireError>,
 ) -> Result<(), WireError> {
     let at = out.len();
     out.extend_from_slice(&[0; 4]);
-    out.push(VERSION);
+    out.push(version);
     if let Err(e) = fill(out) {
         out.truncate(at);
         return Err(e);
@@ -513,12 +600,32 @@ impl<'a> Cursor<'a> {
 fn body_cursor(body: &[u8]) -> Result<(Cursor<'_>, u8, u64), WireError> {
     let mut c = Cursor { buf: body, at: 0 };
     let version = c.u8()?;
-    if version != VERSION {
+    if !(MIN_DECODE_VERSION..=VERSION).contains(&version) {
         return Err(WireError::BadVersion(version));
     }
     let opcode = c.u8()?;
     let req_id = c.u64()?;
     Ok((c, opcode, req_id))
+}
+
+/// The version byte of a frame body, if present.
+///
+/// Never fails on garbage — this is the *pre*-decode peek the server
+/// uses to decide whether a rejected frame deserves a typed
+/// [`ErrorCode::Version`] reply (framed at the client's own version so
+/// the client can parse it) or is simply malformed.
+pub fn peek_version(body: &[u8]) -> Option<u8> {
+    body.first().copied()
+}
+
+/// Best-effort request id of a frame body (`None` when truncated).
+///
+/// Used together with [`peek_version`] on frames that fail version
+/// admission, so the rejection can still correlate to the request that
+/// provoked it.
+pub fn peek_req_id(body: &[u8]) -> Option<u64> {
+    let bytes = body.get(2..10)?;
+    Some(u64::from_le_bytes(bytes.try_into().expect("8-byte slice")))
 }
 
 /// Decodes one request body (without the length prefix).
@@ -546,6 +653,7 @@ pub fn decode_request(body: &[u8]) -> Result<(u64, Request), WireError> {
             Request::Elect { session, pid }
         }
         OP_PING => Request::Ping,
+        OP_HELLO => Request::Hello { version: c.u8()? },
         other => return Err(WireError::BadOpcode(other)),
     };
     c.finish()?;
@@ -572,6 +680,7 @@ pub fn decode_response(body: &[u8]) -> Result<(u64, Response), WireError> {
             Response::Err { code, message }
         }
         RESP_SESSION => Response::Session(c.u32()?),
+        RESP_HELLO => Response::Hello { version: c.u8()? },
         other => return Err(WireError::BadOpcode(other)),
     };
     c.finish()?;
@@ -634,6 +743,35 @@ pub fn write_frames(w: &mut impl Write, buf: &mut Vec<u8>) -> io::Result<()> {
     Ok(())
 }
 
+/// Locates the next complete frame body in `buf` starting at byte
+/// `at`, without copying — the event loop's zero-copy counterpart of
+/// [`read_frame`]. Bytes are read off the socket into a per-loop arena
+/// buffer once; decoding happens directly on the returned slice range.
+///
+/// Returns `Ok(None)` while the frame is still incomplete (keep the
+/// bytes, read more), or `Ok(Some(range))` with the body's range in
+/// `buf`; the caller resumes scanning at `range.end`.
+///
+/// # Errors
+///
+/// [`WireError::FrameTooLarge`] as soon as the length prefix is
+/// readable and over [`MAX_FRAME`] — before waiting for (or buffering)
+/// the oversized payload.
+pub fn split_frame(buf: &[u8], at: usize) -> Result<Option<std::ops::Range<usize>>, WireError> {
+    let rest = &buf[at.min(buf.len())..];
+    if rest.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(rest[..4].try_into().expect("4-byte slice")) as usize;
+    if len > MAX_FRAME {
+        return Err(WireError::FrameTooLarge(len));
+    }
+    if rest.len() < 4 + len {
+        return Ok(None);
+    }
+    Ok(Some(at + 4..at + 4 + len))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -679,6 +817,7 @@ mod tests {
         round_trip_request(Request::OpenElection { k: 6 });
         round_trip_request(Request::Elect { session: 9, pid: 1 });
         round_trip_request(Request::Ping);
+        round_trip_request(Request::Hello { version: VERSION });
     }
 
     #[test]
@@ -691,6 +830,7 @@ mod tests {
                 message: "shard 3 queue full".into(),
             },
             Response::Session(17),
+            Response::Hello { version: VERSION },
         ] {
             let mut buf = Vec::new();
             encode_response(u64::MAX, &resp, &mut buf).unwrap();
@@ -698,6 +838,102 @@ mod tests {
             assert_eq!(id, u64::MAX);
             assert_eq!(back, resp);
         }
+    }
+
+    #[test]
+    fn v1_frames_still_decode() {
+        // A v1 client's frame differs only in the version byte — the
+        // body layouts coincide. MIN_DECODE_VERSION pins that promise.
+        let mut buf = Vec::new();
+        encode_request(3, &Request::OpenElection { k: 4 }, &mut buf).unwrap();
+        buf[4] = 1; // rewrite the version byte to v1
+        let (id, req) = decode_request(&buf[4..]).unwrap();
+        assert_eq!((id, req), (3, Request::OpenElection { k: 4 }));
+
+        // Versions outside MIN_DECODE_VERSION..=VERSION are rejected.
+        for bad in [0, VERSION + 1] {
+            buf[4] = bad;
+            assert_eq!(
+                decode_request(&buf[4..]).unwrap_err(),
+                WireError::BadVersion(bad)
+            );
+        }
+    }
+
+    #[test]
+    fn responses_encode_at_the_clients_version() {
+        // The typed Version rejection of a v1 client must itself be a
+        // v1 frame, or the client could not parse its own rejection.
+        let resp = Response::Err {
+            code: ErrorCode::Version,
+            message: format!("server speaks v{VERSION}"),
+        };
+        let mut buf = Vec::new();
+        encode_response_at(1, 42, &resp, &mut buf).unwrap();
+        assert_eq!(buf[4], 1, "framed at the requested version");
+        let (id, back) = decode_response(&buf[4..]).unwrap();
+        assert_eq!((id, back), (42, resp));
+
+        let err = encode_response_at(VERSION + 1, 0, &Response::Session(1), &mut Vec::new());
+        assert_eq!(err.unwrap_err(), WireError::BadVersion(VERSION + 1));
+    }
+
+    #[test]
+    fn peeks_survive_truncation_and_garbage() {
+        let mut buf = Vec::new();
+        encode_request(0xABCD, &Request::Ping, &mut buf).unwrap();
+        let body = &buf[4..];
+        assert_eq!(peek_version(body), Some(VERSION));
+        assert_eq!(peek_req_id(body), Some(0xABCD));
+        assert_eq!(peek_version(&[]), None);
+        assert_eq!(peek_req_id(&body[..9]), None);
+    }
+
+    #[test]
+    fn split_frame_walks_a_pipelined_buffer() {
+        let mut buf = Vec::new();
+        for i in 0..5u64 {
+            encode_request(i, &Request::Ping, &mut buf).unwrap();
+        }
+        // Append a partial frame: prefix promising more than present.
+        let tail = buf.len();
+        buf.extend_from_slice(&20u32.to_le_bytes());
+        buf.extend_from_slice(&[0; 7]);
+
+        let mut at = 0;
+        for i in 0..5u64 {
+            let range = split_frame(&buf, at).unwrap().expect("complete frame");
+            let (id, req) = decode_request(&buf[range.clone()]).unwrap();
+            assert_eq!((id, req), (i, Request::Ping));
+            at = range.end;
+        }
+        assert_eq!(at, tail);
+        assert_eq!(split_frame(&buf, at).unwrap(), None, "incomplete frame");
+        assert_eq!(split_frame(&buf, buf.len()).unwrap(), None, "empty rest");
+
+        // An oversized prefix errors immediately, before the payload.
+        let mut evil = ((MAX_FRAME + 1) as u32).to_le_bytes().to_vec();
+        evil.push(0);
+        assert_eq!(
+            split_frame(&evil, 0).unwrap_err(),
+            WireError::FrameTooLarge(MAX_FRAME + 1)
+        );
+    }
+
+    #[test]
+    fn error_codes_round_trip_and_classify() {
+        for code in [
+            ErrorCode::Busy,
+            ErrorCode::Object,
+            ErrorCode::BadRequest,
+            ErrorCode::ShuttingDown,
+            ErrorCode::UnknownSession,
+            ErrorCode::Version,
+        ] {
+            assert_eq!(ErrorCode::from_u8(code.as_u8()), Some(code));
+            assert_eq!(code.is_retryable(), code == ErrorCode::Busy);
+        }
+        assert_eq!(ErrorCode::from_u8(200), None);
     }
 
     #[test]

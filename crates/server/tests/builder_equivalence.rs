@@ -1,0 +1,99 @@
+//! Pins the deprecated serving surface to the builder path: a server
+//! stood up through `Server::bind(addr, layout, ServerConfig)` must
+//! behave identically to `Server::builder()` with the same knobs.
+//! When the wrappers are eventually deleted, this file goes with them.
+#![allow(deprecated)]
+
+use std::io::Write;
+use std::net::TcpStream;
+
+use bso_objects::{Layout, ObjectId, ObjectInit, Op, OpKind, Value};
+use bso_server::wire::{self, read_frame};
+use bso_server::{Request, Response, Server, ServerConfig, ServerHandle};
+
+fn layout() -> Layout {
+    let mut l = Layout::new();
+    l.push(ObjectInit::FetchAdd(0));
+    l.push(ObjectInit::Register(Value::Nil));
+    l.push(ObjectInit::CasK { k: 4 });
+    l
+}
+
+/// One blocking round trip over raw frames.
+fn round_trip(s: &mut TcpStream, req_id: u64, req: &Request) -> Response {
+    let mut buf = Vec::new();
+    wire::encode_request(req_id, req, &mut buf).unwrap();
+    s.write_all(&buf).unwrap();
+    buf.clear();
+    assert!(read_frame(s, &mut buf).unwrap(), "server closed mid-script");
+    let (id, resp) = wire::decode_response(&buf).unwrap();
+    assert_eq!(id, req_id);
+    resp
+}
+
+/// Same scripted workload against either server; returns final stats.
+fn workload(handle: ServerHandle) -> bso_server::ServerStats {
+    let mut s = TcpStream::connect(handle.local_addr()).unwrap();
+    let mut req_id = 0u64;
+    let mut rt = |s: &mut TcpStream, req: &Request| {
+        req_id += 1;
+        round_trip(s, req_id, req)
+    };
+
+    for i in 0..40 {
+        let add = Request::Apply {
+            pid: 0,
+            op: Op::new(ObjectId(0), OpKind::FetchAdd(1)),
+        };
+        assert!(matches!(rt(&mut s, &add), Response::Ok(_)));
+        let write = Request::Apply {
+            pid: 0,
+            op: Op::write(ObjectId(1), Value::Int(i)),
+        };
+        assert!(matches!(rt(&mut s, &write), Response::Ok(_)));
+    }
+    let read = Request::Apply {
+        pid: 0,
+        op: Op::read(ObjectId(0)),
+    };
+    assert_eq!(rt(&mut s, &read), Response::Ok(Value::Int(40)));
+
+    let session = match rt(&mut s, &Request::OpenElection { k: 3 }) {
+        Response::Session(id) => id,
+        other => panic!("unexpected {other:?}"),
+    };
+    assert_eq!(
+        rt(&mut s, &Request::Elect { session, pid: 0 }),
+        Response::Ok(Value::Pid(0))
+    );
+    assert!(matches!(rt(&mut s, &Request::Ping), Response::Ok(_)));
+    drop(s);
+    handle.shutdown()
+}
+
+#[test]
+fn deprecated_bind_equals_builder() {
+    let config = ServerConfig {
+        shards: 2,
+        queue_capacity: 64,
+        ..ServerConfig::default()
+    };
+    let old = workload(Server::bind("127.0.0.1:0", &layout(), config).unwrap());
+    let new = workload(
+        Server::builder()
+            .shards(2)
+            .queue_capacity(64)
+            .pin_cores(false)
+            .bind("127.0.0.1:0", &layout())
+            .unwrap(),
+    );
+
+    assert_eq!(old.connections, new.connections);
+    assert_eq!(old.requests, new.requests);
+    assert_eq!(old.responses, new.responses);
+    assert_eq!(old.busy, new.busy);
+    assert_eq!(old.malformed, 0);
+    assert_eq!(new.malformed, 0);
+    assert_eq!(old.version_rejects, 0);
+    assert_eq!(new.version_rejects, 0);
+}

@@ -1,4 +1,4 @@
-//! Malformed-input hardening for the `bso-wire/v1` codec, mirroring
+//! Malformed-input hardening for the `bso-wire/v2` codec, mirroring
 //! the nesting-depth hardening of the telemetry JSON parser: no input
 //! — truncated, oversized, tag-corrupted, or adversarially crafted —
 //! may panic, allocate proportionally to an attacker-chosen length, or
@@ -11,7 +11,7 @@ use bso_objects::{ObjectId, Op, OpKind, Sym, Value};
 use bso_server::wire::{
     self, decode_request, decode_response, encode_request, encode_response, read_frame,
 };
-use bso_server::{ErrorCode, Request, Response, Server, ServerConfig, WireError};
+use bso_server::{ErrorCode, Request, Response, Server, WireError};
 
 /// A representative spread of valid requests (every opcode, nested
 /// operand values) to mutate from.
@@ -99,9 +99,16 @@ fn trailing_bytes_are_rejected() {
 
 #[test]
 fn wrong_version_is_rejected() {
+    // v1 bodies still decode (the layouts coincide); anything outside
+    // MIN_DECODE_VERSION..=VERSION is a typed BadVersion.
     let mut body = body_of(&Request::Ping);
-    body[0] = 2;
-    assert_eq!(decode_request(&body), Err(WireError::BadVersion(2)));
+    body[0] = wire::MIN_DECODE_VERSION;
+    assert!(decode_request(&body).is_ok());
+    body[0] = wire::VERSION + 1;
+    assert_eq!(
+        decode_request(&body),
+        Err(WireError::BadVersion(wire::VERSION + 1))
+    );
     body[0] = 0;
     assert_eq!(decode_request(&body), Err(WireError::BadVersion(0)));
 }
@@ -282,17 +289,15 @@ fn random_mutations_never_panic() {
 fn garbage_on_one_connection_leaves_the_server_serving() {
     let mut layout = bso_objects::Layout::new();
     layout.push(bso_objects::ObjectInit::CasK { k: 4 });
-    let handle = Server::bind("127.0.0.1:0", &layout, ServerConfig::default()).unwrap();
+    let handle = Server::builder()
+        .pin_cores(false)
+        .bind("127.0.0.1:0", &layout)
+        .unwrap();
     let addr = handle.local_addr();
 
-    // Three hostile connections: wrong version, unknown opcode, and a
-    // nesting bomb. Each must be dropped with EOF.
+    // Two malformed connections: unknown opcode and a nesting bomb.
+    // Each must be dropped with EOF and no response.
     let mut frames = Vec::new();
-    {
-        let mut body = body_of(&Request::Ping);
-        body[0] = 9;
-        frames.push(body);
-    }
     {
         let mut body = body_of(&Request::Ping);
         body[1] = 0x7e;
@@ -311,6 +316,30 @@ fn garbage_on_one_connection_leaves_the_server_serving() {
         s.write_all(&framed).unwrap();
         let mut probe = [0u8; 1];
         assert_eq!(s.read(&mut probe).unwrap(), 0, "hostile conn gets EOF");
+    }
+
+    // An undecodable version is rejected with a *typed* error frame
+    // before the graceful EOF — not a malformed kill.
+    {
+        let mut body = body_of(&Request::Ping);
+        body[0] = 9;
+        let mut s = std::net::TcpStream::connect(addr).unwrap();
+        let mut framed = (body.len() as u32).to_le_bytes().to_vec();
+        framed.extend_from_slice(&body);
+        s.write_all(&framed).unwrap();
+        let mut resp_body = Vec::new();
+        assert!(read_frame(&mut s, &mut resp_body).unwrap());
+        assert!(matches!(
+            wire::decode_response(&resp_body).unwrap().1,
+            Response::Err {
+                code: ErrorCode::Version,
+                ..
+            }
+        ));
+        assert!(
+            !read_frame(&mut s, &mut resp_body).unwrap(),
+            "clean EOF after the typed reject"
+        );
     }
 
     // A well-behaved connection still gets service afterwards.
@@ -338,6 +367,7 @@ fn garbage_on_one_connection_leaves_the_server_serving() {
     );
     drop(s);
     let stats = handle.shutdown();
-    assert_eq!(stats.malformed, 3);
+    assert_eq!(stats.malformed, 2);
+    assert_eq!(stats.version_rejects, 1);
     assert_eq!(stats.connections, 4);
 }

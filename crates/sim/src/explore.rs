@@ -58,10 +58,6 @@
 //!   ([`crate::symmetry::SymmetricProtocol`]), visiting one
 //!   representative per orbit.
 //!
-//! The historical free functions ([`explore`], [`explore_parallel`],
-//! [`explore_symmetric`], [`explore_symmetric_parallel`]) survive as
-//! thin deprecated wrappers over the builder.
-//!
 //! [`ExploreConfig::dedup`] selects exact full-state deduplication or
 //! memory-lean 64-bit [`fingerprints`](crate::fingerprint): the latter
 //! stores no state clones but admits a ≈ `states²/2⁶⁵` probability of
@@ -1256,94 +1252,6 @@ impl<'p, P: Protocol> Explorer<'p, P> {
         art.step_bound = config.step_bound;
         art
     }
-}
-
-/// Explores **all** interleavings of `proto` from the given inputs,
-/// single-threaded with exact-or-fingerprint deduplication per
-/// `config.dedup`.
-///
-/// # Panics
-///
-/// Panics if the protocol has more than 64 processes or if
-/// `inputs.len()` does not match.
-#[deprecated(since = "0.2.0", note = "use `Explorer::new(proto).inputs(..).run()`")]
-pub fn explore<P: Protocol>(proto: &P, inputs: &[Value], config: &ExploreConfig) -> Report
-where
-    P::State: Hash + Eq,
-{
-    Explorer::new(proto).inputs(inputs).config(config).run()
-}
-
-/// [`explore`] on a pool of work-stealing worker threads
-/// ([`ExploreConfig::workers`]; `0` = one per available CPU).
-///
-/// # Panics
-///
-/// As [`explore`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Explorer::new(proto).inputs(..).parallel(true).run()`"
-)]
-pub fn explore_parallel<P>(proto: &P, inputs: &[Value], config: &ExploreConfig) -> Report
-where
-    P: Protocol + Sync,
-    P::State: Hash + Eq + Send,
-{
-    Explorer::new(proto)
-        .inputs(inputs)
-        .config(config)
-        .parallel(true)
-        .run()
-}
-
-/// [`explore`] under process-symmetry reduction: only one
-/// representative per orbit of the protocol's symmetry group is
-/// visited (see [`SymmetricProtocol`] for the soundness contract).
-///
-/// # Panics
-///
-/// As [`explore`]; additionally panics if the declared symmetry group
-/// is invalid (not permutations, or not closed under composition) or
-/// if `inputs` is not fixed by the group — renaming processes must
-/// rename their inputs onto each other, as with
-/// [`crate::ProtocolExt::pid_inputs`], or the specification itself
-/// would distinguish the processes and the reduction would be unsound.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Explorer::new(proto).inputs(..).symmetric(true).run()`"
-)]
-pub fn explore_symmetric<P>(proto: &P, inputs: &[Value], config: &ExploreConfig) -> Report
-where
-    P: SymmetricProtocol + Sync,
-    P::State: Hash + Eq + Ord + Send,
-{
-    Explorer::new(proto)
-        .inputs(inputs)
-        .config(config)
-        .symmetric(true)
-        .run()
-}
-
-/// [`explore_symmetric`] on a work-stealing worker pool.
-///
-/// # Panics
-///
-/// As [`explore_symmetric`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Explorer::new(proto).inputs(..).symmetric(true).parallel(true).run()`"
-)]
-pub fn explore_symmetric_parallel<P>(proto: &P, inputs: &[Value], config: &ExploreConfig) -> Report
-where
-    P: SymmetricProtocol + Sync,
-    P::State: Hash + Eq + Ord + Send,
-{
-    Explorer::new(proto)
-        .inputs(inputs)
-        .config(config)
-        .symmetric(true)
-        .parallel(true)
-        .run()
 }
 
 fn assert_inputs_equivariant<P: SymmetricProtocol>(

@@ -130,8 +130,6 @@ pub use checker::{
     StepBoundChecker, WaitFreeChecker,
 };
 pub use checkpoint::Checkpoint;
-#[allow(deprecated)] // the historical free functions stay re-exported
-pub use explore::{explore, explore_parallel, explore_symmetric, explore_symmetric_parallel};
 pub use explore::{
     CrashEvent, DedupMode, ExploreConfig, ExploreOutcome, ExploreStats, Explorer, FrontierEntry,
     InterruptReason, Report as ExploreReport, TaskSpec, Violation, ViolationKind,

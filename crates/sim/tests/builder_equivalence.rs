@@ -1,20 +1,15 @@
-//! The [`Explorer`] builder must be a drop-in replacement for the four
-//! historical free functions: for every mode combination
-//! (serial/parallel × plain/symmetric) the builder and the deprecated
-//! function must return the *same* report — verdict, state and
-//! terminal counts, and the exact wait-freedom witness.
-//!
-//! Performance counters (`stats.duration`, `stats.steals`, ...) are
-//! run-dependent and deliberately excluded; `stats.workers` is the one
-//! stats field both paths must resolve identically.
-
-#![allow(deprecated)] // this test exists to pin the deprecated functions
+//! Cross-mode agreement for the [`Explorer`] builder: every mode
+//! combination (serial/parallel × plain/symmetric, exact/fingerprint
+//! dedup) must agree on everything that is semantically determined —
+//! verdict, state and terminal counts under the same reduction, and
+//! the exact wait-freedom witness. The historical free-function
+//! wrappers this file once pinned are gone; the builder is the only
+//! exploration surface.
 
 use bso_objects::{Layout, ObjectId, ObjectInit, Op, OpKind, Value};
 use bso_sim::{
-    explore, explore_parallel, explore_symmetric, explore_symmetric_parallel, Action, DedupMode,
-    ExploreConfig, ExploreReport, Explorer, Pid, Protocol, ProtocolExt, SymmetricProtocol,
-    TaskSpec,
+    Action, DedupMode, ExploreConfig, ExploreReport, Explorer, Pid, Protocol, ProtocolExt,
+    SymmetricProtocol, TaskSpec,
 };
 
 /// Fully symmetric election: everyone sticky-writes its pid and elects
@@ -76,28 +71,25 @@ impl SymmetricProtocol for StickyElection {
     }
 }
 
-/// The report fields that must be bit-identical between the builder
-/// and the free function (run-dependent perf counters excluded).
-fn assert_same_report(builder: &ExploreReport, legacy: &ExploreReport, mode: &str) {
+/// The report fields that must be bit-identical between two runs of
+/// the same semantic exploration (run-dependent perf counters
+/// excluded).
+fn assert_same_report(a: &ExploreReport, b: &ExploreReport, mode: &str) {
     assert_eq!(
-        builder.outcome.is_verified(),
-        legacy.outcome.is_verified(),
+        a.outcome.is_verified(),
+        b.outcome.is_verified(),
         "{mode}: verdicts diverged"
     );
-    assert_eq!(builder.states, legacy.states, "{mode}: state counts");
-    assert_eq!(builder.terminals, legacy.terminals, "{mode}: terminals");
+    assert_eq!(a.states, b.states, "{mode}: state counts");
+    assert_eq!(a.terminals, b.terminals, "{mode}: terminals");
     assert_eq!(
-        builder.max_steps_per_proc, legacy.max_steps_per_proc,
+        a.max_steps_per_proc, b.max_steps_per_proc,
         "{mode}: wait-freedom witness"
-    );
-    assert_eq!(
-        builder.stats.workers, legacy.stats.workers,
-        "{mode}: resolved workers"
     );
 }
 
 #[test]
-fn builder_matches_deprecated_functions_in_all_four_modes() {
+fn all_four_modes_agree_on_the_verdict() {
     let proto = StickyElection { n: 3 };
     let inputs = proto.pid_inputs();
     let cfg = ExploreConfig {
@@ -108,57 +100,52 @@ fn builder_matches_deprecated_functions_in_all_four_modes() {
     let base = Explorer::new(&proto).inputs(&inputs).config(&cfg);
 
     let serial = base.clone().run();
-    assert_same_report(&serial, &explore(&proto, &inputs, &cfg), "serial/plain");
-
     let parallel = base.clone().parallel(true).run();
-    assert_same_report(
-        &parallel,
-        &explore_parallel(&proto, &inputs, &cfg),
-        "parallel/plain",
-    );
-
     let symmetric = base.clone().symmetric(true).run();
-    assert_same_report(
-        &symmetric,
-        &explore_symmetric(&proto, &inputs, &cfg),
-        "serial/symmetric",
-    );
-
     let both = base.clone().symmetric(true).parallel(true).run();
-    assert_same_report(
-        &both,
-        &explore_symmetric_parallel(&proto, &inputs, &cfg),
-        "parallel/symmetric",
-    );
 
-    // The modes themselves behave as documented: symmetry collapses
-    // orbits, parallelism does not change any verdict-level field.
+    // Parallelism is pure plumbing: identical reports either way,
+    // under either reduction.
+    assert_same_report(&serial, &parallel, "plain: serial vs parallel");
+    assert_same_report(&symmetric, &both, "symmetric: serial vs parallel");
+
+    // Symmetry collapses orbits without touching the verdict or the
+    // wait-freedom witness.
     assert!(serial.outcome.is_verified());
-    assert_eq!(serial.states, parallel.states);
-    assert!(symmetric.states < serial.states);
-    assert_eq!(symmetric.states, both.states);
+    assert!(symmetric.outcome.is_verified());
+    assert!(
+        symmetric.states < serial.states,
+        "S₃ reduction must collapse orbits: {} !< {}",
+        symmetric.states,
+        serial.states
+    );
     assert_eq!(serial.max_steps_per_proc, symmetric.max_steps_per_proc);
 }
 
 #[test]
-fn builder_matches_deprecated_functions_under_fingerprint_dedup() {
+fn fingerprint_dedup_agrees_with_exact() {
     let proto = StickyElection { n: 3 };
     let inputs = proto.pid_inputs();
-    let cfg = ExploreConfig {
+    let exact = ExploreConfig {
         spec: TaskSpec::Election,
-        dedup: DedupMode::Fingerprint,
         workers: 2,
         ..Default::default()
     };
-    let base = Explorer::new(&proto).inputs(&inputs).config(&cfg);
-    assert_same_report(
-        &base.clone().run(),
-        &explore(&proto, &inputs, &cfg),
-        "serial/fingerprint",
-    );
-    assert_same_report(
-        &base.clone().parallel(true).run(),
-        &explore_parallel(&proto, &inputs, &cfg),
-        "parallel/fingerprint",
-    );
+    let fp = ExploreConfig {
+        dedup: DedupMode::Fingerprint,
+        ..exact.clone()
+    };
+
+    let exact_report = Explorer::new(&proto).inputs(&inputs).config(&exact).run();
+    let fp_serial = Explorer::new(&proto).inputs(&inputs).config(&fp).run();
+    let fp_parallel = Explorer::new(&proto)
+        .inputs(&inputs)
+        .config(&fp)
+        .parallel(true)
+        .run();
+
+    // On a state space this small a fingerprint collision is
+    // astronomically unlikely, so the reports must coincide exactly.
+    assert_same_report(&exact_report, &fp_serial, "exact vs fingerprint");
+    assert_same_report(&fp_serial, &fp_parallel, "fingerprint: serial vs parallel");
 }

@@ -16,7 +16,7 @@ use std::sync::Arc;
 
 use bso::client::{Connection, HistoryRecorder};
 use bso::objects::{Layout, ObjectId, ObjectInit, Op, OpKind, Sym, Value};
-use bso::server::{Server, ServerConfig};
+use bso::server::Server;
 use bso::sim::check_history;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -27,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let reg = layout.push(ObjectInit::Register(Value::Nil));
     let ctr = layout.push(ObjectInit::FetchAdd(0));
 
-    let handle = Server::bind("127.0.0.1:0", &layout, ServerConfig::default())?;
+    let handle = Server::builder().shards(2).bind("127.0.0.1:0", &layout)?;
     let addr = handle.local_addr();
     println!("serving {} objects on {addr}", layout.len());
 
@@ -37,9 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for pid in 0..3usize {
             let recorder = Arc::clone(&recorder);
             s.spawn(move || {
-                let mut conn = Connection::connect(addr)
-                    .expect("connect")
-                    .with_recorder(recorder);
+                let mut conn = Connection::builder()
+                    .recorder(recorder)
+                    .connect(addr)
+                    .expect("connect");
                 // Everyone races the same compare&swap slot…
                 conn.apply(
                     pid,
@@ -76,11 +77,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Leader election as a service: one session, all participants
     // (spread over fresh connections) agree on the winner.
-    let mut conn = Connection::connect(addr)?;
+    let mut conn = Connection::builder().connect(addr)?;
     let session = conn.open_election(4)?;
     let mut winners = Vec::new();
     for pid in 0..3u32 {
-        winners.push(Connection::connect(addr)?.elect(session, pid)?);
+        winners.push(Connection::builder().connect(addr)?.elect(session, pid)?);
     }
     assert!(winners.windows(2).all(|w| w[0] == w[1]));
     println!(
