@@ -1,0 +1,339 @@
+//! `bsotop` — a live per-shard dashboard for a running `bso-server`.
+//!
+//! ```text
+//! bsotop <addr> [--interval-ms N] [--frames N]
+//! bsotop --tail <progress.jsonl> [--interval-ms N] [--frames N]
+//! ```
+//!
+//! The default mode opens one `bso-wire/v2` connection and polls the
+//! server's `Introspect` request (see DESIGN.md §3.13), differencing
+//! consecutive `bso-introspect/v1` snapshots into per-shard rates:
+//! ops/s, busy rate, live connections, queue depth, apply-latency
+//! p50/p99 and wakeups/s, plus the flight recorder's slow-request
+//! counters. `--tail` instead follows a `bso-progress/v1` heartbeat
+//! file written by a server process running under
+//! `BSO_PROGRESS=path.jsonl BSO_TELEMETRY=...` (the serving variant
+//! fields), for servers one cannot or does not want to poll.
+//!
+//! Each frame redraws in place with ANSI clear codes; `--frames N`
+//! exits after N frames (0, the default, runs until interrupted or,
+//! in poll mode, until the server goes away).
+
+use std::io::{Read, Seek, SeekFrom};
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use bso::client::Connection;
+use bso_telemetry::json::{self, Json};
+
+const USAGE: &str =
+    "usage: bsotop <addr> [--interval-ms N] [--frames N] | --tail <progress.jsonl> ...";
+
+struct Config {
+    target: String,
+    tail: bool,
+    interval: Duration,
+    frames: u64,
+}
+
+impl Config {
+    fn parse(mut args: impl Iterator<Item = String>) -> Result<Config, String> {
+        let mut target = None;
+        let mut tail = false;
+        let mut interval = Duration::from_millis(1000);
+        let mut frames = 0u64;
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--tail" => {
+                    tail = true;
+                    target = Some(args.next().ok_or("--tail needs a file")?);
+                }
+                "--interval-ms" => {
+                    let ms: u64 = args
+                        .next()
+                        .ok_or("--interval-ms needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--interval-ms: {e}"))?;
+                    interval = Duration::from_millis(ms.max(10));
+                }
+                "--frames" => {
+                    frames = args
+                        .next()
+                        .ok_or("--frames needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--frames: {e}"))?;
+                }
+                "--help" | "-h" => return Err(USAGE.to_string()),
+                other if target.is_none() && !other.starts_with('-') => {
+                    target = Some(other.to_string());
+                }
+                other => return Err(format!("unknown argument {other}\n{USAGE}")),
+            }
+        }
+        Ok(Config {
+            target: target.ok_or(USAGE)?,
+            tail,
+            interval,
+            frames,
+        })
+    }
+}
+
+/// One differentiable reading of a shard's cumulative counters.
+#[derive(Clone, Default)]
+struct ShardRow {
+    ops: u64,
+    conns: u64,
+    queue: u64,
+    wakeups: u64,
+    p50_ns: u64,
+    p99_ns: u64,
+    slow: u64,
+    threshold_ns: u64,
+}
+
+/// One differentiable reading of the whole snapshot.
+#[derive(Clone, Default)]
+struct Sample {
+    requests: u64,
+    responses: u64,
+    busy: u64,
+    uptime_ms: u64,
+    version: String,
+    shards: Vec<ShardRow>,
+}
+
+fn u(doc: &Json, outer: &str, key: &str) -> u64 {
+    doc.get(outer)
+        .and_then(|o| o.get(key))
+        .and_then(Json::as_u64)
+        .unwrap_or(0)
+}
+
+fn parse_introspect(text: &str) -> Result<Sample, String> {
+    let doc = json::parse(text).map_err(|e| format!("introspect response: {e}"))?;
+    match doc.get("schema").and_then(Json::as_str) {
+        Some("bso-introspect/v1") => {}
+        other => return Err(format!("unexpected introspect schema {other:?}")),
+    }
+    let shards = doc
+        .get("shards")
+        .and_then(Json::items)
+        .ok_or("introspect response has no \"shards\" array")?
+        .iter()
+        .map(|s| {
+            let hist = |name: &str, field: &str| u(s, name, field);
+            ShardRow {
+                ops: hist("apply_ns", "count") + hist("elect_ns", "count"),
+                conns: s.get("conns").and_then(Json::as_u64).unwrap_or(0),
+                queue: s.get("queue_depth").and_then(Json::as_u64).unwrap_or(0),
+                wakeups: s.get("wakeups").and_then(Json::as_u64).unwrap_or(0),
+                p50_ns: hist("apply_ns", "p50"),
+                p99_ns: hist("apply_ns", "p99"),
+                slow: s
+                    .get("flight")
+                    .and_then(|f| f.get("slow"))
+                    .and_then(Json::len)
+                    .unwrap_or(0) as u64,
+                threshold_ns: u(s, "flight", "threshold_ns"),
+            }
+        })
+        .collect();
+    Ok(Sample {
+        requests: u(&doc, "stats", "requests"),
+        responses: u(&doc, "stats", "responses"),
+        busy: u(&doc, "stats", "busy"),
+        uptime_ms: u(&doc, "server", "uptime_ms"),
+        version: doc
+            .get("server")
+            .and_then(|s| s.get("version"))
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string(),
+        shards,
+    })
+}
+
+/// Cumulative-counter rate over the wall-clock gap between two frames.
+fn rate(now: u64, then: u64, dt: Duration) -> f64 {
+    let secs = dt.as_secs_f64();
+    if secs <= 0.0 {
+        return 0.0;
+    }
+    now.saturating_sub(then) as f64 / secs
+}
+
+fn clear_frame(first: bool) {
+    // Clear + home on every redraw after the first, so the dashboard
+    // repaints in place instead of scrolling.
+    if !first {
+        print!("\x1b[H\x1b[J");
+    }
+}
+
+fn render(cfg: &Config, s: &Sample, prev: Option<&Sample>, dt: Duration, frame: u64) {
+    clear_frame(frame == 0);
+    let empty = Sample::default();
+    let p = prev.unwrap_or(&empty);
+    let req_rate = rate(s.requests, p.requests, dt);
+    let busy_d = s.busy.saturating_sub(p.busy);
+    let req_d = s.requests.saturating_sub(p.requests);
+    let busy_pct = if req_d == 0 {
+        0.0
+    } else {
+        100.0 * busy_d as f64 / req_d as f64
+    };
+    println!(
+        "bso-server v{} @ {} — up {:.1}s — {} requests ({:.0}/s), {} in flight, busy {:.1}%",
+        s.version,
+        cfg.target,
+        s.uptime_ms as f64 / 1e3,
+        s.requests,
+        req_rate,
+        s.requests.saturating_sub(s.responses),
+        busy_pct,
+    );
+    println!("shard    ops/s  conns  queue  p50(us)  p99(us)  wakeups/s  slow(>{{thresh}})");
+    for (i, row) in s.shards.iter().enumerate() {
+        let prev_row = p.shards.get(i).cloned().unwrap_or_default();
+        println!(
+            "{:>5}  {:>7.0}  {:>5}  {:>5}  {:>7.1}  {:>7.1}  {:>9.0}  {:>3} (>{:.0}us)",
+            i,
+            rate(row.ops, prev_row.ops, dt),
+            row.conns,
+            row.queue,
+            row.p50_ns as f64 / 1e3,
+            row.p99_ns as f64 / 1e3,
+            rate(row.wakeups, prev_row.wakeups, dt),
+            row.slow,
+            row.threshold_ns as f64 / 1e3,
+        );
+    }
+}
+
+fn run_poll(cfg: &Config) -> Result<(), String> {
+    let mut conn = Connection::builder()
+        .connect(&*cfg.target)
+        .map_err(|e| format!("{}: {e}", cfg.target))?;
+    let mut prev: Option<(Sample, Instant)> = None;
+    let mut frame = 0u64;
+    loop {
+        let text = conn.introspect().map_err(|e| format!("introspect: {e}"))?;
+        let now = Instant::now();
+        let sample = parse_introspect(&text)?;
+        let dt = prev
+            .as_ref()
+            .map_or(cfg.interval, |(_, at)| now.duration_since(*at));
+        render(cfg, &sample, prev.as_ref().map(|(s, _)| s), dt, frame);
+        prev = Some((sample, now));
+        frame += 1;
+        if cfg.frames != 0 && frame >= cfg.frames {
+            return Ok(());
+        }
+        std::thread::sleep(cfg.interval);
+    }
+}
+
+/// One parsed serving heartbeat (the `bso-progress/v1` serving
+/// variant); lines without `serve_requests` are from a process that
+/// hosts no server and are skipped.
+struct Beat {
+    elapsed_ms: u64,
+    requests: u64,
+    responses: u64,
+    busy: u64,
+    conns: u64,
+    depths: Vec<u64>,
+}
+
+fn parse_beat(line: &str) -> Option<Beat> {
+    let doc = json::parse(line).ok()?;
+    Some(Beat {
+        elapsed_ms: doc.get("elapsed_ms").and_then(Json::as_u64)?,
+        requests: doc.get("serve_requests").and_then(Json::as_u64)?,
+        responses: doc
+            .get("serve_responses")
+            .and_then(Json::as_u64)
+            .unwrap_or(0),
+        busy: doc.get("serve_busy").and_then(Json::as_u64).unwrap_or(0),
+        conns: doc.get("serve_conns").and_then(Json::as_u64).unwrap_or(0),
+        depths: doc
+            .get("serve_queue_depths")
+            .and_then(Json::items)
+            .map(|d| d.iter().filter_map(Json::as_u64).collect())
+            .unwrap_or_default(),
+    })
+}
+
+fn render_beat(cfg: &Config, b: &Beat, prev: Option<&Beat>, frame: u64) {
+    clear_frame(frame == 0);
+    let dt = Duration::from_millis(
+        prev.map_or(0, |p| b.elapsed_ms.saturating_sub(p.elapsed_ms))
+            .max(1),
+    );
+    let req_rate = prev.map_or(0.0, |p| rate(b.requests, p.requests, dt));
+    println!(
+        "heartbeat {} @ {:.1}s — {} requests ({:.0}/s), {} in flight, busy {}, conns {}",
+        cfg.target,
+        b.elapsed_ms as f64 / 1e3,
+        b.requests,
+        req_rate,
+        b.requests.saturating_sub(b.responses),
+        b.busy,
+        b.conns,
+    );
+    println!("queue depths: {:?}", b.depths);
+}
+
+fn run_tail(cfg: &Config) -> Result<(), String> {
+    let mut file = std::fs::File::open(&cfg.target).map_err(|e| format!("{}: {e}", cfg.target))?;
+    let mut offset = 0u64;
+    let mut carry = String::new();
+    let mut prev: Option<Beat> = None;
+    let mut frame = 0u64;
+    loop {
+        file.seek(SeekFrom::Start(offset))
+            .map_err(|e| format!("{}: {e}", cfg.target))?;
+        let mut chunk = String::new();
+        file.read_to_string(&mut chunk)
+            .map_err(|e| format!("{}: {e}", cfg.target))?;
+        offset += chunk.len() as u64;
+        carry.push_str(&chunk);
+        // Only complete lines parse; a trailing partial write waits
+        // for the next tick.
+        let complete = carry.rfind('\n').map_or(0, |i| i + 1);
+        let latest = carry[..complete].lines().filter_map(parse_beat).next_back();
+        carry.drain(..complete);
+        if let Some(beat) = latest {
+            render_beat(cfg, &beat, prev.as_ref(), frame);
+            prev = Some(beat);
+            frame += 1;
+            if cfg.frames != 0 && frame >= cfg.frames {
+                return Ok(());
+            }
+        }
+        std::thread::sleep(cfg.interval);
+    }
+}
+
+fn main() -> ExitCode {
+    let cfg = match Config::parse(std::env::args().skip(1)) {
+        Ok(cfg) => cfg,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = if cfg.tail {
+        run_tail(&cfg)
+    } else {
+        run_poll(&cfg)
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bsotop: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

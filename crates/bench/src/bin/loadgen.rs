@@ -33,7 +33,11 @@
 //!
 //! `BSO_TELEMETRY=path.json` additionally dumps the `server.*`
 //! counters, queue-depth gauges, and latency histograms (validated in
-//! CI by `validate_telemetry --serve`).
+//! CI by `validate_telemetry --serve`). `BSO_TRACE=path.json` turns
+//! the swarm's ops into `TracedApply` frames and exports their
+//! `client.apply` spans — inject a server-side sink (or scrape the
+//! flight recorder) and join the two with `trace_merge` to see both
+//! halves of each request on one timeline.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -45,6 +49,7 @@ use bso::objects::{Layout, ObjectId, ObjectInit, Op, OpKind, Sym, Value};
 use bso::server::poll::PollBackend;
 use bso::server::{Server, ServerHandle, ServerStats};
 use bso_telemetry::json::Json;
+use bso_telemetry::trace::TraceSink;
 use bso_telemetry::Registry;
 
 /// Everything a run is parameterized by.
@@ -197,6 +202,9 @@ fn swarm_pass(
         .pipeline(cfg.pipeline)
         .backend(cfg.backend)
         .rate(rate)
+        // Inert unless `BSO_TRACE` is set; then every op crosses the
+        // wire as a `TracedApply` and lands a `client.apply` span.
+        .trace(TraceSink::global().worker("loadgen-swarm"))
         .run(addr, |_conn, seq| {
             (seq < ops).then(|| (0usize, mixed_op(&mut rng, cfg.k, seq)))
         })
@@ -388,6 +396,12 @@ fn run_bench(cfg: &Config, registry: &Registry) -> Result<(String, f64), String>
     }
     let mut peak_sorted = peak.rtt_ns.clone();
     peak_sorted.sort_unstable();
+    println!(
+        "peak latency: p50 {:.1} us, p99 {:.1} us, p999 {:.1} us",
+        quantile(&peak_sorted, 0.50) as f64 / 1e3,
+        quantile(&peak_sorted, 0.99) as f64 / 1e3,
+        quantile(&peak_sorted, 0.999) as f64 / 1e3,
+    );
 
     // The ladder: fixed fractions of measured peak, about 400 ms of
     // offered traffic per point, latency timed from scheduled arrival.

@@ -1,0 +1,76 @@
+//! `trace_merge` — joins a client-side and a server-side `bso-trace/v1`
+//! export into one Chrome-trace timeline per request.
+//!
+//! ```text
+//! trace_merge <client.json> <server.json> [merged.json]
+//! ```
+//!
+//! The inputs are the files a tracing run writes on each side
+//! (`BSO_TRACE=client.json` for the client process, the server's
+//! injected [`TraceSink`] export for the other). Requests carry their
+//! `trace_id` across the wire, so the merger can align the two
+//! independent clocks on the spans both sides recorded for the same
+//! request; see [`bso_telemetry::trace::merge_traces`] for the exact
+//! alignment rule. The merged file loads in any Chrome-trace viewer
+//! (`chrome://tracing`, Perfetto) with client and server tracks
+//! side by side, and its `"merged"` object reports how many requests
+//! matched. Without an output path the merged document goes to stdout
+//! and the summary to stderr.
+//!
+//! [`TraceSink`]: bso_telemetry::trace::TraceSink
+
+use std::process::ExitCode;
+
+use bso_telemetry::json::{self, Json};
+use bso_telemetry::trace::merge_traces;
+
+const USAGE: &str = "usage: trace_merge <client.json> <server.json> [merged.json]";
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run() -> Result<(), String> {
+    let mut args = std::env::args().skip(1);
+    let (Some(client), Some(server)) = (args.next(), args.next()) else {
+        return Err(USAGE.to_string());
+    };
+    let out = args.next();
+    if args.next().is_some() {
+        return Err(USAGE.to_string());
+    }
+
+    let merged = merge_traces(&load(&client)?, &load(&server)?)?;
+    let stats = merged.get("merged").ok_or("merger emitted no summary")?;
+    let field = |key: &str| stats.get(key).and_then(Json::as_u64).unwrap_or(0);
+    let summary = format!(
+        "merged {} requests ({} client-only, {} server-only spans)",
+        field("matched"),
+        field("client_only"),
+        field("server_only"),
+    );
+
+    let text = merged.render_pretty();
+    match out {
+        Some(path) => {
+            std::fs::write(&path, text).map_err(|e| format!("{path}: {e}"))?;
+            println!("{summary} → {path}");
+        }
+        None => {
+            println!("{text}");
+            eprintln!("{summary}");
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("trace_merge: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -7,6 +7,7 @@
 //! validate_telemetry --checkpoint <cp.json>
 //! validate_telemetry --serve <snapshot.json> [BENCH_serve.json]
 //! validate_telemetry --explore <BENCH_explore.json>
+//! validate_telemetry --introspect
 //! ```
 //!
 //! The default mode exits nonzero unless the file parses as a
@@ -29,8 +30,13 @@
 //! the explore bench for record shape *and* for the partial-order
 //! reduction acceptance bar (a ≥ 10× state cut at k ≥ 6), so a
 //! reduction regression fails the build instead of silently eroding
-//! the speedup. CI runs all six over the artifacts the examples, the
-//! loadgen smoke job and the smoke bench write.
+//! the speedup; `--introspect` is self-contained — it starts a
+//! loopback `bso-server`, scrapes the wire-level `Introspect` request
+//! *while traffic is flowing*, and validates the `bso-introspect/v1`
+//! snapshot (key presence, quantile ordering, exactly one per-shard
+//! entry per configured shard — the DESIGN.md §3.13 contract). CI
+//! runs all seven over the artifacts the examples, the loadgen smoke
+//! job and the smoke bench write.
 
 use std::process::ExitCode;
 
@@ -53,7 +59,7 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage: validate_telemetry <snapshot.json> [min_total] [prefix=N ...] \
      | --trace <trace.json> [min_events] | --progress <progress.jsonl> [min_lines] \
      | --checkpoint <cp.json> | --serve <snapshot.json> [BENCH_serve.json] \
-     | --explore <BENCH_explore.json>";
+     | --explore <BENCH_explore.json> | --introspect";
 
 fn run() -> Result<String, String> {
     let mut args = std::env::args().skip(1);
@@ -83,6 +89,9 @@ fn run() -> Result<String, String> {
     if path == "--explore" {
         let file = args.next().ok_or(USAGE)?;
         return validate_explore(&file);
+    }
+    if path == "--introspect" {
+        return validate_introspect();
     }
     let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
     let doc = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
@@ -546,4 +555,168 @@ fn validate_progress(path: &str, min_lines: usize) -> Result<String, String> {
         ));
     }
     Ok(format!("{path}: ok ({lines} heartbeats)"))
+}
+
+/// The self-contained `Introspect` contract check: a loopback server
+/// is scraped over the wire while traffic flows, and the snapshot
+/// must match the `bso-introspect/v1` schema of DESIGN.md §3.13 —
+/// key presence, ordered quantiles, and exactly one per-shard entry
+/// per configured shard.
+fn validate_introspect() -> Result<String, String> {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    use bso::client::Connection;
+    use bso::objects::{Layout, ObjectId, ObjectInit, Op, OpKind};
+    use bso::server::Server;
+
+    const SHARDS: usize = 2;
+    // One counter per shard, so traffic exercises every event loop.
+    let mut layout = Layout::new();
+    for _ in 0..SHARDS {
+        layout.push(ObjectInit::FetchAdd(0));
+    }
+    let handle = Server::builder()
+        .shards(SHARDS)
+        .pin_cores(false)
+        .bind("127.0.0.1:0", &layout)
+        .map_err(|e| format!("bind: {e}"))?;
+    let addr = handle.local_addr();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&stop);
+    let traffic = std::thread::spawn(move || -> Result<u64, String> {
+        let mut conn = Connection::builder()
+            .connect(addr)
+            .map_err(|e| format!("traffic connect: {e}"))?;
+        let mut sent = 0u64;
+        while !flag.load(Ordering::Relaxed) {
+            for obj in 0..SHARDS {
+                conn.apply(0, Op::new(ObjectId(obj), OpKind::FetchAdd(1)))
+                    .map_err(|e| format!("traffic apply: {e}"))?;
+                sent += 1;
+            }
+        }
+        Ok(sent)
+    });
+
+    // Scrape from a second connection, mid-traffic.
+    let scrape = (|| -> Result<String, String> {
+        let mut conn = Connection::builder()
+            .connect(addr)
+            .map_err(|e| format!("connect: {e}"))?;
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        conn.introspect().map_err(|e| format!("introspect: {e}"))
+    })();
+    stop.store(true, Ordering::Relaxed);
+    let sent = traffic.join().expect("traffic thread panicked")?;
+    let text = scrape?;
+
+    let doc = json::parse(&text).map_err(|e| format!("introspect: {e}"))?;
+    if !matches!(doc.get("schema"), Some(Json::Str(s)) if s == "bso-introspect/v1") {
+        return Err("introspect: missing or unknown \"schema\"".to_string());
+    }
+    let config = doc.get("config").ok_or("introspect: no \"config\"")?;
+    if config.get("shards").and_then(Json::as_u64) != Some(SHARDS as u64) {
+        return Err(format!("introspect: config.shards != {SHARDS}"));
+    }
+    for key in ["backend", "pin_cores", "queue_capacity", "read_chunk"] {
+        if config.get(key).is_none() {
+            return Err(format!("introspect: config lacks {key:?}"));
+        }
+    }
+    let server = doc.get("server").ok_or("introspect: no \"server\"")?;
+    for key in ["crate", "uptime_ms", "version", "wire"] {
+        if server.get(key).is_none() {
+            return Err(format!("introspect: server lacks {key:?}"));
+        }
+    }
+    let requests = doc
+        .get("stats")
+        .and_then(|s| s.get("requests"))
+        .and_then(Json::as_u64)
+        .ok_or("introspect: no integer stats.requests")?;
+    if requests == 0 {
+        return Err("introspect: stats.requests is 0 mid-traffic".to_string());
+    }
+
+    let shards = doc
+        .get("shards")
+        .and_then(Json::items)
+        .ok_or("introspect: no \"shards\" array")?;
+    if shards.len() != SHARDS {
+        return Err(format!(
+            "introspect: {} shard entries for {SHARDS} shards",
+            shards.len()
+        ));
+    }
+    let mut applies = 0u64;
+    for (i, entry) in shards.iter().enumerate() {
+        if entry.get("shard").and_then(Json::as_u64) != Some(i as u64) {
+            return Err(format!("introspect: shard entry {i} misnumbered"));
+        }
+        for key in ["conns", "queue_depth", "wakeups"] {
+            if entry.get(key).and_then(Json::as_u64).is_none() {
+                return Err(format!("introspect: shard {i} lacks integer {key:?}"));
+            }
+        }
+        for hist in ["apply_ns", "elect_ns", "flush_batch", "turn_ns"] {
+            let h = entry
+                .get(hist)
+                .ok_or_else(|| format!("introspect: shard {i} lacks {hist:?}"))?;
+            let field = |key: &str| {
+                h.get(key)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("introspect: shard {i} {hist}.{key} missing"))
+            };
+            let count = field("count")?;
+            field("sum")?;
+            let (min, p50, p90, p99, max) = (
+                field("min")?,
+                field("p50")?,
+                field("p90")?,
+                field("p99")?,
+                field("max")?,
+            );
+            if count > 0 && !(min <= p50 && p50 <= p90 && p90 <= p99 && p99 <= max) {
+                return Err(format!(
+                    "introspect: shard {i} {hist} quantiles out of order: \
+                     min {min}, p50 {p50}, p90 {p90}, p99 {p99}, max {max}"
+                ));
+            }
+            if hist == "apply_ns" {
+                applies += count;
+            }
+        }
+        let flight = entry
+            .get("flight")
+            .ok_or_else(|| format!("introspect: shard {i} lacks \"flight\""))?;
+        for key in ["seq", "slow_dropped", "threshold_ns"] {
+            if flight.get(key).and_then(Json::as_u64).is_none() {
+                return Err(format!(
+                    "introspect: shard {i} flight lacks integer {key:?}"
+                ));
+            }
+        }
+        for key in ["recent", "slow"] {
+            if flight.get(key).and_then(Json::items).is_none() {
+                return Err(format!("introspect: shard {i} flight lacks array {key:?}"));
+            }
+        }
+    }
+    if applies == 0 {
+        return Err("introspect: no applies recorded on any shard mid-traffic".to_string());
+    }
+
+    let stats = handle.shutdown();
+    if stats.requests != stats.responses {
+        return Err(format!(
+            "server answered {} of {} requests",
+            stats.responses, stats.requests
+        ));
+    }
+    Ok(format!(
+        "introspect contract ok: {SHARDS} shards, {requests} requests in snapshot, \
+         {sent} traffic ops drained"
+    ))
 }

@@ -1,0 +1,172 @@
+//! End-to-end checks for the observability bins: `bsotop` polling a
+//! live server, `bsotop --tail` following a heartbeat file, and
+//! `trace_merge` joining two sink exports.
+//!
+//! The binaries run as real subprocesses (`CARGO_BIN_EXE_*`), so these
+//! tests cover argument parsing and output shape, not just the
+//! library plumbing underneath.
+
+use std::path::PathBuf;
+use std::process::Command;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use bso::client::Connection;
+use bso::objects::{Layout, ObjectId, ObjectInit, Op, OpKind};
+use bso::server::Server;
+use bso_telemetry::json::{self, Json};
+use bso_telemetry::trace::{TraceArg, TraceSink};
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn bsotop_renders_two_frames_from_a_live_server() {
+    let mut layout = Layout::new();
+    layout.push(ObjectInit::FetchAdd(0));
+    layout.push(ObjectInit::FetchAdd(0));
+    let handle = Server::builder()
+        .shards(2)
+        .pin_cores(false)
+        .bind("127.0.0.1:0", &layout)
+        .unwrap();
+    let addr = handle.local_addr();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&stop);
+    let traffic = std::thread::spawn(move || {
+        let mut conn = Connection::builder().connect(addr).unwrap();
+        while !flag.load(Ordering::Relaxed) {
+            for obj in 0..2 {
+                conn.apply(0, Op::new(ObjectId(obj), OpKind::FetchAdd(1)))
+                    .unwrap();
+            }
+        }
+    });
+
+    let out = Command::new(env!("CARGO_BIN_EXE_bsotop"))
+        .args([&addr.to_string(), "--frames", "2", "--interval-ms", "50"])
+        .output()
+        .expect("spawn bsotop");
+    stop.store(true, Ordering::Relaxed);
+    traffic.join().unwrap();
+
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "bsotop failed: {stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("bso-server"), "no header in {stdout:?}");
+    assert!(stdout.contains("shard"), "no shard table in {stdout:?}");
+    // One row per shard per frame.
+    assert_eq!(stdout.matches("requests").count(), 2, "two frames rendered");
+    handle.shutdown();
+}
+
+#[test]
+fn bsotop_tails_a_serving_heartbeat_file() {
+    let path = tmp("bsotop_tail.jsonl");
+    std::fs::write(
+        &path,
+        concat!(
+            r#"{"schema": "bso-progress/v1", "seq": 0, "elapsed_ms": 200, "states": 0, "#,
+            r#""frontier": 0, "serve_requests": 100, "serve_responses": 90, "#,
+            r#""serve_busy": 0, "serve_conns": 8, "serve_queue_depths": [1, 2]}"#,
+            "\n",
+            r#"{"schema": "bso-progress/v1", "seq": 1, "elapsed_ms": 400, "states": 0, "#,
+            r#""frontier": 0, "serve_requests": 300, "serve_responses": 290, "#,
+            r#""serve_busy": 0, "serve_conns": 8, "serve_queue_depths": [0, 3]}"#,
+            "\n",
+        ),
+    )
+    .unwrap();
+
+    let out = Command::new(env!("CARGO_BIN_EXE_bsotop"))
+        .args([
+            "--tail",
+            path.to_str().unwrap(),
+            "--frames",
+            "1",
+            "--interval-ms",
+            "20",
+        ])
+        .output()
+        .expect("spawn bsotop");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "bsotop --tail failed: {stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        stdout.contains("300 requests"),
+        "latest beat wins: {stdout:?}"
+    );
+    assert!(
+        stdout.contains("[0, 3]"),
+        "queue depths rendered: {stdout:?}"
+    );
+}
+
+#[test]
+fn trace_merge_joins_two_exports() {
+    // Two sinks with skewed clocks, sharing two trace_ids.
+    let client = TraceSink::enabled();
+    let server = TraceSink::enabled();
+    let cw = client.worker("conn0");
+    let sw = server.worker("server-loop0");
+    for id in [7u64, 9] {
+        let t = cw.now_ns();
+        cw.event_at(
+            t,
+            Some(2_000),
+            "client.apply",
+            [("trace_id", TraceArg::U64(id))],
+        );
+        let t = sw.now_ns() + 500_000;
+        sw.event_at(
+            t,
+            Some(1_000),
+            "server.apply",
+            [("trace_id", TraceArg::U64(id))],
+        );
+    }
+
+    let c_path = tmp("trace_merge_client.json");
+    let s_path = tmp("trace_merge_server.json");
+    let out_path = tmp("trace_merge_out.json");
+    std::fs::write(&c_path, client.export_string()).unwrap();
+    std::fs::write(&s_path, server.export_string()).unwrap();
+
+    let out = Command::new(env!("CARGO_BIN_EXE_trace_merge"))
+        .args([&c_path, &s_path, &out_path].map(|p| p.to_str().unwrap().to_string()))
+        .output()
+        .expect("spawn trace_merge");
+    assert!(
+        out.status.success(),
+        "trace_merge failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("merged 2 requests"),
+        "summary line"
+    );
+
+    let merged = json::parse(&std::fs::read_to_string(&out_path).unwrap()).unwrap();
+    assert_eq!(
+        merged.get("schema").and_then(Json::as_str),
+        Some("bso-trace/v1"),
+        "merged doc keeps the schema"
+    );
+    assert_eq!(
+        merged
+            .get("merged")
+            .and_then(|m| m.get("matched"))
+            .and_then(Json::as_u64),
+        Some(2)
+    );
+}

@@ -59,9 +59,19 @@ use std::time::Instant;
 
 use bso_objects::{Op, Value};
 use bso_server::wire::{self, WireError};
-use bso_server::{ErrorCode, Request, Response};
+use bso_server::{ErrorCode, Request, Response, TraceContext};
 use bso_sim::RecordedOp;
+use bso_telemetry::trace::{TraceArg, TraceWorker};
 use bso_telemetry::Histogram;
+
+/// Process-wide trace-id allocator: ids must be unique across every
+/// traced connection and swarm lane in the process, or merged traces
+/// would cross-match spans from unrelated requests.
+static NEXT_TRACE_ID: AtomicU64 = AtomicU64::new(1);
+
+pub(crate) fn next_trace_id() -> u64 {
+    NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Why a client call failed.
 #[derive(Debug)]
@@ -177,6 +187,8 @@ struct Pending {
     op: Option<Op>,
     invoked_at: u64,
     sent: Instant,
+    /// `(trace_id, start on the trace clock)` for a traced apply.
+    trace: Option<(u64, u64)>,
 }
 
 /// A pipelined connection to one `bso-server`.
@@ -189,6 +201,7 @@ pub struct Connection {
     stashed: HashMap<u64, Response>,
     recorder: Option<std::sync::Arc<HistoryRecorder>>,
     latency: Option<Histogram>,
+    trace: TraceWorker,
 }
 
 /// Fluent configuration for a [`Connection`], mirroring the server's
@@ -200,6 +213,7 @@ pub struct ClientBuilder {
     no_nodelay: bool,
     recorder: Option<std::sync::Arc<HistoryRecorder>>,
     latency: Option<Histogram>,
+    trace: TraceWorker,
 }
 
 impl ClientBuilder {
@@ -236,6 +250,19 @@ impl ClientBuilder {
         self
     }
 
+    /// Attaches a trace track. Every apply is then sent as a
+    /// `TracedApply` carrying a fresh `trace_id`, and its client-side
+    /// round trip is recorded as a `client.apply` span — the server
+    /// records a matching `server.apply` span with the same id, so the
+    /// two exports can be joined by
+    /// [`bso_telemetry::trace::merge_traces`]. A disabled worker (the
+    /// default) keeps the plain `Apply` encoding and costs nothing.
+    #[must_use]
+    pub fn trace(mut self, worker: TraceWorker) -> ClientBuilder {
+        self.trace = worker;
+        self
+    }
+
     /// Connects (and, unless disabled, completes the `Hello`
     /// handshake).
     ///
@@ -260,6 +287,7 @@ impl ClientBuilder {
             stashed: HashMap::new(),
             recorder: self.recorder,
             latency: self.latency,
+            trace: self.trace,
         };
         if !self.no_handshake {
             conn.hello()?;
@@ -351,14 +379,25 @@ impl Connection {
     pub fn send(&mut self, pid: usize, op: Op) -> Result<u64, ClientError> {
         let req_id = self.next_id;
         self.next_id += 1;
-        wire::encode_request(
-            req_id,
-            &Request::Apply {
+        let trace = self.trace.is_enabled().then(|| {
+            let trace_id = next_trace_id();
+            (trace_id, self.trace.now_ns())
+        });
+        let req = match trace {
+            Some((trace_id, _)) => Request::TracedApply {
+                ctx: TraceContext {
+                    trace_id,
+                    span_id: req_id,
+                },
                 pid: pid as u32,
                 op: op.clone(),
             },
-            &mut self.out,
-        )?;
+            None => Request::Apply {
+                pid: pid as u32,
+                op: op.clone(),
+            },
+        };
+        wire::encode_request(req_id, &req, &mut self.out)?;
         let invoked_at = self.recorder.as_deref().map(HistoryRecorder::tick);
         self.pending.insert(
             req_id,
@@ -367,6 +406,7 @@ impl Connection {
                 op: Some(op),
                 invoked_at: invoked_at.unwrap_or(0),
                 sent: Instant::now(),
+                trace,
             },
         );
         Ok(req_id)
@@ -383,6 +423,7 @@ impl Connection {
                 op: None,
                 invoked_at: 0,
                 sent: Instant::now(),
+                trace: None,
             },
         );
         Ok(req_id)
@@ -424,6 +465,18 @@ impl Connection {
         };
         if let Some(h) = &self.latency {
             h.record(u64::try_from(pending.sent.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+        if let Some((trace_id, t0)) = pending.trace {
+            let dur = self.trace.now_ns().saturating_sub(t0);
+            self.trace.event_at(
+                t0,
+                Some(dur),
+                "client.apply",
+                [
+                    ("trace_id", TraceArg::U64(trace_id)),
+                    ("req_id", TraceArg::U64(req_id)),
+                ],
+            );
         }
         if let (Some(rec), Some(op), Response::Ok(v)) = (&self.recorder, &pending.op, &resp) {
             let responded_at = rec.tick();
@@ -508,6 +561,26 @@ impl Connection {
             Response::Err { code, message } => Err(ClientError::Server { code, message }),
             other => Err(ClientError::Protocol(format!(
                 "non-pid response to an elect: {other:?}"
+            ))),
+        }
+    }
+
+    /// Scrapes the server's live `bso-introspect/v1` snapshot: config
+    /// identity, lifetime stats, and per-shard queue depths, timing
+    /// quantiles, and flight-recorder contents as a JSON string (parse
+    /// with [`bso_telemetry::json::parse`]).
+    ///
+    /// # Errors
+    ///
+    /// Same classes as [`Connection::apply`]; v1 servers answer with a
+    /// typed [`ErrorCode::Version`] error.
+    pub fn introspect(&mut self) -> Result<String, ClientError> {
+        let id = self.send_control(&Request::Introspect)?;
+        match self.wait(id)? {
+            Response::Introspect(json) => Ok(json),
+            Response::Err { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Protocol(format!(
+                "non-snapshot response to an introspect: {other:?}"
             ))),
         }
     }

@@ -48,9 +48,10 @@ use std::time::{Duration, Instant};
 
 use bso_objects::Op;
 use bso_server::poll::{self, Event, Interest, PollBackend, Poller};
-use bso_server::wire::{self, ErrorCode, Request, Response};
+use bso_server::wire::{self, ErrorCode, Request, Response, TraceContext};
+use bso_telemetry::trace::{TraceArg, TraceWorker};
 
-use crate::ClientError;
+use crate::{next_trace_id, ClientError};
 
 /// Fluent configuration for a [`Swarm`] run.
 #[derive(Clone, Debug)]
@@ -61,6 +62,7 @@ pub struct SwarmBuilder {
     rate: Option<f64>,
     handshake: bool,
     nodelay: bool,
+    trace: TraceWorker,
 }
 
 impl Default for SwarmBuilder {
@@ -72,6 +74,7 @@ impl Default for SwarmBuilder {
             rate: None,
             handshake: true,
             nodelay: true,
+            trace: TraceWorker::disabled(),
         }
     }
 }
@@ -124,6 +127,18 @@ impl SwarmBuilder {
     #[must_use]
     pub fn nodelay(mut self, yes: bool) -> SwarmBuilder {
         self.nodelay = yes;
+        self
+    }
+
+    /// Attaches a trace track shared by every lane. Each issued apply
+    /// is then sent as a `TracedApply` with a fresh `trace_id` and its
+    /// round trip recorded as a `client.apply` span, matchable against
+    /// the server's `server.apply` spans by
+    /// [`bso_telemetry::trace::merge_traces`]. The disabled default
+    /// keeps the plain `Apply` encoding and costs nothing.
+    #[must_use]
+    pub fn trace(mut self, worker: TraceWorker) -> SwarmBuilder {
+        self.trace = worker;
         self
     }
 
@@ -190,6 +205,14 @@ impl SwarmReport {
     }
 }
 
+/// One operation in flight on a lane.
+struct InflightOp {
+    /// The instant latency is measured from.
+    started: Instant,
+    /// `(trace_id, start on the trace clock)` for a traced apply.
+    trace: Option<(u64, u64)>,
+}
+
 /// Per-connection state inside the readiness loop.
 struct Lane {
     stream: TcpStream,
@@ -197,8 +220,7 @@ struct Lane {
     wbuf: Vec<u8>,
     wpos: usize,
     next_id: u64,
-    /// req_id → the instant latency is measured from.
-    inflight: HashMap<u64, Instant>,
+    inflight: HashMap<u64, InflightOp>,
     write_armed: bool,
     /// On the swarm's `touched` list (freshly queued bytes to pump).
     dirty: bool,
@@ -287,18 +309,29 @@ impl Swarm {
             return Ok(false);
         };
         self.seq += 1;
+        let trace = self.cfg.trace.is_enabled().then(|| {
+            let trace_id = next_trace_id();
+            (trace_id, self.cfg.trace.now_ns())
+        });
         let lane = &mut self.lanes[conn];
         let req_id = lane.next_id;
         lane.next_id += 1;
-        wire::encode_request(
-            req_id,
-            &Request::Apply {
+        let req = match trace {
+            Some((trace_id, _)) => Request::TracedApply {
+                ctx: TraceContext {
+                    trace_id,
+                    span_id: req_id,
+                },
                 pid: pid as u32,
                 op,
             },
-            &mut lane.wbuf,
-        )?;
-        lane.inflight.insert(req_id, started);
+            None => Request::Apply {
+                pid: pid as u32,
+                op,
+            },
+        };
+        wire::encode_request(req_id, &req, &mut lane.wbuf)?;
+        lane.inflight.insert(req_id, InflightOp { started, trace });
         if !lane.dirty {
             lane.dirty = true;
             self.touched.push(conn);
@@ -388,16 +421,29 @@ impl Swarm {
                     Some(range) => {
                         at = range.end;
                         let (req_id, resp) = wire::decode_response(&lane.rbuf[range])?;
-                        let Some(started) = lane.inflight.remove(&req_id) else {
+                        let Some(flight) = lane.inflight.remove(&req_id) else {
                             return Err(ClientError::Protocol(format!(
                                 "response to unknown req_id {req_id} on connection {conn}"
                             )));
                         };
+                        if let Some((trace_id, t0)) = flight.trace {
+                            let dur = self.cfg.trace.now_ns().saturating_sub(t0);
+                            self.cfg.trace.event_at(
+                                t0,
+                                Some(dur),
+                                "client.apply",
+                                [
+                                    ("trace_id", TraceArg::U64(trace_id)),
+                                    ("conn", TraceArg::U64(conn as u64)),
+                                ],
+                            );
+                        }
                         match resp {
                             Response::Ok(_) => {
                                 self.report.ops_ok += 1;
                                 self.report.rtt_ns.push(
-                                    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                                    u64::try_from(flight.started.elapsed().as_nanos())
+                                        .unwrap_or(u64::MAX),
                                 );
                             }
                             Response::Err {

@@ -1,0 +1,101 @@
+//! [`ServerStats`] exactness under concurrent connect/disconnect
+//! churn.
+//!
+//! N client threads flap connections against a live server — connect,
+//! a short pipelined burst, disconnect, repeat — while every thread
+//! keeps its own ledger of connections opened and operations sent.
+//! After the clients drain and the server shuts down, the server-side
+//! counters must reconcile with the client-side ledgers *exactly*:
+//! churn must never double-count an accepted connection, drop a
+//! decoded request, or leave a response owed.
+//!
+//! [`ServerStats`]: bso_server::ServerStats
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bso_client::Connection;
+use bso_objects::{Layout, ObjectId, ObjectInit, Op, OpKind, Value};
+use bso_server::Server;
+
+#[test]
+fn stats_reconcile_exactly_under_connect_disconnect_churn() {
+    const THREADS: usize = 8;
+    const CYCLES: usize = 25;
+    const OPS_PER_CONN: usize = 5;
+
+    let mut layout = Layout::new();
+    layout.push(ObjectInit::FetchAdd(0));
+    let handle = Server::builder()
+        .shards(2)
+        .pin_cores(false)
+        .bind("127.0.0.1:0", &layout)
+        .unwrap();
+    let addr = handle.local_addr();
+
+    // Client-side ledgers, shared across the flapping threads.
+    let conns_opened = AtomicU64::new(0);
+    let ops_sent = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let conns_opened = &conns_opened;
+            let ops_sent = &ops_sent;
+            s.spawn(move || {
+                for _ in 0..CYCLES {
+                    // `handshake(false)` keeps the ledger exact: one
+                    // request per apply, nothing else on the wire.
+                    let mut conn = Connection::builder()
+                        .handshake(false)
+                        .connect(addr)
+                        .expect("connect");
+                    conns_opened.fetch_add(1, Ordering::Relaxed);
+                    for _ in 0..OPS_PER_CONN {
+                        conn.apply(t, Op::new(ObjectId(0), OpKind::FetchAdd(1)))
+                            .expect("apply");
+                        ops_sent.fetch_add(1, Ordering::Relaxed);
+                    }
+                    drop(conn);
+                    std::thread::yield_now();
+                }
+            });
+        }
+    });
+
+    let opened = conns_opened.load(Ordering::Relaxed);
+    let sent = ops_sent.load(Ordering::Relaxed);
+    assert_eq!(opened, (THREADS * CYCLES) as u64);
+    assert_eq!(sent, opened * OPS_PER_CONN as u64);
+
+    // One post-churn reader: every accepted fetch&add is visible in
+    // the counter before shutdown.
+    let mut check = Connection::builder()
+        .handshake(false)
+        .connect(addr)
+        .expect("connect checker");
+    match check.apply(0, Op::read(ObjectId(0))).expect("read counter") {
+        Value::Int(n) => assert_eq!(n as u64, sent, "every accepted op is visible"),
+        other => panic!("counter read returned {other:?}"),
+    }
+    drop(check);
+
+    let stats = handle.shutdown();
+    assert_eq!(
+        stats.connections,
+        opened + 1,
+        "every accepted connection (churned + checker) counted exactly once"
+    );
+    assert_eq!(
+        stats.requests,
+        sent + 1,
+        "every decoded frame counted exactly once"
+    );
+    assert_eq!(
+        stats.responses, stats.requests,
+        "no responses owed after drain"
+    );
+    assert_eq!(
+        stats.busy, 0,
+        "single-object churn never trips backpressure"
+    );
+    assert_eq!(stats.malformed, 0);
+    assert_eq!(stats.version_rejects, 0);
+}

@@ -1,0 +1,140 @@
+//! End-to-end trace round trip: a tracing client drives a loopback
+//! server whose event loops record spans into an injected
+//! [`TraceSink`], the two Chrome-trace exports are merged with
+//! [`merge_traces`], and the merged timeline is validated — every
+//! client span has a matching server span with the same `trace_id`,
+//! and spans nest properly on every track.
+//!
+//! [`TraceSink`]: bso_telemetry::trace::TraceSink
+//! [`merge_traces`]: bso_telemetry::trace::merge_traces
+
+use std::collections::{BTreeSet, HashMap};
+
+use bso_client::Connection;
+use bso_objects::{Layout, ObjectId, ObjectInit, Op, OpKind};
+use bso_server::Server;
+use bso_telemetry::json::{self, Json};
+use bso_telemetry::trace::{merge_traces, TraceSink};
+
+const OPS: usize = 40;
+
+/// The `"X"` complete events of one span name, as
+/// `(pid, tid, ts, dur, trace_id)`.
+fn spans_named(doc: &Json, name: &str) -> Vec<(u64, u64, f64, f64, u64)> {
+    doc.get("traceEvents")
+        .and_then(Json::items)
+        .unwrap()
+        .iter()
+        .filter(|e| {
+            e.get("ph").and_then(Json::as_str) == Some("X")
+                && e.get("name").and_then(Json::as_str) == Some(name)
+        })
+        .map(|e| {
+            let num = |key: &str| e.get(key).and_then(Json::as_f64).expect(key);
+            let trace_id = e
+                .get("args")
+                .and_then(|a| a.get("trace_id"))
+                .and_then(Json::as_u64)
+                .expect("span args carry trace_id");
+            (
+                num("pid") as u64,
+                num("tid") as u64,
+                num("ts"),
+                num("dur"),
+                trace_id,
+            )
+        })
+        .collect()
+}
+
+/// Complete events on one track either nest or are disjoint — a span
+/// that starts inside another must also end inside it.
+fn assert_well_nested(mut spans: Vec<(f64, f64)>) {
+    spans.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    let mut open_ends: Vec<f64> = Vec::new();
+    for (ts, end) in spans {
+        while open_ends.last().is_some_and(|&top| ts >= top) {
+            open_ends.pop();
+        }
+        if let Some(&parent_end) = open_ends.last() {
+            assert!(
+                end <= parent_end,
+                "span [{ts}, {end}] crosses its parent's end {parent_end}"
+            );
+        }
+        open_ends.push(end);
+    }
+}
+
+#[test]
+fn traced_ops_merge_into_one_timeline() {
+    let mut layout = Layout::new();
+    layout.push(ObjectInit::FetchAdd(0));
+    layout.push(ObjectInit::FetchAdd(0));
+
+    // Independent sinks on the two sides, as in two real processes.
+    let client_sink = TraceSink::enabled();
+    let server_sink = TraceSink::enabled();
+
+    let handle = Server::builder()
+        .shards(2)
+        .pin_cores(false)
+        .trace_sink(server_sink.clone())
+        .bind("127.0.0.1:0", &layout)
+        .unwrap();
+    let mut conn = Connection::builder()
+        .trace(client_sink.worker("conn0"))
+        .connect(handle.local_addr())
+        .unwrap();
+    for i in 0..OPS {
+        // Both shards, so spans land on both server-loop tracks.
+        conn.apply(0, Op::new(ObjectId(i % 2), OpKind::FetchAdd(1)))
+            .unwrap();
+    }
+    drop(conn);
+    handle.shutdown();
+
+    let client_doc = json::parse(&client_sink.export_string()).unwrap();
+    let server_doc = json::parse(&server_sink.export_string()).unwrap();
+    let merged = merge_traces(&client_doc, &server_doc).expect("traces share trace_ids");
+
+    // The merger's own ledger: every request matched, nothing orphaned.
+    let summary = merged.get("merged").unwrap();
+    let count = |key: &str| summary.get(key).and_then(Json::as_u64);
+    assert_eq!(count("matched"), Some(OPS as u64));
+    assert_eq!(count("client_only"), Some(0));
+    assert_eq!(count("server_only"), Some(0));
+
+    let client_spans = spans_named(&merged, "client.apply");
+    let server_spans = spans_named(&merged, "server.apply");
+    assert_eq!(client_spans.len(), OPS, "one client span per traced op");
+    assert_eq!(server_spans.len(), OPS, "one server span per traced op");
+
+    // Every client span has a server span with the same trace_id, and
+    // ids are never reused.
+    let client_ids: BTreeSet<u64> = client_spans.iter().map(|s| s.4).collect();
+    let server_ids: BTreeSet<u64> = server_spans.iter().map(|s| s.4).collect();
+    assert_eq!(client_ids.len(), OPS, "client trace_ids are unique");
+    assert_eq!(client_ids, server_ids);
+
+    // The server served each request inside the client's round trip.
+    let server_durs: HashMap<u64, f64> = server_spans.iter().map(|s| (s.4, s.3)).collect();
+    for &(_, _, _, dur, trace_id) in &client_spans {
+        assert!(
+            server_durs[&trace_id] <= dur,
+            "server apply outlasted the client round trip for trace {trace_id}"
+        );
+    }
+
+    // Spans spread over both server loops, and every track is
+    // well-formed (begin/end nesting).
+    let server_tracks: BTreeSet<(u64, u64)> = server_spans.iter().map(|s| (s.0, s.1)).collect();
+    assert_eq!(server_tracks.len(), 2, "both shards recorded spans");
+    let mut by_track: HashMap<(u64, u64), Vec<(f64, f64)>> = HashMap::new();
+    for &(pid, tid, ts, dur, _) in client_spans.iter().chain(&server_spans) {
+        by_track.entry((pid, tid)).or_default().push((ts, ts + dur));
+    }
+    for spans in by_track.into_values() {
+        assert_well_nested(spans);
+    }
+}

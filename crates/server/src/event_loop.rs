@@ -27,8 +27,24 @@
 //! mark), so a pipelined client's burst of `n` requests costs one
 //! `write` syscall, not `n`. Wakeups to peer loops are batched the
 //! same way: at most one `wake()` per peer per turn, regardless of how
-//! many transfers were queued. The `server.flush_batch` histogram
-//! records frames-per-flush; `server.loop<i>.wakeups` counts turns.
+//! many transfers were queued. The per-loop `server.loop<i>.flush_batch`
+//! histogram records frames-per-flush; `server.loop<i>.wakeups` counts
+//! turns.
+//!
+//! # Observability
+//!
+//! Independently of the opt-in telemetry registry, every loop feeds an
+//! always-on [`LoopProbe`](crate::introspect::LoopProbe) — plain
+//! histograms of apply/turn/flush cost plus the flight recorder of
+//! recent requests — which [`Request::Introspect`] serializes for any
+//! v2 client, and which is spilled to stderr if the loop thread
+//! panics. The request path only pushes into a loop-local
+//! [`ProbeScratch`]; the batch is committed to the shared probe once
+//! per turn, so the probe mutex is taken at turn frequency. Requests carrying a [`TraceContext`] additionally record a
+//! `server.apply` span on the *owning* loop's trace track (the span
+//! lands where the work ran, not where the bytes arrived), so merged
+//! client+server Chrome traces attribute each request's server time to
+//! a shard.
 //!
 //! # Drain
 //!
@@ -46,12 +62,14 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use bso_objects::{Layout, Op, Value};
+use bso_telemetry::trace::{TraceArg, TraceWorker};
 use bso_telemetry::{Counter, Gauge, Histogram, Registry};
 
 use crate::arena::{Arena, Slab};
+use crate::introspect::{self, IntrospectState, ProbeScratch};
 use crate::poll::{self, Interest, Poller, WakeReader, Waker};
 use crate::shard::{RouteError, ShardState, XQueue};
-use crate::wire::{self, ErrorCode, Request, Response};
+use crate::wire::{self, ErrorCode, Request, Response, TraceContext};
 
 /// Poller token reserved for the loop's wake pipe.
 const WAKE_TOKEN: u64 = u64::MAX;
@@ -86,9 +104,21 @@ pub(crate) enum Ctl {
 
 /// The shard work carried by a cross-loop transfer.
 pub(crate) enum Work {
-    Apply { pid: usize, op: Op },
-    OpenElection { session: u32, k: usize },
-    Elect { session: u32, pid: usize },
+    Apply {
+        pid: usize,
+        op: Op,
+        /// Carried so a traced apply's span lands on the owner loop's
+        /// trace track, not the origin's.
+        trace: Option<TraceContext>,
+    },
+    OpenElection {
+        session: u32,
+        k: usize,
+    },
+    Elect {
+        session: u32,
+        pid: usize,
+    },
 }
 
 /// A request forwarded to the loop that owns its object/session.
@@ -97,6 +127,9 @@ pub(crate) struct Xfer {
     conn: u32,
     gen: u32,
     req_id: u64,
+    /// When the transfer was enqueued — the flight recorder reports
+    /// the queue wait it implies.
+    queued: Instant,
     work: Work,
 }
 
@@ -152,6 +185,9 @@ pub(crate) struct Shared {
     pub(crate) inflight: AtomicI64,
     pub(crate) next_session: AtomicU32,
     pub(crate) stats: StatCells,
+    /// Always-on introspection: bind-time config plus one probe (plain
+    /// histograms + flight recorder) per loop.
+    pub(crate) introspect: IntrospectState,
 }
 
 /// What a parsed frame did to its connection.
@@ -201,8 +237,11 @@ pub(crate) struct EventLoop {
     shared: Arc<Shared>,
     read_chunk: usize,
     pin_cores: bool,
+    /// This loop's trace track; disabled workers are free.
+    trace: TraceWorker,
     // Telemetry mirrors of the StatCells counters, plus loop-local
     // instruments.
+    registry: Registry,
     requests: Counter,
     responses: Counter,
     busy: Counter,
@@ -210,7 +249,12 @@ pub(crate) struct EventLoop {
     version_rejects: Counter,
     wakeups: Counter,
     conns_gauge: Gauge,
-    flush_batch: Histogram,
+    /// Created on first completed flush, so loops that never serve a
+    /// connection don't leave an empty histogram in the snapshot.
+    flush_batch: Option<Histogram>,
+    /// Loop-local probe buffer, committed to the shared
+    /// [`LoopProbe`](crate::introspect::LoopProbe) once per turn.
+    probe: ProbeScratch,
     // Scratch reused across turns.
     events: Vec<poll::Event>,
     inbox: Vec<Ctl>,
@@ -231,6 +275,7 @@ impl EventLoop {
         registry: &Registry,
         read_chunk: usize,
         pin_cores: bool,
+        trace: TraceWorker,
     ) -> EventLoop {
         EventLoop {
             index,
@@ -247,6 +292,8 @@ impl EventLoop {
             shared,
             read_chunk: read_chunk.max(1024),
             pin_cores,
+            trace,
+            registry: registry.clone(),
             requests: registry.counter("server.requests"),
             responses: registry.counter("server.responses"),
             busy: registry.counter("server.busy"),
@@ -254,7 +301,8 @@ impl EventLoop {
             version_rejects: registry.counter("server.version_rejects"),
             wakeups: registry.counter(&format!("server.loop{index}.wakeups")),
             conns_gauge: registry.gauge(&format!("server.loop{index}.conns")),
-            flush_batch: registry.histogram("server.flush_batch"),
+            flush_batch: None,
+            probe: ProbeScratch::default(),
             events: Vec::with_capacity(256),
             inbox: Vec::new(),
             xwork: Vec::new(),
@@ -268,6 +316,12 @@ impl EventLoop {
         if self.pin_cores {
             let _ = poll::pin_to_core(self.index % poll::num_cpus());
         }
+        // If this loop's thread panics, its flight recorder is the
+        // black box: spill it to stderr on the way down.
+        let _flight_guard = FlightDumpGuard {
+            shared: Arc::clone(&self.shared),
+            index: self.index,
+        };
         self.poller
             .register(self.wake.raw_fd(), WAKE_TOKEN, Interest::READ)
             .expect("register wake pipe");
@@ -282,6 +336,9 @@ impl EventLoop {
             if let Err(e) = self.poller.wait(&mut events, timeout) {
                 debug_assert!(false, "poller wait failed: {e}");
             }
+            // Turn time measures the work between poll returns, not
+            // the idle wait itself.
+            let turn_start = Instant::now();
             self.wakeups.inc();
             self.drain_ctl();
             self.drain_xq();
@@ -300,6 +357,14 @@ impl EventLoop {
             }
             self.events = events;
             self.flush_touched();
+            // Commit before waking peers: a loop woken by our transfer
+            // replies then observes this turn's records as committed.
+            self.shared.introspect.commit_turn(
+                self.index,
+                &mut self.probe,
+                u64::try_from(turn_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                self.conns.len(),
+            );
             self.send_wakes();
             if let Some(since) = drain_started {
                 if self.drained(since) {
@@ -382,10 +447,31 @@ impl EventLoop {
         let mut xwork = std::mem::take(&mut self.xwork);
         self.shared.loops[self.index].xq.drain_into(&mut xwork);
         for x in xwork.drain(..) {
+            let queue_ns = u64::try_from(x.queued.elapsed().as_nanos()).unwrap_or(u64::MAX);
             let resp = match x.work {
-                Work::Apply { pid, op } => self.shard.apply(pid, &op),
+                Work::Apply { pid, op, trace } => {
+                    let object = op.obj.0 as u64;
+                    let t0 = self.span_start(trace);
+                    let (resp, apply_ns) = self.shard.apply(pid, &op);
+                    self.record_apply(trace, t0, object, apply_ns);
+                    // batch 0: the reply is staged by the origin loop,
+                    // so this loop cannot know its flush position.
+                    self.probe
+                        .push_request(wire::OP_APPLY, object, queue_ns, apply_ns, 0);
+                    resp
+                }
                 Work::OpenElection { session, k } => self.shard.open_election(session, k),
-                Work::Elect { session, pid } => self.shard.elect(session, pid),
+                Work::Elect { session, pid } => {
+                    let (resp, elect_ns) = self.shard.elect(session, pid);
+                    self.probe.push_request(
+                        wire::OP_ELECT,
+                        u64::from(session),
+                        queue_ns,
+                        elect_ns,
+                        0,
+                    );
+                    resp
+                }
             };
             if x.origin == self.index {
                 // Never produced by `forward` (own-shard work applies
@@ -561,22 +647,13 @@ impl EventLoop {
         match req {
             Request::Hello { .. } => unreachable!("handled above"),
             Request::Ping => self.respond(slot, req_id, &Response::Ok(Value::Nil)),
-            Request::Apply { pid, op } => {
-                let target = op.obj.0 % self.nloops;
-                if target == self.index {
-                    let resp = self.shard.apply(pid as usize, &op);
-                    self.respond(slot, req_id, &resp);
-                } else {
-                    self.forward(
-                        slot,
-                        req_id,
-                        target,
-                        Work::Apply {
-                            pid: pid as usize,
-                            op,
-                        },
-                    );
-                }
+            Request::Introspect => {
+                let json = introspect::introspect_doc(&self.shared).render();
+                self.respond(slot, req_id, &Response::Introspect(json));
+            }
+            Request::Apply { pid, op } => self.serve_apply(slot, req_id, pid, op, None),
+            Request::TracedApply { ctx, pid, op } => {
+                self.serve_apply(slot, req_id, pid, op, Some(ctx))
             }
             Request::OpenElection { k } => {
                 let session = self.shared.next_session.fetch_add(1, Ordering::Relaxed);
@@ -599,7 +676,10 @@ impl EventLoop {
             Request::Elect { session, pid } => {
                 let target = session as usize % self.nloops;
                 if target == self.index {
-                    let resp = self.shard.elect(session, pid as usize);
+                    let batch = self.conns.get_mut(slot).map_or(0, |c| c.batch);
+                    let (resp, elect_ns) = self.shard.elect(session, pid as usize);
+                    self.probe
+                        .push_request(wire::OP_ELECT, u64::from(session), 0, elect_ns, batch);
                     self.respond(slot, req_id, &resp);
                 } else {
                     self.forward(
@@ -654,6 +734,65 @@ impl EventLoop {
         FrameOutcome::Next
     }
 
+    /// Routes an apply (traced or not) to its owning loop: inline when
+    /// this loop owns the object, a cross-loop transfer otherwise.
+    fn serve_apply(
+        &mut self,
+        slot: u32,
+        req_id: u64,
+        pid: u32,
+        op: Op,
+        trace: Option<TraceContext>,
+    ) {
+        let target = op.obj.0 % self.nloops;
+        if target != self.index {
+            self.forward(
+                slot,
+                req_id,
+                target,
+                Work::Apply {
+                    pid: pid as usize,
+                    op,
+                    trace,
+                },
+            );
+            return;
+        }
+        let object = op.obj.0 as u64;
+        // Position in the connection's current write batch, read
+        // before the response is staged.
+        let batch = self.conns.get_mut(slot).map_or(0, |c| c.batch);
+        let t0 = self.span_start(trace);
+        let (resp, apply_ns) = self.shard.apply(pid as usize, &op);
+        self.record_apply(trace, t0, object, apply_ns);
+        self.probe
+            .push_request(wire::OP_APPLY, object, 0, apply_ns, batch);
+        self.respond(slot, req_id, &resp);
+    }
+
+    /// Timestamp for a traced apply's span start, or `None` when the
+    /// request is untraced or this loop's trace track is disabled —
+    /// the no-trace fast path never reads the trace clock.
+    fn span_start(&self, trace: Option<TraceContext>) -> Option<u64> {
+        (trace.is_some() && self.trace.is_enabled()).then(|| self.trace.now_ns())
+    }
+
+    /// Records the `server.apply` span for a traced request.
+    fn record_apply(&self, trace: Option<TraceContext>, t0: Option<u64>, object: u64, dur_ns: u64) {
+        if let (Some(ctx), Some(t0)) = (trace, t0) {
+            self.trace.event_at(
+                t0,
+                Some(dur_ns),
+                "server.apply",
+                [
+                    ("trace_id", TraceArg::U64(ctx.trace_id)),
+                    ("span_id", TraceArg::U64(ctx.span_id)),
+                    ("obj", TraceArg::U64(object)),
+                ],
+            );
+        }
+    }
+
     fn forward(&mut self, slot: u32, req_id: u64, target: usize, work: Work) {
         let Some(c) = self.conns.get_mut(slot) else {
             return;
@@ -665,6 +804,7 @@ impl EventLoop {
             conn: slot,
             gen,
             req_id,
+            queued: Instant::now(),
             work,
         }) {
             Ok(()) => {
@@ -772,7 +912,16 @@ impl EventLoop {
             c.wpos = 0;
         }
         if batch > 0 {
-            self.flush_batch.record(batch);
+            if self.flush_batch.is_none() {
+                self.flush_batch = Some(
+                    self.registry
+                        .histogram(&format!("server.loop{}.flush_batch", self.index)),
+                );
+            }
+            if let Some(h) = &self.flush_batch {
+                h.record(batch);
+            }
+            self.probe.push_flush(batch);
         }
         if close_now {
             self.close_conn(slot);
@@ -871,6 +1020,29 @@ impl EventLoop {
         self.shared.loops[self.index].xq.close();
         for slot in self.conns.live_slots() {
             self.close_conn(slot);
+        }
+    }
+}
+
+/// Spills a loop's flight recorder to stderr if its thread unwinds —
+/// the last 256 requests a crashed loop served are usually the
+/// explanation.
+struct FlightDumpGuard {
+    shared: Arc<Shared>,
+    index: usize,
+}
+
+impl Drop for FlightDumpGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "bso-loop{} panicked; flight recorder:\n{}",
+                self.index,
+                self.shared
+                    .introspect
+                    .flight_json(self.index)
+                    .render_pretty()
+            );
         }
     }
 }

@@ -24,6 +24,14 @@
 //!   cross-shard requests travel bounded queues with typed `Busy`
 //!   backpressure. Frames parse in place out of per-loop arenas;
 //!   responses batch per readiness wakeup.
+//! * Observability: a running server is never a black box. Any v2
+//!   client can scrape a deterministic `bso-introspect/v1` JSON
+//!   snapshot with [`Request::Introspect`] (per-shard queue depths,
+//!   connection counts, turn/apply quantiles, flight recorder);
+//!   requests may carry a [`TraceContext`] so client and server spans
+//!   of the same request share a `trace_id` across merged Chrome
+//!   traces; and `BSO_FLIGHT=path.json` preserves the final snapshot
+//!   on shutdown. See DESIGN.md §3.13.
 //!
 //! The companion `bso-client` crate provides the pipelined client
 //! handle, the event-driven `Swarm` for thousands of concurrent
@@ -56,13 +64,15 @@
 
 mod arena;
 mod event_loop;
+mod introspect;
 pub mod poll;
 mod server;
 mod shard;
 pub mod wire;
 
+pub use introspect::FLIGHT_ENV;
 pub use poll::PollBackend;
 #[allow(deprecated)] // the historical config surface stays re-exported
 pub use server::ServerConfig;
 pub use server::{Server, ServerBuilder, ServerHandle, ServerStats};
-pub use wire::{ErrorCode, Request, Response, WireError};
+pub use wire::{ErrorCode, Request, Response, TraceContext, WireError};

@@ -26,9 +26,11 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use bso_objects::Layout;
+use bso_telemetry::trace::TraceSink;
 use bso_telemetry::Registry;
 
 use crate::event_loop::{Ctl, EventLoop, LoopHandle, Shared, StatCells};
+use crate::introspect::{self, ConfigInfo, IntrospectState};
 use crate::poll::{self, PollBackend, Poller, WakeReader};
 
 /// Tuning knobs for the deprecated [`Server::bind`] entry point.
@@ -148,6 +150,7 @@ pub struct ServerBuilder {
     read_chunk: usize,
     pin_cores: bool,
     registry: Registry,
+    trace: TraceSink,
 }
 
 impl Default for ServerBuilder {
@@ -173,6 +176,7 @@ impl ServerBuilder {
             read_chunk: 64 * 1024,
             pin_cores: true,
             registry: Registry::default(),
+            trace: TraceSink::default(),
         }
     }
 
@@ -217,6 +221,16 @@ impl ServerBuilder {
         self
     }
 
+    /// Trace sink for `server.apply` spans. Each event loop gets a
+    /// `server-loop<i>` track. Defaults to [`TraceSink::global`], so
+    /// `BSO_TRACE=path.json` enables server-side tracing with no extra
+    /// wiring; a disabled sink (the default without that env var)
+    /// costs nothing per request.
+    pub fn trace_sink(mut self, sink: TraceSink) -> ServerBuilder {
+        self.trace = sink;
+        self
+    }
+
     /// Binds `addr` (use port 0 for an ephemeral loopback port), spawns
     /// the event loops and the acceptor, and returns the handle.
     ///
@@ -249,7 +263,17 @@ impl ServerBuilder {
             inflight: AtomicI64::new(0),
             next_session: AtomicU32::new(0),
             stats: StatCells::default(),
+            introspect: IntrospectState::new(ConfigInfo {
+                shards: nloops,
+                queue_capacity: self.queue_capacity,
+                backend: self.backend.to_string(),
+                read_chunk: self.read_chunk,
+                pin_cores: self.pin_cores,
+            }),
         });
+        // BSO_PROGRESS=path.jsonl tails a serving heartbeat with no
+        // extra wiring (idempotent; a no-op without the env var).
+        bso_telemetry::progress::spawn_global_if_env();
 
         let mut loops = Vec::with_capacity(nloops);
         for (i, (poller, reader)) in pollers.into_iter().enumerate() {
@@ -263,6 +287,7 @@ impl ServerBuilder {
                 &self.registry,
                 self.read_chunk,
                 self.pin_cores,
+                self.trace.worker(format!("server-loop{i}")),
             );
             loops.push(
                 std::thread::Builder::new()
@@ -326,6 +351,19 @@ impl ServerHandle {
         for l in self.loops.drain(..) {
             let _ = l.join();
         }
+        // BSO_FLIGHT=path.json preserves the final introspection
+        // snapshot — flight recorders included — as the server's
+        // black box.
+        if let Some(path) = std::env::var_os(introspect::FLIGHT_ENV) {
+            let doc = introspect::introspect_doc(&self.shared).render_pretty();
+            if let Err(e) = std::fs::write(&path, doc) {
+                eprintln!(
+                    "bso-server: failed to write {} snapshot to {}: {e}",
+                    introspect::FLIGHT_ENV,
+                    std::path::Path::new(&path).display()
+                );
+            }
+        }
     }
 }
 
@@ -366,6 +404,7 @@ mod tests {
     use super::*;
     use crate::wire::{self, ErrorCode, Request, Response};
     use bso_objects::{ObjectId, ObjectInit, Op, Value};
+    use bso_telemetry::json::Json;
     use std::collections::HashMap;
     use std::io::{Read, Write};
 
@@ -505,6 +544,64 @@ mod tests {
         assert!(winners.windows(2).all(|w| w[0] == w[1]));
         drop(c);
         handle.shutdown();
+    }
+
+    #[test]
+    fn introspect_reports_config_and_per_shard_state() {
+        let handle = serve();
+        let mut c = TcpStream::connect(handle.local_addr()).unwrap();
+        // Generate some owned work first so the snapshot is non-trivial.
+        send(
+            &mut c,
+            1,
+            &Request::Apply {
+                pid: 0,
+                op: Op::write(ObjectId(1), Value::Int(3)),
+            },
+        );
+        assert_eq!(recv(&mut c), (1, Response::Ok(Value::Nil)));
+        send(&mut c, 2, &Request::Introspect);
+        let (id, resp) = recv(&mut c);
+        assert_eq!(id, 2);
+        let Response::Introspect(json) = resp else {
+            panic!("expected introspect snapshot, got {resp:?}");
+        };
+        let doc = bso_telemetry::json::parse(&json).expect("snapshot parses");
+        assert_eq!(
+            doc.get("schema").and_then(|j| j.as_str()),
+            Some("bso-introspect/v1")
+        );
+        let config = doc.get("config").expect("config");
+        assert_eq!(config.get("shards").and_then(Json::as_u64), Some(4));
+        let shards = doc.get("shards").expect("shards");
+        assert_eq!(shards.len(), Some(4), "one entry per event loop");
+        // The apply above landed on loop 1 (object 1 % 4): its probe
+        // saw it, flight recorder included.
+        let probed = &shards.items().unwrap()[1];
+        assert_eq!(
+            probed
+                .get("apply_ns")
+                .and_then(|j| j.get("count"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+        assert!(
+            probed
+                .get("flight")
+                .and_then(|f| f.get("seq"))
+                .and_then(Json::as_u64)
+                >= Some(1)
+        );
+        // Identity travels with the snapshot.
+        let server = doc.get("server").expect("server");
+        assert_eq!(
+            server.get("wire").and_then(|j| j.as_str()),
+            Some(wire::SCHEMA)
+        );
+        drop(c);
+        let stats = handle.shutdown();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.responses, 2);
     }
 
     #[test]

@@ -91,9 +91,11 @@ impl ShardState {
         }
     }
 
-    /// Applies one operation to an owned object. This call is the
+    /// Applies one operation to an owned object, returning the
+    /// response and the measured apply time in nanoseconds (for the
+    /// caller's flight recorder and trace spans). This call is the
     /// linearization point of the operation.
-    pub(crate) fn apply(&mut self, pid: usize, op: &Op) -> Response {
+    pub(crate) fn apply(&mut self, pid: usize, op: &Op) -> (Response, u64) {
         let t = std::time::Instant::now();
         let resp = match self.objects.get_mut(op.obj.0).and_then(Option::as_mut) {
             Some(state) => match state.apply(pid, &op.kind) {
@@ -111,10 +113,9 @@ impl ShardState {
                 message: format!("no object with id {}", op.obj),
             },
         };
-        self.metrics
-            .apply_ns
-            .record(u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
-        resp
+        let ns = u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.metrics.apply_ns.record(ns);
+        (resp, ns)
     }
 
     /// Creates an election session under an id already allocated by
@@ -133,8 +134,9 @@ impl ShardState {
         }
     }
 
-    /// Runs one participant of a session to its decision.
-    pub(crate) fn elect(&mut self, session: u32, pid: usize) -> Response {
+    /// Runs one participant of a session to its decision, returning
+    /// the response and the measured time in nanoseconds.
+    pub(crate) fn elect(&mut self, session: u32, pid: usize) -> (Response, u64) {
         let t = std::time::Instant::now();
         let resp = match self.sessions.get_mut(&session) {
             None => Response::Err {
@@ -152,10 +154,9 @@ impl ShardState {
                 },
             },
         };
-        self.metrics
-            .elect_ns
-            .record(u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
-        resp
+        let ns = u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.metrics.elect_ns.record(ns);
+        (resp, ns)
     }
 }
 
@@ -261,6 +262,12 @@ impl<T> XQueue<T> {
     pub(crate) fn is_empty(&self) -> bool {
         self.q.lock().unwrap().is_empty()
     }
+
+    /// How many entries are queued right now (an instantaneous depth
+    /// reading for `Introspect` scrapes).
+    pub(crate) fn len(&self) -> usize {
+        self.q.lock().unwrap().len()
+    }
 }
 
 #[cfg(test)]
@@ -281,13 +288,13 @@ mod tests {
         let layout = small_layout();
         // Shard 1 of 2 owns object 1 only.
         let mut s = ShardState::new(&layout, 1, 2, &Registry::disabled());
-        let resp = s.apply(0, &Op::write(ObjectId(1), Value::Int(5)));
+        let (resp, _) = s.apply(0, &Op::write(ObjectId(1), Value::Int(5)));
         assert_eq!(resp, Response::Ok(Value::Nil));
-        let resp = s.apply(0, &Op::read(ObjectId(1)));
+        let (resp, _) = s.apply(0, &Op::read(ObjectId(1)));
         assert_eq!(resp, Response::Ok(Value::Int(5)));
         // A misrouted id (object 0 belongs to shard 0) is a
         // BadRequest, not an aliased apply.
-        let resp = s.apply(0, &Op::read(ObjectId(0)));
+        let (resp, _) = s.apply(0, &Op::read(ObjectId(0)));
         assert!(matches!(
             resp,
             Response::Err {
@@ -296,7 +303,7 @@ mod tests {
             }
         ));
         // Object-level refusals are typed separately.
-        let resp = s.apply(0, &Op::new(ObjectId(1), bso_objects::OpKind::Dequeue));
+        let (resp, _) = s.apply(0, &Op::new(ObjectId(1), bso_objects::OpKind::Dequeue));
         assert!(matches!(
             resp,
             Response::Err {
@@ -312,7 +319,7 @@ mod tests {
         assert_eq!(s.open_election(7, 5), Response::Session(7));
         let mut winners = Vec::new();
         for pid in 0..4 {
-            match s.elect(7, pid) {
+            match s.elect(7, pid).0 {
                 Response::Ok(v) => winners.push(v.as_pid().unwrap()),
                 other => panic!("unexpected {other:?}"),
             }
@@ -324,14 +331,14 @@ mod tests {
         // Unknown session, out-of-range pid, and a bad domain are
         // typed errors.
         assert!(matches!(
-            s.elect(8, 0),
+            s.elect(8, 0).0,
             Response::Err {
                 code: ErrorCode::UnknownSession,
                 ..
             }
         ));
         assert!(matches!(
-            s.elect(7, 99),
+            s.elect(7, 99).0,
             Response::Err {
                 code: ErrorCode::BadRequest,
                 ..

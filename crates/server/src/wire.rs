@@ -42,6 +42,13 @@
 //! | `0x03` | [`Request::Elect`] | `session:u32le` `pid:u32le` |
 //! | `0x04` | [`Request::Ping`] | — |
 //! | `0x05` | [`Request::Hello`] | `version:u8` (v2+) |
+//! | `0x06` | [`Request::Introspect`] | — (v2+) |
+//! | `0x07` | [`Request::TracedApply`] | `trace_id:u64le` `span_id:u64le` `pid:u32le` `obj:u32le` opkind (v2+) |
+//!
+//! The v2-only opcodes (`Hello`, `Introspect`, `TracedApply`) still
+//! *decode* at a v1 version byte — the layouts coincide — but a server
+//! refuses to serve them below [`VERSION`], answering the typed
+//! [`ErrorCode::Version`] rejection in the client's own framing.
 //!
 //! ## Responses
 //!
@@ -51,6 +58,7 @@
 //! | `0x82` | [`Response::Err`] | `code:u8` `len:u32le` utf-8 message |
 //! | `0x83` | [`Response::Session`] | `session:u32le` |
 //! | `0x84` | [`Response::Hello`] | `version:u8` (v2+) |
+//! | `0x85` | [`Response::Introspect`] | `len:u32le` utf-8 JSON (v2+) |
 //!
 //! ## Values and operations
 //!
@@ -91,6 +99,23 @@ pub const MAX_VALUE_DEPTH: usize = 32;
 /// Hard cap on one [`Value::Seq`]'s element count.
 pub const MAX_SEQ_LEN: usize = 1 << 16;
 
+/// The trace context a tracing client stamps into a
+/// [`Request::TracedApply`] frame, correlating the client's span with
+/// the span the server records on the owning shard's track.
+///
+/// `trace_id` names one end-to-end request; both sides attach it to
+/// their Chrome-trace span (`args.trace_id`), which is what
+/// [`bso_telemetry::trace::merge_traces`] joins on. `span_id` is the
+/// client-side span's identifier (clients use the request id), carried
+/// so a server span can name its parent.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TraceContext {
+    /// End-to-end request identifier, unique within the issuing client.
+    pub trace_id: u64,
+    /// The client span this request belongs to.
+    pub span_id: u64,
+}
+
 /// A client-to-server request.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Request {
@@ -127,6 +152,26 @@ pub enum Request {
         /// The highest version the client can speak.
         version: u8,
     },
+    /// Observability scrape (v2+): ask the server for its live metrics
+    /// snapshot. The answer is [`Response::Introspect`] carrying a
+    /// deterministic `bso-introspect/v1` JSON document (build/config
+    /// identity, exact serving counters, per-shard queue depths,
+    /// connection counts, turn/apply timings and flight-recorder
+    /// contents).
+    Introspect,
+    /// [`Request::Apply`] carrying a [`TraceContext`] (v2+): the server
+    /// executes it identically but additionally records the apply as a
+    /// span on the owning shard's trace track, stamped with the
+    /// context's ids, so client and server traces can be merged into
+    /// one per-request timeline.
+    TracedApply {
+        /// The client's trace context for this request.
+        ctx: TraceContext,
+        /// The invoking process id (snapshot slots are per-process).
+        pid: u32,
+        /// The operation, aimed at one of the server's objects.
+        op: Op,
+    },
 }
 
 /// A server-to-client response.
@@ -150,6 +195,9 @@ pub enum Response {
         /// The version the server will speak on this connection.
         version: u8,
     },
+    /// The server's metrics snapshot (answering
+    /// [`Request::Introspect`]): a `bso-introspect/v1` JSON document.
+    Introspect(String),
 }
 
 /// Typed error classes a server can answer with.
@@ -263,15 +311,18 @@ impl fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
-const OP_APPLY: u8 = 0x01;
-const OP_OPEN_ELECTION: u8 = 0x02;
-const OP_ELECT: u8 = 0x03;
+pub(crate) const OP_APPLY: u8 = 0x01;
+pub(crate) const OP_OPEN_ELECTION: u8 = 0x02;
+pub(crate) const OP_ELECT: u8 = 0x03;
 const OP_PING: u8 = 0x04;
 const OP_HELLO: u8 = 0x05;
+const OP_INTROSPECT: u8 = 0x06;
+const OP_APPLY_TRACED: u8 = 0x07;
 const RESP_OK: u8 = 0x81;
 const RESP_ERR: u8 = 0x82;
 const RESP_SESSION: u8 = 0x83;
 const RESP_HELLO: u8 = 0x84;
+const RESP_INTROSPECT: u8 = 0x85;
 
 // ---------------------------------------------------------------- encode
 
@@ -405,6 +456,19 @@ pub fn encode_request(req_id: u64, req: &Request, out: &mut Vec<u8>) -> Result<(
                 put_u64(body, req_id);
                 body.push(*version);
             }
+            Request::Introspect => {
+                body.push(OP_INTROSPECT);
+                put_u64(body, req_id);
+            }
+            Request::TracedApply { ctx, pid, op } => {
+                body.push(OP_APPLY_TRACED);
+                put_u64(body, req_id);
+                put_u64(body, ctx.trace_id);
+                put_u64(body, ctx.span_id);
+                put_u32(body, *pid);
+                put_u32(body, op.obj.0 as u32);
+                put_op_kind(body, &op.kind)?;
+            }
         }
         Ok(())
     })
@@ -461,6 +525,12 @@ pub fn encode_response_at(
                 body.push(RESP_HELLO);
                 put_u64(body, req_id);
                 body.push(*version);
+            }
+            Response::Introspect(json) => {
+                body.push(RESP_INTROSPECT);
+                put_u64(body, req_id);
+                put_u32(body, json.len() as u32);
+                body.extend_from_slice(json.as_bytes());
             }
         }
         Ok(())
@@ -654,6 +724,19 @@ pub fn decode_request(body: &[u8]) -> Result<(u64, Request), WireError> {
         }
         OP_PING => Request::Ping,
         OP_HELLO => Request::Hello { version: c.u8()? },
+        OP_INTROSPECT => Request::Introspect,
+        OP_APPLY_TRACED => {
+            let trace_id = c.u64()?;
+            let span_id = c.u64()?;
+            let pid = c.u32()?;
+            let obj = ObjectId(c.u32()? as usize);
+            let kind = c.op_kind()?;
+            Request::TracedApply {
+                ctx: TraceContext { trace_id, span_id },
+                pid,
+                op: Op::new(obj, kind),
+            }
+        }
         other => return Err(WireError::BadOpcode(other)),
     };
     c.finish()?;
@@ -681,6 +764,14 @@ pub fn decode_response(body: &[u8]) -> Result<(u64, Response), WireError> {
         }
         RESP_SESSION => Response::Session(c.u32()?),
         RESP_HELLO => Response::Hello { version: c.u8()? },
+        RESP_INTROSPECT => {
+            let len = c.u32()? as usize;
+            let bytes = c.take(len)?;
+            let json = std::str::from_utf8(bytes)
+                .map_err(|_| WireError::BadUtf8)?
+                .to_string();
+            Response::Introspect(json)
+        }
         other => return Err(WireError::BadOpcode(other)),
     };
     c.finish()?;
@@ -818,6 +909,15 @@ mod tests {
         round_trip_request(Request::Elect { session: 9, pid: 1 });
         round_trip_request(Request::Ping);
         round_trip_request(Request::Hello { version: VERSION });
+        round_trip_request(Request::Introspect);
+        round_trip_request(Request::TracedApply {
+            ctx: TraceContext {
+                trace_id: 0xDEAD_BEEF,
+                span_id: 7,
+            },
+            pid: 2,
+            op: Op::new(ObjectId(5), OpKind::TestAndSet),
+        });
     }
 
     #[test]
@@ -831,6 +931,7 @@ mod tests {
             },
             Response::Session(17),
             Response::Hello { version: VERSION },
+            Response::Introspect("{\"schema\":\"bso-introspect/v1\"}".into()),
         ] {
             let mut buf = Vec::new();
             encode_response(u64::MAX, &resp, &mut buf).unwrap();
@@ -858,6 +959,19 @@ mod tests {
                 WireError::BadVersion(bad)
             );
         }
+    }
+
+    #[test]
+    fn v2_opcodes_decode_at_a_v1_version_byte() {
+        // The server's serve-time version gate — not the codec — is
+        // what refuses v2-only opcodes from a v1 peer, so the refusal
+        // can be a typed Version error instead of a malformed-frame
+        // kill. The codec therefore decodes them at either version.
+        let mut buf = Vec::new();
+        encode_request(11, &Request::Introspect, &mut buf).unwrap();
+        buf[4] = 1;
+        let (id, req) = decode_request(&buf[4..]).unwrap();
+        assert_eq!((id, req), (11, Request::Introspect));
     }
 
     #[test]

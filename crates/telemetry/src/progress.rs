@@ -19,6 +19,15 @@
 //! Runs with a deadline (`Explorer::deadline` or `BSO_DEADLINE_MS`)
 //! additionally report `"budget_remaining_ms"`, counting down to the
 //! interrupt; the field is omitted entirely when no deadline is set.
+//!
+//! Processes that host a `bso-server` (whose event loops register the
+//! `server.*` metrics) extend each line with a serving variant:
+//! `"serve_requests"` / `"serve_responses"` / `"serve_busy"` lifetime
+//! totals, the live `"serve_conns"` connection count summed across
+//! loops, and `"serve_queue_depths"` per shard in index order. The
+//! `bsotop --tail` dashboard consumes these lines, taking deltas
+//! between samples for rates. Like the DPOR fields, the serving
+//! fields are omitted entirely when no server feeds the registry.
 
 use std::fs::File;
 use std::io::Write;
@@ -111,6 +120,36 @@ pub fn heartbeat(
         fields.push((
             "dpor_backtrack_points",
             Json::U64(counter("explore.live.dpor.backtrack_points")),
+        ));
+    }
+    // The serving variant: present only when a `bso-server` is feeding
+    // this registry (its loops register `server.requests` at bind).
+    // Counters are lifetime totals — consumers (`bsotop --tail`) take
+    // deltas between lines for rates.
+    if let Some(reqs) = snap.counters.get("server.requests") {
+        fields.push(("serve_requests", Json::U64(*reqs)));
+        fields.push(("serve_responses", Json::U64(counter("server.responses"))));
+        fields.push(("serve_busy", Json::U64(counter("server.busy"))));
+        let conns: u64 = snap
+            .gauges
+            .iter()
+            .filter(|(name, _)| name.starts_with("server.loop") && name.ends_with(".conns"))
+            .map(|(_, v)| *v)
+            .sum();
+        fields.push(("serve_conns", Json::U64(conns)));
+        let mut depths: Vec<(u64, u64)> = snap
+            .gauges
+            .iter()
+            .filter_map(|(name, v)| {
+                let rest = name.strip_prefix("server.shard")?;
+                let idx: u64 = rest.strip_suffix(".queue_depth")?.parse().ok()?;
+                Some((idx, *v))
+            })
+            .collect();
+        depths.sort_unstable();
+        fields.push((
+            "serve_queue_depths",
+            Json::Arr(depths.into_iter().map(|(_, v)| Json::U64(v)).collect()),
         ));
     }
     Json::obj(fields)
@@ -399,6 +438,34 @@ mod tests {
             with.get("dpor_backtrack_points").and_then(Json::as_u64),
             Some(0)
         );
+    }
+
+    #[test]
+    fn serve_fields_appear_only_when_serving() {
+        let reg = live_registry();
+        let without = heartbeat(&reg.snapshot(), 0, Duration::ZERO, 0, Duration::ZERO);
+        assert!(
+            without.get("serve_requests").is_none() && without.get("serve_queue_depths").is_none(),
+            "no server in process, no serve fields"
+        );
+        reg.counter("server.requests").add(12);
+        reg.counter("server.responses").add(11);
+        reg.gauge("server.loop0.conns").set(3);
+        reg.gauge("server.loop1.conns").set(4);
+        reg.gauge("server.shard1.queue_depth").set(9);
+        reg.gauge("server.shard0.queue_depth").set(2);
+        let with = heartbeat(&reg.snapshot(), 1, Duration::ZERO, 0, Duration::ZERO);
+        assert_eq!(with.get("serve_requests").and_then(Json::as_u64), Some(12));
+        assert_eq!(with.get("serve_responses").and_then(Json::as_u64), Some(11));
+        // `server.busy` surfaces as zero even before any shedding.
+        assert_eq!(with.get("serve_busy").and_then(Json::as_u64), Some(0));
+        assert_eq!(with.get("serve_conns").and_then(Json::as_u64), Some(7));
+        let depths = with
+            .get("serve_queue_depths")
+            .and_then(Json::items)
+            .unwrap();
+        let depths: Vec<u64> = depths.iter().filter_map(Json::as_u64).collect();
+        assert_eq!(depths, vec![2, 9], "depths sort by shard index");
     }
 
     #[test]

@@ -38,7 +38,7 @@
 //! assert_eq!(doc.get("schema").and_then(|s| s.as_str()), Some("bso-trace/v1"));
 //! ```
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
@@ -368,8 +368,20 @@ impl TraceWorker {
         }
     }
 
-    fn now_ns(ctx: &WorkerCtx) -> u64 {
+    fn clock_ns(ctx: &WorkerCtx) -> u64 {
         u64::try_from(ctx.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Nanoseconds elapsed since the parent sink's epoch — the
+    /// timestamp domain of [`TraceWorker::event_at`]. Returns 0 (and
+    /// reads no clock) on a disabled handle, so callers can take a
+    /// stamp before an operation and emit the span after it with
+    /// `event_at(t0, Some(now_ns() - t0), …)`.
+    pub fn now_ns(&self) -> u64 {
+        match &self.ctx {
+            Some(ctx) => Self::clock_ns(ctx),
+            None => 0,
+        }
     }
 
     /// Records an instant event (no duration) stamped now.
@@ -385,7 +397,7 @@ impl TraceWorker {
     ) {
         let Some(ctx) = &self.ctx else { return };
         self.push(TraceEvent {
-            ts_ns: Self::now_ns(ctx),
+            ts_ns: Self::clock_ns(ctx),
             dur_ns: None,
             name: name.to_string(),
             args: args.into_iter().collect(),
@@ -399,7 +411,7 @@ impl TraceWorker {
             Some(ctx) => TraceSpan {
                 worker: self.clone(),
                 name: name.to_string(),
-                start_ns: Self::now_ns(ctx),
+                start_ns: Self::clock_ns(ctx),
                 args: Vec::new(),
                 done: false,
             },
@@ -466,7 +478,7 @@ impl TraceSpan {
         }
         self.done = true;
         let Some(ctx) = &self.worker.ctx else { return };
-        let end_ns = TraceWorker::now_ns(ctx);
+        let end_ns = TraceWorker::clock_ns(ctx);
         self.worker.push(TraceEvent {
             ts_ns: self.start_ns,
             dur_ns: Some(end_ns.saturating_sub(self.start_ns)),
@@ -500,6 +512,159 @@ pub fn dump_global_trace_if_env() -> std::io::Result<Option<std::path::PathBuf>>
     let path = std::path::PathBuf::from(path);
     std::fs::write(&path, TraceSink::global().export_string())?;
     Ok(Some(path))
+}
+
+fn merge_events_of<'a>(doc: &'a Json, which: &str) -> Result<&'a [Json], String> {
+    match doc.get("schema").and_then(Json::as_str) {
+        Some("bso-trace/v1") => {}
+        other => {
+            return Err(format!(
+                "{which} trace: schema is {other:?}, want bso-trace/v1"
+            ))
+        }
+    }
+    match doc.get("traceEvents") {
+        Some(Json::Arr(evs)) => Ok(evs),
+        _ => Err(format!(
+            "{which} trace: traceEvents missing or not an array"
+        )),
+    }
+}
+
+/// Midpoint timestamp (µs) of the first `"X"` span per `trace_id` arg.
+fn span_mids(events: &[Json]) -> BTreeMap<u64, f64> {
+    let mut out = BTreeMap::new();
+    for e in events {
+        if e.get("ph").and_then(Json::as_str) != Some("X") {
+            continue;
+        }
+        let Some(id) = e
+            .get("args")
+            .and_then(|a| a.get("trace_id"))
+            .and_then(Json::as_u64)
+        else {
+            continue;
+        };
+        let Some(ts) = e.get("ts").and_then(Json::as_f64) else {
+            continue;
+        };
+        let dur = e.get("dur").and_then(Json::as_f64).unwrap_or(0.0);
+        out.entry(id).or_insert(ts + dur / 2.0);
+    }
+    out
+}
+
+/// Re-emits one event with its `tid` shifted by `tid_base`, its `ts`
+/// shifted by `ts_shift` µs, and (for `"M"` metadata) its thread name
+/// prefixed with `side:`.
+fn rebase_event(e: &Json, tid_base: u64, ts_shift: f64, side: &str) -> Json {
+    let Json::Obj(entries) = e else {
+        return e.clone();
+    };
+    let is_meta = e.get("ph").and_then(Json::as_str) == Some("M");
+    Json::Obj(
+        entries
+            .iter()
+            .map(|(k, v)| {
+                let nv = match k.as_str() {
+                    "tid" => Json::U64(v.as_u64().unwrap_or(0) + tid_base),
+                    "ts" => Json::F64(v.as_f64().unwrap_or(0.0) + ts_shift),
+                    "args" if is_meta => {
+                        let name = v.get("name").and_then(Json::as_str).unwrap_or("");
+                        Json::obj([("name", Json::str(format!("{side}:{name}")))])
+                    }
+                    _ => v.clone(),
+                };
+                (k.clone(), nv)
+            })
+            .collect(),
+    )
+}
+
+/// Joins a client-side and a server-side Chrome-trace export (both
+/// `bso-trace/v1`, from [`TraceSink::export`]) into one timeline.
+///
+/// The two sinks have independent epochs, so server timestamps are
+/// shifted onto the client clock using the median offset between the
+/// span midpoints of every `trace_id` that appears on both sides (the
+/// ids stamped into request frames by a tracing client and echoed by
+/// the server's per-shard span records). Server worker tracks are
+/// renumbered after the client's, and every `thread_name` is prefixed
+/// `client:` or `server:`.
+///
+/// The merged document keeps the `bso-trace/v1` shape (it revalidates
+/// and reloads anywhere the inputs do) and adds a `"merged"` object:
+/// `matched` (trace_ids seen on both sides), `client_only`,
+/// `server_only`, and `offset_us` (the applied clock shift).
+///
+/// # Errors
+///
+/// Rejects documents that are not `bso-trace/v1`, and inputs that
+/// share no `trace_id` (there is nothing to align the clocks with).
+pub fn merge_traces(client: &Json, server: &Json) -> Result<Json, String> {
+    let c_events = merge_events_of(client, "client")?;
+    let s_events = merge_events_of(server, "server")?;
+    let c_mids = span_mids(c_events);
+    let s_mids = span_mids(s_events);
+    let mut offsets: Vec<f64> = c_mids
+        .iter()
+        .filter_map(|(id, c)| s_mids.get(id).map(|s| c - s))
+        .collect();
+    if offsets.is_empty() {
+        return Err("no trace_id appears in both traces; cannot align clocks".to_string());
+    }
+    offsets.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let offset = offsets[offsets.len() / 2];
+    let matched = offsets.len() as u64;
+    let client_only = (c_mids.len() as u64).saturating_sub(matched);
+    let server_only = (s_mids.len() as u64).saturating_sub(matched);
+
+    let tid_base = c_events
+        .iter()
+        .filter_map(|e| e.get("tid").and_then(Json::as_u64))
+        .max()
+        .unwrap_or(0);
+    let mut meta: Vec<Json> = Vec::new();
+    let mut data: Vec<(f64, u64, Json)> = Vec::new();
+    for (events, base, shift, side) in [
+        (c_events, 0u64, 0.0f64, "client"),
+        (s_events, tid_base, offset, "server"),
+    ] {
+        for e in events {
+            let out = rebase_event(e, base, shift, side);
+            if out.get("ph").and_then(Json::as_str) == Some("M") {
+                meta.push(out);
+            } else {
+                let ts = out.get("ts").and_then(Json::as_f64).unwrap_or(0.0);
+                let tid = out.get("tid").and_then(Json::as_u64).unwrap_or(0);
+                data.push((ts, tid, out));
+            }
+        }
+    }
+    data.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.1.cmp(&b.1))
+    });
+    meta.extend(data.into_iter().map(|(_, _, j)| j));
+
+    let dropped = client.get("dropped").and_then(Json::as_u64).unwrap_or(0)
+        + server.get("dropped").and_then(Json::as_u64).unwrap_or(0);
+    Ok(Json::obj([
+        ("schema", Json::str("bso-trace/v1")),
+        ("displayTimeUnit", Json::str("ms")),
+        ("dropped", Json::U64(dropped)),
+        (
+            "merged",
+            Json::obj([
+                ("matched", Json::U64(matched)),
+                ("client_only", Json::U64(client_only)),
+                ("server_only", Json::U64(server_only)),
+                ("offset_us", Json::F64(offset)),
+            ]),
+        ),
+        ("traceEvents", Json::Arr(meta)),
+    ]))
 }
 
 #[cfg(test)]
@@ -640,6 +805,108 @@ mod tests {
         assert_eq!(ev.get("ph").and_then(Json::as_str), Some("X"));
         assert_eq!(ev.get("ts").and_then(Json::as_f64), Some(1.0));
         assert_eq!(ev.get("dur").and_then(Json::as_f64), Some(2.0));
+    }
+
+    #[test]
+    fn now_ns_is_monotonic_and_zero_when_disabled() {
+        assert_eq!(TraceWorker::disabled().now_ns(), 0);
+        let sink = TraceSink::enabled();
+        let w = sink.worker("w");
+        let a = w.now_ns();
+        let b = w.now_ns();
+        assert!(b >= a);
+    }
+
+    fn traced_span(w: &TraceWorker, ts_ns: u64, dur_ns: u64, trace_id: u64) {
+        w.event_at(
+            ts_ns,
+            Some(dur_ns),
+            "op",
+            [("trace_id", TraceArg::U64(trace_id))],
+        );
+    }
+
+    #[test]
+    fn merge_aligns_clocks_and_counts_matches() {
+        // Client spans at 10µs and 50µs; server saw the same work on a
+        // clock shifted 1ms earlier, plus one span the client never
+        // stamped.
+        let client = TraceSink::enabled();
+        let cw = client.worker("conn0");
+        traced_span(&cw, 10_000, 4_000, 1);
+        traced_span(&cw, 50_000, 4_000, 2);
+        let server = TraceSink::enabled();
+        let sw = server.worker("loop0");
+        traced_span(&sw, 1_011_000, 2_000, 1);
+        traced_span(&sw, 1_051_000, 2_000, 2);
+        traced_span(&sw, 1_900_000, 2_000, 99);
+
+        let merged = merge_traces(&client.export(), &server.export()).unwrap();
+        assert_eq!(
+            merged.get("schema").and_then(Json::as_str),
+            Some("bso-trace/v1")
+        );
+        let m = merged.get("merged").unwrap();
+        assert_eq!(m.get("matched").and_then(Json::as_u64), Some(2));
+        assert_eq!(m.get("client_only").and_then(Json::as_u64), Some(0));
+        assert_eq!(m.get("server_only").and_then(Json::as_u64), Some(1));
+        // True offset is client − server = −1000µs.
+        let off = m.get("offset_us").and_then(Json::as_f64).unwrap();
+        assert!((off - (-1000.0)).abs() < 1e-6, "offset {off}");
+
+        let events = match merged.get("traceEvents") {
+            Some(Json::Arr(evs)) => evs,
+            _ => unreachable!(),
+        };
+        // Thread names are side-prefixed and tids disjoint.
+        let names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("M"))
+            .map(|e| {
+                e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(names, ["client:conn0", "server:loop0"]);
+        // After the shift, server span 1 nests inside client span 1.
+        let span = |tid: u64, id: u64| {
+            events
+                .iter()
+                .find(|e| {
+                    e.get("tid").and_then(Json::as_u64) == Some(tid)
+                        && e.get("args")
+                            .and_then(|a| a.get("trace_id"))
+                            .and_then(Json::as_u64)
+                            == Some(id)
+                })
+                .unwrap()
+        };
+        let c1 = span(1, 1);
+        let s1 = span(2, 1);
+        let (cts, cdur) = (
+            c1.get("ts").and_then(Json::as_f64).unwrap(),
+            c1.get("dur").and_then(Json::as_f64).unwrap(),
+        );
+        let (sts, sdur) = (
+            s1.get("ts").and_then(Json::as_f64).unwrap(),
+            s1.get("dur").and_then(Json::as_f64).unwrap(),
+        );
+        assert!(sts >= cts && sts + sdur <= cts + cdur, "server span nests");
+    }
+
+    #[test]
+    fn merge_rejects_disjoint_traces_and_bad_schemas() {
+        let a = TraceSink::enabled();
+        a.worker("a").event_at(1, Some(1), "x", []);
+        let b = TraceSink::enabled();
+        b.worker("b").event_at(1, Some(1), "y", []);
+        let err = merge_traces(&a.export(), &b.export()).unwrap_err();
+        assert!(err.contains("no trace_id"), "{err}");
+        let err =
+            merge_traces(&Json::obj([("schema", Json::str("nope"))]), &b.export()).unwrap_err();
+        assert!(err.contains("schema"), "{err}");
     }
 
     #[test]

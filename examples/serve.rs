@@ -7,6 +7,11 @@
 //! against the sequential specs with the Wing–Gong linearizability
 //! checker — the same end-to-end pipeline `loadgen --smoke` runs in CI.
 //!
+//! Along the way it attaches a client latency histogram, scrapes the
+//! live server with the wire-level `Introspect` request, and — when
+//! `BSO_TELEMETRY` names a file — dumps the whole registry (server
+//! metrics *and* the client round trips) on exit.
+//!
 //! ```text
 //! cargo run --example serve
 //! BSO_TELEMETRY=serve.json cargo run --example serve   # + server metrics
@@ -18,8 +23,18 @@ use bso::client::{Connection, HistoryRecorder};
 use bso::objects::{Layout, ObjectId, ObjectInit, Op, OpKind, Sym, Value};
 use bso::server::Server;
 use bso::sim::check_history;
+use bso::telemetry::json::{self, Json};
+use bso::telemetry::Registry;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The global registry when `BSO_TELEMETRY` names a dump file (so
+    // the client round trips land in it), a private live one
+    // otherwise — the printed latency summary is real either way.
+    let registry = if Registry::global().is_enabled() {
+        Registry::default()
+    } else {
+        Registry::enabled()
+    };
     // The served universe: Σ = {⊥, 0, 1, 2} compare&swap, a register,
     // and a counter.
     let mut layout = Layout::new();
@@ -36,9 +51,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     std::thread::scope(|s| {
         for pid in 0..3usize {
             let recorder = Arc::clone(&recorder);
+            let latency = registry.histogram("client.rtt_ns");
             s.spawn(move || {
                 let mut conn = Connection::builder()
                     .recorder(recorder)
+                    .latency_histogram(latency)
                     .connect(addr)
                     .expect("connect");
                 // Everyone races the same compare&swap slot…
@@ -91,6 +108,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let ctr_now = conn.apply(0, Op::read(ObjectId(ctr.0)))?;
     println!("counter after the pipelined bursts: {ctr_now}");
+
+    // Every completed round trip above recorded into the latency
+    // histogram attached at connect time.
+    let rtt = &registry.snapshot().histograms["client.rtt_ns"];
+    println!(
+        "client rtt over {} ops: p50 {:.1}us, p99 {:.1}us, max {:.1}us",
+        rtt.count,
+        rtt.p50() as f64 / 1e3,
+        rtt.p99() as f64 / 1e3,
+        rtt.max as f64 / 1e3,
+    );
+
+    // A running server is scrapable over the same wire: the
+    // `Introspect` request returns a `bso-introspect/v1` snapshot of
+    // per-shard state (see DESIGN.md §3.13, and `bsotop` for a live
+    // dashboard built on it).
+    let intro = json::parse(&conn.introspect()?)?;
+    let shards = intro.get("shards").and_then(Json::items).unwrap_or(&[]);
+    let served: u64 = shards
+        .iter()
+        .map(|s| {
+            s.get("apply_ns")
+                .and_then(|h| h.get("count"))
+                .and_then(Json::as_u64)
+                .unwrap_or(0)
+        })
+        .sum();
+    println!(
+        "introspect: {} over {} shards, {served} applies recorded in-shard",
+        intro.get("schema").and_then(Json::as_str).unwrap_or("?"),
+        shards.len(),
+    );
     drop(conn);
 
     let stats = handle.shutdown();
