@@ -9,8 +9,10 @@
 //! server's `Introspect` request (see DESIGN.md §3.13), differencing
 //! consecutive `bso-introspect/v1` snapshots into per-shard rates:
 //! ops/s, busy rate, live connections, queue depth, apply-latency
-//! p50/p99 and wakeups/s, plus the flight recorder's slow-request
-//! counters. `--tail` instead follows a `bso-progress/v1` heartbeat
+//! p50/p99 and wakeups/s, deadline-shed ops/s (the faults column),
+//! plus the flight recorder's slow-request counters; the header also
+//! tracks the fault-recovery counters (session resumes and
+//! exactly-once replays, DESIGN.md §3.14). `--tail` instead follows a `bso-progress/v1` heartbeat
 //! file written by a server process running under
 //! `BSO_PROGRESS=path.jsonl BSO_TELEMETRY=...` (the serving variant
 //! fields), for servers one cannot or does not want to poll.
@@ -88,6 +90,7 @@ struct ShardRow {
     wakeups: u64,
     p50_ns: u64,
     p99_ns: u64,
+    shed: u64,
     slow: u64,
     threshold_ns: u64,
 }
@@ -98,6 +101,9 @@ struct Sample {
     requests: u64,
     responses: u64,
     busy: u64,
+    resumes: u64,
+    replays: u64,
+    shed: u64,
     uptime_ms: u64,
     version: String,
     shards: Vec<ShardRow>,
@@ -130,6 +136,7 @@ fn parse_introspect(text: &str) -> Result<Sample, String> {
                 wakeups: s.get("wakeups").and_then(Json::as_u64).unwrap_or(0),
                 p50_ns: hist("apply_ns", "p50"),
                 p99_ns: hist("apply_ns", "p99"),
+                shed: s.get("shed").and_then(Json::as_u64).unwrap_or(0),
                 slow: s
                     .get("flight")
                     .and_then(|f| f.get("slow"))
@@ -143,6 +150,9 @@ fn parse_introspect(text: &str) -> Result<Sample, String> {
         requests: u(&doc, "stats", "requests"),
         responses: u(&doc, "stats", "responses"),
         busy: u(&doc, "stats", "busy"),
+        resumes: u(&doc, "stats", "resumes"),
+        replays: u(&doc, "stats", "replays"),
+        shed: u(&doc, "stats", "shed"),
         uptime_ms: u(&doc, "server", "uptime_ms"),
         version: doc
             .get("server")
@@ -193,11 +203,22 @@ fn render(cfg: &Config, s: &Sample, prev: Option<&Sample>, dt: Duration, frame: 
         s.requests.saturating_sub(s.responses),
         busy_pct,
     );
-    println!("shard    ops/s  conns  queue  p50(us)  p99(us)  wakeups/s  slow(>{{thresh}})");
+    println!(
+        "faults: {} resumes (+{}), {} replays (+{}), {} shed (+{})",
+        s.resumes,
+        s.resumes.saturating_sub(p.resumes),
+        s.replays,
+        s.replays.saturating_sub(p.replays),
+        s.shed,
+        s.shed.saturating_sub(p.shed),
+    );
+    println!(
+        "shard    ops/s  conns  queue  p50(us)  p99(us)  wakeups/s  shed/s  slow(>{{thresh}})"
+    );
     for (i, row) in s.shards.iter().enumerate() {
         let prev_row = p.shards.get(i).cloned().unwrap_or_default();
         println!(
-            "{:>5}  {:>7.0}  {:>5}  {:>5}  {:>7.1}  {:>7.1}  {:>9.0}  {:>3} (>{:.0}us)",
+            "{:>5}  {:>7.0}  {:>5}  {:>5}  {:>7.1}  {:>7.1}  {:>9.0}  {:>6.0}  {:>3} (>{:.0}us)",
             i,
             rate(row.ops, prev_row.ops, dt),
             row.conns,
@@ -205,6 +226,7 @@ fn render(cfg: &Config, s: &Sample, prev: Option<&Sample>, dt: Duration, frame: 
             row.p50_ns as f64 / 1e3,
             row.p99_ns as f64 / 1e3,
             rate(row.wakeups, prev_row.wakeups, dt),
+            rate(row.shed, prev_row.shed, dt),
             row.slow,
             row.threshold_ns as f64 / 1e3,
         );

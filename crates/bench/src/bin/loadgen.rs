@@ -40,14 +40,18 @@
 //! halves of each request on one timeline.
 
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use bso::client::{ClientError, Connection, HistoryRecorder, Swarm, SwarmReport};
+use bso::client::{
+    ClientError, Connection, HistoryRecorder, ResilientClient, RetryPolicy, Swarm, SwarmReport,
+};
 use bso::objects::rng::SplitMix64;
 use bso::objects::{Layout, ObjectId, ObjectInit, Op, OpKind, Sym, Value};
 use bso::server::poll::PollBackend;
-use bso::server::{Server, ServerHandle, ServerStats};
+use bso::server::{ErrorCode, Server, ServerHandle, ServerStats};
+use bso_bench::chaos::{ChaosProxy, FaultPlan};
 use bso_telemetry::json::Json;
 use bso_telemetry::trace::TraceSink;
 use bso_telemetry::Registry;
@@ -64,6 +68,8 @@ struct Config {
     threads: usize,
     curve_points: usize,
     backend: PollBackend,
+    chaos: bool,
+    chaos_seed: u64,
 }
 
 impl Config {
@@ -85,6 +91,8 @@ impl Config {
             threads: 4,
             curve_points: 7,
             backend: PollBackend::Auto,
+            chaos: false,
+            chaos_seed: 0xFA17,
         };
         while let Some(arg) = args.next() {
             match arg.as_str() {
@@ -111,6 +119,8 @@ impl Config {
                     cfg.backend =
                         PollBackend::parse(&v).ok_or(format!("--backend: unknown {v:?}"))?;
                 }
+                "--chaos" => cfg.chaos = true,
+                "--chaos-seed" => cfg.chaos_seed = num(&mut args, &arg)? as u64,
                 "--help" | "-h" => return Err(USAGE.to_string()),
                 other => return Err(format!("unknown argument {other}\n{USAGE}")),
             }
@@ -147,8 +157,9 @@ impl Config {
     }
 }
 
-const USAGE: &str = "usage: loadgen [--smoke] [--conns N] [--pipeline N] [--ops N] [--k K] \
-[--shards N] [--queue N] [--threads N] [--curve-points N] [--backend auto|epoll|poll]";
+const USAGE: &str = "usage: loadgen [--smoke] [--chaos] [--chaos-seed N] [--conns N] \
+[--pipeline N] [--ops N] [--k K] [--shards N] [--queue N] [--threads N] [--curve-points N] \
+[--backend auto|epoll|poll]";
 
 const CAS: ObjectId = ObjectId(0);
 const CTR: ObjectId = ObjectId(1);
@@ -365,6 +376,271 @@ fn run_smoke(cfg: &Config, registry: &Registry) -> Result<(), String> {
     check_drained(&stats)
 }
 
+/// Reads the contended counter's current value straight off the
+/// server (not through any proxy) — the exactness ledger.
+fn read_counter(addr: std::net::SocketAddr) -> Result<i64, String> {
+    Connection::builder()
+        .connect(addr)
+        .and_then(|mut c| c.apply(0, Op::new(CTR, OpKind::FetchAdd(0))))
+        .map_err(|e| format!("ledger read: {e}"))?
+        .as_int()
+        .ok_or_else(|| "ledger read returned a non-integer".into())
+}
+
+/// The chaos contract (DESIGN.md §3.14): a seeded `bso-faultplan/v1`
+/// proxy injects resets, truncations, stalls, corruption, and delays
+/// between resilient clients and the server, and the run must still
+/// deliver every effect exactly once — the FetchAdd ledger balances to
+/// the acked increments, the recorded history passes the Wing–Gong
+/// checker, elections agree, zero-budget ops shed with typed
+/// `Expired`, and the fault schedule is replayable from the seed
+/// (printed as the plan fingerprint).
+fn run_chaos(cfg: &Config, registry: &Registry) -> Result<(), String> {
+    let layout = cfg.layout();
+    let handle = cfg.serve(registry)?;
+    let plan = FaultPlan::new(cfg.chaos_seed);
+    println!(
+        "chaos: {} seed {:#x} fingerprint {:#018x}",
+        bso_bench::chaos::SCHEMA,
+        plan.seed(),
+        plan.fingerprint(64),
+    );
+    let proxy = ChaosProxy::spawn(handle.local_addr(), plan).map_err(|e| format!("proxy: {e}"))?;
+    let paddr = proxy.addr();
+    let policy = RetryPolicy {
+        max_attempts: 40,
+        base_backoff: Duration::from_micros(200),
+        max_backoff: Duration::from_millis(20),
+        read_timeout: Some(Duration::from_secs(5)),
+    };
+
+    // Phase 1: recorded resilient clients, one per thread. Every 251st
+    // op is a zero-budget DeadlineApply that MUST shed; everything
+    // else is the usual mix, with CTR increments tallied for the
+    // ledger.
+    let total_ops = cfg.ops.max(10_000);
+    let per_thread = (total_ops / 2) / cfg.threads as u64;
+    let recorder = Arc::new(HistoryRecorder::new());
+    let increments = Arc::new(AtomicU64::new(0));
+    let sheds = Arc::new(AtomicU64::new(0));
+    let ctr_start = read_counter(handle.local_addr())?;
+    let (mut reconnects, mut retries) = (0u64, 0u64);
+    let outcomes = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.threads)
+            .map(|pid| {
+                let rec = Arc::clone(&recorder);
+                let incr = Arc::clone(&increments);
+                let shed = Arc::clone(&sheds);
+                let policy = policy.clone();
+                s.spawn(move || -> Result<(u64, u64), ClientError> {
+                    let mut client = ResilientClient::builder()
+                        .token(cfg.chaos_seed.wrapping_mul(0x0001_0001) + pid as u64)
+                        .seed(cfg.chaos_seed ^ pid as u64)
+                        .policy(policy)
+                        .recorder(rec)
+                        .connect(paddr)?;
+                    let mut rng = SplitMix64::new(cfg.chaos_seed ^ (0x00C1_1E00 + pid as u64));
+                    for i in 0..per_thread {
+                        if i % 251 == 250 {
+                            let reg = register_of(rng.usize_below(REGISTERS));
+                            match client.apply_within(
+                                pid,
+                                Op::write(reg, Value::Int(-1)),
+                                Duration::ZERO,
+                            ) {
+                                Err(e) if e.code() == Some(ErrorCode::Expired) => {
+                                    shed.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Ok(_) => {
+                                    return Err(ClientError::Protocol(
+                                        "zero-budget op applied instead of shedding".into(),
+                                    ))
+                                }
+                                Err(e) => return Err(e),
+                            }
+                            continue;
+                        }
+                        let op = mixed_op(&mut rng, cfg.k, i);
+                        let is_incr = op.obj == CTR && matches!(op.kind, OpKind::FetchAdd(1));
+                        client.apply(pid, op)?;
+                        if is_incr {
+                            incr.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    Ok((client.reconnects(), client.retries()))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("chaos client thread panicked"))
+            .collect::<Result<Vec<_>, ClientError>>()
+    })
+    .map_err(|e| format!("chaos client: {e}"))?;
+    for (r, t) in outcomes {
+        reconnects += r;
+        retries += t;
+    }
+    let ctr_after_clients = read_counter(handle.local_addr())?;
+    let acked = increments.load(Ordering::Relaxed);
+    if (ctr_after_clients - ctr_start) != acked as i64 {
+        return Err(format!(
+            "LEDGER VIOLATION: counter moved {} for {} acked increments",
+            ctr_after_clients - ctr_start,
+            acked
+        ));
+    }
+    let log = recorder.take_log();
+    bso::sim::check_history(&layout, &log)
+        .map_err(|e| format!("NOT LINEARIZABLE UNDER CHAOS\n{e}"))?;
+    println!(
+        "chaos: {} recorded ops linearizable, ledger exact at {} increments, \
+         {} sheds typed Expired ✓",
+        log.len(),
+        acked,
+        sheds.load(Ordering::Relaxed),
+    );
+
+    // Phase 2: a resilient swarm rides the same proxy; every issued op
+    // must be acked exactly once despite the churn.
+    let swarm_ops = total_ops - total_ops / 2;
+    let mut rng = SplitMix64::new(cfg.chaos_seed ^ 0x5AFE);
+    let mut swarm_incrs = 0u64;
+    let report = Swarm::builder()
+        .connections(cfg.conns.min(32))
+        .pipeline(cfg.pipeline.min(16))
+        .backend(cfg.backend)
+        .resilient(true)
+        .session_base(cfg.chaos_seed.wrapping_mul(0x0002_0003))
+        .retry_seed(cfg.chaos_seed)
+        .run(paddr, |_conn, seq| {
+            (seq < swarm_ops).then(|| {
+                let op = mixed_op(&mut rng, cfg.k, seq);
+                if op.obj == CTR && matches!(op.kind, OpKind::FetchAdd(1)) {
+                    swarm_incrs += 1;
+                }
+                (0usize, op)
+            })
+        })
+        .map_err(|e| format!("chaos swarm: {e}"))?;
+    if report.ops_ok != swarm_ops || report.ops_err != 0 || report.ops_busy != 0 {
+        return Err(format!(
+            "chaos swarm: {} ok + {} busy + {} err of {} issued",
+            report.ops_ok, report.ops_busy, report.ops_err, swarm_ops
+        ));
+    }
+    if report.rtt_ns.len() as u64 != report.ops_ok {
+        return Err(format!(
+            "chaos swarm recorded {} latency samples for {} successes",
+            report.rtt_ns.len(),
+            report.ops_ok
+        ));
+    }
+    let ctr_after_swarm = read_counter(handle.local_addr())?;
+    if (ctr_after_swarm - ctr_after_clients) != swarm_incrs as i64 {
+        return Err(format!(
+            "SWARM LEDGER VIOLATION: counter moved {} for {} issued increments",
+            ctr_after_swarm - ctr_after_clients,
+            swarm_incrs
+        ));
+    }
+    println!(
+        "chaos: swarm {} ok at {:.0} ops/s across {} reconnects, ledger exact ✓",
+        report.ops_ok,
+        report.ops_per_sec(),
+        report.reconnects,
+    );
+
+    // Election through the chaos proxy: winners must still be unique.
+    let participants = cfg.threads.min(cfg.k as usize - 1);
+    let elect_base = cfg.chaos_seed.wrapping_mul(0x0003_0005);
+    let session = ResilientClient::builder()
+        .token(elect_base)
+        .policy(policy.clone())
+        .connect(paddr)
+        .and_then(|mut c| c.open_election(cfg.k as u32))
+        .map_err(|e| format!("chaos open election: {e}"))?;
+    let winners: Vec<usize> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..participants)
+            .map(|pid| {
+                let policy = policy.clone();
+                s.spawn(move || {
+                    ResilientClient::builder()
+                        .token(elect_base + 1 + pid as u64)
+                        .policy(policy)
+                        .connect(paddr)?
+                        .elect(session, pid as u32)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("chaos elector panicked"))
+            .collect::<Result<_, ClientError>>()
+    })
+    .map_err(|e| format!("chaos election: {e}"))?;
+    if winners.windows(2).any(|w| w[0] != w[1]) {
+        return Err(format!("election disagreement under chaos: {winners:?}"));
+    }
+    println!(
+        "chaos: election of {} participants agreed on p{} ✓",
+        winners.len(),
+        winners[0]
+    );
+
+    let total_reconnects = reconnects + report.reconnects;
+    if total_reconnects < 5 {
+        return Err(format!(
+            "chaos was too gentle: only {total_reconnects} reconnects (need >= 5); \
+             raise --ops or change --chaos-seed"
+        ));
+    }
+    if sheds.load(Ordering::Relaxed) == 0 {
+        return Err("no zero-budget op was shed".into());
+    }
+
+    drop(proxy);
+    let stats = handle.shutdown();
+    println!(
+        "chaos: server saw {} requests / {} responses, {} resumes, {} replays, \
+         {} shed, {} malformed; clients made {} reconnects and {} retries",
+        stats.requests,
+        stats.responses,
+        stats.resumes,
+        stats.replays,
+        stats.shed,
+        stats.malformed,
+        total_reconnects,
+        retries,
+    );
+    if stats.responses > stats.requests {
+        return Err(format!(
+            "server answered {} responses to {} requests",
+            stats.responses, stats.requests
+        ));
+    }
+    if stats.version_rejects != 0 {
+        return Err(format!(
+            "{} version rejects under chaos",
+            stats.version_rejects
+        ));
+    }
+    if stats.shed < sheds.load(Ordering::Relaxed) {
+        return Err(format!(
+            "server counted {} sheds, clients observed {}",
+            stats.shed,
+            sheds.load(Ordering::Relaxed)
+        ));
+    }
+    if stats.resumes < cfg.threads as u64 + total_reconnects {
+        return Err(format!(
+            "server counted {} resumes for {} sessions + {} reconnects",
+            stats.resumes, cfg.threads, total_reconnects
+        ));
+    }
+    Ok(())
+}
+
 /// Peak measurement plus the offered-load ladder.
 fn run_bench(cfg: &Config, registry: &Registry) -> Result<(String, f64), String> {
     let handle = cfg.serve(registry)?;
@@ -571,7 +847,9 @@ fn main() -> ExitCode {
         Registry::enabled()
     };
 
-    let outcome = if cfg.smoke {
+    let outcome = if cfg.chaos {
+        run_chaos(&cfg, &registry).map(|()| None)
+    } else if cfg.smoke {
         run_smoke(&cfg, &registry).map(|()| None)
     } else {
         run_bench(&cfg, &registry).map(Some)

@@ -8,6 +8,7 @@
 //! validate_telemetry --serve <snapshot.json> [BENCH_serve.json]
 //! validate_telemetry --explore <BENCH_explore.json>
 //! validate_telemetry --introspect
+//! validate_telemetry --chaos
 //! ```
 //!
 //! The default mode exits nonzero unless the file parses as a
@@ -34,9 +35,17 @@
 //! loopback `bso-server`, scrapes the wire-level `Introspect` request
 //! *while traffic is flowing*, and validates the `bso-introspect/v1`
 //! snapshot (key presence, quantile ordering, exactly one per-shard
-//! entry per configured shard — the DESIGN.md §3.13 contract). CI
-//! runs all seven over the artifacts the examples, the loadgen smoke
-//! job and the smoke bench write.
+//! entry per configured shard — the DESIGN.md §3.13 contract);
+//! `--chaos` is likewise self-contained — it starts a loopback
+//! `bso-server` and drives the DESIGN.md §3.14 fault-recovery
+//! contract deterministically over a raw wire connection: a `Resume`
+//! session bind, a duplicate-`req_id` retry that must be *replayed*
+//! from the reply cache (not re-applied), and a zero-budget
+//! `DeadlineApply` that must be shed with a typed `Expired` — then
+//! checks that the `Introspect` snapshot and shutdown stats account
+//! for all three (`resumes`, `replays`, `sessions`, and aggregate
+//! plus per-shard `shed`). CI runs all eight over the artifacts the
+//! examples, the loadgen smoke job and the smoke bench write.
 
 use std::process::ExitCode;
 
@@ -59,7 +68,7 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage: validate_telemetry <snapshot.json> [min_total] [prefix=N ...] \
      | --trace <trace.json> [min_events] | --progress <progress.jsonl> [min_lines] \
      | --checkpoint <cp.json> | --serve <snapshot.json> [BENCH_serve.json] \
-     | --explore <BENCH_explore.json> | --introspect";
+     | --explore <BENCH_explore.json> | --introspect | --chaos";
 
 fn run() -> Result<String, String> {
     let mut args = std::env::args().skip(1);
@@ -92,6 +101,9 @@ fn run() -> Result<String, String> {
     }
     if path == "--introspect" {
         return validate_introspect();
+    }
+    if path == "--chaos" {
+        return validate_chaos();
     }
     let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
     let doc = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
@@ -718,5 +730,215 @@ fn validate_introspect() -> Result<String, String> {
     Ok(format!(
         "introspect contract ok: {SHARDS} shards, {requests} requests in snapshot, \
          {sent} traffic ops drained"
+    ))
+}
+
+/// The self-contained fault-recovery contract check (DESIGN.md
+/// §3.14): every recovery path the chaos harness exercises
+/// probabilistically is forced here *deterministically*, over a raw
+/// wire connection, and the accounting is checked end to end — in
+/// the live `Introspect` snapshot and in the shutdown stats.
+///
+/// The script: bind a session (`Resume`), apply an effectful op
+/// under it, shed a zero-budget `DeadlineApply` with a typed
+/// `Expired`, then "crash" (drop the socket), reconnect, resume, and
+/// retry the effectful op with its original `req_id`. The retry must
+/// be replayed from the per-session reply cache — the counter must
+/// show exactly one application — and the server must report
+/// `resumes`, `replays`, `sessions`, and `shed` (aggregate and
+/// per-shard) for all of it.
+fn validate_chaos() -> Result<String, String> {
+    use std::io::Write;
+    use std::net::TcpStream;
+
+    use bso::objects::{Layout, ObjectId, ObjectInit, Op, OpKind, Value};
+    use bso::server::{wire, ErrorCode, Request, Response, Server};
+
+    fn send(c: &mut TcpStream, id: u64, req: &Request) -> Result<(), String> {
+        let mut buf = Vec::new();
+        wire::encode_request(id, req, &mut buf).map_err(|e| format!("chaos: encode: {e}"))?;
+        c.write_all(&buf).map_err(|e| format!("chaos: send: {e}"))
+    }
+    fn recv(c: &mut TcpStream) -> Result<(u64, Response), String> {
+        let mut body = Vec::new();
+        if !wire::read_frame(c, &mut body).map_err(|e| format!("chaos: read: {e}"))? {
+            return Err("chaos: unexpected EOF mid-conversation".to_string());
+        }
+        wire::decode_response(&body).map_err(|e| format!("chaos: decode: {e}"))
+    }
+
+    const SHARDS: usize = 2;
+    let mut layout = Layout::new();
+    for _ in 0..SHARDS {
+        layout.push(ObjectInit::FetchAdd(0));
+    }
+    let handle = Server::builder()
+        .shards(SHARDS)
+        .pin_cores(false)
+        .bind("127.0.0.1:0", &layout)
+        .map_err(|e| format!("chaos: bind: {e}"))?;
+    let addr = handle.local_addr();
+
+    let token = 0xC4A0_5EEDu64;
+    let add = Request::Apply {
+        pid: 0,
+        op: Op::new(ObjectId(0), OpKind::FetchAdd(7)),
+    };
+
+    // Life 1: bind the session, apply one effectful op, and get one
+    // zero-budget op shed.
+    let mut c = TcpStream::connect(addr).map_err(|e| format!("chaos: connect: {e}"))?;
+    send(
+        &mut c,
+        1,
+        &Request::Resume {
+            token,
+            last_acked: 0,
+        },
+    )?;
+    match recv(&mut c)? {
+        (
+            1,
+            Response::Resumed {
+                token: t,
+                cached: 0,
+            },
+        ) if t == token => {}
+        other => return Err(format!("chaos: fresh resume answered {other:?}")),
+    }
+    send(&mut c, 2, &add)?;
+    if recv(&mut c)? != (2, Response::Ok(Value::Int(0))) {
+        return Err("chaos: first application did not see pre-state 0".to_string());
+    }
+    send(
+        &mut c,
+        3,
+        &Request::DeadlineApply {
+            budget_us: 0,
+            pid: 0,
+            op: Op::new(ObjectId(0), OpKind::FetchAdd(1)),
+        },
+    )?;
+    match recv(&mut c)? {
+        (
+            3,
+            Response::Err {
+                code: ErrorCode::Expired,
+                ..
+            },
+        ) => {}
+        other => {
+            return Err(format!(
+                "chaos: zero-budget op answered {other:?}, not Expired"
+            ))
+        }
+    }
+    // The "crash": the ack for req 2 was sent but (we pretend) never
+    // processed, so the client comes back only sure of req 1.
+    drop(c);
+
+    // Life 2: resume the session and retry req 2 verbatim. The reply
+    // cache must answer — the original pre-state, not a re-applied 7.
+    let mut c2 = TcpStream::connect(addr).map_err(|e| format!("chaos: reconnect: {e}"))?;
+    send(
+        &mut c2,
+        10,
+        &Request::Resume {
+            token,
+            last_acked: 1,
+        },
+    )?;
+    match recv(&mut c2)? {
+        (
+            10,
+            Response::Resumed {
+                token: t,
+                cached: 1,
+            },
+        ) if t == token => {}
+        other => return Err(format!("chaos: re-resume answered {other:?}")),
+    }
+    send(&mut c2, 2, &add)?;
+    if recv(&mut c2)? != (2, Response::Ok(Value::Int(0))) {
+        return Err("chaos: retry was not replayed from the cache".to_string());
+    }
+    send(
+        &mut c2,
+        11,
+        &Request::Apply {
+            pid: 0,
+            op: Op::new(ObjectId(0), OpKind::FetchAdd(0)),
+        },
+    )?;
+    if recv(&mut c2)? != (11, Response::Ok(Value::Int(7))) {
+        return Err("chaos: duplicate retry was applied twice (exactly-once broken)".to_string());
+    }
+
+    // The introspection plane must account for all of the above.
+    send(&mut c2, 12, &Request::Introspect)?;
+    let text = match recv(&mut c2)? {
+        (12, Response::Introspect(json)) => json,
+        other => return Err(format!("chaos: introspect answered {other:?}")),
+    };
+    let doc = json::parse(&text).map_err(|e| format!("chaos: introspect: {e}"))?;
+    let stats = doc
+        .get("stats")
+        .ok_or("chaos: introspect has no \"stats\"")?;
+    let stat = |key: &str| {
+        stats
+            .get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("chaos: no integer stats.{key}"))
+    };
+    for (key, want) in [("resumes", 2), ("replays", 1), ("sessions", 1), ("shed", 1)] {
+        let got = stat(key)?;
+        if got < want {
+            return Err(format!("chaos: stats.{key} = {got}, expected >= {want}"));
+        }
+    }
+    let shards = doc
+        .get("shards")
+        .and_then(Json::items)
+        .ok_or("chaos: introspect has no \"shards\" array")?;
+    let mut shard_shed = 0u64;
+    for (i, entry) in shards.iter().enumerate() {
+        shard_shed += entry
+            .get("shed")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("chaos: shard {i} lacks integer \"shed\""))?;
+    }
+    if shard_shed != stat("shed")? {
+        return Err(format!(
+            "chaos: per-shard shed sums to {shard_shed}, stats.shed says {}",
+            stat("shed")?
+        ));
+    }
+    drop(c2);
+
+    let stats = handle.shutdown();
+    if stats.requests != stats.responses {
+        return Err(format!(
+            "chaos: server answered {} of {} requests",
+            stats.responses, stats.requests
+        ));
+    }
+    let checks = [
+        ("resumes", stats.resumes, 2),
+        ("replays", stats.replays, 1),
+        ("shed", stats.shed, 1),
+        ("malformed", stats.malformed, 0),
+        ("version_rejects", stats.version_rejects, 0),
+    ];
+    for (name, got, want) in checks {
+        if got != want {
+            return Err(format!(
+                "chaos: shutdown stats.{name} = {got}, expected {want}"
+            ));
+        }
+    }
+    Ok(format!(
+        "chaos contract ok: {} requests all answered; resume bound, duplicate retry \
+         replayed not re-applied, zero-budget op shed with Expired",
+        stats.requests
     ))
 }

@@ -16,6 +16,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod chaos;
+
 use std::time::{Duration, Instant};
 
 use bso::sim::{scheduler::RandomSched, Protocol, ProtocolExt, RunResult, Simulation};

@@ -1,6 +1,7 @@
 //! End-to-end checks for the observability bins: `bsotop` polling a
-//! live server, `bsotop --tail` following a heartbeat file, and
-//! `trace_merge` joining two sink exports.
+//! live server (including the fault-recovery counters — resumes,
+//! replays and deadline sheds), `bsotop --tail` following a heartbeat
+//! file, and `trace_merge` joining two sink exports.
 //!
 //! The binaries run as real subprocesses (`CARGO_BIN_EXE_*`), so these
 //! tests cover argument parsing and output shape, not just the
@@ -169,4 +170,105 @@ fn trace_merge_joins_two_exports() {
             .and_then(Json::as_u64),
         Some(2)
     );
+}
+
+#[test]
+fn bsotop_reports_fault_recovery_counters() {
+    use std::io::Write;
+    use std::net::TcpStream;
+
+    use bso::objects::Value;
+    use bso::server::{wire, ErrorCode, Request, Response};
+
+    fn send(c: &mut TcpStream, id: u64, req: &Request) {
+        let mut buf = Vec::new();
+        wire::encode_request(id, req, &mut buf).unwrap();
+        c.write_all(&buf).unwrap();
+    }
+    fn recv(c: &mut TcpStream) -> (u64, Response) {
+        let mut body = Vec::new();
+        assert!(wire::read_frame(c, &mut body).unwrap(), "unexpected EOF");
+        wire::decode_response(&body).unwrap()
+    }
+
+    let mut layout = Layout::new();
+    layout.push(ObjectInit::FetchAdd(0));
+    layout.push(ObjectInit::FetchAdd(0));
+    let handle = Server::builder()
+        .shards(2)
+        .pin_cores(false)
+        .bind("127.0.0.1:0", &layout)
+        .unwrap();
+    let addr = handle.local_addr();
+
+    // Force one of each recovery event: a session resume, a shed
+    // zero-budget op, and (after a simulated crash) a duplicate-retry
+    // replay — then the dashboard must surface all three.
+    let token = 0x70_u64;
+    let add = Request::Apply {
+        pid: 0,
+        op: Op::new(ObjectId(0), OpKind::FetchAdd(3)),
+    };
+    let mut c = TcpStream::connect(addr).unwrap();
+    send(
+        &mut c,
+        1,
+        &Request::Resume {
+            token,
+            last_acked: 0,
+        },
+    );
+    recv(&mut c);
+    send(&mut c, 2, &add);
+    assert_eq!(recv(&mut c), (2, Response::Ok(Value::Int(0))));
+    send(
+        &mut c,
+        3,
+        &Request::DeadlineApply {
+            budget_us: 0,
+            pid: 0,
+            op: Op::new(ObjectId(0), OpKind::FetchAdd(1)),
+        },
+    );
+    assert!(matches!(
+        recv(&mut c).1,
+        Response::Err {
+            code: ErrorCode::Expired,
+            ..
+        }
+    ));
+    drop(c);
+    let mut c2 = TcpStream::connect(addr).unwrap();
+    send(
+        &mut c2,
+        10,
+        &Request::Resume {
+            token,
+            last_acked: 1,
+        },
+    );
+    recv(&mut c2);
+    send(&mut c2, 2, &add);
+    assert_eq!(recv(&mut c2), (2, Response::Ok(Value::Int(0))), "replayed");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_bsotop"))
+        .args([&addr.to_string(), "--frames", "1"])
+        .output()
+        .expect("spawn bsotop");
+    drop(c2);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "bsotop failed: {stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        stdout.contains("faults: 2 resumes (+2), 1 replays (+1), 1 shed (+1)"),
+        "fault counters rendered: {stdout:?}"
+    );
+    assert!(stdout.contains("shed/s"), "per-shard column: {stdout:?}");
+
+    let stats = handle.shutdown();
+    assert_eq!((stats.resumes, stats.replays, stats.shed), (2, 1, 1));
+    assert_eq!(stats.requests, stats.responses);
 }

@@ -46,8 +46,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod resilient;
 pub mod swarm;
 
+pub use resilient::{ResilientBuilder, ResilientClient, RetryPolicy};
 pub use swarm::{Swarm, SwarmBuilder, SwarmReport};
 
 use std::collections::HashMap;
@@ -128,9 +130,17 @@ impl ClientError {
         }
     }
 
-    /// Whether this is the server's `Busy` backpressure signal — the
-    /// request was not applied and can simply be retried.
+    /// Whether this is a refusal that can be retried *on the same
+    /// connection* (`Busy` backpressure, a shed `Expired` deadline) —
+    /// the request was not applied and a re-send is safe as-is.
     pub fn is_busy(&self) -> bool {
+        self.code().is_some_and(ErrorCode::retry_in_place)
+    }
+
+    /// Whether this is retryable at all — in place *or* after a
+    /// reconnect-and-resume (`ShuttingDown`, `Overloaded`). The
+    /// [`ResilientClient`] consumes the finer split directly.
+    pub fn is_retryable(&self) -> bool {
         self.code().is_some_and(ErrorCode::is_retryable)
     }
 }
@@ -457,7 +467,7 @@ impl Connection {
                 "server closed the connection",
             )));
         }
-        let (req_id, resp) = wire::decode_response(&buf)?;
+        let (req_id, resp) = wire::decode_response_current(&buf)?;
         let Some(pending) = self.pending.remove(&req_id) else {
             return Err(ClientError::Protocol(format!(
                 "response for unknown req_id {req_id}"

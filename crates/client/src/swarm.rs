@@ -46,11 +46,13 @@ use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
+use bso_objects::rng::SplitMix64;
 use bso_objects::Op;
 use bso_server::poll::{self, Event, Interest, PollBackend, Poller};
 use bso_server::wire::{self, ErrorCode, Request, Response, TraceContext};
 use bso_telemetry::trace::{TraceArg, TraceWorker};
 
+use crate::resilient::{alloc_tokens, reconnect_worthy};
 use crate::{next_trace_id, ClientError};
 
 /// Fluent configuration for a [`Swarm`] run.
@@ -63,6 +65,9 @@ pub struct SwarmBuilder {
     handshake: bool,
     nodelay: bool,
     trace: TraceWorker,
+    resilient: bool,
+    session_base: Option<u64>,
+    retry_seed: u64,
 }
 
 impl Default for SwarmBuilder {
@@ -75,6 +80,9 @@ impl Default for SwarmBuilder {
             handshake: true,
             nodelay: true,
             trace: TraceWorker::disabled(),
+            resilient: false,
+            session_base: None,
+            retry_seed: 0x5EED,
         }
     }
 }
@@ -142,6 +150,37 @@ impl SwarmBuilder {
         self
     }
 
+    /// Fault-tolerant mode (default `false`). Every lane binds a
+    /// session token on connect, keeps the encoded bytes of each
+    /// in-flight request, and treats broken sockets, EOFs mid-pipeline,
+    /// and corrupt response bytes as a cue to reconnect, `Resume`, and
+    /// re-send — the server's reply cache turns the re-sends into
+    /// replays, so effects stay exactly-once (see DESIGN.md §3.14).
+    /// Without it those conditions abort the run, which is what a
+    /// clean-room benchmark wants.
+    #[must_use]
+    pub fn resilient(mut self, yes: bool) -> SwarmBuilder {
+        self.resilient = yes;
+        self
+    }
+
+    /// First session token for resilient lanes: lane `i` binds
+    /// `base + i`. Defaults to a process-wide allocator; chaos
+    /// harnesses pass a seed-derived base so a run is replayable.
+    #[must_use]
+    pub fn session_base(mut self, base: u64) -> SwarmBuilder {
+        self.session_base = Some(base);
+        self
+    }
+
+    /// Seed for the reconnect backoff jitter in resilient mode
+    /// (default `0x5EED`).
+    #[must_use]
+    pub fn retry_seed(mut self, seed: u64) -> SwarmBuilder {
+        self.retry_seed = seed;
+        self
+    }
+
     /// Connects the swarm and drives `workload` to exhaustion.
     ///
     /// `workload(conn, seq)` is called once per operation to issue —
@@ -182,10 +221,14 @@ pub struct SwarmReport {
     pub ops_err: u64,
     /// One round trip per `Ok` operation, in nanoseconds. Closed loop
     /// times from request queueing; open loop from the scheduled
-    /// arrival.
+    /// arrival. An operation that survived a reconnect keeps its
+    /// original start stamp — the recovery time is real latency.
     pub rtt_ns: Vec<u64>,
     /// Wall-clock span from the first issue to the last response.
     pub elapsed: Duration,
+    /// Successful lane reconnects in [`SwarmBuilder::resilient`] mode
+    /// (always zero otherwise — a broken socket aborts instead).
+    pub reconnects: u64,
 }
 
 impl SwarmReport {
@@ -211,6 +254,9 @@ struct InflightOp {
     started: Instant,
     /// `(trace_id, start on the trace clock)` for a traced apply.
     trace: Option<(u64, u64)>,
+    /// The encoded request frame, kept only in resilient mode so the
+    /// operation can be re-sent verbatim after a reconnect.
+    frame: Vec<u8>,
 }
 
 /// Per-connection state inside the readiness loop.
@@ -224,6 +270,8 @@ struct Lane {
     write_armed: bool,
     /// On the swarm's `touched` list (freshly queued bytes to pump).
     dirty: bool,
+    /// Session token this lane binds with `Resume` (resilient mode).
+    token: u64,
 }
 
 impl Lane {
@@ -248,6 +296,10 @@ pub struct Swarm {
     /// Lanes with freshly queued bytes, pumped once per loop turn —
     /// an O(touched) flush instead of an O(connections) scan.
     touched: Vec<usize>,
+    /// The server address, kept for resilient-mode reconnects.
+    addr: std::net::SocketAddr,
+    /// Jitter source for reconnect backoff (resilient mode).
+    rng: SplitMix64,
 }
 
 impl Swarm {
@@ -258,28 +310,43 @@ impl Swarm {
 
     fn new(cfg: SwarmBuilder, addr: std::net::SocketAddr) -> Result<Swarm, ClientError> {
         let mut poller = Poller::new(cfg.backend).map_err(ClientError::Io)?;
+        let session_base = if cfg.resilient {
+            cfg.session_base
+                .unwrap_or_else(|| alloc_tokens(cfg.connections as u64))
+        } else {
+            0
+        };
         let mut lanes = Vec::with_capacity(cfg.connections);
-        for token in 0..cfg.connections {
+        for conn in 0..cfg.connections {
+            let token = session_base + conn as u64;
             let mut stream = TcpStream::connect(addr)?;
             if cfg.nodelay {
                 stream.set_nodelay(true)?;
             }
-            if cfg.handshake {
+            if cfg.handshake || cfg.resilient {
                 handshake(&mut stream)?;
             }
+            if cfg.resilient {
+                resume(&mut stream, token, 0)?;
+            }
             poll::set_nonblocking(&stream)?;
-            poller.register(poll::raw_fd(&stream), token as u64, Interest::READ)?;
+            poller.register(poll::raw_fd(&stream), conn as u64, Interest::READ)?;
             lanes.push(Lane {
                 stream,
                 rbuf: Vec::new(),
                 wbuf: Vec::new(),
                 wpos: 0,
-                next_id: 0,
+                // Resilient lanes start at 1: `Resume { last_acked }`
+                // prunes ids `<= last_acked`, so id 0 would be
+                // indistinguishable from "nothing acked yet".
+                next_id: u64::from(cfg.resilient),
                 inflight: HashMap::new(),
                 write_armed: false,
                 dirty: false,
+                token,
             });
         }
+        let retry_seed = cfg.retry_seed;
         Ok(Swarm {
             cfg,
             poller,
@@ -289,6 +356,8 @@ impl Swarm {
             seq: 0,
             done_issuing: false,
             touched: Vec::new(),
+            addr,
+            rng: SplitMix64::new(retry_seed),
         })
     }
 
@@ -313,6 +382,7 @@ impl Swarm {
             let trace_id = next_trace_id();
             (trace_id, self.cfg.trace.now_ns())
         });
+        let resilient = self.cfg.resilient;
         let lane = &mut self.lanes[conn];
         let req_id = lane.next_id;
         lane.next_id += 1;
@@ -330,8 +400,21 @@ impl Swarm {
                 op,
             },
         };
+        let mark = lane.wbuf.len();
         wire::encode_request(req_id, &req, &mut lane.wbuf)?;
-        lane.inflight.insert(req_id, InflightOp { started, trace });
+        let frame = if resilient {
+            lane.wbuf[mark..].to_vec()
+        } else {
+            Vec::new()
+        };
+        lane.inflight.insert(
+            req_id,
+            InflightOp {
+                started,
+                trace,
+                frame,
+            },
+        );
         if !lane.dirty {
             lane.dirty = true;
             self.touched.push(conn);
@@ -394,6 +477,16 @@ impl Swarm {
                         // Graceful close with nothing owed: fine.
                         return Ok(());
                     }
+                    if self.cfg.resilient {
+                        // An I/O-class error so `recover` reconnects.
+                        return Err(ClientError::Io(std::io::Error::new(
+                            std::io::ErrorKind::UnexpectedEof,
+                            format!(
+                                "connection {conn} closed with {} in flight",
+                                lane.inflight.len()
+                            ),
+                        )));
+                    }
                     return Err(ClientError::Protocol(format!(
                         "server closed connection {conn} with {} in flight",
                         lane.inflight.len()
@@ -414,13 +507,14 @@ impl Swarm {
 
             let mut at = 0;
             let mut refill = 0;
+            let mut requeued = false;
             loop {
                 let lane = &mut self.lanes[conn];
                 match wire::split_frame(&lane.rbuf, at)? {
                     None => break,
                     Some(range) => {
                         at = range.end;
-                        let (req_id, resp) = wire::decode_response(&lane.rbuf[range])?;
+                        let (req_id, resp) = wire::decode_response_current(&lane.rbuf[range])?;
                         let Some(flight) = lane.inflight.remove(&req_id) else {
                             return Err(ClientError::Protocol(format!(
                                 "response to unknown req_id {req_id} on connection {conn}"
@@ -438,6 +532,7 @@ impl Swarm {
                                 ],
                             );
                         }
+                        let mut completed = true;
                         match resp {
                             Response::Ok(_) => {
                                 self.report.ops_ok += 1;
@@ -445,6 +540,21 @@ impl Swarm {
                                     u64::try_from(flight.started.elapsed().as_nanos())
                                         .unwrap_or(u64::MAX),
                                 );
+                            }
+                            Response::Err { code, .. }
+                                if self.cfg.resilient && code.retry_in_place() =>
+                            {
+                                // Busy backpressure or a shed deadline:
+                                // not applied yet (or still applying
+                                // behind an in-flight marker). Re-send
+                                // the same req_id — the session reply
+                                // cache converges it to exactly one
+                                // effect.
+                                completed = false;
+                                requeued = true;
+                                let lane = &mut self.lanes[conn];
+                                lane.wbuf.extend_from_slice(&flight.frame);
+                                lane.inflight.insert(req_id, flight);
                             }
                             Response::Err {
                                 code: ErrorCode::Busy,
@@ -459,7 +569,7 @@ impl Swarm {
                                 )))
                             }
                         }
-                        if closed_loop {
+                        if closed_loop && completed {
                             refill += 1;
                         }
                     }
@@ -467,12 +577,111 @@ impl Swarm {
             }
             let lane = &mut self.lanes[conn];
             lane.rbuf.drain(..at);
+            if requeued && !lane.dirty {
+                lane.dirty = true;
+                self.touched.push(conn);
+            }
             for _ in 0..refill {
                 if !self.issue(conn, Instant::now(), workload)? {
                     break;
                 }
             }
         }
+    }
+
+    /// Resilient-mode error triage: transport failures trigger a
+    /// reconnect-and-resume of just this lane; everything else (and
+    /// every error outside resilient mode) aborts the run.
+    fn recover(
+        &mut self,
+        conn: usize,
+        err: ClientError,
+        workload: &mut impl FnMut(usize, u64) -> Option<(usize, Op)>,
+    ) -> Result<(), ClientError> {
+        if !self.cfg.resilient || !reconnect_worthy(&err) {
+            return Err(err);
+        }
+        self.reconnect_lane(conn, workload)
+    }
+
+    /// Tears down lane `conn`'s socket and rebuilds the session on a
+    /// fresh one: backoff-paced connect, `Hello`, `Resume` acking
+    /// everything below the oldest in-flight op, then a verbatim
+    /// re-send of every in-flight frame (completed ones come back as
+    /// replays from the server's reply cache). Closed loop tops the
+    /// pipeline back up afterwards.
+    fn reconnect_lane(
+        &mut self,
+        conn: usize,
+        workload: &mut impl FnMut(usize, u64) -> Option<(usize, Op)>,
+    ) -> Result<(), ClientError> {
+        let token = self.lanes[conn].token;
+        // Only ids at or above the oldest in-flight op may still need a
+        // replay; everything below has been consumed.
+        let last_acked = self.lanes[conn]
+            .inflight
+            .keys()
+            .min()
+            .map(|m| m - 1)
+            .unwrap_or(self.lanes[conn].next_id - 1);
+        self.poller
+            .deregister(poll::raw_fd(&self.lanes[conn].stream))
+            .ok();
+        let mut attempt: u32 = 0;
+        let stream = loop {
+            attempt += 1;
+            let dial = TcpStream::connect(self.addr)
+                .map_err(ClientError::Io)
+                .and_then(|mut s| {
+                    if self.cfg.nodelay {
+                        s.set_nodelay(true)?;
+                    }
+                    handshake(&mut s)?;
+                    resume(&mut s, token, last_acked)?;
+                    Ok(s)
+                });
+            match dial {
+                Ok(s) => break s,
+                Err(e) if attempt < 30 && reconnect_worthy(&e) => {
+                    // Capped exponential backoff, jittered into the
+                    // upper half — deterministic under `retry_seed`.
+                    let full = (1_000_000u64 << (attempt - 1).min(6)).min(50_000_000);
+                    let jit = full / 2 + self.rng.below(full / 2 + 1);
+                    std::thread::sleep(Duration::from_nanos(jit));
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        poll::set_nonblocking(&stream)?;
+        self.poller
+            .register(poll::raw_fd(&stream), conn as u64, Interest::READ)?;
+        let lane = &mut self.lanes[conn];
+        lane.stream = stream;
+        lane.rbuf.clear();
+        lane.wbuf.clear();
+        lane.wpos = 0;
+        lane.write_armed = false;
+        let mut ids: Vec<u64> = lane.inflight.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let frame = lane.inflight[&id].frame.clone();
+            lane.wbuf.extend_from_slice(&frame);
+        }
+        if !lane.dirty {
+            lane.dirty = true;
+            self.touched.push(conn);
+        }
+        self.report.reconnects += 1;
+        // Closed loop: responses eaten by the dead socket never ran
+        // their refill, which would shrink the pipeline for good.
+        if self.cfg.rate.is_none() {
+            while self.lanes[conn].inflight.len() < self.cfg.pipeline {
+                if !self.issue(conn, Instant::now(), workload)? {
+                    break;
+                }
+            }
+        }
+        Ok(())
     }
 
     /// The event loop: prime, then pace arrivals and pump sockets
@@ -514,7 +723,9 @@ impl Swarm {
             while let Some(conn) = self.touched.pop() {
                 self.lanes[conn].dirty = false;
                 if self.lanes[conn].wants_write() && !self.lanes[conn].write_armed {
-                    self.pump_write(conn)?;
+                    if let Err(e) = self.pump_write(conn) {
+                        self.recover(conn, e, &mut workload)?;
+                    }
                 }
             }
 
@@ -542,10 +753,14 @@ impl Swarm {
                     continue;
                 }
                 if ev.readable || ev.error {
-                    self.pump_read(conn, &mut workload)?;
+                    if let Err(e) = self.pump_read(conn, &mut workload) {
+                        self.recover(conn, e, &mut workload)?;
+                    }
                 }
                 if ev.writable {
-                    self.pump_write(conn)?;
+                    if let Err(e) = self.pump_write(conn) {
+                        self.recover(conn, e, &mut workload)?;
+                    }
                 }
             }
             events = ready;
@@ -576,7 +791,7 @@ fn handshake(stream: &mut TcpStream) -> Result<(), ClientError> {
             "server closed during version negotiation".into(),
         ));
     }
-    let (req_id, resp) = wire::decode_response(&buf)?;
+    let (req_id, resp) = wire::decode_response_current(&buf)?;
     if req_id != 0 {
         return Err(ClientError::Protocol(format!(
             "handshake response carried req_id {req_id}, expected 0"
@@ -591,6 +806,44 @@ fn handshake(stream: &mut TcpStream) -> Result<(), ClientError> {
         Response::Err { code, message } => Err(ClientError::Server { code, message }),
         other => Err(ClientError::Protocol(format!(
             "non-hello response to a hello: {other:?}"
+        ))),
+    }
+}
+
+/// Blocking `Resume` exchange binding `token` to a fresh socket,
+/// before it goes nonblocking. Uses a `req_id` far outside the lane's
+/// monotonic operation ids.
+fn resume(stream: &mut TcpStream, token: u64, last_acked: u64) -> Result<(), ClientError> {
+    const RESUME_REQ_ID: u64 = u64::MAX - 1;
+    let mut buf = Vec::new();
+    wire::encode_request(
+        RESUME_REQ_ID,
+        &Request::Resume { token, last_acked },
+        &mut buf,
+    )?;
+    stream.write_all(&buf)?;
+    stream.flush()?;
+    buf.clear();
+    if !wire::read_frame(stream, &mut buf)? {
+        return Err(ClientError::Io(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "server closed during session resumption",
+        )));
+    }
+    let (req_id, resp) = wire::decode_response_current(&buf)?;
+    if req_id != RESUME_REQ_ID {
+        return Err(ClientError::Protocol(format!(
+            "resume response carried req_id {req_id}, expected {RESUME_REQ_ID}"
+        )));
+    }
+    match resp {
+        Response::Resumed { token: t, .. } if t == token => Ok(()),
+        Response::Resumed { token: t, .. } => Err(ClientError::Protocol(format!(
+            "server resumed session {t}, we bound {token}"
+        ))),
+        Response::Err { code, message } => Err(ClientError::Server { code, message }),
+        other => Err(ClientError::Protocol(format!(
+            "non-resumed response to a resume: {other:?}"
         ))),
     }
 }

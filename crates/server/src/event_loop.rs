@@ -68,6 +68,7 @@ use bso_telemetry::{Counter, Gauge, Histogram, Registry};
 use crate::arena::{Arena, Slab};
 use crate::introspect::{self, IntrospectState, ProbeScratch};
 use crate::poll::{self, Interest, Poller, WakeReader, Waker};
+use crate::session::{Begin, ResumeTable};
 use crate::shard::{RouteError, ShardState, XQueue};
 use crate::wire::{self, ErrorCode, Request, Response, TraceContext};
 
@@ -130,6 +131,16 @@ pub(crate) struct Xfer {
     /// When the transfer was enqueued — the flight recorder reports
     /// the queue wait it implies.
     queued: Instant,
+    /// Freshness bound from a [`Request::DeadlineApply`]: the owner
+    /// loop sheds the work (typed [`ErrorCode::Expired`], never
+    /// applied) if it reaches it past this instant.
+    deadline: Option<Instant>,
+    /// Resumable-session token of the issuing connection, if bound.
+    /// The owner loop records the apply's outcome against
+    /// `(sess, req_id)` *at the apply site*, so a response that never
+    /// reaches its (possibly dead) origin connection is still
+    /// replayable to the retry.
+    sess: Option<u64>,
     work: Work,
 }
 
@@ -172,6 +183,14 @@ pub(crate) struct StatCells {
     pub(crate) busy: AtomicU64,
     pub(crate) malformed: AtomicU64,
     pub(crate) version_rejects: AtomicU64,
+    /// Deadline-carrying ops refused with [`ErrorCode::Expired`]
+    /// because their freshness budget ran out before the apply.
+    pub(crate) shed: AtomicU64,
+    /// [`Request::Resume`] bindings served.
+    pub(crate) resumes: AtomicU64,
+    /// Retried requests answered from a session's reply cache instead
+    /// of being applied again.
+    pub(crate) replays: AtomicU64,
 }
 
 /// State shared between the acceptor, the event loops, and the handle.
@@ -188,6 +207,9 @@ pub(crate) struct Shared {
     /// Always-on introspection: bind-time config plus one probe (plain
     /// histograms + flight recorder) per loop.
     pub(crate) introspect: IntrospectState,
+    /// Resumable-session reply caches (exactly-once retries). Shared
+    /// across loops because a reconnected client may land anywhere.
+    pub(crate) sessions: ResumeTable,
 }
 
 /// What a parsed frame did to its connection.
@@ -218,6 +240,10 @@ struct Conn {
     closing: bool,
     /// Wire version responses are framed at (negotiated via `Hello`).
     version: u8,
+    /// Resumable-session token this connection bound via
+    /// [`Request::Resume`]; effectful requests then pass through the
+    /// shared [`ResumeTable`] for exactly-once retry semantics.
+    session: Option<u64>,
     /// Responses staged since the last completed flush.
     batch: u64,
     /// Already on this turn's touched list.
@@ -247,6 +273,9 @@ pub(crate) struct EventLoop {
     busy: Counter,
     malformed: Counter,
     version_rejects: Counter,
+    shed: Counter,
+    resumes: Counter,
+    replays: Counter,
     wakeups: Counter,
     conns_gauge: Gauge,
     /// Created on first completed flush, so loops that never serve a
@@ -299,6 +328,9 @@ impl EventLoop {
             busy: registry.counter("server.busy"),
             malformed: registry.counter("server.malformed"),
             version_rejects: registry.counter("server.version_rejects"),
+            shed: registry.counter("server.shed"),
+            resumes: registry.counter("server.resumes"),
+            replays: registry.counter("server.replays"),
             wakeups: registry.counter(&format!("server.loop{index}.wakeups")),
             conns_gauge: registry.gauge(&format!("server.loop{index}.conns")),
             flush_batch: None,
@@ -426,6 +458,7 @@ impl EventLoop {
             inflight_remote: 0,
             closing: false,
             version: wire::VERSION,
+            session: None,
             batch: 0,
             touched: false,
         });
@@ -448,30 +481,57 @@ impl EventLoop {
         self.shared.loops[self.index].xq.drain_into(&mut xwork);
         for x in xwork.drain(..) {
             let queue_ns = u64::try_from(x.queued.elapsed().as_nanos()).unwrap_or(u64::MAX);
-            let resp = match x.work {
-                Work::Apply { pid, op, trace } => {
-                    let object = op.obj.0 as u64;
-                    let t0 = self.span_start(trace);
-                    let (resp, apply_ns) = self.shard.apply(pid, &op);
-                    self.record_apply(trace, t0, object, apply_ns);
-                    // batch 0: the reply is staged by the origin loop,
-                    // so this loop cannot know its flush position.
-                    self.probe
-                        .push_request(wire::OP_APPLY, object, queue_ns, apply_ns, 0);
-                    resp
+            // Deadline check at the apply site: queued work whose
+            // freshness budget ran out is shed — refused, never
+            // applied — so an overloaded shard spends its time on
+            // answers clients are still waiting for.
+            let resp = if x.deadline.is_some_and(|d| Instant::now() >= d) {
+                if let Some(token) = x.sess {
+                    self.shared.sessions.abort(token, x.req_id);
                 }
-                Work::OpenElection { session, k } => self.shard.open_election(session, k),
-                Work::Elect { session, pid } => {
-                    let (resp, elect_ns) = self.shard.elect(session, pid);
-                    self.probe.push_request(
-                        wire::OP_ELECT,
-                        u64::from(session),
-                        queue_ns,
-                        elect_ns,
-                        0,
-                    );
-                    resp
+                self.note_shed();
+                Response::Err {
+                    code: ErrorCode::Expired,
+                    message: format!(
+                        "deadline expired after {}us in the cross-shard queue; op not applied",
+                        queue_ns / 1_000
+                    ),
                 }
+            } else {
+                let resp = match x.work {
+                    Work::Apply { pid, op, trace } => {
+                        let object = op.obj.0 as u64;
+                        let t0 = self.span_start(trace);
+                        let (resp, apply_ns) = self.shard.apply(pid, &op);
+                        self.record_apply(trace, t0, object, apply_ns);
+                        // batch 0: the reply is staged by the origin loop,
+                        // so this loop cannot know its flush position.
+                        self.probe
+                            .push_request(wire::OP_APPLY, object, queue_ns, apply_ns, 0);
+                        resp
+                    }
+                    Work::OpenElection { session, k } => self.shard.open_election(session, k),
+                    Work::Elect { session, pid } => {
+                        let (resp, elect_ns) = self.shard.elect(session, pid);
+                        self.probe.push_request(
+                            wire::OP_ELECT,
+                            u64::from(session),
+                            queue_ns,
+                            elect_ns,
+                            0,
+                        );
+                        resp
+                    }
+                };
+                // The outcome is recorded against the session *here*,
+                // atomically-with-the-apply from the retry's point of
+                // view: even if the origin connection died, a retry of
+                // this req_id replays this response instead of
+                // re-applying the op.
+                if let Some(token) = x.sess {
+                    self.shared.sessions.complete(token, x.req_id, &resp);
+                }
+                resp
             };
             if x.origin == self.index {
                 // Never produced by `forward` (own-shard work applies
@@ -651,21 +711,54 @@ impl EventLoop {
                 let json = introspect::introspect_doc(&self.shared).render();
                 self.respond(slot, req_id, &Response::Introspect(json));
             }
-            Request::Apply { pid, op } => self.serve_apply(slot, req_id, pid, op, None),
+            Request::Resume { token, last_acked } => {
+                match self.shared.sessions.resume(token, last_acked) {
+                    Ok(cached) => {
+                        if let Some(c) = self.conns.get_mut(slot) {
+                            c.session = Some(token);
+                        }
+                        self.note_resume();
+                        self.respond(slot, req_id, &Response::Resumed { token, cached });
+                    }
+                    Err(code) => self.respond(
+                        slot,
+                        req_id,
+                        &Response::Err {
+                            code,
+                            message: "session table at capacity; reconnect and retry".into(),
+                        },
+                    ),
+                }
+            }
+            Request::Apply { pid, op } => self.serve_apply(slot, req_id, pid, op, None, None),
             Request::TracedApply { ctx, pid, op } => {
-                self.serve_apply(slot, req_id, pid, op, Some(ctx))
+                self.serve_apply(slot, req_id, pid, op, Some(ctx), None)
+            }
+            Request::DeadlineApply { budget_us, pid, op } => {
+                let deadline = Instant::now() + Duration::from_micros(u64::from(budget_us));
+                self.serve_apply(slot, req_id, pid, op, None, Some(deadline));
             }
             Request::OpenElection { k } => {
+                // Session admission *before* the session-id allocation:
+                // a replayed OpenElection must return its original id,
+                // not mint (and orphan) a second election.
+                let sess = match self.admit(slot, req_id) {
+                    Ok(sess) => sess,
+                    Err(()) => return FrameOutcome::Next,
+                };
                 let session = self.shared.next_session.fetch_add(1, Ordering::Relaxed);
                 let target = session as usize % self.nloops;
                 if target == self.index {
                     let resp = self.shard.open_election(session, k as usize);
+                    self.settle(sess, req_id, &resp);
                     self.respond(slot, req_id, &resp);
                 } else {
                     self.forward(
                         slot,
                         req_id,
                         target,
+                        sess,
+                        None,
                         Work::OpenElection {
                             session,
                             k: k as usize,
@@ -674,18 +767,25 @@ impl EventLoop {
                 }
             }
             Request::Elect { session, pid } => {
+                let sess = match self.admit(slot, req_id) {
+                    Ok(sess) => sess,
+                    Err(()) => return FrameOutcome::Next,
+                };
                 let target = session as usize % self.nloops;
                 if target == self.index {
                     let batch = self.conns.get_mut(slot).map_or(0, |c| c.batch);
                     let (resp, elect_ns) = self.shard.elect(session, pid as usize);
                     self.probe
                         .push_request(wire::OP_ELECT, u64::from(session), 0, elect_ns, batch);
+                    self.settle(sess, req_id, &resp);
                     self.respond(slot, req_id, &resp);
                 } else {
                     self.forward(
                         slot,
                         req_id,
                         target,
+                        sess,
+                        None,
                         Work::Elect {
                             session,
                             pid: pid as usize,
@@ -695,6 +795,58 @@ impl EventLoop {
             }
         }
         FrameOutcome::Next
+    }
+
+    /// Session admission for an effectful request. `Ok(None)`: the
+    /// connection is unbound, serve normally. `Ok(Some(token))`: a
+    /// fresh `Pending` marker is installed — the apply site must settle
+    /// it. `Err(())`: the request was already answered here (replayed
+    /// from cache, refused as in-flight, or refused as unknowable).
+    fn admit(&mut self, slot: u32, req_id: u64) -> Result<Option<u64>, ()> {
+        let Some(token) = self.conns.get_mut(slot).and_then(|c| c.session) else {
+            return Ok(None);
+        };
+        match self.shared.sessions.begin(token, req_id) {
+            Begin::Fresh => Ok(Some(token)),
+            Begin::Replay(resp) => {
+                self.note_replay();
+                self.respond(slot, req_id, &resp);
+                Err(())
+            }
+            Begin::InFlight => {
+                self.shared.stats.busy.fetch_add(1, Ordering::Relaxed);
+                self.busy.inc();
+                self.respond(
+                    slot,
+                    req_id,
+                    &Response::Err {
+                        code: ErrorCode::Busy,
+                        message: format!("request {req_id} still in flight; retry shortly"),
+                    },
+                );
+                Err(())
+            }
+            Begin::Pruned => {
+                self.respond(
+                    slot,
+                    req_id,
+                    &Response::Err {
+                        code: ErrorCode::BadToken,
+                        message: format!(
+                            "reply cache no longer covers request {req_id}; outcome unknown"
+                        ),
+                    },
+                );
+                Err(())
+            }
+        }
+    }
+
+    /// Settles an inline apply's session marker with its outcome.
+    fn settle(&mut self, sess: Option<u64>, req_id: u64, resp: &Response) {
+        if let Some(token) = sess {
+            self.shared.sessions.complete(token, req_id, resp);
+        }
     }
 
     fn handle_hello(&mut self, slot: u32, req_id: u64, proposed: u8) -> FrameOutcome {
@@ -734,8 +886,9 @@ impl EventLoop {
         FrameOutcome::Next
     }
 
-    /// Routes an apply (traced or not) to its owning loop: inline when
-    /// this loop owns the object, a cross-loop transfer otherwise.
+    /// Routes an apply (traced, deadlined or plain) to its owning
+    /// loop: inline when this loop owns the object, a cross-loop
+    /// transfer otherwise.
     fn serve_apply(
         &mut self,
         slot: u32,
@@ -743,13 +896,38 @@ impl EventLoop {
         pid: u32,
         op: Op,
         trace: Option<TraceContext>,
+        deadline: Option<Instant>,
     ) {
+        let sess = match self.admit(slot, req_id) {
+            Ok(sess) => sess,
+            Err(()) => return,
+        };
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            // Zero/negative budget by the time we decoded it: shed
+            // before routing. The cross-shard case re-checks at the
+            // owner (where queue wait has accrued).
+            if let Some(token) = sess {
+                self.shared.sessions.abort(token, req_id);
+            }
+            self.note_shed();
+            self.respond(
+                slot,
+                req_id,
+                &Response::Err {
+                    code: ErrorCode::Expired,
+                    message: "deadline expired before routing; op not applied".into(),
+                },
+            );
+            return;
+        }
         let target = op.obj.0 % self.nloops;
         if target != self.index {
             self.forward(
                 slot,
                 req_id,
                 target,
+                sess,
+                deadline,
                 Work::Apply {
                     pid: pid as usize,
                     op,
@@ -767,6 +945,7 @@ impl EventLoop {
         self.record_apply(trace, t0, object, apply_ns);
         self.probe
             .push_request(wire::OP_APPLY, object, 0, apply_ns, batch);
+        self.settle(sess, req_id, &resp);
         self.respond(slot, req_id, &resp);
     }
 
@@ -793,8 +972,21 @@ impl EventLoop {
         }
     }
 
-    fn forward(&mut self, slot: u32, req_id: u64, target: usize, work: Work) {
+    fn forward(
+        &mut self,
+        slot: u32,
+        req_id: u64,
+        target: usize,
+        sess: Option<u64>,
+        deadline: Option<Instant>,
+        work: Work,
+    ) {
         let Some(c) = self.conns.get_mut(slot) else {
+            // The connection vanished between admit and forward; the
+            // marker must not outlive it unapplied.
+            if let Some(token) = sess {
+                self.shared.sessions.abort(token, req_id);
+            }
             return;
         };
         let gen = c.gen;
@@ -805,6 +997,8 @@ impl EventLoop {
             gen,
             req_id,
             queued: Instant::now(),
+            deadline,
+            sess,
             work,
         }) {
             Ok(()) => {
@@ -815,6 +1009,9 @@ impl EventLoop {
             }
             Err(RouteError::Busy) => {
                 self.shared.inflight.fetch_sub(1, Ordering::AcqRel);
+                if let Some(token) = sess {
+                    self.shared.sessions.abort(token, req_id);
+                }
                 self.shared.stats.busy.fetch_add(1, Ordering::Relaxed);
                 self.busy.inc();
                 self.respond(
@@ -828,6 +1025,9 @@ impl EventLoop {
             }
             Err(RouteError::Closed) => {
                 self.shared.inflight.fetch_sub(1, Ordering::AcqRel);
+                if let Some(token) = sess {
+                    self.shared.sessions.abort(token, req_id);
+                }
                 self.respond(
                     slot,
                     req_id,
@@ -984,6 +1184,22 @@ impl EventLoop {
             .version_rejects
             .fetch_add(1, Ordering::Relaxed);
         self.version_rejects.inc();
+    }
+
+    fn note_shed(&mut self) {
+        self.shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+        self.shed.inc();
+        self.probe.push_shed();
+    }
+
+    fn note_resume(&mut self) {
+        self.shared.stats.resumes.fetch_add(1, Ordering::Relaxed);
+        self.resumes.inc();
+    }
+
+    fn note_replay(&mut self) {
+        self.shared.stats.replays.fetch_add(1, Ordering::Relaxed);
+        self.replays.inc();
     }
 
     // ------------------------------------------------------------ shutdown

@@ -98,6 +98,7 @@ pub(crate) struct PendingRecord {
 pub(crate) struct ProbeScratch {
     requests: Vec<PendingRecord>,
     flushes: Vec<u64>,
+    shed: u64,
 }
 
 impl ProbeScratch {
@@ -125,6 +126,14 @@ impl ProbeScratch {
     #[inline]
     pub(crate) fn push_flush(&mut self, batch: u64) {
         self.flushes.push(batch);
+    }
+
+    /// Counts one deadline-shed op (refused [`Expired`], not applied).
+    ///
+    /// [`Expired`]: crate::wire::ErrorCode::Expired
+    #[inline]
+    pub(crate) fn push_shed(&mut self) {
+        self.shed += 1;
     }
 }
 
@@ -208,6 +217,9 @@ fn hist_json(h: &HistogramSnapshot) -> Json {
 pub(crate) struct LoopProbe {
     conns: u64,
     wakeups: u64,
+    /// Ops this loop shed on deadline expiry (inline or at its apply
+    /// site for queued transfers).
+    shed: u64,
     turn_ns: PlainHist,
     apply_ns: PlainHist,
     elect_ns: PlainHist,
@@ -228,6 +240,7 @@ impl LoopProbe {
         LoopProbe {
             conns: 0,
             wakeups: 0,
+            shed: 0,
             turn_ns: PlainHist::new(),
             apply_ns: PlainHist::new(),
             elect_ns: PlainHist::new(),
@@ -314,6 +327,7 @@ impl LoopProbe {
             ("flight", self.flight_json(SCRAPE_RECENT, SCRAPE_SLOW)),
             ("flush_batch", hist_json(&self.flush_batch.snapshot())),
             ("queue_depth", Json::U64(queue_depth as u64)),
+            ("shed", Json::U64(self.shed)),
             ("turn_ns", hist_json(&self.turn_ns.snapshot())),
             ("wakeups", Json::U64(self.wakeups)),
         ])
@@ -367,6 +381,7 @@ impl IntrospectState {
         for batch in scratch.flushes.drain(..) {
             p.flush_batch.record(batch);
         }
+        p.shed += std::mem::take(&mut scratch.shed);
         p.wakeups += 1;
         p.turn_ns.record(turn_ns);
         p.conns = conns as u64;
@@ -438,6 +453,7 @@ pub(crate) fn introspect_doc(shared: &Shared) -> Json {
                     "malformed",
                     Json::U64(stats.malformed.load(Ordering::Relaxed)),
                 ),
+                ("replays", Json::U64(stats.replays.load(Ordering::Relaxed))),
                 (
                     "requests",
                     Json::U64(stats.requests.load(Ordering::Relaxed)),
@@ -446,6 +462,9 @@ pub(crate) fn introspect_doc(shared: &Shared) -> Json {
                     "responses",
                     Json::U64(stats.responses.load(Ordering::Relaxed)),
                 ),
+                ("resumes", Json::U64(stats.resumes.load(Ordering::Relaxed))),
+                ("sessions", Json::U64(shared.sessions.sessions() as u64)),
+                ("shed", Json::U64(stats.shed.load(Ordering::Relaxed))),
                 (
                     "version_rejects",
                     Json::U64(stats.version_rejects.load(Ordering::Relaxed)),

@@ -67,6 +67,7 @@ mod event_loop;
 mod introspect;
 pub mod poll;
 mod server;
+mod session;
 mod shard;
 pub mod wire;
 

@@ -32,6 +32,7 @@ use bso_telemetry::Registry;
 use crate::event_loop::{Ctl, EventLoop, LoopHandle, Shared, StatCells};
 use crate::introspect::{self, ConfigInfo, IntrospectState};
 use crate::poll::{self, PollBackend, Poller, WakeReader};
+use crate::session::{ResumeTable, DEFAULT_MAX_SESSIONS, DEFAULT_REPLIES_PER_SESSION};
 
 /// Tuning knobs for the deprecated [`Server::bind`] entry point.
 #[deprecated(since = "0.2.0", note = "use `Server::builder()` instead")]
@@ -77,6 +78,14 @@ pub struct ServerStats {
     pub malformed: u64,
     /// Frames or `Hello`s refused with a typed `Version` error.
     pub version_rejects: u64,
+    /// Deadline-carrying ops shed with a typed `Expired` (budget ran
+    /// out before the apply; the op was never applied).
+    pub shed: u64,
+    /// `Resume` session bindings served.
+    pub resumes: u64,
+    /// Retried requests answered from a session's reply cache instead
+    /// of being applied a second time.
+    pub replays: u64,
 }
 
 impl StatCells {
@@ -88,6 +97,9 @@ impl StatCells {
             busy: self.busy.load(Ordering::Relaxed),
             malformed: self.malformed.load(Ordering::Relaxed),
             version_rejects: self.version_rejects.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            resumes: self.resumes.load(Ordering::Relaxed),
+            replays: self.replays.load(Ordering::Relaxed),
         }
     }
 }
@@ -262,6 +274,7 @@ impl ServerBuilder {
             shutdown: AtomicBool::new(false),
             inflight: AtomicI64::new(0),
             next_session: AtomicU32::new(0),
+            sessions: ResumeTable::new(DEFAULT_MAX_SESSIONS, DEFAULT_REPLIES_PER_SESSION),
             stats: StatCells::default(),
             introspect: IntrospectState::new(ConfigInfo {
                 shards: nloops,
@@ -631,7 +644,11 @@ mod tests {
         let mut old = TcpStream::connect(handle.local_addr()).unwrap();
         let mut buf = Vec::new();
         wire::encode_request(7, &Request::Ping, &mut buf).unwrap();
-        buf[4] = 1; // a v1 client's framing
+        // A v1 client's framing: v1 version byte, no trailing digest.
+        buf[4] = 1;
+        buf.truncate(buf.len() - wire::CHECKSUM_LEN);
+        let body_len = (buf.len() - 4) as u32;
+        buf[..4].copy_from_slice(&body_len.to_le_bytes());
         old.write_all(&buf).unwrap();
         let mut body = Vec::new();
         assert!(wire::read_frame(&mut old, &mut body).unwrap());
@@ -674,5 +691,155 @@ mod tests {
         let stats = handle.shutdown();
         assert_eq!(stats.malformed, 0, "version mismatch is not malformed");
         assert_eq!(stats.version_rejects, 2);
+    }
+
+    #[test]
+    fn resumed_session_replays_instead_of_reapplying() {
+        let handle = serve();
+        let addr = handle.local_addr();
+        let token = 0xFEED_u64;
+        let mut c = TcpStream::connect(addr).unwrap();
+        send(
+            &mut c,
+            1,
+            &Request::Resume {
+                token,
+                last_acked: 0,
+            },
+        );
+        assert_eq!(recv(&mut c), (1, Response::Resumed { token, cached: 0 }));
+        // An effectful op under the session: FetchAdd(5) on object 2.
+        let add = Request::Apply {
+            pid: 0,
+            op: Op::new(ObjectId(2), bso_objects::OpKind::FetchAdd(5)),
+        };
+        send(&mut c, 2, &add);
+        assert_eq!(recv(&mut c), (2, Response::Ok(Value::Int(0))));
+        // The connection dies before the client sees the ack; it
+        // reconnects, resumes the same token, and retries req_id 2.
+        drop(c);
+        let mut c2 = TcpStream::connect(addr).unwrap();
+        send(
+            &mut c2,
+            10,
+            &Request::Resume {
+                token,
+                last_acked: 1,
+            },
+        );
+        let (_, resumed) = recv(&mut c2);
+        assert_eq!(resumed, Response::Resumed { token, cached: 1 });
+        send(&mut c2, 2, &add);
+        // Replayed from the cache: the counter was NOT bumped again,
+        // so the retry sees the original pre-state 0, not 5.
+        assert_eq!(recv(&mut c2), (2, Response::Ok(Value::Int(0))));
+        // A genuinely fresh op observes exactly one application.
+        send(
+            &mut c2,
+            3,
+            &Request::Apply {
+                pid: 0,
+                op: Op::new(ObjectId(2), bso_objects::OpKind::FetchAdd(0)),
+            },
+        );
+        assert_eq!(recv(&mut c2), (3, Response::Ok(Value::Int(5))));
+        drop(c2);
+        let stats = handle.shutdown();
+        assert_eq!(stats.resumes, 2);
+        assert_eq!(stats.replays, 1);
+        assert_eq!(stats.shed, 0);
+    }
+
+    #[test]
+    fn resume_prunes_acked_replies_and_refuses_pruned_retries() {
+        let handle = serve();
+        let addr = handle.local_addr();
+        let token = 0xB0B_u64;
+        let mut c = TcpStream::connect(addr).unwrap();
+        send(
+            &mut c,
+            1,
+            &Request::Resume {
+                token,
+                last_acked: 0,
+            },
+        );
+        recv(&mut c);
+        let add = Request::Apply {
+            pid: 0,
+            op: Op::new(ObjectId(2), bso_objects::OpKind::FetchAdd(1)),
+        };
+        send(&mut c, 2, &add);
+        recv(&mut c);
+        drop(c);
+        // Resuming with last_acked=2 prunes the cached reply for 2...
+        let mut c2 = TcpStream::connect(addr).unwrap();
+        send(
+            &mut c2,
+            3,
+            &Request::Resume {
+                token,
+                last_acked: 2,
+            },
+        );
+        assert_eq!(recv(&mut c2), (3, Response::Resumed { token, cached: 0 }));
+        // ...so a (buggy) retry of 2 is refused with BadToken rather
+        // than silently re-applied.
+        send(&mut c2, 2, &add);
+        assert!(matches!(
+            recv(&mut c2).1,
+            Response::Err {
+                code: ErrorCode::BadToken,
+                ..
+            }
+        ));
+        drop(c2);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn zero_budget_deadline_apply_is_shed_with_expired() {
+        let handle = serve();
+        let mut c = TcpStream::connect(handle.local_addr()).unwrap();
+        send(
+            &mut c,
+            1,
+            &Request::DeadlineApply {
+                budget_us: 0,
+                pid: 0,
+                op: Op::new(ObjectId(2), bso_objects::OpKind::FetchAdd(7)),
+            },
+        );
+        assert!(matches!(
+            recv(&mut c).1,
+            Response::Err {
+                code: ErrorCode::Expired,
+                ..
+            }
+        ));
+        // The shed op was never applied.
+        send(
+            &mut c,
+            2,
+            &Request::Apply {
+                pid: 0,
+                op: Op::new(ObjectId(2), bso_objects::OpKind::FetchAdd(0)),
+            },
+        );
+        assert_eq!(recv(&mut c), (2, Response::Ok(Value::Int(0))));
+        // A generous budget sails through.
+        send(
+            &mut c,
+            3,
+            &Request::DeadlineApply {
+                budget_us: 5_000_000,
+                pid: 0,
+                op: Op::new(ObjectId(2), bso_objects::OpKind::FetchAdd(7)),
+            },
+        );
+        assert_eq!(recv(&mut c), (3, Response::Ok(Value::Int(0))));
+        drop(c);
+        let stats = handle.shutdown();
+        assert!(stats.shed >= 1);
     }
 }

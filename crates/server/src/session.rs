@@ -1,0 +1,316 @@
+//! Resumable sessions: the server half of exactly-once retries.
+//!
+//! A client binds a connection to a *session token* with
+//! [`Request::Resume`]; from then on every effectful request on that
+//! connection passes through the [`ResumeTable`] before it is applied.
+//! The table keeps, per token, a bounded window of request outcomes:
+//!
+//! - **Fresh** — the request id has never been seen: a `Pending` marker
+//!   is installed and the op proceeds to its shard.
+//! - **Replay** — the id completed before (possibly on a previous
+//!   connection that died before delivering the response): the cached
+//!   [`Response`] is returned and the op is *not* applied again.
+//! - **InFlight** — an earlier copy of the id is still being applied
+//!   (e.g. still queued cross-shard from a connection that has since
+//!   died): the retry is refused with [`ErrorCode::Busy`] so the
+//!   client backs off until the first copy's outcome is cached.
+//! - **Pruned** — the id predates what the bounded cache still covers:
+//!   the server can no longer tell whether it was applied, so the
+//!   retry is refused with [`ErrorCode::BadToken`] rather than risk a
+//!   duplicate effect.
+//!
+//! The `begin` check and marker installation happen under one mutex
+//! acquisition, which is the whole correctness argument: two copies of
+//! the same `(token, req_id)` — a retry racing the original across
+//! shards — serialize there, the second seeing `InFlight` or `Replay`,
+//! never a second apply.
+//!
+//! Only *effectful outcomes* are cached ([`Response::Ok`] and
+//! [`Response::Session`]). Errors abort the marker instead: every
+//! typed refusal in this codebase is effect-free, so re-attempting an
+//! errored request is safe and must not be masked by a stale cached
+//! error.
+//!
+//! Everything is bounded. At most [`ResumeTable::max_sessions`] tokens
+//! exist at once (beyond that, `Resume` answers
+//! [`ErrorCode::Overloaded`]); each token caches at most
+//! `cache_per_session` completed replies, evicting the oldest and
+//! advancing the token's pruned watermark so an eviction can only ever
+//! turn a would-be replay into a refusal, never into a duplicate
+//! apply.
+//!
+//! [`Request::Resume`]: crate::wire::Request::Resume
+//! [`ErrorCode::Busy`]: crate::wire::ErrorCode::Busy
+//! [`ErrorCode::BadToken`]: crate::wire::ErrorCode::BadToken
+//! [`ErrorCode::Overloaded`]: crate::wire::ErrorCode::Overloaded
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Mutex;
+
+use crate::wire::{ErrorCode, Response};
+
+/// Default cap on concurrently live session tokens.
+pub(crate) const DEFAULT_MAX_SESSIONS: usize = 1024;
+
+/// Default per-token reply-cache depth. Must be at least a client's
+/// pipeline depth or its oldest in-flight retry can fall off the
+/// window and come back [`ErrorCode::BadToken`].
+pub(crate) const DEFAULT_REPLIES_PER_SESSION: usize = 256;
+
+/// One request id's state in a session's window.
+enum Slot {
+    /// Installed by [`ResumeTable::begin`]; an apply is underway.
+    Pending,
+    /// The request completed with this (effectful) response.
+    Done(Response),
+}
+
+struct SessionEntry {
+    /// Request ids below this are unanswerable: their cache entries
+    /// were pruned (client acknowledged them) or evicted (window
+    /// overflow). A cache miss below the watermark is `Pruned`.
+    pruned_below: u64,
+    window: BTreeMap<u64, Slot>,
+    /// How many `window` entries are `Done` (eviction only counts
+    /// completed replies against the cache bound — `Pending` markers
+    /// are bounded by the client's pipeline depth, not by us).
+    done: usize,
+}
+
+/// What [`ResumeTable::begin`] found for a `(token, req_id)`.
+pub(crate) enum Begin {
+    /// Never seen — a `Pending` marker is now installed; apply it.
+    Fresh,
+    /// Already completed — answer this, do not apply again.
+    Replay(Response),
+    /// An earlier copy is mid-apply — refuse with `Busy`, retry later.
+    InFlight,
+    /// Outcome unknowable (pruned/evicted) — refuse with `BadToken`.
+    Pruned,
+}
+
+/// The shared session table. One per server, shared by every event
+/// loop; only session-bound connections ever touch it, so the plain
+/// mutex is off the fast path entirely.
+pub(crate) struct ResumeTable {
+    max_sessions: usize,
+    cache_per_session: usize,
+    inner: Mutex<HashMap<u64, SessionEntry>>,
+}
+
+impl ResumeTable {
+    pub(crate) fn new(max_sessions: usize, cache_per_session: usize) -> ResumeTable {
+        ResumeTable {
+            max_sessions: max_sessions.max(1),
+            cache_per_session: cache_per_session.max(1),
+            inner: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Binds (or re-binds) a token, pruning everything at or below
+    /// `last_acked`, and reports how many completed replies remain
+    /// cached. `Err(Overloaded)` when the token is new and the table
+    /// is full.
+    pub(crate) fn resume(&self, token: u64, last_acked: u64) -> Result<u32, ErrorCode> {
+        let mut inner = self.inner.lock().expect("resume table poisoned");
+        if !inner.contains_key(&token) && inner.len() >= self.max_sessions {
+            return Err(ErrorCode::Overloaded);
+        }
+        let entry = inner.entry(token).or_insert_with(|| SessionEntry {
+            pruned_below: 0,
+            window: BTreeMap::new(),
+            done: 0,
+        });
+        // Acknowledged replies will never be asked for again; drop
+        // them and advance the watermark past them.
+        let keep = entry.window.split_off(&(last_acked.saturating_add(1)));
+        for slot in entry.window.values() {
+            if matches!(slot, Slot::Done(_)) {
+                entry.done -= 1;
+            }
+        }
+        entry.window = keep;
+        entry.pruned_below = entry.pruned_below.max(last_acked.saturating_add(1));
+        Ok(entry.done as u32)
+    }
+
+    /// The admission check every effectful request on a bound
+    /// connection makes before applying. On `Fresh`, a `Pending`
+    /// marker is installed atomically with the check; the caller must
+    /// follow up with [`complete`] or [`abort`].
+    ///
+    /// [`complete`]: ResumeTable::complete
+    /// [`abort`]: ResumeTable::abort
+    pub(crate) fn begin(&self, token: u64, req_id: u64) -> Begin {
+        let mut inner = self.inner.lock().expect("resume table poisoned");
+        let Some(entry) = inner.get_mut(&token) else {
+            // A bound connection implies a successful resume, so the
+            // entry exists; tolerate its absence by serving without
+            // dedup (complete/abort no-op on a missing token).
+            return Begin::Fresh;
+        };
+        match entry.window.get(&req_id) {
+            Some(Slot::Done(resp)) => Begin::Replay(resp.clone()),
+            Some(Slot::Pending) => Begin::InFlight,
+            None if req_id < entry.pruned_below => Begin::Pruned,
+            None => {
+                entry.window.insert(req_id, Slot::Pending);
+                Begin::Fresh
+            }
+        }
+    }
+
+    /// Records a request's outcome. Effectful responses (`Ok`,
+    /// `Session`) replace the `Pending` marker and become replayable;
+    /// anything else aborts the marker (typed refusals are effect-free,
+    /// so the retry must re-attempt, not replay). Evicts the oldest
+    /// completed reply when the window is over its bound, advancing the
+    /// pruned watermark so the evicted id refuses rather than
+    /// re-applies.
+    pub(crate) fn complete(&self, token: u64, req_id: u64, resp: &Response) {
+        let cacheable = matches!(resp, Response::Ok(_) | Response::Session(_));
+        let mut inner = self.inner.lock().expect("resume table poisoned");
+        let Some(entry) = inner.get_mut(&token) else {
+            return;
+        };
+        if !cacheable {
+            if entry
+                .window
+                .remove(&req_id)
+                .is_some_and(|s| matches!(s, Slot::Done(_)))
+            {
+                entry.done -= 1;
+            }
+            return;
+        }
+        let prev = entry.window.insert(req_id, Slot::Done(resp.clone()));
+        if !matches!(prev, Some(Slot::Done(_))) {
+            entry.done += 1;
+        }
+        while entry.done > self.cache_per_session {
+            let oldest = entry
+                .window
+                .iter()
+                .find_map(|(id, slot)| matches!(slot, Slot::Done(_)).then_some(*id))
+                .expect("done count implies a Done slot");
+            entry.window.remove(&oldest);
+            entry.done -= 1;
+            entry.pruned_below = entry.pruned_below.max(oldest + 1);
+        }
+    }
+
+    /// Drops a `Pending` marker without recording an outcome — the
+    /// request never reached its apply (shed, refused cross-shard,
+    /// shutdown). The id stays fresh for a retry.
+    pub(crate) fn abort(&self, token: u64, req_id: u64) {
+        let mut inner = self.inner.lock().expect("resume table poisoned");
+        if let Some(entry) = inner.get_mut(&token) {
+            if let Some(Slot::Done(_)) = entry.window.get(&req_id) {
+                return; // completed concurrently; keep the reply
+            }
+            entry.window.remove(&req_id);
+        }
+    }
+
+    /// Live session count (introspection).
+    pub(crate) fn sessions(&self) -> usize {
+        self.inner.lock().expect("resume table poisoned").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bso_objects::Value;
+
+    fn ok(n: i64) -> Response {
+        Response::Ok(Value::Int(n))
+    }
+
+    #[test]
+    fn fresh_then_complete_then_replay() {
+        let t = ResumeTable::new(4, 8);
+        assert_eq!(t.resume(9, 0), Ok(0));
+        assert!(matches!(t.begin(9, 1), Begin::Fresh));
+        assert!(matches!(t.begin(9, 1), Begin::InFlight), "marker holds");
+        t.complete(9, 1, &ok(5));
+        match t.begin(9, 1) {
+            Begin::Replay(r) => assert_eq!(r, ok(5)),
+            _ => panic!("expected replay"),
+        }
+    }
+
+    #[test]
+    fn errors_abort_the_marker_so_retries_reattempt() {
+        let t = ResumeTable::new(4, 8);
+        t.resume(1, 0).unwrap();
+        assert!(matches!(t.begin(1, 7), Begin::Fresh));
+        t.complete(
+            1,
+            7,
+            &Response::Err {
+                code: ErrorCode::Busy,
+                message: "queue full".into(),
+            },
+        );
+        assert!(matches!(t.begin(1, 7), Begin::Fresh), "error not cached");
+        t.abort(1, 7);
+        assert!(matches!(t.begin(1, 7), Begin::Fresh));
+    }
+
+    #[test]
+    fn acked_prefix_prunes_and_refuses_stale_retries() {
+        let t = ResumeTable::new(4, 8);
+        t.resume(2, 0).unwrap();
+        for id in 1..=4u64 {
+            assert!(matches!(t.begin(2, id), Begin::Fresh));
+            t.complete(2, id, &ok(id as i64));
+        }
+        assert_eq!(t.resume(2, 3), Ok(1), "one unacked reply kept");
+        assert!(matches!(t.begin(2, 2), Begin::Pruned), "acked id refused");
+        match t.begin(2, 4) {
+            Begin::Replay(r) => assert_eq!(r, ok(4)),
+            _ => panic!("unacked id still replayable"),
+        }
+    }
+
+    #[test]
+    fn eviction_advances_the_watermark_never_reapplies() {
+        let t = ResumeTable::new(4, 2);
+        t.resume(3, 0).unwrap();
+        for id in 1..=5u64 {
+            assert!(matches!(t.begin(3, id), Begin::Fresh));
+            t.complete(3, id, &ok(id as i64));
+        }
+        // Window depth 2: ids 1..=3 were evicted. They must refuse,
+        // not re-apply.
+        for id in 1..=3u64 {
+            assert!(matches!(t.begin(3, id), Begin::Pruned), "id {id}");
+        }
+        assert!(matches!(t.begin(3, 5), Begin::Replay(_)));
+    }
+
+    #[test]
+    fn session_table_is_bounded() {
+        let t = ResumeTable::new(2, 8);
+        t.resume(1, 0).unwrap();
+        t.resume(2, 0).unwrap();
+        assert_eq!(t.resume(3, 0), Err(ErrorCode::Overloaded));
+        assert_eq!(t.resume(1, 0), Ok(0), "existing tokens re-bind fine");
+        assert_eq!(t.sessions(), 2);
+    }
+
+    #[test]
+    fn pending_markers_survive_connection_death_until_completed() {
+        // The retry-races-original scenario: the original copy is
+        // mid-apply (Pending) when its connection dies; the retry on a
+        // fresh connection must wait (Busy), then replay once the
+        // original's outcome lands.
+        let t = ResumeTable::new(4, 8);
+        t.resume(5, 0).unwrap();
+        assert!(matches!(t.begin(5, 10), Begin::Fresh));
+        assert!(matches!(t.begin(5, 10), Begin::InFlight));
+        t.complete(5, 10, &ok(1));
+        assert!(matches!(t.begin(5, 10), Begin::Replay(_)));
+    }
+}

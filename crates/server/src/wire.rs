@@ -5,12 +5,21 @@
 //!
 //! ```text
 //! frame    := len:u32le body
-//! body     := version:u8 opcode:u8 req_id:u64le payload
+//! body     := version:u8 opcode:u8 req_id:u64le payload sum:u32le   (v2)
+//! body     := version:u8 opcode:u8 req_id:u64le payload             (v1)
 //! ```
 //!
 //! `len` counts the body bytes only and is capped at [`MAX_FRAME`]; a
 //! peer claiming more is rejected *before* any allocation, mirroring
 //! the nesting-depth hardening of the `bso-telemetry` JSON parser.
+//! `sum` is the FNV-1a digest ([`checksum`]) of every body byte before
+//! it (version through payload), verified — right after the version
+//! gate, before any payload interpretation — on every v2 decode:
+//! a frame the wire damaged in flight surfaces as a typed
+//! [`WireError::Corrupt`] instead of silently decoding to a wrong
+//! value, which is what keeps exactly-once retries honest under byte
+//! corruption (any single corrupted body byte is detected, including
+//! corruption of the digest itself).
 //! `req_id` is a client-chosen correlation id: clients may pipeline
 //! any number of requests before reading responses, and the server may
 //! answer them in any order (shards complete independently), so the id
@@ -18,10 +27,10 @@
 //!
 //! ## Versioning and the `Hello` handshake
 //!
-//! Every body leads with its version byte. v2 keeps v1's frame and
-//! payload layout bit-for-bit and adds the [`Request::Hello`] /
-//! [`Response::Hello`] negotiation pair plus the [`ErrorCode::Version`]
-//! refusal. The codecs here *decode* any version in
+//! Every body leads with its version byte. v2 keeps v1's payload
+//! layout bit-for-bit, appends the integrity digest described above,
+//! and adds the [`Request::Hello`] / [`Response::Hello`] negotiation
+//! pair plus the [`ErrorCode::Version`] refusal. The codecs here *decode* any version in
 //! [`MIN_DECODE_VERSION`]`..=`[`VERSION`] (the layouts coincide) and
 //! can encode at either version ([`encode_response_at`]), which is what
 //! makes graceful rejection possible: a `bso-server` speaks v2 only,
@@ -44,11 +53,14 @@
 //! | `0x05` | [`Request::Hello`] | `version:u8` (v2+) |
 //! | `0x06` | [`Request::Introspect`] | — (v2+) |
 //! | `0x07` | [`Request::TracedApply`] | `trace_id:u64le` `span_id:u64le` `pid:u32le` `obj:u32le` opkind (v2+) |
+//! | `0x08` | [`Request::Resume`] | `token:u64le` `last_acked:u64le` (v2+) |
+//! | `0x09` | [`Request::DeadlineApply`] | `budget_us:u32le` `pid:u32le` `obj:u32le` opkind (v2+) |
 //!
-//! The v2-only opcodes (`Hello`, `Introspect`, `TracedApply`) still
-//! *decode* at a v1 version byte — the layouts coincide — but a server
-//! refuses to serve them below [`VERSION`], answering the typed
-//! [`ErrorCode::Version`] rejection in the client's own framing.
+//! The v2-only opcodes (`Hello`, `Introspect`, `TracedApply`,
+//! `Resume`, `DeadlineApply`) still *decode* at a v1 version byte —
+//! the layouts coincide — but a server refuses to serve them below
+//! [`VERSION`], answering the typed [`ErrorCode::Version`] rejection
+//! in the client's own framing.
 //!
 //! ## Responses
 //!
@@ -59,6 +71,20 @@
 //! | `0x83` | [`Response::Session`] | `session:u32le` |
 //! | `0x84` | [`Response::Hello`] | `version:u8` (v2+) |
 //! | `0x85` | [`Response::Introspect`] | `len:u32le` utf-8 JSON (v2+) |
+//! | `0x86` | [`Response::Resumed`] | `token:u64le` `cached:u32le` (v2+) |
+//!
+//! ## Session resumption and exactly-once retries
+//!
+//! A client that wants its retries to be safe binds its connection to
+//! a *session token* with [`Request::Resume`] (a client-chosen `u64`,
+//! plus the highest request id below which everything was already
+//! acknowledged). The server keeps a bounded per-token reply cache:
+//! an operation on a bound connection that was already applied answers
+//! from the cache instead of applying again, so a retry after a lost
+//! response observes exactly the original effect. After a reconnect
+//! the client re-sends `Resume` with the same token, then re-issues
+//! its unacknowledged requests under their original request ids. See
+//! `DESIGN.md` §3.14 for the full protocol and its retry table.
 //!
 //! ## Values and operations
 //!
@@ -92,6 +118,24 @@ pub const MIN_DECODE_VERSION: u8 = 1;
 /// Hard cap on a frame body's length. A length prefix above this is a
 /// [`WireError::FrameTooLarge`] before any buffer is grown.
 pub const MAX_FRAME: usize = 1 << 20;
+
+/// Bytes of the trailing [`checksum`] digest a v2 body carries.
+pub const CHECKSUM_LEN: usize = 4;
+
+/// First protocol version whose bodies carry the trailing digest.
+const CHECKSUM_VERSION: u8 = 2;
+
+/// The frame integrity digest: 32-bit FNV-1a over the body bytes
+/// preceding the digest (version byte through payload). Appended by
+/// the v2 encoders and verified by the decoders before any payload
+/// interpretation; a mismatch is [`WireError::Corrupt`].
+pub fn checksum(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811C_9DC5;
+    for &b in bytes {
+        h = (h ^ u32::from(b)).wrapping_mul(0x0100_0193);
+    }
+    h
+}
 
 /// Hard cap on [`Value`] nesting (pairs within sequences within …).
 pub const MAX_VALUE_DEPTH: usize = 32;
@@ -172,6 +216,33 @@ pub enum Request {
         /// The operation, aimed at one of the server's objects.
         op: Op,
     },
+    /// Bind this connection to a resumable session (v2+). `token` is a
+    /// client-chosen session identifier; `last_acked` is the highest
+    /// request id for which this client has seen every response up to
+    /// and including it, letting the server prune its reply cache.
+    /// Answered with [`Response::Resumed`], or a typed
+    /// [`ErrorCode::Overloaded`] when the session table is full.
+    Resume {
+        /// Client-chosen session identifier, stable across reconnects.
+        token: u64,
+        /// Highest request id with everything at or below it answered.
+        last_acked: u64,
+    },
+    /// [`Request::Apply`] carrying a freshness budget (v2+): if more
+    /// than `budget_us` microseconds elapse between the server decoding
+    /// the frame and the owning shard reaching it, the op is *shed* —
+    /// refused with [`ErrorCode::Expired`] and never applied — instead
+    /// of consuming shard time on an answer the client has already
+    /// given up on.
+    DeadlineApply {
+        /// Freshness budget in microseconds, measured server-side from
+        /// frame decode.
+        budget_us: u32,
+        /// The invoking process id (snapshot slots are per-process).
+        pid: u32,
+        /// The operation, aimed at one of the server's objects.
+        op: Op,
+    },
 }
 
 /// A server-to-client response.
@@ -198,6 +269,15 @@ pub enum Response {
     /// The server's metrics snapshot (answering
     /// [`Request::Introspect`]): a `bso-introspect/v1` JSON document.
     Introspect(String),
+    /// The session is bound (answering [`Request::Resume`]): echoes the
+    /// token and reports how many cached replies the server still holds
+    /// for it — replies to requests the client may be about to retry.
+    Resumed {
+        /// The session token this connection is now bound to.
+        token: u64,
+        /// Cached replies retained after pruning at `last_acked`.
+        cached: u32,
+    },
 }
 
 /// Typed error classes a server can answer with.
@@ -220,6 +300,21 @@ pub enum ErrorCode {
     /// this connection (or its [`Request::Hello`]) speaks. The message
     /// names the version the server wants.
     Version = 6,
+    /// The request outlived its validity window: a
+    /// [`Request::DeadlineApply`] whose freshness budget ran out before
+    /// the owning shard reached it. The op was shed, *not* applied, so
+    /// retrying it (with a fresh budget) is safe.
+    Expired = 7,
+    /// The server refused new resumable state — the session table is at
+    /// capacity. Existing sessions keep working; a client seeing this
+    /// should back off, reconnect and try binding again.
+    Overloaded = 8,
+    /// The session token cannot answer this request: the retried
+    /// request id predates what the bounded reply cache still covers,
+    /// so the server can no longer tell whether it was applied.
+    /// Retrying would risk a duplicate effect — the client must treat
+    /// the op's outcome as unknown.
+    BadToken = 9,
 }
 
 impl ErrorCode {
@@ -238,14 +333,38 @@ impl ErrorCode {
             4 => Some(ErrorCode::ShuttingDown),
             5 => Some(ErrorCode::UnknownSession),
             6 => Some(ErrorCode::Version),
+            7 => Some(ErrorCode::Expired),
+            8 => Some(ErrorCode::Overloaded),
+            9 => Some(ErrorCode::BadToken),
             _ => None,
         }
     }
 
-    /// Whether a request refused with this code is worth retrying
-    /// as-is (today: only [`ErrorCode::Busy`] backpressure).
+    /// Whether a request refused with this code had no effect and is
+    /// worth retrying at all: the union of [`retry_in_place`] and
+    /// [`retry_after_reconnect`].
+    ///
+    /// [`retry_in_place`]: ErrorCode::retry_in_place
+    /// [`retry_after_reconnect`]: ErrorCode::retry_after_reconnect
     pub fn is_retryable(self) -> bool {
-        matches!(self, ErrorCode::Busy)
+        self.retry_in_place() || self.retry_after_reconnect()
+    }
+
+    /// Retryable on the *same* connection: transient refusals
+    /// ([`ErrorCode::Busy`] backpressure, an [`ErrorCode::Expired`]
+    /// shed) where the connection itself is healthy — back off briefly
+    /// and re-send.
+    pub fn retry_in_place(self) -> bool {
+        matches!(self, ErrorCode::Busy | ErrorCode::Expired)
+    }
+
+    /// Retryable only through a *new* connection: this server instance
+    /// ([`ErrorCode::ShuttingDown`]) or its resumable-session capacity
+    /// ([`ErrorCode::Overloaded`]) is refusing the connection's future
+    /// work, not just this request — re-sending in place can only
+    /// repeat the refusal.
+    pub fn retry_after_reconnect(self) -> bool {
+        matches!(self, ErrorCode::ShuttingDown | ErrorCode::Overloaded)
     }
 }
 
@@ -258,6 +377,9 @@ impl fmt::Display for ErrorCode {
             ErrorCode::ShuttingDown => "shutting-down",
             ErrorCode::UnknownSession => "unknown-session",
             ErrorCode::Version => "version",
+            ErrorCode::Expired => "expired",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::BadToken => "bad-token",
         };
         f.write_str(s)
     }
@@ -289,6 +411,14 @@ pub enum WireError {
     FrameTooLarge(usize),
     /// An error message was not valid UTF-8.
     BadUtf8,
+    /// The body's trailing [`checksum`] digest does not match its
+    /// bytes — the frame was damaged in flight.
+    Corrupt {
+        /// The digest recomputed over the received body.
+        expected: u32,
+        /// The digest the body actually carried.
+        found: u32,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -305,6 +435,10 @@ impl fmt::Display for WireError {
             WireError::SeqTooLong(n) => write!(f, "sequence of {n} elements (max {MAX_SEQ_LEN})"),
             WireError::FrameTooLarge(n) => write!(f, "frame of {n} bytes (max {MAX_FRAME})"),
             WireError::BadUtf8 => write!(f, "message is not valid UTF-8"),
+            WireError::Corrupt { expected, found } => write!(
+                f,
+                "frame checksum mismatch (computed {expected:#010x}, carried {found:#010x})"
+            ),
         }
     }
 }
@@ -318,11 +452,14 @@ const OP_PING: u8 = 0x04;
 const OP_HELLO: u8 = 0x05;
 const OP_INTROSPECT: u8 = 0x06;
 const OP_APPLY_TRACED: u8 = 0x07;
+const OP_RESUME: u8 = 0x08;
+const OP_APPLY_DEADLINE: u8 = 0x09;
 const RESP_OK: u8 = 0x81;
 const RESP_ERR: u8 = 0x82;
 const RESP_SESSION: u8 = 0x83;
 const RESP_HELLO: u8 = 0x84;
 const RESP_INTROSPECT: u8 = 0x85;
+const RESP_RESUMED: u8 = 0x86;
 
 // ---------------------------------------------------------------- encode
 
@@ -469,6 +606,20 @@ pub fn encode_request(req_id: u64, req: &Request, out: &mut Vec<u8>) -> Result<(
                 put_u32(body, op.obj.0 as u32);
                 put_op_kind(body, &op.kind)?;
             }
+            Request::Resume { token, last_acked } => {
+                body.push(OP_RESUME);
+                put_u64(body, req_id);
+                put_u64(body, *token);
+                put_u64(body, *last_acked);
+            }
+            Request::DeadlineApply { budget_us, pid, op } => {
+                body.push(OP_APPLY_DEADLINE);
+                put_u64(body, req_id);
+                put_u32(body, *budget_us);
+                put_u32(body, *pid);
+                put_u32(body, op.obj.0 as u32);
+                put_op_kind(body, &op.kind)?;
+            }
         }
         Ok(())
     })
@@ -532,13 +683,19 @@ pub fn encode_response_at(
                 put_u32(body, json.len() as u32);
                 body.extend_from_slice(json.as_bytes());
             }
+            Response::Resumed { token, cached } => {
+                body.push(RESP_RESUMED);
+                put_u64(body, req_id);
+                put_u64(body, *token);
+                put_u32(body, *cached);
+            }
         }
         Ok(())
     })
 }
 
 /// Reserves the length prefix, writes `version` + the body via `fill`,
-/// then patches the prefix in.
+/// appends the integrity digest (v2+), then patches the prefix in.
 fn frame(
     out: &mut Vec<u8>,
     version: u8,
@@ -550,6 +707,10 @@ fn frame(
     if let Err(e) = fill(out) {
         out.truncate(at);
         return Err(e);
+    }
+    if version >= CHECKSUM_VERSION {
+        let sum = checksum(&out[at + 4..]);
+        out.extend_from_slice(&sum.to_le_bytes());
     }
     let body_len = out.len() - at - 4;
     if body_len > MAX_FRAME {
@@ -673,6 +834,20 @@ fn body_cursor(body: &[u8]) -> Result<(Cursor<'_>, u8, u64), WireError> {
     if !(MIN_DECODE_VERSION..=VERSION).contains(&version) {
         return Err(WireError::BadVersion(version));
     }
+    if version >= CHECKSUM_VERSION {
+        // Integrity gates interpretation: strip and verify the trailing
+        // digest before a single payload byte is trusted.
+        let Some(split) = body.len().checked_sub(CHECKSUM_LEN).filter(|&s| s >= 1) else {
+            return Err(WireError::Truncated);
+        };
+        let (covered, sum) = body.split_at(split);
+        let found = u32::from_le_bytes(sum.try_into().expect("CHECKSUM_LEN bytes"));
+        let expected = checksum(covered);
+        if found != expected {
+            return Err(WireError::Corrupt { expected, found });
+        }
+        c.buf = covered;
+    }
     let opcode = c.u8()?;
     let req_id = c.u64()?;
     Ok((c, opcode, req_id))
@@ -737,13 +912,57 @@ pub fn decode_request(body: &[u8]) -> Result<(u64, Request), WireError> {
                 op: Op::new(obj, kind),
             }
         }
+        OP_RESUME => {
+            let token = c.u64()?;
+            let last_acked = c.u64()?;
+            Request::Resume { token, last_acked }
+        }
+        OP_APPLY_DEADLINE => {
+            let budget_us = c.u32()?;
+            let pid = c.u32()?;
+            let obj = ObjectId(c.u32()? as usize);
+            let kind = c.op_kind()?;
+            Request::DeadlineApply {
+                budget_us,
+                pid,
+                op: Op::new(obj, kind),
+            }
+        }
         other => return Err(WireError::BadOpcode(other)),
     };
     c.finish()?;
     Ok((req_id, req))
 }
 
-/// Decodes one response body (without the length prefix).
+/// [`decode_response`] that additionally *requires* the body to be at
+/// the current [`VERSION`] — what every in-repo client uses to read a
+/// stream it negotiated at v2.
+///
+/// The distinction matters under byte corruption: v1 bodies carry no
+/// integrity digest, so a client lenient enough to accept one would
+/// accept any desynchronized garbage whose first byte happens to be
+/// `1` — a silent-corruption hole. A v2 speaker never legitimately
+/// receives a v1 response (the server answers at the version the
+/// client spoke), so the strict decoder turns that garbage into a
+/// typed [`WireError::BadVersion`] the client treats as a broken
+/// connection.
+///
+/// # Errors
+///
+/// [`WireError::BadVersion`] for any version byte other than
+/// [`VERSION`], plus everything [`decode_response`] can fail with.
+pub fn decode_response_current(body: &[u8]) -> Result<(u64, Response), WireError> {
+    match peek_version(body) {
+        Some(VERSION) => decode_response(body),
+        Some(v) => Err(WireError::BadVersion(v)),
+        None => Err(WireError::Truncated),
+    }
+}
+
+/// Decodes one response body (without the length prefix), accepting
+/// any version in [`MIN_DECODE_VERSION`]`..=`[`VERSION`] — the
+/// lenient codec a *v1* peer would hold. Clients reading a stream they
+/// negotiated at v2 must use [`decode_response_current`] instead.
 ///
 /// # Errors
 ///
@@ -771,6 +990,11 @@ pub fn decode_response(body: &[u8]) -> Result<(u64, Response), WireError> {
                 .map_err(|_| WireError::BadUtf8)?
                 .to_string();
             Response::Introspect(json)
+        }
+        RESP_RESUMED => {
+            let token = c.u64()?;
+            let cached = c.u32()?;
+            Response::Resumed { token, cached }
         }
         other => return Err(WireError::BadOpcode(other)),
     };
@@ -918,6 +1142,15 @@ mod tests {
             pid: 2,
             op: Op::new(ObjectId(5), OpKind::TestAndSet),
         });
+        round_trip_request(Request::Resume {
+            token: 0xFACE_0FFE,
+            last_acked: 41,
+        });
+        round_trip_request(Request::DeadlineApply {
+            budget_us: 1_500,
+            pid: 3,
+            op: Op::new(ObjectId(2), OpKind::FetchAdd(1)),
+        });
     }
 
     #[test]
@@ -932,6 +1165,10 @@ mod tests {
             Response::Session(17),
             Response::Hello { version: VERSION },
             Response::Introspect("{\"schema\":\"bso-introspect/v1\"}".into()),
+            Response::Resumed {
+                token: u64::MAX - 1,
+                cached: 12,
+            },
         ] {
             let mut buf = Vec::new();
             encode_response(u64::MAX, &resp, &mut buf).unwrap();
@@ -942,12 +1179,72 @@ mod tests {
     }
 
     #[test]
+    fn strict_response_decode_refuses_digestless_versions() {
+        // A v2-negotiated client must not accept a v1 (digest-less)
+        // response: desynchronized garbage starting with a `1` byte
+        // would otherwise bypass the integrity gate entirely.
+        let resp = Response::Ok(Value::Int(7));
+        let mut v1 = Vec::new();
+        encode_response_at(1, 9, &resp, &mut v1).unwrap();
+        assert!(
+            decode_response(&v1[4..]).is_ok(),
+            "lenient codec accepts v1"
+        );
+        assert_eq!(
+            decode_response_current(&v1[4..]).unwrap_err(),
+            WireError::BadVersion(1)
+        );
+        let mut v2 = Vec::new();
+        encode_response(9, &resp, &mut v2).unwrap();
+        assert_eq!(decode_response_current(&v2[4..]).unwrap(), (9, resp));
+        assert_eq!(
+            decode_response_current(&[]).unwrap_err(),
+            WireError::Truncated
+        );
+    }
+
+    #[test]
+    fn every_single_byte_corruption_is_detected() {
+        // The whole point of the trailing digest: no single damaged
+        // body byte — version, opcode, req_id, payload, or the digest
+        // itself — may decode, on either codec.
+        let mut rbuf = Vec::new();
+        encode_request(
+            5,
+            &Request::Apply {
+                pid: 1,
+                op: Op::new(ObjectId(2), OpKind::FetchAdd(1)),
+            },
+            &mut rbuf,
+        )
+        .unwrap();
+        let mut sbuf = Vec::new();
+        encode_response(5, &Response::Ok(Value::Int(41)), &mut sbuf).unwrap();
+        assert!(decode_request(&rbuf[4..]).is_ok());
+        assert!(decode_response(&sbuf[4..]).is_ok());
+        for body in [&rbuf[4..], &sbuf[4..]] {
+            for i in 0..body.len() {
+                for mask in [0x01u8, 0x80, 0xFF] {
+                    let mut evil = body.to_vec();
+                    evil[i] ^= mask;
+                    assert!(
+                        decode_request(&evil).is_err() && decode_response(&evil).is_err(),
+                        "corruption at byte {i} mask {mask:#04x} decoded"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn v1_frames_still_decode() {
-        // A v1 client's frame differs only in the version byte — the
-        // body layouts coincide. MIN_DECODE_VERSION pins that promise.
+        // A v1 client's frame differs in the version byte and carries
+        // no trailing digest — the payload layouts coincide.
+        // MIN_DECODE_VERSION pins that promise.
         let mut buf = Vec::new();
         encode_request(3, &Request::OpenElection { k: 4 }, &mut buf).unwrap();
-        buf[4] = 1; // rewrite the version byte to v1
+        buf[4] = 1; // rewrite the version byte to v1…
+        buf.truncate(buf.len() - CHECKSUM_LEN); // …and drop the v2 digest
         let (id, req) = decode_request(&buf[4..]).unwrap();
         assert_eq!((id, req), (3, Request::OpenElection { k: 4 }));
 
@@ -970,6 +1267,7 @@ mod tests {
         let mut buf = Vec::new();
         encode_request(11, &Request::Introspect, &mut buf).unwrap();
         buf[4] = 1;
+        buf.truncate(buf.len() - CHECKSUM_LEN);
         let (id, req) = decode_request(&buf[4..]).unwrap();
         assert_eq!((id, req), (11, Request::Introspect));
     }
@@ -1043,10 +1341,26 @@ mod tests {
             ErrorCode::ShuttingDown,
             ErrorCode::UnknownSession,
             ErrorCode::Version,
+            ErrorCode::Expired,
+            ErrorCode::Overloaded,
+            ErrorCode::BadToken,
         ] {
             assert_eq!(ErrorCode::from_u8(code.as_u8()), Some(code));
-            assert_eq!(code.is_retryable(), code == ErrorCode::Busy);
+            // The two retry classes partition the retryable codes:
+            // in-place retries are for transient per-request refusals on
+            // a healthy connection; after-reconnect retries are for
+            // refusals that condemn the connection's future work too.
+            let in_place = matches!(code, ErrorCode::Busy | ErrorCode::Expired);
+            let reconnect = matches!(code, ErrorCode::ShuttingDown | ErrorCode::Overloaded);
+            assert_eq!(code.retry_in_place(), in_place);
+            assert_eq!(code.retry_after_reconnect(), reconnect);
+            assert!(!(in_place && reconnect), "classes are disjoint");
+            assert_eq!(code.is_retryable(), in_place || reconnect);
         }
+        // BadToken means "outcome unknowable" — the one failure where a
+        // blind retry could duplicate an effect, so it must never be
+        // classified retryable.
+        assert!(!ErrorCode::BadToken.is_retryable());
         assert_eq!(ErrorCode::from_u8(200), None);
     }
 

@@ -20,6 +20,18 @@ fn sample_requests() -> Vec<Request> {
         Request::Ping,
         Request::OpenElection { k: 6 },
         Request::Elect { session: 3, pid: 1 },
+        Request::Hello {
+            version: wire::VERSION,
+        },
+        Request::Resume {
+            token: 0xFEED_F00D,
+            last_acked: 17,
+        },
+        Request::DeadlineApply {
+            budget_us: 2_500,
+            pid: 1,
+            op: Op::new(ObjectId(1), OpKind::FetchAdd(1)),
+        },
         Request::Apply {
             pid: 0,
             op: Op::read(ObjectId(0)),
@@ -64,6 +76,23 @@ fn body_of(req: &Request) -> Vec<u8> {
     buf.split_off(4)
 }
 
+/// Rewrites a hand-mutated v2 body's trailing digest so it passes the
+/// integrity gate — how these tests reach the *payload* validators
+/// behind it (an attacker can always compute a valid digest; the
+/// digest is against wire damage, not malice).
+fn reseal(body: &mut [u8]) {
+    let split = body.len() - wire::CHECKSUM_LEN;
+    let sum = wire::checksum(&body[..split]);
+    body[split..].copy_from_slice(&sum.to_le_bytes());
+}
+
+/// Appends a valid digest to a hand-built (digest-less) v2 body.
+fn seal(mut body: Vec<u8>) -> Vec<u8> {
+    let sum = wire::checksum(&body);
+    body.extend_from_slice(&sum.to_le_bytes());
+    body
+}
+
 #[test]
 fn every_truncation_errors_cleanly() {
     for req in sample_requests() {
@@ -92,16 +121,32 @@ fn every_truncation_errors_cleanly() {
 
 #[test]
 fn trailing_bytes_are_rejected() {
+    // On a v2 body the integrity gate fires first: padding bytes shift
+    // where the digest is read from, so the frame reads as damaged.
     let mut body = body_of(&Request::Ping);
+    body.extend_from_slice(&[0, 0, 0]);
+    assert!(matches!(
+        decode_request(&body),
+        Err(WireError::Corrupt { .. })
+    ));
+    // Reseal over the padding and the payload validator catches it.
+    reseal(&mut body);
+    assert_eq!(decode_request(&body), Err(WireError::Trailing(3)));
+    // A v1 body (no digest) hits the payload validator directly.
+    let mut body = body_of(&Request::Ping);
+    body.truncate(body.len() - wire::CHECKSUM_LEN);
+    body[0] = wire::MIN_DECODE_VERSION;
     body.extend_from_slice(&[0, 0, 0]);
     assert_eq!(decode_request(&body), Err(WireError::Trailing(3)));
 }
 
 #[test]
 fn wrong_version_is_rejected() {
-    // v1 bodies still decode (the layouts coincide); anything outside
-    // MIN_DECODE_VERSION..=VERSION is a typed BadVersion.
+    // v1 bodies still decode (the payload layouts coincide; v1 carries
+    // no digest); anything outside MIN_DECODE_VERSION..=VERSION is a
+    // typed BadVersion.
     let mut body = body_of(&Request::Ping);
+    body.truncate(body.len() - wire::CHECKSUM_LEN);
     body[0] = wire::MIN_DECODE_VERSION;
     assert!(decode_request(&body).is_ok());
     body[0] = wire::VERSION + 1;
@@ -115,24 +160,29 @@ fn wrong_version_is_rejected() {
 
 #[test]
 fn unknown_opcodes_and_tags_are_rejected() {
+    // Each mutation is resealed so it reaches the payload validator
+    // behind the integrity gate — a crafted frame, not wire damage.
     // Response opcodes are not request opcodes and vice versa.
     let mut body = body_of(&Request::Ping);
     body[1] = 0x81;
+    reseal(&mut body);
     assert_eq!(decode_request(&body), Err(WireError::BadOpcode(0x81)));
     body[1] = 0x7f;
+    reseal(&mut body);
     assert_eq!(decode_request(&body), Err(WireError::BadOpcode(0x7f)));
     assert!(matches!(
         decode_response(&body),
         Err(WireError::BadOpcode(0x7f))
     ));
 
-    // Corrupt the OpKind tag of an Apply (last byte of a Read op).
+    // Corrupt the OpKind tag of an Apply (last payload byte of a Read).
     let mut body = body_of(&Request::Apply {
         pid: 0,
         op: Op::read(ObjectId(0)),
     });
-    let last = body.len() - 1;
+    let last = body.len() - 1 - wire::CHECKSUM_LEN;
     body[last] = 250;
+    reseal(&mut body);
     assert_eq!(decode_request(&body), Err(WireError::BadOpTag(250)));
 
     // Corrupt a Value tag (first payload byte of a Write op).
@@ -140,8 +190,9 @@ fn unknown_opcodes_and_tags_are_rejected() {
         pid: 0,
         op: Op::write(ObjectId(0), Value::Nil),
     });
-    let last = body.len() - 1;
+    let last = body.len() - 1 - wire::CHECKSUM_LEN;
     body[last] = 99;
+    reseal(&mut body);
     assert_eq!(decode_request(&body), Err(WireError::BadValueTag(99)));
 
     // Corrupt a response error code.
@@ -155,10 +206,11 @@ fn unknown_opcodes_and_tags_are_rejected() {
         &mut buf,
     )
     .unwrap();
-    let body = &mut buf[4..];
+    let mut body = buf.split_off(4);
     body[10] = 77; // version(1) + opcode(1) + req_id(8) → code byte
+    reseal(&mut body);
     assert_eq!(
-        decode_response(body),
+        decode_response(&body),
         Err(WireError::BadErrorCode(77)),
         "body: {body:?}"
     );
@@ -228,7 +280,7 @@ fn lying_seq_counts_are_rejected_before_allocation() {
     body.push(6); // Seq tag
     body.extend_from_slice(&u32::MAX.to_le_bytes());
     assert_eq!(
-        decode_response(&body),
+        decode_response(&seal(body)),
         Err(WireError::SeqTooLong(u32::MAX as usize))
     );
     // A count under MAX_SEQ_LEN but over the remaining byte budget is
@@ -238,7 +290,7 @@ fn lying_seq_counts_are_rejected_before_allocation() {
     body.push(6);
     body.extend_from_slice(&1000u32.to_le_bytes());
     body.extend_from_slice(&[0, 0, 0]); // 3 elements' worth of bytes
-    assert_eq!(decode_response(&body), Err(WireError::Truncated));
+    assert_eq!(decode_response(&seal(body)), Err(WireError::Truncated));
 }
 
 #[test]
@@ -248,7 +300,78 @@ fn nesting_bomb_is_rejected() {
     let mut body = vec![wire::VERSION, 0x81];
     body.extend_from_slice(&7u64.to_le_bytes());
     body.extend(std::iter::repeat_n(5u8, wire::MAX_VALUE_DEPTH * 4));
-    assert_eq!(decode_response(&body), Err(WireError::TooDeep));
+    assert_eq!(decode_response(&seal(body)), Err(WireError::TooDeep));
+}
+
+#[test]
+fn seeded_corruption_sweep_never_decodes_damage() {
+    // The chaos-plan contract behind DESIGN.md §3.14: wire damage —
+    // any single corrupted byte, any mid-frame truncation, on any
+    // opcode including the Hello handshake — must surface as a typed
+    // WireError, never panic, and above all never silently decode
+    // (a silently wrong payload would break exactly-once retries).
+    let mut rng = SplitMix64::new(0xC0_22FF);
+    for req in sample_requests() {
+        let body = body_of(&req);
+        for i in 0..body.len() {
+            let mut evil = body.clone();
+            evil[i] ^= rng.range_u8(1, 255);
+            assert!(
+                decode_request(&evil).is_err(),
+                "corrupted byte {i} of {req:?} decoded"
+            );
+        }
+        for cut in 1..body.len() {
+            assert!(
+                decode_request(&body[..cut]).is_err(),
+                "truncation at {cut} of {req:?} decoded"
+            );
+        }
+    }
+
+    // And end to end: a corrupted Hello costs that connection exactly
+    // one malformed kill; the listener keeps serving.
+    let mut layout = bso_objects::Layout::new();
+    layout.push(bso_objects::ObjectInit::FetchAdd(0));
+    let handle = Server::builder()
+        .pin_cores(false)
+        .bind("127.0.0.1:0", &layout)
+        .unwrap();
+    let addr = handle.local_addr();
+    {
+        let mut body = body_of(&Request::Hello {
+            version: wire::VERSION,
+        });
+        let i = 2 + rng.usize_below(body.len() - 2); // spare the version byte
+        body[i] ^= rng.range_u8(1, 255);
+        let mut framed = (body.len() as u32).to_le_bytes().to_vec();
+        framed.extend_from_slice(&body);
+        let mut s = std::net::TcpStream::connect(addr).unwrap();
+        s.write_all(&framed).unwrap();
+        let mut probe = [0u8; 1];
+        assert_eq!(s.read(&mut probe).unwrap(), 0, "corrupt Hello gets EOF");
+    }
+    let mut s = std::net::TcpStream::connect(addr).unwrap();
+    let mut buf = Vec::new();
+    encode_request(
+        1,
+        &Request::Apply {
+            pid: 0,
+            op: Op::new(ObjectId(0), OpKind::FetchAdd(1)),
+        },
+        &mut buf,
+    )
+    .unwrap();
+    s.write_all(&buf).unwrap();
+    let mut body = Vec::new();
+    assert!(read_frame(&mut s, &mut body).unwrap());
+    assert_eq!(
+        wire::decode_response(&body).unwrap(),
+        (1, Response::Ok(Value::Int(0)))
+    );
+    drop(s);
+    let stats = handle.shutdown();
+    assert_eq!(stats.malformed, 1);
 }
 
 #[test]
