@@ -3,6 +3,7 @@
 //! ```text
 //! bsotop <addr> [--interval-ms N] [--frames N]
 //! bsotop --tail <progress.jsonl> [--interval-ms N] [--frames N]
+//! bsotop --cluster <addr1,addr2,...> [--interval-ms N] [--frames N]
 //! ```
 //!
 //! The default mode opens one `bso-wire/v2` connection and polls the
@@ -17,6 +18,13 @@
 //! `BSO_PROGRESS=path.jsonl BSO_TELEMETRY=...` (the serving variant
 //! fields), for servers one cannot or does not want to poll.
 //!
+//! `--cluster` polls `Introspect` across every comma-separated member
+//! of a `bso-cluster` deployment and renders one table: per-member
+//! routing epoch, owned object-id ranges, migration state (detach
+//! count and enablement), request and wrong-shard redirect rates, and
+//! shed/s. Dead members render as `down` rows and are re-dialed every
+//! frame, so a kill-and-rebalance is visible live.
+//!
 //! Each frame redraws in place with ANSI clear codes; `--frames N`
 //! exits after N frames (0, the default, runs until interrupted or,
 //! in poll mode, until the server goes away).
@@ -28,12 +36,13 @@ use std::time::{Duration, Instant};
 use bso::client::Connection;
 use bso_telemetry::json::{self, Json};
 
-const USAGE: &str =
-    "usage: bsotop <addr> [--interval-ms N] [--frames N] | --tail <progress.jsonl> ...";
+const USAGE: &str = "usage: bsotop <addr> [--interval-ms N] [--frames N] \
+     | --tail <progress.jsonl> ... | --cluster <addr1,addr2,...> ...";
 
 struct Config {
     target: String,
     tail: bool,
+    cluster: bool,
     interval: Duration,
     frames: u64,
 }
@@ -42,6 +51,7 @@ impl Config {
     fn parse(mut args: impl Iterator<Item = String>) -> Result<Config, String> {
         let mut target = None;
         let mut tail = false;
+        let mut cluster = false;
         let mut interval = Duration::from_millis(1000);
         let mut frames = 0u64;
         while let Some(arg) = args.next() {
@@ -49,6 +59,10 @@ impl Config {
                 "--tail" => {
                     tail = true;
                     target = Some(args.next().ok_or("--tail needs a file")?);
+                }
+                "--cluster" => {
+                    cluster = true;
+                    target = Some(args.next().ok_or("--cluster needs addr1,addr2,...")?);
                 }
                 "--interval-ms" => {
                     let ms: u64 = args
@@ -75,6 +89,7 @@ impl Config {
         Ok(Config {
             target: target.ok_or(USAGE)?,
             tail,
+            cluster,
             interval,
             frames,
         })
@@ -256,6 +271,190 @@ fn run_poll(cfg: &Config) -> Result<(), String> {
     }
 }
 
+/// One differentiable reading of one cluster member: serving totals
+/// plus the routing section (DESIGN.md §3.15).
+#[derive(Clone, Default)]
+struct MemberSample {
+    up: bool,
+    requests: u64,
+    wrong_shard: u64,
+    shed: u64,
+    conns: u64,
+    routing_enabled: bool,
+    epoch: u64,
+    detaches: u64,
+    owned: Vec<(u64, u64)>,
+}
+
+fn parse_member(text: &str) -> Result<MemberSample, String> {
+    let doc = json::parse(text).map_err(|e| format!("introspect response: {e}"))?;
+    match doc.get("schema").and_then(Json::as_str) {
+        Some("bso-introspect/v1") => {}
+        other => return Err(format!("unexpected introspect schema {other:?}")),
+    }
+    let conns = doc
+        .get("shards")
+        .and_then(Json::items)
+        .map(|shards| {
+            shards
+                .iter()
+                .filter_map(|s| s.get("conns").and_then(Json::as_u64))
+                .sum()
+        })
+        .unwrap_or(0);
+    let routing = doc.get("routing");
+    let owned = routing
+        .and_then(|r| r.get("owned"))
+        .and_then(Json::items)
+        .map(|ranges| {
+            ranges
+                .iter()
+                .filter_map(|r| {
+                    let pair = Json::items(r)?;
+                    Some((pair.first()?.as_u64()?, pair.get(1)?.as_u64()?))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    Ok(MemberSample {
+        up: true,
+        requests: u(&doc, "stats", "requests"),
+        wrong_shard: u(&doc, "stats", "wrong_shard"),
+        shed: u(&doc, "stats", "shed"),
+        conns,
+        routing_enabled: matches!(
+            routing.and_then(|r| r.get("enabled")),
+            Some(Json::Bool(true))
+        ),
+        epoch: routing
+            .and_then(|r| r.get("epoch"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0),
+        detaches: routing
+            .and_then(|r| r.get("detaches"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0),
+        owned,
+    })
+}
+
+/// Renders `[(0,4),(9,u64::MAX)]` as `0-4,9-max`.
+fn render_ranges(owned: &[(u64, u64)]) -> String {
+    if owned.is_empty() {
+        return "∅".into();
+    }
+    owned
+        .iter()
+        .map(|&(lo, hi)| {
+            let hi = if hi == u64::MAX {
+                "max".into()
+            } else {
+                hi.to_string()
+            };
+            format!("{lo}-{hi}")
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn render_cluster(
+    addrs: &[String],
+    now: &[MemberSample],
+    prev: &[MemberSample],
+    dt: Duration,
+    frame: u64,
+) {
+    clear_frame(frame == 0);
+    let epochs: Vec<u64> = now.iter().filter(|m| m.up).map(|m| m.epoch).collect();
+    let converged = epochs.windows(2).all(|w| w[0] == w[1]);
+    println!(
+        "bso-cluster — {} members, {} up, epoch {}{}",
+        addrs.len(),
+        epochs.len(),
+        epochs.iter().max().copied().unwrap_or(0),
+        if converged {
+            ""
+        } else {
+            " (table propagating)"
+        },
+    );
+    println!(
+        "member                 state     epoch  detaches   req/s  wrongshard/s  shed/s  conns  owned"
+    );
+    for (i, addr) in addrs.iter().enumerate() {
+        let m = &now[i];
+        let p = prev.get(i).cloned().unwrap_or_default();
+        if !m.up {
+            println!("{addr:<22} down");
+            continue;
+        }
+        println!(
+            "{:<22} {:<9} {:>5}  {:>8}  {:>6.0}  {:>12.0}  {:>6.0}  {:>5}  {}",
+            addr,
+            if m.routing_enabled {
+                "serving"
+            } else {
+                "unrouted"
+            },
+            m.epoch,
+            m.detaches,
+            rate(m.requests, p.requests, dt),
+            rate(m.wrong_shard, p.wrong_shard, dt),
+            rate(m.shed, p.shed, dt),
+            m.conns,
+            render_ranges(&m.owned),
+        );
+    }
+}
+
+fn run_cluster(cfg: &Config) -> Result<(), String> {
+    let addrs: Vec<String> = cfg
+        .target
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
+    if addrs.len() < 2 {
+        return Err("--cluster needs at least two comma-separated addresses".into());
+    }
+    // One connection slot per member, re-dialed whenever polling fails
+    // — members may die and come back under us.
+    let mut conns: Vec<Option<Connection>> = addrs.iter().map(|_| None).collect();
+    let mut prev: Vec<MemberSample> = vec![MemberSample::default(); addrs.len()];
+    let mut last_at: Option<Instant> = None;
+    let mut frame = 0u64;
+    loop {
+        let mut samples = Vec::with_capacity(addrs.len());
+        for (i, addr) in addrs.iter().enumerate() {
+            if conns[i].is_none() {
+                conns[i] = Connection::builder().connect(addr.as_str()).ok();
+            }
+            let sample = conns[i]
+                .as_mut()
+                .and_then(|c| c.introspect().ok())
+                .and_then(|text| parse_member(&text).ok());
+            match sample {
+                Some(s) => samples.push(s),
+                None => {
+                    conns[i] = None;
+                    samples.push(MemberSample::default());
+                }
+            }
+        }
+        let now = Instant::now();
+        let dt = last_at.map_or(cfg.interval, |at| now.duration_since(at));
+        render_cluster(&addrs, &samples, &prev, dt, frame);
+        prev = samples;
+        last_at = Some(now);
+        frame += 1;
+        if cfg.frames != 0 && frame >= cfg.frames {
+            return Ok(());
+        }
+        std::thread::sleep(cfg.interval);
+    }
+}
+
 /// One parsed serving heartbeat (the `bso-progress/v1` serving
 /// variant); lines without `serve_requests` are from a process that
 /// hosts no server and are skipped.
@@ -348,6 +547,8 @@ fn main() -> ExitCode {
     };
     let outcome = if cfg.tail {
         run_tail(&cfg)
+    } else if cfg.cluster {
+        run_cluster(&cfg)
     } else {
         run_poll(&cfg)
     };

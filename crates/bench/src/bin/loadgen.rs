@@ -47,12 +47,13 @@ use std::time::{Duration, Instant};
 use bso::client::{
     ClientError, Connection, HistoryRecorder, ResilientClient, RetryPolicy, Swarm, SwarmReport,
 };
+use bso::cluster::{Cluster, ClusterClient};
 use bso::objects::rng::SplitMix64;
 use bso::objects::{Layout, ObjectId, ObjectInit, Op, OpKind, Sym, Value};
 use bso::server::poll::PollBackend;
 use bso::server::{ErrorCode, Server, ServerHandle, ServerStats};
 use bso_bench::chaos::{ChaosProxy, FaultPlan};
-use bso_telemetry::json::Json;
+use bso_telemetry::json::{self, Json};
 use bso_telemetry::trace::TraceSink;
 use bso_telemetry::Registry;
 
@@ -70,6 +71,9 @@ struct Config {
     backend: PollBackend,
     chaos: bool,
     chaos_seed: u64,
+    /// `> 0` switches to the cluster bench: that many sharded members
+    /// under one routing table, with a live migration mid-run.
+    cluster: usize,
 }
 
 impl Config {
@@ -93,6 +97,7 @@ impl Config {
             backend: PollBackend::Auto,
             chaos: false,
             chaos_seed: 0xFA17,
+            cluster: 0,
         };
         while let Some(arg) = args.next() {
             match arg.as_str() {
@@ -121,6 +126,12 @@ impl Config {
                 }
                 "--chaos" => cfg.chaos = true,
                 "--chaos-seed" => cfg.chaos_seed = num(&mut args, &arg)? as u64,
+                "--cluster" => {
+                    cfg.cluster = num(&mut args, &arg)?;
+                    if cfg.cluster < 2 {
+                        return Err("--cluster needs at least 2 members".into());
+                    }
+                }
                 "--help" | "-h" => return Err(USAGE.to_string()),
                 other => return Err(format!("unknown argument {other}\n{USAGE}")),
             }
@@ -157,9 +168,9 @@ impl Config {
     }
 }
 
-const USAGE: &str = "usage: loadgen [--smoke] [--chaos] [--chaos-seed N] [--conns N] \
-[--pipeline N] [--ops N] [--k K] [--shards N] [--queue N] [--threads N] [--curve-points N] \
-[--backend auto|epoll|poll]";
+const USAGE: &str = "usage: loadgen [--smoke] [--chaos] [--chaos-seed N] [--cluster N] \
+[--conns N] [--pipeline N] [--ops N] [--k K] [--shards N] [--queue N] [--threads N] \
+[--curve-points N] [--backend auto|epoll|poll]";
 
 const CAS: ObjectId = ObjectId(0);
 const CTR: ObjectId = ObjectId(1);
@@ -830,6 +841,162 @@ fn emit_bench_json(
     .render_pretty()
 }
 
+/// The cluster bench: `--cluster N` members under one routing table,
+/// `--threads` routing-aware clients hammering FetchAdd counters while
+/// the coordinator live-migrates two slices mid-run. Reports aggregate
+/// throughput plus the redirect/failover traffic the migrations cost,
+/// checks the ledgers exactly, and merges a `bso-cluster-bench/v1`
+/// section into `BENCH_serve.json`.
+fn run_cluster_bench(cfg: &Config) -> Result<(String, f64), String> {
+    const COBJECTS: usize = 12;
+    let mut layout = Layout::new();
+    for _ in 0..COBJECTS {
+        layout.push(ObjectInit::FetchAdd(0));
+    }
+    let mut cluster =
+        Cluster::launch(cfg.cluster, &layout).map_err(|e| format!("cluster launch: {e}"))?;
+    let seeds: Vec<String> = (0..cfg.cluster)
+        .map(|i| cluster.addr(i).to_string())
+        .collect();
+    // Printed so a live `bsotop --cluster` can be pointed at the run.
+    println!("cluster: members at {}", seeds.join(","));
+    let epoch_initial = cluster.epoch();
+
+    let per_thread = (cfg.ops / cfg.threads as u64).max(1);
+    let total_ops = per_thread * cfg.threads as u64;
+    let done = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+    let per_client = std::thread::scope(|s| {
+        let workers: Vec<_> = (0..cfg.threads)
+            .map(|t| {
+                let seeds = seeds.clone();
+                let done = Arc::clone(&done);
+                s.spawn(move || -> Result<(u64, u64, Vec<i64>), String> {
+                    let mut client = ClusterClient::connect(&seeds)
+                        .map_err(|e| format!("cluster client {t}: {e}"))?;
+                    let mut acked = vec![0i64; COBJECTS];
+                    for seq in 0..per_thread {
+                        let obj = (seq as usize + t) % COBJECTS;
+                        client
+                            .apply(t, Op::new(ObjectId(obj), OpKind::FetchAdd(1)))
+                            .map_err(|e| format!("cluster apply (client {t}): {e}"))?;
+                        acked[obj] += 1;
+                        done.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Ok((client.redirects(), client.failovers(), acked))
+                })
+            })
+            .collect();
+        // Coordinator: two live migrations, paced by traffic progress
+        // so they always land mid-run.
+        let mut migrations = 0u64;
+        for (i, (from, to)) in [(0usize, 1usize), (1, 2)].into_iter().enumerate() {
+            let gate = total_ops * (i as u64 + 1) / 3;
+            while done.load(Ordering::Relaxed) < gate {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            let ranges = cluster.owned_ranges(from);
+            if !ranges.is_empty() {
+                cluster
+                    .migrate(from, to % cfg.cluster, &ranges)
+                    .map_err(|e| format!("migration {from}->{to}: {e}"))?;
+                migrations += 1;
+            }
+        }
+        let outcomes = workers
+            .into_iter()
+            .map(|w| w.join().expect("cluster bench client panicked"))
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok::<_, String>((outcomes, migrations))
+    })?;
+    let (outcomes, migrations) = per_client;
+    let elapsed = started.elapsed();
+
+    let mut redirects = 0u64;
+    let mut failovers = 0u64;
+    let mut acked = [0i64; COBJECTS];
+    for (r, f, per_obj) in outcomes {
+        redirects += r;
+        failovers += f;
+        for (a, v) in acked.iter_mut().zip(per_obj) {
+            *a += v;
+        }
+    }
+    // Exactness is part of the bench contract: every acked increment
+    // landed exactly once, across both migrations.
+    for (obj, &expect) in acked.iter().enumerate() {
+        let got = cluster
+            .admin(
+                (0..cfg.cluster)
+                    .find(|&i| {
+                        cluster
+                            .owned_ranges(i)
+                            .iter()
+                            .any(|&(lo, hi)| lo <= obj as u64 && obj as u64 <= hi)
+                    })
+                    .ok_or_else(|| format!("object {obj} has no owner"))?,
+            )
+            .and_then(|mut c| c.apply(0, Op::new(ObjectId(obj), OpKind::FetchAdd(0))))
+            .map_err(|e| format!("ledger read {obj}: {e}"))?
+            .as_int()
+            .ok_or("non-integer ledger")?;
+        if got != expect {
+            return Err(format!(
+                "CLUSTER LEDGER VIOLATION: object {obj} holds {got} for {expect} acked increments"
+            ));
+        }
+    }
+    let epoch_final = cluster.epoch();
+    let rate = total_ops as f64 / elapsed.as_secs_f64();
+    println!(
+        "cluster: {} members, {} clients, {} ops at {:.0} ops/s; {} migrations \
+         (epoch {} -> {}), {} redirects, {} failovers, ledgers exact ✓",
+        cfg.cluster,
+        cfg.threads,
+        total_ops,
+        rate,
+        migrations,
+        epoch_initial,
+        epoch_final,
+        redirects,
+        failovers,
+    );
+    cluster.shutdown();
+
+    let section = Json::obj([
+        ("schema", Json::Str("bso-cluster-bench/v1".into())),
+        ("members", Json::U64(cfg.cluster as u64)),
+        ("threads", Json::U64(cfg.threads as u64)),
+        ("objects", Json::U64(COBJECTS as u64)),
+        ("ops", Json::U64(total_ops)),
+        ("ops_per_sec", Json::F64(rate)),
+        ("elapsed_ms", Json::F64(elapsed.as_secs_f64() * 1e3)),
+        ("migrations", Json::U64(migrations)),
+        ("epoch_initial", Json::U64(epoch_initial)),
+        ("epoch_final", Json::U64(epoch_final)),
+        ("redirects", Json::U64(redirects)),
+        ("failovers", Json::U64(failovers)),
+    ]);
+    // Merge the section into the serve-bench artifact (replacing any
+    // previous cluster section) rather than clobbering the file.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    let merged = match std::fs::read_to_string(path) {
+        Ok(text) => match json::parse(&text).map_err(|e| format!("{path}: {e}"))? {
+            Json::Obj(mut pairs) => {
+                pairs.retain(|(k, _)| k != "cluster");
+                pairs.push(("cluster".into(), section));
+                Json::Obj(pairs)
+            }
+            _ => return Err(format!("{path}: not a JSON object")),
+        },
+        Err(_) => Json::obj([
+            ("schema", Json::Str("bso-serve-bench/v2".into())),
+            ("cluster", section),
+        ]),
+    };
+    Ok((merged.render_pretty(), rate))
+}
+
 fn main() -> ExitCode {
     let cfg = match Config::parse(std::env::args().skip(1)) {
         Ok(cfg) => cfg,
@@ -849,6 +1016,8 @@ fn main() -> ExitCode {
 
     let outcome = if cfg.chaos {
         run_chaos(&cfg, &registry).map(|()| None)
+    } else if cfg.cluster > 0 {
+        run_cluster_bench(&cfg).map(Some)
     } else if cfg.smoke {
         run_smoke(&cfg, &registry).map(|()| None)
     } else {

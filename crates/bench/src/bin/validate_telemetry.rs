@@ -9,6 +9,7 @@
 //! validate_telemetry --explore <BENCH_explore.json>
 //! validate_telemetry --introspect
 //! validate_telemetry --chaos
+//! validate_telemetry --cluster
 //! ```
 //!
 //! The default mode exits nonzero unless the file parses as a
@@ -44,8 +45,15 @@
 //! `DeadlineApply` that must be shed with a typed `Expired` — then
 //! checks that the `Introspect` snapshot and shutdown stats account
 //! for all three (`resumes`, `replays`, `sessions`, and aggregate
-//! plus per-shard `shed`). CI runs all eight over the artifacts the
-//! examples, the loadgen smoke job and the smoke bench write.
+//! plus per-shard `shed`); `--cluster` is also self-contained — it
+//! launches a three-member `bso-cluster`, serves recorded traffic
+//! through one live shard migration and one evacuated-member kill,
+//! and checks the DESIGN.md §3.15 contract: typed `WrongShard`
+//! redirects observed, routing epochs monotone at every member,
+//! per-object ledgers exactly balancing the acked increments, and
+//! the merged multi-server history linearizable. CI runs all nine
+//! over the artifacts the examples, the loadgen smoke job and the
+//! smoke bench write.
 
 use std::process::ExitCode;
 
@@ -68,7 +76,7 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage: validate_telemetry <snapshot.json> [min_total] [prefix=N ...] \
      | --trace <trace.json> [min_events] | --progress <progress.jsonl> [min_lines] \
      | --checkpoint <cp.json> | --serve <snapshot.json> [BENCH_serve.json] \
-     | --explore <BENCH_explore.json> | --introspect | --chaos";
+     | --explore <BENCH_explore.json> | --introspect | --chaos | --cluster";
 
 fn run() -> Result<String, String> {
     let mut args = std::env::args().skip(1);
@@ -104,6 +112,9 @@ fn run() -> Result<String, String> {
     }
     if path == "--chaos" {
         return validate_chaos();
+    }
+    if path == "--cluster" {
+        return validate_cluster();
     }
     let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
     let doc = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
@@ -451,8 +462,57 @@ fn validate_serve_bench(path: &str) -> Result<String, String> {
             return Err(format!("{path}: curve point #{i} sampled nothing"));
         }
     }
+    // A cluster section (written by `loadgen --cluster N`) is
+    // optional, but when present it must carry the
+    // bso-cluster-bench/v1 shape: real members, real throughput, at
+    // least one live migration, and a routing epoch that moved
+    // forward to pay for it.
+    let mut cluster_note = String::new();
+    if let Some(cluster) = doc.get("cluster") {
+        if !matches!(cluster.get("schema"), Some(Json::Str(s)) if s == "bso-cluster-bench/v1") {
+            return Err(format!(
+                "{path}: cluster section has missing or unknown \"schema\""
+            ));
+        }
+        let cu = |key: &str| -> Result<u64, String> {
+            cluster
+                .get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{path}: cluster section has no integer {key:?}"))
+        };
+        let members = cu("members")?;
+        if members < 2 {
+            return Err(format!(
+                "{path}: a {members}-member cluster is not a cluster"
+            ));
+        }
+        if cu("ops")? == 0 {
+            return Err(format!("{path}: cluster bench served no ops"));
+        }
+        if cluster
+            .get("ops_per_sec")
+            .and_then(Json::as_f64)
+            .is_none_or(|r| r <= 0.0)
+        {
+            return Err(format!(
+                "{path}: cluster.ops_per_sec is missing or not positive"
+            ));
+        }
+        let migrations = cu("migrations")?;
+        if migrations == 0 {
+            return Err(format!("{path}: cluster bench performed no migration"));
+        }
+        let (e0, e1) = (cu("epoch_initial")?, cu("epoch_final")?);
+        if e1 < e0 + migrations {
+            return Err(format!(
+                "{path}: routing epoch went {e0} -> {e1} across {migrations} migrations \
+                 — each flip must bump it"
+            ));
+        }
+        cluster_note = format!(", {members}-member cluster across {migrations} migrations");
+    }
     Ok(format!(
-        "{path}: ok ({ops_ok} sampled ops at peak, {}-point curve)",
+        "{path}: ok ({ops_ok} sampled ops at peak, {}-point curve{cluster_note})",
         curve.len()
     ))
 }
@@ -940,5 +1000,140 @@ fn validate_chaos() -> Result<String, String> {
         "chaos contract ok: {} requests all answered; resume bound, duplicate retry \
          replayed not re-applied, zero-budget op shed with Expired",
         stats.requests
+    ))
+}
+
+/// The cluster contract (DESIGN.md §3.15), self-contained: a
+/// three-member `bso-cluster` serves recorded traffic across one live
+/// migration and one member kill; routing epochs must be monotone at
+/// every member, stale clients must be redirected with typed
+/// `WrongShard` (counted by the source), the merged multi-server
+/// history must be linearizable, and the per-object ledgers must
+/// balance to the acked increments exactly.
+fn validate_cluster() -> Result<String, String> {
+    use std::sync::Arc;
+
+    use bso::client::HistoryRecorder;
+    use bso::cluster::{Cluster, ClusterClient};
+    use bso::objects::{Layout, ObjectId, ObjectInit, Op, OpKind};
+    use bso::sim::check_history;
+
+    const MEMBERS: usize = 3;
+    const OBJECTS: usize = 6;
+    const ROUNDS: usize = 40;
+    const VICTIM: usize = 2;
+
+    let mut layout = Layout::new();
+    for _ in 0..OBJECTS {
+        layout.push(ObjectInit::FetchAdd(0));
+    }
+    let mut cluster =
+        Cluster::launch(MEMBERS, &layout).map_err(|e| format!("cluster: launch: {e}"))?;
+    let seeds: Vec<String> = (0..MEMBERS).map(|i| cluster.addr(i).to_string()).collect();
+
+    // Epoch monotonicity is checked at every member after every
+    // table-changing step.
+    let mut last_epochs = vec![0u64; MEMBERS];
+    let check_epochs = |cluster: &Cluster, last: &mut Vec<u64>, step: &str| -> Result<(), String> {
+        for (idx, seen) in last.iter_mut().enumerate() {
+            if !cluster.live(idx) {
+                continue;
+            }
+            let (epoch, _) = cluster
+                .admin(idx)
+                .and_then(|mut c| c.fetch_routing())
+                .map_err(|e| format!("cluster: fetch_routing({idx}) after {step}: {e}"))?;
+            if epoch < *seen {
+                return Err(format!(
+                    "cluster: member {idx} routing epoch went BACKWARD {seen} -> {epoch} \
+                     after {step}"
+                ));
+            }
+            *seen = epoch;
+        }
+        Ok(())
+    };
+    check_epochs(&cluster, &mut last_epochs, "launch")?;
+
+    let rec = Arc::new(HistoryRecorder::new());
+    let mut client = ClusterClient::connect(&seeds)
+        .map_err(|e| format!("cluster: client connect: {e}"))?
+        .with_recorder(Arc::clone(&rec));
+    let mut acked = vec![0i64; OBJECTS];
+    let pass = |client: &mut ClusterClient, acked: &mut Vec<i64>| -> Result<(), String> {
+        for round in 0..ROUNDS {
+            let obj = round % OBJECTS;
+            client
+                .apply(0, Op::new(ObjectId(obj), OpKind::FetchAdd(1)))
+                .map_err(|e| format!("cluster: apply: {e}"))?;
+            acked[obj] += 1;
+        }
+        Ok(())
+    };
+
+    // Traffic against the launch table, then one live migration the
+    // client only discovers through a WrongShard bounce.
+    pass(&mut client, &mut acked)?;
+    let slice = cluster.owned_ranges(0);
+    cluster
+        .migrate(0, 1, &slice)
+        .map_err(|e| format!("cluster: migrate: {e}"))?;
+    check_epochs(&cluster, &mut last_epochs, "migration")?;
+    pass(&mut client, &mut acked)?;
+    if client.redirects() == 0 {
+        return Err("cluster: the stale client was never redirected".into());
+    }
+
+    // Planned member loss: evacuate, kill, keep serving.
+    cluster
+        .evacuate(VICTIM)
+        .map_err(|e| format!("cluster: evacuate: {e}"))?;
+    let stats = cluster.kill(VICTIM);
+    if stats.wrong_shard == 0 && client.redirects() == 0 {
+        return Err("cluster: no member ever counted a WrongShard refusal".into());
+    }
+    check_epochs(&cluster, &mut last_epochs, "kill")?;
+    pass(&mut client, &mut acked)?;
+
+    // Exact ledgers on the survivors.
+    for (obj, &expect) in acked.iter().enumerate() {
+        let owner = (0..MEMBERS)
+            .find(|&i| {
+                cluster.live(i)
+                    && cluster
+                        .owned_ranges(i)
+                        .iter()
+                        .any(|&(lo, hi)| lo <= obj as u64 && obj as u64 <= hi)
+            })
+            .ok_or_else(|| format!("cluster: object {obj} has no live owner"))?;
+        let got = cluster
+            .admin(owner)
+            .and_then(|mut c| c.apply(0, Op::new(ObjectId(obj), OpKind::FetchAdd(0))))
+            .map_err(|e| format!("cluster: ledger read {obj}: {e}"))?
+            .as_int()
+            .ok_or("cluster: non-integer ledger")?;
+        if got != expect {
+            return Err(format!(
+                "cluster: LEDGER VIOLATION on object {obj}: {got} for {expect} acked"
+            ));
+        }
+    }
+
+    // The merged multi-server history is one linearizable whole.
+    let log = rec.take_log();
+    if log.len() != 3 * ROUNDS {
+        return Err(format!(
+            "cluster: recorded {} ops for {} acked",
+            log.len(),
+            3 * ROUNDS
+        ));
+    }
+    check_history(&layout, &log).map_err(|e| format!("cluster: NOT LINEARIZABLE\n{e}"))?;
+    let final_epoch = cluster.epoch();
+    cluster.shutdown();
+    Ok(format!(
+        "cluster contract ok: {MEMBERS} members, 1 migration + 1 kill survived; \
+         {} merged ops linearizable, ledgers exact, routing epochs monotone to {final_epoch}",
+        3 * ROUNDS
     ))
 }

@@ -138,10 +138,25 @@ impl ClientError {
     }
 
     /// Whether this is retryable at all — in place *or* after a
-    /// reconnect-and-resume (`ShuttingDown`, `Overloaded`). The
-    /// [`ResilientClient`] consumes the finer split directly.
+    /// reconnect-and-resume (`ShuttingDown`, `Overloaded`), *or* after
+    /// a routing-table refresh (`WrongShard`). The [`ResilientClient`]
+    /// consumes the finer split directly.
     pub fn is_retryable(&self) -> bool {
         self.code().is_some_and(ErrorCode::is_retryable)
+    }
+
+    /// When this is a typed `WrongShard` refusal, the routing-table
+    /// epoch the refusing server held — the signal that the caller's
+    /// table is stale and the op must be re-routed after a refresh.
+    /// The op was *not* applied, so redirecting it is duplicate-safe.
+    pub fn wrong_shard_epoch(&self) -> Option<u64> {
+        match self {
+            ClientError::Server {
+                code: ErrorCode::WrongShard,
+                message,
+            } => wire::wrong_shard_epoch(message).or(Some(0)),
+            _ => None,
+        }
     }
 }
 
@@ -615,5 +630,145 @@ impl Connection {
     /// Requests sent but not yet answered.
     pub fn in_flight(&self) -> usize {
         self.pending.len()
+    }
+
+    // Cluster plane (`bso-routing/v1`, DESIGN.md §3.15): routing-table
+    // management and the migration transfer ops. Driven by the
+    // `bso-cluster` coordinator, not by ordinary clients.
+
+    /// Fetches the server's installed routing table as
+    /// `(epoch, bso-routing/v1 document)`. Epoch 0 with an empty
+    /// document means no table was ever installed (the server serves
+    /// every object id).
+    ///
+    /// # Errors
+    ///
+    /// Same classes as [`Connection::apply`].
+    pub fn fetch_routing(&mut self) -> Result<(u64, String), ClientError> {
+        let id = self.send_control(&Request::FetchRouting)?;
+        match self.wait(id)? {
+            Response::Routing { epoch, table } => Ok((epoch, table)),
+            Response::Err { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Protocol(format!(
+                "non-routing response to a fetch-routing: {other:?}"
+            ))),
+        }
+    }
+
+    /// Installs a routing table: `epoch` must exceed the server's
+    /// installed epoch, `ranges` are the object-id ranges *this* server
+    /// now owns, `table` is the full `bso-routing/v1` document served
+    /// back to [`Connection::fetch_routing`] callers.
+    ///
+    /// # Errors
+    ///
+    /// A typed `BadRequest` when `epoch` is not newer than the
+    /// installed table, plus the classes of [`Connection::apply`].
+    pub fn update_routing(
+        &mut self,
+        epoch: u64,
+        ranges: Vec<(u64, u64)>,
+        table: String,
+    ) -> Result<(), ClientError> {
+        let id = self.send_control(&Request::UpdateRouting {
+            epoch,
+            ranges,
+            table,
+        })?;
+        self.wait_ack(id, "update-routing")
+    }
+
+    /// Detaches `ranges` from the server's owned set under a new
+    /// `epoch`: the migration barrier. When this call returns, every
+    /// apply on a detached range has either completed (its effect is
+    /// visible to a subsequent [`Connection::export_object`]) or was
+    /// refused with a typed `WrongShard`.
+    ///
+    /// # Errors
+    ///
+    /// Same classes as [`Connection::update_routing`].
+    pub fn detach_ranges(
+        &mut self,
+        epoch: u64,
+        ranges: Vec<(u64, u64)>,
+    ) -> Result<(), ClientError> {
+        let id = self.send_control(&Request::DetachRanges { epoch, ranges })?;
+        self.wait_ack(id, "detach-ranges")
+    }
+
+    /// Exports object `obj`'s full serialized state for migration.
+    ///
+    /// # Errors
+    ///
+    /// Same classes as [`Connection::apply`].
+    pub fn export_object(&mut self, obj: u32) -> Result<Value, ClientError> {
+        let id = self.send_control(&Request::ExportObject { obj })?;
+        match self.wait(id)? {
+            Response::Ok(v) => Ok(v),
+            Response::Err { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Protocol(format!(
+                "non-value response to an export-object: {other:?}"
+            ))),
+        }
+    }
+
+    /// Installs exported `state` as object `obj`, overwriting the
+    /// resident copy.
+    ///
+    /// # Errors
+    ///
+    /// Same classes as [`Connection::apply`].
+    pub fn install_object(&mut self, obj: u32, state: Value) -> Result<(), ClientError> {
+        let id = self.send_control(&Request::InstallObject { obj, state })?;
+        self.wait_ack(id, "install-object")
+    }
+
+    /// Exports election session `session` as a `[k, cas-state]` pair.
+    ///
+    /// # Errors
+    ///
+    /// Same classes as [`Connection::apply`].
+    pub fn export_session(&mut self, session: u32) -> Result<Value, ClientError> {
+        let id = self.send_control(&Request::ExportSession { session })?;
+        match self.wait(id)? {
+            Response::Ok(v) => Ok(v),
+            Response::Err { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Protocol(format!(
+                "non-value response to an export-session: {other:?}"
+            ))),
+        }
+    }
+
+    /// Reconstructs election session `session` (domain `k`) from an
+    /// exported cas-state, overwriting any resident session.
+    ///
+    /// # Errors
+    ///
+    /// Same classes as [`Connection::apply`].
+    pub fn install_session(
+        &mut self,
+        session: u32,
+        k: u32,
+        state: Value,
+    ) -> Result<(), ClientError> {
+        let id = self.send_control(&Request::InstallSession { session, k, state })?;
+        match self.wait(id)? {
+            Response::Session(_) => Ok(()),
+            Response::Err { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Protocol(format!(
+                "non-session response to an install-session: {other:?}"
+            ))),
+        }
+    }
+
+    /// Waits for `req_id` and requires a plain `Ok` acknowledgement.
+    fn wait_ack(&mut self, req_id: u64, what: &str) -> Result<(), ClientError> {
+        match self.wait(req_id)? {
+            Response::Ok(_) => Ok(()),
+            Response::Err { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Protocol(format!(
+                "non-ack response to a {what}: {other:?}"
+            ))),
+        }
     }
 }

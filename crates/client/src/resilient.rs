@@ -19,6 +19,13 @@
 //! * [`ErrorCode::retry_after_reconnect`](bso_server::ErrorCode::retry_after_reconnect) (`ShuttingDown`,
 //!   `Overloaded`) — drop the socket, back off, reconnect, resume,
 //!   re-send.
+//! * [`ErrorCode::retry_after_refresh`](bso_server::ErrorCode::retry_after_refresh) (`WrongShard`) — the op was
+//!   refused *before* applying because the routing table places its
+//!   object on another server. This client has no table, so the error
+//!   surfaces; a routing-aware caller (the `bso-cluster` client)
+//!   refreshes its table, [`ResilientClient::retarget`]s this session
+//!   at the owner, and re-issues the op — duplicate-safe because
+//!   `WrongShard` guarantees non-application.
 //! * Everything else (`BadToken`, `BadRequest`, …) — terminal: the
 //!   outcome is either knowable-and-bad or unknowable, and a blind
 //!   retry could duplicate an effect.
@@ -167,6 +174,7 @@ impl ResilientBuilder {
             reconnects: 0,
             retries: 0,
             replays_resumed: 0,
+            redirects: 0,
         })
     }
 }
@@ -190,6 +198,7 @@ pub struct ResilientClient {
     reconnects: u64,
     retries: u64,
     replays_resumed: u64,
+    redirects: u64,
 }
 
 impl ResilientClient {
@@ -219,6 +228,37 @@ impl ResilientClient {
     /// actually engaged during a run.
     pub fn resumed_cached(&self) -> u64 {
         self.replays_resumed
+    }
+
+    /// Times this session was pointed at a different server via
+    /// [`ResilientClient::retarget`].
+    pub fn redirects(&self) -> u64 {
+        self.redirects
+    }
+
+    /// Points this session at a different server. The live socket (if
+    /// any) is dropped; the next operation connects there, re-binds
+    /// the same session token with `Resume`, and proceeds. Called by
+    /// routing-aware wrappers after a `WrongShard` refusal, and safe
+    /// at any time — `req_id`s stay monotonic across targets.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] when `addr` resolves to nothing.
+    pub fn retarget(&mut self, addr: impl ToSocketAddrs) -> Result<(), ClientError> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        if addrs.is_empty() {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::AddrNotAvailable,
+                "address resolved to no socket addresses",
+            )));
+        }
+        if addrs != self.addrs {
+            self.addrs = addrs;
+            self.stream = None;
+            self.redirects += 1;
+        }
+        Ok(())
     }
 
     /// Applies `op` as process `pid`, retrying per the policy.

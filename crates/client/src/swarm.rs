@@ -68,6 +68,7 @@ pub struct SwarmBuilder {
     resilient: bool,
     session_base: Option<u64>,
     retry_seed: u64,
+    fallbacks: Vec<std::net::SocketAddr>,
 }
 
 impl Default for SwarmBuilder {
@@ -83,6 +84,7 @@ impl Default for SwarmBuilder {
             resilient: false,
             session_base: None,
             retry_seed: 0x5EED,
+            fallbacks: Vec::new(),
         }
     }
 }
@@ -181,6 +183,18 @@ impl SwarmBuilder {
         self
     }
 
+    /// Additional cluster members a resilient lane may fail over to
+    /// when its current server stops accepting connections (default
+    /// none). Reconnect attempts rotate through the current address
+    /// and these fallbacks; landing on a different member re-binds the
+    /// lane's session there and re-sends its in-flight frames, and is
+    /// tallied in [`SwarmReport::redirects`].
+    #[must_use]
+    pub fn fallback_addrs(mut self, addrs: Vec<std::net::SocketAddr>) -> SwarmBuilder {
+        self.fallbacks = addrs;
+        self
+    }
+
     /// Connects the swarm and drives `workload` to exhaustion.
     ///
     /// `workload(conn, seq)` is called once per operation to issue —
@@ -229,6 +243,9 @@ pub struct SwarmReport {
     /// Successful lane reconnects in [`SwarmBuilder::resilient`] mode
     /// (always zero otherwise — a broken socket aborts instead).
     pub reconnects: u64,
+    /// Reconnects that landed on a *different* server than the lane
+    /// was using — failovers via [`SwarmBuilder::fallback_addrs`].
+    pub redirects: u64,
 }
 
 impl SwarmReport {
@@ -272,6 +289,9 @@ struct Lane {
     dirty: bool,
     /// Session token this lane binds with `Resume` (resilient mode).
     token: u64,
+    /// The server this lane is currently connected to (it may move in
+    /// resilient mode when fallbacks are configured).
+    addr: std::net::SocketAddr,
 }
 
 impl Lane {
@@ -344,6 +364,7 @@ impl Swarm {
                 write_armed: false,
                 dirty: false,
                 token,
+                addr,
             });
         }
         let retry_seed = cfg.retry_seed;
@@ -627,10 +648,19 @@ impl Swarm {
         self.poller
             .deregister(poll::raw_fd(&self.lanes[conn].stream))
             .ok();
+        // Reconnect attempts rotate through the lane's current server
+        // and every configured fallback, starting where the lane was —
+        // a dead member stops absorbing attempts after one miss each
+        // rotation, and a live one picks the session up via `Resume`.
+        let prev = self.lanes[conn].addr;
+        let mut candidates = vec![self.addr];
+        candidates.extend(self.cfg.fallbacks.iter().copied());
+        let start = candidates.iter().position(|a| *a == prev).unwrap_or(0);
         let mut attempt: u32 = 0;
-        let stream = loop {
+        let (stream, chosen) = loop {
+            let target = candidates[(start + attempt as usize) % candidates.len()];
             attempt += 1;
-            let dial = TcpStream::connect(self.addr)
+            let dial = TcpStream::connect(target)
                 .map_err(ClientError::Io)
                 .and_then(|mut s| {
                     if self.cfg.nodelay {
@@ -641,7 +671,7 @@ impl Swarm {
                     Ok(s)
                 });
             match dial {
-                Ok(s) => break s,
+                Ok(s) => break (s, target),
                 Err(e) if attempt < 30 && reconnect_worthy(&e) => {
                     // Capped exponential backoff, jittered into the
                     // upper half — deterministic under `retry_seed`.
@@ -655,7 +685,11 @@ impl Swarm {
         poll::set_nonblocking(&stream)?;
         self.poller
             .register(poll::raw_fd(&stream), conn as u64, Interest::READ)?;
+        if chosen != prev {
+            self.report.redirects += 1;
+        }
         let lane = &mut self.lanes[conn];
+        lane.addr = chosen;
         lane.stream = stream;
         lane.rbuf.clear();
         lane.wbuf.clear();

@@ -1,0 +1,251 @@
+//! Cluster chaos: seeded kill-proxies in front of every member, live
+//! migrations racing real traffic, and the headline scenario — a
+//! member killed mid-traffic while clients resume against the
+//! rebalanced table. Ledgers must stay *exact* (no lost, no duplicated
+//! increments) and the merged multi-server history must pass the
+//! Wing–Gong linearizability checker. Both runs are reproducible from
+//! the seed they print.
+
+mod common;
+
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::Duration;
+
+use bso_client::{HistoryRecorder, RetryPolicy};
+use bso_cluster::{Cluster, ClusterClient};
+use bso_objects::{Layout, ObjectId, ObjectInit, Op, OpKind};
+use bso_sim::check_history;
+use common::KillProxy;
+
+const OBJECTS: usize = 6;
+const THREADS: usize = 3;
+
+fn counters() -> Layout {
+    let mut l = Layout::new();
+    for _ in 0..OBJECTS {
+        l.push(ObjectInit::FetchAdd(0));
+    }
+    l
+}
+
+fn chaos_policy() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 20,
+        base_backoff: Duration::from_micros(200),
+        max_backoff: Duration::from_millis(20),
+        read_timeout: Some(Duration::from_secs(2)),
+    }
+}
+
+/// Launches `n` members with a seeded kill-proxy in front of each and
+/// the proxies advertised in the routing table. Admin traffic (and the
+/// client refresh path, via direct seeds) bypasses the chaos.
+fn chaotic_cluster(n: usize, seed: u64) -> (Cluster, Vec<KillProxy>, Vec<String>) {
+    let mut cluster = Cluster::launch(n, &counters()).unwrap();
+    let mut proxies = Vec::with_capacity(n);
+    for idx in 0..n {
+        let proxy = KillProxy::spawn(cluster.addr(idx), seed ^ idx as u64, 2_000, 8_000);
+        cluster.advertise(idx, proxy.addr.to_string()).unwrap();
+        proxies.push(proxy);
+    }
+    let seeds = (0..n).map(|i| cluster.addr(i).to_string()).collect();
+    (cluster, proxies, seeds)
+}
+
+/// Reads object `obj`'s ledger through a direct connection to its
+/// current owner, per the coordinator's assignment.
+fn read_ledger(cluster: &Cluster, obj: usize) -> i64 {
+    let owner = (0..cluster.len())
+        .find(|&i| {
+            cluster
+                .owned_ranges(i)
+                .iter()
+                .any(|&(lo, hi)| lo <= obj as u64 && obj as u64 <= hi)
+        })
+        .expect("every object has an owner");
+    cluster
+        .admin(owner)
+        .unwrap()
+        .apply(0, Op::new(ObjectId(obj), OpKind::FetchAdd(0)))
+        .unwrap()
+        .as_int()
+        .unwrap()
+}
+
+/// Satellite: migrations race chaotic traffic and every acked
+/// increment lands exactly once — the per-object ledgers equal the
+/// per-object ack counts, to the op.
+#[test]
+fn migration_under_chaos_keeps_ledgers_exact() {
+    const SEED: u64 = 0xC1A0_5EED;
+    const OPS: u64 = 400;
+    eprintln!("migration_under_chaos seed = {SEED:#x}");
+
+    let (mut cluster, proxies, seeds) = chaotic_cluster(3, SEED);
+    let acked = Arc::new(Mutex::new(vec![0i64; OBJECTS]));
+
+    let start = Barrier::new(THREADS + 1);
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let seeds = seeds.clone();
+            let acked = Arc::clone(&acked);
+            let start = &start;
+            s.spawn(move || {
+                let mut client = ClusterClient::connect(&seeds)
+                    .unwrap()
+                    .with_policy(chaos_policy());
+                start.wait();
+                let mut local = vec![0i64; OBJECTS];
+                for seq in 0..OPS {
+                    let obj = (seq as usize + t) % OBJECTS;
+                    client
+                        .apply(t, Op::new(ObjectId(obj), OpKind::FetchAdd(1)))
+                        .expect("cluster client rides out chaos and migration");
+                    local[obj] += 1;
+                }
+                let mut acked = acked.lock().unwrap();
+                for (a, l) in acked.iter_mut().zip(local) {
+                    *a += l;
+                }
+            });
+        }
+        // Coordinator: three live migrations while the traffic flows.
+        start.wait();
+        let moves = [(0usize, 1usize), (1, 2), (2, 0)];
+        for (from, to) in moves {
+            std::thread::sleep(Duration::from_millis(15));
+            let ranges = cluster.owned_ranges(from);
+            if !ranges.is_empty() {
+                cluster.migrate(from, to, &ranges).unwrap();
+            }
+        }
+    });
+
+    // 1 launch + 3 advertises + 3 migrations.
+    assert_eq!(cluster.epoch(), 7);
+    drop(proxies);
+    let acked = acked.lock().unwrap();
+    assert_eq!(acked.iter().sum::<i64>(), (THREADS as u64 * OPS) as i64);
+    for obj in 0..OBJECTS {
+        assert_eq!(
+            read_ledger(&cluster, obj),
+            acked[obj],
+            "object {obj}: every acked increment exactly once, across \
+             chaos and three migrations"
+        );
+    }
+    cluster.shutdown();
+}
+
+/// Headline: a member dies mid-traffic. Its shards were migrated out
+/// under chaos, clients with stale tables are redirected or fail over,
+/// a replicated election homed on the victim re-elects the *same*
+/// winner from the backup — and the merged multi-server history is
+/// linearizable with exact ledgers.
+#[test]
+fn member_kill_mid_traffic_preserves_history_and_ledgers() {
+    const SEED: u64 = 0x0B17_FA11;
+    const OPS: u64 = 300;
+    const VICTIM: usize = 2;
+    eprintln!("member_kill seed = {SEED:#x}");
+
+    let layout = counters();
+    let (mut cluster, proxies, seeds) = chaotic_cluster(3, SEED);
+    let rec = Arc::new(HistoryRecorder::new());
+    let acked = Arc::new(Mutex::new(vec![0i64; OBJECTS]));
+
+    // A replicated election homed on the member we are about to lose.
+    let mut elector = ClusterClient::connect(&seeds)
+        .unwrap()
+        .with_policy(chaos_policy());
+    let victim_addr = cluster.advertised(VICTIM).to_string();
+    let session = loop {
+        let sid = elector.open_election(4).unwrap();
+        if elector.election_home(sid).unwrap().0 == victim_addr {
+            break sid;
+        }
+    };
+    let winner = elector.elect(session, 0).unwrap();
+    assert_eq!(winner, 0, "sole participant so far wins its election");
+
+    let start = Barrier::new(THREADS + 1);
+    let (redirects, failovers) = std::thread::scope(|s| {
+        let workers: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let seeds = seeds.clone();
+                let rec = Arc::clone(&rec);
+                let acked = Arc::clone(&acked);
+                let start = &start;
+                s.spawn(move || {
+                    let mut client = ClusterClient::connect(&seeds)
+                        .unwrap()
+                        .with_policy(chaos_policy())
+                        .with_recorder(rec);
+                    start.wait();
+                    let mut local = vec![0i64; OBJECTS];
+                    for seq in 0..OPS {
+                        let obj = (seq as usize + t) % OBJECTS;
+                        client
+                            .apply(t, Op::new(ObjectId(obj), OpKind::FetchAdd(1)))
+                            .expect("cluster client survives the member kill");
+                        local[obj] += 1;
+                    }
+                    let mut acked = acked.lock().unwrap();
+                    for (a, l) in acked.iter_mut().zip(local) {
+                        *a += l;
+                    }
+                    (client.redirects(), client.failovers())
+                })
+            })
+            .collect();
+        // Coordinator: one live rebalance, then the planned loss of the
+        // victim — evacuate its shards, kill it, leave the stale
+        // clients to discover the new table on their own.
+        start.wait();
+        std::thread::sleep(Duration::from_millis(20));
+        let slice = cluster.owned_ranges(0);
+        cluster.migrate(0, 1, &slice).unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        cluster.evacuate(VICTIM).unwrap();
+        assert!(cluster.owned_ranges(VICTIM).is_empty());
+        cluster.kill(VICTIM);
+        workers
+            .into_iter()
+            .map(|w| w.join().unwrap())
+            .fold((0u64, 0u64), |(r, f), (wr, wf)| (r + wr, f + wf))
+    });
+
+    // The election survives its primary: late participants get the
+    // same winner, served by the backup replica.
+    assert_eq!(elector.elect(session, 1).unwrap(), winner);
+    assert_eq!(elector.elect(session, 2).unwrap(), winner);
+    assert!(
+        elector.failovers() >= 1,
+        "electing against a dead primary must fail over"
+    );
+    assert!(
+        redirects + failovers >= 1,
+        "stale worker tables had to be redirected (saw {redirects} \
+         redirects, {failovers} failovers)"
+    );
+
+    // Exact ledgers on the survivors: every acked increment exactly
+    // once across chaos, migration, and the kill.
+    drop(proxies);
+    let acked = acked.lock().unwrap();
+    assert_eq!(acked.iter().sum::<i64>(), (THREADS as u64 * OPS) as i64);
+    for obj in 0..OBJECTS {
+        assert_eq!(
+            read_ledger(&cluster, obj),
+            acked[obj],
+            "object {obj} ledger on the rebalanced cluster"
+        );
+    }
+
+    // The merged history — one shared clock across every per-member
+    // session of every client — is linearizable.
+    let log = rec.take_log();
+    assert_eq!(log.len() as u64, THREADS as u64 * OPS);
+    check_history(&layout, &log).expect("merged multi-server history is linearizable");
+    cluster.shutdown();
+}

@@ -1,0 +1,89 @@
+//! Shared chaos plumbing for the cluster integration tests: the same
+//! seeded kill-proxy the single-server churn tests use, one instance
+//! per cluster member.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use bso_objects::rng::SplitMix64;
+
+/// A chaos proxy that forwards bytes between each client and one
+/// upstream server, killing the pair after a seeded client->server
+/// byte budget is spent. Budgets are drawn in accept order from one
+/// seeded RNG, so a fixed seed fixes the kill schedule.
+pub struct KillProxy {
+    pub addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+}
+
+impl KillProxy {
+    pub fn spawn(upstream: SocketAddr, seed: u64, budget_lo: u64, budget_hi: u64) -> KillProxy {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let rng = Arc::new(Mutex::new(SplitMix64::new(seed)));
+        std::thread::spawn(move || {
+            for inbound in listener.incoming() {
+                if stop2.load(Ordering::Relaxed) {
+                    break;
+                }
+                let Ok(client) = inbound else { break };
+                let Ok(server) = TcpStream::connect(upstream) else {
+                    // Upstream dead (killed member): refuse by closing,
+                    // which clients see as an immediate Io error.
+                    let _ = client.shutdown(Shutdown::Both);
+                    continue;
+                };
+                let budget = {
+                    let mut r = rng.lock().unwrap();
+                    budget_lo + r.below(budget_hi - budget_lo)
+                };
+                let c2 = client.try_clone().unwrap();
+                let s2 = server.try_clone().unwrap();
+                std::thread::spawn(move || {
+                    forward(client, server, Some(budget));
+                });
+                std::thread::spawn(move || {
+                    forward(s2, c2, None);
+                });
+            }
+        });
+        KillProxy { addr, stop }
+    }
+}
+
+impl Drop for KillProxy {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+fn forward(mut from: TcpStream, mut to: TcpStream, mut budget: Option<u64>) {
+    let mut buf = [0u8; 4096];
+    loop {
+        let n = match from.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        let mut chunk = &buf[..n];
+        if let Some(b) = budget.as_mut() {
+            if (chunk.len() as u64) >= *b {
+                chunk = &chunk[..*b as usize];
+                let _ = to.write_all(chunk);
+                let _ = from.shutdown(Shutdown::Both);
+                let _ = to.shutdown(Shutdown::Both);
+                return;
+            }
+            *b -= chunk.len() as u64;
+        }
+        if to.write_all(chunk).is_err() {
+            break;
+        }
+    }
+    let _ = from.shutdown(Shutdown::Both);
+    let _ = to.shutdown(Shutdown::Both);
+}

@@ -34,6 +34,7 @@
 //! | [`telemetry`] | counters/gauges/histograms behind the `BSO_TELEMETRY=path.json` escape hatch every example and bench honours |
 //! | [`server`] | the `bso-wire/v1` TCP service: sharded object store, bounded-queue backpressure, session-based leader election |
 //! | [`client`] | pipelined wire client with op recording for end-to-end linearizability checking |
+//! | [`cluster`] | multi-server sharding: epoch-stamped routing tables, live shard migration, replicated election sessions, routing-aware clients |
 //!
 //! ## Quickstart
 //!
@@ -59,6 +60,7 @@
 pub mod guide;
 
 pub use bso_client as client;
+pub use bso_cluster as cluster;
 pub use bso_combinatorics as combinatorics;
 pub use bso_emulation as emulation;
 pub use bso_hierarchy as hierarchy;

@@ -284,6 +284,151 @@ impl ObjectState {
         }
     }
 
+    /// Serializes this object's full state into a self-describing
+    /// [`Value`] — the form cluster migration ships between servers
+    /// (`Seq[Int(tag), fields…]`, one tag per variant). The inverse is
+    /// [`ObjectState::import`]; `import(export(s)) == s` for every
+    /// state.
+    pub fn export(&self) -> Value {
+        match self {
+            ObjectState::Register { val } => Value::Seq(vec![Value::Int(0), val.clone()]),
+            ObjectState::CasK { val, k } => {
+                Value::Seq(vec![Value::Int(1), Value::Sym(*val), Value::Int(*k as i64)])
+            }
+            ObjectState::CasReg { val } => Value::Seq(vec![Value::Int(2), val.clone()]),
+            ObjectState::TestAndSet { set } => Value::Seq(vec![Value::Int(3), Value::Bool(*set)]),
+            ObjectState::FetchAdd { val } => Value::Seq(vec![Value::Int(4), Value::Int(*val)]),
+            ObjectState::Snapshot { slots } => {
+                Value::Seq(vec![Value::Int(5), Value::Seq(slots.clone())])
+            }
+            ObjectState::Sticky { val } => Value::Seq(vec![Value::Int(6), val.clone()]),
+            ObjectState::Queue { items } => {
+                Value::Seq(vec![Value::Int(7), Value::Seq(items.clone())])
+            }
+            ObjectState::RmwK { val, k, functions } => Value::Seq(vec![
+                Value::Int(8),
+                Value::Sym(*val),
+                Value::Int(*k as i64),
+                Value::Seq(
+                    functions
+                        .iter()
+                        .map(|f| Value::Seq(f.iter().map(|&c| Value::Int(c as i64)).collect()))
+                        .collect(),
+                ),
+            ]),
+        }
+    }
+
+    /// Rebuilds an object state from its [`ObjectState::export`]
+    /// encoding.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first malformed field. The
+    /// same domain rules `from_init` asserts are checked here — but
+    /// returned, not panicked, because the input crossed a network.
+    pub fn import(v: &Value) -> Result<ObjectState, String> {
+        let Value::Seq(fields) = v else {
+            return Err(format!("exported state must be a Seq, got {v}"));
+        };
+        let tag = match fields.first() {
+            Some(Value::Int(t)) => *t,
+            other => return Err(format!("missing state tag, got {other:?}")),
+        };
+        let field = |i: usize| {
+            fields
+                .get(i)
+                .ok_or(format!("state tag {tag}: field {i} missing"))
+        };
+        let sym = |i: usize| -> Result<Sym, String> {
+            field(i)?
+                .as_sym()
+                .ok_or(format!("state tag {tag}: field {i} must be a Sym"))
+        };
+        let int = |i: usize| -> Result<i64, String> {
+            field(i)?
+                .as_int()
+                .ok_or(format!("state tag {tag}: field {i} must be an Int"))
+        };
+        let seq = |i: usize| -> Result<&[Value], String> {
+            match field(i)? {
+                Value::Seq(items) => Ok(items.as_slice()),
+                other => Err(format!(
+                    "state tag {tag}: field {i} must be a Seq, got {other}"
+                )),
+            }
+        };
+        // Symbols are u8 codes (⊥ plus k−1 values), so any state that
+        // could exist fits in 2..=256.
+        let domain = |k: i64| -> Result<usize, String> {
+            usize::try_from(k)
+                .ok()
+                .filter(|&k| (2..=256).contains(&k))
+                .ok_or(format!("domain size {k} outside 2..=256"))
+        };
+        let state = match tag {
+            0 => ObjectState::Register {
+                val: field(1)?.clone(),
+            },
+            1 => {
+                let val = sym(1)?;
+                let k = domain(int(2)?)?;
+                if !val.in_domain(k) {
+                    return Err(format!("compare&swap-({k}) holds out-of-domain {val}"));
+                }
+                ObjectState::CasK { val, k }
+            }
+            2 => ObjectState::CasReg {
+                val: field(1)?.clone(),
+            },
+            3 => ObjectState::TestAndSet {
+                set: match field(1)? {
+                    Value::Bool(b) => *b,
+                    other => return Err(format!("test&set bit must be a Bool, got {other}")),
+                },
+            },
+            4 => ObjectState::FetchAdd { val: int(1)? },
+            5 => ObjectState::Snapshot {
+                slots: seq(1)?.to_vec(),
+            },
+            6 => ObjectState::Sticky {
+                val: field(1)?.clone(),
+            },
+            7 => ObjectState::Queue {
+                items: seq(1)?.to_vec(),
+            },
+            8 => {
+                let val = sym(1)?;
+                let k = domain(int(2)?)?;
+                if !val.in_domain(k) {
+                    return Err(format!("rmw-({k}) holds out-of-domain {val}"));
+                }
+                let mut functions = Vec::new();
+                for (f, table) in seq(3)?.iter().enumerate() {
+                    let Value::Seq(codes) = table else {
+                        return Err(format!("function {f} must be a Seq"));
+                    };
+                    if codes.len() != k {
+                        return Err(format!("function {f} must map all {k} symbols"));
+                    }
+                    let mut bytes = Vec::with_capacity(k);
+                    for c in codes {
+                        let code = c
+                            .as_int()
+                            .and_then(|c| u8::try_from(c).ok())
+                            .filter(|&c| (c as usize) < k)
+                            .ok_or(format!("function {f} leaves the domain"))?;
+                        bytes.push(code);
+                    }
+                    functions.push(bytes);
+                }
+                ObjectState::RmwK { val, k, functions }
+            }
+            t => return Err(format!("unknown state tag {t}")),
+        };
+        Ok(state)
+    }
+
     fn mismatch(&self, op: &OpKind) -> ObjectError {
         ObjectError::TypeMismatch {
             op: op.clone(),
@@ -500,6 +645,74 @@ mod tests {
             k: 3,
             functions: vec![vec![0, 1]],
         });
+    }
+
+    #[test]
+    fn export_import_round_trips_every_variant() {
+        let mut states = vec![
+            ObjectState::Register {
+                val: Value::pair(Value::Int(-4), Value::Pid(2)),
+            },
+            ObjectState::CasK {
+                val: Sym::new(1),
+                k: 4,
+            },
+            ObjectState::CasReg {
+                val: Value::Seq(vec![Value::Bool(true), Value::Nil]),
+            },
+            ObjectState::TestAndSet { set: true },
+            ObjectState::FetchAdd { val: -77 },
+            ObjectState::Snapshot {
+                slots: vec![Value::Nil, Value::Int(3)],
+            },
+            ObjectState::Sticky { val: Value::Pid(1) },
+            ObjectState::Queue {
+                items: vec![Value::Int(1), Value::Int(2)],
+            },
+        ];
+        // A live RmwK mid-history, not just the initial state.
+        let mut rmw = ObjectState::from_init(&ObjectInit::RmwK {
+            k: 3,
+            functions: vec![vec![1, 1, 2], vec![0, 2, 1]],
+        });
+        rmw.apply(0, &OpKind::Rmw { func: 0 }).unwrap();
+        states.push(rmw);
+        for state in states {
+            let exported = state.export();
+            let back = ObjectState::import(&exported).unwrap();
+            assert_eq!(back, state, "export/import must be lossless");
+        }
+    }
+
+    #[test]
+    fn import_rejects_malformed_state() {
+        for bad in [
+            Value::Int(3),                               // not a Seq
+            Value::Seq(vec![]),                          // no tag
+            Value::Seq(vec![Value::Int(99)]),            // unknown tag
+            Value::Seq(vec![Value::Int(0)]),             // missing field
+            Value::Seq(vec![Value::Int(4), Value::Nil]), // wrong field type
+            // compare&swap-(k) with an out-of-range domain size.
+            Value::Seq(vec![Value::Int(1), Value::Sym(Sym::BOTTOM), Value::Int(1)]),
+            // …and with contents outside its domain.
+            Value::Seq(vec![Value::Int(1), Value::Sym(Sym::new(5)), Value::Int(3)]),
+            // rmw whose function table leaves the domain.
+            Value::Seq(vec![
+                Value::Int(8),
+                Value::Sym(Sym::BOTTOM),
+                Value::Int(3),
+                Value::Seq(vec![Value::Seq(vec![
+                    Value::Int(9),
+                    Value::Int(0),
+                    Value::Int(0),
+                ])]),
+            ]),
+        ] {
+            assert!(
+                ObjectState::import(&bad).is_err(),
+                "import accepted malformed {bad}"
+            );
+        }
     }
 
     #[test]

@@ -68,6 +68,7 @@ use bso_telemetry::{Counter, Gauge, Histogram, Registry};
 use crate::arena::{Arena, Slab};
 use crate::introspect::{self, IntrospectState, ProbeScratch};
 use crate::poll::{self, Interest, Poller, WakeReader, Waker};
+use crate::routing::RouteControl;
 use crate::session::{Begin, ResumeTable};
 use crate::shard::{RouteError, ShardState, XQueue};
 use crate::wire::{self, ErrorCode, Request, Response, TraceContext};
@@ -119,6 +120,26 @@ pub(crate) enum Work {
     Elect {
         session: u32,
         pid: usize,
+    },
+    /// Cluster-plane migration ops (`ExportObject` &c.): routed to the
+    /// owning loop like applies, but they skip session admission and
+    /// the routing ownership check — an export legitimately runs
+    /// *after* its range was detached, an install *before* the table
+    /// hands the range over.
+    ExportObject {
+        obj: usize,
+    },
+    InstallObject {
+        obj: usize,
+        state: Value,
+    },
+    ExportSession {
+        session: u32,
+    },
+    InstallSession {
+        session: u32,
+        k: usize,
+        state: Value,
     },
 }
 
@@ -191,6 +212,9 @@ pub(crate) struct StatCells {
     /// Retried requests answered from a session's reply cache instead
     /// of being applied again.
     pub(crate) replays: AtomicU64,
+    /// Applies refused with [`ErrorCode::WrongShard`] because the
+    /// routing table does not place the object here (never applied).
+    pub(crate) wrong_shard: AtomicU64,
 }
 
 /// State shared between the acceptor, the event loops, and the handle.
@@ -210,6 +234,11 @@ pub(crate) struct Shared {
     /// Resumable-session reply caches (exactly-once retries). Shared
     /// across loops because a reconnected client may land anywhere.
     pub(crate) sessions: ResumeTable,
+    /// The cluster routing view: which object-id ranges this server
+    /// serves, behind the read-across-apply lock that makes migration
+    /// drains a barrier (see `routing.rs`). Disabled (serve
+    /// everything, no locking) until the first table install.
+    pub(crate) route: RouteControl,
 }
 
 /// What a parsed frame did to its connection.
@@ -276,6 +305,7 @@ pub(crate) struct EventLoop {
     shed: Counter,
     resumes: Counter,
     replays: Counter,
+    wrong_shard: Counter,
     wakeups: Counter,
     conns_gauge: Gauge,
     /// Created on first completed flush, so loops that never serve a
@@ -331,6 +361,7 @@ impl EventLoop {
             shed: registry.counter("server.shed"),
             resumes: registry.counter("server.resumes"),
             replays: registry.counter("server.replays"),
+            wrong_shard: registry.counter("server.wrong_shard"),
             wakeups: registry.counter(&format!("server.loop{index}.wakeups")),
             conns_gauge: registry.gauge(&format!("server.loop{index}.conns")),
             flush_batch: None,
@@ -498,40 +529,68 @@ impl EventLoop {
                     ),
                 }
             } else {
-                let resp = match x.work {
-                    Work::Apply { pid, op, trace } => {
+                // Routing check at the apply site, under a guard held
+                // across the apply itself: once `DetachRanges` wins the
+                // table's write lock, every apply on a detached range
+                // has either completed (its effect is visible to the
+                // migration's `ExportObject`) or bounces `WrongShard`.
+                let shared = Arc::clone(&self.shared);
+                let route = shared.route.guard();
+                let denied = match &x.work {
+                    Work::Apply { op, .. } => {
                         let object = op.obj.0 as u64;
-                        let t0 = self.span_start(trace);
-                        let (resp, apply_ns) = self.shard.apply(pid, &op);
-                        self.record_apply(trace, t0, object, apply_ns);
-                        // batch 0: the reply is staged by the origin loop,
-                        // so this loop cannot know its flush position.
-                        self.probe
-                            .push_request(wire::OP_APPLY, object, queue_ns, apply_ns, 0);
-                        resp
+                        route.check(object).err().map(|epoch| (epoch, object))
                     }
-                    Work::OpenElection { session, k } => self.shard.open_election(session, k),
-                    Work::Elect { session, pid } => {
-                        let (resp, elect_ns) = self.shard.elect(session, pid);
-                        self.probe.push_request(
-                            wire::OP_ELECT,
-                            u64::from(session),
-                            queue_ns,
-                            elect_ns,
-                            0,
-                        );
-                        resp
-                    }
+                    // Election and cluster-plane work is not
+                    // range-routed (see `Work::ExportObject`).
+                    _ => None,
                 };
-                // The outcome is recorded against the session *here*,
-                // atomically-with-the-apply from the retry's point of
-                // view: even if the origin connection died, a retry of
-                // this req_id replays this response instead of
-                // re-applying the op.
-                if let Some(token) = x.sess {
-                    self.shared.sessions.complete(token, x.req_id, &resp);
+                if let Some((epoch, object)) = denied {
+                    if let Some(token) = x.sess {
+                        self.shared.sessions.abort(token, x.req_id);
+                    }
+                    self.note_wrong_shard();
+                    Response::Err {
+                        code: ErrorCode::WrongShard,
+                        message: wire::wrong_shard_message(epoch, object),
+                    }
+                } else {
+                    let resp = match x.work {
+                        Work::Apply { pid, op, trace } => {
+                            let object = op.obj.0 as u64;
+                            let t0 = self.span_start(trace);
+                            let (resp, apply_ns) = self.shard.apply(pid, &op);
+                            self.record_apply(trace, t0, object, apply_ns);
+                            // batch 0: the reply is staged by the origin loop,
+                            // so this loop cannot know its flush position.
+                            self.probe
+                                .push_request(wire::OP_APPLY, object, queue_ns, apply_ns, 0);
+                            resp
+                        }
+                        Work::OpenElection { session, k } => self.shard.open_election(session, k),
+                        Work::Elect { session, pid } => {
+                            let (resp, elect_ns) = self.shard.elect(session, pid);
+                            self.probe.push_request(
+                                wire::OP_ELECT,
+                                u64::from(session),
+                                queue_ns,
+                                elect_ns,
+                                0,
+                            );
+                            resp
+                        }
+                        work => self.run_admin(work),
+                    };
+                    // The outcome is recorded against the session *here*,
+                    // atomically-with-the-apply from the retry's point of
+                    // view: even if the origin connection died, a retry of
+                    // this req_id replays this response instead of
+                    // re-applying the op.
+                    if let Some(token) = x.sess {
+                        self.shared.sessions.complete(token, x.req_id, &resp);
+                    }
+                    resp
                 }
-                resp
             };
             if x.origin == self.index {
                 // Never produced by `forward` (own-shard work applies
@@ -793,8 +852,112 @@ impl EventLoop {
                     );
                 }
             }
+            // Cluster-plane requests (coordinator traffic, not client
+            // effects): no session admission, no routing check. Table
+            // edits answer inline on the arriving loop; object/session
+            // transfers route to the owning loop like applies.
+            Request::FetchRouting => {
+                let (epoch, table) = self.shared.route.snapshot();
+                self.respond(slot, req_id, &Response::Routing { epoch, table });
+            }
+            Request::UpdateRouting {
+                epoch,
+                ranges,
+                table,
+            } => {
+                let resp = match self.shared.route.update(epoch, ranges, table) {
+                    Ok(()) => Response::Ok(Value::Nil),
+                    Err(installed) => Response::Err {
+                        code: ErrorCode::BadRequest,
+                        message: format!(
+                            "stale routing update: epoch {epoch} <= installed epoch {installed}"
+                        ),
+                    },
+                };
+                self.respond(slot, req_id, &resp);
+            }
+            Request::DetachRanges { epoch, ranges } => {
+                let resp = match self.shared.route.detach(epoch, &ranges) {
+                    Ok(()) => Response::Ok(Value::Nil),
+                    Err(installed) => Response::Err {
+                        code: ErrorCode::BadRequest,
+                        message: format!(
+                            "stale detach: epoch {epoch} <= installed epoch {installed}"
+                        ),
+                    },
+                };
+                self.respond(slot, req_id, &resp);
+            }
+            Request::ExportObject { obj } => {
+                let target = obj as usize % self.nloops;
+                self.serve_admin(
+                    slot,
+                    req_id,
+                    target,
+                    Work::ExportObject { obj: obj as usize },
+                );
+            }
+            Request::InstallObject { obj, state } => {
+                let target = obj as usize % self.nloops;
+                self.serve_admin(
+                    slot,
+                    req_id,
+                    target,
+                    Work::InstallObject {
+                        obj: obj as usize,
+                        state,
+                    },
+                );
+            }
+            Request::ExportSession { session } => {
+                let target = session as usize % self.nloops;
+                self.serve_admin(slot, req_id, target, Work::ExportSession { session });
+            }
+            Request::InstallSession { session, k, state } => {
+                let target = session as usize % self.nloops;
+                self.serve_admin(
+                    slot,
+                    req_id,
+                    target,
+                    Work::InstallSession {
+                        session,
+                        k: k as usize,
+                        state,
+                    },
+                );
+            }
         }
         FrameOutcome::Next
+    }
+
+    /// Routes a cluster-plane transfer op to the loop owning its
+    /// object/session id: inline here, or forwarded with no session
+    /// marker and no deadline.
+    fn serve_admin(&mut self, slot: u32, req_id: u64, target: usize, work: Work) {
+        if target == self.index {
+            let resp = self.run_admin(work);
+            self.respond(slot, req_id, &resp);
+        } else {
+            self.forward(slot, req_id, target, None, None, work);
+        }
+    }
+
+    /// Executes a cluster-plane transfer op against this loop's shard.
+    fn run_admin(&mut self, work: Work) -> Response {
+        match work {
+            Work::ExportObject { obj } => self.shard.export_object(obj),
+            Work::InstallObject { obj, state } => self.shard.install_object(obj, &state),
+            Work::ExportSession { session } => self.shard.export_session(session),
+            Work::InstallSession { session, k, state } => {
+                self.shard.install_session(session, k, &state)
+            }
+            // Apply/OpenElection/Elect never reach here: `drain_xq`
+            // handles them in their own arms.
+            _ => Response::Err {
+                code: ErrorCode::BadRequest,
+                message: "non-admin work routed to run_admin".into(),
+            },
+        }
     }
 
     /// Session admission for an effectful request. `Ok(None)`: the
@@ -921,7 +1084,36 @@ impl EventLoop {
             return;
         }
         let target = op.obj.0 % self.nloops;
+        let object = op.obj.0 as u64;
+        // Routing ownership check — after admission (so a replay of an
+        // op applied before a migration still answers from the reply
+        // cache) and before any effect. For the inline path the guard
+        // stays held across the apply itself; combined with the
+        // re-check in `drain_xq`, a `DetachRanges` write-locking the
+        // table is a barrier: afterwards, every apply on a detached
+        // range has either completed or was refused `WrongShard`.
+        let shared = Arc::clone(&self.shared);
+        let route = shared.route.guard();
+        if let Err(epoch) = route.check(object) {
+            drop(route);
+            if let Some(token) = sess {
+                self.shared.sessions.abort(token, req_id);
+            }
+            self.note_wrong_shard();
+            self.respond(
+                slot,
+                req_id,
+                &Response::Err {
+                    code: ErrorCode::WrongShard,
+                    message: wire::wrong_shard_message(epoch, object),
+                },
+            );
+            return;
+        }
         if target != self.index {
+            // The owning loop re-checks under its own guard at the
+            // apply site; this early check just rejects cheaply.
+            drop(route);
             self.forward(
                 slot,
                 req_id,
@@ -936,7 +1128,6 @@ impl EventLoop {
             );
             return;
         }
-        let object = op.obj.0 as u64;
         // Position in the connection's current write batch, read
         // before the response is staged.
         let batch = self.conns.get_mut(slot).map_or(0, |c| c.batch);
@@ -1200,6 +1391,14 @@ impl EventLoop {
     fn note_replay(&mut self) {
         self.shared.stats.replays.fetch_add(1, Ordering::Relaxed);
         self.replays.inc();
+    }
+
+    fn note_wrong_shard(&mut self) {
+        self.shared
+            .stats
+            .wrong_shard
+            .fetch_add(1, Ordering::Relaxed);
+        self.wrong_shard.inc();
     }
 
     // ------------------------------------------------------------ shutdown

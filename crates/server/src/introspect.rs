@@ -469,8 +469,13 @@ pub(crate) fn introspect_doc(shared: &Shared) -> Json {
                     "version_rejects",
                     Json::U64(stats.version_rejects.load(Ordering::Relaxed)),
                 ),
+                (
+                    "wrong_shard",
+                    Json::U64(stats.wrong_shard.load(Ordering::Relaxed)),
+                ),
             ]),
         ),
+        ("routing", shared.route.introspect()),
         ("shards", Json::Arr(shards)),
     ])
 }

@@ -17,6 +17,10 @@
 //! * [`poll`] — readiness polling: level-triggered `epoll` with a
 //!   portable `poll(2)` fallback, a self-pipe [`poll::Waker`], and
 //!   best-effort core pinning.
+//! * [`routing`] — the `bso-routing/v1` cluster plane: the
+//!   epoch-stamped table mapping object-id ranges to servers, and the
+//!   in-server enforcement that makes live shard migration a barrier
+//!   (the `bso-cluster` crate drives it). See DESIGN.md §3.15.
 //! * [`Server`] / [`ServerBuilder`] / [`ServerHandle`] — the serving
 //!   surface: one nonblocking event loop per shard, each owning both a
 //!   slice of the connections and the shard of objects whose ids land
@@ -66,6 +70,7 @@ mod arena;
 mod event_loop;
 mod introspect;
 pub mod poll;
+pub mod routing;
 mod server;
 mod session;
 mod shard;
@@ -73,6 +78,7 @@ pub mod wire;
 
 pub use introspect::FLIGHT_ENV;
 pub use poll::PollBackend;
+pub use routing::{RouteEntry, RoutingTable};
 #[allow(deprecated)] // the historical config surface stays re-exported
 pub use server::ServerConfig;
 pub use server::{Server, ServerBuilder, ServerHandle, ServerStats};

@@ -32,6 +32,7 @@ use bso_telemetry::Registry;
 use crate::event_loop::{Ctl, EventLoop, LoopHandle, Shared, StatCells};
 use crate::introspect::{self, ConfigInfo, IntrospectState};
 use crate::poll::{self, PollBackend, Poller, WakeReader};
+use crate::routing::RouteControl;
 use crate::session::{ResumeTable, DEFAULT_MAX_SESSIONS, DEFAULT_REPLIES_PER_SESSION};
 
 /// Tuning knobs for the deprecated [`Server::bind`] entry point.
@@ -86,6 +87,10 @@ pub struct ServerStats {
     /// Retried requests answered from a session's reply cache instead
     /// of being applied a second time.
     pub replays: u64,
+    /// Applies refused with a typed `WrongShard` because the installed
+    /// routing table places the object on another server (never
+    /// applied; the client refreshes its table and redirects).
+    pub wrong_shard: u64,
 }
 
 impl StatCells {
@@ -100,6 +105,7 @@ impl StatCells {
             shed: self.shed.load(Ordering::Relaxed),
             resumes: self.resumes.load(Ordering::Relaxed),
             replays: self.replays.load(Ordering::Relaxed),
+            wrong_shard: self.wrong_shard.load(Ordering::Relaxed),
         }
     }
 }
@@ -275,6 +281,7 @@ impl ServerBuilder {
             inflight: AtomicI64::new(0),
             next_session: AtomicU32::new(0),
             sessions: ResumeTable::new(DEFAULT_MAX_SESSIONS, DEFAULT_REPLIES_PER_SESSION),
+            route: RouteControl::new(),
             stats: StatCells::default(),
             introspect: IntrospectState::new(ConfigInfo {
                 shards: nloops,

@@ -158,6 +158,84 @@ impl ShardState {
         self.metrics.elect_ns.record(ns);
         (resp, ns)
     }
+
+    // Cluster-plane transfer surface (live shard migration; see
+    // DESIGN.md §3.15). Exports leave the source state in place — the
+    // routing table, not deletion, is what stops a drained range from
+    // serving — and installs overwrite whatever stale copy the target
+    // materialized from the shared layout.
+
+    /// Serializes an owned object's full state for migration.
+    pub(crate) fn export_object(&mut self, obj: usize) -> Response {
+        match self.objects.get(obj).and_then(Option::as_ref) {
+            Some(state) => Response::Ok(state.export()),
+            None => Response::Err {
+                code: ErrorCode::BadRequest,
+                message: format!("no object with id {obj} to export"),
+            },
+        }
+    }
+
+    /// Installs a migrated object's state under `obj`, overwriting any
+    /// resident copy (the stale layout-initialized one, typically).
+    pub(crate) fn install_object(&mut self, obj: usize, state: &Value) -> Response {
+        match ObjectState::import(state) {
+            Ok(imported) => {
+                if obj >= self.objects.len() {
+                    self.objects.resize_with(obj + 1, || None);
+                }
+                self.objects[obj] = Some(imported);
+                Response::Ok(Value::Nil)
+            }
+            Err(message) => Response::Err {
+                code: ErrorCode::BadRequest,
+                message: format!("cannot install object {obj}: {message}"),
+            },
+        }
+    }
+
+    /// Serializes an election session as `[k, cas-state]` — enough to
+    /// reconstruct the session (and its history so far) elsewhere.
+    pub(crate) fn export_session(&mut self, session: u32) -> Response {
+        match self.sessions.get(&session) {
+            Some(s) => {
+                // Burns–Cruz–Loui at the ceiling: n = k − 1.
+                let k = s.proto.processes() + 1;
+                Response::Ok(Value::Seq(vec![Value::Int(k as i64), s.cas.export()]))
+            }
+            None => Response::Err {
+                code: ErrorCode::UnknownSession,
+                message: format!("no election session {session} to export"),
+            },
+        }
+    }
+
+    /// Reconstructs an election session from an exported `state` (the
+    /// cas-state half of [`ShardState::export_session`]'s pair),
+    /// overwriting any resident session under the same id.
+    pub(crate) fn install_session(&mut self, session: u32, k: usize, state: &Value) -> Response {
+        let mut s = match open_session(k) {
+            Ok(s) => s,
+            Err(message) => {
+                return Response::Err {
+                    code: ErrorCode::BadRequest,
+                    message,
+                }
+            }
+        };
+        match ObjectState::import(state) {
+            Ok(cas) => {
+                s.cas = cas;
+                self.sessions.insert(session, s);
+                self.metrics.elections_opened.inc();
+                Response::Session(session)
+            }
+            Err(message) => Response::Err {
+                code: ErrorCode::BadRequest,
+                message: format!("cannot install session {session}: {message}"),
+            },
+        }
+    }
 }
 
 /// Builds a session: a `CasOnlyElection` at the Burns–Cruz–Loui
@@ -346,6 +424,74 @@ mod tests {
         ));
         assert!(matches!(
             s.open_election(9, 1),
+            Response::Err {
+                code: ErrorCode::BadRequest,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn migration_transfer_round_trips_objects_and_sessions() {
+        let layout = small_layout();
+        let mut src = ShardState::new(&layout, 0, 1, &Registry::disabled());
+        let mut dst = ShardState::new(&layout, 0, 1, &Registry::disabled());
+        src.apply(0, &Op::write(ObjectId(1), Value::Int(41)));
+        let exported = match src.export_object(1) {
+            Response::Ok(v) => v,
+            other => panic!("export refused: {other:?}"),
+        };
+        assert_eq!(dst.install_object(1, &exported), Response::Ok(Value::Nil));
+        let (resp, _) = dst.apply(0, &Op::read(ObjectId(1)));
+        assert_eq!(resp, Response::Ok(Value::Int(41)));
+        // The source copy stays in place: the routing table, not
+        // deletion, is what retires a migrated range.
+        let (resp, _) = src.apply(0, &Op::read(ObjectId(1)));
+        assert_eq!(resp, Response::Ok(Value::Int(41)));
+
+        // A half-run election migrates with its history: pid 0 decides
+        // at the source, pid 1 at the target elects the same winner.
+        assert_eq!(src.open_election(3, 5), Response::Session(3));
+        let w0 = match src.elect(3, 0).0 {
+            Response::Ok(v) => v.as_pid().unwrap(),
+            other => panic!("elect refused: {other:?}"),
+        };
+        let pair = match src.export_session(3) {
+            Response::Ok(Value::Seq(p)) => p,
+            other => panic!("session export refused: {other:?}"),
+        };
+        assert_eq!(pair[0], Value::Int(5), "exported pair leads with k");
+        assert_eq!(dst.install_session(3, 5, &pair[1]), Response::Session(3));
+        let w1 = match dst.elect(3, 1).0 {
+            Response::Ok(v) => v.as_pid().unwrap(),
+            other => panic!("elect refused: {other:?}"),
+        };
+        assert_eq!(w0, w1, "migrated session keeps its decided winner");
+
+        // Typed refusals: unknown ids and malformed state.
+        assert!(matches!(
+            src.export_object(99),
+            Response::Err {
+                code: ErrorCode::BadRequest,
+                ..
+            }
+        ));
+        assert!(matches!(
+            src.export_session(9),
+            Response::Err {
+                code: ErrorCode::UnknownSession,
+                ..
+            }
+        ));
+        assert!(matches!(
+            dst.install_object(1, &Value::Int(7)),
+            Response::Err {
+                code: ErrorCode::BadRequest,
+                ..
+            }
+        ));
+        assert!(matches!(
+            dst.install_session(4, 1, &pair[1]),
             Response::Err {
                 code: ErrorCode::BadRequest,
                 ..

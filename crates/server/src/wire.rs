@@ -55,9 +55,22 @@
 //! | `0x07` | [`Request::TracedApply`] | `trace_id:u64le` `span_id:u64le` `pid:u32le` `obj:u32le` opkind (v2+) |
 //! | `0x08` | [`Request::Resume`] | `token:u64le` `last_acked:u64le` (v2+) |
 //! | `0x09` | [`Request::DeadlineApply`] | `budget_us:u32le` `pid:u32le` `obj:u32le` opkind (v2+) |
+//! | `0x0A` | [`Request::FetchRouting`] | — (v2+) |
+//! | `0x0B` | [`Request::UpdateRouting`] | `epoch:u64le` ranges `len:u32le` utf-8 table (v2+) |
+//! | `0x0C` | [`Request::DetachRanges`] | `epoch:u64le` ranges (v2+) |
+//! | `0x0D` | [`Request::ExportObject`] | `obj:u32le` (v2+) |
+//! | `0x0E` | [`Request::InstallObject`] | `obj:u32le` value (v2+) |
+//! | `0x0F` | [`Request::ExportSession`] | `session:u32le` (v2+) |
+//! | `0x10` | [`Request::InstallSession`] | `session:u32le` `k:u32le` value (v2+) |
+//!
+//! where `ranges := count:u32le (lo:u64le hi:u64le)*` is a list of
+//! inclusive object-id ranges. Opcodes `0x0A`–`0x10` are the cluster
+//! plane (`bso-routing/v1`): routing-table distribution, migration
+//! drain, and serialized object/session state transfer between
+//! servers. See `DESIGN.md` §3.15.
 //!
 //! The v2-only opcodes (`Hello`, `Introspect`, `TracedApply`,
-//! `Resume`, `DeadlineApply`) still *decode* at a v1 version byte —
+//! `Resume`, `DeadlineApply`, and the cluster plane) still *decode* at a v1 version byte —
 //! the layouts coincide — but a server refuses to serve them below
 //! [`VERSION`], answering the typed [`ErrorCode::Version`] rejection
 //! in the client's own framing.
@@ -72,6 +85,7 @@
 //! | `0x84` | [`Response::Hello`] | `version:u8` (v2+) |
 //! | `0x85` | [`Response::Introspect`] | `len:u32le` utf-8 JSON (v2+) |
 //! | `0x86` | [`Response::Resumed`] | `token:u64le` `cached:u32le` (v2+) |
+//! | `0x87` | [`Response::Routing`] | `epoch:u64le` `len:u32le` utf-8 JSON (v2+) |
 //!
 //! ## Session resumption and exactly-once retries
 //!
@@ -243,6 +257,72 @@ pub enum Request {
         /// The operation, aimed at one of the server's objects.
         op: Op,
     },
+    /// Ask the server for its current `bso-routing/v1` table (v2+).
+    /// Answered with [`Response::Routing`]; clients refresh through
+    /// this after a [`ErrorCode::WrongShard`] redirect. A server that
+    /// was never given a table answers epoch `0` with an empty table.
+    FetchRouting,
+    /// Install a new routing view on this server (v2+): the epoch, the
+    /// inclusive object-id ranges *this server* now owns, and the full
+    /// serialized table (opaque to the server; redistributed verbatim
+    /// via [`Request::FetchRouting`]). Refused with
+    /// [`ErrorCode::BadRequest`] if `epoch` is below the installed one
+    /// — epochs only move forward.
+    UpdateRouting {
+        /// The table's epoch; must be ≥ the currently installed epoch.
+        epoch: u64,
+        /// Inclusive `(lo, hi)` object-id ranges this server owns.
+        ranges: Vec<(u64, u64)>,
+        /// The serialized `bso-routing/v1` table, stored verbatim.
+        table: String,
+    },
+    /// Migration drain (v2+): atomically stop serving the given
+    /// object-id ranges, bumping the local epoch to `epoch`. When this
+    /// request is answered, every apply on a detached range has either
+    /// completed (its effect is in the state a subsequent
+    /// [`Request::ExportObject`] observes) or was refused with
+    /// [`ErrorCode::WrongShard`] — there is no in-between.
+    DetachRanges {
+        /// The epoch the detach belongs to (≥ the installed epoch).
+        epoch: u64,
+        /// Inclusive `(lo, hi)` object-id ranges to stop serving.
+        ranges: Vec<(u64, u64)>,
+    },
+    /// Serialize one object's state for migration (v2+). Answered with
+    /// `Ok(value)` carrying the self-describing encoding of
+    /// `bso_objects::spec::ObjectState::export`.
+    ExportObject {
+        /// The object to export.
+        obj: u32,
+    },
+    /// Install a migrated object's state (v2+), overwriting whatever
+    /// state this server held for that id. The value must be an
+    /// `ObjectState::export` encoding.
+    InstallObject {
+        /// The object to (over)write.
+        obj: u32,
+        /// The exported state.
+        state: Value,
+    },
+    /// Serialize one election session's state for replication (v2+).
+    /// Answered with `Ok(Seq[Int(k), register])` — the session's domain
+    /// size and its `compare&swap-(k)` register contents.
+    ExportSession {
+        /// The session to export.
+        session: u32,
+    },
+    /// Install an election session under an explicit id (v2+): the
+    /// replication path that lets a cluster place the *same* session on
+    /// several servers. `state` is the register contents (as exported),
+    /// or `Nil` for a fresh session.
+    InstallSession {
+        /// The session id to install under (client-chosen).
+        session: u32,
+        /// Domain size of the session's register (`2 ..= 255`).
+        k: u32,
+        /// Exported register contents, or `Nil` to start fresh.
+        state: Value,
+    },
 }
 
 /// A server-to-client response.
@@ -277,6 +357,14 @@ pub enum Response {
         token: u64,
         /// Cached replies retained after pruning at `last_acked`.
         cached: u32,
+    },
+    /// The server's routing view (answering [`Request::FetchRouting`]):
+    /// the installed epoch and the serialized `bso-routing/v1` table.
+    Routing {
+        /// The installed routing epoch (`0` if none was ever installed).
+        epoch: u64,
+        /// The serialized table (empty if none was ever installed).
+        table: String,
     },
 }
 
@@ -315,6 +403,15 @@ pub enum ErrorCode {
     /// Retrying would risk a duplicate effect — the client must treat
     /// the op's outcome as unknown.
     BadToken = 9,
+    /// This server does not (or no longer does) own the object the
+    /// request targets — the cluster's routing table moved the range,
+    /// or the client's cached table is stale. The request was *not*
+    /// applied. The message carries the refusing server's routing
+    /// epoch in `epoch=N` form ([`wrong_shard_epoch`] parses it); a
+    /// client whose cached epoch is older must refresh its table
+    /// ([`Request::FetchRouting`]) and re-route the op — the
+    /// [`ErrorCode::retry_after_refresh`] class.
+    WrongShard = 10,
 }
 
 impl ErrorCode {
@@ -336,18 +433,20 @@ impl ErrorCode {
             7 => Some(ErrorCode::Expired),
             8 => Some(ErrorCode::Overloaded),
             9 => Some(ErrorCode::BadToken),
+            10 => Some(ErrorCode::WrongShard),
             _ => None,
         }
     }
 
     /// Whether a request refused with this code had no effect and is
-    /// worth retrying at all: the union of [`retry_in_place`] and
-    /// [`retry_after_reconnect`].
+    /// worth retrying at all: the union of [`retry_in_place`],
+    /// [`retry_after_reconnect`] and [`retry_after_refresh`].
     ///
     /// [`retry_in_place`]: ErrorCode::retry_in_place
     /// [`retry_after_reconnect`]: ErrorCode::retry_after_reconnect
+    /// [`retry_after_refresh`]: ErrorCode::retry_after_refresh
     pub fn is_retryable(self) -> bool {
-        self.retry_in_place() || self.retry_after_reconnect()
+        self.retry_in_place() || self.retry_after_reconnect() || self.retry_after_refresh()
     }
 
     /// Retryable on the *same* connection: transient refusals
@@ -366,6 +465,32 @@ impl ErrorCode {
     pub fn retry_after_reconnect(self) -> bool {
         matches!(self, ErrorCode::ShuttingDown | ErrorCode::Overloaded)
     }
+
+    /// Retryable only after refreshing the cluster routing table
+    /// ([`ErrorCode::WrongShard`]): the server is healthy and the
+    /// connection is fine, but the *placement* the client assumed is
+    /// stale — re-sending to the same server (in place or reconnected)
+    /// can only repeat the refusal. Re-route through a fresher table.
+    pub fn retry_after_refresh(self) -> bool {
+        matches!(self, ErrorCode::WrongShard)
+    }
+}
+
+/// Renders the message of a [`ErrorCode::WrongShard`] refusal: carries
+/// the refusing server's routing epoch in the `epoch=N` form
+/// [`wrong_shard_epoch`] parses back out.
+pub fn wrong_shard_message(epoch: u64, obj: u64) -> String {
+    format!("epoch={epoch}; object {obj} is not owned by this server")
+}
+
+/// Extracts the routing epoch a [`ErrorCode::WrongShard`] message
+/// carries (the `epoch=N` prefix written by [`wrong_shard_message`]).
+/// `None` if the message does not carry one — a client should then
+/// refresh unconditionally.
+pub fn wrong_shard_epoch(message: &str) -> Option<u64> {
+    let rest = message.strip_prefix("epoch=")?;
+    let digits = rest.split(|c: char| !c.is_ascii_digit()).next()?;
+    digits.parse().ok()
 }
 
 impl fmt::Display for ErrorCode {
@@ -380,6 +505,7 @@ impl fmt::Display for ErrorCode {
             ErrorCode::Expired => "expired",
             ErrorCode::Overloaded => "overloaded",
             ErrorCode::BadToken => "bad-token",
+            ErrorCode::WrongShard => "wrong-shard",
         };
         f.write_str(s)
     }
@@ -454,12 +580,20 @@ const OP_INTROSPECT: u8 = 0x06;
 const OP_APPLY_TRACED: u8 = 0x07;
 const OP_RESUME: u8 = 0x08;
 const OP_APPLY_DEADLINE: u8 = 0x09;
+const OP_FETCH_ROUTING: u8 = 0x0A;
+const OP_UPDATE_ROUTING: u8 = 0x0B;
+const OP_DETACH_RANGES: u8 = 0x0C;
+const OP_EXPORT_OBJECT: u8 = 0x0D;
+const OP_INSTALL_OBJECT: u8 = 0x0E;
+const OP_EXPORT_SESSION: u8 = 0x0F;
+const OP_INSTALL_SESSION: u8 = 0x10;
 const RESP_OK: u8 = 0x81;
 const RESP_ERR: u8 = 0x82;
 const RESP_SESSION: u8 = 0x83;
 const RESP_HELLO: u8 = 0x84;
 const RESP_INTROSPECT: u8 = 0x85;
 const RESP_RESUMED: u8 = 0x86;
+const RESP_ROUTING: u8 = 0x87;
 
 // ---------------------------------------------------------------- encode
 
@@ -510,6 +644,19 @@ fn put_value(out: &mut Vec<u8>, v: &Value, depth: usize) -> Result<(), WireError
         }
     }
     Ok(())
+}
+
+fn put_ranges(out: &mut Vec<u8>, ranges: &[(u64, u64)]) {
+    put_u32(out, ranges.len() as u32);
+    for &(lo, hi) in ranges {
+        put_u64(out, lo);
+        put_u64(out, hi);
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
 }
 
 fn put_op_kind(out: &mut Vec<u8>, kind: &OpKind) -> Result<(), WireError> {
@@ -620,6 +767,50 @@ pub fn encode_request(req_id: u64, req: &Request, out: &mut Vec<u8>) -> Result<(
                 put_u32(body, op.obj.0 as u32);
                 put_op_kind(body, &op.kind)?;
             }
+            Request::FetchRouting => {
+                body.push(OP_FETCH_ROUTING);
+                put_u64(body, req_id);
+            }
+            Request::UpdateRouting {
+                epoch,
+                ranges,
+                table,
+            } => {
+                body.push(OP_UPDATE_ROUTING);
+                put_u64(body, req_id);
+                put_u64(body, *epoch);
+                put_ranges(body, ranges);
+                put_str(body, table);
+            }
+            Request::DetachRanges { epoch, ranges } => {
+                body.push(OP_DETACH_RANGES);
+                put_u64(body, req_id);
+                put_u64(body, *epoch);
+                put_ranges(body, ranges);
+            }
+            Request::ExportObject { obj } => {
+                body.push(OP_EXPORT_OBJECT);
+                put_u64(body, req_id);
+                put_u32(body, *obj);
+            }
+            Request::InstallObject { obj, state } => {
+                body.push(OP_INSTALL_OBJECT);
+                put_u64(body, req_id);
+                put_u32(body, *obj);
+                put_value(body, state, 0)?;
+            }
+            Request::ExportSession { session } => {
+                body.push(OP_EXPORT_SESSION);
+                put_u64(body, req_id);
+                put_u32(body, *session);
+            }
+            Request::InstallSession { session, k, state } => {
+                body.push(OP_INSTALL_SESSION);
+                put_u64(body, req_id);
+                put_u32(body, *session);
+                put_u32(body, *k);
+                put_value(body, state, 0)?;
+            }
         }
         Ok(())
     })
@@ -688,6 +879,12 @@ pub fn encode_response_at(
                 put_u64(body, req_id);
                 put_u64(body, *token);
                 put_u32(body, *cached);
+            }
+            Response::Routing { epoch, table } => {
+                body.push(RESP_ROUTING);
+                put_u64(body, req_id);
+                put_u64(body, *epoch);
+                put_str(body, table);
             }
         }
         Ok(())
@@ -793,6 +990,30 @@ impl<'a> Cursor<'a> {
             }
             t => Err(WireError::BadValueTag(t)),
         }
+    }
+
+    fn ranges(&mut self) -> Result<Vec<(u64, u64)>, WireError> {
+        let n = self.u32()? as usize;
+        // Each range is 16 payload bytes: a count beyond the remaining
+        // bytes is a lie, reject it before reserving capacity for it.
+        if n.checked_mul(16).is_none_or(|b| b > self.remaining()) {
+            return Err(WireError::Truncated);
+        }
+        let mut ranges = Vec::with_capacity(n);
+        for _ in 0..n {
+            let lo = self.u64()?;
+            let hi = self.u64()?;
+            ranges.push((lo, hi));
+        }
+        Ok(ranges)
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        std::str::from_utf8(bytes)
+            .map(str::to_string)
+            .map_err(|_| WireError::BadUtf8)
     }
 
     fn op_kind(&mut self) -> Result<OpKind, WireError> {
@@ -928,6 +1149,35 @@ pub fn decode_request(body: &[u8]) -> Result<(u64, Request), WireError> {
                 op: Op::new(obj, kind),
             }
         }
+        OP_FETCH_ROUTING => Request::FetchRouting,
+        OP_UPDATE_ROUTING => {
+            let epoch = c.u64()?;
+            let ranges = c.ranges()?;
+            let table = c.string()?;
+            Request::UpdateRouting {
+                epoch,
+                ranges,
+                table,
+            }
+        }
+        OP_DETACH_RANGES => {
+            let epoch = c.u64()?;
+            let ranges = c.ranges()?;
+            Request::DetachRanges { epoch, ranges }
+        }
+        OP_EXPORT_OBJECT => Request::ExportObject { obj: c.u32()? },
+        OP_INSTALL_OBJECT => {
+            let obj = c.u32()?;
+            let state = c.value(0)?;
+            Request::InstallObject { obj, state }
+        }
+        OP_EXPORT_SESSION => Request::ExportSession { session: c.u32()? },
+        OP_INSTALL_SESSION => {
+            let session = c.u32()?;
+            let k = c.u32()?;
+            let state = c.value(0)?;
+            Request::InstallSession { session, k, state }
+        }
         other => return Err(WireError::BadOpcode(other)),
     };
     c.finish()?;
@@ -995,6 +1245,11 @@ pub fn decode_response(body: &[u8]) -> Result<(u64, Response), WireError> {
             let token = c.u64()?;
             let cached = c.u32()?;
             Response::Resumed { token, cached }
+        }
+        RESP_ROUTING => {
+            let epoch = c.u64()?;
+            let table = c.string()?;
+            Response::Routing { epoch, table }
         }
         other => return Err(WireError::BadOpcode(other)),
     };
@@ -1151,6 +1406,56 @@ mod tests {
             pid: 3,
             op: Op::new(ObjectId(2), OpKind::FetchAdd(1)),
         });
+        round_trip_request(Request::FetchRouting);
+        round_trip_request(Request::UpdateRouting {
+            epoch: 3,
+            ranges: vec![(0, 21), (64, u64::MAX)],
+            table: "{\"schema\":\"bso-routing/v1\"}".into(),
+        });
+        round_trip_request(Request::UpdateRouting {
+            epoch: 0,
+            ranges: vec![],
+            table: String::new(),
+        });
+        round_trip_request(Request::DetachRanges {
+            epoch: 4,
+            ranges: vec![(22, 42)],
+        });
+        round_trip_request(Request::ExportObject { obj: 7 });
+        round_trip_request(Request::InstallObject {
+            obj: 7,
+            state: Value::Seq(vec![Value::Int(4), Value::Int(1_000)]),
+        });
+        round_trip_request(Request::ExportSession { session: 5 });
+        round_trip_request(Request::InstallSession {
+            session: 5,
+            k: 6,
+            state: Value::Sym(Sym::new(2)),
+        });
+    }
+
+    #[test]
+    fn range_counts_beyond_the_body_are_refused() {
+        // A ranges count larger than the remaining bytes must be
+        // rejected before any capacity is reserved for it.
+        let mut buf = Vec::new();
+        encode_request(
+            1,
+            &Request::DetachRanges {
+                epoch: 1,
+                ranges: vec![(0, 9)],
+            },
+            &mut buf,
+        )
+        .unwrap();
+        // Patch the count (after version+opcode+req_id+epoch) to a lie
+        // and re-stamp the digest so only the count check can object.
+        let count_at = 4 + 1 + 1 + 8 + 8;
+        buf[count_at..count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let sum_at = buf.len() - CHECKSUM_LEN;
+        let sum = checksum(&buf[4..sum_at]);
+        buf[sum_at..].copy_from_slice(&sum.to_le_bytes());
+        assert_eq!(decode_request(&buf[4..]).unwrap_err(), WireError::Truncated);
     }
 
     #[test]
@@ -1168,6 +1473,18 @@ mod tests {
             Response::Resumed {
                 token: u64::MAX - 1,
                 cached: 12,
+            },
+            Response::Routing {
+                epoch: 9,
+                table: "{\"schema\":\"bso-routing/v1\",\"epoch\":9}".into(),
+            },
+            Response::Routing {
+                epoch: 0,
+                table: String::new(),
+            },
+            Response::Err {
+                code: ErrorCode::WrongShard,
+                message: wrong_shard_message(3, 77),
             },
         ] {
             let mut buf = Vec::new();
@@ -1344,24 +1661,50 @@ mod tests {
             ErrorCode::Expired,
             ErrorCode::Overloaded,
             ErrorCode::BadToken,
+            ErrorCode::WrongShard,
         ] {
             assert_eq!(ErrorCode::from_u8(code.as_u8()), Some(code));
-            // The two retry classes partition the retryable codes:
+            // The three retry classes partition the retryable codes:
             // in-place retries are for transient per-request refusals on
             // a healthy connection; after-reconnect retries are for
-            // refusals that condemn the connection's future work too.
+            // refusals that condemn the connection's future work too;
+            // after-refresh retries are for stale *placement* — the
+            // op must be re-routed through a fresher cluster table.
             let in_place = matches!(code, ErrorCode::Busy | ErrorCode::Expired);
             let reconnect = matches!(code, ErrorCode::ShuttingDown | ErrorCode::Overloaded);
+            let refresh = matches!(code, ErrorCode::WrongShard);
             assert_eq!(code.retry_in_place(), in_place);
             assert_eq!(code.retry_after_reconnect(), reconnect);
-            assert!(!(in_place && reconnect), "classes are disjoint");
-            assert_eq!(code.is_retryable(), in_place || reconnect);
+            assert_eq!(code.retry_after_refresh(), refresh);
+            assert!(
+                [in_place, reconnect, refresh]
+                    .iter()
+                    .filter(|&&c| c)
+                    .count()
+                    <= 1,
+                "classes are disjoint"
+            );
+            assert_eq!(code.is_retryable(), in_place || reconnect || refresh);
         }
         // BadToken means "outcome unknowable" — the one failure where a
         // blind retry could duplicate an effect, so it must never be
         // classified retryable.
         assert!(!ErrorCode::BadToken.is_retryable());
         assert_eq!(ErrorCode::from_u8(200), None);
+    }
+
+    #[test]
+    fn wrong_shard_messages_carry_a_parseable_epoch() {
+        assert_eq!(wrong_shard_epoch(&wrong_shard_message(0, 3)), Some(0));
+        assert_eq!(
+            wrong_shard_epoch(&wrong_shard_message(u64::MAX, 9)),
+            Some(u64::MAX)
+        );
+        // Foreign or hand-written messages degrade to None, which
+        // clients treat as "refresh unconditionally".
+        assert_eq!(wrong_shard_epoch("not owned here"), None);
+        assert_eq!(wrong_shard_epoch("epoch=x"), None);
+        assert_eq!(wrong_shard_epoch(""), None);
     }
 
     #[test]
